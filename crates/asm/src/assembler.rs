@@ -1,0 +1,862 @@
+//! The two-pass assembler.
+//!
+//! Pass 1 walks the parsed lines, sizing every (possibly pseudo)
+//! instruction and assigning addresses to labels. Pass 2 expands and
+//! encodes instructions with the now-complete symbol table and emits the
+//! data segment.
+//!
+//! Pseudo-instructions expand deterministically so label addresses never
+//! depend on symbol values: `li` is one instruction when its immediate fits
+//! (16-bit signed, or a `lui`-shaped constant) and two otherwise; `la` is
+//! always two; the compare-and-branch pseudos (`blt`/`bge`/`bgt`/`ble`) are
+//! always two and clobber the assembler temporary `$r1` (`$at`).
+
+use crate::parser::{parse, Arg, Body, Line};
+use crate::program::{Program, DATA_BASE, TEXT_BASE};
+use riq_isa::{
+    AluImmOp, AluOp, BranchCond, FpAluOp, FpCond, FpReg, FpUnaryOp, Inst, IntReg, ShiftOp,
+    INST_BYTES,
+};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while assembling a source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssembleError {
+    /// 1-based source line number (0 for file-level errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for AssembleError {}
+
+fn err(line: usize, message: impl Into<String>) -> AssembleError {
+    AssembleError { line, message: message.into() }
+}
+
+/// Assembler temporary register clobbered by compare-and-branch pseudos.
+pub const AT: IntReg = IntReg::new(1);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Text,
+    Data,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RegRef {
+    Int(IntReg),
+    Fp(FpReg),
+}
+
+fn parse_reg(line: usize, name: &str) -> Result<RegRef, AssembleError> {
+    let alias = match name {
+        "zero" => Some(0u8),
+        "at" => Some(1),
+        "sp" => Some(29),
+        "fp" => Some(30),
+        "ra" => Some(31),
+        _ => None,
+    };
+    if let Some(n) = alias {
+        return Ok(RegRef::Int(IntReg::new(n)));
+    }
+    let (bank, num) = name.split_at(1);
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad register name ${name}")))?;
+    match bank {
+        "r" => IntReg::try_new(n)
+            .map(RegRef::Int)
+            .ok_or_else(|| err(line, format!("integer register out of range: ${name}"))),
+        "f" => FpReg::try_new(n)
+            .map(RegRef::Fp)
+            .ok_or_else(|| err(line, format!("fp register out of range: ${name}"))),
+        _ => Err(err(line, format!("unknown register bank in ${name}"))),
+    }
+}
+
+fn int_reg(line: usize, arg: &Arg) -> Result<IntReg, AssembleError> {
+    match arg {
+        Arg::Reg(name) => match parse_reg(line, name)? {
+            RegRef::Int(r) => Ok(r),
+            RegRef::Fp(_) => Err(err(line, format!("expected integer register, got ${name}"))),
+        },
+        other => Err(err(line, format!("expected register, got {other}"))),
+    }
+}
+
+fn fp_reg(line: usize, arg: &Arg) -> Result<FpReg, AssembleError> {
+    match arg {
+        Arg::Reg(name) => match parse_reg(line, name)? {
+            RegRef::Fp(r) => Ok(r),
+            RegRef::Int(_) => Err(err(line, format!("expected fp register, got ${name}"))),
+        },
+        other => Err(err(line, format!("expected register, got {other}"))),
+    }
+}
+
+fn imm16(line: usize, arg: &Arg) -> Result<i16, AssembleError> {
+    match arg {
+        Arg::Imm(v) => i16::try_from(*v)
+            .map_err(|_| err(line, format!("immediate {v} does not fit in 16 bits"))),
+        other => Err(err(line, format!("expected immediate, got {other}"))),
+    }
+}
+
+fn uimm16(line: usize, arg: &Arg) -> Result<u16, AssembleError> {
+    match arg {
+        Arg::Imm(v) if (0..=0xffff).contains(v) => Ok(*v as u16),
+        Arg::Imm(v) => Err(err(line, format!("immediate {v} does not fit in unsigned 16 bits"))),
+        other => Err(err(line, format!("expected immediate, got {other}"))),
+    }
+}
+
+fn shamt(line: usize, arg: &Arg) -> Result<u8, AssembleError> {
+    match arg {
+        Arg::Imm(v) if (0..32).contains(v) => Ok(*v as u8),
+        Arg::Imm(v) => Err(err(line, format!("shift amount {v} out of range 0..32"))),
+        other => Err(err(line, format!("expected shift amount, got {other}"))),
+    }
+}
+
+fn mem_operand(line: usize, arg: &Arg) -> Result<(IntReg, i16), AssembleError> {
+    match arg {
+        Arg::Mem { off, base } => {
+            let base = match parse_reg(line, base)? {
+                RegRef::Int(r) => r,
+                RegRef::Fp(_) => {
+                    return Err(err(line, "memory base must be an integer register"))
+                }
+            };
+            let off = i16::try_from(*off)
+                .map_err(|_| err(line, format!("memory offset {off} does not fit in 16 bits")))?;
+            Ok((base, off))
+        }
+        other => Err(err(line, format!("expected memory operand, got {other}"))),
+    }
+}
+
+/// Symbol lookup used during expansion. Pass 1 maps every symbol to 0 so
+/// that sizes can be computed before addresses are known.
+type Lookup<'a> = &'a dyn Fn(&str) -> Option<u32>;
+
+fn resolve(line: usize, arg: &Arg, lookup: Lookup<'_>) -> Result<u32, AssembleError> {
+    match arg {
+        Arg::Sym(s) => {
+            lookup(s).ok_or_else(|| err(line, format!("undefined symbol {s:?}")))
+        }
+        Arg::Imm(v) => u32::try_from(*v)
+            .map_err(|_| err(line, format!("address {v} out of range"))),
+        other => Err(err(line, format!("expected label or address, got {other}"))),
+    }
+}
+
+fn branch_off(line: usize, pc: u32, target: u32) -> Result<i16, AssembleError> {
+    let delta = i64::from(target) - i64::from(pc) - 4;
+    if delta % 4 != 0 {
+        return Err(err(line, format!("branch target {target:#x} is not aligned")));
+    }
+    i16::try_from(delta / 4)
+        .map_err(|_| err(line, format!("branch target {target:#x} out of 16-bit range")))
+}
+
+/// Number of machine instructions `li` expands to for a given literal.
+fn li_len(v: i64) -> usize {
+    let bits = v as u32;
+    if i16::try_from(v).is_ok() || bits & 0xffff == 0 {
+        1
+    } else {
+        2
+    }
+}
+
+fn expand_li(rt: IntReg, v: i64) -> Vec<Inst> {
+    if let Ok(imm) = i16::try_from(v) {
+        return vec![Inst::AluImm { op: AluImmOp::Addi, rt, rs: IntReg::ZERO, imm }];
+    }
+    let bits = v as u32;
+    let hi = (bits >> 16) as u16;
+    let lo = (bits & 0xffff) as u16;
+    if lo == 0 {
+        vec![Inst::Lui { rt, imm: hi }]
+    } else {
+        vec![
+            Inst::Lui { rt, imm: hi },
+            Inst::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: lo as i16 },
+        ]
+    }
+}
+
+/// Sizes an instruction (in machine instructions) without resolving symbols.
+fn inst_len(line: usize, mnemonic: &str, args: &[Arg]) -> Result<usize, AssembleError> {
+    Ok(match mnemonic {
+        "li" => match args.get(1) {
+            Some(Arg::Imm(v)) => li_len(*v),
+            _ => return Err(err(line, "li expects a register and an integer literal")),
+        },
+        "la" => 2,
+        "blt" | "bge" | "bgt" | "ble" => 2,
+        _ => 1,
+    })
+}
+
+/// Expands and encodes one source instruction at `pc`.
+fn expand(
+    line: usize,
+    mnemonic: &str,
+    args: &[Arg],
+    pc: u32,
+    lookup: Lookup<'_>,
+) -> Result<Vec<Inst>, AssembleError> {
+    let argc = |n: usize| -> Result<(), AssembleError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("{mnemonic} expects {n} operands, got {}", args.len())))
+        }
+    };
+    let alu3 = |op: AluOp| -> Result<Vec<Inst>, AssembleError> {
+        argc(3)?;
+        Ok(vec![Inst::Alu {
+            op,
+            rd: int_reg(line, &args[0])?,
+            rs: int_reg(line, &args[1])?,
+            rt: int_reg(line, &args[2])?,
+        }])
+    };
+    let alui = |op: AluImmOp| -> Result<Vec<Inst>, AssembleError> {
+        argc(3)?;
+        Ok(vec![Inst::AluImm {
+            op,
+            rt: int_reg(line, &args[0])?,
+            rs: int_reg(line, &args[1])?,
+            imm: imm16(line, &args[2])?,
+        }])
+    };
+    let shift = |op: ShiftOp| -> Result<Vec<Inst>, AssembleError> {
+        argc(3)?;
+        Ok(vec![Inst::Shift {
+            op,
+            rd: int_reg(line, &args[0])?,
+            rt: int_reg(line, &args[1])?,
+            shamt: shamt(line, &args[2])?,
+        }])
+    };
+    let fp3 = |op: FpAluOp| -> Result<Vec<Inst>, AssembleError> {
+        argc(3)?;
+        Ok(vec![Inst::FpOp {
+            op,
+            fd: fp_reg(line, &args[0])?,
+            fs: fp_reg(line, &args[1])?,
+            ft: fp_reg(line, &args[2])?,
+        }])
+    };
+    let fp1 = |op: FpUnaryOp| -> Result<Vec<Inst>, AssembleError> {
+        argc(2)?;
+        Ok(vec![Inst::FpUnary {
+            op,
+            fd: fp_reg(line, &args[0])?,
+            fs: fp_reg(line, &args[1])?,
+        }])
+    };
+    let fcmp = |cond: FpCond| -> Result<Vec<Inst>, AssembleError> {
+        argc(3)?;
+        Ok(vec![Inst::CmpD {
+            cond,
+            rd: int_reg(line, &args[0])?,
+            fs: fp_reg(line, &args[1])?,
+            ft: fp_reg(line, &args[2])?,
+        }])
+    };
+    let branch2 = |mk: fn(IntReg, IntReg, i16) -> Inst| -> Result<Vec<Inst>, AssembleError> {
+        argc(3)?;
+        let target = resolve(line, &args[2], lookup)?;
+        Ok(vec![mk(
+            int_reg(line, &args[0])?,
+            int_reg(line, &args[1])?,
+            branch_off(line, pc, target)?,
+        )])
+    };
+    let branch1 = |cond: BranchCond| -> Result<Vec<Inst>, AssembleError> {
+        argc(2)?;
+        let target = resolve(line, &args[1], lookup)?;
+        Ok(vec![Inst::Bcond {
+            cond,
+            rs: int_reg(line, &args[0])?,
+            off: branch_off(line, pc, target)?,
+        }])
+    };
+    // Compare-and-branch pseudos: slt into $at then branch on $at. The
+    // branch sits at pc+4.
+    let cmp_branch = |swap: bool, taken_if_set: bool| -> Result<Vec<Inst>, AssembleError> {
+        argc(3)?;
+        let a = int_reg(line, &args[0])?;
+        let b = int_reg(line, &args[1])?;
+        let (rs, rt) = if swap { (b, a) } else { (a, b) };
+        let target = resolve(line, &args[2], lookup)?;
+        let off = branch_off(line, pc + 4, target)?;
+        let cmp = Inst::Alu { op: AluOp::Slt, rd: AT, rs, rt };
+        let br = if taken_if_set {
+            Inst::Bne { rs: AT, rt: IntReg::ZERO, off }
+        } else {
+            Inst::Beq { rs: AT, rt: IntReg::ZERO, off }
+        };
+        Ok(vec![cmp, br])
+    };
+
+    match mnemonic {
+        "nop" => {
+            argc(0)?;
+            Ok(vec![Inst::Nop])
+        }
+        "halt" => {
+            argc(0)?;
+            Ok(vec![Inst::Halt])
+        }
+        "add" => alu3(AluOp::Add),
+        "sub" => alu3(AluOp::Sub),
+        "mul" => alu3(AluOp::Mul),
+        "div" => alu3(AluOp::Div),
+        "rem" => alu3(AluOp::Rem),
+        "and" => alu3(AluOp::And),
+        "or" => alu3(AluOp::Or),
+        "xor" => alu3(AluOp::Xor),
+        "nor" => alu3(AluOp::Nor),
+        "slt" => alu3(AluOp::Slt),
+        "sltu" => alu3(AluOp::Sltu),
+        "sllv" => alu3(AluOp::Sllv),
+        "srlv" => alu3(AluOp::Srlv),
+        "srav" => alu3(AluOp::Srav),
+        "addi" => alui(AluImmOp::Addi),
+        "slti" => alui(AluImmOp::Slti),
+        "sltiu" => alui(AluImmOp::Sltiu),
+        "andi" => alui(AluImmOp::Andi),
+        "ori" => alui(AluImmOp::Ori),
+        "xori" => alui(AluImmOp::Xori),
+        "sll" => shift(ShiftOp::Sll),
+        "srl" => shift(ShiftOp::Srl),
+        "sra" => shift(ShiftOp::Sra),
+        "lui" => {
+            argc(2)?;
+            Ok(vec![Inst::Lui { rt: int_reg(line, &args[0])?, imm: uimm16(line, &args[1])? }])
+        }
+        "lw" => {
+            argc(2)?;
+            let (base, off) = mem_operand(line, &args[1])?;
+            Ok(vec![Inst::Lw { rt: int_reg(line, &args[0])?, base, off }])
+        }
+        "sw" => {
+            argc(2)?;
+            let (base, off) = mem_operand(line, &args[1])?;
+            Ok(vec![Inst::Sw { rt: int_reg(line, &args[0])?, base, off }])
+        }
+        "l.d" | "ld" => {
+            argc(2)?;
+            let (base, off) = mem_operand(line, &args[1])?;
+            Ok(vec![Inst::Ld { ft: fp_reg(line, &args[0])?, base, off }])
+        }
+        "s.d" | "sd" => {
+            argc(2)?;
+            let (base, off) = mem_operand(line, &args[1])?;
+            Ok(vec![Inst::Sd { ft: fp_reg(line, &args[0])?, base, off }])
+        }
+        "add.d" => fp3(FpAluOp::AddD),
+        "sub.d" => fp3(FpAluOp::SubD),
+        "mul.d" => fp3(FpAluOp::MulD),
+        "div.d" => fp3(FpAluOp::DivD),
+        "mov.d" => fp1(FpUnaryOp::MovD),
+        "neg.d" => fp1(FpUnaryOp::NegD),
+        "sqrt.d" => fp1(FpUnaryOp::SqrtD),
+        "cvt.d.w" => fp1(FpUnaryOp::CvtDW),
+        "cvt.w.d" => fp1(FpUnaryOp::CvtWD),
+        "c.eq.d" => fcmp(FpCond::Eq),
+        "c.lt.d" => fcmp(FpCond::Lt),
+        "c.le.d" => fcmp(FpCond::Le),
+        "mtc1" => {
+            argc(2)?;
+            Ok(vec![Inst::Mtc1 { rs: int_reg(line, &args[0])?, fd: fp_reg(line, &args[1])? }])
+        }
+        "mfc1" => {
+            argc(2)?;
+            Ok(vec![Inst::Mfc1 { rd: int_reg(line, &args[0])?, fs: fp_reg(line, &args[1])? }])
+        }
+        "beq" => branch2(|rs, rt, off| Inst::Beq { rs, rt, off }),
+        "bne" => branch2(|rs, rt, off| Inst::Bne { rs, rt, off }),
+        "blez" => branch1(BranchCond::Lez),
+        "bgtz" => branch1(BranchCond::Gtz),
+        "bltz" => branch1(BranchCond::Ltz),
+        "bgez" => branch1(BranchCond::Gez),
+        "j" => {
+            argc(1)?;
+            Ok(vec![Inst::J { target: resolve(line, &args[0], lookup)? }])
+        }
+        "jal" => {
+            argc(1)?;
+            Ok(vec![Inst::Jal { target: resolve(line, &args[0], lookup)? }])
+        }
+        "jr" => {
+            argc(1)?;
+            Ok(vec![Inst::Jr { rs: int_reg(line, &args[0])? }])
+        }
+        "jalr" => match args.len() {
+            1 => Ok(vec![Inst::Jalr { rd: IntReg::RA, rs: int_reg(line, &args[0])? }]),
+            2 => Ok(vec![Inst::Jalr {
+                rd: int_reg(line, &args[0])?,
+                rs: int_reg(line, &args[1])?,
+            }]),
+            n => Err(err(line, format!("jalr expects 1 or 2 operands, got {n}"))),
+        },
+        // Pseudo-instructions.
+        "li" => {
+            argc(2)?;
+            let rt = int_reg(line, &args[0])?;
+            match &args[1] {
+                Arg::Imm(v) => Ok(expand_li(rt, *v)),
+                other => Err(err(line, format!("li expects an integer literal, got {other}"))),
+            }
+        }
+        "la" => {
+            argc(2)?;
+            let rt = int_reg(line, &args[0])?;
+            let addr = resolve(line, &args[1], lookup)?;
+            Ok(vec![
+                Inst::Lui { rt, imm: (addr >> 16) as u16 },
+                Inst::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: (addr & 0xffff) as i16 },
+            ])
+        }
+        "move" => {
+            argc(2)?;
+            Ok(vec![Inst::Alu {
+                op: AluOp::Or,
+                rd: int_reg(line, &args[0])?,
+                rs: int_reg(line, &args[1])?,
+                rt: IntReg::ZERO,
+            }])
+        }
+        "neg" => {
+            argc(2)?;
+            Ok(vec![Inst::Alu {
+                op: AluOp::Sub,
+                rd: int_reg(line, &args[0])?,
+                rs: IntReg::ZERO,
+                rt: int_reg(line, &args[1])?,
+            }])
+        }
+        "b" => {
+            argc(1)?;
+            let target = resolve(line, &args[0], lookup)?;
+            Ok(vec![Inst::Beq {
+                rs: IntReg::ZERO,
+                rt: IntReg::ZERO,
+                off: branch_off(line, pc, target)?,
+            }])
+        }
+        "blt" => cmp_branch(false, true),
+        "bge" => cmp_branch(false, false),
+        "bgt" => cmp_branch(true, true),
+        "ble" => cmp_branch(true, false),
+        other => Err(err(line, format!("unknown mnemonic {other:?}"))),
+    }
+}
+
+/// Data-segment layout helper shared by both passes.
+fn directive_data_len(
+    line: usize,
+    name: &str,
+    args: &[Arg],
+    addr: u32,
+) -> Result<u32, AssembleError> {
+    match name {
+        "word" => Ok(4 * args.len() as u32),
+        "double" => {
+            let pad = (8 - addr % 8) % 8;
+            Ok(pad + 8 * args.len() as u32)
+        }
+        "space" => match args {
+            [Arg::Imm(n)] if *n >= 0 => Ok(*n as u32),
+            _ => Err(err(line, ".space expects a non-negative byte count")),
+        },
+        "align" => match args {
+            [Arg::Imm(n)] if (0..=16).contains(n) => {
+                let a = 1u32 << *n;
+                Ok((a - addr % a) % a)
+            }
+            _ => Err(err(line, ".align expects an exponent in 0..=16")),
+        },
+        _ => Err(err(line, format!("unknown data directive .{name}"))),
+    }
+}
+
+/// Assembles riq assembly source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first parse, sizing, or encoding error, tagged with its
+/// source line.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use riq_asm::assemble;
+/// let program = assemble(
+///     r#"
+///     .data
+///     vec:  .double 1.0, 2.0
+///     .text
+///         la   $r6, vec
+///         l.d  $f0, 0($r6)
+///         halt
+///     "#,
+/// )?;
+/// assert_eq!(program.symbol("vec"), Some(program.data_base()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AssembleError> {
+    let lines = parse(source).map_err(|e| err(e.line, e.message))?;
+    assemble_lines(&lines)
+}
+
+fn assemble_lines(lines: &[Line]) -> Result<Program, AssembleError> {
+    // ---- Pass 1: addresses and symbols ----
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut segment = Segment::Text;
+    let mut text_base = TEXT_BASE;
+    let mut data_base = DATA_BASE;
+    let mut text_pc = text_base;
+    let mut data_addr = data_base;
+    let mut text_started = false;
+    let mut data_started = false;
+    let mut entry_sym: Option<(usize, String)> = None;
+
+    for l in lines {
+        {
+            if let Some(Body::Directive { name, args }) = &l.body {
+                match name.as_str() {
+                    "text" | "data" => {
+                        let is_text = name == "text";
+                        if let Some(a) = args.first() {
+                            let base = match a {
+                                Arg::Imm(v) => u32::try_from(*v).map_err(|_| {
+                                    err(l.number, format!("segment base {v} out of range"))
+                                })?,
+                                other => {
+                                    return Err(err(
+                                        l.number,
+                                        format!("segment base must be a literal, got {other}"),
+                                    ))
+                                }
+                            };
+                            if is_text {
+                                if text_started {
+                                    return Err(err(
+                                        l.number,
+                                        "cannot rebase .text after emitting code",
+                                    ));
+                                }
+                                if base % INST_BYTES != 0 {
+                                    return Err(err(l.number, "text base must be aligned"));
+                                }
+                                text_base = base;
+                                text_pc = base;
+                            } else {
+                                if data_started {
+                                    return Err(err(
+                                        l.number,
+                                        "cannot rebase .data after emitting data",
+                                    ));
+                                }
+                                data_base = base;
+                                data_addr = base;
+                            }
+                        }
+                        segment = if is_text { Segment::Text } else { Segment::Data };
+                        // Define the label *after* the segment switch so a
+                        // label on the directive line lands in the segment.
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(label) = &l.label {
+            let addr = match segment {
+                Segment::Text => text_pc,
+                Segment::Data => data_addr,
+            };
+            // `.double` on the same line aligns first; account for that so
+            // the label points at the aligned datum.
+            let addr = match (&l.body, segment) {
+                (Some(Body::Directive { name, .. }), Segment::Data) if name == "double" => {
+                    addr + (8 - addr % 8) % 8
+                }
+                _ => addr,
+            };
+            if symbols.insert(label.clone(), addr).is_some() {
+                return Err(err(l.number, format!("duplicate label {label:?}")));
+            }
+        }
+        match &l.body {
+            None => {}
+            Some(Body::Directive { name, args }) => match (name.as_str(), segment) {
+                ("text" | "data", _) => {}
+                ("global" | "globl", _) => {}
+                ("entry", _) => match args.as_slice() {
+                    [Arg::Sym(s)] => entry_sym = Some((l.number, s.clone())),
+                    _ => return Err(err(l.number, ".entry expects a label")),
+                },
+                (_, Segment::Data) => {
+                    data_started = true;
+                    data_addr += directive_data_len(l.number, name, args, data_addr)?;
+                }
+                (_, Segment::Text) => {
+                    return Err(err(
+                        l.number,
+                        format!("data directive .{name} not allowed in .text"),
+                    ))
+                }
+            },
+            Some(Body::Inst { mnemonic, args }) => {
+                if segment != Segment::Text {
+                    return Err(err(l.number, "instructions must be in the .text segment"));
+                }
+                text_started = true;
+                text_pc += INST_BYTES * inst_len(l.number, mnemonic, args)? as u32;
+            }
+        }
+    }
+
+    // ---- Pass 2: encode ----
+    let lookup = |s: &str| symbols.get(s).copied();
+    let mut text: Vec<u32> = Vec::with_capacity(((text_pc - text_base) / INST_BYTES) as usize);
+    let mut data: Vec<u8> = Vec::with_capacity((data_addr - data_base) as usize);
+    let mut segment = Segment::Text;
+    let mut pc = text_base;
+    let mut daddr = data_base;
+
+    for l in lines {
+        match &l.body {
+            None => {}
+            Some(Body::Directive { name, args }) => match name.as_str() {
+                "text" => segment = Segment::Text,
+                "data" => segment = Segment::Data,
+                "global" | "globl" | "entry" => {}
+                _ => {
+                    debug_assert_eq!(segment, Segment::Data);
+                    emit_data(l.number, name, args, &mut data, &mut daddr, data_base, &lookup)?;
+                }
+            },
+            Some(Body::Inst { mnemonic, args }) => {
+                let insts = expand(l.number, mnemonic, args, pc, &lookup)?;
+                debug_assert_eq!(insts.len(), inst_len(l.number, mnemonic, args)?);
+                for inst in insts {
+                    let word = inst
+                        .encode()
+                        .map_err(|e| err(l.number, format!("cannot encode {inst}: {e}")))?;
+                    text.push(word);
+                    pc += INST_BYTES;
+                }
+            }
+        }
+    }
+
+    let entry = match entry_sym {
+        Some((line, s)) => symbols
+            .get(&s)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined entry label {s:?}")))?,
+        None => text_base,
+    };
+    if text.is_empty() {
+        return Err(err(0, "program has no instructions"));
+    }
+    Ok(Program::from_parts(text_base, text, data_base, data, entry, symbols))
+}
+
+fn emit_data(
+    line: usize,
+    name: &str,
+    args: &[Arg],
+    data: &mut Vec<u8>,
+    addr: &mut u32,
+    base: u32,
+    lookup: Lookup<'_>,
+) -> Result<(), AssembleError> {
+    let pad_to = |data: &mut Vec<u8>, addr: &mut u32, n: u32| {
+        while !(*addr).is_multiple_of(n) {
+            data.push(0);
+            *addr += 1;
+        }
+    };
+    match name {
+        "word" => {
+            for a in args {
+                let v: u32 = match a {
+                    Arg::Imm(v) => *v as u32,
+                    Arg::Sym(s) => lookup(s)
+                        .ok_or_else(|| err(line, format!("undefined symbol {s:?}")))?,
+                    other => {
+                        return Err(err(line, format!(".word expects integers, got {other}")))
+                    }
+                };
+                data.extend_from_slice(&v.to_le_bytes());
+                *addr += 4;
+            }
+        }
+        "double" => {
+            pad_to(data, addr, 8);
+            for a in args {
+                let v: f64 = match a {
+                    Arg::Float(v) => *v,
+                    Arg::Imm(v) => *v as f64,
+                    other => {
+                        return Err(err(line, format!(".double expects numbers, got {other}")))
+                    }
+                };
+                data.extend_from_slice(&v.to_bits().to_le_bytes());
+                *addr += 8;
+            }
+        }
+        "space" => {
+            let n = directive_data_len(line, name, args, *addr)?;
+            data.extend(std::iter::repeat_n(0u8, n as usize));
+            *addr += n;
+        }
+        "align" => {
+            let n = directive_data_len(line, name, args, *addr)?;
+            data.extend(std::iter::repeat_n(0u8, n as usize));
+            *addr += n;
+        }
+        other => return Err(err(line, format!("unknown data directive .{other}"))),
+    }
+    debug_assert_eq!(*addr - base, data.len() as u32);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_isa::Inst;
+
+    #[test]
+    fn assembles_simple_loop() {
+        let p = assemble(
+            "  addi $r2, $r0, 10\nloop: addi $r3, $r3, 1\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.text_len(), 5);
+        // The bne at index 3 must target index 1 => offset -3.
+        let bne = p.inst_at(p.text_base() + 12).unwrap();
+        assert_eq!(bne, Inst::Bne { rs: IntReg::new(2), rt: IntReg::ZERO, off: -3 });
+    }
+
+    #[test]
+    fn li_expansion_sizes() {
+        assert_eq!(li_len(0), 1);
+        assert_eq!(li_len(-32768), 1);
+        assert_eq!(li_len(32767), 1);
+        assert_eq!(li_len(0x10000), 1); // lui only
+        assert_eq!(li_len(0x12345), 2);
+        assert_eq!(li_len(-40000), 2);
+    }
+
+    #[test]
+    fn li_and_la_semantics() {
+        let p = assemble(".data\nv: .word 1\n.text\n  li $r4, 0x12345678\n  la $r5, v\n  halt\n")
+            .unwrap();
+        assert_eq!(p.text_len(), 5);
+        assert_eq!(
+            p.inst_at(p.text_base()).unwrap(),
+            Inst::Lui { rt: IntReg::new(4), imm: 0x1234 }
+        );
+        assert_eq!(p.symbol("v"), Some(p.data_base()));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = assemble("  beq $r0, $r0, end\n  nop\nend: halt\n").unwrap();
+        let b = p.inst_at(p.text_base()).unwrap();
+        assert_eq!(b, Inst::Beq { rs: IntReg::ZERO, rt: IntReg::ZERO, off: 1 });
+    }
+
+    #[test]
+    fn cmp_branch_pseudos() {
+        let p = assemble("loop: addi $r2, $r2, 1\n  blt $r2, $r9, loop\n  halt\n").unwrap();
+        assert_eq!(p.text_len(), 4);
+        let slt = p.inst_at(p.text_base() + 4).unwrap();
+        assert_eq!(
+            slt,
+            Inst::Alu { op: AluOp::Slt, rd: AT, rs: IntReg::new(2), rt: IntReg::new(9) }
+        );
+        let bne = p.inst_at(p.text_base() + 8).unwrap();
+        assert_eq!(bne, Inst::Bne { rs: AT, rt: IntReg::ZERO, off: -3 });
+    }
+
+    #[test]
+    fn data_layout_and_alignment() {
+        let p = assemble(
+            ".data\nn: .word 7\nd: .double 2.5\nbuf: .space 3\nm: .word 9\n.text\n  halt\n",
+        )
+        .unwrap();
+        let base = p.data_base();
+        assert_eq!(p.symbol("n"), Some(base));
+        assert_eq!(p.symbol("d"), Some(base + 8), ".double aligns to 8");
+        assert_eq!(p.symbol("buf"), Some(base + 16));
+        assert_eq!(p.symbol("m"), Some(base + 19));
+        assert_eq!(&p.data()[0..4], &7u32.to_le_bytes());
+        assert_eq!(&p.data()[8..16], &2.5f64.to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn word_can_hold_symbols() {
+        let p = assemble(".data\nptr: .word tgt\n.text\ntgt: halt\n").unwrap();
+        assert_eq!(&p.data()[0..4], &p.symbol("tgt").unwrap().to_le_bytes());
+    }
+
+    #[test]
+    fn entry_directive() {
+        let p = assemble(".entry main\n  nop\nmain: halt\n").unwrap();
+        assert_eq!(p.entry(), p.text_base() + 4);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = assemble("  addi $r1, $r2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = assemble("  bne $r1, $r0, nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined symbol"), "{e}");
+        let e = assemble("nop\nx: nop\nx: nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate label"), "{e}");
+        let e = assemble("  addi $r1, $r1, 99999\n").unwrap_err();
+        assert!(e.message.contains("16 bits"), "{e}");
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(assemble("# nothing\n").is_err());
+        assert!(assemble(".data\nx: .word 1\n").is_err());
+    }
+
+    #[test]
+    fn register_aliases() {
+        let p = assemble("  addi $sp, $sp, -16\n  jr $ra\n  halt\n").unwrap();
+        assert_eq!(
+            p.inst_at(p.text_base()).unwrap(),
+            Inst::AluImm { op: AluImmOp::Addi, rt: IntReg::SP, rs: IntReg::SP, imm: -16 }
+        );
+        assert_eq!(p.inst_at(p.text_base() + 4).unwrap(), Inst::Jr { rs: IntReg::RA });
+    }
+}

@@ -1,0 +1,379 @@
+//! Programmatic program construction.
+//!
+//! [`ProgramBuilder`] is the API code generators use (notably the
+//! `riq-kernels` loop-nest compiler): push instructions and labels, reserve
+//! and initialize data, and let the builder patch label-relative branches
+//! and jumps when it finalizes.
+
+use crate::program::{Program, DATA_BASE, TEXT_BASE};
+use riq_isa::{Inst, IntReg, INST_BYTES};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while finalizing a built program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildProgramError {
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// A branch target was out of the 16-bit word-offset range.
+    BranchOutOfRange {
+        /// Referencing instruction address.
+        pc: u32,
+        /// Referenced label.
+        label: String,
+    },
+    /// An instruction could not be encoded.
+    Encode(String),
+    /// The program contains no instructions.
+    Empty,
+}
+
+impl fmt::Display for BuildProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildProgramError::UndefinedLabel(l) => write!(f, "undefined label {l:?}"),
+            BuildProgramError::BranchOutOfRange { pc, label } => {
+                write!(f, "branch at {pc:#x} to label {label:?} out of range")
+            }
+            BuildProgramError::Encode(m) => write!(f, "encode error: {m}"),
+            BuildProgramError::Empty => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl Error for BuildProgramError {}
+
+/// A pending text-segment element.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// A fully-formed instruction.
+    Inst(Inst),
+    /// A branch whose offset is patched at finalize time. The `make`
+    /// callback receives the resolved word offset.
+    Branch { label: String, make: fn(i16, IntReg, IntReg) -> Inst, rs: IntReg, rt: IntReg },
+    /// A direct jump (or call) to a label.
+    Jump { label: String, link: bool },
+}
+
+/// Incrementally builds a [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use riq_asm::ProgramBuilder;
+/// use riq_isa::{AluImmOp, Inst, IntReg};
+///
+/// let mut b = ProgramBuilder::new();
+/// let r2 = IntReg::new(2);
+/// b.push(Inst::AluImm { op: AluImmOp::Addi, rt: r2, rs: IntReg::ZERO, imm: 3 });
+/// b.label("loop");
+/// b.push(Inst::AluImm { op: AluImmOp::Addi, rt: r2, rs: r2, imm: -1 });
+/// b.bne(r2, IntReg::ZERO, "loop");
+/// b.push(Inst::Halt);
+/// let program = b.finish()?;
+/// assert_eq!(program.text_len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    slots: Vec<Slot>,
+    labels: BTreeMap<String, usize>,
+    data: Vec<u8>,
+    data_labels: BTreeMap<String, u32>,
+    text_base: u32,
+    data_base: u32,
+    entry_label: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with the default segment bases.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder {
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Number of instructions pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no instructions have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Appends a machine instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.slots.push(Slot::Inst(inst));
+        self
+    }
+
+    /// Defines a text label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let prev = self.labels.insert(name.clone(), self.slots.len());
+        assert!(prev.is_none(), "duplicate text label {name:?}");
+        self
+    }
+
+    /// Address a text label will have once finalized, if already defined.
+    #[must_use]
+    pub fn label_addr(&self, name: &str) -> Option<u32> {
+        self.labels
+            .get(name)
+            .map(|&idx| self.text_base + (idx as u32) * INST_BYTES)
+    }
+
+    /// Appends `beq rs, rt, label`.
+    pub fn beq(&mut self, rs: IntReg, rt: IntReg, label: impl Into<String>) -> &mut Self {
+        self.slots.push(Slot::Branch {
+            label: label.into(),
+            make: |off, rs, rt| Inst::Beq { rs, rt, off },
+            rs,
+            rt,
+        });
+        self
+    }
+
+    /// Appends `bne rs, rt, label`.
+    pub fn bne(&mut self, rs: IntReg, rt: IntReg, label: impl Into<String>) -> &mut Self {
+        self.slots.push(Slot::Branch {
+            label: label.into(),
+            make: |off, rs, rt| Inst::Bne { rs, rt, off },
+            rs,
+            rt,
+        });
+        self
+    }
+
+    /// Appends an unconditional jump to a label.
+    pub fn jump(&mut self, label: impl Into<String>) -> &mut Self {
+        self.slots.push(Slot::Jump { label: label.into(), link: false });
+        self
+    }
+
+    /// Appends a call (`jal`) to a label.
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
+        self.slots.push(Slot::Jump { label: label.into(), link: true });
+        self
+    }
+
+    /// Reserves `len` zeroed bytes in the data segment under `name`,
+    /// returning the address the block will have.
+    pub fn reserve_data(&mut self, name: impl Into<String>, len: u32) -> u32 {
+        // Keep doubles aligned: all blocks are 8-byte aligned.
+        while !self.data.len().is_multiple_of(8) {
+            self.data.push(0);
+        }
+        let addr = self.data_base + self.data.len() as u32;
+        self.data_labels.insert(name.into(), addr);
+        self.data.extend(std::iter::repeat_n(0u8, len as usize));
+        addr
+    }
+
+    /// Appends initialized doubles to the data segment under `name`,
+    /// returning their address.
+    pub fn data_doubles(&mut self, name: impl Into<String>, values: &[f64]) -> u32 {
+        while !self.data.len().is_multiple_of(8) {
+            self.data.push(0);
+        }
+        let addr = self.data_base + self.data.len() as u32;
+        self.data_labels.insert(name.into(), addr);
+        for v in values {
+            self.data.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends initialized words to the data segment under `name`,
+    /// returning their address.
+    pub fn data_words(&mut self, name: impl Into<String>, values: &[u32]) -> u32 {
+        while !self.data.len().is_multiple_of(4) {
+            self.data.push(0);
+        }
+        let addr = self.data_base + self.data.len() as u32;
+        self.data_labels.insert(name.into(), addr);
+        for v in values {
+            self.data.extend_from_slice(&v.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Address of a named data block, if defined.
+    #[must_use]
+    pub fn data_addr(&self, name: &str) -> Option<u32> {
+        self.data_labels.get(name).copied()
+    }
+
+    /// Sets the entry point to a text label (defaults to the first
+    /// instruction).
+    pub fn entry(&mut self, label: impl Into<String>) -> &mut Self {
+        self.entry_label = Some(label.into());
+        self
+    }
+
+    /// Finalizes the program, resolving all label references.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for undefined labels, out-of-range branches, or
+    /// unencodable instructions.
+    pub fn finish(&self) -> Result<Program, BuildProgramError> {
+        if self.slots.is_empty() {
+            return Err(BuildProgramError::Empty);
+        }
+        let addr_of = |label: &str| -> Result<u32, BuildProgramError> {
+            self.labels
+                .get(label)
+                .map(|&idx| self.text_base + (idx as u32) * INST_BYTES)
+                .or_else(|| self.data_labels.get(label).copied())
+                .ok_or_else(|| BuildProgramError::UndefinedLabel(label.to_string()))
+        };
+        let mut text = Vec::with_capacity(self.slots.len());
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let pc = self.text_base + (idx as u32) * INST_BYTES;
+            let inst = match slot {
+                Slot::Inst(i) => *i,
+                Slot::Branch { label, make, rs, rt } => {
+                    let target = addr_of(label)?;
+                    let delta = (i64::from(target) - i64::from(pc) - 4) / 4;
+                    let off = i16::try_from(delta).map_err(|_| {
+                        BuildProgramError::BranchOutOfRange { pc, label: label.clone() }
+                    })?;
+                    make(off, *rs, *rt)
+                }
+                Slot::Jump { label, link } => {
+                    let target = addr_of(label)?;
+                    if *link {
+                        Inst::Jal { target }
+                    } else {
+                        Inst::J { target }
+                    }
+                }
+            };
+            let word = inst
+                .encode()
+                .map_err(|e| BuildProgramError::Encode(e.to_string()))?;
+            text.push(word);
+        }
+        let entry = match &self.entry_label {
+            Some(l) => addr_of(l)?,
+            None => self.text_base,
+        };
+        let mut symbols: BTreeMap<String, u32> = self.data_labels.clone();
+        for (name, &idx) in &self.labels {
+            symbols.insert(name.clone(), self.text_base + (idx as u32) * INST_BYTES);
+        }
+        Ok(Program::from_parts(
+            self.text_base,
+            text,
+            self.data_base,
+            self.data.clone(),
+            entry,
+            symbols,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_isa::{AluImmOp, FpReg};
+
+    #[test]
+    fn builds_loop_with_backward_branch() {
+        let mut b = ProgramBuilder::new();
+        let r2 = IntReg::new(2);
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: r2, rs: IntReg::ZERO, imm: 3 });
+        b.label("top");
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: r2, rs: r2, imm: -1 });
+        b.bne(r2, IntReg::ZERO, "top");
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(
+            p.inst_at(p.text_base() + 8).unwrap(),
+            Inst::Bne { rs: r2, rt: IntReg::ZERO, off: -2 }
+        );
+    }
+
+    #[test]
+    fn data_blocks_are_aligned_and_named() {
+        let mut b = ProgramBuilder::new();
+        b.data_words("n", &[5]);
+        let a = b.data_doubles("vec", &[1.0, 2.0]);
+        assert_eq!(a % 8, 0);
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.symbol("vec"), Some(a));
+        assert_eq!(&p.data()[(a - p.data_base()) as usize..][..8], &1.0f64.to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn reserve_returns_stable_addresses() {
+        let mut b = ProgramBuilder::new();
+        let a1 = b.reserve_data("a", 24);
+        let a2 = b.reserve_data("b", 8);
+        assert!(a2 >= a1 + 24);
+        assert_eq!(b.data_addr("a"), Some(a1));
+    }
+
+    #[test]
+    fn undefined_label_detected() {
+        let mut b = ProgramBuilder::new();
+        b.bne(IntReg::new(2), IntReg::ZERO, "missing");
+        assert!(matches!(
+            b.finish(),
+            Err(BuildProgramError::UndefinedLabel(l)) if l == "missing"
+        ));
+    }
+
+    #[test]
+    fn calls_and_entry() {
+        let mut b = ProgramBuilder::new();
+        b.entry("main");
+        b.label("fun");
+        b.push(Inst::Jr { rs: IntReg::RA });
+        b.label("main");
+        b.call("fun");
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.entry(), p.symbol("main").unwrap());
+        assert_eq!(
+            p.inst_at(p.symbol("main").unwrap()).unwrap(),
+            Inst::Jal { target: p.symbol("fun").unwrap() }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate text label")]
+    fn duplicate_label_panics() {
+        let mut b = ProgramBuilder::new();
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    fn fp_data_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        b.data_doubles("v", &[3.25]);
+        b.push(Inst::Ld { ft: FpReg::new(0), base: IntReg::new(6), off: 0 });
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        let off = (p.symbol("v").unwrap() - p.data_base()) as usize;
+        let bits = u64::from_le_bytes(p.data()[off..off + 8].try_into().unwrap());
+        assert_eq!(f64::from_bits(bits), 3.25);
+    }
+}

@@ -1,0 +1,54 @@
+//! # riq-asm — assembler and program images for the riq ISA
+//!
+//! This crate turns source text or programmatic instruction streams into
+//! loadable [`Program`] images consumed by the functional emulator
+//! (`riq-emu`) and the cycle-level simulator (`riq-core`). It plays the role
+//! of the cross-compiler toolchain in the original paper's SimpleScalar
+//! setup.
+//!
+//! * [`assemble`] — a two-pass text assembler with labels, data directives
+//!   (`.word`, `.double`, `.space`, `.align`), pseudo-instructions (`li`,
+//!   `la`, `move`, `b`, `blt`/`bge`/`bgt`/`ble`), and located error messages;
+//! * [`ProgramBuilder`] — an incremental builder used by code generators;
+//! * [`Program`] — the immutable image: encoded text, initialized data,
+//!   entry point, symbol table.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use riq_asm::assemble;
+//!
+//! let program = assemble(
+//!     r#"
+//!     .data
+//!     vec:    .double 1.0, 2.0, 3.0
+//!     .text
+//!         la   $r6, vec
+//!         li   $r2, 3
+//!     loop:
+//!         l.d  $f0, 0($r6)
+//!         add.d $f2, $f2, $f0
+//!         addi $r6, $r6, 8
+//!         addi $r2, $r2, -1
+//!         bne  $r2, $r0, loop
+//!         halt
+//!     "#,
+//! )?;
+//! assert!(program.text_len() >= 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod assembler;
+mod builder;
+mod parser;
+mod program;
+
+pub use assembler::{assemble, AssembleError, AT};
+pub use builder::{BuildProgramError, ProgramBuilder};
+pub use parser::{Arg, Body, Line, ParseAsmError};
+pub use program::{FetchError, Program, DATA_BASE, STACK_TOP, TEXT_BASE};

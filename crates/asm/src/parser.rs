@@ -1,0 +1,400 @@
+//! Line-oriented parser for riq assembly source.
+//!
+//! The parser turns source text into a list of [`Line`]s — labels,
+//! directives, and mnemonic+operand instructions — without resolving
+//! symbols or encoding anything; that is the assembler's second pass.
+//!
+//! Syntax summary:
+//!
+//! ```text
+//! # comment                     ; '#' or ';' to end of line
+//! label:  addi $r4, $r4, -8
+//!         lw   $r5, 12($r29)
+//!         beq  $r1, $r2, label
+//!         .data 0x10000000
+//! vec:    .double 1.0, 2.5
+//! n:      .word 100
+//!         .space 64
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// A parsed operand, still symbolic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// A register reference such as `$r4` or `$f0` (name without the `$`).
+    Reg(String),
+    /// An integer literal (decimal or `0x` hex, optionally negative).
+    Imm(i64),
+    /// A floating-point literal (only valid in `.double`).
+    Float(f64),
+    /// A symbol reference (label).
+    Sym(String),
+    /// A memory operand `off(base)`; the base is a register name.
+    Mem {
+        /// Byte offset (literal only; symbolic offsets are not supported).
+        off: i64,
+        /// Base register name without the `$`.
+        base: String,
+    },
+}
+
+impl fmt::Display for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arg::Reg(r) => write!(f, "${r}"),
+            Arg::Imm(v) => write!(f, "{v}"),
+            Arg::Float(v) => write!(f, "{v}"),
+            Arg::Sym(s) => write!(f, "{s}"),
+            Arg::Mem { off, base } => write!(f, "{off}(${base})"),
+        }
+    }
+}
+
+/// The content of a source line after the optional label.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// An assembler directive, e.g. `.word 1, 2` (name without the dot).
+    Directive {
+        /// Directive name, lower-cased, without the leading dot.
+        name: String,
+        /// Directive arguments.
+        args: Vec<Arg>,
+    },
+    /// A machine or pseudo instruction.
+    Inst {
+        /// Mnemonic, lower-cased.
+        mnemonic: String,
+        /// Operands in source order.
+        args: Vec<Arg>,
+    },
+}
+
+/// One parsed source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Line {
+    /// 1-based source line number (for diagnostics).
+    pub number: usize,
+    /// Label defined on this line, if any.
+    pub label: Option<String>,
+    /// Directive or instruction on this line, if any.
+    pub body: Option<Body>,
+}
+
+/// Parse error with a source line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseAsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError { line, message: message.into() }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Reg(String),
+    Num(i64),
+    Float(f64),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$'
+}
+
+fn tokenize(line: usize, s: &str) -> Result<Vec<Token>, ParseAsmError> {
+    let mut out = Vec::new();
+    let mut chars = s.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            '#' | ';' => break,
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            ':' => {
+                chars.next();
+                out.push(Token::Colon);
+            }
+            '$' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(err(line, "empty register name after '$'"));
+                }
+                out.push(Token::Reg(name.to_ascii_lowercase()));
+            }
+            c if c == '-' || c == '+' || c.is_ascii_digit() => {
+                let start = i;
+                chars.next();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '+' {
+                        // Allow hex digits, exponents ('e-5') and decimals.
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let end = chars.peek().map_or(s.len(), |&(j, _)| j);
+                let text = &s[start..end];
+                out.push(parse_number(line, text)?);
+            }
+            c if is_word_char(c) => {
+                let start = i;
+                chars.next();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_word_char(c) {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let end = chars.peek().map_or(s.len(), |&(j, _)| j);
+                out.push(Token::Word(s[start..end].to_string()));
+            }
+            other => return Err(err(line, format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_number(line: usize, text: &str) -> Result<Token, ParseAsmError> {
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text.strip_prefix('+').unwrap_or(text)),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+            .map_err(|e| err(line, format!("bad hex literal {text:?}: {e}")))
+            .map(Token::Num)
+    } else if body.contains('.') || body.contains('e') || body.contains('E') {
+        body.parse::<f64>()
+            .map_err(|e| err(line, format!("bad float literal {text:?}: {e}")))
+            .map(Token::Float)
+    } else {
+        body.parse::<i64>()
+            .map_err(|e| err(line, format!("bad integer literal {text:?}: {e}")))
+            .map(Token::Num)
+    }?;
+    Ok(match (neg, value) {
+        (false, v) => v,
+        (true, Token::Num(v)) => Token::Num(-v),
+        (true, Token::Float(v)) => Token::Float(-v),
+        (true, t) => t,
+    })
+}
+
+fn tokens_to_args(line: usize, tokens: &[Token]) -> Result<Vec<Arg>, ParseAsmError> {
+    let mut args = Vec::new();
+    let mut it = tokens.iter().peekable();
+    loop {
+        match it.next() {
+            None => break,
+            Some(Token::Reg(r)) => args.push(Arg::Reg(r.clone())),
+            Some(Token::Float(v)) => args.push(Arg::Float(*v)),
+            Some(Token::Num(v)) => {
+                // `off(base)` memory operand?
+                if matches!(it.peek(), Some(Token::LParen)) {
+                    it.next();
+                    let base = match it.next() {
+                        Some(Token::Reg(r)) => r.clone(),
+                        _ => return Err(err(line, "expected register inside memory operand")),
+                    };
+                    if !matches!(it.next(), Some(Token::RParen)) {
+                        return Err(err(line, "expected ')' after memory operand base"));
+                    }
+                    args.push(Arg::Mem { off: *v, base });
+                } else {
+                    args.push(Arg::Imm(*v));
+                }
+            }
+            Some(Token::Word(w)) => args.push(Arg::Sym(w.clone())),
+            Some(Token::LParen) => {
+                // `(base)` with implicit zero offset.
+                let base = match it.next() {
+                    Some(Token::Reg(r)) => r.clone(),
+                    _ => return Err(err(line, "expected register inside memory operand")),
+                };
+                if !matches!(it.next(), Some(Token::RParen)) {
+                    return Err(err(line, "expected ')' after memory operand base"));
+                }
+                args.push(Arg::Mem { off: 0, base });
+            }
+            Some(t) => return Err(err(line, format!("unexpected token {t:?}"))),
+        }
+        match it.next() {
+            None => break,
+            Some(Token::Comma) => continue,
+            Some(t) => return Err(err(line, format!("expected ',' between operands, got {t:?}"))),
+        }
+    }
+    Ok(args)
+}
+
+/// Parses assembly source into lines.
+///
+/// # Errors
+///
+/// Returns the first lexical or structural error, tagged with its line
+/// number. Symbol resolution errors are reported later by the assembler.
+pub fn parse(source: &str) -> Result<Vec<Line>, ParseAsmError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut tokens = tokenize(number, raw)?;
+        let mut label = None;
+        // `ident :` prefix is a label definition.
+        if tokens.len() >= 2 {
+            if let (Token::Word(w), Token::Colon) = (&tokens[0], &tokens[1]) {
+                if !w.starts_with('.') {
+                    label = Some(w.clone());
+                    tokens.drain(..2);
+                }
+            }
+        }
+        let body = if tokens.is_empty() {
+            None
+        } else {
+            match &tokens[0] {
+                Token::Word(w) if w.starts_with('.') => {
+                    let name = w[1..].to_ascii_lowercase();
+                    let args = tokens_to_args(number, &tokens[1..])?;
+                    Some(Body::Directive { name, args })
+                }
+                Token::Word(w) => {
+                    let mnemonic = w.to_ascii_lowercase();
+                    let args = tokens_to_args(number, &tokens[1..])?;
+                    Some(Body::Inst { mnemonic, args })
+                }
+                t => return Err(err(number, format!("expected mnemonic or directive, got {t:?}"))),
+            }
+        };
+        lines.push(Line { number, label, body });
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_labels_and_instructions() {
+        let lines = parse("loop: addi $r4, $r4, -8\n  bne $r4, $r0, loop\n").unwrap();
+        assert_eq!(lines[0].label.as_deref(), Some("loop"));
+        match lines[0].body.as_ref().unwrap() {
+            Body::Inst { mnemonic, args } => {
+                assert_eq!(mnemonic, "addi");
+                assert_eq!(
+                    args,
+                    &vec![Arg::Reg("r4".into()), Arg::Reg("r4".into()), Arg::Imm(-8)]
+                );
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+        match lines[1].body.as_ref().unwrap() {
+            Body::Inst { mnemonic, args } => {
+                assert_eq!(mnemonic, "bne");
+                assert_eq!(args[2], Arg::Sym("loop".into()));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let lines = parse("lw $r5, 12($r29)\nsw $r5, ($r29)\nl.d $f0, -8($r6)").unwrap();
+        let mem = |l: &Line| match l.body.as_ref().unwrap() {
+            Body::Inst { args, .. } => args[1].clone(),
+            _ => panic!(),
+        };
+        assert_eq!(mem(&lines[0]), Arg::Mem { off: 12, base: "r29".into() });
+        assert_eq!(mem(&lines[1]), Arg::Mem { off: 0, base: "r29".into() });
+        assert_eq!(mem(&lines[2]), Arg::Mem { off: -8, base: "r6".into() });
+    }
+
+    #[test]
+    fn parses_directives_and_literals() {
+        let src = ".data 0x10000000\nvec: .double 1.0, -2.5, 3e2\nn: .word 100, -1\n.space 64\n";
+        let lines = parse(src).unwrap();
+        match lines[0].body.as_ref().unwrap() {
+            Body::Directive { name, args } => {
+                assert_eq!(name, "data");
+                assert_eq!(args, &vec![Arg::Imm(0x1000_0000)]);
+            }
+            _ => panic!(),
+        }
+        match lines[1].body.as_ref().unwrap() {
+            Body::Directive { name, args } => {
+                assert_eq!(name, "double");
+                assert_eq!(args, &vec![Arg::Float(1.0), Arg::Float(-2.5), Arg::Float(300.0)]);
+            }
+            _ => panic!(),
+        }
+        assert_eq!(lines[1].label.as_deref(), Some("vec"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let lines = parse("# header\n\n  nop  # trailing\n; alt comment\n").unwrap();
+        assert!(lines[0].body.is_none());
+        assert!(lines[1].body.is_none());
+        assert!(matches!(lines[2].body, Some(Body::Inst { .. })));
+        assert!(lines[3].body.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert!(parse("addi $r1, $r2, @").is_err());
+        assert!(parse("lw $r1, 4($r2").is_err());
+        assert!(parse("addi $r1 $r2, 3").is_err());
+        assert!(parse("li $, 3").is_err());
+    }
+
+    #[test]
+    fn hex_and_negative_literals() {
+        let lines = parse("ori $r1, $r0, 0xff\naddi $r1, $r1, -0x10\n").unwrap();
+        let imm = |l: &Line| match l.body.as_ref().unwrap() {
+            Body::Inst { args, .. } => args[2].clone(),
+            _ => panic!(),
+        };
+        assert_eq!(imm(&lines[0]), Arg::Imm(255));
+        assert_eq!(imm(&lines[1]), Arg::Imm(-16));
+    }
+}

@@ -1,0 +1,220 @@
+//! Executable program images.
+//!
+//! A [`Program`] is what the assembler produces and what both the functional
+//! emulator and the cycle simulator consume: an encoded text segment, an
+//! initialized data segment, an entry point, and the symbol table.
+
+use riq_isa::{DecodeInstError, Inst, INST_BYTES};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default base address of the text segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// Default base address of the data segment.
+pub const DATA_BASE: u32 = 0x1000_0000;
+/// Initial stack pointer handed to programs at reset.
+pub const STACK_TOP: u32 = 0x7fff_fff0;
+
+/// An assembled, loadable program image.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use riq_asm::assemble;
+/// let program = assemble(".text\n  addi $r2, $r0, 7\n  halt\n")?;
+/// assert_eq!(program.text_len(), 2);
+/// assert_eq!(program.entry(), program.text_base());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    text_base: u32,
+    text: Vec<u32>,
+    data_base: u32,
+    data: Vec<u8>,
+    entry: u32,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a program image from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text_base` or `entry` is not 4-byte aligned.
+    #[must_use]
+    pub fn from_parts(
+        text_base: u32,
+        text: Vec<u32>,
+        data_base: u32,
+        data: Vec<u8>,
+        entry: u32,
+        symbols: BTreeMap<String, u32>,
+    ) -> Program {
+        assert_eq!(text_base % INST_BYTES, 0, "text base must be aligned");
+        assert_eq!(entry % INST_BYTES, 0, "entry point must be aligned");
+        Program { text_base, text, data_base, data, entry, symbols }
+    }
+
+    /// Base address of the text segment.
+    #[must_use]
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// Encoded instruction words of the text segment.
+    #[must_use]
+    pub fn text(&self) -> &[u32] {
+        &self.text
+    }
+
+    /// Number of instructions in the text segment.
+    #[must_use]
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Base address of the data segment.
+    #[must_use]
+    pub fn data_base(&self) -> u32 {
+        self.data_base
+    }
+
+    /// Initialized bytes of the data segment.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Entry-point address.
+    #[must_use]
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The symbol table (label name → address).
+    #[must_use]
+    pub fn symbols(&self) -> &BTreeMap<String, u32> {
+        &self.symbols
+    }
+
+    /// Looks up a symbol's address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Whether `pc` falls inside the text segment.
+    #[must_use]
+    pub fn contains_pc(&self, pc: u32) -> bool {
+        pc >= self.text_base
+            && pc < self.text_base + (self.text.len() as u32) * INST_BYTES
+            && pc.is_multiple_of(INST_BYTES)
+    }
+
+    /// The encoded word at `pc`, or `None` outside the text segment.
+    #[must_use]
+    pub fn word_at(&self, pc: u32) -> Option<u32> {
+        if !self.contains_pc(pc) {
+            return None;
+        }
+        Some(self.text[((pc - self.text_base) / INST_BYTES) as usize])
+    }
+
+    /// Decodes the instruction at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError::OutOfText`] when `pc` is outside the text
+    /// segment and [`FetchError::Decode`] when the word does not decode.
+    pub fn inst_at(&self, pc: u32) -> Result<Inst, FetchError> {
+        let word = self.word_at(pc).ok_or(FetchError::OutOfText(pc))?;
+        Inst::decode(word).map_err(FetchError::Decode)
+    }
+
+    /// Iterates over `(pc, instruction)` pairs of the text segment, skipping
+    /// words that fail to decode (there are none in assembler output).
+    pub fn iter_insts(&self) -> impl Iterator<Item = (u32, Inst)> + '_ {
+        self.text.iter().enumerate().filter_map(move |(i, &w)| {
+            Inst::decode(w)
+                .ok()
+                .map(|inst| (self.text_base + (i as u32) * INST_BYTES, inst))
+        })
+    }
+}
+
+/// Error fetching an instruction from a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The PC is outside the text segment (or unaligned).
+    OutOfText(u32),
+    /// The word at the PC does not decode to a valid instruction.
+    Decode(DecodeInstError),
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::OutOfText(pc) => write!(f, "pc {pc:#010x} is outside the text segment"),
+            FetchError::Decode(e) => write!(f, "undecodable instruction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FetchError::Decode(e) => Some(e),
+            FetchError::OutOfText(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_isa::{AluImmOp, IntReg};
+
+    fn sample() -> Program {
+        let insts = [
+            Inst::AluImm { op: AluImmOp::Addi, rt: IntReg::new(2), rs: IntReg::ZERO, imm: 5 },
+            Inst::Halt,
+        ];
+        let text = insts.iter().map(|i| i.encode().unwrap()).collect();
+        Program::from_parts(TEXT_BASE, text, DATA_BASE, vec![1, 2, 3], TEXT_BASE, BTreeMap::new())
+    }
+
+    #[test]
+    fn pc_containment() {
+        let p = sample();
+        assert!(p.contains_pc(TEXT_BASE));
+        assert!(p.contains_pc(TEXT_BASE + 4));
+        assert!(!p.contains_pc(TEXT_BASE + 8));
+        assert!(!p.contains_pc(TEXT_BASE + 1), "unaligned pc rejected");
+        assert!(!p.contains_pc(TEXT_BASE - 4));
+    }
+
+    #[test]
+    fn inst_fetch() {
+        let p = sample();
+        assert_eq!(p.inst_at(TEXT_BASE + 4), Ok(Inst::Halt));
+        assert!(matches!(p.inst_at(0), Err(FetchError::OutOfText(0))));
+    }
+
+    #[test]
+    fn iteration_matches_text() {
+        let p = sample();
+        let all: Vec<_> = p.iter_insts().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, TEXT_BASE);
+        assert_eq!(all[1].1, Inst::Halt);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_entry_rejected() {
+        let _ = Program::from_parts(TEXT_BASE, vec![], DATA_BASE, vec![], TEXT_BASE + 2, BTreeMap::new());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the assembler: disassembled programs re-assemble to
+//! the same image, labels resolve consistently between the text assembler
+//! and the programmatic builder, and data layout is deterministic.
+
+use proptest::prelude::*;
+use riq_asm::{assemble, ProgramBuilder};
+use riq_isa::{disassemble, AluImmOp, AluOp, Inst, IntReg};
+
+fn wreg() -> impl Strategy<Value = IntReg> {
+    (2u8..26).prop_map(IntReg::new)
+}
+
+/// Straight-line instructions whose `Display` form is valid assembler
+/// input (everything except PC-relative branches, whose Display prints a
+/// raw offset rather than a label).
+fn textable_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        (wreg(), wreg(), wreg(), prop_oneof![
+            Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Mul), Just(AluOp::And),
+            Just(AluOp::Or), Just(AluOp::Xor), Just(AluOp::Slt),
+        ])
+            .prop_map(|(rd, rs, rt, op)| Inst::Alu { op, rd, rs, rt }),
+        (wreg(), wreg(), any::<i16>(), prop_oneof![
+            Just(AluImmOp::Addi), Just(AluImmOp::Slti),
+        ])
+            .prop_map(|(rt, rs, imm, op)| Inst::AluImm { op, rt, rs, imm }),
+        (wreg(), wreg(), -64i16..64).prop_map(|(rt, base, w)| Inst::Lw { rt, base, off: w * 4 }),
+        (wreg(), wreg(), -64i16..64).prop_map(|(rt, base, w)| Inst::Sw { rt, base, off: w * 4 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn display_reassembles_identically(insts in prop::collection::vec(textable_inst(), 1..40)) {
+        // Build a program from Inst values, print each instruction, feed
+        // the text back through the assembler, and compare images.
+        let mut builder = ProgramBuilder::new();
+        for i in &insts {
+            builder.push(*i);
+        }
+        builder.push(Inst::Halt);
+        let direct = builder.finish().expect("builds");
+
+        let mut src = String::from(".text\n");
+        for (pc, inst) in direct.iter_insts() {
+            src.push_str("    ");
+            src.push_str(&disassemble(&inst, pc));
+            src.push('\n');
+        }
+        let reassembled = assemble(&src).expect("round-trip source assembles");
+        prop_assert_eq!(direct.text(), reassembled.text());
+    }
+
+    #[test]
+    fn builder_and_assembler_agree_on_branches(
+        body_len in 1usize..20,
+        trips in 1i16..50,
+    ) {
+        // Same loop built both ways must produce identical encodings.
+        let r2 = IntReg::new(2);
+        let r3 = IntReg::new(3);
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: r2, rs: IntReg::ZERO, imm: trips });
+        b.label("top");
+        for _ in 0..body_len {
+            b.push(Inst::Alu { op: AluOp::Add, rd: r3, rs: r3, rt: r2 });
+        }
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: r2, rs: r2, imm: -1 });
+        b.bne(r2, IntReg::ZERO, "top");
+        b.push(Inst::Halt);
+        let built = b.finish().expect("builds");
+
+        let mut src = format!("    addi $r2, $r0, {trips}\ntop:\n");
+        for _ in 0..body_len {
+            src.push_str("    add $r3, $r3, $r2\n");
+        }
+        src.push_str("    addi $r2, $r2, -1\n    bne $r2, $r0, top\n    halt\n");
+        let assembled = assemble(&src).expect("assembles");
+        prop_assert_eq!(built.text(), assembled.text());
+    }
+
+    #[test]
+    fn data_layout_is_deterministic(words in prop::collection::vec(any::<u32>(), 1..64)) {
+        let mk = || {
+            let mut b = ProgramBuilder::new();
+            b.data_words("w", &words);
+            b.data_doubles("d", &[1.5, 2.5]);
+            b.push(Inst::Halt);
+            b.finish().expect("builds")
+        };
+        let p1 = mk();
+        let p2 = mk();
+        prop_assert_eq!(p1.data(), p2.data());
+        prop_assert_eq!(p1.symbol("w"), p2.symbol("w"));
+        prop_assert_eq!(p1.symbol("d"), p2.symbol("d"));
+        // Doubles are 8-aligned regardless of the word count before them.
+        prop_assert_eq!(p1.symbol("d").expect("defined") % 8, 0);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_invisible(pad in 0usize..8) {
+        let spaces = " ".repeat(pad);
+        let plain = assemble("  addi $r2, $r0, 7\n  halt\n").expect("assembles");
+        let noisy = assemble(&format!(
+            "{spaces}# leading comment\n{spaces}addi $r2, $r0, 7 ; trailing\n\n{spaces}halt\n"
+        ))
+        .expect("assembles");
+        prop_assert_eq!(plain.text(), noisy.text());
+    }
+}

@@ -1,0 +1,27 @@
+//! NBLT ablation bench (§3's revoke-rate claim) plus timing of a run with
+//! the table disabled (worst-case buffering thrash).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riq_bench::nblt_ablation;
+use riq_core::{Processor, SimConfig};
+use std::hint::black_box;
+
+fn bench_nblt(c: &mut Criterion) {
+    let table = nblt_ablation(common::BENCH_SCALE).expect("ablation runs");
+    println!("\n== NBLT ablation (scale {}) ==\n{table}", common::BENCH_SCALE);
+    let program = common::bench_program("aps");
+    let mut g = c.benchmark_group("nblt");
+    g.sample_size(10);
+    for (name, entries) in [("disabled", 0u32), ("eight_entries", 8)] {
+        g.bench_function(name, |b| {
+            let cfg = SimConfig::baseline().with_reuse(true).with_nblt(entries);
+            b.iter(|| black_box(Processor::new(cfg.clone()).run(&program).expect("runs")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nblt);
+criterion_main!(benches);

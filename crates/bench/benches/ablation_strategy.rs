@@ -1,0 +1,30 @@
+//! Buffering-strategy ablation bench (§2.2.1): single- vs multi-iteration
+//! buffering, table plus head-to-head timing.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riq_bench::strategy_ablation;
+use riq_core::{BufferingStrategy, Processor, SimConfig};
+use std::hint::black_box;
+
+fn bench_strategy(c: &mut Criterion) {
+    let table = strategy_ablation(common::BENCH_SCALE).expect("ablation runs");
+    println!("\n== Strategy ablation (scale {}) ==\n{table}", common::BENCH_SCALE);
+    let program = common::bench_program("tsf");
+    let mut g = c.benchmark_group("strategy");
+    g.sample_size(10);
+    for (name, strategy) in [
+        ("single_iteration", BufferingStrategy::SingleIteration),
+        ("multi_iteration", BufferingStrategy::MultiIteration),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = SimConfig::baseline().with_reuse(true).with_strategy(strategy);
+            b.iter(|| black_box(Processor::new(cfg.clone()).run(&program).expect("runs")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategy);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Shared helpers for the Criterion benches (included via `mod` path).
+#![allow(dead_code)] // each bench uses a subset of these helpers
+
+use riq_asm::Program;
+use riq_core::{Processor, RunResult, SimConfig};
+use riq_kernels::{compile, suite_scaled};
+
+/// Scale used inside timed loops: small enough that one simulation is a
+/// reasonable benchmark iteration.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// Compiles one suite kernel at bench scale.
+pub fn bench_program(name: &str) -> Program {
+    let k = suite_scaled(BENCH_SCALE)
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("unknown kernel {name}"));
+    compile(&k).expect("kernel compiles")
+}
+
+/// Runs one configuration point (panics on simulator error: benches must
+/// never silently measure a failure).
+pub fn run(program: &Program, iq: u32, reuse: bool) -> RunResult {
+    Processor::new(SimConfig::baseline().with_iq_size(iq).with_reuse(reuse))
+        .run(program)
+        .expect("simulation succeeds")
+}

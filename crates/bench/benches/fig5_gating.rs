@@ -1,0 +1,26 @@
+//! Figure 5 bench: regenerates the gated-cycle table at reduced scale and
+//! times the underlying reuse-pipeline simulation.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riq_bench::Sweep;
+use std::hint::black_box;
+
+fn fig5(c: &mut Criterion) {
+    let sweep = Sweep::run(common::BENCH_SCALE).expect("sweep runs");
+    println!("\n== Figure 5 (scale {}) ==\n{}", common::BENCH_SCALE, sweep.fig5());
+    let program = common::bench_program("aps");
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("reuse_pipeline_aps_iq64", |b| {
+        b.iter(|| black_box(common::run(&program, 64, true)))
+    });
+    g.bench_function("baseline_pipeline_aps_iq64", |b| {
+        b.iter(|| black_box(common::run(&program, 64, false)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

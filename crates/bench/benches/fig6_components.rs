@@ -1,0 +1,31 @@
+//! Figure 6 bench: per-component power reduction table plus a timing of
+//! the power-model accounting hot path.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riq_bench::Sweep;
+use riq_power::{Activity, Component, PowerConfig, PowerModel};
+use std::hint::black_box;
+
+fn fig6(c: &mut Criterion) {
+    let sweep = Sweep::run(common::BENCH_SCALE).expect("sweep runs");
+    println!("\n== Figure 6 (scale {}) ==\n{}", common::BENCH_SCALE, sweep.fig6());
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(20);
+    g.bench_function("power_model_cycle_accounting", |b| {
+        let mut model = PowerModel::new(&PowerConfig::table1());
+        let mut act = Activity::new();
+        act.add(Component::Icache, 1);
+        act.add(Component::Decode, 4);
+        act.add(Component::IqInsert, 4);
+        b.iter(|| {
+            model.end_cycle(black_box(&act), false);
+            model.end_cycle(black_box(&act), true);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

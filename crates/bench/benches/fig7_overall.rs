@@ -1,0 +1,23 @@
+//! Figure 7 bench: overall power-reduction table plus baseline-vs-reuse
+//! timing at the configuration where the whole suite is bufferable.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riq_bench::Sweep;
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    let sweep = Sweep::run(common::BENCH_SCALE).expect("sweep runs");
+    println!("\n== Figure 7 (scale {}) ==\n{}", common::BENCH_SCALE, sweep.fig7());
+    let program = common::bench_program("vpenta");
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("vpenta_iq256_reuse", |b| {
+        b.iter(|| black_box(common::run(&program, 256, true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 8 bench: IPC-degradation table plus timing of the adversarial
+//! case (btrix at IQ-128: the paper's low-utilization configuration).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riq_bench::Sweep;
+use std::hint::black_box;
+
+fn fig8(c: &mut Criterion) {
+    let sweep = Sweep::run(common::BENCH_SCALE).expect("sweep runs");
+    println!("\n== Figure 8 (scale {}) ==\n{}", common::BENCH_SCALE, sweep.fig8());
+    let program = common::bench_program("btrix");
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("btrix_iq128_reuse", |b| {
+        b.iter(|| black_box(common::run(&program, 128, true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

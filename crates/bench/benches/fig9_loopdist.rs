@@ -1,0 +1,28 @@
+//! Figure 9 bench: loop-distribution table plus timing of the compiler
+//! pass itself (dependence analysis + SCC partitioning + codegen).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riq_bench::{fig9, fig9_table};
+use riq_kernels::{by_name, compile, distribute_kernel};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let points = fig9(common::BENCH_SCALE).expect("fig9 runs");
+    println!("\n== Figure 9 (scale {}) ==\n{}", common::BENCH_SCALE, fig9_table(&points));
+    let vpenta = by_name("vpenta").expect("table 2 kernel");
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(30);
+    g.bench_function("distribute_vpenta", |b| {
+        b.iter(|| black_box(distribute_kernel(black_box(&vpenta))))
+    });
+    g.bench_function("compile_distributed_vpenta", |b| {
+        let opt = distribute_kernel(&vpenta);
+        b.iter(|| black_box(compile(black_box(&opt)).expect("compiles")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

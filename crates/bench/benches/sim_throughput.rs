@@ -1,0 +1,37 @@
+//! Simulator performance: committed instructions per second for the
+//! baseline and reuse pipelines, plus the functional emulator as the
+//! upper bound.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use riq_emu::Machine;
+use std::hint::black_box;
+
+fn throughput(c: &mut Criterion) {
+    let program = common::bench_program("eflux");
+    // Dynamic instruction count (from the oracle) for per-instruction rates.
+    let mut m = Machine::new(&program);
+    m.run(100_000_000).expect("halts");
+    let insts = m.retired();
+
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(insts));
+    g.bench_function("emulator", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&program);
+            black_box(m.run(100_000_000).expect("halts"))
+        })
+    });
+    g.bench_function("baseline_pipeline", |b| {
+        b.iter(|| black_box(common::run(&program, 64, false)))
+    });
+    g.bench_function("reuse_pipeline", |b| {
+        b.iter(|| black_box(common::run(&program, 64, true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

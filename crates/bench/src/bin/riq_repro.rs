@@ -1,0 +1,126 @@
+//! `riq-repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! riq-repro <experiment> [--scale F]
+//!
+//! experiments:
+//!   table1    baseline processor configuration (paper Table 1)
+//!   table2    benchmark list (paper Table 2)
+//!   fig5      % of cycles with the pipeline front-end gated
+//!   fig6      per-component power reduction + overhead
+//!   fig7      overall per-cycle power reduction per benchmark
+//!   fig8      IPC degradation per benchmark
+//!   fig9      loop-distribution impact at the 64-entry baseline
+//!   nblt      §3 ablation: buffering revoke rate with/without the NBLT
+//!   strategy  §2.2.1 ablation: single- vs multi-iteration buffering
+//!   bpred     direction-predictor ablation (bimod/gshare/static)
+//!   transforms loop-transformation ablation (distribute/unroll/fuse)
+//!   all       everything above, in order
+//!
+//! --scale F scales benchmark outer trip counts (default 1.0). Figures in
+//! EXPERIMENTS.md are produced with the default.
+//! ```
+
+use riq_bench::{bpred_ablation, transform_ablation, fig9, fig9_table, nblt_ablation, strategy_ablation, table1, table2, Sweep};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|all> [--scale F]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let mut scale = 1.0f64;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) if v > 0.0 => scale = v,
+                _ => return usage(),
+            }
+        } else {
+            return usage();
+        }
+    }
+    match run(cmd, scale) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("riq-repro: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, scale: f64) -> Result<(), Box<dyn std::error::Error>> {
+    let sweep = Sweep::run;
+    match cmd {
+        "table1" => print!("== Table 1: baseline configuration ==\n{}", table1()),
+        "table2" => print!("== Table 2: benchmarks ==\n{}", table2()),
+        "fig5" => {
+            println!("== Figure 5: fraction of cycles with the front-end gated ==");
+            println!("{}", sweep(scale)?.fig5());
+        }
+        "fig6" => {
+            println!("== Figure 6: per-component power reduction (suite average) ==");
+            println!("(Overhead row = LRL+NBLT+control share of total power)");
+            println!("{}", sweep(scale)?.fig6());
+        }
+        "fig7" => {
+            println!("== Figure 7: overall per-cycle power reduction ==");
+            println!("{}", sweep(scale)?.fig7());
+        }
+        "fig8" => {
+            println!("== Figure 8: IPC degradation (negative = reuse faster) ==");
+            println!("{}", sweep(scale)?.fig8());
+        }
+        "fig9" => {
+            println!("== Figure 9: loop distribution at the IQ-64 baseline ==");
+            println!("{}", fig9_table(&fig9(scale)?));
+        }
+        "nblt" => {
+            println!("== NBLT ablation (§3): buffering revoke rate ==");
+            println!("{}", nblt_ablation(scale)?);
+        }
+        "strategy" => {
+            println!("== Buffering-strategy ablation (§2.2.1): gated rate ==");
+            println!("{}", strategy_ablation(scale)?);
+        }
+        "bpred" => {
+            println!("== Direction-predictor ablation (bimod vs gshare vs static) ==");
+            println!("{}", bpred_ablation(scale)?);
+        }
+        "transforms" => {
+            println!("== Loop-transformation ablation: gated rate by code version ==");
+            println!("{}", transform_ablation(scale)?);
+        }
+        "all" => {
+            print!("== Table 1: baseline configuration ==\n{}\n", table1());
+            print!("== Table 2: benchmarks ==\n{}\n", table2());
+            let s = sweep(scale)?;
+            println!("== Figure 5: fraction of cycles with the front-end gated ==");
+            println!("{}", s.fig5());
+            println!("== Figure 6: per-component power reduction (suite average) ==");
+            println!("{}", s.fig6());
+            println!("== Figure 7: overall per-cycle power reduction ==");
+            println!("{}", s.fig7());
+            println!("== Figure 8: IPC degradation (negative = reuse faster) ==");
+            println!("{}", s.fig8());
+            println!("== Figure 9: loop distribution at the IQ-64 baseline ==");
+            println!("{}", fig9_table(&fig9(scale)?));
+            println!("== NBLT ablation (§3): buffering revoke rate ==");
+            println!("{}", nblt_ablation(scale)?);
+            println!("== Buffering-strategy ablation (§2.2.1): gated rate ==");
+            println!("{}", strategy_ablation(scale)?);
+            println!("== Direction-predictor ablation (bimod vs gshare vs static) ==");
+            println!("{}", bpred_ablation(scale)?);
+            println!("== Loop-transformation ablation: gated rate by code version ==");
+            println!("{}", transform_ablation(scale)?);
+        }
+        _ => return Err(format!("unknown experiment {cmd:?}").into()),
+    }
+    Ok(())
+}

@@ -1,0 +1,598 @@
+//! Shared experiment harness: sweeps, aggregation, and table rendering.
+//!
+//! Every table and figure of the paper is regenerated from the structures
+//! here; the `riq-repro` binary and the Criterion benches are thin
+//! wrappers. All percentages are reported exactly the way the paper
+//! reports them: per-cycle power reductions relative to the conventional
+//! baseline at the same issue-queue size, gated cycles as a fraction of
+//! total cycles, and IPC degradation relative to the baseline.
+
+use riq_asm::Program;
+use riq_core::{BufferingStrategy, Processor, RunResult, SimConfig, SimError};
+use riq_kernels::{compile, distribute_kernel, suite_scaled, Kernel};
+use riq_power::ComponentGroup;
+use std::error::Error;
+use std::fmt;
+
+/// The issue-queue sizes swept by the paper's evaluation (§3).
+pub const IQ_SIZES: [u32; 4] = [32, 64, 128, 256];
+
+/// Error running an experiment.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// A kernel failed to compile.
+    Compile(riq_kernels::CompileKernelError),
+    /// A simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Compile(e) => write!(f, "kernel compilation failed: {e}"),
+            ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {}
+
+impl From<riq_kernels::CompileKernelError> for ExperimentError {
+    fn from(e: riq_kernels::CompileKernelError) -> Self {
+        ExperimentError::Compile(e)
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        ExperimentError::Sim(e)
+    }
+}
+
+/// A baseline/reuse pair at one configuration point.
+#[derive(Debug, Clone)]
+pub struct PairResult {
+    /// Benchmark name.
+    pub kernel: String,
+    /// Issue-queue size.
+    pub iq: u32,
+    /// Conventional-pipeline run.
+    pub baseline: RunResult,
+    /// Reuse-pipeline run.
+    pub reuse: RunResult,
+}
+
+impl PairResult {
+    /// Fraction of cycles the reuse pipeline had its front-end gated
+    /// (Figure 5's y-axis).
+    #[must_use]
+    pub fn gated_rate(&self) -> f64 {
+        self.reuse.stats.gated_rate()
+    }
+
+    /// Whole-processor per-cycle power reduction (Figure 7's y-axis).
+    #[must_use]
+    pub fn overall_power_reduction(&self) -> f64 {
+        self.reuse.power.power_reduction_vs(&self.baseline.power)
+    }
+
+    /// Per-cycle power reduction of one component group (Figure 6).
+    #[must_use]
+    pub fn group_power_reduction(&self, g: ComponentGroup) -> f64 {
+        self.reuse.power.group_power_reduction_vs(&self.baseline.power, g)
+    }
+
+    /// Reuse-overhead power (LRL + NBLT + control) as a fraction of the
+    /// reuse pipeline's total (Figure 6's "Overhead" series).
+    #[must_use]
+    pub fn overhead_share(&self) -> f64 {
+        self.reuse.power.group_share(ComponentGroup::Overhead)
+    }
+
+    /// IPC degradation of the reuse pipeline (Figure 8's y-axis;
+    /// negative means the reuse pipeline was faster).
+    #[must_use]
+    pub fn ipc_degradation(&self) -> f64 {
+        let b = self.baseline.stats.ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            1.0 - self.reuse.stats.ipc() / b
+        }
+    }
+}
+
+/// Runs one program on baseline and reuse pipelines at one queue size.
+///
+/// # Errors
+///
+/// Propagates any simulation error.
+pub fn run_pair(name: &str, program: &Program, iq: u32) -> Result<PairResult, ExperimentError> {
+    let baseline = Processor::new(SimConfig::baseline().with_iq_size(iq)).run(program)?;
+    let reuse =
+        Processor::new(SimConfig::baseline().with_iq_size(iq).with_reuse(true)).run(program)?;
+    Ok(PairResult { kernel: name.to_string(), iq, baseline, reuse })
+}
+
+/// The full §3 sweep: every Table 2 benchmark at every queue size.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// All points, ordered kernel-major then queue size.
+    pub points: Vec<PairResult>,
+}
+
+impl Sweep {
+    /// Runs the sweep. `scale` multiplies outer trip counts (1.0 =
+    /// full-length runs, used for EXPERIMENTS.md; smaller for tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile or simulation errors.
+    pub fn run(scale: f64) -> Result<Sweep, ExperimentError> {
+        let mut points = Vec::new();
+        for k in suite_scaled(scale) {
+            let program = compile(&k)?;
+            for iq in IQ_SIZES {
+                points.push(run_pair(&k.name, &program, iq)?);
+            }
+        }
+        Ok(Sweep { points })
+    }
+
+    /// The point for a benchmark/size combination.
+    #[must_use]
+    pub fn point(&self, kernel: &str, iq: u32) -> Option<&PairResult> {
+        self.points.iter().find(|p| p.kernel == kernel && p.iq == iq)
+    }
+
+    /// Benchmark names in sweep order.
+    #[must_use]
+    pub fn kernels(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.kernel) {
+                out.push(p.kernel.clone());
+            }
+        }
+        out
+    }
+
+    fn per_kernel_metric(&self, f: impl Fn(&PairResult) -> f64) -> FigTable {
+        let mut table = FigTable::new(
+            "benchmark",
+            IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect(),
+        );
+        for k in self.kernels() {
+            let row: Vec<f64> = IQ_SIZES
+                .iter()
+                .map(|&iq| self.point(&k, iq).map_or(0.0, &f))
+                .collect();
+            table.push_row(k, row);
+        }
+        table.push_average();
+        table
+    }
+
+    /// Figure 5: fraction of total cycles with the front-end gated.
+    #[must_use]
+    pub fn fig5(&self) -> FigTable {
+        self.per_kernel_metric(PairResult::gated_rate)
+    }
+
+    /// Figure 6: average per-component power reduction (plus overhead
+    /// share) per queue size.
+    #[must_use]
+    pub fn fig6(&self) -> FigTable {
+        let mut table = FigTable::new(
+            "component",
+            IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect(),
+        );
+        let avg = |f: &dyn Fn(&PairResult) -> f64, iq: u32| -> f64 {
+            let vals: Vec<f64> =
+                self.points.iter().filter(|p| p.iq == iq).map(f).collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        let groups: [(&str, ComponentGroup); 3] = [
+            ("Icache", ComponentGroup::Icache),
+            ("Bpred", ComponentGroup::Bpred),
+            ("IssueQueue", ComponentGroup::IssueQueue),
+        ];
+        for (name, g) in groups {
+            let row: Vec<f64> = IQ_SIZES
+                .iter()
+                .map(|&iq| avg(&|p: &PairResult| p.group_power_reduction(g), iq))
+                .collect();
+            table.push_row(name, row);
+        }
+        let row: Vec<f64> = IQ_SIZES
+            .iter()
+            .map(|&iq| avg(&PairResult::overhead_share, iq))
+            .collect();
+        table.push_row("Overhead", row);
+        table
+    }
+
+    /// Figure 7: whole-processor per-cycle power reduction.
+    #[must_use]
+    pub fn fig7(&self) -> FigTable {
+        self.per_kernel_metric(PairResult::overall_power_reduction)
+    }
+
+    /// Figure 8: IPC degradation.
+    #[must_use]
+    pub fn fig8(&self) -> FigTable {
+        self.per_kernel_metric(PairResult::ipc_degradation)
+    }
+}
+
+/// Figure 9: loop distribution at the 64-entry baseline configuration.
+#[derive(Debug, Clone)]
+pub struct Fig9Point {
+    /// Benchmark name.
+    pub kernel: String,
+    /// Point using the original kernel.
+    pub original: PairResult,
+    /// Point using the loop-distributed kernel.
+    pub optimized: PairResult,
+}
+
+/// Runs the Figure 9 experiment.
+///
+/// # Errors
+///
+/// Propagates compile or simulation errors.
+pub fn fig9(scale: f64) -> Result<Vec<Fig9Point>, ExperimentError> {
+    let mut out = Vec::new();
+    for k in suite_scaled(scale) {
+        let original = run_pair(&k.name, &compile(&k)?, 64)?;
+        let opt: Kernel = distribute_kernel(&k);
+        let optimized = run_pair(&k.name, &compile(&opt)?, 64)?;
+        out.push(Fig9Point { kernel: k.name.clone(), original, optimized });
+    }
+    Ok(out)
+}
+
+/// Renders Figure 9 as a table (power reduction, gated rate, IPC loss for
+/// original vs optimized code).
+#[must_use]
+pub fn fig9_table(points: &[Fig9Point]) -> FigTable {
+    let mut t = FigTable::new(
+        "benchmark",
+        vec![
+            "orig Δpower".into(),
+            "opt Δpower".into(),
+            "orig gated".into(),
+            "opt gated".into(),
+            "orig ΔIPC".into(),
+            "opt ΔIPC".into(),
+        ],
+    );
+    for p in points {
+        t.push_row(
+            p.kernel.clone(),
+            vec![
+                p.original.overall_power_reduction(),
+                p.optimized.overall_power_reduction(),
+                p.original.gated_rate(),
+                p.optimized.gated_rate(),
+                p.original.ipc_degradation(),
+                p.optimized.ipc_degradation(),
+            ],
+        );
+    }
+    t.push_average();
+    t
+}
+
+/// The §3 NBLT ablation: buffering revoke rate with and without the
+/// 8-entry table, per benchmark at the baseline configuration.
+///
+/// # Errors
+///
+/// Propagates compile or simulation errors.
+pub fn nblt_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
+    let mut t = FigTable::new(
+        "benchmark",
+        vec!["revoke rate (no NBLT)".into(), "revoke rate (NBLT 8)".into()],
+    );
+    for k in suite_scaled(scale) {
+        let program = compile(&k)?;
+        let without = Processor::new(
+            SimConfig::baseline().with_reuse(true).with_nblt(0),
+        )
+        .run(&program)?;
+        let with = Processor::new(
+            SimConfig::baseline().with_reuse(true).with_nblt(8),
+        )
+        .run(&program)?;
+        t.push_row(
+            k.name.clone(),
+            vec![without.stats.reuse.revoke_rate(), with.stats.reuse.revoke_rate()],
+        );
+    }
+    t.push_average();
+    Ok(t)
+}
+
+/// The §2.2.1 buffering-strategy ablation: gated rate under
+/// single-iteration vs multi-iteration buffering at each queue size,
+/// averaged over the suite.
+///
+/// # Errors
+///
+/// Propagates compile or simulation errors.
+pub fn strategy_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
+    let mut rows: Vec<(String, Vec<f64>)> = vec![
+        ("single-iteration".into(), Vec::new()),
+        ("multi-iteration".into(), Vec::new()),
+    ];
+    let kernels: Vec<(Kernel, Program)> = suite_scaled(scale)
+        .into_iter()
+        .map(|k| compile(&k).map(|p| (k, p)))
+        .collect::<Result<_, _>>()?;
+    for iq in IQ_SIZES {
+        for (row, strategy) in [
+            (0, BufferingStrategy::SingleIteration),
+            (1, BufferingStrategy::MultiIteration),
+        ] {
+            let mut acc = 0.0;
+            for (_, program) in &kernels {
+                let r = Processor::new(
+                    SimConfig::baseline()
+                        .with_iq_size(iq)
+                        .with_reuse(true)
+                        .with_strategy(strategy),
+                )
+                .run(program)?;
+                acc += r.stats.gated_rate();
+            }
+            rows[row].1.push(acc / kernels.len() as f64);
+        }
+    }
+    let mut t = FigTable::new(
+        "strategy",
+        IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect(),
+    );
+    for (name, vals) in rows {
+        t.push_row(name, vals);
+    }
+    Ok(t)
+}
+
+/// Loop-transformation ablation: average gated rate of the reuse pipeline
+/// per queue size under four code versions — original, distributed
+/// (Section 4), unrolled ×4, and distributed-then-refused (the inverse
+/// transform, re-creating fat bodies). Shows how each transform "gears the
+/// code towards a given issue queue size" (paper conclusions).
+///
+/// # Errors
+///
+/// Propagates compile or simulation errors.
+pub fn transform_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
+    use riq_kernels::{distribute_kernel, fuse_kernel, unroll_kernel};
+    let base = suite_scaled(scale);
+    let versions: Vec<(&str, Vec<Kernel>)> = vec![
+        ("original", base.clone()),
+        ("distributed", base.iter().map(distribute_kernel).collect()),
+        ("unrolled x4", base.iter().map(|k| unroll_kernel(k, 4)).collect()),
+        (
+            "distributed+fused",
+            base.iter().map(|k| fuse_kernel(&distribute_kernel(k))).collect(),
+        ),
+    ];
+    let mut t = FigTable::new(
+        "code version",
+        IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect(),
+    );
+    for (name, kernels) in versions {
+        let programs: Vec<Program> = kernels
+            .iter()
+            .map(compile)
+            .collect::<Result<_, _>>()?;
+        let mut row = Vec::new();
+        for iq in IQ_SIZES {
+            let mut acc = 0.0;
+            for program in &programs {
+                let r = Processor::new(
+                    SimConfig::baseline().with_iq_size(iq).with_reuse(true),
+                )
+                .run(program)?;
+                acc += r.stats.gated_rate();
+            }
+            row.push(acc / programs.len() as f64);
+        }
+        t.push_row(name, row);
+    }
+    Ok(t)
+}
+
+/// Direction-predictor ablation (the gshare extension DESIGN.md calls
+/// out): per-predictor average mispredict-recovery rate on the baseline
+/// pipeline and gated rate on the reuse pipeline, at the Table 1
+/// configuration.
+///
+/// # Errors
+///
+/// Propagates compile or simulation errors.
+pub fn bpred_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
+    use riq_bpred::DirPredictorKind;
+    let kernels: Vec<(Kernel, Program)> = suite_scaled(scale)
+        .into_iter()
+        .map(|k| compile(&k).map(|p| (k, p)))
+        .collect::<Result<_, _>>()?;
+    let mut t = FigTable::new(
+        "predictor",
+        vec!["mispredict rate (base)".into(), "gated rate (reuse)".into()],
+    );
+    let dirs: [(&str, DirPredictorKind); 4] = [
+        ("bimod-2048", DirPredictorKind::Bimod { entries: 2048 }),
+        ("gshare-2048", DirPredictorKind::Gshare { entries: 2048, history_bits: 10 }),
+        ("always-taken", DirPredictorKind::Taken),
+        ("always-not-taken", DirPredictorKind::NotTaken),
+    ];
+    for (name, dir) in dirs {
+        let mut cfg = SimConfig::baseline();
+        cfg.bpred.dir = dir;
+        let mut mispred = 0.0;
+        let mut gated = 0.0;
+        for (_, program) in &kernels {
+            let base = Processor::new(cfg.clone()).run(program)?;
+            mispred += base.stats.mispredict_rate();
+            let reuse = Processor::new(cfg.clone().with_reuse(true)).run(program)?;
+            gated += reuse.stats.gated_rate();
+        }
+        let n = kernels.len() as f64;
+        t.push_row(name, vec![mispred / n, gated / n]);
+    }
+    Ok(t)
+}
+
+/// A generic named-rows × named-columns table of fractions, rendered as
+/// percentages.
+#[derive(Debug, Clone)]
+pub struct FigTable {
+    row_label: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl FigTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(row_label: impl Into<String>, columns: Vec<String>) -> FigTable {
+        FigTable { row_label: row_label.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((name.into(), values));
+    }
+
+    /// Appends an `average` row over the existing rows.
+    pub fn push_average(&mut self) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let n = self.rows.len() as f64;
+        let avg: Vec<f64> = (0..self.columns.len())
+            .map(|c| self.rows.iter().map(|(_, v)| v[c]).sum::<f64>() / n)
+            .collect();
+        self.rows.push(("average".into(), avg));
+    }
+
+    /// Column headers.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The value at (row name, column index).
+    #[must_use]
+    pub fn value(&self, row: &str, col: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(n, _)| n == row)
+            .and_then(|(_, v)| v.get(col).copied())
+    }
+
+    /// All rows.
+    #[must_use]
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Renders the table as CSV (fractions, not percentages) for external
+    /// plotting tools.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use riq_bench::FigTable;
+    /// let mut t = FigTable::new("bench", vec!["IQ 32".into()]);
+    /// t.push_row("aps", vec![0.5]);
+    /// assert_eq!(t.to_csv(), "bench,IQ 32\naps,0.5\n");
+    /// ```
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.row_label);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (name, vals) in &self.rows {
+            out.push_str(name);
+            for v in vals {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for FigTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w0 = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain([self.row_label.len()])
+            .max()
+            .unwrap_or(8)
+            + 2;
+        write!(f, "{:w0$}", self.row_label)?;
+        for c in &self.columns {
+            write!(f, "{c:>14}")?;
+        }
+        writeln!(f)?;
+        for (name, vals) in &self.rows {
+            write!(f, "{name:w0$}")?;
+            for v in vals {
+                write!(f, "{:>13.1}%", v * 100.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_table_renders_and_averages() {
+        let mut t = FigTable::new("bench", vec!["IQ 32".into(), "IQ 64".into()]);
+        t.push_row("a", vec![0.5, 0.75]);
+        t.push_row("b", vec![0.25, 0.25]);
+        t.push_average();
+        assert_eq!(t.value("average", 0), Some(0.375));
+        assert_eq!(t.value("average", 1), Some(0.5));
+        let s = t.to_string();
+        assert!(s.contains("50.0%"), "{s}");
+        assert!(s.contains("average"), "{s}");
+        assert_eq!(t.value("missing", 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = FigTable::new("x", vec!["a".into()]);
+        t.push_row("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_average_is_noop() {
+        let mut t = FigTable::new("x", vec!["a".into()]);
+        t.push_average();
+        assert!(t.rows().is_empty());
+    }
+}

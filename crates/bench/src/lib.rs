@@ -1,0 +1,40 @@
+//! # riq-bench — experiment harness for the DATE 2004 reproduction
+//!
+//! Regenerates every table and figure of *Scheduling Reusable Instructions
+//! for Power Reduction*:
+//!
+//! | experiment | entry point | binary command |
+//! |------------|-------------|----------------|
+//! | Table 1 (baseline config) | [`table1`] | `riq-repro table1` |
+//! | Table 2 (benchmarks) | [`table2`] | `riq-repro table2` |
+//! | Figure 5 (gated cycles) | [`Sweep::fig5`] | `riq-repro fig5` |
+//! | Figure 6 (component power) | [`Sweep::fig6`] | `riq-repro fig6` |
+//! | Figure 7 (overall power) | [`Sweep::fig7`] | `riq-repro fig7` |
+//! | Figure 8 (IPC impact) | [`Sweep::fig8`] | `riq-repro fig8` |
+//! | Figure 9 (loop distribution) | [`fig9`] | `riq-repro fig9` |
+//! | §3 NBLT claim | [`nblt_ablation`] | `riq-repro nblt` |
+//! | §2.2.1 strategies | [`strategy_ablation`] | `riq-repro strategy` |
+//! | predictor ablation | [`bpred_ablation`] | `riq-repro bpred` |
+//!
+//! # Examples
+//!
+//! ```no_run
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use riq_bench::Sweep;
+//! let sweep = Sweep::run(1.0)?; // the full evaluation
+//! println!("{}", sweep.fig5());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod harness;
+mod tables;
+
+pub use harness::{
+    bpred_ablation, transform_ablation, fig9, fig9_table, nblt_ablation, run_pair, strategy_ablation,
+    ExperimentError, Fig9Point, FigTable, PairResult, Sweep, IQ_SIZES,
+};
+pub use tables::{table1, table2};

@@ -1,0 +1,115 @@
+//! Tables 1 and 2 of the paper, rendered from the live configuration.
+
+use riq_core::SimConfig;
+use riq_kernels::{inner_loop_span, suite};
+use std::fmt::Write as _;
+
+/// Renders the paper's Table 1 from the *actual* baseline [`SimConfig`]
+/// (so the printed table can never drift from what the simulator runs).
+#[must_use]
+pub fn table1() -> String {
+    let c = SimConfig::baseline();
+    let mut s = String::new();
+    let mut row = |k: &str, v: String| {
+        let _ = writeln!(s, "{k:<22}{v}");
+    };
+    row("Issue Queue", format!("{} entries", c.iq_entries));
+    row("Load/Store Queue", format!("{} entries", c.lsq_entries));
+    row("ROB", format!("{} entries", c.rob_entries));
+    row("Fetch Queue", format!("{} entries", c.fetch_queue));
+    row("Fetch/Decode Width", format!("{} inst. per cycle", c.fetch_width));
+    row("Issue/Commit Width", format!("{} inst. per cycle", c.issue_width));
+    row(
+        "Function Units",
+        format!(
+            "{} IALU, {} IMULT, {} FPALU, {} FPMULT, {} mem ports",
+            c.fu.int_alu, c.fu.int_mult, c.fu.fp_alu, c.fu.fp_mult, c.fu.mem_ports
+        ),
+    );
+    row(
+        "Branch Predictor",
+        format!("bimod, 2048 entries, RAS {} entries", c.bpred.ras_entries),
+    );
+    row(
+        "BTB",
+        format!("{} set {} way assoc.", c.bpred.btb_sets, c.bpred.btb_ways),
+    );
+    let cache = |cc: riq_mem::CacheConfig| {
+        format!(
+            "{}KB, {} way, {} cycle{}",
+            cc.capacity() / 1024,
+            cc.ways,
+            cc.hit_latency,
+            if cc.hit_latency == 1 { "" } else { "s" }
+        )
+    };
+    row("L1 ICache", cache(c.mem.il1));
+    row("L1 DCache", cache(c.mem.dl1));
+    row("L2 UCache", cache(c.mem.l2));
+    row(
+        "TLB",
+        format!(
+            "ITLB: {} set {} way, DTLB: {} set {} way, {} cycle penalty",
+            c.mem.itlb.sets, c.mem.itlb.ways, c.mem.dtlb.sets, c.mem.dtlb.ways,
+            c.mem.itlb.miss_penalty
+        ),
+    );
+    row(
+        "Memory",
+        format!(
+            "{} cycles for first chunk, {} cycles the rest",
+            c.mem.memory.first_chunk, c.mem.memory.inter_chunk
+        ),
+    );
+    s
+}
+
+/// Renders the paper's Table 2 (benchmark list) with the synthetic
+/// kernels' measured innermost spans.
+#[must_use]
+pub fn table2() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<10}{:<16}{:>20}", "Name", "Source", "innermost span");
+    for k in suite() {
+        let span = inner_loop_span(&k.nests[0].inners[0]);
+        let _ = writeln!(s, "{:<10}{:<16}{:>14} insts", k.name, k.source, span);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_the_paper_values() {
+        let t = table1();
+        for needle in [
+            "64 entries",
+            "32 entries",
+            "4 inst. per cycle",
+            "4 IALU, 1 IMULT, 4 FPALU, 1 FPMULT",
+            "bimod, 2048 entries, RAS 8 entries",
+            "512 set 4 way assoc.",
+            "32KB, 2 way, 1 cycle",
+            "32KB, 4 way, 1 cycle",
+            "256KB, 4 way, 8 cycles",
+            "ITLB: 16 set 4 way, DTLB: 32 set 4 way, 30 cycle penalty",
+            "80 cycles for first chunk, 8 cycles the rest",
+        ] {
+            assert!(t.contains(needle), "table1 missing {needle:?}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table2_lists_all_eight() {
+        let t = table2();
+        for name in ["adi", "aps", "btrix", "eflux", "tomcat", "tsf", "vpenta", "wss"] {
+            assert!(t.contains(name), "{t}");
+        }
+        assert!(t.contains("Livermore"));
+        assert!(t.contains("Perfect Club"));
+        assert!(t.contains("Spec95"));
+        assert!(t.contains("Spec92/NASA"));
+    }
+}

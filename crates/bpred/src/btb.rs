@@ -1,0 +1,157 @@
+//! Branch target buffer: set-associative, LRU, tagged by branch PC.
+
+/// A branch-target-buffer entry.
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    tag: u32,
+    target: u32,
+    last_use: u64,
+}
+
+/// Activity counters of the BTB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BtbStats {
+    /// Lookups presented.
+    pub lookups: u64,
+    /// Lookups that found a target.
+    pub hits: u64,
+    /// Entries written or refreshed.
+    pub updates: u64,
+}
+
+/// A set-associative branch target buffer (Table 1: 512 sets, 4 ways).
+///
+/// # Examples
+///
+/// ```
+/// use riq_bpred::Btb;
+/// let mut btb = Btb::new(512, 4);
+/// assert_eq!(btb.lookup(0x400100), None);
+/// btb.update(0x400100, 0x400040);
+/// assert_eq!(btb.lookup(0x400100), Some(0x400040));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: u32,
+    ways: u32,
+    entries: Vec<Option<BtbEntry>>,
+    stats: BtbStats,
+    tick: u64,
+}
+
+impl Btb {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a non-zero power of two or `ways` is zero.
+    #[must_use]
+    pub fn new(sets: u32, ways: u32) -> Btb {
+        assert!(sets > 0 && sets.is_power_of_two(), "BTB sets must be a power of two");
+        assert!(ways > 0, "BTB ways must be non-zero");
+        Btb {
+            sets,
+            ways,
+            entries: vec![None; (sets * ways) as usize],
+            stats: BtbStats::default(),
+            tick: 0,
+        }
+    }
+
+    fn set_and_tag(&self, pc: u32) -> (usize, u32) {
+        let word = pc >> 2;
+        (((word & (self.sets - 1)) * self.ways) as usize, word / self.sets)
+    }
+
+    /// Looks up the predicted target of the control instruction at `pc`.
+    pub fn lookup(&mut self, pc: u32) -> Option<u32> {
+        self.tick += 1;
+        self.stats.lookups += 1;
+        let (base, tag) = self.set_and_tag(pc);
+        for e in self.entries[base..base + self.ways as usize].iter_mut().flatten() {
+            if e.tag == tag {
+                e.last_use = self.tick;
+                self.stats.hits += 1;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Installs or refreshes the target for `pc`.
+    pub fn update(&mut self, pc: u32, target: u32) {
+        self.tick += 1;
+        self.stats.updates += 1;
+        let (base, tag) = self.set_and_tag(pc);
+        let set = &mut self.entries[base..base + self.ways as usize];
+        // Refresh an existing entry.
+        for e in set.iter_mut().flatten() {
+            if e.tag == tag {
+                e.target = target;
+                e.last_use = self.tick;
+                return;
+            }
+        }
+        // Fill an invalid way or evict LRU.
+        let victim = set
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.map_or(0, |e| e.last_use))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            });
+        set[victim] = Some(BtbEntry { tag, target, last_use: self.tick });
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> &BtbStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(16, 2);
+        assert_eq!(btb.lookup(0x1000), None);
+        btb.update(0x1000, 0x2000);
+        assert_eq!(btb.lookup(0x1000), Some(0x2000));
+        assert_eq!(btb.stats().hits, 1);
+        assert_eq!(btb.stats().lookups, 2);
+    }
+
+    #[test]
+    fn update_refreshes_target() {
+        let mut btb = Btb::new(16, 2);
+        btb.update(0x1000, 0x2000);
+        btb.update(0x1000, 0x3000);
+        assert_eq!(btb.lookup(0x1000), Some(0x3000));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut btb = Btb::new(1, 2);
+        btb.update(0x4, 0x100); // A
+        btb.update(0x8, 0x200); // B
+        btb.lookup(0x4); // touch A
+        btb.update(0xc, 0x300); // C evicts B
+        assert_eq!(btb.lookup(0x4), Some(0x100));
+        assert_eq!(btb.lookup(0x8), None);
+        assert_eq!(btb.lookup(0xc), Some(0x300));
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_alias_across_tags() {
+        let mut btb = Btb::new(4, 1);
+        btb.update(0x10, 0xaaaa_0000);
+        // 0x10 and 0x50 share set (word 4 vs 20, sets=4 -> set 0) but differ in tag.
+        assert_eq!(btb.lookup(0x50), None);
+    }
+}

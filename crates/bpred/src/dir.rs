@@ -1,0 +1,227 @@
+//! Direction predictors: saturating counters, bimodal, gshare.
+
+/// A 2-bit saturating counter, the building block of the direction tables.
+///
+/// States 0–1 predict not-taken, 2–3 predict taken; counters start weakly
+/// not-taken (1) like SimpleScalar's `bpred_create`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoBitCounter(u8);
+
+impl Default for TwoBitCounter {
+    fn default() -> Self {
+        TwoBitCounter(1)
+    }
+}
+
+impl TwoBitCounter {
+    /// Current prediction.
+    #[must_use]
+    pub fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains the counter with the actual outcome.
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+
+    /// Raw state (0..=3), for tests.
+    #[must_use]
+    pub fn state(self) -> u8 {
+        self.0
+    }
+}
+
+/// Which direction predictor the front-end uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirPredictorKind {
+    /// Bimodal table of 2-bit counters (Table 1: 2048 entries).
+    Bimod {
+        /// Table entries (power of two).
+        entries: u32,
+    },
+    /// Gshare: global history XOR PC indexing (extension for ablations).
+    Gshare {
+        /// Table entries (power of two).
+        entries: u32,
+        /// Global history length in bits.
+        history_bits: u32,
+    },
+    /// Static always-taken.
+    Taken,
+    /// Static always-not-taken.
+    NotTaken,
+}
+
+/// A direction predictor instance.
+#[derive(Debug, Clone)]
+pub enum DirPredictor {
+    /// See [`DirPredictorKind::Bimod`].
+    Bimod {
+        /// Counter table.
+        table: Vec<TwoBitCounter>,
+    },
+    /// See [`DirPredictorKind::Gshare`].
+    Gshare {
+        /// Counter table.
+        table: Vec<TwoBitCounter>,
+        /// Global branch-history register.
+        history: u32,
+        /// History mask.
+        mask: u32,
+    },
+    /// Always predict taken.
+    Taken,
+    /// Always predict not-taken.
+    NotTaken,
+}
+
+impl DirPredictor {
+    /// Instantiates a predictor of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a table size is zero or not a power of two.
+    #[must_use]
+    pub fn new(kind: DirPredictorKind) -> DirPredictor {
+        let check = |entries: u32| {
+            assert!(
+                entries > 0 && entries.is_power_of_two(),
+                "predictor table size must be a power of two, got {entries}"
+            );
+        };
+        match kind {
+            DirPredictorKind::Bimod { entries } => {
+                check(entries);
+                DirPredictor::Bimod { table: vec![TwoBitCounter::default(); entries as usize] }
+            }
+            DirPredictorKind::Gshare { entries, history_bits } => {
+                check(entries);
+                assert!(history_bits <= 31, "history too long: {history_bits}");
+                DirPredictor::Gshare {
+                    table: vec![TwoBitCounter::default(); entries as usize],
+                    history: 0,
+                    mask: (1u32 << history_bits) - 1,
+                }
+            }
+            DirPredictorKind::Taken => DirPredictor::Taken,
+            DirPredictorKind::NotTaken => DirPredictor::NotTaken,
+        }
+    }
+
+    fn index(table_len: usize, pc: u32, xor: u32) -> usize {
+        (((pc >> 2) ^ xor) as usize) & (table_len - 1)
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    #[must_use]
+    pub fn predict(&self, pc: u32) -> bool {
+        match self {
+            DirPredictor::Bimod { table } => table[Self::index(table.len(), pc, 0)].predict(),
+            DirPredictor::Gshare { table, history, mask } => {
+                table[Self::index(table.len(), pc, history & mask)].predict()
+            }
+            DirPredictor::Taken => true,
+            DirPredictor::NotTaken => false,
+        }
+    }
+
+    /// Trains with the resolved outcome.
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        match self {
+            DirPredictor::Bimod { table } => {
+                let i = Self::index(table.len(), pc, 0);
+                table[i].update(taken);
+            }
+            DirPredictor::Gshare { table, history, mask } => {
+                let i = Self::index(table.len(), pc, *history & *mask);
+                table[i].update(taken);
+                *history = ((*history << 1) | u32::from(taken)) & *mask;
+            }
+            DirPredictor::Taken | DirPredictor::NotTaken => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = TwoBitCounter::default();
+        assert_eq!(c.state(), 1);
+        assert!(!c.predict());
+        c.update(true);
+        c.update(true);
+        c.update(true);
+        assert_eq!(c.state(), 3);
+        assert!(c.predict());
+        c.update(false);
+        assert!(c.predict(), "hysteresis: one not-taken keeps predicting taken");
+        c.update(false);
+        c.update(false);
+        c.update(false);
+        assert_eq!(c.state(), 0);
+    }
+
+    #[test]
+    fn bimod_learns_a_loop_branch() {
+        let mut p = DirPredictor::new(DirPredictorKind::Bimod { entries: 64 });
+        let pc = 0x40_0100;
+        for _ in 0..4 {
+            p.update(pc, true);
+        }
+        assert!(p.predict(pc));
+        // Loop exit once: still predicts taken next iteration.
+        p.update(pc, false);
+        assert!(p.predict(pc));
+    }
+
+    #[test]
+    fn bimod_aliasing_uses_separate_entries() {
+        let mut p = DirPredictor::new(DirPredictorKind::Bimod { entries: 64 });
+        p.update(0x100, true);
+        p.update(0x100, true);
+        assert!(p.predict(0x100));
+        assert!(!p.predict(0x104), "neighbouring branch untrained");
+    }
+
+    #[test]
+    fn gshare_separates_by_history() {
+        let mut p = DirPredictor::new(DirPredictorKind::Gshare { entries: 256, history_bits: 8 });
+        let pc = 0x200;
+        // Alternating pattern T,N,T,N is learnable with history.
+        for _ in 0..64 {
+            let predicted_irrelevant = p.predict(pc);
+            let _ = predicted_irrelevant;
+            p.update(pc, true);
+            p.update(pc, false);
+        }
+        // After training, prediction should follow the alternation at least
+        // at one of the two history points.
+        let before = p.predict(pc);
+        p.update(pc, before);
+        // No assertion on exact value — just exercise the path and check
+        // determinism (same state => same prediction).
+        assert_eq!(p.predict(pc), p.predict(pc));
+    }
+
+    #[test]
+    fn static_predictors() {
+        let t = DirPredictor::new(DirPredictorKind::Taken);
+        let n = DirPredictor::new(DirPredictorKind::NotTaken);
+        assert!(t.predict(0x123c));
+        assert!(!n.predict(0x123c));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_table_panics() {
+        let _ = DirPredictor::new(DirPredictorKind::Bimod { entries: 100 });
+    }
+}

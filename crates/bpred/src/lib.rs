@@ -1,0 +1,39 @@
+//! # riq-bpred — branch prediction for the riq pipeline
+//!
+//! The front-end prediction machinery of the paper's Table 1 baseline:
+//! a 2048-entry bimodal direction table ([`DirPredictor`]), a 512-set
+//! 4-way [`Btb`], and an 8-entry [`Ras`], composed behind
+//! [`BranchPredictor`].
+//!
+//! When the reuse issue queue enters *Code Reuse* state, the whole front
+//! end — including everything in this crate — is clock-gated: in-loop
+//! branches are then statically predicted with their last dynamic outcome
+//! from the buffering phase (§2.4 of the paper) and only *verified* after
+//! execution. That logic lives in `riq-core`; this crate just stops being
+//! asked.
+//!
+//! # Examples
+//!
+//! ```
+//! use riq_bpred::{BranchPredictor, PredictorConfig};
+//! use riq_isa::CtrlKind;
+//!
+//! let mut bp = BranchPredictor::new(PredictorConfig::table1());
+//! bp.update(0x40_0120, CtrlKind::CondBranch, true, 0x40_0100);
+//! bp.update(0x40_0120, CtrlKind::CondBranch, true, 0x40_0100);
+//! let p = bp.predict(0x40_0120, CtrlKind::CondBranch, Some(0x40_0100));
+//! assert!(p.taken);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod btb;
+mod dir;
+mod predictor;
+mod ras;
+
+pub use btb::{Btb, BtbStats};
+pub use dir::{DirPredictor, DirPredictorKind, TwoBitCounter};
+pub use predictor::{BpredStats, BranchPredictor, Prediction, PredictorConfig};
+pub use ras::Ras;

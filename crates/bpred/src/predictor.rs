@@ -1,0 +1,249 @@
+//! The combined front-end predictor: direction table + BTB + RAS.
+
+use crate::btb::{Btb, BtbStats};
+use crate::dir::{DirPredictor, DirPredictorKind};
+use crate::ras::Ras;
+use riq_isa::CtrlKind;
+
+/// Configuration of the front-end predictor (Table 1 defaults via
+/// [`PredictorConfig::table1`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Direction predictor.
+    pub dir: DirPredictorKind,
+    /// BTB sets.
+    pub btb_sets: u32,
+    /// BTB associativity.
+    pub btb_ways: u32,
+    /// Return-address-stack depth.
+    pub ras_entries: u32,
+}
+
+impl PredictorConfig {
+    /// The paper's Table 1 predictor: bimod 2048, BTB 512x4, RAS 8.
+    #[must_use]
+    pub fn table1() -> PredictorConfig {
+        PredictorConfig {
+            dir: DirPredictorKind::Bimod { entries: 2048 },
+            btb_sets: 512,
+            btb_ways: 4,
+            ras_entries: 8,
+        }
+    }
+}
+
+/// A fetch-time prediction for one control instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction (always `true` for unconditional transfers).
+    pub taken: bool,
+    /// Predicted target; `None` means "taken but target unknown", which the
+    /// fetch unit treats as a stall-free fall-through (and will mispredict).
+    pub target: Option<u32>,
+}
+
+/// Accumulated predictor activity and accuracy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BpredStats {
+    /// Direction-table lookups.
+    pub dir_lookups: u64,
+    /// Direction-table updates.
+    pub dir_updates: u64,
+    /// Conditional branches whose direction was predicted correctly.
+    pub dir_correct: u64,
+    /// Conditional branches whose direction was mispredicted.
+    pub dir_wrong: u64,
+    /// BTB counters.
+    pub btb: BtbStats,
+    /// RAS pushes.
+    pub ras_pushes: u64,
+    /// RAS pops.
+    pub ras_pops: u64,
+}
+
+impl BpredStats {
+    /// Direction accuracy in `[0, 1]`, 1 when no branches were seen.
+    #[must_use]
+    pub fn dir_accuracy(&self) -> f64 {
+        let total = self.dir_correct + self.dir_wrong;
+        if total == 0 {
+            1.0
+        } else {
+            self.dir_correct as f64 / total as f64
+        }
+    }
+}
+
+/// The dynamic front-end branch predictor.
+///
+/// The fetch unit calls [`predict`](BranchPredictor::predict) for every
+/// control instruction it fetches (it has the decoded static target in
+/// hand, as the fetch buffer pre-decodes — SimpleScalar does the same);
+/// the writeback stage calls [`update`](BranchPredictor::update) with the
+/// resolved outcome.
+///
+/// # Examples
+///
+/// ```
+/// use riq_bpred::{BranchPredictor, PredictorConfig};
+/// use riq_isa::CtrlKind;
+///
+/// let mut bp = BranchPredictor::new(PredictorConfig::table1());
+/// let p = bp.predict(0x400100, CtrlKind::CondBranch, Some(0x400040));
+/// assert!(!p.taken, "2-bit counters start weakly not-taken");
+/// bp.update(0x400100, CtrlKind::CondBranch, true, 0x400040);
+/// bp.update(0x400100, CtrlKind::CondBranch, true, 0x400040);
+/// assert!(bp.predict(0x400100, CtrlKind::CondBranch, Some(0x400040)).taken);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    dir: DirPredictor,
+    btb: Btb,
+    ras: Ras,
+    stats: BpredStats,
+}
+
+impl BranchPredictor {
+    /// Instantiates the predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid table geometries (non-power-of-two sizes).
+    #[must_use]
+    pub fn new(cfg: PredictorConfig) -> BranchPredictor {
+        BranchPredictor {
+            dir: DirPredictor::new(cfg.dir),
+            btb: Btb::new(cfg.btb_sets, cfg.btb_ways),
+            ras: Ras::new(cfg.ras_entries),
+            stats: BpredStats::default(),
+        }
+    }
+
+    /// Predicts the control instruction at `pc`. `static_target` is the
+    /// decode-time target for direct branches/jumps (`None` for indirect).
+    pub fn predict(&mut self, pc: u32, kind: CtrlKind, static_target: Option<u32>) -> Prediction {
+        match kind {
+            CtrlKind::CondBranch => {
+                self.stats.dir_lookups += 1;
+                let taken = self.dir.predict(pc);
+                // The BTB is probed in parallel with the direction lookup.
+                let btb_target = self.btb.lookup(pc);
+                let target = if taken { static_target.or(btb_target) } else { None };
+                Prediction { taken, target }
+            }
+            CtrlKind::Jump => Prediction { taken: true, target: static_target },
+            CtrlKind::Call => {
+                self.ras.push(pc.wrapping_add(4));
+                self.stats.ras_pushes += 1;
+                Prediction { taken: true, target: static_target }
+            }
+            CtrlKind::IndirectCall => {
+                self.ras.push(pc.wrapping_add(4));
+                self.stats.ras_pushes += 1;
+                let target = self.btb.lookup(pc);
+                Prediction { taken: true, target }
+            }
+            CtrlKind::Return => {
+                self.stats.ras_pops += 1;
+                let target = self.ras.pop().or_else(|| self.btb.lookup(pc));
+                Prediction { taken: true, target }
+            }
+        }
+    }
+
+    /// Trains the predictor with the resolved outcome of the control
+    /// instruction at `pc`. `predicted_taken` is what was predicted at
+    /// fetch (the caller tracks it), used for accuracy accounting.
+    pub fn update(&mut self, pc: u32, kind: CtrlKind, taken: bool, target: u32) {
+        if kind == CtrlKind::CondBranch {
+            self.stats.dir_updates += 1;
+            let predicted = self.dir.predict(pc);
+            if predicted == taken {
+                self.stats.dir_correct += 1;
+            } else {
+                self.stats.dir_wrong += 1;
+            }
+            self.dir.update(pc, taken);
+        }
+        if taken && !matches!(kind, CtrlKind::Return) {
+            self.btb.update(pc, target);
+        }
+    }
+
+    /// Activity/accuracy counters (BTB counters folded in).
+    #[must_use]
+    pub fn stats(&self) -> BpredStats {
+        BpredStats { btb: *self.btb.stats(), ..self.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp() -> BranchPredictor {
+        BranchPredictor::new(PredictorConfig::table1())
+    }
+
+    #[test]
+    fn loop_branch_becomes_predicted_taken() {
+        let mut bp = bp();
+        let pc = 0x0040_0120;
+        let tgt = 0x0040_0100;
+        for _ in 0..3 {
+            bp.update(pc, CtrlKind::CondBranch, true, tgt);
+        }
+        let p = bp.predict(pc, CtrlKind::CondBranch, Some(tgt));
+        assert_eq!(p, Prediction { taken: true, target: Some(tgt) });
+    }
+
+    #[test]
+    fn not_taken_prediction_has_no_target() {
+        let mut bp = bp();
+        let p = bp.predict(0x400100, CtrlKind::CondBranch, Some(0x400000));
+        assert!(!p.taken);
+        assert_eq!(p.target, None);
+    }
+
+    #[test]
+    fn calls_push_returns_pop() {
+        let mut bp = bp();
+        let call = bp.predict(0x400200, CtrlKind::Call, Some(0x400800));
+        assert_eq!(call.target, Some(0x400800));
+        let ret = bp.predict(0x400810, CtrlKind::Return, None);
+        assert_eq!(ret.target, Some(0x400204), "RAS supplies the return target");
+    }
+
+    #[test]
+    fn indirect_call_uses_btb() {
+        let mut bp = bp();
+        let miss = bp.predict(0x400300, CtrlKind::IndirectCall, None);
+        assert_eq!(miss.target, None);
+        bp.update(0x400300, CtrlKind::IndirectCall, true, 0x400900);
+        let hit = bp.predict(0x400300, CtrlKind::IndirectCall, None);
+        assert_eq!(hit.target, Some(0x400900));
+    }
+
+    #[test]
+    fn accuracy_accounting() {
+        let mut bp = bp();
+        let pc = 0x400100;
+        // Initial prediction is not-taken; feed taken twice (two wrong),
+        // then taken (now counter trained, correct).
+        bp.update(pc, CtrlKind::CondBranch, true, 0x400000);
+        bp.update(pc, CtrlKind::CondBranch, true, 0x400000);
+        bp.update(pc, CtrlKind::CondBranch, true, 0x400000);
+        let s = bp.stats();
+        assert_eq!(s.dir_updates, 3);
+        assert_eq!(s.dir_wrong, 1, "first update mispredicted (weakly NT)");
+        assert_eq!(s.dir_correct, 2);
+        assert!(s.dir_accuracy() > 0.6);
+    }
+
+    #[test]
+    fn stats_merge_btb() {
+        let mut bp = bp();
+        let _ = bp.predict(0x100, CtrlKind::CondBranch, Some(0x40));
+        assert_eq!(bp.stats().btb.lookups, 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Return address stack.
+
+/// A fixed-depth circular return-address stack (Table 1: 8 entries).
+///
+/// Like real hardware (and SimpleScalar), the RAS is updated speculatively
+/// at fetch and is *not* repaired on misprediction; deep call chains wrap
+/// and overwrite the oldest entries.
+///
+/// # Examples
+///
+/// ```
+/// use riq_bpred::Ras;
+/// let mut ras = Ras::new(8);
+/// ras.push(0x400104);
+/// assert_eq!(ras.pop(), Some(0x400104));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ras {
+    entries: Vec<u32>,
+    top: usize,
+    depth: usize,
+    pushes: u64,
+    pops: u64,
+}
+
+impl Ras {
+    /// Creates an empty stack of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: u32) -> Ras {
+        assert!(capacity > 0, "RAS capacity must be non-zero");
+        Ras { entries: vec![0; capacity as usize], top: 0, depth: 0, pushes: 0, pops: 0 }
+    }
+
+    /// Pushes a return address (on `jal`/`jalr` at fetch).
+    pub fn push(&mut self, addr: u32) {
+        self.pushes += 1;
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = addr;
+        self.depth = (self.depth + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return address (on `jr $ra` at fetch), or `None`
+    /// when the stack has underflowed.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.pops += 1;
+        if self.depth == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.depth -= 1;
+        Some(addr)
+    }
+
+    /// Current valid depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total pushes performed (activity for the power model).
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total pops performed.
+    #[must_use]
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = Ras::new(4);
+        ras.push(0x10);
+        ras.push(0x20);
+        assert_eq!(ras.pop(), Some(0x20));
+        assert_eq!(ras.pop(), Some(0x10));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn wraps_and_overwrites_oldest() {
+        let mut ras = Ras::new(2);
+        ras.push(0x10);
+        ras.push(0x20);
+        ras.push(0x30); // overwrites 0x10
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(0x30));
+        assert_eq!(ras.pop(), Some(0x20));
+        assert_eq!(ras.pop(), None, "0x10 was lost to wrap-around");
+    }
+
+    #[test]
+    fn counts_activity() {
+        let mut ras = Ras::new(4);
+        ras.push(1);
+        let _ = ras.pop();
+        let _ = ras.pop();
+        assert_eq!(ras.pushes(), 1);
+        assert_eq!(ras.pops(), 2);
+    }
+}

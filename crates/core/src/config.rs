@@ -1,0 +1,317 @@
+//! Simulator configuration (the paper's Table 1, parameterized).
+
+use riq_bpred::PredictorConfig;
+use riq_mem::HierarchyConfig;
+use riq_power::PowerConfig;
+use std::error::Error;
+use std::fmt;
+
+/// Function-unit pool sizes (Table 1: 4 IALU, 1 IMULT, 4 FPALU, 1 FPMULT;
+/// SimpleScalar's default 2 cache ports for memory operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Integer ALUs (also perform address generation and branch compare).
+    pub int_alu: u32,
+    /// Integer multiply/divide units.
+    pub int_mult: u32,
+    /// FP adders (also compares, converts, moves).
+    pub fp_alu: u32,
+    /// FP multiply/divide units.
+    pub fp_mult: u32,
+    /// Data-cache ports shared by loads and stores.
+    pub mem_ports: u32,
+}
+
+/// Operation latencies in cycles (SimpleScalar `sim-outorder` defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Integer ALU operations.
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mult: u64,
+    /// Integer divide / remainder.
+    pub int_div: u64,
+    /// FP add/sub/compare/convert/move.
+    pub fp_alu: u64,
+    /// FP multiply.
+    pub fp_mult: u64,
+    /// FP divide.
+    pub fp_div: u64,
+    /// FP square root.
+    pub fp_sqrt: u64,
+}
+
+/// Strategy deciding when loop buffering stops and Code Reuse begins
+/// (§2.2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferingStrategy {
+    /// Buffer exactly one iteration, then promote. Gates earlier but uses
+    /// the queue less efficiently for small loops.
+    SingleIteration,
+    /// Keep buffering whole iterations while the free entries can hold
+    /// another one (predicted by the iteration-size counter). This is the
+    /// strategy the paper evaluates: it "automatically unrolls" the loop.
+    MultiIteration,
+}
+
+/// Configuration of the reuse issue queue (the paper's contribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseConfig {
+    /// Master switch; `false` gives the conventional baseline pipeline.
+    pub enabled: bool,
+    /// Non-bufferable-loop-table entries (0 disables the NBLT).
+    pub nblt_entries: u32,
+    /// Buffering strategy (§2.2.1).
+    pub strategy: BufferingStrategy,
+}
+
+impl Default for ReuseConfig {
+    fn default() -> Self {
+        ReuseConfig {
+            enabled: false,
+            nblt_entries: 8,
+            strategy: BufferingStrategy::MultiIteration,
+        }
+    }
+}
+
+/// Full simulator configuration.
+///
+/// # Examples
+///
+/// ```
+/// use riq_core::SimConfig;
+/// let cfg = SimConfig::baseline().with_iq_size(128).with_reuse(true);
+/// assert_eq!(cfg.iq_entries, 128);
+/// assert_eq!(cfg.rob_entries, 128, "ROB scales with the IQ (paper §3)");
+/// assert_eq!(cfg.lsq_entries, 64, "LSQ is half the IQ (paper §3)");
+/// assert!(cfg.reuse.enabled);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions decoded per cycle.
+    pub decode_width: u32,
+    /// Instructions renamed/dispatched and issued per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Fetch-queue entries.
+    pub fetch_queue: u32,
+    /// Issue-queue entries.
+    pub iq_entries: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Load/store-queue entries.
+    pub lsq_entries: u32,
+    /// Function units.
+    pub fu: FuConfig,
+    /// Operation latencies.
+    pub latency: LatencyConfig,
+    /// Memory hierarchy.
+    pub mem: HierarchyConfig,
+    /// Branch predictor.
+    pub bpred: PredictorConfig,
+    /// Reuse issue queue.
+    pub reuse: ReuseConfig,
+    /// Hard cycle budget; the run fails if `halt` has not committed by then.
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's Table 1 baseline configuration (reuse disabled).
+    #[must_use]
+    pub fn baseline() -> SimConfig {
+        SimConfig {
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            fetch_queue: 4,
+            iq_entries: 64,
+            rob_entries: 64,
+            lsq_entries: 32,
+            fu: FuConfig { int_alu: 4, int_mult: 1, fp_alu: 4, fp_mult: 1, mem_ports: 2 },
+            latency: LatencyConfig {
+                int_alu: 1,
+                int_mult: 3,
+                int_div: 20,
+                fp_alu: 2,
+                fp_mult: 4,
+                fp_div: 12,
+                fp_sqrt: 24,
+            },
+            mem: HierarchyConfig::table1(),
+            bpred: PredictorConfig::table1(),
+            reuse: ReuseConfig::default(),
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// Scales the window to an issue-queue size, keeping the paper's §3
+    /// relation: ROB = IQ, LSQ = IQ / 2.
+    #[must_use]
+    pub fn with_iq_size(mut self, iq: u32) -> SimConfig {
+        self.iq_entries = iq;
+        self.rob_entries = iq;
+        self.lsq_entries = (iq / 2).max(4);
+        self
+    }
+
+    /// Enables or disables the reuse issue queue.
+    #[must_use]
+    pub fn with_reuse(mut self, enabled: bool) -> SimConfig {
+        self.reuse.enabled = enabled;
+        self
+    }
+
+    /// Sets the NBLT size (0 disables it).
+    #[must_use]
+    pub fn with_nblt(mut self, entries: u32) -> SimConfig {
+        self.reuse.nblt_entries = entries;
+        self
+    }
+
+    /// Sets the buffering strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: BufferingStrategy) -> SimConfig {
+        self.reuse.strategy = strategy;
+        self
+    }
+
+    /// The derived power-model geometry.
+    #[must_use]
+    pub fn power_config(&self) -> PowerConfig {
+        PowerConfig {
+            fetch_width: self.fetch_width,
+            issue_width: self.issue_width,
+            fetch_queue: self.fetch_queue,
+            iq_entries: self.iq_entries,
+            rob_entries: self.rob_entries,
+            lsq_entries: self.lsq_entries,
+            icache: (self.mem.il1.sets, self.mem.il1.ways, self.mem.il1.line_bytes),
+            dcache: (self.mem.dl1.sets, self.mem.dl1.ways, self.mem.dl1.line_bytes),
+            l2: (self.mem.l2.sets, self.mem.l2.ways, self.mem.l2.line_bytes),
+            bpred_entries: 2048,
+            btb: (self.bpred.btb_sets, self.bpred.btb_ways),
+            ras_entries: self.bpred.ras_entries,
+            nblt_entries: if self.reuse.enabled { self.reuse.nblt_entries } else { 0 },
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any width or structure size is zero, or the
+    /// widths exceed the structures they drain into.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let nz = |v: u32, what: &'static str| {
+            if v == 0 {
+                Err(ConfigError::Zero(what))
+            } else {
+                Ok(())
+            }
+        };
+        nz(self.fetch_width, "fetch_width")?;
+        nz(self.decode_width, "decode_width")?;
+        nz(self.issue_width, "issue_width")?;
+        nz(self.commit_width, "commit_width")?;
+        nz(self.fetch_queue, "fetch_queue")?;
+        nz(self.iq_entries, "iq_entries")?;
+        nz(self.rob_entries, "rob_entries")?;
+        nz(self.lsq_entries, "lsq_entries")?;
+        nz(self.fu.int_alu, "fu.int_alu")?;
+        nz(self.fu.int_mult, "fu.int_mult")?;
+        nz(self.fu.fp_alu, "fu.fp_alu")?;
+        nz(self.fu.fp_mult, "fu.fp_mult")?;
+        nz(self.fu.mem_ports, "fu.mem_ports")?;
+        if self.rob_entries < self.iq_entries {
+            return Err(ConfigError::RobSmallerThanIq {
+                rob: self.rob_entries,
+                iq: self.iq_entries,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Error validating a [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A width or size that must be non-zero was zero.
+    Zero(&'static str),
+    /// The ROB must be at least as large as the issue queue (otherwise
+    /// buffered loops could never fully dispatch).
+    RobSmallerThanIq {
+        /// Configured ROB entries.
+        rob: u32,
+        /// Configured IQ entries.
+        iq: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Zero(what) => write!(f, "{what} must be non-zero"),
+            ConfigError::RobSmallerThanIq { rob, iq } => {
+                write!(f, "rob_entries ({rob}) must be >= iq_entries ({iq})")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = SimConfig::baseline();
+        assert_eq!(c.iq_entries, 64);
+        assert_eq!(c.lsq_entries, 32);
+        assert_eq!(c.rob_entries, 64);
+        assert_eq!(c.fetch_queue, 4);
+        assert_eq!((c.fetch_width, c.issue_width, c.commit_width), (4, 4, 4));
+        assert_eq!(c.fu.int_alu, 4);
+        assert_eq!(c.fu.int_mult, 1);
+        assert_eq!(c.fu.fp_alu, 4);
+        assert_eq!(c.fu.fp_mult, 1);
+        assert!(!c.reuse.enabled);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn iq_scaling_rule() {
+        for iq in [32u32, 64, 128, 256] {
+            let c = SimConfig::baseline().with_iq_size(iq);
+            assert_eq!(c.rob_entries, iq);
+            assert_eq!(c.lsq_entries, iq / 2);
+            assert!(c.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let mut c = SimConfig::baseline();
+        c.issue_width = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Zero("issue_width")));
+        let mut c = SimConfig::baseline();
+        c.rob_entries = 16;
+        assert!(matches!(c.validate(), Err(ConfigError::RobSmallerThanIq { .. })));
+    }
+
+    #[test]
+    fn power_config_mirrors_geometry() {
+        let c = SimConfig::baseline().with_iq_size(128).with_reuse(true);
+        let p = c.power_config();
+        assert_eq!(p.iq_entries, 128);
+        assert_eq!(p.nblt_entries, 8);
+        let b = SimConfig::baseline().power_config();
+        assert_eq!(b.nblt_entries, 0, "baseline carries no NBLT cost");
+    }
+}

@@ -1,0 +1,182 @@
+//! Function-unit pool and operation latencies.
+
+use crate::config::{FuConfig, LatencyConfig};
+use riq_isa::{AluOp, FpAluOp, FpUnaryOp, Inst, InstClass};
+
+/// Function-unit classes instructions contend for. Integer divides share
+/// the multiplier, FP divides/square roots share the FP multiplier, and
+/// memory operations need a cache port (address generation is folded into
+/// the port occupancy, like `sim-outorder`'s RdPort/WrPort resources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuClass {
+    /// Integer ALU (also branches and jumps).
+    IntAlu,
+    /// Integer multiplier/divider.
+    IntMult,
+    /// FP adder.
+    FpAlu,
+    /// FP multiplier/divider.
+    FpMult,
+    /// Data-cache port.
+    MemPort,
+    /// No unit needed (`nop`, `halt`).
+    None,
+}
+
+/// Classifies an instruction to its function-unit class.
+#[must_use]
+pub fn fu_class(inst: &Inst) -> FuClass {
+    match inst.class() {
+        InstClass::IntAlu | InstClass::Ctrl => FuClass::IntAlu,
+        InstClass::IntMult | InstClass::IntDiv => FuClass::IntMult,
+        InstClass::FpAlu => FuClass::FpAlu,
+        InstClass::FpMult | InstClass::FpDiv => FuClass::FpMult,
+        InstClass::Load | InstClass::Store => FuClass::MemPort,
+        InstClass::Nop | InstClass::Halt => FuClass::None,
+    }
+}
+
+/// Execution latency of an instruction, excluding memory-hierarchy time
+/// (loads add cache latency on top of this address-generation cycle).
+#[must_use]
+pub fn exec_latency(lat: &LatencyConfig, inst: &Inst) -> u64 {
+    match inst {
+        Inst::Alu { op, .. } => match op {
+            AluOp::Mul => lat.int_mult,
+            AluOp::Div | AluOp::Rem => lat.int_div,
+            _ => lat.int_alu,
+        },
+        Inst::FpOp { op, .. } => match op {
+            FpAluOp::MulD => lat.fp_mult,
+            FpAluOp::DivD => lat.fp_div,
+            _ => lat.fp_alu,
+        },
+        Inst::FpUnary { op, .. } => match op {
+            FpUnaryOp::SqrtD => lat.fp_sqrt,
+            _ => lat.fp_alu,
+        },
+        Inst::CmpD { .. } | Inst::Mtc1 { .. } | Inst::Mfc1 { .. } => lat.fp_alu,
+        // Loads/stores: one address-generation cycle; cache time is added
+        // by the LSQ/cache logic.
+        Inst::Lw { .. } | Inst::Sw { .. } | Inst::Ld { .. } | Inst::Sd { .. } => 1,
+        _ => lat.int_alu,
+    }
+}
+
+/// Per-cycle function-unit availability tracker.
+///
+/// # Examples
+///
+/// ```
+/// use riq_core::{FuClass, FuPool};
+/// use riq_core::SimConfig;
+/// let cfg = SimConfig::baseline();
+/// let mut pool = FuPool::new(&cfg.fu);
+/// pool.new_cycle();
+/// for _ in 0..4 {
+///     assert!(pool.try_acquire(FuClass::IntAlu));
+/// }
+/// assert!(!pool.try_acquire(FuClass::IntAlu), "only 4 integer ALUs");
+/// pool.new_cycle();
+/// assert!(pool.try_acquire(FuClass::IntAlu));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    cfg: FuConfig,
+    int_alu: u32,
+    int_mult: u32,
+    fp_alu: u32,
+    fp_mult: u32,
+    mem_ports: u32,
+}
+
+impl FuPool {
+    /// Creates the pool.
+    #[must_use]
+    pub fn new(cfg: &FuConfig) -> FuPool {
+        FuPool { cfg: *cfg, int_alu: 0, int_mult: 0, fp_alu: 0, fp_mult: 0, mem_ports: 0 }
+    }
+
+    /// Resets availability at the start of a cycle (units are pipelined).
+    pub fn new_cycle(&mut self) {
+        self.int_alu = self.cfg.int_alu;
+        self.int_mult = self.cfg.int_mult;
+        self.fp_alu = self.cfg.fp_alu;
+        self.fp_mult = self.cfg.fp_mult;
+        self.mem_ports = self.cfg.mem_ports;
+    }
+
+    /// Tries to acquire a unit of the given class for this cycle.
+    pub fn try_acquire(&mut self, class: FuClass) -> bool {
+        let slot = match class {
+            FuClass::IntAlu => &mut self.int_alu,
+            FuClass::IntMult => &mut self.int_mult,
+            FuClass::FpAlu => &mut self.fp_alu,
+            FuClass::FpMult => &mut self.fp_mult,
+            FuClass::MemPort => &mut self.mem_ports,
+            FuClass::None => return true,
+        };
+        if *slot > 0 {
+            *slot -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use riq_isa::{FpReg, IntReg};
+
+    #[test]
+    fn classes() {
+        let r = IntReg::new;
+        let f = FpReg::new;
+        assert_eq!(fu_class(&Inst::Beq { rs: r(1), rt: r(2), off: 0 }), FuClass::IntAlu);
+        assert_eq!(
+            fu_class(&Inst::Alu { op: AluOp::Div, rd: r(1), rs: r(2), rt: r(3) }),
+            FuClass::IntMult
+        );
+        assert_eq!(
+            fu_class(&Inst::FpUnary { op: FpUnaryOp::SqrtD, fd: f(0), fs: f(1) }),
+            FuClass::FpMult
+        );
+        assert_eq!(fu_class(&Inst::Lw { rt: r(1), base: r(2), off: 0 }), FuClass::MemPort);
+        assert_eq!(fu_class(&Inst::Halt), FuClass::None);
+    }
+
+    #[test]
+    fn latencies_match_config() {
+        let lat = SimConfig::baseline().latency;
+        let r = IntReg::new;
+        let f = FpReg::new;
+        assert_eq!(exec_latency(&lat, &Inst::Alu { op: AluOp::Add, rd: r(1), rs: r(2), rt: r(3) }), 1);
+        assert_eq!(exec_latency(&lat, &Inst::Alu { op: AluOp::Mul, rd: r(1), rs: r(2), rt: r(3) }), 3);
+        assert_eq!(exec_latency(&lat, &Inst::Alu { op: AluOp::Div, rd: r(1), rs: r(2), rt: r(3) }), 20);
+        assert_eq!(
+            exec_latency(&lat, &Inst::FpOp { op: FpAluOp::AddD, fd: f(0), fs: f(1), ft: f(2) }),
+            2
+        );
+        assert_eq!(
+            exec_latency(&lat, &Inst::FpOp { op: FpAluOp::DivD, fd: f(0), fs: f(1), ft: f(2) }),
+            12
+        );
+        assert_eq!(exec_latency(&lat, &Inst::Lw { rt: r(1), base: r(2), off: 0 }), 1);
+    }
+
+    #[test]
+    fn scarce_units_contend() {
+        let cfg = SimConfig::baseline();
+        let mut pool = FuPool::new(&cfg.fu);
+        pool.new_cycle();
+        assert!(pool.try_acquire(FuClass::IntMult));
+        assert!(!pool.try_acquire(FuClass::IntMult), "only one multiplier");
+        assert!(pool.try_acquire(FuClass::MemPort));
+        assert!(pool.try_acquire(FuClass::MemPort));
+        assert!(!pool.try_acquire(FuClass::MemPort), "two cache ports");
+        assert!(pool.try_acquire(FuClass::None), "nop needs nothing");
+    }
+}

@@ -1,0 +1,433 @@
+//! The unified collapsing issue queue, augmented for instruction reuse.
+//!
+//! Each entry carries the two bits the paper adds (§2.2, Figure 3):
+//!
+//! * a **classification bit** — the instruction belongs to a loop being
+//!   buffered/reused and must *not* leave the queue when it issues;
+//! * an **issue-state bit** — a buffered instruction has been issued and is
+//!   therefore eligible to be *reused* (re-renamed and re-issued).
+//!
+//! Buffered entries additionally reference their Logical Register List
+//! record ([`LrlRecord`]): the logical source/destination register numbers
+//! plus the static branch prediction captured during Loop Buffering.
+//!
+//! The queue is *collapsing*: issued non-reusable entries leave their slot
+//! and younger entries shift up, which both keeps select logic simple and
+//! keeps the buffered loop body contiguous and in program order — exactly
+//! what the unidirectional reuse pointer (§2.4) requires.
+
+use crate::rob::RobId;
+use riq_isa::{ArchReg, Inst};
+
+/// A Logical Register List record for one buffered instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LrlRecord {
+    /// Logical source registers.
+    pub srcs: [Option<ArchReg>; 2],
+    /// Logical destination register.
+    pub dest: Option<ArchReg>,
+    /// For control instructions: the statically predicted next PC,
+    /// captured from the last dynamic outcome during Loop Buffering.
+    pub static_next: Option<u32>,
+}
+
+/// One issue-queue entry.
+#[derive(Debug, Clone)]
+pub struct IqEntry {
+    /// Producing ROB slot of the current instance of this instruction.
+    pub rob: RobId,
+    /// Age of the current instance.
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Outstanding source producers (cleared by wakeup).
+    pub waits: [Option<RobId>; 2],
+    /// Issue-state bit.
+    pub issued: bool,
+    /// Classification bit.
+    pub classification: bool,
+    /// LRL record (present iff `classification`).
+    pub lrl: Option<LrlRecord>,
+}
+
+impl IqEntry {
+    /// Whether all sources are available.
+    #[must_use]
+    pub fn ready(&self) -> bool {
+        self.waits.iter().all(Option::is_none)
+    }
+}
+
+/// Per-cycle activity the queue reports to the power model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IqActivity {
+    /// Full entry writes (dispatch inserts).
+    pub inserts: u32,
+    /// Result-tag broadcasts into the wakeup CAM.
+    pub wakeups: u32,
+    /// Entries that left the queue (and the entries shifted by collapse).
+    pub collapse_moves: u32,
+    /// Entry reads at issue.
+    pub issue_reads: u32,
+    /// Partial updates (register info + ROB pointer) of reused entries.
+    pub partial_updates: u32,
+    /// LRL reads/writes.
+    pub lrl_accesses: u32,
+}
+
+/// The issue queue.
+///
+/// # Examples
+///
+/// ```
+/// use riq_core::{IqEntry, IssueQueue};
+/// use riq_isa::Inst;
+///
+/// let mut iq = IssueQueue::new(4);
+/// assert!(iq.insert(IqEntry {
+///     rob: 0,
+///     seq: 0,
+///     pc: 0x400000,
+///     inst: Inst::Nop,
+///     waits: [None, None],
+///     issued: false,
+///     classification: false,
+///     lrl: None,
+/// }));
+/// assert_eq!(iq.len(), 1);
+/// assert_eq!(iq.free_entries(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    entries: Vec<IqEntry>,
+    capacity: usize,
+    activity: IqActivity,
+}
+
+impl IssueQueue {
+    /// Creates an empty queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: u32) -> IssueQueue {
+        assert!(capacity > 0, "issue queue capacity must be non-zero");
+        IssueQueue {
+            entries: Vec::with_capacity(capacity as usize),
+            capacity: capacity as usize,
+            activity: IqActivity::default(),
+        }
+    }
+
+    /// Occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Free entries.
+    #[must_use]
+    pub fn free_entries(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Whether the queue is full.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// All entries, oldest insert first.
+    #[must_use]
+    pub fn entries(&self) -> &[IqEntry] {
+        &self.entries
+    }
+
+    /// Mutable entry access by position.
+    pub fn entry_mut(&mut self, idx: usize) -> Option<&mut IqEntry> {
+        self.entries.get_mut(idx)
+    }
+
+    /// Inserts at the tail (dispatch). Returns `false` when full.
+    pub fn insert(&mut self, entry: IqEntry) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.activity.inserts += 1;
+        if entry.classification {
+            self.activity.lrl_accesses += 1; // LRL write during buffering
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    /// Broadcasts a completed result tag: clears matching waits.
+    pub fn wakeup(&mut self, producer: RobId) {
+        self.activity.wakeups += 1;
+        for e in &mut self.entries {
+            for w in &mut e.waits {
+                if *w == Some(producer) {
+                    *w = None;
+                }
+            }
+        }
+    }
+
+    /// Positions of ready, not-yet-issued entries, oldest (smallest seq)
+    /// first. The caller applies function-unit constraints.
+    #[must_use]
+    pub fn ready_positions(&self) -> Vec<usize> {
+        let mut ready: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.issued && e.ready())
+            .map(|(i, _)| i)
+            .collect();
+        ready.sort_by_key(|&i| self.entries[i].seq);
+        ready
+    }
+
+    /// Marks a position issued; removes it unless its classification bit is
+    /// set (reusable instructions keep occupying their entry, §2.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the entry already issued.
+    pub fn issue_at(&mut self, idx: usize) {
+        self.activity.issue_reads += 1;
+        let e = &mut self.entries[idx];
+        assert!(!e.issued, "double issue of IQ entry at {idx}");
+        e.issued = true;
+        if !e.classification {
+            // Collapse: every younger entry shifts up one slot.
+            self.activity.collapse_moves += (self.entries.len() - idx - 1) as u32;
+            self.entries.remove(idx);
+        }
+    }
+
+    /// Removes the entry whose current instance is `rob` (squash).
+    /// Returns whether an entry was removed.
+    pub fn remove_by_rob(&mut self, rob: RobId, seq: u64) -> bool {
+        if let Some(idx) = self
+            .entries
+            .iter()
+            .position(|e| e.rob == rob && e.seq == seq)
+        {
+            self.activity.collapse_moves += (self.entries.len() - idx - 1) as u32;
+            self.entries.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Positions of classified (buffered) entries in queue order — the
+    /// domain of the reuse pointer.
+    #[must_use]
+    pub fn classified_positions(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.classification)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Re-renames the buffered entry at `idx` for its next reuse instance:
+    /// resets the issue-state bit and rewrites only the register/ROB
+    /// information (the paper's partial update). Counts an LRL read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is not a buffered (classified) entry or has not
+    /// been issued yet.
+    pub fn reuse_at(&mut self, idx: usize, new_rob: RobId, new_seq: u64, waits: [Option<RobId>; 2]) {
+        let e = &mut self.entries[idx];
+        assert!(e.classification, "reusing a non-buffered entry");
+        assert!(e.issued, "reusing an entry that has not issued");
+        e.rob = new_rob;
+        e.seq = new_seq;
+        e.waits = waits;
+        e.issued = false;
+        self.activity.partial_updates += 1;
+        self.activity.lrl_accesses += 1;
+    }
+
+    /// Clears all classification bits and removes already-issued buffered
+    /// entries — the §2.5 recovery to Normal state. Returns how many
+    /// entries were dropped.
+    pub fn clear_classification(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !(e.classification && e.issued));
+        for e in &mut self.entries {
+            e.classification = false;
+            e.lrl = None;
+        }
+        before - self.entries.len()
+    }
+
+    /// Takes and resets the per-cycle activity counters.
+    pub fn take_activity(&mut self) -> IqActivity {
+        std::mem::take(&mut self.activity)
+    }
+
+    /// Debug invariant: entry seqs of non-issued entries are unique.
+    #[must_use]
+    pub fn check_invariants(&self) -> bool {
+        let mut seqs: Vec<u64> = self.entries.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.windows(2).all(|w| w[0] != w[1]) && self.entries.len() <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(seq: u64, classification: bool) -> IqEntry {
+        IqEntry {
+            rob: seq as usize,
+            seq,
+            pc: 0x400000 + seq as u32 * 4,
+            inst: Inst::Nop,
+            waits: [None, None],
+            issued: false,
+            classification,
+            lrl: classification.then_some(LrlRecord {
+                srcs: [None, None],
+                dest: None,
+                static_next: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn insert_until_full() {
+        let mut iq = IssueQueue::new(2);
+        assert!(iq.insert(mk(0, false)));
+        assert!(iq.insert(mk(1, false)));
+        assert!(!iq.insert(mk(2, false)));
+        assert!(iq.is_full());
+    }
+
+    #[test]
+    fn wakeup_clears_matching_sources() {
+        let mut iq = IssueQueue::new(4);
+        let mut e = mk(0, false);
+        e.waits = [Some(7), Some(9)];
+        iq.insert(e);
+        assert!(iq.ready_positions().is_empty());
+        iq.wakeup(7);
+        assert!(iq.ready_positions().is_empty());
+        iq.wakeup(9);
+        assert_eq!(iq.ready_positions(), vec![0]);
+    }
+
+    #[test]
+    fn ready_positions_oldest_first() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(mk(5, false));
+        iq.insert(mk(2, false));
+        iq.insert(mk(9, false));
+        assert_eq!(iq.ready_positions(), vec![1, 0, 2], "sorted by seq 2,5,9");
+    }
+
+    #[test]
+    fn issue_removes_conventional_entries() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(mk(0, false));
+        iq.insert(mk(1, false));
+        iq.issue_at(0);
+        assert_eq!(iq.len(), 1);
+        assert_eq!(iq.entries()[0].seq, 1);
+        let act = iq.take_activity();
+        assert_eq!(act.issue_reads, 1);
+        assert_eq!(act.collapse_moves, 1);
+    }
+
+    #[test]
+    fn issue_keeps_classified_entries() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(mk(0, true));
+        iq.issue_at(0);
+        assert_eq!(iq.len(), 1, "classification bit pins the entry");
+        assert!(iq.entries()[0].issued);
+        assert!(iq.ready_positions().is_empty(), "issued entries are not re-selected");
+    }
+
+    #[test]
+    fn reuse_resets_issue_state_partially() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(mk(0, true));
+        iq.issue_at(0);
+        iq.reuse_at(0, 42, 100, [Some(41), None]);
+        let e = &iq.entries()[0];
+        assert!(!e.issued);
+        assert_eq!(e.rob, 42);
+        assert_eq!(e.seq, 100);
+        assert_eq!(e.waits, [Some(41), None]);
+        assert!(e.classification, "classification persists across reuse");
+        let act = iq.take_activity();
+        assert_eq!(act.partial_updates, 1);
+        assert!(act.lrl_accesses >= 2, "LRL write at buffer + read at reuse");
+    }
+
+    #[test]
+    #[should_panic(expected = "reusing a non-buffered entry")]
+    fn reuse_of_unclassified_panics() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(mk(0, false));
+        iq.entry_mut(0).unwrap().issued = true;
+        iq.reuse_at(0, 1, 1, [None, None]);
+    }
+
+    #[test]
+    fn clear_classification_restores_normal() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(mk(0, true));
+        iq.insert(mk(1, true));
+        iq.insert(mk(2, false));
+        iq.issue_at(0); // classified+issued: dropped on clear
+        let dropped = iq.clear_classification();
+        assert_eq!(dropped, 1);
+        assert_eq!(iq.len(), 2);
+        assert!(iq.entries().iter().all(|e| !e.classification && e.lrl.is_none()));
+    }
+
+    #[test]
+    fn remove_by_rob_validates_seq() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(mk(3, false));
+        assert!(!iq.remove_by_rob(3, 99), "stale seq does not match");
+        assert!(iq.remove_by_rob(3, 3));
+        assert!(iq.is_empty());
+    }
+
+    #[test]
+    fn classified_positions_in_queue_order() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(mk(0, false));
+        iq.insert(mk(1, true));
+        iq.insert(mk(2, false));
+        iq.insert(mk(3, true));
+        assert_eq!(iq.classified_positions(), vec![1, 3]);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(mk(0, false));
+        iq.insert(mk(1, true));
+        assert!(iq.check_invariants());
+    }
+}

@@ -1,0 +1,235 @@
+//! The load/store queue.
+//!
+//! Holds memory operations in program order. Addresses are known when an
+//! operation enters (computed at dispatch-time functional execution, as in
+//! `sim-outorder`), so disambiguation is exact: a load that overlaps an
+//! older incomplete store waits for it and then forwards in one cycle; a
+//! load with no conflict accesses the data cache.
+
+use crate::rob::RobId;
+use std::collections::VecDeque;
+
+/// One queued memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsqEntry {
+    /// Owning ROB slot.
+    pub rob: RobId,
+    /// Age.
+    pub seq: u64,
+    /// Store (true) or load.
+    pub is_store: bool,
+    /// Effective byte address.
+    pub addr: u32,
+    /// Width in bytes.
+    pub width: u32,
+    /// Whether the owning instruction has completed (result written back).
+    pub completed: bool,
+}
+
+impl LsqEntry {
+    /// Whether two accesses overlap in memory.
+    #[must_use]
+    pub fn overlaps(&self, addr: u32, width: u32) -> bool {
+        let a0 = u64::from(self.addr);
+        let a1 = a0 + u64::from(self.width);
+        let b0 = u64::from(addr);
+        let b1 = b0 + u64::from(width);
+        a0 < b1 && b0 < a1
+    }
+}
+
+/// What a load sees when it checks for older-store conflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreConflict {
+    /// No older store overlaps: access the cache.
+    None,
+    /// The youngest overlapping older store has completed: forward from it.
+    ForwardReady,
+    /// The youngest overlapping older store is still incomplete: retry.
+    Wait,
+}
+
+/// The load/store queue.
+///
+/// # Examples
+///
+/// ```
+/// use riq_core::{Lsq, StoreConflict};
+/// let mut lsq = Lsq::new(4);
+/// lsq.push(0, 0, true, 0x1000, 4);
+/// lsq.push(1, 1, false, 0x1000, 4);
+/// assert_eq!(lsq.check_load(1, 1), StoreConflict::Wait);
+/// lsq.mark_completed(0, 0);
+/// assert_eq!(lsq.check_load(1, 1), StoreConflict::ForwardReady);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    entries: VecDeque<LsqEntry>,
+    capacity: usize,
+    /// Store-to-load forwards performed (activity/stat).
+    pub forwards: u64,
+}
+
+impl Lsq {
+    /// Creates an empty queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: u32) -> Lsq {
+        assert!(capacity > 0, "LSQ capacity must be non-zero");
+        Lsq { entries: VecDeque::new(), capacity: capacity as usize, forwards: 0 }
+    }
+
+    /// Occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is full.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Appends a memory operation in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full (the dispatcher checks [`Lsq::is_full`] first).
+    pub fn push(&mut self, rob: RobId, seq: u64, is_store: bool, addr: u32, width: u32) {
+        assert!(!self.is_full(), "LSQ overflow");
+        debug_assert!(
+            self.entries.back().is_none_or(|e| e.seq < seq),
+            "LSQ must be pushed in program order"
+        );
+        self.entries.push_back(LsqEntry { rob, seq, is_store, addr, width, completed: false });
+    }
+
+    /// Marks the operation owned by `(rob, seq)` completed.
+    pub fn mark_completed(&mut self, rob: RobId, seq: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.rob == rob && e.seq == seq) {
+            e.completed = true;
+        }
+    }
+
+    /// Checks the load `(rob, seq)` against older stores.
+    #[must_use]
+    pub fn check_load(&self, rob: RobId, seq: u64) -> StoreConflict {
+        let Some(load) = self.entries.iter().find(|e| e.rob == rob && e.seq == seq) else {
+            return StoreConflict::None;
+        };
+        // Scan older stores youngest-first; the first overlap decides.
+        for e in self.entries.iter().rev() {
+            if e.seq >= seq || !e.is_store {
+                continue;
+            }
+            if e.overlaps(load.addr, load.width) {
+                return if e.completed {
+                    StoreConflict::ForwardReady
+                } else {
+                    StoreConflict::Wait
+                };
+            }
+        }
+        StoreConflict::None
+    }
+
+    /// Records a performed forward (activity counter).
+    pub fn count_forward(&mut self) {
+        self.forwards += 1;
+    }
+
+    /// Removes the oldest entry if it belongs to `(rob, seq)` (commit).
+    pub fn pop_if_front(&mut self, rob: RobId, seq: u64) {
+        if self
+            .entries
+            .front()
+            .is_some_and(|e| e.rob == rob && e.seq == seq)
+        {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Removes the entry owned by `(rob, seq)` wherever it is (squash).
+    pub fn remove(&mut self, rob: RobId, seq: u64) -> bool {
+        if let Some(idx) = self.entries.iter().position(|e| e.rob == rob && e.seq == seq) {
+            self.entries.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_geometry() {
+        let e = LsqEntry { rob: 0, seq: 0, is_store: true, addr: 0x1000, width: 4, completed: false };
+        assert!(e.overlaps(0x1000, 4));
+        assert!(e.overlaps(0x0ffc, 8), "wide double overlapping the word");
+        assert!(!e.overlaps(0x1004, 4));
+        assert!(!e.overlaps(0x0ffc, 4));
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut lsq = Lsq::new(8);
+        lsq.push(0, 0, true, 0x100, 4); // older store, completed
+        lsq.push(1, 1, true, 0x100, 4); // younger store, incomplete
+        lsq.push(2, 2, false, 0x100, 4); // the load
+        lsq.mark_completed(0, 0);
+        assert_eq!(lsq.check_load(2, 2), StoreConflict::Wait, "youngest conflicting store rules");
+        lsq.mark_completed(1, 1);
+        assert_eq!(lsq.check_load(2, 2), StoreConflict::ForwardReady);
+    }
+
+    #[test]
+    fn younger_stores_do_not_block() {
+        let mut lsq = Lsq::new(8);
+        lsq.push(0, 0, false, 0x100, 4); // the load (oldest)
+        lsq.push(1, 1, true, 0x100, 4); // younger store
+        assert_eq!(lsq.check_load(0, 0), StoreConflict::None);
+    }
+
+    #[test]
+    fn disjoint_addresses_do_not_conflict() {
+        let mut lsq = Lsq::new(8);
+        lsq.push(0, 0, true, 0x200, 4);
+        lsq.push(1, 1, false, 0x100, 4);
+        assert_eq!(lsq.check_load(1, 1), StoreConflict::None);
+    }
+
+    #[test]
+    fn commit_and_squash_removal() {
+        let mut lsq = Lsq::new(4);
+        lsq.push(0, 0, true, 0x100, 4);
+        lsq.push(1, 1, false, 0x104, 4);
+        lsq.pop_if_front(1, 1); // not the front: no-op
+        assert_eq!(lsq.len(), 2);
+        lsq.pop_if_front(0, 0);
+        assert_eq!(lsq.len(), 1);
+        assert!(lsq.remove(1, 1));
+        assert!(lsq.is_empty());
+        assert!(!lsq.remove(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "LSQ overflow")]
+    fn overflow_panics() {
+        let mut lsq = Lsq::new(1);
+        lsq.push(0, 0, false, 0, 4);
+        lsq.push(1, 1, false, 4, 4);
+    }
+}

@@ -1,0 +1,916 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! Seven stages, modeled in reverse order each cycle so same-cycle flow is
+//! correct: commit ← writeback ← issue ← rename/dispatch ← decode ← fetch.
+//! Instructions execute *functionally* at dispatch (sim-outorder style)
+//! against the speculative state; branch outcomes are acted on only at
+//! writeback, via conventional walk-back recovery. The reuse issue queue
+//! plugs into dispatch: in **Loop Buffering** state dispatched loop
+//! instructions are pinned into the queue, and in **Code Reuse** state the
+//! dispatch stage is fed by the queue's reuse pointer instead of the
+//! (gated) front-end.
+
+use crate::config::SimConfig;
+use crate::fu::{exec_latency, fu_class, FuClass, FuPool};
+use crate::iq::{IqEntry, IssueQueue, LrlRecord};
+use crate::lsq::{Lsq, StoreConflict};
+use crate::rename::RenameMap;
+use crate::reuse::{IqState, ReuseController};
+use crate::rob::{RenameRef, Rob, RobEntry, RobId};
+use crate::specstate::SpecState;
+use crate::stats::{RunResult, SimStats};
+use riq_asm::{Program, STACK_TOP};
+use riq_bpred::BranchPredictor;
+use riq_emu::{ControlFlow, Executed, MemFault};
+use riq_isa::{CtrlKind, Inst, InstClass, IntReg};
+use riq_mem::{HierarchyStats, MemoryHierarchy};
+use riq_power::{Activity, Component, PowerModel};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Error terminating a simulation abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Invalid configuration.
+    Config(crate::config::ConfigError),
+    /// A correct-path instruction faulted on a data access.
+    Mem {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The fault.
+        fault: MemFault,
+    },
+    /// A correct-path fetch produced an undecodable word.
+    Decode {
+        /// The faulting PC.
+        pc: u32,
+    },
+    /// The cycle budget elapsed before `halt` committed.
+    CycleLimit {
+        /// Cycles simulated.
+        cycles: u64,
+        /// Instructions committed so far.
+        committed: u64,
+    },
+    /// No instruction committed for a long stretch: a pipeline deadlock
+    /// (this is a simulator bug, never a program property; the message
+    /// carries a dump of the stuck window head).
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Human-readable dump of the stuck state.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::Mem { pc, fault } => write!(f, "at {pc:#010x}: {fault}"),
+            SimError::Decode { pc } => write!(f, "undecodable instruction at {pc:#010x}"),
+            SimError::CycleLimit { cycles, committed } => {
+                write!(f, "cycle limit reached after {cycles} cycles ({committed} committed)")
+            }
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "pipeline deadlock at cycle {cycle}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<crate::config::ConfigError> for SimError {
+    fn from(e: crate::config::ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// Cycles without a commit after which the deadlock watchdog fires. Far
+/// above any legitimate stall (the longest memory round trip is ~200
+/// cycles).
+const DEADLOCK_WINDOW: u64 = 50_000;
+
+/// A fetched, pre-decoded instruction flowing toward dispatch.
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    pc: u32,
+    inst: Inst,
+    predicted_next: u32,
+}
+
+/// The user-facing simulator.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use riq_asm::assemble;
+/// use riq_core::{Processor, SimConfig};
+/// use riq_isa::IntReg;
+///
+/// let program = assemble("  li $r2, 5\n  li $r3, 8\n  add $r4, $r2, $r3\n  halt\n")?;
+/// let result = Processor::new(SimConfig::baseline()).run(&program)?;
+/// assert_eq!(result.arch_state.int_reg(IntReg::new(4)), 13);
+/// assert!(result.stats.cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Processor {
+    cfg: SimConfig,
+}
+
+impl Processor {
+    /// Creates a processor with the given configuration.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Processor {
+        Processor { cfg }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs `program` to completion (until `halt` commits).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] for invalid configurations, correct-path
+    /// faults, or exceeding the cycle budget.
+    pub fn run(&self, program: &Program) -> Result<RunResult, SimError> {
+        self.cfg.validate()?;
+        let mut core = Core::new(&self.cfg, program)?;
+        let mut last_progress = (0u64, 0u64); // (cycle, committed)
+        while !core.done {
+            if core.now >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    cycles: core.now,
+                    committed: core.stats.committed,
+                });
+            }
+            if core.stats.committed != last_progress.1 {
+                last_progress = (core.now, core.stats.committed);
+            } else if core.now - last_progress.0 > DEADLOCK_WINDOW {
+                return Err(SimError::Deadlock {
+                    cycle: core.now,
+                    detail: core.deadlock_dump(),
+                });
+            }
+            core.cycle()?;
+        }
+        Ok(core.into_result())
+    }
+}
+
+struct Core<'a> {
+    cfg: &'a SimConfig,
+    program: &'a Program,
+    now: u64,
+    seq: u64,
+    done: bool,
+    spec: SpecState,
+    rob: Rob,
+    map: RenameMap,
+    iq: IssueQueue,
+    lsq: Lsq,
+    pool: FuPool,
+    hier: MemoryHierarchy,
+    bp: BranchPredictor,
+    ctl: ReuseController,
+    power: PowerModel,
+    act: Activity,
+    stats: SimStats,
+    events: BinaryHeap<Reverse<(u64, u64, RobId)>>,
+    fetch_pc: u32,
+    fetch_ready_at: u64,
+    fetch_halted: bool,
+    fetch_queue: VecDeque<Fetched>,
+    decode_buf: VecDeque<Fetched>,
+    halt_dispatched: bool,
+    gated: bool,
+    reuse_ptr: usize,
+    unresolved_mispredicts: u32,
+    prev_hier: HierarchyStats,
+}
+
+impl<'a> Core<'a> {
+    fn new(cfg: &'a SimConfig, program: &'a Program) -> Result<Core<'a>, SimError> {
+        let mut spec = SpecState::new();
+        for (i, &word) in program.text().iter().enumerate() {
+            let addr = program.text_base() + 4 * i as u32;
+            spec.mem_mut()
+                .store_u32(addr, word)
+                .expect("program text base is aligned");
+        }
+        spec.mem_mut().store_bytes(program.data_base(), program.data());
+        spec.regs_mut().set_int_reg(IntReg::SP, STACK_TOP);
+        let hier = MemoryHierarchy::new(cfg.mem).map_err(|_| {
+            SimError::Config(crate::config::ConfigError::Zero("memory hierarchy geometry"))
+        })?;
+        Ok(Core {
+            cfg,
+            program,
+            now: 0,
+            seq: 0,
+            done: false,
+            spec,
+            rob: Rob::new(cfg.rob_entries),
+            map: RenameMap::new(),
+            iq: IssueQueue::new(cfg.iq_entries),
+            lsq: Lsq::new(cfg.lsq_entries),
+            pool: FuPool::new(&cfg.fu),
+            prev_hier: HierarchyStats::default(),
+            hier,
+            bp: BranchPredictor::new(cfg.bpred),
+            ctl: ReuseController::new(cfg.reuse, cfg.iq_entries),
+            power: PowerModel::new(&cfg.power_config()),
+            act: Activity::new(),
+            stats: SimStats::default(),
+            events: BinaryHeap::new(),
+            fetch_pc: program.entry(),
+            fetch_ready_at: 0,
+            fetch_halted: false,
+            fetch_queue: VecDeque::new(),
+            decode_buf: VecDeque::new(),
+            halt_dispatched: false,
+            gated: false,
+            reuse_ptr: 0,
+            unresolved_mispredicts: 0,
+        })
+    }
+
+    fn into_result(self) -> RunResult {
+        let mut stats = self.stats;
+        stats.reuse = self.ctl.stats;
+        RunResult {
+            stats,
+            power: self.power.report(),
+            arch_state: self.spec.regs().clone(),
+            mem_digest: self.spec.mem().content_digest(),
+        }
+    }
+
+    fn cycle(&mut self) -> Result<(), SimError> {
+        self.pool.new_cycle();
+        self.commit();
+        if !self.done {
+            self.writeback();
+            self.issue();
+            self.dispatch()?;
+            self.decode();
+            self.fetch()?;
+        }
+        self.end_cycle_accounting();
+        self.now += 1;
+        Ok(())
+    }
+
+    // ---- commit ----
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(id) = self.rob.oldest() else { break };
+            if !self.rob.get(id).expect("oldest live").completed {
+                break;
+            }
+            let (id, e) = self.rob.pop_oldest().expect("oldest live");
+            debug_assert!(!e.mispredicted, "mispredicted entry must resolve before commit");
+            self.act.add(Component::Rob, 1);
+            if let Some(d) = e.dest {
+                self.map.commit(d, id, e.seq);
+                self.act.add(Component::Regfile, 1);
+            }
+            if let Some(m) = e.mem {
+                if m.is_store {
+                    // Stores update the data cache at commit (write buffer
+                    // drains without stalling the pipeline).
+                    let _ = self.hier.data_latency(m.addr, true);
+                }
+                self.lsq.pop_if_front(id, e.seq);
+            }
+            if let Some(kind) = e.inst.ctrl_kind() {
+                if kind == CtrlKind::CondBranch {
+                    self.stats.branches += 1;
+                }
+                // Reused instructions bypass the (gated) dynamic predictor
+                // entirely — no training, no activity (§2.4).
+                if !e.reused {
+                    let taken = matches!(e.flow, ControlFlow::Taken(_));
+                    self.bp.update(e.pc, kind, taken, e.actual_next);
+                    if kind == CtrlKind::CondBranch {
+                        self.act.add(Component::BpredDir, 1);
+                        self.act.add(Component::Btb, 1);
+                    }
+                }
+            }
+            self.stats.committed += 1;
+            if e.inst == Inst::Halt {
+                self.done = true;
+                return;
+            }
+        }
+    }
+
+    // ---- writeback & recovery ----
+
+    fn writeback(&mut self) {
+        let mut completions: Vec<(u64, RobId)> = Vec::new();
+        while let Some(&Reverse((t, seq, id))) = self.events.peek() {
+            if t > self.now {
+                break;
+            }
+            self.events.pop();
+            completions.push((seq, id));
+        }
+        completions.sort_unstable();
+        for (seq, id) in completions {
+            let Some(e) = self.rob.get_mut(id) else { continue };
+            if e.seq != seq || e.completed {
+                continue; // stale event (entry squashed and slot reused)
+            }
+            e.completed = true;
+            let has_dest = e.dest.is_some();
+            let is_mem = e.mem.is_some();
+            let mispredicted = e.mispredicted;
+            self.act.add(Component::ResultBus, 1);
+            self.act.add(Component::Rob, 1);
+            if is_mem {
+                self.lsq.mark_completed(id, seq);
+            }
+            if has_dest {
+                self.iq.wakeup(id);
+                self.act.add(Component::IqWakeup, 1);
+            }
+            if mispredicted {
+                self.recover(id, seq);
+            }
+        }
+    }
+
+    fn recover(&mut self, branch_id: RobId, branch_seq: u64) {
+        self.stats.mispredictions += 1;
+        // Walk the window back, youngest first, to the mispredicted branch.
+        while let Some(young) = self.rob.youngest() {
+            if self.rob.get(young).expect("youngest live").seq <= branch_seq {
+                break;
+            }
+            let (yid, ye) = self.rob.pop_youngest().expect("youngest live");
+            self.spec.undo(&ye.undo);
+            if let Some(d) = ye.dest {
+                // Validate the captured mapping: if the old producer has
+                // committed since (its slot freed or reused), the value is
+                // architectural now.
+                let old = match ye.old_map {
+                    RenameRef::Rob(p, pseq)
+                        if self.rob.get(p).is_none_or(|e| e.seq != pseq) =>
+                    {
+                        RenameRef::Arch
+                    }
+                    other => other,
+                };
+                self.map.restore(d, old);
+            }
+            self.iq.remove_by_rob(yid, ye.seq);
+            if ye.mem.is_some() {
+                self.lsq.remove(yid, ye.seq);
+            }
+            if ye.inst == Inst::Halt {
+                self.halt_dispatched = false;
+            }
+            if ye.mispredicted {
+                self.unresolved_mispredicts -= 1;
+            }
+            self.stats.squashed += 1;
+        }
+        let branch = self.rob.get_mut(branch_id).expect("branch still live");
+        branch.mispredicted = false;
+        let redirect = branch.actual_next;
+        self.unresolved_mispredicts -= 1;
+        // Redirect the front-end.
+        self.fetch_pc = redirect;
+        self.fetch_queue.clear();
+        self.decode_buf.clear();
+        self.fetch_halted = false;
+        self.fetch_ready_at = self.now + 1;
+        // Any reuse activity (buffering or reusing) ends here (§2.5).
+        if self.ctl.on_recovery() {
+            self.iq.clear_classification();
+            self.gated = false;
+            self.reuse_ptr = 0;
+        }
+    }
+
+    // ---- issue ----
+
+    fn issue(&mut self) {
+        if self.iq.is_empty() {
+            return;
+        }
+        self.act.add(Component::IqSelect, 1);
+        let ready = self.iq.ready_positions();
+        let mut selected: Vec<usize> = Vec::new();
+        for pos in ready {
+            if selected.len() as u32 >= self.cfg.issue_width {
+                break;
+            }
+            let e = &self.iq.entries()[pos];
+            let class = fu_class(&e.inst);
+            if e.inst.class() == InstClass::Load
+                && self.lsq.check_load(e.rob, e.seq) == StoreConflict::Wait
+            {
+                continue; // blocked behind an incomplete older store
+            }
+            if !self.pool.try_acquire(class) {
+                continue;
+            }
+            selected.push(pos);
+        }
+        // Apply removals from the highest position down so earlier indices
+        // stay valid while collapsing.
+        selected.sort_unstable_by(|a, b| b.cmp(a));
+        for pos in selected {
+            let (rob_id, seq, inst) = {
+                let e = &self.iq.entries()[pos];
+                (e.rob, e.seq, e.inst)
+            };
+            self.iq.issue_at(pos);
+            self.schedule_completion(rob_id, seq, &inst);
+            self.stats.issued += 1;
+            match fu_class(&inst) {
+                FuClass::IntAlu => self.act.add(Component::IntAlu, 1),
+                FuClass::IntMult => self.act.add(Component::IntMult, 1),
+                FuClass::FpAlu => self.act.add(Component::FpAlu, 1),
+                FuClass::FpMult => self.act.add(Component::FpMult, 1),
+                FuClass::MemPort => self.act.add(Component::Lsq, 1),
+                FuClass::None => {}
+            }
+        }
+    }
+
+    fn schedule_completion(&mut self, rob_id: RobId, seq: u64, inst: &Inst) {
+        let mut lat = exec_latency(&self.cfg.latency, inst);
+        if inst.class() == InstClass::Load {
+            let mem = self.rob.get(rob_id).and_then(|e| e.mem);
+            // A wrong-path load that faulted (`mem` is `None`) executes
+            // as a bubble.
+            if let Some(m) = mem {
+                match self.lsq.check_load(rob_id, seq) {
+                    StoreConflict::ForwardReady => {
+                        self.lsq.count_forward();
+                        lat += 1;
+                    }
+                    StoreConflict::Wait => {
+                        // Selection filtered these out; if a store slipped
+                        // in this cycle, a one-cycle replay is charged.
+                        lat += 1;
+                    }
+                    StoreConflict::None => {
+                        lat += self.hier.data_latency(m.addr, false);
+                    }
+                }
+            }
+        }
+        self.events.push(Reverse((self.now + lat, seq, rob_id)));
+    }
+
+    // ---- dispatch ----
+
+    fn dispatch(&mut self) -> Result<(), SimError> {
+        if self.ctl.state() == IqState::CodeReuse {
+            return self.reuse_supply();
+        }
+        for _ in 0..self.cfg.issue_width {
+            if self.halt_dispatched || self.rob.is_full() {
+                break;
+            }
+            let Some(&f) = self.decode_buf.front() else { break };
+            let needs_iq = !matches!(f.inst.class(), InstClass::Nop | InstClass::Halt);
+            if needs_iq && self.iq.is_full() {
+                // Full queue during buffering: the loop does not fit (§2.2.2).
+                let d = self.ctl.on_queue_full();
+                if d.revoke {
+                    self.iq.clear_classification();
+                }
+                if self.iq.is_full() {
+                    break;
+                }
+            }
+            if f.inst.is_mem() && self.lsq.is_full() {
+                break;
+            }
+            self.decode_buf.pop_front();
+            let promoted = self.dispatch_one(f)?;
+            if promoted {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Functionally executes at dispatch, handling wrong-path faults.
+    fn execute_speculative(
+        &mut self,
+        inst: &Inst,
+        pc: u32,
+    ) -> Result<(Executed, Vec<crate::specstate::UndoRecord>), SimError> {
+        match self.spec.execute(inst, pc) {
+            Ok(x) => Ok(x),
+            Err(fault) => {
+                if self.unresolved_mispredicts > 0 {
+                    // Wrong-path instruction touching a garbage address:
+                    // executes as a bubble and will be squashed.
+                    Ok((Executed { flow: ControlFlow::Next, mem: None }, Vec::new()))
+                } else {
+                    Err(SimError::Mem { pc, fault })
+                }
+            }
+        }
+    }
+
+    fn dispatch_one(&mut self, f: Fetched) -> Result<bool, SimError> {
+        let seq = self.seq;
+        self.seq += 1;
+        let free_after = self.iq.free_entries().saturating_sub(1) as u32;
+        let directive = self.ctl.on_dispatch(f.pc, &f.inst, free_after);
+        if directive.revoke {
+            self.iq.clear_classification();
+        }
+        let (done, undo) = self.execute_speculative(&f.inst, f.pc)?;
+        let actual_next = done.flow.next_pc(f.pc);
+        let mispredicted =
+            !matches!(done.flow, ControlFlow::Halt) && actual_next != f.predicted_next;
+        let immediate = matches!(f.inst.class(), InstClass::Nop | InstClass::Halt);
+        let dest = f.inst.dest();
+        let entry = RobEntry {
+            seq,
+            pc: f.pc,
+            inst: f.inst,
+            dest,
+            old_map: RenameRef::Arch,
+            completed: immediate,
+            flow: done.flow,
+            mem: done.mem,
+            predicted_next: f.predicted_next,
+            actual_next,
+            mispredicted,
+            undo,
+            reused: false,
+            wrong_path: self.unresolved_mispredicts > 0,
+        };
+        let id = self.rob.alloc(entry).expect("dispatch checked ROB space");
+        let waits = self.rename(&f.inst, dest, id, seq);
+        if mispredicted {
+            self.unresolved_mispredicts += 1;
+        }
+        self.act.add(Component::RenameTable, 1);
+        self.act.add(Component::Rob, 1);
+        self.stats.dispatched += 1;
+        if f.inst == Inst::Halt {
+            self.halt_dispatched = true;
+        }
+        if !immediate {
+            if let Some(m) = done.mem {
+                self.lsq.push(id, seq, m.is_store, m.addr, m.width);
+                self.act.add(Component::Lsq, 1);
+            }
+            let lrl = directive.buffer.then(|| LrlRecord {
+                srcs: f.inst.sources(),
+                dest,
+                static_next: f.inst.is_control().then_some(actual_next),
+            });
+            let inserted = self.iq.insert(IqEntry {
+                rob: id,
+                seq,
+                pc: f.pc,
+                inst: f.inst,
+                waits,
+                issued: false,
+                classification: directive.buffer,
+                lrl,
+            });
+            debug_assert!(inserted, "dispatch checked IQ space");
+        }
+        if directive.promote {
+            self.enter_code_reuse();
+        }
+        Ok(directive.promote)
+    }
+
+    fn rename(
+        &mut self,
+        inst: &Inst,
+        dest: Option<riq_isa::ArchReg>,
+        id: RobId,
+        seq: u64,
+    ) -> [Option<RobId>; 2] {
+        let mut waits = [None, None];
+        for (slot, src) in inst.sources().into_iter().enumerate() {
+            if let Some(s) = src {
+                if let RenameRef::Rob(p, pseq) = self.map.lookup(s) {
+                    // A stale reference (slot reused) means the producer
+                    // committed: the value is architectural and ready.
+                    if self.rob.get(p).is_some_and(|e| e.seq == pseq && !e.completed) {
+                        waits[slot] = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(d) = dest {
+            let old = self.map.define(d, id, seq);
+            self.rob.get_mut(id).expect("just allocated").old_map = old;
+        }
+        waits
+    }
+
+    fn enter_code_reuse(&mut self) {
+        self.gated = true;
+        // Instructions already fetched past the loop-end branch duplicate
+        // what the queue will supply: flush them.
+        self.fetch_queue.clear();
+        self.decode_buf.clear();
+        self.fetch_halted = false;
+        self.reuse_ptr = 0;
+    }
+
+    // ---- Code Reuse supply (§2.4) ----
+
+    fn reuse_supply(&mut self) -> Result<(), SimError> {
+        for _ in 0..self.cfg.issue_width {
+            if self.halt_dispatched || self.rob.is_full() {
+                break;
+            }
+            let classified = self.iq.classified_positions();
+            if classified.is_empty() {
+                // Defensive: nothing left to reuse (should not happen —
+                // recovery is the architected exit).
+                self.exit_code_reuse();
+                break;
+            }
+            if self.reuse_ptr >= classified.len() {
+                self.reuse_ptr = 0;
+            }
+            let pos = classified[self.reuse_ptr];
+            let (pc, inst, issued, lrl) = {
+                let e = &self.iq.entries()[pos];
+                (e.pc, e.inst, e.issued, e.lrl)
+            };
+            if !issued {
+                break; // the previous instance has not issued yet
+            }
+            if inst.is_mem() && self.lsq.is_full() {
+                break;
+            }
+            let seq = self.seq;
+            self.seq += 1;
+            let (done, undo) = self.execute_speculative(&inst, pc)?;
+            let actual_next = done.flow.next_pc(pc);
+            let predicted_next = lrl
+                .and_then(|l| l.static_next)
+                .unwrap_or_else(|| pc.wrapping_add(4));
+            let mispredicted =
+                !matches!(done.flow, ControlFlow::Halt) && actual_next != predicted_next;
+            let dest = inst.dest();
+            let entry = RobEntry {
+                seq,
+                pc,
+                inst,
+                dest,
+                old_map: RenameRef::Arch,
+                completed: false,
+                flow: done.flow,
+                mem: done.mem,
+                predicted_next,
+                actual_next,
+                mispredicted,
+                undo,
+                reused: true,
+                wrong_path: self.unresolved_mispredicts > 0,
+            };
+            let id = self.rob.alloc(entry).expect("checked ROB space");
+            let waits = self.rename(&inst, dest, id, seq);
+            if mispredicted {
+                self.unresolved_mispredicts += 1;
+            }
+            if let Some(m) = done.mem {
+                self.lsq.push(id, seq, m.is_store, m.addr, m.width);
+                self.act.add(Component::Lsq, 1);
+            }
+            if inst == Inst::Halt {
+                self.halt_dispatched = true;
+            }
+            // Only register identifiers and the ROB pointer are rewritten
+            // in the queue entry — the paper's partial update.
+            self.iq.reuse_at(pos, id, seq, waits);
+            self.act.add(Component::RenameTable, 1);
+            self.act.add(Component::Rob, 1);
+            self.act.add(Component::ReuseCtl, 1);
+            self.stats.dispatched += 1;
+            self.ctl.stats.reused_insts += 1;
+            self.reuse_ptr += 1;
+            if self.reuse_ptr >= classified.len() {
+                // The unidirectional scan hit the end of the buffered
+                // region; the pointer resets and the next supply group
+                // starts next cycle (a wrapped window cannot be read in
+                // one scan — this is why the paper prefers buffering many
+                // iterations, §2.2.1: fewer wraps per loop trip).
+                self.reuse_ptr = 0;
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn exit_code_reuse(&mut self) {
+        if self.ctl.on_recovery() {
+            self.iq.clear_classification();
+        }
+        self.gated = false;
+        self.reuse_ptr = 0;
+        // Resume fetching at the next architectural PC: the youngest
+        // in-flight instruction's successor.
+        if let Some(y) = self.rob.youngest() {
+            self.fetch_pc = self.rob.get(y).expect("youngest live").actual_next;
+        }
+        self.fetch_ready_at = self.now + 1;
+    }
+
+    // ---- decode ----
+
+    fn decode(&mut self) {
+        if self.gated {
+            return;
+        }
+        let cap = (2 * self.cfg.decode_width) as usize;
+        for _ in 0..self.cfg.decode_width {
+            if self.decode_buf.len() >= cap {
+                break;
+            }
+            let Some(f) = self.fetch_queue.pop_front() else { break };
+            self.act.add(Component::Decode, 1);
+            self.decode_buf.push_back(f);
+        }
+    }
+
+    // ---- fetch ----
+
+    fn fetch(&mut self) -> Result<(), SimError> {
+        if self.gated || self.fetch_halted || self.now < self.fetch_ready_at {
+            return Ok(());
+        }
+        if self.fetch_queue.len() >= self.cfg.fetch_queue as usize {
+            return Ok(());
+        }
+        if !self.program.contains_pc(self.fetch_pc) {
+            // Off the text segment: only reachable on a wrong path; stall
+            // until the mispredicted branch redirects us.
+            return Ok(());
+        }
+        let lat = self.hier.fetch_latency(self.fetch_pc);
+        if lat > self.cfg.mem.il1.hit_latency {
+            self.fetch_ready_at = self.now + lat;
+            return Ok(());
+        }
+        let mut pc = self.fetch_pc;
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_queue.len() >= self.cfg.fetch_queue as usize {
+                break;
+            }
+            let Some(word) = self.program.word_at(pc) else { break };
+            let Ok(inst) = Inst::decode(word) else {
+                if self.unresolved_mispredicts == 0 {
+                    return Err(SimError::Decode { pc });
+                }
+                break; // wrong path into garbage: stall until recovery
+            };
+            self.stats.fetched += 1;
+            let mut predicted_next = pc.wrapping_add(4);
+            if let Some(kind) = inst.ctrl_kind() {
+                let pred = self.bp.predict(pc, kind, inst.static_target(pc));
+                if kind == CtrlKind::CondBranch {
+                    self.act.add(Component::BpredDir, 1);
+                }
+                self.act.add(Component::Btb, 1);
+                if matches!(kind, CtrlKind::Call | CtrlKind::IndirectCall | CtrlKind::Return) {
+                    self.act.add(Component::Ras, 1);
+                }
+                if pred.taken {
+                    if let Some(t) = pred.target {
+                        predicted_next = t;
+                    }
+                }
+            }
+            self.act.add(Component::FetchQueue, 1);
+            self.fetch_queue.push_back(Fetched { pc, inst, predicted_next });
+            if inst == Inst::Halt {
+                self.fetch_halted = true;
+                pc = predicted_next;
+                break;
+            }
+            let redirected = predicted_next != pc.wrapping_add(4);
+            pc = predicted_next;
+            if redirected {
+                break; // taken transfer ends this cycle's fetch group
+            }
+        }
+        self.fetch_pc = pc;
+        Ok(())
+    }
+
+    /// Formats the stuck state for [`SimError::Deadlock`].
+    fn deadlock_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "state={:?} gated={} rob={}/{} iq={}/{} lsq={} fetchq={} decbuf={} events={} \
+             unresolved_mispredicts={} halt_dispatched={}",
+            self.ctl.state(),
+            self.gated,
+            self.rob.len(),
+            self.rob.capacity(),
+            self.iq.len(),
+            self.cfg.iq_entries,
+            self.lsq.len(),
+            self.fetch_queue.len(),
+            self.decode_buf.len(),
+            self.events.len(),
+            self.unresolved_mispredicts,
+            self.halt_dispatched,
+        );
+        if let Some(id) = self.rob.oldest() {
+            let e = self.rob.get(id).expect("oldest live");
+            let _ = write!(
+                s,
+                "; rob head: seq={} pc={:#x} {} completed={} reused={}",
+                e.seq,
+                e.pc,
+                riq_isa::disassemble(&e.inst, e.pc),
+                e.completed,
+                e.reused
+            );
+        }
+        for (i, e) in self.iq.entries().iter().enumerate().take(6) {
+            let _ = write!(
+                s,
+                "; iq[{i}]: seq={} pc={:#x} {} waits={:?} issued={} class={}",
+                e.seq,
+                e.pc,
+                riq_isa::disassemble(&e.inst, e.pc),
+                e.waits,
+                e.issued,
+                e.classification
+            );
+        }
+        s
+    }
+
+    // ---- per-cycle accounting ----
+
+    fn end_cycle_accounting(&mut self) {
+        // Memory-structure activity comes from hierarchy counter deltas so
+        // every access path (fills, write-backs) is captured in one place.
+        let h = self.hier.stats();
+        let d = |a: u64, b: u64| (a - b) as u32;
+        self.act.add(Component::Icache, d(h.il1.accesses(), self.prev_hier.il1.accesses()));
+        self.act.add(Component::Itlb, d(h.itlb.accesses(), self.prev_hier.itlb.accesses()));
+        self.act.add(Component::Dcache, d(h.dl1.accesses(), self.prev_hier.dl1.accesses()));
+        self.act.add(Component::Dtlb, d(h.dtlb.accesses(), self.prev_hier.dtlb.accesses()));
+        self.act.add(Component::L2, d(h.l2.accesses(), self.prev_hier.l2.accesses()));
+        self.prev_hier = h;
+
+        let iq_act = self.iq.take_activity();
+        self.act.add(Component::IqInsert, iq_act.inserts);
+        self.act.add(Component::IqWakeup, 0); // counted at broadcast
+        self.act.add(Component::IqIssueRead, iq_act.issue_reads);
+        self.act.add(Component::IqPartialUpdate, iq_act.partial_updates);
+        self.act.add(Component::IqCollapse, iq_act.collapse_moves);
+        self.act.add(Component::Lrl, iq_act.lrl_accesses);
+
+        let (searches, inserts) = self.ctl.nblt_activity();
+        self.act.add(Component::Nblt, (searches + inserts) as u32);
+        if self.ctl.state() != IqState::Normal {
+            self.act.add(Component::ReuseCtl, 1);
+        }
+
+        self.power.end_cycle(&self.act, self.gated);
+        self.act.clear();
+        self.stats.cycles += 1;
+        self.stats.iq_occupancy_sum += self.iq.len() as u64;
+        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+        if self.gated {
+            self.stats.gated_cycles += 1;
+        }
+
+        debug_assert!(self.iq.check_invariants(), "issue-queue invariant violated");
+        debug_assert!(
+            !self.gated || self.ctl.state() == IqState::CodeReuse,
+            "gating implies Code Reuse state"
+        );
+    }
+}

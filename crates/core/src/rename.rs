@@ -1,0 +1,134 @@
+//! The register rename map.
+//!
+//! Maps each of the 64 logical registers (unified int+fp namespace) to its
+//! current producer: either the committed architectural file or an
+//! in-flight ROB slot. This is the structure the reuse issue queue drives
+//! with logical register numbers read back from the Logical Register List
+//! when it re-renames buffered instructions in program order (§2.4).
+
+use crate::rob::{RenameRef, RobId};
+use riq_isa::{ArchReg, NUM_ARCH_REGS};
+
+/// The speculative rename map.
+///
+/// # Examples
+///
+/// ```
+/// use riq_core::{RenameMap, RenameRef};
+/// use riq_isa::{ArchReg, IntReg};
+///
+/// let mut map = RenameMap::new();
+/// let r5 = ArchReg::Int(IntReg::new(5));
+/// assert_eq!(map.lookup(r5), RenameRef::Arch);
+/// let old = map.define(r5, 3, 42);
+/// assert_eq!(old, RenameRef::Arch);
+/// assert_eq!(map.lookup(r5), RenameRef::Rob(3, 42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RenameMap {
+    map: [RenameRef; NUM_ARCH_REGS],
+}
+
+impl Default for RenameMap {
+    fn default() -> Self {
+        RenameMap { map: [RenameRef::Arch; NUM_ARCH_REGS] }
+    }
+}
+
+impl RenameMap {
+    /// Creates a map with every register architectural.
+    #[must_use]
+    pub fn new() -> RenameMap {
+        RenameMap::default()
+    }
+
+    /// Current producer of a logical register.
+    #[must_use]
+    pub fn lookup(&self, reg: ArchReg) -> RenameRef {
+        self.map[reg.index()]
+    }
+
+    /// Points `reg` at a new producing ROB slot, returning the previous
+    /// mapping (stored in the ROB entry for walk-back).
+    pub fn define(&mut self, reg: ArchReg, producer: RobId, seq: u64) -> RenameRef {
+        let old = self.map[reg.index()];
+        self.map[reg.index()] = RenameRef::Rob(producer, seq);
+        old
+    }
+
+    /// Restores a previous mapping during squash walk-back. The caller
+    /// must have validated that a `Rob` reference still names a live
+    /// producer (see [`RenameRef`]); a committed producer restores as
+    /// [`RenameRef::Arch`].
+    pub fn restore(&mut self, reg: ArchReg, old: RenameRef) {
+        self.map[reg.index()] = old;
+    }
+
+    /// Called at commit: if `reg` still points at the committing instance,
+    /// the value is now architectural.
+    pub fn commit(&mut self, reg: ArchReg, committing: RobId, seq: u64) {
+        if self.map[reg.index()] == RenameRef::Rob(committing, seq) {
+            self.map[reg.index()] = RenameRef::Arch;
+        }
+    }
+
+    /// Whether any register still references an in-flight producer.
+    #[must_use]
+    pub fn has_inflight(&self) -> bool {
+        self.map.iter().any(|r| matches!(r, RenameRef::Rob(..)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_isa::{FpReg, IntReg};
+
+    fn ir(n: u8) -> ArchReg {
+        ArchReg::Int(IntReg::new(n))
+    }
+    fn fr(n: u8) -> ArchReg {
+        ArchReg::Fp(FpReg::new(n))
+    }
+
+    #[test]
+    fn define_chain_and_walk_back() {
+        let mut map = RenameMap::new();
+        let r = ir(7);
+        let o1 = map.define(r, 10, 100);
+        let o2 = map.define(r, 11, 101);
+        assert_eq!(o1, RenameRef::Arch);
+        assert_eq!(o2, RenameRef::Rob(10, 100));
+        assert_eq!(map.lookup(r), RenameRef::Rob(11, 101));
+        // Squash youngest-first: restore o2 then o1.
+        map.restore(r, o2);
+        assert_eq!(map.lookup(r), RenameRef::Rob(10, 100));
+        map.restore(r, o1);
+        assert_eq!(map.lookup(r), RenameRef::Arch);
+    }
+
+    #[test]
+    fn commit_clears_only_matching_producer() {
+        let mut map = RenameMap::new();
+        let r = ir(3);
+        map.define(r, 5, 50);
+        map.define(r, 6, 60);
+        map.commit(r, 5, 50); // stale producer commits; a newer one exists
+        assert_eq!(map.lookup(r), RenameRef::Rob(6, 60));
+        // Same slot, wrong seq: no effect.
+        map.commit(r, 6, 99);
+        assert_eq!(map.lookup(r), RenameRef::Rob(6, 60));
+        map.commit(r, 6, 60);
+        assert_eq!(map.lookup(r), RenameRef::Arch);
+    }
+
+    #[test]
+    fn int_and_fp_banks_independent() {
+        let mut map = RenameMap::new();
+        map.define(ir(2), 1, 10);
+        assert_eq!(map.lookup(fr(2)), RenameRef::Arch);
+        map.define(fr(2), 2, 11);
+        assert_eq!(map.lookup(ir(2)), RenameRef::Rob(1, 10));
+        assert!(map.has_inflight());
+    }
+}

@@ -1,0 +1,542 @@
+//! The reuse-control machinery: loop detector, Non-Bufferable Loop Table,
+//! and the issue-queue state machine (Figure 2 of the paper).
+//!
+//! States: **Normal** → (capturable loop detected, NBLT miss) → **Loop
+//! Buffering** → (enough iterations buffered) → **Code Reuse** → (static
+//! prediction fails / any misprediction recovery) → **Normal**.
+//!
+//! Deviations from the paper, documented in DESIGN.md: detection and
+//! buffering bookkeeping run at the rename/dispatch stage rather than the
+//! decode stage (our discrete pipeline sees the same in-order instruction
+//! stream there, a couple of cycles later — gating onset is delayed by
+//! that amount and nothing else changes).
+
+use crate::config::{BufferingStrategy, ReuseConfig};
+use crate::stats::ReuseStats;
+use riq_isa::{CtrlKind, Inst};
+use std::collections::VecDeque;
+
+/// The non-bufferable loop table: a small FIFO CAM keyed by the address of
+/// the loop-ending instruction (§2.2.3).
+///
+/// # Examples
+///
+/// ```
+/// use riq_core::Nblt;
+/// let mut nblt = Nblt::new(2);
+/// nblt.insert(0x100);
+/// nblt.insert(0x200);
+/// assert!(nblt.contains(0x100));
+/// nblt.insert(0x300); // FIFO evicts 0x100
+/// assert!(!nblt.contains(0x100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nblt {
+    entries: VecDeque<u32>,
+    capacity: usize,
+    /// CAM searches performed (power accounting).
+    pub searches: u64,
+    /// Entries inserted (power accounting).
+    pub inserts: u64,
+}
+
+impl Nblt {
+    /// Creates an empty table; `capacity` 0 disables it.
+    #[must_use]
+    pub fn new(capacity: u32) -> Nblt {
+        Nblt { entries: VecDeque::new(), capacity: capacity as usize, searches: 0, inserts: 0 }
+    }
+
+    /// Whether the loop ending at `tail_addr` is registered non-bufferable.
+    pub fn contains(&mut self, tail_addr: u32) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.searches += 1;
+        self.entries.contains(&tail_addr)
+    }
+
+    /// Registers a loop as non-bufferable (FIFO replacement).
+    pub fn insert(&mut self, tail_addr: u32) {
+        if self.capacity == 0 || self.entries.contains(&tail_addr) {
+            return;
+        }
+        self.inserts += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(tail_addr);
+    }
+}
+
+/// The two-bit issue-queue state register (`R_iqstate`, Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IqState {
+    /// Conventional operation.
+    Normal,
+    /// A detected loop is being buffered into the queue.
+    LoopBuffering,
+    /// The queue supplies instructions itself; front-end gated.
+    CodeReuse,
+}
+
+/// What the dispatcher must do with the instruction it just presented.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Directive {
+    /// Set the classification bit and record an LRL entry.
+    pub buffer: bool,
+    /// After inserting this instruction, promote to Code Reuse: gate the
+    /// front-end, flush fetched-but-undispatched instructions.
+    pub promote: bool,
+    /// Before handling this instruction, revoke the ongoing buffering
+    /// (clear classification bits in the queue).
+    pub revoke: bool,
+}
+
+/// The reuse controller.
+///
+/// Drives the state machine from the in-order dispatch stream; the core
+/// calls [`on_dispatch`](ReuseController::on_dispatch) for every
+/// instruction entering the window, [`on_queue_full`] when dispatch stalls
+/// on a full queue during buffering, and [`on_recovery`] on every
+/// misprediction recovery.
+///
+/// [`on_queue_full`]: ReuseController::on_queue_full
+/// [`on_recovery`]: ReuseController::on_recovery
+#[derive(Debug, Clone)]
+pub struct ReuseController {
+    cfg: ReuseConfig,
+    iq_capacity: u32,
+    state: IqState,
+    loophead: u32,
+    looptail: u32,
+    started: bool,
+    iter_size: u32,
+    call_depth: u32,
+    nblt: Nblt,
+    /// Counters exported into the run statistics.
+    pub stats: ReuseStats,
+}
+
+impl ReuseController {
+    /// Creates the controller for a queue of `iq_capacity` entries.
+    #[must_use]
+    pub fn new(cfg: ReuseConfig, iq_capacity: u32) -> ReuseController {
+        ReuseController {
+            nblt: Nblt::new(if cfg.enabled { cfg.nblt_entries } else { 0 }),
+            cfg,
+            iq_capacity,
+            state: IqState::Normal,
+            loophead: 0,
+            looptail: 0,
+            started: false,
+            iter_size: 0,
+            call_depth: 0,
+            stats: ReuseStats::default(),
+        }
+    }
+
+    /// Current queue state.
+    #[must_use]
+    pub fn state(&self) -> IqState {
+        self.state
+    }
+
+    /// The `R_loophead` register (valid while buffering/reusing).
+    #[must_use]
+    pub fn loophead(&self) -> u32 {
+        self.loophead
+    }
+
+    /// The `R_looptail` register.
+    #[must_use]
+    pub fn looptail(&self) -> u32 {
+        self.looptail
+    }
+
+    /// NBLT activity drained by the power accounting.
+    pub fn nblt_activity(&mut self) -> (u64, u64) {
+        let out = (self.nblt.searches, self.nblt.inserts);
+        self.nblt.searches = 0;
+        self.nblt.inserts = 0;
+        out
+    }
+
+    /// A capturable loop-ending instruction: a *backward* conditional
+    /// branch or direct jump whose static span fits in the issue queue
+    /// (§2.1).
+    #[must_use]
+    pub fn capturable_loop_end(&self, pc: u32, inst: &Inst) -> Option<(u32, u32)> {
+        let kind = inst.ctrl_kind()?;
+        if !matches!(kind, CtrlKind::CondBranch | CtrlKind::Jump) {
+            return None;
+        }
+        let target = inst.static_target(pc)?;
+        if target >= pc {
+            return None; // forward transfer: not a loop end
+        }
+        let size = (pc - target) / 4 + 1;
+        (size <= self.iq_capacity).then_some((target, size))
+    }
+
+    fn detect(&mut self, pc: u32, target: u32) {
+        self.stats.loops_detected += 1;
+        if self.nblt.contains(pc) {
+            self.stats.nblt_hits += 1;
+            return;
+        }
+        self.loophead = target;
+        self.looptail = pc;
+        self.started = false;
+        self.iter_size = 0;
+        self.call_depth = 0;
+        self.state = IqState::LoopBuffering;
+    }
+
+    fn revoke(&mut self, register: bool) -> Directive {
+        if self.started {
+            self.stats.bufferings_revoked += 1;
+        }
+        if register {
+            self.nblt.insert(self.looptail);
+            self.stats.nblt_inserts += 1;
+        }
+        self.state = IqState::Normal;
+        self.started = false;
+        Directive { revoke: true, ..Directive::default() }
+    }
+
+    /// Presents the next in-order dispatched instruction. `iq_free_after`
+    /// is the number of free queue entries *after* this instruction is
+    /// inserted (the §2.2.1 promotion comparison).
+    pub fn on_dispatch(&mut self, pc: u32, inst: &Inst, iq_free_after: u32) -> Directive {
+        if !self.cfg.enabled {
+            return Directive::default();
+        }
+        match self.state {
+            IqState::Normal => {
+                if let Some((target, _size)) = self.capturable_loop_end(pc, inst) {
+                    self.detect(pc, target);
+                }
+                Directive::default()
+            }
+            IqState::LoopBuffering => self.on_dispatch_buffering(pc, inst, iq_free_after),
+            IqState::CodeReuse => {
+                debug_assert!(false, "front-end dispatch while Code Reuse is gated");
+                Directive::default()
+            }
+        }
+    }
+
+    fn on_dispatch_buffering(&mut self, pc: u32, inst: &Inst, iq_free_after: u32) -> Directive {
+        if !self.started {
+            if pc == self.loophead {
+                self.started = true;
+                self.stats.bufferings_started += 1;
+                self.iter_size = 0;
+                // fall through into the buffering path below
+            } else {
+                // The detected branch fell out of the loop: silently return
+                // to Normal (no buffering ever began, nothing to revoke).
+                self.state = IqState::Normal;
+                return Directive::default();
+            }
+        }
+
+        // Inner-loop check first: a *different* capturable loop end while
+        // buffering marks the current loop non-bufferable (§2.2.3) and
+        // immediately arms detection for the inner loop.
+        if pc != self.looptail {
+            if let Some((target, _)) = self.capturable_loop_end(pc, inst) {
+                let mut d = self.revoke(true);
+                self.detect(pc, target);
+                d.revoke = true;
+                return d;
+            }
+        }
+
+        // Track procedure nesting (§2.2.2). The depth *before* this
+        // instruction decides whether it sits inside a called procedure
+        // (the `jr` that returns is itself still procedure code).
+        let depth_before = self.call_depth;
+        match inst.ctrl_kind() {
+            Some(CtrlKind::Call | CtrlKind::IndirectCall) => {
+                self.call_depth += 1;
+            }
+            Some(CtrlKind::Return) => {
+                if self.call_depth == 0 {
+                    // A return not paired with an in-loop call: control is
+                    // leaving through an indirect jump we cannot capture.
+                    return self.revoke(true);
+                }
+                self.call_depth -= 1;
+            }
+            _ => {}
+        }
+
+        let in_range = pc >= self.loophead && pc <= self.looptail;
+        if !in_range && depth_before == 0 {
+            // Execution exited the loop during buffering.
+            return self.revoke(true);
+        }
+
+        self.iter_size += 1;
+        let mut d = Directive { buffer: true, ..Directive::default() };
+        if pc == self.looptail && self.call_depth == 0 {
+            // One whole iteration is now buffered.
+            self.stats.iterations_buffered += 1;
+            let promote = match self.cfg.strategy {
+                BufferingStrategy::SingleIteration => true,
+                BufferingStrategy::MultiIteration => iq_free_after < self.iter_size,
+            };
+            if promote {
+                self.state = IqState::CodeReuse;
+                self.stats.code_reuse_entries += 1;
+                d.promote = true;
+            } else {
+                self.iter_size = 0;
+            }
+        }
+        d
+    }
+
+    /// Called when dispatch stalls on a full issue queue while buffering:
+    /// the loop (plus any procedure bodies) does not fit (§2.2.2).
+    pub fn on_queue_full(&mut self) -> Directive {
+        if self.cfg.enabled && self.state == IqState::LoopBuffering && self.started {
+            self.revoke(true)
+        } else {
+            Directive::default()
+        }
+    }
+
+    /// Called on every misprediction recovery (§2.5). Returns `true` when
+    /// the issue queue must clear its classification bits.
+    pub fn on_recovery(&mut self) -> bool {
+        match self.state {
+            IqState::Normal => false,
+            IqState::LoopBuffering => {
+                if self.started {
+                    self.stats.bufferings_revoked += 1;
+                }
+                self.state = IqState::Normal;
+                self.started = false;
+                true
+            }
+            IqState::CodeReuse => {
+                self.state = IqState::Normal;
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_isa::{AluImmOp, IntReg};
+
+    fn bne(off: i16) -> Inst {
+        Inst::Bne { rs: IntReg::new(2), rt: IntReg::ZERO, off }
+    }
+    fn addi() -> Inst {
+        Inst::AluImm { op: AluImmOp::Addi, rt: IntReg::new(2), rs: IntReg::new(2), imm: -1 }
+    }
+    fn ctl(iq: u32) -> ReuseController {
+        ReuseController::new(
+            ReuseConfig { enabled: true, nblt_entries: 8, strategy: BufferingStrategy::MultiIteration },
+            iq,
+        )
+    }
+
+    const HEAD: u32 = 0x0040_0100;
+
+    /// Drives a 3-instruction loop body (2 addi + bne) through one
+    /// iteration of dispatches starting at the loop head.
+    fn dispatch_iteration(c: &mut ReuseController, free: u32) -> Vec<Directive> {
+        vec![
+            c.on_dispatch(HEAD, &addi(), free),
+            c.on_dispatch(HEAD + 4, &addi(), free),
+            c.on_dispatch(HEAD + 8, &bne(-3), free),
+        ]
+    }
+
+    #[test]
+    fn capturable_detection_rules() {
+        let c = ctl(64);
+        // Backward branch spanning 3 instructions: capturable.
+        assert_eq!(c.capturable_loop_end(HEAD + 8, &bne(-3)), Some((HEAD, 3)));
+        // Forward branch: not a loop.
+        assert_eq!(c.capturable_loop_end(HEAD, &bne(5)), None);
+        // Span larger than the queue: not capturable.
+        let c = ctl(2);
+        assert_eq!(c.capturable_loop_end(HEAD + 8, &bne(-3)), None);
+        // Calls never end loops.
+        assert_eq!(c.capturable_loop_end(HEAD, &Inst::Jal { target: 0x40_0000 }), None);
+    }
+
+    #[test]
+    fn detect_then_buffer_then_promote() {
+        let mut c = ctl(8);
+        // First sight of the loop branch: detection only.
+        let d = c.on_dispatch(HEAD + 8, &bne(-3), 8);
+        assert_eq!(d, Directive::default());
+        assert_eq!(c.state(), IqState::LoopBuffering);
+        // Second iteration: buffered. 8-entry queue, 3-inst body: after
+        // iteration 1 (free=5) another fits; after iteration 2 (free=2) it
+        // does not -> promote.
+        let d1 = dispatch_iteration(&mut c, 5);
+        assert!(d1.iter().all(|d| d.buffer));
+        assert!(!d1[2].promote);
+        let d2 = dispatch_iteration(&mut c, 2);
+        assert!(d2[2].promote, "free (2) < iteration size (3)");
+        assert_eq!(c.state(), IqState::CodeReuse);
+        assert_eq!(c.stats.iterations_buffered, 2);
+        assert_eq!(c.stats.code_reuse_entries, 1);
+    }
+
+    #[test]
+    fn single_iteration_strategy_promotes_immediately() {
+        let mut c = ReuseController::new(
+            ReuseConfig {
+                enabled: true,
+                nblt_entries: 8,
+                strategy: BufferingStrategy::SingleIteration,
+            },
+            64,
+        );
+        c.on_dispatch(HEAD + 8, &bne(-3), 64);
+        let d = dispatch_iteration(&mut c, 61);
+        assert!(d[2].promote);
+    }
+
+    #[test]
+    fn fall_through_detection_cancels_silently() {
+        let mut c = ctl(64);
+        c.on_dispatch(HEAD + 8, &bne(-3), 64);
+        assert_eq!(c.state(), IqState::LoopBuffering);
+        // Next dispatched instruction is NOT the loop head: the branch
+        // exited; no buffering was started and nothing is revoked.
+        let d = c.on_dispatch(HEAD + 12, &addi(), 64);
+        assert_eq!(d, Directive::default());
+        assert_eq!(c.state(), IqState::Normal);
+        assert_eq!(c.stats.bufferings_started, 0);
+        assert_eq!(c.stats.bufferings_revoked, 0);
+    }
+
+    #[test]
+    fn loop_exit_during_buffering_registers_nblt() {
+        let mut c = ctl(64);
+        c.on_dispatch(HEAD + 8, &bne(-3), 64);
+        c.on_dispatch(HEAD, &addi(), 64); // buffering starts
+        // Dispatch jumps outside the loop with no call outstanding.
+        let d = c.on_dispatch(HEAD + 100, &addi(), 64);
+        assert!(d.revoke);
+        assert_eq!(c.state(), IqState::Normal);
+        assert_eq!(c.stats.bufferings_revoked, 1);
+        assert_eq!(c.stats.nblt_inserts, 1);
+        // Re-detection of the same loop now hits the NBLT.
+        c.on_dispatch(HEAD + 8, &bne(-3), 64);
+        assert_eq!(c.state(), IqState::Normal, "NBLT suppressed buffering");
+        assert_eq!(c.stats.nblt_hits, 1);
+    }
+
+    #[test]
+    fn inner_loop_marks_outer_non_bufferable() {
+        let mut c = ctl(64);
+        let outer_tail = HEAD + 40;
+        let outer_span = -((40 / 4) as i16) - 1; // back to HEAD
+        c.on_dispatch(outer_tail, &bne(outer_span), 64);
+        assert_eq!(c.state(), IqState::LoopBuffering);
+        c.on_dispatch(HEAD, &addi(), 64);
+        // An inner loop's backward branch inside the outer body.
+        let inner_tail = HEAD + 12;
+        let d = c.on_dispatch(inner_tail, &bne(-2), 64);
+        assert!(d.revoke, "outer buffering revoked");
+        assert_eq!(c.state(), IqState::LoopBuffering, "inner loop armed");
+        assert_eq!(c.looptail(), inner_tail);
+        assert_eq!(c.stats.nblt_inserts, 1);
+        // The outer loop is now in the NBLT.
+        let mut probe = c;
+        assert!(probe.nblt.contains(outer_tail));
+    }
+
+    #[test]
+    fn procedure_calls_buffer_through() {
+        let mut c = ctl(64);
+        let tail = HEAD + 16;
+        c.on_dispatch(tail, &bne(-5), 64);
+        c.on_dispatch(HEAD, &addi(), 60);
+        let proc = 0x0040_0800;
+        let d = c.on_dispatch(HEAD + 4, &Inst::Jal { target: proc }, 59);
+        assert!(d.buffer);
+        // Procedure body is far outside the loop range but buffered.
+        let d = c.on_dispatch(proc, &addi(), 58);
+        assert!(d.buffer);
+        let d = c.on_dispatch(proc + 4, &Inst::Jr { rs: IntReg::RA }, 57);
+        assert!(d.buffer);
+        // Back in the loop.
+        let d = c.on_dispatch(HEAD + 8, &addi(), 56);
+        assert!(d.buffer);
+        assert_eq!(c.state(), IqState::LoopBuffering);
+    }
+
+    #[test]
+    fn unpaired_return_revokes() {
+        let mut c = ctl(64);
+        c.on_dispatch(HEAD + 8, &bne(-3), 64);
+        c.on_dispatch(HEAD, &addi(), 64);
+        let d = c.on_dispatch(HEAD + 4, &Inst::Jr { rs: IntReg::RA }, 64);
+        assert!(d.revoke);
+        assert_eq!(c.stats.nblt_inserts, 1);
+    }
+
+    #[test]
+    fn queue_full_during_buffering_revokes() {
+        let mut c = ctl(8);
+        c.on_dispatch(HEAD + 8, &bne(-3), 8);
+        c.on_dispatch(HEAD, &addi(), 2);
+        let d = c.on_queue_full();
+        assert!(d.revoke);
+        assert_eq!(c.state(), IqState::Normal);
+        assert_eq!(c.stats.nblt_inserts, 1);
+    }
+
+    #[test]
+    fn recovery_exits_any_reuse_state() {
+        let mut c = ctl(8);
+        c.on_dispatch(HEAD + 8, &bne(-3), 8);
+        c.on_dispatch(HEAD, &addi(), 5);
+        assert!(c.on_recovery(), "buffering revoked by recovery");
+        assert_eq!(c.state(), IqState::Normal);
+        assert_eq!(c.stats.bufferings_revoked, 1);
+        assert_eq!(c.stats.nblt_inserts, 0, "recovery revoke does not register NBLT");
+        assert!(!c.on_recovery(), "normal state has nothing to clear");
+    }
+
+    #[test]
+    fn disabled_controller_is_inert() {
+        let mut c = ReuseController::new(ReuseConfig::default(), 64);
+        let d = c.on_dispatch(HEAD + 8, &bne(-3), 64);
+        assert_eq!(d, Directive::default());
+        assert_eq!(c.state(), IqState::Normal);
+        assert_eq!(c.stats.loops_detected, 0);
+    }
+
+    #[test]
+    fn nblt_fifo_and_dedup() {
+        let mut n = Nblt::new(2);
+        n.insert(1);
+        n.insert(1);
+        assert_eq!(n.inserts, 1, "duplicate insert ignored");
+        n.insert(2);
+        n.insert(3);
+        assert!(!n.contains(1));
+        assert!(n.contains(2));
+        assert!(n.contains(3));
+        let mut off = Nblt::new(0);
+        off.insert(9);
+        assert!(!off.contains(9));
+        assert_eq!(off.searches, 0, "disabled table never searches");
+    }
+}

@@ -1,0 +1,266 @@
+//! The reorder buffer.
+//!
+//! A ring buffer of in-flight instructions in program order. Renaming is
+//! ROB-based (the rename map points at the producing ROB slot); recovery is
+//! the paper's "conventional recovery": pop entries youngest-first back to
+//! the mispredicted branch, restoring the rename map and the speculative
+//! state from each popped entry's captured old mapping and undo log.
+
+use crate::specstate::UndoRecord;
+use riq_emu::{ControlFlow, MemAccess};
+use riq_isa::{ArchReg, Inst};
+
+/// Identifier of a ROB slot. Slots are reused after commit; pair with
+/// [`RobEntry::seq`] when holding a reference across cycles.
+pub type RobId = usize;
+
+/// Where a logical register's previous mapping pointed.
+///
+/// The producer is named by *slot and sequence number*: slots are reused
+/// after commit, and a stale `old_map` restored during misprediction
+/// walk-back must be detectable (the restore validates the seq and falls
+/// back to [`RenameRef::Arch`] when the producer has committed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenameRef {
+    /// The committed architectural register file.
+    Arch,
+    /// The in-flight producer in the given ROB slot with the given seq.
+    Rob(RobId, u64),
+}
+
+/// One in-flight instruction.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Global dispatch sequence number (age).
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u32,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Renamed destination, if any.
+    pub dest: Option<ArchReg>,
+    /// The mapping `dest` had before this instruction (for walk-back).
+    pub old_map: RenameRef,
+    /// Result available (written back).
+    pub completed: bool,
+    /// Actual control flow, computed at dispatch.
+    pub flow: ControlFlow,
+    /// Memory access performed, if any.
+    pub mem: Option<MemAccess>,
+    /// The next PC the front-end *predicted* after this instruction.
+    pub predicted_next: u32,
+    /// The architecturally correct next PC.
+    pub actual_next: u32,
+    /// Whether writeback of this instruction must trigger a recovery.
+    pub mispredicted: bool,
+    /// Speculative-state undo log captured at dispatch.
+    pub undo: Vec<UndoRecord>,
+    /// Supplied by the issue queue in Code Reuse state.
+    pub reused: bool,
+    /// Dispatched beyond an unresolved mispredicted branch.
+    pub wrong_path: bool,
+}
+
+/// The reorder buffer ring.
+///
+/// # Examples
+///
+/// ```
+/// use riq_core::Rob;
+/// let rob = Rob::new(64);
+/// assert_eq!(rob.capacity(), 64);
+/// assert!(rob.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rob {
+    slots: Vec<Option<RobEntry>>,
+    head: usize,
+    len: usize,
+}
+
+impl Rob {
+    /// Creates an empty ROB with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: u32) -> Rob {
+        assert!(capacity > 0, "ROB capacity must be non-zero");
+        Rob { slots: vec![None; capacity as usize], head: 0, len: 0 }
+    }
+
+    /// Total slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no instructions are in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the window is full.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Allocates the next slot in program order.
+    ///
+    /// Returns `None` when full.
+    pub fn alloc(&mut self, entry: RobEntry) -> Option<RobId> {
+        if self.is_full() {
+            return None;
+        }
+        let id = (self.head + self.len) % self.slots.len();
+        debug_assert!(self.slots[id].is_none(), "allocating an occupied slot");
+        self.slots[id] = Some(entry);
+        self.len += 1;
+        Some(id)
+    }
+
+    /// The entry in a slot, if live.
+    #[must_use]
+    pub fn get(&self, id: RobId) -> Option<&RobEntry> {
+        self.slots.get(id).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to a live slot.
+    pub fn get_mut(&mut self, id: RobId) -> Option<&mut RobEntry> {
+        self.slots.get_mut(id).and_then(Option::as_mut)
+    }
+
+    /// Slot id of the oldest entry.
+    #[must_use]
+    pub fn oldest(&self) -> Option<RobId> {
+        (self.len > 0).then_some(self.head)
+    }
+
+    /// Slot id of the youngest entry.
+    #[must_use]
+    pub fn youngest(&self) -> Option<RobId> {
+        (self.len > 0).then(|| (self.head + self.len - 1) % self.slots.len())
+    }
+
+    /// Removes and returns the oldest entry (commit).
+    pub fn pop_oldest(&mut self) -> Option<(RobId, RobEntry)> {
+        let id = self.oldest()?;
+        let entry = self.slots[id].take().expect("oldest slot live");
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        Some((id, entry))
+    }
+
+    /// Removes and returns the youngest entry (squash walk-back).
+    pub fn pop_youngest(&mut self) -> Option<(RobId, RobEntry)> {
+        let id = self.youngest()?;
+        let entry = self.slots[id].take().expect("youngest slot live");
+        self.len -= 1;
+        Some((id, entry))
+    }
+
+    /// Iterates slot ids oldest → youngest.
+    pub fn ids(&self) -> impl Iterator<Item = RobId> + '_ {
+        let cap = self.slots.len();
+        let head = self.head;
+        (0..self.len).map(move |i| (head + i) % cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_emu::ControlFlow;
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry {
+            seq,
+            pc: 0x400000 + (seq as u32) * 4,
+            inst: Inst::Nop,
+            dest: None,
+            old_map: RenameRef::Arch,
+            completed: false,
+            flow: ControlFlow::Next,
+            mem: None,
+            predicted_next: 0,
+            actual_next: 0,
+            mispredicted: false,
+            undo: Vec::new(),
+            reused: false,
+            wrong_path: false,
+        }
+    }
+
+    #[test]
+    fn fifo_commit_order() {
+        let mut rob = Rob::new(4);
+        let a = rob.alloc(entry(0)).unwrap();
+        let b = rob.alloc(entry(1)).unwrap();
+        assert_ne!(a, b);
+        let (id, e) = rob.pop_oldest().unwrap();
+        assert_eq!(id, a);
+        assert_eq!(e.seq, 0);
+        let (_, e) = rob.pop_oldest().unwrap();
+        assert_eq!(e.seq, 1);
+        assert!(rob.pop_oldest().is_none());
+    }
+
+    #[test]
+    fn lifo_squash_order() {
+        let mut rob = Rob::new(4);
+        for s in 0..3 {
+            rob.alloc(entry(s)).unwrap();
+        }
+        assert_eq!(rob.pop_youngest().unwrap().1.seq, 2);
+        assert_eq!(rob.pop_youngest().unwrap().1.seq, 1);
+        assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    fn fills_and_wraps() {
+        let mut rob = Rob::new(3);
+        for s in 0..3 {
+            assert!(rob.alloc(entry(s)).is_some());
+        }
+        assert!(rob.is_full());
+        assert!(rob.alloc(entry(9)).is_none());
+        rob.pop_oldest();
+        let id = rob.alloc(entry(3)).unwrap();
+        assert_eq!(rob.get(id).unwrap().seq, 3);
+        // Age iteration stays correct across the wrap.
+        let seqs: Vec<u64> = rob.ids().map(|i| rob.get(i).unwrap().seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mixed_commit_and_squash() {
+        let mut rob = Rob::new(4);
+        for s in 0..4 {
+            rob.alloc(entry(s)).unwrap();
+        }
+        rob.pop_oldest(); // commit 0
+        rob.pop_youngest(); // squash 3
+        let seqs: Vec<u64> = rob.ids().map(|i| rob.get(i).unwrap().seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(rob.oldest().map(|i| rob.get(i).unwrap().seq), Some(1));
+        assert_eq!(rob.youngest().map(|i| rob.get(i).unwrap().seq), Some(2));
+    }
+
+    #[test]
+    fn get_dead_slot_is_none() {
+        let mut rob = Rob::new(2);
+        let a = rob.alloc(entry(0)).unwrap();
+        rob.pop_oldest();
+        assert!(rob.get(a).is_none());
+        assert!(rob.get(99).is_none());
+    }
+}

@@ -1,0 +1,244 @@
+//! Speculative architectural state with an undo log.
+//!
+//! Like SimpleScalar's `sim-outorder`, instructions execute *functionally*
+//! when they are renamed/dispatched, against this speculative register
+//! file and memory. Every write captures the value it overwrote; when a
+//! branch misprediction squashes younger instructions, their undo records
+//! are applied in reverse order, restoring the state to the instant right
+//! after the branch executed. Wrong-path instructions therefore really
+//! execute (and really get undone), which is what lets wrongly *reused*
+//! instructions in Code Reuse state behave exactly like any other
+//! wrong-path instruction.
+
+use riq_emu::{execute, ArchState, ExecContext, Executed, MemFault, SparseMemory};
+use riq_isa::{FpReg, Inst, IntReg};
+
+/// One captured overwrite, applied in reverse on squash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UndoRecord {
+    /// Previous value of an integer register.
+    Int(IntReg, u32),
+    /// Previous raw bits of an FP register.
+    Fp(FpReg, u64),
+    /// Previous 32-bit memory word.
+    Mem32(u32, u32),
+    /// Previous 64-bit memory word.
+    Mem64(u32, u64),
+}
+
+/// Speculative registers + memory, with per-instruction undo capture.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use riq_core::SpecState;
+/// use riq_isa::{AluImmOp, Inst, IntReg};
+///
+/// let mut spec = SpecState::new();
+/// let inst = Inst::AluImm { op: AluImmOp::Addi, rt: IntReg::new(2), rs: IntReg::ZERO, imm: 7 };
+/// let (_, undo) = spec.execute(&inst, 0x400000)?;
+/// assert_eq!(spec.regs().int_reg(IntReg::new(2)), 7);
+/// spec.undo(&undo);
+/// assert_eq!(spec.regs().int_reg(IntReg::new(2)), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpecState {
+    regs: ArchState,
+    mem: SparseMemory,
+}
+
+struct Recorder<'a> {
+    state: &'a mut SpecState,
+    undo: Vec<UndoRecord>,
+}
+
+impl ExecContext for Recorder<'_> {
+    fn int(&self, r: IntReg) -> u32 {
+        self.state.regs.int_reg(r)
+    }
+    fn set_int(&mut self, r: IntReg, v: u32) {
+        if !r.is_zero() {
+            self.undo.push(UndoRecord::Int(r, self.state.regs.int_reg(r)));
+            self.state.regs.set_int_reg(r, v);
+        }
+    }
+    fn fp_bits(&self, r: FpReg) -> u64 {
+        self.state.regs.fp_reg_bits(r)
+    }
+    fn set_fp_bits(&mut self, r: FpReg, v: u64) {
+        self.undo.push(UndoRecord::Fp(r, self.state.regs.fp_reg_bits(r)));
+        self.state.regs.set_fp_reg_bits(r, v);
+    }
+    fn load_u32(&mut self, addr: u32) -> Result<u32, MemFault> {
+        self.state.mem.load_u32(addr)
+    }
+    fn load_u64(&mut self, addr: u32) -> Result<u64, MemFault> {
+        self.state.mem.load_u64(addr)
+    }
+    fn store_u32(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
+        let old = self.state.mem.load_u32(addr)?;
+        self.undo.push(UndoRecord::Mem32(addr, old));
+        self.state.mem.store_u32(addr, v)
+    }
+    fn store_u64(&mut self, addr: u32, v: u64) -> Result<(), MemFault> {
+        let old = self.state.mem.load_u64(addr)?;
+        self.undo.push(UndoRecord::Mem64(addr, old));
+        self.state.mem.store_u64(addr, v)
+    }
+}
+
+impl SpecState {
+    /// Creates a zeroed state.
+    #[must_use]
+    pub fn new() -> SpecState {
+        SpecState::default()
+    }
+
+    /// The speculative register file.
+    #[must_use]
+    pub fn regs(&self) -> &ArchState {
+        &self.regs
+    }
+
+    /// Mutable register file (used at reset to set `$sp`).
+    pub fn regs_mut(&mut self) -> &mut ArchState {
+        &mut self.regs
+    }
+
+    /// The speculative memory.
+    #[must_use]
+    pub fn mem(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Mutable memory (used at load time to install the program image).
+    pub fn mem_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    /// Functionally executes `inst` at `pc`, capturing undo records for
+    /// every register and memory overwrite.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MemFault`] of a misaligned access; no state is
+    /// partially modified in that case for loads, and stores fault before
+    /// writing.
+    pub fn execute(&mut self, inst: &Inst, pc: u32) -> Result<(Executed, Vec<UndoRecord>), MemFault> {
+        let (result, undo) = {
+            let mut rec = Recorder { state: self, undo: Vec::new() };
+            let result = execute(inst, pc, &mut rec);
+            (result, rec.undo)
+        };
+        match result {
+            Ok(done) => Ok((done, undo)),
+            Err(fault) => {
+                // A faulting instruction may have captured writes before the
+                // fault; roll them back so the state is unchanged.
+                self.undo(&undo);
+                Err(fault)
+            }
+        }
+    }
+
+    /// Applies undo records in reverse order.
+    pub fn undo(&mut self, records: &[UndoRecord]) {
+        for rec in records.iter().rev() {
+            match *rec {
+                UndoRecord::Int(r, v) => self.regs.set_int_reg(r, v),
+                UndoRecord::Fp(r, v) => self.regs.set_fp_reg_bits(r, v),
+                UndoRecord::Mem32(addr, v) => {
+                    self.mem.store_u32(addr, v).expect("undo address was valid");
+                }
+                UndoRecord::Mem64(addr, v) => {
+                    self.mem.store_u64(addr, v).expect("undo address was valid");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_isa::{AluImmOp, AluOp, FpAluOp};
+
+    fn r(n: u8) -> IntReg {
+        IntReg::new(n)
+    }
+    fn f(n: u8) -> FpReg {
+        FpReg::new(n)
+    }
+
+    #[test]
+    fn undo_restores_registers_in_reverse() {
+        let mut s = SpecState::new();
+        let i1 = Inst::AluImm { op: AluImmOp::Addi, rt: r(2), rs: IntReg::ZERO, imm: 5 };
+        let i2 = Inst::AluImm { op: AluImmOp::Addi, rt: r(2), rs: r(2), imm: 1 };
+        let (_, u1) = s.execute(&i1, 0).unwrap();
+        let (_, u2) = s.execute(&i2, 4).unwrap();
+        assert_eq!(s.regs().int_reg(r(2)), 6);
+        s.undo(&u2);
+        assert_eq!(s.regs().int_reg(r(2)), 5);
+        s.undo(&u1);
+        assert_eq!(s.regs().int_reg(r(2)), 0);
+    }
+
+    #[test]
+    fn undo_restores_memory() {
+        let mut s = SpecState::new();
+        s.mem_mut().store_u32(0x1000, 11).unwrap();
+        s.regs_mut().set_int_reg(r(3), 0x1000);
+        s.regs_mut().set_int_reg(r(4), 99);
+        let sw = Inst::Sw { rt: r(4), base: r(3), off: 0 };
+        let (done, undo) = s.execute(&sw, 0).unwrap();
+        assert!(done.mem.unwrap().is_store);
+        assert_eq!(s.mem().load_u32(0x1000).unwrap(), 99);
+        s.undo(&undo);
+        assert_eq!(s.mem().load_u32(0x1000).unwrap(), 11);
+    }
+
+    #[test]
+    fn zero_register_writes_capture_nothing() {
+        let mut s = SpecState::new();
+        let nopish = Inst::AluImm { op: AluImmOp::Addi, rt: IntReg::ZERO, rs: IntReg::ZERO, imm: 7 };
+        let (_, undo) = s.execute(&nopish, 0).unwrap();
+        assert!(undo.is_empty());
+        assert_eq!(s.regs().int_reg(IntReg::ZERO), 0);
+    }
+
+    #[test]
+    fn fault_leaves_state_unchanged() {
+        let mut s = SpecState::new();
+        s.regs_mut().set_int_reg(r(3), 2); // misaligned base
+        let lw = Inst::Lw { rt: r(4), base: r(3), off: 0 };
+        let before = s.regs().clone();
+        assert!(s.execute(&lw, 0).is_err());
+        assert_eq!(s.regs(), &before);
+    }
+
+    #[test]
+    fn fp_undo() {
+        let mut s = SpecState::new();
+        s.regs_mut().set_fp_reg(f(1), 2.0);
+        s.regs_mut().set_fp_reg(f(2), 3.0);
+        let mul = Inst::FpOp { op: FpAluOp::MulD, fd: f(3), fs: f(1), ft: f(2) };
+        let (_, undo) = s.execute(&mul, 0).unwrap();
+        assert_eq!(s.regs().fp_reg(f(3)), 6.0);
+        s.undo(&undo);
+        assert_eq!(s.regs().fp_reg(f(3)), 0.0);
+    }
+
+    #[test]
+    fn alu_reads_do_not_capture() {
+        let mut s = SpecState::new();
+        s.regs_mut().set_int_reg(r(1), 3);
+        s.regs_mut().set_int_reg(r(2), 4);
+        let add = Inst::Alu { op: AluOp::Add, rd: r(5), rs: r(1), rt: r(2) };
+        let (_, undo) = s.execute(&add, 0).unwrap();
+        assert_eq!(undo.len(), 1, "only the destination write is captured");
+    }
+}

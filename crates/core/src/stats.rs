@@ -1,0 +1,169 @@
+//! Run statistics and the result bundle returned by a simulation.
+
+use riq_emu::ArchState;
+use riq_power::PowerReport;
+
+/// Reuse-mechanism counters (§2 and §3 of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Capturable loops detected at decode.
+    pub loops_detected: u64,
+    /// Loop detections suppressed by an NBLT hit.
+    pub nblt_hits: u64,
+    /// Loops registered as non-bufferable.
+    pub nblt_inserts: u64,
+    /// Times the queue entered Loop Buffering.
+    pub bufferings_started: u64,
+    /// Bufferings revoked before reaching Code Reuse.
+    pub bufferings_revoked: u64,
+    /// Promotions from Loop Buffering to Code Reuse.
+    pub code_reuse_entries: u64,
+    /// Whole iterations buffered across all bufferings.
+    pub iterations_buffered: u64,
+    /// Instructions supplied by the issue queue in Code Reuse state.
+    pub reused_insts: u64,
+}
+
+impl ReuseStats {
+    /// Fraction of started bufferings that were revoked.
+    #[must_use]
+    pub fn revoke_rate(&self) -> f64 {
+        if self.bufferings_started == 0 {
+            0.0
+        } else {
+            self.bufferings_revoked as f64 / self.bufferings_started as f64
+        }
+    }
+}
+
+/// Aggregate statistics of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Simulated cycles until `halt` committed.
+    pub cycles: u64,
+    /// Committed (architecturally retired) instructions.
+    pub committed: u64,
+    /// Instructions fetched (including wrong path).
+    pub fetched: u64,
+    /// Instructions dispatched into the window (including wrong path and
+    /// reuse-supplied instructions).
+    pub dispatched: u64,
+    /// Instructions issued to function units.
+    pub issued: u64,
+    /// Instructions squashed by misprediction recovery.
+    pub squashed: u64,
+    /// Conditional branches resolved.
+    pub branches: u64,
+    /// Control transfers that caused a misprediction recovery.
+    pub mispredictions: u64,
+    /// Cycles with the pipeline front-end gated (Figure 5's numerator).
+    pub gated_cycles: u64,
+    /// Sum over cycles of occupied issue-queue entries (for
+    /// [`SimStats::avg_iq_occupancy`]).
+    pub iq_occupancy_sum: u64,
+    /// Sum over cycles of occupied ROB entries.
+    pub rob_occupancy_sum: u64,
+    /// Reuse-mechanism counters.
+    pub reuse: ReuseStats,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of total cycles with the front-end gated (Figure 5).
+    #[must_use]
+    pub fn gated_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.gated_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average issue-queue occupancy in entries (the paper's §3
+    /// "non-fully utilized issue queue" discussion for btrix).
+    #[must_use]
+    pub fn avg_iq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.iq_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average reorder-buffer occupancy in entries.
+    #[must_use]
+    pub fn avg_rob_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rob_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Misprediction-recovery rate per resolved conditional branch.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Everything a simulation returns.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Timing and event counters.
+    pub stats: SimStats,
+    /// Per-component energy report.
+    pub power: PowerReport,
+    /// Final architectural register file (for differential testing).
+    pub arch_state: ArchState,
+    /// Digest of the final memory content (for differential testing).
+    pub mem_digest: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = SimStats {
+            cycles: 200,
+            committed: 300,
+            gated_cycles: 50,
+            branches: 10,
+            mispredictions: 2,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.gated_rate() - 0.25).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_run_is_not_a_division_error() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.gated_rate(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.reuse.revoke_rate(), 0.0);
+    }
+
+    #[test]
+    fn revoke_rate() {
+        let r = ReuseStats { bufferings_started: 10, bufferings_revoked: 4, ..Default::default() };
+        assert!((r.revoke_rate() - 0.4).abs() < 1e-12);
+    }
+}

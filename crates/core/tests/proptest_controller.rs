@@ -1,0 +1,148 @@
+//! Fuzz the reuse controller's state machine with arbitrary in-order
+//! dispatch streams: it must never panic, its statistics must stay
+//! internally consistent, and a disabled controller must stay inert.
+
+use proptest::prelude::*;
+use riq_core::{BufferingStrategy, IqState, ReuseConfig, ReuseController};
+use riq_isa::{AluImmOp, Inst, IntReg};
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Dispatch a plain instruction at a pc delta from the previous.
+    Plain(i8),
+    /// Dispatch a backward branch with the given word span.
+    BackBranch(u8),
+    /// Dispatch a forward branch.
+    FwdBranch(u8),
+    /// Dispatch a call / return.
+    Call,
+    Ret,
+    /// Report the queue full.
+    QueueFull,
+    /// Report a misprediction recovery.
+    Recovery,
+}
+
+fn ev() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        4 => any::<i8>().prop_map(Ev::Plain),
+        2 => (1u8..80).prop_map(Ev::BackBranch),
+        1 => (1u8..20).prop_map(Ev::FwdBranch),
+        1 => Just(Ev::Call),
+        1 => Just(Ev::Ret),
+        1 => Just(Ev::QueueFull),
+        1 => Just(Ev::Recovery),
+    ]
+}
+
+fn addi() -> Inst {
+    Inst::AluImm { op: AluImmOp::Addi, rt: IntReg::new(2), rs: IntReg::new(2), imm: 1 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn controller_survives_arbitrary_streams(
+        events in prop::collection::vec(ev(), 1..300),
+        nblt in prop_oneof![Just(0u32), Just(8u32)],
+        single in any::<bool>(),
+    ) {
+        let cfg = ReuseConfig {
+            enabled: true,
+            nblt_entries: nblt,
+            strategy: if single {
+                BufferingStrategy::SingleIteration
+            } else {
+                BufferingStrategy::MultiIteration
+            },
+        };
+        let mut c = ReuseController::new(cfg, 64);
+        let mut pc: u32 = 0x0040_1000;
+        let mut free: u32 = 64;
+        for e in events {
+            // The pipeline never dispatches through the controller while the
+            // queue is in Code Reuse (the front-end is gated).
+            if c.state() == IqState::CodeReuse {
+                c.on_recovery();
+            }
+            match e {
+                Ev::Plain(d) => {
+                    let dir = c.on_dispatch(pc, &addi(), free);
+                    if dir.buffer {
+                        free = free.saturating_sub(1);
+                    }
+                    pc = pc.wrapping_add(4).wrapping_add((i32::from(d) * 4) as u32);
+                }
+                Ev::BackBranch(span) => {
+                    let off = -i16::from(span);
+                    let inst = Inst::Bne { rs: IntReg::new(2), rt: IntReg::ZERO, off };
+                    let _ = c.on_dispatch(pc, &inst, free);
+                    pc = pc.wrapping_add(4);
+                }
+                Ev::FwdBranch(span) => {
+                    let inst = Inst::Beq {
+                        rs: IntReg::new(2),
+                        rt: IntReg::ZERO,
+                        off: i16::from(span),
+                    };
+                    let _ = c.on_dispatch(pc, &inst, free);
+                    pc = pc.wrapping_add(4);
+                }
+                Ev::Call => {
+                    let _ = c.on_dispatch(pc, &Inst::Jal { target: 0x0040_8000 }, free);
+                    pc = pc.wrapping_add(4);
+                }
+                Ev::Ret => {
+                    let _ = c.on_dispatch(pc, &Inst::Jr { rs: IntReg::RA }, free);
+                    pc = pc.wrapping_add(4);
+                }
+                Ev::QueueFull => {
+                    free = 0;
+                    let _ = c.on_queue_full();
+                }
+                Ev::Recovery => {
+                    let _ = c.on_recovery();
+                    free = 64;
+                }
+            }
+            free = free.max(1);
+            // Consistency invariants at every step.
+            let s = c.stats;
+            prop_assert!(s.nblt_hits <= s.loops_detected);
+            prop_assert!(
+                s.bufferings_revoked <= s.bufferings_started,
+                "revoked {} > started {}", s.bufferings_revoked, s.bufferings_started
+            );
+            prop_assert!(
+                s.code_reuse_entries + s.bufferings_revoked <= s.bufferings_started + 1,
+                "every promotion or revoke consumes a started buffering"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_controller_is_always_inert(
+        events in prop::collection::vec(ev(), 1..100),
+    ) {
+        let mut c = ReuseController::new(ReuseConfig::default(), 64);
+        let mut pc: u32 = 0x0040_1000;
+        for e in events {
+            let dir = match e {
+                Ev::BackBranch(span) => {
+                    let off = -i16::from(span);
+                    c.on_dispatch(pc, &Inst::Bne { rs: IntReg::new(2), rt: IntReg::ZERO, off }, 64)
+                }
+                Ev::Recovery => {
+                    prop_assert!(!c.on_recovery());
+                    Default::default()
+                }
+                _ => c.on_dispatch(pc, &addi(), 64),
+            };
+            prop_assert_eq!(dir, Default::default());
+            prop_assert_eq!(c.state(), IqState::Normal);
+            pc = pc.wrapping_add(4);
+        }
+        prop_assert_eq!(c.stats.loops_detected, 0);
+    }
+}

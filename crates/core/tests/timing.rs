@@ -1,0 +1,239 @@
+//! Timing-behavior tests: relative cycle counts must reflect the modeled
+//! microarchitecture (latencies, structural hazards, forwarding, branch
+//! penalties). These tests compare *ratios*, not absolute cycles, so they
+//! are robust to small model changes while still catching inverted or
+//! missing timing effects.
+
+use riq_asm::assemble;
+use riq_core::{Processor, SimConfig, SimStats};
+
+fn cycles(src: &str) -> u64 {
+    stats(src).cycles
+}
+
+fn stats(src: &str) -> SimStats {
+    let program = assemble(src).expect("assembles");
+    Processor::new(SimConfig::baseline())
+        .run(&program)
+        .expect("runs")
+        .stats
+}
+
+/// Builds a loop around `body`, repeated `n` times per iteration.
+fn looped(body: &str, reps: usize, trips: u32) -> String {
+    let mut s = format!("    li $r2, {trips}\nloop:\n");
+    for _ in 0..reps {
+        s.push_str(body);
+        s.push('\n');
+    }
+    s.push_str("    addi $r2, $r2, -1\n    bne $r2, $r0, loop\n    halt\n");
+    s
+}
+
+#[test]
+fn dependent_chain_is_slower_than_independent_ops() {
+    let dependent = cycles(&looped("    add $r3, $r3, $r3", 8, 300));
+    let independent = cycles(&looped(
+        "    add $r4, $r10, $r11\n    add $r5, $r10, $r11\n    add $r6, $r10, $r11\n    add $r7, $r10, $r11",
+        2,
+        300,
+    ));
+    assert!(
+        dependent as f64 > independent as f64 * 1.5,
+        "serial chain {dependent} vs parallel {independent}"
+    );
+}
+
+#[test]
+fn single_multiplier_serializes_muls() {
+    // Four independent multiplies per iteration share 1 IMULT; four
+    // independent adds share 4 IALUs.
+    let muls = cycles(&looped(
+        "    mul $r4, $r10, $r11\n    mul $r5, $r10, $r11\n    mul $r6, $r10, $r11\n    mul $r7, $r10, $r11",
+        1,
+        300,
+    ));
+    let adds = cycles(&looped(
+        "    add $r4, $r10, $r11\n    add $r5, $r10, $r11\n    add $r6, $r10, $r11\n    add $r7, $r10, $r11",
+        1,
+        300,
+    ));
+    assert!(
+        muls as f64 > adds as f64 * 1.5,
+        "IMULT contention: muls {muls} vs adds {adds}"
+    );
+}
+
+#[test]
+fn long_latency_divide_dominates() {
+    let divs = cycles(&looped("    div $r3, $r3, $r10", 2, 200));
+    let adds = cycles(&looped("    add $r3, $r3, $r10", 2, 200));
+    assert!(
+        divs as f64 > adds as f64 * 3.0,
+        "20-cycle divides {divs} vs 1-cycle adds {adds}"
+    );
+}
+
+#[test]
+fn cache_misses_cost_real_cycles() {
+    // Stride-4096 walk (every access a fresh page+set) vs hammering one
+    // line. Same instruction count.
+    let thrash = cycles(
+        r#"
+        li   $r8, 0x1000
+        lui  $r9, 0x1000
+        li   $r2, 400
+    loop:
+        lw   $r4, 0($r9)
+        add  $r9, $r9, $r8
+        addi $r2, $r2, -1
+        bne  $r2, $r0, loop
+        halt
+    "#,
+    );
+    let friendly = cycles(
+        r#"
+        li   $r8, 0
+        lui  $r9, 0x1000
+        li   $r2, 400
+    loop:
+        lw   $r4, 0($r9)
+        add  $r9, $r9, $r8
+        addi $r2, $r2, -1
+        bne  $r2, $r0, loop
+        halt
+    "#,
+    );
+    assert!(
+        thrash as f64 > friendly as f64 * 2.0,
+        "miss-heavy {thrash} vs hit-heavy {friendly}"
+    );
+}
+
+#[test]
+fn store_load_forwarding_beats_the_cache_miss() {
+    // A load that always forwards from the immediately preceding store to
+    // a *cold* line would otherwise pay the full miss.
+    let forwarded = cycles(
+        r#"
+        lui  $r9, 0x2000
+        li   $r2, 300
+    loop:
+        sw   $r2, 0($r9)
+        lw   $r4, 0($r9)
+        addi $r9, $r9, 4096
+        addi $r2, $r2, -1
+        bne  $r2, $r0, loop
+        halt
+    "#,
+    );
+    // Same addresses, loads only: every load misses.
+    let missing = cycles(
+        r#"
+        lui  $r9, 0x2000
+        li   $r2, 300
+    loop:
+        lw   $r4, 0($r9)
+        lw   $r5, 0($r9)
+        addi $r9, $r9, 4096
+        addi $r2, $r2, -1
+        bne  $r2, $r0, loop
+        halt
+    "#,
+    );
+    assert!(
+        forwarded < missing,
+        "forwarding {forwarded} must beat missing {missing}"
+    );
+}
+
+#[test]
+fn unpredictable_branches_cost_recoveries() {
+    // A branch alternating taken/not-taken defeats the 2-bit counters; a
+    // heavily-biased branch trains perfectly. Same dynamic length.
+    let alternating = stats(
+        r#"
+        li $r2, 600
+    loop:
+        andi $r6, $r2, 1
+        beq  $r6, $r0, skip
+        addi $r4, $r4, 1
+    skip:
+        addi $r2, $r2, -1
+        bne  $r2, $r0, loop
+        halt
+    "#,
+    );
+    let biased = stats(
+        r#"
+        li $r2, 600
+    loop:
+        slti $r6, $r2, 1
+        beq  $r6, $r0, skip
+        addi $r4, $r4, 1
+    skip:
+        addi $r2, $r2, -1
+        bne  $r2, $r0, loop
+        halt
+    "#,
+    );
+    assert!(
+        alternating.mispredictions > biased.mispredictions * 5,
+        "alternating {} vs biased {} recoveries",
+        alternating.mispredictions,
+        biased.mispredictions
+    );
+    assert!(alternating.cycles > biased.cycles);
+    assert!(
+        alternating.squashed > biased.squashed,
+        "recoveries squash wrong-path work"
+    );
+}
+
+#[test]
+fn wider_window_helps_independent_fp_work() {
+    // Long-latency FP multiplies with plenty of parallelism: a 256-entry
+    // window must not be slower than a 32-entry one.
+    let src = looped(
+        "    mul.d $f2, $f8, $f9\n    mul.d $f3, $f8, $f9\n    add.d $f4, $f8, $f9\n    add.d $f5, $f8, $f9",
+        2,
+        300,
+    );
+    let program = assemble(&src).expect("assembles");
+    let small = Processor::new(SimConfig::baseline().with_iq_size(32))
+        .run(&program)
+        .expect("runs")
+        .stats
+        .cycles;
+    let large = Processor::new(SimConfig::baseline().with_iq_size(256))
+        .run(&program)
+        .expect("runs")
+        .stats
+        .cycles;
+    assert!(large <= small, "window scaling inverted: 256 -> {large}, 32 -> {small}");
+}
+
+#[test]
+fn cold_straightline_code_is_memory_bound_but_warm_loops_stream() {
+    // Cold straight-line code touches a fresh icache line every 8
+    // instructions and there is no prefetcher: IPC collapses toward the
+    // memory latency. A warm loop re-executes resident lines and streams
+    // near machine width. Both must respect the width ceiling.
+    let mut src = String::new();
+    for i in 0..400 {
+        src.push_str(&format!("    addi $r{}, $r0, 1\n", 2 + (i % 10)));
+    }
+    src.push_str("    halt\n");
+    let cold = stats(&src).ipc();
+    assert!(cold <= 4.0 + 1e-9, "IPC {cold} exceeds machine width");
+    assert!(cold < 1.0, "cold code without a prefetcher is memory-bound, got {cold}");
+
+    let warm = stats(&looped(
+        "    add $r4, $r10, $r11\n    add $r5, $r10, $r11\n    add $r6, $r10, $r11",
+        2,
+        2000,
+    ))
+    .ipc();
+    assert!(warm <= 4.0 + 1e-9);
+    assert!(warm > 2.0, "a warm loop should stream well, got {warm}");
+}

@@ -1,0 +1,538 @@
+//! Shared instruction semantics.
+//!
+//! [`execute`] evaluates one instruction against an [`ExecContext`]. The
+//! functional emulator runs it against architectural state; the cycle
+//! simulator (`riq-core`) runs the *same* function against its speculative
+//! state at dispatch time, which is what guarantees the two can be
+//! differentially tested against each other: there is exactly one
+//! definition of what every instruction does.
+
+use crate::memory::MemFault;
+use riq_isa::{
+    branch_target, AluImmOp, AluOp, BranchCond, FpAluOp, FpCond, FpReg, FpUnaryOp, Inst, IntReg,
+    ShiftOp, NUM_FP_REGS, NUM_INT_REGS,
+};
+
+/// State an instruction executes against.
+///
+/// Implementations must make `$r0` read as zero and ignore writes to it;
+/// embedding an [`ArchState`] provides that for free.
+pub trait ExecContext {
+    /// Reads an integer register.
+    fn int(&self, r: IntReg) -> u32;
+    /// Writes an integer register.
+    fn set_int(&mut self, r: IntReg, v: u32);
+    /// Reads an FP register's raw bits.
+    fn fp_bits(&self, r: FpReg) -> u64;
+    /// Writes an FP register's raw bits.
+    fn set_fp_bits(&mut self, r: FpReg, v: u64);
+    /// Loads an aligned 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] for misaligned addresses.
+    fn load_u32(&mut self, addr: u32) -> Result<u32, MemFault>;
+    /// Loads an aligned 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] for misaligned addresses.
+    fn load_u64(&mut self, addr: u32) -> Result<u64, MemFault>;
+    /// Stores an aligned 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] for misaligned addresses.
+    fn store_u32(&mut self, addr: u32, v: u32) -> Result<(), MemFault>;
+    /// Stores an aligned 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] for misaligned addresses.
+    fn store_u64(&mut self, addr: u32, v: u64) -> Result<(), MemFault>;
+}
+
+/// Architectural register file with correct `$r0` semantics.
+///
+/// # Examples
+///
+/// ```
+/// use riq_emu::ArchState;
+/// use riq_isa::IntReg;
+/// let mut s = ArchState::new();
+/// s.set_int_reg(IntReg::ZERO, 42);
+/// assert_eq!(s.int_reg(IntReg::ZERO), 0, "$r0 ignores writes");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    int: [u32; NUM_INT_REGS],
+    fp: [u64; NUM_FP_REGS],
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        ArchState { int: [0; NUM_INT_REGS], fp: [0; NUM_FP_REGS] }
+    }
+}
+
+impl ArchState {
+    /// Creates a zeroed register file.
+    #[must_use]
+    pub fn new() -> ArchState {
+        ArchState::default()
+    }
+
+    /// Reads an integer register.
+    #[must_use]
+    pub fn int_reg(&self, r: IntReg) -> u32 {
+        self.int[r.number() as usize]
+    }
+
+    /// Writes an integer register (writes to `$r0` are discarded).
+    pub fn set_int_reg(&mut self, r: IntReg, v: u32) {
+        if !r.is_zero() {
+            self.int[r.number() as usize] = v;
+        }
+    }
+
+    /// Reads an FP register's raw bits.
+    #[must_use]
+    pub fn fp_reg_bits(&self, r: FpReg) -> u64 {
+        self.fp[r.number() as usize]
+    }
+
+    /// Reads an FP register as a double.
+    #[must_use]
+    pub fn fp_reg(&self, r: FpReg) -> f64 {
+        f64::from_bits(self.fp[r.number() as usize])
+    }
+
+    /// Writes an FP register's raw bits.
+    pub fn set_fp_reg_bits(&mut self, r: FpReg, v: u64) {
+        self.fp[r.number() as usize] = v;
+    }
+
+    /// Writes an FP register from a double.
+    pub fn set_fp_reg(&mut self, r: FpReg, v: f64) {
+        self.fp[r.number() as usize] = v.to_bits();
+    }
+}
+
+/// Control-flow outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlFlow {
+    /// Fall through to `pc + 4` (includes not-taken branches).
+    Next,
+    /// Transfer to an absolute target (taken branch, jump, call, return).
+    Taken(u32),
+    /// The program halted.
+    Halt,
+}
+
+impl ControlFlow {
+    /// The next PC implied by this outcome.
+    #[must_use]
+    pub fn next_pc(self, pc: u32) -> u32 {
+        match self {
+            ControlFlow::Next => pc.wrapping_add(4),
+            ControlFlow::Taken(t) => t,
+            ControlFlow::Halt => pc,
+        }
+    }
+}
+
+/// Description of the memory access an instruction performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u32,
+    /// Access width in bytes (4 or 8).
+    pub width: u32,
+    /// Whether the access was a store.
+    pub is_store: bool,
+}
+
+/// Result of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executed {
+    /// Where control goes next.
+    pub flow: ControlFlow,
+    /// The memory access performed, if any.
+    pub mem: Option<MemAccess>,
+}
+
+impl Executed {
+    fn next() -> Executed {
+        Executed { flow: ControlFlow::Next, mem: None }
+    }
+}
+
+/// Executes `inst` (located at `pc`) against `ctx`.
+///
+/// This is the single source of truth for instruction semantics, shared by
+/// the functional emulator and the cycle simulator's dispatch-time
+/// execution.
+///
+/// # Errors
+///
+/// Returns a [`MemFault`] if a load or store address is misaligned.
+pub fn execute<C: ExecContext>(inst: &Inst, pc: u32, ctx: &mut C) -> Result<Executed, MemFault> {
+    Ok(match *inst {
+        Inst::Nop => Executed::next(),
+        Inst::Halt => Executed { flow: ControlFlow::Halt, mem: None },
+        Inst::Alu { op, rd, rs, rt } => {
+            let a = ctx.int(rs);
+            let b = ctx.int(rt);
+            let v = eval_alu(op, a, b);
+            ctx.set_int(rd, v);
+            Executed::next()
+        }
+        Inst::AluImm { op, rt, rs, imm } => {
+            let a = ctx.int(rs);
+            let v = eval_alu_imm(op, a, imm);
+            ctx.set_int(rt, v);
+            Executed::next()
+        }
+        Inst::Shift { op, rd, rt, shamt } => {
+            let a = ctx.int(rt);
+            let v = match op {
+                ShiftOp::Sll => a << (shamt & 31),
+                ShiftOp::Srl => a >> (shamt & 31),
+                ShiftOp::Sra => ((a as i32) >> (shamt & 31)) as u32,
+            };
+            ctx.set_int(rd, v);
+            Executed::next()
+        }
+        Inst::Lui { rt, imm } => {
+            ctx.set_int(rt, u32::from(imm) << 16);
+            Executed::next()
+        }
+        Inst::Lw { rt, base, off } => {
+            let addr = ctx.int(base).wrapping_add(off as i32 as u32);
+            let v = ctx.load_u32(addr)?;
+            ctx.set_int(rt, v);
+            Executed {
+                flow: ControlFlow::Next,
+                mem: Some(MemAccess { addr, width: 4, is_store: false }),
+            }
+        }
+        Inst::Sw { rt, base, off } => {
+            let addr = ctx.int(base).wrapping_add(off as i32 as u32);
+            let v = ctx.int(rt);
+            ctx.store_u32(addr, v)?;
+            Executed {
+                flow: ControlFlow::Next,
+                mem: Some(MemAccess { addr, width: 4, is_store: true }),
+            }
+        }
+        Inst::Ld { ft, base, off } => {
+            let addr = ctx.int(base).wrapping_add(off as i32 as u32);
+            let v = ctx.load_u64(addr)?;
+            ctx.set_fp_bits(ft, v);
+            Executed {
+                flow: ControlFlow::Next,
+                mem: Some(MemAccess { addr, width: 8, is_store: false }),
+            }
+        }
+        Inst::Sd { ft, base, off } => {
+            let addr = ctx.int(base).wrapping_add(off as i32 as u32);
+            let v = ctx.fp_bits(ft);
+            ctx.store_u64(addr, v)?;
+            Executed {
+                flow: ControlFlow::Next,
+                mem: Some(MemAccess { addr, width: 8, is_store: true }),
+            }
+        }
+        Inst::FpOp { op, fd, fs, ft } => {
+            let a = f64::from_bits(ctx.fp_bits(fs));
+            let b = f64::from_bits(ctx.fp_bits(ft));
+            let v = match op {
+                FpAluOp::AddD => a + b,
+                FpAluOp::SubD => a - b,
+                FpAluOp::MulD => a * b,
+                FpAluOp::DivD => a / b,
+            };
+            ctx.set_fp_bits(fd, v.to_bits());
+            Executed::next()
+        }
+        Inst::FpUnary { op, fd, fs } => {
+            let bits = ctx.fp_bits(fs);
+            let v = match op {
+                FpUnaryOp::MovD => bits,
+                FpUnaryOp::NegD => (-f64::from_bits(bits)).to_bits(),
+                FpUnaryOp::SqrtD => f64::from_bits(bits).sqrt().to_bits(),
+                FpUnaryOp::CvtDW => f64::from(bits as u32 as i32).to_bits(),
+                // Saturating truncation, as in Rust's `as` cast; NaN -> 0.
+                FpUnaryOp::CvtWD => u64::from((f64::from_bits(bits) as i32) as u32),
+            };
+            ctx.set_fp_bits(fd, v);
+            Executed::next()
+        }
+        Inst::CmpD { cond, rd, fs, ft } => {
+            let a = f64::from_bits(ctx.fp_bits(fs));
+            let b = f64::from_bits(ctx.fp_bits(ft));
+            let t = match cond {
+                FpCond::Eq => a == b,
+                FpCond::Lt => a < b,
+                FpCond::Le => a <= b,
+            };
+            ctx.set_int(rd, u32::from(t));
+            Executed::next()
+        }
+        Inst::Mtc1 { rs, fd } => {
+            let v = u64::from(ctx.int(rs));
+            ctx.set_fp_bits(fd, v);
+            Executed::next()
+        }
+        Inst::Mfc1 { rd, fs } => {
+            let v = ctx.fp_bits(fs) as u32;
+            ctx.set_int(rd, v);
+            Executed::next()
+        }
+        Inst::Beq { rs, rt, off } => branch(ctx.int(rs) == ctx.int(rt), pc, off),
+        Inst::Bne { rs, rt, off } => branch(ctx.int(rs) != ctx.int(rt), pc, off),
+        Inst::Bcond { cond, rs, off } => {
+            let v = ctx.int(rs) as i32;
+            let t = match cond {
+                BranchCond::Lez => v <= 0,
+                BranchCond::Gtz => v > 0,
+                BranchCond::Ltz => v < 0,
+                BranchCond::Gez => v >= 0,
+            };
+            branch(t, pc, off)
+        }
+        Inst::J { target } => Executed { flow: ControlFlow::Taken(target), mem: None },
+        Inst::Jal { target } => {
+            ctx.set_int(IntReg::RA, pc.wrapping_add(4));
+            Executed { flow: ControlFlow::Taken(target), mem: None }
+        }
+        Inst::Jr { rs } => Executed { flow: ControlFlow::Taken(ctx.int(rs)), mem: None },
+        Inst::Jalr { rd, rs } => {
+            let target = ctx.int(rs);
+            ctx.set_int(rd, pc.wrapping_add(4));
+            Executed { flow: ControlFlow::Taken(target), mem: None }
+        }
+    })
+}
+
+fn branch(taken: bool, pc: u32, off: i16) -> Executed {
+    let flow = if taken {
+        ControlFlow::Taken(branch_target(pc, off))
+    } else {
+        ControlFlow::Next
+    };
+    Executed { flow, mem: None }
+}
+
+fn eval_alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                (a as i32).wrapping_div(b as i32) as u32
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                (a as i32).wrapping_rem(b as i32) as u32
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Nor => !(a | b),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Sllv => a << (b & 31),
+        AluOp::Srlv => a >> (b & 31),
+        AluOp::Srav => ((a as i32) >> (b & 31)) as u32,
+    }
+}
+
+fn eval_alu_imm(op: AluImmOp, a: u32, imm: i16) -> u32 {
+    let sext = imm as i32 as u32;
+    let zext = u32::from(imm as u16);
+    match op {
+        AluImmOp::Addi => a.wrapping_add(sext),
+        AluImmOp::Slti => u32::from((a as i32) < i32::from(imm)),
+        AluImmOp::Sltiu => u32::from(a < sext),
+        AluImmOp::Andi => a & zext,
+        AluImmOp::Ori => a | zext,
+        AluImmOp::Xori => a ^ zext,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::SparseMemory;
+
+    struct Ctx {
+        state: ArchState,
+        mem: SparseMemory,
+    }
+
+    impl Ctx {
+        fn new() -> Ctx {
+            Ctx { state: ArchState::new(), mem: SparseMemory::new() }
+        }
+    }
+
+    impl ExecContext for Ctx {
+        fn int(&self, r: IntReg) -> u32 {
+            self.state.int_reg(r)
+        }
+        fn set_int(&mut self, r: IntReg, v: u32) {
+            self.state.set_int_reg(r, v);
+        }
+        fn fp_bits(&self, r: FpReg) -> u64 {
+            self.state.fp_reg_bits(r)
+        }
+        fn set_fp_bits(&mut self, r: FpReg, v: u64) {
+            self.state.set_fp_reg_bits(r, v);
+        }
+        fn load_u32(&mut self, addr: u32) -> Result<u32, MemFault> {
+            self.mem.load_u32(addr)
+        }
+        fn load_u64(&mut self, addr: u32) -> Result<u64, MemFault> {
+            self.mem.load_u64(addr)
+        }
+        fn store_u32(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
+            self.mem.store_u32(addr, v)
+        }
+        fn store_u64(&mut self, addr: u32, v: u64) -> Result<(), MemFault> {
+            self.mem.store_u64(addr, v)
+        }
+    }
+
+    fn r(n: u8) -> IntReg {
+        IntReg::new(n)
+    }
+    fn f(n: u8) -> FpReg {
+        FpReg::new(n)
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(eval_alu(AluOp::Add, u32::MAX, 1), 0, "wrapping add");
+        assert_eq!(eval_alu(AluOp::Sub, 0, 1), u32::MAX);
+        assert_eq!(eval_alu(AluOp::Div, 7u32, (-2i32) as u32), (-3i32) as u32);
+        assert_eq!(eval_alu(AluOp::Div, 5, 0), 0, "div by zero defined as 0");
+        assert_eq!(eval_alu(AluOp::Rem, 7, 0), 0);
+        assert_eq!(eval_alu(AluOp::Slt, (-1i32) as u32, 0), 1);
+        assert_eq!(eval_alu(AluOp::Sltu, (-1i32) as u32, 0), 0);
+        assert_eq!(eval_alu(AluOp::Srav, (-8i32) as u32, 1), (-4i32) as u32);
+        assert_eq!(eval_alu(AluOp::Nor, 0, 0), u32::MAX);
+    }
+
+    #[test]
+    fn imm_semantics() {
+        assert_eq!(eval_alu_imm(AluImmOp::Addi, 10, -3), 7);
+        assert_eq!(eval_alu_imm(AluImmOp::Andi, 0xffff_ffff, -1), 0xffff);
+        assert_eq!(eval_alu_imm(AluImmOp::Slti, (-5i32) as u32, -4), 1);
+        assert_eq!(eval_alu_imm(AluImmOp::Sltiu, 1, -1), 1, "sltiu sign-extends then compares unsigned");
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut ctx = Ctx::new();
+        ctx.set_int(r(2), 0x1000);
+        ctx.set_int(r(3), 99);
+        let sw = Inst::Sw { rt: r(3), base: r(2), off: 4 };
+        let done = execute(&sw, 0x400000, &mut ctx).unwrap();
+        assert_eq!(
+            done.mem,
+            Some(MemAccess { addr: 0x1004, width: 4, is_store: true })
+        );
+        let lw = Inst::Lw { rt: r(4), base: r(2), off: 4 };
+        execute(&lw, 0x400004, &mut ctx).unwrap();
+        assert_eq!(ctx.int(r(4)), 99);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let mut ctx = Ctx::new();
+        ctx.set_int(r(5), 3);
+        execute(&Inst::Mtc1 { rs: r(5), fd: f(0) }, 0, &mut ctx).unwrap();
+        execute(&Inst::FpUnary { op: FpUnaryOp::CvtDW, fd: f(1), fs: f(0) }, 4, &mut ctx).unwrap();
+        assert_eq!(f64::from_bits(ctx.fp_bits(f(1))), 3.0);
+        ctx.set_fp_bits(f(2), 1.5f64.to_bits());
+        execute(
+            &Inst::FpOp { op: FpAluOp::MulD, fd: f(3), fs: f(1), ft: f(2) },
+            8,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(f64::from_bits(ctx.fp_bits(f(3))), 4.5);
+        execute(&Inst::CmpD { cond: FpCond::Lt, rd: r(6), fs: f(2), ft: f(3) }, 12, &mut ctx)
+            .unwrap();
+        assert_eq!(ctx.int(r(6)), 1);
+    }
+
+    #[test]
+    fn nan_compares_false() {
+        let mut ctx = Ctx::new();
+        ctx.set_fp_bits(f(0), f64::NAN.to_bits());
+        ctx.set_fp_bits(f(1), 1.0f64.to_bits());
+        for cond in [FpCond::Eq, FpCond::Lt, FpCond::Le] {
+            execute(&Inst::CmpD { cond, rd: r(2), fs: f(0), ft: f(1) }, 0, &mut ctx).unwrap();
+            assert_eq!(ctx.int(r(2)), 0);
+        }
+    }
+
+    #[test]
+    fn branches_and_calls() {
+        let mut ctx = Ctx::new();
+        ctx.set_int(r(1), 5);
+        let beq = Inst::Beq { rs: r(1), rt: r(0), off: 8 };
+        assert_eq!(
+            execute(&beq, 0x100, &mut ctx).unwrap().flow,
+            ControlFlow::Next,
+            "not taken"
+        );
+        let bne = Inst::Bne { rs: r(1), rt: r(0), off: -4 };
+        assert_eq!(
+            execute(&bne, 0x100, &mut ctx).unwrap().flow,
+            ControlFlow::Taken(0x100 + 4 - 16)
+        );
+        let jal = Inst::Jal { target: 0x500 };
+        assert_eq!(
+            execute(&jal, 0x100, &mut ctx).unwrap().flow,
+            ControlFlow::Taken(0x500)
+        );
+        assert_eq!(ctx.int(IntReg::RA), 0x104);
+        let jr = Inst::Jr { rs: IntReg::RA };
+        assert_eq!(
+            execute(&jr, 0x500, &mut ctx).unwrap().flow,
+            ControlFlow::Taken(0x104)
+        );
+    }
+
+    #[test]
+    fn bcond_signed_compares() {
+        let mut ctx = Ctx::new();
+        ctx.set_int(r(1), (-1i32) as u32);
+        let taken = |cond, ctx: &mut Ctx| {
+            let inst = Inst::Bcond { cond, rs: r(1), off: 1 };
+            matches!(execute(&inst, 0, ctx).unwrap().flow, ControlFlow::Taken(_))
+        };
+        assert!(taken(BranchCond::Ltz, &mut ctx));
+        assert!(taken(BranchCond::Lez, &mut ctx));
+        assert!(!taken(BranchCond::Gtz, &mut ctx));
+        assert!(!taken(BranchCond::Gez, &mut ctx));
+    }
+
+    #[test]
+    fn halt_flow() {
+        let mut ctx = Ctx::new();
+        assert_eq!(execute(&Inst::Halt, 0, &mut ctx).unwrap().flow, ControlFlow::Halt);
+        assert_eq!(ControlFlow::Halt.next_pc(0x40), 0x40);
+        assert_eq!(ControlFlow::Next.next_pc(0x40), 0x44);
+    }
+}

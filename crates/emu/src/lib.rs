@@ -1,0 +1,43 @@
+//! # riq-emu — functional reference emulator
+//!
+//! The `sim-safe` of the riq workspace: a timing-free interpreter for
+//! [`riq_isa`] programs. It serves two purposes:
+//!
+//! 1. **Differential-testing oracle.** Every benchmark and thousands of
+//!    random programs run both here and on the `riq-core` cycle simulator;
+//!    final architectural register files and memory digests must match.
+//!    The reuse issue queue is a microarchitectural mechanism and must be
+//!    architecturally invisible.
+//! 2. **Shared semantics.** The [`execute`] function is the single
+//!    definition of instruction behaviour; the cycle simulator calls the
+//!    same function against its speculative state at dispatch time, exactly
+//!    like SimpleScalar's `sim-outorder` does with its `ss.def` semantics.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use riq_asm::assemble;
+//! use riq_emu::Machine;
+//! use riq_isa::IntReg;
+//!
+//! let program = assemble(
+//!     "  li $r2, 10\nloop: add $r3, $r3, $r2\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+//! )?;
+//! let mut machine = Machine::new(&program);
+//! machine.run(10_000)?;
+//! assert_eq!(machine.state().int_reg(IntReg::new(3)), 55);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod exec;
+mod machine;
+mod memory;
+
+pub use exec::{execute, ArchState, ControlFlow, ExecContext, Executed, MemAccess};
+pub use machine::{EmuError, Machine, RunSummary, Step};
+pub use memory::{MemFault, SparseMemory};

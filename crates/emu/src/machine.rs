@@ -1,0 +1,372 @@
+//! The functional reference machine.
+//!
+//! [`Machine`] interprets a [`Program`] instruction by instruction with no
+//! timing model — it is the `sim-safe` of this workspace. Differential
+//! tests run every workload here and on the cycle simulator and require the
+//! final architectural states to match.
+
+use crate::exec::{execute, ArchState, ControlFlow, ExecContext};
+use crate::memory::{MemFault, SparseMemory};
+use riq_asm::{Program, STACK_TOP};
+use riq_isa::{DecodeInstError, FpReg, Inst, IntReg};
+use std::error::Error;
+use std::fmt;
+
+/// Error terminating a functional run abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmuError {
+    /// The word fetched at `pc` did not decode.
+    Decode {
+        /// Faulting PC.
+        pc: u32,
+        /// Underlying decode error.
+        source: DecodeInstError,
+    },
+    /// A data access faulted.
+    Mem {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// Underlying memory fault.
+        source: MemFault,
+    },
+    /// The instruction budget was exhausted before `halt` committed.
+    StepLimit(u64),
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Decode { pc, source } => write!(f, "at {pc:#010x}: {source}"),
+            EmuError::Mem { pc, source } => write!(f, "at {pc:#010x}: {source}"),
+            EmuError::StepLimit(n) => write!(f, "step limit of {n} instructions exceeded"),
+        }
+    }
+}
+
+impl Error for EmuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EmuError::Decode { source, .. } => Some(source),
+            EmuError::Mem { source, .. } => Some(source),
+            EmuError::StepLimit(_) => None,
+        }
+    }
+}
+
+/// Outcome of a single [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// An instruction executed; the machine is still running.
+    Executed(Inst),
+    /// The machine is halted (a `halt` executed now or earlier).
+    Halted,
+}
+
+/// Summary returned by [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Number of instructions executed.
+    pub retired: u64,
+}
+
+/// The functional instruction-set interpreter.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use riq_asm::assemble;
+/// use riq_emu::Machine;
+/// use riq_isa::IntReg;
+///
+/// let program = assemble("  li $r2, 6\n  li $r3, 7\n  mul $r4, $r2, $r3\n  halt\n")?;
+/// let mut machine = Machine::new(&program);
+/// machine.run(1_000)?;
+/// assert_eq!(machine.state().int_reg(IntReg::new(4)), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    state: ArchState,
+    mem: SparseMemory,
+    pc: u32,
+    halted: bool,
+    retired: u64,
+}
+
+struct Ctx<'a> {
+    state: &'a mut ArchState,
+    mem: &'a mut SparseMemory,
+}
+
+impl ExecContext for Ctx<'_> {
+    fn int(&self, r: IntReg) -> u32 {
+        self.state.int_reg(r)
+    }
+    fn set_int(&mut self, r: IntReg, v: u32) {
+        self.state.set_int_reg(r, v);
+    }
+    fn fp_bits(&self, r: FpReg) -> u64 {
+        self.state.fp_reg_bits(r)
+    }
+    fn set_fp_bits(&mut self, r: FpReg, v: u64) {
+        self.state.set_fp_reg_bits(r, v);
+    }
+    fn load_u32(&mut self, addr: u32) -> Result<u32, MemFault> {
+        self.mem.load_u32(addr)
+    }
+    fn load_u64(&mut self, addr: u32) -> Result<u64, MemFault> {
+        self.mem.load_u64(addr)
+    }
+    fn store_u32(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
+        self.mem.store_u32(addr, v)
+    }
+    fn store_u64(&mut self, addr: u32, v: u64) -> Result<(), MemFault> {
+        self.mem.store_u64(addr, v)
+    }
+}
+
+impl Machine {
+    /// Creates a machine with `program` loaded: text and data copied into
+    /// memory, `pc` at the entry point, and `$sp` at the stack top.
+    #[must_use]
+    pub fn new(program: &Program) -> Machine {
+        let mut mem = SparseMemory::new();
+        for (i, &word) in program.text().iter().enumerate() {
+            let addr = program.text_base() + 4 * i as u32;
+            mem.store_u32(addr, word).expect("text base is aligned");
+        }
+        mem.store_bytes(program.data_base(), program.data());
+        let mut state = ArchState::new();
+        state.set_int_reg(IntReg::SP, STACK_TOP);
+        Machine { state, mem, pc: program.entry(), halted: false, retired: 0 }
+    }
+
+    /// The architectural register file.
+    #[must_use]
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// The architectural memory.
+    #[must_use]
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Mutable access to memory, e.g. to poke inputs before running.
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    /// The current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether a `halt` has executed.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions executed so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fetched word does not decode or a data access
+    /// faults; the machine is left halted in that case.
+    pub fn step(&mut self) -> Result<Step, EmuError> {
+        if self.halted {
+            return Ok(Step::Halted);
+        }
+        let pc = self.pc;
+        let word = self.mem.load_u32(pc).map_err(|source| {
+            self.halted = true;
+            EmuError::Mem { pc, source }
+        })?;
+        let inst = Inst::decode(word).map_err(|source| {
+            self.halted = true;
+            EmuError::Decode { pc, source }
+        })?;
+        let mut ctx = Ctx { state: &mut self.state, mem: &mut self.mem };
+        let done = execute(&inst, pc, &mut ctx).map_err(|source| {
+            self.halted = true;
+            EmuError::Mem { pc, source }
+        })?;
+        self.retired += 1;
+        match done.flow {
+            ControlFlow::Halt => {
+                self.halted = true;
+                Ok(Step::Halted)
+            }
+            flow => {
+                self.pc = flow.next_pc(pc);
+                Ok(Step::Executed(inst))
+            }
+        }
+    }
+
+    /// Runs until `halt` or until `limit` instructions have executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::StepLimit`] if the program does not halt within
+    /// the budget, or the first decode/memory fault encountered.
+    pub fn run(&mut self, limit: u64) -> Result<RunSummary, EmuError> {
+        let start = self.retired;
+        while !self.halted {
+            if self.retired - start >= limit {
+                return Err(EmuError::StepLimit(limit));
+            }
+            self.step()?;
+        }
+        Ok(RunSummary { retired: self.retired })
+    }
+
+    /// Runs like [`Machine::run`], invoking `observer` with `(pc, inst)`
+    /// before each instruction executes. Useful for tracing and for tests
+    /// that need the dynamic instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_traced(
+        &mut self,
+        limit: u64,
+        mut observer: impl FnMut(u32, &Inst),
+    ) -> Result<RunSummary, EmuError> {
+        let start = self.retired;
+        while !self.halted {
+            if self.retired - start >= limit {
+                return Err(EmuError::StepLimit(limit));
+            }
+            let pc = self.pc;
+            if let Ok(word) = self.mem.load_u32(pc) {
+                if let Ok(inst) = Inst::decode(word) {
+                    observer(pc, &inst);
+                }
+            }
+            self.step()?;
+        }
+        Ok(RunSummary { retired: self.retired })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+
+    fn run(src: &str) -> Machine {
+        let p = assemble(src).expect("assembles");
+        let mut m = Machine::new(&p);
+        m.run(1_000_000).expect("halts");
+        m
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let m = run("  li $r2, 21\n  add $r3, $r2, $r2\n  halt\n");
+        assert_eq!(m.state().int_reg(IntReg::new(3)), 42);
+        assert_eq!(m.retired(), 3);
+    }
+
+    #[test]
+    fn loop_sums_array() {
+        let m = run(r#"
+            .data
+            vec: .double 1.0, 2.0, 3.0, 4.0
+            .text
+                la   $r6, vec
+                li   $r2, 4
+            loop:
+                l.d  $f0, 0($r6)
+                add.d $f2, $f2, $f0
+                addi $r6, $r6, 8
+                addi $r2, $r2, -1
+                bne  $r2, $r0, loop
+                halt
+        "#);
+        assert_eq!(m.state().fp_reg(FpReg::new(2)), 10.0);
+    }
+
+    #[test]
+    fn procedure_call_and_return() {
+        let m = run(r#"
+            .entry main
+            double:
+                add $r4, $r4, $r4
+                jr $ra
+            main:
+                li  $r4, 5
+                jal double
+                jal double
+                halt
+        "#);
+        assert_eq!(m.state().int_reg(IntReg::new(4)), 20);
+    }
+
+    #[test]
+    fn stack_spill_restore() {
+        let m = run(r#"
+                li   $r8, 123
+                addi $sp, $sp, -8
+                sw   $r8, 0($sp)
+                li   $r8, 0
+                lw   $r9, 0($sp)
+                addi $sp, $sp, 8
+                halt
+        "#);
+        assert_eq!(m.state().int_reg(IntReg::new(9)), 123);
+    }
+
+    #[test]
+    fn step_limit_detected() {
+        let p = assemble("loop: b loop\n  halt\n").unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.run(100), Err(EmuError::StepLimit(100)));
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let p = assemble("  halt\n").unwrap();
+        let mut m = Machine::new(&p);
+        m.run(10).unwrap();
+        assert!(m.is_halted());
+        assert_eq!(m.step(), Ok(Step::Halted));
+        assert_eq!(m.retired(), 1);
+    }
+
+    #[test]
+    fn trace_observes_dynamic_stream() {
+        let p = assemble("  li $r2, 2\nloop: addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n")
+            .unwrap();
+        let mut m = Machine::new(&p);
+        let mut pcs = Vec::new();
+        m.run_traced(100, |pc, _| pcs.push(pc)).unwrap();
+        // li(1) + 2 iterations of (addi, bne) + halt = 6 dynamic instructions.
+        assert_eq!(pcs.len(), 6);
+        assert_eq!(pcs[1], pcs[3], "loop body re-executed");
+    }
+
+    #[test]
+    fn jump_to_data_is_a_decode_error() {
+        // `jr` into the data segment lands on a non-instruction word.
+        let p = assemble(
+            ".data\nx: .word 0xfc000000\n.text\n  la $r2, x\n  jr $r2\n  halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::new(&p);
+        let err = m.run(100).unwrap_err();
+        assert!(matches!(err, EmuError::Decode { .. }), "{err}");
+    }
+}

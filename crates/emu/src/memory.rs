@@ -1,0 +1,252 @@
+//! Sparse byte-addressable functional memory.
+//!
+//! Both the emulator and the cycle simulator back their architectural
+//! memory with [`SparseMemory`]: a page map over the 32-bit address space.
+//! Reads of untouched memory return zero, like a freshly-zeroed process
+//! image. Accesses must be naturally aligned (the ISA has no unaligned
+//! loads/stores).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// Fault raised by a functional memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// The access was not naturally aligned.
+    Unaligned {
+        /// Faulting address.
+        addr: u32,
+        /// Access width in bytes.
+        width: u32,
+    },
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::Unaligned { addr, width } => {
+                write!(f, "unaligned {width}-byte access at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for MemFault {}
+
+/// A sparse, zero-initialized, byte-addressable 32-bit memory.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use riq_emu::SparseMemory;
+/// let mut mem = SparseMemory::new();
+/// mem.store_u32(0x1000_0000, 0xdead_beef)?;
+/// assert_eq!(mem.load_u32(0x1000_0000)?, 0xdead_beef);
+/// assert_eq!(mem.load_u32(0x2000_0000)?, 0, "untouched memory reads zero");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: BTreeMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    /// Number of resident pages (for tests and capacity introspection).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn load_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn store_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    fn check_align(addr: u32, width: u32) -> Result<(), MemFault> {
+        if !addr.is_multiple_of(width) {
+            Err(MemFault::Unaligned { addr, width })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads an aligned 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] if `addr` is not 4-byte aligned.
+    pub fn load_u32(&self, addr: u32) -> Result<u32, MemFault> {
+        Self::check_align(addr, 4)?;
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.load_u8(addr.wrapping_add(i as u32));
+        }
+        Ok(u32::from_le_bytes(bytes))
+    }
+
+    /// Writes an aligned 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] if `addr` is not 4-byte aligned.
+    pub fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), MemFault> {
+        Self::check_align(addr, 4)?;
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u32), *b);
+        }
+        Ok(())
+    }
+
+    /// Reads an aligned 64-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] if `addr` is not 8-byte aligned.
+    pub fn load_u64(&self, addr: u32) -> Result<u64, MemFault> {
+        Self::check_align(addr, 8)?;
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.load_u8(addr.wrapping_add(i as u32));
+        }
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Writes an aligned 64-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] if `addr` is not 8-byte aligned.
+    pub fn store_u64(&mut self, addr: u32, value: u64) -> Result<(), MemFault> {
+        Self::check_align(addr, 8)?;
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u32), *b);
+        }
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn store_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// A deterministic FNV-1a digest of all resident content, used by
+    /// differential tests to compare final memory states cheaply.
+    ///
+    /// Pages that contain only zeroes hash identically to absent pages, so
+    /// two memories with the same observable content always digest equal.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for (&pno, page) in &self.pages {
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
+            for b in pno.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+            for &b in page.iter() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.load_u8(0), 0);
+        assert_eq!(mem.load_u32(0x8000_0000).unwrap(), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn word_roundtrip_little_endian() {
+        let mut mem = SparseMemory::new();
+        mem.store_u32(0x100, 0x0102_0304).unwrap();
+        assert_eq!(mem.load_u8(0x100), 0x04);
+        assert_eq!(mem.load_u8(0x103), 0x01);
+        assert_eq!(mem.load_u32(0x100).unwrap(), 0x0102_0304);
+    }
+
+    #[test]
+    fn double_roundtrip() {
+        let mut mem = SparseMemory::new();
+        mem.store_u64(0x2000, f64::to_bits(-1.5)).unwrap();
+        assert_eq!(f64::from_bits(mem.load_u64(0x2000).unwrap()), -1.5);
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut mem = SparseMemory::new();
+        assert_eq!(
+            mem.load_u32(2),
+            Err(MemFault::Unaligned { addr: 2, width: 4 })
+        );
+        assert_eq!(
+            mem.store_u64(4, 0),
+            Err(MemFault::Unaligned { addr: 4, width: 8 })
+        );
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut mem = SparseMemory::new();
+        let addr = 0x1000 - 4; // last word of the first page
+        mem.store_u64(0xff8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(mem.load_u32(addr).unwrap(), 0x1122_3344);
+        assert!(mem.resident_pages() >= 1);
+    }
+
+    #[test]
+    fn digest_ignores_zero_pages() {
+        let mut a = SparseMemory::new();
+        let b = SparseMemory::new();
+        assert_eq!(a.content_digest(), b.content_digest());
+        a.store_u32(0x5000, 0).unwrap(); // touched but still zero
+        assert_eq!(a.content_digest(), b.content_digest());
+        a.store_u32(0x5000, 1).unwrap();
+        assert_ne!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn store_bytes_bulk() {
+        let mut mem = SparseMemory::new();
+        mem.store_bytes(0x10, &[1, 2, 3, 4, 5]);
+        assert_eq!(mem.load_u8(0x14), 5);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests on the shared instruction semantics: algebraic
+//! identities, determinism, and state-isolation guarantees that the cycle
+//! simulator's speculative execution relies on.
+
+use proptest::prelude::*;
+use riq_emu::{execute, ArchState, ControlFlow, ExecContext, MemFault, SparseMemory};
+use riq_isa::{AluOp, FpReg, Inst, IntReg};
+
+struct Ctx {
+    state: ArchState,
+    mem: SparseMemory,
+}
+
+impl Ctx {
+    fn new() -> Ctx {
+        Ctx { state: ArchState::new(), mem: SparseMemory::new() }
+    }
+}
+
+impl ExecContext for Ctx {
+    fn int(&self, r: IntReg) -> u32 {
+        self.state.int_reg(r)
+    }
+    fn set_int(&mut self, r: IntReg, v: u32) {
+        self.state.set_int_reg(r, v);
+    }
+    fn fp_bits(&self, r: FpReg) -> u64 {
+        self.state.fp_reg_bits(r)
+    }
+    fn set_fp_bits(&mut self, r: FpReg, v: u64) {
+        self.state.set_fp_reg_bits(r, v);
+    }
+    fn load_u32(&mut self, addr: u32) -> Result<u32, MemFault> {
+        self.mem.load_u32(addr)
+    }
+    fn load_u64(&mut self, addr: u32) -> Result<u64, MemFault> {
+        self.mem.load_u64(addr)
+    }
+    fn store_u32(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
+        self.mem.store_u32(addr, v)
+    }
+    fn store_u64(&mut self, addr: u32, v: u64) -> Result<(), MemFault> {
+        self.mem.store_u64(addr, v)
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    let mut ctx = Ctx::new();
+    let (r1, r2, r3) = (IntReg::new(1), IntReg::new(2), IntReg::new(3));
+    ctx.set_int(r1, a);
+    ctx.set_int(r2, b);
+    let inst = Inst::Alu { op, rd: r3, rs: r1, rt: r2 };
+    execute(&inst, 0x40_0000, &mut ctx).expect("alu never faults");
+    ctx.int(r3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2000, ..ProptestConfig::default() })]
+
+    #[test]
+    fn add_sub_inverse(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(alu(AluOp::Sub, alu(AluOp::Add, a, b), b), a);
+    }
+
+    #[test]
+    fn commutativity(a in any::<u32>(), b in any::<u32>()) {
+        for op in [AluOp::Add, AluOp::Mul, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Nor] {
+            prop_assert_eq!(alu(op, a, b), alu(op, b, a), "{:?}", op);
+        }
+    }
+
+    #[test]
+    fn division_identity(a in any::<u32>(), b in 1u32..0x8000_0000) {
+        // a = (a / b) * b + (a % b) in signed arithmetic (b positive keeps
+        // us away from the i32::MIN / -1 corner, which wraps by spec).
+        let q = alu(AluOp::Div, a, b);
+        let r = alu(AluOp::Rem, a, b);
+        let back = alu(AluOp::Add, alu(AluOp::Mul, q, b), r);
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn slt_is_a_total_order(a in any::<u32>(), b in any::<u32>()) {
+        let lt = alu(AluOp::Slt, a, b);
+        let gt = alu(AluOp::Slt, b, a);
+        prop_assert!(lt <= 1 && gt <= 1);
+        if a == b {
+            prop_assert_eq!((lt, gt), (0, 0));
+        } else {
+            prop_assert_eq!(lt + gt, 1, "exactly one direction holds");
+        }
+    }
+
+    #[test]
+    fn branch_pairs_are_complementary(v in any::<u32>()) {
+        // beq/bne and the four compare-to-zero conditions partition.
+        let mut ctx = Ctx::new();
+        let r1 = IntReg::new(1);
+        ctx.set_int(r1, v);
+        let taken = |inst: &Inst, ctx: &mut Ctx| {
+            matches!(
+                execute(inst, 0x40_0000, ctx).expect("no fault").flow,
+                ControlFlow::Taken(_)
+            )
+        };
+        use riq_isa::BranchCond::*;
+        let lez = taken(&Inst::Bcond { cond: Lez, rs: r1, off: 4 }, &mut ctx);
+        let gtz = taken(&Inst::Bcond { cond: Gtz, rs: r1, off: 4 }, &mut ctx);
+        prop_assert_ne!(lez, gtz, "lez and gtz partition");
+        let ltz = taken(&Inst::Bcond { cond: Ltz, rs: r1, off: 4 }, &mut ctx);
+        let gez = taken(&Inst::Bcond { cond: Gez, rs: r1, off: 4 }, &mut ctx);
+        prop_assert_ne!(ltz, gez, "ltz and gez partition");
+    }
+
+    #[test]
+    fn execution_is_deterministic(a in any::<u32>(), b in any::<u32>(), word in any::<u32>()) {
+        // Any decodable instruction run twice from identical state produces
+        // identical state.
+        let Ok(inst) = Inst::decode(word) else { return Ok(()); };
+        let run = || {
+            let mut ctx = Ctx::new();
+            ctx.set_int(IntReg::new(1), a);
+            ctx.set_int(IntReg::new(2), b & 0xffff_fff8); // aligned-ish base
+            ctx.state.set_fp_reg(FpReg::new(1), f64::from(a));
+            let _ = execute(&inst, 0x40_0000, &mut ctx);
+            (ctx.state.clone(), ctx.mem.content_digest())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stores_then_loads_roundtrip(addr_w in 0u32..1024, v in any::<u32>()) {
+        let mut ctx = Ctx::new();
+        let (r1, r2, r3) = (IntReg::new(1), IntReg::new(2), IntReg::new(3));
+        ctx.set_int(r1, addr_w * 4);
+        ctx.set_int(r2, v);
+        execute(&Inst::Sw { rt: r2, base: r1, off: 0 }, 0, &mut ctx).expect("aligned");
+        execute(&Inst::Lw { rt: r3, base: r1, off: 0 }, 4, &mut ctx).expect("aligned");
+        prop_assert_eq!(ctx.int(r3), v);
+    }
+}

@@ -1,0 +1,105 @@
+//! Textual disassembly of riq instructions.
+//!
+//! [`Inst`] implements [`std::fmt::Display`] with PC-relative branch offsets
+//! spelled as word offsets; [`disassemble`] additionally resolves branch
+//! targets to absolute addresses given the instruction's PC, which is what
+//! pipeline traces print.
+
+use crate::inst::Inst;
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Alu { op, rd, rs, rt } => write!(f, "{op} {rd}, {rs}, {rt}"),
+            Inst::AluImm { op, rt, rs, imm } => write!(f, "{op} {rt}, {rs}, {imm}"),
+            Inst::Shift { op, rd, rt, shamt } => write!(f, "{op} {rd}, {rt}, {shamt}"),
+            Inst::Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
+            Inst::Lw { rt, base, off } => write!(f, "lw {rt}, {off}({base})"),
+            Inst::Sw { rt, base, off } => write!(f, "sw {rt}, {off}({base})"),
+            Inst::Ld { ft, base, off } => write!(f, "l.d {ft}, {off}({base})"),
+            Inst::Sd { ft, base, off } => write!(f, "s.d {ft}, {off}({base})"),
+            Inst::FpOp { op, fd, fs, ft } => write!(f, "{op} {fd}, {fs}, {ft}"),
+            Inst::FpUnary { op, fd, fs } => write!(f, "{op} {fd}, {fs}"),
+            Inst::CmpD { cond, rd, fs, ft } => write!(f, "c.{cond}.d {rd}, {fs}, {ft}"),
+            Inst::Mtc1 { rs, fd } => write!(f, "mtc1 {rs}, {fd}"),
+            Inst::Mfc1 { rd, fs } => write!(f, "mfc1 {rd}, {fs}"),
+            Inst::Beq { rs, rt, off } => write!(f, "beq {rs}, {rt}, {off}"),
+            Inst::Bne { rs, rt, off } => write!(f, "bne {rs}, {rt}, {off}"),
+            Inst::Bcond { cond, rs, off } => write!(f, "{cond} {rs}, {off}"),
+            Inst::J { target } => write!(f, "j {target:#x}"),
+            Inst::Jal { target } => write!(f, "jal {target:#x}"),
+            Inst::Jr { rs } => write!(f, "jr {rs}"),
+            Inst::Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+        }
+    }
+}
+
+/// Disassembles `inst` at address `pc`, resolving branch targets.
+///
+/// # Examples
+///
+/// ```
+/// use riq_isa::{disassemble, Inst, IntReg};
+/// let b = Inst::Bne { rs: IntReg::new(2), rt: IntReg::new(0), off: -3 };
+/// assert_eq!(disassemble(&b, 0x110), "bne $r2, $r0, 0x108");
+/// ```
+#[must_use]
+pub fn disassemble(inst: &Inst, pc: u32) -> String {
+    match *inst {
+        Inst::Beq { rs, rt, off } => {
+            format!("beq {rs}, {rt}, {:#x}", crate::branch_target(pc, off))
+        }
+        Inst::Bne { rs, rt, off } => {
+            format!("bne {rs}, {rt}, {:#x}", crate::branch_target(pc, off))
+        }
+        Inst::Bcond { cond, rs, off } => {
+            format!("{cond} {rs}, {:#x}", crate::branch_target(pc, off))
+        }
+        _ => inst.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluImmOp, AluOp, FpAluOp};
+    use crate::reg::{FpReg, IntReg};
+
+    #[test]
+    fn display_formats() {
+        let r = IntReg::new;
+        let f = FpReg::new;
+        let cases: Vec<(Inst, &str)> = vec![
+            (Inst::Nop, "nop"),
+            (Inst::Halt, "halt"),
+            (
+                Inst::Alu { op: AluOp::Add, rd: r(3), rs: r(1), rt: r(2) },
+                "add $r3, $r1, $r2",
+            ),
+            (
+                Inst::AluImm { op: AluImmOp::Addi, rt: r(4), rs: r(4), imm: -8 },
+                "addi $r4, $r4, -8",
+            ),
+            (Inst::Lw { rt: r(5), base: r(29), off: 12 }, "lw $r5, 12($r29)"),
+            (
+                Inst::FpOp { op: FpAluOp::MulD, fd: f(0), fs: f(1), ft: f(2) },
+                "mul.d $f0, $f1, $f2",
+            ),
+            (Inst::Jr { rs: IntReg::RA }, "jr $r31"),
+        ];
+        for (inst, expect) in cases {
+            assert_eq!(inst.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn disassemble_resolves_branch_targets() {
+        let b = Inst::Beq { rs: IntReg::new(1), rt: IntReg::new(2), off: 2 };
+        assert_eq!(disassemble(&b, 0x100), "beq $r1, $r2, 0x10c");
+        // Non-branches fall back to Display.
+        assert_eq!(disassemble(&Inst::Halt, 0x100), "halt");
+    }
+}

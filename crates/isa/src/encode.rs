@@ -1,0 +1,532 @@
+//! Binary encoding and decoding of riq instructions.
+//!
+//! Instructions are fixed 32-bit words laid out MIPS-style:
+//!
+//! ```text
+//! R-type  (op 0x00): | op 6 | rs 5 | rt 5 | rd 5 | shamt 5 | funct 6 |
+//! FP-type (op 0x01): | op 6 | rs 5 | ft 5 | fs 5 | fd 5    | funct 6 |
+//! I-type           : | op 6 | rs 5 | rt 5 | imm 16               |
+//! J-type           : | op 6 | target 26 (word address)           |
+//! ```
+//!
+//! The all-zero word is the canonical [`Inst::Nop`].
+
+use crate::inst::{AluImmOp, AluOp, BranchCond, FpAluOp, FpCond, FpUnaryOp, Inst, ShiftOp};
+use crate::reg::{FpReg, IntReg};
+use std::error::Error;
+use std::fmt;
+
+/// Opcode field values.
+mod op {
+    pub const RTYPE: u32 = 0x00;
+    pub const FPTYPE: u32 = 0x01;
+    pub const J: u32 = 0x02;
+    pub const JAL: u32 = 0x03;
+    pub const BEQ: u32 = 0x04;
+    pub const BNE: u32 = 0x05;
+    pub const BLEZ: u32 = 0x06;
+    pub const BGTZ: u32 = 0x07;
+    pub const BLTZ: u32 = 0x08;
+    pub const BGEZ: u32 = 0x09;
+    pub const ADDI: u32 = 0x0a;
+    pub const SLTI: u32 = 0x0b;
+    pub const SLTIU: u32 = 0x0c;
+    pub const ANDI: u32 = 0x0d;
+    pub const ORI: u32 = 0x0e;
+    pub const XORI: u32 = 0x0f;
+    pub const LUI: u32 = 0x10;
+    pub const LW: u32 = 0x20;
+    pub const SW: u32 = 0x28;
+    pub const LD: u32 = 0x30;
+    pub const SD: u32 = 0x38;
+}
+
+/// R-type function field values.
+mod rfunct {
+    pub const SLL: u32 = 0x00;
+    pub const SRL: u32 = 0x02;
+    pub const SRA: u32 = 0x03;
+    pub const SLLV: u32 = 0x04;
+    pub const SRLV: u32 = 0x06;
+    pub const SRAV: u32 = 0x07;
+    pub const JR: u32 = 0x08;
+    pub const JALR: u32 = 0x09;
+    pub const MUL: u32 = 0x18;
+    pub const DIV: u32 = 0x1a;
+    pub const REM: u32 = 0x1b;
+    pub const ADD: u32 = 0x20;
+    pub const SUB: u32 = 0x22;
+    pub const AND: u32 = 0x24;
+    pub const OR: u32 = 0x25;
+    pub const XOR: u32 = 0x26;
+    pub const NOR: u32 = 0x27;
+    pub const SLT: u32 = 0x2a;
+    pub const SLTU: u32 = 0x2b;
+    pub const HALT: u32 = 0x3f;
+}
+
+/// FP-type function field values.
+mod ffunct {
+    pub const ADD_D: u32 = 0x00;
+    pub const SUB_D: u32 = 0x01;
+    pub const MUL_D: u32 = 0x02;
+    pub const DIV_D: u32 = 0x03;
+    pub const SQRT_D: u32 = 0x04;
+    pub const MOV_D: u32 = 0x06;
+    pub const NEG_D: u32 = 0x07;
+    pub const CVT_D_W: u32 = 0x20;
+    pub const CVT_W_D: u32 = 0x24;
+    pub const C_EQ_D: u32 = 0x30;
+    pub const C_LT_D: u32 = 0x31;
+    pub const C_LE_D: u32 = 0x32;
+    pub const MTC1: u32 = 0x38;
+    pub const MFC1: u32 = 0x39;
+}
+
+/// Error produced when an instruction cannot be encoded into 32 bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeInstError {
+    /// A direct jump target is not 4-byte aligned.
+    UnalignedJumpTarget(u32),
+    /// A direct jump target does not fit in the 26-bit word-address field.
+    JumpTargetOutOfRange(u32),
+}
+
+impl fmt::Display for EncodeInstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeInstError::UnalignedJumpTarget(t) => {
+                write!(f, "jump target {t:#x} is not 4-byte aligned")
+            }
+            EncodeInstError::JumpTargetOutOfRange(t) => {
+                write!(f, "jump target {t:#x} does not fit in 26 bits of word address")
+            }
+        }
+    }
+}
+
+impl Error for EncodeInstError {}
+
+/// Error produced when a 32-bit word does not decode to a valid instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeInstError {
+    /// The opcode field is not assigned.
+    InvalidOpcode {
+        /// The offending instruction word.
+        word: u32,
+        /// Its opcode field.
+        opcode: u32,
+    },
+    /// The R-type or FP-type function field is not assigned.
+    InvalidFunct {
+        /// The offending instruction word.
+        word: u32,
+        /// Its function field.
+        funct: u32,
+    },
+    /// A field the instruction ignores is non-zero (the encoding is
+    /// canonical: every instruction has exactly one bit pattern).
+    NonCanonical {
+        /// The offending instruction word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for DecodeInstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeInstError::InvalidOpcode { word, opcode } => {
+                write!(f, "invalid opcode {opcode:#x} in word {word:#010x}")
+            }
+            DecodeInstError::InvalidFunct { word, funct } => {
+                write!(f, "invalid function code {funct:#x} in word {word:#010x}")
+            }
+            DecodeInstError::NonCanonical { word } => {
+                write!(f, "non-canonical encoding in word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeInstError {}
+
+fn rtype(rs: u32, rt: u32, rd: u32, shamt: u32, funct: u32) -> u32 {
+    (op::RTYPE << 26) | (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+}
+
+fn fptype(rs: u32, ft: u32, fs: u32, fd: u32, funct: u32) -> u32 {
+    (op::FPTYPE << 26) | (rs << 21) | (ft << 16) | (fs << 11) | (fd << 6) | funct
+}
+
+fn itype(opcode: u32, rs: u32, rt: u32, imm: u16) -> u32 {
+    (opcode << 26) | (rs << 21) | (rt << 16) | u32::from(imm)
+}
+
+fn jtype(opcode: u32, target: u32) -> Result<u32, EncodeInstError> {
+    if !target.is_multiple_of(4) {
+        return Err(EncodeInstError::UnalignedJumpTarget(target));
+    }
+    let words = target / 4;
+    if words >= (1 << 26) {
+        return Err(EncodeInstError::JumpTargetOutOfRange(target));
+    }
+    Ok((opcode << 26) | words)
+}
+
+impl Inst {
+    /// Encodes this instruction into its 32-bit binary form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a direct jump target is unaligned or does not fit
+    /// in the 26-bit word-address field.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use riq_isa::Inst;
+    /// assert_eq!(Inst::Nop.encode()?, 0);
+    /// let word = Inst::J { target: 0x100 }.encode()?;
+    /// assert_eq!(Inst::decode(word)?, Inst::J { target: 0x100 });
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn encode(&self) -> Result<u32, EncodeInstError> {
+        let int = |r: IntReg| u32::from(r.number());
+        let fp = |r: FpReg| u32::from(r.number());
+        Ok(match *self {
+            Inst::Nop => 0,
+            Inst::Halt => rtype(0, 0, 0, 0, rfunct::HALT),
+            Inst::Alu { op, rd, rs, rt } => {
+                let funct = match op {
+                    AluOp::Add => rfunct::ADD,
+                    AluOp::Sub => rfunct::SUB,
+                    AluOp::Mul => rfunct::MUL,
+                    AluOp::Div => rfunct::DIV,
+                    AluOp::Rem => rfunct::REM,
+                    AluOp::And => rfunct::AND,
+                    AluOp::Or => rfunct::OR,
+                    AluOp::Xor => rfunct::XOR,
+                    AluOp::Nor => rfunct::NOR,
+                    AluOp::Slt => rfunct::SLT,
+                    AluOp::Sltu => rfunct::SLTU,
+                    AluOp::Sllv => rfunct::SLLV,
+                    AluOp::Srlv => rfunct::SRLV,
+                    AluOp::Srav => rfunct::SRAV,
+                };
+                rtype(int(rs), int(rt), int(rd), 0, funct)
+            }
+            Inst::Shift { op, rd, rt, shamt } => {
+                let funct = match op {
+                    ShiftOp::Sll => rfunct::SLL,
+                    ShiftOp::Srl => rfunct::SRL,
+                    ShiftOp::Sra => rfunct::SRA,
+                };
+                rtype(0, int(rt), int(rd), u32::from(shamt & 31), funct)
+            }
+            Inst::AluImm { op, rt, rs, imm } => {
+                let opcode = match op {
+                    AluImmOp::Addi => op::ADDI,
+                    AluImmOp::Slti => op::SLTI,
+                    AluImmOp::Sltiu => op::SLTIU,
+                    AluImmOp::Andi => op::ANDI,
+                    AluImmOp::Ori => op::ORI,
+                    AluImmOp::Xori => op::XORI,
+                };
+                itype(opcode, int(rs), int(rt), imm as u16)
+            }
+            Inst::Lui { rt, imm } => itype(op::LUI, 0, int(rt), imm),
+            Inst::Lw { rt, base, off } => itype(op::LW, int(base), int(rt), off as u16),
+            Inst::Sw { rt, base, off } => itype(op::SW, int(base), int(rt), off as u16),
+            Inst::Ld { ft, base, off } => itype(op::LD, int(base), fp(ft), off as u16),
+            Inst::Sd { ft, base, off } => itype(op::SD, int(base), fp(ft), off as u16),
+            Inst::FpOp { op, fd, fs, ft } => {
+                let funct = match op {
+                    FpAluOp::AddD => ffunct::ADD_D,
+                    FpAluOp::SubD => ffunct::SUB_D,
+                    FpAluOp::MulD => ffunct::MUL_D,
+                    FpAluOp::DivD => ffunct::DIV_D,
+                };
+                fptype(0, fp(ft), fp(fs), fp(fd), funct)
+            }
+            Inst::FpUnary { op, fd, fs } => {
+                let funct = match op {
+                    FpUnaryOp::MovD => ffunct::MOV_D,
+                    FpUnaryOp::NegD => ffunct::NEG_D,
+                    FpUnaryOp::SqrtD => ffunct::SQRT_D,
+                    FpUnaryOp::CvtDW => ffunct::CVT_D_W,
+                    FpUnaryOp::CvtWD => ffunct::CVT_W_D,
+                };
+                fptype(0, 0, fp(fs), fp(fd), funct)
+            }
+            Inst::CmpD { cond, rd, fs, ft } => {
+                let funct = match cond {
+                    FpCond::Eq => ffunct::C_EQ_D,
+                    FpCond::Lt => ffunct::C_LT_D,
+                    FpCond::Le => ffunct::C_LE_D,
+                };
+                fptype(0, fp(ft), fp(fs), int(rd), funct)
+            }
+            Inst::Mtc1 { rs, fd } => fptype(int(rs), 0, 0, fp(fd), ffunct::MTC1),
+            Inst::Mfc1 { rd, fs } => fptype(0, 0, fp(fs), int(rd), ffunct::MFC1),
+            Inst::Beq { rs, rt, off } => itype(op::BEQ, int(rs), int(rt), off as u16),
+            Inst::Bne { rs, rt, off } => itype(op::BNE, int(rs), int(rt), off as u16),
+            Inst::Bcond { cond, rs, off } => {
+                let opcode = match cond {
+                    BranchCond::Lez => op::BLEZ,
+                    BranchCond::Gtz => op::BGTZ,
+                    BranchCond::Ltz => op::BLTZ,
+                    BranchCond::Gez => op::BGEZ,
+                };
+                itype(opcode, int(rs), 0, off as u16)
+            }
+            Inst::J { target } => jtype(op::J, target)?,
+            Inst::Jal { target } => jtype(op::JAL, target)?,
+            Inst::Jr { rs } => rtype(int(rs), 0, 0, 0, rfunct::JR),
+            Inst::Jalr { rd, rs } => rtype(int(rs), 0, int(rd), 0, rfunct::JALR),
+        })
+    }
+
+    /// Decodes a 32-bit word into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unassigned opcode or function-field values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use riq_isa::{Inst, AluImmOp, IntReg};
+    /// let inst = Inst::AluImm {
+    ///     op: AluImmOp::Addi,
+    ///     rt: IntReg::new(4),
+    ///     rs: IntReg::new(4),
+    ///     imm: -1,
+    /// };
+    /// assert_eq!(Inst::decode(inst.encode()?)?, inst);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn decode(word: u32) -> Result<Inst, DecodeInstError> {
+        if word == 0 {
+            return Ok(Inst::Nop);
+        }
+        let opcode = word >> 26;
+        let rs = IntReg::new(((word >> 21) & 31) as u8);
+        let rt = IntReg::new(((word >> 16) & 31) as u8);
+        let rd = IntReg::new(((word >> 11) & 31) as u8);
+        let shamt = ((word >> 6) & 31) as u8;
+        let ftr = FpReg::new(((word >> 16) & 31) as u8);
+        let imm = (word & 0xffff) as u16;
+        let simm = imm as i16;
+        let funct = word & 0x3f;
+        // Field accessors for canonicality checks (unused fields must be 0
+        // so every instruction has exactly one bit pattern).
+        let rs_bits = (word >> 21) & 31;
+        let rt_bits = (word >> 16) & 31;
+        let rd_bits = (word >> 11) & 31;
+        let shamt_bits = (word >> 6) & 31;
+        let canon = |ok: bool, inst: Inst| {
+            if ok {
+                Ok(inst)
+            } else {
+                Err(DecodeInstError::NonCanonical { word })
+            }
+        };
+        match opcode {
+            op::RTYPE => {
+                let alu = |aop| {
+                    canon(shamt_bits == 0, Inst::Alu { op: aop, rd, rs, rt })
+                };
+                match funct {
+                    rfunct::SLL => canon(rs_bits == 0, Inst::Shift { op: ShiftOp::Sll, rd, rt, shamt }),
+                    rfunct::SRL => canon(rs_bits == 0, Inst::Shift { op: ShiftOp::Srl, rd, rt, shamt }),
+                    rfunct::SRA => canon(rs_bits == 0, Inst::Shift { op: ShiftOp::Sra, rd, rt, shamt }),
+                    rfunct::SLLV => alu(AluOp::Sllv),
+                    rfunct::SRLV => alu(AluOp::Srlv),
+                    rfunct::SRAV => alu(AluOp::Srav),
+                    rfunct::JR => canon(
+                        rt_bits == 0 && rd_bits == 0 && shamt_bits == 0,
+                        Inst::Jr { rs },
+                    ),
+                    rfunct::JALR => canon(
+                        rt_bits == 0 && shamt_bits == 0,
+                        Inst::Jalr { rd, rs },
+                    ),
+                    rfunct::MUL => alu(AluOp::Mul),
+                    rfunct::DIV => alu(AluOp::Div),
+                    rfunct::REM => alu(AluOp::Rem),
+                    rfunct::ADD => alu(AluOp::Add),
+                    rfunct::SUB => alu(AluOp::Sub),
+                    rfunct::AND => alu(AluOp::And),
+                    rfunct::OR => alu(AluOp::Or),
+                    rfunct::XOR => alu(AluOp::Xor),
+                    rfunct::NOR => alu(AluOp::Nor),
+                    rfunct::SLT => alu(AluOp::Slt),
+                    rfunct::SLTU => alu(AluOp::Sltu),
+                    rfunct::HALT => canon(
+                        rs_bits == 0 && rt_bits == 0 && rd_bits == 0 && shamt_bits == 0,
+                        Inst::Halt,
+                    ),
+                    _ => Err(DecodeInstError::InvalidFunct { word, funct }),
+                }
+            }
+            op::FPTYPE => {
+                let ft = FpReg::new(rt_bits as u8);
+                let fs = FpReg::new(rd_bits as u8);
+                let fd = FpReg::new(shamt_bits as u8);
+                let rd_in_fd = IntReg::new(shamt_bits as u8);
+                let fpop = |fop| canon(rs_bits == 0, Inst::FpOp { op: fop, fd, fs, ft });
+                let unary = |uop| {
+                    canon(rs_bits == 0 && rt_bits == 0, Inst::FpUnary { op: uop, fd, fs })
+                };
+                let cmp = |cond| {
+                    canon(rs_bits == 0, Inst::CmpD { cond, rd: rd_in_fd, fs, ft })
+                };
+                match funct {
+                    ffunct::ADD_D => fpop(FpAluOp::AddD),
+                    ffunct::SUB_D => fpop(FpAluOp::SubD),
+                    ffunct::MUL_D => fpop(FpAluOp::MulD),
+                    ffunct::DIV_D => fpop(FpAluOp::DivD),
+                    ffunct::SQRT_D => unary(FpUnaryOp::SqrtD),
+                    ffunct::MOV_D => unary(FpUnaryOp::MovD),
+                    ffunct::NEG_D => unary(FpUnaryOp::NegD),
+                    ffunct::CVT_D_W => unary(FpUnaryOp::CvtDW),
+                    ffunct::CVT_W_D => unary(FpUnaryOp::CvtWD),
+                    ffunct::C_EQ_D => cmp(FpCond::Eq),
+                    ffunct::C_LT_D => cmp(FpCond::Lt),
+                    ffunct::C_LE_D => cmp(FpCond::Le),
+                    ffunct::MTC1 => canon(
+                        rt_bits == 0 && rd_bits == 0,
+                        Inst::Mtc1 { rs, fd },
+                    ),
+                    ffunct::MFC1 => canon(
+                        rs_bits == 0 && rt_bits == 0,
+                        Inst::Mfc1 { rd: rd_in_fd, fs },
+                    ),
+                    _ => Err(DecodeInstError::InvalidFunct { word, funct }),
+                }
+            }
+            op::J => Ok(Inst::J { target: (word & 0x03ff_ffff) * 4 }),
+            op::JAL => Ok(Inst::Jal { target: (word & 0x03ff_ffff) * 4 }),
+            op::BEQ => Ok(Inst::Beq { rs, rt, off: simm }),
+            op::BNE => Ok(Inst::Bne { rs, rt, off: simm }),
+            op::BLEZ => canon(rt_bits == 0, Inst::Bcond { cond: BranchCond::Lez, rs, off: simm }),
+            op::BGTZ => canon(rt_bits == 0, Inst::Bcond { cond: BranchCond::Gtz, rs, off: simm }),
+            op::BLTZ => canon(rt_bits == 0, Inst::Bcond { cond: BranchCond::Ltz, rs, off: simm }),
+            op::BGEZ => canon(rt_bits == 0, Inst::Bcond { cond: BranchCond::Gez, rs, off: simm }),
+            op::ADDI => Ok(Inst::AluImm { op: AluImmOp::Addi, rt, rs, imm: simm }),
+            op::SLTI => Ok(Inst::AluImm { op: AluImmOp::Slti, rt, rs, imm: simm }),
+            op::SLTIU => Ok(Inst::AluImm { op: AluImmOp::Sltiu, rt, rs, imm: simm }),
+            op::ANDI => Ok(Inst::AluImm { op: AluImmOp::Andi, rt, rs, imm: simm }),
+            op::ORI => Ok(Inst::AluImm { op: AluImmOp::Ori, rt, rs, imm: simm }),
+            op::XORI => Ok(Inst::AluImm { op: AluImmOp::Xori, rt, rs, imm: simm }),
+            op::LUI => canon(rs_bits == 0, Inst::Lui { rt, imm }),
+            op::LW => Ok(Inst::Lw { rt, base: rs, off: simm }),
+            op::SW => Ok(Inst::Sw { rt, base: rs, off: simm }),
+            op::LD => Ok(Inst::Ld { ft: ftr, base: rs, off: simm }),
+            op::SD => Ok(Inst::Sd { ft: ftr, base: rs, off: simm }),
+            _ => Err(DecodeInstError::InvalidOpcode { word, opcode }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::reg::{FpReg, IntReg};
+
+    fn roundtrip(inst: Inst) {
+        let word = inst.encode().expect("encode");
+        let back = Inst::decode(word).expect("decode");
+        assert_eq!(back, inst, "word {word:#010x}");
+    }
+
+    #[test]
+    fn nop_is_zero_word() {
+        assert_eq!(Inst::Nop.encode().unwrap(), 0);
+        assert_eq!(Inst::decode(0).unwrap(), Inst::Nop);
+    }
+
+    #[test]
+    fn representative_roundtrips() {
+        let r = IntReg::new;
+        let f = FpReg::new;
+        let insts = [
+            Inst::Halt,
+            Inst::Alu { op: AluOp::Add, rd: r(1), rs: r(2), rt: r(3) },
+            Inst::Alu { op: AluOp::Sltu, rd: r(31), rs: r(30), rt: r(29) },
+            Inst::Shift { op: ShiftOp::Sra, rd: r(9), rt: r(10), shamt: 31 },
+            Inst::AluImm { op: AluImmOp::Addi, rt: r(4), rs: r(4), imm: -32768 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: r(4), rs: r(0), imm: 0x7fff },
+            Inst::Lui { rt: r(8), imm: 0xffff },
+            Inst::Lw { rt: r(5), base: r(29), off: -4 },
+            Inst::Sw { rt: r(5), base: r(29), off: 32767 },
+            Inst::Ld { ft: f(2), base: r(6), off: 8 },
+            Inst::Sd { ft: f(30), base: r(6), off: -8 },
+            Inst::FpOp { op: FpAluOp::MulD, fd: f(1), fs: f(2), ft: f(3) },
+            Inst::FpUnary { op: FpUnaryOp::CvtDW, fd: f(4), fs: f(5) },
+            Inst::FpUnary { op: FpUnaryOp::SqrtD, fd: f(0), fs: f(31) },
+            Inst::CmpD { cond: FpCond::Lt, rd: r(2), fs: f(0), ft: f(1) },
+            Inst::Mtc1 { rs: r(7), fd: f(7) },
+            Inst::Mfc1 { rd: r(7), fs: f(7) },
+            Inst::Beq { rs: r(1), rt: r(2), off: -100 },
+            Inst::Bne { rs: r(1), rt: r(0), off: 100 },
+            Inst::Bcond { cond: BranchCond::Gez, rs: r(3), off: -1 },
+            Inst::J { target: 0x0040_0000 },
+            Inst::Jal { target: 4 },
+            Inst::Jr { rs: IntReg::RA },
+            Inst::Jalr { rd: r(31), rs: r(9) },
+        ];
+        for inst in insts {
+            roundtrip(inst);
+        }
+    }
+
+    #[test]
+    fn jump_encoding_validates_target() {
+        assert_eq!(
+            Inst::J { target: 3 }.encode(),
+            Err(EncodeInstError::UnalignedJumpTarget(3))
+        );
+        assert_eq!(
+            Inst::Jal { target: 1 << 29 }.encode(),
+            Err(EncodeInstError::JumpTargetOutOfRange(1 << 29))
+        );
+        // Maximum encodable target.
+        let max = ((1u32 << 26) - 1) * 4;
+        roundtrip(Inst::J { target: max });
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        // Unassigned opcode 0x3f.
+        let bad_op = 0x3fu32 << 26 | 1;
+        assert!(matches!(
+            Inst::decode(bad_op),
+            Err(DecodeInstError::InvalidOpcode { opcode: 0x3f, .. })
+        ));
+        // R-type with unassigned funct 0x3e.
+        let bad_funct = 0x3eu32;
+        assert!(matches!(
+            Inst::decode(bad_funct),
+            Err(DecodeInstError::InvalidFunct { funct: 0x3e, .. })
+        ));
+        // FP-type with unassigned funct.
+        let bad_fp = (1u32 << 26) | 0x3e;
+        assert!(matches!(
+            Inst::decode(bad_fp),
+            Err(DecodeInstError::InvalidFunct { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = Inst::decode(0x3fu32 << 26).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("invalid opcode"), "{msg}");
+    }
+}

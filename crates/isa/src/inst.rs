@@ -1,0 +1,606 @@
+//! Instruction definitions for the riq ISA.
+//!
+//! The ISA is a 32-bit MIPS-like RISC: fixed 4-byte instructions, a
+//! load/store architecture, 32 integer and 32 double-precision registers,
+//! PC-relative conditional branches and absolute-target jumps. It is the
+//! moral equivalent of SimpleScalar's PISA target used by the paper, reduced
+//! to the instruction classes that array-intensive loop kernels exercise.
+//!
+//! Every instruction has at most one destination register and at most two
+//! source registers, which is what lets the reuse issue queue's Logical
+//! Register List store "three logical register numbers" per entry (§2.2 of
+//! the paper).
+
+use crate::reg::{ArchReg, FpReg, IntReg};
+use std::fmt;
+
+/// Floating-point comparison condition for [`Inst::CmpD`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCond {
+    /// Equal.
+    Eq,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+}
+
+impl fmt::Display for FpCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpCond::Eq => write!(f, "eq"),
+            FpCond::Lt => write!(f, "lt"),
+            FpCond::Le => write!(f, "le"),
+        }
+    }
+}
+
+/// Condition for single-source integer branches ([`Inst::Bcond`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if less than or equal to zero (`blez`).
+    Lez,
+    /// Branch if greater than zero (`bgtz`).
+    Gtz,
+    /// Branch if less than zero (`bltz`).
+    Ltz,
+    /// Branch if greater than or equal to zero (`bgez`).
+    Gez,
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BranchCond::Lez => write!(f, "blez"),
+            BranchCond::Gtz => write!(f, "bgtz"),
+            BranchCond::Ltz => write!(f, "bltz"),
+            BranchCond::Gez => write!(f, "bgez"),
+        }
+    }
+}
+
+/// Three-register integer ALU operation selector for [`Inst::Alu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (executes on the integer multiplier).
+    Mul,
+    /// Signed division; division by zero yields `0` (no trap).
+    Div,
+    /// Signed remainder; remainder by zero yields `0` (no trap).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOR.
+    Nor,
+    /// Set-if-less-than, signed compare, result `0`/`1`.
+    Slt,
+    /// Set-if-less-than, unsigned compare, result `0`/`1`.
+    Sltu,
+    /// Logical shift left by `rt & 31`.
+    Sllv,
+    /// Logical shift right by `rt & 31`.
+    Srlv,
+    /// Arithmetic shift right by `rt & 31`.
+    Srav,
+}
+
+impl AluOp {
+    /// Whether this operation executes on the integer multiply/divide unit.
+    #[must_use]
+    pub fn uses_imult(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Div | AluOp::Rem)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Nor => "nor",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Sllv => "sllv",
+            AluOp::Srlv => "srlv",
+            AluOp::Srav => "srav",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Immediate-operand integer ALU operation selector for [`Inst::AluImm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// `rt = rs + sext(imm)` (wrapping).
+    Addi,
+    /// `rt = (rs as i32) < sext(imm)`.
+    Slti,
+    /// `rt = rs < (sext(imm) as u32)` (unsigned compare).
+    Sltiu,
+    /// `rt = rs & zext(imm)`.
+    Andi,
+    /// `rt = rs | zext(imm)`.
+    Ori,
+    /// `rt = rs ^ zext(imm)`.
+    Xori,
+}
+
+impl fmt::Display for AluImmOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Xori => "xori",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Constant-shift operation selector for [`Inst::Shift`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Logical shift left.
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+}
+
+impl fmt::Display for ShiftOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ShiftOp::Sll => "sll",
+            ShiftOp::Srl => "srl",
+            ShiftOp::Sra => "sra",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Three-register floating-point operation selector for [`Inst::FpOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpAluOp {
+    /// Double-precision addition.
+    AddD,
+    /// Double-precision subtraction.
+    SubD,
+    /// Double-precision multiplication.
+    MulD,
+    /// Double-precision division.
+    DivD,
+}
+
+impl FpAluOp {
+    /// Whether this operation executes on the FP multiply/divide unit.
+    #[must_use]
+    pub fn uses_fpmult(self) -> bool {
+        matches!(self, FpAluOp::MulD | FpAluOp::DivD)
+    }
+}
+
+impl fmt::Display for FpAluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FpAluOp::AddD => "add.d",
+            FpAluOp::SubD => "sub.d",
+            FpAluOp::MulD => "mul.d",
+            FpAluOp::DivD => "div.d",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Single-source floating-point operation selector for [`Inst::FpUnary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpUnaryOp {
+    /// Register move.
+    MovD,
+    /// Negation.
+    NegD,
+    /// Square root.
+    SqrtD,
+    /// Convert the low 32 bits of `fs` (interpreted as `i32`) to a double.
+    CvtDW,
+    /// Truncate the double in `fs` to an `i32` stored in the low bits of `fd`.
+    CvtWD,
+}
+
+impl fmt::Display for FpUnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FpUnaryOp::MovD => "mov.d",
+            FpUnaryOp::NegD => "neg.d",
+            FpUnaryOp::SqrtD => "sqrt.d",
+            FpUnaryOp::CvtDW => "cvt.d.w",
+            FpUnaryOp::CvtWD => "cvt.w.d",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A decoded riq instruction.
+///
+/// # Examples
+///
+/// ```
+/// use riq_isa::{Inst, AluOp, IntReg};
+/// let add = Inst::Alu {
+///     op: AluOp::Add,
+///     rd: IntReg::new(3),
+///     rs: IntReg::new(1),
+///     rt: IntReg::new(2),
+/// };
+/// assert_eq!(add.dest(), Some(IntReg::new(3).into()));
+/// assert!(!add.is_control());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // payload fields follow MIPS naming (rd/rs/rt/fd/fs/ft/imm/off)
+pub enum Inst {
+    /// Canonical no-operation (encodes as the all-zero word).
+    Nop,
+    /// Stops the program; the simulator drains and halts when this commits.
+    Halt,
+    /// Three-register integer ALU operation: `rd = rs <op> rt`.
+    Alu { op: AluOp, rd: IntReg, rs: IntReg, rt: IntReg },
+    /// Immediate integer ALU operation: `rt = rs <op> imm`.
+    AluImm { op: AluImmOp, rt: IntReg, rs: IntReg, imm: i16 },
+    /// Constant shift: `rd = rt <op> shamt`.
+    Shift { op: ShiftOp, rd: IntReg, rt: IntReg, shamt: u8 },
+    /// Load upper immediate: `rt = imm << 16`.
+    Lui { rt: IntReg, imm: u16 },
+    /// Load word: `rt = mem32[rs + sext(off)]`.
+    Lw { rt: IntReg, base: IntReg, off: i16 },
+    /// Store word: `mem32[rs + sext(off)] = rt`.
+    Sw { rt: IntReg, base: IntReg, off: i16 },
+    /// Load double: `ft = mem64[rs + sext(off)]`.
+    Ld { ft: FpReg, base: IntReg, off: i16 },
+    /// Store double: `mem64[rs + sext(off)] = ft`.
+    Sd { ft: FpReg, base: IntReg, off: i16 },
+    /// Three-register FP operation: `fd = fs <op> ft`.
+    FpOp { op: FpAluOp, fd: FpReg, fs: FpReg, ft: FpReg },
+    /// Single-source FP operation: `fd = <op>(fs)`.
+    FpUnary { op: FpUnaryOp, fd: FpReg, fs: FpReg },
+    /// FP compare writing `0`/`1` into an integer register: `rd = fs <cond> ft`.
+    CmpD { cond: FpCond, rd: IntReg, fs: FpReg, ft: FpReg },
+    /// Move integer register to FP register (raw bits, zero-extended).
+    Mtc1 { rs: IntReg, fd: FpReg },
+    /// Move low 32 bits of an FP register to an integer register.
+    Mfc1 { rd: IntReg, fs: FpReg },
+    /// Branch if `rs == rt`; `off` is in words relative to the next PC.
+    Beq { rs: IntReg, rt: IntReg, off: i16 },
+    /// Branch if `rs != rt`.
+    Bne { rs: IntReg, rt: IntReg, off: i16 },
+    /// Single-source compare-with-zero branch.
+    Bcond { cond: BranchCond, rs: IntReg, off: i16 },
+    /// Unconditional direct jump to an absolute word address.
+    J { target: u32 },
+    /// Direct call: jumps and writes the return address to `$r31`.
+    Jal { target: u32 },
+    /// Indirect jump through `rs` (used for returns).
+    Jr { rs: IntReg },
+    /// Indirect call through `rs`, writing the return address to `rd`.
+    Jalr { rd: IntReg, rs: IntReg },
+}
+
+/// Function-unit / scheduling class of an instruction.
+///
+/// Used by the issue stage to pick a function unit and by the power model to
+/// attribute execution energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Single-cycle integer ALU (also used for branch compare and address
+    /// generation is modeled separately).
+    IntAlu,
+    /// Integer multiply.
+    IntMult,
+    /// Integer divide/remainder.
+    IntDiv,
+    /// FP add/subtract/compare/convert/move.
+    FpAlu,
+    /// FP multiply.
+    FpMult,
+    /// FP divide / square root.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Control transfer (conditional branch, jump, call, return).
+    Ctrl,
+    /// No-op (consumes a slot but no function unit).
+    Nop,
+    /// Program halt.
+    Halt,
+}
+
+/// Flavor of control transfer, used by the branch predictor interface and by
+/// the reuse issue queue's loop detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlKind {
+    /// Conditional branch with a static target.
+    CondBranch,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call (pushes the RAS).
+    Call,
+    /// Indirect call.
+    IndirectCall,
+    /// Indirect jump (treated as a return when through `$r31`).
+    Return,
+}
+
+impl Inst {
+    /// The scheduling class of this instruction.
+    #[must_use]
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::Nop => InstClass::Nop,
+            Inst::Halt => InstClass::Halt,
+            Inst::Alu { op, .. } => match op {
+                AluOp::Mul => InstClass::IntMult,
+                AluOp::Div | AluOp::Rem => InstClass::IntDiv,
+                _ => InstClass::IntAlu,
+            },
+            Inst::AluImm { .. } | Inst::Shift { .. } | Inst::Lui { .. } => InstClass::IntAlu,
+            Inst::Lw { .. } | Inst::Ld { .. } => InstClass::Load,
+            Inst::Sw { .. } | Inst::Sd { .. } => InstClass::Store,
+            Inst::FpOp { op, .. } => match op {
+                FpAluOp::MulD => InstClass::FpMult,
+                FpAluOp::DivD => InstClass::FpDiv,
+                _ => InstClass::FpAlu,
+            },
+            Inst::FpUnary { op, .. } => match op {
+                FpUnaryOp::SqrtD => InstClass::FpDiv,
+                _ => InstClass::FpAlu,
+            },
+            Inst::CmpD { .. } | Inst::Mtc1 { .. } | Inst::Mfc1 { .. } => InstClass::FpAlu,
+            Inst::Beq { .. } | Inst::Bne { .. } | Inst::Bcond { .. } => InstClass::Ctrl,
+            Inst::J { .. } | Inst::Jal { .. } | Inst::Jr { .. } | Inst::Jalr { .. } => {
+                InstClass::Ctrl
+            }
+        }
+    }
+
+    /// The control-transfer kind, or `None` for non-control instructions.
+    #[must_use]
+    pub fn ctrl_kind(&self) -> Option<CtrlKind> {
+        match self {
+            Inst::Beq { .. } | Inst::Bne { .. } | Inst::Bcond { .. } => Some(CtrlKind::CondBranch),
+            Inst::J { .. } => Some(CtrlKind::Jump),
+            Inst::Jal { .. } => Some(CtrlKind::Call),
+            Inst::Jalr { .. } => Some(CtrlKind::IndirectCall),
+            Inst::Jr { .. } => Some(CtrlKind::Return),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction transfers control.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        self.ctrl_kind().is_some()
+    }
+
+    /// Whether this is a conditional branch.
+    #[must_use]
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self.ctrl_kind(), Some(CtrlKind::CondBranch))
+    }
+
+    /// Whether this is a memory access.
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        matches!(self.class(), InstClass::Load | InstClass::Store)
+    }
+
+    /// The statically-known target of this control instruction, given its PC.
+    ///
+    /// Conditional branches return their taken target; direct jumps and calls
+    /// return their absolute target. Indirect jumps return `None`.
+    #[must_use]
+    pub fn static_target(&self, pc: u32) -> Option<u32> {
+        match *self {
+            Inst::Beq { off, .. } | Inst::Bne { off, .. } | Inst::Bcond { off, .. } => {
+                Some(branch_target(pc, off))
+            }
+            Inst::J { target } | Inst::Jal { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// The destination register, if any.
+    #[must_use]
+    pub fn dest(&self) -> Option<ArchReg> {
+        let d = match *self {
+            Inst::Alu { rd, .. } | Inst::Shift { rd, .. } => ArchReg::Int(rd),
+            Inst::AluImm { rt, .. } | Inst::Lui { rt, .. } | Inst::Lw { rt, .. } => {
+                ArchReg::Int(rt)
+            }
+            Inst::Ld { ft, .. } => ArchReg::Fp(ft),
+            Inst::FpOp { fd, .. } | Inst::FpUnary { fd, .. } | Inst::Mtc1 { fd, .. } => {
+                ArchReg::Fp(fd)
+            }
+            Inst::CmpD { rd, .. } | Inst::Mfc1 { rd, .. } => ArchReg::Int(rd),
+            Inst::Jal { .. } => ArchReg::Int(IntReg::RA),
+            Inst::Jalr { rd, .. } => ArchReg::Int(rd),
+            _ => return None,
+        };
+        // Writes to the hard-wired zero register are architectural no-ops and
+        // must not create a rename mapping.
+        (!d.is_hardwired_zero()).then_some(d)
+    }
+
+    /// The source registers, up to two.
+    ///
+    /// Reads of `$r0` are omitted: the zero register is always ready and never
+    /// creates a dependence.
+    #[must_use]
+    pub fn sources(&self) -> [Option<ArchReg>; 2] {
+        fn int(r: IntReg) -> Option<ArchReg> {
+            (!r.is_zero()).then_some(ArchReg::Int(r))
+        }
+        fn fp(r: FpReg) -> Option<ArchReg> {
+            Some(ArchReg::Fp(r))
+        }
+        match *self {
+            Inst::Nop | Inst::Halt | Inst::Lui { .. } | Inst::J { .. } | Inst::Jal { .. } => {
+                [None, None]
+            }
+            Inst::Alu { rs, rt, .. } => [int(rs), int(rt)],
+            Inst::AluImm { rs, .. } => [int(rs), None],
+            Inst::Shift { rt, .. } => [int(rt), None],
+            Inst::Lw { base, .. } | Inst::Ld { base, .. } => [int(base), None],
+            Inst::Sw { rt, base, .. } => [int(base), int(rt)],
+            Inst::Sd { ft, base, .. } => [int(base), fp(ft)],
+            Inst::FpOp { fs, ft, .. } => [fp(fs), fp(ft)],
+            Inst::FpUnary { fs, .. } => [fp(fs), None],
+            Inst::CmpD { fs, ft, .. } => [fp(fs), fp(ft)],
+            Inst::Mtc1 { rs, .. } => [int(rs), None],
+            Inst::Mfc1 { fs, .. } => [fp(fs), None],
+            Inst::Beq { rs, rt, .. } | Inst::Bne { rs, rt, .. } => [int(rs), int(rt)],
+            Inst::Bcond { rs, .. } => [int(rs), None],
+            Inst::Jr { rs } | Inst::Jalr { rs, .. } => [int(rs), None],
+        }
+    }
+
+    /// Number of live source registers.
+    #[must_use]
+    pub fn source_count(&self) -> usize {
+        self.sources().iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Memory access width in bytes, or `None` for non-memory instructions.
+    #[must_use]
+    pub fn mem_width(&self) -> Option<u32> {
+        match self {
+            Inst::Lw { .. } | Inst::Sw { .. } => Some(4),
+            Inst::Ld { .. } | Inst::Sd { .. } => Some(8),
+            _ => None,
+        }
+    }
+}
+
+/// Computes the taken target of a conditional branch at `pc` with a word
+/// offset of `off` (relative to the *next* instruction, as in MIPS).
+///
+/// # Examples
+///
+/// ```
+/// use riq_isa::branch_target;
+/// // A branch at 0x100 with offset -2 targets 0x104 - 8 = 0xfc.
+/// assert_eq!(branch_target(0x100, -2), 0xfc);
+/// ```
+#[must_use]
+pub fn branch_target(pc: u32, off: i16) -> u32 {
+    pc.wrapping_add(4).wrapping_add((off as i32 as u32).wrapping_mul(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> IntReg {
+        IntReg::new(n)
+    }
+    fn f(n: u8) -> FpReg {
+        FpReg::new(n)
+    }
+
+    #[test]
+    fn alu_classes() {
+        let mk = |op| Inst::Alu { op, rd: r(1), rs: r(2), rt: r(3) };
+        assert_eq!(mk(AluOp::Add).class(), InstClass::IntAlu);
+        assert_eq!(mk(AluOp::Mul).class(), InstClass::IntMult);
+        assert_eq!(mk(AluOp::Div).class(), InstClass::IntDiv);
+        assert_eq!(mk(AluOp::Rem).class(), InstClass::IntDiv);
+    }
+
+    #[test]
+    fn fp_classes() {
+        let mk = |op| Inst::FpOp { op, fd: f(1), fs: f(2), ft: f(3) };
+        assert_eq!(mk(FpAluOp::AddD).class(), InstClass::FpAlu);
+        assert_eq!(mk(FpAluOp::MulD).class(), InstClass::FpMult);
+        assert_eq!(mk(FpAluOp::DivD).class(), InstClass::FpDiv);
+        let sqrt = Inst::FpUnary { op: FpUnaryOp::SqrtD, fd: f(1), fs: f(2) };
+        assert_eq!(sqrt.class(), InstClass::FpDiv);
+    }
+
+    #[test]
+    fn zero_register_never_a_dependence() {
+        let add = Inst::Alu { op: AluOp::Add, rd: r(0), rs: r(0), rt: r(5) };
+        assert_eq!(add.dest(), None, "write to $r0 is discarded");
+        assert_eq!(add.sources(), [None, Some(ArchReg::Int(r(5)))]);
+    }
+
+    #[test]
+    fn store_sources_include_value_and_base() {
+        let sw = Inst::Sw { rt: r(7), base: r(8), off: 4 };
+        assert_eq!(sw.dest(), None);
+        assert_eq!(sw.source_count(), 2);
+        let sd = Inst::Sd { ft: f(7), base: r(8), off: 4 };
+        assert_eq!(sd.sources()[1], Some(ArchReg::Fp(f(7))));
+    }
+
+    #[test]
+    fn call_defines_link_register() {
+        assert_eq!(Inst::Jal { target: 0x40 }.dest(), Some(ArchReg::Int(IntReg::RA)));
+        assert_eq!(
+            Inst::Jalr { rd: r(20), rs: r(9) }.dest(),
+            Some(ArchReg::Int(r(20)))
+        );
+    }
+
+    #[test]
+    fn ctrl_kinds() {
+        assert_eq!(
+            Inst::Beq { rs: r(1), rt: r(2), off: -4 }.ctrl_kind(),
+            Some(CtrlKind::CondBranch)
+        );
+        assert_eq!(Inst::J { target: 0 }.ctrl_kind(), Some(CtrlKind::Jump));
+        assert_eq!(Inst::Jal { target: 0 }.ctrl_kind(), Some(CtrlKind::Call));
+        assert_eq!(Inst::Jr { rs: IntReg::RA }.ctrl_kind(), Some(CtrlKind::Return));
+        assert_eq!(Inst::Nop.ctrl_kind(), None);
+    }
+
+    #[test]
+    fn branch_target_arithmetic() {
+        // Backward branch closing a 4-instruction loop whose body starts at
+        // 0x100: the branch sits at 0x10c and must jump back to 0x100.
+        let off = -4i16;
+        assert_eq!(branch_target(0x10c, off), 0x100 - 4 + 4);
+        assert_eq!(branch_target(0x10c, 0), 0x110);
+        assert_eq!(branch_target(0x10c, 1), 0x114);
+    }
+
+    #[test]
+    fn static_targets() {
+        let b = Inst::Bne { rs: r(1), rt: r(0), off: -3 };
+        assert_eq!(b.static_target(0x200), Some(0x200 + 4 - 12));
+        assert_eq!(Inst::J { target: 0x40 }.static_target(0), Some(0x40));
+        assert_eq!(Inst::Jr { rs: r(31) }.static_target(0), None);
+    }
+
+    #[test]
+    fn mem_widths() {
+        assert_eq!(Inst::Lw { rt: r(1), base: r(2), off: 0 }.mem_width(), Some(4));
+        assert_eq!(Inst::Sd { ft: f(1), base: r(2), off: 0 }.mem_width(), Some(8));
+        assert_eq!(Inst::Nop.mem_width(), None);
+    }
+}

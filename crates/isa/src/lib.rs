@@ -1,0 +1,60 @@
+//! # riq-isa — the riq instruction-set architecture
+//!
+//! A 32-bit MIPS-like RISC ISA used by the riq reproduction of *Scheduling
+//! Reusable Instructions for Power Reduction* (DATE 2004). It plays the role
+//! SimpleScalar's PISA target plays in the paper: the machine language that
+//! array-intensive loop kernels compile to and that the cycle-level
+//! out-of-order simulator executes.
+//!
+//! The ISA has:
+//!
+//! * 32 integer registers (`$r0` hard-wired to zero, `$r31` the link
+//!   register) and 32 double-precision FP registers — see [`IntReg`],
+//!   [`FpReg`], and the unified [`ArchReg`] namespace used by renaming;
+//! * fixed 32-bit instruction words with full binary
+//!   [`encode`](Inst::encode)/[`decode`](Inst::decode) and a
+//!   [`disassemble`]r;
+//! * integer ALU/multiply/divide, double-precision FP arithmetic,
+//!   word/double loads and stores, compare-and-branch, and direct/indirect
+//!   jumps and calls — everything a compiled loop nest needs, and nothing
+//!   the paper's evaluation does not exercise.
+//!
+//! # Examples
+//!
+//! Round-trip an instruction through its binary encoding:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use riq_isa::{Inst, AluOp, IntReg};
+//!
+//! let inst = Inst::Alu {
+//!     op: AluOp::Add,
+//!     rd: IntReg::new(3),
+//!     rs: IntReg::new(1),
+//!     rt: IntReg::new(2),
+//! };
+//! let word = inst.encode()?;
+//! assert_eq!(Inst::decode(word)?, inst);
+//! assert_eq!(inst.to_string(), "add $r3, $r1, $r2");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod disasm;
+mod encode;
+mod inst;
+mod reg;
+
+pub use disasm::disassemble;
+pub use encode::{DecodeInstError, EncodeInstError};
+pub use inst::{
+    branch_target, AluImmOp, AluOp, BranchCond, CtrlKind, FpAluOp, FpCond, FpUnaryOp, Inst,
+    InstClass, ShiftOp,
+};
+pub use reg::{ArchReg, FpReg, IntReg, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};
+
+/// Size of one instruction in bytes.
+pub const INST_BYTES: u32 = 4;

@@ -1,0 +1,253 @@
+//! Architectural register names for the riq ISA.
+//!
+//! The ISA models a MIPS-R10000-style register file: 32 general-purpose
+//! integer registers (`$r0` is hard-wired to zero, `$r31` is the link
+//! register written by [`crate::Inst::Jal`]) and 32 double-precision
+//! floating-point registers.
+//!
+//! [`ArchReg`] is the *unified* logical register namespace used by the
+//! rename stage and by the issue queue's Logical Register List: integer
+//! registers occupy indices `0..32` and floating-point registers indices
+//! `32..64`.
+
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Size of the unified logical register namespace ([`ArchReg::index`]).
+pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An integer architectural register, `$r0`–`$r31`.
+///
+/// `$r0` always reads as zero and ignores writes. `$r31` (`$ra`) is the
+/// link register used by call instructions.
+///
+/// # Examples
+///
+/// ```
+/// use riq_isa::IntReg;
+/// let ra = IntReg::RA;
+/// assert_eq!(ra.number(), 31);
+/// assert_eq!(ra.to_string(), "$r31");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// The hard-wired zero register `$r0`.
+    pub const ZERO: IntReg = IntReg(0);
+    /// The link register `$r31`, written by `jal`/`jalr`.
+    pub const RA: IntReg = IntReg(31);
+    /// The conventional stack-pointer register `$r29`.
+    pub const SP: IntReg = IntReg(29);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub const fn new(n: u8) -> IntReg {
+        assert!(n < NUM_INT_REGS as u8, "integer register out of range");
+        IntReg(n)
+    }
+
+    /// Creates a register from its number, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(n: u8) -> Option<IntReg> {
+        (n < NUM_INT_REGS as u8).then_some(IntReg(n))
+    }
+
+    /// The register number, `0..32`.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$r{}", self.0)
+    }
+}
+
+impl Default for IntReg {
+    fn default() -> Self {
+        IntReg::ZERO
+    }
+}
+
+/// A double-precision floating-point architectural register, `$f0`–`$f31`.
+///
+/// # Examples
+///
+/// ```
+/// use riq_isa::FpReg;
+/// let f2 = FpReg::new(2);
+/// assert_eq!(f2.to_string(), "$f2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub const fn new(n: u8) -> FpReg {
+        assert!(n < NUM_FP_REGS as u8, "fp register out of range");
+        FpReg(n)
+    }
+
+    /// Creates a register from its number, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(n: u8) -> Option<FpReg> {
+        (n < NUM_FP_REGS as u8).then_some(FpReg(n))
+    }
+
+    /// The register number, `0..32`.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+/// A logical register in the unified namespace used by register renaming.
+///
+/// The issue queue's Logical Register List stores three of these (5 bits of
+/// register number plus the int/fp bank bit) per buffered instruction.
+///
+/// # Examples
+///
+/// ```
+/// use riq_isa::{ArchReg, IntReg, FpReg};
+/// assert_eq!(ArchReg::Int(IntReg::new(5)).index(), 5);
+/// assert_eq!(ArchReg::Fp(FpReg::new(5)).index(), 37);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArchReg {
+    /// An integer register.
+    Int(IntReg),
+    /// A floating-point register.
+    Fp(FpReg),
+}
+
+impl ArchReg {
+    /// Flat index in `0..NUM_ARCH_REGS`: integer registers first, then fp.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            ArchReg::Int(r) => r.number() as usize,
+            ArchReg::Fp(r) => NUM_INT_REGS + r.number() as usize,
+        }
+    }
+
+    /// Inverse of [`ArchReg::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn from_index(idx: usize) -> ArchReg {
+        assert!(idx < NUM_ARCH_REGS, "arch register index out of range: {idx}");
+        if idx < NUM_INT_REGS {
+            ArchReg::Int(IntReg::new(idx as u8))
+        } else {
+            ArchReg::Fp(FpReg::new((idx - NUM_INT_REGS) as u8))
+        }
+    }
+
+    /// Whether this register always reads as zero (`$r0`).
+    #[must_use]
+    pub fn is_hardwired_zero(self) -> bool {
+        matches!(self, ArchReg::Int(r) if r.is_zero())
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchReg::Int(r) => r.fmt(f),
+            ArchReg::Fp(r) => r.fmt(f),
+        }
+    }
+}
+
+impl From<IntReg> for ArchReg {
+    fn from(r: IntReg) -> Self {
+        ArchReg::Int(r)
+    }
+}
+
+impl From<FpReg> for ArchReg {
+    fn from(r: FpReg) -> Self {
+        ArchReg::Fp(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_roundtrip() {
+        for n in 0..32 {
+            let r = IntReg::new(n);
+            assert_eq!(r.number(), n);
+            assert_eq!(IntReg::try_new(n), Some(r));
+        }
+        assert_eq!(IntReg::try_new(32), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_out_of_range_panics() {
+        let _ = IntReg::new(32);
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(IntReg::ZERO.is_zero());
+        assert!(!IntReg::RA.is_zero());
+        assert!(ArchReg::Int(IntReg::ZERO).is_hardwired_zero());
+        assert!(!ArchReg::Fp(FpReg::new(0)).is_hardwired_zero());
+    }
+
+    #[test]
+    fn arch_reg_index_roundtrip() {
+        for idx in 0..NUM_ARCH_REGS {
+            assert_eq!(ArchReg::from_index(idx).index(), idx);
+        }
+    }
+
+    #[test]
+    fn arch_reg_banks_are_disjoint() {
+        let int5 = ArchReg::Int(IntReg::new(5));
+        let fp5 = ArchReg::Fp(FpReg::new(5));
+        assert_ne!(int5.index(), fp5.index());
+        assert_ne!(int5, fp5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IntReg::SP.to_string(), "$r29");
+        assert_eq!(FpReg::new(31).to_string(), "$f31");
+        assert_eq!(ArchReg::Fp(FpReg::new(3)).to_string(), "$f3");
+    }
+}

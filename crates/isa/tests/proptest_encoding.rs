@@ -1,0 +1,170 @@
+//! Property tests: `decode ∘ encode = id` over the whole instruction
+//! space, and decode totality (any 32-bit word either decodes to an
+//! instruction that re-encodes to itself, or errors).
+
+use proptest::prelude::*;
+use riq_isa::{
+    AluImmOp, AluOp, BranchCond, FpAluOp, FpCond, FpReg, FpUnaryOp, Inst, IntReg, ShiftOp,
+};
+
+fn int_reg() -> impl Strategy<Value = IntReg> {
+    (0u8..32).prop_map(IntReg::new)
+}
+fn fp_reg() -> impl Strategy<Value = FpReg> {
+    (0u8..32).prop_map(FpReg::new)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Nor),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Sllv),
+        Just(AluOp::Srlv),
+        Just(AluOp::Srav),
+    ]
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+        (alu_op(), int_reg(), int_reg(), int_reg())
+            .prop_map(|(op, rd, rs, rt)| Inst::Alu { op, rd, rs, rt }),
+        (
+            prop_oneof![
+                Just(AluImmOp::Addi),
+                Just(AluImmOp::Slti),
+                Just(AluImmOp::Sltiu),
+                Just(AluImmOp::Andi),
+                Just(AluImmOp::Ori),
+                Just(AluImmOp::Xori)
+            ],
+            int_reg(),
+            int_reg(),
+            any::<i16>()
+        )
+            .prop_map(|(op, rt, rs, imm)| Inst::AluImm { op, rt, rs, imm }),
+        (
+            prop_oneof![Just(ShiftOp::Sll), Just(ShiftOp::Srl), Just(ShiftOp::Sra)],
+            int_reg(),
+            int_reg(),
+            0u8..32
+        )
+            .prop_map(|(op, rd, rt, shamt)| Inst::Shift { op, rd, rt, shamt }),
+        (int_reg(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
+        (int_reg(), int_reg(), any::<i16>()).prop_map(|(rt, base, off)| Inst::Lw { rt, base, off }),
+        (int_reg(), int_reg(), any::<i16>()).prop_map(|(rt, base, off)| Inst::Sw { rt, base, off }),
+        (fp_reg(), int_reg(), any::<i16>()).prop_map(|(ft, base, off)| Inst::Ld { ft, base, off }),
+        (fp_reg(), int_reg(), any::<i16>()).prop_map(|(ft, base, off)| Inst::Sd { ft, base, off }),
+        (
+            prop_oneof![
+                Just(FpAluOp::AddD),
+                Just(FpAluOp::SubD),
+                Just(FpAluOp::MulD),
+                Just(FpAluOp::DivD)
+            ],
+            fp_reg(),
+            fp_reg(),
+            fp_reg()
+        )
+            .prop_map(|(op, fd, fs, ft)| Inst::FpOp { op, fd, fs, ft }),
+        (
+            prop_oneof![
+                Just(FpUnaryOp::MovD),
+                Just(FpUnaryOp::NegD),
+                Just(FpUnaryOp::SqrtD),
+                Just(FpUnaryOp::CvtDW),
+                Just(FpUnaryOp::CvtWD)
+            ],
+            fp_reg(),
+            fp_reg()
+        )
+            .prop_map(|(op, fd, fs)| Inst::FpUnary { op, fd, fs }),
+        (
+            prop_oneof![Just(FpCond::Eq), Just(FpCond::Lt), Just(FpCond::Le)],
+            int_reg(),
+            fp_reg(),
+            fp_reg()
+        )
+            .prop_map(|(cond, rd, fs, ft)| Inst::CmpD { cond, rd, fs, ft }),
+        (int_reg(), fp_reg()).prop_map(|(rs, fd)| Inst::Mtc1 { rs, fd }),
+        (int_reg(), fp_reg()).prop_map(|(rd, fs)| Inst::Mfc1 { rd, fs }),
+        (int_reg(), int_reg(), any::<i16>()).prop_map(|(rs, rt, off)| Inst::Beq { rs, rt, off }),
+        (int_reg(), int_reg(), any::<i16>()).prop_map(|(rs, rt, off)| Inst::Bne { rs, rt, off }),
+        (
+            prop_oneof![
+                Just(BranchCond::Lez),
+                Just(BranchCond::Gtz),
+                Just(BranchCond::Ltz),
+                Just(BranchCond::Gez)
+            ],
+            int_reg(),
+            any::<i16>()
+        )
+            .prop_map(|(cond, rs, off)| Inst::Bcond { cond, rs, off }),
+        (0u32..(1 << 26)).prop_map(|w| Inst::J { target: w * 4 }),
+        (0u32..(1 << 26)).prop_map(|w| Inst::Jal { target: w * 4 }),
+        int_reg().prop_map(|rs| Inst::Jr { rs }),
+        (int_reg(), int_reg()).prop_map(|(rd, rs)| Inst::Jalr { rd, rs }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4096, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encode_decode_roundtrip(i in inst()) {
+        let word = i.encode().expect("all generated instructions encode");
+        let back = Inst::decode(word).expect("encoded word decodes");
+        prop_assert_eq!(back, i);
+    }
+
+    #[test]
+    fn decode_is_total_and_consistent(word in any::<u32>()) {
+        // Any word either fails to decode, or decodes to an instruction
+        // that re-encodes bit-identically (canonical encoding).
+        if let Ok(i) = Inst::decode(word) {
+            let re = i.encode().expect("decoded instructions are encodable");
+            prop_assert_eq!(re, word, "{:?} is not canonical", i);
+        }
+    }
+
+    #[test]
+    fn sources_and_dest_are_well_formed(i in inst()) {
+        // At most one destination, at most two sources, never $r0.
+        if let Some(d) = i.dest() {
+            prop_assert!(!d.is_hardwired_zero());
+        }
+        let n = i.source_count();
+        prop_assert!(n <= 2);
+        for s in i.sources().into_iter().flatten() {
+            prop_assert!(!s.is_hardwired_zero());
+        }
+    }
+
+    #[test]
+    fn display_never_empty(i in inst()) {
+        prop_assert!(!i.to_string().is_empty());
+        prop_assert!(!riq_isa::disassemble(&i, 0x40_0000).is_empty());
+    }
+
+    #[test]
+    fn control_classification_agrees_with_static_target(i in inst(), pc in (0u32..0x100_0000).prop_map(|w| w * 4)) {
+        match i.ctrl_kind() {
+            None => prop_assert!(i.static_target(pc).is_none()),
+            Some(riq_isa::CtrlKind::Return | riq_isa::CtrlKind::IndirectCall) => {
+                prop_assert!(i.static_target(pc).is_none(), "indirect targets are unknown")
+            }
+            Some(_) => prop_assert!(i.static_target(pc).is_some()),
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Data-dependence analysis for innermost loops.
+//!
+//! For stride-1 affine accesses `A[i + c]` the dependence test is exact:
+//! a write at offset `cw` and another access at offset `c2` touch the same
+//! location in iterations separated by `cw - c2`. The sign of that
+//! distance (plus program order for distance 0) orients a precedence edge
+//! between the statements; statements in a dependence cycle must stay in
+//! one loop, which is exactly what the Kennedy–McKinley distribution pass
+//! in [`crate::distribute`] enforces via strongly connected components.
+
+use crate::ir::{InnerLoop, Stmt};
+
+/// Why two statements are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Read-after-write.
+    Flow,
+    /// Write-after-read.
+    Anti,
+    /// Write-after-write.
+    Output,
+}
+
+/// A precedence edge `from → to`: in any legal distribution, the loop
+/// containing `from` must not run after the loop containing `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Source statement index.
+    pub from: usize,
+    /// Sink statement index.
+    pub to: usize,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Iteration distance (0 = loop-independent).
+    pub distance: i32,
+}
+
+/// Computes all precedence edges between the statements of `stmts`.
+#[must_use]
+pub fn dependence_edges(stmts: &[Stmt]) -> Vec<DepEdge> {
+    let mut edges = Vec::new();
+    for (i, si) in stmts.iter().enumerate() {
+        for (j, sj) in stmts.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // Write of si vs reads of sj (flow/anti).
+            for (a, cr) in sj.reads() {
+                if a == si.target {
+                    push_edge(&mut edges, i, j, si.offset - cr, i < j, DepKind::Flow);
+                }
+            }
+            // Write-write, counted once per unordered pair.
+            if i < j && si.target == sj.target {
+                push_edge(&mut edges, i, j, si.offset - sj.offset, true, DepKind::Output);
+            }
+        }
+    }
+    edges
+}
+
+/// Orients one (writer `w`, other access `o`) pair with location distance
+/// `d = cw - co` into a precedence edge, if any.
+fn push_edge(edges: &mut Vec<DepEdge>, w: usize, o: usize, d: i32, w_first: bool, kind: DepKind) {
+    let edge = if d > 0 {
+        // The other access in a *later* iteration touches what the writer
+        // wrote: writer's loop must come first.
+        Some(DepEdge { from: w, to: o, kind, distance: d })
+    } else if d < 0 {
+        // The other access in an *earlier* iteration must happen before
+        // the writer overwrites the location (anti direction).
+        let kind = if kind == DepKind::Flow { DepKind::Anti } else { kind };
+        Some(DepEdge { from: o, to: w, kind, distance: -d })
+    } else {
+        // Same iteration: program order decides.
+        let (from, to) = if w_first { (w, o) } else { (o, w) };
+        Some(DepEdge { from, to, kind, distance: 0 })
+    };
+    if let Some(e) = edge {
+        if !edges.contains(&e) {
+            edges.push(e);
+        }
+    }
+}
+
+/// Strongly connected components of the statement dependence graph, in a
+/// topological order of the condensation (sources first). Within the
+/// output, each component lists statement indices in program order.
+#[must_use]
+pub fn dependence_sccs(loop_: &InnerLoop) -> Vec<Vec<usize>> {
+    let n = loop_.stmts.len();
+    let edges = dependence_edges(&loop_.stmts);
+    let mut adj = vec![Vec::new(); n];
+    for e in &edges {
+        adj[e.from].push(e.to);
+    }
+    let sccs = tarjan(n, &adj);
+    // Tarjan emits SCCs in reverse topological order of the condensation.
+    let mut ordered: Vec<Vec<usize>> = sccs.into_iter().rev().collect();
+    for c in &mut ordered {
+        c.sort_unstable();
+    }
+    // Stabilize ties: sort components by their smallest statement index
+    // wherever the partial order allows (simple stable pass: the reverse
+    // Tarjan order is already topological; we only normalize adjacent
+    // independent components).
+    stabilize(&mut ordered, &edges);
+    ordered
+}
+
+fn stabilize(components: &mut [Vec<usize>], edges: &[DepEdge]) {
+    let depends = |a: &[usize], b: &[usize]| {
+        edges
+            .iter()
+            .any(|e| a.contains(&e.from) && b.contains(&e.to))
+    };
+    // Bubble adjacent independent components into program order.
+    let n = components.len();
+    for _ in 0..n {
+        for i in 0..n.saturating_sub(1) {
+            let (l, r) = (i, i + 1);
+            if components[l][0] > components[r][0] && !depends(&components[l], &components[r]) {
+                components.swap(l, r);
+            }
+        }
+    }
+}
+
+/// Iterative Tarjan SCC over a small graph.
+fn tarjan(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: i32,
+        lowlink: i32,
+        on_stack: bool,
+    }
+    let mut state = vec![NodeState { index: -1, lowlink: -1, on_stack: false }; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0;
+    let mut out = Vec::new();
+
+    // Explicit DFS stack: (node, edge cursor).
+    for root in 0..n {
+        if state[root].index != -1 {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, cursor)) = dfs.last() {
+            if cursor == 0 {
+                state[v].index = next_index;
+                state[v].lowlink = next_index;
+                next_index += 1;
+                stack.push(v);
+                state[v].on_stack = true;
+            }
+            if cursor < adj[v].len() {
+                dfs.last_mut().expect("non-empty").1 += 1;
+                let w = adj[v][cursor];
+                if state[w].index == -1 {
+                    dfs.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    let low = state[v].lowlink;
+                    state[parent].lowlink = state[parent].lowlink.min(low);
+                }
+                if state[v].lowlink == state[v].index {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack non-empty inside SCC pop");
+                        state[w].on_stack = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Expr, InnerLoop};
+
+    fn st(target: usize, off: i32, reads: &[(usize, i32)]) -> Stmt {
+        let mut rhs = Expr::Lit(1.0);
+        for &(a, c) in reads {
+            rhs = Expr::bin(BinOp::Add, rhs, Expr::a(a, c));
+        }
+        Stmt::new(target, off, rhs)
+    }
+
+    #[test]
+    fn forward_flow_edge() {
+        // S0: A[i] = ...; S1: B[i] = A[i-1] → S0 writes what S1 reads one
+        // iteration later: edge S0→S1, distance 1.
+        let stmts = vec![st(0, 0, &[]), st(1, 0, &[(0, -1)])];
+        let edges = dependence_edges(&stmts);
+        assert_eq!(
+            edges,
+            vec![DepEdge { from: 0, to: 1, kind: DepKind::Flow, distance: 1 }]
+        );
+    }
+
+    #[test]
+    fn backward_anti_edge() {
+        // S0: A[i] = ...; S1: B[i] = A[i+1] → S1 reads the location S0
+        // writes in a later iteration: S1 must stay before S0.
+        let stmts = vec![st(0, 0, &[]), st(1, 0, &[(0, 1)])];
+        let edges = dependence_edges(&stmts);
+        assert_eq!(
+            edges,
+            vec![DepEdge { from: 1, to: 0, kind: DepKind::Anti, distance: 1 }]
+        );
+    }
+
+    #[test]
+    fn loop_independent_edge_follows_program_order() {
+        let stmts = vec![st(0, 0, &[]), st(1, 0, &[(0, 0)])];
+        let edges = dependence_edges(&stmts);
+        assert_eq!(
+            edges,
+            vec![DepEdge { from: 0, to: 1, kind: DepKind::Flow, distance: 0 }]
+        );
+    }
+
+    #[test]
+    fn independent_statements_have_no_edges() {
+        let stmts = vec![st(0, 0, &[(1, 0)]), st(2, 0, &[(3, 0)])];
+        assert!(dependence_edges(&stmts).is_empty());
+    }
+
+    #[test]
+    fn recurrence_forms_a_cycle() {
+        // S0: A[i] = B[i-1]; S1: B[i] = A[i-1] → mutual carried flow.
+        let stmts = vec![st(0, 0, &[(1, -1)]), st(1, 0, &[(0, -1)])];
+        let l = InnerLoop::new(10, stmts);
+        let sccs = dependence_sccs(&l);
+        assert_eq!(sccs, vec![vec![0, 1]], "cycle collapses into one component");
+    }
+
+    #[test]
+    fn chain_distributes_in_order() {
+        // S0 → S1 → S2 via distance-1 flow deps.
+        let stmts = vec![
+            st(0, 0, &[]),
+            st(1, 0, &[(0, -1)]),
+            st(2, 0, &[(1, -1)]),
+        ];
+        let l = InnerLoop::new(10, stmts);
+        assert_eq!(dependence_sccs(&l), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn independent_components_keep_program_order() {
+        let stmts = vec![
+            st(0, 0, &[(4, 0)]),
+            st(1, 0, &[(5, 0)]),
+            st(2, 0, &[(6, 0)]),
+        ];
+        let l = InnerLoop::new(10, stmts);
+        assert_eq!(dependence_sccs(&l), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn output_dependence_orders_writers() {
+        let stmts = vec![st(0, 0, &[]), st(0, 1, &[])];
+        let edges = dependence_edges(&stmts);
+        // S0 writes A[i], S1 writes A[i+1]: S1's location is rewritten by
+        // S0 one iteration later -> S1 before S0... distance = 0 - 1 = -1,
+        // so the edge is S1 -> S0.
+        assert!(edges
+            .iter()
+            .any(|e| e.from == 1 && e.to == 0 && e.kind == DepKind::Output));
+    }
+
+    #[test]
+    fn self_recurrence_is_single_component() {
+        // A[i] = A[i-1] + 1: self-edge territory; component of one.
+        let stmts = vec![st(0, 0, &[(0, -1)])];
+        let l = InnerLoop::new(10, stmts);
+        assert_eq!(dependence_sccs(&l), vec![vec![0]]);
+    }
+}

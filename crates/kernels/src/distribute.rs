@@ -1,0 +1,160 @@
+//! Loop distribution (Kennedy–McKinley), the Section 4 compiler
+//! optimization.
+//!
+//! Splits a fat innermost loop into several thinner loops — one per
+//! strongly connected component of the statement dependence graph, in a
+//! topological order — so that each piece fits a small issue queue and can
+//! be buffered/reused. Semantics are preserved because every dependence
+//! edge either stays inside one piece (cycles) or points from an earlier
+//! piece to a later one.
+
+use crate::deps::dependence_sccs;
+use crate::ir::{InnerLoop, Kernel, LoopNest};
+
+/// Distributes one innermost loop into dependence-legal pieces.
+///
+/// Loops containing a procedure call are returned unchanged (the call is a
+/// barrier this simple model does not split around), as are loops that are
+/// already minimal.
+///
+/// # Examples
+///
+/// ```
+/// use riq_kernels::{distribute_loop, Expr, InnerLoop, Stmt};
+/// // Two independent statements over disjoint arrays split into two loops.
+/// let l = InnerLoop::new(8, vec![
+///     Stmt::new(0, 0, Expr::a(1, 0)),
+///     Stmt::new(2, 0, Expr::a(3, 0)),
+/// ]);
+/// let pieces = distribute_loop(&l);
+/// assert_eq!(pieces.len(), 2);
+/// assert_eq!(pieces[0].stmts.len(), 1);
+/// ```
+#[must_use]
+pub fn distribute_loop(l: &InnerLoop) -> Vec<InnerLoop> {
+    // The stride-1 dependence distances below are only exact for step == 1;
+    // unrolled loops are left whole.
+    if l.call.is_some() || l.stmts.len() <= 1 || l.step != 1 {
+        return vec![l.clone()];
+    }
+    let components = dependence_sccs(l);
+    if components.len() <= 1 {
+        return vec![l.clone()];
+    }
+    components
+        .into_iter()
+        .map(|idxs| InnerLoop {
+            trip: l.trip,
+            step: l.step,
+            stmts: idxs.iter().map(|&i| l.stmts[i].clone()).collect(),
+            call: None,
+        })
+        .collect()
+}
+
+/// Applies [`distribute_loop`] to every innermost loop of a kernel,
+/// returning the optimized kernel (the "Optimized" bars of Figure 9).
+#[must_use]
+pub fn distribute_kernel(k: &Kernel) -> Kernel {
+    let mut out = k.clone();
+    out.nests = k
+        .nests
+        .iter()
+        .map(|nest| LoopNest {
+            outer_trip: nest.outer_trip,
+            inners: nest.inners.iter().flat_map(distribute_loop).collect(),
+        })
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Expr, Stmt};
+
+    fn st(target: usize, off: i32, reads: &[(usize, i32)]) -> Stmt {
+        let mut rhs = Expr::Lit(0.5);
+        for &(a, c) in reads {
+            rhs = Expr::bin(BinOp::Add, rhs, Expr::a(a, c));
+        }
+        Stmt::new(target, off, rhs)
+    }
+
+    #[test]
+    fn independent_statements_fully_distribute() {
+        let l = InnerLoop::new(
+            16,
+            vec![st(0, 0, &[(4, 0)]), st(1, 0, &[(5, 0)]), st(2, 0, &[(6, 0)])],
+        );
+        let pieces = distribute_loop(&l);
+        assert_eq!(pieces.len(), 3);
+        assert!(pieces.iter().all(|p| p.trip == 16 && p.stmts.len() == 1));
+        // Program order is preserved.
+        assert_eq!(pieces[0].stmts[0].target, 0);
+        assert_eq!(pieces[2].stmts[0].target, 2);
+    }
+
+    #[test]
+    fn recurrence_stays_together() {
+        let l = InnerLoop::new(
+            16,
+            vec![st(0, 0, &[(1, -1)]), st(1, 0, &[(0, -1)]), st(2, 0, &[(5, 0)])],
+        );
+        let pieces = distribute_loop(&l);
+        assert_eq!(pieces.len(), 2);
+        let sizes: Vec<usize> = pieces.iter().map(|p| p.stmts.len()).collect();
+        assert!(sizes.contains(&2), "the two-statement cycle is one piece");
+    }
+
+    #[test]
+    fn flow_chain_orders_pieces() {
+        // S1 consumes S0's previous-iteration value: S0's loop must come
+        // first after distribution.
+        let l = InnerLoop::new(16, vec![st(0, 0, &[(9, 0)]), st(1, 0, &[(0, -1)])]);
+        let pieces = distribute_loop(&l);
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].stmts[0].target, 0);
+        assert_eq!(pieces[1].stmts[0].target, 1);
+    }
+
+    #[test]
+    fn anti_dependence_reverses_piece_order() {
+        // S1 reads A[i+1] which S0 (earlier in the body) writes in a later
+        // iteration: S1's piece must run before S0's.
+        let l = InnerLoop::new(16, vec![st(0, 0, &[(9, 0)]), st(1, 0, &[(0, 1)])]);
+        let pieces = distribute_loop(&l);
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].stmts[0].target, 1, "anti dep flips the order");
+        assert_eq!(pieces[1].stmts[0].target, 0);
+    }
+
+    #[test]
+    fn calls_are_barriers() {
+        let mut l = InnerLoop::new(16, vec![st(0, 0, &[]), st(1, 0, &[])]);
+        l.call = Some(0);
+        assert_eq!(distribute_loop(&l).len(), 1);
+    }
+
+    #[test]
+    fn kernel_distribution_multiplies_inner_loops() {
+        let mut k = Kernel::new("t", "synthetic");
+        let a = k.array("a", 64);
+        let b = k.array("b", 64);
+        let c = k.array("c", 64);
+        let d = k.array("d", 64);
+        k.nest(
+            4,
+            vec![InnerLoop::new(
+                32,
+                vec![st(a, 0, &[(c, 0)]), st(b, 0, &[(d, 0)])],
+            )],
+        );
+        let opt = distribute_kernel(&k);
+        assert_eq!(opt.nests[0].inners.len(), 2);
+        assert_eq!(opt.nests[0].outer_trip, 4);
+        assert!(opt.validate().is_ok());
+        // The original kernel is untouched.
+        assert_eq!(k.nests[0].inners.len(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Seeded random-workload generator.
+//!
+//! Produces arbitrary-but-valid loop kernels for stress and fuzz testing
+//! beyond the fixed Table 2 suite: random statement mixes, nesting,
+//! procedure calls, and trip counts, deterministically from a seed (the
+//! same seed always yields the same kernel, so failures are reproducible
+//! by quoting one integer).
+
+use crate::codegen::GUARD_ELEMS;
+use crate::ir::{BinOp, Expr, InnerLoop, Kernel, Stmt};
+
+/// Bounds for [`random_kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorParams {
+    /// Maximum arrays (2..=8).
+    pub max_arrays: u32,
+    /// Maximum loop nests.
+    pub max_nests: u32,
+    /// Maximum inner loops per nest.
+    pub max_inners: u32,
+    /// Maximum statements per inner loop.
+    pub max_stmts: u32,
+    /// Maximum inner trip count.
+    pub max_trip: u32,
+    /// Maximum outer trip count.
+    pub max_outer: u32,
+    /// Whether loops may call a generated leaf procedure.
+    pub allow_calls: bool,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> Self {
+        GeneratorParams {
+            max_arrays: 6,
+            max_nests: 2,
+            max_inners: 3,
+            max_stmts: 8,
+            max_trip: 48,
+            max_outer: 6,
+            allow_calls: true,
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift64*), good enough for workload
+/// shuffling and dependency-free.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    fn below(&mut self, n: u32) -> u32 {
+        (self.next() % u64::from(n)) as u32
+    }
+    /// Uniform in `[lo, hi]`.
+    fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.below(hi - lo + 1)
+    }
+    fn chance(&mut self, percent: u32) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Generates a random valid kernel from a seed.
+///
+/// The result always passes [`Kernel::validate`] and compiles; constants
+/// are drawn from a fixed pool of four values so the code generator's
+/// constant registers can never overflow.
+///
+/// # Examples
+///
+/// ```
+/// use riq_kernels::{compile, random_kernel, GeneratorParams};
+/// let k = random_kernel(42, GeneratorParams::default());
+/// assert!(k.validate().is_ok());
+/// assert!(compile(&k).is_ok());
+/// // Deterministic: same seed, same kernel.
+/// assert_eq!(k, random_kernel(42, GeneratorParams::default()));
+/// ```
+#[must_use]
+pub fn random_kernel(seed: u64, params: GeneratorParams) -> Kernel {
+    let mut rng = Rng::new(seed);
+    let mut k = Kernel::new(format!("rand{seed}"), "generated");
+    let max_trip = params.max_trip.clamp(2, 2000);
+    let n_arrays = rng.range(2, params.max_arrays.clamp(2, 8));
+    for i in 0..n_arrays {
+        k.array(format!("g{i}"), max_trip + 2 * GUARD_ELEMS);
+    }
+    // A fixed literal pool keeps the codegen constant registers bounded.
+    const LITS: [f64; 4] = [0.25, 0.5, 0.75, 1.5];
+    let mut lit = {
+        let mut r = Rng::new(seed ^ 0x9e37_79b9);
+        move || Expr::Lit(LITS[r.below(4) as usize])
+    };
+
+    let proc = params.allow_calls.then(|| {
+        k.proc(
+            "leaf",
+            vec![Stmt::new(
+                0,
+                0,
+                Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, Expr::a(0, 0), lit()), lit()),
+            )],
+        )
+    });
+
+    let n_nests = rng.range(1, params.max_nests.max(1));
+    for _ in 0..n_nests {
+        let outer = rng.range(1, params.max_outer.max(1));
+        let n_inners = rng.range(1, params.max_inners.max(1));
+        let mut inners = Vec::new();
+        for _ in 0..n_inners {
+            let trip = rng.range(2, max_trip);
+            let n_stmts = rng.range(1, params.max_stmts.max(1));
+            let mut stmts = Vec::new();
+            for _ in 0..n_stmts {
+                let target = rng.below(n_arrays) as usize;
+                let toff = rng.range(0, 2) as i32 - 1;
+                let mut rhs = Expr::a(rng.below(n_arrays) as usize, rng.range(0, 2) as i32 - 1);
+                for _ in 0..rng.below(3) {
+                    let op = match rng.below(3) {
+                        0 => BinOp::Add,
+                        1 => BinOp::Sub,
+                        _ => BinOp::Mul,
+                    };
+                    let operand = if rng.chance(40) {
+                        lit()
+                    } else {
+                        Expr::a(rng.below(n_arrays) as usize, rng.range(0, 2) as i32 - 1)
+                    };
+                    rhs = Expr::bin(op, rhs, operand);
+                }
+                stmts.push(Stmt::new(target, toff, rhs));
+            }
+            let mut inner = InnerLoop::new(trip, stmts);
+            if let Some(p) = proc {
+                if rng.chance(25) {
+                    inner = inner.with_call(p);
+                }
+            }
+            inners.push(inner);
+        }
+        k.nest(outer, inners);
+    }
+    debug_assert!(k.validate().is_ok(), "generator produced an invalid kernel");
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = GeneratorParams::default();
+        assert_eq!(random_kernel(7, p), random_kernel(7, p));
+        assert_ne!(random_kernel(7, p), random_kernel(8, p));
+    }
+
+    #[test]
+    fn always_valid_and_compilable() {
+        for seed in 0..200 {
+            let k = random_kernel(seed, GeneratorParams::default());
+            assert!(k.validate().is_ok(), "seed {seed}");
+            assert!(compile(&k).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let p = GeneratorParams {
+            max_arrays: 3,
+            max_nests: 1,
+            max_inners: 1,
+            max_stmts: 2,
+            max_trip: 8,
+            max_outer: 2,
+            allow_calls: false,
+        };
+        for seed in 0..50 {
+            let k = random_kernel(seed, p);
+            assert!(k.arrays.len() <= 3, "seed {seed}");
+            assert_eq!(k.nests.len(), 1);
+            assert!(k.nests[0].inners.len() == 1);
+            assert!(k.nests[0].inners[0].stmts.len() <= 2);
+            assert!(k.nests[0].inners[0].trip <= 8);
+            assert!(k.nests[0].inners[0].call.is_none());
+        }
+    }
+
+    #[test]
+    fn calls_appear_when_allowed() {
+        let p = GeneratorParams { allow_calls: true, ..GeneratorParams::default() };
+        let any_call = (0..100)
+            .any(|seed| {
+                random_kernel(seed, p)
+                    .nests
+                    .iter()
+                    .any(|n| n.inners.iter().any(|l| l.call.is_some()))
+            });
+        assert!(any_call, "25% call probability must fire within 100 seeds");
+    }
+}

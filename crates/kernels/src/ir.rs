@@ -1,0 +1,389 @@
+//! Loop-nest intermediate representation.
+//!
+//! The paper's benchmarks are array-intensive Fortran loop nests. We do
+//! not have the original sources or a Fortran front-end, so each benchmark
+//! is expressed in this small IR — stride-1 affine statements inside
+//! rectangular loop nests — which is rich enough to carry the properties
+//! the paper's evaluation depends on: innermost-loop body size relative to
+//! the issue queue, nesting (outer loops are non-bufferable), procedure
+//! calls inside loops, and the dependences that the Section 4 loop
+//! distribution pass must respect.
+
+use std::fmt;
+
+/// Identifies an array declared in a [`Kernel`].
+pub type ArrayId = usize;
+/// Identifies a procedure declared in a [`Kernel`].
+pub type ProcId = usize;
+
+/// Binary floating-point operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (long-latency; use sparingly, as real kernels do).
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A floating-point expression over the loop index `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant (pooled into FP registers by the code generator).
+    Lit(f64),
+    /// `A[i + offset]`.
+    Ref(ArrayId, i32),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for `A[i + off]`.
+    #[must_use]
+    pub fn a(array: ArrayId, off: i32) -> Expr {
+        Expr::Ref(array, off)
+    }
+
+    /// Convenience constructor for a binary node.
+    #[must_use]
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// All array references in this expression, in evaluation order.
+    pub fn refs(&self, out: &mut Vec<(ArrayId, i32)>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Ref(a, c) => out.push((*a, *c)),
+            Expr::Bin(_, l, r) => {
+                l.refs(out);
+                r.refs(out);
+            }
+        }
+    }
+
+    /// All literal constants, in evaluation order.
+    pub fn lits(&self, out: &mut Vec<f64>) {
+        match self {
+            Expr::Lit(v) => out.push(*v),
+            Expr::Ref(..) => {}
+            Expr::Bin(_, l, r) => {
+                l.lits(out);
+                r.lits(out);
+            }
+        }
+    }
+
+    /// Maximum evaluation-stack depth (FP registers the codegen needs).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Ref(..) => 1,
+            Expr::Bin(_, l, r) => l.depth().max(r.depth() + 1),
+        }
+    }
+}
+
+/// One statement of an innermost loop: `target_array[i + off] = rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Written array.
+    pub target: ArrayId,
+    /// Write offset from `i`.
+    pub offset: i32,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+impl Stmt {
+    /// Builds a statement.
+    #[must_use]
+    pub fn new(target: ArrayId, offset: i32, rhs: Expr) -> Stmt {
+        Stmt { target, offset, rhs }
+    }
+
+    /// Reads `(array, offset)` pairs of the right-hand side.
+    #[must_use]
+    pub fn reads(&self) -> Vec<(ArrayId, i32)> {
+        let mut out = Vec::new();
+        self.rhs.refs(&mut out);
+        out
+    }
+
+    /// All arrays the statement touches (write target first).
+    #[must_use]
+    pub fn arrays(&self) -> Vec<ArrayId> {
+        let mut out = vec![self.target];
+        for (a, _) in self.reads() {
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+}
+
+/// An innermost loop executing its body `trip` times; the loop index
+/// advances by `step` array elements per iteration (`step > 1` after
+/// unrolling: iteration `i` covers original indices `i*step + 0..step`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnerLoop {
+    /// Trip count (body executions).
+    pub trip: u32,
+    /// Elements the moving pointers advance per iteration (1 unless
+    /// unrolled).
+    pub step: u32,
+    /// Loop body statements, in program order.
+    pub stmts: Vec<Stmt>,
+    /// Optional procedure called once per iteration, after the statements
+    /// (exercises the paper's §2.2.2 procedure handling).
+    pub call: Option<ProcId>,
+}
+
+impl InnerLoop {
+    /// A plain stride-1 loop with no call.
+    #[must_use]
+    pub fn new(trip: u32, stmts: Vec<Stmt>) -> InnerLoop {
+        InnerLoop { trip, step: 1, stmts, call: None }
+    }
+
+    /// Adds a per-iteration procedure call.
+    #[must_use]
+    pub fn with_call(mut self, proc: ProcId) -> InnerLoop {
+        self.call = Some(proc);
+        self
+    }
+
+    /// Arrays used anywhere in the loop.
+    #[must_use]
+    pub fn arrays(&self) -> Vec<ArrayId> {
+        let mut out = Vec::new();
+        for s in &self.stmts {
+            for a in s.arrays() {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An outer loop wrapping a sequence of inner loops.
+///
+/// `outer_trip == 1` models straight-line phases (e.g. array
+/// initialization) that run once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    /// Outer trip count.
+    pub outer_trip: u32,
+    /// Inner loops executed in sequence per outer iteration.
+    pub inners: Vec<InnerLoop>,
+}
+
+/// A leaf procedure: a short statement sequence over a pointer argument,
+/// applied at offset 0 (called with the first array's moving pointer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Procedure {
+    /// Name (label in the generated code).
+    pub name: String,
+    /// Statements, all interpreted with `i = 0` relative to the pointer.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A named array with its element count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Name (data label in the generated code).
+    pub name: String,
+    /// Elements (doubles).
+    pub len: u32,
+}
+
+/// A whole benchmark kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Benchmark name (Table 2).
+    pub name: String,
+    /// Benchmark provenance in the paper's Table 2 (e.g. "Perfect Club").
+    pub source: String,
+    /// Declared arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// Loop nests, executed in sequence.
+    pub nests: Vec<LoopNest>,
+    /// Leaf procedures callable from inner loops.
+    pub procs: Vec<Procedure>,
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    #[must_use]
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Kernel {
+        Kernel {
+            name: name.into(),
+            source: source.into(),
+            arrays: Vec::new(),
+            nests: Vec::new(),
+            procs: Vec::new(),
+        }
+    }
+
+    /// Declares an array, returning its id.
+    pub fn array(&mut self, name: impl Into<String>, len: u32) -> ArrayId {
+        self.arrays.push(ArrayDecl { name: name.into(), len });
+        self.arrays.len() - 1
+    }
+
+    /// Declares a procedure, returning its id.
+    pub fn proc(&mut self, name: impl Into<String>, stmts: Vec<Stmt>) -> ProcId {
+        self.procs.push(Procedure { name: name.into(), stmts });
+        self.procs.len() - 1
+    }
+
+    /// Appends a loop nest.
+    pub fn nest(&mut self, outer_trip: u32, inners: Vec<InnerLoop>) -> &mut Self {
+        self.nests.push(LoopNest { outer_trip, inners });
+        self
+    }
+
+    /// Total dynamic statement executions (a rough work measure used to
+    /// balance benchmark run lengths).
+    #[must_use]
+    pub fn dynamic_stmts(&self) -> u64 {
+        self.nests
+            .iter()
+            .map(|n| {
+                u64::from(n.outer_trip)
+                    * n.inners
+                        .iter()
+                        .map(|l| u64::from(l.trip) * (l.stmts.len() as u64).max(1))
+                        .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Validates that every reference stays within its array (given the
+    /// code generator's guard band) and ids are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (ni, nest) in self.nests.iter().enumerate() {
+            for (li, inner) in nest.inners.iter().enumerate() {
+                for (si, s) in inner.stmts.iter().enumerate() {
+                    let mut refs = vec![(s.target, s.offset)];
+                    refs.extend(s.reads());
+                    for (a, c) in refs {
+                        let Some(decl) = self.arrays.get(a) else {
+                            return Err(format!(
+                                "nest {ni} loop {li} stmt {si}: unknown array id {a}"
+                            ));
+                        };
+                        if c.unsigned_abs() > crate::codegen::GUARD_ELEMS {
+                            return Err(format!(
+                                "nest {ni} loop {li} stmt {si}: offset {c} exceeds guard band"
+                            ));
+                        }
+                        if inner.trip * inner.step.max(1) > decl.len {
+                            return Err(format!(
+                                "nest {ni} loop {li}: trip {} x step {} exceeds array {} length {}",
+                                inner.trip, inner.step, decl.name, decl.len
+                            ));
+                        }
+                    }
+                }
+                if inner.step == 0 {
+                    return Err(format!("nest {ni} loop {li}: step must be non-zero"));
+                }
+                if let Some(p) = inner.call {
+                    if p >= self.procs.len() {
+                        return Err(format!("nest {ni} loop {li}: unknown procedure {p}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Kernel {
+        let mut k = Kernel::new("demo", "synthetic");
+        let a = k.array("a", 128);
+        let b = k.array("b", 128);
+        let s = Stmt::new(a, 0, Expr::bin(BinOp::Add, Expr::a(b, 0), Expr::Lit(1.0)));
+        k.nest(10, vec![InnerLoop::new(100, vec![s])]);
+        k
+    }
+
+    #[test]
+    fn expr_refs_and_depth() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::a(0, -1), Expr::Lit(2.0)),
+            Expr::a(1, 1),
+        );
+        let mut refs = Vec::new();
+        e.refs(&mut refs);
+        assert_eq!(refs, vec![(0, -1), (1, 1)]);
+        let mut lits = Vec::new();
+        e.lits(&mut lits);
+        assert_eq!(lits, vec![2.0]);
+        assert_eq!(e.depth(), 2);
+        let deep = Expr::bin(BinOp::Add, Expr::a(0, 0), e.clone());
+        assert_eq!(deep.depth(), 3);
+    }
+
+    #[test]
+    fn stmt_accessors() {
+        let s = Stmt::new(2, 1, Expr::bin(BinOp::Sub, Expr::a(0, 0), Expr::a(2, -1)));
+        assert_eq!(s.reads(), vec![(0, 0), (2, -1)]);
+        assert_eq!(s.arrays(), vec![2, 0]);
+    }
+
+    #[test]
+    fn kernel_builders_and_counts() {
+        let k = sample();
+        assert_eq!(k.arrays.len(), 2);
+        assert_eq!(k.dynamic_stmts(), 1000);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut k = sample();
+        k.nests[0].inners[0].stmts[0].target = 9;
+        assert!(k.validate().unwrap_err().contains("unknown array"));
+
+        let mut k = sample();
+        k.nests[0].inners[0].trip = 4096;
+        assert!(k.validate().unwrap_err().contains("exceeds array"));
+
+        let mut k = sample();
+        k.nests[0].inners[0].stmts[0].offset = 999;
+        assert!(k.validate().unwrap_err().contains("guard band"));
+
+        let mut k = sample();
+        k.nests[0].inners[0].call = Some(3);
+        assert!(k.validate().unwrap_err().contains("unknown procedure"));
+    }
+}

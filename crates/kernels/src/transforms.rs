@@ -1,0 +1,280 @@
+//! Further loop transformations: unrolling and fusion.
+//!
+//! The paper's conclusion notes that "compiler optimizations (loop
+//! transformations) can further gear the code towards a given issue queue
+//! size". [`crate::distribute_kernel`] shrinks loop bodies (Section 4);
+//! this module provides the two complementary levers:
+//!
+//! * [`unroll_loop`] **grows** a too-small body so a large queue buffers
+//!   fewer, bigger iterations (fewer reuse-pointer wraps);
+//! * [`fuse_loops`] merges adjacent compatible loops — the inverse of
+//!   distribution — useful as an ablation showing *why* distribution
+//!   helps (fusing the distributed kernels back re-creates the fat,
+//!   uncapturable bodies).
+
+use crate::deps::dependence_edges;
+use crate::ir::{InnerLoop, Kernel, LoopNest, Stmt};
+
+/// Maximum reference offset magnitude allowed after unrolling (must stay
+/// within the code generator's guard band).
+const MAX_OFFSET: i32 = crate::codegen::GUARD_ELEMS as i32 - 1;
+
+/// Unrolls a loop by `factor`, returning `None` when unrolling is not
+/// applicable: factor < 2, a procedure call in the body, a trip count not
+/// divisible by the factor, or shifted offsets leaving the guard band.
+///
+/// Replica `j` of each statement has every offset shifted by `j`; the
+/// resulting loop advances `factor × step` elements per iteration, so the
+/// memory footprint and semantics are unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use riq_kernels::{unroll_loop, Expr, InnerLoop, Stmt};
+/// let l = InnerLoop::new(32, vec![Stmt::new(0, 0, Expr::a(1, 0))]);
+/// let u = unroll_loop(&l, 4).expect("32 % 4 == 0");
+/// assert_eq!(u.trip, 8);
+/// assert_eq!(u.step, 4);
+/// assert_eq!(u.stmts.len(), 4);
+/// assert_eq!(u.stmts[3].offset, 3);
+/// ```
+#[must_use]
+pub fn unroll_loop(l: &InnerLoop, factor: u32) -> Option<InnerLoop> {
+    if factor < 2 || l.call.is_some() || !l.trip.is_multiple_of(factor) || l.stmts.is_empty() {
+        return None;
+    }
+    let shift_max = factor as i32 - 1;
+    // Check every shifted offset stays inside the guard band.
+    for s in &l.stmts {
+        let mut offs = vec![s.offset];
+        offs.extend(s.reads().into_iter().map(|(_, c)| c));
+        for c in offs {
+            if c + shift_max > MAX_OFFSET || c < -MAX_OFFSET {
+                return None;
+            }
+        }
+    }
+    let mut stmts = Vec::with_capacity(l.stmts.len() * factor as usize);
+    for j in 0..factor as i32 {
+        for s in &l.stmts {
+            stmts.push(shift_stmt(s, j));
+        }
+    }
+    Some(InnerLoop { trip: l.trip / factor, step: l.step * factor, stmts, call: None })
+}
+
+fn shift_stmt(s: &Stmt, by: i32) -> Stmt {
+    use crate::ir::Expr;
+    fn shift_expr(e: &Expr, by: i32) -> Expr {
+        match e {
+            Expr::Lit(v) => Expr::Lit(*v),
+            Expr::Ref(a, c) => Expr::Ref(*a, c + by),
+            Expr::Bin(op, l, r) => {
+                Expr::Bin(*op, Box::new(shift_expr(l, by)), Box::new(shift_expr(r, by)))
+            }
+        }
+    }
+    Stmt::new(s.target, s.offset + by, shift_expr(&s.rhs, by))
+}
+
+/// Applies [`unroll_loop`] with `factor` to every innermost loop where it
+/// is legal, leaving the others untouched.
+#[must_use]
+pub fn unroll_kernel(k: &Kernel, factor: u32) -> Kernel {
+    let mut out = k.clone();
+    out.nests = k
+        .nests
+        .iter()
+        .map(|nest| LoopNest {
+            outer_trip: nest.outer_trip,
+            inners: nest
+                .inners
+                .iter()
+                .map(|l| unroll_loop(l, factor).unwrap_or_else(|| l.clone()))
+                .collect(),
+        })
+        .collect();
+    out
+}
+
+/// Fuses two adjacent loops into one, returning `None` when fusion is
+/// illegal: differing trip counts or steps, procedure calls, or a
+/// fusion-preventing dependence (any dependence that would point from a
+/// second-loop statement back into a first-loop statement once the bodies
+/// are interleaved).
+///
+/// # Examples
+///
+/// ```
+/// use riq_kernels::{fuse_loops, Expr, InnerLoop, Stmt};
+/// let a = InnerLoop::new(16, vec![Stmt::new(0, 0, Expr::a(2, 0))]);
+/// let b = InnerLoop::new(16, vec![Stmt::new(1, 0, Expr::a(0, 0))]);
+/// let fused = fuse_loops(&a, &b).expect("forward dependence fuses fine");
+/// assert_eq!(fused.stmts.len(), 2);
+/// ```
+#[must_use]
+pub fn fuse_loops(a: &InnerLoop, b: &InnerLoop) -> Option<InnerLoop> {
+    if a.trip != b.trip || a.step != b.step || a.call.is_some() || b.call.is_some() {
+        return None;
+    }
+    let mut stmts = a.stmts.clone();
+    stmts.extend(b.stmts.iter().cloned());
+    let split = a.stmts.len();
+    // Fusion-preventing dependence: in the fused body, an edge from a
+    // b-statement to an a-statement means the original "all of A before
+    // all of B" order cannot be recovered by the interleaved execution.
+    for e in dependence_edges(&stmts) {
+        if e.from >= split && e.to < split {
+            return None;
+        }
+    }
+    Some(InnerLoop { trip: a.trip, step: a.step, stmts, call: None })
+}
+
+/// Greedily fuses adjacent compatible inner loops in every nest — the
+/// inverse of [`crate::distribute_kernel`], used by the transform
+/// ablation.
+#[must_use]
+pub fn fuse_kernel(k: &Kernel) -> Kernel {
+    let mut out = k.clone();
+    out.nests = k
+        .nests
+        .iter()
+        .map(|nest| {
+            let mut inners: Vec<InnerLoop> = Vec::new();
+            for l in &nest.inners {
+                if let Some(last) = inners.last() {
+                    if let Some(fused) = fuse_loops(last, l) {
+                        *inners.last_mut().expect("non-empty") = fused;
+                        continue;
+                    }
+                }
+                inners.push(l.clone());
+            }
+            LoopNest { outer_trip: nest.outer_trip, inners }
+        })
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribute::distribute_kernel;
+    use crate::ir::{BinOp, Expr};
+
+    fn st(t: usize, off: i32, reads: &[(usize, i32)]) -> Stmt {
+        let mut rhs = Expr::Lit(0.5);
+        for &(a, c) in reads {
+            rhs = Expr::bin(BinOp::Add, rhs, Expr::a(a, c));
+        }
+        Stmt::new(t, off, rhs)
+    }
+
+    #[test]
+    fn unroll_shifts_offsets_per_replica() {
+        let l = InnerLoop::new(24, vec![st(0, 0, &[(1, -1)]), st(2, 1, &[(1, 1)])]);
+        let u = unroll_loop(&l, 3).expect("24 % 3 == 0");
+        assert_eq!(u.trip, 8);
+        assert_eq!(u.step, 3);
+        assert_eq!(u.stmts.len(), 6);
+        // Replica 2 of the second statement: target offset 1+2, read 1+2.
+        assert_eq!(u.stmts[5].offset, 3);
+        assert_eq!(u.stmts[5].reads(), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn unroll_rejections() {
+        let l = InnerLoop::new(24, vec![st(0, 0, &[])]);
+        assert!(unroll_loop(&l, 1).is_none(), "factor 1 is a no-op");
+        assert!(unroll_loop(&l, 5).is_none(), "24 % 5 != 0");
+        let mut with_call = l.clone();
+        with_call.call = Some(0);
+        assert!(unroll_loop(&with_call, 2).is_none(), "calls block unrolling");
+        // An offset that would leave the guard band.
+        let wide = InnerLoop::new(24, vec![st(0, 6, &[])]);
+        assert!(unroll_loop(&wide, 4).is_none(), "6+3 exceeds the guard band");
+    }
+
+    #[test]
+    fn unrolled_kernel_is_semantically_identical() {
+        use riq_emu::Machine;
+        let mut k = Kernel::new("unr", "synthetic");
+        let a = k.array("a", 64);
+        let b = k.array("b", 64);
+        k.nest(
+            3,
+            vec![InnerLoop::new(
+                48,
+                vec![st(a, 0, &[(b, -1), (b, 1)]), st(b, 0, &[(a, 0)])],
+            )],
+        );
+        let opt = unroll_kernel(&k, 4);
+        assert_eq!(opt.nests[0].inners[0].trip, 12);
+        assert!(opt.validate().is_ok());
+        let run = |k: &Kernel| {
+            let p = crate::codegen::compile(k).expect("compiles");
+            let mut m = Machine::new(&p);
+            m.run(10_000_000).expect("halts");
+            let base = p.symbol(&format!("{}_a", k.name)).expect("symbol")
+                + crate::codegen::GUARD_ELEMS * 8;
+            (0..48u32)
+                .map(|i| m.memory().load_u64(base + 8 * i).expect("aligned"))
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(run(&k), run(&opt), "unrolling preserves array contents");
+    }
+
+    #[test]
+    fn fusion_of_forward_dependence_is_legal() {
+        let a = InnerLoop::new(16, vec![st(0, 0, &[(3, 0)])]);
+        let b = InnerLoop::new(16, vec![st(1, 0, &[(0, 0)])]);
+        let fused = fuse_loops(&a, &b).expect("flow at distance 0 fuses");
+        assert_eq!(fused.stmts.len(), 2);
+    }
+
+    #[test]
+    fn fusion_preventing_dependence_rejected() {
+        // B reads A's array at i+1: after fusion, iteration i of B would
+        // read a location A has not written yet — but in the original, all
+        // of A ran first. Edge b->a => illegal.
+        let a = InnerLoop::new(16, vec![st(0, 0, &[(3, 0)])]);
+        let b = InnerLoop::new(16, vec![st(1, 0, &[(0, 1)])]);
+        assert!(fuse_loops(&a, &b).is_none());
+    }
+
+    #[test]
+    fn fusion_shape_mismatches_rejected() {
+        let a = InnerLoop::new(16, vec![st(0, 0, &[])]);
+        let b = InnerLoop::new(8, vec![st(1, 0, &[])]);
+        assert!(fuse_loops(&a, &b).is_none(), "trip mismatch");
+        let mut c = InnerLoop::new(16, vec![st(1, 0, &[])]);
+        c.step = 2;
+        assert!(fuse_loops(&a, &c).is_none(), "step mismatch");
+    }
+
+    #[test]
+    fn fusing_a_distributed_kernel_preserves_semantics() {
+        use riq_emu::Machine;
+        let k = crate::suite::by_name("eflux").expect("table 2 kernel");
+        let dist = distribute_kernel(&k);
+        let refused = fuse_kernel(&dist);
+        assert!(refused.validate().is_ok());
+        assert!(
+            refused.nests[0].inners.len() < dist.nests[0].inners.len(),
+            "fusion must merge at least some adjacent pieces"
+        );
+        let digest = |k: &Kernel| {
+            let p = crate::codegen::compile(k).expect("compiles");
+            let mut m = Machine::new(&p);
+            m.run(100_000_000).expect("halts");
+            // Compare one array's contents (text layout differs).
+            let base = p.symbol(&format!("{}_rho", k.name)).expect("symbol")
+                + crate::codegen::GUARD_ELEMS * 8;
+            (0..16u32)
+                .map(|i| m.memory().load_u64(base + 8 * i).expect("aligned"))
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(digest(&dist), digest(&refused));
+    }
+}

@@ -1,0 +1,335 @@
+//! Set-associative cache timing model.
+//!
+//! This models *timing and activity only* — data values live in the
+//! functional memory. The model is a write-back, write-allocate,
+//! true-LRU set-associative cache, matching SimpleScalar's `cache.c`
+//! defaults used by the paper's baseline (Table 1).
+
+use std::error::Error;
+use std::fmt;
+
+/// Geometry and latency of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u32,
+    /// Access latency in cycles on a hit.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.sets * self.ways * self.line_bytes
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any dimension is zero or a non-power-of-two
+    /// where a power of two is required.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if self.sets == 0 || !self.sets.is_power_of_two() {
+            return Err(CacheConfigError::BadSets(self.sets));
+        }
+        if self.ways == 0 {
+            return Err(CacheConfigError::BadWays(self.ways));
+        }
+        if self.line_bytes < 4 || !self.line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::BadLine(self.line_bytes));
+        }
+        Ok(())
+    }
+}
+
+/// Error validating a [`CacheConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// Set count must be a non-zero power of two.
+    BadSets(u32),
+    /// Associativity must be non-zero.
+    BadWays(u32),
+    /// Line size must be a power of two and at least 4 bytes.
+    BadLine(u32),
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::BadSets(n) => {
+                write!(f, "cache sets must be a non-zero power of two, got {n}")
+            }
+            CacheConfigError::BadWays(n) => write!(f, "cache ways must be non-zero, got {n}"),
+            CacheConfigError::BadLine(n) => {
+                write!(f, "cache line size must be a power of two >= 4, got {n}")
+            }
+        }
+    }
+}
+
+impl Error for CacheConfigError {}
+
+/// Per-cache activity counters (inputs to the power model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses presented to the cache.
+    pub reads: u64,
+    /// Write accesses presented to the cache.
+    pub writes: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Miss ratio in `[0, 1]`, zero when idle.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u32,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Address of a dirty line evicted by the fill, if any.
+    pub writeback_of: Option<u32>,
+}
+
+/// A write-back, write-allocate, true-LRU set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use riq_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { sets: 2, ways: 1, line_bytes: 16, hit_latency: 1 })?;
+/// assert!(!c.access(0x100, false).hit, "cold miss");
+/// assert!(c.access(0x104, false).hit, "same line");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Option<Line>>, // sets * ways, row-major by set
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(cfg: CacheConfig) -> Result<Cache, CacheConfigError> {
+        cfg.validate()?;
+        Ok(Cache {
+            cfg,
+            lines: vec![None; (cfg.sets * cfg.ways) as usize],
+            stats: CacheStats::default(),
+            tick: 0,
+        })
+    }
+
+    /// The cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Activity counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_and_tag(&self, addr: u32) -> (u32, u32) {
+        let line = addr / self.cfg.line_bytes;
+        (line % self.cfg.sets, line / self.cfg.sets)
+    }
+
+    /// Presents an access; fills on miss (write-allocate) and returns the
+    /// hit/miss outcome plus any dirty eviction.
+    pub fn access(&mut self, addr: u32, is_write: bool) -> CacheAccess {
+        self.tick += 1;
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let (set, tag) = self.set_and_tag(addr);
+        let base = (set * self.cfg.ways) as usize;
+        let ways = &mut self.lines[base..base + self.cfg.ways as usize];
+
+        // Hit?
+        for line in ways.iter_mut().flatten() {
+            if line.tag == tag {
+                line.last_use = self.tick;
+                line.dirty |= is_write;
+                self.stats.hits += 1;
+                return CacheAccess { hit: true, writeback_of: None };
+            }
+        }
+        self.stats.misses += 1;
+
+        // Fill: choose an invalid way or the LRU victim.
+        let victim = match ways.iter().position(Option::is_none) {
+            Some(i) => i,
+            None => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.map_or(0, |l| l.last_use))
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        };
+        let mut writeback_of = None;
+        if let Some(old) = ways[victim] {
+            if old.dirty {
+                self.stats.writebacks += 1;
+                let old_line = old.tag * self.cfg.sets + set;
+                writeback_of = Some(old_line * self.cfg.line_bytes);
+            }
+        }
+        ways[victim] = Some(Line { tag, dirty: is_write, last_use: self.tick });
+        CacheAccess { hit: false, writeback_of }
+    }
+
+    /// Invalidates all lines, discarding dirty data (used between runs).
+    pub fn flush(&mut self) {
+        self.lines.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(sets: u32, ways: u32, line: u32) -> Cache {
+        Cache::new(CacheConfig { sets, ways, line_bytes: line, hit_latency: 1 }).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CacheConfig { sets: 0, ways: 1, line_bytes: 16, hit_latency: 1 }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { sets: 3, ways: 1, line_bytes: 16, hit_latency: 1 }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { sets: 4, ways: 0, line_bytes: 16, hit_latency: 1 }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { sets: 4, ways: 2, line_bytes: 2, hit_latency: 1 }
+            .validate()
+            .is_err());
+        let ok = CacheConfig { sets: 128, ways: 4, line_bytes: 32, hit_latency: 1 };
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.capacity(), 16384);
+    }
+
+    #[test]
+    fn spatial_locality_hits() {
+        let mut c = mk(4, 1, 32);
+        assert!(!c.access(0x1000, false).hit);
+        for off in (4..32).step_by(4) {
+            assert!(c.access(0x1000 + off, false).hit, "offset {off}");
+        }
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 7);
+    }
+
+    #[test]
+    fn conflict_misses_in_direct_mapped() {
+        let mut c = mk(2, 1, 16);
+        // 0x00 and 0x20 map to set 0 with different tags.
+        assert!(!c.access(0x00, false).hit);
+        assert!(!c.access(0x20, false).hit);
+        assert!(!c.access(0x00, false).hit, "evicted by 0x20");
+    }
+
+    #[test]
+    fn lru_replacement_order() {
+        let mut c = mk(1, 2, 16);
+        c.access(0x00, false); // A
+        c.access(0x10, false); // B
+        c.access(0x00, false); // touch A => B is LRU
+        c.access(0x20, false); // C evicts B
+        assert!(c.access(0x00, false).hit, "A stayed");
+        assert!(!c.access(0x10, false).hit, "B was evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = mk(1, 1, 16);
+        c.access(0x40, true); // dirty line at 0x40
+        let res = c.access(0x80, false);
+        assert!(!res.hit);
+        assert_eq!(res.writeback_of, Some(0x40));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = mk(1, 1, 16);
+        c.access(0x40, false);
+        let res = c.access(0x80, false);
+        assert_eq!(res.writeback_of, None);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn write_allocate() {
+        let mut c = mk(4, 2, 32);
+        assert!(!c.access(0x100, true).hit);
+        assert!(c.access(0x100, false).hit, "write allocated the line");
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = mk(4, 2, 32);
+        c.access(0x100, false);
+        c.flush();
+        assert!(!c.access(0x100, false).hit);
+    }
+
+    #[test]
+    fn stats_identities() {
+        let mut c = mk(8, 2, 32);
+        for i in 0..100u32 {
+            c.access(i * 8, i % 3 == 0);
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, s.accesses());
+        assert!(s.miss_rate() > 0.0 && s.miss_rate() <= 1.0);
+    }
+}

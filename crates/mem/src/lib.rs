@@ -1,0 +1,44 @@
+//! # riq-mem — memory-hierarchy timing models
+//!
+//! Timing and activity models for the memory system of the paper's Table 1
+//! baseline: split 32 KB L1 caches, a 256 KB unified L2, I/D TLBs, and a
+//! chunked main-memory latency model. These are *timing* models only —
+//! data values live in the functional memory of `riq-emu`, exactly as in
+//! SimpleScalar, whose `cache.c` this crate mirrors.
+//!
+//! The cycle simulator asks two questions per access and overlaps the
+//! answers out of order:
+//!
+//! * [`MemoryHierarchy::fetch_latency`] — instruction fetch (ITLB → L1I →
+//!   L2 → memory);
+//! * [`MemoryHierarchy::data_latency`] — load/store (DTLB → L1D → L2 →
+//!   memory, with dirty-eviction write-backs).
+//!
+//! Every structure keeps activity counters ([`CacheStats`]) that the
+//! `riq-power` model turns into energy.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use riq_mem::{HierarchyConfig, MemoryHierarchy};
+//!
+//! let mut mem = MemoryHierarchy::new(HierarchyConfig::table1())?;
+//! let cold = mem.data_latency(0x1000_0000, false);
+//! let warm = mem.data_latency(0x1000_0000, false);
+//! assert!(cold > warm);
+//! assert_eq!(mem.stats().dl1.accesses(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod hierarchy;
+mod tlb;
+
+pub use cache::{Cache, CacheAccess, CacheConfig, CacheConfigError, CacheStats};
+pub use hierarchy::{HierarchyConfig, HierarchyStats, MainMemoryConfig, MemoryHierarchy};
+pub use tlb::{Tlb, TlbConfig, PAGE_BYTES};

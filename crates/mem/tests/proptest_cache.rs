@@ -1,0 +1,121 @@
+//! Model-based property tests: the set-associative cache against a naive
+//! reference implementation, and metamorphic properties of the hierarchy.
+
+use proptest::prelude::*;
+use riq_mem::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy, Tlb, TlbConfig};
+use std::collections::VecDeque;
+
+/// A trivially correct LRU set-associative cache.
+struct RefCache {
+    sets: u32,
+    ways: usize,
+    line: u32,
+    // Per set: most-recent at the back; (tag, dirty).
+    content: Vec<VecDeque<(u32, bool)>>,
+}
+
+impl RefCache {
+    fn new(sets: u32, ways: u32, line: u32) -> RefCache {
+        RefCache {
+            sets,
+            ways: ways as usize,
+            line,
+            content: vec![VecDeque::new(); sets as usize],
+        }
+    }
+
+    /// Returns (hit, writeback_of).
+    fn access(&mut self, addr: u32, is_write: bool) -> (bool, Option<u32>) {
+        let lineno = addr / self.line;
+        let set = (lineno % self.sets) as usize;
+        let tag = lineno / self.sets;
+        let q = &mut self.content[set];
+        if let Some(pos) = q.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = q.remove(pos).expect("present");
+            q.push_back((t, d || is_write));
+            return (true, None);
+        }
+        let mut wb = None;
+        if q.len() == self.ways {
+            let (vt, vd) = q.pop_front().expect("full set");
+            if vd {
+                wb = Some((vt * self.sets + set as u32) * self.line);
+            }
+        }
+        q.push_back((tag, is_write));
+        (false, wb)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cache_matches_reference_model(
+        sets_log in 0u32..6,
+        ways in 1u32..5,
+        line_log in 2u32..7,
+        ops in prop::collection::vec((0u32..0x8000, any::<bool>()), 1..300)
+    ) {
+        let sets = 1 << sets_log;
+        let line = 1 << line_log;
+        let mut dut = Cache::new(CacheConfig { sets, ways, line_bytes: line, hit_latency: 1 })
+            .expect("valid geometry");
+        let mut model = RefCache::new(sets, ways, line);
+        for (addr, is_write) in ops {
+            let got = dut.access(addr, is_write);
+            let (hit, wb) = model.access(addr, is_write);
+            prop_assert_eq!(got.hit, hit, "addr {:#x} write {}", addr, is_write);
+            prop_assert_eq!(got.writeback_of, wb, "addr {:#x}", addr);
+        }
+        let s = dut.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses());
+    }
+
+    #[test]
+    fn repeat_access_always_hits(addr in 0u32..0x10_0000, is_write in any::<bool>()) {
+        let mut c = Cache::new(CacheConfig { sets: 64, ways: 2, line_bytes: 32, hit_latency: 1 })
+            .expect("valid");
+        let _ = c.access(addr, is_write);
+        prop_assert!(c.access(addr & !3, false).hit, "immediate re-access must hit");
+    }
+
+    #[test]
+    fn tlb_penalty_is_all_or_nothing(addrs in prop::collection::vec(0u32..0x100_0000, 1..100)) {
+        let mut tlb = Tlb::new(TlbConfig { sets: 16, ways: 4, miss_penalty: 30 }).expect("valid");
+        for a in addrs {
+            let lat = tlb.translate(a);
+            prop_assert!(lat == 0 || lat == 30, "latency {lat}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_latency_bounds(
+        accesses in prop::collection::vec((0u32..0x40_0000, any::<bool>()), 1..200)
+    ) {
+        let cfg = HierarchyConfig::table1();
+        let mut h = MemoryHierarchy::new(cfg).expect("valid");
+        // Worst case: ITLB/DTLB miss + L1 miss + L2 miss + full line fill.
+        let max = 30 + 1 + 8 + cfg.memory.fill_latency(cfg.l2.line_bytes);
+        for (addr, w) in accesses {
+            let lat = h.data_latency(addr * 4, w);
+            prop_assert!(lat >= 1 && lat <= max, "latency {lat} out of [1, {max}]");
+        }
+        let s = h.stats();
+        prop_assert!(s.dl1.misses >= s.l2.reads.saturating_sub(s.dl1.writebacks));
+    }
+
+    #[test]
+    fn warm_rerun_is_never_slower(block in 0u32..64) {
+        // Touching the same small block twice: second pass total latency
+        // must be <= the first (caches only help).
+        let mut h = MemoryHierarchy::new(HierarchyConfig::table1()).expect("valid");
+        let base = block * 4096;
+        let pass = |h: &mut MemoryHierarchy| -> u64 {
+            (0..32u32).map(|i| h.data_latency(base + i * 8, false)).sum()
+        };
+        let cold = pass(&mut h);
+        let warm = pass(&mut h);
+        prop_assert!(warm <= cold, "warm {warm} > cold {cold}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # riq-power — Wattch-style architectural power model
+//!
+//! The paper evaluates its reuse issue queue with Wattch (Brooks et al.,
+//! HPCA 2000) on top of SimpleScalar. This crate fills that role: it turns
+//! the cycle simulator's per-cycle activity counts into per-component
+//! energies using geometry-derived per-access costs and cc3-style
+//! conditional clocking (idle structures burn 10 % of peak, clock-gated
+//! structures 2 %).
+//!
+//! Absolute units are arbitrary — the paper only reports *relative* power,
+//! and so do our reproduced figures. What the model preserves from Wattch:
+//!
+//! * per-access energy grows with structure size (rows/bits/ports), so a
+//!   256-entry issue queue's wakeup CAM really costs 8× a 32-entry one;
+//! * idle-vs-gated distinction, which is the entire mechanism behind the
+//!   paper's front-end savings;
+//! * a clock-network component with a front-end share that stops toggling
+//!   while gated;
+//! * explicit overhead components for the reuse machinery (Logical
+//!   Register List, Non-Bufferable Loop Table, control), reported as the
+//!   "Overhead" series of Figure 6.
+//!
+//! # Examples
+//!
+//! ```
+//! use riq_power::{Activity, Component, ComponentGroup, PowerConfig, PowerModel};
+//!
+//! let mut model = PowerModel::new(&PowerConfig::table1());
+//! let mut act = Activity::new();
+//! act.add(Component::Icache, 1);
+//! act.add(Component::Decode, 4);
+//! model.end_cycle(&act, false);          // a normal cycle
+//! model.end_cycle(&Activity::new(), true); // a front-end-gated cycle
+//! let report = model.report();
+//! assert!(report.group_energy(ComponentGroup::Icache) > 0.0);
+//! assert_eq!(report.gated_cycles, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod energy;
+mod model;
+
+pub use energy::{cache_access_energy, cam_search_energy, ram_access_energy, ArrayGeometry};
+pub use model::{
+    Activity, Component, ComponentGroup, PowerConfig, PowerModel, PowerReport, CLOCK_FRACTION,
+    CLOCK_FRONT_END_SHARE, GATED_FRACTION, IDLE_FRACTION, NUM_COMPONENTS,
+};

@@ -1,0 +1,634 @@
+//! The architectural power model: components, activity, accounting.
+//!
+//! Follows Wattch's methodology: per-structure per-access energies derived
+//! from geometry (see [`crate::energy`]), activity counted by the cycle
+//! simulator, and *conditional clocking* in the cc3 style — a structure
+//! that performs no access in a cycle still burns 10 % of its peak power
+//! (clock and precharge), and a clock-*gated* structure burns 2 %. The
+//! front-end gating of the reuse issue queue maps exactly onto that last
+//! state.
+
+use crate::energy::{cache_access_energy, cam_search_energy, ram_access_energy, ArrayGeometry};
+use std::fmt;
+
+/// Fraction of peak power burned by an idle (but clocked) structure.
+pub const IDLE_FRACTION: f64 = 0.10;
+/// Fraction of peak power burned by a clock-gated structure.
+pub const GATED_FRACTION: f64 = 0.02;
+/// Fraction of the chip's summed peak that the clock network burns each
+/// cycle.
+pub const CLOCK_FRACTION: f64 = 0.22;
+/// Share of the clock network that serves the front-end stages (saved
+/// while the pipeline front-end is gated).
+pub const CLOCK_FRONT_END_SHARE: f64 = 0.18;
+
+/// A power-tracked hardware component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+#[allow(missing_docs)] // names mirror the hardware structures directly
+pub enum Component {
+    Icache,
+    Itlb,
+    BpredDir,
+    Btb,
+    Ras,
+    FetchQueue,
+    Decode,
+    RenameTable,
+    IqInsert,
+    IqWakeup,
+    IqSelect,
+    IqIssueRead,
+    IqPartialUpdate,
+    IqCollapse,
+    Rob,
+    Lsq,
+    Regfile,
+    IntAlu,
+    IntMult,
+    FpAlu,
+    FpMult,
+    Dcache,
+    Dtlb,
+    L2,
+    ResultBus,
+    Clock,
+    Lrl,
+    Nblt,
+    ReuseCtl,
+}
+
+/// Number of tracked components.
+pub const NUM_COMPONENTS: usize = 29;
+
+impl Component {
+    /// All components, in index order.
+    pub const ALL: [Component; NUM_COMPONENTS] = [
+        Component::Icache,
+        Component::Itlb,
+        Component::BpredDir,
+        Component::Btb,
+        Component::Ras,
+        Component::FetchQueue,
+        Component::Decode,
+        Component::RenameTable,
+        Component::IqInsert,
+        Component::IqWakeup,
+        Component::IqSelect,
+        Component::IqIssueRead,
+        Component::IqPartialUpdate,
+        Component::IqCollapse,
+        Component::Rob,
+        Component::Lsq,
+        Component::Regfile,
+        Component::IntAlu,
+        Component::IntMult,
+        Component::FpAlu,
+        Component::FpMult,
+        Component::Dcache,
+        Component::Dtlb,
+        Component::L2,
+        Component::ResultBus,
+        Component::Clock,
+        Component::Lrl,
+        Component::Nblt,
+        Component::ReuseCtl,
+    ];
+
+    /// Flat index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this structure is inside the gateable pipeline front-end
+    /// (stages before register renaming, §1 of the paper).
+    #[must_use]
+    pub fn is_front_end(self) -> bool {
+        matches!(
+            self,
+            Component::Icache
+                | Component::Itlb
+                | Component::BpredDir
+                | Component::Btb
+                | Component::Ras
+                | Component::FetchQueue
+                | Component::Decode
+        )
+    }
+
+    /// The reporting group this component belongs to.
+    #[must_use]
+    pub fn group(self) -> ComponentGroup {
+        match self {
+            Component::Icache => ComponentGroup::Icache,
+            Component::BpredDir | Component::Btb | Component::Ras => ComponentGroup::Bpred,
+            Component::IqInsert
+            | Component::IqWakeup
+            | Component::IqSelect
+            | Component::IqIssueRead
+            | Component::IqPartialUpdate
+            | Component::IqCollapse => ComponentGroup::IssueQueue,
+            Component::Lrl | Component::Nblt | Component::ReuseCtl => ComponentGroup::Overhead,
+            Component::Clock => ComponentGroup::Clock,
+            _ => ComponentGroup::Other,
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Reporting groups used by the paper's Figure 6/7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentGroup {
+    /// The L1 instruction cache.
+    Icache,
+    /// Direction table + BTB + RAS.
+    Bpred,
+    /// All issue-queue activity (insert, wakeup, select, read, partial
+    /// update, collapse).
+    IssueQueue,
+    /// Reuse-mechanism overhead: LRL, NBLT, control.
+    Overhead,
+    /// The clock network.
+    Clock,
+    /// Everything else (ROB, LSQ, FUs, data caches, buses, ...).
+    Other,
+}
+
+impl ComponentGroup {
+    /// All groups.
+    pub const ALL: [ComponentGroup; 6] = [
+        ComponentGroup::Icache,
+        ComponentGroup::Bpred,
+        ComponentGroup::IssueQueue,
+        ComponentGroup::Overhead,
+        ComponentGroup::Clock,
+        ComponentGroup::Other,
+    ];
+}
+
+/// Structure sizes the per-access energies are derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerConfig {
+    /// Fetch/decode width (instructions per cycle).
+    pub fetch_width: u32,
+    /// Issue/commit width.
+    pub issue_width: u32,
+    /// Fetch-queue entries.
+    pub fetch_queue: u32,
+    /// Issue-queue entries.
+    pub iq_entries: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Load/store-queue entries.
+    pub lsq_entries: u32,
+    /// L1I geometry `(sets, ways, line_bytes)`.
+    pub icache: (u32, u32, u32),
+    /// L1D geometry.
+    pub dcache: (u32, u32, u32),
+    /// L2 geometry.
+    pub l2: (u32, u32, u32),
+    /// Direction-predictor entries.
+    pub bpred_entries: u32,
+    /// BTB `(sets, ways)`.
+    pub btb: (u32, u32),
+    /// RAS entries.
+    pub ras_entries: u32,
+    /// Non-bufferable-loop-table entries (0 disables its cost).
+    pub nblt_entries: u32,
+}
+
+impl PowerConfig {
+    /// The paper's Table 1 baseline with a 64-entry issue queue.
+    #[must_use]
+    pub fn table1() -> PowerConfig {
+        PowerConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            fetch_queue: 4,
+            iq_entries: 64,
+            rob_entries: 64,
+            lsq_entries: 32,
+            icache: (512, 2, 32),
+            dcache: (256, 4, 32),
+            l2: (1024, 4, 64),
+            bpred_entries: 2048,
+            btb: (512, 4),
+            ras_entries: 8,
+            nblt_entries: 8,
+        }
+    }
+}
+
+/// Per-cycle activity counts, filled in by the simulator and consumed by
+/// [`PowerModel::end_cycle`].
+#[derive(Debug, Clone, Copy)]
+pub struct Activity {
+    counts: [u32; NUM_COMPONENTS],
+}
+
+impl Default for Activity {
+    fn default() -> Self {
+        Activity { counts: [0; NUM_COMPONENTS] }
+    }
+}
+
+impl Activity {
+    /// Creates an all-zero activity record.
+    #[must_use]
+    pub fn new() -> Activity {
+        Activity::default()
+    }
+
+    /// Adds `n` accesses to `component` this cycle.
+    pub fn add(&mut self, component: Component, n: u32) {
+        self.counts[component.index()] += n;
+    }
+
+    /// Accesses recorded for `component` this cycle.
+    #[must_use]
+    pub fn count(&self, component: Component) -> u32 {
+        self.counts[component.index()]
+    }
+
+    /// Resets all counts (reused between cycles to avoid reallocation).
+    pub fn clear(&mut self) {
+        self.counts = [0; NUM_COMPONENTS];
+    }
+}
+
+/// The accumulating power model.
+///
+/// # Examples
+///
+/// ```
+/// use riq_power::{Activity, Component, PowerConfig, PowerModel};
+///
+/// let mut model = PowerModel::new(&PowerConfig::table1());
+/// let mut act = Activity::new();
+/// act.add(Component::Icache, 1);
+/// model.end_cycle(&act, false);
+/// act.clear();
+/// model.end_cycle(&act, true); // a gated cycle
+/// let report = model.report();
+/// assert_eq!(report.cycles, 2);
+/// assert!(report.total_energy() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    unit: [f64; NUM_COMPONENTS],
+    peak: [f64; NUM_COMPONENTS],
+    energy: [f64; NUM_COMPONENTS],
+    clock_per_cycle: f64,
+    cycles: u64,
+    gated_cycles: u64,
+}
+
+impl PowerModel {
+    /// Builds the model, deriving per-access energies from `cfg`.
+    #[must_use]
+    pub fn new(cfg: &PowerConfig) -> PowerModel {
+        let mut unit = [0.0; NUM_COMPONENTS];
+        let ram = |rows, bits, ports| ram_access_energy(ArrayGeometry { rows, bits, ports });
+        let w = cfg.issue_width;
+
+        unit[Component::Icache.index()] =
+            cache_access_energy(cfg.icache.0, cfg.icache.1, cfg.icache.2, 1);
+        unit[Component::Itlb.index()] = ram(64, 32, 1);
+        unit[Component::BpredDir.index()] = ram(cfg.bpred_entries, 2, 1);
+        unit[Component::Btb.index()] = ram(cfg.btb.0, cfg.btb.1 * 62, 1);
+        unit[Component::Ras.index()] = ram(cfg.ras_entries, 32, 1);
+        unit[Component::FetchQueue.index()] = ram(cfg.fetch_queue, 40, 2);
+        unit[Component::Decode.index()] = 2.5;
+        unit[Component::RenameTable.index()] = ram(64, 8, 4);
+        unit[Component::IqInsert.index()] = ram(cfg.iq_entries, 80, 1);
+        unit[Component::IqWakeup.index()] = cam_search_energy(cfg.iq_entries, 8, 1);
+        unit[Component::IqSelect.index()] = 0.02 * f64::from(cfg.iq_entries);
+        unit[Component::IqIssueRead.index()] = ram(cfg.iq_entries, 80, 1);
+        // Partial update rewrites only the register identifiers and the ROB
+        // pointer (~24 of ~80 bits) — the §3 source of IQ power savings.
+        unit[Component::IqPartialUpdate.index()] = ram(cfg.iq_entries, 24, 1);
+        // Collapse moves are latch-to-latch shifts, not array accesses.
+        unit[Component::IqCollapse.index()] = 0.012 * 80.0;
+        unit[Component::Rob.index()] = ram(cfg.rob_entries, 100, 2);
+        unit[Component::Lsq.index()] =
+            ram(cfg.lsq_entries, 80, 1) + cam_search_energy(cfg.lsq_entries, 32, 1);
+        unit[Component::Regfile.index()] = ram(64, 64, 2);
+        unit[Component::IntAlu.index()] = 4.0;
+        unit[Component::IntMult.index()] = 12.0;
+        unit[Component::FpAlu.index()] = 8.0;
+        unit[Component::FpMult.index()] = 16.0;
+        unit[Component::Dcache.index()] =
+            cache_access_energy(cfg.dcache.0, cfg.dcache.1, cfg.dcache.2, 2);
+        unit[Component::Dtlb.index()] = ram(128, 32, 2);
+        unit[Component::L2.index()] = cache_access_energy(cfg.l2.0, cfg.l2.1, cfg.l2.2, 1);
+        unit[Component::ResultBus.index()] = 2.0;
+        unit[Component::Clock.index()] = 0.0; // handled via clock_per_cycle
+        unit[Component::Lrl.index()] = ram(cfg.iq_entries, 15, 1);
+        unit[Component::Nblt.index()] = if cfg.nblt_entries == 0 {
+            0.0
+        } else {
+            cam_search_energy(cfg.nblt_entries, 32, 1) + ram(cfg.nblt_entries, 33, 1) * 0.2
+        };
+        unit[Component::ReuseCtl.index()] = 0.4;
+
+        // Peak per-cycle activity per component, for idle-power accounting.
+        let mut peak = [0.0; NUM_COMPONENTS];
+        let width_of = |c: Component| -> f64 {
+            f64::from(match c {
+                Component::Icache | Component::Itlb => 1,
+                Component::BpredDir | Component::Btb | Component::Ras => 1,
+                Component::FetchQueue | Component::Decode => cfg.fetch_width,
+                Component::RenameTable => w,
+                Component::IqInsert | Component::IqIssueRead | Component::IqPartialUpdate => w,
+                Component::IqWakeup => w,
+                Component::IqSelect => 1,
+                Component::IqCollapse => w,
+                Component::Rob => 2 * w,
+                Component::Lsq => 2,
+                Component::Regfile => w,
+                Component::IntAlu => 4,
+                Component::IntMult => 1,
+                Component::FpAlu => 4,
+                Component::FpMult => 1,
+                Component::Dcache | Component::Dtlb => 2,
+                Component::L2 => 1,
+                Component::ResultBus => w,
+                Component::Clock => 0,
+                Component::Lrl => w,
+                Component::Nblt | Component::ReuseCtl => 1,
+            })
+        };
+        for c in Component::ALL {
+            peak[c.index()] = unit[c.index()] * width_of(c);
+        }
+        let total_peak: f64 = peak.iter().sum();
+        let clock_per_cycle = CLOCK_FRACTION * total_peak * 0.5;
+
+        PowerModel {
+            unit,
+            peak,
+            energy: [0.0; NUM_COMPONENTS],
+            clock_per_cycle,
+            cycles: 0,
+            gated_cycles: 0,
+        }
+    }
+
+    /// Per-access energy of a component (exposed for tests and reports).
+    #[must_use]
+    pub fn unit_energy(&self, c: Component) -> f64 {
+        self.unit[c.index()]
+    }
+
+    /// Accounts one cycle of activity. `front_end_gated` is true while the
+    /// reuse issue queue has the fetch/decode stages gated.
+    pub fn end_cycle(&mut self, act: &Activity, front_end_gated: bool) {
+        self.cycles += 1;
+        if front_end_gated {
+            self.gated_cycles += 1;
+        }
+        for c in Component::ALL {
+            if c == Component::Clock {
+                continue;
+            }
+            let i = c.index();
+            let n = act.count(c);
+            if n > 0 {
+                self.energy[i] += f64::from(n) * self.unit[i];
+            } else {
+                let frac = if front_end_gated && c.is_front_end() {
+                    GATED_FRACTION
+                } else {
+                    IDLE_FRACTION
+                };
+                self.energy[i] += frac * self.peak[i];
+            }
+        }
+        // The clock network: gating the front-end stops its latches and
+        // local clock buffers.
+        let clock = if front_end_gated {
+            self.clock_per_cycle * (1.0 - CLOCK_FRONT_END_SHARE)
+        } else {
+            self.clock_per_cycle
+        };
+        self.energy[Component::Clock.index()] += clock;
+    }
+
+    /// Produces the final report.
+    #[must_use]
+    pub fn report(&self) -> PowerReport {
+        PowerReport { energy: self.energy, cycles: self.cycles, gated_cycles: self.gated_cycles }
+    }
+}
+
+/// Final per-component energy totals.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerReport {
+    energy: [f64; NUM_COMPONENTS],
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Cycles with the front-end gated.
+    pub gated_cycles: u64,
+}
+
+impl PowerReport {
+    /// Total energy over the run.
+    #[must_use]
+    pub fn total_energy(&self) -> f64 {
+        self.energy.iter().sum()
+    }
+
+    /// Energy of one component.
+    #[must_use]
+    pub fn energy(&self, c: Component) -> f64 {
+        self.energy[c.index()]
+    }
+
+    /// Energy of a reporting group.
+    #[must_use]
+    pub fn group_energy(&self, g: ComponentGroup) -> f64 {
+        Component::ALL
+            .iter()
+            .filter(|c| c.group() == g)
+            .map(|c| self.energy[c.index()])
+            .sum()
+    }
+
+    /// Average power (energy per cycle) of the whole chip.
+    #[must_use]
+    pub fn avg_power(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_energy() / self.cycles as f64
+        }
+    }
+
+    /// Average power of a group.
+    #[must_use]
+    pub fn group_avg_power(&self, g: ComponentGroup) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.group_energy(g) / self.cycles as f64
+        }
+    }
+
+    /// Relative per-cycle power reduction of `self` (the technique) versus
+    /// `baseline`, as a fraction in `(-inf, 1]`: positive means savings.
+    #[must_use]
+    pub fn power_reduction_vs(&self, baseline: &PowerReport) -> f64 {
+        let b = baseline.avg_power();
+        if b == 0.0 {
+            0.0
+        } else {
+            1.0 - self.avg_power() / b
+        }
+    }
+
+    /// Relative per-cycle group power reduction versus `baseline`.
+    #[must_use]
+    pub fn group_power_reduction_vs(&self, baseline: &PowerReport, g: ComponentGroup) -> f64 {
+        let b = baseline.group_avg_power(g);
+        if b == 0.0 {
+            0.0
+        } else {
+            1.0 - self.group_avg_power(g) / b
+        }
+    }
+
+    /// Share of total energy consumed by a group.
+    #[must_use]
+    pub fn group_share(&self, g: ComponentGroup) -> f64 {
+        let t = self.total_energy();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.group_energy(g) / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_consistent() {
+        for (i, c) in Component::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c}");
+        }
+    }
+
+    #[test]
+    fn idle_costs_less_than_active() {
+        let cfg = PowerConfig::table1();
+        let mut active = PowerModel::new(&cfg);
+        let mut idle = PowerModel::new(&cfg);
+        let mut act = Activity::new();
+        act.add(Component::Icache, 1);
+        active.end_cycle(&act, false);
+        idle.end_cycle(&Activity::new(), false);
+        assert!(
+            active.report().energy(Component::Icache) > idle.report().energy(Component::Icache)
+        );
+        assert!(idle.report().energy(Component::Icache) > 0.0, "cc3 idle power");
+    }
+
+    #[test]
+    fn gated_costs_less_than_idle() {
+        let cfg = PowerConfig::table1();
+        let mut gated = PowerModel::new(&cfg);
+        let mut idle = PowerModel::new(&cfg);
+        gated.end_cycle(&Activity::new(), true);
+        idle.end_cycle(&Activity::new(), false);
+        for c in [Component::Icache, Component::BpredDir, Component::Decode] {
+            assert!(gated.report().energy(c) < idle.report().energy(c), "{c}");
+        }
+        // Non-front-end structures are unaffected by the gate signal.
+        assert_eq!(
+            gated.report().energy(Component::Dcache),
+            idle.report().energy(Component::Dcache)
+        );
+        // Clock energy shrinks while gated.
+        assert!(gated.report().energy(Component::Clock) < idle.report().energy(Component::Clock));
+    }
+
+    #[test]
+    fn partial_update_cheaper_than_insert() {
+        let model = PowerModel::new(&PowerConfig::table1());
+        assert!(
+            model.unit_energy(Component::IqPartialUpdate)
+                < model.unit_energy(Component::IqInsert)
+        );
+    }
+
+    #[test]
+    fn wakeup_scales_with_iq_size() {
+        let small = PowerModel::new(&PowerConfig { iq_entries: 32, ..PowerConfig::table1() });
+        let large = PowerModel::new(&PowerConfig { iq_entries: 256, ..PowerConfig::table1() });
+        let r = large.unit_energy(Component::IqWakeup) / small.unit_energy(Component::IqWakeup);
+        assert!((r - 8.0).abs() < 1e-9, "CAM energy linear in entries, got {r}");
+    }
+
+    #[test]
+    fn groups_partition_components() {
+        let mut n = 0;
+        for g in ComponentGroup::ALL {
+            n += Component::ALL.iter().filter(|c| c.group() == g).count();
+        }
+        assert_eq!(n, NUM_COMPONENTS);
+    }
+
+    #[test]
+    fn report_identities() {
+        let cfg = PowerConfig::table1();
+        let mut m = PowerModel::new(&cfg);
+        let mut act = Activity::new();
+        act.add(Component::Icache, 1);
+        act.add(Component::IntAlu, 4);
+        for _ in 0..10 {
+            m.end_cycle(&act, false);
+        }
+        let r = m.report();
+        assert_eq!(r.cycles, 10);
+        let group_sum: f64 = ComponentGroup::ALL.iter().map(|&g| r.group_energy(g)).sum();
+        assert!((group_sum - r.total_energy()).abs() < 1e-9);
+        let share_sum: f64 = ComponentGroup::ALL.iter().map(|&g| r.group_share(g)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_math() {
+        let cfg = PowerConfig::table1();
+        let mut base = PowerModel::new(&cfg);
+        let mut technique = PowerModel::new(&cfg);
+        let mut act = Activity::new();
+        act.add(Component::Icache, 1);
+        for _ in 0..100 {
+            base.end_cycle(&act, false);
+            technique.end_cycle(&Activity::new(), true);
+        }
+        let red = technique.report().power_reduction_vs(&base.report());
+        assert!(red > 0.0 && red < 1.0, "gating must save power, got {red}");
+        let icache_red = technique
+            .report()
+            .group_power_reduction_vs(&base.report(), ComponentGroup::Icache);
+        assert!(icache_red > 0.9, "gated idle icache vs always-active: {icache_red}");
+    }
+
+    #[test]
+    fn activity_clear_resets() {
+        let mut act = Activity::new();
+        act.add(Component::Rob, 3);
+        assert_eq!(act.count(Component::Rob), 3);
+        act.clear();
+        assert_eq!(act.count(Component::Rob), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests on the power model: accounting identities, monotonicity
+//! of gating, and geometry scaling.
+
+use proptest::prelude::*;
+use riq_power::{
+    Activity, Component, ComponentGroup, PowerConfig, PowerModel, GATED_FRACTION, IDLE_FRACTION,
+};
+
+fn arbitrary_activity() -> impl Strategy<Value = Activity> {
+    prop::collection::vec(0u32..4, Component::ALL.len()).prop_map(|counts| {
+        let mut act = Activity::new();
+        for (c, n) in Component::ALL.into_iter().zip(counts) {
+            act.add(c, n);
+        }
+        act
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    #[test]
+    fn group_energies_sum_to_total(acts in prop::collection::vec(arbitrary_activity(), 1..50)) {
+        let mut m = PowerModel::new(&PowerConfig::table1());
+        for (i, a) in acts.iter().enumerate() {
+            m.end_cycle(a, i % 3 == 0);
+        }
+        let r = m.report();
+        let group_sum: f64 = ComponentGroup::ALL.iter().map(|&g| r.group_energy(g)).sum();
+        prop_assert!((group_sum - r.total_energy()).abs() < 1e-6 * r.total_energy().max(1.0));
+        prop_assert!(r.total_energy() > 0.0, "cc3 idle power is never zero");
+        prop_assert_eq!(r.cycles, acts.len() as u64);
+    }
+
+    #[test]
+    fn gating_a_cycle_never_costs_more(act_gated in arbitrary_activity()) {
+        // For identical activity, a gated cycle consumes <= an ungated one
+        // (front-end idle power drops to the gated fraction; everything
+        // else is unchanged).
+        let cfg = PowerConfig::table1();
+        let mut gated = PowerModel::new(&cfg);
+        let mut ungated = PowerModel::new(&cfg);
+        gated.end_cycle(&act_gated, true);
+        ungated.end_cycle(&act_gated, false);
+        let g = gated.report().total_energy();
+        let u = ungated.report().total_energy();
+        prop_assert!(g <= u + 1e-12, "gated {g} > ungated {u}");
+    }
+
+    #[test]
+    fn more_activity_never_reduces_energy(base in arbitrary_activity(), extra in 0u32..5) {
+        let cfg = PowerConfig::table1();
+        let mut low = PowerModel::new(&cfg);
+        let mut high = PowerModel::new(&cfg);
+        low.end_cycle(&base, false);
+        let mut more = base;
+        more.add(Component::IntAlu, extra);
+        more.add(Component::Dcache, extra);
+        high.end_cycle(&more, false);
+        prop_assert!(high.report().total_energy() >= low.report().total_energy() - 1e-12);
+    }
+
+    #[test]
+    fn larger_queues_cost_more_per_access(iq in 8u32..256) {
+        let small = PowerModel::new(&PowerConfig { iq_entries: iq, ..PowerConfig::table1() });
+        let large = PowerModel::new(&PowerConfig { iq_entries: iq * 2, ..PowerConfig::table1() });
+        for c in [
+            Component::IqInsert,
+            Component::IqWakeup,
+            Component::IqIssueRead,
+            Component::IqPartialUpdate,
+            Component::Lrl,
+        ] {
+            prop_assert!(
+                large.unit_energy(c) > small.unit_energy(c),
+                "{c} must grow with queue size"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_and_gated_fractions_bracket_reality(cycles in 1u64..100) {
+        // An always-idle ungated model burns IDLE_FRACTION of peak per
+        // structure per cycle; gated burns GATED_FRACTION for front-end
+        // structures. Check the front-end ratio lands between the two.
+        let cfg = PowerConfig::table1();
+        let mut idle = PowerModel::new(&cfg);
+        let mut gated = PowerModel::new(&cfg);
+        for _ in 0..cycles {
+            idle.end_cycle(&Activity::new(), false);
+            gated.end_cycle(&Activity::new(), true);
+        }
+        for c in [Component::Icache, Component::Decode, Component::BpredDir] {
+            let r = gated.report().energy(c) / idle.report().energy(c);
+            let expect = GATED_FRACTION / IDLE_FRACTION;
+            prop_assert!((r - expect).abs() < 1e-9, "{c}: ratio {r}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Sweep the issue-queue size for one Table 2 benchmark and print the
+//! per-size gating, power, and IPC picture (one row of Figures 5/7/8).
+//!
+//! ```text
+//! cargo run --release --example power_sweep [kernel]
+//! ```
+
+use riq::core::{Processor, SimConfig};
+use riq::kernels::{by_name, compile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "eflux".to_string());
+    let kernel = by_name(&name)
+        .ok_or_else(|| format!("unknown benchmark {name:?} (see `riq-repro table2`)"))?;
+    let program = compile(&kernel)?;
+    println!(
+        "{name}: innermost span = {} instructions",
+        riq::kernels::inner_loop_span(&kernel.nests[0].inners[0])
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "IQ", "gated", "Δpower", "ΔIPC", "reused insts", "IQ occ."
+    );
+    for iq in [32u32, 64, 128, 256] {
+        let base = Processor::new(SimConfig::baseline().with_iq_size(iq)).run(&program)?;
+        let reuse =
+            Processor::new(SimConfig::baseline().with_iq_size(iq).with_reuse(true)).run(&program)?;
+        assert_eq!(base.arch_state, reuse.arch_state);
+        let gated = 100.0 * reuse.stats.gated_rate();
+        let dp = 100.0 * reuse.power.power_reduction_vs(&base.power);
+        let di = 100.0 * (1.0 - reuse.stats.ipc() / base.stats.ipc());
+        println!(
+            "{iq:>6} {gated:>11.1}% {dp:>11.1}% {di:>11.1}% {:>12} {:>10.1}",
+            reuse.stats.reuse.reused_insts,
+            reuse.stats.avg_iq_occupancy(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: assemble a tight loop, run it on the conventional baseline
+//! and on the reuse issue queue, and compare front-end activity and power.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use riq::asm::assemble;
+use riq::core::{Processor, SimConfig};
+use riq::power::ComponentGroup;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A saxpy-flavored loop: y[i] = a*x[i] + y[i] over 512 elements.
+    let program = assemble(
+        r#"
+        .data
+        x:      .space 4096
+        y:      .space 4096
+        .text
+            la   $r8, x
+            la   $r9, y
+            li   $r2, 512           # trip count
+            li   $r3, 2
+            mtc1 $r3, $f8
+            cvt.d.w $f8, $f8        # a = 2.0
+        loop:
+            l.d  $f0, 0($r8)
+            l.d  $f1, 0($r9)
+            mul.d $f2, $f0, $f8
+            add.d $f2, $f2, $f1
+            s.d  $f2, 0($r9)
+            addi $r8, $r8, 8
+            addi $r9, $r9, 8
+            addi $r2, $r2, -1
+            bne  $r2, $r0, loop
+            halt
+        "#,
+    )?;
+
+    let baseline = Processor::new(SimConfig::baseline()).run(&program)?;
+    let reuse = Processor::new(SimConfig::baseline().with_reuse(true)).run(&program)?;
+
+    assert_eq!(
+        baseline.arch_state, reuse.arch_state,
+        "the reuse issue queue is architecturally invisible"
+    );
+
+    println!("                       baseline        reuse");
+    println!(
+        "cycles            {:>13} {:>12}",
+        baseline.stats.cycles, reuse.stats.cycles
+    );
+    println!(
+        "IPC               {:>13.3} {:>12.3}",
+        baseline.stats.ipc(),
+        reuse.stats.ipc()
+    );
+    println!(
+        "insts fetched     {:>13} {:>12}",
+        baseline.stats.fetched, reuse.stats.fetched
+    );
+    println!(
+        "front-end gated   {:>12.1}% {:>11.1}%",
+        100.0 * baseline.stats.gated_rate(),
+        100.0 * reuse.stats.gated_rate()
+    );
+    println!(
+        "reused from IQ    {:>13} {:>12}",
+        0, reuse.stats.reuse.reused_insts
+    );
+    println!();
+    println!("per-cycle power vs baseline:");
+    for (name, g) in [
+        ("  instruction cache", ComponentGroup::Icache),
+        ("  branch predictor ", ComponentGroup::Bpred),
+        ("  issue queue      ", ComponentGroup::IssueQueue),
+    ] {
+        let red = reuse.power.group_power_reduction_vs(&baseline.power, g);
+        println!("{name}  -{:.1}%", 100.0 * red);
+    }
+    let overall = reuse.power.power_reduction_vs(&baseline.power);
+    println!("  whole processor    -{:.1}%", 100.0 * overall);
+    Ok(())
+}

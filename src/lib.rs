@@ -1,0 +1,66 @@
+//! # riq — Scheduling Reusable Instructions for Power Reduction
+//!
+//! Facade crate for the riq workspace, a from-scratch Rust reproduction of
+//! the DATE 2004 paper *Scheduling Reusable Instructions for Power
+//! Reduction* (Hu, Vijaykrishnan, Kim, Kandemir, Irwin).
+//!
+//! The paper proposes an out-of-order issue queue that detects tight loops
+//! at decode, buffers their instructions inside the queue, and then
+//! re-supplies ("reuses") the buffered instructions itself while the whole
+//! pipeline front-end — instruction cache, branch predictor, fetch queue and
+//! decoder — is clock-gated.
+//!
+//! This crate re-exports the workspace's public API under stable module
+//! names:
+//!
+//! * [`isa`] — the MIPS-like target ISA;
+//! * [`asm`] — assembler and program images;
+//! * [`emu`] — functional reference emulator;
+//! * [`mem`] — cache/TLB/memory timing models;
+//! * [`bpred`] — branch predictors;
+//! * [`power`] — Wattch-style power model;
+//! * [`core`] — the cycle-level out-of-order core with the reuse-capable
+//!   issue queue (the paper's contribution);
+//! * [`kernels`] — loop-nest IR, loop distribution, and the benchmark suite.
+//!
+//! # Examples
+//!
+//! Run a tiny loop on the baseline and on the reuse pipeline and compare
+//! front-end activity:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use riq::asm::assemble;
+//! use riq::core::{Processor, SimConfig};
+//! use riq::isa::IntReg;
+//!
+//! let program = assemble(
+//!     r#"
+//!     .text
+//!         addi $r2, $r0, 100      # trip count
+//!     loop:
+//!         addi $r3, $r3, 1
+//!         addi $r2, $r2, -1
+//!         bne  $r2, $r0, loop
+//!         halt
+//!     "#,
+//! )?;
+//!
+//! let baseline = Processor::new(SimConfig::baseline()).run(&program)?;
+//! let reuse = Processor::new(SimConfig::baseline().with_reuse(true)).run(&program)?;
+//!
+//! let r3 = IntReg::new(3);
+//! assert_eq!(baseline.arch_state.int_reg(r3), reuse.arch_state.int_reg(r3));
+//! assert!(reuse.stats.gated_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use riq_asm as asm;
+pub use riq_bpred as bpred;
+pub use riq_core as core;
+pub use riq_emu as emu;
+pub use riq_isa as isa;
+pub use riq_kernels as kernels;
+pub use riq_mem as mem;
+pub use riq_power as power;

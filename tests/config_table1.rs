@@ -1,0 +1,79 @@
+//! Pins the baseline configuration to the paper's Table 1, so no refactor
+//! can silently drift the evaluation setup.
+
+use riq::bpred::DirPredictorKind;
+use riq::core::SimConfig;
+
+#[test]
+fn table1_window_and_widths() {
+    let c = SimConfig::baseline();
+    assert_eq!(c.iq_entries, 64, "Issue Queue: 64 entries");
+    assert_eq!(c.lsq_entries, 32, "Load/Store Queue: 32 entries");
+    assert_eq!(c.rob_entries, 64, "ROB: 64 entries");
+    assert_eq!(c.fetch_queue, 4, "Fetch Queue: 4 entries");
+    assert_eq!(c.fetch_width, 4, "Fetch/Decode width: 4 per cycle");
+    assert_eq!(c.decode_width, 4);
+    assert_eq!(c.issue_width, 4, "Issue/Commit width: 4 per cycle");
+    assert_eq!(c.commit_width, 4);
+}
+
+#[test]
+fn table1_function_units() {
+    let c = SimConfig::baseline();
+    assert_eq!(c.fu.int_alu, 4, "4 IALU");
+    assert_eq!(c.fu.int_mult, 1, "1 IMULT");
+    assert_eq!(c.fu.fp_alu, 4, "4 FPALU");
+    assert_eq!(c.fu.fp_mult, 1, "1 FPMULT");
+}
+
+#[test]
+fn table1_predictor() {
+    let c = SimConfig::baseline();
+    assert_eq!(
+        c.bpred.dir,
+        DirPredictorKind::Bimod { entries: 2048 },
+        "bimod, 2048 entries"
+    );
+    assert_eq!(c.bpred.ras_entries, 8, "RAS 8 entries");
+    assert_eq!((c.bpred.btb_sets, c.bpred.btb_ways), (512, 4), "BTB 512 set 4 way");
+}
+
+#[test]
+fn table1_memory_hierarchy() {
+    let c = SimConfig::baseline();
+    let il1 = c.mem.il1;
+    assert_eq!(il1.capacity(), 32 * 1024, "L1 I: 32KB");
+    assert_eq!(il1.ways, 2, "L1 I: 2 way");
+    assert_eq!(il1.hit_latency, 1, "L1 I: 1 cycle");
+    let dl1 = c.mem.dl1;
+    assert_eq!(dl1.capacity(), 32 * 1024, "L1 D: 32KB");
+    assert_eq!(dl1.ways, 4, "L1 D: 4 way");
+    assert_eq!(dl1.hit_latency, 1);
+    let l2 = c.mem.l2;
+    assert_eq!(l2.capacity(), 256 * 1024, "L2: 256KB");
+    assert_eq!(l2.ways, 4);
+    assert_eq!(l2.hit_latency, 8, "L2: 8 cycles");
+    assert_eq!((c.mem.itlb.sets, c.mem.itlb.ways), (16, 4), "ITLB 16 set 4 way");
+    assert_eq!((c.mem.dtlb.sets, c.mem.dtlb.ways), (32, 4), "DTLB 32 set 4 way");
+    assert_eq!(c.mem.memory.first_chunk, 80, "memory: 80 cycles first chunk");
+    assert_eq!(c.mem.memory.inter_chunk, 8, "memory: 8 cycles the rest");
+}
+
+#[test]
+fn paper_sweep_relation_holds() {
+    // §3: "the ROB size is set equal to the issue queue size, and the
+    // load/store queue size is half that of the issue queue."
+    for iq in [32, 64, 128, 256] {
+        let c = SimConfig::baseline().with_iq_size(iq);
+        assert_eq!(c.rob_entries, iq);
+        assert_eq!(c.lsq_entries, iq / 2);
+    }
+}
+
+#[test]
+fn reuse_defaults() {
+    let c = SimConfig::baseline();
+    assert!(!c.reuse.enabled, "baseline is the conventional queue");
+    let r = c.with_reuse(true);
+    assert_eq!(r.reuse.nblt_entries, 8, "eight-entry NBLT (§2.2.3)");
+}

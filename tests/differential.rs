@@ -1,0 +1,219 @@
+//! Differential tests: the cycle simulator (baseline *and* reuse pipeline)
+//! must be architecturally identical to the functional emulator on every
+//! workload — final register files and memory digests equal. This is the
+//! central correctness property of the reproduction: the reuse issue queue
+//! is purely microarchitectural.
+
+use riq::asm::{assemble, Program};
+use riq::core::{Processor, SimConfig};
+use riq::emu::Machine;
+use riq::kernels::{compile, distribute_kernel, suite_scaled};
+
+fn check_program(program: &Program, label: &str) {
+    let mut oracle = Machine::new(program);
+    oracle.run(100_000_000).expect("oracle halts");
+    for (mode, cfg) in [
+        ("baseline", SimConfig::baseline()),
+        ("reuse", SimConfig::baseline().with_reuse(true)),
+        ("reuse-iq32", SimConfig::baseline().with_iq_size(32).with_reuse(true)),
+        ("reuse-iq256", SimConfig::baseline().with_iq_size(256).with_reuse(true)),
+    ] {
+        let r = Processor::new(cfg).run(program).unwrap_or_else(|e| {
+            panic!("{label}/{mode}: simulation failed: {e}");
+        });
+        assert_eq!(
+            &r.arch_state,
+            oracle.state(),
+            "{label}/{mode}: architectural register mismatch"
+        );
+        assert_eq!(
+            r.mem_digest,
+            oracle.memory().content_digest(),
+            "{label}/{mode}: memory digest mismatch"
+        );
+        assert_eq!(
+            r.stats.committed,
+            oracle.retired(),
+            "{label}/{mode}: committed count must equal dynamic instruction count"
+        );
+    }
+}
+
+#[test]
+fn whole_suite_is_architecturally_invisible() {
+    for k in suite_scaled(0.08) {
+        let program = compile(&k).expect("kernel compiles");
+        check_program(&program, &k.name);
+    }
+}
+
+#[test]
+fn distributed_suite_matches_too() {
+    for k in suite_scaled(0.08) {
+        let opt = distribute_kernel(&k);
+        let program = compile(&opt).expect("distributed kernel compiles");
+        check_program(&program, &format!("{}-distributed", k.name));
+    }
+}
+
+#[test]
+fn distribution_preserves_semantics() {
+    // Original and distributed kernels must leave identical memory.
+    for k in suite_scaled(0.08) {
+        let p1 = compile(&k).unwrap();
+        let p2 = compile(&distribute_kernel(&k)).unwrap();
+        let mut m1 = Machine::new(&p1);
+        let mut m2 = Machine::new(&p2);
+        m1.run(100_000_000).unwrap();
+        m2.run(100_000_000).unwrap();
+        // Compare array contents (data segment region), not the digests of
+        // whole memory: text segments legitimately differ.
+        for (decl_idx, decl) in k.arrays.iter().enumerate() {
+            let name = format!("{}_{}", k.name, decl.name);
+            let a1 = p1.symbol(&name).unwrap();
+            let a2 = p2.symbol(&name).unwrap();
+            for i in 0..decl.len {
+                let v1 = m1.memory().load_u64(a1 + 64 + 8 * i).unwrap();
+                let v2 = m2.memory().load_u64(a2 + 64 + 8 * i).unwrap();
+                assert_eq!(
+                    f64::from_bits(v1),
+                    f64::from_bits(v2),
+                    "{}: array {decl_idx} ({}) element {i} diverged",
+                    k.name,
+                    decl.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hand_written_control_flow_corpus() {
+    let corpus: &[(&str, &str)] = &[
+        (
+            "nested-loops",
+            r#"
+                li $r2, 9
+            outer:
+                li $r3, 17
+            inner:
+                add $r4, $r4, $r3
+                addi $r3, $r3, -1
+                bne $r3, $r0, inner
+                addi $r2, $r2, -1
+                bne $r2, $r0, outer
+                halt
+            "#,
+        ),
+        (
+            "call-in-loop",
+            r#"
+                .entry main
+            twice:
+                add $r4, $r4, $r4
+                jr $ra
+            main:
+                li $r4, 1
+                li $r2, 5
+            loop:
+                jal twice
+                addi $r2, $r2, -1
+                bne $r2, $r0, loop
+                halt
+            "#,
+        ),
+        (
+            "data-dependent-branches",
+            r#"
+                li $r2, 50
+                li $r5, 0
+            loop:
+                andi $r6, $r2, 3
+                bne $r6, $r0, skip
+                addi $r5, $r5, 100
+            skip:
+                addi $r5, $r5, 1
+                addi $r2, $r2, -1
+                bne $r2, $r0, loop
+                halt
+            "#,
+        ),
+        (
+            "memory-recurrence",
+            r#"
+                .data
+                buf: .space 256
+                .text
+                la $r8, buf
+                li $r2, 30
+                li $r3, 7
+                sw $r3, 0($r8)
+            loop:
+                lw $r4, 0($r8)
+                add $r4, $r4, $r2
+                sw $r4, 4($r8)
+                addi $r8, $r8, 4
+                addi $r2, $r2, -1
+                bne $r2, $r0, loop
+                halt
+            "#,
+        ),
+        (
+            "fp-heavy-loop",
+            r#"
+                li $r3, 3
+                mtc1 $r3, $f1
+                cvt.d.w $f1, $f1
+                li $r2, 40
+            loop:
+                add.d $f2, $f2, $f1
+                mul.d $f3, $f2, $f1
+                sub.d $f4, $f3, $f2
+                div.d $f5, $f3, $f1
+                addi $r2, $r2, -1
+                bne $r2, $r0, loop
+                c.lt.d $r6, $f2, $f3
+                halt
+            "#,
+        ),
+        (
+            "one-instruction-loop",
+            r#"
+                li $r2, 20
+            loop:
+                bgtz $r2, dec
+                halt
+            dec:
+                addi $r2, $r2, -1
+                b loop
+            "#,
+        ),
+        (
+            "stack-discipline",
+            r#"
+                .entry main
+            leaf:
+                addi $sp, $sp, -8
+                sw $r9, 0($sp)
+                li $r9, 42
+                add $r10, $r10, $r9
+                lw $r9, 0($sp)
+                addi $sp, $sp, 8
+                jr $ra
+            main:
+                li $r9, 7
+                li $r2, 6
+            loop:
+                jal leaf
+                addi $r2, $r2, -1
+                bne $r2, $r0, loop
+                add $r11, $r9, $r10
+                halt
+            "#,
+        ),
+    ];
+    for (name, src) in corpus {
+        let program = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_program(&program, name);
+    }
+}

@@ -1,0 +1,236 @@
+//! Property-based differential testing: thousands of random structured
+//! programs (arithmetic, memory, bounded loops, forward branches, leaf
+//! calls) must produce identical architectural state on the functional
+//! emulator and on the cycle simulator with and without the reuse issue
+//! queue.
+
+use proptest::prelude::*;
+use riq::asm::{Program, ProgramBuilder};
+use riq::core::{Processor, SimConfig};
+use riq::emu::Machine;
+use riq::isa::{AluImmOp, AluOp, FpAluOp, FpReg, FpUnaryOp, Inst, IntReg};
+
+/// One element of a random program.
+#[derive(Debug, Clone)]
+enum Block {
+    /// A run of register arithmetic.
+    Alu(Vec<(AluOp, u8, u8, u8)>),
+    /// An immediate operation.
+    Imm(AluImmOp, u8, u8, i16),
+    /// Store then load within the scratch buffer (word offsets).
+    MemRoundTrip { src: u8, dst: u8, word: u8 },
+    /// FP traffic seeded from an integer register.
+    Fp { seed: u8, a: u8, b: u8, op: FpAluOp },
+    /// A counted loop whose body adds into an accumulator.
+    Loop { trips: u8, body_adds: u8 },
+    /// A forward branch skipping one instruction.
+    SkipIf { reg: u8, eq: bool },
+    /// A call to the shared leaf procedure.
+    Call,
+}
+
+/// Working registers the generator may freely clobber ($r2..$r12).
+fn reg(n: u8) -> IntReg {
+    IntReg::new(2 + n % 11)
+}
+fn fpr(n: u8) -> FpReg {
+    FpReg::new(n % 8)
+}
+
+const SCRATCH: u8 = 20; // $r20 holds the scratch-buffer base
+const LOOP_CTR: u8 = 21; // $r21 is the loop counter
+const ACC: u8 = 22; // $r22 accumulates in loops
+
+fn block_strategy() -> impl Strategy<Value = Block> {
+    prop_oneof![
+        prop::collection::vec(
+            (
+                prop_oneof![
+                    Just(AluOp::Add),
+                    Just(AluOp::Sub),
+                    Just(AluOp::Mul),
+                    Just(AluOp::Div),
+                    Just(AluOp::And),
+                    Just(AluOp::Or),
+                    Just(AluOp::Xor),
+                    Just(AluOp::Slt),
+                    Just(AluOp::Sltu),
+                    Just(AluOp::Srav),
+                ],
+                any::<u8>(),
+                any::<u8>(),
+                any::<u8>()
+            ),
+            1..5
+        )
+        .prop_map(Block::Alu),
+        (
+            prop_oneof![
+                Just(AluImmOp::Addi),
+                Just(AluImmOp::Andi),
+                Just(AluImmOp::Ori),
+                Just(AluImmOp::Xori),
+                Just(AluImmOp::Slti),
+            ],
+            any::<u8>(),
+            any::<u8>(),
+            any::<i16>()
+        )
+            .prop_map(|(op, rt, rs, imm)| Block::Imm(op, rt, rs, imm)),
+        (any::<u8>(), any::<u8>(), 0u8..32).prop_map(|(src, dst, word)| Block::MemRoundTrip {
+            src,
+            dst,
+            word
+        }),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>(),
+            prop_oneof![
+                Just(FpAluOp::AddD),
+                Just(FpAluOp::SubD),
+                Just(FpAluOp::MulD)
+            ]
+        )
+            .prop_map(|(seed, a, b, op)| Block::Fp { seed, a, b, op }),
+        (1u8..7, 1u8..4).prop_map(|(trips, body_adds)| Block::Loop { trips, body_adds }),
+        (any::<u8>(), any::<bool>()).prop_map(|(reg, eq)| Block::SkipIf { reg, eq }),
+        Just(Block::Call),
+    ]
+}
+
+/// Assembles a block list into a runnable program.
+fn build(blocks: &[Block]) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.reserve_data("scratch", 512);
+    b.entry("main");
+
+    // Shared leaf procedure: doubles $r22.
+    b.label("leaf");
+    b.push(Inst::Alu { op: AluOp::Add, rd: IntReg::new(ACC), rs: IntReg::new(ACC), rt: IntReg::new(ACC) });
+    b.push(Inst::Jr { rs: IntReg::RA });
+
+    b.label("main");
+    // Seed registers deterministically and point $r20 at the scratch area.
+    let scratch = b.data_addr("scratch").expect("reserved");
+    b.push(Inst::Lui { rt: IntReg::new(SCRATCH), imm: (scratch >> 16) as u16 });
+    b.push(Inst::AluImm {
+        op: AluImmOp::Ori,
+        rt: IntReg::new(SCRATCH),
+        rs: IntReg::new(SCRATCH),
+        imm: (scratch & 0xffff) as i16,
+    });
+    for n in 0..11u8 {
+        b.push(Inst::AluImm {
+            op: AluImmOp::Addi,
+            rt: reg(n),
+            rs: IntReg::ZERO,
+            imm: i16::from(n) * 37 + 5,
+        });
+    }
+
+    let mut label = 0u32;
+    for blk in blocks {
+        match blk {
+            Block::Alu(ops) => {
+                for &(op, rd, rs, rt) in ops {
+                    b.push(Inst::Alu { op, rd: reg(rd), rs: reg(rs), rt: reg(rt) });
+                }
+            }
+            Block::Imm(op, rt, rs, imm) => {
+                b.push(Inst::AluImm { op: *op, rt: reg(*rt), rs: reg(*rs), imm: *imm });
+            }
+            Block::MemRoundTrip { src, dst, word } => {
+                let off = i16::from(*word) * 4;
+                b.push(Inst::Sw { rt: reg(*src), base: IntReg::new(SCRATCH), off });
+                b.push(Inst::Lw { rt: reg(*dst), base: IntReg::new(SCRATCH), off });
+            }
+            Block::Fp { seed, a, b: fb, op } => {
+                b.push(Inst::Mtc1 { rs: reg(*seed), fd: fpr(*a) });
+                b.push(Inst::FpUnary { op: FpUnaryOp::CvtDW, fd: fpr(*a), fs: fpr(*a) });
+                b.push(Inst::FpOp { op: *op, fd: fpr(*fb), fs: fpr(*a), ft: fpr(*fb) });
+                // Round-trip a digest back into the integer file so FP
+                // results are architecturally observable.
+                b.push(Inst::FpUnary { op: FpUnaryOp::CvtWD, fd: fpr(*fb), fs: fpr(*fb) });
+                b.push(Inst::Mfc1 { rd: reg(seed.wrapping_add(1)), fs: fpr(*fb) });
+            }
+            Block::Loop { trips, body_adds } => {
+                label += 1;
+                let top = format!("L{label}");
+                b.push(Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rt: IntReg::new(LOOP_CTR),
+                    rs: IntReg::ZERO,
+                    imm: i16::from(*trips),
+                });
+                b.label(top.clone());
+                for n in 0..*body_adds {
+                    b.push(Inst::Alu {
+                        op: AluOp::Add,
+                        rd: IntReg::new(ACC),
+                        rs: IntReg::new(ACC),
+                        rt: reg(n),
+                    });
+                }
+                b.push(Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rt: IntReg::new(LOOP_CTR),
+                    rs: IntReg::new(LOOP_CTR),
+                    imm: -1,
+                });
+                b.bne(IntReg::new(LOOP_CTR), IntReg::ZERO, top);
+            }
+            Block::SkipIf { reg: r, eq } => {
+                label += 1;
+                let skip = format!("S{label}");
+                if *eq {
+                    b.beq(reg(*r), IntReg::ZERO, skip.clone());
+                } else {
+                    b.bne(reg(*r), IntReg::ZERO, skip.clone());
+                }
+                b.push(Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rt: IntReg::new(ACC),
+                    rs: IntReg::new(ACC),
+                    imm: 13,
+                });
+                b.label(skip);
+            }
+            Block::Call => {
+                b.call("leaf");
+            }
+        }
+    }
+    b.push(Inst::Halt);
+    b.finish().expect("generated program builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 160, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_agree_across_engines(
+        blocks in prop::collection::vec(block_strategy(), 1..14)
+    ) {
+        let program = build(&blocks);
+        let mut oracle = Machine::new(&program);
+        oracle.run(5_000_000).expect("oracle halts");
+        for (mode, cfg) in [
+            ("baseline", SimConfig::baseline()),
+            ("reuse", SimConfig::baseline().with_reuse(true)),
+            ("reuse-iq32", SimConfig::baseline().with_iq_size(32).with_reuse(true)),
+        ] {
+            let r = Processor::new(cfg).run(&program)
+                .unwrap_or_else(|e| panic!("{mode}: {e}\nblocks: {blocks:?}"));
+            prop_assert_eq!(
+                &r.arch_state, oracle.state(),
+                "{} register state diverged; blocks: {:?}", mode, &blocks
+            );
+            prop_assert_eq!(
+                r.mem_digest, oracle.memory().content_digest(),
+                "{} memory diverged; blocks: {:?}", mode, &blocks
+            );
+            prop_assert_eq!(r.stats.committed, oracle.retired());
+        }
+    }
+}
