@@ -74,9 +74,7 @@ fn parse_reg(line: usize, name: &str) -> Result<RegRef, AssembleError> {
         return Ok(RegRef::Int(IntReg::new(n)));
     }
     let (bank, num) = name.split_at(1);
-    let n: u8 = num
-        .parse()
-        .map_err(|_| err(line, format!("bad register name ${name}")))?;
+    let n: u8 = num.parse().map_err(|_| err(line, format!("bad register name ${name}")))?;
     match bank {
         "r" => IntReg::try_new(n)
             .map(RegRef::Int)
@@ -137,9 +135,7 @@ fn mem_operand(line: usize, arg: &Arg) -> Result<(IntReg, i16), AssembleError> {
         Arg::Mem { off, base } => {
             let base = match parse_reg(line, base)? {
                 RegRef::Int(r) => r,
-                RegRef::Fp(_) => {
-                    return Err(err(line, "memory base must be an integer register"))
-                }
+                RegRef::Fp(_) => return Err(err(line, "memory base must be an integer register")),
             };
             let off = i16::try_from(*off)
                 .map_err(|_| err(line, format!("memory offset {off} does not fit in 16 bits")))?;
@@ -155,11 +151,10 @@ type Lookup<'a> = &'a dyn Fn(&str) -> Option<u32>;
 
 fn resolve(line: usize, arg: &Arg, lookup: Lookup<'_>) -> Result<u32, AssembleError> {
     match arg {
-        Arg::Sym(s) => {
-            lookup(s).ok_or_else(|| err(line, format!("undefined symbol {s:?}")))
+        Arg::Sym(s) => lookup(s).ok_or_else(|| err(line, format!("undefined symbol {s:?}"))),
+        Arg::Imm(v) => {
+            u32::try_from(*v).map_err(|_| err(line, format!("address {v} out of range")))
         }
-        Arg::Imm(v) => u32::try_from(*v)
-            .map_err(|_| err(line, format!("address {v} out of range"))),
         other => Err(err(line, format!("expected label or address, got {other}"))),
     }
 }
@@ -266,11 +261,7 @@ fn expand(
     };
     let fp1 = |op: FpUnaryOp| -> Result<Vec<Inst>, AssembleError> {
         argc(2)?;
-        Ok(vec![Inst::FpUnary {
-            op,
-            fd: fp_reg(line, &args[0])?,
-            fs: fp_reg(line, &args[1])?,
-        }])
+        Ok(vec![Inst::FpUnary { op, fd: fp_reg(line, &args[0])?, fs: fp_reg(line, &args[1])? }])
     };
     let fcmp = |cond: FpCond| -> Result<Vec<Inst>, AssembleError> {
         argc(3)?;
@@ -413,10 +404,9 @@ fn expand(
         }
         "jalr" => match args.len() {
             1 => Ok(vec![Inst::Jalr { rd: IntReg::RA, rs: int_reg(line, &args[0])? }]),
-            2 => Ok(vec![Inst::Jalr {
-                rd: int_reg(line, &args[0])?,
-                rs: int_reg(line, &args[1])?,
-            }]),
+            2 => {
+                Ok(vec![Inst::Jalr { rd: int_reg(line, &args[0])?, rs: int_reg(line, &args[1])? }])
+            }
             n => Err(err(line, format!("jalr expects 1 or 2 operands, got {n}"))),
         },
         // Pseudo-instructions.
@@ -706,11 +696,10 @@ fn emit_data(
             for a in args {
                 let v: u32 = match a {
                     Arg::Imm(v) => *v as u32,
-                    Arg::Sym(s) => lookup(s)
-                        .ok_or_else(|| err(line, format!("undefined symbol {s:?}")))?,
-                    other => {
-                        return Err(err(line, format!(".word expects integers, got {other}")))
+                    Arg::Sym(s) => {
+                        lookup(s).ok_or_else(|| err(line, format!("undefined symbol {s:?}")))?
                     }
+                    other => return Err(err(line, format!(".word expects integers, got {other}"))),
                 };
                 data.extend_from_slice(&v.to_le_bytes());
                 *addr += 4;

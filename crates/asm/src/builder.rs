@@ -92,11 +92,7 @@ impl ProgramBuilder {
     /// Creates a builder with the default segment bases.
     #[must_use]
     pub fn new() -> ProgramBuilder {
-        ProgramBuilder {
-            text_base: TEXT_BASE,
-            data_base: DATA_BASE,
-            ..ProgramBuilder::default()
-        }
+        ProgramBuilder { text_base: TEXT_BASE, data_base: DATA_BASE, ..ProgramBuilder::default() }
     }
 
     /// Number of instructions pushed so far.
@@ -132,9 +128,7 @@ impl ProgramBuilder {
     /// Address a text label will have once finalized, if already defined.
     #[must_use]
     pub fn label_addr(&self, name: &str) -> Option<u32> {
-        self.labels
-            .get(name)
-            .map(|&idx| self.text_base + (idx as u32) * INST_BYTES)
+        self.labels.get(name).map(|&idx| self.text_base + (idx as u32) * INST_BYTES)
     }
 
     /// Appends `beq rs, rt, label`.
@@ -264,9 +258,7 @@ impl ProgramBuilder {
                     }
                 }
             };
-            let word = inst
-                .encode()
-                .map_err(|e| BuildProgramError::Encode(e.to_string()))?;
+            let word = inst.encode().map_err(|e| BuildProgramError::Encode(e.to_string()))?;
             text.push(word);
         }
         let entry = match &self.entry_label {

@@ -321,10 +321,7 @@ mod tests {
         match lines[0].body.as_ref().unwrap() {
             Body::Inst { mnemonic, args } => {
                 assert_eq!(mnemonic, "addi");
-                assert_eq!(
-                    args,
-                    &vec![Arg::Reg("r4".into()), Arg::Reg("r4".into()), Arg::Imm(-8)]
-                );
+                assert_eq!(args, &vec![Arg::Reg("r4".into()), Arg::Reg("r4".into()), Arg::Imm(-8)]);
             }
             other => panic!("unexpected body {other:?}"),
         }

@@ -138,9 +138,7 @@ impl Program {
     /// words that fail to decode (there are none in assembler output).
     pub fn iter_insts(&self) -> impl Iterator<Item = (u32, Inst)> + '_ {
         self.text.iter().enumerate().filter_map(move |(i, &w)| {
-            Inst::decode(w)
-                .ok()
-                .map(|inst| (self.text_base + (i as u32) * INST_BYTES, inst))
+            Inst::decode(w).ok().map(|inst| (self.text_base + (i as u32) * INST_BYTES, inst))
         })
     }
 }
@@ -215,6 +213,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "aligned")]
     fn unaligned_entry_rejected() {
-        let _ = Program::from_parts(TEXT_BASE, vec![], DATA_BASE, vec![], TEXT_BASE + 2, BTreeMap::new());
+        let _ = Program::from_parts(
+            TEXT_BASE,
+            vec![],
+            DATA_BASE,
+            vec![],
+            TEXT_BASE + 2,
+            BTreeMap::new(),
+        );
     }
 }

@@ -16,14 +16,22 @@ fn wreg() -> impl Strategy<Value = IntReg> {
 fn textable_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
         Just(Inst::Nop),
-        (wreg(), wreg(), wreg(), prop_oneof![
-            Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Mul), Just(AluOp::And),
-            Just(AluOp::Or), Just(AluOp::Xor), Just(AluOp::Slt),
-        ])
+        (
+            wreg(),
+            wreg(),
+            wreg(),
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::Mul),
+                Just(AluOp::And),
+                Just(AluOp::Or),
+                Just(AluOp::Xor),
+                Just(AluOp::Slt),
+            ]
+        )
             .prop_map(|(rd, rs, rt, op)| Inst::Alu { op, rd, rs, rt }),
-        (wreg(), wreg(), any::<i16>(), prop_oneof![
-            Just(AluImmOp::Addi), Just(AluImmOp::Slti),
-        ])
+        (wreg(), wreg(), any::<i16>(), prop_oneof![Just(AluImmOp::Addi), Just(AluImmOp::Slti),])
             .prop_map(|(rt, rs, imm, op)| Inst::AluImm { op, rt, rs, imm }),
         (wreg(), wreg(), -64i16..64).prop_map(|(rt, base, w)| Inst::Lw { rt, base, off: w * 4 }),
         (wreg(), wreg(), -64i16..64).prop_map(|(rt, base, w)| Inst::Sw { rt, base, off: w * 4 }),

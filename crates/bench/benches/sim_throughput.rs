@@ -27,9 +27,7 @@ fn throughput(c: &mut Criterion) {
     g.bench_function("baseline_pipeline", |b| {
         b.iter(|| black_box(common::run(&program, 64, false)))
     });
-    g.bench_function("reuse_pipeline", |b| {
-        b.iter(|| black_box(common::run(&program, 64, true)))
-    });
+    g.bench_function("reuse_pipeline", |b| b.iter(|| black_box(common::run(&program, 64, true))));
     g.finish();
 }
 

@@ -1,7 +1,10 @@
-//! `riq-repro` — regenerates every table and figure of the paper.
+//! `riq-repro` — regenerates every table and figure of the paper, and runs
+//! single programs with observability attached.
 //!
 //! ```text
 //! riq-repro <experiment> [--scale F]
+//! riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F]
+//!           [--json PATH] [--trace PATH] [--epoch N]
 //!
 //! experiments:
 //!   table1    baseline processor configuration (paper Table 1)
@@ -19,14 +22,30 @@
 //!
 //! --scale F scales benchmark outer trip counts (default 1.0). Figures in
 //! EXPERIMENTS.md are produced with the default.
+//!
+//! `run` simulates one program — a Table 2 kernel by name, or a `.s`
+//! assembly file — and prints a summary. `--json PATH` writes the full
+//! machine-readable run report (`-` for stdout), `--trace PATH` streams
+//! every trace event as JSONL (reuse-FSM transitions, gating windows,
+//! per-cycle pipeline samples, cache misses, mispredictions), and
+//! `--epoch N` adds a statistics snapshot every N cycles (to the report
+//! and, when tracing, the trace).
 //! ```
 
-use riq_bench::{bpred_ablation, transform_ablation, fig9, fig9_table, nblt_ablation, strategy_ablation, table1, table2, Sweep};
+use riq_bench::{
+    bpred_ablation, fig9, fig9_table, nblt_ablation, report_json, strategy_ablation, table1,
+    table2, transform_ablation, RunSpec, Sweep,
+};
+use riq_core::{Processor, SimConfig};
+use riq_trace::{JsonlSink, NullSink, TraceSink};
+use std::fs::File;
+use std::io::Write as _;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|all> [--scale F]"
+        "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|all> [--scale F]
+                riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F] [--json PATH] [--trace PATH] [--epoch N]"
     );
     ExitCode::FAILURE
 }
@@ -34,6 +53,15 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
+    if cmd == "run" {
+        return match run_program(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("riq-repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut scale = 1.0f64;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -53,6 +81,139 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Options of the `run` subcommand.
+struct RunArgs {
+    program: String,
+    iq: u32,
+    reuse: bool,
+    scale: f64,
+    json: Option<String>,
+    trace: Option<String>,
+    epoch: Option<u64>,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut it = args.iter();
+    let program = it.next().ok_or("run: missing program (kernel name or .s file)")?.clone();
+    let mut out =
+        RunArgs { program, iq: 64, reuse: false, scale: 1.0, json: None, trace: None, epoch: None };
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("run: {flag} needs a value"));
+        match a.as_str() {
+            "--iq" => {
+                out.iq = value("--iq")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("run: --iq needs a positive integer")?;
+            }
+            "--reuse" => out.reuse = true,
+            "--scale" => {
+                out.scale = value("--scale")?
+                    .parse()
+                    .ok()
+                    .filter(|&f: &f64| f > 0.0)
+                    .ok_or("run: --scale needs a positive number")?;
+            }
+            "--json" => out.json = Some(value("--json")?),
+            "--trace" => out.trace = Some(value("--trace")?),
+            "--epoch" => {
+                out.epoch = Some(
+                    value("--epoch")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or("run: --epoch needs a positive cycle count")?,
+                );
+            }
+            other => return Err(format!("run: unknown option {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn load_program(name: &str, scale: f64) -> Result<riq_asm::Program, Box<dyn std::error::Error>> {
+    if name.ends_with(".s") {
+        let source =
+            std::fs::read_to_string(name).map_err(|e| format!("cannot read {name}: {e}"))?;
+        Ok(riq_asm::assemble(&source)?)
+    } else {
+        let kernel = riq_kernels::suite_scaled(scale)
+            .into_iter()
+            .find(|k| k.name == name)
+            .ok_or_else(|| format!("unknown kernel {name:?} (and not a .s file)"))?;
+        Ok(riq_kernels::compile(&kernel)?)
+    }
+}
+
+fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_run_args(args)?;
+    let program = load_program(&opts.program, opts.scale)?;
+    let cfg = SimConfig::baseline().with_iq_size(opts.iq).with_reuse(opts.reuse);
+    let processor = Processor::new(cfg);
+
+    let mut jsonl = match &opts.trace {
+        Some(path) => Some(JsonlSink::new(
+            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let mut null = NullSink;
+    let sink: &mut dyn TraceSink = match jsonl.as_mut() {
+        Some(s) => s,
+        None => &mut null,
+    };
+    let result = processor.run_observed(&program, sink, opts.epoch)?;
+    if let Some(s) = jsonl {
+        let events = s.written();
+        s.into_inner()?;
+        eprintln!("trace: {events} events -> {}", opts.trace.as_deref().unwrap_or_default());
+    }
+
+    let spec = RunSpec {
+        program: opts.program.clone(),
+        iq: opts.iq,
+        reuse: opts.reuse,
+        scale: opts.scale,
+        epoch: opts.epoch,
+    };
+    if let Some(path) = &opts.json {
+        let doc = report_json(&spec, &result).to_pretty();
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            File::create(path)
+                .and_then(|mut f| f.write_all(doc.as_bytes()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("report -> {path}");
+        }
+    }
+
+    // The summary normally goes to stdout, but must not corrupt the JSON
+    // stream when the report itself is directed there via `--json -`.
+    let mut summary: Box<dyn std::io::Write> = if opts.json.as_deref() == Some("-") {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(std::io::stdout())
+    };
+    let s = &result.stats;
+    writeln!(
+        summary,
+        "{}: {} cycles, {} committed (IPC {:.3}), gated {:.1}% ({} cycles), \
+         reused {} insts, {} epochs sampled",
+        opts.program,
+        s.cycles,
+        s.committed,
+        s.ipc(),
+        s.gated_rate() * 100.0,
+        s.gated_cycles,
+        s.reuse.reused_insts,
+        result.epochs.len(),
+    )?;
+    Ok(())
 }
 
 fn run(cmd: &str, scale: f64) -> Result<(), Box<dyn std::error::Error>> {

@@ -158,15 +158,11 @@ impl Sweep {
     }
 
     fn per_kernel_metric(&self, f: impl Fn(&PairResult) -> f64) -> FigTable {
-        let mut table = FigTable::new(
-            "benchmark",
-            IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect(),
-        );
+        let mut table =
+            FigTable::new("benchmark", IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect());
         for k in self.kernels() {
-            let row: Vec<f64> = IQ_SIZES
-                .iter()
-                .map(|&iq| self.point(&k, iq).map_or(0.0, &f))
-                .collect();
+            let row: Vec<f64> =
+                IQ_SIZES.iter().map(|&iq| self.point(&k, iq).map_or(0.0, &f)).collect();
             table.push_row(k, row);
         }
         table.push_average();
@@ -183,13 +179,10 @@ impl Sweep {
     /// share) per queue size.
     #[must_use]
     pub fn fig6(&self) -> FigTable {
-        let mut table = FigTable::new(
-            "component",
-            IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect(),
-        );
+        let mut table =
+            FigTable::new("component", IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect());
         let avg = |f: &dyn Fn(&PairResult) -> f64, iq: u32| -> f64 {
-            let vals: Vec<f64> =
-                self.points.iter().filter(|p| p.iq == iq).map(f).collect();
+            let vals: Vec<f64> = self.points.iter().filter(|p| p.iq == iq).map(f).collect();
             vals.iter().sum::<f64>() / vals.len().max(1) as f64
         };
         let groups: [(&str, ComponentGroup); 3] = [
@@ -204,10 +197,8 @@ impl Sweep {
                 .collect();
             table.push_row(name, row);
         }
-        let row: Vec<f64> = IQ_SIZES
-            .iter()
-            .map(|&iq| avg(&PairResult::overhead_share, iq))
-            .collect();
+        let row: Vec<f64> =
+            IQ_SIZES.iter().map(|&iq| avg(&PairResult::overhead_share, iq)).collect();
         table.push_row("Overhead", row);
         table
     }
@@ -297,14 +288,10 @@ pub fn nblt_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
     );
     for k in suite_scaled(scale) {
         let program = compile(&k)?;
-        let without = Processor::new(
-            SimConfig::baseline().with_reuse(true).with_nblt(0),
-        )
-        .run(&program)?;
-        let with = Processor::new(
-            SimConfig::baseline().with_reuse(true).with_nblt(8),
-        )
-        .run(&program)?;
+        let without =
+            Processor::new(SimConfig::baseline().with_reuse(true).with_nblt(0)).run(&program)?;
+        let with =
+            Processor::new(SimConfig::baseline().with_reuse(true).with_nblt(8)).run(&program)?;
         t.push_row(
             k.name.clone(),
             vec![without.stats.reuse.revoke_rate(), with.stats.reuse.revoke_rate()],
@@ -322,26 +309,20 @@ pub fn nblt_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
 ///
 /// Propagates compile or simulation errors.
 pub fn strategy_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
-    let mut rows: Vec<(String, Vec<f64>)> = vec![
-        ("single-iteration".into(), Vec::new()),
-        ("multi-iteration".into(), Vec::new()),
-    ];
+    let mut rows: Vec<(String, Vec<f64>)> =
+        vec![("single-iteration".into(), Vec::new()), ("multi-iteration".into(), Vec::new())];
     let kernels: Vec<(Kernel, Program)> = suite_scaled(scale)
         .into_iter()
         .map(|k| compile(&k).map(|p| (k, p)))
         .collect::<Result<_, _>>()?;
     for iq in IQ_SIZES {
-        for (row, strategy) in [
-            (0, BufferingStrategy::SingleIteration),
-            (1, BufferingStrategy::MultiIteration),
-        ] {
+        for (row, strategy) in
+            [(0, BufferingStrategy::SingleIteration), (1, BufferingStrategy::MultiIteration)]
+        {
             let mut acc = 0.0;
             for (_, program) in &kernels {
                 let r = Processor::new(
-                    SimConfig::baseline()
-                        .with_iq_size(iq)
-                        .with_reuse(true)
-                        .with_strategy(strategy),
+                    SimConfig::baseline().with_iq_size(iq).with_reuse(true).with_strategy(strategy),
                 )
                 .run(program)?;
                 acc += r.stats.gated_rate();
@@ -349,10 +330,7 @@ pub fn strategy_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
             rows[row].1.push(acc / kernels.len() as f64);
         }
     }
-    let mut t = FigTable::new(
-        "strategy",
-        IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect(),
-    );
+    let mut t = FigTable::new("strategy", IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect());
     for (name, vals) in rows {
         t.push_row(name, vals);
     }
@@ -375,28 +353,18 @@ pub fn transform_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
         ("original", base.clone()),
         ("distributed", base.iter().map(distribute_kernel).collect()),
         ("unrolled x4", base.iter().map(|k| unroll_kernel(k, 4)).collect()),
-        (
-            "distributed+fused",
-            base.iter().map(|k| fuse_kernel(&distribute_kernel(k))).collect(),
-        ),
+        ("distributed+fused", base.iter().map(|k| fuse_kernel(&distribute_kernel(k))).collect()),
     ];
-    let mut t = FigTable::new(
-        "code version",
-        IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect(),
-    );
+    let mut t =
+        FigTable::new("code version", IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect());
     for (name, kernels) in versions {
-        let programs: Vec<Program> = kernels
-            .iter()
-            .map(compile)
-            .collect::<Result<_, _>>()?;
+        let programs: Vec<Program> = kernels.iter().map(compile).collect::<Result<_, _>>()?;
         let mut row = Vec::new();
         for iq in IQ_SIZES {
             let mut acc = 0.0;
             for program in &programs {
-                let r = Processor::new(
-                    SimConfig::baseline().with_iq_size(iq).with_reuse(true),
-                )
-                .run(program)?;
+                let r = Processor::new(SimConfig::baseline().with_iq_size(iq).with_reuse(true))
+                    .run(program)?;
                 acc += r.stats.gated_rate();
             }
             row.push(acc / programs.len() as f64);
@@ -494,10 +462,7 @@ impl FigTable {
     /// The value at (row name, column index).
     #[must_use]
     pub fn value(&self, row: &str, col: usize) -> Option<f64> {
-        self.rows
-            .iter()
-            .find(|(n, _)| n == row)
-            .and_then(|(_, v)| v.get(col).copied())
+        self.rows.iter().find(|(n, _)| n == row).and_then(|(_, v)| v.get(col).copied())
     }
 
     /// All rows.
@@ -540,14 +505,9 @@ impl FigTable {
 
 impl fmt::Display for FigTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let w0 = self
-            .rows
-            .iter()
-            .map(|(n, _)| n.len())
-            .chain([self.row_label.len()])
-            .max()
-            .unwrap_or(8)
-            + 2;
+        let w0 =
+            self.rows.iter().map(|(n, _)| n.len()).chain([self.row_label.len()]).max().unwrap_or(8)
+                + 2;
         write!(f, "{:w0$}", self.row_label)?;
         for c in &self.columns {
             write!(f, "{c:>14}")?;

@@ -31,10 +31,12 @@
 #![forbid(unsafe_code)]
 
 mod harness;
+mod report;
 mod tables;
 
 pub use harness::{
-    bpred_ablation, transform_ablation, fig9, fig9_table, nblt_ablation, run_pair, strategy_ablation,
-    ExperimentError, Fig9Point, FigTable, PairResult, Sweep, IQ_SIZES,
+    bpred_ablation, fig9, fig9_table, nblt_ablation, run_pair, strategy_ablation,
+    transform_ablation, ExperimentError, Fig9Point, FigTable, PairResult, Sweep, IQ_SIZES,
 };
+pub use report::{report_json, RunSpec, REPORT_SCHEMA_VERSION};
 pub use tables::{table1, table2};

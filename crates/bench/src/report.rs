@@ -1,0 +1,105 @@
+//! Machine-readable run reports: one JSON document per simulation,
+//! bundling what was run (program, configuration) with everything the
+//! simulator returned (statistics, memory/branch-predictor counters,
+//! power, epoch samples).
+//!
+//! The document is versioned via `schema_version` so downstream tooling
+//! can detect layout changes.
+
+use riq_core::RunResult;
+use riq_trace::{JsonValue, ToJson};
+
+/// Layout version of the report document.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// What was simulated — the inputs half of a report.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Program identifier (kernel name or assembly file path).
+    pub program: String,
+    /// Issue-queue size in entries.
+    pub iq: u32,
+    /// Whether the reuse mechanism was enabled.
+    pub reuse: bool,
+    /// Outer-trip-count scale factor applied to suite kernels.
+    pub scale: f64,
+    /// Epoch sampling period in cycles, if sampling was on.
+    pub epoch: Option<u64>,
+}
+
+impl ToJson for RunSpec {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("program", self.program.to_json()),
+            ("iq", self.iq.to_json()),
+            ("reuse", self.reuse.to_json()),
+            ("scale", self.scale.to_json()),
+            ("epoch", self.epoch.to_json()),
+        ])
+    }
+}
+
+/// Assembles the full report document for one run.
+#[must_use]
+pub fn report_json(spec: &RunSpec, result: &RunResult) -> JsonValue {
+    JsonValue::obj([
+        ("schema_version", REPORT_SCHEMA_VERSION.to_json()),
+        ("generator", "riq".to_json()),
+        ("run", spec.to_json()),
+        ("result", result.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+    use riq_core::{Processor, SimConfig};
+
+    fn small_result() -> RunResult {
+        let program =
+            assemble("  li $r2, 40\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $zero, loop\n  halt\n")
+                .expect("assemble");
+        Processor::new(SimConfig::baseline().with_reuse(true)).run(&program).expect("run")
+    }
+
+    #[test]
+    fn report_round_trips_and_has_headline_numbers() {
+        let result = small_result();
+        let spec =
+            RunSpec { program: "countdown".into(), iq: 64, reuse: true, scale: 1.0, epoch: None };
+        let doc = report_json(&spec, &result);
+        let text = doc.to_pretty();
+        let back = riq_trace::parse(&text).expect("report parses");
+        assert_eq!(
+            back.get("schema_version").and_then(JsonValue::as_u64),
+            Some(REPORT_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            back.get("run").and_then(|r| r.get("program")).and_then(JsonValue::as_str),
+            Some("countdown")
+        );
+        let stats = back.get("result").and_then(|r| r.get("stats")).expect("stats");
+        assert_eq!(stats.get("cycles").and_then(JsonValue::as_u64), Some(result.stats.cycles));
+        assert_eq!(
+            stats.get("committed").and_then(JsonValue::as_u64),
+            Some(result.stats.committed)
+        );
+        let digest = back.get("result").and_then(|r| r.get("mem_digest"));
+        assert_eq!(digest.and_then(JsonValue::as_u64), Some(result.mem_digest));
+    }
+
+    #[test]
+    fn report_includes_power_and_mem_sections() {
+        let result = small_result();
+        let spec =
+            RunSpec { program: "x".into(), iq: 64, reuse: true, scale: 0.5, epoch: Some(100) };
+        let doc = report_json(&spec, &result);
+        let power = doc.get("result").and_then(|r| r.get("power")).expect("power section");
+        assert!(power.get("total_energy").and_then(JsonValue::as_f64).unwrap_or(0.0) > 0.0);
+        let mem = doc.get("result").and_then(|r| r.get("mem")).expect("mem section");
+        assert!(mem.get("il1").is_some());
+        let run = doc.get("run").expect("run");
+        assert_eq!(run.get("epoch").and_then(JsonValue::as_u64), Some(100));
+    }
+}

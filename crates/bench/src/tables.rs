@@ -26,14 +26,8 @@ pub fn table1() -> String {
             c.fu.int_alu, c.fu.int_mult, c.fu.fp_alu, c.fu.fp_mult, c.fu.mem_ports
         ),
     );
-    row(
-        "Branch Predictor",
-        format!("bimod, 2048 entries, RAS {} entries", c.bpred.ras_entries),
-    );
-    row(
-        "BTB",
-        format!("{} set {} way assoc.", c.bpred.btb_sets, c.bpred.btb_ways),
-    );
+    row("Branch Predictor", format!("bimod, 2048 entries, RAS {} entries", c.bpred.ras_entries));
+    row("BTB", format!("{} set {} way assoc.", c.bpred.btb_sets, c.bpred.btb_ways));
     let cache = |cc: riq_mem::CacheConfig| {
         format!(
             "{}KB, {} way, {} cycle{}",
@@ -50,7 +44,10 @@ pub fn table1() -> String {
         "TLB",
         format!(
             "ITLB: {} set {} way, DTLB: {} set {} way, {} cycle penalty",
-            c.mem.itlb.sets, c.mem.itlb.ways, c.mem.dtlb.sets, c.mem.dtlb.ways,
+            c.mem.itlb.sets,
+            c.mem.itlb.ways,
+            c.mem.dtlb.sets,
+            c.mem.dtlb.ways,
             c.mem.itlb.miss_penalty
         ),
     );

@@ -19,6 +19,16 @@ pub struct BtbStats {
     pub updates: u64,
 }
 
+impl riq_trace::ToJson for BtbStats {
+    fn to_json(&self) -> riq_trace::JsonValue {
+        riq_trace::JsonValue::obj([
+            ("lookups", self.lookups.to_json()),
+            ("hits", self.hits.to_json()),
+            ("updates", self.updates.to_json()),
+        ])
+    }
+}
+
 /// A set-associative branch target buffer (Table 1: 512 sets, 4 ways).
 ///
 /// # Examples
@@ -93,16 +103,13 @@ impl Btb {
             }
         }
         // Fill an invalid way or evict LRU.
-        let victim = set
-            .iter()
-            .position(Option::is_none)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.map_or(0, |e| e.last_use))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            });
+        let victim = set.iter().position(Option::is_none).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.map_or(0, |e| e.last_use))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        });
         set[victim] = Some(BtbEntry { tag, target, last_use: self.tick });
     }
 

@@ -61,6 +61,21 @@ pub struct BpredStats {
     pub ras_pops: u64,
 }
 
+impl riq_trace::ToJson for BpredStats {
+    fn to_json(&self) -> riq_trace::JsonValue {
+        riq_trace::JsonValue::obj([
+            ("dir_lookups", self.dir_lookups.to_json()),
+            ("dir_updates", self.dir_updates.to_json()),
+            ("dir_correct", self.dir_correct.to_json()),
+            ("dir_wrong", self.dir_wrong.to_json()),
+            ("dir_accuracy", self.dir_accuracy().to_json()),
+            ("btb", self.btb.to_json()),
+            ("ras_pushes", self.ras_pushes.to_json()),
+            ("ras_pops", self.ras_pops.to_json()),
+        ])
+    }
+}
+
 impl BpredStats {
     /// Direction accuracy in `[0, 1]`, 1 when no branches were seen.
     #[must_use]

@@ -67,11 +67,7 @@ pub struct ReuseConfig {
 
 impl Default for ReuseConfig {
     fn default() -> Self {
-        ReuseConfig {
-            enabled: false,
-            nblt_entries: 8,
-            strategy: BufferingStrategy::MultiIteration,
-        }
+        ReuseConfig { enabled: false, nblt_entries: 8, strategy: BufferingStrategy::MultiIteration }
     }
 }
 

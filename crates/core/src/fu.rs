@@ -153,9 +153,18 @@ mod tests {
         let lat = SimConfig::baseline().latency;
         let r = IntReg::new;
         let f = FpReg::new;
-        assert_eq!(exec_latency(&lat, &Inst::Alu { op: AluOp::Add, rd: r(1), rs: r(2), rt: r(3) }), 1);
-        assert_eq!(exec_latency(&lat, &Inst::Alu { op: AluOp::Mul, rd: r(1), rs: r(2), rt: r(3) }), 3);
-        assert_eq!(exec_latency(&lat, &Inst::Alu { op: AluOp::Div, rd: r(1), rs: r(2), rt: r(3) }), 20);
+        assert_eq!(
+            exec_latency(&lat, &Inst::Alu { op: AluOp::Add, rd: r(1), rs: r(2), rt: r(3) }),
+            1
+        );
+        assert_eq!(
+            exec_latency(&lat, &Inst::Alu { op: AluOp::Mul, rd: r(1), rs: r(2), rt: r(3) }),
+            3
+        );
+        assert_eq!(
+            exec_latency(&lat, &Inst::Alu { op: AluOp::Div, rd: r(1), rs: r(2), rt: r(3) }),
+            20
+        );
         assert_eq!(
             exec_latency(&lat, &Inst::FpOp { op: FpAluOp::AddD, fd: f(0), fs: f(1), ft: f(2) }),
             2

@@ -218,11 +218,7 @@ impl IssueQueue {
     /// Removes the entry whose current instance is `rob` (squash).
     /// Returns whether an entry was removed.
     pub fn remove_by_rob(&mut self, rob: RobId, seq: u64) -> bool {
-        if let Some(idx) = self
-            .entries
-            .iter()
-            .position(|e| e.rob == rob && e.seq == seq)
-        {
+        if let Some(idx) = self.entries.iter().position(|e| e.rob == rob && e.seq == seq) {
             self.activity.collapse_moves += (self.entries.len() - idx - 1) as u32;
             self.entries.remove(idx);
             true
@@ -235,12 +231,7 @@ impl IssueQueue {
     /// domain of the reuse pointer.
     #[must_use]
     pub fn classified_positions(&self) -> Vec<usize> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.classification)
-            .map(|(i, _)| i)
-            .collect()
+        self.entries.iter().enumerate().filter(|(_, e)| e.classification).map(|(i, _)| i).collect()
     }
 
     /// Re-renames the buffered entry at `idx` for its next reuse instance:
@@ -251,7 +242,13 @@ impl IssueQueue {
     ///
     /// Panics if the entry is not a buffered (classified) entry or has not
     /// been issued yet.
-    pub fn reuse_at(&mut self, idx: usize, new_rob: RobId, new_seq: u64, waits: [Option<RobId>; 2]) {
+    pub fn reuse_at(
+        &mut self,
+        idx: usize,
+        new_rob: RobId,
+        new_seq: u64,
+        waits: [Option<RobId>; 2],
+    ) {
         let e = &mut self.entries[idx];
         assert!(e.classification, "reusing a non-buffered entry");
         assert!(e.issued, "reusing an entry that has not issued");

@@ -133,11 +133,7 @@ impl Lsq {
                 continue;
             }
             if e.overlaps(load.addr, load.width) {
-                return if e.completed {
-                    StoreConflict::ForwardReady
-                } else {
-                    StoreConflict::Wait
-                };
+                return if e.completed { StoreConflict::ForwardReady } else { StoreConflict::Wait };
             }
         }
         StoreConflict::None
@@ -150,11 +146,7 @@ impl Lsq {
 
     /// Removes the oldest entry if it belongs to `(rob, seq)` (commit).
     pub fn pop_if_front(&mut self, rob: RobId, seq: u64) {
-        if self
-            .entries
-            .front()
-            .is_some_and(|e| e.rob == rob && e.seq == seq)
-        {
+        if self.entries.front().is_some_and(|e| e.rob == rob && e.seq == seq) {
             self.entries.pop_front();
         }
     }
@@ -176,7 +168,8 @@ mod tests {
 
     #[test]
     fn overlap_geometry() {
-        let e = LsqEntry { rob: 0, seq: 0, is_store: true, addr: 0x1000, width: 4, completed: false };
+        let e =
+            LsqEntry { rob: 0, seq: 0, is_store: true, addr: 0x1000, width: 4, completed: false };
         assert!(e.overlaps(0x1000, 4));
         assert!(e.overlaps(0x0ffc, 8), "wide double overlapping the word");
         assert!(!e.overlaps(0x1004, 4));

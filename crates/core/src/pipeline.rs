@@ -18,13 +18,14 @@ use crate::rename::RenameMap;
 use crate::reuse::{IqState, ReuseController};
 use crate::rob::{RenameRef, Rob, RobEntry, RobId};
 use crate::specstate::SpecState;
-use crate::stats::{RunResult, SimStats};
+use crate::stats::{EpochSample, RunResult, SimStats};
 use riq_asm::{Program, STACK_TOP};
 use riq_bpred::BranchPredictor;
 use riq_emu::{ControlFlow, Executed, MemFault};
 use riq_isa::{CtrlKind, Inst, InstClass, IntReg};
 use riq_mem::{HierarchyStats, MemoryHierarchy};
 use riq_power::{Activity, Component, PowerModel};
+use riq_trace::{CacheLevel, EventKind, GateEndReason, NullSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
@@ -144,8 +145,29 @@ impl Processor {
     /// Returns a [`SimError`] for invalid configurations, correct-path
     /// faults, or exceeding the cycle budget.
     pub fn run(&self, program: &Program) -> Result<RunResult, SimError> {
+        self.run_observed(program, &mut NullSink, None)
+    }
+
+    /// Runs `program` with observability attached: every trace event is
+    /// handed to `sink`, and when `epoch` is `Some(n)` the statistics
+    /// counters are snapshotted every `n` cycles into
+    /// [`RunResult::epochs`] (plus an `epoch` trace event per boundary).
+    ///
+    /// With the default [`NullSink`] and no epoch period this is exactly
+    /// [`run`](Processor::run): instrumentation sites check
+    /// [`TraceSink::enabled`] once and skip event construction entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Processor::run).
+    pub fn run_observed(
+        &self,
+        program: &Program,
+        sink: &mut dyn TraceSink,
+        epoch: Option<u64>,
+    ) -> Result<RunResult, SimError> {
         self.cfg.validate()?;
-        let mut core = Core::new(&self.cfg, program)?;
+        let mut core = Core::new(&self.cfg, program, sink, epoch)?;
         let mut last_progress = (0u64, 0u64); // (cycle, committed)
         while !core.done {
             if core.now >= self.cfg.max_cycles {
@@ -157,10 +179,7 @@ impl Processor {
             if core.stats.committed != last_progress.1 {
                 last_progress = (core.now, core.stats.committed);
             } else if core.now - last_progress.0 > DEADLOCK_WINDOW {
-                return Err(SimError::Deadlock {
-                    cycle: core.now,
-                    detail: core.deadlock_dump(),
-                });
+                return Err(SimError::Deadlock { cycle: core.now, detail: core.deadlock_dump() });
             }
             core.cycle()?;
         }
@@ -171,6 +190,14 @@ impl Processor {
 struct Core<'a> {
     cfg: &'a SimConfig,
     program: &'a Program,
+    sink: &'a mut dyn TraceSink,
+    tracing: bool,
+    epoch_len: Option<u64>,
+    epochs: Vec<EpochSample>,
+    epoch_start: u64,
+    epoch_prev: SimStats,
+    gate_on_cycle: u64,
+    prev_sample: [u64; 4],
     now: u64,
     seq: u64,
     done: bool,
@@ -200,22 +227,36 @@ struct Core<'a> {
 }
 
 impl<'a> Core<'a> {
-    fn new(cfg: &'a SimConfig, program: &'a Program) -> Result<Core<'a>, SimError> {
+    fn new(
+        cfg: &'a SimConfig,
+        program: &'a Program,
+        sink: &'a mut dyn TraceSink,
+        epoch_len: Option<u64>,
+    ) -> Result<Core<'a>, SimError> {
         let mut spec = SpecState::new();
         for (i, &word) in program.text().iter().enumerate() {
             let addr = program.text_base() + 4 * i as u32;
-            spec.mem_mut()
-                .store_u32(addr, word)
-                .expect("program text base is aligned");
+            spec.mem_mut().store_u32(addr, word).expect("program text base is aligned");
         }
         spec.mem_mut().store_bytes(program.data_base(), program.data());
         spec.regs_mut().set_int_reg(IntReg::SP, STACK_TOP);
         let hier = MemoryHierarchy::new(cfg.mem).map_err(|_| {
             SimError::Config(crate::config::ConfigError::Zero("memory hierarchy geometry"))
         })?;
+        let tracing = sink.enabled();
+        let mut ctl = ReuseController::new(cfg.reuse, cfg.iq_entries);
+        ctl.set_tracing(tracing);
         Ok(Core {
             cfg,
             program,
+            sink,
+            tracing,
+            epoch_len: epoch_len.filter(|&n| n > 0),
+            epochs: Vec::new(),
+            epoch_start: 0,
+            epoch_prev: SimStats::default(),
+            gate_on_cycle: 0,
+            prev_sample: [0; 4],
             now: 0,
             seq: 0,
             done: false,
@@ -228,7 +269,7 @@ impl<'a> Core<'a> {
             prev_hier: HierarchyStats::default(),
             hier,
             bp: BranchPredictor::new(cfg.bpred),
-            ctl: ReuseController::new(cfg.reuse, cfg.iq_entries),
+            ctl,
             power: PowerModel::new(&cfg.power_config()),
             act: Activity::new(),
             stats: SimStats::default(),
@@ -245,14 +286,71 @@ impl<'a> Core<'a> {
         })
     }
 
-    fn into_result(self) -> RunResult {
+    fn into_result(mut self) -> RunResult {
+        // Close the gating window and epoch left open by a program that
+        // finished mid-reuse.
+        if self.gated && self.tracing {
+            self.sink.record(TraceEvent::new(
+                self.stats.cycles,
+                EventKind::GateOff {
+                    span: self.stats.cycles - self.gate_on_cycle,
+                    reason: GateEndReason::RunEnd,
+                },
+            ));
+        }
+        if self.epoch_len.is_some() && self.stats.cycles > self.epoch_start {
+            self.close_epoch();
+        }
         let mut stats = self.stats;
         stats.reuse = self.ctl.stats;
         RunResult {
             stats,
             power: self.power.report(),
+            mem: self.hier.stats(),
+            bpred: self.bp.stats(),
+            epochs: self.epochs,
             arch_state: self.spec.regs().clone(),
             mem_digest: self.spec.mem().content_digest(),
+        }
+    }
+
+    /// The live counters including the controller-held reuse numbers (the
+    /// merge [`into_result`](Core::into_result) performs at the end).
+    fn current_stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.reuse = self.ctl.stats;
+        s
+    }
+
+    fn close_epoch(&mut self) {
+        let current = self.current_stats();
+        let delta = current - self.epoch_prev;
+        let index = self.epochs.len() as u64;
+        let sample =
+            EpochSample { index, start_cycle: self.epoch_start, end_cycle: current.cycles, delta };
+        if self.tracing {
+            self.sink.record(TraceEvent::new(
+                current.cycles,
+                EventKind::Epoch {
+                    index,
+                    start_cycle: sample.start_cycle,
+                    cycles: delta.cycles,
+                    committed: delta.committed,
+                    gated: delta.gated_cycles,
+                    reused: delta.reuse.reused_insts,
+                },
+            ));
+        }
+        self.epochs.push(sample);
+        self.epoch_prev = current;
+        self.epoch_start = current.cycles;
+    }
+
+    /// Moves staged reuse-FSM events into the sink, stamped with the
+    /// current cycle.
+    fn drain_ctl_events(&mut self) {
+        for kind in self.ctl.events.drain(..) {
+            self.sink.record(TraceEvent::new(self.now, kind));
         }
     }
 
@@ -367,9 +465,7 @@ impl<'a> Core<'a> {
                 // committed since (its slot freed or reused), the value is
                 // architectural now.
                 let old = match ye.old_map {
-                    RenameRef::Rob(p, pseq)
-                        if self.rob.get(p).is_none_or(|e| e.seq != pseq) =>
-                    {
+                    RenameRef::Rob(p, pseq) if self.rob.get(p).is_none_or(|e| e.seq != pseq) => {
                         RenameRef::Arch
                     }
                     other => other,
@@ -391,7 +487,17 @@ impl<'a> Core<'a> {
         let branch = self.rob.get_mut(branch_id).expect("branch still live");
         branch.mispredicted = false;
         let redirect = branch.actual_next;
+        let branch_pc = branch.pc;
         self.unresolved_mispredicts -= 1;
+        if self.tracing {
+            self.sink.record(TraceEvent::new(
+                self.now,
+                EventKind::BranchMispredict {
+                    pc: u64::from(branch_pc),
+                    actual_next: u64::from(redirect),
+                },
+            ));
+        }
         // Redirect the front-end.
         self.fetch_pc = redirect;
         self.fetch_queue.clear();
@@ -401,6 +507,18 @@ impl<'a> Core<'a> {
         // Any reuse activity (buffering or reusing) ends here (§2.5).
         if self.ctl.on_recovery() {
             self.iq.clear_classification();
+            if self.tracing {
+                self.drain_ctl_events();
+                if self.gated {
+                    self.sink.record(TraceEvent::new(
+                        self.now,
+                        EventKind::GateOff {
+                            span: self.now - self.gate_on_cycle,
+                            reason: GateEndReason::Recovery,
+                        },
+                    ));
+                }
+            }
             self.gated = false;
             self.reuse_ptr = 0;
         }
@@ -471,7 +589,13 @@ impl<'a> Core<'a> {
                         lat += 1;
                     }
                     StoreConflict::None => {
-                        lat += self.hier.data_latency(m.addr, false);
+                        let l2_misses_before =
+                            if self.tracing { self.hier.stats().l2.misses } else { 0 };
+                        let dlat = self.hier.data_latency(m.addr, false);
+                        if self.tracing && dlat > self.cfg.mem.dl1.hit_latency {
+                            self.record_cache_miss(CacheLevel::L1D, m.addr, dlat, l2_misses_before);
+                        }
+                        lat += dlat;
                     }
                 }
             }
@@ -630,6 +754,11 @@ impl<'a> Core<'a> {
 
     fn enter_code_reuse(&mut self) {
         self.gated = true;
+        self.gate_on_cycle = self.now;
+        if self.tracing {
+            self.drain_ctl_events();
+            self.sink.record(TraceEvent::new(self.now, EventKind::GateOn));
+        }
         // Instructions already fetched past the loop-end branch duplicate
         // what the queue will supply: flush them.
         self.fetch_queue.clear();
@@ -670,9 +799,8 @@ impl<'a> Core<'a> {
             self.seq += 1;
             let (done, undo) = self.execute_speculative(&inst, pc)?;
             let actual_next = done.flow.next_pc(pc);
-            let predicted_next = lrl
-                .and_then(|l| l.static_next)
-                .unwrap_or_else(|| pc.wrapping_add(4));
+            let predicted_next =
+                lrl.and_then(|l| l.static_next).unwrap_or_else(|| pc.wrapping_add(4));
             let mispredicted =
                 !matches!(done.flow, ControlFlow::Halt) && actual_next != predicted_next;
             let dest = inst.dest();
@@ -730,6 +858,18 @@ impl<'a> Core<'a> {
         if self.ctl.on_recovery() {
             self.iq.clear_classification();
         }
+        if self.tracing {
+            self.drain_ctl_events();
+            if self.gated {
+                self.sink.record(TraceEvent::new(
+                    self.now,
+                    EventKind::GateOff {
+                        span: self.now - self.gate_on_cycle,
+                        reason: GateEndReason::Drained,
+                    },
+                ));
+            }
+        }
         self.gated = false;
         self.reuse_ptr = 0;
         // Resume fetching at the next architectural PC: the youngest
@@ -771,8 +911,12 @@ impl<'a> Core<'a> {
             // until the mispredicted branch redirects us.
             return Ok(());
         }
+        let l2_misses_before = if self.tracing { self.hier.stats().l2.misses } else { 0 };
         let lat = self.hier.fetch_latency(self.fetch_pc);
         if lat > self.cfg.mem.il1.hit_latency {
+            if self.tracing {
+                self.record_cache_miss(CacheLevel::L1I, self.fetch_pc, lat, l2_misses_before);
+            }
             self.fetch_ready_at = self.now + lat;
             return Ok(());
         }
@@ -870,6 +1014,25 @@ impl<'a> Core<'a> {
         s
     }
 
+    /// Emits an L1 miss event, plus an L2 miss event when the hierarchy's
+    /// L2 miss counter moved during the same access.
+    fn record_cache_miss(
+        &mut self,
+        level: CacheLevel,
+        addr: u32,
+        latency: u64,
+        l2_misses_before: u64,
+    ) {
+        let addr = u64::from(addr);
+        self.sink.record(TraceEvent::new(self.now, EventKind::CacheMiss { level, addr, latency }));
+        if self.hier.stats().l2.misses > l2_misses_before {
+            self.sink.record(TraceEvent::new(
+                self.now,
+                EventKind::CacheMiss { level: CacheLevel::L2, addr, latency },
+            ));
+        }
+    }
+
     // ---- per-cycle accounting ----
 
     fn end_cycle_accounting(&mut self) {
@@ -905,6 +1068,32 @@ impl<'a> Core<'a> {
         self.stats.rob_occupancy_sum += self.rob.len() as u64;
         if self.gated {
             self.stats.gated_cycles += 1;
+        }
+        if self.tracing {
+            self.drain_ctl_events();
+            let now_counts = [
+                self.stats.fetched,
+                self.stats.dispatched,
+                self.stats.issued,
+                self.stats.committed,
+            ];
+            self.sink.record(TraceEvent::new(
+                self.now,
+                EventKind::PipelineSample {
+                    fetched: now_counts[0] - self.prev_sample[0],
+                    dispatched: now_counts[1] - self.prev_sample[1],
+                    issued: now_counts[2] - self.prev_sample[2],
+                    committed: now_counts[3] - self.prev_sample[3],
+                    iq_occupancy: self.iq.len() as u64,
+                    rob_occupancy: self.rob.len() as u64,
+                },
+            ));
+            self.prev_sample = now_counts;
+        }
+        if let Some(len) = self.epoch_len {
+            if self.stats.cycles - self.epoch_start >= len {
+                self.close_epoch();
+            }
         }
 
         debug_assert!(self.iq.check_invariants(), "issue-queue invariant violated");

@@ -14,6 +14,7 @@
 use crate::config::{BufferingStrategy, ReuseConfig};
 use crate::stats::ReuseStats;
 use riq_isa::{CtrlKind, Inst};
+use riq_trace::{EventKind, RevokeReason};
 use std::collections::VecDeque;
 
 /// The non-bufferable loop table: a small FIFO CAM keyed by the address of
@@ -116,6 +117,12 @@ pub struct ReuseController {
     nblt: Nblt,
     /// Counters exported into the run statistics.
     pub stats: ReuseStats,
+    trace: bool,
+    /// FSM events staged for the pipeline to drain into its trace sink
+    /// (empty unless tracing was enabled via
+    /// [`set_tracing`](ReuseController::set_tracing)).
+    pub(crate) events: Vec<EventKind>,
+    reused_at_entry: u64,
 }
 
 impl ReuseController {
@@ -133,6 +140,9 @@ impl ReuseController {
             iter_size: 0,
             call_depth: 0,
             stats: ReuseStats::default(),
+            trace: false,
+            events: Vec::new(),
+            reused_at_entry: 0,
         }
     }
 
@@ -140,6 +150,18 @@ impl ReuseController {
     #[must_use]
     pub fn state(&self) -> IqState {
         self.state
+    }
+
+    /// Turns FSM event staging on or off. Off (the default) costs nothing:
+    /// no events are constructed.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        if self.trace {
+            self.events.push(kind);
+        }
     }
 
     /// The `R_loophead` register (valid while buffering/reusing).
@@ -181,8 +203,14 @@ impl ReuseController {
 
     fn detect(&mut self, pc: u32, target: u32) {
         self.stats.loops_detected += 1;
+        self.emit(EventKind::LoopDetected {
+            head: u64::from(target),
+            tail: u64::from(pc),
+            size: u64::from((pc - target) / 4 + 1),
+        });
         if self.nblt.contains(pc) {
             self.stats.nblt_hits += 1;
+            self.emit(EventKind::NbltHit { tail: u64::from(pc) });
             return;
         }
         self.loophead = target;
@@ -193,13 +221,15 @@ impl ReuseController {
         self.state = IqState::LoopBuffering;
     }
 
-    fn revoke(&mut self, register: bool) -> Directive {
+    fn revoke(&mut self, register: bool, reason: RevokeReason) -> Directive {
         if self.started {
             self.stats.bufferings_revoked += 1;
+            self.emit(EventKind::BufferingRevoked { reason, registered: register });
         }
         if register {
             self.nblt.insert(self.looptail);
             self.stats.nblt_inserts += 1;
+            self.emit(EventKind::NbltInsert { tail: u64::from(self.looptail) });
         }
         self.state = IqState::Normal;
         self.started = false;
@@ -233,6 +263,10 @@ impl ReuseController {
             if pc == self.loophead {
                 self.started = true;
                 self.stats.bufferings_started += 1;
+                self.emit(EventKind::BufferingStarted {
+                    head: u64::from(self.loophead),
+                    tail: u64::from(self.looptail),
+                });
                 self.iter_size = 0;
                 // fall through into the buffering path below
             } else {
@@ -248,7 +282,7 @@ impl ReuseController {
         // immediately arms detection for the inner loop.
         if pc != self.looptail {
             if let Some((target, _)) = self.capturable_loop_end(pc, inst) {
-                let mut d = self.revoke(true);
+                let mut d = self.revoke(true, RevokeReason::InnerLoop);
                 self.detect(pc, target);
                 d.revoke = true;
                 return d;
@@ -267,7 +301,7 @@ impl ReuseController {
                 if self.call_depth == 0 {
                     // A return not paired with an in-loop call: control is
                     // leaving through an indirect jump we cannot capture.
-                    return self.revoke(true);
+                    return self.revoke(true, RevokeReason::UnpairedReturn);
                 }
                 self.call_depth -= 1;
             }
@@ -277,7 +311,7 @@ impl ReuseController {
         let in_range = pc >= self.loophead && pc <= self.looptail;
         if !in_range && depth_before == 0 {
             // Execution exited the loop during buffering.
-            return self.revoke(true);
+            return self.revoke(true, RevokeReason::LoopExit);
         }
 
         self.iter_size += 1;
@@ -292,6 +326,11 @@ impl ReuseController {
             if promote {
                 self.state = IqState::CodeReuse;
                 self.stats.code_reuse_entries += 1;
+                self.reused_at_entry = self.stats.reused_insts;
+                self.emit(EventKind::CodeReuseEntered {
+                    head: u64::from(self.loophead),
+                    tail: u64::from(self.looptail),
+                });
                 d.promote = true;
             } else {
                 self.iter_size = 0;
@@ -304,7 +343,7 @@ impl ReuseController {
     /// the loop (plus any procedure bodies) does not fit (§2.2.2).
     pub fn on_queue_full(&mut self) -> Directive {
         if self.cfg.enabled && self.state == IqState::LoopBuffering && self.started {
-            self.revoke(true)
+            self.revoke(true, RevokeReason::QueueFull)
         } else {
             Directive::default()
         }
@@ -318,12 +357,18 @@ impl ReuseController {
             IqState::LoopBuffering => {
                 if self.started {
                     self.stats.bufferings_revoked += 1;
+                    self.emit(EventKind::BufferingRevoked {
+                        reason: RevokeReason::Recovery,
+                        registered: false,
+                    });
                 }
                 self.state = IqState::Normal;
                 self.started = false;
                 true
             }
             IqState::CodeReuse => {
+                let reused = self.stats.reused_insts - self.reused_at_entry;
+                self.emit(EventKind::CodeReuseExited { reused_insts: reused });
                 self.state = IqState::Normal;
                 true
             }
@@ -344,7 +389,11 @@ mod tests {
     }
     fn ctl(iq: u32) -> ReuseController {
         ReuseController::new(
-            ReuseConfig { enabled: true, nblt_entries: 8, strategy: BufferingStrategy::MultiIteration },
+            ReuseConfig {
+                enabled: true,
+                nblt_entries: 8,
+                strategy: BufferingStrategy::MultiIteration,
+            },
             iq,
         )
     }
@@ -429,7 +478,7 @@ mod tests {
         let mut c = ctl(64);
         c.on_dispatch(HEAD + 8, &bne(-3), 64);
         c.on_dispatch(HEAD, &addi(), 64); // buffering starts
-        // Dispatch jumps outside the loop with no call outstanding.
+                                          // Dispatch jumps outside the loop with no call outstanding.
         let d = c.on_dispatch(HEAD + 100, &addi(), 64);
         assert!(d.revoke);
         assert_eq!(c.state(), IqState::Normal);

@@ -127,7 +127,11 @@ impl SpecState {
     /// Returns the [`MemFault`] of a misaligned access; no state is
     /// partially modified in that case for loads, and stores fault before
     /// writing.
-    pub fn execute(&mut self, inst: &Inst, pc: u32) -> Result<(Executed, Vec<UndoRecord>), MemFault> {
+    pub fn execute(
+        &mut self,
+        inst: &Inst,
+        pc: u32,
+    ) -> Result<(Executed, Vec<UndoRecord>), MemFault> {
         let (result, undo) = {
             let mut rec = Recorder { state: self, undo: Vec::new() };
             let result = execute(inst, pc, &mut rec);
@@ -204,7 +208,8 @@ mod tests {
     #[test]
     fn zero_register_writes_capture_nothing() {
         let mut s = SpecState::new();
-        let nopish = Inst::AluImm { op: AluImmOp::Addi, rt: IntReg::ZERO, rs: IntReg::ZERO, imm: 7 };
+        let nopish =
+            Inst::AluImm { op: AluImmOp::Addi, rt: IntReg::ZERO, rs: IntReg::ZERO, imm: 7 };
         let (_, undo) = s.execute(&nopish, 0).unwrap();
         assert!(undo.is_empty());
         assert_eq!(s.regs().int_reg(IntReg::ZERO), 0);

@@ -1,7 +1,11 @@
 //! Run statistics and the result bundle returned by a simulation.
 
+use riq_bpred::BpredStats;
 use riq_emu::ArchState;
+use riq_mem::HierarchyStats;
 use riq_power::PowerReport;
+use riq_trace::{JsonValue, ToJson};
+use std::ops::Sub;
 
 /// Reuse-mechanism counters (§2 and §3 of the paper).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +37,40 @@ impl ReuseStats {
         } else {
             self.bufferings_revoked as f64 / self.bufferings_started as f64
         }
+    }
+}
+
+impl Sub for ReuseStats {
+    type Output = ReuseStats;
+
+    /// Counter-wise saturating difference (for epoch deltas).
+    fn sub(self, rhs: ReuseStats) -> ReuseStats {
+        ReuseStats {
+            loops_detected: self.loops_detected.saturating_sub(rhs.loops_detected),
+            nblt_hits: self.nblt_hits.saturating_sub(rhs.nblt_hits),
+            nblt_inserts: self.nblt_inserts.saturating_sub(rhs.nblt_inserts),
+            bufferings_started: self.bufferings_started.saturating_sub(rhs.bufferings_started),
+            bufferings_revoked: self.bufferings_revoked.saturating_sub(rhs.bufferings_revoked),
+            code_reuse_entries: self.code_reuse_entries.saturating_sub(rhs.code_reuse_entries),
+            iterations_buffered: self.iterations_buffered.saturating_sub(rhs.iterations_buffered),
+            reused_insts: self.reused_insts.saturating_sub(rhs.reused_insts),
+        }
+    }
+}
+
+impl ToJson for ReuseStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("loops_detected", self.loops_detected.to_json()),
+            ("nblt_hits", self.nblt_hits.to_json()),
+            ("nblt_inserts", self.nblt_inserts.to_json()),
+            ("bufferings_started", self.bufferings_started.to_json()),
+            ("bufferings_revoked", self.bufferings_revoked.to_json()),
+            ("code_reuse_entries", self.code_reuse_entries.to_json()),
+            ("iterations_buffered", self.iterations_buffered.to_json()),
+            ("reused_insts", self.reused_insts.to_json()),
+            ("revoke_rate", self.revoke_rate().to_json()),
+        ])
     }
 }
 
@@ -120,6 +158,76 @@ impl SimStats {
     }
 }
 
+impl Sub for SimStats {
+    type Output = SimStats;
+
+    /// Counter-wise saturating difference: `epoch_end - epoch_start` yields
+    /// the activity within the epoch.
+    fn sub(self, rhs: SimStats) -> SimStats {
+        SimStats {
+            cycles: self.cycles.saturating_sub(rhs.cycles),
+            committed: self.committed.saturating_sub(rhs.committed),
+            fetched: self.fetched.saturating_sub(rhs.fetched),
+            dispatched: self.dispatched.saturating_sub(rhs.dispatched),
+            issued: self.issued.saturating_sub(rhs.issued),
+            squashed: self.squashed.saturating_sub(rhs.squashed),
+            branches: self.branches.saturating_sub(rhs.branches),
+            mispredictions: self.mispredictions.saturating_sub(rhs.mispredictions),
+            gated_cycles: self.gated_cycles.saturating_sub(rhs.gated_cycles),
+            iq_occupancy_sum: self.iq_occupancy_sum.saturating_sub(rhs.iq_occupancy_sum),
+            rob_occupancy_sum: self.rob_occupancy_sum.saturating_sub(rhs.rob_occupancy_sum),
+            reuse: self.reuse - rhs.reuse,
+        }
+    }
+}
+
+impl ToJson for SimStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("cycles", self.cycles.to_json()),
+            ("committed", self.committed.to_json()),
+            ("fetched", self.fetched.to_json()),
+            ("dispatched", self.dispatched.to_json()),
+            ("issued", self.issued.to_json()),
+            ("squashed", self.squashed.to_json()),
+            ("branches", self.branches.to_json()),
+            ("mispredictions", self.mispredictions.to_json()),
+            ("gated_cycles", self.gated_cycles.to_json()),
+            ("ipc", self.ipc().to_json()),
+            ("gated_rate", self.gated_rate().to_json()),
+            ("mispredict_rate", self.mispredict_rate().to_json()),
+            ("avg_iq_occupancy", self.avg_iq_occupancy().to_json()),
+            ("avg_rob_occupancy", self.avg_rob_occupancy().to_json()),
+            ("reuse", self.reuse.to_json()),
+        ])
+    }
+}
+
+/// One epoch's worth of activity: the counter deltas between two cycle
+/// boundaries (the final epoch of a run may be shorter than the period).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSample {
+    /// Zero-based epoch index.
+    pub index: u64,
+    /// First cycle of the epoch (inclusive).
+    pub start_cycle: u64,
+    /// End of the epoch (exclusive; equals the next epoch's start).
+    pub end_cycle: u64,
+    /// Counter deltas over `[start_cycle, end_cycle)`.
+    pub delta: SimStats,
+}
+
+impl ToJson for EpochSample {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("index", self.index.to_json()),
+            ("start_cycle", self.start_cycle.to_json()),
+            ("end_cycle", self.end_cycle.to_json()),
+            ("delta", self.delta.to_json()),
+        ])
+    }
+}
+
 /// Everything a simulation returns.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -127,10 +235,30 @@ pub struct RunResult {
     pub stats: SimStats,
     /// Per-component energy report.
     pub power: PowerReport,
+    /// Memory-hierarchy counters.
+    pub mem: HierarchyStats,
+    /// Branch-predictor counters.
+    pub bpred: BpredStats,
+    /// Epoch-delta samples (empty unless an epoch period was requested via
+    /// [`Processor::run_observed`](crate::Processor::run_observed)).
+    pub epochs: Vec<EpochSample>,
     /// Final architectural register file (for differential testing).
     pub arch_state: ArchState,
     /// Digest of the final memory content (for differential testing).
     pub mem_digest: u64,
+}
+
+impl ToJson for RunResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("stats", self.stats.to_json()),
+            ("mem", self.mem.to_json()),
+            ("bpred", self.bpred.to_json()),
+            ("power", self.power.to_json()),
+            ("epochs", self.epochs.to_json()),
+            ("mem_digest", self.mem_digest.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +293,72 @@ mod tests {
     fn revoke_rate() {
         let r = ReuseStats { bufferings_started: 10, bufferings_revoked: 4, ..Default::default() };
         assert!((r.revoke_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_delta_subtraction() {
+        let start = SimStats {
+            cycles: 100,
+            committed: 80,
+            gated_cycles: 10,
+            reuse: ReuseStats { reused_insts: 5, ..Default::default() },
+            ..SimStats::default()
+        };
+        let end = SimStats {
+            cycles: 250,
+            committed: 300,
+            gated_cycles: 60,
+            reuse: ReuseStats { reused_insts: 45, ..Default::default() },
+            ..SimStats::default()
+        };
+        let delta = end - start;
+        assert_eq!(delta.cycles, 150);
+        assert_eq!(delta.committed, 220);
+        assert_eq!(delta.gated_cycles, 50);
+        assert_eq!(delta.reuse.reused_insts, 40);
+    }
+
+    #[test]
+    fn subtraction_saturates_instead_of_wrapping() {
+        let small = SimStats { cycles: 1, ..SimStats::default() };
+        let large = SimStats { cycles: 5, ..SimStats::default() };
+        let delta = small - large;
+        assert_eq!(delta.cycles, 0, "underflow clamps to zero");
+        let r = ReuseStats { nblt_hits: 1, ..Default::default() };
+        let r2 = ReuseStats { nblt_hits: 3, ..Default::default() };
+        assert_eq!((r - r2).nblt_hits, 0);
+    }
+
+    #[test]
+    fn consecutive_epoch_deltas_sum_to_the_total() {
+        let mid = SimStats { cycles: 100, committed: 70, ..SimStats::default() };
+        let end = SimStats { cycles: 240, committed: 200, ..SimStats::default() };
+        let first = mid - SimStats::default();
+        let second = end - mid;
+        assert_eq!(first.cycles + second.cycles, end.cycles);
+        assert_eq!(first.committed + second.committed, end.committed);
+    }
+
+    #[test]
+    fn stats_json_includes_counters_and_rates() {
+        let s = SimStats { cycles: 4, committed: 8, ..SimStats::default() };
+        let j = s.to_json();
+        assert_eq!(j.get("cycles").and_then(riq_trace::JsonValue::as_u64), Some(4));
+        assert_eq!(j.get("ipc").and_then(riq_trace::JsonValue::as_f64), Some(2.0));
+        assert!(j.get("reuse").is_some());
+    }
+
+    #[test]
+    fn epoch_sample_json_shape() {
+        let e = EpochSample {
+            index: 2,
+            start_cycle: 20_000,
+            end_cycle: 30_000,
+            delta: SimStats { cycles: 10_000, ..SimStats::default() },
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("index").and_then(riq_trace::JsonValue::as_u64), Some(2));
+        let delta = j.get("delta").expect("delta object");
+        assert_eq!(delta.get("cycles").and_then(riq_trace::JsonValue::as_u64), Some(10_000));
     }
 }

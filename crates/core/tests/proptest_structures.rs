@@ -4,7 +4,7 @@
 //! disambiguation against a naive scan.
 
 use proptest::prelude::*;
-use riq_core::{IqEntry, IssueQueue, Lsq, Rob, RobEntry, RenameRef, StoreConflict};
+use riq_core::{IqEntry, IssueQueue, Lsq, RenameRef, Rob, RobEntry, StoreConflict};
 use riq_emu::ControlFlow;
 use riq_isa::Inst;
 use std::collections::VecDeque;

@@ -13,10 +13,7 @@ fn cycles(src: &str) -> u64 {
 
 fn stats(src: &str) -> SimStats {
     let program = assemble(src).expect("assembles");
-    Processor::new(SimConfig::baseline())
-        .run(&program)
-        .expect("runs")
-        .stats
+    Processor::new(SimConfig::baseline()).run(&program).expect("runs").stats
 }
 
 /// Builds a loop around `body`, repeated `n` times per iteration.
@@ -58,20 +55,14 @@ fn single_multiplier_serializes_muls() {
         1,
         300,
     ));
-    assert!(
-        muls as f64 > adds as f64 * 1.5,
-        "IMULT contention: muls {muls} vs adds {adds}"
-    );
+    assert!(muls as f64 > adds as f64 * 1.5, "IMULT contention: muls {muls} vs adds {adds}");
 }
 
 #[test]
 fn long_latency_divide_dominates() {
     let divs = cycles(&looped("    div $r3, $r3, $r10", 2, 200));
     let adds = cycles(&looped("    add $r3, $r3, $r10", 2, 200));
-    assert!(
-        divs as f64 > adds as f64 * 3.0,
-        "20-cycle divides {divs} vs 1-cycle adds {adds}"
-    );
+    assert!(divs as f64 > adds as f64 * 3.0, "20-cycle divides {divs} vs 1-cycle adds {adds}");
 }
 
 #[test]
@@ -104,10 +95,7 @@ fn cache_misses_cost_real_cycles() {
         halt
     "#,
     );
-    assert!(
-        thrash as f64 > friendly as f64 * 2.0,
-        "miss-heavy {thrash} vs hit-heavy {friendly}"
-    );
+    assert!(thrash as f64 > friendly as f64 * 2.0, "miss-heavy {thrash} vs hit-heavy {friendly}");
 }
 
 #[test]
@@ -141,10 +129,7 @@ fn store_load_forwarding_beats_the_cache_miss() {
         halt
     "#,
     );
-    assert!(
-        forwarded < missing,
-        "forwarding {forwarded} must beat missing {missing}"
-    );
+    assert!(forwarded < missing, "forwarding {forwarded} must beat missing {missing}");
 }
 
 #[test]
@@ -184,10 +169,7 @@ fn unpredictable_branches_cost_recoveries() {
         biased.mispredictions
     );
     assert!(alternating.cycles > biased.cycles);
-    assert!(
-        alternating.squashed > biased.squashed,
-        "recoveries squash wrong-path work"
-    );
+    assert!(alternating.squashed > biased.squashed, "recoveries squash wrong-path work");
 }
 
 #[test]

@@ -1,0 +1,187 @@
+//! # riq-criterion — an offline, drop-in subset of [Criterion.rs]
+//!
+//! The workspace's benches were written against the real `criterion`
+//! crate, which cannot be fetched in this offline build environment. This
+//! crate implements the API subset those benches use — [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`/`throughput`/`bench_function`/
+//! `finish`, [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with simple
+//! wall-clock measurement and plain-text reporting.
+//!
+//! Statistics are deliberately simple: after one warm-up iteration, each
+//! benchmark runs `sample_size` timed iterations and reports min / mean /
+//! max, plus elements-per-second when a [`Throughput`] was declared.
+//!
+//! [Criterion.rs]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { _parent: self, name, sample_size: 10, throughput: None }
+    }
+}
+
+/// Declared per-iteration workload, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing sample-count and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration workload for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One warm-up pass, unmeasured.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let (min, mean, max) = summarize(&b.samples);
+        print!(
+            "  {}/{id:<34} min {} mean {} max {}",
+            self.name,
+            fmt_dur(min),
+            fmt_dur(mean),
+            fmt_dur(max)
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                print!("  ({:.3} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6);
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                print!("  ({:.3} MiB/s)", n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0));
+            }
+            _ => {}
+        }
+        println!();
+        self
+    }
+
+    /// Ends the group (accepted for source compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures one sample: the wall-clock time of a single `f()` call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        drop(out);
+    }
+}
+
+fn summarize(samples: &[Duration]) -> (Duration, Duration, Duration) {
+    if samples.is_empty() {
+        return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+    }
+    let min = *samples.iter().min().expect("nonempty");
+    let max = *samples.iter().max().expect("nonempty");
+    let total: Duration = samples.iter().sum();
+    let mean = total / u32::try_from(samples.len()).unwrap_or(1);
+    (min, mean, max)
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Defines a function running each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main()` for a bench binary (extra CLI args from `cargo bench`
+/// are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_pipeline_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut count = 0u64;
+        g.bench_function("counting", |b| b.iter(|| count += 1));
+        g.finish();
+        assert_eq!(count, 4, "one warmup + three samples");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_dur(Duration::from_secs(2)).ends_with('s'));
+        assert!(fmt_dur(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_dur(Duration::from_micros(7)).ends_with("µs"));
+    }
+}

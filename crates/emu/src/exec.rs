@@ -316,11 +316,7 @@ pub fn execute<C: ExecContext>(inst: &Inst, pc: u32, ctx: &mut C) -> Result<Exec
 }
 
 fn branch(taken: bool, pc: u32, off: i16) -> Executed {
-    let flow = if taken {
-        ControlFlow::Taken(branch_target(pc, off))
-    } else {
-        ControlFlow::Next
-    };
+    let flow = if taken { ControlFlow::Taken(branch_target(pc, off)) } else { ControlFlow::Next };
     Executed { flow, mem: None }
 }
 
@@ -436,7 +432,11 @@ mod tests {
         assert_eq!(eval_alu_imm(AluImmOp::Addi, 10, -3), 7);
         assert_eq!(eval_alu_imm(AluImmOp::Andi, 0xffff_ffff, -1), 0xffff);
         assert_eq!(eval_alu_imm(AluImmOp::Slti, (-5i32) as u32, -4), 1);
-        assert_eq!(eval_alu_imm(AluImmOp::Sltiu, 1, -1), 1, "sltiu sign-extends then compares unsigned");
+        assert_eq!(
+            eval_alu_imm(AluImmOp::Sltiu, 1, -1),
+            1,
+            "sltiu sign-extends then compares unsigned"
+        );
     }
 
     #[test]
@@ -446,10 +446,7 @@ mod tests {
         ctx.set_int(r(3), 99);
         let sw = Inst::Sw { rt: r(3), base: r(2), off: 4 };
         let done = execute(&sw, 0x400000, &mut ctx).unwrap();
-        assert_eq!(
-            done.mem,
-            Some(MemAccess { addr: 0x1004, width: 4, is_store: true })
-        );
+        assert_eq!(done.mem, Some(MemAccess { addr: 0x1004, width: 4, is_store: true }));
         let lw = Inst::Lw { rt: r(4), base: r(2), off: 4 };
         execute(&lw, 0x400004, &mut ctx).unwrap();
         assert_eq!(ctx.int(r(4)), 99);
@@ -463,12 +460,8 @@ mod tests {
         execute(&Inst::FpUnary { op: FpUnaryOp::CvtDW, fd: f(1), fs: f(0) }, 4, &mut ctx).unwrap();
         assert_eq!(f64::from_bits(ctx.fp_bits(f(1))), 3.0);
         ctx.set_fp_bits(f(2), 1.5f64.to_bits());
-        execute(
-            &Inst::FpOp { op: FpAluOp::MulD, fd: f(3), fs: f(1), ft: f(2) },
-            8,
-            &mut ctx,
-        )
-        .unwrap();
+        execute(&Inst::FpOp { op: FpAluOp::MulD, fd: f(3), fs: f(1), ft: f(2) }, 8, &mut ctx)
+            .unwrap();
         assert_eq!(f64::from_bits(ctx.fp_bits(f(3))), 4.5);
         execute(&Inst::CmpD { cond: FpCond::Lt, rd: r(6), fs: f(2), ft: f(3) }, 12, &mut ctx)
             .unwrap();
@@ -491,27 +484,17 @@ mod tests {
         let mut ctx = Ctx::new();
         ctx.set_int(r(1), 5);
         let beq = Inst::Beq { rs: r(1), rt: r(0), off: 8 };
-        assert_eq!(
-            execute(&beq, 0x100, &mut ctx).unwrap().flow,
-            ControlFlow::Next,
-            "not taken"
-        );
+        assert_eq!(execute(&beq, 0x100, &mut ctx).unwrap().flow, ControlFlow::Next, "not taken");
         let bne = Inst::Bne { rs: r(1), rt: r(0), off: -4 };
         assert_eq!(
             execute(&bne, 0x100, &mut ctx).unwrap().flow,
             ControlFlow::Taken(0x100 + 4 - 16)
         );
         let jal = Inst::Jal { target: 0x500 };
-        assert_eq!(
-            execute(&jal, 0x100, &mut ctx).unwrap().flow,
-            ControlFlow::Taken(0x500)
-        );
+        assert_eq!(execute(&jal, 0x100, &mut ctx).unwrap().flow, ControlFlow::Taken(0x500));
         assert_eq!(ctx.int(IntReg::RA), 0x104);
         let jr = Inst::Jr { rs: IntReg::RA };
-        assert_eq!(
-            execute(&jr, 0x500, &mut ctx).unwrap().flow,
-            ControlFlow::Taken(0x104)
-        );
+        assert_eq!(execute(&jr, 0x500, &mut ctx).unwrap().flow, ControlFlow::Taken(0x104));
     }
 
     #[test]

@@ -361,10 +361,8 @@ mod tests {
     #[test]
     fn jump_to_data_is_a_decode_error() {
         // `jr` into the data segment lands on a non-instruction word.
-        let p = assemble(
-            ".data\nx: .word 0xfc000000\n.text\n  la $r2, x\n  jr $r2\n  halt\n",
-        )
-        .unwrap();
+        let p =
+            assemble(".data\nx: .word 0xfc000000\n.text\n  la $r2, x\n  jr $r2\n  halt\n").unwrap();
         let mut m = Machine::new(&p);
         let err = m.run(100).unwrap_err();
         assert!(matches!(err, EmuError::Decode { .. }), "{err}");

@@ -81,10 +81,8 @@ impl SparseMemory {
 
     /// Writes one byte.
     pub fn store_u8(&mut self, addr: u32, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let page =
+            self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         page[(addr & PAGE_MASK) as usize] = value;
     }
 
@@ -213,14 +211,8 @@ mod tests {
     #[test]
     fn alignment_enforced() {
         let mut mem = SparseMemory::new();
-        assert_eq!(
-            mem.load_u32(2),
-            Err(MemFault::Unaligned { addr: 2, width: 4 })
-        );
-        assert_eq!(
-            mem.store_u64(4, 0),
-            Err(MemFault::Unaligned { addr: 4, width: 8 })
-        );
+        assert_eq!(mem.load_u32(2), Err(MemFault::Unaligned { addr: 2, width: 4 }));
+        assert_eq!(mem.store_u64(4, 0), Err(MemFault::Unaligned { addr: 4, width: 8 }));
     }
 
     #[test]

@@ -75,19 +75,10 @@ mod tests {
         let cases: Vec<(Inst, &str)> = vec![
             (Inst::Nop, "nop"),
             (Inst::Halt, "halt"),
-            (
-                Inst::Alu { op: AluOp::Add, rd: r(3), rs: r(1), rt: r(2) },
-                "add $r3, $r1, $r2",
-            ),
-            (
-                Inst::AluImm { op: AluImmOp::Addi, rt: r(4), rs: r(4), imm: -8 },
-                "addi $r4, $r4, -8",
-            ),
+            (Inst::Alu { op: AluOp::Add, rd: r(3), rs: r(1), rt: r(2) }, "add $r3, $r1, $r2"),
+            (Inst::AluImm { op: AluImmOp::Addi, rt: r(4), rs: r(4), imm: -8 }, "addi $r4, $r4, -8"),
             (Inst::Lw { rt: r(5), base: r(29), off: 12 }, "lw $r5, 12($r29)"),
-            (
-                Inst::FpOp { op: FpAluOp::MulD, fd: f(0), fs: f(1), ft: f(2) },
-                "mul.d $f0, $f1, $f2",
-            ),
+            (Inst::FpOp { op: FpAluOp::MulD, fd: f(0), fs: f(1), ft: f(2) }, "mul.d $f0, $f1, $f2"),
             (Inst::Jr { rs: IntReg::RA }, "jr $r31"),
         ];
         for (inst, expect) in cases {

@@ -337,24 +337,24 @@ impl Inst {
         };
         match opcode {
             op::RTYPE => {
-                let alu = |aop| {
-                    canon(shamt_bits == 0, Inst::Alu { op: aop, rd, rs, rt })
-                };
+                let alu = |aop| canon(shamt_bits == 0, Inst::Alu { op: aop, rd, rs, rt });
                 match funct {
-                    rfunct::SLL => canon(rs_bits == 0, Inst::Shift { op: ShiftOp::Sll, rd, rt, shamt }),
-                    rfunct::SRL => canon(rs_bits == 0, Inst::Shift { op: ShiftOp::Srl, rd, rt, shamt }),
-                    rfunct::SRA => canon(rs_bits == 0, Inst::Shift { op: ShiftOp::Sra, rd, rt, shamt }),
+                    rfunct::SLL => {
+                        canon(rs_bits == 0, Inst::Shift { op: ShiftOp::Sll, rd, rt, shamt })
+                    }
+                    rfunct::SRL => {
+                        canon(rs_bits == 0, Inst::Shift { op: ShiftOp::Srl, rd, rt, shamt })
+                    }
+                    rfunct::SRA => {
+                        canon(rs_bits == 0, Inst::Shift { op: ShiftOp::Sra, rd, rt, shamt })
+                    }
                     rfunct::SLLV => alu(AluOp::Sllv),
                     rfunct::SRLV => alu(AluOp::Srlv),
                     rfunct::SRAV => alu(AluOp::Srav),
-                    rfunct::JR => canon(
-                        rt_bits == 0 && rd_bits == 0 && shamt_bits == 0,
-                        Inst::Jr { rs },
-                    ),
-                    rfunct::JALR => canon(
-                        rt_bits == 0 && shamt_bits == 0,
-                        Inst::Jalr { rd, rs },
-                    ),
+                    rfunct::JR => {
+                        canon(rt_bits == 0 && rd_bits == 0 && shamt_bits == 0, Inst::Jr { rs })
+                    }
+                    rfunct::JALR => canon(rt_bits == 0 && shamt_bits == 0, Inst::Jalr { rd, rs }),
                     rfunct::MUL => alu(AluOp::Mul),
                     rfunct::DIV => alu(AluOp::Div),
                     rfunct::REM => alu(AluOp::Rem),
@@ -379,12 +379,9 @@ impl Inst {
                 let fd = FpReg::new(shamt_bits as u8);
                 let rd_in_fd = IntReg::new(shamt_bits as u8);
                 let fpop = |fop| canon(rs_bits == 0, Inst::FpOp { op: fop, fd, fs, ft });
-                let unary = |uop| {
-                    canon(rs_bits == 0 && rt_bits == 0, Inst::FpUnary { op: uop, fd, fs })
-                };
-                let cmp = |cond| {
-                    canon(rs_bits == 0, Inst::CmpD { cond, rd: rd_in_fd, fs, ft })
-                };
+                let unary =
+                    |uop| canon(rs_bits == 0 && rt_bits == 0, Inst::FpUnary { op: uop, fd, fs });
+                let cmp = |cond| canon(rs_bits == 0, Inst::CmpD { cond, rd: rd_in_fd, fs, ft });
                 match funct {
                     ffunct::ADD_D => fpop(FpAluOp::AddD),
                     ffunct::SUB_D => fpop(FpAluOp::SubD),
@@ -398,14 +395,10 @@ impl Inst {
                     ffunct::C_EQ_D => cmp(FpCond::Eq),
                     ffunct::C_LT_D => cmp(FpCond::Lt),
                     ffunct::C_LE_D => cmp(FpCond::Le),
-                    ffunct::MTC1 => canon(
-                        rt_bits == 0 && rd_bits == 0,
-                        Inst::Mtc1 { rs, fd },
-                    ),
-                    ffunct::MFC1 => canon(
-                        rs_bits == 0 && rt_bits == 0,
-                        Inst::Mfc1 { rd: rd_in_fd, fs },
-                    ),
+                    ffunct::MTC1 => canon(rt_bits == 0 && rd_bits == 0, Inst::Mtc1 { rs, fd }),
+                    ffunct::MFC1 => {
+                        canon(rs_bits == 0 && rt_bits == 0, Inst::Mfc1 { rd: rd_in_fd, fs })
+                    }
                     _ => Err(DecodeInstError::InvalidFunct { word, funct }),
                 }
             }
@@ -488,10 +481,7 @@ mod tests {
 
     #[test]
     fn jump_encoding_validates_target() {
-        assert_eq!(
-            Inst::J { target: 3 }.encode(),
-            Err(EncodeInstError::UnalignedJumpTarget(3))
-        );
+        assert_eq!(Inst::J { target: 3 }.encode(), Err(EncodeInstError::UnalignedJumpTarget(3)));
         assert_eq!(
             Inst::Jal { target: 1 << 29 }.encode(),
             Err(EncodeInstError::JumpTargetOutOfRange(1 << 29))
@@ -517,10 +507,7 @@ mod tests {
         ));
         // FP-type with unassigned funct.
         let bad_fp = (1u32 << 26) | 0x3e;
-        assert!(matches!(
-            Inst::decode(bad_fp),
-            Err(DecodeInstError::InvalidFunct { .. })
-        ));
+        assert!(matches!(Inst::decode(bad_fp), Err(DecodeInstError::InvalidFunct { .. })));
     }
 
     #[test]

@@ -561,10 +561,7 @@ mod tests {
     #[test]
     fn call_defines_link_register() {
         assert_eq!(Inst::Jal { target: 0x40 }.dest(), Some(ArchReg::Int(IntReg::RA)));
-        assert_eq!(
-            Inst::Jalr { rd: r(20), rs: r(9) }.dest(),
-            Some(ArchReg::Int(r(20)))
-        );
+        assert_eq!(Inst::Jalr { rd: r(20), rs: r(9) }.dest(), Some(ArchReg::Int(r(20))));
     }
 
     #[test]

@@ -37,8 +37,12 @@ fn inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
         Just(Inst::Nop),
         Just(Inst::Halt),
-        (alu_op(), int_reg(), int_reg(), int_reg())
-            .prop_map(|(op, rd, rs, rt)| Inst::Alu { op, rd, rs, rt }),
+        (alu_op(), int_reg(), int_reg(), int_reg()).prop_map(|(op, rd, rs, rt)| Inst::Alu {
+            op,
+            rd,
+            rs,
+            rt
+        }),
         (
             prop_oneof![
                 Just(AluImmOp::Addi),

@@ -156,11 +156,7 @@ impl<'k> Codegen<'k> {
                 self.b.push(Inst::FpUnary { op: riq_isa::FpUnaryOp::MovD, fd: dst, fs: c });
             }
             Expr::Ref(a, off) => {
-                self.b.push(Inst::Ld {
-                    ft: dst,
-                    base: ptr_of(*a),
-                    off: (*off * 8) as i16,
-                });
+                self.b.push(Inst::Ld { ft: dst, base: ptr_of(*a), off: (*off * 8) as i16 });
             }
             Expr::Bin(op, l, r) => {
                 self.eval(l, depth, stack0, ptr_of)?;
@@ -170,11 +166,7 @@ impl<'k> Codegen<'k> {
                     Expr::Lit(v) => self.const_reg(*v)?,
                     Expr::Ref(a, off) => {
                         let tmp = FpReg::new(stack0 + depth + 1);
-                        self.b.push(Inst::Ld {
-                            ft: tmp,
-                            base: ptr_of(*a),
-                            off: (*off * 8) as i16,
-                        });
+                        self.b.push(Inst::Ld { ft: tmp, base: ptr_of(*a), off: (*off * 8) as i16 });
                         tmp
                     }
                     _ => {
@@ -209,7 +201,11 @@ impl<'k> Codegen<'k> {
         Ok(())
     }
 
-    fn emit_inner_loop(&mut self, l: &InnerLoop, label_stem: &str) -> Result<(), CompileKernelError> {
+    fn emit_inner_loop(
+        &mut self,
+        l: &InnerLoop,
+        label_stem: &str,
+    ) -> Result<(), CompileKernelError> {
         let arrays = l.arrays();
         if arrays.len() > 8 {
             return Err(CompileKernelError::TooManyLoopArrays(arrays.len()));
@@ -274,12 +270,7 @@ impl<'k> Codegen<'k> {
 
     fn emit_la(&mut self, rt: IntReg, addr: u32) {
         self.b.push(Inst::Lui { rt, imm: (addr >> 16) as u16 });
-        self.b.push(Inst::AluImm {
-            op: AluImmOp::Ori,
-            rt,
-            rs: rt,
-            imm: (addr & 0xffff) as i16,
-        });
+        self.b.push(Inst::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: (addr & 0xffff) as i16 });
     }
 
     fn emit_procedure(&mut self, p: &Procedure, label: String) -> Result<(), CompileKernelError> {
@@ -458,11 +449,7 @@ mod tests {
             1,
             vec![InnerLoop::new(
                 16,
-                vec![Stmt::new(
-                    a,
-                    0,
-                    Expr::bin(BinOp::Add, Expr::a(b, 0), Expr::Lit(1.25)),
-                )],
+                vec![Stmt::new(a, 0, Expr::bin(BinOp::Add, Expr::a(b, 0), Expr::Lit(1.25)))],
             )],
         );
         k
@@ -491,11 +478,7 @@ mod tests {
             1,
             vec![InnerLoop::new(
                 16,
-                vec![Stmt::new(
-                    a,
-                    0,
-                    Expr::bin(BinOp::Add, Expr::a(b, -2), Expr::a(b, 2)),
-                )],
+                vec![Stmt::new(a, 0, Expr::bin(BinOp::Add, Expr::a(b, -2), Expr::a(b, 2)))],
             )],
         );
         let p = compile(&k).unwrap();
@@ -556,12 +539,10 @@ mod tests {
         // Cross-check against the real program: distance between the
         // backward branch and its target.
         let p = compile(&k).unwrap();
-        let span = p
-            .iter_insts()
-            .find_map(|(_pc, inst)| match inst {
-                riq_isa::Inst::Bne { off, .. } if off < -4 => Some((-(off as i32)) as u32),
-                _ => None,
-            });
+        let span = p.iter_insts().find_map(|(_pc, inst)| match inst {
+            riq_isa::Inst::Bne { off, .. } if off < -4 => Some((-(off as i32)) as u32),
+            _ => None,
+        });
         // At least one loop (init loops have span 4 => off -4).
         assert!(span.is_some());
     }
@@ -581,14 +562,10 @@ mod tests {
     fn too_many_constants_rejected() {
         let mut k = Kernel::new("cgt5", "synthetic");
         let a = k.array("a", 16);
-        let stmts: Vec<Stmt> = (0..9)
-            .map(|i| Stmt::new(a, 0, Expr::Lit(f64::from(i) + 0.125)))
-            .collect();
+        let stmts: Vec<Stmt> =
+            (0..9).map(|i| Stmt::new(a, 0, Expr::Lit(f64::from(i) + 0.125))).collect();
         k.nest(1, vec![InnerLoop::new(4, stmts)]);
-        assert!(matches!(
-            compile(&k),
-            Err(CompileKernelError::TooManyConstants(_))
-        ));
+        assert!(matches!(compile(&k), Err(CompileKernelError::TooManyConstants(_))));
     }
 
     #[test]

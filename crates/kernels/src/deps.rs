@@ -109,11 +109,8 @@ pub fn dependence_sccs(loop_: &InnerLoop) -> Vec<Vec<usize>> {
 }
 
 fn stabilize(components: &mut [Vec<usize>], edges: &[DepEdge]) {
-    let depends = |a: &[usize], b: &[usize]| {
-        edges
-            .iter()
-            .any(|e| a.contains(&e.from) && b.contains(&e.to))
-    };
+    let depends =
+        |a: &[usize], b: &[usize]| edges.iter().any(|e| a.contains(&e.from) && b.contains(&e.to));
     // Bubble adjacent independent components into program order.
     let n = components.len();
     for _ in 0..n {
@@ -204,10 +201,7 @@ mod tests {
         // iteration later: edge S0→S1, distance 1.
         let stmts = vec![st(0, 0, &[]), st(1, 0, &[(0, -1)])];
         let edges = dependence_edges(&stmts);
-        assert_eq!(
-            edges,
-            vec![DepEdge { from: 0, to: 1, kind: DepKind::Flow, distance: 1 }]
-        );
+        assert_eq!(edges, vec![DepEdge { from: 0, to: 1, kind: DepKind::Flow, distance: 1 }]);
     }
 
     #[test]
@@ -216,20 +210,14 @@ mod tests {
         // writes in a later iteration: S1 must stay before S0.
         let stmts = vec![st(0, 0, &[]), st(1, 0, &[(0, 1)])];
         let edges = dependence_edges(&stmts);
-        assert_eq!(
-            edges,
-            vec![DepEdge { from: 1, to: 0, kind: DepKind::Anti, distance: 1 }]
-        );
+        assert_eq!(edges, vec![DepEdge { from: 1, to: 0, kind: DepKind::Anti, distance: 1 }]);
     }
 
     #[test]
     fn loop_independent_edge_follows_program_order() {
         let stmts = vec![st(0, 0, &[]), st(1, 0, &[(0, 0)])];
         let edges = dependence_edges(&stmts);
-        assert_eq!(
-            edges,
-            vec![DepEdge { from: 0, to: 1, kind: DepKind::Flow, distance: 0 }]
-        );
+        assert_eq!(edges, vec![DepEdge { from: 0, to: 1, kind: DepKind::Flow, distance: 0 }]);
     }
 
     #[test]
@@ -250,22 +238,14 @@ mod tests {
     #[test]
     fn chain_distributes_in_order() {
         // S0 → S1 → S2 via distance-1 flow deps.
-        let stmts = vec![
-            st(0, 0, &[]),
-            st(1, 0, &[(0, -1)]),
-            st(2, 0, &[(1, -1)]),
-        ];
+        let stmts = vec![st(0, 0, &[]), st(1, 0, &[(0, -1)]), st(2, 0, &[(1, -1)])];
         let l = InnerLoop::new(10, stmts);
         assert_eq!(dependence_sccs(&l), vec![vec![0], vec![1], vec![2]]);
     }
 
     #[test]
     fn independent_components_keep_program_order() {
-        let stmts = vec![
-            st(0, 0, &[(4, 0)]),
-            st(1, 0, &[(5, 0)]),
-            st(2, 0, &[(6, 0)]),
-        ];
+        let stmts = vec![st(0, 0, &[(4, 0)]), st(1, 0, &[(5, 0)]), st(2, 0, &[(6, 0)])];
         let l = InnerLoop::new(10, stmts);
         assert_eq!(dependence_sccs(&l), vec![vec![0], vec![1], vec![2]]);
     }
@@ -277,9 +257,7 @@ mod tests {
         // S0 writes A[i], S1 writes A[i+1]: S1's location is rewritten by
         // S0 one iteration later -> S1 before S0... distance = 0 - 1 = -1,
         // so the edge is S1 -> S0.
-        assert!(edges
-            .iter()
-            .any(|e| e.from == 1 && e.to == 0 && e.kind == DepKind::Output));
+        assert!(edges.iter().any(|e| e.from == 1 && e.to == 0 && e.kind == DepKind::Output));
     }
 
     #[test]

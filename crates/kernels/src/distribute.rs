@@ -83,10 +83,8 @@ mod tests {
 
     #[test]
     fn independent_statements_fully_distribute() {
-        let l = InnerLoop::new(
-            16,
-            vec![st(0, 0, &[(4, 0)]), st(1, 0, &[(5, 0)]), st(2, 0, &[(6, 0)])],
-        );
+        let l =
+            InnerLoop::new(16, vec![st(0, 0, &[(4, 0)]), st(1, 0, &[(5, 0)]), st(2, 0, &[(6, 0)])]);
         let pieces = distribute_loop(&l);
         assert_eq!(pieces.len(), 3);
         assert!(pieces.iter().all(|p| p.trip == 16 && p.stmts.len() == 1));
@@ -143,13 +141,7 @@ mod tests {
         let b = k.array("b", 64);
         let c = k.array("c", 64);
         let d = k.array("d", 64);
-        k.nest(
-            4,
-            vec![InnerLoop::new(
-                32,
-                vec![st(a, 0, &[(c, 0)]), st(b, 0, &[(d, 0)])],
-            )],
-        );
+        k.nest(4, vec![InnerLoop::new(32, vec![st(a, 0, &[(c, 0)]), st(b, 0, &[(d, 0)])])]);
         let opt = distribute_kernel(&k);
         assert_eq!(opt.nests[0].inners.len(), 2);
         assert_eq!(opt.nests[0].outer_trip, 4);

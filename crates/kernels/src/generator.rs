@@ -203,13 +203,9 @@ mod tests {
     #[test]
     fn calls_appear_when_allowed() {
         let p = GeneratorParams { allow_calls: true, ..GeneratorParams::default() };
-        let any_call = (0..100)
-            .any(|seed| {
-                random_kernel(seed, p)
-                    .nests
-                    .iter()
-                    .any(|n| n.inners.iter().any(|l| l.call.is_some()))
-            });
+        let any_call = (0..100).any(|seed| {
+            random_kernel(seed, p).nests.iter().any(|n| n.inners.iter().any(|l| l.call.is_some()))
+        });
         assert!(any_call, "25% call probability must fire within 100 seeds");
     }
 }

@@ -42,16 +42,18 @@
 
 mod codegen;
 mod deps;
-mod generator;
 mod distribute;
+mod generator;
 mod ir;
 mod suite;
 mod transforms;
 
 pub use codegen::{compile, inner_loop_span, CompileKernelError, GUARD_ELEMS, INIT_VALUE};
 pub use deps::{dependence_edges, dependence_sccs, DepEdge, DepKind};
-pub use generator::{random_kernel, GeneratorParams};
 pub use distribute::{distribute_kernel, distribute_loop};
-pub use ir::{ArrayDecl, ArrayId, BinOp, Expr, InnerLoop, Kernel, LoopNest, ProcId, Procedure, Stmt};
+pub use generator::{random_kernel, GeneratorParams};
+pub use ir::{
+    ArrayDecl, ArrayId, BinOp, Expr, InnerLoop, Kernel, LoopNest, ProcId, Procedure, Stmt,
+};
 pub use suite::{by_name, suite, suite_scaled};
 pub use transforms::{fuse_kernel, fuse_loops, unroll_kernel, unroll_loop};

@@ -61,13 +61,7 @@ pub fn aps() -> Kernel {
     let y = k.array("y", 256);
     let z = k.array("z", 256);
     let w = k.array("w", 256);
-    k.nest(
-        45,
-        vec![InnerLoop::new(
-            240,
-            vec![s_mac(x, y, z, 0.75), s_bin(w, x, y, BinOp::Add)],
-        )],
-    );
+    k.nest(45, vec![InnerLoop::new(240, vec![s_mac(x, y, z, 0.75), s_bin(w, x, y, BinOp::Add)])]);
     k
 }
 
@@ -108,15 +102,10 @@ pub fn wss() -> Kernel {
     );
     // The first statement is a cross-iteration recurrence (u[i] depends
     // on u[i-1]) so both pipelines are latency-bound the same way.
-    let chain = Stmt::new(
-        u,
-        0,
-        bin(BinOp::Add, bin(BinOp::Mul, a(u, -1), lit(0.5)), a(v, 0)),
-    );
+    let chain = Stmt::new(u, 0, bin(BinOp::Add, bin(BinOp::Mul, a(u, -1), lit(0.5)), a(v, 0)));
     k.nest(
         40,
-        vec![InnerLoop::new(240, vec![chain, s_lit(s, u, BinOp::Mul, 0.25)])
-            .with_call(damp)],
+        vec![InnerLoop::new(240, vec![chain, s_lit(s, u, BinOp::Mul, 0.25)]).with_call(damp)],
     );
     k
 }
@@ -203,9 +192,9 @@ pub fn btrix() -> Kernel {
     let yb = k.array("yb", 216);
     let zb = k.array("zb", 216); // stencil source, read-only in the body
     let wb = k.array("wb", 216); // stencil source, read-only in the body
-    // Statements 1–2 form a genuine cross-iteration recurrence (ab/bb are
-    // written nowhere else), so loop distribution must keep them together
-    // — the SCC case of the Section 4 pass.
+                                 // Statements 1–2 form a genuine cross-iteration recurrence (ab/bb are
+                                 // written nowhere else), so loop distribution must keep them together
+                                 // — the SCC case of the Section 4 pass.
     k.nest(
         10,
         vec![InnerLoop::new(
@@ -292,9 +281,9 @@ pub fn vpenta() -> Kernel {
     let ff = k.array("f", 216);
     let xs = k.array("x", 216); // stencil source, read-only in the body
     let ys = k.array("y", 216); // stencil source, read-only in the body
-    // 28 statements rotating over six written arrays, stencil-reading only
-    // the read-only sources: an acyclic dependence graph the Section 4
-    // pass can fully distribute.
+                                // 28 statements rotating over six written arrays, stencil-reading only
+                                // the read-only sources: an acyclic dependence graph the Section 4
+                                // pass can fully distribute.
     let w = [aa, bb, cc, dd, ee, ff];
     let mut body = Vec::with_capacity(28);
     for i in 0..28usize {
@@ -360,10 +349,7 @@ mod tests {
     #[test]
     fn table2_names_and_sources() {
         let names: Vec<String> = suite().iter().map(|k| k.name.clone()).collect();
-        assert_eq!(
-            names,
-            vec!["adi", "aps", "btrix", "eflux", "tomcat", "tsf", "vpenta", "wss"]
-        );
+        assert_eq!(names, vec!["adi", "aps", "btrix", "eflux", "tomcat", "tsf", "vpenta", "wss"]);
         assert_eq!(by_name("btrix").unwrap().source, "Spec92/NASA");
         assert_eq!(by_name("tomcat").unwrap().source, "Spec95");
         assert!(by_name("nope").is_none());

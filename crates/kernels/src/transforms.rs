@@ -204,10 +204,7 @@ mod tests {
         let b = k.array("b", 64);
         k.nest(
             3,
-            vec![InnerLoop::new(
-                48,
-                vec![st(a, 0, &[(b, -1), (b, 1)]), st(b, 0, &[(a, 0)])],
-            )],
+            vec![InnerLoop::new(48, vec![st(a, 0, &[(b, -1), (b, 1)]), st(b, 0, &[(a, 0)])])],
         );
         let opt = unroll_kernel(&k, 4);
         assert_eq!(opt.nests[0].inners[0].trip, 12);

@@ -108,6 +108,19 @@ impl CacheStats {
     }
 }
 
+impl riq_trace::ToJson for CacheStats {
+    fn to_json(&self) -> riq_trace::JsonValue {
+        riq_trace::JsonValue::obj([
+            ("reads", self.reads.to_json()),
+            ("writes", self.writes.to_json()),
+            ("hits", self.hits.to_json()),
+            ("misses", self.misses.to_json()),
+            ("writebacks", self.writebacks.to_json()),
+            ("miss_rate", self.miss_rate().to_json()),
+        ])
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u32,

@@ -84,6 +84,19 @@ pub struct HierarchyStats {
     pub memory_fills: u64,
 }
 
+impl riq_trace::ToJson for HierarchyStats {
+    fn to_json(&self) -> riq_trace::JsonValue {
+        riq_trace::JsonValue::obj([
+            ("il1", self.il1.to_json()),
+            ("dl1", self.dl1.to_json()),
+            ("l2", self.l2.to_json()),
+            ("itlb", self.itlb.to_json()),
+            ("dtlb", self.dtlb.to_json()),
+            ("memory_fills", self.memory_fills.to_json()),
+        ])
+    }
+}
+
 /// The composed memory system.
 ///
 /// # Examples

@@ -16,12 +16,7 @@ struct RefCache {
 
 impl RefCache {
     fn new(sets: u32, ways: u32, line: u32) -> RefCache {
-        RefCache {
-            sets,
-            ways: ways as usize,
-            line,
-            content: vec![VecDeque::new(); sets as usize],
-        }
+        RefCache { sets, ways: ways as usize, line, content: vec![VecDeque::new(); sets as usize] }
     }
 
     /// Returns (hit, writeback_of).

@@ -437,6 +437,31 @@ pub struct PowerReport {
     pub gated_cycles: u64,
 }
 
+impl riq_trace::ToJson for PowerReport {
+    fn to_json(&self) -> riq_trace::JsonValue {
+        let components = riq_trace::JsonValue::Obj(
+            Component::ALL
+                .iter()
+                .map(|&c| (c.to_string(), riq_trace::JsonValue::Num(self.energy(c))))
+                .collect(),
+        );
+        let groups = riq_trace::JsonValue::Obj(
+            ComponentGroup::ALL
+                .iter()
+                .map(|&g| (format!("{g:?}"), riq_trace::JsonValue::Num(self.group_energy(g))))
+                .collect(),
+        );
+        riq_trace::JsonValue::obj([
+            ("cycles", riq_trace::JsonValue::UInt(self.cycles)),
+            ("gated_cycles", riq_trace::JsonValue::UInt(self.gated_cycles)),
+            ("total_energy", riq_trace::JsonValue::Num(self.total_energy())),
+            ("avg_power", riq_trace::JsonValue::Num(self.avg_power())),
+            ("groups", groups),
+            ("components", components),
+        ])
+    }
+}
+
 impl PowerReport {
     /// Total energy over the run.
     #[must_use]
@@ -453,11 +478,7 @@ impl PowerReport {
     /// Energy of a reporting group.
     #[must_use]
     pub fn group_energy(&self, g: ComponentGroup) -> f64 {
-        Component::ALL
-            .iter()
-            .filter(|c| c.group() == g)
-            .map(|c| self.energy[c.index()])
-            .sum()
+        Component::ALL.iter().filter(|c| c.group() == g).map(|c| self.energy[c.index()]).sum()
     }
 
     /// Average power (energy per cycle) of the whole chip.
@@ -564,8 +585,7 @@ mod tests {
     fn partial_update_cheaper_than_insert() {
         let model = PowerModel::new(&PowerConfig::table1());
         assert!(
-            model.unit_energy(Component::IqPartialUpdate)
-                < model.unit_energy(Component::IqInsert)
+            model.unit_energy(Component::IqPartialUpdate) < model.unit_energy(Component::IqInsert)
         );
     }
 
@@ -617,9 +637,8 @@ mod tests {
         }
         let red = technique.report().power_reduction_vs(&base.report());
         assert!(red > 0.0 && red < 1.0, "gating must save power, got {red}");
-        let icache_red = technique
-            .report()
-            .group_power_reduction_vs(&base.report(), ComponentGroup::Icache);
+        let icache_red =
+            technique.report().group_power_reduction_vs(&base.report(), ComponentGroup::Icache);
         assert!(icache_red > 0.9, "gated idle icache vs always-active: {icache_red}");
     }
 

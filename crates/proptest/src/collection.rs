@@ -1,0 +1,47 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::Range;
+
+/// A length specification: an exact size or a half-open range, mirroring
+/// proptest's `SizeRange` conversions.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { start: n, end: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { start: r.start, end: r.end }
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    #[allow(clippy::cast_possible_truncation)]
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + if span <= 1 { 0 } else { rng.below(span) as usize };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A vector of values from `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}

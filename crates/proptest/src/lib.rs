@@ -1,0 +1,238 @@
+//! # riq-proptest — an offline, drop-in subset of [proptest]
+//!
+//! The workspace's property tests were written against the real `proptest`
+//! crate, but the build environment has no network access to crates.io.
+//! This crate implements exactly the API subset those tests use — the
+//! [`Strategy`] trait with [`Strategy::prop_map`], [`Just`], [`any`],
+//! integer/float range strategies, tuple composition, weighted
+//! [`prop_oneof!`], [`collection::vec`], the [`proptest!`] test macro and
+//! the `prop_assert*` family — so the test files compile unchanged.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated values in
+//!   the assertion message; generation is deterministic (a fixed seed mixed
+//!   with the test name), so failures reproduce exactly.
+//! * **No persistence.** `.proptest-regressions` files are ignored.
+//! * **No forking, timeouts, or custom `TestRunner` plumbing.**
+//!
+//! Set the `RIQ_PROPTEST_SEED` environment variable to an integer to run
+//! every test with a different deterministic seed stream.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Splitmix64-based deterministic generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Creates the deterministic generator for one named test, honouring
+    /// the `RIQ_PROPTEST_SEED` override.
+    #[must_use]
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("RIQ_PROPTEST_SEED") {
+            if let Ok(extra) = s.trim().parse::<u64>() {
+                h = h.wrapping_add(extra.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            }
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0)");
+        // Multiply-shift rejection-free mapping is fine for test generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors the real crate's `prop` module path (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs one or more property tests: `proptest! { #![proptest_config(..)]
+/// #[test] fn name(x in strategy, ..) { body } .. }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                // Mirror upstream: the body runs as a fallible closure so it
+                // may `return Ok(())` early or reject a case without failing.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    Ok(()) | Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted or unweighted union of strategies producing the same value
+/// type: `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(7);
+        let mut b = TestRng::from_seed(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..2000 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let s = Strategy::generate(&(-5i32..6), &mut rng);
+            assert!((-5..6).contains(&s));
+            let f = Strategy::generate(&(0.25f64..4.0), &mut rng);
+            assert!((0.25..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_skew_distribution() {
+        let mut rng = TestRng::from_seed(2);
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let hits = (0..1000).filter(|_| Strategy::generate(&s, &mut rng)).count();
+        assert!(hits > 800, "expected ~900 true, got {hits}");
+    }
+
+    #[test]
+    fn vec_sizes_and_maps() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let v = Strategy::generate(&prop::collection::vec(0u8..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let w = Strategy::generate(&prop::collection::vec(any::<bool>(), 4), &mut rng);
+            assert_eq!(w.len(), 4);
+        }
+        let doubled = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(Strategy::generate(&doubled, &mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_form_works(a in any::<u8>(), (x, y) in (0u32..4, any::<bool>())) {
+            prop_assert!(u32::from(a) < 256);
+            prop_assert!(x < 4);
+            prop_assert_eq!(y, y);
+        }
+    }
+}

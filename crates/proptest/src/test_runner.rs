@@ -1,0 +1,47 @@
+//! Run configuration (`ProptestConfig`).
+
+/// Per-test configuration; only `cases` is honoured by this offline shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Why a single generated case did not pass, mirroring the upstream type so
+/// test bodies can `return Ok(())` / `Err(TestCaseError::reject(..))`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected (e.g. by an input filter); not a failure.
+    Reject(String),
+    /// The property failed for this case.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Rejects the current case without failing the test.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Fails the test with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "property failed: {r}"),
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! Typed trace events: reuse-FSM transitions, front-end gating windows,
+//! per-cycle pipeline samples, cache/branch-predictor misses, and epoch
+//! boundaries.
+//!
+//! Every variant serializes to a flat JSON object with a `"kind"` tag and
+//! parses back losslessly, so JSONL traces can be post-processed by any
+//! language without a schema file.
+
+use crate::json::{JsonValue, ToJson};
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulator cycle at which the event occurred.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Convenience constructor.
+    pub fn new(cycle: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { cycle, kind }
+    }
+}
+
+/// Why buffered loop state was discarded before reaching code reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevokeReason {
+    /// A different backward branch was seen while buffering (nested loop).
+    InnerLoop,
+    /// Control flow left the buffered region (loop exit / not-taken tail).
+    LoopExit,
+    /// A call/return crossed the buffered region boundary.
+    UnpairedReturn,
+    /// The issue queue filled before the loop tail arrived.
+    QueueFull,
+    /// A branch misprediction recovery squashed the buffered instructions.
+    Recovery,
+}
+
+impl RevokeReason {
+    /// Stable string tag used in JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RevokeReason::InnerLoop => "inner_loop",
+            RevokeReason::LoopExit => "loop_exit",
+            RevokeReason::UnpairedReturn => "unpaired_return",
+            RevokeReason::QueueFull => "queue_full",
+            RevokeReason::Recovery => "recovery",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<RevokeReason> {
+        Some(match s {
+            "inner_loop" => RevokeReason::InnerLoop,
+            "loop_exit" => RevokeReason::LoopExit,
+            "unpaired_return" => RevokeReason::UnpairedReturn,
+            "queue_full" => RevokeReason::QueueFull,
+            "recovery" => RevokeReason::Recovery,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a front-end gating window ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateEndReason {
+    /// The reused loop mispredicted its exit and recovery reopened the
+    /// front end.
+    Recovery,
+    /// The reuse window completed normally and the front end resumed.
+    Drained,
+    /// The program finished while the gate was still closed.
+    RunEnd,
+}
+
+impl GateEndReason {
+    /// Stable string tag used in JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GateEndReason::Recovery => "recovery",
+            GateEndReason::Drained => "drained",
+            GateEndReason::RunEnd => "run_end",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<GateEndReason> {
+        Some(match s {
+            "recovery" => GateEndReason::Recovery,
+            "drained" => GateEndReason::Drained,
+            "run_end" => GateEndReason::RunEnd,
+            _ => return None,
+        })
+    }
+}
+
+/// Which cache recorded a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLevel {
+    /// Level-1 instruction cache.
+    L1I,
+    /// Level-1 data cache.
+    L1D,
+    /// Unified level-2 cache.
+    L2,
+}
+
+impl CacheLevel {
+    /// Stable string tag used in JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheLevel::L1I => "l1i",
+            CacheLevel::L1D => "l1d",
+            CacheLevel::L2 => "l2",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<CacheLevel> {
+        Some(match s {
+            "l1i" => CacheLevel::L1I,
+            "l1d" => CacheLevel::L1D,
+            "l2" => CacheLevel::L2,
+            _ => return None,
+        })
+    }
+}
+
+/// The event payload. Field names match the JSON keys one-to-one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The NBLT/detector identified a backward branch closing a loop body
+    /// small enough to fit in the issue queue.
+    LoopDetected {
+        /// Address of the first instruction of the loop body.
+        head: u64,
+        /// Address of the backward branch closing the loop.
+        tail: u64,
+        /// Static instruction count of the body.
+        size: u64,
+    },
+    /// A dispatched branch hit in the Non-Blocking Loop Table.
+    NbltHit {
+        /// Address of the matching backward branch.
+        tail: u64,
+    },
+    /// A loop tail was inserted into the Non-Blocking Loop Table.
+    NbltInsert {
+        /// Address of the inserted backward branch.
+        tail: u64,
+    },
+    /// The issue queue began retaining instructions of a candidate loop.
+    BufferingStarted {
+        /// Loop body head address.
+        head: u64,
+        /// Loop tail (backward branch) address.
+        tail: u64,
+    },
+    /// Buffered state was discarded before reaching code reuse.
+    BufferingRevoked {
+        /// Why the buffer was dropped.
+        reason: RevokeReason,
+        /// Whether the loop was still registered in the NBLT afterwards.
+        registered: bool,
+    },
+    /// The queue captured a full iteration and entered code-reuse mode; the
+    /// front end gates off.
+    CodeReuseEntered {
+        /// Loop body head address.
+        head: u64,
+        /// Loop tail address.
+        tail: u64,
+    },
+    /// Code-reuse mode ended and normal dispatch resumed.
+    CodeReuseExited {
+        /// Instructions supplied from the reuse buffer during this episode.
+        reused_insts: u64,
+    },
+    /// The front-end clock gate closed (fetch/decode/dispatch idle).
+    GateOn,
+    /// The front-end clock gate reopened.
+    GateOff {
+        /// Number of cycles the gate was closed (the window includes the
+        /// cycle the gate closed, excludes the cycle it reopened).
+        span: u64,
+        /// What ended the window.
+        reason: GateEndReason,
+    },
+    /// Per-cycle pipeline snapshot (emitted only when sampling is on).
+    PipelineSample {
+        /// Instructions fetched this cycle.
+        fetched: u64,
+        /// Instructions dispatched this cycle.
+        dispatched: u64,
+        /// Instructions issued this cycle.
+        issued: u64,
+        /// Instructions committed this cycle.
+        committed: u64,
+        /// Issue-queue occupancy after this cycle.
+        iq_occupancy: u64,
+        /// Reorder-buffer occupancy after this cycle.
+        rob_occupancy: u64,
+    },
+    /// A cache access missed.
+    CacheMiss {
+        /// Which cache missed.
+        level: CacheLevel,
+        /// Accessed address.
+        addr: u64,
+        /// Total latency of the access in cycles.
+        latency: u64,
+    },
+    /// A conditional branch resolved against its prediction.
+    BranchMispredict {
+        /// Address of the branch.
+        pc: u64,
+        /// Address execution actually continued at.
+        actual_next: u64,
+    },
+    /// An epoch boundary: deltas of headline counters over the epoch.
+    Epoch {
+        /// Zero-based epoch index.
+        index: u64,
+        /// First cycle of the epoch.
+        start_cycle: u64,
+        /// Cycles in the epoch (the final epoch may be short).
+        cycles: u64,
+        /// Instructions committed during the epoch.
+        committed: u64,
+        /// Front-end-gated cycles during the epoch.
+        gated: u64,
+        /// Instructions dispatched from the reuse buffer during the epoch.
+        reused: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable `"kind"` tag for this variant.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::LoopDetected { .. } => "loop_detected",
+            EventKind::NbltHit { .. } => "nblt_hit",
+            EventKind::NbltInsert { .. } => "nblt_insert",
+            EventKind::BufferingStarted { .. } => "buffering_started",
+            EventKind::BufferingRevoked { .. } => "buffering_revoked",
+            EventKind::CodeReuseEntered { .. } => "code_reuse_entered",
+            EventKind::CodeReuseExited { .. } => "code_reuse_exited",
+            EventKind::GateOn => "gate_on",
+            EventKind::GateOff { .. } => "gate_off",
+            EventKind::PipelineSample { .. } => "pipeline_sample",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::BranchMispredict { .. } => "branch_mispredict",
+            EventKind::Epoch { .. } => "epoch",
+        }
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> JsonValue {
+        let mut pairs: Vec<(&'static str, JsonValue)> = vec![
+            ("cycle", JsonValue::UInt(self.cycle)),
+            ("kind", JsonValue::Str(self.kind.tag().to_string())),
+        ];
+        match &self.kind {
+            EventKind::LoopDetected { head, tail, size } => {
+                pairs.push(("head", JsonValue::UInt(*head)));
+                pairs.push(("tail", JsonValue::UInt(*tail)));
+                pairs.push(("size", JsonValue::UInt(*size)));
+            }
+            EventKind::NbltHit { tail } | EventKind::NbltInsert { tail } => {
+                pairs.push(("tail", JsonValue::UInt(*tail)));
+            }
+            EventKind::BufferingStarted { head, tail }
+            | EventKind::CodeReuseEntered { head, tail } => {
+                pairs.push(("head", JsonValue::UInt(*head)));
+                pairs.push(("tail", JsonValue::UInt(*tail)));
+            }
+            EventKind::BufferingRevoked { reason, registered } => {
+                pairs.push(("reason", JsonValue::Str(reason.as_str().to_string())));
+                pairs.push(("registered", JsonValue::Bool(*registered)));
+            }
+            EventKind::CodeReuseExited { reused_insts } => {
+                pairs.push(("reused_insts", JsonValue::UInt(*reused_insts)));
+            }
+            EventKind::GateOn => {}
+            EventKind::GateOff { span, reason } => {
+                pairs.push(("span", JsonValue::UInt(*span)));
+                pairs.push(("reason", JsonValue::Str(reason.as_str().to_string())));
+            }
+            EventKind::PipelineSample {
+                fetched,
+                dispatched,
+                issued,
+                committed,
+                iq_occupancy,
+                rob_occupancy,
+            } => {
+                pairs.push(("fetched", JsonValue::UInt(*fetched)));
+                pairs.push(("dispatched", JsonValue::UInt(*dispatched)));
+                pairs.push(("issued", JsonValue::UInt(*issued)));
+                pairs.push(("committed", JsonValue::UInt(*committed)));
+                pairs.push(("iq_occupancy", JsonValue::UInt(*iq_occupancy)));
+                pairs.push(("rob_occupancy", JsonValue::UInt(*rob_occupancy)));
+            }
+            EventKind::CacheMiss { level, addr, latency } => {
+                pairs.push(("level", JsonValue::Str(level.as_str().to_string())));
+                pairs.push(("addr", JsonValue::UInt(*addr)));
+                pairs.push(("latency", JsonValue::UInt(*latency)));
+            }
+            EventKind::BranchMispredict { pc, actual_next } => {
+                pairs.push(("pc", JsonValue::UInt(*pc)));
+                pairs.push(("actual_next", JsonValue::UInt(*actual_next)));
+            }
+            EventKind::Epoch { index, start_cycle, cycles, committed, gated, reused } => {
+                pairs.push(("index", JsonValue::UInt(*index)));
+                pairs.push(("start_cycle", JsonValue::UInt(*start_cycle)));
+                pairs.push(("cycles", JsonValue::UInt(*cycles)));
+                pairs.push(("committed", JsonValue::UInt(*committed)));
+                pairs.push(("gated", JsonValue::UInt(*gated)));
+                pairs.push(("reused", JsonValue::UInt(*reused)));
+            }
+        }
+        JsonValue::obj(pairs)
+    }
+}
+
+impl TraceEvent {
+    /// Reconstructs an event from a parsed JSON object; `None` on missing or
+    /// mistyped fields.
+    pub fn from_json(value: &JsonValue) -> Option<TraceEvent> {
+        let cycle = value.get("cycle")?.as_u64()?;
+        let u = |key: &str| value.get(key).and_then(JsonValue::as_u64);
+        let kind = match value.get("kind")?.as_str()? {
+            "loop_detected" => {
+                EventKind::LoopDetected { head: u("head")?, tail: u("tail")?, size: u("size")? }
+            }
+            "nblt_hit" => EventKind::NbltHit { tail: u("tail")? },
+            "nblt_insert" => EventKind::NbltInsert { tail: u("tail")? },
+            "buffering_started" => {
+                EventKind::BufferingStarted { head: u("head")?, tail: u("tail")? }
+            }
+            "buffering_revoked" => EventKind::BufferingRevoked {
+                reason: RevokeReason::from_str(value.get("reason")?.as_str()?)?,
+                registered: value.get("registered")?.as_bool()?,
+            },
+            "code_reuse_entered" => {
+                EventKind::CodeReuseEntered { head: u("head")?, tail: u("tail")? }
+            }
+            "code_reuse_exited" => EventKind::CodeReuseExited { reused_insts: u("reused_insts")? },
+            "gate_on" => EventKind::GateOn,
+            "gate_off" => EventKind::GateOff {
+                span: u("span")?,
+                reason: GateEndReason::from_str(value.get("reason")?.as_str()?)?,
+            },
+            "pipeline_sample" => EventKind::PipelineSample {
+                fetched: u("fetched")?,
+                dispatched: u("dispatched")?,
+                issued: u("issued")?,
+                committed: u("committed")?,
+                iq_occupancy: u("iq_occupancy")?,
+                rob_occupancy: u("rob_occupancy")?,
+            },
+            "cache_miss" => EventKind::CacheMiss {
+                level: CacheLevel::from_str(value.get("level")?.as_str()?)?,
+                addr: u("addr")?,
+                latency: u("latency")?,
+            },
+            "branch_mispredict" => {
+                EventKind::BranchMispredict { pc: u("pc")?, actual_next: u("actual_next")? }
+            }
+            "epoch" => EventKind::Epoch {
+                index: u("index")?,
+                start_cycle: u("start_cycle")?,
+                cycles: u("cycles")?,
+                committed: u("committed")?,
+                gated: u("gated")?,
+                reused: u("reused")?,
+            },
+            _ => return None,
+        };
+        Some(TraceEvent { cycle, kind })
+    }
+
+    /// Every variant once, with distinctive field values — shared by the
+    /// round-trip tests here and the JSONL tests in `sink`.
+    #[doc(hidden)]
+    pub fn examples() -> Vec<TraceEvent> {
+        use EventKind::*;
+        vec![
+            TraceEvent::new(10, LoopDetected { head: 0x100, tail: 0x13c, size: 16 }),
+            TraceEvent::new(11, NbltHit { tail: 0x13c }),
+            TraceEvent::new(12, NbltInsert { tail: 0x2c0 }),
+            TraceEvent::new(20, BufferingStarted { head: 0x100, tail: 0x13c }),
+            TraceEvent::new(
+                25,
+                BufferingRevoked { reason: RevokeReason::InnerLoop, registered: true },
+            ),
+            TraceEvent::new(
+                26,
+                BufferingRevoked { reason: RevokeReason::QueueFull, registered: false },
+            ),
+            TraceEvent::new(
+                27,
+                BufferingRevoked { reason: RevokeReason::LoopExit, registered: true },
+            ),
+            TraceEvent::new(
+                28,
+                BufferingRevoked { reason: RevokeReason::UnpairedReturn, registered: false },
+            ),
+            TraceEvent::new(
+                29,
+                BufferingRevoked { reason: RevokeReason::Recovery, registered: true },
+            ),
+            TraceEvent::new(40, CodeReuseEntered { head: 0x100, tail: 0x13c }),
+            TraceEvent::new(90, CodeReuseExited { reused_insts: 7 }),
+            TraceEvent::new(41, GateOn),
+            TraceEvent::new(91, GateOff { span: 50, reason: GateEndReason::Recovery }),
+            TraceEvent::new(92, GateOff { span: 1, reason: GateEndReason::Drained }),
+            TraceEvent::new(93, GateOff { span: 2, reason: GateEndReason::RunEnd }),
+            TraceEvent::new(
+                100,
+                PipelineSample {
+                    fetched: 4,
+                    dispatched: 3,
+                    issued: 2,
+                    committed: 1,
+                    iq_occupancy: 12,
+                    rob_occupancy: 31,
+                },
+            ),
+            TraceEvent::new(
+                110,
+                CacheMiss { level: CacheLevel::L1I, addr: 0xdead_beef, latency: 12 },
+            ),
+            TraceEvent::new(111, CacheMiss { level: CacheLevel::L1D, addr: 0x40, latency: 6 }),
+            TraceEvent::new(
+                112,
+                CacheMiss { level: CacheLevel::L2, addr: u64::MAX - 1, latency: 120 },
+            ),
+            TraceEvent::new(120, BranchMispredict { pc: 0x13c, actual_next: 0x140 }),
+            TraceEvent::new(
+                10_000,
+                Epoch {
+                    index: 0,
+                    start_cycle: 0,
+                    cycles: 10_000,
+                    committed: 8_123,
+                    gated: 4_000,
+                    reused: 3_900,
+                },
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let examples = TraceEvent::examples();
+        // Ensure the example set actually covers every variant tag.
+        let tags: std::collections::BTreeSet<&str> =
+            examples.iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(tags.len(), 13, "examples must cover all 13 variants");
+        for event in examples {
+            let line = event.to_json().to_compact();
+            let back = TraceEvent::from_json(&parse(&line).expect("parse")).expect("from_json");
+            assert_eq!(back, event, "round-trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_and_incomplete() {
+        assert!(TraceEvent::from_json(&parse(r#"{"cycle":1,"kind":"bogus"}"#).unwrap()).is_none());
+        assert!(TraceEvent::from_json(&parse(r#"{"kind":"gate_on"}"#).unwrap()).is_none());
+        assert!(
+            TraceEvent::from_json(&parse(r#"{"cycle":1,"kind":"nblt_hit"}"#).unwrap()).is_none(),
+            "missing tail field must be rejected"
+        );
+    }
+
+    #[test]
+    fn reason_tags_are_stable() {
+        assert_eq!(RevokeReason::QueueFull.as_str(), "queue_full");
+        assert_eq!(GateEndReason::Drained.as_str(), "drained");
+        assert_eq!(CacheLevel::L1I.as_str(), "l1i");
+    }
+}

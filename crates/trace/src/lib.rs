@@ -1,0 +1,32 @@
+//! # riq-trace — cycle-accurate telemetry for the riq simulator
+//!
+//! Observability layer for the reuse-capable issue-queue model: typed
+//! [`TraceEvent`]s covering the reuse FSM (loop detection, NBLT hits,
+//! buffering, code reuse), front-end clock-gating windows, per-cycle
+//! pipeline samples, cache/branch-predictor misses, and epoch-delta
+//! summaries; pluggable [`TraceSink`]s (null, in-memory ring buffer,
+//! `Vec`, JSONL writer); and a dependency-free [`json`] layer used both
+//! for the JSONL trace format and the machine-readable run reports the
+//! `riq_repro` binary emits.
+//!
+//! This is a leaf crate: it depends on nothing in the workspace, so every
+//! simulator crate (core, mem, bpred, power, bench) can depend on it.
+//!
+//! ## Zero cost when disabled
+//!
+//! Instrumentation sites receive a `&mut dyn TraceSink` and consult
+//! [`TraceSink::enabled`] before constructing events. The default
+//! [`NullSink`] reports `false`, so an untraced run skips event
+//! construction entirely — the only residual cost is one boolean check per
+//! instrumented region per cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod json;
+pub mod sink;
+
+pub use events::{CacheLevel, EventKind, GateEndReason, RevokeReason, TraceEvent};
+pub use json::{parse, JsonValue, ParseError, ToJson};
+pub use sink::{parse_jsonl, JsonlSink, NullSink, RingBufferSink, TraceSink, VecSink};

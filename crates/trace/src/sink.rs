@@ -1,0 +1,265 @@
+//! Pluggable trace consumers.
+//!
+//! The simulator hands every event to a `&mut dyn TraceSink`. The
+//! [`NullSink`] reports itself disabled, which lets instrumentation sites
+//! skip event construction entirely — tracing costs nothing unless a real
+//! sink is attached.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+use crate::events::TraceEvent;
+use crate::json::ToJson;
+
+/// Consumer of trace events.
+pub trait TraceSink {
+    /// Whether the producer should bother constructing events. Callers are
+    /// expected to check this once per instrumentation region, not per event.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Flushes buffered output; called once at end of run.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards everything and reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Keeps the last `capacity` events in memory, counting overwrites.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> RingBufferSink {
+        let capacity = capacity.max(1);
+        RingBufferSink { buf: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the ring, oldest first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into_iter().collect()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+/// Collects every event into a `Vec` — the test workhorse.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// Recorded events in arrival order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Writes each event as one compact JSON object per line (JSONL).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: io::BufWriter<W>,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer; output is buffered internally.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink { writer: io::BufWriter::new(writer), written: 0, error: None }
+    }
+
+    /// Lines successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the inner writer, or the first I/O error
+    /// encountered while recording.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        self.writer.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json().to_compact();
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()
+    }
+}
+
+/// Parses a JSONL trace back into events. Lines that are blank are skipped;
+/// malformed lines produce an error naming the 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = crate::json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let event = TraceEvent::from_json(&value)
+            .ok_or_else(|| format!("line {}: not a valid trace event", idx + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn ring_buffer_wraps_and_counts_drops() {
+        let mut ring = RingBufferSink::new(3);
+        assert!(ring.is_empty());
+        for cycle in 0..10 {
+            ring.record(TraceEvent::new(cycle, EventKind::GateOn));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let cycles: Vec<u64> = ring.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9], "oldest events evicted first");
+        assert_eq!(ring.into_events().len(), 3);
+    }
+
+    #[test]
+    fn ring_buffer_capacity_floor_is_one() {
+        let mut ring = RingBufferSink::new(0);
+        ring.record(TraceEvent::new(1, EventKind::GateOn));
+        ring.record(TraceEvent::new(2, EventKind::GateOn));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_below_capacity_drops_nothing() {
+        let mut ring = RingBufferSink::new(8);
+        for cycle in 0..5 {
+            ring.record(TraceEvent::new(cycle, EventKind::GateOn));
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_event_variant() {
+        let examples = TraceEvent::examples();
+        let mut sink = JsonlSink::new(Vec::<u8>::new());
+        for event in &examples {
+            sink.record(event.clone());
+        }
+        sink.finish().expect("flush");
+        assert_eq!(sink.written(), examples.len() as u64);
+        let bytes = sink.into_inner().expect("into_inner");
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert_eq!(text.lines().count(), examples.len(), "one line per event");
+        let back = parse_jsonl(&text).expect("parse_jsonl");
+        assert_eq!(back, examples);
+    }
+
+    #[test]
+    fn parse_jsonl_reports_line_numbers() {
+        let err =
+            parse_jsonl("{\"cycle\":1,\"kind\":\"gate_on\"}\nnot json\n").expect_err("should fail");
+        assert!(err.starts_with("line 2:"), "got: {err}");
+    }
+
+    #[test]
+    fn parse_jsonl_skips_blank_lines() {
+        let events = parse_jsonl("\n{\"cycle\":1,\"kind\":\"gate_on\"}\n\n").expect("parse");
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecSink::new();
+        sink.record(TraceEvent::new(5, EventKind::GateOn));
+        sink.record(TraceEvent::new(
+            9,
+            EventKind::GateOff { span: 4, reason: crate::events::GateEndReason::Drained },
+        ));
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].cycle, 5);
+    }
+}

@@ -46,11 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(reuse.mem_digest, oracle.memory().content_digest());
 
     println!("oracle retired {} instructions", oracle.retired());
-    println!(
-        "baseline: {} cycles (IPC {:.2})",
-        base.stats.cycles,
-        base.stats.ipc()
-    );
+    println!("baseline: {} cycles (IPC {:.2})", base.stats.cycles, base.stats.ipc());
     println!(
         "reuse:    {} cycles (IPC {:.2}), gated {:.1}%, whole-chip power -{:.1}%",
         reuse.stats.cycles,

@@ -23,8 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for iq in [32u32, 64, 128, 256] {
         let base = Processor::new(SimConfig::baseline().with_iq_size(iq)).run(&program)?;
-        let reuse =
-            Processor::new(SimConfig::baseline().with_iq_size(iq).with_reuse(true)).run(&program)?;
+        let reuse = Processor::new(SimConfig::baseline().with_iq_size(iq).with_reuse(true))
+            .run(&program)?;
         assert_eq!(base.arch_state, reuse.arch_state);
         let gated = 100.0 * reuse.stats.gated_rate();
         let dp = 100.0 * reuse.power.power_reduction_vs(&base.power);

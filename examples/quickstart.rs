@@ -46,28 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("                       baseline        reuse");
-    println!(
-        "cycles            {:>13} {:>12}",
-        baseline.stats.cycles, reuse.stats.cycles
-    );
-    println!(
-        "IPC               {:>13.3} {:>12.3}",
-        baseline.stats.ipc(),
-        reuse.stats.ipc()
-    );
-    println!(
-        "insts fetched     {:>13} {:>12}",
-        baseline.stats.fetched, reuse.stats.fetched
-    );
+    println!("cycles            {:>13} {:>12}", baseline.stats.cycles, reuse.stats.cycles);
+    println!("IPC               {:>13.3} {:>12.3}", baseline.stats.ipc(), reuse.stats.ipc());
+    println!("insts fetched     {:>13} {:>12}", baseline.stats.fetched, reuse.stats.fetched);
     println!(
         "front-end gated   {:>12.1}% {:>11.1}%",
         100.0 * baseline.stats.gated_rate(),
         100.0 * reuse.stats.gated_rate()
     );
-    println!(
-        "reused from IQ    {:>13} {:>12}",
-        0, reuse.stats.reuse.reused_insts
-    );
+    println!("reused from IQ    {:>13} {:>12}", 0, reuse.stats.reuse.reused_insts);
     println!();
     println!("per-cycle power vs baseline:");
     for (name, g) in [

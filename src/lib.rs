@@ -21,7 +21,9 @@
 //! * [`power`] — Wattch-style power model;
 //! * [`core`] — the cycle-level out-of-order core with the reuse-capable
 //!   issue queue (the paper's contribution);
-//! * [`kernels`] — loop-nest IR, loop distribution, and the benchmark suite.
+//! * [`kernels`] — loop-nest IR, loop distribution, and the benchmark suite;
+//! * [`trace`] — cycle-accurate telemetry: typed trace events, pluggable
+//!   sinks, and the JSON layer behind machine-readable run reports.
 //!
 //! # Examples
 //!
@@ -64,3 +66,4 @@ pub use riq_isa as isa;
 pub use riq_kernels as kernels;
 pub use riq_mem as mem;
 pub use riq_power as power;
+pub use riq_trace as trace;

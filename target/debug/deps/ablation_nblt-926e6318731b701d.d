@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation_nblt-926e6318731b701d.d: crates/bench/benches/ablation_nblt.rs crates/bench/benches/common.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_nblt-926e6318731b701d.rmeta: crates/bench/benches/ablation_nblt.rs crates/bench/benches/common.rs Cargo.toml
+
+crates/bench/benches/ablation_nblt.rs:
+crates/bench/benches/common.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation_strategy-5bc71afa59c3818e.d: crates/bench/benches/ablation_strategy.rs crates/bench/benches/common.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_strategy-5bc71afa59c3818e.rmeta: crates/bench/benches/ablation_strategy.rs crates/bench/benches/common.rs Cargo.toml
+
+crates/bench/benches/ablation_strategy.rs:
+crates/bench/benches/common.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

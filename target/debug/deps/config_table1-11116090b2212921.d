@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/config_table1-11116090b2212921.d: tests/config_table1.rs
+
+/root/repo/target/debug/deps/config_table1-11116090b2212921: tests/config_table1.rs
+
+tests/config_table1.rs:

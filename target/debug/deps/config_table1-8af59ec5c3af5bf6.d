@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/config_table1-8af59ec5c3af5bf6.d: tests/config_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfig_table1-8af59ec5c3af5bf6.rmeta: tests/config_table1.rs Cargo.toml
+
+tests/config_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

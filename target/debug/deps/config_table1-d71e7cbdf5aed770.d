@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/config_table1-d71e7cbdf5aed770.d: tests/config_table1.rs
+
+/root/repo/target/debug/deps/config_table1-d71e7cbdf5aed770: tests/config_table1.rs
+
+tests/config_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-6bdd3d48d6e664b9.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-6bdd3d48d6e664b9: tests/differential.rs
+
+tests/differential.rs:

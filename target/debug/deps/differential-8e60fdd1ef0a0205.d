@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-8e60fdd1ef0a0205.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-8e60fdd1ef0a0205: tests/differential.rs
+
+tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-eca99d71155a0735.d: tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-eca99d71155a0735.rmeta: tests/differential.rs Cargo.toml
+
+tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distribution_semantics-1db0efbc264f977a.d: tests/distribution_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistribution_semantics-1db0efbc264f977a.rmeta: tests/distribution_semantics.rs Cargo.toml
+
+tests/distribution_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distribution_semantics-71d0ecd744a1e1e2.d: tests/distribution_semantics.rs
+
+/root/repo/target/debug/deps/distribution_semantics-71d0ecd744a1e1e2: tests/distribution_semantics.rs
+
+tests/distribution_semantics.rs:

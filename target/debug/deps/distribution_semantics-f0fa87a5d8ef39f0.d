@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distribution_semantics-f0fa87a5d8ef39f0.d: tests/distribution_semantics.rs
+
+/root/repo/target/debug/deps/distribution_semantics-f0fa87a5d8ef39f0: tests/distribution_semantics.rs
+
+tests/distribution_semantics.rs:

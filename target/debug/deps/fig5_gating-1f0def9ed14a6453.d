@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig5_gating-1f0def9ed14a6453.d: crates/bench/benches/fig5_gating.rs crates/bench/benches/common.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_gating-1f0def9ed14a6453.rmeta: crates/bench/benches/fig5_gating.rs crates/bench/benches/common.rs Cargo.toml
+
+crates/bench/benches/fig5_gating.rs:
+crates/bench/benches/common.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

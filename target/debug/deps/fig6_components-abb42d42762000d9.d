@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig6_components-abb42d42762000d9.d: crates/bench/benches/fig6_components.rs crates/bench/benches/common.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_components-abb42d42762000d9.rmeta: crates/bench/benches/fig6_components.rs crates/bench/benches/common.rs Cargo.toml
+
+crates/bench/benches/fig6_components.rs:
+crates/bench/benches/common.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7_overall-7b43e2a8b4d11387.d: crates/bench/benches/fig7_overall.rs crates/bench/benches/common.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_overall-7b43e2a8b4d11387.rmeta: crates/bench/benches/fig7_overall.rs crates/bench/benches/common.rs Cargo.toml
+
+crates/bench/benches/fig7_overall.rs:
+crates/bench/benches/common.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig8_ipc-3b846332e1fa1143.d: crates/bench/benches/fig8_ipc.rs crates/bench/benches/common.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_ipc-3b846332e1fa1143.rmeta: crates/bench/benches/fig8_ipc.rs crates/bench/benches/common.rs Cargo.toml
+
+crates/bench/benches/fig8_ipc.rs:
+crates/bench/benches/common.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

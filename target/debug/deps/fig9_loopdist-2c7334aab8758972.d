@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig9_loopdist-2c7334aab8758972.d: crates/bench/benches/fig9_loopdist.rs crates/bench/benches/common.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_loopdist-2c7334aab8758972.rmeta: crates/bench/benches/fig9_loopdist.rs crates/bench/benches/common.rs Cargo.toml
+
+crates/bench/benches/fig9_loopdist.rs:
+crates/bench/benches/common.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

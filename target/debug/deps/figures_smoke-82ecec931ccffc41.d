@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-82ecec931ccffc41.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-82ecec931ccffc41: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

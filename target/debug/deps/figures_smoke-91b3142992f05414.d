@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-91b3142992f05414.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-91b3142992f05414: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generated_workloads-141bd890621d5d7d.d: tests/generated_workloads.rs
+
+/root/repo/target/debug/deps/generated_workloads-141bd890621d5d7d: tests/generated_workloads.rs
+
+tests/generated_workloads.rs:

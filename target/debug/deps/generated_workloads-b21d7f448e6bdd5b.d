@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generated_workloads-b21d7f448e6bdd5b.d: tests/generated_workloads.rs
+
+/root/repo/target/debug/deps/generated_workloads-b21d7f448e6bdd5b: tests/generated_workloads.rs
+
+tests/generated_workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generated_workloads-d63c334399ec6d2b.d: tests/generated_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerated_workloads-d63c334399ec6d2b.rmeta: tests/generated_workloads.rs Cargo.toml
+
+tests/generated_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

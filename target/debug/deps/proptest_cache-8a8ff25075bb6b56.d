@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cache-8a8ff25075bb6b56.d: crates/mem/tests/proptest_cache.rs
+
+/root/repo/target/debug/deps/proptest_cache-8a8ff25075bb6b56: crates/mem/tests/proptest_cache.rs
+
+crates/mem/tests/proptest_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_cache-d7364126f3ae6a03.d: crates/mem/tests/proptest_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_cache-d7364126f3ae6a03.rmeta: crates/mem/tests/proptest_cache.rs Cargo.toml
+
+crates/mem/tests/proptest_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_controller-22bf5f326f0d0fa2.d: crates/core/tests/proptest_controller.rs
+
+/root/repo/target/debug/deps/proptest_controller-22bf5f326f0d0fa2: crates/core/tests/proptest_controller.rs
+
+crates/core/tests/proptest_controller.rs:

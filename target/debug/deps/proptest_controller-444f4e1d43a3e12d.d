@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_controller-444f4e1d43a3e12d.d: crates/core/tests/proptest_controller.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_controller-444f4e1d43a3e12d.rmeta: crates/core/tests/proptest_controller.rs Cargo.toml
+
+crates/core/tests/proptest_controller.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

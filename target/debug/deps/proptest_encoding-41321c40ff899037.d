@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_encoding-41321c40ff899037.d: crates/isa/tests/proptest_encoding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_encoding-41321c40ff899037.rmeta: crates/isa/tests/proptest_encoding.rs Cargo.toml
+
+crates/isa/tests/proptest_encoding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

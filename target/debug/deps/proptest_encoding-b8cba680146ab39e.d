@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_encoding-b8cba680146ab39e.d: crates/isa/tests/proptest_encoding.rs
+
+/root/repo/target/debug/deps/proptest_encoding-b8cba680146ab39e: crates/isa/tests/proptest_encoding.rs
+
+crates/isa/tests/proptest_encoding.rs:

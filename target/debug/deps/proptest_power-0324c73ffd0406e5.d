@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_power-0324c73ffd0406e5.d: crates/power/tests/proptest_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_power-0324c73ffd0406e5.rmeta: crates/power/tests/proptest_power.rs Cargo.toml
+
+crates/power/tests/proptest_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_power-a2eacbde279bb172.d: crates/power/tests/proptest_power.rs
+
+/root/repo/target/debug/deps/proptest_power-a2eacbde279bb172: crates/power/tests/proptest_power.rs
+
+crates/power/tests/proptest_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-2f4ec8782a891a1c.d: crates/asm/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-2f4ec8782a891a1c: crates/asm/tests/proptest_roundtrip.rs
+
+crates/asm/tests/proptest_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-69b3385bc9b76bd6.d: crates/asm/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-69b3385bc9b76bd6.rmeta: crates/asm/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/asm/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

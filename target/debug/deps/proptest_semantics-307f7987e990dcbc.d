@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_semantics-307f7987e990dcbc.d: crates/emu/tests/proptest_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_semantics-307f7987e990dcbc.rmeta: crates/emu/tests/proptest_semantics.rs Cargo.toml
+
+crates/emu/tests/proptest_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_semantics-66e66833421bc0b4.d: crates/emu/tests/proptest_semantics.rs
+
+/root/repo/target/debug/deps/proptest_semantics-66e66833421bc0b4: crates/emu/tests/proptest_semantics.rs
+
+crates/emu/tests/proptest_semantics.rs:

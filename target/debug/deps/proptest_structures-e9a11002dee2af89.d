@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_structures-e9a11002dee2af89.d: crates/core/tests/proptest_structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_structures-e9a11002dee2af89.rmeta: crates/core/tests/proptest_structures.rs Cargo.toml
+
+crates/core/tests/proptest_structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_structures-f5907865266b87bb.d: crates/core/tests/proptest_structures.rs
+
+/root/repo/target/debug/deps/proptest_structures-f5907865266b87bb: crates/core/tests/proptest_structures.rs
+
+crates/core/tests/proptest_structures.rs:

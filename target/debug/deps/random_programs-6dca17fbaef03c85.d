@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_programs-6dca17fbaef03c85.d: tests/random_programs.rs
+
+/root/repo/target/debug/deps/random_programs-6dca17fbaef03c85: tests/random_programs.rs
+
+tests/random_programs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_programs-acdf3c3b9d25dd6d.d: tests/random_programs.rs
+
+/root/repo/target/debug/deps/random_programs-acdf3c3b9d25dd6d: tests/random_programs.rs
+
+tests/random_programs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reuse_behavior-1e7b37098839666b.d: tests/reuse_behavior.rs
+
+/root/repo/target/debug/deps/reuse_behavior-1e7b37098839666b: tests/reuse_behavior.rs
+
+tests/reuse_behavior.rs:

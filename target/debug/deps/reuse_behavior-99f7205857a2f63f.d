@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reuse_behavior-99f7205857a2f63f.d: tests/reuse_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreuse_behavior-99f7205857a2f63f.rmeta: tests/reuse_behavior.rs Cargo.toml
+
+tests/reuse_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

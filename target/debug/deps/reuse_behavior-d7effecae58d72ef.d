@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reuse_behavior-d7effecae58d72ef.d: tests/reuse_behavior.rs
+
+/root/repo/target/debug/deps/reuse_behavior-d7effecae58d72ef: tests/reuse_behavior.rs
+
+tests/reuse_behavior.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/riq-5ff66fe531f79de5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libriq-5ff66fe531f79de5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libriq-5ff66fe531f79de5.rmeta: src/lib.rs
+
+src/lib.rs:

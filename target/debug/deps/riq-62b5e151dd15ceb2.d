@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/riq-62b5e151dd15ceb2.d: src/lib.rs
+
+/root/repo/target/debug/deps/riq-62b5e151dd15ceb2: src/lib.rs
+
+src/lib.rs:

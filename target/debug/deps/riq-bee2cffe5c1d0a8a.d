@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/riq-bee2cffe5c1d0a8a.d: src/lib.rs
+
+/root/repo/target/debug/deps/riq-bee2cffe5c1d0a8a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/riq-c409efa372bdb583.d: src/lib.rs
+
+/root/repo/target/debug/deps/libriq-c409efa372bdb583.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libriq-c409efa372bdb583.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/riq-f221516296a4b6c6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libriq-f221516296a4b6c6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libriq-f221516296a4b6c6.rmeta: src/lib.rs
+
+src/lib.rs:

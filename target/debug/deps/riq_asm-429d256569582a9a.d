@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/riq_asm-429d256569582a9a.d: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/builder.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+/root/repo/target/debug/deps/riq_asm-429d256569582a9a: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/builder.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/assembler.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/program.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/riq_asm-846bd79923ee2704.d: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/builder.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+/root/repo/target/debug/deps/libriq_asm-846bd79923ee2704.rlib: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/builder.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+/root/repo/target/debug/deps/libriq_asm-846bd79923ee2704.rmeta: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/builder.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/assembler.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/program.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/riq_asm-d0db2c3781321370.d: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/builder.rs crates/asm/src/parser.rs crates/asm/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_asm-d0db2c3781321370.rmeta: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/builder.rs crates/asm/src/parser.rs crates/asm/src/program.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/assembler.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

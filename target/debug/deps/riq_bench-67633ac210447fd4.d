@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/riq_bench-67633ac210447fd4.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_bench-67633ac210447fd4.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/riq_bench-9287729a6a4d21cd.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libriq_bench-9287729a6a4d21cd.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libriq_bench-9287729a6a4d21cd.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/tables.rs:

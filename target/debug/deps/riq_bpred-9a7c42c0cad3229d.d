@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/riq_bpred-9a7c42c0cad3229d.d: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_bpred-9a7c42c0cad3229d.rmeta: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs Cargo.toml
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/dir.rs:
+crates/bpred/src/predictor.rs:
+crates/bpred/src/ras.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

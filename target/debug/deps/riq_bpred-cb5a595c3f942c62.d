@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/riq_bpred-cb5a595c3f942c62.d: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+/root/repo/target/debug/deps/riq_bpred-cb5a595c3f942c62: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/dir.rs:
+crates/bpred/src/predictor.rs:
+crates/bpred/src/ras.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/riq_bpred-e5a7e67e8cc989c8.d: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+/root/repo/target/debug/deps/libriq_bpred-e5a7e67e8cc989c8.rlib: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+/root/repo/target/debug/deps/libriq_bpred-e5a7e67e8cc989c8.rmeta: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/dir.rs:
+crates/bpred/src/predictor.rs:
+crates/bpred/src/ras.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/riq_core-0a32743983481781.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/fu.rs crates/core/src/iq.rs crates/core/src/lsq.rs crates/core/src/pipeline.rs crates/core/src/rename.rs crates/core/src/reuse.rs crates/core/src/rob.rs crates/core/src/specstate.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_core-0a32743983481781.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/fu.rs crates/core/src/iq.rs crates/core/src/lsq.rs crates/core/src/pipeline.rs crates/core/src/rename.rs crates/core/src/reuse.rs crates/core/src/rob.rs crates/core/src/specstate.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/fu.rs:
+crates/core/src/iq.rs:
+crates/core/src/lsq.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rename.rs:
+crates/core/src/reuse.rs:
+crates/core/src/rob.rs:
+crates/core/src/specstate.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/riq_core-7ed0a81f72687727.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/fu.rs crates/core/src/iq.rs crates/core/src/lsq.rs crates/core/src/pipeline.rs crates/core/src/rename.rs crates/core/src/reuse.rs crates/core/src/rob.rs crates/core/src/specstate.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libriq_core-7ed0a81f72687727.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/fu.rs crates/core/src/iq.rs crates/core/src/lsq.rs crates/core/src/pipeline.rs crates/core/src/rename.rs crates/core/src/reuse.rs crates/core/src/rob.rs crates/core/src/specstate.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libriq_core-7ed0a81f72687727.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/fu.rs crates/core/src/iq.rs crates/core/src/lsq.rs crates/core/src/pipeline.rs crates/core/src/rename.rs crates/core/src/reuse.rs crates/core/src/rob.rs crates/core/src/specstate.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/fu.rs:
+crates/core/src/iq.rs:
+crates/core/src/lsq.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rename.rs:
+crates/core/src/reuse.rs:
+crates/core/src/rob.rs:
+crates/core/src/specstate.rs:
+crates/core/src/stats.rs:

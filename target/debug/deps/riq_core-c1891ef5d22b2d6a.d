@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/riq_core-c1891ef5d22b2d6a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/fu.rs crates/core/src/iq.rs crates/core/src/lsq.rs crates/core/src/pipeline.rs crates/core/src/rename.rs crates/core/src/reuse.rs crates/core/src/rob.rs crates/core/src/specstate.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/riq_core-c1891ef5d22b2d6a: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/fu.rs crates/core/src/iq.rs crates/core/src/lsq.rs crates/core/src/pipeline.rs crates/core/src/rename.rs crates/core/src/reuse.rs crates/core/src/rob.rs crates/core/src/specstate.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/fu.rs:
+crates/core/src/iq.rs:
+crates/core/src/lsq.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rename.rs:
+crates/core/src/reuse.rs:
+crates/core/src/rob.rs:
+crates/core/src/specstate.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/riq_criterion-2b565b7e4d58b2d5.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libriq_criterion-2b565b7e4d58b2d5.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libriq_criterion-2b565b7e4d58b2d5.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

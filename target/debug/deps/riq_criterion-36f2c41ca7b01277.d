@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/riq_criterion-36f2c41ca7b01277.d: crates/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_criterion-36f2c41ca7b01277.rmeta: crates/criterion/src/lib.rs Cargo.toml
+
+crates/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/riq_criterion-f22495425925038e.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/riq_criterion-f22495425925038e: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/riq_emu-1b860d3a4968aca1.d: crates/emu/src/lib.rs crates/emu/src/exec.rs crates/emu/src/machine.rs crates/emu/src/memory.rs
+
+/root/repo/target/debug/deps/libriq_emu-1b860d3a4968aca1.rlib: crates/emu/src/lib.rs crates/emu/src/exec.rs crates/emu/src/machine.rs crates/emu/src/memory.rs
+
+/root/repo/target/debug/deps/libriq_emu-1b860d3a4968aca1.rmeta: crates/emu/src/lib.rs crates/emu/src/exec.rs crates/emu/src/machine.rs crates/emu/src/memory.rs
+
+crates/emu/src/lib.rs:
+crates/emu/src/exec.rs:
+crates/emu/src/machine.rs:
+crates/emu/src/memory.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/riq_emu-701e5706564d8521.d: crates/emu/src/lib.rs crates/emu/src/exec.rs crates/emu/src/machine.rs crates/emu/src/memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_emu-701e5706564d8521.rmeta: crates/emu/src/lib.rs crates/emu/src/exec.rs crates/emu/src/machine.rs crates/emu/src/memory.rs Cargo.toml
+
+crates/emu/src/lib.rs:
+crates/emu/src/exec.rs:
+crates/emu/src/machine.rs:
+crates/emu/src/memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

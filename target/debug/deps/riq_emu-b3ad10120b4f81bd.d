@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/riq_emu-b3ad10120b4f81bd.d: crates/emu/src/lib.rs crates/emu/src/exec.rs crates/emu/src/machine.rs crates/emu/src/memory.rs
+
+/root/repo/target/debug/deps/riq_emu-b3ad10120b4f81bd: crates/emu/src/lib.rs crates/emu/src/exec.rs crates/emu/src/machine.rs crates/emu/src/memory.rs
+
+crates/emu/src/lib.rs:
+crates/emu/src/exec.rs:
+crates/emu/src/machine.rs:
+crates/emu/src/memory.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/riq_isa-3b7734aa45214466.d: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libriq_isa-3b7734aa45214466.rlib: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libriq_isa-3b7734aa45214466.rmeta: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/riq_isa-966bd3049d21ce07.d: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_isa-966bd3049d21ce07.rmeta: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/reg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/riq_isa-b0203f05c382d469.d: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/riq_isa-b0203f05c382d469: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

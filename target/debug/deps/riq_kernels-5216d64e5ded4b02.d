@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/riq_kernels-5216d64e5ded4b02.d: crates/kernels/src/lib.rs crates/kernels/src/codegen.rs crates/kernels/src/deps.rs crates/kernels/src/distribute.rs crates/kernels/src/generator.rs crates/kernels/src/ir.rs crates/kernels/src/suite.rs crates/kernels/src/transforms.rs
+
+/root/repo/target/debug/deps/libriq_kernels-5216d64e5ded4b02.rlib: crates/kernels/src/lib.rs crates/kernels/src/codegen.rs crates/kernels/src/deps.rs crates/kernels/src/distribute.rs crates/kernels/src/generator.rs crates/kernels/src/ir.rs crates/kernels/src/suite.rs crates/kernels/src/transforms.rs
+
+/root/repo/target/debug/deps/libriq_kernels-5216d64e5ded4b02.rmeta: crates/kernels/src/lib.rs crates/kernels/src/codegen.rs crates/kernels/src/deps.rs crates/kernels/src/distribute.rs crates/kernels/src/generator.rs crates/kernels/src/ir.rs crates/kernels/src/suite.rs crates/kernels/src/transforms.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/codegen.rs:
+crates/kernels/src/deps.rs:
+crates/kernels/src/distribute.rs:
+crates/kernels/src/generator.rs:
+crates/kernels/src/ir.rs:
+crates/kernels/src/suite.rs:
+crates/kernels/src/transforms.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/riq_kernels-be1c66692aba0d2e.d: crates/kernels/src/lib.rs crates/kernels/src/codegen.rs crates/kernels/src/deps.rs crates/kernels/src/distribute.rs crates/kernels/src/generator.rs crates/kernels/src/ir.rs crates/kernels/src/suite.rs crates/kernels/src/transforms.rs
+
+/root/repo/target/debug/deps/riq_kernels-be1c66692aba0d2e: crates/kernels/src/lib.rs crates/kernels/src/codegen.rs crates/kernels/src/deps.rs crates/kernels/src/distribute.rs crates/kernels/src/generator.rs crates/kernels/src/ir.rs crates/kernels/src/suite.rs crates/kernels/src/transforms.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/codegen.rs:
+crates/kernels/src/deps.rs:
+crates/kernels/src/distribute.rs:
+crates/kernels/src/generator.rs:
+crates/kernels/src/ir.rs:
+crates/kernels/src/suite.rs:
+crates/kernels/src/transforms.rs:

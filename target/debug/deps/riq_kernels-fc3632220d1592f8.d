@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/riq_kernels-fc3632220d1592f8.d: crates/kernels/src/lib.rs crates/kernels/src/codegen.rs crates/kernels/src/deps.rs crates/kernels/src/distribute.rs crates/kernels/src/generator.rs crates/kernels/src/ir.rs crates/kernels/src/suite.rs crates/kernels/src/transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_kernels-fc3632220d1592f8.rmeta: crates/kernels/src/lib.rs crates/kernels/src/codegen.rs crates/kernels/src/deps.rs crates/kernels/src/distribute.rs crates/kernels/src/generator.rs crates/kernels/src/ir.rs crates/kernels/src/suite.rs crates/kernels/src/transforms.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/codegen.rs:
+crates/kernels/src/deps.rs:
+crates/kernels/src/distribute.rs:
+crates/kernels/src/generator.rs:
+crates/kernels/src/ir.rs:
+crates/kernels/src/suite.rs:
+crates/kernels/src/transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/riq_mem-dfd9f56d302e2d9d.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/libriq_mem-dfd9f56d302e2d9d.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/libriq_mem-dfd9f56d302e2d9d.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/tlb.rs:

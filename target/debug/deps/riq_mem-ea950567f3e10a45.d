@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/riq_mem-ea950567f3e10a45.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/libriq_mem-ea950567f3e10a45.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/libriq_mem-ea950567f3e10a45.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/riq_power-208f57c4d9a9c36a.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libriq_power-208f57c4d9a9c36a.rlib: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libriq_power-208f57c4d9a9c36a.rmeta: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:

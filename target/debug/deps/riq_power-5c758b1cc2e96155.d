@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/riq_power-5c758b1cc2e96155.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/riq_power-5c758b1cc2e96155: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/riq_power-781ec4da18e4fc3e.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_power-781ec4da18e4fc3e.rmeta: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/riq_power-ff090988d601dfe6.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libriq_power-ff090988d601dfe6.rlib: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libriq_power-ff090988d601dfe6.rmeta: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/riq_proptest-9793887576044d9f.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/riq_proptest-9793887576044d9f: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/riq_repro-1491ceb0fff7c11f.d: crates/bench/src/bin/riq_repro.rs
+
+/root/repo/target/debug/deps/riq_repro-1491ceb0fff7c11f: crates/bench/src/bin/riq_repro.rs
+
+crates/bench/src/bin/riq_repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/riq_repro-8d8d66483e1e8212.d: crates/bench/src/bin/riq_repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_repro-8d8d66483e1e8212.rmeta: crates/bench/src/bin/riq_repro.rs Cargo.toml
+
+crates/bench/src/bin/riq_repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

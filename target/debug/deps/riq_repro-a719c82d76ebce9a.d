@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/riq_repro-a719c82d76ebce9a.d: crates/bench/src/bin/riq_repro.rs
+
+/root/repo/target/debug/deps/riq_repro-a719c82d76ebce9a: crates/bench/src/bin/riq_repro.rs
+
+crates/bench/src/bin/riq_repro.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/riq_trace-4c2f4b8ef465ad6d.d: crates/trace/src/lib.rs crates/trace/src/events.rs crates/trace/src/json.rs crates/trace/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libriq_trace-4c2f4b8ef465ad6d.rmeta: crates/trace/src/lib.rs crates/trace/src/events.rs crates/trace/src/json.rs crates/trace/src/sink.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/events.rs:
+crates/trace/src/json.rs:
+crates/trace/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

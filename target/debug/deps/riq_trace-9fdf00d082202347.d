@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/riq_trace-9fdf00d082202347.d: crates/trace/src/lib.rs crates/trace/src/events.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/riq_trace-9fdf00d082202347: crates/trace/src/lib.rs crates/trace/src/events.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/events.rs:
+crates/trace/src/json.rs:
+crates/trace/src/sink.rs:

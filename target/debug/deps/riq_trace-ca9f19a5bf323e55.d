@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/riq_trace-ca9f19a5bf323e55.d: crates/trace/src/lib.rs crates/trace/src/events.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libriq_trace-ca9f19a5bf323e55.rlib: crates/trace/src/lib.rs crates/trace/src/events.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libriq_trace-ca9f19a5bf323e55.rmeta: crates/trace/src/lib.rs crates/trace/src/events.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/events.rs:
+crates/trace/src/json.rs:
+crates/trace/src/sink.rs:

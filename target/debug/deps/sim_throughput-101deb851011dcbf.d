@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sim_throughput-101deb851011dcbf.d: crates/bench/benches/sim_throughput.rs crates/bench/benches/common.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_throughput-101deb851011dcbf.rmeta: crates/bench/benches/sim_throughput.rs crates/bench/benches/common.rs Cargo.toml
+
+crates/bench/benches/sim_throughput.rs:
+crates/bench/benches/common.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing-74a3c568e24e4df3.d: crates/core/tests/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming-74a3c568e24e4df3.rmeta: crates/core/tests/timing.rs Cargo.toml
+
+crates/core/tests/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

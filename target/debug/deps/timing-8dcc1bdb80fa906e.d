@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-8dcc1bdb80fa906e.d: crates/core/tests/timing.rs
+
+/root/repo/target/debug/deps/timing-8dcc1bdb80fa906e: crates/core/tests/timing.rs
+
+crates/core/tests/timing.rs:

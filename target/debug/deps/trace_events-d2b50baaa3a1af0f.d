@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_events-d2b50baaa3a1af0f.d: tests/trace_events.rs
+
+/root/repo/target/debug/deps/trace_events-d2b50baaa3a1af0f: tests/trace_events.rs
+
+tests/trace_events.rs:

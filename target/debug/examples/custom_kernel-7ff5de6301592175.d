@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-7ff5de6301592175.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-7ff5de6301592175: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-cacfa71c8d42040e.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-cacfa71c8d42040e: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/loop_distribution-bf792d11d36cd0f3.d: examples/loop_distribution.rs
+
+/root/repo/target/debug/examples/loop_distribution-bf792d11d36cd0f3: examples/loop_distribution.rs
+
+examples/loop_distribution.rs:

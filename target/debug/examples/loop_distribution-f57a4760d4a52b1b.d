@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/loop_distribution-f57a4760d4a52b1b.d: examples/loop_distribution.rs
+
+/root/repo/target/debug/examples/loop_distribution-f57a4760d4a52b1b: examples/loop_distribution.rs
+
+examples/loop_distribution.rs:

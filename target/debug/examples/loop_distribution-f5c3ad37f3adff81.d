@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/loop_distribution-f5c3ad37f3adff81.d: examples/loop_distribution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libloop_distribution-f5c3ad37f3adff81.rmeta: examples/loop_distribution.rs Cargo.toml
+
+examples/loop_distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_trace-03212c2a824093d1.d: examples/pipeline_trace.rs
+
+/root/repo/target/debug/examples/pipeline_trace-03212c2a824093d1: examples/pipeline_trace.rs
+
+examples/pipeline_trace.rs:

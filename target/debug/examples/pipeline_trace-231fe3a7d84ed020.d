@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_trace-231fe3a7d84ed020.d: examples/pipeline_trace.rs
+
+/root/repo/target/debug/examples/pipeline_trace-231fe3a7d84ed020: examples/pipeline_trace.rs
+
+examples/pipeline_trace.rs:

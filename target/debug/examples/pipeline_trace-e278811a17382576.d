@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_trace-e278811a17382576.d: examples/pipeline_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_trace-e278811a17382576.rmeta: examples/pipeline_trace.rs Cargo.toml
+
+examples/pipeline_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

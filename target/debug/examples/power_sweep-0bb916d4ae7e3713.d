@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_sweep-0bb916d4ae7e3713.d: examples/power_sweep.rs
+
+/root/repo/target/debug/examples/power_sweep-0bb916d4ae7e3713: examples/power_sweep.rs
+
+examples/power_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_sweep-203e652960788029.d: examples/power_sweep.rs
+
+/root/repo/target/debug/examples/power_sweep-203e652960788029: examples/power_sweep.rs
+
+examples/power_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1025f728093d6139.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1025f728093d6139: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fe31932a042ee8df.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fe31932a042ee8df: examples/quickstart.rs
+
+examples/quickstart.rs:

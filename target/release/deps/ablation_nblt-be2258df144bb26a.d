@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ablation_nblt-be2258df144bb26a.d: crates/bench/benches/ablation_nblt.rs crates/bench/benches/common.rs
+
+/root/repo/target/release/deps/ablation_nblt-be2258df144bb26a: crates/bench/benches/ablation_nblt.rs crates/bench/benches/common.rs
+
+crates/bench/benches/ablation_nblt.rs:
+crates/bench/benches/common.rs:

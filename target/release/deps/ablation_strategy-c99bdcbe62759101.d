@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ablation_strategy-c99bdcbe62759101.d: crates/bench/benches/ablation_strategy.rs crates/bench/benches/common.rs
+
+/root/repo/target/release/deps/ablation_strategy-c99bdcbe62759101: crates/bench/benches/ablation_strategy.rs crates/bench/benches/common.rs
+
+crates/bench/benches/ablation_strategy.rs:
+crates/bench/benches/common.rs:

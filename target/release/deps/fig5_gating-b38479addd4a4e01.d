@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/fig5_gating-b38479addd4a4e01.d: crates/bench/benches/fig5_gating.rs crates/bench/benches/common.rs
+
+/root/repo/target/release/deps/fig5_gating-b38479addd4a4e01: crates/bench/benches/fig5_gating.rs crates/bench/benches/common.rs
+
+crates/bench/benches/fig5_gating.rs:
+crates/bench/benches/common.rs:

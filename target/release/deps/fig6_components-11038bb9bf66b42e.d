@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/fig6_components-11038bb9bf66b42e.d: crates/bench/benches/fig6_components.rs crates/bench/benches/common.rs
+
+/root/repo/target/release/deps/fig6_components-11038bb9bf66b42e: crates/bench/benches/fig6_components.rs crates/bench/benches/common.rs
+
+crates/bench/benches/fig6_components.rs:
+crates/bench/benches/common.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/fig7_overall-9b15e32f95434615.d: crates/bench/benches/fig7_overall.rs crates/bench/benches/common.rs
+
+/root/repo/target/release/deps/fig7_overall-9b15e32f95434615: crates/bench/benches/fig7_overall.rs crates/bench/benches/common.rs
+
+crates/bench/benches/fig7_overall.rs:
+crates/bench/benches/common.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/fig8_ipc-4c9124acb1d48d73.d: crates/bench/benches/fig8_ipc.rs crates/bench/benches/common.rs
+
+/root/repo/target/release/deps/fig8_ipc-4c9124acb1d48d73: crates/bench/benches/fig8_ipc.rs crates/bench/benches/common.rs
+
+crates/bench/benches/fig8_ipc.rs:
+crates/bench/benches/common.rs:

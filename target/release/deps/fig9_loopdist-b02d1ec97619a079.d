@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/fig9_loopdist-b02d1ec97619a079.d: crates/bench/benches/fig9_loopdist.rs crates/bench/benches/common.rs
+
+/root/repo/target/release/deps/fig9_loopdist-b02d1ec97619a079: crates/bench/benches/fig9_loopdist.rs crates/bench/benches/common.rs
+
+crates/bench/benches/fig9_loopdist.rs:
+crates/bench/benches/common.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/riq-44af3dd1a5da87ce.d: src/lib.rs
+
+/root/repo/target/release/deps/libriq-44af3dd1a5da87ce.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libriq-44af3dd1a5da87ce.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/riq-a02473f802e5ee9b.d: src/lib.rs
+
+/root/repo/target/release/deps/libriq-a02473f802e5ee9b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libriq-a02473f802e5ee9b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/riq_asm-882d3c666062eefa.d: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/builder.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+/root/repo/target/release/deps/libriq_asm-882d3c666062eefa.rlib: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/builder.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+/root/repo/target/release/deps/libriq_asm-882d3c666062eefa.rmeta: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/builder.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/assembler.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/program.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/riq_bench-bac6beb20f386b1e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/riq_bench-bac6beb20f386b1e: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

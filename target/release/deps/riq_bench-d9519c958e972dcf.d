@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/riq_bench-d9519c958e972dcf.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libriq_bench-d9519c958e972dcf.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libriq_bench-d9519c958e972dcf.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/riq_bpred-7a94be0c527426b6.d: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+/root/repo/target/release/deps/libriq_bpred-7a94be0c527426b6.rlib: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+/root/repo/target/release/deps/libriq_bpred-7a94be0c527426b6.rmeta: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/dir.rs:
+crates/bpred/src/predictor.rs:
+crates/bpred/src/ras.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/riq_bpred-a25e884ef1c666aa.d: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+/root/repo/target/release/deps/libriq_bpred-a25e884ef1c666aa.rlib: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+/root/repo/target/release/deps/libriq_bpred-a25e884ef1c666aa.rmeta: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/dir.rs crates/bpred/src/predictor.rs crates/bpred/src/ras.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/dir.rs:
+crates/bpred/src/predictor.rs:
+crates/bpred/src/ras.rs:

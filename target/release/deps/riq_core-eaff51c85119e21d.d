@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/riq_core-eaff51c85119e21d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/fu.rs crates/core/src/iq.rs crates/core/src/lsq.rs crates/core/src/pipeline.rs crates/core/src/rename.rs crates/core/src/reuse.rs crates/core/src/rob.rs crates/core/src/specstate.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libriq_core-eaff51c85119e21d.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/fu.rs crates/core/src/iq.rs crates/core/src/lsq.rs crates/core/src/pipeline.rs crates/core/src/rename.rs crates/core/src/reuse.rs crates/core/src/rob.rs crates/core/src/specstate.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libriq_core-eaff51c85119e21d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/fu.rs crates/core/src/iq.rs crates/core/src/lsq.rs crates/core/src/pipeline.rs crates/core/src/rename.rs crates/core/src/reuse.rs crates/core/src/rob.rs crates/core/src/specstate.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/fu.rs:
+crates/core/src/iq.rs:
+crates/core/src/lsq.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rename.rs:
+crates/core/src/reuse.rs:
+crates/core/src/rob.rs:
+crates/core/src/specstate.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/riq_criterion-b05a965082bf1864.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libriq_criterion-b05a965082bf1864.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libriq_criterion-b05a965082bf1864.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/riq_emu-097145a0f513730b.d: crates/emu/src/lib.rs crates/emu/src/exec.rs crates/emu/src/machine.rs crates/emu/src/memory.rs
+
+/root/repo/target/release/deps/libriq_emu-097145a0f513730b.rlib: crates/emu/src/lib.rs crates/emu/src/exec.rs crates/emu/src/machine.rs crates/emu/src/memory.rs
+
+/root/repo/target/release/deps/libriq_emu-097145a0f513730b.rmeta: crates/emu/src/lib.rs crates/emu/src/exec.rs crates/emu/src/machine.rs crates/emu/src/memory.rs
+
+crates/emu/src/lib.rs:
+crates/emu/src/exec.rs:
+crates/emu/src/machine.rs:
+crates/emu/src/memory.rs:

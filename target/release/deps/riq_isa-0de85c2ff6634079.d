@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/riq_isa-0de85c2ff6634079.d: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libriq_isa-0de85c2ff6634079.rlib: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libriq_isa-0de85c2ff6634079.rmeta: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

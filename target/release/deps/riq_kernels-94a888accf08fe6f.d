@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/riq_kernels-94a888accf08fe6f.d: crates/kernels/src/lib.rs crates/kernels/src/codegen.rs crates/kernels/src/deps.rs crates/kernels/src/distribute.rs crates/kernels/src/generator.rs crates/kernels/src/ir.rs crates/kernels/src/suite.rs crates/kernels/src/transforms.rs
+
+/root/repo/target/release/deps/libriq_kernels-94a888accf08fe6f.rlib: crates/kernels/src/lib.rs crates/kernels/src/codegen.rs crates/kernels/src/deps.rs crates/kernels/src/distribute.rs crates/kernels/src/generator.rs crates/kernels/src/ir.rs crates/kernels/src/suite.rs crates/kernels/src/transforms.rs
+
+/root/repo/target/release/deps/libriq_kernels-94a888accf08fe6f.rmeta: crates/kernels/src/lib.rs crates/kernels/src/codegen.rs crates/kernels/src/deps.rs crates/kernels/src/distribute.rs crates/kernels/src/generator.rs crates/kernels/src/ir.rs crates/kernels/src/suite.rs crates/kernels/src/transforms.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/codegen.rs:
+crates/kernels/src/deps.rs:
+crates/kernels/src/distribute.rs:
+crates/kernels/src/generator.rs:
+crates/kernels/src/ir.rs:
+crates/kernels/src/suite.rs:
+crates/kernels/src/transforms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/riq_power-581bd65a31eaab01.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/release/deps/libriq_power-581bd65a31eaab01.rlib: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/release/deps/libriq_power-581bd65a31eaab01.rmeta: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:

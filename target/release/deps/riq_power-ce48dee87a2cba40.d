@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/riq_power-ce48dee87a2cba40.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/release/deps/libriq_power-ce48dee87a2cba40.rlib: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/release/deps/libriq_power-ce48dee87a2cba40.rmeta: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:

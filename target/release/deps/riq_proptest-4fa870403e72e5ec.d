@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/riq_proptest-4fa870403e72e5ec.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libriq_proptest-4fa870403e72e5ec.rlib: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libriq_proptest-4fa870403e72e5ec.rmeta: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:

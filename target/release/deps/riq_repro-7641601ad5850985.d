@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/riq_repro-7641601ad5850985.d: crates/bench/src/bin/riq_repro.rs
+
+/root/repo/target/release/deps/riq_repro-7641601ad5850985: crates/bench/src/bin/riq_repro.rs
+
+crates/bench/src/bin/riq_repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/riq_repro-8befed3da5b771a0.d: crates/bench/src/bin/riq_repro.rs
+
+/root/repo/target/release/deps/riq_repro-8befed3da5b771a0: crates/bench/src/bin/riq_repro.rs
+
+crates/bench/src/bin/riq_repro.rs:

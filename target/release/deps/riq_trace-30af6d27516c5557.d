@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/riq_trace-30af6d27516c5557.d: crates/trace/src/lib.rs crates/trace/src/events.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/libriq_trace-30af6d27516c5557.rlib: crates/trace/src/lib.rs crates/trace/src/events.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/libriq_trace-30af6d27516c5557.rmeta: crates/trace/src/lib.rs crates/trace/src/events.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/events.rs:
+crates/trace/src/json.rs:
+crates/trace/src/sink.rs:

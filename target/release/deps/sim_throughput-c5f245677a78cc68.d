@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/sim_throughput-c5f245677a78cc68.d: crates/bench/benches/sim_throughput.rs crates/bench/benches/common.rs
+
+/root/repo/target/release/deps/sim_throughput-c5f245677a78cc68: crates/bench/benches/sim_throughput.rs crates/bench/benches/common.rs
+
+crates/bench/benches/sim_throughput.rs:
+crates/bench/benches/common.rs:

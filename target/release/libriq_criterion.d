@@ -1,0 +1,1 @@
+/root/repo/target/release/libriq_criterion.rlib: /root/repo/crates/criterion/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libriq_trace.rlib: /root/repo/crates/trace/src/events.rs /root/repo/crates/trace/src/json.rs /root/repo/crates/trace/src/lib.rs /root/repo/crates/trace/src/sink.rs

@@ -29,11 +29,7 @@ fn table1_function_units() {
 #[test]
 fn table1_predictor() {
     let c = SimConfig::baseline();
-    assert_eq!(
-        c.bpred.dir,
-        DirPredictorKind::Bimod { entries: 2048 },
-        "bimod, 2048 entries"
-    );
+    assert_eq!(c.bpred.dir, DirPredictorKind::Bimod { entries: 2048 }, "bimod, 2048 entries");
     assert_eq!(c.bpred.ras_entries, 8, "RAS 8 entries");
     assert_eq!((c.bpred.btb_sets, c.bpred.btb_ways), (512, 4), "BTB 512 set 4 way");
 }

@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use riq::emu::Machine;
 use riq::kernels::{
-    compile, dependence_edges, distribute_kernel, distribute_loop, BinOp, Expr, InnerLoop,
-    Kernel, Stmt, GUARD_ELEMS,
+    compile, dependence_edges, distribute_kernel, distribute_loop, BinOp, Expr, InnerLoop, Kernel,
+    Stmt, GUARD_ELEMS,
 };
 
 const ARRAYS: usize = 5;
@@ -28,11 +28,7 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
             Stmt::new(
                 t,
                 toff,
-                Expr::bin(
-                    op1,
-                    Expr::bin(op2, Expr::a(a1, o1), Expr::Lit(lit)),
-                    Expr::a(a2, o2),
-                ),
+                Expr::bin(op1, Expr::bin(op2, Expr::a(a1, o1), Expr::Lit(lit)), Expr::a(a2, o2)),
             )
         })
 }
@@ -54,13 +50,10 @@ fn array_contents(kernel: &Kernel) -> Vec<Vec<u64>> {
         .arrays
         .iter()
         .map(|decl| {
-            let base = program
-                .symbol(&format!("{}_{}", kernel.name, decl.name))
-                .expect("array symbol")
-                + GUARD_ELEMS * 8;
-            (0..decl.len)
-                .map(|i| m.memory().load_u64(base + 8 * i).expect("aligned"))
-                .collect()
+            let base =
+                program.symbol(&format!("{}_{}", kernel.name, decl.name)).expect("array symbol")
+                    + GUARD_ELEMS * 8;
+            (0..decl.len).map(|i| m.memory().load_u64(base + 8 * i).expect("aligned")).collect()
         })
         .collect()
 }

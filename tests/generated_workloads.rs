@@ -16,10 +16,9 @@ fn random_kernels_agree_across_engines() {
         let program = compile(&kernel).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let mut oracle = Machine::new(&program);
         oracle.run(50_000_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        for (mode, cfg) in [
-            ("baseline", SimConfig::baseline()),
-            ("reuse", SimConfig::baseline().with_reuse(true)),
-        ] {
+        for (mode, cfg) in
+            [("baseline", SimConfig::baseline()), ("reuse", SimConfig::baseline().with_reuse(true))]
+        {
             let r = Processor::new(cfg)
                 .run(&program)
                 .unwrap_or_else(|e| panic!("seed {seed}/{mode}: {e}"));
@@ -56,13 +55,10 @@ fn array_state(kernel: &riq::kernels::Kernel) -> Vec<Vec<u64>> {
         .arrays
         .iter()
         .map(|decl| {
-            let base = program
-                .symbol(&format!("{}_{}", kernel.name, decl.name))
-                .expect("array symbol")
-                + riq::kernels::GUARD_ELEMS * 8;
-            (0..decl.len)
-                .map(|i| m.memory().load_u64(base + 8 * i).expect("aligned"))
-                .collect()
+            let base =
+                program.symbol(&format!("{}_{}", kernel.name, decl.name)).expect("array symbol")
+                    + riq::kernels::GUARD_ELEMS * 8;
+            (0..decl.len).map(|i| m.memory().load_u64(base + 8 * i).expect("aligned")).collect()
         })
         .collect()
 }

@@ -86,11 +86,7 @@ fn block_strategy() -> impl Strategy<Value = Block> {
             any::<u8>(),
             any::<u8>(),
             any::<u8>(),
-            prop_oneof![
-                Just(FpAluOp::AddD),
-                Just(FpAluOp::SubD),
-                Just(FpAluOp::MulD)
-            ]
+            prop_oneof![Just(FpAluOp::AddD), Just(FpAluOp::SubD), Just(FpAluOp::MulD)]
         )
             .prop_map(|(seed, a, b, op)| Block::Fp { seed, a, b, op }),
         (1u8..7, 1u8..4).prop_map(|(trips, body_adds)| Block::Loop { trips, body_adds }),
@@ -107,7 +103,12 @@ fn build(blocks: &[Block]) -> Program {
 
     // Shared leaf procedure: doubles $r22.
     b.label("leaf");
-    b.push(Inst::Alu { op: AluOp::Add, rd: IntReg::new(ACC), rs: IntReg::new(ACC), rt: IntReg::new(ACC) });
+    b.push(Inst::Alu {
+        op: AluOp::Add,
+        rd: IntReg::new(ACC),
+        rs: IntReg::new(ACC),
+        rt: IntReg::new(ACC),
+    });
     b.push(Inst::Jr { rs: IntReg::RA });
 
     b.label("main");

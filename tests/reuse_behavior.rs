@@ -127,15 +127,11 @@ fn nblt_suppresses_revoke_thrash() {
 fn single_iteration_gates_sooner_multi_unrolls_more() {
     let single = run(
         TIGHT_LOOP,
-        SimConfig::baseline()
-            .with_reuse(true)
-            .with_strategy(BufferingStrategy::SingleIteration),
+        SimConfig::baseline().with_reuse(true).with_strategy(BufferingStrategy::SingleIteration),
     );
     let multi = run(
         TIGHT_LOOP,
-        SimConfig::baseline()
-            .with_reuse(true)
-            .with_strategy(BufferingStrategy::MultiIteration),
+        SimConfig::baseline().with_reuse(true).with_strategy(BufferingStrategy::MultiIteration),
     );
     assert_eq!(single.arch_state, multi.arch_state);
     assert!(
@@ -145,10 +141,7 @@ fn single_iteration_gates_sooner_multi_unrolls_more() {
         single.stats.reuse.iterations_buffered
     );
     // Single buffers exactly one iteration per code-reuse entry.
-    assert_eq!(
-        single.stats.reuse.iterations_buffered,
-        single.stats.reuse.code_reuse_entries
-    );
+    assert_eq!(single.stats.reuse.iterations_buffered, single.stats.reuse.code_reuse_entries);
     // Multi-iteration unrolling wraps the reuse pointer less often and is
     // at least as fast (the paper's §2.2.1 rationale).
     assert!(multi.stats.cycles <= single.stats.cycles + single.stats.cycles / 10);

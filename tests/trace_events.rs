@@ -1,0 +1,208 @@
+//! End-to-end trace-stream invariants: run loop kernels with tracing on
+//! and check that the emitted event stream is internally consistent and
+//! agrees with the aggregate counters the simulator reports.
+
+use riq::asm::assemble;
+use riq::core::{Processor, RunResult, SimConfig};
+use riq::trace::{EventKind, GateEndReason, TraceEvent, VecSink};
+
+/// A tight countdown loop that the reuse FSM buffers and replays.
+const COUNTDOWN: &str = r"
+    .text
+        addi $r2, $r0, 200
+    loop:
+        addi $r3, $r3, 1
+        addi $r2, $r2, -1
+        bne  $r2, $r0, loop
+        halt
+";
+
+/// Two loops back to back, so buffering starts (and may revoke) twice.
+const TWO_LOOPS: &str = r"
+    .text
+        addi $r2, $r0, 60
+    first:
+        addi $r3, $r3, 2
+        addi $r2, $r2, -1
+        bne  $r2, $r0, first
+        addi $r2, $r0, 60
+    second:
+        addi $r4, $r4, 3
+        addi $r2, $r2, -1
+        bne  $r2, $r0, second
+        halt
+";
+
+fn run_traced(source: &str, epoch: Option<u64>) -> (RunResult, Vec<TraceEvent>) {
+    let program = assemble(source).expect("assemble");
+    let processor = Processor::new(SimConfig::baseline().with_reuse(true));
+    let mut sink = VecSink::new();
+    let result = processor.run_observed(&program, &mut sink, epoch).expect("run");
+    (result, sink.events)
+}
+
+#[test]
+fn events_are_cycle_ordered() {
+    let (_, events) = run_traced(COUNTDOWN, None);
+    assert!(!events.is_empty(), "tracing produced no events");
+    for pair in events.windows(2) {
+        assert!(
+            pair[0].cycle <= pair[1].cycle,
+            "events out of order: {:?} then {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+#[test]
+fn every_buffering_start_is_resolved() {
+    for source in [COUNTDOWN, TWO_LOOPS] {
+        let (_, events) = run_traced(source, None);
+        let mut open = false;
+        let mut starts = 0u32;
+        for ev in &events {
+            match ev.kind {
+                EventKind::BufferingStarted { .. } => {
+                    assert!(!open, "BufferingStarted while already buffering");
+                    open = true;
+                    starts += 1;
+                }
+                EventKind::BufferingRevoked { .. } => {
+                    assert!(open, "BufferingRevoked without BufferingStarted");
+                    open = false;
+                }
+                EventKind::CodeReuseEntered { .. } => {
+                    assert!(open, "CodeReuseEntered without BufferingStarted");
+                    open = false;
+                }
+                _ => {}
+            }
+        }
+        assert!(starts > 0, "loop never started buffering");
+        assert!(!open, "run ended with unresolved BufferingStarted");
+    }
+}
+
+#[test]
+fn gating_windows_never_overlap_and_spans_match_gated_cycles() {
+    for source in [COUNTDOWN, TWO_LOOPS] {
+        let (result, events) = run_traced(source, None);
+        let mut gate_on_at: Option<u64> = None;
+        let mut span_sum = 0u64;
+        for ev in &events {
+            match ev.kind {
+                EventKind::GateOn => {
+                    assert!(gate_on_at.is_none(), "GateOn inside an open gating window");
+                    gate_on_at = Some(ev.cycle);
+                }
+                EventKind::GateOff { span, .. } => {
+                    let on = gate_on_at.take().expect("GateOff without GateOn");
+                    assert_eq!(
+                        span,
+                        ev.cycle - on,
+                        "GateOff span disagrees with its window bounds"
+                    );
+                    span_sum += span;
+                }
+                _ => {}
+            }
+        }
+        assert!(gate_on_at.is_none(), "run ended with an open gating window");
+        assert!(result.stats.gated_cycles > 0, "reuse run never gated");
+        assert_eq!(
+            span_sum, result.stats.gated_cycles,
+            "sum of GateOff spans must equal SimStats::gated_cycles"
+        );
+    }
+}
+
+#[test]
+fn reuse_exit_events_account_for_all_reused_instructions() {
+    let (result, events) = run_traced(COUNTDOWN, None);
+    let reused_from_trace: u64 = events
+        .iter()
+        .map(|ev| match ev.kind {
+            EventKind::CodeReuseExited { reused_insts } => reused_insts,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(reused_from_trace, result.stats.reuse.reused_insts);
+}
+
+#[test]
+fn final_gate_off_carries_a_terminal_reason() {
+    let (_, events) = run_traced(COUNTDOWN, None);
+    let last_off = events
+        .iter()
+        .rev()
+        .find_map(|ev| match ev.kind {
+            EventKind::GateOff { reason, .. } => Some(reason),
+            _ => None,
+        })
+        .expect("no GateOff event");
+    assert!(matches!(
+        last_off,
+        GateEndReason::RunEnd | GateEndReason::Drained | GateEndReason::Recovery
+    ));
+}
+
+#[test]
+fn epoch_events_partition_the_run() {
+    let (result, events) = run_traced(COUNTDOWN, Some(64));
+    let epochs: Vec<_> = events
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            EventKind::Epoch { index, start_cycle, cycles, committed, gated, .. } => {
+                Some((index, start_cycle, cycles, committed, gated))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(epochs.len(), result.epochs.len());
+    assert!(!epochs.is_empty());
+    let mut expected_start = 0u64;
+    let mut committed_sum = 0u64;
+    let mut gated_sum = 0u64;
+    for (i, &(index, start_cycle, cycles, committed, gated)) in epochs.iter().enumerate() {
+        assert_eq!(index, i as u64);
+        assert_eq!(start_cycle, expected_start, "epochs must tile the run");
+        assert!(cycles > 0);
+        expected_start = start_cycle + cycles;
+        committed_sum += committed;
+        gated_sum += gated;
+    }
+    assert_eq!(expected_start, result.stats.cycles, "epochs must cover every cycle");
+    assert_eq!(committed_sum, result.stats.committed);
+    assert_eq!(gated_sum, result.stats.gated_cycles);
+}
+
+#[test]
+fn pipeline_sample_deltas_sum_to_totals() {
+    let (result, events) = run_traced(COUNTDOWN, None);
+    let (mut fetched, mut committed) = (0u64, 0u64);
+    let mut samples = 0u64;
+    for ev in &events {
+        if let EventKind::PipelineSample { fetched: f, committed: c, .. } = ev.kind {
+            fetched += f;
+            committed += c;
+            samples += 1;
+        }
+    }
+    assert_eq!(samples, result.stats.cycles, "one pipeline sample per cycle");
+    assert_eq!(fetched, result.stats.fetched);
+    assert_eq!(committed, result.stats.committed);
+}
+
+#[test]
+fn traced_and_untraced_runs_agree_on_architecture_and_stats() {
+    let program = assemble(COUNTDOWN).expect("assemble");
+    let cfg = SimConfig::baseline().with_reuse(true);
+    let plain = Processor::new(cfg.clone()).run(&program).expect("run");
+    let (traced, _) = run_traced(COUNTDOWN, Some(100));
+    assert_eq!(plain.stats.cycles, traced.stats.cycles);
+    assert_eq!(plain.stats.committed, traced.stats.committed);
+    assert_eq!(plain.stats.gated_cycles, traced.stats.gated_cycles);
+    assert_eq!(plain.stats.reuse.reused_insts, traced.stats.reuse.reused_insts);
+    assert_eq!(plain.mem_digest, traced.mem_digest);
+}
