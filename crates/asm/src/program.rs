@@ -28,7 +28,7 @@ pub const STACK_TOP: u32 = 0x7fff_fff0;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Program {
     text_base: u32,
     text: Vec<u32>,
@@ -104,6 +104,15 @@ impl Program {
     #[must_use]
     pub fn symbol(&self, name: &str) -> Option<u32> {
         self.symbols.get(name).copied()
+    }
+
+    /// A stable content fingerprint of the whole image (segments, entry
+    /// point, and symbol table). Two programs fingerprint equal exactly
+    /// when they are `==`; the value is identical across processes and
+    /// platforms, so it can key persistent or shared result caches.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        riq_isa::fingerprint_of(self)
     }
 
     /// Whether `pc` falls inside the text segment.

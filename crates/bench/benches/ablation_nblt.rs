@@ -4,12 +4,16 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use riq_bench::nblt_ablation;
+use riq_bench::{run_experiment, EngineOptions, Experiment};
 use riq_core::{Processor, SimConfig};
 use std::hint::black_box;
 
 fn bench_nblt(c: &mut Criterion) {
-    let table = nblt_ablation(common::BENCH_SCALE).expect("ablation runs");
+    let table = run_experiment(
+        &Experiment::NbltAblation { scale: common::BENCH_SCALE },
+        &EngineOptions::default(),
+    )
+    .expect("ablation runs");
     println!("\n== NBLT ablation (scale {}) ==\n{table}", common::BENCH_SCALE);
     let program = common::bench_program("aps");
     let mut g = c.benchmark_group("nblt");

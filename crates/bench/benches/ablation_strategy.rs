@@ -4,12 +4,16 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use riq_bench::strategy_ablation;
+use riq_bench::{run_experiment, EngineOptions, Experiment};
 use riq_core::{BufferingStrategy, Processor, SimConfig};
 use std::hint::black_box;
 
 fn bench_strategy(c: &mut Criterion) {
-    let table = strategy_ablation(common::BENCH_SCALE).expect("ablation runs");
+    let table = run_experiment(
+        &Experiment::StrategyAblation { scale: common::BENCH_SCALE },
+        &EngineOptions::default(),
+    )
+    .expect("ablation runs");
     println!("\n== Strategy ablation (scale {}) ==\n{table}", common::BENCH_SCALE);
     let program = common::bench_program("tsf");
     let mut g = c.benchmark_group("strategy");

@@ -1,0 +1,37 @@
+//! Engine bench: serial vs parallel execution of the Figure 5–8 sweep,
+//! and the overhead of a fully-cached (all-hits) re-run.
+//!
+//! On a multi-core host the `jobs_auto` case should approach a linear
+//! speedup over `jobs_1` — the sweep is embarrassingly parallel — and the
+//! `cached` case measures pure engine bookkeeping (fingerprinting, cache
+//! lookups, fan-out) with zero simulation.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riq_bench::{run_experiment, EngineOptions, Experiment};
+use std::hint::black_box;
+
+fn engine_scaling(c: &mut Criterion) {
+    let experiment = Experiment::Fig5_8 { scale: common::BENCH_SCALE };
+    let workers = EngineOptions::default().worker_count(usize::MAX);
+    println!("\n== engine scaling (scale {}, {workers} CPUs) ==", common::BENCH_SCALE);
+
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("sweep_jobs_1", |b| {
+        b.iter(|| black_box(run_experiment(&experiment, &EngineOptions::serial()).expect("runs")))
+    });
+    g.bench_function("sweep_jobs_auto", |b| {
+        b.iter(|| black_box(run_experiment(&experiment, &EngineOptions::default()).expect("runs")))
+    });
+    g.bench_function("sweep_cached", |b| {
+        let warm = EngineOptions::default();
+        run_experiment(&experiment, &warm).expect("warm-up run");
+        b.iter(|| black_box(run_experiment(&experiment, &warm).expect("runs")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_scaling);
+criterion_main!(benches);

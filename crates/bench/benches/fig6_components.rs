@@ -4,12 +4,13 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use riq_bench::Sweep;
+use riq_bench::{EngineOptions, Sweep};
 use riq_power::{Activity, Component, PowerConfig, PowerModel};
 use std::hint::black_box;
 
 fn fig6(c: &mut Criterion) {
-    let sweep = Sweep::run(common::BENCH_SCALE).expect("sweep runs");
+    let sweep =
+        Sweep::run_with(common::BENCH_SCALE, &EngineOptions::default()).expect("sweep runs");
     println!("\n== Figure 6 (scale {}) ==\n{}", common::BENCH_SCALE, sweep.fig6());
     let mut g = c.benchmark_group("fig6");
     g.sample_size(20);

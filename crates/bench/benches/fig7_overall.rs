@@ -4,12 +4,17 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use riq_bench::Sweep;
+use riq_bench::{EngineOptions, Sweep};
 use std::hint::black_box;
 
 fn fig7(c: &mut Criterion) {
-    let sweep = Sweep::run(common::BENCH_SCALE).expect("sweep runs");
-    println!("\n== Figure 7 (scale {}) ==\n{}", common::BENCH_SCALE, sweep.fig7());
+    let sweep =
+        Sweep::run_with(common::BENCH_SCALE, &EngineOptions::default()).expect("sweep runs");
+    println!(
+        "\n== Figure 7 (scale {}) ==\n{}",
+        common::BENCH_SCALE,
+        sweep.fig7().expect("full sweep")
+    );
     let program = common::bench_program("vpenta");
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);

@@ -4,12 +4,17 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use riq_bench::Sweep;
+use riq_bench::{EngineOptions, Sweep};
 use std::hint::black_box;
 
 fn fig8(c: &mut Criterion) {
-    let sweep = Sweep::run(common::BENCH_SCALE).expect("sweep runs");
-    println!("\n== Figure 8 (scale {}) ==\n{}", common::BENCH_SCALE, sweep.fig8());
+    let sweep =
+        Sweep::run_with(common::BENCH_SCALE, &EngineOptions::default()).expect("sweep runs");
+    println!(
+        "\n== Figure 8 (scale {}) ==\n{}",
+        common::BENCH_SCALE,
+        sweep.fig8().expect("full sweep")
+    );
     let program = common::bench_program("btrix");
     let mut g = c.benchmark_group("fig8");
     g.sample_size(10);

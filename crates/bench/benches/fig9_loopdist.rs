@@ -4,12 +4,12 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use riq_bench::{fig9, fig9_table};
+use riq_bench::{fig9_points, fig9_table, EngineOptions};
 use riq_kernels::{by_name, compile, distribute_kernel};
 use std::hint::black_box;
 
 fn bench_fig9(c: &mut Criterion) {
-    let points = fig9(common::BENCH_SCALE).expect("fig9 runs");
+    let points = fig9_points(common::BENCH_SCALE, &EngineOptions::default()).expect("fig9 runs");
     println!("\n== Figure 9 (scale {}) ==\n{}", common::BENCH_SCALE, fig9_table(&points));
     let vpenta = by_name("vpenta").expect("table 2 kernel");
     let mut g = c.benchmark_group("fig9");

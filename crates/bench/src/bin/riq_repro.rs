@@ -2,7 +2,7 @@
 //! single programs with observability attached.
 //!
 //! ```text
-//! riq-repro <experiment> [--scale F]
+//! riq-repro <experiment> [--scale F] [--jobs N] [--csv]
 //! riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F]
 //!           [--json PATH] [--trace PATH] [--epoch N]
 //!
@@ -23,28 +23,38 @@
 //! --scale F scales benchmark outer trip counts (default 1.0). Figures in
 //! EXPERIMENTS.md are produced with the default.
 //!
+//! --jobs N runs the experiment's simulation points on N worker threads
+//! (default: one per available CPU; 1 = serial). The printed tables are
+//! bit-identical whatever N is — results are aggregated by job index, and
+//! a shared cache deduplicates points that several figures have in common
+//! (run `all` to see the cross-figure hits). Wall-clock time and cache
+//! statistics go to stderr so stdout stays diffable.
+//!
+//! --csv prints the raw-fraction CSV of the experiment's table instead of
+//! the formatted percentage view (not valid for table1/table2/all).
+//!
 //! `run` simulates one program — a Table 2 kernel by name, or a `.s`
 //! assembly file — and prints a summary. `--json PATH` writes the full
-//! machine-readable run report (`-` for stdout), `--trace PATH` streams
-//! every trace event as JSONL (reuse-FSM transitions, gating windows,
-//! per-cycle pipeline samples, cache misses, mispredictions), and
-//! `--epoch N` adds a statistics snapshot every N cycles (to the report
-//! and, when tracing, the trace).
+//! machine-readable run report including measured wall-clock seconds
+//! (`-` for stdout), `--trace PATH` streams every trace event as JSONL
+//! (reuse-FSM transitions, gating windows, per-cycle pipeline samples,
+//! cache misses, mispredictions), and `--epoch N` adds a statistics
+//! snapshot every N cycles (to the report and, when tracing, the trace).
 //! ```
 
 use riq_bench::{
-    bpred_ablation, fig9, fig9_table, nblt_ablation, report_json, strategy_ablation, table1,
-    table2, transform_ablation, RunSpec, Sweep,
+    report_json, run_experiment, table1, table2, EngineOptions, Experiment, FigTable, RunSpec,
 };
 use riq_core::{Processor, SimConfig};
 use riq_trace::{JsonlSink, NullSink, TraceSink};
 use std::fs::File;
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|all> [--scale F]
+        "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|all> [--scale F] [--jobs N] [--csv]
                 riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F] [--json PATH] [--trace PATH] [--epoch N]"
     );
     ExitCode::FAILURE
@@ -63,18 +73,24 @@ fn main() -> ExitCode {
         };
     }
     let mut scale = 1.0f64;
+    let mut jobs = 0usize; // 0 = one worker per available CPU
+    let mut csv = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
-        if a == "--scale" {
-            match it.next().map(|v| v.parse::<f64>()) {
+        match a.as_str() {
+            "--scale" => match it.next().map(|v| v.parse::<f64>()) {
                 Some(Ok(v)) if v > 0.0 => scale = v,
                 _ => return usage(),
-            }
-        } else {
-            return usage();
+            },
+            "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => jobs = v,
+                _ => return usage(),
+            },
+            "--csv" => csv = true,
+            _ => return usage(),
         }
     }
-    match run(cmd, scale) {
+    match run(cmd, scale, jobs, csv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("riq-repro: {e}");
@@ -166,7 +182,9 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some(s) => s,
         None => &mut null,
     };
+    let started = Instant::now();
     let result = processor.run_observed(&program, sink, opts.epoch)?;
+    let wall = started.elapsed().as_secs_f64();
     if let Some(s) = jsonl {
         let events = s.written();
         s.into_inner()?;
@@ -181,7 +199,7 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         epoch: opts.epoch,
     };
     if let Some(path) = &opts.json {
-        let doc = report_json(&spec, &result).to_pretty();
+        let doc = report_json(&spec, &result, Some(wall)).to_pretty();
         if path == "-" {
             print!("{doc}");
         } else {
@@ -203,7 +221,7 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     writeln!(
         summary,
         "{}: {} cycles, {} committed (IPC {:.3}), gated {:.1}% ({} cycles), \
-         reused {} insts, {} epochs sampled",
+         reused {} insts, {} epochs sampled, {wall:.3}s wall clock",
         opts.program,
         s.cycles,
         s.committed,
@@ -216,72 +234,151 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn run(cmd: &str, scale: f64) -> Result<(), Box<dyn std::error::Error>> {
-    let sweep = Sweep::run;
+/// Prints one table in the selected format.
+fn emit(header: &str, table: &FigTable, csv: bool) {
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{header}");
+        println!("{table}");
+    }
+}
+
+/// A figure subcommand resolved to its experiment: which [`Experiment`]
+/// to run, which sub-table to extract from a stacked Fig5–8 result
+/// (`(row prefix, row label)`), and the header to print above it.
+struct FigureCommand {
+    experiment: Experiment,
+    extract: Option<(&'static str, &'static str)>,
+    header: &'static str,
+}
+
+fn figure_command(cmd: &str, scale: f64) -> Option<FigureCommand> {
     match cmd {
+        "fig5" => Some(FigureCommand {
+            experiment: Experiment::Fig5_8 { scale },
+            extract: Some(("fig5", "benchmark")),
+            header: "== Figure 5: fraction of cycles with the front-end gated ==",
+        }),
+        "fig6" => Some(FigureCommand {
+            experiment: Experiment::Fig5_8 { scale },
+            extract: Some(("fig6", "component")),
+            header: "== Figure 6: per-component power reduction (suite average) ==\n(Overhead row = LRL+NBLT+control share of total power)",
+        }),
+        "fig7" => Some(FigureCommand {
+            experiment: Experiment::Fig5_8 { scale },
+            extract: Some(("fig7", "benchmark")),
+            header: "== Figure 7: overall per-cycle power reduction ==",
+        }),
+        "fig8" => Some(FigureCommand {
+            experiment: Experiment::Fig5_8 { scale },
+            extract: Some(("fig8", "benchmark")),
+            header: "== Figure 8: IPC degradation (negative = reuse faster) ==",
+        }),
+        "fig9" => Some(FigureCommand {
+            experiment: Experiment::Fig9 { scale },
+            extract: None,
+            header: "== Figure 9: loop distribution at the IQ-64 baseline ==",
+        }),
+        "nblt" => Some(FigureCommand {
+            experiment: Experiment::NbltAblation { scale },
+            extract: None,
+            header: "== NBLT ablation (§3): buffering revoke rate ==",
+        }),
+        "strategy" => Some(FigureCommand {
+            experiment: Experiment::StrategyAblation { scale },
+            extract: None,
+            header: "== Buffering-strategy ablation (§2.2.1): gated rate ==",
+        }),
+        "bpred" => Some(FigureCommand {
+            experiment: Experiment::BpredAblation { scale },
+            extract: None,
+            header: "== Direction-predictor ablation (bimod vs gshare vs static) ==",
+        }),
+        "transforms" => Some(FigureCommand {
+            experiment: Experiment::TransformAblation { scale },
+            extract: None,
+            header: "== Loop-transformation ablation: gated rate by code version ==",
+        }),
+        _ => None,
+    }
+}
+
+fn header_for(label: &str) -> &'static str {
+    match label {
+        "fig9" => "== Figure 9: loop distribution at the IQ-64 baseline ==",
+        "nblt" => "== NBLT ablation (§3): buffering revoke rate ==",
+        "strategy" => "== Buffering-strategy ablation (§2.2.1): gated rate ==",
+        "bpred" => "== Direction-predictor ablation (bimod vs gshare vs static) ==",
+        "transforms" => "== Loop-transformation ablation: gated rate by code version ==",
+        _ => "== experiment ==",
+    }
+}
+
+fn run(cmd: &str, scale: f64, jobs: usize, csv: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = EngineOptions { jobs, cache: riq_bench::ResultCache::new() };
+    let started = Instant::now();
+    match cmd {
+        "table1" | "table2" | "all" if csv => {
+            return Err(format!("--csv is not supported for {cmd:?}").into());
+        }
         "table1" => print!("== Table 1: baseline configuration ==\n{}", table1()),
         "table2" => print!("== Table 2: benchmarks ==\n{}", table2()),
-        "fig5" => {
-            println!("== Figure 5: fraction of cycles with the front-end gated ==");
-            println!("{}", sweep(scale)?.fig5());
-        }
-        "fig6" => {
-            println!("== Figure 6: per-component power reduction (suite average) ==");
-            println!("(Overhead row = LRL+NBLT+control share of total power)");
-            println!("{}", sweep(scale)?.fig6());
-        }
-        "fig7" => {
-            println!("== Figure 7: overall per-cycle power reduction ==");
-            println!("{}", sweep(scale)?.fig7());
-        }
-        "fig8" => {
-            println!("== Figure 8: IPC degradation (negative = reuse faster) ==");
-            println!("{}", sweep(scale)?.fig8());
-        }
-        "fig9" => {
-            println!("== Figure 9: loop distribution at the IQ-64 baseline ==");
-            println!("{}", fig9_table(&fig9(scale)?));
-        }
-        "nblt" => {
-            println!("== NBLT ablation (§3): buffering revoke rate ==");
-            println!("{}", nblt_ablation(scale)?);
-        }
-        "strategy" => {
-            println!("== Buffering-strategy ablation (§2.2.1): gated rate ==");
-            println!("{}", strategy_ablation(scale)?);
-        }
-        "bpred" => {
-            println!("== Direction-predictor ablation (bimod vs gshare vs static) ==");
-            println!("{}", bpred_ablation(scale)?);
-        }
-        "transforms" => {
-            println!("== Loop-transformation ablation: gated rate by code version ==");
-            println!("{}", transform_ablation(scale)?);
-        }
         "all" => {
             print!("== Table 1: baseline configuration ==\n{}\n", table1());
             print!("== Table 2: benchmarks ==\n{}\n", table2());
-            let s = sweep(scale)?;
-            println!("== Figure 5: fraction of cycles with the front-end gated ==");
-            println!("{}", s.fig5());
-            println!("== Figure 6: per-component power reduction (suite average) ==");
-            println!("{}", s.fig6());
-            println!("== Figure 7: overall per-cycle power reduction ==");
-            println!("{}", s.fig7());
-            println!("== Figure 8: IPC degradation (negative = reuse faster) ==");
-            println!("{}", s.fig8());
-            println!("== Figure 9: loop distribution at the IQ-64 baseline ==");
-            println!("{}", fig9_table(&fig9(scale)?));
-            println!("== NBLT ablation (§3): buffering revoke rate ==");
-            println!("{}", nblt_ablation(scale)?);
-            println!("== Buffering-strategy ablation (§2.2.1): gated rate ==");
-            println!("{}", strategy_ablation(scale)?);
-            println!("== Direction-predictor ablation (bimod vs gshare vs static) ==");
-            println!("{}", bpred_ablation(scale)?);
-            println!("== Loop-transformation ablation: gated rate by code version ==");
-            println!("{}", transform_ablation(scale)?);
+            // One shared EngineOptions: the cache dedups the points that
+            // fig9/strategy/bpred/transforms share with the fig5-8 sweep.
+            let stacked = run_experiment(&Experiment::Fig5_8 { scale }, &opts)?;
+            emit(
+                "== Figure 5: fraction of cycles with the front-end gated ==",
+                &stacked.sub_table("fig5", "benchmark"),
+                false,
+            );
+            emit(
+                "== Figure 6: per-component power reduction (suite average) ==",
+                &stacked.sub_table("fig6", "component"),
+                false,
+            );
+            emit(
+                "== Figure 7: overall per-cycle power reduction ==",
+                &stacked.sub_table("fig7", "benchmark"),
+                false,
+            );
+            emit(
+                "== Figure 8: IPC degradation (negative = reuse faster) ==",
+                &stacked.sub_table("fig8", "benchmark"),
+                false,
+            );
+            for e in Experiment::all(scale) {
+                if matches!(e, Experiment::Fig5_8 { .. }) {
+                    continue;
+                }
+                let t = run_experiment(&e, &opts)?;
+                emit(header_for(e.label()), &t, false);
+            }
         }
-        _ => return Err(format!("unknown experiment {cmd:?}").into()),
+        _ => {
+            let Some(FigureCommand { experiment, extract, header }) = figure_command(cmd, scale)
+            else {
+                return Err(format!("unknown experiment {cmd:?}").into());
+            };
+            let t = run_experiment(&experiment, &opts)?;
+            let t = match extract {
+                Some((prefix, row_label)) => t.sub_table(prefix, row_label),
+                None => t,
+            };
+            emit(header, &t, csv);
+        }
+    }
+    if !opts.cache.is_empty() {
+        eprintln!(
+            "engine: {:.2}s wall clock, {} workers, {} simulated, {} deduplicated",
+            started.elapsed().as_secs_f64(),
+            opts.worker_count(usize::MAX),
+            opts.cache.misses(),
+            opts.cache.hits(),
+        );
     }
     Ok(())
 }

@@ -1,0 +1,398 @@
+//! The parallel experiment engine.
+//!
+//! Every figure and ablation of the paper reduces to the same shape of
+//! work: a flat list of *(program, configuration)* simulation points whose
+//! results are then aggregated into a table. [`JobSpec`] is one such
+//! point, [`run_jobs`] executes a batch of them across a pool of worker
+//! threads (std-only: scoped threads pulling from a shared atomic cursor),
+//! and [`ResultCache`] deduplicates identical points so a configuration
+//! that several figures share — e.g. the 64-entry reuse point, which
+//! appears in Figures 5/7/8, Figure 9's "original" column, and the
+//! transform ablation's "original" row — is simulated exactly once.
+//!
+//! Results come back **by job index**, so aggregation order never depends
+//! on thread scheduling: the output of a parallel run is bit-identical to
+//! a serial one (`tests/engine_determinism.rs` proves it).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use riq_bench::{run_jobs, EngineOptions, JobSpec};
+//! use riq_core::SimConfig;
+//! use std::sync::Arc;
+//!
+//! let kernel = riq_kernels::by_name("wss").unwrap();
+//! let program = Arc::new(riq_kernels::compile(&kernel)?);
+//! let jobs: Vec<JobSpec> = [32, 64]
+//!     .map(|iq| JobSpec::new("wss", &program, SimConfig::baseline().with_iq_size(iq)))
+//!     .into();
+//! let results = run_jobs(&jobs, &EngineOptions::default())?;
+//! assert_eq!(results.len(), jobs.len());
+//! # Ok(())
+//! # }
+//! ```
+
+use riq_asm::Program;
+use riq_core::{Processor, RunResult, SimConfig, SimError};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+// The engine moves programs, configurations, and results across worker
+// threads; keep that property from silently regressing.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>();
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<Processor>();
+    assert_send_sync::<RunResult>();
+};
+
+/// Error running an experiment.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// A kernel failed to compile.
+    Compile(riq_kernels::CompileKernelError),
+    /// A simulation point failed.
+    Sim {
+        /// The job's kernel label.
+        kernel: String,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// A sweep was asked for a (kernel, queue-size) point it never ran.
+    MissingPoint {
+        /// Requested benchmark name.
+        kernel: String,
+        /// Requested issue-queue size.
+        iq: u32,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Compile(e) => write!(f, "kernel compilation failed: {e}"),
+            ExperimentError::Sim { kernel, source } => {
+                write!(f, "simulation of {kernel:?} failed: {source}")
+            }
+            ExperimentError::MissingPoint { kernel, iq } => {
+                write!(f, "sweep holds no point for kernel {kernel:?} at IQ {iq}")
+            }
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Compile(e) => Some(e),
+            ExperimentError::Sim { source, .. } => Some(source),
+            ExperimentError::MissingPoint { .. } => None,
+        }
+    }
+}
+
+impl From<riq_kernels::CompileKernelError> for ExperimentError {
+    fn from(e: riq_kernels::CompileKernelError) -> Self {
+        ExperimentError::Compile(e)
+    }
+}
+
+/// One simulation point: a program under a configuration.
+///
+/// The program is held by [`Arc`] so a kernel compiled once can be shared
+/// by every queue size, code version, and pipeline flavor that sweeps it.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Display label (benchmark name, possibly qualified by code version).
+    pub kernel: String,
+    /// The compiled program image, shared across jobs.
+    pub program: Arc<Program>,
+    /// The simulator configuration for this point.
+    pub config: SimConfig,
+}
+
+/// A dedup key: `(program fingerprint, config fingerprint)`.
+pub type JobKey = (u64, u64);
+
+impl JobSpec {
+    /// Creates a job.
+    #[must_use]
+    pub fn new(kernel: impl Into<String>, program: &Arc<Program>, config: SimConfig) -> JobSpec {
+        JobSpec { kernel: kernel.into(), program: Arc::clone(program), config }
+    }
+
+    /// The job's dedup key. Two jobs with equal keys simulate the same
+    /// program under the same configuration and therefore produce the same
+    /// result (the simulator is deterministic), regardless of their
+    /// `kernel` labels.
+    #[must_use]
+    pub fn key(&self) -> JobKey {
+        (self.program.fingerprint(), self.config.fingerprint())
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: Mutex<HashMap<JobKey, Arc<RunResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A shared simulation-result cache keyed by [`JobSpec::key`].
+///
+/// Cloning the handle shares the underlying storage, so one cache can
+/// deduplicate across experiments: pass the same [`EngineOptions`] (or a
+/// clone) to every [`run_jobs`]/`run_experiment` call of a session and
+/// points shared between figures run once. A *hit* is any job resolved
+/// without a simulation — either found in the cache or a duplicate of
+/// another job in the same batch; a *miss* is a job that actually ran.
+#[derive(Debug, Clone, Default)]
+pub struct ResultCache {
+    inner: Arc<CacheInner>,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Jobs resolved without simulating (cache hits plus in-batch
+    /// duplicates).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that were actually simulated.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct results stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread poisoned the cache lock.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no results.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, key: JobKey) -> Option<Arc<RunResult>> {
+        self.inner.map.lock().expect("cache lock").get(&key).cloned()
+    }
+
+    fn store(&self, key: JobKey, result: Arc<RunResult>) {
+        self.inner.map.lock().expect("cache lock").insert(key, result);
+    }
+
+    fn record(&self, hits: u64, misses: u64) {
+        self.inner.hits.fetch_add(hits, Ordering::Relaxed);
+        self.inner.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+}
+
+/// How the engine executes a batch of jobs.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Worker threads; `0` means one per available CPU, `1` runs inline on
+    /// the calling thread.
+    pub jobs: usize,
+    /// The dedup cache. Clone one `EngineOptions` across experiments to
+    /// share it; the default value is a fresh empty cache.
+    pub cache: ResultCache,
+}
+
+impl EngineOptions {
+    /// One worker on the calling thread (what the pre-engine harness did).
+    #[must_use]
+    pub fn serial() -> EngineOptions {
+        EngineOptions { jobs: 1, cache: ResultCache::new() }
+    }
+
+    /// An explicit worker count (`0` = one per available CPU).
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> EngineOptions {
+        EngineOptions { jobs, cache: ResultCache::new() }
+    }
+
+    /// The resolved worker count for a batch of `pending` runnable jobs.
+    #[must_use]
+    pub fn worker_count(&self, pending: usize) -> usize {
+        let requested = match self.jobs {
+            0 => thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        };
+        requested.min(pending).max(1)
+    }
+}
+
+/// Executes a batch of jobs and returns one result per job, **in job
+/// order**. Duplicate points (equal [`JobSpec::key`]) and points already
+/// in `opts.cache` are simulated only once; because results are written
+/// back by index and the simulator is deterministic, the returned vector
+/// is identical whatever `opts.jobs` is.
+///
+/// # Errors
+///
+/// Returns the failure of the lowest-indexed failing job (every scheduled
+/// job still runs to completion first, so the reported error does not
+/// depend on thread timing).
+pub fn run_jobs(
+    jobs: &[JobSpec],
+    opts: &EngineOptions,
+) -> Result<Vec<Arc<RunResult>>, ExperimentError> {
+    // Collapse the batch to unique keys, in first-appearance order.
+    let mut key_to_unique: HashMap<JobKey, usize> = HashMap::new();
+    let mut uniques: Vec<&JobSpec> = Vec::new();
+    let mut job_unique: Vec<usize> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let next = uniques.len();
+        let u = *key_to_unique.entry(job.key()).or_insert(next);
+        if u == next {
+            uniques.push(job);
+        }
+        job_unique.push(u);
+    }
+
+    // Resolve what the cache already knows; the rest is pending work.
+    let mut resolved: Vec<Option<Arc<RunResult>>> = vec![None; uniques.len()];
+    let mut pending: Vec<(usize, &JobSpec)> = Vec::new();
+    for (u, spec) in uniques.iter().enumerate() {
+        match opts.cache.lookup(spec.key()) {
+            Some(hit) => resolved[u] = Some(hit),
+            None => pending.push((u, spec)),
+        }
+    }
+    let misses = pending.len() as u64;
+    opts.cache.record(jobs.len() as u64 - misses, misses);
+
+    // Simulate the pending points: workers pull the next index from a
+    // shared cursor and write into their job's dedicated slot.
+    let slots: Vec<Mutex<Option<Result<RunResult, SimError>>>> =
+        pending.iter().map(|_| Mutex::new(None)).collect();
+    let workers = opts.worker_count(pending.len());
+    let execute = |i: usize| {
+        let spec = pending[i].1;
+        let result = Processor::new(spec.config.clone()).run(&spec.program);
+        *slots[i].lock().expect("result slot lock") = Some(result);
+    };
+    if workers <= 1 {
+        (0..pending.len()).for_each(execute);
+    } else {
+        let cursor = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= pending.len() {
+                        break;
+                    }
+                    execute(i);
+                });
+            }
+        });
+    }
+
+    // Harvest in enumeration order so the first error is deterministic.
+    for ((u, spec), slot) in pending.iter().zip(slots) {
+        let outcome = slot.into_inner().expect("result slot lock").expect("worker filled slot");
+        match outcome {
+            Ok(result) => {
+                let result = Arc::new(result);
+                opts.cache.store(spec.key(), Arc::clone(&result));
+                resolved[*u] = Some(result);
+            }
+            Err(source) => {
+                return Err(ExperimentError::Sim { kernel: spec.kernel.clone(), source });
+            }
+        }
+    }
+
+    Ok(job_unique
+        .into_iter()
+        .map(|u| resolved[u].clone().expect("every unique job resolved"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+
+    fn tiny_program() -> Arc<Program> {
+        Arc::new(
+            assemble("  li $r2, 30\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $zero, loop\n  halt\n")
+                .expect("assembles"),
+        )
+    }
+
+    #[test]
+    fn duplicate_jobs_simulate_once() {
+        let program = tiny_program();
+        let cfg = SimConfig::baseline();
+        let jobs = vec![
+            JobSpec::new("a", &program, cfg.clone()),
+            JobSpec::new("b", &program, cfg.clone().with_reuse(true)),
+            JobSpec::new("c", &program, cfg),
+        ];
+        let opts = EngineOptions::serial();
+        let results = run_jobs(&jobs, &opts).expect("runs");
+        assert!(Arc::ptr_eq(&results[0], &results[2]), "duplicate shares one result");
+        assert!(!Arc::ptr_eq(&results[0], &results[1]));
+        assert_eq!(opts.cache.misses(), 2, "two unique points simulated");
+        assert_eq!(opts.cache.hits(), 1, "the in-batch duplicate was a hit");
+        assert_eq!(opts.cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_carries_across_batches() {
+        let program = tiny_program();
+        let jobs = vec![JobSpec::new("a", &program, SimConfig::baseline())];
+        let opts = EngineOptions::serial();
+        run_jobs(&jobs, &opts).expect("first run");
+        let again = run_jobs(&jobs, &opts).expect("second run");
+        assert_eq!(opts.cache.hits(), 1);
+        assert_eq!(opts.cache.misses(), 1);
+        assert_eq!(again.len(), 1);
+    }
+
+    #[test]
+    fn first_failing_job_reported() {
+        let program = tiny_program();
+        let mut starved = SimConfig::baseline();
+        starved.max_cycles = 2;
+        let jobs = vec![
+            JobSpec::new("fine", &program, SimConfig::baseline()),
+            JobSpec::new("starved", &program, starved),
+        ];
+        let err = run_jobs(&jobs, &EngineOptions::with_jobs(2)).expect_err("must fail");
+        match err {
+            ExperimentError::Sim { kernel, .. } => assert_eq!(kernel, "starved"),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        let opts = EngineOptions::with_jobs(8);
+        assert_eq!(opts.worker_count(3), 3);
+        assert_eq!(opts.worker_count(0), 1);
+        assert!(EngineOptions::with_jobs(0).worker_count(64) >= 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! The unified experiment API.
+//!
+//! Every figure and ablation of the paper's evaluation is a value of
+//! [`Experiment`], and [`run_experiment`] is the single entry point that
+//! enumerates its simulation points as [`JobSpec`](crate::JobSpec)s, hands
+//! them to the parallel [engine](crate::run_jobs), and aggregates the
+//! results into a [`FigTable`]. The `riq-repro` subcommands, the Criterion
+//! benches, and EXPERIMENTS.md all go through this surface; the historical
+//! free functions (`Sweep::run`, `fig9`, `nblt_ablation`, …) survive one
+//! release as deprecated shims over it.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use riq_bench::{run_experiment, EngineOptions, Experiment};
+//!
+//! // Regenerate Figures 5–8 on every available CPU; the output is
+//! // bit-identical to a serial run.
+//! let opts = EngineOptions::default();
+//! let stacked = run_experiment(&Experiment::Fig5_8 { scale: 1.0 }, &opts)?;
+//! println!("{}", stacked.sub_table("fig5", "benchmark"));
+//! // Reusing `opts` lets the cache dedup points shared with Figure 9.
+//! let fig9 = run_experiment(&Experiment::Fig9 { scale: 1.0 }, &opts)?;
+//! assert!(opts.cache.hits() > 0, "fig9's original points were already swept");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::{run_jobs, EngineOptions, ExperimentError, JobSpec};
+use crate::harness::{compiled_suite, fig9_points, fig9_table, FigTable, Sweep, IQ_SIZES};
+use riq_core::{BufferingStrategy, SimConfig};
+use std::sync::Arc;
+
+/// One experiment of the reproduced evaluation. `scale` multiplies
+/// benchmark outer trip counts (1.0 = the paper-scale runs behind
+/// EXPERIMENTS.md; smaller values for tests and benches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Experiment {
+    /// The §3 sweep behind Figures 5–8: every Table 2 benchmark at every
+    /// queue size on both pipelines. Renders as a stacked table with
+    /// `fig5/`…`fig8/`-prefixed rows; use
+    /// [`FigTable::sub_table`] to recover one figure.
+    Fig5_8 {
+        /// Outer-trip-count scale factor.
+        scale: f64,
+    },
+    /// Figure 9: loop distribution at the 64-entry baseline.
+    Fig9 {
+        /// Outer-trip-count scale factor.
+        scale: f64,
+    },
+    /// §3 NBLT ablation: buffering revoke rate with and without the
+    /// 8-entry table.
+    NbltAblation {
+        /// Outer-trip-count scale factor.
+        scale: f64,
+    },
+    /// §2.2.1 buffering-strategy ablation: single- vs multi-iteration
+    /// buffering at each queue size.
+    StrategyAblation {
+        /// Outer-trip-count scale factor.
+        scale: f64,
+    },
+    /// Loop-transformation ablation: gated rate under original,
+    /// distributed, unrolled, and distributed-then-fused code.
+    TransformAblation {
+        /// Outer-trip-count scale factor.
+        scale: f64,
+    },
+    /// Direction-predictor ablation (bimod/gshare/static).
+    BpredAblation {
+        /// Outer-trip-count scale factor.
+        scale: f64,
+    },
+}
+
+impl Experiment {
+    /// A short identifier (matching the `riq-repro` subcommand family).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Experiment::Fig5_8 { .. } => "fig5-8",
+            Experiment::Fig9 { .. } => "fig9",
+            Experiment::NbltAblation { .. } => "nblt",
+            Experiment::StrategyAblation { .. } => "strategy",
+            Experiment::TransformAblation { .. } => "transforms",
+            Experiment::BpredAblation { .. } => "bpred",
+        }
+    }
+
+    /// Every experiment at one scale, in EXPERIMENTS.md order.
+    #[must_use]
+    pub fn all(scale: f64) -> Vec<Experiment> {
+        vec![
+            Experiment::Fig5_8 { scale },
+            Experiment::Fig9 { scale },
+            Experiment::NbltAblation { scale },
+            Experiment::StrategyAblation { scale },
+            Experiment::BpredAblation { scale },
+            Experiment::TransformAblation { scale },
+        ]
+    }
+}
+
+/// Runs one experiment through the parallel engine and aggregates its
+/// table. Sharing `opts` (or a clone) across calls shares the result
+/// cache, so points common to several experiments — e.g. the 64-entry
+/// reuse points of Figures 5–8, Figure 9's "original" column, and the
+/// transform ablation's "original" row — simulate exactly once.
+///
+/// # Errors
+///
+/// Propagates compile and simulation errors; see [`ExperimentError`].
+pub fn run_experiment(
+    experiment: &Experiment,
+    opts: &EngineOptions,
+) -> Result<FigTable, ExperimentError> {
+    match *experiment {
+        Experiment::Fig5_8 { scale } => {
+            let sweep = Sweep::run_with(scale, opts)?;
+            let mut t =
+                FigTable::new("figure/row", IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect());
+            t.push_prefixed("fig5", &sweep.fig5()?);
+            t.push_prefixed("fig6", &sweep.fig6());
+            t.push_prefixed("fig7", &sweep.fig7()?);
+            t.push_prefixed("fig8", &sweep.fig8()?);
+            Ok(t)
+        }
+        Experiment::Fig9 { scale } => Ok(fig9_table(&fig9_points(scale, opts)?)),
+        Experiment::NbltAblation { scale } => nblt(scale, opts),
+        Experiment::StrategyAblation { scale } => strategy(scale, opts),
+        Experiment::TransformAblation { scale } => transforms(scale, opts),
+        Experiment::BpredAblation { scale } => bpred(scale, opts),
+    }
+}
+
+/// The §3 NBLT ablation: buffering revoke rate with and without the
+/// 8-entry table, per benchmark at the baseline configuration.
+fn nblt(scale: f64, opts: &EngineOptions) -> Result<FigTable, ExperimentError> {
+    let suite = compiled_suite(scale)?;
+    let jobs: Vec<JobSpec> = suite
+        .iter()
+        .flat_map(|(k, program)| {
+            [0u32, 8].map(|entries| {
+                JobSpec::new(
+                    &k.name,
+                    program,
+                    SimConfig::baseline().with_reuse(true).with_nblt(entries),
+                )
+            })
+        })
+        .collect();
+    let results = run_jobs(&jobs, opts)?;
+    let mut t = FigTable::new(
+        "benchmark",
+        vec!["revoke rate (no NBLT)".into(), "revoke rate (NBLT 8)".into()],
+    );
+    for ((k, _), pair) in suite.iter().zip(results.chunks_exact(2)) {
+        t.push_row(
+            k.name.clone(),
+            vec![pair[0].stats.reuse.revoke_rate(), pair[1].stats.reuse.revoke_rate()],
+        );
+    }
+    t.push_average();
+    Ok(t)
+}
+
+/// The §2.2.1 buffering-strategy ablation: gated rate under
+/// single-iteration vs multi-iteration buffering at each queue size,
+/// averaged over the suite.
+fn strategy(scale: f64, opts: &EngineOptions) -> Result<FigTable, ExperimentError> {
+    const STRATEGIES: [(&str, BufferingStrategy); 2] = [
+        ("single-iteration", BufferingStrategy::SingleIteration),
+        ("multi-iteration", BufferingStrategy::MultiIteration),
+    ];
+    let suite = compiled_suite(scale)?;
+    let mut jobs = Vec::new();
+    for (_, s) in STRATEGIES {
+        for &iq in &IQ_SIZES {
+            for (k, program) in &suite {
+                jobs.push(JobSpec::new(
+                    &k.name,
+                    program,
+                    SimConfig::baseline().with_iq_size(iq).with_reuse(true).with_strategy(s),
+                ));
+            }
+        }
+    }
+    let results = run_jobs(&jobs, opts)?;
+    let mut t = FigTable::new("strategy", IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect());
+    for ((name, _), per_strategy) in STRATEGIES.iter().zip(results.chunks_exact(suite.len() * 4)) {
+        let row: Vec<f64> = per_strategy
+            .chunks_exact(suite.len())
+            .map(|per_iq| {
+                per_iq.iter().map(|r| r.stats.gated_rate()).sum::<f64>() / suite.len() as f64
+            })
+            .collect();
+        t.push_row(*name, row);
+    }
+    Ok(t)
+}
+
+/// Loop-transformation ablation: average gated rate of the reuse pipeline
+/// per queue size under four code versions — original, distributed
+/// (Section 4), unrolled ×4, and distributed-then-fused (the inverse
+/// transform, re-creating fat bodies). Shows how each transform "gears the
+/// code towards a given issue queue size" (paper conclusions).
+fn transforms(scale: f64, opts: &EngineOptions) -> Result<FigTable, ExperimentError> {
+    use riq_kernels::{
+        compile, distribute_kernel, fuse_kernel, suite_scaled, unroll_kernel, Kernel,
+    };
+    let base = suite_scaled(scale);
+    let versions: Vec<(&str, Vec<Kernel>)> = vec![
+        ("original", base.clone()),
+        ("distributed", base.iter().map(distribute_kernel).collect()),
+        ("unrolled x4", base.iter().map(|k| unroll_kernel(k, 4)).collect()),
+        ("distributed+fused", base.iter().map(|k| fuse_kernel(&distribute_kernel(k))).collect()),
+    ];
+    let mut jobs = Vec::new();
+    for (name, kernels) in &versions {
+        // One compile per (version, kernel); the Arc is shared by all
+        // four queue sizes.
+        let programs =
+            kernels.iter().map(|k| compile(k).map(Arc::new)).collect::<Result<Vec<_>, _>>()?;
+        for &iq in &IQ_SIZES {
+            for (k, program) in kernels.iter().zip(&programs) {
+                jobs.push(JobSpec::new(
+                    format!("{name}/{}", k.name),
+                    program,
+                    SimConfig::baseline().with_iq_size(iq).with_reuse(true),
+                ));
+            }
+        }
+    }
+    let results = run_jobs(&jobs, opts)?;
+    let n = base.len();
+    let mut t =
+        FigTable::new("code version", IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect());
+    for ((name, _), per_version) in versions.iter().zip(results.chunks_exact(n * 4)) {
+        let row: Vec<f64> = per_version
+            .chunks_exact(n)
+            .map(|per_iq| per_iq.iter().map(|r| r.stats.gated_rate()).sum::<f64>() / n as f64)
+            .collect();
+        t.push_row(*name, row);
+    }
+    Ok(t)
+}
+
+/// Direction-predictor ablation (the gshare extension DESIGN.md calls
+/// out): per-predictor average mispredict-recovery rate on the baseline
+/// pipeline and gated rate on the reuse pipeline, at the Table 1
+/// configuration.
+fn bpred(scale: f64, opts: &EngineOptions) -> Result<FigTable, ExperimentError> {
+    use riq_bpred::DirPredictorKind;
+    let dirs: [(&str, DirPredictorKind); 4] = [
+        ("bimod-2048", DirPredictorKind::Bimod { entries: 2048 }),
+        ("gshare-2048", DirPredictorKind::Gshare { entries: 2048, history_bits: 10 }),
+        ("always-taken", DirPredictorKind::Taken),
+        ("always-not-taken", DirPredictorKind::NotTaken),
+    ];
+    let suite = compiled_suite(scale)?;
+    let mut jobs = Vec::new();
+    for (_, dir) in dirs {
+        let mut cfg = SimConfig::baseline();
+        cfg.bpred.dir = dir;
+        for (k, program) in &suite {
+            jobs.push(JobSpec::new(&k.name, program, cfg.clone()));
+            jobs.push(JobSpec::new(&k.name, program, cfg.clone().with_reuse(true)));
+        }
+    }
+    let results = run_jobs(&jobs, opts)?;
+    let mut t = FigTable::new(
+        "predictor",
+        vec!["mispredict rate (base)".into(), "gated rate (reuse)".into()],
+    );
+    let n = suite.len() as f64;
+    for ((name, _), per_dir) in dirs.iter().zip(results.chunks_exact(suite.len() * 2)) {
+        let mispred: f64 = per_dir.chunks_exact(2).map(|p| p[0].stats.mispredict_rate()).sum();
+        let gated: f64 = per_dir.chunks_exact(2).map(|p| p[1].stats.gated_rate()).sum();
+        t.push_row(*name, vec![mispred / n, gated / n]);
+    }
+    Ok(t)
+}
+
+/// Runs the NBLT ablation serially.
+///
+/// # Errors
+///
+/// Propagates compile or simulation errors.
+#[deprecated(since = "0.1.0", note = "use `run_experiment(&Experiment::NbltAblation { .. })`")]
+pub fn nblt_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
+    run_experiment(&Experiment::NbltAblation { scale }, &EngineOptions::serial())
+}
+
+/// Runs the buffering-strategy ablation serially.
+///
+/// # Errors
+///
+/// Propagates compile or simulation errors.
+#[deprecated(since = "0.1.0", note = "use `run_experiment(&Experiment::StrategyAblation { .. })`")]
+pub fn strategy_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
+    run_experiment(&Experiment::StrategyAblation { scale }, &EngineOptions::serial())
+}
+
+/// Runs the loop-transformation ablation serially.
+///
+/// # Errors
+///
+/// Propagates compile or simulation errors.
+#[deprecated(since = "0.1.0", note = "use `run_experiment(&Experiment::TransformAblation { .. })`")]
+pub fn transform_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
+    run_experiment(&Experiment::TransformAblation { scale }, &EngineOptions::serial())
+}
+
+/// Runs the direction-predictor ablation serially.
+///
+/// # Errors
+///
+/// Propagates compile or simulation errors.
+#[deprecated(since = "0.1.0", note = "use `run_experiment(&Experiment::BpredAblation { .. })`")]
+pub fn bpred_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
+    run_experiment(&Experiment::BpredAblation { scale }, &EngineOptions::serial())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_all_experiments() {
+        let all = Experiment::all(0.1);
+        assert_eq!(all.len(), 6);
+        let labels: Vec<&str> = all.iter().map(Experiment::label).collect();
+        assert_eq!(labels, ["fig5-8", "fig9", "nblt", "strategy", "bpred", "transforms"]);
+    }
+}

@@ -1,55 +1,31 @@
-//! Shared experiment harness: sweeps, aggregation, and table rendering.
+//! Sweep aggregation and table rendering.
 //!
 //! Every table and figure of the paper is regenerated from the structures
 //! here; the `riq-repro` binary and the Criterion benches are thin
-//! wrappers. All percentages are reported exactly the way the paper
-//! reports them: per-cycle power reductions relative to the conventional
-//! baseline at the same issue-queue size, gated cycles as a fraction of
-//! total cycles, and IPC degradation relative to the baseline.
+//! wrappers. Simulation points are enumerated as [`JobSpec`]s and executed
+//! by the parallel [engine](crate::run_jobs); this module owns the
+//! aggregation back into paper-shaped tables. All percentages are reported
+//! exactly the way the paper reports them: per-cycle power reductions
+//! relative to the conventional baseline at the same issue-queue size,
+//! gated cycles as a fraction of total cycles, and IPC degradation
+//! relative to the baseline.
 
+use crate::engine::{run_jobs, EngineOptions, ExperimentError, JobSpec};
 use riq_asm::Program;
-use riq_core::{BufferingStrategy, Processor, RunResult, SimConfig, SimError};
+use riq_core::{Processor, RunResult, SimConfig};
 use riq_kernels::{compile, distribute_kernel, suite_scaled, Kernel};
 use riq_power::ComponentGroup;
-use std::error::Error;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// The issue-queue sizes swept by the paper's evaluation (§3).
 pub const IQ_SIZES: [u32; 4] = [32, 64, 128, 256];
 
-/// Error running an experiment.
-#[derive(Debug)]
-pub enum ExperimentError {
-    /// A kernel failed to compile.
-    Compile(riq_kernels::CompileKernelError),
-    /// A simulation failed.
-    Sim(SimError),
-}
-
-impl fmt::Display for ExperimentError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ExperimentError::Compile(e) => write!(f, "kernel compilation failed: {e}"),
-            ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
-        }
-    }
-}
-
-impl Error for ExperimentError {}
-
-impl From<riq_kernels::CompileKernelError> for ExperimentError {
-    fn from(e: riq_kernels::CompileKernelError) -> Self {
-        ExperimentError::Compile(e)
-    }
-}
-
-impl From<SimError> for ExperimentError {
-    fn from(e: SimError) -> Self {
-        ExperimentError::Sim(e)
-    }
-}
-
 /// A baseline/reuse pair at one configuration point.
+///
+/// The two runs are shared with the engine's result cache, so holding a
+/// sweep does not duplicate result storage.
 #[derive(Debug, Clone)]
 pub struct PairResult {
     /// Benchmark name.
@@ -57,9 +33,9 @@ pub struct PairResult {
     /// Issue-queue size.
     pub iq: u32,
     /// Conventional-pipeline run.
-    pub baseline: RunResult,
+    pub baseline: Arc<RunResult>,
     /// Reuse-pipeline run.
-    pub reuse: RunResult,
+    pub reuse: Arc<RunResult>,
 }
 
 impl PairResult {
@@ -108,41 +84,86 @@ impl PairResult {
 ///
 /// Propagates any simulation error.
 pub fn run_pair(name: &str, program: &Program, iq: u32) -> Result<PairResult, ExperimentError> {
-    let baseline = Processor::new(SimConfig::baseline().with_iq_size(iq)).run(program)?;
-    let reuse =
-        Processor::new(SimConfig::baseline().with_iq_size(iq).with_reuse(true)).run(program)?;
-    Ok(PairResult { kernel: name.to_string(), iq, baseline, reuse })
+    let sim = |reuse: bool| {
+        Processor::new(SimConfig::baseline().with_iq_size(iq).with_reuse(reuse))
+            .run(program)
+            .map(Arc::new)
+            .map_err(|source| ExperimentError::Sim { kernel: name.to_string(), source })
+    };
+    Ok(PairResult { kernel: name.to_string(), iq, baseline: sim(false)?, reuse: sim(true)? })
 }
 
-/// The full §3 sweep: every Table 2 benchmark at every queue size.
+/// The full §3 sweep: every Table 2 benchmark at every queue size, on both
+/// pipelines. Backs Figures 5 through 8.
 #[derive(Debug, Clone)]
 pub struct Sweep {
-    /// All points, ordered kernel-major then queue size.
-    pub points: Vec<PairResult>,
+    points: Vec<PairResult>,
+    index: HashMap<(String, u32), usize>,
 }
 
 impl Sweep {
-    /// Runs the sweep. `scale` multiplies outer trip counts (1.0 =
-    /// full-length runs, used for EXPERIMENTS.md; smaller for tests).
+    /// Runs the sweep through the parallel engine. `scale` multiplies
+    /// outer trip counts (1.0 = full-length runs, used for EXPERIMENTS.md;
+    /// smaller for tests).
     ///
     /// # Errors
     ///
     /// Propagates compile or simulation errors.
-    pub fn run(scale: f64) -> Result<Sweep, ExperimentError> {
-        let mut points = Vec::new();
+    pub fn run_with(scale: f64, opts: &EngineOptions) -> Result<Sweep, ExperimentError> {
+        let mut jobs = Vec::new();
+        let mut meta = Vec::new();
         for k in suite_scaled(scale) {
-            let program = compile(&k)?;
+            let program = Arc::new(compile(&k)?);
             for iq in IQ_SIZES {
-                points.push(run_pair(&k.name, &program, iq)?);
+                let base = SimConfig::baseline().with_iq_size(iq);
+                jobs.push(JobSpec::new(&k.name, &program, base.clone()));
+                jobs.push(JobSpec::new(&k.name, &program, base.with_reuse(true)));
+                meta.push((k.name.clone(), iq));
             }
         }
-        Ok(Sweep { points })
+        let results = run_jobs(&jobs, opts)?;
+        let points = meta
+            .into_iter()
+            .zip(results.chunks_exact(2))
+            .map(|((kernel, iq), pair)| PairResult {
+                kernel,
+                iq,
+                baseline: Arc::clone(&pair[0]),
+                reuse: Arc::clone(&pair[1]),
+            })
+            .collect();
+        Ok(Sweep::from_points(points))
     }
 
-    /// The point for a benchmark/size combination.
+    /// Runs the sweep serially.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile or simulation errors.
+    #[deprecated(since = "0.1.0", note = "use `Sweep::run_with` with `EngineOptions`")]
+    pub fn run(scale: f64) -> Result<Sweep, ExperimentError> {
+        Sweep::run_with(scale, &EngineOptions::serial())
+    }
+
+    fn from_points(points: Vec<PairResult>) -> Sweep {
+        let index = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ((p.kernel.clone(), p.iq), i))
+            .collect::<HashMap<_, _>>();
+        Sweep { points, index }
+    }
+
+    /// All points, ordered kernel-major then queue size.
+    #[must_use]
+    pub fn points(&self) -> &[PairResult] {
+        &self.points
+    }
+
+    /// The point for a benchmark/size combination (indexed lookup).
     #[must_use]
     pub fn point(&self, kernel: &str, iq: u32) -> Option<&PairResult> {
-        self.points.iter().find(|p| p.kernel == kernel && p.iq == iq)
+        self.index.get(&(kernel.to_string(), iq)).map(|&i| &self.points[i])
     }
 
     /// Benchmark names in sweep order.
@@ -157,21 +178,35 @@ impl Sweep {
         out
     }
 
-    fn per_kernel_metric(&self, f: impl Fn(&PairResult) -> f64) -> FigTable {
+    fn per_kernel_metric(
+        &self,
+        f: impl Fn(&PairResult) -> f64,
+    ) -> Result<FigTable, ExperimentError> {
         let mut table =
             FigTable::new("benchmark", IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect());
         for k in self.kernels() {
-            let row: Vec<f64> =
-                IQ_SIZES.iter().map(|&iq| self.point(&k, iq).map_or(0.0, &f)).collect();
+            let row = IQ_SIZES
+                .iter()
+                .map(|&iq| {
+                    self.point(&k, iq)
+                        .map(&f)
+                        .ok_or_else(|| ExperimentError::MissingPoint { kernel: k.clone(), iq })
+                })
+                .collect::<Result<Vec<f64>, _>>()?;
             table.push_row(k, row);
         }
         table.push_average();
-        table
+        Ok(table)
     }
 
     /// Figure 5: fraction of total cycles with the front-end gated.
-    #[must_use]
-    pub fn fig5(&self) -> FigTable {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::MissingPoint`] if the sweep is missing a
+    /// (kernel, queue-size) combination (a partial sweep must not be
+    /// silently averaged as zeros).
+    pub fn fig5(&self) -> Result<FigTable, ExperimentError> {
         self.per_kernel_metric(PairResult::gated_rate)
     }
 
@@ -204,14 +239,20 @@ impl Sweep {
     }
 
     /// Figure 7: whole-processor per-cycle power reduction.
-    #[must_use]
-    pub fn fig7(&self) -> FigTable {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::MissingPoint`] for a partial sweep.
+    pub fn fig7(&self) -> Result<FigTable, ExperimentError> {
         self.per_kernel_metric(PairResult::overall_power_reduction)
     }
 
     /// Figure 8: IPC degradation.
-    #[must_use]
-    pub fn fig8(&self) -> FigTable {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::MissingPoint`] for a partial sweep.
+    pub fn fig8(&self) -> Result<FigTable, ExperimentError> {
         self.per_kernel_metric(PairResult::ipc_degradation)
     }
 }
@@ -227,20 +268,54 @@ pub struct Fig9Point {
     pub optimized: PairResult,
 }
 
-/// Runs the Figure 9 experiment.
+/// Runs the Figure 9 experiment through the parallel engine.
 ///
 /// # Errors
 ///
 /// Propagates compile or simulation errors.
-pub fn fig9(scale: f64) -> Result<Vec<Fig9Point>, ExperimentError> {
-    let mut out = Vec::new();
+pub fn fig9_points(scale: f64, opts: &EngineOptions) -> Result<Vec<Fig9Point>, ExperimentError> {
+    let mut jobs = Vec::new();
+    let mut names = Vec::new();
     for k in suite_scaled(scale) {
-        let original = run_pair(&k.name, &compile(&k)?, 64)?;
-        let opt: Kernel = distribute_kernel(&k);
-        let optimized = run_pair(&k.name, &compile(&opt)?, 64)?;
-        out.push(Fig9Point { kernel: k.name.clone(), original, optimized });
+        let original = Arc::new(compile(&k)?);
+        let optimized = Arc::new(compile(&distribute_kernel(&k))?);
+        let base = SimConfig::baseline().with_iq_size(64);
+        jobs.push(JobSpec::new(&k.name, &original, base.clone()));
+        jobs.push(JobSpec::new(&k.name, &original, base.clone().with_reuse(true)));
+        jobs.push(JobSpec::new(format!("{} [dist]", k.name), &optimized, base.clone()));
+        jobs.push(JobSpec::new(format!("{} [dist]", k.name), &optimized, base.with_reuse(true)));
+        names.push(k.name.clone());
     }
-    Ok(out)
+    let results = run_jobs(&jobs, opts)?;
+    Ok(names
+        .into_iter()
+        .zip(results.chunks_exact(4))
+        .map(|(kernel, r)| Fig9Point {
+            original: PairResult {
+                kernel: kernel.clone(),
+                iq: 64,
+                baseline: Arc::clone(&r[0]),
+                reuse: Arc::clone(&r[1]),
+            },
+            optimized: PairResult {
+                kernel: kernel.clone(),
+                iq: 64,
+                baseline: Arc::clone(&r[2]),
+                reuse: Arc::clone(&r[3]),
+            },
+            kernel,
+        })
+        .collect())
+}
+
+/// Runs the Figure 9 experiment serially.
+///
+/// # Errors
+///
+/// Propagates compile or simulation errors.
+#[deprecated(since = "0.1.0", note = "use `fig9_points` with `EngineOptions`")]
+pub fn fig9(scale: f64) -> Result<Vec<Fig9Point>, ExperimentError> {
+    fig9_points(scale, &EngineOptions::serial())
 }
 
 /// Renders Figure 9 as a table (power reduction, gated rate, IPC loss for
@@ -275,144 +350,13 @@ pub fn fig9_table(points: &[Fig9Point]) -> FigTable {
     t
 }
 
-/// The §3 NBLT ablation: buffering revoke rate with and without the
-/// 8-entry table, per benchmark at the baseline configuration.
-///
-/// # Errors
-///
-/// Propagates compile or simulation errors.
-pub fn nblt_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
-    let mut t = FigTable::new(
-        "benchmark",
-        vec!["revoke rate (no NBLT)".into(), "revoke rate (NBLT 8)".into()],
-    );
-    for k in suite_scaled(scale) {
-        let program = compile(&k)?;
-        let without =
-            Processor::new(SimConfig::baseline().with_reuse(true).with_nblt(0)).run(&program)?;
-        let with =
-            Processor::new(SimConfig::baseline().with_reuse(true).with_nblt(8)).run(&program)?;
-        t.push_row(
-            k.name.clone(),
-            vec![without.stats.reuse.revoke_rate(), with.stats.reuse.revoke_rate()],
-        );
-    }
-    t.push_average();
-    Ok(t)
-}
-
-/// The §2.2.1 buffering-strategy ablation: gated rate under
-/// single-iteration vs multi-iteration buffering at each queue size,
-/// averaged over the suite.
-///
-/// # Errors
-///
-/// Propagates compile or simulation errors.
-pub fn strategy_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
-    let mut rows: Vec<(String, Vec<f64>)> =
-        vec![("single-iteration".into(), Vec::new()), ("multi-iteration".into(), Vec::new())];
-    let kernels: Vec<(Kernel, Program)> = suite_scaled(scale)
+/// Compiles the suite at `scale`, pairing each kernel with its shared
+/// program image (compiled once per kernel, shared by every job).
+pub(crate) fn compiled_suite(scale: f64) -> Result<Vec<(Kernel, Arc<Program>)>, ExperimentError> {
+    suite_scaled(scale)
         .into_iter()
-        .map(|k| compile(&k).map(|p| (k, p)))
-        .collect::<Result<_, _>>()?;
-    for iq in IQ_SIZES {
-        for (row, strategy) in
-            [(0, BufferingStrategy::SingleIteration), (1, BufferingStrategy::MultiIteration)]
-        {
-            let mut acc = 0.0;
-            for (_, program) in &kernels {
-                let r = Processor::new(
-                    SimConfig::baseline().with_iq_size(iq).with_reuse(true).with_strategy(strategy),
-                )
-                .run(program)?;
-                acc += r.stats.gated_rate();
-            }
-            rows[row].1.push(acc / kernels.len() as f64);
-        }
-    }
-    let mut t = FigTable::new("strategy", IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect());
-    for (name, vals) in rows {
-        t.push_row(name, vals);
-    }
-    Ok(t)
-}
-
-/// Loop-transformation ablation: average gated rate of the reuse pipeline
-/// per queue size under four code versions — original, distributed
-/// (Section 4), unrolled ×4, and distributed-then-refused (the inverse
-/// transform, re-creating fat bodies). Shows how each transform "gears the
-/// code towards a given issue queue size" (paper conclusions).
-///
-/// # Errors
-///
-/// Propagates compile or simulation errors.
-pub fn transform_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
-    use riq_kernels::{distribute_kernel, fuse_kernel, unroll_kernel};
-    let base = suite_scaled(scale);
-    let versions: Vec<(&str, Vec<Kernel>)> = vec![
-        ("original", base.clone()),
-        ("distributed", base.iter().map(distribute_kernel).collect()),
-        ("unrolled x4", base.iter().map(|k| unroll_kernel(k, 4)).collect()),
-        ("distributed+fused", base.iter().map(|k| fuse_kernel(&distribute_kernel(k))).collect()),
-    ];
-    let mut t =
-        FigTable::new("code version", IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect());
-    for (name, kernels) in versions {
-        let programs: Vec<Program> = kernels.iter().map(compile).collect::<Result<_, _>>()?;
-        let mut row = Vec::new();
-        for iq in IQ_SIZES {
-            let mut acc = 0.0;
-            for program in &programs {
-                let r = Processor::new(SimConfig::baseline().with_iq_size(iq).with_reuse(true))
-                    .run(program)?;
-                acc += r.stats.gated_rate();
-            }
-            row.push(acc / programs.len() as f64);
-        }
-        t.push_row(name, row);
-    }
-    Ok(t)
-}
-
-/// Direction-predictor ablation (the gshare extension DESIGN.md calls
-/// out): per-predictor average mispredict-recovery rate on the baseline
-/// pipeline and gated rate on the reuse pipeline, at the Table 1
-/// configuration.
-///
-/// # Errors
-///
-/// Propagates compile or simulation errors.
-pub fn bpred_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
-    use riq_bpred::DirPredictorKind;
-    let kernels: Vec<(Kernel, Program)> = suite_scaled(scale)
-        .into_iter()
-        .map(|k| compile(&k).map(|p| (k, p)))
-        .collect::<Result<_, _>>()?;
-    let mut t = FigTable::new(
-        "predictor",
-        vec!["mispredict rate (base)".into(), "gated rate (reuse)".into()],
-    );
-    let dirs: [(&str, DirPredictorKind); 4] = [
-        ("bimod-2048", DirPredictorKind::Bimod { entries: 2048 }),
-        ("gshare-2048", DirPredictorKind::Gshare { entries: 2048, history_bits: 10 }),
-        ("always-taken", DirPredictorKind::Taken),
-        ("always-not-taken", DirPredictorKind::NotTaken),
-    ];
-    for (name, dir) in dirs {
-        let mut cfg = SimConfig::baseline();
-        cfg.bpred.dir = dir;
-        let mut mispred = 0.0;
-        let mut gated = 0.0;
-        for (_, program) in &kernels {
-            let base = Processor::new(cfg.clone()).run(program)?;
-            mispred += base.stats.mispredict_rate();
-            let reuse = Processor::new(cfg.clone().with_reuse(true)).run(program)?;
-            gated += reuse.stats.gated_rate();
-        }
-        let n = kernels.len() as f64;
-        t.push_row(name, vec![mispred / n, gated / n]);
-    }
-    Ok(t)
+        .map(|k| compile(&k).map(|p| (k, Arc::new(p))).map_err(ExperimentError::from))
+        .collect()
 }
 
 /// A generic named-rows × named-columns table of fractions, rendered as
@@ -469,6 +413,45 @@ impl FigTable {
     #[must_use]
     pub fn rows(&self) -> &[(String, Vec<f64>)] {
         &self.rows
+    }
+
+    /// Extracts the rows whose names start with `"{prefix}/"` into a new
+    /// table, stripping the prefix. Stacked tables (like the one
+    /// [`Experiment::Fig5_8`](crate::Experiment::Fig5_8) produces) use
+    /// `"fig5/aps"`-style row names; this recovers the per-figure view.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use riq_bench::FigTable;
+    /// let mut t = FigTable::new("row", vec!["IQ 32".into()]);
+    /// t.push_row("fig5/aps", vec![0.5]);
+    /// t.push_row("fig6/Icache", vec![0.25]);
+    /// let fig5 = t.sub_table("fig5", "benchmark");
+    /// assert_eq!(fig5.value("aps", 0), Some(0.5));
+    /// assert_eq!(fig5.rows().len(), 1);
+    /// ```
+    #[must_use]
+    pub fn sub_table(&self, prefix: &str, row_label: impl Into<String>) -> FigTable {
+        let mut out = FigTable::new(row_label, self.columns.clone());
+        let prefix = format!("{prefix}/");
+        for (name, vals) in &self.rows {
+            if let Some(stripped) = name.strip_prefix(&prefix) {
+                out.push_row(stripped, vals.clone());
+            }
+        }
+        out
+    }
+
+    /// Appends every row of `other`, renamed to `"{prefix}/{name}"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn push_prefixed(&mut self, prefix: &str, other: &FigTable) {
+        for (name, vals) in other.rows() {
+            self.push_row(format!("{prefix}/{name}"), vals.clone());
+        }
     }
 
     /// Renders the table as CSV (fractions, not percentages) for external
@@ -554,5 +537,45 @@ mod tests {
         let mut t = FigTable::new("x", vec!["a".into()]);
         t.push_average();
         assert!(t.rows().is_empty());
+    }
+
+    #[test]
+    fn sub_table_round_trips_prefixed_rows() {
+        let mut inner = FigTable::new("benchmark", vec!["IQ 32".into()]);
+        inner.push_row("aps", vec![0.5]);
+        inner.push_row("average", vec![0.5]);
+        let mut stacked = FigTable::new("row", vec!["IQ 32".into()]);
+        stacked.push_prefixed("fig5", &inner);
+        let back = stacked.sub_table("fig5", "benchmark");
+        assert_eq!(back.to_csv(), inner.to_csv());
+        assert!(stacked.sub_table("fig7", "benchmark").rows().is_empty());
+    }
+
+    #[test]
+    fn missing_point_is_an_error_not_a_zero() {
+        // A sweep with a hole must refuse to render, not average a 0.0 in.
+        let program = riq_asm::assemble("  halt\n").expect("assembles");
+        let pair = run_pair("lone", &program, 32).expect("runs");
+        let sweep = Sweep::from_points(vec![pair]);
+        match sweep.fig5() {
+            Err(ExperimentError::MissingPoint { kernel, iq }) => {
+                assert_eq!(kernel, "lone");
+                assert_eq!(iq, 64, "first missing size after the one present");
+            }
+            other => panic!("expected MissingPoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn point_lookup_uses_the_index() {
+        let program = riq_asm::assemble("  halt\n").expect("assembles");
+        let points: Vec<PairResult> =
+            IQ_SIZES.iter().map(|&iq| run_pair("k", &program, iq).expect("runs")).collect();
+        let sweep = Sweep::from_points(points);
+        for &iq in &IQ_SIZES {
+            assert_eq!(sweep.point("k", iq).map(|p| p.iq), Some(iq));
+        }
+        assert!(sweep.point("k", 48).is_none());
+        assert!(sweep.point("other", 64).is_none());
     }
 }

@@ -1,28 +1,46 @@
 //! # riq-bench — experiment harness for the DATE 2004 reproduction
 //!
 //! Regenerates every table and figure of *Scheduling Reusable Instructions
-//! for Power Reduction*:
+//! for Power Reduction* through a single parallel experiment engine:
 //!
-//! | experiment | entry point | binary command |
-//! |------------|-------------|----------------|
+//! * [`Experiment`] names each figure/ablation of the evaluation and
+//!   [`run_experiment`] is the one entry point that runs any of them;
+//! * each experiment enumerates its simulation points as flat
+//!   [`JobSpec`] `{ kernel, program, config }` lists, executed by
+//!   [`run_jobs`] across [`EngineOptions::jobs`] worker threads (std-only
+//!   scoped threads pulling from a shared atomic cursor);
+//! * a [`ResultCache`] keyed by `(program fingerprint, config
+//!   fingerprint)` deduplicates points shared between experiments —
+//!   share one [`EngineOptions`] across calls and e.g. Figure 9's
+//!   "original" column reuses the Figure 5–8 sweep's 64-entry runs;
+//! * results are aggregated **by job index**, so parallel output is
+//!   bit-identical to serial output (`tests/engine_determinism.rs`).
+//!
+//! | experiment | API | binary command |
+//! |------------|-----|----------------|
 //! | Table 1 (baseline config) | [`table1`] | `riq-repro table1` |
 //! | Table 2 (benchmarks) | [`table2`] | `riq-repro table2` |
-//! | Figure 5 (gated cycles) | [`Sweep::fig5`] | `riq-repro fig5` |
-//! | Figure 6 (component power) | [`Sweep::fig6`] | `riq-repro fig6` |
-//! | Figure 7 (overall power) | [`Sweep::fig7`] | `riq-repro fig7` |
-//! | Figure 8 (IPC impact) | [`Sweep::fig8`] | `riq-repro fig8` |
-//! | Figure 9 (loop distribution) | [`fig9`] | `riq-repro fig9` |
-//! | §3 NBLT claim | [`nblt_ablation`] | `riq-repro nblt` |
-//! | §2.2.1 strategies | [`strategy_ablation`] | `riq-repro strategy` |
-//! | predictor ablation | [`bpred_ablation`] | `riq-repro bpred` |
+//! | Figures 5–8 (sweep) | [`Experiment::Fig5_8`] | `riq-repro fig5`…`fig8` |
+//! | Figure 9 (loop distribution) | [`Experiment::Fig9`] | `riq-repro fig9` |
+//! | §3 NBLT claim | [`Experiment::NbltAblation`] | `riq-repro nblt` |
+//! | §2.2.1 strategies | [`Experiment::StrategyAblation`] | `riq-repro strategy` |
+//! | predictor ablation | [`Experiment::BpredAblation`] | `riq-repro bpred` |
+//! | loop transforms | [`Experiment::TransformAblation`] | `riq-repro transforms` |
 //!
 //! # Examples
 //!
 //! ```no_run
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! use riq_bench::Sweep;
-//! let sweep = Sweep::run(1.0)?; // the full evaluation
-//! println!("{}", sweep.fig5());
+//! use riq_bench::{run_experiment, EngineOptions, Experiment, Sweep};
+//!
+//! // One experiment, all CPUs, per-figure views of the stacked table:
+//! let opts = EngineOptions::default();
+//! let t = run_experiment(&Experiment::Fig5_8 { scale: 1.0 }, &opts)?;
+//! println!("{}", t.sub_table("fig5", "benchmark"));
+//!
+//! // Or keep the point-level sweep for custom analysis:
+//! let sweep = Sweep::run_with(1.0, &opts)?; // cache makes this free now
+//! println!("{}", sweep.fig7()?);
 //! # Ok(())
 //! # }
 //! ```
@@ -30,13 +48,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod engine;
+mod experiment;
 mod harness;
 mod report;
 mod tables;
 
+pub use engine::{run_jobs, EngineOptions, ExperimentError, JobKey, JobSpec, ResultCache};
+#[allow(deprecated)]
+pub use experiment::{
+    bpred_ablation, nblt_ablation, run_experiment, strategy_ablation, transform_ablation,
+    Experiment,
+};
+#[allow(deprecated)]
 pub use harness::{
-    bpred_ablation, fig9, fig9_table, nblt_ablation, run_pair, strategy_ablation,
-    transform_ablation, ExperimentError, Fig9Point, FigTable, PairResult, Sweep, IQ_SIZES,
+    fig9, fig9_points, fig9_table, run_pair, Fig9Point, FigTable, PairResult, Sweep, IQ_SIZES,
 };
 pub use report::{report_json, RunSpec, REPORT_SCHEMA_VERSION};
 pub use tables::{table1, table2};

@@ -10,7 +10,10 @@ use riq_core::RunResult;
 use riq_trace::{JsonValue, ToJson};
 
 /// Layout version of the report document.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: 1 = initial layout; 2 = added the top-level
+/// `wall_clock_seconds` field (host time spent simulating).
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// What was simulated — the inputs half of a report.
 #[derive(Debug, Clone)]
@@ -39,12 +42,19 @@ impl ToJson for RunSpec {
     }
 }
 
-/// Assembles the full report document for one run.
+/// Assembles the full report document for one run. `wall_clock_seconds`
+/// is the measured host time the simulation took (`None` when the caller
+/// did not time it); simulated time lives in `result.stats.cycles`.
 #[must_use]
-pub fn report_json(spec: &RunSpec, result: &RunResult) -> JsonValue {
+pub fn report_json(
+    spec: &RunSpec,
+    result: &RunResult,
+    wall_clock_seconds: Option<f64>,
+) -> JsonValue {
     JsonValue::obj([
         ("schema_version", REPORT_SCHEMA_VERSION.to_json()),
         ("generator", "riq".to_json()),
+        ("wall_clock_seconds", wall_clock_seconds.to_json()),
         ("run", spec.to_json()),
         ("result", result.to_json()),
     ])
@@ -68,7 +78,7 @@ mod tests {
         let result = small_result();
         let spec =
             RunSpec { program: "countdown".into(), iq: 64, reuse: true, scale: 1.0, epoch: None };
-        let doc = report_json(&spec, &result);
+        let doc = report_json(&spec, &result, Some(0.25));
         let text = doc.to_pretty();
         let back = riq_trace::parse(&text).expect("report parses");
         assert_eq!(
@@ -87,6 +97,7 @@ mod tests {
         );
         let digest = back.get("result").and_then(|r| r.get("mem_digest"));
         assert_eq!(digest.and_then(JsonValue::as_u64), Some(result.mem_digest));
+        assert_eq!(back.get("wall_clock_seconds").and_then(JsonValue::as_f64), Some(0.25));
     }
 
     #[test]
@@ -94,7 +105,7 @@ mod tests {
         let result = small_result();
         let spec =
             RunSpec { program: "x".into(), iq: 64, reuse: true, scale: 0.5, epoch: Some(100) };
-        let doc = report_json(&spec, &result);
+        let doc = report_json(&spec, &result, None);
         let power = doc.get("result").and_then(|r| r.get("power")).expect("power section");
         assert!(power.get("total_energy").and_then(JsonValue::as_f64).unwrap_or(0.0) > 0.0);
         let mem = doc.get("result").and_then(|r| r.get("mem")).expect("mem section");

@@ -37,7 +37,7 @@ impl TwoBitCounter {
 }
 
 /// Which direction predictor the front-end uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DirPredictorKind {
     /// Bimodal table of 2-bit counters (Table 1: 2048 entries).
     Bimod {

@@ -7,7 +7,7 @@ use riq_isa::CtrlKind;
 
 /// Configuration of the front-end predictor (Table 1 defaults via
 /// [`PredictorConfig::table1`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PredictorConfig {
     /// Direction predictor.
     pub dir: DirPredictorKind,

@@ -8,7 +8,7 @@ use std::fmt;
 
 /// Function-unit pool sizes (Table 1: 4 IALU, 1 IMULT, 4 FPALU, 1 FPMULT;
 /// SimpleScalar's default 2 cache ports for memory operations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FuConfig {
     /// Integer ALUs (also perform address generation and branch compare).
     pub int_alu: u32,
@@ -23,7 +23,7 @@ pub struct FuConfig {
 }
 
 /// Operation latencies in cycles (SimpleScalar `sim-outorder` defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LatencyConfig {
     /// Integer ALU operations.
     pub int_alu: u64,
@@ -43,7 +43,7 @@ pub struct LatencyConfig {
 
 /// Strategy deciding when loop buffering stops and Code Reuse begins
 /// (§2.2.1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BufferingStrategy {
     /// Buffer exactly one iteration, then promote. Gates earlier but uses
     /// the queue less efficiently for small loops.
@@ -55,7 +55,7 @@ pub enum BufferingStrategy {
 }
 
 /// Configuration of the reuse issue queue (the paper's contribution).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReuseConfig {
     /// Master switch; `false` gives the conventional baseline pipeline.
     pub enabled: bool,
@@ -83,7 +83,7 @@ impl Default for ReuseConfig {
 /// assert_eq!(cfg.lsq_entries, 64, "LSQ is half the IQ (paper §3)");
 /// assert!(cfg.reuse.enabled);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SimConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: u32,
@@ -174,6 +174,24 @@ impl SimConfig {
     pub fn with_strategy(mut self, strategy: BufferingStrategy) -> SimConfig {
         self.reuse.strategy = strategy;
         self
+    }
+
+    /// A stable fingerprint of the full configuration. Two configurations
+    /// fingerprint equal exactly when they are `==`; the value does not
+    /// vary across processes or platforms, so `(program, config)`
+    /// fingerprint pairs can key shared simulation-result caches.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use riq_core::SimConfig;
+    /// let a = SimConfig::baseline().with_iq_size(64).fingerprint();
+    /// assert_eq!(a, SimConfig::baseline().fingerprint(), "64 is the baseline size");
+    /// assert_ne!(a, SimConfig::baseline().with_reuse(true).fingerprint());
+    /// ```
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        riq_isa::fingerprint_of(self)
     }
 
     /// The derived power-model geometry.

@@ -45,11 +45,13 @@
 
 mod disasm;
 mod encode;
+mod fingerprint;
 mod inst;
 mod reg;
 
 pub use disasm::disassemble;
 pub use encode::{DecodeInstError, EncodeInstError};
+pub use fingerprint::{fingerprint_of, StableHasher};
 pub use inst::{
     branch_target, AluImmOp, AluOp, BranchCond, CtrlKind, FpAluOp, FpCond, FpUnaryOp, Inst,
     InstClass, ShiftOp,

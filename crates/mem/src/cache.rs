@@ -9,7 +9,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Geometry and latency of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Number of sets (must be a power of two).
     pub sets: u32,

@@ -14,7 +14,7 @@ use crate::tlb::{Tlb, TlbConfig};
 /// Main-memory latency parameters (Table 1: 80 cycles for the first chunk,
 /// 8 cycles for each following chunk; the OCR of the paper drops the
 /// trailing zero of "80").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MainMemoryConfig {
     /// Latency of the first bus chunk of a line fill.
     pub first_chunk: u64,
@@ -34,7 +34,7 @@ impl MainMemoryConfig {
 }
 
 /// Configuration of the whole hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HierarchyConfig {
     /// L1 instruction cache.
     pub il1: CacheConfig,

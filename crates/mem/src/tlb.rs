@@ -10,7 +10,7 @@ use crate::cache::{Cache, CacheConfig, CacheConfigError, CacheStats};
 pub const PAGE_BYTES: u32 = 4096;
 
 /// Configuration of one TLB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TlbConfig {
     /// Number of sets (power of two).
     pub sets: u32,

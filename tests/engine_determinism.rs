@@ -1,0 +1,98 @@
+//! The engine's contract: parallel execution is an implementation detail.
+//!
+//! * `jobs = 4` and `jobs = 1` must render byte-identical CSV for every
+//!   experiment (results are aggregated by job index, never by completion
+//!   order);
+//! * the result cache must collapse duplicate (program, config) points to
+//!   a single simulation, within a batch and across experiments.
+
+use riq_bench::{run_experiment, EngineOptions, Experiment};
+
+/// Small enough to keep the whole test under a few seconds, large enough
+/// that every kernel still executes its loops.
+const SCALE: f64 = 0.05;
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    for experiment in Experiment::all(SCALE) {
+        let serial = run_experiment(&experiment, &EngineOptions::with_jobs(1))
+            .unwrap_or_else(|e| panic!("{} serial: {e}", experiment.label()));
+        let parallel = run_experiment(&experiment, &EngineOptions::with_jobs(4))
+            .unwrap_or_else(|e| panic!("{} parallel: {e}", experiment.label()));
+        assert_eq!(
+            serial.to_csv(),
+            parallel.to_csv(),
+            "{}: jobs=4 must reproduce jobs=1 bit-for-bit",
+            experiment.label()
+        );
+    }
+}
+
+#[test]
+fn fig5_to_8_views_are_deterministic_too() {
+    // The per-figure extraction used by `riq-repro fig5`..`fig8` must be
+    // as stable as the stacked table itself.
+    let serial = run_experiment(&Experiment::Fig5_8 { scale: SCALE }, &EngineOptions::with_jobs(1))
+        .expect("serial");
+    let parallel =
+        run_experiment(&Experiment::Fig5_8 { scale: SCALE }, &EngineOptions::with_jobs(4))
+            .expect("parallel");
+    for (fig, label) in
+        [("fig5", "benchmark"), ("fig6", "component"), ("fig7", "benchmark"), ("fig8", "benchmark")]
+    {
+        let a = serial.sub_table(fig, label);
+        let b = parallel.sub_table(fig, label);
+        assert!(!a.rows().is_empty(), "{fig} must have rows");
+        assert_eq!(a.to_csv(), b.to_csv(), "{fig} CSV differs between jobs=1 and jobs=4");
+    }
+}
+
+#[test]
+fn shared_cache_dedups_across_experiments() {
+    // Figure 9's "original" column and the transform ablation's
+    // "original" row revisit points the Figure 5-8 sweep already ran;
+    // with one shared EngineOptions they must not simulate again.
+    let opts = EngineOptions::with_jobs(4);
+    run_experiment(&Experiment::Fig5_8 { scale: SCALE }, &opts).expect("sweep");
+    assert_eq!(opts.cache.hits(), 0, "first sweep has nothing to reuse");
+    let after_sweep = opts.cache.misses();
+
+    run_experiment(&Experiment::Fig9 { scale: SCALE }, &opts).expect("fig9");
+    assert!(
+        opts.cache.hits() >= 16,
+        "fig9's 8 original baseline+reuse IQ-64 points must all hit ({} hits)",
+        opts.cache.hits()
+    );
+
+    run_experiment(&Experiment::TransformAblation { scale: SCALE }, &opts).expect("transforms");
+    run_experiment(&Experiment::NbltAblation { scale: SCALE }, &opts).expect("nblt");
+    run_experiment(&Experiment::StrategyAblation { scale: SCALE }, &opts).expect("strategy");
+    run_experiment(&Experiment::BpredAblation { scale: SCALE }, &opts).expect("bpred");
+
+    // Every hit is a simulation the pre-engine harness would have re-run.
+    assert!(
+        opts.cache.hits() >= 16 + 32 + 8 + 32 + 16,
+        "combined run reuses the sweep's reuse points broadly ({} hits)",
+        opts.cache.hits()
+    );
+    assert!(opts.cache.misses() > after_sweep, "the ablations still add unique points");
+
+    // Re-running the whole set is pure cache traffic: not one new miss.
+    let misses_before = opts.cache.misses();
+    for experiment in Experiment::all(SCALE) {
+        run_experiment(&experiment, &opts).expect("cached rerun");
+    }
+    assert_eq!(opts.cache.misses(), misses_before, "every point was already cached");
+}
+
+#[test]
+fn dedup_does_not_leak_across_different_scales() {
+    // A rescaled kernel is a different program; the cache must miss. The
+    // scales are chosen so every kernel's clamped outer trip count really
+    // changes (tiny scales all clamp to the same 2-trip floor).
+    let opts = EngineOptions::with_jobs(2);
+    run_experiment(&Experiment::NbltAblation { scale: SCALE }, &opts).expect("nblt");
+    let misses = opts.cache.misses();
+    run_experiment(&Experiment::NbltAblation { scale: 0.5 }, &opts).expect("nblt at half scale");
+    assert_eq!(opts.cache.misses(), misses * 2, "rescaled programs share nothing");
+}

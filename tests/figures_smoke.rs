@@ -3,7 +3,7 @@
 //! assertions that protect the reproduction itself — if a refactor breaks
 //! any headline trend, this file fails.
 
-use riq_bench::{fig9, nblt_ablation, Sweep};
+use riq_bench::{fig9_points, run_experiment, EngineOptions, Experiment, Sweep};
 use riq_power::ComponentGroup;
 
 /// One shared reduced-scale sweep (the sweep costs seconds; the assertions
@@ -11,7 +11,10 @@ use riq_power::ComponentGroup;
 fn sweep() -> &'static Sweep {
     use std::sync::OnceLock;
     static SWEEP: OnceLock<Sweep> = OnceLock::new();
-    SWEEP.get_or_init(|| Sweep::run(0.15).expect("sweep runs"))
+    SWEEP.get_or_init(|| {
+        // One worker per CPU: identical results, faster test suite.
+        Sweep::run_with(0.15, &EngineOptions::default()).expect("sweep runs")
+    })
 }
 
 #[test]
@@ -44,7 +47,7 @@ fn fig5_large_loops_need_large_queues() {
 
 #[test]
 fn fig5_average_grows_with_queue_size() {
-    let t = sweep().fig5();
+    let t = sweep().fig5().expect("full sweep");
     let avg: Vec<f64> = (0..4).map(|c| t.value("average", c).unwrap()).collect();
     assert!(avg[0] < avg[1] && avg[1] < avg[2] && avg[2] < avg[3], "{avg:?}");
     // Paper: 42% at IQ-32 growing to 82% at IQ-256.
@@ -85,7 +88,7 @@ fn fig6_component_reductions_grow_and_rank_correctly() {
 
 #[test]
 fn fig7_overall_savings_positive_on_average() {
-    let t = sweep().fig7();
+    let t = sweep().fig7().expect("full sweep");
     for c in 0..4 {
         let avg = t.value("average", c).unwrap();
         assert!(avg > 0.02, "average power reduction at column {c}: {avg:.3}");
@@ -96,7 +99,7 @@ fn fig7_overall_savings_positive_on_average() {
 
 #[test]
 fn fig8_ipc_impact_is_bounded() {
-    let t = sweep().fig8();
+    let t = sweep().fig8().expect("full sweep");
     for (name, vals) in t.rows() {
         for (c, v) in vals.iter().enumerate() {
             assert!(
@@ -109,7 +112,7 @@ fn fig8_ipc_impact_is_bounded() {
 
 #[test]
 fn fig9_distribution_unlocks_the_64_entry_queue() {
-    let points = fig9(0.15).expect("fig9 runs");
+    let points = fig9_points(0.15, &EngineOptions::default()).expect("fig9 runs");
     let by = |k: &str| points.iter().find(|p| p.kernel == k).unwrap();
     // The fat kernels cannot gate at IQ-64 originally but can after
     // distribution (paper: average gated 48% -> 86%).
@@ -137,7 +140,8 @@ fn fig9_distribution_unlocks_the_64_entry_queue() {
 fn nblt_reduces_revoke_rate_below_ten_percent() {
     // Paper §3: "an eight-entry NBLT ... helps reduce the buffering revoke
     // rate from around 40% to 10% below."
-    let t = nblt_ablation(0.15).expect("ablation runs");
+    let t = run_experiment(&Experiment::NbltAblation { scale: 0.15 }, &EngineOptions::default())
+        .expect("ablation runs");
     let without = t.value("average", 0).unwrap();
     let with = t.value("average", 1).unwrap();
     assert!(with < 0.10, "with NBLT: {with:.3}");
