@@ -3,8 +3,14 @@
 //!
 //! ```text
 //! riq-repro <experiment> [--scale F] [--jobs N] [--csv]
+//!           [--skip N] [--warmup M] [--no-ckpt-store]
 //! riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F]
 //!           [--json PATH] [--trace PATH] [--epoch N]
+//!           [--skip N] [--warmup M] [--sample K] [--ckpt PATH]
+//! riq-repro ckpt create <kernel|file.s> --skip N [--warmup M] [--scale F]
+//!           [--out PATH]
+//! riq-repro ckpt ls <PATH...>
+//! riq-repro ckpt verify <PATH> [--program <kernel|file.s>] [--scale F]
 //!
 //! experiments:
 //!   table1    baseline processor configuration (paper Table 1)
@@ -40,11 +46,33 @@
 //! (reuse-FSM transitions, gating windows, per-cycle pipeline samples,
 //! cache misses, mispredictions), and `--epoch N` adds a statistics
 //! snapshot every N cycles (to the report and, when tracing, the trace).
+//!
+//! `--skip N` fast-forwards N instructions on the functional emulator and
+//! resumes the detailed simulator from the checkpoint; `--warmup M`
+//! replays the last M fast-forwarded instructions into the caches, TLBs,
+//! and branch predictor first. `--sample K` stops detailed simulation
+//! after K committed instructions (SMARTS-style sampling). `--ckpt PATH`
+//! reuses the snapshot file at PATH if it exists (it must match the
+//! program) and creates it otherwise. The run report records checkpoint
+//! provenance under `run.checkpoint`.
+//!
+//! The experiment commands accept `--skip N [--warmup M]` to fast-forward
+//! every simulation point; a shared checkpoint store amortizes one
+//! fast-forward per program across all configurations (disable with
+//! `--no-ckpt-store` — results are identical, only slower).
+//!
+//! `ckpt create` snapshots a program after N instructions and writes the
+//! versioned binary checkpoint file; `ckpt ls` prints the header of each
+//! given file; `ckpt verify` decodes a file (checking its integrity
+//! digest) and, with `--program`, replays the fast-forward and compares
+//! fingerprints.
 //! ```
 
 use riq_bench::{
-    report_json, run_experiment, table1, table2, EngineOptions, Experiment, FigTable, RunSpec,
+    report_json, run_experiment, table1, table2, CheckpointProvenance, CheckpointStore,
+    EngineOptions, Experiment, FigTable, RunSpec,
 };
+use riq_ckpt::Checkpoint;
 use riq_core::{Processor, SimConfig};
 use riq_trace::{JsonlSink, NullSink, TraceSink};
 use std::fs::File;
@@ -54,8 +82,11 @@ use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|all> [--scale F] [--jobs N] [--csv]
-                riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F] [--json PATH] [--trace PATH] [--epoch N]"
+        "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|all> [--scale F] [--jobs N] [--csv] [--skip N] [--warmup M] [--no-ckpt-store]
+                riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F] [--json PATH] [--trace PATH] [--epoch N] [--skip N] [--warmup M] [--sample K] [--ckpt PATH]
+                riq-repro ckpt create <kernel|file.s> --skip N [--warmup M] [--scale F] [--out PATH]
+                riq-repro ckpt ls <PATH...>
+                riq-repro ckpt verify <PATH> [--program <kernel|file.s>] [--scale F]"
     );
     ExitCode::FAILURE
 }
@@ -72,9 +103,21 @@ fn main() -> ExitCode {
             }
         };
     }
+    if cmd == "ckpt" {
+        return match run_ckpt(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("riq-repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut scale = 1.0f64;
     let mut jobs = 0usize; // 0 = one worker per available CPU
     let mut csv = false;
+    let mut skip = 0u64;
+    let mut warmup = 0u64;
+    let mut no_store = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -87,10 +130,19 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             "--csv" => csv = true,
+            "--skip" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => skip = v,
+                _ => return usage(),
+            },
+            "--warmup" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => warmup = v,
+                _ => return usage(),
+            },
+            "--no-ckpt-store" => no_store = true,
             _ => return usage(),
         }
     }
-    match run(cmd, scale, jobs, csv) {
+    match run(cmd, scale, jobs, csv, skip, warmup, no_store) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("riq-repro: {e}");
@@ -108,13 +160,28 @@ struct RunArgs {
     json: Option<String>,
     trace: Option<String>,
     epoch: Option<u64>,
+    skip: u64,
+    warmup: u64,
+    sample: Option<u64>,
+    ckpt: Option<String>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut it = args.iter();
     let program = it.next().ok_or("run: missing program (kernel name or .s file)")?.clone();
-    let mut out =
-        RunArgs { program, iq: 64, reuse: false, scale: 1.0, json: None, trace: None, epoch: None };
+    let mut out = RunArgs {
+        program,
+        iq: 64,
+        reuse: false,
+        scale: 1.0,
+        json: None,
+        trace: None,
+        epoch: None,
+        skip: 0,
+        warmup: 0,
+        sample: None,
+        ckpt: None,
+    };
     while let Some(a) = it.next() {
         let mut value =
             |flag: &str| it.next().cloned().ok_or_else(|| format!("run: {flag} needs a value"));
@@ -145,6 +212,28 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                         .ok_or("run: --epoch needs a positive cycle count")?,
                 );
             }
+            "--skip" => {
+                out.skip = value("--skip")?
+                    .parse()
+                    .ok()
+                    .ok_or("run: --skip needs an instruction count")?;
+            }
+            "--warmup" => {
+                out.warmup = value("--warmup")?
+                    .parse()
+                    .ok()
+                    .ok_or("run: --warmup needs an instruction count")?;
+            }
+            "--sample" => {
+                out.sample = Some(
+                    value("--sample")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or("run: --sample needs a positive commit count")?,
+                );
+            }
+            "--ckpt" => out.ckpt = Some(value("--ckpt")?),
             other => return Err(format!("run: unknown option {other:?}")),
         }
     }
@@ -165,11 +254,58 @@ fn load_program(name: &str, scale: f64) -> Result<riq_asm::Program, Box<dyn std:
     }
 }
 
+/// Obtains the checkpoint for a `run` invocation: loaded from `--ckpt
+/// PATH` when the file exists (validated against the program), freshly
+/// fast-forwarded otherwise (and saved to PATH when one was given).
+/// Returns the checkpoint and the fast-forward wall-clock seconds (zero
+/// on a load).
+fn obtain_checkpoint(
+    opts: &RunArgs,
+    program: &riq_asm::Program,
+) -> Result<(Checkpoint, f64), Box<dyn std::error::Error>> {
+    if let Some(path) = &opts.ckpt {
+        if std::path::Path::new(path).exists() {
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let ckpt = Checkpoint::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            if ckpt.program_fingerprint != program.fingerprint() {
+                return Err(
+                    format!("{path}: checkpoint was captured from a different program").into()
+                );
+            }
+            eprintln!(
+                "checkpoint: loaded {path} (skip {}, {} retired, warm {})",
+                ckpt.skip,
+                ckpt.retired,
+                ckpt.warm.len()
+            );
+            return Ok((ckpt, 0.0));
+        }
+    }
+    let started = Instant::now();
+    let ckpt = Checkpoint::fast_forward(program, opts.skip, opts.warmup)?;
+    let ff_wall = started.elapsed().as_secs_f64();
+    if let Some(path) = &opts.ckpt {
+        std::fs::write(path, ckpt.encode()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("checkpoint: created {path} ({} retired, {ff_wall:.3}s)", ckpt.retired);
+    }
+    Ok((ckpt, ff_wall))
+}
+
 fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_run_args(args)?;
     let program = load_program(&opts.program, opts.scale)?;
     let cfg = SimConfig::baseline().with_iq_size(opts.iq).with_reuse(opts.reuse);
     let processor = Processor::new(cfg);
+
+    // Any of --skip/--sample/--ckpt routes the run through a checkpoint
+    // (a --sample without --skip samples from instruction zero).
+    let checkpointed = opts.skip > 0 || opts.sample.is_some() || opts.ckpt.is_some();
+    let checkpoint = if checkpointed {
+        let (ckpt, ff_wall) = obtain_checkpoint(&opts, &program)?;
+        Some((ckpt, ff_wall))
+    } else {
+        None
+    };
 
     let mut jsonl = match &opts.trace {
         Some(path) => Some(JsonlSink::new(
@@ -183,7 +319,12 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         None => &mut null,
     };
     let started = Instant::now();
-    let result = processor.run_observed(&program, sink, opts.epoch)?;
+    let result = match &checkpoint {
+        Some((ckpt, _)) => {
+            processor.resume_observed(&program, ckpt, opts.warmup, opts.sample, sink, opts.epoch)?
+        }
+        None => processor.run_observed(&program, sink, opts.epoch)?,
+    };
     let wall = started.elapsed().as_secs_f64();
     if let Some(s) = jsonl {
         let events = s.written();
@@ -197,6 +338,12 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         reuse: opts.reuse,
         scale: opts.scale,
         epoch: opts.epoch,
+        checkpoint: checkpoint.as_ref().map(|(ckpt, _)| CheckpointProvenance {
+            fingerprint: ckpt.fingerprint(),
+            skip: ckpt.skip,
+            warmup: opts.warmup,
+            sample: opts.sample,
+        }),
     };
     if let Some(path) = &opts.json {
         let doc = report_json(&spec, &result, Some(wall)).to_pretty();
@@ -231,6 +378,152 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         s.reuse.reused_insts,
         result.epochs.len(),
     )?;
+    if let Some((ckpt, ff_wall)) = &checkpoint {
+        writeln!(
+            summary,
+            "  resumed at {} retired (skip {}, warmup {}), {} retired in total, \
+             fast-forward {ff_wall:.3}s",
+            ckpt.retired,
+            ckpt.skip,
+            opts.warmup.min(ckpt.warm.len() as u64),
+            ckpt.retired + s.committed,
+        )?;
+    }
+    Ok(())
+}
+
+/// The `ckpt` subcommand: `create`, `ls`, `verify`.
+fn run_ckpt(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(verb) = args.first() else {
+        return Err("ckpt: missing subcommand (create|ls|verify)".into());
+    };
+    match verb.as_str() {
+        "create" => ckpt_create(&args[1..]),
+        "ls" => ckpt_ls(&args[1..]),
+        "verify" => ckpt_verify(&args[1..]),
+        other => Err(format!("ckpt: unknown subcommand {other:?}").into()),
+    }
+}
+
+fn ckpt_create(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut it = args.iter();
+    let program_name =
+        it.next().ok_or("ckpt create: missing program (kernel name or .s file)")?.clone();
+    let mut skip: Option<u64> = None;
+    let mut warmup = 0u64;
+    let mut scale = 1.0f64;
+    let mut out_path: Option<String> = None;
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("ckpt create: {flag} needs a value"))
+        };
+        match a.as_str() {
+            "--skip" => {
+                skip = Some(
+                    value("--skip")?
+                        .parse()
+                        .ok()
+                        .ok_or("ckpt create: --skip needs an instruction count")?,
+                );
+            }
+            "--warmup" => {
+                warmup = value("--warmup")?
+                    .parse()
+                    .ok()
+                    .ok_or("ckpt create: --warmup needs an instruction count")?;
+            }
+            "--scale" => {
+                scale = value("--scale")?
+                    .parse()
+                    .ok()
+                    .filter(|&f: &f64| f > 0.0)
+                    .ok_or("ckpt create: --scale needs a positive number")?;
+            }
+            "--out" => out_path = Some(value("--out")?),
+            other => return Err(format!("ckpt create: unknown option {other:?}").into()),
+        }
+    }
+    let skip = skip.ok_or("ckpt create: --skip is required")?;
+    let program = load_program(&program_name, scale)?;
+    let started = Instant::now();
+    let ckpt = Checkpoint::fast_forward(&program, skip, warmup)?;
+    let ff_wall = started.elapsed().as_secs_f64();
+    let path = out_path.unwrap_or_else(|| format!("{program_name}.ckpt"));
+    let bytes = ckpt.encode();
+    std::fs::write(&path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "{path}: {} bytes, skip {}, {} retired, warm {}, fingerprint {:#018x} ({ff_wall:.3}s)",
+        bytes.len(),
+        ckpt.skip,
+        ckpt.retired,
+        ckpt.warm.len(),
+        ckpt.fingerprint(),
+    );
+    Ok(())
+}
+
+fn ckpt_ls(paths: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if paths.is_empty() {
+        return Err("ckpt ls: missing checkpoint file paths".into());
+    }
+    for path in paths {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let ckpt = Checkpoint::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: program {:#018x}, skip {}, {} retired, pc {:#010x}{}, {} pages, \
+             warm {}, fingerprint {:#018x}",
+            ckpt.program_fingerprint,
+            ckpt.skip,
+            ckpt.retired,
+            ckpt.pc,
+            if ckpt.halted { " (halted)" } else { "" },
+            ckpt.mem.pages().count(),
+            ckpt.warm.len(),
+            ckpt.fingerprint(),
+        );
+    }
+    Ok(())
+}
+
+fn ckpt_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut it = args.iter();
+    let path = it.next().ok_or("ckpt verify: missing checkpoint file path")?.clone();
+    let mut program_name: Option<String> = None;
+    let mut scale = 1.0f64;
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("ckpt verify: {flag} needs a value"))
+        };
+        match a.as_str() {
+            "--program" => program_name = Some(value("--program")?),
+            "--scale" => {
+                scale = value("--scale")?
+                    .parse()
+                    .ok()
+                    .filter(|&f: &f64| f > 0.0)
+                    .ok_or("ckpt verify: --scale needs a positive number")?;
+            }
+            other => return Err(format!("ckpt verify: unknown option {other:?}").into()),
+        }
+    }
+    let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Decoding enforces the trailing integrity digest.
+    let ckpt = Checkpoint::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(name) = program_name {
+        let program = load_program(&name, scale)?;
+        if ckpt.program_fingerprint != program.fingerprint() {
+            return Err(format!("{path}: checkpoint does not belong to {name:?}").into());
+        }
+        // Replay the fast-forward; an equal fingerprint means every byte
+        // of architectural state matches the file.
+        let replay = Checkpoint::fast_forward(&program, ckpt.skip, ckpt.warmup)?;
+        if replay.fingerprint() != ckpt.fingerprint() {
+            return Err(format!("{path}: replayed fast-forward diverges from the file").into());
+        }
+        println!("{path}: ok (digest intact, replay of {name:?} matches)");
+    } else {
+        println!("{path}: ok (digest intact)");
+    }
     Ok(())
 }
 
@@ -315,8 +608,22 @@ fn header_for(label: &str) -> &'static str {
     }
 }
 
-fn run(cmd: &str, scale: f64, jobs: usize, csv: bool) -> Result<(), Box<dyn std::error::Error>> {
-    let opts = EngineOptions { jobs, cache: riq_bench::ResultCache::new() };
+fn run(
+    cmd: &str,
+    scale: f64,
+    jobs: usize,
+    csv: bool,
+    skip: u64,
+    warmup: u64,
+    no_store: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = EngineOptions {
+        jobs,
+        cache: riq_bench::ResultCache::new(),
+        skip,
+        warmup,
+        ckpt: (skip > 0 && !no_store).then(CheckpointStore::new),
+    };
     let started = Instant::now();
     match cmd {
         "table1" | "table2" | "all" if csv => {
@@ -378,6 +685,14 @@ fn run(cmd: &str, scale: f64, jobs: usize, csv: bool) -> Result<(), Box<dyn std:
             opts.worker_count(usize::MAX),
             opts.cache.misses(),
             opts.cache.hits(),
+        );
+    }
+    if let Some(store) = &opts.ckpt {
+        eprintln!(
+            "checkpoints: skip {skip}, {} fast-forwards ({:.2}s), {} reused",
+            store.created(),
+            store.ff_seconds(),
+            store.reused(),
         );
     }
     Ok(())

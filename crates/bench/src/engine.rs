@@ -34,6 +34,7 @@
 //! ```
 
 use riq_asm::Program;
+use riq_ckpt::{Checkpoint, CheckpointStore};
 use riq_core::{Processor, RunResult, SimConfig, SimError};
 use std::collections::HashMap;
 use std::error::Error;
@@ -50,6 +51,8 @@ const _: () = {
     assert_send_sync::<SimConfig>();
     assert_send_sync::<Processor>();
     assert_send_sync::<RunResult>();
+    assert_send_sync::<Checkpoint>();
+    assert_send_sync::<CheckpointStore>();
 };
 
 /// Error running an experiment.
@@ -57,6 +60,14 @@ const _: () = {
 pub enum ExperimentError {
     /// A kernel failed to compile.
     Compile(riq_kernels::CompileKernelError),
+    /// The functional fast-forward of a job faulted before producing a
+    /// checkpoint.
+    FastForward {
+        /// The job's kernel label.
+        kernel: String,
+        /// The underlying emulator error.
+        source: riq_emu::EmuError,
+    },
     /// A simulation point failed.
     Sim {
         /// The job's kernel label.
@@ -77,6 +88,9 @@ impl fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExperimentError::Compile(e) => write!(f, "kernel compilation failed: {e}"),
+            ExperimentError::FastForward { kernel, source } => {
+                write!(f, "fast-forward of {kernel:?} failed: {source}")
+            }
             ExperimentError::Sim { kernel, source } => {
                 write!(f, "simulation of {kernel:?} failed: {source}")
             }
@@ -91,6 +105,7 @@ impl Error for ExperimentError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExperimentError::Compile(e) => Some(e),
+            ExperimentError::FastForward { source, .. } => Some(source),
             ExperimentError::Sim { source, .. } => Some(source),
             ExperimentError::MissingPoint { .. } => None,
         }
@@ -117,8 +132,10 @@ pub struct JobSpec {
     pub config: SimConfig,
 }
 
-/// A dedup key: `(program fingerprint, config fingerprint)`.
-pub type JobKey = (u64, u64);
+/// A dedup key: `(program fingerprint, config fingerprint, skip, warmup)`.
+/// From-zero runs always key with `(…, 0, 0)` so the same point simulated
+/// with and without a (no-op) fast-forward request shares one cache entry.
+pub type JobKey = (u64, u64, u64, u64);
 
 impl JobSpec {
     /// Creates a job.
@@ -127,13 +144,22 @@ impl JobSpec {
         JobSpec { kernel: kernel.into(), program: Arc::clone(program), config }
     }
 
-    /// The job's dedup key. Two jobs with equal keys simulate the same
-    /// program under the same configuration and therefore produce the same
-    /// result (the simulator is deterministic), regardless of their
-    /// `kernel` labels.
+    /// The job's dedup key for a from-zero run. Two jobs with equal keys
+    /// simulate the same program under the same configuration and
+    /// therefore produce the same result (the simulator is deterministic),
+    /// regardless of their `kernel` labels.
     #[must_use]
     pub fn key(&self) -> JobKey {
-        (self.program.fingerprint(), self.config.fingerprint())
+        self.key_with(0, 0)
+    }
+
+    /// The job's dedup key under a fast-forward request. A `skip` of zero
+    /// normalizes the warm-up away: the run starts from instruction zero
+    /// either way.
+    #[must_use]
+    pub fn key_with(&self, skip: u64, warmup: u64) -> JobKey {
+        let (skip, warmup) = if skip == 0 { (0, 0) } else { (skip, warmup) };
+        (self.program.fingerprint(), self.config.fingerprint(), skip, warmup)
     }
 }
 
@@ -216,19 +242,51 @@ pub struct EngineOptions {
     /// The dedup cache. Clone one `EngineOptions` across experiments to
     /// share it; the default value is a fresh empty cache.
     pub cache: ResultCache,
+    /// Instructions to fast-forward functionally before detailed
+    /// simulation of each job; `0` (the default) runs every job from
+    /// instruction zero.
+    pub skip: u64,
+    /// Warm-window size captured with each checkpoint and replayed into
+    /// the detailed simulator on resume. Ignored when `skip` is `0`.
+    pub warmup: u64,
+    /// Checkpoint store shared across jobs and batches. `Some` amortizes
+    /// one fast-forward per program across every configuration that sweeps
+    /// it; `None` fast-forwards per job (results are identical — the
+    /// fast-forward is deterministic — only wall clock differs).
+    pub ckpt: Option<CheckpointStore>,
 }
 
 impl EngineOptions {
     /// One worker on the calling thread (what the pre-engine harness did).
     #[must_use]
     pub fn serial() -> EngineOptions {
-        EngineOptions { jobs: 1, cache: ResultCache::new() }
+        EngineOptions { jobs: 1, ..EngineOptions::default() }
     }
 
     /// An explicit worker count (`0` = one per available CPU).
     #[must_use]
     pub fn with_jobs(jobs: usize) -> EngineOptions {
-        EngineOptions { jobs, cache: ResultCache::new() }
+        EngineOptions { jobs, ..EngineOptions::default() }
+    }
+
+    /// Requests a functional fast-forward of `skip` instructions with a
+    /// `warmup`-instruction warm window before each detailed run, and
+    /// attaches a fresh shared checkpoint store.
+    #[must_use]
+    pub fn with_fast_forward(mut self, skip: u64, warmup: u64) -> EngineOptions {
+        self.skip = skip;
+        self.warmup = warmup;
+        if skip > 0 && self.ckpt.is_none() {
+            self.ckpt = Some(CheckpointStore::new());
+        }
+        self
+    }
+
+    /// Attaches (or detaches) a checkpoint store.
+    #[must_use]
+    pub fn with_checkpoint_store(mut self, store: Option<CheckpointStore>) -> EngineOptions {
+        self.ckpt = store;
+        self
     }
 
     /// The resolved worker count for a batch of `pending` runnable jobs.
@@ -263,7 +321,7 @@ pub fn run_jobs(
     let mut job_unique: Vec<usize> = Vec::with_capacity(jobs.len());
     for job in jobs {
         let next = uniques.len();
-        let u = *key_to_unique.entry(job.key()).or_insert(next);
+        let u = *key_to_unique.entry(job.key_with(opts.skip, opts.warmup)).or_insert(next);
         if u == next {
             uniques.push(job);
         }
@@ -274,13 +332,35 @@ pub fn run_jobs(
     let mut resolved: Vec<Option<Arc<RunResult>>> = vec![None; uniques.len()];
     let mut pending: Vec<(usize, &JobSpec)> = Vec::new();
     for (u, spec) in uniques.iter().enumerate() {
-        match opts.cache.lookup(spec.key()) {
+        match opts.cache.lookup(spec.key_with(opts.skip, opts.warmup)) {
             Some(hit) => resolved[u] = Some(hit),
             None => pending.push((u, spec)),
         }
     }
     let misses = pending.len() as u64;
     opts.cache.record(jobs.len() as u64 - misses, misses);
+
+    // Fast-forward pre-pass (serial): with a store, every configuration of
+    // a program shares one checkpoint; without one, each job fast-forwards
+    // itself — same deterministic snapshot, no amortization.
+    let checkpoints: Vec<Option<Arc<Checkpoint>>> = if opts.skip == 0 {
+        vec![None; pending.len()]
+    } else {
+        pending
+            .iter()
+            .map(|(_, spec)| {
+                let ckpt = match &opts.ckpt {
+                    Some(store) => store.get_or_create(&spec.program, opts.skip, opts.warmup),
+                    None => Checkpoint::fast_forward(&spec.program, opts.skip, opts.warmup)
+                        .map(Arc::new),
+                };
+                ckpt.map(Some).map_err(|source| ExperimentError::FastForward {
+                    kernel: spec.kernel.clone(),
+                    source,
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
 
     // Simulate the pending points: workers pull the next index from a
     // shared cursor and write into their job's dedicated slot.
@@ -289,7 +369,11 @@ pub fn run_jobs(
     let workers = opts.worker_count(pending.len());
     let execute = |i: usize| {
         let spec = pending[i].1;
-        let result = Processor::new(spec.config.clone()).run(&spec.program);
+        let proc = Processor::new(spec.config.clone());
+        let result = match &checkpoints[i] {
+            Some(ckpt) => proc.resume_from(&spec.program, ckpt, opts.warmup),
+            None => proc.run(&spec.program),
+        };
         *slots[i].lock().expect("result slot lock") = Some(result);
     };
     if workers <= 1 {
@@ -315,7 +399,7 @@ pub fn run_jobs(
         match outcome {
             Ok(result) => {
                 let result = Arc::new(result);
-                opts.cache.store(spec.key(), Arc::clone(&result));
+                opts.cache.store(spec.key_with(opts.skip, opts.warmup), Arc::clone(&result));
                 resolved[*u] = Some(result);
             }
             Err(source) => {
@@ -386,6 +470,52 @@ mod tests {
             ExperimentError::Sim { kernel, .. } => assert_eq!(kernel, "starved"),
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn fast_forwarded_batch_matches_from_zero_and_amortizes() {
+        let program = tiny_program();
+        let jobs = vec![
+            JobSpec::new("base", &program, SimConfig::baseline()),
+            JobSpec::new("reuse", &program, SimConfig::baseline().with_reuse(true)),
+        ];
+        let from_zero = run_jobs(&jobs, &EngineOptions::serial()).expect("from-zero");
+
+        let opts = EngineOptions::serial().with_fast_forward(40, 16);
+        let store = opts.ckpt.clone().expect("with_fast_forward attaches a store");
+        let resumed = run_jobs(&jobs, &opts).expect("resumed");
+        assert_eq!(store.created(), 1, "one program, one fast-forward");
+        assert_eq!(store.reused(), 1, "second configuration reuses it");
+        for (z, r) in from_zero.iter().zip(&resumed) {
+            assert_eq!(z.arch_state, r.arch_state, "final state is skip-independent");
+            assert_eq!(z.mem_digest, r.mem_digest);
+        }
+
+        // Without a store, results are identical — only amortization is lost.
+        let solo = run_jobs(
+            &jobs,
+            &EngineOptions::serial().with_fast_forward(40, 16).with_checkpoint_store(None),
+        )
+        .expect("storeless");
+        for (r, s) in resumed.iter().zip(&solo) {
+            assert_eq!(r.stats.cycles, s.stats.cycles, "store on/off is bit-identical");
+            assert_eq!(r.arch_state, s.arch_state);
+        }
+    }
+
+    #[test]
+    fn skip_zero_normalizes_the_cache_key() {
+        let program = tiny_program();
+        let jobs = vec![JobSpec::new("a", &program, SimConfig::baseline())];
+        let opts = EngineOptions::serial();
+        run_jobs(&jobs, &opts).expect("plain run");
+        // A skip-0 "fast-forward" request is the same work and must hit.
+        let aliased =
+            EngineOptions { jobs: 1, cache: opts.cache.clone(), ..EngineOptions::default() }
+                .with_fast_forward(0, 64);
+        run_jobs(&jobs, &aliased).expect("aliased run");
+        assert_eq!(opts.cache.misses(), 1);
+        assert_eq!(opts.cache.hits(), 1);
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! enumerates its simulation points as [`JobSpec`](crate::JobSpec)s, hands
 //! them to the parallel [engine](crate::run_jobs), and aggregates the
 //! results into a [`FigTable`]. The `riq-repro` subcommands, the Criterion
-//! benches, and EXPERIMENTS.md all go through this surface; the historical
-//! free functions (`Sweep::run`, `fig9`, `nblt_ablation`, …) survive one
-//! release as deprecated shims over it.
+//! benches, and EXPERIMENTS.md all go through this surface.
 //!
 //! # Examples
 //!
@@ -281,46 +279,6 @@ fn bpred(scale: f64, opts: &EngineOptions) -> Result<FigTable, ExperimentError> 
         t.push_row(*name, vec![mispred / n, gated / n]);
     }
     Ok(t)
-}
-
-/// Runs the NBLT ablation serially.
-///
-/// # Errors
-///
-/// Propagates compile or simulation errors.
-#[deprecated(since = "0.1.0", note = "use `run_experiment(&Experiment::NbltAblation { .. })`")]
-pub fn nblt_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
-    run_experiment(&Experiment::NbltAblation { scale }, &EngineOptions::serial())
-}
-
-/// Runs the buffering-strategy ablation serially.
-///
-/// # Errors
-///
-/// Propagates compile or simulation errors.
-#[deprecated(since = "0.1.0", note = "use `run_experiment(&Experiment::StrategyAblation { .. })`")]
-pub fn strategy_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
-    run_experiment(&Experiment::StrategyAblation { scale }, &EngineOptions::serial())
-}
-
-/// Runs the loop-transformation ablation serially.
-///
-/// # Errors
-///
-/// Propagates compile or simulation errors.
-#[deprecated(since = "0.1.0", note = "use `run_experiment(&Experiment::TransformAblation { .. })`")]
-pub fn transform_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
-    run_experiment(&Experiment::TransformAblation { scale }, &EngineOptions::serial())
-}
-
-/// Runs the direction-predictor ablation serially.
-///
-/// # Errors
-///
-/// Propagates compile or simulation errors.
-#[deprecated(since = "0.1.0", note = "use `run_experiment(&Experiment::BpredAblation { .. })`")]
-pub fn bpred_ablation(scale: f64) -> Result<FigTable, ExperimentError> {
-    run_experiment(&Experiment::BpredAblation { scale }, &EngineOptions::serial())
 }
 
 #[cfg(test)]

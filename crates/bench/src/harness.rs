@@ -135,16 +135,6 @@ impl Sweep {
         Ok(Sweep::from_points(points))
     }
 
-    /// Runs the sweep serially.
-    ///
-    /// # Errors
-    ///
-    /// Propagates compile or simulation errors.
-    #[deprecated(since = "0.1.0", note = "use `Sweep::run_with` with `EngineOptions`")]
-    pub fn run(scale: f64) -> Result<Sweep, ExperimentError> {
-        Sweep::run_with(scale, &EngineOptions::serial())
-    }
-
     fn from_points(points: Vec<PairResult>) -> Sweep {
         let index = points
             .iter()
@@ -306,16 +296,6 @@ pub fn fig9_points(scale: f64, opts: &EngineOptions) -> Result<Vec<Fig9Point>, E
             kernel,
         })
         .collect())
-}
-
-/// Runs the Figure 9 experiment serially.
-///
-/// # Errors
-///
-/// Propagates compile or simulation errors.
-#[deprecated(since = "0.1.0", note = "use `fig9_points` with `EngineOptions`")]
-pub fn fig9(scale: f64) -> Result<Vec<Fig9Point>, ExperimentError> {
-    fig9_points(scale, &EngineOptions::serial())
 }
 
 /// Renders Figure 9 as a table (power reduction, gated rate, IPC loss for

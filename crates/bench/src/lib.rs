@@ -55,14 +55,10 @@ mod report;
 mod tables;
 
 pub use engine::{run_jobs, EngineOptions, ExperimentError, JobKey, JobSpec, ResultCache};
-#[allow(deprecated)]
-pub use experiment::{
-    bpred_ablation, nblt_ablation, run_experiment, strategy_ablation, transform_ablation,
-    Experiment,
-};
-#[allow(deprecated)]
+pub use experiment::{run_experiment, Experiment};
 pub use harness::{
-    fig9, fig9_points, fig9_table, run_pair, Fig9Point, FigTable, PairResult, Sweep, IQ_SIZES,
+    fig9_points, fig9_table, run_pair, Fig9Point, FigTable, PairResult, Sweep, IQ_SIZES,
 };
-pub use report::{report_json, RunSpec, REPORT_SCHEMA_VERSION};
+pub use report::{report_json, CheckpointProvenance, RunSpec, REPORT_SCHEMA_VERSION};
+pub use riq_ckpt::CheckpointStore;
 pub use tables::{table1, table2};

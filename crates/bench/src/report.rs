@@ -12,8 +12,36 @@ use riq_trace::{JsonValue, ToJson};
 /// Layout version of the report document.
 ///
 /// Version history: 1 = initial layout; 2 = added the top-level
-/// `wall_clock_seconds` field (host time spent simulating).
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+/// `wall_clock_seconds` field (host time spent simulating); 3 = added the
+/// `run.checkpoint` provenance object (`null` for from-zero runs).
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
+
+/// Provenance of a run that resumed from a checkpoint instead of
+/// instruction zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointProvenance {
+    /// [`riq_ckpt::Checkpoint::fingerprint`] of the snapshot resumed from.
+    pub fingerprint: u64,
+    /// Instructions fast-forwarded functionally before detailed
+    /// simulation.
+    pub skip: u64,
+    /// Warm-window events replayed into caches/TLBs/predictor on resume.
+    pub warmup: u64,
+    /// Detailed-commit budget, when the run was a sample rather than
+    /// run-to-halt.
+    pub sample: Option<u64>,
+}
+
+impl ToJson for CheckpointProvenance {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("fingerprint", self.fingerprint.to_json()),
+            ("skip", self.skip.to_json()),
+            ("warmup", self.warmup.to_json()),
+            ("sample", self.sample.to_json()),
+        ])
+    }
+}
 
 /// What was simulated — the inputs half of a report.
 #[derive(Debug, Clone)]
@@ -28,6 +56,9 @@ pub struct RunSpec {
     pub scale: f64,
     /// Epoch sampling period in cycles, if sampling was on.
     pub epoch: Option<u64>,
+    /// Checkpoint provenance; `None` when the run started from
+    /// instruction zero.
+    pub checkpoint: Option<CheckpointProvenance>,
 }
 
 impl ToJson for RunSpec {
@@ -38,6 +69,7 @@ impl ToJson for RunSpec {
             ("reuse", self.reuse.to_json()),
             ("scale", self.scale.to_json()),
             ("epoch", self.epoch.to_json()),
+            ("checkpoint", self.checkpoint.to_json()),
         ])
     }
 }
@@ -76,8 +108,14 @@ mod tests {
     #[test]
     fn report_round_trips_and_has_headline_numbers() {
         let result = small_result();
-        let spec =
-            RunSpec { program: "countdown".into(), iq: 64, reuse: true, scale: 1.0, epoch: None };
+        let spec = RunSpec {
+            program: "countdown".into(),
+            iq: 64,
+            reuse: true,
+            scale: 1.0,
+            epoch: None,
+            checkpoint: None,
+        };
         let doc = report_json(&spec, &result, Some(0.25));
         let text = doc.to_pretty();
         let back = riq_trace::parse(&text).expect("report parses");
@@ -98,13 +136,49 @@ mod tests {
         let digest = back.get("result").and_then(|r| r.get("mem_digest"));
         assert_eq!(digest.and_then(JsonValue::as_u64), Some(result.mem_digest));
         assert_eq!(back.get("wall_clock_seconds").and_then(JsonValue::as_f64), Some(0.25));
+        assert!(
+            matches!(back.get("run").and_then(|r| r.get("checkpoint")), Some(JsonValue::Null)),
+            "from-zero runs report a null checkpoint"
+        );
+    }
+
+    #[test]
+    fn checkpoint_provenance_is_recorded() {
+        let result = small_result();
+        let spec = RunSpec {
+            program: "countdown".into(),
+            iq: 64,
+            reuse: true,
+            scale: 1.0,
+            epoch: None,
+            checkpoint: Some(CheckpointProvenance {
+                fingerprint: 0xdead_beef,
+                skip: 10_000,
+                warmup: 2_000,
+                sample: Some(50_000),
+            }),
+        };
+        let doc = report_json(&spec, &result, None);
+        let text = doc.to_pretty();
+        let back = riq_trace::parse(&text).expect("report parses");
+        let ckpt = back.get("run").and_then(|r| r.get("checkpoint")).expect("checkpoint object");
+        assert_eq!(ckpt.get("fingerprint").and_then(JsonValue::as_u64), Some(0xdead_beef));
+        assert_eq!(ckpt.get("skip").and_then(JsonValue::as_u64), Some(10_000));
+        assert_eq!(ckpt.get("warmup").and_then(JsonValue::as_u64), Some(2_000));
+        assert_eq!(ckpt.get("sample").and_then(JsonValue::as_u64), Some(50_000));
     }
 
     #[test]
     fn report_includes_power_and_mem_sections() {
         let result = small_result();
-        let spec =
-            RunSpec { program: "x".into(), iq: 64, reuse: true, scale: 0.5, epoch: Some(100) };
+        let spec = RunSpec {
+            program: "x".into(),
+            iq: 64,
+            reuse: true,
+            scale: 0.5,
+            epoch: Some(100),
+            checkpoint: None,
+        };
         let doc = report_json(&spec, &result, None);
         let power = doc.get("result").and_then(|r| r.get("power")).expect("power section");
         assert!(power.get("total_energy").and_then(JsonValue::as_f64).unwrap_or(0.0) > 0.0);

@@ -113,6 +113,14 @@ impl Btb {
         set[victim] = Some(BtbEntry { tag, target, last_use: self.tick });
     }
 
+    /// Installs or refreshes the target for `pc` without counting the
+    /// update, for functional warming after a checkpoint restore.
+    pub fn warm(&mut self, pc: u32, target: u32) {
+        let saved = self.stats;
+        self.update(pc, target);
+        self.stats = saved;
+    }
+
     /// Activity counters.
     #[must_use]
     pub fn stats(&self) -> &BtbStats {

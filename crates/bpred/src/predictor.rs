@@ -185,6 +185,25 @@ impl BranchPredictor {
         }
     }
 
+    /// Trains the predictor with a resolved outcome without counting any
+    /// activity: the direction table, BTB and RAS update exactly as during
+    /// a run, but every statistic stays untouched. Used to replay the
+    /// functional-warming window after a checkpoint restore so detailed
+    /// measurement starts with trained structures and clean counters.
+    pub fn warm(&mut self, pc: u32, kind: CtrlKind, taken: bool, target: u32) {
+        match kind {
+            CtrlKind::CondBranch => self.dir.update(pc, taken),
+            CtrlKind::Call | CtrlKind::IndirectCall => self.ras.push(pc.wrapping_add(4)),
+            CtrlKind::Return => {
+                let _ = self.ras.pop();
+            }
+            CtrlKind::Jump => {}
+        }
+        if taken && !matches!(kind, CtrlKind::Return) {
+            self.btb.warm(pc, target);
+        }
+    }
+
     /// Activity/accuracy counters (BTB counters folded in).
     #[must_use]
     pub fn stats(&self) -> BpredStats {
@@ -253,6 +272,23 @@ mod tests {
         assert_eq!(s.dir_wrong, 1, "first update mispredicted (weakly NT)");
         assert_eq!(s.dir_correct, 2);
         assert!(s.dir_accuracy() > 0.6);
+    }
+
+    #[test]
+    fn warming_trains_without_counting() {
+        let mut bp = bp();
+        let pc = 0x0040_0120;
+        let tgt = 0x0040_0100;
+        for _ in 0..3 {
+            bp.warm(pc, CtrlKind::CondBranch, true, tgt);
+        }
+        assert_eq!(bp.stats(), BpredStats::default(), "warming is stats-neutral");
+        let p = bp.predict(pc, CtrlKind::CondBranch, Some(tgt));
+        assert_eq!(p, Prediction { taken: true, target: Some(tgt) }, "direction+BTB trained");
+
+        bp.warm(0x400200, CtrlKind::Call, true, 0x400800);
+        let ret = bp.predict(0x400810, CtrlKind::Return, None);
+        assert_eq!(ret.target, Some(0x400204), "warmed RAS supplies the return target");
     }
 
     #[test]

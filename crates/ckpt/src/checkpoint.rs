@@ -1,0 +1,265 @@
+//! The [`Checkpoint`] type: capture by fast-forward, restore, fingerprint.
+
+use riq_asm::Program;
+use riq_emu::{ArchState, ControlFlow, EmuError, Machine, SparseMemory};
+use riq_isa::{CtrlKind, FpReg, IntReg, StableHasher, NUM_FP_REGS, NUM_INT_REGS};
+use std::collections::VecDeque;
+use std::hash::Hasher;
+
+/// The memory access performed by one warm-window instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmAccess {
+    /// Accessed byte address.
+    pub addr: u32,
+    /// Whether the access was a store.
+    pub is_store: bool,
+}
+
+/// The resolved control transfer performed by one warm-window instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmBranch {
+    /// Flavor of control transfer.
+    pub kind: CtrlKind,
+    /// Whether the transfer was taken.
+    pub taken: bool,
+    /// The architecturally next PC (the target when taken).
+    pub next: u32,
+}
+
+/// One entry of the functional-warming log: an instruction executed during
+/// the tail of the fast-forward, recorded so the detailed simulator can
+/// pre-touch its caches/TLBs and train its branch predictor before
+/// measurement starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmEvent {
+    /// PC the instruction executed at (warms the instruction side).
+    pub pc: u32,
+    /// Data access, if the instruction was a load or store.
+    pub mem: Option<WarmAccess>,
+    /// Control transfer, if the instruction was one.
+    pub branch: Option<WarmBranch>,
+}
+
+/// A full architectural snapshot of the functional machine, plus the warm
+/// window leading up to it.
+///
+/// Produced by [`Checkpoint::fast_forward`], serialized with
+/// [`Checkpoint::encode`], and restorable into both the emulator
+/// ([`Checkpoint::resume_machine`]) and the cycle simulator
+/// (`riq_core::Processor::resume_from`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Fingerprint of the program this state belongs to; restore targets
+    /// must present a matching program.
+    pub program_fingerprint: u64,
+    /// The requested fast-forward instruction count. `retired` is smaller
+    /// when the program halted before reaching it.
+    pub skip: u64,
+    /// The requested warm-window capacity at capture time. `warm` holds at
+    /// most this many events (fewer when the run was shorter).
+    pub warmup: u64,
+    /// Instructions actually retired before the snapshot.
+    pub retired: u64,
+    /// PC of the next instruction to execute.
+    pub pc: u32,
+    /// Whether the program halted during the fast-forward.
+    pub halted: bool,
+    /// The architectural register file.
+    pub regs: ArchState,
+    /// The architectural memory image (resident pages only).
+    pub mem: SparseMemory,
+    /// The warm window: the last `warmup` instructions before the
+    /// snapshot, oldest first.
+    pub warm: Vec<WarmEvent>,
+}
+
+impl Checkpoint {
+    /// Runs `program` on a fresh functional [`Machine`] until `skip`
+    /// instructions have retired (or the program halts, whichever comes
+    /// first) and snapshots the resulting state. The last `warmup`
+    /// instructions of the fast-forward are captured as the warm window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decode or memory fault the emulator hits.
+    pub fn fast_forward(program: &Program, skip: u64, warmup: u64) -> Result<Checkpoint, EmuError> {
+        let mut machine = Machine::new(program);
+        let mut warm: VecDeque<WarmEvent> = VecDeque::new();
+        while machine.retired() < skip {
+            let Some(record) = machine.step_recorded()? else {
+                break;
+            };
+            if warmup == 0 {
+                continue;
+            }
+            let branch = record.inst.ctrl_kind().map(|kind| WarmBranch {
+                kind,
+                taken: matches!(record.exec.flow, ControlFlow::Taken(_)),
+                next: record.exec.flow.next_pc(record.pc),
+            });
+            let mem = record
+                .exec
+                .mem
+                .map(|access| WarmAccess { addr: access.addr, is_store: access.is_store });
+            warm.push_back(WarmEvent { pc: record.pc, mem, branch });
+            if warm.len() as u64 > warmup {
+                warm.pop_front();
+            }
+        }
+        Ok(Checkpoint {
+            program_fingerprint: program.fingerprint(),
+            skip,
+            warmup,
+            retired: machine.retired(),
+            pc: machine.pc(),
+            halted: machine.is_halted(),
+            regs: machine.state().clone(),
+            mem: machine.memory().clone(),
+            warm: warm.into(),
+        })
+    }
+
+    /// Restores the functional machine from this snapshot. Running the
+    /// result to completion is architecturally identical to running the
+    /// original program from instruction zero.
+    #[must_use]
+    pub fn resume_machine(&self) -> Machine {
+        Machine::from_state(self.regs.clone(), self.mem.clone(), self.pc, self.halted, self.retired)
+    }
+
+    /// A stable FNV-1a fingerprint of the entire checkpoint (header,
+    /// registers, memory content digest, warm window). Identical
+    /// fast-forwards of identical programs fingerprint equal on every
+    /// platform; recorded as provenance in run reports.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.program_fingerprint);
+        h.write_u64(self.skip);
+        h.write_u64(self.warmup);
+        h.write_u64(self.retired);
+        h.write_u32(self.pc);
+        h.write_u8(u8::from(self.halted));
+        for i in 0..NUM_INT_REGS {
+            h.write_u32(self.regs.int_reg(IntReg::new(i as u8)));
+        }
+        for i in 0..NUM_FP_REGS {
+            h.write_u64(self.regs.fp_reg_bits(FpReg::new(i as u8)));
+        }
+        h.write_u64(self.mem.content_digest());
+        h.write_u64(self.warm.len() as u64);
+        for event in &self.warm {
+            h.write_u32(event.pc);
+            match event.mem {
+                Some(access) => {
+                    h.write_u8(1);
+                    h.write_u32(access.addr);
+                    h.write_u8(u8::from(access.is_store));
+                }
+                None => h.write_u8(0),
+            }
+            match event.branch {
+                Some(branch) => {
+                    h.write_u8(1);
+                    h.write_u8(crate::codec::ctrl_kind_code(branch.kind));
+                    h.write_u8(u8::from(branch.taken));
+                    h.write_u32(branch.next);
+                }
+                None => h.write_u8(0),
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+
+    fn program() -> Program {
+        assemble(
+            r#"
+                li   $r2, 40
+                li   $r6, 0x2000
+            loop:
+                sw   $r2, 0($r6)
+                lw   $r3, 0($r6)
+                add  $r4, $r4, $r3
+                addi $r2, $r2, -1
+                bne  $r2, $r0, loop
+                halt
+            "#,
+        )
+        .expect("assembles")
+    }
+
+    #[test]
+    fn fast_forward_matches_manual_stepping() {
+        let p = program();
+        let ckpt = Checkpoint::fast_forward(&p, 17, 8).unwrap();
+        let mut m = Machine::new(&p);
+        for _ in 0..17 {
+            m.step().unwrap();
+        }
+        assert_eq!(ckpt.retired, 17);
+        assert_eq!(ckpt.pc, m.pc());
+        assert_eq!(&ckpt.regs, m.state());
+        assert_eq!(ckpt.mem.content_digest(), m.memory().content_digest());
+        assert!(!ckpt.halted);
+        assert_eq!(ckpt.warm.len(), 8, "window holds the last 8 instructions");
+    }
+
+    #[test]
+    fn resume_finishes_identically_to_from_zero() {
+        let p = program();
+        let mut full = Machine::new(&p);
+        full.run(100_000).unwrap();
+
+        let ckpt = Checkpoint::fast_forward(&p, 50, 16).unwrap();
+        let mut resumed = ckpt.resume_machine();
+        resumed.run(100_000).unwrap();
+
+        assert_eq!(resumed.state(), full.state());
+        assert_eq!(resumed.retired(), full.retired());
+        assert_eq!(resumed.memory().content_digest(), full.memory().content_digest());
+    }
+
+    #[test]
+    fn skip_past_halt_is_valid() {
+        let p = program();
+        let mut full = Machine::new(&p);
+        let total = full.run(100_000).unwrap().retired;
+
+        let ckpt = Checkpoint::fast_forward(&p, total + 1_000, 4).unwrap();
+        assert!(ckpt.halted);
+        assert_eq!(ckpt.retired, total);
+        assert_eq!(&ckpt.regs, full.state());
+    }
+
+    #[test]
+    fn warm_window_records_accesses_and_branches() {
+        let p = program();
+        // Skip to just past one full loop iteration so the window spans it.
+        let ckpt = Checkpoint::fast_forward(&p, 12, 5).unwrap();
+        let stores = ckpt.warm.iter().filter(|e| e.mem.is_some_and(|m| m.is_store)).count();
+        let loads = ckpt.warm.iter().filter(|e| e.mem.is_some_and(|m| !m.is_store)).count();
+        let branches = ckpt.warm.iter().filter(|e| e.branch.is_some()).count();
+        assert!(stores >= 1, "window saw the sw");
+        assert!(loads >= 1, "window saw the lw");
+        assert!(branches >= 1, "window saw the bne");
+        let taken = ckpt.warm.iter().filter_map(|e| e.branch).find(|b| b.taken).unwrap();
+        assert_eq!(taken.kind, CtrlKind::CondBranch);
+        assert_eq!(taken.next, p.symbol("loop").unwrap(), "taken branch targets the loop head");
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let p = program();
+        let a = Checkpoint::fast_forward(&p, 20, 8).unwrap();
+        let b = Checkpoint::fast_forward(&p, 20, 8).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "deterministic");
+        let c = Checkpoint::fast_forward(&p, 21, 8).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "skip count changes state");
+    }
+}

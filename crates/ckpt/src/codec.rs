@@ -1,0 +1,394 @@
+//! Versioned binary snapshot format for [`Checkpoint`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic            8 bytes  "RIQCKPT\0"
+//! version          u32
+//! program_fp       u64
+//! skip             u64
+//! warmup           u64
+//! retired          u64
+//! pc               u32
+//! halted           u8   (0 or 1)
+//! int regs         32 x u32
+//! fp regs          32 x u64 (raw bits)
+//! page count       u32, then per page: page number u32 + 4096 raw bytes,
+//!                  page numbers strictly increasing
+//! warm count       u32, then per event:
+//!                  pc u32, flags u8 (bit0 has_mem, bit1 mem_is_store,
+//!                  bit2 has_branch, bit3 branch_taken),
+//!                  [addr u32 if has_mem], [kind u8 + next u32 if has_branch]
+//! digest           u64  FNV-1a over every preceding byte
+//! ```
+//!
+//! Decoding never panics: every malformed input maps to a typed
+//! [`CodecError`].
+
+use crate::checkpoint::{Checkpoint, WarmAccess, WarmBranch, WarmEvent};
+use riq_emu::{ArchState, SparseMemory, PAGE_SIZE};
+use riq_isa::{CtrlKind, FpReg, IntReg, StableHasher, NUM_FP_REGS, NUM_INT_REGS};
+use std::error::Error;
+use std::fmt;
+use std::hash::Hasher;
+
+/// Leading magic bytes of every encoded checkpoint.
+pub const MAGIC: [u8; 8] = *b"RIQCKPT\0";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const FLAG_HAS_MEM: u8 = 1 << 0;
+const FLAG_MEM_IS_STORE: u8 = 1 << 1;
+const FLAG_HAS_BRANCH: u8 = 1 << 2;
+const FLAG_BRANCH_TAKEN: u8 = 1 << 3;
+const FLAG_ALL: u8 = FLAG_HAS_MEM | FLAG_MEM_IS_STORE | FLAG_HAS_BRANCH | FLAG_BRANCH_TAKEN;
+
+/// Error decoding a checkpoint image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input does not start with the checkpoint magic.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The input ended before the structure was complete.
+    Truncated {
+        /// Byte offset at which more input was required.
+        offset: usize,
+    },
+    /// A field held a value the format does not allow.
+    BadValue {
+        /// Byte offset of the offending field.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The trailing digest does not match the content.
+    Corrupt {
+        /// Digest recomputed from the content.
+        expected: u64,
+        /// Digest stored in the image.
+        found: u64,
+    },
+    /// Well-formed checkpoint followed by extra bytes.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a checkpoint: bad magic"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint format version {v} (this build reads {FORMAT_VERSION})"
+                )
+            }
+            CodecError::Truncated { offset } => {
+                write!(f, "truncated checkpoint: input ended at byte {offset}")
+            }
+            CodecError::BadValue { offset, what } => {
+                write!(f, "invalid checkpoint field at byte {offset}: {what}")
+            }
+            CodecError::Corrupt { expected, found } => write!(
+                f,
+                "corrupt checkpoint: content digest {expected:#018x} != stored {found:#018x}"
+            ),
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after checkpoint")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+pub(crate) fn ctrl_kind_code(kind: CtrlKind) -> u8 {
+    match kind {
+        CtrlKind::CondBranch => 0,
+        CtrlKind::Jump => 1,
+        CtrlKind::Call => 2,
+        CtrlKind::IndirectCall => 3,
+        CtrlKind::Return => 4,
+    }
+}
+
+fn ctrl_kind_from_code(code: u8) -> Option<CtrlKind> {
+    match code {
+        0 => Some(CtrlKind::CondBranch),
+        1 => Some(CtrlKind::Jump),
+        2 => Some(CtrlKind::Call),
+        3 => Some(CtrlKind::IndirectCall),
+        4 => Some(CtrlKind::Return),
+        _ => None,
+    }
+}
+
+fn digest_of(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint into the versioned binary format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.program_fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.skip.to_le_bytes());
+        out.extend_from_slice(&self.warmup.to_le_bytes());
+        out.extend_from_slice(&self.retired.to_le_bytes());
+        out.extend_from_slice(&self.pc.to_le_bytes());
+        out.push(u8::from(self.halted));
+        for i in 0..NUM_INT_REGS {
+            out.extend_from_slice(&self.regs.int_reg(IntReg::new(i as u8)).to_le_bytes());
+        }
+        for i in 0..NUM_FP_REGS {
+            out.extend_from_slice(&self.regs.fp_reg_bits(FpReg::new(i as u8)).to_le_bytes());
+        }
+        let pages: Vec<_> = self.mem.pages().collect();
+        out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+        for (pno, page) in pages {
+            out.extend_from_slice(&pno.to_le_bytes());
+            out.extend_from_slice(page.as_slice());
+        }
+        out.extend_from_slice(&(self.warm.len() as u32).to_le_bytes());
+        for event in &self.warm {
+            out.extend_from_slice(&event.pc.to_le_bytes());
+            let mut flags = 0u8;
+            if let Some(access) = event.mem {
+                flags |= FLAG_HAS_MEM;
+                if access.is_store {
+                    flags |= FLAG_MEM_IS_STORE;
+                }
+            }
+            if let Some(branch) = event.branch {
+                flags |= FLAG_HAS_BRANCH;
+                if branch.taken {
+                    flags |= FLAG_BRANCH_TAKEN;
+                }
+            }
+            out.push(flags);
+            if let Some(access) = event.mem {
+                out.extend_from_slice(&access.addr.to_le_bytes());
+            }
+            if let Some(branch) = event.branch {
+                out.push(ctrl_kind_code(branch.kind));
+                out.extend_from_slice(&branch.next.to_le_bytes());
+            }
+        }
+        let digest = digest_of(&out);
+        out.extend_from_slice(&digest.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a checkpoint image produced by [`Checkpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CodecError`] for any malformed, truncated, or
+    /// corrupted input; never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CodecError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let program_fingerprint = r.u64()?;
+        let skip = r.u64()?;
+        let warmup = r.u64()?;
+        let retired = r.u64()?;
+        let pc = r.u32()?;
+        let halted = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::BadValue { offset: r.pos - 1, what: "halted flag" }),
+        };
+        let mut regs = ArchState::new();
+        for i in 0..NUM_INT_REGS {
+            let v = r.u32()?;
+            let reg = IntReg::new(i as u8);
+            if reg == IntReg::ZERO && v != 0 {
+                return Err(CodecError::BadValue { offset: r.pos - 4, what: "nonzero $r0" });
+            }
+            regs.set_int_reg(reg, v);
+        }
+        for i in 0..NUM_FP_REGS {
+            let v = r.u64()?;
+            regs.set_fp_reg_bits(FpReg::new(i as u8), v);
+        }
+        let mut mem = SparseMemory::new();
+        let page_count = r.u32()?;
+        let mut prev_page: Option<u32> = None;
+        for _ in 0..page_count {
+            let pno = r.u32()?;
+            if prev_page.is_some_and(|p| pno <= p) {
+                return Err(CodecError::BadValue {
+                    offset: r.pos - 4,
+                    what: "page numbers not strictly increasing",
+                });
+            }
+            prev_page = Some(pno);
+            let raw = r.take(PAGE_SIZE)?;
+            let mut page = [0u8; PAGE_SIZE];
+            page.copy_from_slice(raw);
+            mem.insert_page(pno, page);
+        }
+        let warm_count = r.u32()?;
+        let mut warm = Vec::new();
+        for _ in 0..warm_count {
+            let pc = r.u32()?;
+            let flags = r.u8()?;
+            if flags & !FLAG_ALL != 0 {
+                return Err(CodecError::BadValue { offset: r.pos - 1, what: "warm event flags" });
+            }
+            if flags & FLAG_MEM_IS_STORE != 0 && flags & FLAG_HAS_MEM == 0 {
+                return Err(CodecError::BadValue {
+                    offset: r.pos - 1,
+                    what: "store flag without memory access",
+                });
+            }
+            if flags & FLAG_BRANCH_TAKEN != 0 && flags & FLAG_HAS_BRANCH == 0 {
+                return Err(CodecError::BadValue {
+                    offset: r.pos - 1,
+                    what: "taken flag without branch",
+                });
+            }
+            let mem = if flags & FLAG_HAS_MEM != 0 {
+                Some(WarmAccess { addr: r.u32()?, is_store: flags & FLAG_MEM_IS_STORE != 0 })
+            } else {
+                None
+            };
+            let branch = if flags & FLAG_HAS_BRANCH != 0 {
+                let code = r.u8()?;
+                let kind = ctrl_kind_from_code(code).ok_or(CodecError::BadValue {
+                    offset: r.pos - 1,
+                    what: "control-transfer kind",
+                })?;
+                Some(WarmBranch { kind, taken: flags & FLAG_BRANCH_TAKEN != 0, next: r.u32()? })
+            } else {
+                None
+            };
+            warm.push(WarmEvent { pc, mem, branch });
+        }
+        let content_end = r.pos;
+        let found = r.u64()?;
+        let expected = digest_of(&bytes[..content_end]);
+        if found != expected {
+            return Err(CodecError::Corrupt { expected, found });
+        }
+        if r.pos != bytes.len() {
+            return Err(CodecError::TrailingBytes { extra: bytes.len() - r.pos });
+        }
+        Ok(Checkpoint { program_fingerprint, skip, warmup, retired, pc, halted, regs, mem, warm })
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end =
+            self.pos.checked_add(n).ok_or(CodecError::Truncated { offset: self.bytes.len() })?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Truncated { offset: self.bytes.len() });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let raw = self.take(8)?;
+        Ok(u64::from_le_bytes([raw[0], raw[1], raw[2], raw[3], raw[4], raw[5], raw[6], raw[7]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+
+    fn sample() -> Checkpoint {
+        let p = assemble(
+            "  li $r2, 30\nloop: sw $r2, 0x100($r0)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        )
+        .unwrap();
+        Checkpoint::fast_forward(&p, 25, 10).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ckpt = sample();
+        let bytes = ckpt.encode();
+        let decoded = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(decoded, ckpt);
+        assert_eq!(decoded.fingerprint(), ckpt.fingerprint());
+        assert_eq!(decoded.encode(), bytes, "canonical encoding");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xff;
+        assert_eq!(Checkpoint::decode(&bytes), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = sample().encode();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(Checkpoint::decode(&bytes), Err(CodecError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            let err = Checkpoint::decode(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated { .. } | CodecError::Corrupt { .. }),
+                "truncation to {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_detected() {
+        let bytes = sample().encode();
+        // Probe a spread of positions including the trailing digest.
+        for idx in (0..bytes.len()).step_by(97).chain(bytes.len() - 8..bytes.len()) {
+            let mut bad = bytes.clone();
+            bad[idx] ^= 0x40;
+            assert!(Checkpoint::decode(&bad).is_err(), "flip at byte {idx} went undetected");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert_eq!(Checkpoint::decode(&bytes), Err(CodecError::TrailingBytes { extra: 1 }));
+    }
+}

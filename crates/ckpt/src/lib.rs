@@ -1,0 +1,69 @@
+//! # riq-ckpt — architectural checkpoints for fast-forward and sampling
+//!
+//! SimpleScalar-style simulation methodology (`-fastfwd`) for the riq
+//! workspace: run the *functional* emulator past the uninteresting prefix
+//! of a workload once, snapshot the full architectural state, and start
+//! every *detailed* (cycle-accurate) measurement from that snapshot. The
+//! cycle simulator's wall clock then scales with the measured window, not
+//! with the whole program, and every configuration of a sweep sharing a
+//! program amortizes a single fast-forward.
+//!
+//! The crate provides:
+//!
+//! * [`Checkpoint`] — full architectural state (integer/FP register file,
+//!   PC, halted flag, retired count, the [`riq_emu::SparseMemory`] page
+//!   set) plus a *warm window*: a log of the last N instructions before
+//!   the snapshot, used to pre-touch caches/TLBs and train the branch
+//!   predictor before detailed measurement begins;
+//! * [`Checkpoint::fast_forward`] — produce a checkpoint by running the
+//!   [`riq_emu::Machine`] for a given instruction count;
+//! * [`Checkpoint::resume_machine`] — restore the emulator from a
+//!   checkpoint (the cycle simulator restores via
+//!   `riq_core::Processor::resume_from`);
+//! * [`Checkpoint::encode`]/[`Checkpoint::decode`] — a versioned,
+//!   digest-protected binary snapshot format with typed [`CodecError`]s;
+//! * [`CheckpointStore`] — a thread-safe in-memory store keyed by
+//!   `(program fingerprint, skip count)` so sweep engines reuse one
+//!   fast-forward across all configurations of a program.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use riq_asm::assemble;
+//! use riq_ckpt::Checkpoint;
+//! use riq_emu::Machine;
+//!
+//! let program = assemble(
+//!     "  li $r2, 100\nloop: addi $r3, $r3, 1\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+//! )?;
+//!
+//! // Fast-forward 50 instructions, keeping a 16-instruction warm window.
+//! let ckpt = Checkpoint::fast_forward(&program, 50, 16)?;
+//! assert_eq!(ckpt.retired, 50);
+//!
+//! // The snapshot round-trips through the binary codec…
+//! let decoded = Checkpoint::decode(&ckpt.encode())?;
+//! assert_eq!(decoded, ckpt);
+//!
+//! // …and a machine resumed from it finishes exactly like a from-zero run.
+//! let mut full = Machine::new(&program);
+//! full.run(10_000)?;
+//! let mut resumed = ckpt.resume_machine();
+//! resumed.run(10_000)?;
+//! assert_eq!(resumed.state(), full.state());
+//! assert_eq!(resumed.retired(), full.retired());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod checkpoint;
+mod codec;
+mod store;
+
+pub use checkpoint::{Checkpoint, WarmAccess, WarmBranch, WarmEvent};
+pub use codec::{CodecError, FORMAT_VERSION, MAGIC};
+pub use store::CheckpointStore;

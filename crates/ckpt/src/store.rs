@@ -1,0 +1,167 @@
+//! Shared checkpoint store for sweep engines.
+
+use crate::checkpoint::Checkpoint;
+use riq_asm::Program;
+use riq_emu::EmuError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    map: Mutex<HashMap<(u64, u64), Arc<Checkpoint>>>,
+    created: AtomicU64,
+    reused: AtomicU64,
+    ff_nanos: AtomicU64,
+}
+
+/// A thread-safe in-memory checkpoint store keyed by `(program
+/// fingerprint, skip count)`.
+///
+/// A sweep runs the same program under many configurations; the
+/// fast-forward prefix is configuration-independent, so one store shared
+/// across an engine invocation turns N per-point fast-forwards into one.
+/// Clones share the same underlying map and counters.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use riq_asm::assemble;
+/// use riq_ckpt::CheckpointStore;
+///
+/// let program = assemble("loop: addi $r2, $r2, 1\n  bne $r2, $r0, loop\n  halt\n")?;
+/// let store = CheckpointStore::new();
+/// let a = store.get_or_create(&program, 100, 10)?;
+/// let b = store.get_or_create(&program, 100, 10)?;
+/// assert_eq!(a, b);
+/// assert_eq!(store.created(), 1);
+/// assert_eq!(store.reused(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    inner: Arc<StoreInner>,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// Returns the checkpoint for `(program, skip)`, fast-forwarding and
+    /// caching it on first request. A cached entry captured with a
+    /// different warm-window size is recreated (the store assumes one
+    /// warm-up setting per engine invocation, so this is rare).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first emulator fault hit during a fast-forward.
+    pub fn get_or_create(
+        &self,
+        program: &Program,
+        skip: u64,
+        warmup: u64,
+    ) -> Result<Arc<Checkpoint>, EmuError> {
+        let key = (program.fingerprint(), skip);
+        let mut map = self.inner.map.lock().expect("checkpoint store poisoned");
+        if let Some(existing) = map.get(&key) {
+            if existing.warmup == warmup {
+                self.inner.reused.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(existing));
+            }
+        }
+        let started = Instant::now();
+        let ckpt = Arc::new(Checkpoint::fast_forward(program, skip, warmup)?);
+        self.inner.ff_nanos.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.inner.created.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, Arc::clone(&ckpt));
+        Ok(ckpt)
+    }
+
+    /// Number of fast-forwards actually executed.
+    #[must_use]
+    pub fn created(&self) -> u64 {
+        self.inner.created.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests served from the store without a fast-forward.
+    #[must_use]
+    pub fn reused(&self) -> u64 {
+        self.inner.reused.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock seconds spent fast-forwarding.
+    #[must_use]
+    pub fn ff_seconds(&self) -> f64 {
+        self.inner.ff_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Number of distinct checkpoints resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.map.lock().expect("checkpoint store poisoned").len()
+    }
+
+    /// Whether the store holds no checkpoints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+
+    fn program(reps: u32) -> Program {
+        assemble(&format!(
+            "  li $r2, {reps}\nloop: addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn distinct_keys_create_distinct_checkpoints() {
+        let store = CheckpointStore::new();
+        let p1 = program(100);
+        let p2 = program(200);
+        let a = store.get_or_create(&p1, 50, 8).unwrap();
+        let b = store.get_or_create(&p2, 50, 8).unwrap();
+        let c = store.get_or_create(&p1, 60, 8).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(store.created(), 3);
+        assert_eq!(store.reused(), 0);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let store = CheckpointStore::new();
+        let alias = store.clone();
+        let p = program(100);
+        store.get_or_create(&p, 50, 8).unwrap();
+        alias.get_or_create(&p, 50, 8).unwrap();
+        assert_eq!(store.created(), 1);
+        assert_eq!(store.reused(), 1);
+        assert!(!alias.is_empty());
+    }
+
+    #[test]
+    fn warmup_mismatch_recreates() {
+        let store = CheckpointStore::new();
+        let p = program(100);
+        let a = store.get_or_create(&p, 50, 8).unwrap();
+        let b = store.get_or_create(&p, 50, 16).unwrap();
+        assert_eq!(a.warm.len(), 8);
+        assert_eq!(b.warm.len(), 16);
+        assert_eq!(store.created(), 2);
+        assert_eq!(store.len(), 1, "replacement keeps one entry per key");
+    }
+}

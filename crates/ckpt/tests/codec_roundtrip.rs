@@ -1,0 +1,131 @@
+//! Property tests for the checkpoint binary codec: arbitrary architectural
+//! states round-trip exactly, and malformed inputs (truncated, corrupted,
+//! random garbage) always yield typed errors — never panics.
+
+use proptest::prelude::*;
+use riq_ckpt::{Checkpoint, WarmAccess, WarmBranch, WarmEvent};
+use riq_emu::{ArchState, SparseMemory, PAGE_SIZE};
+use riq_isa::{CtrlKind, FpReg, IntReg, NUM_FP_REGS, NUM_INT_REGS};
+
+fn arb_regs() -> impl Strategy<Value = ArchState> {
+    (
+        prop::collection::vec(any::<u32>(), NUM_INT_REGS),
+        prop::collection::vec(any::<u64>(), NUM_FP_REGS),
+    )
+        .prop_map(|(ints, fps)| {
+            let mut regs = ArchState::new();
+            for (i, &v) in ints.iter().enumerate() {
+                regs.set_int_reg(IntReg::new(i as u8), v);
+            }
+            for (i, &v) in fps.iter().enumerate() {
+                regs.set_fp_reg_bits(FpReg::new(i as u8), v);
+            }
+            regs
+        })
+}
+
+fn arb_mem() -> impl Strategy<Value = SparseMemory> {
+    // Pages at arbitrary (possibly colliding) numbers, each filled from a
+    // seed so content varies across the whole page.
+    prop::collection::vec((0u32..0x000f_ffff, any::<u64>()), 0..6).prop_map(|pages| {
+        let mut mem = SparseMemory::new();
+        for (pno, seed) in pages {
+            let mut page = [0u8; PAGE_SIZE];
+            let mut x = seed;
+            for (i, b) in page.iter_mut().enumerate() {
+                x = x.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(i as u64);
+                *b = (x >> 32) as u8;
+            }
+            mem.insert_page(pno, page);
+        }
+        mem
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = WarmEvent> {
+    (
+        any::<u32>(),
+        any::<bool>(),
+        any::<u32>(),
+        any::<bool>(),
+        0u8..5,
+        any::<bool>(),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(|(pc, has_mem, addr, is_store, kind, has_branch, next, taken)| {
+            let kind = match kind {
+                0 => CtrlKind::CondBranch,
+                1 => CtrlKind::Jump,
+                2 => CtrlKind::Call,
+                3 => CtrlKind::IndirectCall,
+                _ => CtrlKind::Return,
+            };
+            WarmEvent {
+                pc,
+                mem: has_mem.then_some(WarmAccess { addr, is_store }),
+                branch: has_branch.then_some(WarmBranch { kind, taken, next }),
+            }
+        })
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (
+        arb_regs(),
+        arb_mem(),
+        prop::collection::vec(arb_event(), 0..24),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(|(regs, mem, warm, program_fingerprint, skip, retired, pc, halted)| {
+            Checkpoint {
+                program_fingerprint,
+                skip,
+                warmup: warm.len() as u64,
+                retired,
+                pc,
+                halted,
+                regs,
+                mem,
+                warm,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrips(ckpt in arb_checkpoint()) {
+        let bytes = ckpt.encode();
+        let decoded = Checkpoint::decode(&bytes);
+        prop_assert_eq!(decoded.as_ref().ok(), Some(&ckpt));
+        prop_assert_eq!(decoded.unwrap().fingerprint(), ckpt.fingerprint());
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error(ckpt in arb_checkpoint(), frac in 0.0f64..1.0) {
+        let bytes = ckpt.encode();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(Checkpoint::decode(&bytes[..cut.min(bytes.len() - 1)]).is_err());
+    }
+
+    #[test]
+    fn corrupted_byte_is_a_typed_error(
+        ckpt in arb_checkpoint(),
+        pick in any::<u64>(),
+        flip in 1u8..255,
+    ) {
+        let mut bytes = ckpt.encode();
+        let idx = (pick % bytes.len() as u64) as usize;
+        bytes[idx] ^= flip;
+        prop_assert!(Checkpoint::decode(&bytes).is_err(), "flip at byte {}", idx);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome is fine as long as it is a Result, not a panic.
+        let _ = Checkpoint::decode(&data);
+    }
+}

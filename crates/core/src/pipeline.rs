@@ -21,6 +21,7 @@ use crate::specstate::SpecState;
 use crate::stats::{EpochSample, RunResult, SimStats};
 use riq_asm::{Program, STACK_TOP};
 use riq_bpred::BranchPredictor;
+use riq_ckpt::Checkpoint;
 use riq_emu::{ControlFlow, Executed, MemFault};
 use riq_isa::{CtrlKind, Inst, InstClass, IntReg};
 use riq_mem::{HierarchyStats, MemoryHierarchy};
@@ -64,6 +65,14 @@ pub enum SimError {
         /// Human-readable dump of the stuck state.
         detail: String,
     },
+    /// A checkpoint was captured from a different program than the one
+    /// being resumed.
+    CheckpointMismatch {
+        /// Fingerprint of the program handed to the resume.
+        expected: u64,
+        /// Fingerprint recorded in the checkpoint.
+        got: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -77,6 +86,13 @@ impl fmt::Display for SimError {
             }
             SimError::Deadlock { cycle, detail } => {
                 write!(f, "pipeline deadlock at cycle {cycle}: {detail}")
+            }
+            SimError::CheckpointMismatch { expected, got } => {
+                write!(
+                    f,
+                    "checkpoint belongs to a different program \
+                     (program fingerprint {expected:#018x}, checkpoint records {got:#018x})"
+                )
             }
         }
     }
@@ -167,9 +183,75 @@ impl Processor {
         epoch: Option<u64>,
     ) -> Result<RunResult, SimError> {
         self.cfg.validate()?;
+        let core = Core::new(&self.cfg, program, sink, epoch)?;
+        self.drive(core, None)
+    }
+
+    /// Resumes detailed simulation from a [`Checkpoint`] captured by
+    /// fast-forwarding `program` on the functional emulator. The
+    /// architectural state (register file, memory image, PC) is installed
+    /// before the first cycle, and the last `warmup` events of the
+    /// checkpoint's warm window are replayed into the caches, TLBs, and
+    /// branch predictor — without perturbing their statistics — so the
+    /// measured region does not start against cold structures.
+    ///
+    /// Running the remainder to completion is architecturally identical to
+    /// a from-zero [`run`](Processor::run): the final register file and
+    /// memory digest match exactly. The returned statistics cover only the
+    /// resumed region.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CheckpointMismatch`] when the checkpoint's program
+    /// fingerprint does not match `program`; otherwise the same errors as
+    /// [`run`](Processor::run).
+    pub fn resume_from(
+        &self,
+        program: &Program,
+        ckpt: &Checkpoint,
+        warmup: u64,
+    ) -> Result<RunResult, SimError> {
+        self.resume_observed(program, ckpt, warmup, None, &mut NullSink, None)
+    }
+
+    /// [`resume_from`](Processor::resume_from) with observability and an
+    /// optional sample budget: when `sample` is `Some(k)`, simulation stops
+    /// once `k` instructions have committed in the resumed region (the
+    /// SMARTS-style detailed sample) instead of running to `halt`. A
+    /// sampled run reports partial statistics and an arch state mid-flight;
+    /// only unsampled runs preserve final-state identity with
+    /// [`run`](Processor::run).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`resume_from`](Processor::resume_from).
+    pub fn resume_observed(
+        &self,
+        program: &Program,
+        ckpt: &Checkpoint,
+        warmup: u64,
+        sample: Option<u64>,
+        sink: &mut dyn TraceSink,
+        epoch: Option<u64>,
+    ) -> Result<RunResult, SimError> {
+        self.cfg.validate()?;
+        let expected = program.fingerprint();
+        if ckpt.program_fingerprint != expected {
+            return Err(SimError::CheckpointMismatch { expected, got: ckpt.program_fingerprint });
+        }
         let mut core = Core::new(&self.cfg, program, sink, epoch)?;
-        let mut last_progress = (0u64, 0u64); // (cycle, committed)
+        core.restore_from(ckpt, warmup);
+        self.drive(core, sample)
+    }
+
+    /// The shared run loop: cycle limit, deadlock watchdog, and an
+    /// optional committed-instruction budget for sampled simulation.
+    fn drive(&self, mut core: Core<'_>, sample: Option<u64>) -> Result<RunResult, SimError> {
+        let mut last_progress = (core.now, core.stats.committed); // (cycle, committed)
         while !core.done {
+            if sample.is_some_and(|budget| core.stats.committed >= budget) {
+                break;
+            }
             if core.now >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit {
                     cycles: core.now,
@@ -284,6 +366,38 @@ impl<'a> Core<'a> {
             reuse_ptr: 0,
             unresolved_mispredicts: 0,
         })
+    }
+
+    /// Installs a checkpoint's architectural state in place of the boot
+    /// state and replays up to `warmup` trailing warm-window events into
+    /// the caches, TLBs, and branch predictor (stats-neutral, so power
+    /// accounting still starts from zero). A checkpoint that captured a
+    /// halted machine short-circuits the run: there is nothing left to
+    /// simulate.
+    fn restore_from(&mut self, ckpt: &Checkpoint, warmup: u64) {
+        *self.spec.regs_mut() = ckpt.regs.clone();
+        *self.spec.mem_mut() = ckpt.mem.clone();
+        self.fetch_pc = ckpt.pc;
+        let start = ckpt.warm.len().saturating_sub(warmup as usize);
+        let window = &ckpt.warm[start..];
+        for event in window {
+            self.hier.warm_fetch(event.pc);
+            if let Some(access) = event.mem {
+                self.hier.warm_data(access.addr, access.is_store);
+            }
+            if let Some(branch) = event.branch {
+                self.bp.warm(event.pc, branch.kind, branch.taken, branch.next);
+            }
+        }
+        if ckpt.halted {
+            self.done = true;
+        }
+        if self.tracing {
+            self.sink.record(TraceEvent::new(
+                0,
+                EventKind::Resumed { retired: ckpt.retired, warmed: window.len() as u64 },
+            ));
+        }
     }
 
     fn into_result(mut self) -> RunResult {

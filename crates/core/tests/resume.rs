@@ -1,0 +1,98 @@
+//! Checkpoint-resume behavior of the detailed simulator: architectural
+//! identity with from-zero runs, fingerprint validation, halted snapshots,
+//! and the sampled-commit budget.
+
+use riq_asm::assemble;
+use riq_ckpt::Checkpoint;
+use riq_core::{Processor, SimConfig, SimError};
+use riq_trace::NullSink;
+
+fn program_src(trips: u32) -> String {
+    format!(
+        r#"
+            li   $r2, {trips}
+            li   $r6, 0x3000
+        loop:
+            sw   $r2, 0($r6)
+            lw   $r3, 0($r6)
+            add  $r4, $r4, $r3
+            mul  $r5, $r3, $r2
+            addi $r2, $r2, -1
+            bne  $r2, $r0, loop
+            halt
+        "#
+    )
+}
+
+#[test]
+fn resumed_run_matches_from_zero_architecturally() {
+    let program = assemble(&program_src(200)).expect("assembles");
+    let proc = Processor::new(SimConfig::baseline());
+    let full = proc.run(&program).expect("full run");
+
+    for warmup in [0u64, 64] {
+        let ckpt = Checkpoint::fast_forward(&program, 500, warmup).expect("fast-forward");
+        let resumed = proc.resume_from(&program, &ckpt, warmup).expect("resumed run");
+        assert_eq!(resumed.arch_state, full.arch_state, "warmup {warmup}: register file");
+        assert_eq!(resumed.mem_digest, full.mem_digest, "warmup {warmup}: memory digest");
+        assert_eq!(
+            ckpt.retired + resumed.stats.committed,
+            full.stats.committed,
+            "warmup {warmup}: skip + resumed commits cover the whole program"
+        );
+    }
+}
+
+#[test]
+fn skip_zero_resume_is_exactly_a_full_run() {
+    let program = assemble(&program_src(50)).expect("assembles");
+    let proc = Processor::new(SimConfig::baseline());
+    let full = proc.run(&program).expect("full run");
+
+    let ckpt = Checkpoint::fast_forward(&program, 0, 0).expect("fast-forward");
+    let resumed = proc.resume_from(&program, &ckpt, 0).expect("resumed run");
+    assert_eq!(resumed.arch_state, full.arch_state);
+    assert_eq!(resumed.mem_digest, full.mem_digest);
+    assert_eq!(resumed.stats.cycles, full.stats.cycles, "identical boot state, identical timing");
+    assert_eq!(resumed.stats.committed, full.stats.committed);
+}
+
+#[test]
+fn mismatched_program_is_rejected() {
+    let a = assemble(&program_src(50)).expect("assembles");
+    let b = assemble(&program_src(51)).expect("assembles");
+    let ckpt = Checkpoint::fast_forward(&a, 20, 0).expect("fast-forward");
+    let err = Processor::new(SimConfig::baseline()).resume_from(&b, &ckpt, 0).unwrap_err();
+    assert!(
+        matches!(err, SimError::CheckpointMismatch { expected, got }
+            if expected == b.fingerprint() && got == a.fingerprint()),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn halted_checkpoint_short_circuits() {
+    let program = assemble(&program_src(10)).expect("assembles");
+    let ckpt = Checkpoint::fast_forward(&program, u64::MAX, 8).expect("fast-forward");
+    assert!(ckpt.halted);
+    let result =
+        Processor::new(SimConfig::baseline()).resume_from(&program, &ckpt, 8).expect("resume");
+    assert_eq!(result.stats.committed, 0, "nothing left to simulate");
+    assert_eq!(result.arch_state, ckpt.regs);
+}
+
+#[test]
+fn sample_budget_stops_after_k_commits() {
+    let program = assemble(&program_src(500)).expect("assembles");
+    let proc = Processor::new(SimConfig::baseline());
+    let ckpt = Checkpoint::fast_forward(&program, 100, 32).expect("fast-forward");
+    let sampled = proc
+        .resume_observed(&program, &ckpt, 32, Some(400), &mut NullSink, None)
+        .expect("sampled run");
+    assert!(sampled.stats.committed >= 400, "budget reached");
+    assert!(
+        sampled.stats.committed < 500 + 400,
+        "stopped near the budget, not at halt: {}",
+        sampled.stats.committed
+    );
+}

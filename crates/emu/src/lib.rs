@@ -39,5 +39,5 @@ mod machine;
 mod memory;
 
 pub use exec::{execute, ArchState, ControlFlow, ExecContext, Executed, MemAccess};
-pub use machine::{EmuError, Machine, RunSummary, Step};
-pub use memory::{MemFault, SparseMemory};
+pub use machine::{EmuError, Machine, RunSummary, Step, StepRecord};
+pub use memory::{MemFault, SparseMemory, PAGE_SIZE};

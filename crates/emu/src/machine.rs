@@ -5,7 +5,7 @@
 //! tests run every workload here and on the cycle simulator and require the
 //! final architectural states to match.
 
-use crate::exec::{execute, ArchState, ControlFlow, ExecContext};
+use crate::exec::{execute, ArchState, ControlFlow, ExecContext, Executed};
 use crate::memory::{MemFault, SparseMemory};
 use riq_asm::{Program, STACK_TOP};
 use riq_isa::{DecodeInstError, FpReg, Inst, IntReg};
@@ -60,6 +60,19 @@ pub enum Step {
     Executed(Inst),
     /// The machine is halted (a `halt` executed now or earlier).
     Halted,
+}
+
+/// Full record of one executed instruction, returned by
+/// [`Machine::step_recorded`] for observers that need the post-execution
+/// outcome (resolved control flow, memory access) and not just the opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepRecord {
+    /// PC the instruction executed at.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Execution outcome: control flow taken and memory access performed.
+    pub exec: Executed,
 }
 
 /// Summary returned by [`Machine::run`].
@@ -143,6 +156,21 @@ impl Machine {
         Machine { state, mem, pc: program.entry(), halted: false, retired: 0 }
     }
 
+    /// Reconstructs a machine from exported architectural state, e.g. a
+    /// checkpoint produced by an earlier fast-forward run. The counterpart
+    /// of the [`Machine::state`]/[`Machine::memory`]/[`Machine::pc`]/
+    /// [`Machine::is_halted`]/[`Machine::retired`] accessors.
+    #[must_use]
+    pub fn from_state(
+        state: ArchState,
+        mem: SparseMemory,
+        pc: u32,
+        halted: bool,
+        retired: u64,
+    ) -> Machine {
+        Machine { state, mem, pc, halted, retired }
+    }
+
     /// The architectural register file.
     #[must_use]
     pub fn state(&self) -> &ArchState {
@@ -185,8 +213,24 @@ impl Machine {
     /// Returns an error if the fetched word does not decode or a data access
     /// faults; the machine is left halted in that case.
     pub fn step(&mut self) -> Result<Step, EmuError> {
+        match self.step_recorded()? {
+            None => Ok(Step::Halted),
+            Some(record) if record.exec.flow == ControlFlow::Halt => Ok(Step::Halted),
+            Some(record) => Ok(Step::Executed(record.inst)),
+        }
+    }
+
+    /// Executes one instruction and reports its full outcome: the PC it
+    /// executed at, the decoded instruction, and the [`Executed`] record
+    /// (resolved control flow plus any memory access). Returns `None` if
+    /// the machine was already halted before the call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::step`].
+    pub fn step_recorded(&mut self) -> Result<Option<StepRecord>, EmuError> {
         if self.halted {
-            return Ok(Step::Halted);
+            return Ok(None);
         }
         let pc = self.pc;
         let word = self.mem.load_u32(pc).map_err(|source| {
@@ -204,15 +248,10 @@ impl Machine {
         })?;
         self.retired += 1;
         match done.flow {
-            ControlFlow::Halt => {
-                self.halted = true;
-                Ok(Step::Halted)
-            }
-            flow => {
-                self.pc = flow.next_pc(pc);
-                Ok(Step::Executed(inst))
-            }
+            ControlFlow::Halt => self.halted = true,
+            flow => self.pc = flow.next_pc(pc),
         }
+        Ok(Some(StepRecord { pc, inst, exec: done }))
     }
 
     /// Runs until `halt` or until `limit` instructions have executed.
@@ -356,6 +395,42 @@ mod tests {
         // li(1) + 2 iterations of (addi, bne) + halt = 6 dynamic instructions.
         assert_eq!(pcs.len(), 6);
         assert_eq!(pcs[1], pcs[3], "loop body re-executed");
+    }
+
+    #[test]
+    fn step_recorded_reports_outcome_and_state_roundtrips() {
+        let p = assemble(
+            "  li $r2, 1\n  sw $r2, 0x100($r0)\nloop: addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::new(&p);
+        let li = m.step_recorded().unwrap().expect("running");
+        assert_eq!(li.pc, p.entry());
+        assert!(li.exec.mem.is_none());
+        let sw = m.step_recorded().unwrap().expect("running");
+        let access = sw.exec.mem.expect("store accesses memory");
+        assert!(access.is_store);
+        assert_eq!(access.addr, 0x100);
+
+        // Export mid-run state, rebuild a machine from it, and check the
+        // replica finishes identically to the original.
+        let copy = Machine::from_state(
+            m.state().clone(),
+            m.memory().clone(),
+            m.pc(),
+            m.is_halted(),
+            m.retired(),
+        );
+        let mut original = m.clone();
+        let mut replica = copy;
+        original.run(1_000).unwrap();
+        replica.run(1_000).unwrap();
+        assert_eq!(original.state(), replica.state());
+        assert_eq!(original.retired(), replica.retired());
+        assert_eq!(original.memory().content_digest(), replica.memory().content_digest());
+
+        assert!(replica.is_halted());
+        assert_eq!(replica.step_recorded().unwrap(), None, "halted machine records nothing");
     }
 
     #[test]

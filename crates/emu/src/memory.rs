@@ -11,7 +11,8 @@ use std::error::Error;
 use std::fmt;
 
 const PAGE_SHIFT: u32 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+/// Size in bytes of one [`SparseMemory`] page.
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
 
 /// Fault raised by a functional memory access.
@@ -40,6 +41,10 @@ impl Error for MemFault {}
 
 /// A sparse, zero-initialized, byte-addressable 32-bit memory.
 ///
+/// Equality compares the resident-page representation: a page that was
+/// touched but contains only zeroes differs from an absent page. Compare
+/// [`SparseMemory::content_digest`] for observable-content equality.
+///
 /// # Examples
 ///
 /// ```
@@ -52,7 +57,7 @@ impl Error for MemFault {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseMemory {
     pages: BTreeMap<u32, Box<[u8; PAGE_SIZE]>>,
 }
@@ -148,6 +153,18 @@ impl SparseMemory {
         Ok(())
     }
 
+    /// Iterates resident pages as `(page number, contents)` in ascending
+    /// page-number order. A page's base address is `page_number << 12`.
+    pub fn pages(&self) -> impl Iterator<Item = (u32, &[u8; PAGE_SIZE])> {
+        self.pages.iter().map(|(&pno, page)| (pno, &**page))
+    }
+
+    /// Installs a full page at page number `pno`, replacing any resident
+    /// content. Used to restore a memory image from a snapshot.
+    pub fn insert_page(&mut self, pno: u32, data: [u8; PAGE_SIZE]) {
+        self.pages.insert(pno, Box::new(data));
+    }
+
     /// Copies a byte slice into memory starting at `addr`.
     pub fn store_bytes(&mut self, addr: u32, bytes: &[u8]) {
         for (i, &b) in bytes.iter().enumerate() {
@@ -233,6 +250,20 @@ mod tests {
         assert_eq!(a.content_digest(), b.content_digest());
         a.store_u32(0x5000, 1).unwrap();
         assert_ne!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn page_export_import_roundtrip() {
+        let mut mem = SparseMemory::new();
+        mem.store_u32(0x100, 0xdead_beef).unwrap();
+        mem.store_u8(0x5001, 7);
+        let mut copy = SparseMemory::new();
+        for (pno, page) in mem.pages() {
+            copy.insert_page(pno, *page);
+        }
+        assert_eq!(copy, mem);
+        assert_eq!(copy.load_u32(0x100).unwrap(), 0xdead_beef);
+        assert_eq!(copy.load_u8(0x5001), 7);
     }
 
     #[test]

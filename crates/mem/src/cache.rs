@@ -237,6 +237,19 @@ impl Cache {
         CacheAccess { hit: false, writeback_of }
     }
 
+    /// Presents an access without counting it: the tag array, LRU order and
+    /// dirty bits update exactly as in [`Cache::access`], but the activity
+    /// counters are left untouched. Used for functional warming after a
+    /// checkpoint restore, where the warm-up window must prime the arrays
+    /// without polluting the measured statistics (or the power model fed by
+    /// them).
+    pub fn warm(&mut self, addr: u32, is_write: bool) -> CacheAccess {
+        let saved = self.stats;
+        let outcome = self.access(addr, is_write);
+        self.stats = saved;
+        outcome
+    }
+
     /// Invalidates all lines, discarding dirty data (used between runs).
     pub fn flush(&mut self) {
         self.lines.fill(None);
@@ -333,6 +346,16 @@ mod tests {
         c.access(0x100, false);
         c.flush();
         assert!(!c.access(0x100, false).hit);
+    }
+
+    #[test]
+    fn warm_fills_without_counting() {
+        let mut c = mk(4, 2, 32);
+        assert!(!c.warm(0x100, false).hit, "cold warm access misses");
+        assert_eq!(*c.stats(), CacheStats::default(), "warming leaves counters untouched");
+        assert!(c.access(0x100, false).hit, "warmed line hits");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().accesses(), 1);
     }
 
     #[test]

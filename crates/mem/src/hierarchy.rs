@@ -182,6 +182,32 @@ impl MemoryHierarchy {
         tlb + lat
     }
 
+    /// Warms the instruction-side structures for a fetch at `pc` without
+    /// counting activity: ITLB entry, L1I line, and — on an L1I miss — the
+    /// L2 line. Used to replay a functional-warming window after a
+    /// checkpoint restore.
+    pub fn warm_fetch(&mut self, pc: u32) {
+        self.itlb.warm(pc);
+        if !self.il1.warm(pc, false).hit {
+            self.l2.warm(pc, false);
+        }
+    }
+
+    /// Warms the data-side structures for an access at `addr` without
+    /// counting activity, mirroring [`MemoryHierarchy::data_latency`]:
+    /// DTLB entry, L1D line (with the dirty bit on stores), L2 on an L1D
+    /// miss, and the L2 line of any dirty victim written back.
+    pub fn warm_data(&mut self, addr: u32, is_write: bool) {
+        self.dtlb.warm(addr);
+        let l1 = self.dl1.warm(addr, is_write);
+        if !l1.hit {
+            self.l2.warm(addr, false);
+        }
+        if let Some(victim) = l1.writeback_of {
+            self.l2.warm(victim, true);
+        }
+    }
+
     /// Activity counters across all structures.
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {
@@ -269,6 +295,16 @@ mod tests {
         assert_eq!(s.dl1.accesses(), 1);
         assert_eq!(s.itlb.accesses(), 2);
         assert!(s.memory_fills >= 2);
+    }
+
+    #[test]
+    fn warming_primes_without_counting() {
+        let mut mem = mk();
+        mem.warm_fetch(0x400000);
+        mem.warm_data(0x10000000, true);
+        assert_eq!(mem.stats(), HierarchyStats::default(), "warming is stats-neutral");
+        assert_eq!(mem.fetch_latency(0x400000), 1, "warmed fetch hits L1I");
+        assert_eq!(mem.data_latency(0x10000000, false), 1, "warmed access hits L1D");
     }
 
     #[test]

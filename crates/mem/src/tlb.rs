@@ -67,6 +67,12 @@ impl Tlb {
         }
     }
 
+    /// Installs the entry for `addr` without counting the access, for
+    /// functional warming after a checkpoint restore.
+    pub fn warm(&mut self, addr: u32) {
+        self.array.warm(addr, false);
+    }
+
     /// Activity counters.
     #[must_use]
     pub fn stats(&self) -> &CacheStats {

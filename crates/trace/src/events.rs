@@ -217,6 +217,13 @@ pub enum EventKind {
         /// Address execution actually continued at.
         actual_next: u64,
     },
+    /// The simulator started from a checkpoint instead of instruction zero.
+    Resumed {
+        /// Instructions the fast-forward had already retired at the snapshot.
+        retired: u64,
+        /// Warm-window events replayed into caches/TLBs/predictor on restore.
+        warmed: u64,
+    },
     /// An epoch boundary: deltas of headline counters over the epoch.
     Epoch {
         /// Zero-based epoch index.
@@ -250,6 +257,7 @@ impl EventKind {
             EventKind::PipelineSample { .. } => "pipeline_sample",
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::BranchMispredict { .. } => "branch_mispredict",
+            EventKind::Resumed { .. } => "resumed",
             EventKind::Epoch { .. } => "epoch",
         }
     }
@@ -311,6 +319,10 @@ impl ToJson for TraceEvent {
                 pairs.push(("pc", JsonValue::UInt(*pc)));
                 pairs.push(("actual_next", JsonValue::UInt(*actual_next)));
             }
+            EventKind::Resumed { retired, warmed } => {
+                pairs.push(("retired", JsonValue::UInt(*retired)));
+                pairs.push(("warmed", JsonValue::UInt(*warmed)));
+            }
             EventKind::Epoch { index, start_cycle, cycles, committed, gated, reused } => {
                 pairs.push(("index", JsonValue::UInt(*index)));
                 pairs.push(("start_cycle", JsonValue::UInt(*start_cycle)));
@@ -368,6 +380,7 @@ impl TraceEvent {
             "branch_mispredict" => {
                 EventKind::BranchMispredict { pc: u("pc")?, actual_next: u("actual_next")? }
             }
+            "resumed" => EventKind::Resumed { retired: u("retired")?, warmed: u("warmed")? },
             "epoch" => EventKind::Epoch {
                 index: u("index")?,
                 start_cycle: u("start_cycle")?,
@@ -438,6 +451,7 @@ impl TraceEvent {
                 CacheMiss { level: CacheLevel::L2, addr: u64::MAX - 1, latency: 120 },
             ),
             TraceEvent::new(120, BranchMispredict { pc: 0x13c, actual_next: 0x140 }),
+            TraceEvent::new(0, Resumed { retired: 1_000_000, warmed: 2_000 }),
             TraceEvent::new(
                 10_000,
                 Epoch {
@@ -464,7 +478,7 @@ mod tests {
         // Ensure the example set actually covers every variant tag.
         let tags: std::collections::BTreeSet<&str> =
             examples.iter().map(|e| e.kind.tag()).collect();
-        assert_eq!(tags.len(), 13, "examples must cover all 13 variants");
+        assert_eq!(tags.len(), 14, "examples must cover all 14 variants");
         for event in examples {
             let line = event.to_json().to_compact();
             let back = TraceEvent::from_json(&parse(&line).expect("parse")).expect("from_json");

@@ -16,6 +16,9 @@
 //! * [`isa`] — the MIPS-like target ISA;
 //! * [`asm`] — assembler and program images;
 //! * [`emu`] — functional reference emulator;
+//! * [`ckpt`] — architectural checkpoints: fast-forward, a versioned
+//!   binary snapshot codec, warm-window capture, and the shared store
+//!   that amortizes fast-forwards across sweep configurations;
 //! * [`mem`] — cache/TLB/memory timing models;
 //! * [`bpred`] — branch predictors;
 //! * [`power`] — Wattch-style power model;
@@ -60,6 +63,7 @@
 
 pub use riq_asm as asm;
 pub use riq_bpred as bpred;
+pub use riq_ckpt as ckpt;
 pub use riq_core as core;
 pub use riq_emu as emu;
 pub use riq_isa as isa;

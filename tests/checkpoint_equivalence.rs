@@ -1,0 +1,117 @@
+//! Checkpoint equivalence across the whole stack: for every suite kernel,
+//! a functional fast-forward plus resume is architecturally identical to a
+//! from-zero run — on the emulator and on the detailed simulator — and a
+//! detailed run resumed with functional warming reports gating behavior
+//! close to the from-zero measurement.
+
+use riq::asm::Program;
+use riq::ckpt::Checkpoint;
+use riq::core::{Processor, SimConfig};
+use riq::emu::Machine;
+use riq::kernels::{compile, suite_scaled};
+
+const ORACLE_BUDGET: u64 = 100_000_000;
+
+/// A skip point inside the kernel's dynamic instruction stream: far enough
+/// in to matter, far enough from the end to leave a measured region.
+fn mid_skip(program: &Program) -> u64 {
+    let mut oracle = Machine::new(program);
+    oracle.run(ORACLE_BUDGET).expect("oracle halts");
+    oracle.retired() / 10
+}
+
+#[test]
+fn emulator_resume_matches_full_run_on_every_kernel() {
+    for k in suite_scaled(0.08) {
+        let program = compile(&k).expect("kernel compiles");
+        let mut full = Machine::new(&program);
+        full.run(ORACLE_BUDGET).expect("full run halts");
+
+        let skip = mid_skip(&program);
+        let ckpt = Checkpoint::fast_forward(&program, skip, 64).expect("fast-forward");
+        assert_eq!(ckpt.retired, skip, "{}: fast-forward reaches the skip point", k.name);
+
+        let mut resumed = ckpt.resume_machine();
+        resumed.run(ORACLE_BUDGET).expect("resumed run halts");
+        assert_eq!(resumed.state(), full.state(), "{}: register file", k.name);
+        assert_eq!(
+            resumed.memory().content_digest(),
+            full.memory().content_digest(),
+            "{}: memory digest",
+            k.name
+        );
+        assert_eq!(resumed.retired(), full.retired(), "{}: retired count", k.name);
+    }
+}
+
+#[test]
+fn detailed_resume_matches_full_run_on_every_kernel() {
+    for k in suite_scaled(0.08) {
+        let program = compile(&k).expect("kernel compiles");
+        let proc = Processor::new(SimConfig::baseline().with_reuse(true));
+        let full = proc.run(&program).expect("full run");
+
+        let skip = mid_skip(&program);
+        let warmup = 2_000u64;
+        let ckpt = Checkpoint::fast_forward(&program, skip, warmup).expect("fast-forward");
+        let resumed = proc.resume_from(&program, &ckpt, warmup).expect("resumed run");
+
+        assert_eq!(resumed.arch_state, full.arch_state, "{}: register file", k.name);
+        assert_eq!(resumed.mem_digest, full.mem_digest, "{}: memory digest", k.name);
+        assert_eq!(
+            ckpt.retired + resumed.stats.committed,
+            full.stats.committed,
+            "{}: skip + resumed commits cover the whole program",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn warmed_resume_gating_tracks_from_zero_measurement() {
+    // The gated-cycle fraction of a warmed resumed run must be close to
+    // the from-zero fraction: the reuse FSM re-detects loops quickly, so
+    // the only real bias is the shorter measured region. A loose absolute
+    // tolerance keeps this robust across kernels while still catching a
+    // broken restore (which drives the resumed fraction toward zero or
+    // wildly off).
+    const TOLERANCE: f64 = 0.12;
+    for k in suite_scaled(0.08) {
+        let program = compile(&k).expect("kernel compiles");
+        let proc = Processor::new(SimConfig::baseline().with_reuse(true));
+        let full = proc.run(&program).expect("full run");
+        if full.stats.gated_rate() == 0.0 {
+            continue; // nothing to compare on kernels that never gate
+        }
+
+        let skip = mid_skip(&program);
+        let warmup = 4_000u64;
+        let ckpt = Checkpoint::fast_forward(&program, skip, warmup).expect("fast-forward");
+        let resumed = proc.resume_from(&program, &ckpt, warmup).expect("resumed run");
+        let delta = (resumed.stats.gated_rate() - full.stats.gated_rate()).abs();
+        assert!(
+            delta < TOLERANCE,
+            "{}: gated fraction diverged: from-zero {:.3}, resumed {:.3}",
+            k.name,
+            full.stats.gated_rate(),
+            resumed.stats.gated_rate()
+        );
+    }
+}
+
+#[test]
+fn codec_round_trips_a_real_kernel_checkpoint() {
+    let k = suite_scaled(0.08).into_iter().find(|k| k.name == "wss").expect("wss in suite");
+    let program = compile(&k).expect("kernel compiles");
+    let ckpt = Checkpoint::fast_forward(&program, 2_000, 500).expect("fast-forward");
+    let decoded = Checkpoint::decode(&ckpt.encode()).expect("decodes");
+    assert_eq!(decoded, ckpt);
+    assert_eq!(decoded.fingerprint(), ckpt.fingerprint());
+
+    // A resumed simulator accepts the decoded copy just the same.
+    let proc = Processor::new(SimConfig::baseline().with_reuse(true));
+    let a = proc.resume_from(&program, &ckpt, 500).expect("original resumes");
+    let b = proc.resume_from(&program, &decoded, 500).expect("decoded resumes");
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.arch_state, b.arch_state);
+}

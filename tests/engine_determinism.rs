@@ -86,6 +86,39 @@ fn shared_cache_dedups_across_experiments() {
 }
 
 #[test]
+fn checkpoint_store_output_is_byte_identical_to_storeless() {
+    // Fast-forwarding through the shared store amortizes work but must
+    // never change results: the store-on and store-off CSVs are equal
+    // byte for byte, and the store really does get reused.
+    let experiment = Experiment::Fig5_8 { scale: SCALE };
+    let with_store = EngineOptions::with_jobs(2).with_fast_forward(2_000, 500);
+    let store = with_store.ckpt.clone().expect("store attached");
+    let stored = run_experiment(&experiment, &with_store).expect("store-on run");
+    assert!(store.created() > 0, "fast-forwards actually happened");
+    assert!(store.reused() > 0, "configurations shared checkpoints");
+
+    let storeless =
+        EngineOptions::with_jobs(2).with_fast_forward(2_000, 500).with_checkpoint_store(None);
+    let solo = run_experiment(&experiment, &storeless).expect("store-off run");
+    assert_eq!(stored.to_csv(), solo.to_csv(), "checkpoint store must be invisible in the results");
+}
+
+#[test]
+fn fast_forwarded_sweep_differs_only_in_measured_region() {
+    // A skip excludes the warm-up prefix from measurement, so the CSV may
+    // differ from a from-zero run — but it must itself be deterministic
+    // across worker counts.
+    let experiment = Experiment::Fig9 { scale: SCALE };
+    let serial =
+        run_experiment(&experiment, &EngineOptions::with_jobs(1).with_fast_forward(1_000, 200))
+            .expect("serial");
+    let parallel =
+        run_experiment(&experiment, &EngineOptions::with_jobs(4).with_fast_forward(1_000, 200))
+            .expect("parallel");
+    assert_eq!(serial.to_csv(), parallel.to_csv(), "skip runs stay order-independent");
+}
+
+#[test]
 fn dedup_does_not_leak_across_different_scales() {
     // A rescaled kernel is a different program; the cache must miss. The
     // scales are chosen so every kernel's clamped outer trip count really
