@@ -21,11 +21,43 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+/// Machine-checkable classification of an [`AssembleError`].
+///
+/// Tests (and the fuzzer's oracle) match on this instead of grepping the
+/// human-readable message, so wording can change without breaking them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// The tokenizer/parser rejected the line before assembly began.
+    Syntax,
+    /// Mnemonic is not part of the ISA or pseudo-instruction set.
+    UnknownMnemonic,
+    /// Directive name is not recognized.
+    UnknownDirective,
+    /// A recognized directive has the wrong argument shape.
+    MalformedDirective,
+    /// An operand has the wrong type, count, or register bank.
+    BadOperand,
+    /// An immediate, shift amount, offset, or address does not fit its field.
+    OutOfRange,
+    /// A label was defined more than once.
+    DuplicateLabel,
+    /// A referenced symbol has no definition.
+    UndefinedSymbol,
+    /// Segment or layout violation: rebase after emit, misaligned base,
+    /// code in `.data`, data directives in `.text`, empty program.
+    Layout,
+    /// A structurally valid instruction could not be encoded.
+    Encode,
+}
+
 /// Error produced while assembling a source file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AssembleError {
     /// 1-based source line number (0 for file-level errors).
     pub line: usize,
+    /// Machine-checkable error category.
+    pub kind: AsmErrorKind,
     /// Human-readable description.
     pub message: String,
 }
@@ -42,8 +74,8 @@ impl fmt::Display for AssembleError {
 
 impl Error for AssembleError {}
 
-fn err(line: usize, message: impl Into<String>) -> AssembleError {
-    AssembleError { line, message: message.into() }
+fn err(line: usize, kind: AsmErrorKind, message: impl Into<String>) -> AssembleError {
+    AssembleError { line, kind, message: message.into() }
 }
 
 /// Assembler temporary register clobbered by compare-and-branch pseudos.
@@ -74,15 +106,17 @@ fn parse_reg(line: usize, name: &str) -> Result<RegRef, AssembleError> {
         return Ok(RegRef::Int(IntReg::new(n)));
     }
     let (bank, num) = name.split_at(1);
-    let n: u8 = num.parse().map_err(|_| err(line, format!("bad register name ${name}")))?;
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(line, AsmErrorKind::BadOperand, format!("bad register name ${name}")))?;
     match bank {
-        "r" => IntReg::try_new(n)
-            .map(RegRef::Int)
-            .ok_or_else(|| err(line, format!("integer register out of range: ${name}"))),
-        "f" => FpReg::try_new(n)
-            .map(RegRef::Fp)
-            .ok_or_else(|| err(line, format!("fp register out of range: ${name}"))),
-        _ => Err(err(line, format!("unknown register bank in ${name}"))),
+        "r" => IntReg::try_new(n).map(RegRef::Int).ok_or_else(|| {
+            err(line, AsmErrorKind::BadOperand, format!("integer register out of range: ${name}"))
+        }),
+        "f" => FpReg::try_new(n).map(RegRef::Fp).ok_or_else(|| {
+            err(line, AsmErrorKind::BadOperand, format!("fp register out of range: ${name}"))
+        }),
+        _ => Err(err(line, AsmErrorKind::BadOperand, format!("unknown register bank in ${name}"))),
     }
 }
 
@@ -90,9 +124,15 @@ fn int_reg(line: usize, arg: &Arg) -> Result<IntReg, AssembleError> {
     match arg {
         Arg::Reg(name) => match parse_reg(line, name)? {
             RegRef::Int(r) => Ok(r),
-            RegRef::Fp(_) => Err(err(line, format!("expected integer register, got ${name}"))),
+            RegRef::Fp(_) => Err(err(
+                line,
+                AsmErrorKind::BadOperand,
+                format!("expected integer register, got ${name}"),
+            )),
         },
-        other => Err(err(line, format!("expected register, got {other}"))),
+        other => {
+            Err(err(line, AsmErrorKind::BadOperand, format!("expected register, got {other}")))
+        }
     }
 }
 
@@ -100,33 +140,52 @@ fn fp_reg(line: usize, arg: &Arg) -> Result<FpReg, AssembleError> {
     match arg {
         Arg::Reg(name) => match parse_reg(line, name)? {
             RegRef::Fp(r) => Ok(r),
-            RegRef::Int(_) => Err(err(line, format!("expected fp register, got ${name}"))),
+            RegRef::Int(_) => Err(err(
+                line,
+                AsmErrorKind::BadOperand,
+                format!("expected fp register, got ${name}"),
+            )),
         },
-        other => Err(err(line, format!("expected register, got {other}"))),
+        other => {
+            Err(err(line, AsmErrorKind::BadOperand, format!("expected register, got {other}")))
+        }
     }
 }
 
 fn imm16(line: usize, arg: &Arg) -> Result<i16, AssembleError> {
     match arg {
-        Arg::Imm(v) => i16::try_from(*v)
-            .map_err(|_| err(line, format!("immediate {v} does not fit in 16 bits"))),
-        other => Err(err(line, format!("expected immediate, got {other}"))),
+        Arg::Imm(v) => i16::try_from(*v).map_err(|_| {
+            err(line, AsmErrorKind::OutOfRange, format!("immediate {v} does not fit in 16 bits"))
+        }),
+        other => {
+            Err(err(line, AsmErrorKind::BadOperand, format!("expected immediate, got {other}")))
+        }
     }
 }
 
 fn uimm16(line: usize, arg: &Arg) -> Result<u16, AssembleError> {
     match arg {
         Arg::Imm(v) if (0..=0xffff).contains(v) => Ok(*v as u16),
-        Arg::Imm(v) => Err(err(line, format!("immediate {v} does not fit in unsigned 16 bits"))),
-        other => Err(err(line, format!("expected immediate, got {other}"))),
+        Arg::Imm(v) => Err(err(
+            line,
+            AsmErrorKind::OutOfRange,
+            format!("immediate {v} does not fit in unsigned 16 bits"),
+        )),
+        other => {
+            Err(err(line, AsmErrorKind::BadOperand, format!("expected immediate, got {other}")))
+        }
     }
 }
 
 fn shamt(line: usize, arg: &Arg) -> Result<u8, AssembleError> {
     match arg {
         Arg::Imm(v) if (0..32).contains(v) => Ok(*v as u8),
-        Arg::Imm(v) => Err(err(line, format!("shift amount {v} out of range 0..32"))),
-        other => Err(err(line, format!("expected shift amount, got {other}"))),
+        Arg::Imm(v) => {
+            Err(err(line, AsmErrorKind::OutOfRange, format!("shift amount {v} out of range 0..32")))
+        }
+        other => {
+            Err(err(line, AsmErrorKind::BadOperand, format!("expected shift amount, got {other}")))
+        }
     }
 }
 
@@ -135,13 +194,28 @@ fn mem_operand(line: usize, arg: &Arg) -> Result<(IntReg, i16), AssembleError> {
         Arg::Mem { off, base } => {
             let base = match parse_reg(line, base)? {
                 RegRef::Int(r) => r,
-                RegRef::Fp(_) => return Err(err(line, "memory base must be an integer register")),
+                RegRef::Fp(_) => {
+                    return Err(err(
+                        line,
+                        AsmErrorKind::BadOperand,
+                        "memory base must be an integer register",
+                    ))
+                }
             };
-            let off = i16::try_from(*off)
-                .map_err(|_| err(line, format!("memory offset {off} does not fit in 16 bits")))?;
+            let off = i16::try_from(*off).map_err(|_| {
+                err(
+                    line,
+                    AsmErrorKind::OutOfRange,
+                    format!("memory offset {off} does not fit in 16 bits"),
+                )
+            })?;
             Ok((base, off))
         }
-        other => Err(err(line, format!("expected memory operand, got {other}"))),
+        other => Err(err(
+            line,
+            AsmErrorKind::BadOperand,
+            format!("expected memory operand, got {other}"),
+        )),
     }
 }
 
@@ -151,21 +225,35 @@ type Lookup<'a> = &'a dyn Fn(&str) -> Option<u32>;
 
 fn resolve(line: usize, arg: &Arg, lookup: Lookup<'_>) -> Result<u32, AssembleError> {
     match arg {
-        Arg::Sym(s) => lookup(s).ok_or_else(|| err(line, format!("undefined symbol {s:?}"))),
-        Arg::Imm(v) => {
-            u32::try_from(*v).map_err(|_| err(line, format!("address {v} out of range")))
-        }
-        other => Err(err(line, format!("expected label or address, got {other}"))),
+        Arg::Sym(s) => lookup(s).ok_or_else(|| {
+            err(line, AsmErrorKind::UndefinedSymbol, format!("undefined symbol {s:?}"))
+        }),
+        Arg::Imm(v) => u32::try_from(*v)
+            .map_err(|_| err(line, AsmErrorKind::OutOfRange, format!("address {v} out of range"))),
+        other => Err(err(
+            line,
+            AsmErrorKind::BadOperand,
+            format!("expected label or address, got {other}"),
+        )),
     }
 }
 
 fn branch_off(line: usize, pc: u32, target: u32) -> Result<i16, AssembleError> {
     let delta = i64::from(target) - i64::from(pc) - 4;
     if delta % 4 != 0 {
-        return Err(err(line, format!("branch target {target:#x} is not aligned")));
+        return Err(err(
+            line,
+            AsmErrorKind::Layout,
+            format!("branch target {target:#x} is not aligned"),
+        ));
     }
-    i16::try_from(delta / 4)
-        .map_err(|_| err(line, format!("branch target {target:#x} out of 16-bit range")))
+    i16::try_from(delta / 4).map_err(|_| {
+        err(
+            line,
+            AsmErrorKind::OutOfRange,
+            format!("branch target {target:#x} out of 16-bit range"),
+        )
+    })
 }
 
 /// Number of machine instructions `li` expands to for a given literal.
@@ -200,7 +288,13 @@ fn inst_len(line: usize, mnemonic: &str, args: &[Arg]) -> Result<usize, Assemble
     Ok(match mnemonic {
         "li" => match args.get(1) {
             Some(Arg::Imm(v)) => li_len(*v),
-            _ => return Err(err(line, "li expects a register and an integer literal")),
+            _ => {
+                return Err(err(
+                    line,
+                    AsmErrorKind::BadOperand,
+                    "li expects a register and an integer literal",
+                ))
+            }
         },
         "la" => 2,
         "blt" | "bge" | "bgt" | "ble" => 2,
@@ -220,7 +314,11 @@ fn expand(
         if args.len() == n {
             Ok(())
         } else {
-            Err(err(line, format!("{mnemonic} expects {n} operands, got {}", args.len())))
+            Err(err(
+                line,
+                AsmErrorKind::BadOperand,
+                format!("{mnemonic} expects {n} operands, got {}", args.len()),
+            ))
         }
     };
     let alu3 = |op: AluOp| -> Result<Vec<Inst>, AssembleError> {
@@ -407,7 +505,11 @@ fn expand(
             2 => {
                 Ok(vec![Inst::Jalr { rd: int_reg(line, &args[0])?, rs: int_reg(line, &args[1])? }])
             }
-            n => Err(err(line, format!("jalr expects 1 or 2 operands, got {n}"))),
+            n => Err(err(
+                line,
+                AsmErrorKind::BadOperand,
+                format!("jalr expects 1 or 2 operands, got {n}"),
+            )),
         },
         // Pseudo-instructions.
         "li" => {
@@ -415,7 +517,11 @@ fn expand(
             let rt = int_reg(line, &args[0])?;
             match &args[1] {
                 Arg::Imm(v) => Ok(expand_li(rt, *v)),
-                other => Err(err(line, format!("li expects an integer literal, got {other}"))),
+                other => Err(err(
+                    line,
+                    AsmErrorKind::BadOperand,
+                    format!("li expects an integer literal, got {other}"),
+                )),
             }
         }
         "la" => {
@@ -458,7 +564,9 @@ fn expand(
         "bge" => cmp_branch(false, false),
         "bgt" => cmp_branch(true, true),
         "ble" => cmp_branch(true, false),
-        other => Err(err(line, format!("unknown mnemonic {other:?}"))),
+        other => {
+            Err(err(line, AsmErrorKind::UnknownMnemonic, format!("unknown mnemonic {other:?}")))
+        }
     }
 }
 
@@ -477,16 +585,28 @@ fn directive_data_len(
         }
         "space" => match args {
             [Arg::Imm(n)] if *n >= 0 => Ok(*n as u32),
-            _ => Err(err(line, ".space expects a non-negative byte count")),
+            _ => Err(err(
+                line,
+                AsmErrorKind::MalformedDirective,
+                ".space expects a non-negative byte count",
+            )),
         },
         "align" => match args {
             [Arg::Imm(n)] if (0..=16).contains(n) => {
                 let a = 1u32 << *n;
                 Ok((a - addr % a) % a)
             }
-            _ => Err(err(line, ".align expects an exponent in 0..=16")),
+            _ => Err(err(
+                line,
+                AsmErrorKind::MalformedDirective,
+                ".align expects an exponent in 0..=16",
+            )),
         },
-        _ => Err(err(line, format!("unknown data directive .{name}"))),
+        _ => Err(err(
+            line,
+            AsmErrorKind::UnknownDirective,
+            format!("unknown data directive .{name}"),
+        )),
     }
 }
 
@@ -517,7 +637,7 @@ fn directive_data_len(
 /// # }
 /// ```
 pub fn assemble(source: &str) -> Result<Program, AssembleError> {
-    let lines = parse(source).map_err(|e| err(e.line, e.message))?;
+    let lines = parse(source).map_err(|e| err(e.line, AsmErrorKind::Syntax, e.message))?;
     assemble_lines(&lines)
 }
 
@@ -542,11 +662,16 @@ fn assemble_lines(lines: &[Line]) -> Result<Program, AssembleError> {
                         if let Some(a) = args.first() {
                             let base = match a {
                                 Arg::Imm(v) => u32::try_from(*v).map_err(|_| {
-                                    err(l.number, format!("segment base {v} out of range"))
+                                    err(
+                                        l.number,
+                                        AsmErrorKind::OutOfRange,
+                                        format!("segment base {v} out of range"),
+                                    )
                                 })?,
                                 other => {
                                     return Err(err(
                                         l.number,
+                                        AsmErrorKind::MalformedDirective,
                                         format!("segment base must be a literal, got {other}"),
                                     ))
                                 }
@@ -555,11 +680,16 @@ fn assemble_lines(lines: &[Line]) -> Result<Program, AssembleError> {
                                 if text_started {
                                     return Err(err(
                                         l.number,
+                                        AsmErrorKind::Layout,
                                         "cannot rebase .text after emitting code",
                                     ));
                                 }
                                 if base % INST_BYTES != 0 {
-                                    return Err(err(l.number, "text base must be aligned"));
+                                    return Err(err(
+                                        l.number,
+                                        AsmErrorKind::Layout,
+                                        "text base must be aligned",
+                                    ));
                                 }
                                 text_base = base;
                                 text_pc = base;
@@ -567,6 +697,7 @@ fn assemble_lines(lines: &[Line]) -> Result<Program, AssembleError> {
                                 if data_started {
                                     return Err(err(
                                         l.number,
+                                        AsmErrorKind::Layout,
                                         "cannot rebase .data after emitting data",
                                     ));
                                 }
@@ -596,7 +727,11 @@ fn assemble_lines(lines: &[Line]) -> Result<Program, AssembleError> {
                 _ => addr,
             };
             if symbols.insert(label.clone(), addr).is_some() {
-                return Err(err(l.number, format!("duplicate label {label:?}")));
+                return Err(err(
+                    l.number,
+                    AsmErrorKind::DuplicateLabel,
+                    format!("duplicate label {label:?}"),
+                ));
             }
         }
         match &l.body {
@@ -606,7 +741,13 @@ fn assemble_lines(lines: &[Line]) -> Result<Program, AssembleError> {
                 ("global" | "globl", _) => {}
                 ("entry", _) => match args.as_slice() {
                     [Arg::Sym(s)] => entry_sym = Some((l.number, s.clone())),
-                    _ => return Err(err(l.number, ".entry expects a label")),
+                    _ => {
+                        return Err(err(
+                            l.number,
+                            AsmErrorKind::MalformedDirective,
+                            ".entry expects a label",
+                        ))
+                    }
                 },
                 (_, Segment::Data) => {
                     data_started = true;
@@ -615,13 +756,18 @@ fn assemble_lines(lines: &[Line]) -> Result<Program, AssembleError> {
                 (_, Segment::Text) => {
                     return Err(err(
                         l.number,
+                        AsmErrorKind::Layout,
                         format!("data directive .{name} not allowed in .text"),
                     ))
                 }
             },
             Some(Body::Inst { mnemonic, args }) => {
                 if segment != Segment::Text {
-                    return Err(err(l.number, "instructions must be in the .text segment"));
+                    return Err(err(
+                        l.number,
+                        AsmErrorKind::Layout,
+                        "instructions must be in the .text segment",
+                    ));
                 }
                 text_started = true;
                 text_pc += INST_BYTES * inst_len(l.number, mnemonic, args)? as u32;
@@ -653,9 +799,9 @@ fn assemble_lines(lines: &[Line]) -> Result<Program, AssembleError> {
                 let insts = expand(l.number, mnemonic, args, pc, &lookup)?;
                 debug_assert_eq!(insts.len(), inst_len(l.number, mnemonic, args)?);
                 for inst in insts {
-                    let word = inst
-                        .encode()
-                        .map_err(|e| err(l.number, format!("cannot encode {inst}: {e}")))?;
+                    let word = inst.encode().map_err(|e| {
+                        err(l.number, AsmErrorKind::Encode, format!("cannot encode {inst}: {e}"))
+                    })?;
                     text.push(word);
                     pc += INST_BYTES;
                 }
@@ -664,14 +810,13 @@ fn assemble_lines(lines: &[Line]) -> Result<Program, AssembleError> {
     }
 
     let entry = match entry_sym {
-        Some((line, s)) => symbols
-            .get(&s)
-            .copied()
-            .ok_or_else(|| err(line, format!("undefined entry label {s:?}")))?,
+        Some((line, s)) => symbols.get(&s).copied().ok_or_else(|| {
+            err(line, AsmErrorKind::UndefinedSymbol, format!("undefined entry label {s:?}"))
+        })?,
         None => text_base,
     };
     if text.is_empty() {
-        return Err(err(0, "program has no instructions"));
+        return Err(err(0, AsmErrorKind::Layout, "program has no instructions"));
     }
     Ok(Program::from_parts(text_base, text, data_base, data, entry, symbols))
 }
@@ -696,10 +841,16 @@ fn emit_data(
             for a in args {
                 let v: u32 = match a {
                     Arg::Imm(v) => *v as u32,
-                    Arg::Sym(s) => {
-                        lookup(s).ok_or_else(|| err(line, format!("undefined symbol {s:?}")))?
+                    Arg::Sym(s) => lookup(s).ok_or_else(|| {
+                        err(line, AsmErrorKind::UndefinedSymbol, format!("undefined symbol {s:?}"))
+                    })?,
+                    other => {
+                        return Err(err(
+                            line,
+                            AsmErrorKind::MalformedDirective,
+                            format!(".word expects integers, got {other}"),
+                        ))
                     }
-                    other => return Err(err(line, format!(".word expects integers, got {other}"))),
                 };
                 data.extend_from_slice(&v.to_le_bytes());
                 *addr += 4;
@@ -712,7 +863,11 @@ fn emit_data(
                     Arg::Float(v) => *v,
                     Arg::Imm(v) => *v as f64,
                     other => {
-                        return Err(err(line, format!(".double expects numbers, got {other}")))
+                        return Err(err(
+                            line,
+                            AsmErrorKind::MalformedDirective,
+                            format!(".double expects numbers, got {other}"),
+                        ))
                     }
                 };
                 data.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -729,7 +884,13 @@ fn emit_data(
             data.extend(std::iter::repeat_n(0u8, n as usize));
             *addr += n;
         }
-        other => return Err(err(line, format!("unknown data directive .{other}"))),
+        other => {
+            return Err(err(
+                line,
+                AsmErrorKind::UnknownDirective,
+                format!("unknown data directive .{other}"),
+            ))
+        }
     }
     debug_assert_eq!(*addr - base, data.len() as u32);
     Ok(())

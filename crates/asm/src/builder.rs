@@ -6,7 +6,7 @@
 //! and jumps when it finalizes.
 
 use crate::program::{Program, DATA_BASE, TEXT_BASE};
-use riq_isa::{Inst, IntReg, INST_BYTES};
+use riq_isa::{BranchCond, Inst, IntReg, INST_BYTES};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -16,6 +16,9 @@ use std::fmt;
 pub enum BuildProgramError {
     /// A branch or jump referenced a label that was never defined.
     UndefinedLabel(String),
+    /// A label (text or data) was defined more than once; the program
+    /// would silently resolve references to only one of the definitions.
+    DuplicateLabel(String),
     /// A branch target was out of the 16-bit word-offset range.
     BranchOutOfRange {
         /// Referencing instruction address.
@@ -33,6 +36,7 @@ impl fmt::Display for BuildProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildProgramError::UndefinedLabel(l) => write!(f, "undefined label {l:?}"),
+            BuildProgramError::DuplicateLabel(l) => write!(f, "duplicate label {l:?}"),
             BuildProgramError::BranchOutOfRange { pc, label } => {
                 write!(f, "branch at {pc:#x} to label {label:?} out of range")
             }
@@ -44,14 +48,35 @@ impl fmt::Display for BuildProgramError {
 
 impl Error for BuildProgramError {}
 
+/// Flavor of a label-resolved conditional branch.
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    /// `beq rs, rt, label`.
+    Beq,
+    /// `bne rs, rt, label`.
+    Bne,
+    /// A single-register compare-against-zero branch (`blez`, `bgtz`,
+    /// `bltz`, `bgez`); `rt` is ignored.
+    Cond(BranchCond),
+}
+
+impl BranchKind {
+    fn make(self, off: i16, rs: IntReg, rt: IntReg) -> Inst {
+        match self {
+            BranchKind::Beq => Inst::Beq { rs, rt, off },
+            BranchKind::Bne => Inst::Bne { rs, rt, off },
+            BranchKind::Cond(cond) => Inst::Bcond { cond, rs, off },
+        }
+    }
+}
+
 /// A pending text-segment element.
 #[derive(Debug, Clone)]
 enum Slot {
     /// A fully-formed instruction.
     Inst(Inst),
-    /// A branch whose offset is patched at finalize time. The `make`
-    /// callback receives the resolved word offset.
-    Branch { label: String, make: fn(i16, IntReg, IntReg) -> Inst, rs: IntReg, rt: IntReg },
+    /// A branch whose offset is patched at finalize time.
+    Branch { label: String, kind: BranchKind, rs: IntReg, rt: IntReg },
     /// A direct jump (or call) to a label.
     Jump { label: String, link: bool },
 }
@@ -86,6 +111,9 @@ pub struct ProgramBuilder {
     text_base: u32,
     data_base: u32,
     entry_label: Option<String>,
+    /// First label defined twice (across the shared text/data namespace);
+    /// reported by [`finish`](ProgramBuilder::finish).
+    duplicate: Option<String>,
 }
 
 impl ProgramBuilder {
@@ -115,14 +143,28 @@ impl ProgramBuilder {
 
     /// Defines a text label at the current position.
     ///
-    /// # Panics
-    ///
-    /// Panics if the label was already defined.
+    /// Redefining a label (text or data) is recorded and reported as
+    /// [`BuildProgramError::DuplicateLabel`] by
+    /// [`finish`](ProgramBuilder::finish) — references to a duplicated
+    /// name would otherwise silently resolve to only one definition.
     pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
         let name = name.into();
-        let prev = self.labels.insert(name.clone(), self.slots.len());
-        assert!(prev.is_none(), "duplicate text label {name:?}");
+        self.note_duplicate(&name);
+        self.labels.insert(name, self.slots.len());
         self
+    }
+
+    /// Whether `name` is already defined as a text or data label.
+    #[must_use]
+    pub fn label_defined(&self, name: &str) -> bool {
+        self.labels.contains_key(name) || self.data_labels.contains_key(name)
+    }
+
+    /// Records the first duplicate definition across both label namespaces.
+    fn note_duplicate(&mut self, name: &str) {
+        if self.duplicate.is_none() && self.label_defined(name) {
+            self.duplicate = Some(name.to_string());
+        }
     }
 
     /// Address a text label will have once finalized, if already defined.
@@ -133,24 +175,47 @@ impl ProgramBuilder {
 
     /// Appends `beq rs, rt, label`.
     pub fn beq(&mut self, rs: IntReg, rt: IntReg, label: impl Into<String>) -> &mut Self {
-        self.slots.push(Slot::Branch {
-            label: label.into(),
-            make: |off, rs, rt| Inst::Beq { rs, rt, off },
-            rs,
-            rt,
-        });
+        self.slots.push(Slot::Branch { label: label.into(), kind: BranchKind::Beq, rs, rt });
         self
     }
 
     /// Appends `bne rs, rt, label`.
     pub fn bne(&mut self, rs: IntReg, rt: IntReg, label: impl Into<String>) -> &mut Self {
+        self.slots.push(Slot::Branch { label: label.into(), kind: BranchKind::Bne, rs, rt });
+        self
+    }
+
+    /// Appends a compare-against-zero branch (`blez`/`bgtz`/`bltz`/`bgez`)
+    /// to a label — the building block for loops whose exit condition is
+    /// a sign test rather than an equality.
+    pub fn bcond(&mut self, cond: BranchCond, rs: IntReg, label: impl Into<String>) -> &mut Self {
         self.slots.push(Slot::Branch {
             label: label.into(),
-            make: |off, rs, rt| Inst::Bne { rs, rt, off },
+            kind: BranchKind::Cond(cond),
             rs,
-            rt,
+            rt: IntReg::ZERO,
         });
         self
+    }
+
+    /// Appends `blez rs, label`.
+    pub fn blez(&mut self, rs: IntReg, label: impl Into<String>) -> &mut Self {
+        self.bcond(BranchCond::Lez, rs, label)
+    }
+
+    /// Appends `bgtz rs, label`.
+    pub fn bgtz(&mut self, rs: IntReg, label: impl Into<String>) -> &mut Self {
+        self.bcond(BranchCond::Gtz, rs, label)
+    }
+
+    /// Appends `bltz rs, label`.
+    pub fn bltz(&mut self, rs: IntReg, label: impl Into<String>) -> &mut Self {
+        self.bcond(BranchCond::Ltz, rs, label)
+    }
+
+    /// Appends `bgez rs, label`.
+    pub fn bgez(&mut self, rs: IntReg, label: impl Into<String>) -> &mut Self {
+        self.bcond(BranchCond::Gez, rs, label)
     }
 
     /// Appends an unconditional jump to a label.
@@ -173,7 +238,9 @@ impl ProgramBuilder {
             self.data.push(0);
         }
         let addr = self.data_base + self.data.len() as u32;
-        self.data_labels.insert(name.into(), addr);
+        let name = name.into();
+        self.note_duplicate(&name);
+        self.data_labels.insert(name, addr);
         self.data.extend(std::iter::repeat_n(0u8, len as usize));
         addr
     }
@@ -185,7 +252,9 @@ impl ProgramBuilder {
             self.data.push(0);
         }
         let addr = self.data_base + self.data.len() as u32;
-        self.data_labels.insert(name.into(), addr);
+        let name = name.into();
+        self.note_duplicate(&name);
+        self.data_labels.insert(name, addr);
         for v in values {
             self.data.extend_from_slice(&v.to_bits().to_le_bytes());
         }
@@ -199,7 +268,9 @@ impl ProgramBuilder {
             self.data.push(0);
         }
         let addr = self.data_base + self.data.len() as u32;
-        self.data_labels.insert(name.into(), addr);
+        let name = name.into();
+        self.note_duplicate(&name);
+        self.data_labels.insert(name, addr);
         for v in values {
             self.data.extend_from_slice(&v.to_le_bytes());
         }
@@ -223,11 +294,14 @@ impl ProgramBuilder {
     ///
     /// # Errors
     ///
-    /// Returns an error for undefined labels, out-of-range branches, or
-    /// unencodable instructions.
+    /// Returns an error for undefined or duplicated labels, out-of-range
+    /// branches, or unencodable instructions.
     pub fn finish(&self) -> Result<Program, BuildProgramError> {
         if self.slots.is_empty() {
             return Err(BuildProgramError::Empty);
+        }
+        if let Some(name) = &self.duplicate {
+            return Err(BuildProgramError::DuplicateLabel(name.clone()));
         }
         let addr_of = |label: &str| -> Result<u32, BuildProgramError> {
             self.labels
@@ -241,13 +315,13 @@ impl ProgramBuilder {
             let pc = self.text_base + (idx as u32) * INST_BYTES;
             let inst = match slot {
                 Slot::Inst(i) => *i,
-                Slot::Branch { label, make, rs, rt } => {
+                Slot::Branch { label, kind, rs, rt } => {
                     let target = addr_of(label)?;
                     let delta = (i64::from(target) - i64::from(pc) - 4) / 4;
                     let off = i16::try_from(delta).map_err(|_| {
                         BuildProgramError::BranchOutOfRange { pc, label: label.clone() }
                     })?;
-                    make(off, *rs, *rt)
+                    kind.make(off, *rs, *rt)
                 }
                 Slot::Jump { label, link } => {
                     let target = addr_of(label)?;
@@ -350,11 +424,118 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate text label")]
-    fn duplicate_label_panics() {
+    fn duplicate_text_label_rejected() {
         let mut b = ProgramBuilder::new();
         b.label("x");
+        b.push(Inst::Nop);
         b.label("x");
+        b.push(Inst::Halt);
+        assert!(matches!(
+            b.finish(),
+            Err(BuildProgramError::DuplicateLabel(l)) if l == "x"
+        ));
+    }
+
+    #[test]
+    fn duplicate_across_text_and_data_rejected() {
+        // A text label shadowing a data label used to silently win the
+        // shared symbol namespace; now it is an error.
+        let mut b = ProgramBuilder::new();
+        b.data_words("buf", &[1]);
+        b.label("buf");
+        b.push(Inst::Halt);
+        assert!(matches!(
+            b.finish(),
+            Err(BuildProgramError::DuplicateLabel(l)) if l == "buf"
+        ));
+    }
+
+    #[test]
+    fn duplicate_data_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.reserve_data("buf", 8);
+        b.data_doubles("buf", &[1.0]);
+        b.push(Inst::Halt);
+        assert!(matches!(
+            b.finish(),
+            Err(BuildProgramError::DuplicateLabel(l)) if l == "buf"
+        ));
+        assert!(b.label_defined("buf"));
+    }
+
+    #[test]
+    fn first_duplicate_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.label("a");
+        b.label("a");
+        b.label("b");
+        b.label("b");
+        b.push(Inst::Halt);
+        assert!(matches!(
+            b.finish(),
+            Err(BuildProgramError::DuplicateLabel(l)) if l == "a"
+        ));
+    }
+
+    #[test]
+    fn bcond_builders_resolve_labels() {
+        use riq_isa::BranchCond;
+        let r2 = IntReg::new(2);
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: r2, rs: IntReg::ZERO, imm: 3 });
+        b.label("top");
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: r2, rs: r2, imm: -1 });
+        b.bgtz(r2, "top");
+        b.blez(r2, "end");
+        b.bltz(r2, "end");
+        b.bgez(r2, "end");
+        b.label("end");
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(
+            p.inst_at(p.text_base() + 8).unwrap(),
+            Inst::Bcond { cond: BranchCond::Gtz, rs: r2, off: -2 }
+        );
+        assert_eq!(
+            p.inst_at(p.text_base() + 12).unwrap(),
+            Inst::Bcond { cond: BranchCond::Lez, rs: r2, off: 2 }
+        );
+        assert_eq!(
+            p.inst_at(p.text_base() + 20).unwrap(),
+            Inst::Bcond { cond: BranchCond::Gez, rs: r2, off: 0 }
+        );
+    }
+
+    #[test]
+    fn nested_loops_via_bcond() {
+        // A two-deep counted nest built entirely with builder branch
+        // helpers must assemble with correctly resolved back-edges.
+        let outer = IntReg::new(2);
+        let inner = IntReg::new(3);
+        let acc = IntReg::new(4);
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: outer, rs: IntReg::ZERO, imm: 3 });
+        b.label("outer");
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: inner, rs: IntReg::ZERO, imm: 4 });
+        b.label("inner");
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: acc, rs: acc, imm: 1 });
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: inner, rs: inner, imm: -1 });
+        b.bgtz(inner, "inner");
+        b.push(Inst::AluImm { op: AluImmOp::Addi, rt: outer, rs: outer, imm: -1 });
+        b.bgtz(outer, "outer");
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.text_len(), 8);
+        // Inner back-edge: bgtz at word 4 targets word 2.
+        assert_eq!(
+            p.inst_at(p.text_base() + 16).unwrap(),
+            Inst::Bcond { cond: riq_isa::BranchCond::Gtz, rs: inner, off: -3 }
+        );
+        // Outer back-edge: bgtz at word 6 targets word 1.
+        assert_eq!(
+            p.inst_at(p.text_base() + 24).unwrap(),
+            Inst::Bcond { cond: riq_isa::BranchCond::Gtz, rs: outer, off: -6 }
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod builder;
 mod parser;
 mod program;
 
-pub use assembler::{assemble, AssembleError, AT};
+pub use assembler::{assemble, AsmErrorKind, AssembleError, AT};
 pub use builder::{BuildProgramError, ProgramBuilder};
 pub use parser::{Arg, Body, Line, ParseAsmError};
 pub use program::{FetchError, Program, DATA_BASE, STACK_TOP, TEXT_BASE};

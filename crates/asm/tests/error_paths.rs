@@ -1,0 +1,179 @@
+//! Error-path coverage for the riq-asm text assembler.
+//!
+//! Every case asserts a specific [`AsmErrorKind`] (and the source line it is
+//! tagged with) rather than grepping message text, so the assembler can
+//! reword diagnostics without breaking these tests. None of these inputs may
+//! panic — a panic here is itself a bug the fuzzer would have to shrink.
+
+use riq_asm::{assemble, AsmErrorKind};
+
+fn kind_of(src: &str) -> AsmErrorKind {
+    assemble(src).expect_err("source was expected to be rejected").kind
+}
+
+fn line_of(src: &str) -> usize {
+    assemble(src).expect_err("source was expected to be rejected").line
+}
+
+// ---- malformed and unknown directives ----
+
+#[test]
+fn unknown_data_directive() {
+    assert_eq!(kind_of(".data\nx: .quad 1\n.text\n halt\n"), AsmErrorKind::UnknownDirective);
+}
+
+#[test]
+fn space_with_negative_count() {
+    assert_eq!(kind_of(".data\nb: .space -4\n.text\n halt\n"), AsmErrorKind::MalformedDirective);
+}
+
+#[test]
+fn space_with_symbol_argument() {
+    assert_eq!(kind_of(".data\nb: .space b\n.text\n halt\n"), AsmErrorKind::MalformedDirective);
+}
+
+#[test]
+fn align_exponent_out_of_bounds() {
+    assert_eq!(kind_of(".data\n.align 20\n.text\n halt\n"), AsmErrorKind::MalformedDirective);
+}
+
+#[test]
+fn entry_without_label() {
+    assert_eq!(kind_of(".entry 7\n halt\n"), AsmErrorKind::MalformedDirective);
+}
+
+#[test]
+fn word_with_float_argument() {
+    assert_eq!(kind_of(".data\nx: .word 1.5\n.text\n halt\n"), AsmErrorKind::MalformedDirective);
+}
+
+#[test]
+fn double_with_register_argument() {
+    assert_eq!(kind_of(".data\nx: .double $r2\n.text\n halt\n"), AsmErrorKind::MalformedDirective);
+}
+
+#[test]
+fn segment_base_must_be_literal() {
+    assert_eq!(kind_of(".text foo\n halt\n"), AsmErrorKind::MalformedDirective);
+}
+
+#[test]
+fn data_directive_in_text_segment() {
+    assert_eq!(kind_of(".text\n .word 1\n halt\n"), AsmErrorKind::Layout);
+}
+
+#[test]
+fn instructions_in_data_segment() {
+    assert_eq!(kind_of(".data\n addi $r2, $r2, 1\n"), AsmErrorKind::Layout);
+}
+
+// ---- out-of-range immediates ----
+
+#[test]
+fn addi_immediate_overflow() {
+    let src = " addi $r2, $r2, 99999\n halt\n";
+    assert_eq!(kind_of(src), AsmErrorKind::OutOfRange);
+    assert_eq!(line_of(src), 1);
+}
+
+#[test]
+fn addi_immediate_underflow() {
+    assert_eq!(kind_of(" addi $r2, $r2, -32769\n halt\n"), AsmErrorKind::OutOfRange);
+}
+
+#[test]
+fn lui_rejects_negative_immediate() {
+    assert_eq!(kind_of(" lui $r2, -1\n halt\n"), AsmErrorKind::OutOfRange);
+}
+
+#[test]
+fn lui_rejects_wide_immediate() {
+    assert_eq!(kind_of(" lui $r2, 65536\n halt\n"), AsmErrorKind::OutOfRange);
+}
+
+#[test]
+fn shift_amount_out_of_range() {
+    assert_eq!(kind_of(" sll $r2, $r3, 32\n halt\n"), AsmErrorKind::OutOfRange);
+}
+
+#[test]
+fn memory_offset_overflow() {
+    assert_eq!(kind_of(" lw $r2, 40000($r3)\n halt\n"), AsmErrorKind::OutOfRange);
+}
+
+#[test]
+fn segment_base_out_of_range() {
+    assert_eq!(kind_of(".text -4\n halt\n"), AsmErrorKind::OutOfRange);
+}
+
+// ---- labels and symbols ----
+
+#[test]
+fn branch_to_undefined_label() {
+    let src = " bne $r2, $r0, nowhere\n halt\n";
+    assert_eq!(kind_of(src), AsmErrorKind::UndefinedSymbol);
+    assert_eq!(line_of(src), 1);
+}
+
+#[test]
+fn duplicate_label_across_segments() {
+    assert_eq!(kind_of(".data\nx: .word 1\n.text\nx: halt\n"), AsmErrorKind::DuplicateLabel);
+}
+
+#[test]
+fn undefined_entry_label() {
+    assert_eq!(kind_of(".entry main\n halt\n"), AsmErrorKind::UndefinedSymbol);
+}
+
+// ---- operands, mnemonics, syntax ----
+
+#[test]
+fn missing_operand() {
+    assert_eq!(kind_of(" addi $r2, $r3\n halt\n"), AsmErrorKind::BadOperand);
+}
+
+#[test]
+fn fp_register_where_int_expected() {
+    assert_eq!(kind_of(" addi $f2, $r3, 1\n halt\n"), AsmErrorKind::BadOperand);
+}
+
+#[test]
+fn int_register_where_fp_expected() {
+    assert_eq!(kind_of(" add.d $r2, $f1, $f2\n halt\n"), AsmErrorKind::BadOperand);
+}
+
+#[test]
+fn register_number_out_of_bank() {
+    assert_eq!(kind_of(" addi $r77, $r0, 1\n halt\n"), AsmErrorKind::BadOperand);
+}
+
+#[test]
+fn unknown_mnemonic() {
+    assert_eq!(kind_of(" frobnicate $r2\n halt\n"), AsmErrorKind::UnknownMnemonic);
+}
+
+#[test]
+fn tokenizer_garbage_is_syntax() {
+    assert_eq!(kind_of(" addi $r2, $r3, @!\n halt\n"), AsmErrorKind::Syntax);
+}
+
+#[test]
+fn empty_program_is_layout_error() {
+    let e = assemble("# just a comment\n").unwrap_err();
+    assert_eq!(e.kind, AsmErrorKind::Layout);
+    assert_eq!(e.line, 0, "file-level errors carry line 0");
+}
+
+// ---- .double alignment semantics (behavior, not error) ----
+
+#[test]
+fn double_after_odd_space_is_aligned() {
+    // `.double` following an odd-sized `.space` must pad to an 8-byte
+    // boundary and the label must point at the aligned datum.
+    let p = assemble(".data\npad: .space 3\nd: .double 4.25\n.text\n halt\n").unwrap();
+    let d = p.symbol("d").unwrap();
+    assert_eq!(d % 8, 0, "label on .double points at aligned address");
+    assert_eq!(d, p.data_base() + 8);
+    let off = (d - p.data_base()) as usize;
+    assert_eq!(&p.data()[off..off + 8], &4.25f64.to_bits().to_le_bytes());
+}

@@ -11,6 +11,7 @@
 //!           [--out PATH]
 //! riq-repro ckpt ls <PATH...>
 //! riq-repro ckpt verify <PATH> [--program <kernel|file.s>] [--scale F]
+//! riq-repro fuzz --seed S --iters N [--minimize] [--corpus DIR]
 //!
 //! experiments:
 //!   table1    baseline processor configuration (paper Table 1)
@@ -66,6 +67,18 @@
 //! given file; `ckpt verify` decodes a file (checking its integrity
 //! digest) and, with `--program`, replays the fast-forward and compares
 //! fingerprints.
+//!
+//! `fuzz` generates `--iters` structured random programs from `--seed`
+//! (deterministically — the same seed yields the byte-identical program
+//! stream and summary line) and differentially checks each one: the
+//! functional emulator is the architectural oracle, and a matrix of
+//! simulator configurations (baseline, reuse at several IQ sizes,
+//! checkpoint-resume at several skip fractions) must agree with it on
+//! registers, memory digest, and committed count, plus structural
+//! trace/power invariants. With `--minimize`, failing programs are shrunk
+//! to a 1-minimal repro first; with `--corpus DIR`, each failure is
+//! written there as a standalone `.s` plus a `.json` failure report. The
+//! exit status is non-zero when any program fails.
 //! ```
 
 use riq_bench::{
@@ -86,7 +99,8 @@ fn usage() -> ExitCode {
                 riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F] [--json PATH] [--trace PATH] [--epoch N] [--skip N] [--warmup M] [--sample K] [--ckpt PATH]
                 riq-repro ckpt create <kernel|file.s> --skip N [--warmup M] [--scale F] [--out PATH]
                 riq-repro ckpt ls <PATH...>
-                riq-repro ckpt verify <PATH> [--program <kernel|file.s>] [--scale F]"
+                riq-repro ckpt verify <PATH> [--program <kernel|file.s>] [--scale F]
+                riq-repro fuzz --seed S --iters N [--minimize] [--corpus DIR]"
     );
     ExitCode::FAILURE
 }
@@ -106,6 +120,21 @@ fn main() -> ExitCode {
     if cmd == "ckpt" {
         return match run_ckpt(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("riq-repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "fuzz" {
+        return match run_fuzz_cmd(&args[1..]) {
+            Ok(clean) => {
+                if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
             Err(e) => {
                 eprintln!("riq-repro: {e}");
                 ExitCode::FAILURE
@@ -525,6 +554,54 @@ fn ckpt_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         println!("{path}: ok (digest intact)");
     }
     Ok(())
+}
+
+/// The `fuzz` subcommand: differential fuzzing of the simulator against
+/// the functional emulator. Returns `Ok(true)` when every program passed.
+fn run_fuzz_cmd(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+    let mut opts = riq_fuzz::FuzzOptions { seed: 0, iters: 100, minimize: false, corpus_dir: None };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("fuzz: {flag} needs a value"));
+        match a.as_str() {
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .ok()
+                    .ok_or("fuzz: --seed needs an unsigned integer")?;
+            }
+            "--iters" => {
+                opts.iters = value("--iters")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("fuzz: --iters needs a positive integer")?;
+            }
+            "--minimize" => opts.minimize = true,
+            "--corpus" => opts.corpus_dir = Some(value("--corpus")?.into()),
+            other => return Err(format!("fuzz: unknown option {other:?}").into()),
+        }
+    }
+    let started = Instant::now();
+    let summary = riq_fuzz::run_fuzz_with(&opts, |i, seed, failed| {
+        if failed {
+            eprintln!("fuzz: iteration {i}: seed {seed:#x} FAILED");
+        } else if (i + 1) % 50 == 0 {
+            eprintln!("fuzz: {} / {} programs checked", i + 1, opts.iters);
+        }
+    });
+    for note in &summary.failure_notes {
+        eprintln!("fuzz: {note}");
+    }
+    for path in &summary.repro_paths {
+        eprintln!("fuzz: repro -> {}", path.display());
+    }
+    // Wall-clock goes to stderr; stdout carries only the deterministic
+    // summary line (CI diffs it).
+    eprintln!("fuzz: {:.2}s wall clock", started.elapsed().as_secs_f64());
+    println!("{}", summary.line());
+    Ok(summary.failures == 0)
 }
 
 /// Prints one table in the selected format.

@@ -1,0 +1,29 @@
+//! Test-only fault injection for validating the differential fuzzer.
+//!
+//! The riq-fuzz harness needs a way to prove it can catch a real core bug:
+//! a process-wide switch here makes [`Core::restore_from`] "forget" to
+//! restore one integer register (`$r9`) when installing a checkpoint. With
+//! the switch on, every checkpoint-resume leg of the fuzz matrix diverges
+//! from the oracle the moment the program reads `$r9`, and the shrinker
+//! must reduce the failure to a minimal repro.
+//!
+//! The switch defaults to off and nothing in the simulator enables it; it
+//! exists solely for harness self-tests. It is process-global, so tests
+//! that flip it must not run concurrently with differential tests that
+//! expect a correct core (the riq-fuzz self-test lives in its own test
+//! binary for exactly this reason).
+//!
+//! [`Core::restore_from`]: crate::Processor::resume
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SKIP_RESTORE_R9: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the injected restore bug. Off by default.
+pub fn set_skip_restore_r9(enabled: bool) {
+    SKIP_RESTORE_R9.store(enabled, Ordering::SeqCst);
+}
+
+/// True while the injected restore bug is armed.
+pub fn skip_restore_r9() -> bool {
+    SKIP_RESTORE_R9.load(Ordering::SeqCst)
+}

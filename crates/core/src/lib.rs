@@ -57,6 +57,8 @@
 #![forbid(unsafe_code)]
 
 mod config;
+#[doc(hidden)]
+pub mod fault;
 mod fu;
 mod iq;
 mod lsq;

@@ -238,8 +238,17 @@ impl ReuseController {
 
     /// Presents the next in-order dispatched instruction. `iq_free_after`
     /// is the number of free queue entries *after* this instruction is
-    /// inserted (the §2.2.1 promotion comparison).
-    pub fn on_dispatch(&mut self, pc: u32, inst: &Inst, iq_free_after: u32) -> Directive {
+    /// inserted (the §2.2.1 promotion comparison); `next_pc` is the
+    /// resolved successor address (taken target or fall-through), which
+    /// the buffering tail check uses to recognise the loop exiting on its
+    /// own end branch.
+    pub fn on_dispatch(
+        &mut self,
+        pc: u32,
+        inst: &Inst,
+        iq_free_after: u32,
+        next_pc: u32,
+    ) -> Directive {
         if !self.cfg.enabled {
             return Directive::default();
         }
@@ -250,7 +259,7 @@ impl ReuseController {
                 }
                 Directive::default()
             }
-            IqState::LoopBuffering => self.on_dispatch_buffering(pc, inst, iq_free_after),
+            IqState::LoopBuffering => self.on_dispatch_buffering(pc, inst, iq_free_after, next_pc),
             IqState::CodeReuse => {
                 debug_assert!(false, "front-end dispatch while Code Reuse is gated");
                 Directive::default()
@@ -258,7 +267,13 @@ impl ReuseController {
         }
     }
 
-    fn on_dispatch_buffering(&mut self, pc: u32, inst: &Inst, iq_free_after: u32) -> Directive {
+    fn on_dispatch_buffering(
+        &mut self,
+        pc: u32,
+        inst: &Inst,
+        iq_free_after: u32,
+        next_pc: u32,
+    ) -> Directive {
         if !self.started {
             if pc == self.loophead {
                 self.started = true;
@@ -317,6 +332,14 @@ impl ReuseController {
         self.iter_size += 1;
         let mut d = Directive { buffer: true, ..Directive::default() };
         if pc == self.looptail && self.call_depth == 0 {
+            if next_pc != self.loophead {
+                // The loop-end branch itself fell through: the loop is over.
+                // Promoting here would capture the fall-through as the tail's
+                // static prediction, and every reused instance of the branch
+                // would then *confirm* it — Code Reuse would supply dead
+                // iterations forever with no misprediction to exit on.
+                return self.revoke(true, RevokeReason::LoopExit);
+            }
             // One whole iteration is now buffered.
             self.stats.iterations_buffered += 1;
             let promote = match self.cfg.strategy {
@@ -401,12 +424,13 @@ mod tests {
     const HEAD: u32 = 0x0040_0100;
 
     /// Drives a 3-instruction loop body (2 addi + bne) through one
-    /// iteration of dispatches starting at the loop head.
+    /// iteration of dispatches starting at the loop head; the tail branch
+    /// is taken (back to the head).
     fn dispatch_iteration(c: &mut ReuseController, free: u32) -> Vec<Directive> {
         vec![
-            c.on_dispatch(HEAD, &addi(), free),
-            c.on_dispatch(HEAD + 4, &addi(), free),
-            c.on_dispatch(HEAD + 8, &bne(-3), free),
+            c.on_dispatch(HEAD, &addi(), free, HEAD + 4),
+            c.on_dispatch(HEAD + 4, &addi(), free, HEAD + 8),
+            c.on_dispatch(HEAD + 8, &bne(-3), free, HEAD),
         ]
     }
 
@@ -428,7 +452,7 @@ mod tests {
     fn detect_then_buffer_then_promote() {
         let mut c = ctl(8);
         // First sight of the loop branch: detection only.
-        let d = c.on_dispatch(HEAD + 8, &bne(-3), 8);
+        let d = c.on_dispatch(HEAD + 8, &bne(-3), 8, HEAD);
         assert_eq!(d, Directive::default());
         assert_eq!(c.state(), IqState::LoopBuffering);
         // Second iteration: buffered. 8-entry queue, 3-inst body: after
@@ -445,6 +469,29 @@ mod tests {
     }
 
     #[test]
+    fn tail_exit_at_promotion_point_revokes() {
+        // Regression: a 2-trip loop reaches the promotion decision exactly
+        // on its *final* tail branch, which falls through. Promoting there
+        // would make the fall-through the tail's static prediction and
+        // Code Reuse would supply dead iterations forever (found by
+        // riq-fuzz, seed 0x5a9b0174a40fc870).
+        let mut c = ctl(8);
+        c.on_dispatch(HEAD + 8, &bne(-3), 8, HEAD);
+        assert_eq!(c.state(), IqState::LoopBuffering);
+        // Buffer the final iteration; its tail is NOT taken, even though
+        // occupancy would promote (free 2 < iteration size 3).
+        c.on_dispatch(HEAD, &addi(), 2, HEAD + 4);
+        c.on_dispatch(HEAD + 4, &addi(), 2, HEAD + 8);
+        let d = c.on_dispatch(HEAD + 8, &bne(-3), 2, HEAD + 12);
+        assert!(d.revoke, "exit on the tail revokes instead of promoting");
+        assert!(!d.promote);
+        assert!(!d.buffer);
+        assert_eq!(c.state(), IqState::Normal);
+        assert_eq!(c.stats.code_reuse_entries, 0);
+        assert_eq!(c.stats.nblt_inserts, 1, "the loop is registered non-bufferable");
+    }
+
+    #[test]
     fn single_iteration_strategy_promotes_immediately() {
         let mut c = ReuseController::new(
             ReuseConfig {
@@ -454,7 +501,7 @@ mod tests {
             },
             64,
         );
-        c.on_dispatch(HEAD + 8, &bne(-3), 64);
+        c.on_dispatch(HEAD + 8, &bne(-3), 64, HEAD);
         let d = dispatch_iteration(&mut c, 61);
         assert!(d[2].promote);
     }
@@ -462,11 +509,11 @@ mod tests {
     #[test]
     fn fall_through_detection_cancels_silently() {
         let mut c = ctl(64);
-        c.on_dispatch(HEAD + 8, &bne(-3), 64);
+        c.on_dispatch(HEAD + 8, &bne(-3), 64, HEAD + 12);
         assert_eq!(c.state(), IqState::LoopBuffering);
         // Next dispatched instruction is NOT the loop head: the branch
         // exited; no buffering was started and nothing is revoked.
-        let d = c.on_dispatch(HEAD + 12, &addi(), 64);
+        let d = c.on_dispatch(HEAD + 12, &addi(), 64, HEAD + 16);
         assert_eq!(d, Directive::default());
         assert_eq!(c.state(), IqState::Normal);
         assert_eq!(c.stats.bufferings_started, 0);
@@ -476,16 +523,16 @@ mod tests {
     #[test]
     fn loop_exit_during_buffering_registers_nblt() {
         let mut c = ctl(64);
-        c.on_dispatch(HEAD + 8, &bne(-3), 64);
-        c.on_dispatch(HEAD, &addi(), 64); // buffering starts
-                                          // Dispatch jumps outside the loop with no call outstanding.
-        let d = c.on_dispatch(HEAD + 100, &addi(), 64);
+        c.on_dispatch(HEAD + 8, &bne(-3), 64, HEAD);
+        c.on_dispatch(HEAD, &addi(), 64, HEAD + 4); // buffering starts
+                                                    // Dispatch jumps outside the loop with no call outstanding.
+        let d = c.on_dispatch(HEAD + 100, &addi(), 64, HEAD + 104);
         assert!(d.revoke);
         assert_eq!(c.state(), IqState::Normal);
         assert_eq!(c.stats.bufferings_revoked, 1);
         assert_eq!(c.stats.nblt_inserts, 1);
         // Re-detection of the same loop now hits the NBLT.
-        c.on_dispatch(HEAD + 8, &bne(-3), 64);
+        c.on_dispatch(HEAD + 8, &bne(-3), 64, HEAD);
         assert_eq!(c.state(), IqState::Normal, "NBLT suppressed buffering");
         assert_eq!(c.stats.nblt_hits, 1);
     }
@@ -495,12 +542,12 @@ mod tests {
         let mut c = ctl(64);
         let outer_tail = HEAD + 40;
         let outer_span = -((40 / 4) as i16) - 1; // back to HEAD
-        c.on_dispatch(outer_tail, &bne(outer_span), 64);
+        c.on_dispatch(outer_tail, &bne(outer_span), 64, HEAD);
         assert_eq!(c.state(), IqState::LoopBuffering);
-        c.on_dispatch(HEAD, &addi(), 64);
+        c.on_dispatch(HEAD, &addi(), 64, HEAD + 4);
         // An inner loop's backward branch inside the outer body.
         let inner_tail = HEAD + 12;
-        let d = c.on_dispatch(inner_tail, &bne(-2), 64);
+        let d = c.on_dispatch(inner_tail, &bne(-2), 64, HEAD + 8);
         assert!(d.revoke, "outer buffering revoked");
         assert_eq!(c.state(), IqState::LoopBuffering, "inner loop armed");
         assert_eq!(c.looptail(), inner_tail);
@@ -514,18 +561,18 @@ mod tests {
     fn procedure_calls_buffer_through() {
         let mut c = ctl(64);
         let tail = HEAD + 16;
-        c.on_dispatch(tail, &bne(-5), 64);
-        c.on_dispatch(HEAD, &addi(), 60);
+        c.on_dispatch(tail, &bne(-5), 64, HEAD);
+        c.on_dispatch(HEAD, &addi(), 60, HEAD + 4);
         let proc = 0x0040_0800;
-        let d = c.on_dispatch(HEAD + 4, &Inst::Jal { target: proc }, 59);
+        let d = c.on_dispatch(HEAD + 4, &Inst::Jal { target: proc }, 59, proc);
         assert!(d.buffer);
         // Procedure body is far outside the loop range but buffered.
-        let d = c.on_dispatch(proc, &addi(), 58);
+        let d = c.on_dispatch(proc, &addi(), 58, proc + 4);
         assert!(d.buffer);
-        let d = c.on_dispatch(proc + 4, &Inst::Jr { rs: IntReg::RA }, 57);
+        let d = c.on_dispatch(proc + 4, &Inst::Jr { rs: IntReg::RA }, 57, HEAD + 8);
         assert!(d.buffer);
         // Back in the loop.
-        let d = c.on_dispatch(HEAD + 8, &addi(), 56);
+        let d = c.on_dispatch(HEAD + 8, &addi(), 56, HEAD + 12);
         assert!(d.buffer);
         assert_eq!(c.state(), IqState::LoopBuffering);
     }
@@ -533,9 +580,9 @@ mod tests {
     #[test]
     fn unpaired_return_revokes() {
         let mut c = ctl(64);
-        c.on_dispatch(HEAD + 8, &bne(-3), 64);
-        c.on_dispatch(HEAD, &addi(), 64);
-        let d = c.on_dispatch(HEAD + 4, &Inst::Jr { rs: IntReg::RA }, 64);
+        c.on_dispatch(HEAD + 8, &bne(-3), 64, HEAD);
+        c.on_dispatch(HEAD, &addi(), 64, HEAD + 4);
+        let d = c.on_dispatch(HEAD + 4, &Inst::Jr { rs: IntReg::RA }, 64, 0x0040_0000);
         assert!(d.revoke);
         assert_eq!(c.stats.nblt_inserts, 1);
     }
@@ -543,8 +590,8 @@ mod tests {
     #[test]
     fn queue_full_during_buffering_revokes() {
         let mut c = ctl(8);
-        c.on_dispatch(HEAD + 8, &bne(-3), 8);
-        c.on_dispatch(HEAD, &addi(), 2);
+        c.on_dispatch(HEAD + 8, &bne(-3), 8, HEAD);
+        c.on_dispatch(HEAD, &addi(), 2, HEAD + 4);
         let d = c.on_queue_full();
         assert!(d.revoke);
         assert_eq!(c.state(), IqState::Normal);
@@ -554,8 +601,8 @@ mod tests {
     #[test]
     fn recovery_exits_any_reuse_state() {
         let mut c = ctl(8);
-        c.on_dispatch(HEAD + 8, &bne(-3), 8);
-        c.on_dispatch(HEAD, &addi(), 5);
+        c.on_dispatch(HEAD + 8, &bne(-3), 8, HEAD);
+        c.on_dispatch(HEAD, &addi(), 5, HEAD + 4);
         assert!(c.on_recovery(), "buffering revoked by recovery");
         assert_eq!(c.state(), IqState::Normal);
         assert_eq!(c.stats.bufferings_revoked, 1);
@@ -566,7 +613,7 @@ mod tests {
     #[test]
     fn disabled_controller_is_inert() {
         let mut c = ReuseController::new(ReuseConfig::default(), 64);
-        let d = c.on_dispatch(HEAD + 8, &bne(-3), 64);
+        let d = c.on_dispatch(HEAD + 8, &bne(-3), 64, HEAD);
         assert_eq!(d, Directive::default());
         assert_eq!(c.state(), IqState::Normal);
         assert_eq!(c.stats.loops_detected, 0);

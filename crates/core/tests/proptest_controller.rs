@@ -10,8 +10,9 @@ use riq_isa::{AluImmOp, Inst, IntReg};
 enum Ev {
     /// Dispatch a plain instruction at a pc delta from the previous.
     Plain(i8),
-    /// Dispatch a backward branch with the given word span.
-    BackBranch(u8),
+    /// Dispatch a backward branch with the given word span; the bool is
+    /// whether the branch is taken (back to its target).
+    BackBranch(u8, bool),
     /// Dispatch a forward branch.
     FwdBranch(u8),
     /// Dispatch a call / return.
@@ -26,7 +27,7 @@ enum Ev {
 fn ev() -> impl Strategy<Value = Ev> {
     prop_oneof![
         4 => any::<i8>().prop_map(Ev::Plain),
-        2 => (1u8..80).prop_map(Ev::BackBranch),
+        2 => ((1u8..80), any::<bool>()).prop_map(|(s, t)| Ev::BackBranch(s, t)),
         1 => (1u8..20).prop_map(Ev::FwdBranch),
         1 => Just(Ev::Call),
         1 => Just(Ev::Ret),
@@ -68,16 +69,21 @@ proptest! {
             }
             match e {
                 Ev::Plain(d) => {
-                    let dir = c.on_dispatch(pc, &addi(), free);
+                    let dir = c.on_dispatch(pc, &addi(), free, pc.wrapping_add(4));
                     if dir.buffer {
                         free = free.saturating_sub(1);
                     }
                     pc = pc.wrapping_add(4).wrapping_add((i32::from(d) * 4) as u32);
                 }
-                Ev::BackBranch(span) => {
+                Ev::BackBranch(span, taken) => {
                     let off = -i16::from(span);
                     let inst = Inst::Bne { rs: IntReg::new(2), rt: IntReg::ZERO, off };
-                    let _ = c.on_dispatch(pc, &inst, free);
+                    let next = if taken {
+                        inst.static_target(pc).unwrap_or_else(|| pc.wrapping_add(4))
+                    } else {
+                        pc.wrapping_add(4)
+                    };
+                    let _ = c.on_dispatch(pc, &inst, free, next);
                     pc = pc.wrapping_add(4);
                 }
                 Ev::FwdBranch(span) => {
@@ -86,15 +92,15 @@ proptest! {
                         rt: IntReg::ZERO,
                         off: i16::from(span),
                     };
-                    let _ = c.on_dispatch(pc, &inst, free);
+                    let _ = c.on_dispatch(pc, &inst, free, pc.wrapping_add(4));
                     pc = pc.wrapping_add(4);
                 }
                 Ev::Call => {
-                    let _ = c.on_dispatch(pc, &Inst::Jal { target: 0x0040_8000 }, free);
+                    let _ = c.on_dispatch(pc, &Inst::Jal { target: 0x0040_8000 }, free, 0x0040_8000);
                     pc = pc.wrapping_add(4);
                 }
                 Ev::Ret => {
-                    let _ = c.on_dispatch(pc, &Inst::Jr { rs: IntReg::RA }, free);
+                    let _ = c.on_dispatch(pc, &Inst::Jr { rs: IntReg::RA }, free, pc.wrapping_add(4));
                     pc = pc.wrapping_add(4);
                 }
                 Ev::QueueFull => {
@@ -129,15 +135,21 @@ proptest! {
         let mut pc: u32 = 0x0040_1000;
         for e in events {
             let dir = match e {
-                Ev::BackBranch(span) => {
+                Ev::BackBranch(span, taken) => {
                     let off = -i16::from(span);
-                    c.on_dispatch(pc, &Inst::Bne { rs: IntReg::new(2), rt: IntReg::ZERO, off }, 64)
+                    let inst = Inst::Bne { rs: IntReg::new(2), rt: IntReg::ZERO, off };
+                    let next = if taken {
+                        inst.static_target(pc).unwrap_or_else(|| pc.wrapping_add(4))
+                    } else {
+                        pc.wrapping_add(4)
+                    };
+                    c.on_dispatch(pc, &inst, 64, next)
                 }
                 Ev::Recovery => {
                     prop_assert!(!c.on_recovery());
                     Default::default()
                 }
-                _ => c.on_dispatch(pc, &addi(), 64),
+                _ => c.on_dispatch(pc, &addi(), 64, pc.wrapping_add(4)),
             };
             prop_assert_eq!(dir, Default::default());
             prop_assert_eq!(c.state(), IqState::Normal);

@@ -1,0 +1,117 @@
+//! Corpus persistence: standalone repros for failing cases.
+//!
+//! A failure is written as a pair of files in the corpus directory:
+//!
+//! * `fuzz-<seed>.s` — the (minimized) program as standalone assembly,
+//!   replayable by `riq-repro run` or the corpus-replay test;
+//! * `fuzz-<seed>.json` — machine-readable context: the generator seed,
+//!   every failing matrix point with its `SimConfig`-relevant knobs, and
+//!   the failure details.
+//!
+//! The JSON is produced with [`riq_trace::JsonValue`] (the repo is
+//! offline: no serde), so it round-trips through the same parser used by
+//! the trace tooling.
+
+use crate::oracle::{Failure, MatrixPoint};
+use riq_trace::JsonValue;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes `source` and its failure report into `dir`.
+///
+/// Returns the paths of the `.s` and `.json` files.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (directory creation included).
+pub fn write_repro(
+    dir: &Path,
+    seed: u64,
+    source: &str,
+    failures: &[Failure],
+    matrix: &[MatrixPoint],
+) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let stem = format!("fuzz-{seed:#x}");
+    let asm_path = dir.join(format!("{stem}.s"));
+    let json_path = dir.join(format!("{stem}.json"));
+    std::fs::write(&asm_path, source)?;
+    std::fs::write(&json_path, report_json(seed, failures, matrix).to_pretty())?;
+    Ok((asm_path, json_path))
+}
+
+fn point_json(p: &MatrixPoint) -> JsonValue {
+    let mut pairs = vec![
+        ("name", JsonValue::Str(p.name.clone())),
+        ("iq_entries", JsonValue::UInt(u64::from(p.iq))),
+        ("reuse", JsonValue::Bool(p.reuse)),
+        ("warmup", JsonValue::UInt(p.warmup)),
+    ];
+    if let Some(permille) = p.skip_permille {
+        pairs.push(("skip_permille", JsonValue::UInt(u64::from(permille))));
+    }
+    JsonValue::obj(pairs)
+}
+
+/// The failure report as a JSON value (exposed for tests).
+#[must_use]
+pub fn report_json(seed: u64, failures: &[Failure], matrix: &[MatrixPoint]) -> JsonValue {
+    let failing_points: Vec<&str> = failures.iter().map(|f| f.point.as_str()).collect();
+    let configs: Vec<JsonValue> = matrix
+        .iter()
+        .filter(|p| failing_points.contains(&p.name.as_str()))
+        .map(point_json)
+        .collect();
+    JsonValue::obj([
+        ("tool", JsonValue::Str("riq-fuzz".to_string())),
+        ("seed", JsonValue::UInt(seed)),
+        (
+            "failures",
+            JsonValue::Arr(
+                failures
+                    .iter()
+                    .map(|f| {
+                        JsonValue::obj([
+                            ("point", JsonValue::Str(f.point.clone())),
+                            ("detail", JsonValue::Str(f.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("failing_configs", JsonValue::Arr(configs)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::default_matrix;
+
+    #[test]
+    fn report_round_trips_through_the_json_parser() {
+        let failures = vec![Failure {
+            point: "reuse-iq16".to_string(),
+            detail: "memory digest 0x1 != oracle 0x2".to_string(),
+        }];
+        let v = report_json(0x2a, &failures, &default_matrix());
+        let parsed = riq_trace::json::parse(&v.to_pretty()).expect("valid JSON");
+        assert_eq!(parsed.get("seed").and_then(JsonValue::as_u64), Some(0x2a));
+        let cfgs = parsed.get("failing_configs").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(cfgs.len(), 1);
+        assert_eq!(cfgs[0].get("iq_entries").and_then(JsonValue::as_u64), Some(16));
+        assert_eq!(cfgs[0].get("reuse").and_then(JsonValue::as_bool), Some(true));
+    }
+
+    #[test]
+    fn write_repro_creates_both_files() {
+        // CARGO_TARGET_TMPDIR only exists for integration tests; this is a
+        // unit test, so use the system temp dir.
+        let dir = std::env::temp_dir().join("riq-fuzz-corpus-unit");
+        let (s, j) = write_repro(&dir, 7, "    halt\n", &[], &default_matrix()).unwrap();
+        assert!(s.ends_with("fuzz-0x7.s"));
+        assert_eq!(std::fs::read_to_string(&s).unwrap(), "    halt\n");
+        let parsed = riq_trace::json::parse(&std::fs::read_to_string(&j).unwrap()).unwrap();
+        assert_eq!(parsed.get("seed").and_then(JsonValue::as_u64), Some(7));
+    }
+}

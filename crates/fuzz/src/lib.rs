@@ -1,0 +1,165 @@
+//! # riq-fuzz — differential fuzzing for the reuse-capable issue queue
+//!
+//! The paper's design promise is that instruction reuse is *purely
+//! microarchitectural*: enabling the reuse issue queue, changing its size,
+//! or resuming from a mid-program checkpoint must never change what the
+//! program computes. This crate turns that promise into a fuzzing oracle:
+//!
+//! 1. [`gen`] generates structured random programs (nested loops,
+//!    data-dependent exits, aliasing memory windows, FP edge values,
+//!    bounded recursion) from a seed, deterministically;
+//! 2. [`oracle`] runs each program on the functional emulator and a matrix
+//!    of simulator configurations — baseline, reuse at several IQ sizes,
+//!    checkpoint-resume at several skip fractions — and checks
+//!    architectural equality plus structural trace/power invariants;
+//! 3. [`shrink`] minimizes any failing program by greedy tree surgery;
+//! 4. [`corpus`] writes the minimized repro (`.s` + `.json`) to disk.
+//!
+//! The CLI entry point is `riq-repro fuzz --seed S --iters N`; the same
+//! driver is exposed here as [`run_fuzz`] for tests.
+
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+
+pub use gen::{generate, TestProgram};
+pub use oracle::{check_program, check_source, default_matrix, CheckReport, Failure, MatrixPoint};
+pub use shrink::{shrink, ShrinkOutcome};
+
+use std::path::PathBuf;
+
+/// Options for one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Master seed; per-iteration seeds are derived from it.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub iters: u64,
+    /// Minimize failing programs before reporting/writing them.
+    pub minimize: bool,
+    /// When set, write failing cases (minimized if requested) here.
+    pub corpus_dir: Option<PathBuf>,
+}
+
+/// Aggregate result of a fuzzing run. [`FuzzSummary::line`] is the stable
+/// one-line summary printed by the CLI — byte-identical for identical
+/// options, which CI relies on.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzSummary {
+    /// Programs generated and checked.
+    pub programs: u64,
+    /// Simulator legs executed across all programs.
+    pub configs_checked: u64,
+    /// Programs with at least one oracle violation.
+    pub failures: u64,
+    /// Accepted shrink reductions across all failing programs.
+    pub shrink_steps: u64,
+    /// Per-failure description lines (seed + first violation).
+    pub failure_notes: Vec<String>,
+    /// Repro files written to the corpus directory.
+    pub repro_paths: Vec<PathBuf>,
+}
+
+impl FuzzSummary {
+    /// The deterministic one-line summary.
+    #[must_use]
+    pub fn line(&self) -> String {
+        format!(
+            "riq-fuzz: programs={} configs_checked={} failures={} shrink_steps={}",
+            self.programs, self.configs_checked, self.failures, self.shrink_steps
+        )
+    }
+}
+
+/// Runs the full fuzz loop: generate → check → (shrink) → (persist).
+///
+/// Every failure is recorded and the loop continues — one bad seed must
+/// not mask others. Progress callbacks receive `(iteration, seed,
+/// failed)` after each program.
+pub fn run_fuzz_with<F: FnMut(u64, u64, bool)>(opts: &FuzzOptions, mut progress: F) -> FuzzSummary {
+    let matrix = oracle::default_matrix();
+    let mut seeds = rng::Rng::new(opts.seed);
+    let mut summary = FuzzSummary::default();
+    for i in 0..opts.iters {
+        let seed = seeds.next_u64();
+        let program = gen::generate(seed);
+        let report = oracle::check_source(&program.render(), &matrix);
+        summary.programs += 1;
+        summary.configs_checked += report.configs_checked;
+        let failed = !report.passed();
+        if failed {
+            summary.failures += 1;
+            let (final_program, final_report) = if opts.minimize {
+                let outcome = shrink::shrink(&program, |candidate| {
+                    !oracle::check_source(&candidate.render(), &matrix).passed()
+                });
+                summary.shrink_steps += outcome.steps;
+                let r = oracle::check_source(&outcome.program.render(), &matrix);
+                (outcome.program, r)
+            } else {
+                (program, report)
+            };
+            let first = final_report
+                .failures
+                .first()
+                .map_or_else(|| "(no detail)".to_string(), ToString::to_string);
+            summary.failure_notes.push(format!("seed {seed:#x}: {first}"));
+            if let Some(dir) = &opts.corpus_dir {
+                match corpus::write_repro(
+                    dir,
+                    seed,
+                    &final_program.render(),
+                    &final_report.failures,
+                    &matrix,
+                ) {
+                    Ok((s, j)) => {
+                        summary.repro_paths.push(s);
+                        summary.repro_paths.push(j);
+                    }
+                    Err(e) => {
+                        summary
+                            .failure_notes
+                            .push(format!("seed {seed:#x}: corpus write failed: {e}"));
+                    }
+                }
+            }
+        }
+        progress(i, seed, failed);
+    }
+    summary
+}
+
+/// [`run_fuzz_with`] without a progress callback.
+pub fn run_fuzz(opts: &FuzzOptions) -> FuzzSummary {
+    run_fuzz_with(opts, |_, _, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_line_shape_is_stable() {
+        let s = FuzzSummary {
+            programs: 3,
+            configs_checked: 27,
+            failures: 0,
+            shrink_steps: 0,
+            ..FuzzSummary::default()
+        };
+        assert_eq!(s.line(), "riq-fuzz: programs=3 configs_checked=27 failures=0 shrink_steps=0");
+    }
+
+    #[test]
+    fn small_fuzz_run_is_clean_and_deterministic() {
+        let opts = FuzzOptions { seed: 4, iters: 3, minimize: false, corpus_dir: None };
+        let a = run_fuzz(&opts);
+        let b = run_fuzz(&opts);
+        assert_eq!(a.failures, 0, "notes: {:?}", a.failure_notes);
+        assert_eq!(a.line(), b.line(), "same options ⇒ identical summary");
+        assert_eq!(a.programs, 3);
+        assert!(a.configs_checked >= 3 * 6);
+    }
+}

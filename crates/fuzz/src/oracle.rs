@@ -1,0 +1,439 @@
+//! The differential + metamorphic oracle.
+//!
+//! Each program is run once on the functional emulator (the architectural
+//! ground truth) and then on a **matrix** of cycle-simulator
+//! configurations: the conventional baseline, the reuse pipeline at
+//! several IQ sizes, and checkpoint-resume legs that fast-forward a prefix
+//! on the emulator and resume detailed simulation mid-program. Every leg
+//! must land on the identical architectural state — the paper's central
+//! claim is that the reuse issue queue is purely microarchitectural.
+//!
+//! On top of architectural equality the oracle checks structural
+//! invariants reconstructed from the trace-event stream:
+//!
+//! * `GateOn`/`GateOff` strictly alternate and every window is closed;
+//! * the sum of `GateOff` spans equals `stats.gated_cycles` (and the
+//!   power model agrees);
+//! * the front end fetches **nothing** while the gate is closed — reuse
+//!   supply and fetch are mutually exclusive by construction;
+//! * energies are finite, non-negative, and only accumulate with activity;
+//! * a repeated run of the same leg is bit-identical (determinism).
+
+use crate::gen::EMU_STEP_LIMIT;
+use riq_asm::Program;
+use riq_core::{Processor, SimConfig};
+use riq_emu::Machine;
+use riq_power::Component;
+use riq_trace::{EventKind, VecSink};
+
+/// One cell of the simulator config matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixPoint {
+    /// Human-readable leg name (stable across runs; used in reports).
+    pub name: String,
+    /// Issue-queue size (ROB/LSQ scale with it).
+    pub iq: u32,
+    /// Whether the reuse-capable issue queue is enabled.
+    pub reuse: bool,
+    /// `Some(p)`: checkpoint-resume leg skipping `retired * p / 1000`
+    /// instructions (at least 1, at most `retired - 1`) before resuming.
+    /// Expressed as a fraction so the same matrix point stays meaningful
+    /// while the shrinker makes the program smaller.
+    pub skip_permille: Option<u32>,
+    /// Warm-window length replayed into caches/predictor on resume.
+    pub warmup: u64,
+}
+
+impl MatrixPoint {
+    /// The simulator configuration for this leg. `retired` is the oracle's
+    /// dynamic instruction count: the cycle budget is derived from it so a
+    /// divergence that sends the simulator into a runaway loop (committing
+    /// the wrong path forever) fails within seconds as a `CycleLimit`
+    /// instead of grinding toward the 200M-cycle default. 64 cycles per
+    /// retired instruction is far above any legitimate CPI of this core.
+    #[must_use]
+    pub fn config_for(&self, retired: u64) -> SimConfig {
+        let mut cfg = SimConfig::baseline().with_iq_size(self.iq).with_reuse(self.reuse);
+        cfg.max_cycles = retired.saturating_mul(64) + 100_000;
+        cfg
+    }
+
+    /// Concrete skip count for a program that retires `retired`
+    /// instructions, clamped to a resumable range.
+    #[must_use]
+    pub fn skip_for(&self, retired: u64) -> Option<u64> {
+        let p = self.skip_permille?;
+        if retired < 2 {
+            return None; // nothing left to resume into
+        }
+        Some((retired * u64::from(p) / 1000).clamp(1, retired - 1))
+    }
+}
+
+/// The default config matrix: baseline + reuse at IQ sizes straddling the
+/// generator's body-size distribution + checkpoint-resume legs at three
+/// skip fractions (baseline and reuse).
+#[must_use]
+pub fn default_matrix() -> Vec<MatrixPoint> {
+    let full = |name: &str, iq: u32, reuse: bool| MatrixPoint {
+        name: name.to_string(),
+        iq,
+        reuse,
+        skip_permille: None,
+        warmup: 0,
+    };
+    let ckpt = |name: &str, iq: u32, reuse: bool, permille: u32| MatrixPoint {
+        name: name.to_string(),
+        iq,
+        reuse,
+        skip_permille: Some(permille),
+        warmup: 64,
+    };
+    vec![
+        full("baseline", 64, false),
+        full("reuse-iq16", 16, true),
+        full("reuse-iq32", 32, true),
+        full("reuse-iq64", 64, true),
+        full("reuse-iq256", 256, true),
+        ckpt("baseline-ckpt@500", 64, false, 500),
+        ckpt("reuse-iq32-ckpt@250", 32, true, 250),
+        ckpt("reuse-iq64-ckpt@750", 64, true, 750),
+    ]
+}
+
+/// One oracle violation: which leg failed and how.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Matrix-point name (or a pseudo-leg like `assemble` / `oracle`).
+    pub point: String,
+    /// What diverged, with enough numbers to act on.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.point, self.detail)
+    }
+}
+
+/// Result of checking one program against the matrix.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// All violations found (empty means the program passed).
+    pub failures: Vec<Failure>,
+    /// Number of simulator legs actually executed.
+    pub configs_checked: u64,
+}
+
+impl CheckReport {
+    /// True when no leg diverged.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+struct Expected {
+    state: riq_emu::ArchState,
+    digest: u64,
+    retired: u64,
+}
+
+fn run_oracle(program: &Program) -> Result<Expected, Failure> {
+    let mut m = Machine::new(program);
+    match m.run(EMU_STEP_LIMIT) {
+        Ok(_) => {}
+        Err(e) => {
+            return Err(Failure {
+                point: "oracle".to_string(),
+                detail: format!("functional emulator failed: {e}"),
+            })
+        }
+    }
+    if !m.is_halted() {
+        return Err(Failure {
+            point: "oracle".to_string(),
+            detail: format!("program did not halt within {EMU_STEP_LIMIT} steps"),
+        });
+    }
+    Ok(Expected {
+        state: m.state().clone(),
+        digest: m.memory().content_digest(),
+        retired: m.retired(),
+    })
+}
+
+/// Checks the trace/stat/power structural invariants of one run.
+fn check_invariants(
+    point: &MatrixPoint,
+    r: &riq_core::RunResult,
+    sink: &VecSink,
+    out: &mut Vec<Failure>,
+) {
+    let fail = |out: &mut Vec<Failure>, detail: String| {
+        out.push(Failure { point: point.name.clone(), detail });
+    };
+
+    // ---- gating windows ----
+    let mut open: Option<u64> = None;
+    let mut span_sum: u64 = 0;
+    let mut windows: Vec<(u64, u64)> = Vec::new();
+    for ev in &sink.events {
+        match ev.kind {
+            EventKind::GateOn => {
+                if let Some(since) = open {
+                    fail(out, format!("GateOn at {} while gate open since {since}", ev.cycle));
+                }
+                open = Some(ev.cycle);
+            }
+            EventKind::GateOff { span, .. } => match open.take() {
+                Some(since) => {
+                    if span != ev.cycle - since {
+                        fail(
+                            out,
+                            format!("GateOff span {span} != window [{since}, {}) length", ev.cycle),
+                        );
+                    }
+                    span_sum += span;
+                    windows.push((since, ev.cycle));
+                }
+                None => fail(out, format!("GateOff at {} without matching GateOn", ev.cycle)),
+            },
+            _ => {}
+        }
+    }
+    if let Some(since) = open {
+        fail(out, format!("gate window opened at {since} never closed"));
+    }
+    if span_sum != r.stats.gated_cycles {
+        fail(
+            out,
+            format!("GateOff spans sum {span_sum} != stats.gated_cycles {}", r.stats.gated_cycles),
+        );
+    }
+    if !point.reuse && r.stats.gated_cycles != 0 {
+        fail(out, format!("reuse disabled but gated_cycles = {}", r.stats.gated_cycles));
+    }
+
+    // ---- reuse never active while the front end fetches ----
+    let mut w = 0usize;
+    for ev in &sink.events {
+        if let EventKind::PipelineSample { fetched, .. } = ev.kind {
+            while w < windows.len() && ev.cycle >= windows[w].1 {
+                w += 1;
+            }
+            if w < windows.len() && ev.cycle >= windows[w].0 && fetched != 0 {
+                fail(out, format!("fetched {fetched} inside gate window at cycle {}", ev.cycle));
+                break;
+            }
+        }
+    }
+
+    // ---- stats / power coherence ----
+    if r.stats.gated_cycles > r.stats.cycles {
+        fail(out, format!("gated {} > cycles {}", r.stats.gated_cycles, r.stats.cycles));
+    }
+    if r.power.cycles != r.stats.cycles {
+        fail(out, format!("power.cycles {} != stats.cycles {}", r.power.cycles, r.stats.cycles));
+    }
+    if r.power.gated_cycles != r.stats.gated_cycles {
+        fail(
+            out,
+            format!(
+                "power.gated_cycles {} != stats.gated_cycles {}",
+                r.power.gated_cycles, r.stats.gated_cycles
+            ),
+        );
+    }
+    let total = r.power.total_energy();
+    if !total.is_finite() || total <= 0.0 {
+        fail(out, format!("total energy {total} not finite-positive"));
+    }
+    for c in Component::ALL {
+        let e = r.power.energy(c);
+        if !e.is_finite() || e < 0.0 {
+            fail(out, format!("component {c:?} energy {e} not finite-non-negative"));
+            break;
+        }
+    }
+}
+
+/// Runs every matrix leg of `program` against the emulator ground truth.
+#[must_use]
+pub fn check_program(program: &Program, matrix: &[MatrixPoint]) -> CheckReport {
+    let mut failures = Vec::new();
+    let mut configs_checked = 0u64;
+    let expected = match run_oracle(program) {
+        Ok(e) => e,
+        Err(f) => return CheckReport { failures: vec![f], configs_checked },
+    };
+
+    for point in matrix {
+        let proc = Processor::new(point.config_for(expected.retired));
+        let mut sink = VecSink::new();
+        let (run, resumed_skip) = match point.skip_for(expected.retired) {
+            None if point.skip_permille.is_some() => continue, // too short to resume
+            None => (proc.run_observed(program, &mut sink, None), None),
+            Some(skip) => match riq_ckpt::Checkpoint::fast_forward(program, skip, point.warmup) {
+                Ok(ckpt) => {
+                    if ckpt.retired != skip {
+                        failures.push(Failure {
+                            point: point.name.clone(),
+                            detail: format!(
+                                "fast-forward stopped at {} instead of {skip}",
+                                ckpt.retired
+                            ),
+                        });
+                        continue;
+                    }
+                    (
+                        proc.resume_observed(program, &ckpt, point.warmup, None, &mut sink, None),
+                        Some(skip),
+                    )
+                }
+                Err(e) => {
+                    failures.push(Failure {
+                        point: point.name.clone(),
+                        detail: format!("fast-forward failed: {e}"),
+                    });
+                    continue;
+                }
+            },
+        };
+        configs_checked += 1;
+        let r = match run {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(Failure {
+                    point: point.name.clone(),
+                    detail: format!("simulation failed: {e}"),
+                });
+                continue;
+            }
+        };
+        if r.arch_state != expected.state {
+            let regs: Vec<String> = (0..32)
+                .filter_map(|n| {
+                    let reg = riq_isa::IntReg::new(n);
+                    let (a, b) = (r.arch_state.int_reg(reg), expected.state.int_reg(reg));
+                    (a != b).then(|| format!("$r{n}={a:#x}!={b:#x}"))
+                })
+                .collect();
+            failures.push(Failure {
+                point: point.name.clone(),
+                detail: format!("architectural state mismatch: {}", regs.join(" ")),
+            });
+        }
+        if r.mem_digest != expected.digest {
+            failures.push(Failure {
+                point: point.name.clone(),
+                detail: format!(
+                    "memory digest {:#x} != oracle {:#x}",
+                    r.mem_digest, expected.digest
+                ),
+            });
+        }
+        let want_committed = expected.retired - resumed_skip.unwrap_or(0);
+        if r.stats.committed != want_committed {
+            failures.push(Failure {
+                point: point.name.clone(),
+                detail: format!("committed {} != expected {want_committed}", r.stats.committed),
+            });
+        }
+        check_invariants(point, &r, &sink, &mut failures);
+    }
+
+    // ---- determinism: the reuse leg re-run must be bit-identical ----
+    let det = MatrixPoint {
+        name: "determinism(reuse-iq64)".to_string(),
+        iq: 64,
+        reuse: true,
+        skip_permille: None,
+        warmup: 0,
+    };
+    let proc = Processor::new(det.config_for(expected.retired));
+    let runs: Vec<_> =
+        (0..2).map(|_| proc.run_observed(program, &mut riq_trace::NullSink, None)).collect();
+    configs_checked += 1;
+    if let [Ok(a), Ok(b)] = &runs[..] {
+        if (a.stats.cycles, a.stats.committed, a.stats.gated_cycles, a.mem_digest)
+            != (b.stats.cycles, b.stats.committed, b.stats.gated_cycles, b.mem_digest)
+            || a.arch_state != b.arch_state
+        {
+            failures.push(Failure {
+                point: det.name,
+                detail: format!(
+                    "non-deterministic: cycles {}/{} committed {}/{} digest {:#x}/{:#x}",
+                    a.stats.cycles,
+                    b.stats.cycles,
+                    a.stats.committed,
+                    b.stats.committed,
+                    a.mem_digest,
+                    b.mem_digest
+                ),
+            });
+        }
+    }
+
+    CheckReport { failures, configs_checked }
+}
+
+/// Assembles `source` and checks it against `matrix`. Assembly failure is
+/// reported as a failure of the pseudo-leg `assemble`.
+#[must_use]
+pub fn check_source(source: &str, matrix: &[MatrixPoint]) -> CheckReport {
+    match riq_asm::assemble(source) {
+        Ok(program) => check_program(&program, matrix),
+        Err(e) => CheckReport {
+            failures: vec![Failure {
+                point: "assemble".to_string(),
+                detail: format!("generated source rejected: {e}"),
+            }],
+            configs_checked: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_good_kernel_passes_the_matrix() {
+        let src = "
+    li $r2, 300
+loop:
+    add $r3, $r3, $r2
+    sw  $r3, 0($r14)
+    addi $r2, $r2, -1
+    bne $r2, $r0, loop
+    halt
+";
+        // $r14 is zero here: address 0 is valid in the sparse memory.
+        let report = check_source(src, &default_matrix());
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report.configs_checked >= 8);
+    }
+
+    #[test]
+    fn assembly_rejection_is_reported_not_panicked() {
+        let report = check_source("bogus $r1\n", &default_matrix());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].point, "assemble");
+    }
+
+    #[test]
+    fn skip_fraction_clamps_sanely() {
+        let p = MatrixPoint {
+            name: "x".into(),
+            iq: 64,
+            reuse: true,
+            skip_permille: Some(500),
+            warmup: 0,
+        };
+        assert_eq!(p.skip_for(1000), Some(500));
+        assert_eq!(p.skip_for(2), Some(1));
+        assert_eq!(p.skip_for(1), None);
+        assert_eq!(p.skip_for(0), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! A tiny deterministic PRNG (SplitMix64).
+//!
+//! The harness promises *byte-identical* program streams for a given seed,
+//! so the generator cannot depend on an external RNG crate (none is
+//! available offline anyway) or on platform entropy. SplitMix64 is the
+//! standard seeding primitive: one u64 of state, full-period, and good
+//! enough diffusion for test-case generation.
+
+/// Deterministic 64-bit generator. `Clone` is deliberate: the shrinker
+/// forks the stream to re-derive per-program decisions.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Distinct seeds — including 0 and
+    /// small integers — produce unrelated streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(4);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(4);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng::new(5);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = Rng::new(99);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.range(-3, 3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+}

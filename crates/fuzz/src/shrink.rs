@@ -1,0 +1,253 @@
+//! Automatic test-case shrinking.
+//!
+//! A failing [`TestProgram`] is reduced by greedy tree surgery: remove a
+//! statement, collapse a loop to one trip, halve a trip count, splice a
+//! loop or skip body inline, drop a data-dependent exit, flatten a
+//! recursion. Each candidate is accepted only if the caller's predicate
+//! says it *still fails*; the process repeats to a fixpoint, so the result
+//! is 1-minimal with respect to these operations. The number of accepted
+//! reductions is the "shrink steps" figure reported by the harness.
+
+use crate::gen::{Stmt, TestProgram};
+
+/// One reduction applied at a tree position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Delete the statement entirely.
+    Remove,
+    /// Replace a `Loop`/`Skip` with its body, spliced inline.
+    Splice,
+    /// Set a `Loop`'s trip count to 1.
+    TripsOne,
+    /// Halve a `Loop`'s trip count.
+    TripsHalf,
+    /// Remove a `Loop`'s data-dependent exit.
+    DropDataDep,
+    /// Set a `Recurse` depth to 1.
+    DepthOne,
+}
+
+/// Result of shrinking: the smallest still-failing program found and how
+/// many accepted reductions it took to get there.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized program (still failing under the caller's predicate).
+    pub program: TestProgram,
+    /// Number of reductions that were accepted.
+    pub steps: u64,
+    /// Number of predicate evaluations spent.
+    pub evals: u64,
+}
+
+/// Hard cap on predicate evaluations — shrinking a pathological case must
+/// not stall the whole fuzz run.
+const MAX_EVALS: u64 = 600;
+
+fn collect_ops(stmts: &[Stmt], path: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, Op)>) {
+    for (i, s) in stmts.iter().enumerate() {
+        path.push(i);
+        out.push((path.clone(), Op::Remove));
+        match s {
+            Stmt::Loop { trips, data_dep, body } => {
+                out.push((path.clone(), Op::Splice));
+                if *trips > 1 {
+                    out.push((path.clone(), Op::TripsOne));
+                }
+                if *trips > 2 {
+                    out.push((path.clone(), Op::TripsHalf));
+                }
+                if data_dep.is_some() {
+                    out.push((path.clone(), Op::DropDataDep));
+                }
+                collect_ops(body, path, out);
+            }
+            Stmt::Skip { body, .. } => {
+                out.push((path.clone(), Op::Splice));
+                collect_ops(body, path, out);
+            }
+            Stmt::Recurse { depth } if *depth > 1 => {
+                out.push((path.clone(), Op::DepthOne));
+            }
+            _ => {}
+        }
+        path.pop();
+    }
+}
+
+/// Applies `op` at `path`; returns `false` when the path no longer resolves
+/// (an earlier accepted reduction restructured the tree).
+fn apply(stmts: &mut Vec<Stmt>, path: &[usize], op: Op) -> bool {
+    let (&last, prefix) = match path.split_last() {
+        Some(x) => x,
+        None => return false,
+    };
+    let mut cur = stmts;
+    for &i in prefix {
+        match cur.get_mut(i) {
+            Some(Stmt::Loop { body, .. }) | Some(Stmt::Skip { body, .. }) => cur = body,
+            _ => return false,
+        }
+    }
+    if last >= cur.len() {
+        return false;
+    }
+    match op {
+        Op::Remove => {
+            cur.remove(last);
+            true
+        }
+        Op::Splice => match cur[last].clone() {
+            Stmt::Loop { body, .. } | Stmt::Skip { body, .. } => {
+                cur.splice(last..=last, body);
+                true
+            }
+            _ => false,
+        },
+        Op::TripsOne => match &mut cur[last] {
+            Stmt::Loop { trips, .. } if *trips > 1 => {
+                *trips = 1;
+                true
+            }
+            _ => false,
+        },
+        Op::TripsHalf => match &mut cur[last] {
+            Stmt::Loop { trips, .. } if *trips > 2 => {
+                *trips /= 2;
+                true
+            }
+            _ => false,
+        },
+        Op::DropDataDep => match &mut cur[last] {
+            Stmt::Loop { data_dep: dd @ Some(_), .. } => {
+                *dd = None;
+                true
+            }
+            _ => false,
+        },
+        Op::DepthOne => match &mut cur[last] {
+            Stmt::Recurse { depth } if *depth > 1 => {
+                *depth = 1;
+                true
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Greedily minimizes `program` while `still_fails` holds.
+///
+/// The input is assumed to fail already; the returned program is the last
+/// accepted candidate (or the input itself if nothing could be removed).
+pub fn shrink(
+    program: &TestProgram,
+    mut still_fails: impl FnMut(&TestProgram) -> bool,
+) -> ShrinkOutcome {
+    let mut best = program.clone();
+    let mut steps = 0u64;
+    let mut evals = 0u64;
+    loop {
+        let mut ops = Vec::new();
+        collect_ops(&best.stmts, &mut Vec::new(), &mut ops);
+        let mut progressed = false;
+        for (path, op) in ops {
+            if evals >= MAX_EVALS {
+                return ShrinkOutcome { program: best, steps, evals };
+            }
+            let mut candidate = best.clone();
+            if !apply(&mut candidate.stmts, &path, op) {
+                continue; // stale path after an earlier accepted reduction
+            }
+            evals += 1;
+            if still_fails(&candidate) {
+                best = candidate;
+                steps += 1;
+                progressed = true;
+                // Paths collected before this reduction may now point at
+                // different nodes; restart the pass on the new tree.
+                break;
+            }
+        }
+        if !progressed {
+            return ShrinkOutcome { program: best, steps, evals };
+        }
+    }
+}
+
+/// Number of statements in the tree (a size measure for tests and logs).
+#[must_use]
+pub fn tree_size(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Loop { body, .. } | Stmt::Skip { body, .. } => 1 + tree_size(body),
+            _ => 1,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    /// Predicate: "fails" iff the rendered source still contains a `mul`.
+    fn has_mul(p: &TestProgram) -> bool {
+        p.render().contains("mul ")
+    }
+
+    #[test]
+    fn shrinks_to_single_statement_for_simple_predicate() {
+        // Find a seed whose program contains an integer multiply.
+        let seed = (0..200u64).find(|&s| has_mul(&generate(s))).expect("some seed uses mul");
+        let out = shrink(&generate(seed), has_mul);
+        assert!(has_mul(&out.program), "minimized case still fails");
+        assert!(out.steps > 0, "some reduction must be possible");
+        // 1-minimal: removing any remaining statement breaks the predicate,
+        // so at most one top-level statement can remain per `mul` — for this
+        // predicate the tree collapses to exactly one line.
+        assert_eq!(tree_size(&out.program.stmts), 1, "tree: {:?}", out.program.stmts);
+    }
+
+    #[test]
+    fn shrink_is_identity_when_nothing_can_go() {
+        let p = TestProgram {
+            seed: 1,
+            stmts: vec![Stmt::Line("mul $r3, $r4, $r5".into())],
+            data_order: [0, 1, 2],
+            data_pad: 0,
+        };
+        let out = shrink(&p, has_mul);
+        assert_eq!(out.steps, 0);
+        assert_eq!(tree_size(&out.program.stmts), 1);
+    }
+
+    #[test]
+    fn loop_reductions_prefer_fewer_trips() {
+        let p = TestProgram {
+            seed: 2,
+            stmts: vec![Stmt::Loop {
+                trips: 48,
+                data_dep: None,
+                body: vec![
+                    Stmt::Line("mul $r3, $r4, $r5".into()),
+                    Stmt::Line("add $r6, $r6, $r3".into()),
+                ],
+            }],
+            data_order: [0, 1, 2],
+            data_pad: 0,
+        };
+        // Predicate requires the loop structure to survive (label present)
+        // and the mul inside it.
+        let out = shrink(&p, |c| {
+            let s = c.render();
+            s.contains("mul ") && s.contains("L1:")
+        });
+        match &out.program.stmts[..] {
+            [Stmt::Loop { trips, body, .. }] => {
+                assert_eq!(*trips, 1, "trip count minimized");
+                assert_eq!(body.len(), 1, "loop body minimized");
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+}

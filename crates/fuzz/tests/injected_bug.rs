@@ -1,0 +1,74 @@
+//! Harness self-test: prove the differential oracle catches a real core
+//! bug and that the shrinker reduces it to a small standalone repro.
+//!
+//! The planted bug lives in `riq_core::fault`: with the switch armed,
+//! `Core::restore_from` "forgets" to restore `$r9` when installing a
+//! checkpoint, so every checkpoint-resume leg of the matrix diverges from
+//! the emulator oracle. The switch is process-global, which is why this
+//! test has its own test binary — it must never run in the same process
+//! as tests that expect a correct core.
+
+use riq_fuzz::{run_fuzz, FuzzOptions};
+use std::path::PathBuf;
+
+/// Disarms the fault even if an assertion unwinds mid-test.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        riq_core::fault::set_skip_restore_r9(false);
+    }
+}
+
+#[test]
+fn oracle_catches_and_shrinks_injected_restore_bug() {
+    let corpus: PathBuf = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("injected-bug-corpus");
+    let _ = std::fs::remove_dir_all(&corpus);
+
+    riq_core::fault::set_skip_restore_r9(true);
+    let _disarm = Disarm;
+    let opts = FuzzOptions { seed: 4, iters: 2, minimize: true, corpus_dir: Some(corpus.clone()) };
+    let summary = run_fuzz(&opts);
+
+    assert!(summary.failures >= 1, "the armed restore bug must be caught: {}", summary.line());
+    assert!(
+        summary.failure_notes.iter().any(|n| n.contains("ckpt")),
+        "divergence must be attributed to a checkpoint-resume leg: {:?}",
+        summary.failure_notes
+    );
+
+    // Every written repro must be standalone: it assembles, it is small
+    // (the ISSUE bound: at most 30 instructions), and it still fails.
+    let repro_sources: Vec<PathBuf> = summary
+        .repro_paths
+        .iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "s"))
+        .cloned()
+        .collect();
+    assert!(!repro_sources.is_empty(), "minimized .s repros must be written to the corpus");
+    for path in &repro_sources {
+        let source = std::fs::read_to_string(path).expect("repro file readable");
+        let program = riq_asm::assemble(&source).expect("minimized repro assembles");
+        let insts = program.text().len();
+        assert!(
+            insts <= 30,
+            "{} has {insts} instructions; the shrinker should get under 30",
+            path.display()
+        );
+        let report = riq_fuzz::check_source(&source, &riq_fuzz::default_matrix());
+        assert!(!report.passed(), "minimized repro still fails while the bug is armed");
+    }
+
+    // Disarming the fault makes the same repros pass: the failure is the
+    // planted bug, not a latent real one.
+    riq_core::fault::set_skip_restore_r9(false);
+    for path in &repro_sources {
+        let source = std::fs::read_to_string(path).expect("repro file readable");
+        let report = riq_fuzz::check_source(&source, &riq_fuzz::default_matrix());
+        assert!(
+            report.passed(),
+            "{} should pass with the fault disarmed, got {:?}",
+            path.display(),
+            report.failures
+        );
+    }
+}

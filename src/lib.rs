@@ -26,7 +26,9 @@
 //!   issue queue (the paper's contribution);
 //! * [`kernels`] — loop-nest IR, loop distribution, and the benchmark suite;
 //! * [`trace`] — cycle-accurate telemetry: typed trace events, pluggable
-//!   sinks, and the JSON layer behind machine-readable run reports.
+//!   sinks, and the JSON layer behind machine-readable run reports;
+//! * [`fuzz`] — differential fuzzing: structured program generation, the
+//!   emulator-vs-simulator oracle matrix, and automatic shrinking.
 //!
 //! # Examples
 //!
@@ -66,6 +68,7 @@ pub use riq_bpred as bpred;
 pub use riq_ckpt as ckpt;
 pub use riq_core as core;
 pub use riq_emu as emu;
+pub use riq_fuzz as fuzz;
 pub use riq_isa as isa;
 pub use riq_kernels as kernels;
 pub use riq_mem as mem;

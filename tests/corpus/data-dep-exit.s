@@ -1,0 +1,624 @@
+# riq-fuzz corpus: data-dep-exit family (generator seed 1002)
+# Replayed by tests/corpus_replay.rs against the full differential matrix.
+# riq-fuzz generated program, seed=0x3ea
+.data
+vals:
+    .word 0x28256e60, 0x242b682a, 0x81035015, 0x521bb04d
+    .word 0xd920e581, 0xe3cabf9a, 0x2c315be5, 0x852ca93d
+    .word 0x461deb5b, 0x58f9117b, 0x38de5d68, 0x2471ca4e
+    .word 0xff5a20a1, 0x868c0232, 0xbca30fc, 0xe54d3ca5
+fpt:
+    .word 0x0, 0x7ff80000
+    .word 0x0, 0x7ff00000
+    .word 0x0, 0xfff00000
+    .word 0x1, 0x0
+    .word 0x0, 0x80000000
+    .word 0x0, 0x3ff80000
+    .word 0x8800759c, 0x7e37e43c
+    .word 0xc2f8f359, 0x1a56e1f
+buf:
+    .space 256
+.text
+    la $r14, buf
+    la $r15, buf
+    addi $r15, $r15, 16
+    la $r19, fpt
+    la $r20, vals
+    li $r3, 0xac7ab8fd
+    li $r4, 0xdf53a60a
+    li $r5, 0xf4e3cec0
+    li $r6, 0x192e4bcb
+    li $r7, 0xc0ccd7a0
+    li $r8, 0x656fc4b7
+    li $r9, 0x7eb906e2
+    li $r16, 0xc7fd6e3
+    li $r2, 11
+    jal rec
+    jal leaf
+    xor $r9, $r7, $r9
+    li $r10, 1
+L1:
+    sltiu $r3, $r9, 1141
+    jal leaf
+    lui $r7, 0x45f
+    srlv $r7, $r8, $r3
+    andi $r18, $r10, 4
+    beq $r18, $r0, S2
+    li $r2, 1
+    jal rec
+    slti $r5, $r16, 1339
+    li $r17, 0x10ae2fbd
+    li $r11, 1
+L3:
+    li $r12, 2
+L4:
+    l.d $f3, 24($r19)
+    lw $r6, 36($r20)
+    s.d $f6, 40($r15)
+    slti $r9, $r4, -375
+    or $r4, $r4, $r5
+    lw $r16, 196($r15)
+    lw $r4, 144($r15)
+    l.d $f2, 32($r15)
+    sw $r17, 200($r14)
+    l.d $f4, 0($r19)
+    and $r3, $r8, $r9
+    l.d $f7, 120($r14)
+    andi $r9, $r0, 6736
+    ori $r7, $r5, 16042
+    addi $r12, $r12, -1
+    bgtz $r12, L4
+    jal leaf
+    c.eq.d $r9, $f5, $f3
+    rem $r7, $r3, $r5
+    addi $r6, $r17, 540
+    li $r12, 13
+L5:
+    lw $r6, 192($r14)
+    sll $r9, $r2, 1
+    mul.d $f3, $f5, $f1
+    sw $r4, 204($r15)
+    lw $r6, 88($r14)
+    div $r3, $r5, $r7
+    andi $r8, $r16, 21827
+    slti $r3, $r2, 1508
+    mul $r5, $r5, $r3
+    or $r3, $r4, $r3
+    l.d $f2, 56($r19)
+    sw $r0, 140($r15)
+    slti $r16, $r17, -1764
+    mfc1 $r3, $f0
+    sllv $r4, $r2, $r4
+    l.d $f1, 8($r19)
+    s.d $f7, 160($r14)
+    l.d $f6, 16($r19)
+    mfc1 $r3, $f2
+    l.d $f2, 48($r19)
+    slti $r6, $r4, -1576
+    sw $r16, 176($r14)
+    mov.d $f0, $f6
+    nor $r5, $r3, $r6
+    slt $r4, $r9, $r17
+    s.d $f6, 8($r15)
+    c.le.d $r3, $f2, $f4
+    rem $r3, $r17, $r5
+    sltiu $r8, $r17, 1187
+    sllv $r8, $r4, $r8
+    addi $r12, $r12, -1
+    bgtz $r12, L5
+    mul $r7, $r0, $r4
+    or $r6, $r2, $r3
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 1
+    beq $r18, $r0, E3
+    addi $r11, $r11, -1
+    bgtz $r11, L3
+E3:
+    c.le.d $r5, $f3, $f6
+    s.d $f0, 128($r14)
+    jal leaf
+    sra $r8, $r16, 29
+    c.eq.d $r5, $f7, $f1
+    li $r11, 3
+L6:
+    andi $r18, $r16, 1
+    beq $r18, $r0, S7
+    and $r16, $r4, $r9
+    lw $r16, 48($r20)
+    l.d $f6, 40($r19)
+    sra $r6, $r3, 25
+    mul.d $f5, $f3, $f1
+    xori $r7, $r8, 1353
+    or $r7, $r16, $r7
+    lw $r8, 44($r20)
+    srl $r3, $r9, 1
+    s.d $f4, 16($r15)
+    sub.d $f7, $f3, $f5
+    sw $r3, 64($r14)
+    slti $r4, $r2, 861
+    l.d $f5, 120($r14)
+    srav $r9, $r4, $r16
+    mfc1 $r9, $f2
+    mov.d $f4, $f2
+    srav $r8, $r2, $r4
+    lui $r16, 0xf9ef
+    l.d $f0, 0($r19)
+    xor $r16, $r3, $r5
+    sltiu $r7, $r5, -178
+    sltiu $r4, $r2, 1691
+    lui $r4, 0xf9f7
+    xori $r8, $r17, 21416
+    and $r9, $r16, $r6
+    sub.d $f3, $f1, $f3
+    div $r4, $r8, $r0
+    xori $r3, $r9, 10447
+    c.lt.d $r9, $f0, $f6
+S7:
+    li $r2, 9
+    jal rec
+    andi $r18, $r16, 1
+    beq $r18, $r0, S8
+    c.lt.d $r7, $f3, $f6
+    mul $r4, $r16, $r17
+    add.d $f6, $f5, $f1
+    sub.d $f4, $f2, $f7
+    ori $r6, $r2, 29945
+    add $r9, $r17, $r3
+    c.eq.d $r16, $f1, $f4
+    sltiu $r9, $r2, 181
+    mul $r5, $r6, $r9
+    lw $r4, 24($r20)
+    mov.d $f5, $f0
+    mfc1 $r5, $f0
+    srl $r4, $r17, 20
+    sltu $r6, $r7, $r16
+    sllv $r4, $r16, $r17
+    sll $r16, $r6, 16
+    sub $r3, $r17, $r3
+S8:
+    jal leaf
+    nor $r8, $r7, $r9
+    srlv $r7, $r6, $r17
+    li $r17, 0x57733cf3
+    li $r12, 48
+L9:
+    mul $r5, $r4, $r0
+    add.d $f2, $f0, $f6
+    xori $r7, $r4, 32239
+    move $r4, $r6
+    slti $r7, $r0, 361
+    mfc1 $r3, $f1
+    lw $r6, 28($r20)
+    srav $r7, $r3, $r16
+    mov.d $f6, $f2
+    l.d $f3, 16($r15)
+    neg.d $f6, $f4
+    addi $r16, $r7, 704
+    c.lt.d $r6, $f6, $f1
+    lui $r5, 0xf39
+    srl $r7, $r5, 22
+    sltiu $r16, $r2, 1664
+    srlv $r7, $r9, $r4
+    c.lt.d $r7, $f3, $f7
+    neg $r5, $r8
+    sub $r9, $r4, $r6
+    c.eq.d $r8, $f7, $f1
+    srlv $r4, $r5, $r6
+    sw $r8, 56($r15)
+    or $r5, $r16, $r16
+    slt $r7, $r5, $r6
+    and $r16, $r3, $r3
+    lui $r9, 0xea57
+    l.d $f1, 40($r19)
+    s.d $f0, 64($r14)
+    sw $r5, 92($r14)
+    lui $r4, 0x6687
+    sllv $r3, $r0, $r9
+    ori $r6, $r5, 26179
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 3
+    beq $r18, $r0, E9
+    addi $r12, $r12, -1
+    bgtz $r12, L9
+E9:
+    sw $r5, 36($r14)
+    slti $r5, $r2, -1984
+    sll $r3, $r7, 5
+    li $r17, 0x6d857565
+    li $r12, 13
+L10:
+    xor $r8, $r4, $r9
+    c.eq.d $r7, $f5, $f7
+    lui $r7, 0x69eb
+    sub.d $f3, $f3, $f1
+    sub.d $f3, $f5, $f7
+    lui $r9, 0xd43d
+    sub.d $f4, $f4, $f7
+    cvt.w.d $f3, $f7
+    div $r3, $r7, $r4
+    andi $r7, $r9, 16870
+    slti $r7, $r16, -937
+    and $r4, $r5, $r3
+    or $r9, $r8, $r7
+    or $r6, $r8, $r8
+    mul $r16, $r9, $r9
+    l.d $f1, 104($r15)
+    s.d $f4, 192($r14)
+    slt $r9, $r4, $r16
+    add $r3, $r17, $r9
+    ori $r16, $r17, 1375
+    ori $r8, $r3, 162
+    xori $r7, $r0, 8904
+    xor $r9, $r7, $r2
+    add.d $f0, $f1, $f4
+    sll $r9, $r16, 16
+    ori $r5, $r17, 30060
+    c.lt.d $r16, $f4, $f7
+    s.d $f1, 88($r15)
+    cvt.w.d $f4, $f5
+    l.d $f4, 24($r19)
+    sltu $r8, $r5, $r7
+    srav $r5, $r5, $r0
+    lw $r7, 24($r15)
+    and $r7, $r4, $r4
+    s.d $f3, 48($r14)
+    andi $r8, $r7, 6555
+    lw $r4, 36($r20)
+    srl $r9, $r8, 26
+    mfc1 $r4, $f6
+    add $r8, $r6, $r5
+    add $r16, $r9, $r4
+    slt $r8, $r17, $r4
+    lw $r7, 84($r14)
+    nor $r5, $r4, $r7
+    l.d $f0, 184($r14)
+    sqrt.d $f5, $f2
+    l.d $f4, 152($r14)
+    lw $r9, 24($r20)
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 15
+    beq $r18, $r0, E10
+    addi $r12, $r12, -1
+    bgtz $r12, L10
+E10:
+    lw $r6, 212($r15)
+    li $r12, 16
+L11:
+    sub.d $f6, $f6, $f3
+    xor $r16, $r6, $r9
+    neg $r6, $r6
+    mul.d $f4, $f1, $f1
+    sra $r3, $r0, 17
+    xori $r5, $r16, 14737
+    lw $r16, 4($r15)
+    andi $r3, $r6, 23724
+    sltiu $r7, $r0, -1734
+    sllv $r5, $r5, $r6
+    srav $r5, $r4, $r0
+    xor $r9, $r16, $r8
+    lw $r6, 52($r20)
+    sub.d $f2, $f0, $f0
+    mov.d $f0, $f3
+    cvt.d.w $f2, $f4
+    addi $r12, $r12, -1
+    bgtz $r12, L11
+    lw $r16, 40($r20)
+    srav $r7, $r17, $r0
+    l.d $f0, 160($r15)
+    li $r12, 6
+L12:
+    xori $r5, $r16, 18045
+    s.d $f0, 160($r15)
+    div.d $f5, $f5, $f5
+    add.d $f5, $f3, $f3
+    sltiu $r16, $r4, 1916
+    andi $r7, $r7, 5123
+    mfc1 $r8, $f5
+    neg $r5, $r16
+    s.d $f0, 152($r15)
+    s.d $f1, 144($r14)
+    andi $r4, $r3, 13323
+    c.eq.d $r3, $f4, $f7
+    addi $r12, $r12, -1
+    bgtz $r12, L12
+    div.d $f2, $f1, $f7
+    lw $r6, 148($r15)
+    li $r12, 3
+L13:
+    srlv $r8, $r7, $r16
+    l.d $f0, 40($r15)
+    mul $r4, $r3, $r7
+    l.d $f5, 48($r15)
+    addi $r7, $r3, 746
+    c.le.d $r5, $f6, $f4
+    sll $r8, $r2, 25
+    sltiu $r9, $r17, -863
+    lw $r9, 4($r20)
+    nor $r8, $r0, $r6
+    or $r4, $r6, $r6
+    srlv $r4, $r0, $r8
+    srav $r5, $r4, $r2
+    mov.d $f1, $f3
+    div $r4, $r0, $r17
+    nor $r9, $r9, $r17
+    mul.d $f3, $f2, $f0
+    ori $r6, $r16, 8515
+    sllv $r6, $r6, $r17
+    div $r6, $r6, $r8
+    l.d $f4, 88($r15)
+    l.d $f3, 24($r19)
+    sllv $r5, $r2, $r3
+    c.lt.d $r5, $f2, $f0
+    addi $r12, $r12, -1
+    bgtz $r12, L13
+    li $r12, 48
+L14:
+    mul $r8, $r3, $r8
+    neg $r3, $r3
+    sub.d $f3, $f6, $f4
+    sllv $r8, $r17, $r17
+    lw $r4, 128($r15)
+    add.d $f5, $f3, $f2
+    or $r7, $r8, $r5
+    or $r6, $r7, $r9
+    l.d $f2, 8($r14)
+    sw $r8, 76($r15)
+    sub $r5, $r3, $r7
+    sltu $r7, $r17, $r0
+    sltu $r16, $r0, $r17
+    s.d $f1, 48($r14)
+    add $r3, $r9, $r2
+    move $r3, $r6
+    addi $r12, $r12, -1
+    bgtz $r12, L14
+    sub.d $f1, $f4, $f1
+    add $r9, $r17, $r9
+    li $r12, 1
+L15:
+    mov.d $f1, $f4
+    nor $r16, $r0, $r16
+    s.d $f3, 0($r15)
+    xori $r5, $r9, 6295
+    move $r8, $r6
+    sltiu $r8, $r0, 145
+    neg.d $f1, $f6
+    sra $r8, $r17, 0
+    l.d $f4, 56($r19)
+    move $r6, $r16
+    lw $r6, 56($r20)
+    sltiu $r4, $r9, 1367
+    lw $r8, 32($r20)
+    c.eq.d $r7, $f4, $f7
+    rem $r7, $r7, $r6
+    add $r5, $r5, $r3
+    l.d $f6, 48($r19)
+    addi $r12, $r12, -1
+    bgtz $r12, L15
+    li $r2, 7
+    jal rec
+    div $r6, $r2, $r6
+    li $r12, 10
+L16:
+    srlv $r3, $r3, $r5
+    sra $r7, $r17, 10
+    lui $r6, 0x52e
+    srav $r9, $r2, $r3
+    sw $r0, 8($r14)
+    xori $r9, $r17, 19644
+    lw $r7, 56($r20)
+    div $r8, $r0, $r9
+    srl $r16, $r0, 21
+    c.le.d $r7, $f5, $f4
+    srl $r4, $r6, 29
+    lw $r9, 36($r20)
+    c.lt.d $r7, $f0, $f0
+    slt $r6, $r7, $r6
+    mov.d $f6, $f2
+    div.d $f2, $f3, $f2
+    lw $r9, 200($r15)
+    addi $r12, $r12, -1
+    bgtz $r12, L16
+    lui $r8, 0x640f
+    sub.d $f1, $f0, $f7
+    s.d $f0, 72($r15)
+    s.d $f1, 128($r15)
+    li $r12, 16
+L17:
+    l.d $f4, 24($r19)
+    mfc1 $r5, $f6
+    mul $r4, $r17, $r7
+    sll $r7, $r7, 6
+    l.d $f4, 56($r15)
+    srl $r4, $r3, 9
+    sw $r9, 80($r14)
+    div.d $f2, $f0, $f5
+    sllv $r6, $r6, $r5
+    s.d $f5, 80($r14)
+    srl $r3, $r3, 15
+    sltu $r9, $r2, $r16
+    div.d $f3, $f3, $f2
+    mul $r4, $r8, $r16
+    addi $r3, $r8, -1526
+    add.d $f7, $f6, $f5
+    sqrt.d $f6, $f6
+    addi $r12, $r12, -1
+    bgtz $r12, L17
+    addi $r11, $r11, -1
+    bgtz $r11, L6
+    cvt.d.w $f4, $f6
+    li $r11, 1
+L18:
+    neg $r8, $r17
+    addi $r9, $r7, 477
+    li $r12, 8
+L19:
+    lw $r7, 20($r20)
+    s.d $f3, 128($r15)
+    sub.d $f4, $f5, $f0
+    mtc1 $r5, $f4
+    div.d $f4, $f2, $f3
+    srl $r8, $r2, 26
+    sltu $r4, $r6, $r5
+    lw $r5, 12($r20)
+    c.eq.d $r9, $f6, $f7
+    slti $r7, $r8, -328
+    sub.d $f4, $f7, $f3
+    and $r16, $r8, $r2
+    lw $r3, 44($r15)
+    div.d $f4, $f7, $f2
+    srl $r9, $r2, 3
+    rem $r7, $r17, $r2
+    addi $r12, $r12, -1
+    bgtz $r12, L19
+    andi $r18, $r11, 4
+    beq $r18, $r0, S20
+    srlv $r7, $r0, $r8
+    mul $r8, $r0, $r0
+    div $r6, $r3, $r3
+    mul $r7, $r16, $r6
+    sw $r2, 88($r15)
+    div $r3, $r0, $r3
+    slt $r5, $r5, $r8
+    sub.d $f0, $f2, $f5
+    lw $r9, 68($r14)
+    s.d $f5, 176($r15)
+    add $r16, $r5, $r5
+    move $r16, $r6
+    mfc1 $r7, $f0
+    add $r3, $r7, $r5
+    move $r3, $r4
+    l.d $f5, 40($r19)
+    andi $r16, $r4, 18331
+    ori $r5, $r5, 11427
+    ori $r5, $r6, 19808
+    slti $r9, $r6, 1447
+    l.d $f7, 112($r14)
+    slt $r4, $r17, $r2
+    sub.d $f5, $f4, $f4
+    l.d $f3, 0($r19)
+    add.d $f7, $f3, $f4
+    c.lt.d $r3, $f2, $f6
+    rem $r4, $r6, $r0
+    add $r3, $r9, $r3
+    sll $r6, $r2, 14
+    srlv $r7, $r9, $r2
+    addi $r3, $r5, -1360
+    lui $r9, 0x44ac
+    s.d $f0, 168($r15)
+    xor $r3, $r9, $r0
+    mul $r4, $r3, $r3
+    sltiu $r6, $r6, 1297
+    neg $r3, $r8
+    move $r3, $r7
+    lw $r6, 48($r20)
+    slt $r6, $r8, $r5
+    sw $r0, 204($r14)
+    andi $r7, $r6, 7426
+    or $r3, $r3, $r4
+    sw $r8, 204($r14)
+    or $r9, $r7, $r6
+    neg $r6, $r17
+    slt $r3, $r0, $r4
+    xor $r6, $r0, $r2
+    rem $r5, $r3, $r17
+    and $r5, $r3, $r0
+    sltiu $r5, $r9, 1356
+    lui $r3, 0x2a01
+    sra $r16, $r2, 6
+    addi $r8, $r2, 1470
+    div $r5, $r2, $r6
+    add.d $f0, $f1, $f6
+    srlv $r8, $r3, $r9
+    lui $r9, 0x72b7
+    sltiu $r4, $r17, 1521
+    sltu $r3, $r6, $r9
+    c.lt.d $r3, $f7, $f0
+    sqrt.d $f6, $f0
+    add.d $f2, $f5, $f2
+    srav $r8, $r5, $r4
+    div $r16, $r3, $r3
+    cvt.d.w $f2, $f4
+S20:
+    li $r17, 0x69212a73
+    li $r12, 8
+L21:
+    lw $r16, 104($r15)
+    l.d $f1, 176($r15)
+    move $r5, $r5
+    div.d $f7, $f7, $f2
+    mov.d $f6, $f2
+    neg.d $f0, $f1
+    c.lt.d $r5, $f0, $f0
+    add $r7, $r6, $r4
+    lui $r3, 0x9832
+    s.d $f3, 80($r14)
+    addi $r7, $r16, 24
+    lw $r4, 8($r20)
+    c.eq.d $r9, $f3, $f1
+    mul $r7, $r0, $r9
+    add.d $f5, $f6, $f7
+    sra $r6, $r6, 28
+    cvt.w.d $f0, $f1
+    l.d $f6, 0($r19)
+    nor $r4, $r0, $r8
+    neg $r6, $r6
+    l.d $f3, 0($r15)
+    div.d $f0, $f2, $f5
+    l.d $f3, 88($r14)
+    l.d $f5, 24($r15)
+    mfc1 $r6, $f1
+    mfc1 $r3, $f4
+    c.eq.d $r5, $f0, $f5
+    xor $r3, $r16, $r6
+    mfc1 $r7, $f1
+    s.d $f1, 0($r15)
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 7
+    beq $r18, $r0, E21
+    addi $r12, $r12, -1
+    bgtz $r12, L21
+E21:
+    addi $r11, $r11, -1
+    bgtz $r11, L18
+S2:
+    addi $r10, $r10, -1
+    bgtz $r10, L1
+    halt
+leaf:
+    xor $r5, $r5, $r7
+    addi $r16, $r16, 3
+    sw $r16, 96($r14)
+    jr $ra
+rec:
+    addi $sp, $sp, -8
+    sw $ra, 0($sp)
+    sw $r2, 4($sp)
+    addi $r2, $r2, -1
+    blez $r2, Rdone
+    jal rec
+Rdone:
+    lw $r2, 4($sp)
+    lw $ra, 0($sp)
+    add $r16, $r16, $r2
+    addi $sp, $sp, 8
+    jr $ra

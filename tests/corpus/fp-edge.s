@@ -1,0 +1,404 @@
+# riq-fuzz corpus: fp-edge family (generator seed 1003)
+# Replayed by tests/corpus_replay.rs against the full differential matrix.
+# riq-fuzz generated program, seed=0x3eb
+.data
+buf:
+    .space 256
+    .space 16
+fpt:
+    .word 0x0, 0x7ff80000
+    .word 0x0, 0x7ff00000
+    .word 0x0, 0xfff00000
+    .word 0x1, 0x0
+    .word 0x0, 0x80000000
+    .word 0x0, 0x3ff80000
+    .word 0x8800759c, 0x7e37e43c
+    .word 0xc2f8f359, 0x1a56e1f
+vals:
+    .word 0x9fa27fad, 0x3a1a6bf6, 0x9c361677, 0x228955d8
+    .word 0x942a62be, 0x33673d0d, 0xc7b95d04, 0x63432a4
+    .word 0x9d0a6f1e, 0x5437788b, 0x6392ab99, 0xea0f7253
+    .word 0x1868dd15, 0xc0a5673a, 0xf2a8f387, 0xb6e6a78e
+.text
+    la $r14, buf
+    la $r15, buf
+    addi $r15, $r15, 16
+    la $r19, fpt
+    la $r20, vals
+    li $r3, 0x446679b8
+    li $r4, 0x8fa0f82e
+    li $r5, 0x829f65ec
+    li $r6, 0xb0e9f770
+    li $r7, 0x43811211
+    li $r8, 0x9f762636
+    li $r9, 0x92049ccf
+    li $r16, 0x9feb32cf
+    neg $r6, $r2
+    l.d $f5, 8($r19)
+    div $r6, $r17, $r5
+    li $r10, 5
+L1:
+    ori $r8, $r16, 6821
+    jal leaf
+    div $r3, $r2, $r2
+    addi $r10, $r10, -1
+    bgtz $r10, L1
+    sll $r16, $r17, 12
+    addi $r7, $r3, -1827
+    rem $r4, $r7, $r0
+    l.d $f7, 24($r19)
+    sub $r3, $r8, $r16
+    slti $r9, $r8, 86
+    xor $r3, $r2, $r9
+    s.d $f7, 136($r14)
+    and $r6, $r0, $r3
+    slt $r5, $r0, $r17
+    sra $r3, $r16, 24
+    andi $r18, $r16, 1
+    beq $r18, $r0, S2
+    sw $r5, 100($r15)
+    add.d $f2, $f2, $f3
+    li $r10, 4
+L3:
+    srlv $r6, $r17, $r9
+    mul.d $f5, $f5, $f6
+    andi $r8, $r2, 13159
+    slti $r4, $r17, 716
+    nor $r16, $r3, $r0
+    srlv $r3, $r17, $r2
+    li $r17, 0x63984087
+    li $r11, 5
+L4:
+    mov.d $f2, $f4
+    andi $r18, $r16, 4
+    beq $r18, $r0, S5
+    addi $r9, $r16, 1182
+    div.d $f1, $f5, $f6
+    lw $r6, 28($r20)
+    lw $r3, 116($r14)
+    xor $r3, $r8, $r8
+    andi $r7, $r6, 22420
+    srlv $r7, $r16, $r16
+    andi $r5, $r4, 27279
+    sw $r17, 84($r14)
+    l.d $f0, 16($r19)
+    andi $r16, $r16, 29889
+    l.d $f2, 32($r19)
+    lw $r4, 36($r20)
+    mfc1 $r9, $f4
+    slti $r16, $r6, 1686
+    addi $r4, $r6, 136
+S5:
+    lw $r6, 104($r14)
+    lw $r5, 108($r15)
+    li $r2, 5
+    jal rec
+    li $r12, 16
+L6:
+    sll $r8, $r6, 25
+    srl $r3, $r5, 12
+    slti $r9, $r17, -1982
+    neg $r7, $r4
+    ori $r8, $r17, 28772
+    lui $r4, 0x5743
+    mul.d $f5, $f2, $f5
+    andi $r7, $r7, 11726
+    addi $r12, $r12, -1
+    bgtz $r12, L6
+    sw $r16, 144($r14)
+    ori $r6, $r4, 28990
+    li $r12, 32
+L7:
+    xori $r3, $r3, 6317
+    neg $r4, $r16
+    addi $r9, $r4, 1625
+    rem $r5, $r7, $r16
+    add.d $f4, $f0, $f0
+    ori $r9, $r8, 25174
+    nor $r3, $r0, $r2
+    l.d $f1, 168($r15)
+    lw $r9, 116($r14)
+    addi $r4, $r17, 1687
+    add.d $f2, $f7, $f2
+    s.d $f6, 80($r14)
+    sub.d $f4, $f3, $f5
+    div.d $f1, $f2, $f7
+    ori $r8, $r0, 21952
+    add $r3, $r4, $r3
+    sub $r4, $r0, $r16
+    srlv $r7, $r17, $r16
+    ori $r5, $r9, 11064
+    neg $r9, $r0
+    l.d $f3, 48($r19)
+    lw $r4, 16($r15)
+    rem $r16, $r9, $r7
+    sw $r5, 84($r15)
+    sub $r5, $r2, $r16
+    s.d $f4, 24($r15)
+    xori $r5, $r4, 7752
+    srav $r5, $r0, $r2
+    div $r8, $r2, $r3
+    lw $r4, 128($r14)
+    or $r6, $r5, $r6
+    sw $r2, 20($r15)
+    sltiu $r6, $r6, 20
+    addi $r12, $r12, -1
+    bgtz $r12, L7
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 15
+    beq $r18, $r0, E4
+    addi $r11, $r11, -1
+    bgtz $r11, L4
+E4:
+    addi $r10, $r10, -1
+    bgtz $r10, L3
+    lw $r3, 204($r15)
+    move $r4, $r7
+    li $r17, 0x49adc4d9
+    li $r10, 1
+L8:
+    sub $r4, $r4, $r4
+    move $r7, $r4
+    l.d $f7, 72($r15)
+    div $r4, $r4, $r8
+    div.d $f4, $f5, $f4
+    xori $r6, $r6, 16466
+    li $r11, 7
+L9:
+    andi $r18, $r11, 4
+    beq $r18, $r0, S10
+    div.d $f5, $f4, $f4
+    sub.d $f6, $f1, $f0
+    slt $r16, $r0, $r5
+    sw $r2, 208($r15)
+    l.d $f0, 16($r19)
+    mov.d $f4, $f3
+    addi $r16, $r7, 907
+    c.lt.d $r3, $f7, $f5
+    c.lt.d $r16, $f7, $f5
+    sub.d $f2, $f7, $f4
+    lw $r16, 16($r20)
+    xor $r7, $r9, $r6
+    c.lt.d $r8, $f4, $f3
+    mul $r9, $r4, $r4
+    andi $r7, $r7, 9269
+    lw $r8, 32($r20)
+    neg $r8, $r7
+    div.d $f0, $f0, $f3
+    mov.d $f5, $f4
+    xori $r16, $r8, 2483
+    cvt.d.w $f0, $f3
+    sllv $r5, $r9, $r5
+    addi $r6, $r8, 600
+    l.d $f4, 16($r19)
+    move $r16, $r17
+    div $r6, $r17, $r17
+    sllv $r3, $r7, $r9
+    mtc1 $r16, $f2
+    sw $r6, 0($r15)
+    xori $r16, $r17, 25619
+    lw $r7, 16($r15)
+    sub $r3, $r6, $r6
+    mfc1 $r4, $f3
+    andi $r7, $r5, 26887
+    sll $r8, $r3, 18
+    add.d $f7, $f2, $f7
+    sltiu $r8, $r8, -244
+    sw $r0, 120($r15)
+    srav $r6, $r7, $r16
+    sll $r6, $r6, 3
+    lw $r4, 148($r15)
+    s.d $f3, 80($r15)
+    slti $r5, $r0, 38
+    srlv $r3, $r3, $r7
+    div.d $f5, $f6, $f7
+    lui $r9, 0x2257
+    srav $r3, $r0, $r8
+    sllv $r8, $r7, $r16
+S10:
+    li $r2, 7
+    jal rec
+    andi $r18, $r11, 4
+    beq $r18, $r0, S11
+    addi $r4, $r7, 1543
+    slti $r5, $r16, -397
+    mfc1 $r7, $f6
+    addi $r3, $r4, 1829
+    srl $r9, $r9, 29
+    add $r9, $r5, $r4
+    ori $r3, $r16, 25995
+    srl $r7, $r9, 4
+S11:
+    li $r12, 10
+L12:
+    neg $r7, $r6
+    div $r8, $r5, $r2
+    srav $r4, $r9, $r5
+    mul.d $f6, $f0, $f1
+    nor $r9, $r17, $r17
+    and $r5, $r9, $r3
+    div.d $f7, $f6, $f4
+    sqrt.d $f0, $f0
+    addi $r12, $r12, -1
+    bgtz $r12, L12
+    li $r12, 5
+L13:
+    sllv $r9, $r7, $r8
+    srl $r7, $r6, 9
+    s.d $f5, 136($r14)
+    l.d $f7, 56($r19)
+    c.lt.d $r9, $f2, $f3
+    sltu $r8, $r0, $r2
+    lw $r9, 36($r20)
+    slti $r9, $r8, -1391
+    xori $r8, $r16, 19232
+    sllv $r3, $r6, $r2
+    slti $r6, $r7, -1809
+    add $r5, $r2, $r3
+    andi $r16, $r2, 309
+    lw $r7, 84($r15)
+    cvt.d.w $f7, $f1
+    slt $r5, $r9, $r5
+    sw $r6, 184($r14)
+    sw $r9, 120($r15)
+    cvt.w.d $f2, $f4
+    and $r3, $r16, $r8
+    slt $r5, $r9, $r9
+    add.d $f4, $f0, $f2
+    mul.d $f3, $f3, $f6
+    div.d $f6, $f7, $f1
+    sqrt.d $f3, $f1
+    lw $r16, 16($r20)
+    sub $r16, $r17, $r7
+    or $r3, $r0, $r9
+    sub $r3, $r2, $r7
+    andi $r8, $r17, 12248
+    lw $r4, 44($r20)
+    lw $r8, 24($r20)
+    slt $r3, $r0, $r17
+    srl $r5, $r7, 24
+    s.d $f4, 128($r14)
+    l.d $f2, 32($r19)
+    sltu $r16, $r0, $r16
+    lw $r6, 112($r14)
+    srlv $r4, $r7, $r7
+    neg $r16, $r8
+    mtc1 $r17, $f6
+    slt $r6, $r6, $r4
+    lw $r9, 148($r14)
+    sra $r7, $r3, 5
+    s.d $f6, 72($r14)
+    c.eq.d $r5, $f0, $f2
+    div $r9, $r4, $r8
+    srl $r8, $r9, 14
+    rem $r7, $r8, $r2
+    lw $r16, 68($r14)
+    sub $r3, $r9, $r3
+    sltiu $r3, $r7, 2040
+    xori $r8, $r17, 26152
+    lw $r3, 60($r20)
+    ori $r9, $r6, 4772
+    lui $r16, 0x73cd
+    mov.d $f5, $f6
+    cvt.w.d $f5, $f1
+    add.d $f5, $f1, $f1
+    c.lt.d $r8, $f1, $f2
+    c.le.d $r9, $f7, $f2
+    or $r3, $r3, $r7
+    sw $r16, 216($r14)
+    addi $r12, $r12, -1
+    bgtz $r12, L13
+    addi $r11, $r11, -1
+    bgtz $r11, L9
+    sltiu $r9, $r16, 613
+    cvt.w.d $f0, $f6
+    ori $r16, $r7, 7000
+    lw $r3, 8($r20)
+    andi $r18, $r16, 4
+    beq $r18, $r0, S14
+    c.lt.d $r9, $f4, $f4
+    rem $r5, $r8, $r9
+    li $r17, 0xc676ef77
+    li $r11, 13
+L15:
+    ori $r4, $r0, 16085
+    sw $r16, 68($r14)
+    sltiu $r5, $r4, 1947
+    mtc1 $r17, $f1
+    sll $r4, $r16, 28
+    sra $r8, $r3, 13
+    srl $r6, $r8, 6
+    lw $r9, 20($r20)
+    lw $r7, 124($r15)
+    sub $r9, $r8, $r17
+    slt $r5, $r17, $r4
+    sub.d $f1, $f0, $f2
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 15
+    beq $r18, $r0, E15
+    addi $r11, $r11, -1
+    bgtz $r11, L15
+E15:
+    lui $r8, 0xf872
+    li $r11, 6
+L16:
+    c.lt.d $r16, $f0, $f4
+    move $r3, $r4
+    addi $r9, $r7, -1627
+    mfc1 $r6, $f0
+    lw $r4, 76($r15)
+    lw $r8, 60($r20)
+    neg $r6, $r3
+    add.d $f4, $f6, $f1
+    sw $r8, 88($r15)
+    mfc1 $r7, $f1
+    lw $r3, 144($r14)
+    move $r8, $r9
+    srav $r16, $r17, $r2
+    or $r3, $r0, $r16
+    lw $r6, 192($r14)
+    slt $r16, $r0, $r17
+    addi $r11, $r11, -1
+    bgtz $r11, L16
+S14:
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 7
+    beq $r18, $r0, E8
+    addi $r10, $r10, -1
+    bgtz $r10, L8
+E8:
+S2:
+    halt
+leaf:
+    xor $r5, $r5, $r7
+    addi $r16, $r16, 3
+    sw $r16, 96($r14)
+    jr $ra
+rec:
+    addi $sp, $sp, -8
+    sw $ra, 0($sp)
+    sw $r2, 4($sp)
+    addi $r2, $r2, -1
+    blez $r2, Rdone
+    jal rec
+Rdone:
+    lw $r2, 4($sp)
+    lw $ra, 0($sp)
+    add $r16, $r16, $r2
+    addi $sp, $sp, 8
+    jr $ra

@@ -1,0 +1,453 @@
+# riq-fuzz corpus: iq-overflow family (generator seed 1001)
+# Replayed by tests/corpus_replay.rs against the full differential matrix.
+# riq-fuzz generated program, seed=0x3e9
+.data
+fpt:
+    .word 0x0, 0x7ff80000
+    .word 0x0, 0x7ff00000
+    .word 0x0, 0xfff00000
+    .word 0x1, 0x0
+    .word 0x0, 0x80000000
+    .word 0x0, 0x3ff80000
+    .word 0x8800759c, 0x7e37e43c
+    .word 0xc2f8f359, 0x1a56e1f
+    .space 16
+vals:
+    .word 0x89fa0862, 0x19d0ab27, 0x9b27fcb5, 0xe9a7ab87
+    .word 0x238da22a, 0x77d5403a, 0x6bb4f072, 0x6b7128d4
+    .word 0x6fbf509f, 0x51f01758, 0xbada5d37, 0xa5be336b
+    .word 0xde027c55, 0x4706871a, 0xed23559, 0x440fcec
+buf:
+    .space 256
+.text
+    la $r14, buf
+    la $r15, buf
+    addi $r15, $r15, 16
+    la $r19, fpt
+    la $r20, vals
+    li $r3, 0xf3c606d4
+    li $r4, 0x4710ce58
+    li $r5, 0xc6beafb1
+    li $r6, 0x16231f2f
+    li $r7, 0xf434d5ab
+    li $r8, 0x993d4fb9
+    li $r9, 0xbbe6cf58
+    li $r16, 0x43338428
+    jal leaf
+    lw $r4, 56($r20)
+    andi $r18, $r16, 4
+    beq $r18, $r0, S1
+    li $r2, 10
+    jal rec
+    slti $r4, $r6, 963
+S1:
+    andi $r18, $r16, 4
+    beq $r18, $r0, S2
+    c.le.d $r4, $f1, $f6
+    xor $r3, $r8, $r7
+    li $r10, 3
+L3:
+    sltu $r7, $r5, $r9
+    li $r11, 21
+L4:
+    l.d $f0, 56($r19)
+    andi $r18, $r16, 1
+    beq $r18, $r0, S5
+    l.d $f6, 120($r15)
+    move $r5, $r4
+    s.d $f5, 32($r14)
+    lw $r3, 80($r15)
+    l.d $f2, 88($r14)
+    c.le.d $r8, $f4, $f4
+    sub.d $f0, $f5, $f1
+    sll $r5, $r3, 3
+    andi $r7, $r9, 10088
+    sub.d $f4, $f7, $f3
+    l.d $f4, 56($r19)
+    c.le.d $r16, $f3, $f3
+    lw $r5, 212($r14)
+    neg.d $f7, $f4
+    sw $r7, 192($r15)
+    mtc1 $r0, $f7
+    sll $r9, $r4, 6
+    sltiu $r3, $r9, -1292
+    mov.d $f3, $f6
+    sllv $r3, $r0, $r17
+    sub.d $f6, $f6, $f7
+    add $r5, $r0, $r7
+    add.d $f5, $f5, $f5
+    sltiu $r7, $r16, -1536
+    lw $r16, 208($r14)
+    slti $r6, $r7, -1957
+    c.eq.d $r4, $f6, $f5
+    s.d $f3, 40($r14)
+    srlv $r4, $r2, $r6
+    sll $r9, $r0, 31
+    sltiu $r5, $r2, 1617
+    sll $r3, $r16, 15
+    l.d $f5, 24($r15)
+    srav $r9, $r4, $r7
+    l.d $f1, 24($r19)
+    sltu $r6, $r4, $r0
+    div.d $f5, $f1, $f3
+    lw $r8, 36($r20)
+    sltiu $r5, $r2, 1350
+    l.d $f0, 0($r19)
+    or $r9, $r4, $r5
+    xor $r4, $r9, $r6
+    s.d $f4, 48($r14)
+    sra $r9, $r6, 4
+    mul $r3, $r8, $r4
+    and $r6, $r6, $r2
+    addi $r4, $r4, 301
+    l.d $f0, 96($r15)
+S5:
+    sub $r6, $r4, $r4
+    div.d $f4, $f0, $f0
+    lw $r16, 96($r15)
+    sqrt.d $f4, $f1
+    mul.d $f6, $f4, $f6
+    andi $r18, $r16, 2
+    beq $r18, $r0, S6
+    lw $r16, 56($r20)
+    l.d $f7, 48($r19)
+    or $r7, $r17, $r16
+    add $r16, $r17, $r9
+    mul $r5, $r4, $r7
+    addi $r8, $r8, -534
+    neg $r3, $r17
+    sltu $r4, $r7, $r7
+    lw $r3, 60($r20)
+    c.eq.d $r7, $f3, $f4
+    move $r9, $r4
+    mul $r3, $r17, $r8
+    sub $r9, $r16, $r0
+    l.d $f2, 152($r14)
+    lui $r16, 0x8edc
+S6:
+    li $r2, 12
+    jal rec
+    jal leaf
+    slt $r5, $r5, $r17
+    jal leaf
+    srl $r7, $r0, 21
+    sub.d $f7, $f5, $f2
+    li $r12, 3
+L7:
+    andi $r9, $r0, 10984
+    l.d $f2, 136($r14)
+    c.lt.d $r16, $f7, $f6
+    lw $r5, 104($r14)
+    slti $r4, $r5, 1681
+    c.le.d $r8, $f1, $f3
+    slti $r16, $r17, -78
+    xor $r5, $r16, $r9
+    cvt.w.d $f1, $f0
+    slti $r5, $r0, 832
+    slti $r8, $r7, -1633
+    xor $r5, $r8, $r4
+    mul $r6, $r17, $r7
+    neg $r7, $r16
+    addi $r4, $r17, -1798
+    addi $r12, $r12, -1
+    bgtz $r12, L7
+    li $r12, 1
+L8:
+    rem $r3, $r9, $r16
+    mul.d $f3, $f1, $f7
+    lw $r16, 176($r15)
+    xor $r8, $r8, $r17
+    nor $r7, $r6, $r0
+    slti $r5, $r16, 751
+    sllv $r8, $r16, $r5
+    div $r16, $r9, $r3
+    cvt.w.d $f5, $f1
+    mul.d $f5, $f3, $f0
+    lw $r4, 188($r15)
+    add.d $f7, $f4, $f1
+    l.d $f0, 56($r19)
+    c.eq.d $r16, $f0, $f6
+    mfc1 $r7, $f6
+    sw $r8, 80($r14)
+    mul.d $f2, $f0, $f4
+    l.d $f3, 32($r19)
+    l.d $f7, 88($r15)
+    xor $r3, $r16, $r8
+    l.d $f4, 48($r14)
+    andi $r5, $r5, 2626
+    add.d $f4, $f7, $f1
+    slt $r16, $r3, $r17
+    lw $r4, 44($r20)
+    sltiu $r5, $r6, 1033
+    div.d $f4, $f7, $f4
+    sllv $r16, $r0, $r9
+    sll $r4, $r17, 24
+    ori $r8, $r16, 8548
+    addi $r16, $r9, -1369
+    or $r8, $r4, $r17
+    ori $r8, $r2, 13455
+    lw $r6, 32($r20)
+    mov.d $f4, $f4
+    sw $r17, 224($r15)
+    sub.d $f7, $f1, $f6
+    div $r3, $r0, $r5
+    lw $r16, 60($r20)
+    ori $r6, $r17, 18533
+    mul.d $f3, $f5, $f5
+    andi $r4, $r17, 25471
+    sqrt.d $f7, $f4
+    xori $r7, $r16, 26085
+    xori $r3, $r9, 19047
+    mfc1 $r9, $f3
+    sltiu $r3, $r17, 1615
+    sll $r6, $r4, 6
+    ori $r3, $r4, 29116
+    nor $r6, $r16, $r17
+    or $r3, $r16, $r9
+    sltiu $r6, $r9, -1391
+    cvt.d.w $f7, $f3
+    l.d $f5, 128($r14)
+    srl $r5, $r6, 5
+    sub.d $f5, $f2, $f4
+    addi $r8, $r5, 1939
+    lw $r3, 128($r15)
+    ori $r6, $r8, 18462
+    sub.d $f2, $f0, $f6
+    ori $r7, $r0, 22206
+    or $r6, $r9, $r8
+    and $r16, $r7, $r8
+    add $r5, $r0, $r8
+    slti $r6, $r2, 237
+    xori $r3, $r17, 19040
+    addi $r12, $r12, -1
+    bgtz $r12, L8
+    addi $r11, $r11, -1
+    bgtz $r11, L4
+    sll $r16, $r9, 7
+    l.d $f3, 104($r15)
+    sra $r5, $r0, 26
+    srlv $r3, $r16, $r6
+    andi $r4, $r0, 22385
+    jal leaf
+    andi $r18, $r10, 2
+    beq $r18, $r0, S9
+    xori $r4, $r16, 13349
+    lw $r4, 224($r15)
+    mov.d $f7, $f1
+    andi $r18, $r10, 4
+    beq $r18, $r0, S10
+    mul.d $f4, $f1, $f1
+    lui $r16, 0x7e9f
+    cvt.d.w $f1, $f0
+S10:
+    li $r17, 0xdf4ca70b
+    li $r11, 3
+L11:
+    sltiu $r6, $r4, 1350
+    c.le.d $r3, $f3, $f3
+    sllv $r16, $r5, $r3
+    l.d $f7, 16($r19)
+    div.d $f5, $f5, $f7
+    div.d $f6, $f2, $f0
+    slti $r6, $r7, 1174
+    nor $r4, $r0, $r8
+    div $r9, $r5, $r9
+    srav $r16, $r8, $r17
+    slti $r9, $r16, 764
+    mfc1 $r8, $f3
+    lw $r3, 84($r15)
+    slt $r6, $r17, $r8
+    lw $r6, 60($r20)
+    neg $r16, $r9
+    slti $r5, $r5, -233
+    div.d $f7, $f4, $f0
+    add.d $f2, $f7, $f2
+    sub.d $f2, $f0, $f7
+    rem $r4, $r3, $r9
+    sltiu $r3, $r3, 138
+    div $r5, $r16, $r16
+    neg $r7, $r4
+    addi $r3, $r3, -711
+    div $r9, $r0, $r7
+    cvt.w.d $f5, $f4
+    and $r3, $r7, $r9
+    s.d $f7, 104($r15)
+    div.d $f4, $f7, $f5
+    rem $r16, $r5, $r9
+    andi $r3, $r17, 7291
+    move $r6, $r16
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 3
+    beq $r18, $r0, E11
+    addi $r11, $r11, -1
+    bgtz $r11, L11
+E11:
+S9:
+    addi $r10, $r10, -1
+    bgtz $r10, L3
+    cvt.w.d $f6, $f4
+    sltiu $r9, $r16, 673
+    li $r10, 1
+L12:
+    sra $r8, $r5, 3
+    andi $r18, $r10, 4
+    beq $r18, $r0, S13
+    addi $r8, $r5, -1590
+    ori $r8, $r3, 27759
+    nor $r6, $r7, $r2
+    l.d $f6, 8($r15)
+    add.d $f3, $f2, $f3
+    ori $r9, $r2, 15279
+    andi $r18, $r16, 1
+    beq $r18, $r0, S14
+    s.d $f0, 112($r14)
+    add.d $f6, $f5, $f6
+    andi $r3, $r7, 18348
+    srav $r9, $r3, $r7
+    slt $r4, $r9, $r5
+    l.d $f7, 0($r15)
+    c.eq.d $r4, $f3, $f1
+    c.lt.d $r6, $f2, $f5
+    slti $r3, $r2, 1816
+    or $r4, $r4, $r9
+    slti $r4, $r17, -185
+    l.d $f5, 48($r19)
+    sub $r5, $r17, $r0
+    lw $r5, 32($r15)
+    slt $r4, $r0, $r17
+    srlv $r16, $r17, $r8
+S14:
+    andi $r18, $r16, 4
+    beq $r18, $r0, S15
+    sltiu $r3, $r7, 556
+    srav $r3, $r5, $r17
+    ori $r9, $r0, 5719
+    c.lt.d $r4, $f6, $f0
+    cvt.w.d $f7, $f2
+    mul $r7, $r16, $r8
+    c.eq.d $r3, $f0, $f1
+    s.d $f5, 72($r15)
+    sltu $r4, $r0, $r4
+    lw $r9, 8($r15)
+    mfc1 $r7, $f3
+    rem $r4, $r16, $r7
+    lw $r7, 20($r20)
+    add $r4, $r3, $r8
+    lui $r4, 0x710d
+S15:
+    li $r17, 0x84bb79c7
+    li $r11, 30
+L16:
+    sltiu $r8, $r8, 488
+    or $r9, $r5, $r16
+    mul $r4, $r0, $r2
+    sltiu $r8, $r9, 3
+    add.d $f1, $f3, $f1
+    add.d $f6, $f4, $f2
+    andi $r3, $r4, 32311
+    c.eq.d $r7, $f3, $f6
+    xori $r8, $r17, 30591
+    sltu $r5, $r8, $r6
+    div.d $f4, $f5, $f1
+    neg.d $f4, $f2
+    cvt.w.d $f1, $f7
+    addi $r9, $r16, 160
+    and $r5, $r16, $r7
+    cvt.d.w $f5, $f5
+    c.lt.d $r16, $f4, $f3
+    add $r9, $r4, $r4
+    lw $r6, 16($r20)
+    xori $r3, $r5, 26915
+    lw $r6, 80($r14)
+    addi $r9, $r7, 234
+    lw $r5, 116($r14)
+    lw $r7, 24($r20)
+    xor $r16, $r9, $r8
+    addi $r8, $r9, 471
+    nor $r8, $r7, $r8
+    mul.d $f6, $f6, $f7
+    sltiu $r4, $r5, 118
+    lw $r5, 48($r14)
+    slti $r9, $r0, 1684
+    nor $r16, $r6, $r0
+    mtc1 $r17, $f6
+    mul $r3, $r7, $r17
+    sll $r7, $r7, 16
+    mfc1 $r4, $f3
+    xori $r16, $r6, 21120
+    sqrt.d $f4, $f4
+    addi $r4, $r6, -52
+    neg $r16, $r3
+    sub.d $f3, $f3, $f6
+    mul.d $f7, $f0, $f6
+    cvt.d.w $f6, $f3
+    mul $r6, $r5, $r7
+    c.eq.d $r5, $f5, $f0
+    slti $r8, $r0, -773
+    sw $r16, 64($r15)
+    sra $r6, $r7, 8
+    sw $r4, 60($r14)
+    sllv $r4, $r16, $r4
+    mov.d $f5, $f7
+    or $r8, $r6, $r6
+    l.d $f2, 168($r14)
+    slti $r6, $r5, -912
+    sltu $r8, $r3, $r0
+    add.d $f1, $f7, $f3
+    xor $r6, $r7, $r16
+    mul.d $f5, $f3, $f1
+    sllv $r3, $r3, $r2
+    andi $r9, $r9, 20887
+    rem $r5, $r5, $r2
+    ori $r7, $r4, 22902
+    and $r7, $r0, $r0
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 15
+    beq $r18, $r0, E16
+    addi $r11, $r11, -1
+    bgtz $r11, L16
+E16:
+    mfc1 $r8, $f5
+    lw $r16, 80($r15)
+    sub.d $f4, $f4, $f2
+    andi $r18, $r10, 2
+    beq $r18, $r0, S17
+    sra $r8, $r5, 18
+    sltiu $r5, $r2, 865
+    slt $r6, $r3, $r6
+    div $r6, $r5, $r2
+    l.d $f2, 48($r19)
+S17:
+S13:
+    addi $r10, $r10, -1
+    bgtz $r10, L12
+S2:
+    halt
+leaf:
+    xor $r5, $r5, $r7
+    addi $r16, $r16, 3
+    sw $r16, 96($r14)
+    jr $ra
+rec:
+    addi $sp, $sp, -8
+    sw $ra, 0($sp)
+    sw $r2, 4($sp)
+    addi $r2, $r2, -1
+    blez $r2, Rdone
+    jal rec
+Rdone:
+    lw $r2, 4($sp)
+    lw $ra, 0($sp)
+    add $r16, $r16, $r2
+    addi $sp, $sp, 8
+    jr $ra

@@ -1,0 +1,309 @@
+# riq-fuzz corpus: nested-loop family (generator seed 1000)
+# Replayed by tests/corpus_replay.rs against the full differential matrix.
+# riq-fuzz generated program, seed=0x3e8
+.data
+buf:
+    .space 256
+    .space 8
+fpt:
+    .word 0x0, 0x7ff80000
+    .word 0x0, 0x7ff00000
+    .word 0x0, 0xfff00000
+    .word 0x1, 0x0
+    .word 0x0, 0x80000000
+    .word 0x0, 0x3ff80000
+    .word 0x8800759c, 0x7e37e43c
+    .word 0xc2f8f359, 0x1a56e1f
+vals:
+    .word 0x2b1e818a, 0xf179c7a6, 0xfefacee9, 0xd74e787a
+    .word 0x2757d71f, 0x63c455d3, 0x9f408049, 0xed835ba3
+    .word 0x958d8ed, 0x7d24e85, 0x796784b4, 0x635e6e90
+    .word 0xef9650ee, 0x3525e7f9, 0xcc2947ac, 0x4923b556
+.text
+    la $r14, buf
+    la $r15, buf
+    addi $r15, $r15, 16
+    la $r19, fpt
+    la $r20, vals
+    li $r3, 0x4dccc148
+    li $r4, 0xd4f4bbaf
+    li $r5, 0x2fc9b651
+    li $r6, 0xe14fcfa7
+    li $r7, 0x8df0a49f
+    li $r8, 0x3b720062
+    li $r9, 0xe4f700f4
+    li $r16, 0x26c1e177
+    andi $r18, $r16, 4
+    beq $r18, $r0, S1
+    jal leaf
+    l.d $f4, 152($r14)
+    li $r10, 2
+L2:
+    lw $r3, 40($r20)
+    slt $r4, $r17, $r16
+    li $r11, 32
+L3:
+    sub.d $f1, $f3, $f7
+    li $r12, 1
+L4:
+    lw $r6, 184($r14)
+    addi $r7, $r8, -434
+    c.eq.d $r9, $f4, $f5
+    l.d $f5, 104($r15)
+    lui $r6, 0x87f9
+    s.d $f5, 184($r14)
+    lw $r9, 36($r20)
+    ori $r9, $r2, 5672
+    addi $r12, $r12, -1
+    bgtz $r12, L4
+    l.d $f6, 0($r19)
+    srlv $r7, $r5, $r5
+    andi $r18, $r16, 1
+    beq $r18, $r0, S5
+    mul.d $f2, $f7, $f0
+    c.le.d $r7, $f0, $f4
+    sra $r8, $r2, 14
+    xor $r8, $r8, $r17
+    addi $r7, $r0, 421
+S5:
+    neg $r7, $r17
+    or $r8, $r2, $r9
+    add $r4, $r6, $r7
+    sltiu $r6, $r16, -97
+    or $r9, $r17, $r8
+    c.le.d $r3, $f5, $f4
+    li $r12, 32
+L6:
+    rem $r16, $r8, $r2
+    sra $r3, $r6, 21
+    neg $r3, $r3
+    addi $r12, $r12, -1
+    bgtz $r12, L6
+    sltiu $r8, $r4, 1127
+    jal leaf
+    slt $r7, $r17, $r5
+    lw $r9, 208($r15)
+    li $r2, 2
+    jal rec
+    andi $r18, $r16, 1
+    beq $r18, $r0, S7
+    sqrt.d $f0, $f4
+    srl $r5, $r9, 1
+    l.d $f5, 24($r19)
+    s.d $f1, 96($r15)
+    div.d $f3, $f7, $f5
+    ori $r4, $r0, 3728
+    mul.d $f1, $f6, $f5
+    and $r3, $r4, $r3
+    xori $r3, $r4, 12085
+    s.d $f0, 168($r14)
+    c.eq.d $r5, $f3, $f5
+    sra $r5, $r0, 13
+    slti $r8, $r17, -147
+    mfc1 $r16, $f1
+    c.lt.d $r4, $f2, $f4
+    add $r6, $r2, $r4
+    nor $r8, $r6, $r17
+    lui $r4, 0xc81c
+    addi $r5, $r16, -1095
+    addi $r9, $r8, -1338
+    s.d $f7, 120($r14)
+    neg $r16, $r2
+    mov.d $f5, $f5
+    srlv $r5, $r9, $r7
+    lui $r7, 0x5887
+    cvt.w.d $f1, $f5
+    lw $r7, 80($r15)
+    nor $r7, $r7, $r7
+    add $r6, $r5, $r5
+    mul.d $f6, $f7, $f2
+    xor $r9, $r6, $r17
+    and $r6, $r2, $r0
+    and $r3, $r8, $r8
+    c.eq.d $r5, $f7, $f5
+    c.eq.d $r8, $f2, $f7
+    sltiu $r3, $r17, 1134
+    add.d $f2, $f5, $f3
+    cvt.d.w $f1, $f7
+    xori $r16, $r0, 4221
+    mul $r8, $r0, $r5
+    xor $r8, $r17, $r4
+    sltu $r5, $r9, $r6
+    add $r5, $r8, $r17
+    l.d $f1, 16($r19)
+    s.d $f0, 72($r15)
+    sll $r16, $r17, 22
+    mul.d $f0, $f6, $f5
+    move $r5, $r7
+    cvt.d.w $f2, $f4
+    l.d $f4, 32($r19)
+    mov.d $f4, $f7
+    sw $r7, 196($r14)
+    cvt.d.w $f3, $f0
+    add.d $f7, $f5, $f3
+    xori $r5, $r9, 10421
+    l.d $f1, 0($r19)
+    rem $r5, $r8, $r4
+    xori $r6, $r2, 27008
+    l.d $f0, 56($r14)
+    sub $r3, $r0, $r9
+    mfc1 $r8, $f4
+    sltu $r3, $r3, $r8
+    mul $r9, $r0, $r9
+    rem $r5, $r2, $r17
+    lw $r7, 216($r14)
+    rem $r9, $r5, $r2
+S7:
+    div.d $f2, $f4, $f2
+    li $r12, 10
+L8:
+    lw $r8, 84($r14)
+    div $r16, $r5, $r0
+    lui $r4, 0x9d24
+    nor $r4, $r2, $r3
+    lw $r5, 152($r14)
+    rem $r4, $r8, $r0
+    xori $r5, $r0, 28621
+    neg $r8, $r16
+    addi $r6, $r8, -1131
+    mfc1 $r5, $f6
+    add.d $f6, $f1, $f4
+    neg $r7, $r7
+    addi $r12, $r12, -1
+    bgtz $r12, L8
+    sllv $r5, $r9, $r6
+    addi $r11, $r11, -1
+    bgtz $r11, L3
+    addi $r10, $r10, -1
+    bgtz $r10, L2
+    li $r10, 1
+L9:
+    li $r11, 1
+L10:
+    mul.d $f6, $f5, $f4
+    l.d $f4, 16($r19)
+    sra $r16, $r2, 27
+    andi $r18, $r11, 2
+    beq $r18, $r0, S11
+    sw $r0, 136($r14)
+    sll $r9, $r17, 25
+    sltu $r6, $r9, $r17
+    s.d $f0, 80($r14)
+    mul $r3, $r7, $r4
+    addi $r6, $r7, 1554
+    sqrt.d $f1, $f0
+    and $r3, $r0, $r6
+S11:
+    lw $r8, 28($r20)
+    li $r17, 0x66013b27
+    li $r12, 8
+L12:
+    srlv $r3, $r2, $r4
+    or $r9, $r9, $r3
+    nor $r5, $r0, $r6
+    sltiu $r6, $r3, 187
+    sw $r3, 136($r15)
+    sqrt.d $f2, $f3
+    rem $r5, $r17, $r9
+    addi $r5, $r6, -1223
+    sll $r4, $r6, 5
+    c.le.d $r16, $f3, $f3
+    neg $r5, $r3
+    mov.d $f3, $f4
+    and $r5, $r4, $r4
+    sub.d $f4, $f1, $f4
+    andi $r4, $r9, 8186
+    lw $r4, 24($r20)
+    sra $r16, $r5, 5
+    add.d $f1, $f3, $f6
+    addi $r8, $r0, -1563
+    c.le.d $r7, $f6, $f5
+    andi $r8, $r3, 24602
+    sw $r7, 104($r14)
+    sltiu $r4, $r6, -1755
+    div.d $f6, $f6, $f4
+    mov.d $f5, $f4
+    ori $r7, $r7, 5575
+    sltu $r6, $r3, $r16
+    xori $r6, $r16, 16435
+    lw $r3, 28($r20)
+    lw $r16, 224($r15)
+    srav $r6, $r4, $r16
+    lw $r4, 48($r20)
+    lw $r16, 32($r14)
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 7
+    beq $r18, $r0, E12
+    addi $r12, $r12, -1
+    bgtz $r12, L12
+E12:
+    li $r17, 0xb89ca3b
+    li $r12, 16
+L13:
+    l.d $f0, 40($r19)
+    slti $r8, $r4, 1726
+    or $r8, $r0, $r4
+    xori $r3, $r7, 17047
+    l.d $f6, 48($r19)
+    andi $r5, $r9, 27411
+    div $r4, $r2, $r9
+    mul.d $f7, $f7, $f5
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 7
+    beq $r18, $r0, E13
+    addi $r12, $r12, -1
+    bgtz $r12, L13
+E13:
+    addi $r11, $r11, -1
+    bgtz $r11, L10
+    lw $r6, 16($r15)
+    jal leaf
+    sqrt.d $f3, $f4
+    andi $r18, $r10, 2
+    beq $r18, $r0, S14
+    rem $r6, $r6, $r9
+    li $r11, 25
+L15:
+    sub $r5, $r8, $r7
+    add $r4, $r8, $r17
+    add.d $f6, $f2, $f3
+    sllv $r3, $r3, $r5
+    slti $r8, $r6, -686
+    srav $r6, $r4, $r2
+    add $r8, $r17, $r4
+    lw $r16, 16($r20)
+    addi $r11, $r11, -1
+    bgtz $r11, L15
+S14:
+    addi $r10, $r10, -1
+    bgtz $r10, L9
+S1:
+    halt
+leaf:
+    xor $r5, $r5, $r7
+    addi $r16, $r16, 3
+    sw $r16, 96($r14)
+    jr $ra
+rec:
+    addi $sp, $sp, -8
+    sw $ra, 0($sp)
+    sw $r2, 4($sp)
+    addi $r2, $r2, -1
+    blez $r2, Rdone
+    jal rec
+Rdone:
+    lw $r2, 4($sp)
+    lw $ra, 0($sp)
+    add $r16, $r16, $r2
+    addi $sp, $sp, 8
+    jr $ra

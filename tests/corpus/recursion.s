@@ -1,0 +1,492 @@
+# riq-fuzz corpus: recursion family (generator seed 1005)
+# Replayed by tests/corpus_replay.rs against the full differential matrix.
+# riq-fuzz generated program, seed=0x3ed
+.data
+buf:
+    .space 256
+vals:
+    .word 0xa00d9f0a, 0xd89ad29f, 0x2c812c4f, 0xe2c7b423
+    .word 0xff62c156, 0xeab565dc, 0x4fbdea36, 0x4ce6ef2f
+    .word 0x7e8c0852, 0xe65fa35f, 0x4949d6ff, 0x522bb73a
+    .word 0xedb02118, 0x22b210ea, 0xb7b9f51f, 0xd279ff8e
+fpt:
+    .word 0x0, 0x7ff80000
+    .word 0x0, 0x7ff00000
+    .word 0x0, 0xfff00000
+    .word 0x1, 0x0
+    .word 0x0, 0x80000000
+    .word 0x0, 0x3ff80000
+    .word 0x8800759c, 0x7e37e43c
+    .word 0xc2f8f359, 0x1a56e1f
+.text
+    la $r14, buf
+    la $r15, buf
+    addi $r15, $r15, 16
+    la $r19, fpt
+    la $r20, vals
+    li $r3, 0xdfd00283
+    li $r4, 0x6eb43963
+    li $r5, 0xd4e755a0
+    li $r6, 0x4d9b342c
+    li $r7, 0x223550e
+    li $r8, 0x1e379c9
+    li $r9, 0x157778e7
+    li $r16, 0x63d099f7
+    l.d $f5, 168($r14)
+    sw $r7, 100($r15)
+    c.le.d $r16, $f1, $f2
+    mfc1 $r3, $f0
+    move $r7, $r0
+    div.d $f5, $f0, $f6
+    li $r10, 2
+L1:
+    rem $r8, $r5, $r17
+    l.d $f3, 16($r19)
+    xor $r16, $r7, $r8
+    addi $r10, $r10, -1
+    bgtz $r10, L1
+    mul.d $f0, $f0, $f7
+    slt $r7, $r3, $r3
+    li $r10, 4
+L2:
+    li $r11, 4
+L3:
+    srav $r3, $r6, $r9
+    li $r2, 2
+    jal rec
+    mtc1 $r5, $f2
+    l.d $f4, 8($r15)
+    and $r4, $r17, $r5
+    lw $r7, 80($r15)
+    c.eq.d $r9, $f0, $f2
+    slti $r6, $r16, -316
+    lw $r9, 60($r15)
+    addi $r3, $r0, 1256
+    jal leaf
+    li $r12, 5
+L4:
+    li $r13, 3
+L5:
+    rem $r8, $r17, $r4
+    lw $r3, 216($r15)
+    add.d $f1, $f3, $f6
+    mfc1 $r4, $f0
+    andi $r16, $r2, 9428
+    and $r16, $r0, $r4
+    c.le.d $r6, $f2, $f1
+    s.d $f7, 152($r14)
+    xor $r16, $r2, $r2
+    andi $r7, $r16, 856
+    srl $r3, $r0, 24
+    c.lt.d $r16, $f4, $f0
+    sub.d $f4, $f4, $f3
+    l.d $f1, 184($r14)
+    srl $r9, $r8, 18
+    andi $r9, $r9, 15012
+    mul.d $f0, $f3, $f0
+    sub.d $f5, $f3, $f4
+    mov.d $f6, $f2
+    lw $r3, 200($r14)
+    mtc1 $r3, $f4
+    mtc1 $r16, $f5
+    or $r7, $r3, $r9
+    lw $r4, 72($r14)
+    sll $r3, $r6, 15
+    ori $r7, $r3, 31349
+    c.lt.d $r16, $f2, $f1
+    add $r5, $r17, $r16
+    add $r8, $r3, $r5
+    l.d $f0, 8($r19)
+    mov.d $f2, $f7
+    xori $r6, $r4, 26724
+    sqrt.d $f0, $f2
+    mfc1 $r7, $f3
+    ori $r9, $r9, 4216
+    sra $r5, $r3, 24
+    slt $r3, $r17, $r0
+    sltu $r16, $r0, $r5
+    sll $r8, $r4, 18
+    mov.d $f6, $f2
+    xori $r5, $r6, 14075
+    rem $r6, $r6, $r16
+    lw $r7, 60($r14)
+    cvt.w.d $f5, $f3
+    srlv $r9, $r3, $r6
+    sub $r3, $r7, $r17
+    addi $r8, $r17, -566
+    lw $r16, 148($r14)
+    s.d $f2, 8($r15)
+    sqrt.d $f0, $f7
+    sub.d $f5, $f0, $f1
+    sltiu $r3, $r0, 1764
+    slti $r8, $r3, 824
+    mfc1 $r5, $f2
+    lw $r8, 48($r20)
+    mul $r3, $r4, $r17
+    add $r6, $r5, $r3
+    srl $r3, $r8, 14
+    lui $r16, 0x3323
+    addi $r16, $r17, 537
+    andi $r3, $r9, 25916
+    sub $r5, $r8, $r5
+    neg $r4, $r5
+    addi $r13, $r13, -1
+    bgtz $r13, L5
+    addi $r12, $r12, -1
+    bgtz $r12, L4
+    addi $r11, $r11, -1
+    bgtz $r11, L3
+    addi $r10, $r10, -1
+    bgtz $r10, L2
+    andi $r18, $r16, 4
+    beq $r18, $r0, S6
+    slti $r7, $r9, -1971
+    cvt.d.w $f2, $f0
+    li $r10, 1
+L7:
+    sltiu $r6, $r4, 1277
+    andi $r18, $r16, 2
+    beq $r18, $r0, S8
+    or $r8, $r9, $r8
+    li $r11, 1
+L9:
+    mul.d $f7, $f0, $f1
+    l.d $f7, 40($r19)
+    lui $r8, 0x6ce0
+    lw $r8, 32($r20)
+    lui $r5, 0xd0b6
+    move $r9, $r9
+    andi $r3, $r17, 27044
+    lw $r5, 52($r20)
+    sllv $r6, $r17, $r2
+    sub $r5, $r3, $r9
+    sra $r9, $r8, 19
+    sw $r6, 12($r14)
+    l.d $f2, 184($r14)
+    l.d $f0, 16($r15)
+    srl $r6, $r3, 13
+    lw $r5, 212($r15)
+    xori $r9, $r8, 27593
+    or $r5, $r17, $r0
+    s.d $f1, 88($r14)
+    srlv $r9, $r8, $r4
+    cvt.w.d $f5, $f5
+    srl $r8, $r6, 24
+    s.d $f6, 72($r14)
+    xori $r16, $r17, 6366
+    srl $r16, $r4, 21
+    s.d $f6, 168($r15)
+    c.lt.d $r8, $f7, $f2
+    neg $r16, $r0
+    neg $r6, $r8
+    mul $r6, $r4, $r17
+    nor $r16, $r6, $r7
+    xor $r5, $r0, $r3
+    or $r9, $r0, $r3
+    move $r8, $r3
+    cvt.d.w $f7, $f1
+    cvt.d.w $f3, $f3
+    mul $r8, $r9, $r4
+    sltu $r4, $r2, $r8
+    xor $r16, $r2, $r2
+    lw $r5, 52($r20)
+    srav $r3, $r17, $r7
+    neg $r9, $r4
+    add.d $f7, $f3, $f4
+    mtc1 $r2, $f0
+    sltiu $r8, $r17, 990
+    addi $r16, $r3, 2030
+    slti $r6, $r0, 1599
+    or $r9, $r6, $r8
+    cvt.d.w $f4, $f0
+    sltiu $r4, $r8, -502
+    l.d $f2, 8($r19)
+    c.lt.d $r16, $f5, $f6
+    c.eq.d $r3, $f0, $f5
+    div $r5, $r0, $r17
+    slti $r9, $r8, 1799
+    s.d $f2, 72($r15)
+    c.lt.d $r4, $f2, $f1
+    c.eq.d $r5, $f5, $f0
+    sub.d $f0, $f4, $f6
+    addi $r9, $r6, 958
+    add.d $f6, $f4, $f3
+    sub $r8, $r16, $r6
+    add.d $f5, $f7, $f2
+    addi $r11, $r11, -1
+    bgtz $r11, L9
+    li $r11, 4
+L10:
+    sllv $r4, $r2, $r3
+    sll $r7, $r9, 27
+    lui $r3, 0x38ac
+    sub.d $f5, $f0, $f6
+    sra $r16, $r6, 14
+    sub $r8, $r5, $r6
+    lui $r16, 0x5f0c
+    l.d $f3, 0($r19)
+    sltu $r9, $r4, $r9
+    srlv $r5, $r8, $r17
+    lw $r7, 40($r20)
+    cvt.w.d $f5, $f6
+    sw $r7, 192($r14)
+    mul $r6, $r9, $r7
+    addi $r11, $r11, -1
+    bgtz $r11, L10
+    srav $r7, $r2, $r8
+    andi $r18, $r16, 4
+    beq $r18, $r0, S11
+    sw $r16, 116($r15)
+    sw $r9, 116($r14)
+    andi $r9, $r4, 11039
+    div.d $f1, $f1, $f2
+    add $r7, $r7, $r9
+    slt $r6, $r2, $r16
+    l.d $f3, 24($r19)
+    lw $r16, 48($r20)
+    c.eq.d $r16, $f4, $f6
+    div $r16, $r0, $r7
+    xori $r16, $r0, 24596
+    slt $r4, $r4, $r5
+S11:
+    li $r11, 6
+L12:
+    srlv $r7, $r2, $r7
+    addi $r6, $r7, 1878
+    c.eq.d $r3, $f0, $f6
+    c.lt.d $r3, $f5, $f1
+    neg.d $f4, $f4
+    and $r5, $r4, $r8
+    sub.d $f6, $f4, $f7
+    l.d $f2, 24($r19)
+    c.eq.d $r7, $f4, $f3
+    lw $r5, 40($r20)
+    slt $r6, $r2, $r6
+    lw $r16, 220($r14)
+    mul.d $f7, $f6, $f6
+    sub.d $f1, $f6, $f5
+    srav $r4, $r17, $r16
+    div $r9, $r5, $r5
+    mul.d $f4, $f3, $f3
+    add $r16, $r16, $r0
+    srlv $r3, $r0, $r0
+    sltiu $r7, $r0, 1180
+    lw $r6, 28($r20)
+    lw $r5, 32($r20)
+    xori $r4, $r3, 27202
+    sltiu $r8, $r4, -1613
+    c.lt.d $r9, $f3, $f7
+    sw $r5, 56($r15)
+    sllv $r3, $r16, $r4
+    add $r3, $r4, $r2
+    slt $r4, $r0, $r3
+    lw $r3, 164($r15)
+    addi $r11, $r11, -1
+    bgtz $r11, L12
+    jal leaf
+    li $r11, 6
+L13:
+    c.eq.d $r16, $f4, $f1
+    slt $r3, $r7, $r3
+    mfc1 $r9, $f5
+    sra $r6, $r2, 1
+    sub $r5, $r17, $r0
+    nor $r6, $r2, $r3
+    mov.d $f2, $f1
+    l.d $f3, 16($r19)
+    nor $r4, $r6, $r8
+    andi $r8, $r9, 5153
+    lw $r8, 112($r14)
+    l.d $f5, 16($r14)
+    sw $r8, 180($r15)
+    sub $r16, $r0, $r7
+    addi $r11, $r11, -1
+    bgtz $r11, L13
+    andi $r18, $r16, 2
+    beq $r18, $r0, S14
+    mul $r3, $r9, $r4
+    xori $r16, $r17, 31976
+    move $r5, $r9
+    c.eq.d $r5, $f3, $f2
+    rem $r6, $r16, $r2
+    div.d $f5, $f2, $f5
+    l.d $f6, 24($r19)
+    l.d $f0, 0($r19)
+    div.d $f0, $f0, $f3
+    sll $r6, $r6, 21
+    neg.d $f6, $f6
+    slti $r6, $r7, 1544
+    rem $r9, $r9, $r5
+    mul $r9, $r2, $r16
+    lw $r7, 20($r20)
+    lw $r6, 116($r15)
+    cvt.d.w $f0, $f3
+S14:
+    mul.d $f5, $f7, $f6
+    sw $r2, 200($r14)
+    lui $r7, 0xbc8c
+    li $r17, 0xc7c39347
+    li $r11, 5
+L15:
+    andi $r6, $r4, 24535
+    cvt.w.d $f4, $f6
+    lui $r4, 0xa4f8
+    add $r3, $r16, $r4
+    sub.d $f4, $f5, $f4
+    neg $r8, $r2
+    and $r4, $r9, $r17
+    sw $r5, 72($r14)
+    addi $r8, $r6, -92
+    move $r9, $r3
+    srlv $r3, $r7, $r4
+    mfc1 $r3, $f3
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 1
+    beq $r18, $r0, E15
+    addi $r11, $r11, -1
+    bgtz $r11, L15
+E15:
+    lw $r5, 76($r14)
+    li $r17, 0xdbc4ac53
+    li $r11, 8
+L16:
+    l.d $f1, 24($r19)
+    andi $r4, $r4, 3900
+    s.d $f5, 96($r14)
+    l.d $f5, 0($r19)
+    move $r3, $r5
+    or $r7, $r8, $r0
+    lw $r6, 24($r20)
+    add.d $f3, $f0, $f6
+    lui $r4, 0x1ea5
+    and $r9, $r2, $r8
+    mul $r6, $r8, $r9
+    cvt.w.d $f6, $f1
+    s.d $f7, 16($r15)
+    sub.d $f3, $f3, $f4
+    sltu $r9, $r7, $r8
+    neg $r7, $r0
+    sub.d $f0, $f3, $f7
+    srav $r6, $r9, $r6
+    l.d $f6, 176($r14)
+    lui $r7, 0x8f1
+    andi $r4, $r8, 20447
+    div.d $f0, $f4, $f5
+    mul.d $f2, $f7, $f6
+    xori $r3, $r0, 4611
+    sll $r18, $r17, 13
+    xor $r17, $r17, $r18
+    srl $r18, $r17, 17
+    xor $r17, $r17, $r18
+    sll $r18, $r17, 5
+    xor $r17, $r17, $r18
+    andi $r18, $r17, 1
+    beq $r18, $r0, E16
+    addi $r11, $r11, -1
+    bgtz $r11, L16
+E16:
+    ori $r3, $r17, 31674
+    li $r11, 5
+L17:
+    or $r8, $r7, $r4
+    sltu $r4, $r16, $r3
+    move $r16, $r0
+    mfc1 $r6, $f6
+    sub $r6, $r2, $r2
+    sllv $r7, $r7, $r16
+    add $r4, $r5, $r7
+    lw $r3, 40($r20)
+    srav $r16, $r7, $r6
+    sub $r7, $r7, $r2
+    sltiu $r8, $r7, 862
+    nor $r4, $r9, $r4
+    move $r5, $r0
+    sllv $r4, $r4, $r0
+    mul $r5, $r4, $r9
+    l.d $f2, 48($r15)
+    addi $r7, $r6, -226
+    or $r9, $r7, $r9
+    move $r5, $r7
+    mul $r3, $r0, $r8
+    l.d $f5, 160($r14)
+    div.d $f7, $f5, $f7
+    mul.d $f2, $f2, $f3
+    slti $r7, $r6, 57
+    mtc1 $r6, $f2
+    lw $r5, 20($r14)
+    srlv $r4, $r7, $r7
+    sltu $r6, $r0, $r9
+    c.lt.d $r9, $f7, $f0
+    s.d $f0, 136($r15)
+    rem $r7, $r4, $r6
+    xor $r7, $r3, $r9
+    div.d $f4, $f1, $f1
+    addi $r11, $r11, -1
+    bgtz $r11, L17
+    srl $r3, $r4, 9
+    andi $r5, $r4, 7317
+    li $r11, 1
+L18:
+    sra $r6, $r9, 1
+    c.le.d $r16, $f0, $f3
+    sra $r4, $r17, 20
+    rem $r9, $r16, $r2
+    add.d $f7, $f0, $f5
+    slti $r3, $r3, -1623
+    sub.d $f7, $f7, $f7
+    rem $r8, $r4, $r6
+    or $r4, $r2, $r3
+    cvt.d.w $f2, $f6
+    andi $r9, $r4, 18216
+    div.d $f3, $f6, $f4
+    add $r8, $r6, $r4
+    lui $r3, 0x405f
+    srlv $r8, $r16, $r4
+    ori $r6, $r6, 13828
+    xori $r5, $r7, 4812
+    srav $r7, $r16, $r17
+    lui $r9, 0x52b0
+    add $r5, $r2, $r6
+    div $r8, $r9, $r8
+    xori $r9, $r7, 25584
+    add.d $f2, $f5, $f1
+    slti $r8, $r16, -902
+    mul $r8, $r6, $r2
+    addi $r7, $r9, 1089
+    rem $r4, $r4, $r8
+    nor $r3, $r8, $r6
+    lui $r16, 0x9187
+    add.d $f0, $f5, $f2
+    s.d $f2, 192($r14)
+    addi $r7, $r0, 1833
+    sub $r6, $r8, $r16
+    addi $r11, $r11, -1
+    bgtz $r11, L18
+S8:
+    addi $r10, $r10, -1
+    bgtz $r10, L7
+S6:
+    halt
+leaf:
+    xor $r5, $r5, $r7
+    addi $r16, $r16, 3
+    sw $r16, 96($r14)
+    jr $ra
+rec:
+    addi $sp, $sp, -8
+    sw $ra, 0($sp)
+    sw $r2, 4($sp)
+    addi $r2, $r2, -1
+    blez $r2, Rdone
+    jal rec
+Rdone:
+    lw $r2, 4($sp)
+    lw $ra, 0($sp)
+    add $r16, $r16, $r2
+    addi $sp, $sp, 8
+    jr $ra

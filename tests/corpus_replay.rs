@@ -1,0 +1,48 @@
+//! Replays every checked-in fuzz corpus program against the full
+//! differential matrix: the emulator oracle, reuse at several IQ sizes,
+//! and checkpoint-resume legs must all agree.
+//!
+//! The corpus under `tests/corpus/` holds one hand-picked generator
+//! output per structural family (nested loops, an IQ-overflowing body, a
+//! data-dependent exit, FP edge values, bounded recursion) plus any
+//! minimized repro a past fuzzing run shipped. A program that regresses
+//! here is a bug in the core, not in the corpus: fix the core.
+
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus")
+}
+
+#[test]
+fn every_corpus_program_replays_green() {
+    let matrix = riq::fuzz::default_matrix();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "s"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 5,
+        "the corpus seeds one exemplar per generator family; found {}",
+        entries.len()
+    );
+    for path in entries {
+        let source = std::fs::read_to_string(&path).expect("corpus file readable");
+        let report = riq::fuzz::check_source(&source, &matrix);
+        assert!(report.passed(), "{} diverged: {:?}", path.display(), report.failures);
+    }
+}
+
+#[test]
+fn corpus_covers_each_family() {
+    let expected =
+        ["nested-loop.s", "iq-overflow.s", "data-dep-exit.s", "fp-edge.s", "recursion.s"];
+    for name in expected {
+        assert!(
+            corpus_dir().join(name).is_file(),
+            "family exemplar {name} missing from tests/corpus/"
+        );
+    }
+}
