@@ -1,0 +1,342 @@
+//! Basic blocks and the control-flow graph.
+//!
+//! The text segment is partitioned into maximal single-entry straight-line
+//! blocks. Edges follow the usual intraprocedural shape — branch taken,
+//! branch fall-through, jump target — plus two call-related edge kinds:
+//! a *summary* edge from a call block to its return site (the statically
+//! assumed effect of `jal ...; jr $ra`), and a *call* edge into the callee
+//! entry. Call edges are kept separate so callee-size accounting can walk
+//! a procedure body without wandering into nested callees twice, but both
+//! kinds participate in reachability and dominator computation, which is
+//! how loops inside procedures are found.
+
+use riq_asm::Program;
+use riq_isa::{CtrlKind, Inst, INST_BYTES};
+use std::collections::BTreeMap;
+
+/// One basic block: a maximal straight-line run of instructions entered
+/// only at the top.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// The instructions, in address order, with their addresses.
+    pub insts: Vec<(u32, Inst)>,
+    /// Intraprocedural successors (branch taken/fall-through, jump
+    /// target, call → return site), as block indices.
+    pub succs: Vec<usize>,
+    /// Callee entry block when the terminator is a direct call.
+    pub call_succ: Option<usize>,
+    /// Predecessors over `succs` ∪ `call_succ`.
+    pub preds: Vec<usize>,
+    /// Whether the block ends in an indirect call (`jalr`): control
+    /// continues at the return site, but the callee is unknown.
+    pub indirect_call: bool,
+    /// Whether a non-terminating last instruction would fall through past
+    /// the end of the text segment.
+    pub falls_off_text: bool,
+}
+
+impl BasicBlock {
+    /// Address of the last instruction.
+    #[must_use]
+    pub fn end(&self) -> u32 {
+        self.insts.last().map_or(self.start, |&(pc, _)| pc)
+    }
+
+    /// The last instruction, which decides the block's successors.
+    #[must_use]
+    pub fn terminator(&self) -> Option<&(u32, Inst)> {
+        self.insts.last()
+    }
+}
+
+/// The control-flow graph of a [`Program`]'s text segment.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// All blocks, in ascending address order.
+    pub blocks: Vec<BasicBlock>,
+    /// Index of the block holding the entry point.
+    pub entry: usize,
+    /// Addresses of text words that do not decode (none in assembler
+    /// output; surfaced as lint errors).
+    pub undecodable: Vec<u32>,
+    /// Control-transfer targets that lie outside the text segment, as
+    /// `(branch pc, target)` (surfaced as lint errors).
+    pub wild_targets: Vec<(u32, u32)>,
+    starts: BTreeMap<u32, usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `program`.
+    #[must_use]
+    pub fn build(program: &Program) -> Cfg {
+        let mut insts: Vec<(u32, Option<Inst>)> = Vec::with_capacity(program.text_len());
+        let mut pc = program.text_base();
+        for &word in program.text() {
+            insts.push((pc, Inst::decode(word).ok()));
+            pc += INST_BYTES;
+        }
+        let text_end = pc;
+        let in_text =
+            |a: u32| a >= program.text_base() && a < text_end && a.is_multiple_of(INST_BYTES);
+
+        // Pass 1: leaders. The entry point, every control-transfer target
+        // inside text, and the instruction after every control transfer.
+        let mut leader: BTreeMap<u32, ()> = BTreeMap::new();
+        if in_text(program.entry()) {
+            leader.insert(program.entry(), ());
+        }
+        if !insts.is_empty() {
+            leader.insert(program.text_base(), ());
+        }
+        let mut undecodable = Vec::new();
+        let mut wild_targets = Vec::new();
+        for &(pc, ref inst) in &insts {
+            let Some(inst) = inst else {
+                undecodable.push(pc);
+                continue;
+            };
+            if inst.ctrl_kind().is_some() || matches!(inst, Inst::Halt) {
+                if in_text(pc + INST_BYTES) {
+                    leader.insert(pc + INST_BYTES, ());
+                }
+                if let Some(target) = inst.static_target(pc) {
+                    if in_text(target) {
+                        leader.insert(target, ());
+                    } else {
+                        wild_targets.push((pc, target));
+                    }
+                }
+            }
+        }
+
+        // Pass 2: slice into blocks at leaders and terminators.
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut current: Vec<(u32, Inst)> = Vec::new();
+        let flush = |current: &mut Vec<(u32, Inst)>, blocks: &mut Vec<BasicBlock>| {
+            if let Some(&(start, _)) = current.first() {
+                blocks.push(BasicBlock {
+                    start,
+                    insts: std::mem::take(current),
+                    succs: Vec::new(),
+                    call_succ: None,
+                    preds: Vec::new(),
+                    indirect_call: false,
+                    falls_off_text: false,
+                });
+            }
+        };
+        for &(pc, ref inst) in &insts {
+            if leader.contains_key(&pc) {
+                flush(&mut current, &mut blocks);
+            }
+            let Some(inst) = *inst else {
+                // An undecodable word terminates the block: nothing can be
+                // said about control flow through it.
+                flush(&mut current, &mut blocks);
+                continue;
+            };
+            let ends_block = inst.ctrl_kind().is_some() || matches!(inst, Inst::Halt);
+            current.push((pc, inst));
+            if ends_block {
+                flush(&mut current, &mut blocks);
+            }
+        }
+        flush(&mut current, &mut blocks);
+
+        let starts: BTreeMap<u32, usize> =
+            blocks.iter().enumerate().map(|(i, b)| (b.start, i)).collect();
+
+        // Pass 3: edges.
+        #[allow(clippy::needless_range_loop)] // `blocks[i]` is mutated below
+        for i in 0..blocks.len() {
+            let Some(&(pc, inst)) = blocks[i].terminator() else { continue };
+            let fall = pc + INST_BYTES;
+            let fall_idx = starts.get(&fall).copied();
+            let target_idx = inst.static_target(pc).and_then(|t| starts.get(&t).copied());
+            let mut succs = Vec::new();
+            match inst.ctrl_kind() {
+                Some(CtrlKind::CondBranch) => {
+                    succs.extend(target_idx);
+                    match fall_idx {
+                        Some(f) => succs.push(f),
+                        None => blocks[i].falls_off_text = true,
+                    }
+                }
+                Some(CtrlKind::Jump) => succs.extend(target_idx),
+                Some(CtrlKind::Call) => {
+                    match fall_idx {
+                        Some(f) => succs.push(f),
+                        None => blocks[i].falls_off_text = true,
+                    }
+                    blocks[i].call_succ = target_idx;
+                }
+                Some(CtrlKind::IndirectCall) => {
+                    blocks[i].indirect_call = true;
+                    match fall_idx {
+                        Some(f) => succs.push(f),
+                        None => blocks[i].falls_off_text = true,
+                    }
+                }
+                Some(CtrlKind::Return) => {}
+                None if matches!(inst, Inst::Halt) => {}
+                None => match fall_idx {
+                    Some(f) => succs.push(f),
+                    None => blocks[i].falls_off_text = true,
+                },
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            blocks[i].succs = succs;
+        }
+        for i in 0..blocks.len() {
+            for s in blocks[i].succs.clone().into_iter().chain(blocks[i].call_succ) {
+                blocks[s].preds.push(i);
+            }
+        }
+
+        let entry = starts.get(&program.entry()).copied().unwrap_or(0);
+        Cfg { blocks, entry, undecodable, wild_targets, starts }
+    }
+
+    /// Index of the block starting exactly at `pc`.
+    #[must_use]
+    pub fn block_starting_at(&self, pc: u32) -> Option<usize> {
+        self.starts.get(&pc).copied()
+    }
+
+    /// Index of the block whose address range contains `pc`.
+    #[must_use]
+    pub fn block_containing(&self, pc: u32) -> Option<usize> {
+        let (_, &idx) = self.starts.range(..=pc).next_back()?;
+        let b = &self.blocks[idx];
+        (pc >= b.start && pc <= b.end()).then_some(idx)
+    }
+
+    /// Total decoded instructions across all blocks.
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Total edges (intraprocedural + call).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.succs.len() + usize::from(b.call_succ.is_some())).sum()
+    }
+
+    /// Which blocks are reachable from the entry point, following both
+    /// intraprocedural and call edges.
+    #[must_use]
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut work = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(b) = work.pop() {
+            for s in self.blocks[b].succs.iter().copied().chain(self.blocks[b].call_succ) {
+                if !seen[s] {
+                    seen[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reverse post-order over reachable blocks (entry first), following
+    /// both intraprocedural and call edges — the iteration order used by
+    /// the dominator and dataflow fixpoints.
+    #[must_use]
+    pub fn reverse_post_order(&self) -> Vec<usize> {
+        if self.blocks.is_empty() {
+            return Vec::new();
+        }
+        let mut state = vec![0u8; self.blocks.len()]; // 0 new, 1 open, 2 done
+        let mut post = Vec::new();
+        let mut stack = vec![(self.entry, 0usize)];
+        state[self.entry] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs: Vec<usize> =
+                self.blocks[b].succs.iter().copied().chain(self.blocks[b].call_succ).collect();
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+
+    fn cfg_of(src: &str) -> (Program, Cfg) {
+        let p = assemble(src).expect("test source assembles");
+        let c = Cfg::build(&p);
+        (p, c)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, c) = cfg_of(".text\n  addi $r2, $r0, 1\n  addi $r3, $r0, 2\n  halt\n");
+        assert_eq!(c.blocks.len(), 1);
+        assert!(c.blocks[0].succs.is_empty(), "halt has no successors");
+        assert_eq!(c.inst_count(), 3);
+    }
+
+    #[test]
+    fn loop_makes_back_edge_shape() {
+        let (p, c) = cfg_of(
+            ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        // Blocks: [li], [addi; bne], [halt].
+        assert_eq!(c.blocks.len(), 3);
+        let head = c.block_starting_at(p.symbol("loop").unwrap()).unwrap();
+        assert!(c.blocks[head].succs.contains(&head), "tail branches back to the head");
+        assert_eq!(c.blocks[head].succs.len(), 2);
+    }
+
+    #[test]
+    fn call_gets_summary_and_call_edges() {
+        let (p, c) = cfg_of(".text\n  jal leaf\n  halt\nleaf:\n  addi $r3, $r3, 1\n  jr $ra\n");
+        let caller = c.entry;
+        let leaf = c.block_starting_at(p.symbol("leaf").unwrap()).unwrap();
+        assert_eq!(c.blocks[caller].call_succ, Some(leaf));
+        assert_eq!(c.blocks[caller].succs.len(), 1, "summary edge to the return site");
+        assert!(c.reachable()[leaf], "callee reachable through the call edge");
+        assert!(c.blocks[leaf].succs.is_empty(), "jr ends the walk");
+    }
+
+    #[test]
+    fn block_containing_covers_interior_pcs() {
+        let (p, c) = cfg_of(".text\n  addi $r2, $r0, 1\n  addi $r3, $r0, 2\n  halt\n");
+        let base = p.text_base();
+        assert_eq!(c.block_containing(base + 4), Some(0));
+        assert_eq!(c.block_containing(base + 12), None, "past the last instruction");
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let (_, c) = cfg_of(
+            ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        let rpo = c.reverse_post_order();
+        assert_eq!(rpo[0], c.entry);
+        assert_eq!(rpo.len(), c.blocks.len());
+    }
+}

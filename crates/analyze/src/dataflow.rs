@@ -1,0 +1,193 @@
+//! Def-use and liveness dataflow over the CFG.
+//!
+//! The 64-register unified namespace ([`riq_isa::ArchReg::index`]) fits a
+//! `u64` bitset per block, so the classic backward gen-kill fixpoint is a
+//! handful of word operations per edge. Liveness powers the linter's
+//! read-before-write diagnostic: a register live into the entry block is
+//! consumed before the program ever writes it.
+
+use crate::cfg::Cfg;
+use riq_isa::ArchReg;
+
+/// A set of architectural registers as a 64-bit mask over
+/// [`ArchReg::index`].
+pub type RegSet = u64;
+
+/// Bit for one register.
+#[must_use]
+pub fn reg_bit(r: ArchReg) -> RegSet {
+    1u64 << r.index()
+}
+
+/// The registers in a set, in index order.
+pub fn regs_in(set: RegSet) -> impl Iterator<Item = ArchReg> {
+    (0..64).filter(move |i| set & (1 << i) != 0).map(ArchReg::from_index)
+}
+
+/// Per-block liveness solution.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers read before any write within the block (gen).
+    pub use_: Vec<RegSet>,
+    /// Registers written by the block (kill).
+    pub def: Vec<RegSet>,
+    /// Registers live on entry to each block.
+    pub live_in: Vec<RegSet>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Solves liveness for `cfg` by backward fixpoint over
+    /// `succs` ∪ `call_succ` (callee reads count as live across a call,
+    /// which is the conservative direction).
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Liveness {
+        let n = cfg.blocks.len();
+        let mut use_ = vec![0u64; n];
+        let mut def = vec![0u64; n];
+        for (i, block) in cfg.blocks.iter().enumerate() {
+            for &(_, inst) in &block.insts {
+                for src in inst.sources().into_iter().flatten() {
+                    if def[i] & reg_bit(src) == 0 {
+                        use_[i] |= reg_bit(src);
+                    }
+                }
+                if let Some(d) = inst.dest() {
+                    def[i] |= reg_bit(d);
+                }
+            }
+        }
+        let mut live_in = use_.clone();
+        let mut live_out = vec![0u64; n];
+        let order = {
+            // Iterating in reverse RPO converges fastest for a backward
+            // problem; unreachable blocks are appended so they get a
+            // solution too (their liveness still feeds diagnostics).
+            let rpo = cfg.reverse_post_order();
+            let mut seen = vec![false; n];
+            for &b in &rpo {
+                seen[b] = true;
+            }
+            let mut order: Vec<usize> = rpo.into_iter().rev().collect();
+            order.extend((0..n).filter(|&b| !seen[b]));
+            order
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut out = 0u64;
+                for s in cfg.blocks[b].succs.iter().copied().chain(cfg.blocks[b].call_succ) {
+                    out |= live_in[s];
+                }
+                let inn = use_[b] | (out & !def[b]);
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { use_, def, live_in, live_out }
+    }
+
+    /// Registers live into the program entry: consumed somewhere before any
+    /// write reaches that read.
+    #[must_use]
+    pub fn entry_live(&self, cfg: &Cfg) -> RegSet {
+        if cfg.blocks.is_empty() {
+            return 0;
+        }
+        self.live_in[cfg.entry]
+    }
+}
+
+/// Finds the lowest-address instruction that reads `reg` upward-exposed
+/// (no write earlier in its own block, and the register is live into that
+/// block) — the anchor for a read-before-write diagnostic.
+#[must_use]
+pub fn first_exposed_use(cfg: &Cfg, live: &Liveness, reg: ArchReg) -> Option<u32> {
+    let bit = reg_bit(reg);
+    let mut best: Option<u32> = None;
+    for (i, block) in cfg.blocks.iter().enumerate() {
+        if live.use_[i] & bit == 0 || live.live_in[i] & bit == 0 {
+            continue;
+        }
+        for &(pc, inst) in &block.insts {
+            if inst.sources().into_iter().flatten().any(|s| s == reg) {
+                best = Some(best.map_or(pc, |b: u32| b.min(pc)));
+                break;
+            }
+            if inst.dest() == Some(reg) {
+                break;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+    use riq_isa::IntReg;
+
+    fn live_of(src: &str) -> (riq_asm::Program, Cfg, Liveness) {
+        let p = assemble(src).expect("test source assembles");
+        let c = Cfg::build(&p);
+        let l = Liveness::compute(&c);
+        (p, c, l)
+    }
+
+    fn int(n: u8) -> ArchReg {
+        ArchReg::Int(IntReg::new(n))
+    }
+
+    #[test]
+    fn straight_line_use_def() {
+        let (_, c, l) = live_of(".text\n  add $r3, $r1, $r2\n  addi $r3, $r3, 1\n  halt\n");
+        assert_eq!(l.use_[0], reg_bit(int(1)) | reg_bit(int(2)), "r3 is defined before its read");
+        assert_eq!(l.def[0], reg_bit(int(3)));
+        assert_eq!(l.entry_live(&c), reg_bit(int(1)) | reg_bit(int(2)));
+    }
+
+    #[test]
+    fn loop_carried_register_live_around_back_edge() {
+        let (_, c, l) = live_of(
+            ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        // r2 written by the li: nothing is live into the program.
+        assert_eq!(l.entry_live(&c), 0);
+        // But it is live around the back edge into the loop block.
+        let loop_block = 1;
+        assert_ne!(l.live_in[loop_block] & reg_bit(int(2)), 0);
+    }
+
+    #[test]
+    fn callee_read_is_live_across_the_call() {
+        let (p, c, l) = live_of(".text\n  jal leaf\n  halt\nleaf:\n  addi $r3, $r7, 1\n  jr $ra\n");
+        // r7 is only read inside the callee; the call edge carries it back
+        // to the entry.
+        assert_ne!(l.entry_live(&c) & reg_bit(int(7)), 0);
+        let leaf = c.block_starting_at(p.symbol("leaf").unwrap()).unwrap();
+        assert_ne!(l.live_in[leaf] & reg_bit(int(7)), 0);
+    }
+
+    #[test]
+    fn first_exposed_use_points_at_lowest_address() {
+        let (p, c, l) = live_of(".text\n  add $r3, $r5, $r5\n  add $r4, $r5, $r5\n  halt\n");
+        assert_eq!(first_exposed_use(&c, &l, int(5)), Some(p.text_base()));
+        assert_eq!(first_exposed_use(&c, &l, int(9)), None);
+    }
+
+    #[test]
+    fn regs_in_roundtrip() {
+        let set = reg_bit(int(2)) | reg_bit(int(31)) | reg_bit(ArchReg::from_index(40));
+        let back: Vec<ArchReg> = regs_in(set).collect();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], int(2));
+        assert_eq!(back[1], int(31));
+        assert_eq!(back[2], ArchReg::from_index(40));
+    }
+}

@@ -1,0 +1,168 @@
+//! Dominator computation over the CFG.
+//!
+//! Iterative immediate-dominator algorithm (Cooper, Harvey & Kennedy,
+//! "A Simple, Fast Dominance Algorithm") over the reverse post-order of
+//! reachable blocks. Call edges participate alongside intraprocedural
+//! edges, so a procedure entered only through `jal` is dominated by its
+//! call site — exactly what the natural-loop finder needs to see loops
+//! inside procedures while rejecting recursion cycles.
+
+use crate::cfg::Cfg;
+
+/// Immediate-dominator tree: `idom[b]` is the immediate dominator of block
+/// `b`, with `idom[entry] == entry`; unreachable blocks hold `usize::MAX`.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    idom: Vec<usize>,
+    rpo_index: Vec<usize>,
+}
+
+/// Sentinel for blocks the dominator walk never reached.
+const UNREACHED: usize = usize::MAX;
+
+impl Dominators {
+    /// Computes the dominator tree of `cfg`.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.blocks.len();
+        let rpo = cfg.reverse_post_order();
+        let mut rpo_index = vec![UNREACHED; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        let mut idom = vec![UNREACHED; n];
+        if n == 0 {
+            return Dominators { idom, rpo_index };
+        }
+        idom[cfg.entry] = cfg.entry;
+
+        let intersect = |idom: &[usize], rpo_index: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_index[a] > rpo_index[b] {
+                    a = idom[a];
+                }
+                while rpo_index[b] > rpo_index[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == cfg.entry {
+                    continue;
+                }
+                let mut new_idom = UNREACHED;
+                for &p in &cfg.blocks[b].preds {
+                    if idom[p] == UNREACHED {
+                        continue;
+                    }
+                    new_idom = if new_idom == UNREACHED {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_index, p, new_idom)
+                    };
+                }
+                if new_idom != UNREACHED && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    /// The immediate dominator of `b` (`entry` maps to itself); `None` for
+    /// unreachable blocks.
+    #[must_use]
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        (self.idom[b] != UNREACHED).then(|| self.idom[b])
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive).
+    #[must_use]
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom[a] == UNREACHED || self.idom[b] == UNREACHED {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let up = self.idom[cur];
+            if up == cur {
+                return false; // reached the entry without meeting `a`
+            }
+            cur = up;
+        }
+    }
+
+    /// RPO position of a block — a topological-ish order useful for
+    /// deterministic iteration. `None` for unreachable blocks.
+    #[must_use]
+    pub fn rpo_index(&self, b: usize) -> Option<usize> {
+        (self.rpo_index[b] != UNREACHED).then(|| self.rpo_index[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+
+    fn doms_of(src: &str) -> (riq_asm::Program, Cfg, Dominators) {
+        let p = assemble(src).expect("test source assembles");
+        let c = Cfg::build(&p);
+        let d = Dominators::compute(&c);
+        (p, c, d)
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let (_, c, d) = doms_of(
+            ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        for (b, _) in c.blocks.iter().enumerate() {
+            assert!(d.dominates(c.entry, b), "entry must dominate block {b}");
+        }
+        assert_eq!(d.idom(c.entry), Some(c.entry));
+    }
+
+    #[test]
+    fn diamond_join_dominated_by_fork_not_arms() {
+        // fork: branch to b; fall to a; a jumps to join; b falls to join.
+        let (p, c, d) = doms_of(
+            ".text\nfork:\n  beq $r2, $r0, b\na:\n  addi $r3, $r3, 1\n  j join\nb:\n  addi $r3, $r3, 2\njoin:\n  halt\n",
+        );
+        let fork = c.block_starting_at(p.symbol("fork").unwrap()).unwrap();
+        let a = c.block_starting_at(p.symbol("a").unwrap()).unwrap();
+        let b = c.block_starting_at(p.symbol("b").unwrap()).unwrap();
+        let join = c.block_starting_at(p.symbol("join").unwrap()).unwrap();
+        assert_eq!(d.idom(join), Some(fork));
+        assert!(!d.dominates(a, join));
+        assert!(!d.dominates(b, join));
+    }
+
+    #[test]
+    fn callee_dominated_by_call_site() {
+        let (p, c, d) = doms_of(".text\n  jal leaf\n  halt\nleaf:\n  addi $r3, $r3, 1\n  jr $ra\n");
+        let leaf = c.block_starting_at(p.symbol("leaf").unwrap()).unwrap();
+        assert!(d.dominates(c.entry, leaf), "call edge reaches the callee");
+    }
+
+    #[test]
+    fn loop_head_dominates_tail() {
+        let (p, c, d) = doms_of(
+            ".text\n  li $r2, 3\nhead:\n  beq $r2, $r0, out\n  addi $r2, $r2, -1\n  j head\nout:\n  halt\n",
+        );
+        let head = c.block_starting_at(p.symbol("head").unwrap()).unwrap();
+        // The block ending in `j head` is a predecessor of head other than entry.
+        let tail = c.blocks[head].preds.iter().copied().find(|&x| x != c.entry).unwrap();
+        assert!(d.dominates(head, tail));
+        assert!(!d.dominates(tail, head));
+    }
+}

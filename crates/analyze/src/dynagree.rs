@@ -1,0 +1,298 @@
+//! Static-vs-dynamic agreement: does the static eligibility verdict match
+//! what the reuse FSM actually did?
+//!
+//! The dynamic side is reconstructed by replaying the ordered reuse-FSM
+//! trace events (riq-trace) of a simulation run. Replay must be
+//! *sequential* because `BufferingRevoked` carries no loop identity — the
+//! loop it refers to is whichever one the immediately preceding
+//! `LoopDetected`/`BufferingStarted` armed.
+//!
+//! Every disagreement is classified, never left unexplained: an eligible
+//! loop that did not promote gets the dynamic cause (never executed, NBLT
+//! suppression, side exit during buffering, ...); an ineligible loop that
+//! did promote carries its static class, and promotions at addresses the
+//! CFG has no loop for are reported as `unknown_to_static`.
+
+use crate::eligibility::classify;
+use crate::Analysis;
+use riq_asm::Program;
+use riq_trace::{EventKind, RevokeReason, TraceEvent};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Agreement verdict for one loop (or one unmatched dynamic promotion).
+#[derive(Debug, Clone)]
+pub struct LoopAgreement {
+    /// Loop head address.
+    pub head: u32,
+    /// Loop tail (closing transfer) address.
+    pub tail: u32,
+    /// Static verdict at the compared queue capacity.
+    pub statically_eligible: bool,
+    /// Static class tag ([`crate::Eligibility::class`]), `"none"` for
+    /// promotions with no static counterpart.
+    pub static_class: String,
+    /// How many times the dynamic FSM promoted this loop to Code Reuse.
+    pub promotions: u64,
+    /// Agreement class: `"agree"`, or the classified cause of the
+    /// disagreement.
+    pub class: String,
+}
+
+/// The full static-vs-dynamic comparison for one run.
+#[derive(Debug, Clone)]
+pub struct Agreement {
+    /// Issue-queue capacity both sides were evaluated at.
+    pub iq: u32,
+    /// Per-loop verdicts, sorted by `(head, tail)`.
+    pub loops: Vec<LoopAgreement>,
+    /// Of the loops predicted eligible, the fraction that promoted
+    /// (1.0 when nothing was predicted eligible).
+    pub precision: f64,
+    /// Of the loops that promoted, the fraction predicted eligible
+    /// (1.0 when nothing promoted).
+    pub recall: f64,
+    /// Distinct loops the dynamic FSM promoted.
+    pub promoted_loops: u32,
+    /// Loops the static analysis predicted eligible.
+    pub eligible_loops: u32,
+}
+
+/// Dynamic history of one loop identity, rebuilt from the event stream.
+#[derive(Debug, Clone, Default)]
+struct LoopHistory {
+    detections: u64,
+    nblt_suppressed: u64,
+    started: u64,
+    promotions: u64,
+    last_revoke: Option<RevokeReason>,
+}
+
+fn replay(events: &[TraceEvent]) -> BTreeMap<(u32, u32), LoopHistory> {
+    let mut hist: BTreeMap<(u32, u32), LoopHistory> = BTreeMap::new();
+    // The loop the FSM is currently detecting/buffering. `BufferingRevoked`
+    // and `NbltHit` refer to it implicitly.
+    let mut current: Option<(u32, u32)> = None;
+    for event in events {
+        match event.kind {
+            EventKind::LoopDetected { head, tail, .. } => {
+                let key = (head as u32, tail as u32);
+                hist.entry(key).or_default().detections += 1;
+                current = Some(key);
+            }
+            EventKind::NbltHit { .. } => {
+                if let Some(key) = current.take() {
+                    hist.entry(key).or_default().nblt_suppressed += 1;
+                }
+            }
+            EventKind::BufferingStarted { head, tail } => {
+                let key = (head as u32, tail as u32);
+                hist.entry(key).or_default().started += 1;
+                current = Some(key);
+            }
+            EventKind::BufferingRevoked { reason, .. } => {
+                if let Some(key) = current.take() {
+                    hist.entry(key).or_default().last_revoke = Some(reason);
+                }
+            }
+            EventKind::CodeReuseEntered { head, tail } => {
+                let key = (head as u32, tail as u32);
+                hist.entry(key).or_default().promotions += 1;
+                current = None;
+            }
+            _ => {}
+        }
+    }
+    hist
+}
+
+fn explain_unpromoted(h: &LoopHistory) -> &'static str {
+    if h.detections == 0 {
+        return "never_detected";
+    }
+    match h.last_revoke {
+        Some(RevokeReason::LoopExit) => "exited_while_buffering",
+        Some(RevokeReason::QueueFull) => "queue_full",
+        Some(RevokeReason::Recovery) => "revoked_by_recovery",
+        Some(RevokeReason::InnerLoop) => "inner_loop_dynamic",
+        Some(RevokeReason::UnpairedReturn) => "unpaired_return_dynamic",
+        None if h.nblt_suppressed > 0 => "nblt_suppressed",
+        None => "insufficient_iterations",
+    }
+}
+
+/// Compares the static eligibility of every natural loop in `analysis`
+/// against the dynamic reuse-FSM behavior recorded in `events`, both at
+/// queue capacity `iq`.
+#[must_use]
+pub fn agreement(
+    program: &Program,
+    analysis: &Analysis,
+    events: &[TraceEvent],
+    iq: u32,
+) -> Agreement {
+    let hist = replay(events);
+    let empty = LoopHistory::default();
+    let mut loops = Vec::new();
+    let mut matched: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut eligible_loops = 0u32;
+    let mut agreeing_eligible = 0u32;
+
+    for summary in &analysis.loops {
+        let lp = &summary.natural;
+        let key = (lp.head, lp.tail);
+        matched.insert(key);
+        let h = hist.get(&key).unwrap_or(&empty);
+        let verdict = classify(program, &analysis.cfg, lp, iq);
+        let eligible = verdict.is_eligible();
+        let promoted = h.promotions > 0;
+        if eligible {
+            eligible_loops += 1;
+            if promoted {
+                agreeing_eligible += 1;
+            }
+        }
+        let class = match (eligible, promoted) {
+            (true, true) | (false, false) => "agree".to_string(),
+            (true, false) => explain_unpromoted(h).to_string(),
+            (false, true) => format!("static_{}", verdict.class()),
+        };
+        loops.push(LoopAgreement {
+            head: lp.head,
+            tail: lp.tail,
+            statically_eligible: eligible,
+            static_class: verdict.class().to_string(),
+            promotions: h.promotions,
+            class,
+        });
+    }
+
+    // Promotions at loop identities the CFG never produced (should not
+    // happen; reported rather than dropped so the metric cannot lie).
+    for (&(head, tail), h) in &hist {
+        if h.promotions > 0 && !matched.contains(&(head, tail)) {
+            loops.push(LoopAgreement {
+                head,
+                tail,
+                statically_eligible: false,
+                static_class: "none".to_string(),
+                promotions: h.promotions,
+                class: "unknown_to_static".to_string(),
+            });
+        }
+    }
+    loops.sort_by_key(|l| (l.head, l.tail));
+
+    let promoted_loops = loops.iter().filter(|l| l.promotions > 0).count() as u32;
+    let promoted_and_eligible =
+        loops.iter().filter(|l| l.promotions > 0 && l.statically_eligible).count() as u32;
+    let precision = if eligible_loops == 0 {
+        1.0
+    } else {
+        f64::from(agreeing_eligible) / f64::from(eligible_loops)
+    };
+    let recall = if promoted_loops == 0 {
+        1.0
+    } else {
+        f64::from(promoted_and_eligible) / f64::from(promoted_loops)
+    };
+    Agreement { iq, loops, precision, recall, promoted_loops, eligible_loops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use riq_asm::assemble;
+    use riq_trace::TraceEvent;
+
+    const SRC: &str =
+        ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n";
+
+    fn ev(kind: EventKind) -> TraceEvent {
+        TraceEvent::new(0, kind)
+    }
+
+    fn loop_addrs(program: &Program, analysis: &Analysis) -> (u64, u64) {
+        let lp = &analysis.loops[0].natural;
+        let _ = program;
+        (u64::from(lp.head), u64::from(lp.tail))
+    }
+
+    #[test]
+    fn promotion_of_eligible_loop_agrees() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let (h, t) = loop_addrs(&p, &a);
+        let events = vec![
+            ev(EventKind::LoopDetected { head: h, tail: t, size: 2 }),
+            ev(EventKind::BufferingStarted { head: h, tail: t }),
+            ev(EventKind::CodeReuseEntered { head: h, tail: t }),
+        ];
+        let g = agreement(&p, &a, &events, 64);
+        assert_eq!(g.loops.len(), 1);
+        assert_eq!(g.loops[0].class, "agree");
+        assert_eq!(g.recall, 1.0);
+        assert_eq!(g.precision, 1.0);
+    }
+
+    #[test]
+    fn unexecuted_eligible_loop_is_never_detected() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let g = agreement(&p, &a, &[], 64);
+        assert_eq!(g.loops[0].class, "never_detected");
+        assert_eq!(g.recall, 1.0, "no promotions: recall vacuously 1");
+        assert_eq!(g.precision, 0.0, "one eligible loop, zero promoted");
+    }
+
+    #[test]
+    fn revoke_is_attributed_to_the_current_loop() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let (h, t) = loop_addrs(&p, &a);
+        let events = vec![
+            ev(EventKind::LoopDetected { head: h, tail: t, size: 2 }),
+            ev(EventKind::BufferingStarted { head: h, tail: t }),
+            ev(EventKind::BufferingRevoked { reason: RevokeReason::LoopExit, registered: true }),
+        ];
+        let g = agreement(&p, &a, &events, 64);
+        assert_eq!(g.loops[0].class, "exited_while_buffering");
+    }
+
+    #[test]
+    fn nblt_suppression_classified() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let (h, t) = loop_addrs(&p, &a);
+        let events = vec![
+            ev(EventKind::LoopDetected { head: h, tail: t, size: 2 }),
+            ev(EventKind::NbltHit { tail: t }),
+        ];
+        let g = agreement(&p, &a, &events, 64);
+        assert_eq!(g.loops[0].class, "nblt_suppressed");
+    }
+
+    #[test]
+    fn promotion_without_static_loop_is_flagged() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let events = vec![ev(EventKind::CodeReuseEntered { head: 0x9000, tail: 0x9010 })];
+        let g = agreement(&p, &a, &events, 64);
+        let unknown = g.loops.iter().find(|l| l.class == "unknown_to_static").unwrap();
+        assert_eq!(unknown.head, 0x9000);
+        assert_eq!(g.recall, 0.0, "the only promotion was not predicted");
+    }
+
+    #[test]
+    fn ineligible_promoted_carries_static_class() {
+        // At capacity 1 the 2-instruction loop is TooLarge; feign a
+        // promotion anyway and require the disagreement to say why.
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let (h, t) = loop_addrs(&p, &a);
+        let events = vec![ev(EventKind::CodeReuseEntered { head: h, tail: t })];
+        let g = agreement(&p, &a, &events, 1);
+        assert_eq!(g.loops[0].class, "static_too_large");
+        assert!(!g.loops[0].statically_eligible);
+    }
+}

@@ -1,0 +1,321 @@
+//! Static reuse-eligibility classification of natural loops.
+//!
+//! Mirrors the reuse controller's rules (`crates/core/src/reuse.rs`) on the
+//! *contiguous address span* `[head, tail]` — the window the hardware
+//! actually buffers — rather than the CFG body set:
+//!
+//! * `capturable_loop_end`: a backward (`target < pc`) conditional branch
+//!   or direct jump whose span `(pc - target)/4 + 1` fits the queue;
+//! * a different capturable loop end inside the span revokes the outer
+//!   loop (inner-loop rule, §2.2.3);
+//! * a `jr` in the span is an unpaired return (§2.2.2) — in-span code runs
+//!   at call depth 0, so a return there always revokes;
+//! * direct calls buffer their callee bodies too, so the per-iteration
+//!   footprint is the span plus every transitively called procedure's
+//!   size; recursion makes that unbounded;
+//! * the whole footprint must fit the queue or buffering dies on
+//!   queue-full.
+
+use crate::cfg::Cfg;
+use crate::loops::NaturalLoop;
+use riq_asm::Program;
+use riq_isa::{CtrlKind, Inst, INST_BYTES};
+use std::collections::BTreeSet;
+
+/// Issue-queue capacities the analysis classifies against (the paper's
+/// sweep points plus 128).
+pub const CAPACITIES: [u32; 5] = [16, 32, 64, 128, 256];
+
+/// Why a loop can or cannot be captured by a reuse queue of a given size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Eligibility {
+    /// The hardware can buffer and promote this loop.
+    Eligible {
+        /// Static per-iteration footprint: span plus transitive callee sizes.
+        iter_size: u32,
+        /// Conditional branches/jumps in the span targeting outside it.
+        side_exits: u32,
+        /// Direct call sites in the span.
+        calls: u32,
+    },
+    /// The closing transfer is not backward (`target >= pc` at the tail).
+    NotBackward,
+    /// The span alone exceeds the queue capacity.
+    TooLarge,
+    /// A different capturable loop end sits inside the span; buffering the
+    /// outer loop is always revoked in favor of the inner one.
+    InnerLoop {
+        /// Address of the inner loop-ending transfer.
+        inner_tail: u32,
+    },
+    /// Span fits but span + transitive callee bodies does not: buffering
+    /// dies on queue-full before a full iteration is captured.
+    DoesNotFit {
+        /// Static per-iteration footprint that overflows the queue.
+        iter_size: u32,
+    },
+    /// A `jr` inside the span: an unpaired return revokes buffering.
+    UnpairedReturn {
+        /// Address of the return.
+        at: u32,
+    },
+    /// A `jalr` inside the span: the callee is statically unknown, so the
+    /// footprint is unbounded from the analysis' point of view.
+    IndirectCall {
+        /// Address of the indirect call.
+        at: u32,
+    },
+    /// A call in the span reaches itself transitively: the buffered
+    /// footprint is unbounded.
+    Recursion {
+        /// Address of the call site that closes the cycle.
+        at: u32,
+    },
+}
+
+impl Eligibility {
+    /// Whether the hardware can capture the loop.
+    #[must_use]
+    pub fn is_eligible(&self) -> bool {
+        matches!(self, Eligibility::Eligible { .. })
+    }
+
+    /// Stable lowercase tag for reports.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            Eligibility::Eligible { .. } => "eligible",
+            Eligibility::NotBackward => "not_backward",
+            Eligibility::TooLarge => "too_large",
+            Eligibility::InnerLoop { .. } => "inner_loop",
+            Eligibility::DoesNotFit { .. } => "does_not_fit",
+            Eligibility::UnpairedReturn { .. } => "unpaired_return",
+            Eligibility::IndirectCall { .. } => "indirect_call",
+            Eligibility::Recursion { .. } => "recursion",
+        }
+    }
+}
+
+/// `ReuseController::capturable_loop_end`, statically: is the instruction
+/// at `pc` a backward branch/jump whose span fits a queue of `capacity`?
+#[must_use]
+pub fn capturable_loop_end(pc: u32, inst: &Inst, capacity: u32) -> Option<(u32, u32)> {
+    let kind = inst.ctrl_kind()?;
+    if !matches!(kind, CtrlKind::CondBranch | CtrlKind::Jump) {
+        return None;
+    }
+    let target = inst.static_target(pc)?;
+    if target >= pc {
+        return None;
+    }
+    let size = (pc - target) / INST_BYTES + 1;
+    (size <= capacity).then_some((target, size))
+}
+
+/// Classifies `lp` against a reuse queue of `capacity` entries.
+#[must_use]
+pub fn classify(program: &Program, cfg: &Cfg, lp: &NaturalLoop, capacity: u32) -> Eligibility {
+    if lp.head >= lp.tail {
+        // Includes single-instruction self-loops: the hardware requires a
+        // strictly backward transfer (`target < pc`).
+        return Eligibility::NotBackward;
+    }
+    if lp.span() > capacity {
+        return Eligibility::TooLarge;
+    }
+
+    let mut side_exits = 0u32;
+    let mut calls = 0u32;
+    let mut callee_cost = 0u32;
+    let in_span = |a: u32| a >= lp.head && a <= lp.tail;
+
+    let mut pc = lp.head;
+    while pc <= lp.tail {
+        let Ok(inst) = program.inst_at(pc) else {
+            pc += INST_BYTES;
+            continue; // undecodable words are lint errors, not loop features
+        };
+        if pc != lp.tail && capturable_loop_end(pc, &inst, capacity).is_some() {
+            return Eligibility::InnerLoop { inner_tail: pc };
+        }
+        match inst.ctrl_kind() {
+            Some(CtrlKind::Return) => return Eligibility::UnpairedReturn { at: pc },
+            Some(CtrlKind::IndirectCall) => return Eligibility::IndirectCall { at: pc },
+            Some(CtrlKind::Call) => {
+                calls += 1;
+                if let Some(callee) = cfg.block_starting_at(inst.static_target(pc).unwrap_or(0)) {
+                    let mut on_stack = BTreeSet::new();
+                    match procedure_size(cfg, callee, &mut on_stack) {
+                        Ok(size) => callee_cost += size,
+                        Err(at) => return Eligibility::Recursion { at },
+                    }
+                }
+            }
+            Some(CtrlKind::CondBranch | CtrlKind::Jump) if pc != lp.tail => {
+                if let Some(target) = inst.static_target(pc) {
+                    if !in_span(target) {
+                        side_exits += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        pc += INST_BYTES;
+    }
+
+    let iter_size = lp.span() + callee_cost;
+    if iter_size > capacity {
+        return Eligibility::DoesNotFit { iter_size };
+    }
+    Eligibility::Eligible { iter_size, side_exits, calls }
+}
+
+/// Static instruction count buffered by one execution of the procedure
+/// whose entry block is `entry`: all intraprocedurally reachable blocks
+/// plus, for every direct call site among them, the size of that callee.
+/// `Err(call_pc)` when the walk re-enters a procedure already on the call
+/// stack (recursion).
+fn procedure_size(cfg: &Cfg, entry: usize, on_stack: &mut BTreeSet<usize>) -> Result<u32, u32> {
+    if !on_stack.insert(entry) {
+        return Err(cfg.blocks[entry].start);
+    }
+    // Intraprocedural reachable set: follow `succs` only (the call-summary
+    // edge stands in for the callee, which is costed separately below).
+    let mut seen = BTreeSet::from([entry]);
+    let mut work = vec![entry];
+    let mut size = 0u32;
+    let mut result = Ok(());
+    while let Some(b) = work.pop() {
+        let block = &cfg.blocks[b];
+        size += block.insts.len() as u32;
+        if let Some(callee) = block.call_succ {
+            if on_stack.contains(&callee) {
+                result = Err(block.end());
+                break;
+            }
+            match procedure_size(cfg, callee, on_stack) {
+                Ok(s) => size += s,
+                Err(at) => {
+                    result = Err(at);
+                    break;
+                }
+            }
+        }
+        for &s in &block.succs {
+            if seen.insert(s) {
+                work.push(s);
+            }
+        }
+    }
+    on_stack.remove(&entry);
+    result.map(|()| size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Dominators;
+    use crate::loops::find_loops;
+    use riq_asm::assemble;
+
+    fn classified(src: &str, capacity: u32) -> Vec<(u32, Eligibility)> {
+        let p = assemble(src).expect("test source assembles");
+        let c = Cfg::build(&p);
+        let d = Dominators::compute(&c);
+        find_loops(&c, &d).iter().map(|l| (l.head, classify(&p, &c, l, capacity))).collect()
+    }
+
+    #[test]
+    fn small_loop_eligible_with_exact_iter_size() {
+        let r = classified(
+            ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+            64,
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].1, Eligibility::Eligible { iter_size: 2, side_exits: 0, calls: 0 });
+    }
+
+    #[test]
+    fn capacity_threshold_is_exact() {
+        // 4-instruction span: eligible at capacity 4, TooLarge at 3.
+        let src = ".text\nloop:\n  addi $r2, $r2, -1\n  addi $r3, $r3, 1\n  addi $r4, $r4, 1\n  bne $r2, $r0, loop\n  halt\n";
+        assert!(classified(src, 4)[0].1.is_eligible());
+        assert_eq!(classified(src, 3)[0].1, Eligibility::TooLarge);
+    }
+
+    #[test]
+    fn nested_outer_is_inner_loop_class() {
+        let src = ".text\n  li $r2, 3\nouter:\n  li $r3, 4\ninner:\n  addi $r3, $r3, -1\n  bne $r3, $r0, inner\n  addi $r2, $r2, -1\n  bne $r2, $r0, outer\n  halt\n";
+        let r = classified(src, 64);
+        // Loops sort by head address: the outer (earlier head) is
+        // disqualified by the inner; the inner stays eligible.
+        assert!(matches!(r[0].1, Eligibility::InnerLoop { .. }), "outer: {r:?}");
+        assert!(r[1].1.is_eligible(), "inner loop stays eligible: {r:?}");
+    }
+
+    #[test]
+    fn self_loop_is_not_backward() {
+        let r = classified(".text\nspin:\n  bne $r2, $r0, spin\n  halt\n", 64);
+        assert_eq!(r[0].1, Eligibility::NotBackward);
+    }
+
+    #[test]
+    fn return_in_span_is_unpaired() {
+        // The jr sits inside the span on a conditional path; the loop is
+        // otherwise well-formed.
+        let r = classified(
+            ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  beq $r2, $r0, skip\n  jr $ra\nskip:\n  bne $r2, $r0, loop\n  halt\n",
+            64,
+        );
+        assert!(matches!(r[0].1, Eligibility::UnpairedReturn { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn call_counts_callee_body_toward_footprint() {
+        // Loop span 3 + leaf body 2 = 5: eligible at 5, DoesNotFit at 4.
+        let src = ".text\n  li $r2, 9\nloop:\n  jal leaf\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\nleaf:\n  addi $r3, $r3, 1\n  jr $ra\n";
+        match classified(src, 5)[0].1 {
+            Eligibility::Eligible { iter_size, calls, .. } => {
+                assert_eq!(iter_size, 5);
+                assert_eq!(calls, 1);
+            }
+            ref e => panic!("expected eligible, got {e:?}"),
+        }
+        assert_eq!(classified(src, 4)[0].1, Eligibility::DoesNotFit { iter_size: 5 });
+    }
+
+    #[test]
+    fn recursive_callee_disqualifies() {
+        let src = ".text\n  li $r2, 3\nloop:\n  jal rec\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\nrec:\n  blez $r4, out\n  jal rec\nout:\n  jr $ra\n";
+        let r = classified(src, 64);
+        assert!(matches!(r[0].1, Eligibility::Recursion { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn data_dependent_exit_counts_as_side_exit() {
+        let src = ".text\n  li $r2, 9\nloop:\n  beq $r3, $r0, escape\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\nescape:\n  halt\n";
+        match classified(src, 64)[0].1 {
+            Eligibility::Eligible { side_exits, .. } => assert_eq!(side_exits, 1),
+            ref e => panic!("expected eligible, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn capturability_matches_reuse_controller_rules() {
+        use riq_isa::IntReg;
+        let bne = |off| Inst::Bne { rs: IntReg::new(2), rt: IntReg::ZERO, off };
+        // Same truth table as ReuseController::capturable_loop_end.
+        // Branch offsets are relative to pc+4: off -5 at 0x110 -> 0x100.
+        assert_eq!(capturable_loop_end(0x110, &bne(-5), 64), Some((0x100, 5)));
+        assert_eq!(capturable_loop_end(0x110, &bne(-5), 4), None, "span 5 > cap 4");
+        assert_eq!(capturable_loop_end(0x110, &bne(2), 64), None, "forward");
+        assert_eq!(capturable_loop_end(0x110, &bne(-1), 64), None, "self-target is not backward");
+        assert_eq!(capturable_loop_end(0x110, &bne(-2), 64), Some((0x10c, 2)));
+        assert_eq!(
+            capturable_loop_end(0x110, &Inst::Jal { target: 0x100 }, 64),
+            None,
+            "calls never end loops"
+        );
+        assert_eq!(capturable_loop_end(0x110, &Inst::J { target: 0x100 }, 64), Some((0x100, 5)));
+    }
+}

@@ -1,0 +1,153 @@
+//! # riq-analyze — static CFG/loop/reuse-eligibility analysis
+//!
+//! Static analysis over assembled [`Program`] images, answering the
+//! question the dynamic reuse hardware answers at run time: *which loops
+//! can the reuse issue queue capture, and why not the others?*
+//!
+//! The pipeline (see DESIGN.md):
+//!
+//! 1. **CFG** ([`Cfg`]) — decode the text segment into basic blocks with
+//!    intraprocedural and call edges;
+//! 2. **Dominators** ([`Dominators`]) — iterative idom over reverse
+//!    post-order;
+//! 3. **Natural loops** ([`find_loops`]) — back edges whose shape the
+//!    hardware loop detector recognizes (backward conditional branch or
+//!    direct jump);
+//! 4. **Eligibility** ([`classify`]) — mirror the reuse controller's
+//!    buffering rules on the contiguous span `[head, tail]` at each queue
+//!    capacity in [`CAPACITIES`];
+//! 5. **Liveness + lint** ([`Liveness`], [`lint`]) — def-use dataflow
+//!    powering a program linter (read-before-write, unreachable code,
+//!    control flow or stores escaping their segments);
+//! 6. **Agreement** ([`agreement`]) — replay a run's reuse-FSM trace
+//!    events and score the static verdicts against actual promotions
+//!    (precision/recall), classifying every disagreement.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use riq_asm::assemble;
+//! use riq_analyze::{analyze, summary_line};
+//!
+//! let program = assemble(
+//!     ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+//! )?;
+//! let analysis = analyze(&program);
+//! assert_eq!(analysis.loops.len(), 1);
+//! assert!(analysis.lint.is_clean());
+//! assert_eq!(
+//!     summary_line("demo", &program, &analysis, 64, None),
+//!     "riq-analyze: demo: blocks=3 loops=1 eligible@64=1 lint_errors=0 lint_warnings=0",
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cfg;
+mod dataflow;
+mod dom;
+mod dynagree;
+mod eligibility;
+mod lint;
+mod loops;
+mod report;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use dataflow::{first_exposed_use, reg_bit, regs_in, Liveness, RegSet};
+pub use dom::Dominators;
+pub use dynagree::{agreement, Agreement, LoopAgreement};
+pub use eligibility::{capturable_loop_end, classify, Eligibility, CAPACITIES};
+pub use lint::{lint, Diag, LintReport, Severity};
+pub use loops::{find_loops, BackKind, NaturalLoop};
+pub use report::{human_table, report_json, summary_line, ANALYZE_SCHEMA_VERSION};
+
+use riq_asm::Program;
+
+/// One natural loop with its static eligibility at every capacity in
+/// [`CAPACITIES`].
+#[derive(Debug, Clone)]
+pub struct LoopSummary {
+    /// The loop itself.
+    pub natural: NaturalLoop,
+    /// `(capacity, verdict)` for each capacity, ascending.
+    pub per_capacity: Vec<(u32, Eligibility)>,
+    /// Smallest analyzed capacity at which the loop is eligible, if any.
+    pub min_capacity: Option<u32>,
+}
+
+/// The full static analysis of one program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The control-flow graph.
+    pub cfg: Cfg,
+    /// Dominator tree over the CFG.
+    pub doms: Dominators,
+    /// Natural loops with per-capacity eligibility, sorted by `(head, tail)`.
+    pub loops: Vec<LoopSummary>,
+    /// Liveness solution.
+    pub liveness: Liveness,
+    /// Lint diagnostics.
+    pub lint: LintReport,
+}
+
+/// Runs the whole static pipeline over `program`.
+#[must_use]
+pub fn analyze(program: &Program) -> Analysis {
+    let cfg = Cfg::build(program);
+    let doms = Dominators::compute(&cfg);
+    let liveness = Liveness::compute(&cfg);
+    let lint = lint::lint(program, &cfg, &liveness);
+    let loops = find_loops(&cfg, &doms)
+        .into_iter()
+        .map(|natural| {
+            let per_capacity: Vec<(u32, Eligibility)> = CAPACITIES
+                .iter()
+                .map(|&cap| (cap, classify(program, &cfg, &natural, cap)))
+                .collect();
+            let min_capacity =
+                per_capacity.iter().find(|(_, e)| e.is_eligible()).map(|&(cap, _)| cap);
+            LoopSummary { natural, per_capacity, min_capacity }
+        })
+        .collect();
+    Analysis { cfg, doms, loops, liveness, lint }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+
+    #[test]
+    fn analyze_ties_the_pipeline_together() {
+        let p = assemble(
+            ".text\n  li $r2, 3\nouter:\n  li $r3, 4\ninner:\n  addi $r3, $r3, -1\n  bne $r3, $r0, inner\n  addi $r2, $r2, -1\n  bne $r2, $r0, outer\n  halt\n",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.loops.len(), 2);
+        assert!(a.lint.is_clean());
+        // The inner loop is tiny: eligible from the smallest capacity on.
+        let inner = a.loops.iter().find(|l| l.min_capacity == Some(16)).unwrap();
+        assert!(inner.per_capacity.iter().all(|(_, e)| e.is_eligible()));
+        // The outer loop never is (inner-loop rule at every capacity).
+        let outer = a.loops.iter().find(|l| l.min_capacity.is_none()).unwrap();
+        assert!(outer.per_capacity.iter().all(|(_, e)| matches!(e, Eligibility::InnerLoop { .. })));
+    }
+
+    #[test]
+    fn loop_summaries_sorted_by_head() {
+        let p = assemble(
+            ".text\na:\n  bne $r2, $r0, a\nb:\n  addi $r3, $r3, -1\n  bne $r3, $r0, b\n  halt\n",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let heads: Vec<u32> = a.loops.iter().map(|l| l.natural.head).collect();
+        let mut sorted = heads.clone();
+        sorted.sort_unstable();
+        assert_eq!(heads, sorted);
+    }
+}

@@ -1,0 +1,480 @@
+//! The program linter.
+//!
+//! Structural and dataflow checks over a [`Program`] and its CFG. Errors
+//! are defects no well-formed program exhibits (control flow leaving the
+//! text segment, stores aimed at code); warnings flag suspicious but
+//! well-defined behavior (the emulator zero-initializes every register, so
+//! a read-before-write executes fine — it is still usually a bug in
+//! hand-written assembly).
+
+use crate::cfg::Cfg;
+use crate::dataflow::{first_exposed_use, regs_in, Liveness};
+use riq_asm::{Program, STACK_TOP};
+use riq_isa::{AluImmOp, AluOp, ArchReg, Inst, IntReg, ShiftOp};
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but well-defined.
+    Warning,
+    /// A defect: the program escapes its segments or tramples code.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase tag for reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `"branch-out-of-text"`).
+    pub code: &'static str,
+    /// Anchoring address, when the diagnostic has one.
+    pub pc: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// All diagnostics for one program, sorted by (pc, code).
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// The diagnostics.
+    pub diags: Vec<Diag>,
+}
+
+impl LintReport {
+    /// The error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diag> {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The warning-severity diagnostics.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diag> {
+        self.diags.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether the program has no error-severity diagnostics.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors().count() == 0
+    }
+}
+
+/// Window below the initial stack pointer treated as legitimate stack
+/// storage (1 MiB — far deeper than any kernel or fuzz program recurses).
+const STACK_WINDOW: u32 = 1 << 20;
+
+/// Lints `program` given its CFG and liveness solution.
+#[must_use]
+pub fn lint(program: &Program, cfg: &Cfg, live: &Liveness) -> LintReport {
+    let mut diags = Vec::new();
+    let whereis = |a: u32| program.symbolize(a).unwrap_or_else(|| format!("{a:#x}"));
+
+    for &pc in &cfg.undecodable {
+        diags.push(Diag {
+            severity: Severity::Error,
+            code: "undecodable",
+            pc: Some(pc),
+            message: format!("word at {} does not decode to an instruction", whereis(pc)),
+        });
+    }
+
+    for &(pc, target) in &cfg.wild_targets {
+        let place =
+            if program.contains_data(target) { " (target is in the .data segment)" } else { "" };
+        diags.push(Diag {
+            severity: Severity::Error,
+            code: "branch-out-of-text",
+            pc: Some(pc),
+            message: format!(
+                "control transfer at {} targets {target:#x}, outside the text segment{place}",
+                whereis(pc)
+            ),
+        });
+    }
+
+    for block in &cfg.blocks {
+        if block.falls_off_text {
+            diags.push(Diag {
+                severity: Severity::Error,
+                code: "fallthrough-out-of-text",
+                pc: Some(block.end()),
+                message: format!(
+                    "execution can fall through past {} out of the text segment",
+                    whereis(block.end())
+                ),
+            });
+        }
+    }
+
+    let reachable = cfg.reachable();
+    for (i, block) in cfg.blocks.iter().enumerate() {
+        if !reachable[i] {
+            diags.push(Diag {
+                severity: Severity::Warning,
+                code: "unreachable",
+                pc: Some(block.start),
+                message: format!(
+                    "block at {} ({} instructions) is unreachable from the entry point",
+                    whereis(block.start),
+                    block.insts.len()
+                ),
+            });
+        }
+    }
+
+    // Read-before-write: registers live into the entry block. $r0 always
+    // reads zero by definition and $r29 is the loader-initialized stack
+    // pointer, so neither is worth flagging.
+    let exempt =
+        |r: ArchReg| matches!(r, ArchReg::Int(ir) if ir == IntReg::ZERO || ir == IntReg::SP);
+    for reg in regs_in(live.entry_live(cfg)).filter(|&r| !exempt(r)) {
+        let at = first_exposed_use(cfg, live, reg);
+        let place = at.map_or_else(String::new, |pc| format!(" at {}", whereis(pc)));
+        diags.push(Diag {
+            severity: Severity::Warning,
+            code: "read-before-write",
+            pc: at,
+            message: format!(
+                "{reg} is read{place} before any instruction writes it \
+                 (the emulator zero-initializes registers, so this reads 0)"
+            ),
+        });
+    }
+
+    lint_store_targets(program, cfg, &reachable, &mut diags, &whereis);
+
+    diags.sort_by(|a, b| a.pc.cmp(&b.pc).then(a.code.cmp(b.code)));
+    LintReport { diags }
+}
+
+/// Abstract register value for the store-target check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    /// Known constant.
+    Const(u32),
+    /// Statically unknown.
+    Unknown,
+}
+
+type State = [Val; 32];
+
+fn meet(a: &State, b: &State) -> State {
+    let mut out = *a;
+    for (o, &bv) in out.iter_mut().zip(b.iter()) {
+        if *o != bv {
+            *o = Val::Unknown;
+        }
+    }
+    out
+}
+
+fn transfer_inst(state: &mut State, pc: u32, inst: &Inst) {
+    let get = |s: &State, r: IntReg| s[r.number() as usize];
+    let set = |s: &mut State, r: IntReg, v: Val| {
+        if !r.is_zero() {
+            s[r.number() as usize] = v;
+        }
+    };
+    let bin = |s: &State, rs: IntReg, rt: IntReg, f: fn(u32, u32) -> u32| match (
+        get(s, rs),
+        get(s, rt),
+    ) {
+        (Val::Const(a), Val::Const(b)) => Val::Const(f(a, b)),
+        _ => Val::Unknown,
+    };
+    match *inst {
+        Inst::AluImm { op, rt, rs, imm } => {
+            let v = match get(state, rs) {
+                Val::Const(a) => Val::Const(match op {
+                    AluImmOp::Addi => a.wrapping_add(imm as i32 as u32),
+                    AluImmOp::Slti => u32::from((a as i32) < i32::from(imm)),
+                    AluImmOp::Sltiu => u32::from(a < (imm as i32 as u32)),
+                    AluImmOp::Andi => a & u32::from(imm as u16),
+                    AluImmOp::Ori => a | u32::from(imm as u16),
+                    AluImmOp::Xori => a ^ u32::from(imm as u16),
+                }),
+                Val::Unknown => Val::Unknown,
+            };
+            set(state, rt, v);
+        }
+        Inst::Lui { rt, imm } => set(state, rt, Val::Const(u32::from(imm) << 16)),
+        Inst::Alu { op, rd, rs, rt } => {
+            let v = match op {
+                AluOp::Add => bin(state, rs, rt, u32::wrapping_add),
+                AluOp::Sub => bin(state, rs, rt, u32::wrapping_sub),
+                AluOp::Mul => bin(state, rs, rt, u32::wrapping_mul),
+                AluOp::Div => bin(state, rs, rt, |a, b| {
+                    if b == 0 {
+                        0
+                    } else {
+                        ((a as i32).wrapping_div(b as i32)) as u32
+                    }
+                }),
+                AluOp::Rem => bin(state, rs, rt, |a, b| {
+                    if b == 0 {
+                        0
+                    } else {
+                        ((a as i32).wrapping_rem(b as i32)) as u32
+                    }
+                }),
+                AluOp::And => bin(state, rs, rt, |a, b| a & b),
+                AluOp::Or => bin(state, rs, rt, |a, b| a | b),
+                AluOp::Xor => bin(state, rs, rt, |a, b| a ^ b),
+                AluOp::Nor => bin(state, rs, rt, |a, b| !(a | b)),
+                AluOp::Slt => bin(state, rs, rt, |a, b| u32::from((a as i32) < (b as i32))),
+                AluOp::Sltu => bin(state, rs, rt, |a, b| u32::from(a < b)),
+                AluOp::Sllv => bin(state, rs, rt, |a, b| a << (b & 31)),
+                AluOp::Srlv => bin(state, rs, rt, |a, b| a >> (b & 31)),
+                AluOp::Srav => bin(state, rs, rt, |a, b| ((a as i32) >> (b & 31)) as u32),
+            };
+            set(state, rd, v);
+        }
+        Inst::Shift { op, rd, rt, shamt } => {
+            let v = match get(state, rt) {
+                Val::Const(a) => Val::Const(match op {
+                    ShiftOp::Sll => a << (shamt & 31),
+                    ShiftOp::Srl => a >> (shamt & 31),
+                    ShiftOp::Sra => ((a as i32) >> (shamt & 31)) as u32,
+                }),
+                Val::Unknown => Val::Unknown,
+            };
+            set(state, rd, v);
+        }
+        Inst::Jal { .. } => set(state, IntReg::RA, Val::Const(pc.wrapping_add(4))),
+        Inst::Jalr { rd, .. } => set(state, rd, Val::Const(pc.wrapping_add(4))),
+        _ => {
+            if let Some(ArchReg::Int(rd)) = inst.dest() {
+                set(state, rd, Val::Unknown);
+            }
+        }
+    }
+}
+
+/// Intraprocedural constant propagation driving the store-target checks.
+/// Entry state: every register 0 (the emulator's reset state) except the
+/// stack pointer. Crossing a call-summary edge havocs everything — the
+/// callee may clobber any register — so only addresses provably constant
+/// on every path are flagged.
+fn lint_store_targets(
+    program: &Program,
+    cfg: &Cfg,
+    reachable: &[bool],
+    diags: &mut Vec<Diag>,
+    whereis: &dyn Fn(u32) -> String,
+) {
+    if cfg.blocks.is_empty() {
+        return;
+    }
+    let mut entry_state: State = [Val::Const(0); 32];
+    entry_state[IntReg::SP.number() as usize] = Val::Const(STACK_TOP);
+
+    let n = cfg.blocks.len();
+    let mut in_state: Vec<Option<State>> = vec![None; n];
+    in_state[cfg.entry] = Some(entry_state);
+    let havoc: State = [Val::Unknown; 32];
+
+    let mut work = vec![cfg.entry];
+    while let Some(b) = work.pop() {
+        let Some(mut state) = in_state[b] else { continue };
+        let block = &cfg.blocks[b];
+        for &(pc, inst) in &block.insts {
+            transfer_inst(&mut state, pc, &inst);
+        }
+        // A call-summary edge (and the call edge into a statically unknown
+        // point of an arbitrary callee) havocs the state; plain edges
+        // propagate it.
+        let had_call = block.call_succ.is_some() || block.indirect_call;
+        for (succ, out) in block
+            .succs
+            .iter()
+            .map(|&s| (s, if had_call { havoc } else { state }))
+            .chain(block.call_succ.map(|s| (s, state)))
+        {
+            let merged = match in_state[succ] {
+                None => out,
+                Some(prev) => meet(&prev, &out),
+            };
+            if in_state[succ] != Some(merged) {
+                in_state[succ] = Some(merged);
+                work.push(succ);
+            }
+        }
+    }
+
+    // Second pass: walk each reachable block with its fixpoint in-state and
+    // check every store's address when it is a known constant.
+    let stack_floor = STACK_TOP - STACK_WINDOW;
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if !reachable[b] {
+            continue;
+        }
+        let Some(mut state) = in_state[b] else { continue };
+        for &(pc, inst) in &block.insts {
+            if let Inst::Sw { base, off, .. } | Inst::Sd { base, off, .. } = inst {
+                if let Val::Const(basev) = state[base.number() as usize] {
+                    let addr = basev.wrapping_add(off as i32 as u32);
+                    if addr >= program.text_base() && addr < program.text_end() {
+                        diags.push(Diag {
+                            severity: Severity::Error,
+                            code: "store-to-text",
+                            pc: Some(pc),
+                            message: format!(
+                                "store at {} writes {addr:#x}, inside the text segment",
+                                whereis(pc)
+                            ),
+                        });
+                    } else if !(program.contains_data(addr)
+                        || (addr >= stack_floor && addr <= STACK_TOP))
+                    {
+                        diags.push(Diag {
+                            severity: Severity::Warning,
+                            code: "store-outside-data",
+                            pc: Some(pc),
+                            message: format!(
+                                "store at {} writes {addr:#x}, outside the data segment \
+                                 and the stack window",
+                                whereis(pc)
+                            ),
+                        });
+                    }
+                }
+            }
+            transfer_inst(&mut state, pc, &inst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dataflow::Liveness;
+    use riq_asm::assemble;
+
+    fn lint_src(src: &str) -> LintReport {
+        let p = assemble(src).expect("test source assembles");
+        let c = Cfg::build(&p);
+        let l = Liveness::compute(&c);
+        lint(&p, &c, &l)
+    }
+
+    fn codes(r: &LintReport) -> Vec<&'static str> {
+        r.diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let r = lint_src(
+            ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.diags);
+        assert_eq!(r.diags.len(), 0);
+    }
+
+    #[test]
+    fn branch_into_data_is_an_error() {
+        // A pc-relative branch can only reach the data segment when the
+        // text is rebased next to it (absolute branch targets are allowed
+        // by the assembler).
+        let r =
+            lint_src(".data\nbuf: .word 0\n.text 0x0ffff000\n  beq $r0, $r0, 0x10000000\n  halt\n");
+        assert!(!r.is_clean());
+        let d = r.errors().next().unwrap();
+        assert_eq!(d.code, "branch-out-of-text");
+        assert!(d.message.contains(".data"), "{}", d.message);
+    }
+
+    #[test]
+    fn fallthrough_off_the_end_is_an_error() {
+        let r = lint_src(".text\n  addi $r2, $r0, 1\n");
+        assert!(codes(&r).contains(&"fallthrough-out-of-text"), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn halt_terminated_program_does_not_fall_through() {
+        let r = lint_src(".text\n  addi $r2, $r0, 1\n  halt\n");
+        assert!(!codes(&r).contains(&"fallthrough-out-of-text"));
+    }
+
+    #[test]
+    fn unreachable_block_is_a_warning() {
+        let r = lint_src(".text\n  halt\ndead:\n  addi $r2, $r0, 1\n  halt\n");
+        assert!(r.is_clean(), "unreachable is only a warning: {:?}", r.diags);
+        assert!(codes(&r).contains(&"unreachable"));
+    }
+
+    #[test]
+    fn callee_after_halt_is_reachable_through_the_call() {
+        let r = lint_src(".text\n  jal leaf\n  halt\nleaf:\n  addi $r3, $r3, 1\n  jr $ra\n");
+        assert!(!codes(&r).contains(&"unreachable"), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn read_before_write_is_a_warning_with_location() {
+        let r = lint_src(".text\n  add $r3, $r7, $r7\n  halt\n");
+        assert!(r.is_clean());
+        let d = r.warnings().find(|d| d.code == "read-before-write").unwrap();
+        assert!(d.message.contains("$r7"), "{}", d.message);
+        assert!(d.pc.is_some());
+    }
+
+    #[test]
+    fn sp_and_zero_reads_are_exempt() {
+        let r = lint_src(".text\n  lw $r2, 0($r29)\n  add $r3, $r0, $r0\n  halt\n");
+        assert!(!codes(&r).contains(&"read-before-write"), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn store_to_text_is_an_error() {
+        // la loads the label address; the label is in .text.
+        let r = lint_src(".text\nstart:\n  la $r4, start\n  sw $r3, 0($r4)\n  halt\n");
+        assert!(codes(&r).contains(&"store-to-text"), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn store_to_data_and_stack_are_fine() {
+        let r = lint_src(
+            ".data\nbuf: .word 0, 0\n.text\n  la $r4, buf\n  sw $r3, 4($r4)\n  sw $r3, -8($r29)\n  halt\n",
+        );
+        assert!(!codes(&r).contains(&"store-outside-data"), "{:?}", r.diags);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn store_to_nowhere_is_a_warning() {
+        let r = lint_src(".text\n  li $r4, 0x2000\n  sw $r3, 0($r4)\n  halt\n");
+        assert!(codes(&r).contains(&"store-outside-data"), "{:?}", r.diags);
+        assert!(r.is_clean(), "unknown-region store is only a warning");
+    }
+
+    #[test]
+    fn call_havocs_constants() {
+        // After the call, $r4 is no longer provably the bad address: no
+        // diagnostic may fire on the second store.
+        let r = lint_src(
+            ".text\n  li $r4, 0x2000\n  jal leaf\n  sw $r3, 0($r4)\n  halt\nleaf:\n  jr $ra\n",
+        );
+        assert!(!codes(&r).contains(&"store-outside-data"), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn diagnostics_sorted_by_address() {
+        let r =
+            lint_src(".text\n  add $r3, $r7, $r7\n  li $r4, 0x2000\n  sw $r3, 0($r4)\n  halt\n");
+        let pcs: Vec<_> = r.diags.iter().map(|d| d.pc).collect();
+        let mut sorted = pcs.clone();
+        sorted.sort();
+        assert_eq!(pcs, sorted);
+    }
+}

@@ -1,0 +1,192 @@
+//! Natural-loop identification.
+//!
+//! A natural loop is induced by a *back edge* `u → v` where `v` dominates
+//! `u`. The loop body is `v` plus every block that can reach `u` without
+//! passing through `v`. Back edges are restricted to conditional-branch and
+//! direct-jump terminators — the two shapes the reuse issue queue's loop
+//! detector recognizes (`capturable_loop_end` in the core simulator) —
+//! which keeps recursion cycles through call edges from masquerading as
+//! loops.
+
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+use riq_isa::{CtrlKind, INST_BYTES};
+use std::collections::BTreeSet;
+
+/// Shape of the control transfer closing a natural loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackKind {
+    /// A conditional branch (`beq`/`bne`/`blez`/...).
+    CondBranch,
+    /// An unconditional direct jump (`j`).
+    Jump,
+}
+
+impl BackKind {
+    /// Stable lowercase tag for reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackKind::CondBranch => "cond_branch",
+            BackKind::Jump => "jump",
+        }
+    }
+}
+
+/// One natural loop of the CFG.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Address of the loop head (target of the back edge).
+    pub head: u32,
+    /// Address of the loop-closing control transfer (the back edge source).
+    pub tail: u32,
+    /// Block index of the head.
+    pub head_block: usize,
+    /// Block index of the tail.
+    pub tail_block: usize,
+    /// Body blocks (head and tail included), as CFG block indices.
+    pub body: BTreeSet<usize>,
+    /// Shape of the loop-closing transfer.
+    pub back_kind: BackKind,
+}
+
+impl NaturalLoop {
+    /// Instructions in the contiguous address span `[head, tail]` — the
+    /// window the reuse issue queue buffers, which may include blocks that
+    /// are not part of the CFG body (e.g. skipped-over side code).
+    #[must_use]
+    pub fn span(&self) -> u32 {
+        (self.tail - self.head) / INST_BYTES + 1
+    }
+
+    /// Whether the loop-closing transfer is backward (`head < tail`) —
+    /// a forward "loop" (possible with `j` to a later address dominated
+    /// from above) is never capturable by the hardware.
+    #[must_use]
+    pub fn is_backward(&self) -> bool {
+        self.head <= self.tail
+    }
+}
+
+/// Finds all natural loops of `cfg`, sorted by `(head, tail)`.
+///
+/// Loops sharing a head but closed by different tails (continue-style
+/// control flow) are reported separately: the reuse hardware keys its NBLT
+/// on the *tail* address, so each back edge is its own capture candidate.
+#[must_use]
+pub fn find_loops(cfg: &Cfg, doms: &Dominators) -> Vec<NaturalLoop> {
+    let mut loops = Vec::new();
+    for (u, block) in cfg.blocks.iter().enumerate() {
+        let Some(&(tail_pc, term)) = block.terminator() else { continue };
+        let back_kind = match term.ctrl_kind() {
+            Some(CtrlKind::CondBranch) => BackKind::CondBranch,
+            Some(CtrlKind::Jump) => BackKind::Jump,
+            _ => continue,
+        };
+        let Some(target) = term.static_target(tail_pc) else { continue };
+        let Some(v) = cfg.block_starting_at(target) else { continue };
+        if !block.succs.contains(&v) || !doms.dominates(v, u) {
+            continue;
+        }
+        // Body: v plus everything reaching u backwards without crossing v.
+        let mut body = BTreeSet::from([v, u]);
+        let mut work = if u == v { Vec::new() } else { vec![u] };
+        while let Some(b) = work.pop() {
+            for &p in &cfg.blocks[b].preds {
+                if body.insert(p) {
+                    work.push(p);
+                }
+            }
+            // `insert(v)` above can't happen: v is seeded into `body`.
+        }
+        loops.push(NaturalLoop {
+            head: target,
+            tail: tail_pc,
+            head_block: v,
+            tail_block: u,
+            body,
+            back_kind,
+        });
+    }
+    loops.sort_by_key(|l| (l.head, l.tail));
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+
+    fn loops_of(src: &str) -> (riq_asm::Program, Cfg, Vec<NaturalLoop>) {
+        let p = assemble(src).expect("test source assembles");
+        let c = Cfg::build(&p);
+        let d = Dominators::compute(&c);
+        let l = find_loops(&c, &d);
+        (p, c, l)
+    }
+
+    #[test]
+    fn simple_counted_loop() {
+        let (p, _, l) = loops_of(
+            ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].head, p.symbol("loop").unwrap());
+        assert_eq!(l[0].span(), 2);
+        assert_eq!(l[0].back_kind, BackKind::CondBranch);
+        assert!(l[0].is_backward());
+    }
+
+    #[test]
+    fn nested_loops_both_found() {
+        let (p, _, l) = loops_of(
+            ".text\n  li $r2, 3\nouter:\n  li $r3, 4\ninner:\n  addi $r3, $r3, -1\n  bne $r3, $r0, inner\n  addi $r2, $r2, -1\n  bne $r2, $r0, outer\n  halt\n",
+        );
+        assert_eq!(l.len(), 2);
+        let inner = l.iter().find(|x| x.head == p.symbol("inner").unwrap()).unwrap();
+        let outer = l.iter().find(|x| x.head == p.symbol("outer").unwrap()).unwrap();
+        assert!(inner.span() < outer.span(), "inner span strictly inside outer");
+        assert!(outer.body.is_superset(&inner.body), "inner body nested in outer");
+    }
+
+    #[test]
+    fn recursion_is_not_a_loop() {
+        // `jal rec` inside rec forms a cycle through the call edge, but call
+        // edges never close natural loops.
+        let (_, _, l) = loops_of(
+            ".text\n  jal rec\n  halt\nrec:\n  addi $r2, $r2, 1\n  blez $r2, done\n  jal rec\ndone:\n  jr $ra\n",
+        );
+        assert!(l.is_empty(), "recursion must not register as a natural loop: {l:?}");
+    }
+
+    #[test]
+    fn jump_closed_loop_found() {
+        let (p, _, l) = loops_of(
+            ".text\nhead:\n  beq $r2, $r0, out\n  addi $r2, $r2, -1\n  j head\nout:\n  halt\n",
+        );
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].head, p.symbol("head").unwrap());
+        assert_eq!(l[0].back_kind, BackKind::Jump);
+    }
+
+    #[test]
+    fn self_loop_single_block() {
+        let (p, _, l) = loops_of(".text\nspin:\n  bne $r2, $r0, spin\n  halt\n");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].head, p.symbol("spin").unwrap());
+        assert_eq!(l[0].head, l[0].tail);
+        assert_eq!(l[0].span(), 1);
+        assert_eq!(l[0].body.len(), 1);
+    }
+
+    #[test]
+    fn two_tails_one_head_reported_separately() {
+        // continue-style: two distinct back edges to the same head.
+        let (p, _, l) = loops_of(
+            ".text\n  li $r2, 8\nhead:\n  addi $r2, $r2, -1\n  blez $r2, out\n  andi $r3, $r2, 1\n  bne $r3, $r0, head\n  addi $r4, $r4, 1\n  bne $r2, $r0, head\nout:\n  halt\n",
+        );
+        let to_head: Vec<_> = l.iter().filter(|x| x.head == p.symbol("head").unwrap()).collect();
+        assert_eq!(to_head.len(), 2, "each back edge is its own loop: {l:?}");
+        assert_ne!(to_head[0].tail, to_head[1].tail);
+    }
+}

@@ -1,0 +1,326 @@
+//! Machine-readable (JSON) and human-readable analysis reports.
+//!
+//! The JSON report is versioned ([`ANALYZE_SCHEMA_VERSION`]) and built
+//! exclusively from the program and analysis results — no wall-clock, no
+//! host state — so two runs over the same program produce byte-identical
+//! output. Consumers should reject schema versions they do not know.
+
+use crate::dynagree::Agreement;
+use crate::eligibility::{classify, Eligibility};
+use crate::Analysis;
+use riq_asm::Program;
+use riq_trace::JsonValue;
+use std::fmt::Write as _;
+
+/// Version of the JSON report layout. Bump on any breaking change.
+pub const ANALYZE_SCHEMA_VERSION: u64 = 1;
+
+fn u(v: u32) -> JsonValue {
+    JsonValue::UInt(u64::from(v))
+}
+
+fn s(v: impl Into<String>) -> JsonValue {
+    JsonValue::Str(v.into())
+}
+
+fn eligibility_json(e: &Eligibility) -> JsonValue {
+    let mut pairs: Vec<(&'static str, JsonValue)> = vec![("class", s(e.class()))];
+    match *e {
+        Eligibility::Eligible { iter_size, side_exits, calls } => {
+            pairs.push(("iter_size", u(iter_size)));
+            pairs.push(("side_exits", u(side_exits)));
+            pairs.push(("calls", u(calls)));
+        }
+        Eligibility::DoesNotFit { iter_size } => pairs.push(("iter_size", u(iter_size))),
+        Eligibility::InnerLoop { inner_tail } => pairs.push(("inner_tail", u(inner_tail))),
+        Eligibility::UnpairedReturn { at }
+        | Eligibility::IndirectCall { at }
+        | Eligibility::Recursion { at } => pairs.push(("at", u(at))),
+        Eligibility::NotBackward | Eligibility::TooLarge => {}
+    }
+    JsonValue::obj(pairs)
+}
+
+fn agreement_json(g: &Agreement) -> JsonValue {
+    JsonValue::obj([
+        ("iq", u(g.iq)),
+        ("eligible_loops", u(g.eligible_loops)),
+        ("promoted_loops", u(g.promoted_loops)),
+        ("precision", JsonValue::Num(g.precision)),
+        ("recall", JsonValue::Num(g.recall)),
+        (
+            "loops",
+            JsonValue::Arr(
+                g.loops
+                    .iter()
+                    .map(|l| {
+                        JsonValue::obj([
+                            ("head", u(l.head)),
+                            ("tail", u(l.tail)),
+                            ("statically_eligible", JsonValue::Bool(l.statically_eligible)),
+                            ("static_class", s(l.static_class.clone())),
+                            ("promotions", JsonValue::UInt(l.promotions)),
+                            ("class", s(l.class.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Builds the versioned JSON report for one analyzed program.
+///
+/// `iq` selects the capacity the headline `eligible` count is computed at;
+/// the per-loop section still carries every capacity in [`CAPACITIES`].
+/// `agreement` is attached when a dynamic comparison ran.
+#[must_use]
+pub fn report_json(
+    name: &str,
+    program: &Program,
+    analysis: &Analysis,
+    iq: u32,
+    agreement: Option<&Agreement>,
+) -> JsonValue {
+    let whereis = |a: u32| program.symbolize(a).unwrap_or_else(|| format!("{a:#x}"));
+    let loops = analysis
+        .loops
+        .iter()
+        .map(|summary| {
+            let lp = &summary.natural;
+            let per_capacity = JsonValue::Arr(
+                summary
+                    .per_capacity
+                    .iter()
+                    .map(|(cap, e)| {
+                        JsonValue::obj([("capacity", u(*cap)), ("verdict", eligibility_json(e))])
+                    })
+                    .collect(),
+            );
+            JsonValue::obj([
+                ("head", u(lp.head)),
+                ("head_label", s(whereis(lp.head))),
+                ("tail", u(lp.tail)),
+                ("span", u(lp.span())),
+                ("back_kind", s(lp.back_kind.as_str())),
+                ("body_blocks", JsonValue::UInt(lp.body.len() as u64)),
+                ("min_capacity", summary.min_capacity.map_or(JsonValue::Null, u)),
+                ("at_iq", eligibility_json(&classify(program, &analysis.cfg, lp, iq))),
+                ("per_capacity", per_capacity),
+            ])
+        })
+        .collect();
+    let diags = analysis
+        .lint
+        .diags
+        .iter()
+        .map(|d| {
+            JsonValue::obj([
+                ("severity", s(d.severity.as_str())),
+                ("code", s(d.code)),
+                ("pc", d.pc.map_or(JsonValue::Null, u)),
+                ("message", s(d.message.clone())),
+            ])
+        })
+        .collect();
+    JsonValue::obj([
+        ("schema_version", JsonValue::UInt(ANALYZE_SCHEMA_VERSION)),
+        ("name", s(name)),
+        ("iq", u(iq)),
+        ("text_base", u(program.text_base())),
+        ("text_len", JsonValue::UInt(program.text_len() as u64)),
+        ("entry", u(program.entry())),
+        (
+            "cfg",
+            JsonValue::obj([
+                ("blocks", JsonValue::UInt(analysis.cfg.blocks.len() as u64)),
+                ("edges", JsonValue::UInt(analysis.cfg.edge_count() as u64)),
+                ("instructions", JsonValue::UInt(analysis.cfg.inst_count() as u64)),
+            ]),
+        ),
+        ("loops", JsonValue::Arr(loops)),
+        (
+            "lint",
+            JsonValue::obj([
+                ("errors", JsonValue::UInt(analysis.lint.errors().count() as u64)),
+                ("warnings", JsonValue::UInt(analysis.lint.warnings().count() as u64)),
+                ("diags", JsonValue::Arr(diags)),
+            ]),
+        ),
+        ("agreement", agreement.map_or(JsonValue::Null, agreement_json)),
+    ])
+}
+
+/// One-line machine-grepable summary (pinned by CI).
+#[must_use]
+pub fn summary_line(
+    name: &str,
+    program: &Program,
+    analysis: &Analysis,
+    iq: u32,
+    agreement: Option<&Agreement>,
+) -> String {
+    let eligible = analysis
+        .loops
+        .iter()
+        .filter(|l| classify(program, &analysis.cfg, &l.natural, iq).is_eligible())
+        .count();
+    let mut line = format!(
+        "riq-analyze: {name}: blocks={} loops={} eligible@{iq}={eligible} lint_errors={} lint_warnings={}",
+        analysis.cfg.blocks.len(),
+        analysis.loops.len(),
+        analysis.lint.errors().count(),
+        analysis.lint.warnings().count(),
+    );
+    if let Some(g) = agreement {
+        let _ = write!(line, " recall@{iq}={:.3} precision@{iq}={:.3}", g.recall, g.precision);
+    }
+    line
+}
+
+/// Multi-line human-readable table for the terminal.
+#[must_use]
+pub fn human_table(
+    name: &str,
+    program: &Program,
+    analysis: &Analysis,
+    iq: u32,
+    agreement: Option<&Agreement>,
+) -> String {
+    let whereis = |a: u32| program.symbolize(a).unwrap_or_else(|| format!("{a:#x}"));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}: {} blocks, {} instructions, {} natural loop(s)",
+        analysis.cfg.blocks.len(),
+        analysis.cfg.inst_count(),
+        analysis.loops.len()
+    );
+    if !analysis.loops.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>10} {:>10} {:>5} {:>12} {:>7}  verdict@{iq}",
+            "loop", "head", "tail", "span", "back", "min-iq"
+        );
+        for summary in &analysis.loops {
+            let lp = &summary.natural;
+            let verdict = classify(program, &analysis.cfg, lp, iq);
+            let detail = match verdict {
+                Eligibility::Eligible { iter_size, side_exits, calls } => {
+                    format!("eligible (iter={iter_size}, exits={side_exits}, calls={calls})")
+                }
+                Eligibility::DoesNotFit { iter_size } => {
+                    format!("does_not_fit (iter={iter_size})")
+                }
+                Eligibility::InnerLoop { inner_tail } => {
+                    format!("inner_loop (at {})", whereis(inner_tail))
+                }
+                Eligibility::UnpairedReturn { at } => {
+                    format!("unpaired_return (at {})", whereis(at))
+                }
+                Eligibility::IndirectCall { at } => {
+                    format!("indirect_call (at {})", whereis(at))
+                }
+                Eligibility::Recursion { at } => format!("recursion (at {})", whereis(at)),
+                Eligibility::NotBackward | Eligibility::TooLarge => verdict.class().to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} {:>10} {:>5} {:>12} {:>7}  {detail}",
+                whereis(lp.head),
+                format!("{:#x}", lp.head),
+                format!("{:#x}", lp.tail),
+                lp.span(),
+                lp.back_kind.as_str(),
+                summary.min_capacity.map_or_else(|| "-".to_string(), |c| c.to_string()),
+            );
+        }
+    }
+    let errors = analysis.lint.errors().count();
+    let warnings = analysis.lint.warnings().count();
+    let _ = writeln!(out, "  lint: {errors} error(s), {warnings} warning(s)");
+    for d in &analysis.lint.diags {
+        let at = d.pc.map_or_else(String::new, |pc| format!(" at {}", whereis(pc)));
+        let _ = writeln!(out, "    {}: {}{}: {}", d.severity.as_str(), d.code, at, d.message);
+    }
+    if let Some(g) = agreement {
+        let _ = writeln!(
+            out,
+            "  agreement@{}: recall={:.3} precision={:.3} ({} promoted, {} predicted eligible)",
+            g.iq, g.recall, g.precision, g.promoted_loops, g.eligible_loops
+        );
+        for l in &g.loops {
+            if l.class != "agree" {
+                let _ = writeln!(
+                    out,
+                    "    {} [{:#x}..{:#x}]: static={} promotions={} -> {}",
+                    whereis(l.head),
+                    l.head,
+                    l.tail,
+                    l.static_class,
+                    l.promotions,
+                    l.class
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use crate::eligibility::CAPACITIES;
+    use riq_asm::assemble;
+
+    const SRC: &str =
+        ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n";
+
+    #[test]
+    fn json_report_is_deterministic_and_versioned() {
+        let p = assemble(SRC).unwrap();
+        let a1 = analyze(&p);
+        let a2 = analyze(&p);
+        let j1 = report_json("t", &p, &a1, 64, None).to_pretty();
+        let j2 = report_json("t", &p, &a2, 64, None).to_pretty();
+        assert_eq!(j1, j2, "two analyses of the same program must serialize identically");
+        let parsed = riq_trace::parse(&j1).unwrap();
+        assert_eq!(parsed.get("schema_version").unwrap().as_u64(), Some(ANALYZE_SCHEMA_VERSION));
+        assert_eq!(parsed.get("agreement"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn json_report_carries_loop_verdicts_per_capacity() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let j = report_json("t", &p, &a, 64, None);
+        let loops = j.get("loops").unwrap().as_arr().unwrap();
+        assert_eq!(loops.len(), 1);
+        let per_cap = loops[0].get("per_capacity").unwrap().as_arr().unwrap();
+        assert_eq!(per_cap.len(), CAPACITIES.len());
+        assert_eq!(loops[0].get("head_label").unwrap().as_str(), Some("loop"));
+        assert_eq!(loops[0].get("at_iq").unwrap().get("class").unwrap().as_str(), Some("eligible"));
+    }
+
+    #[test]
+    fn summary_line_shape_is_stable() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let line = summary_line("demo", &p, &a, 64, None);
+        assert_eq!(
+            line,
+            "riq-analyze: demo: blocks=3 loops=1 eligible@64=1 lint_errors=0 lint_warnings=0"
+        );
+    }
+
+    #[test]
+    fn human_table_mentions_loops_and_lint() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let t = human_table("demo", &p, &a, 64, None);
+        assert!(t.contains("1 natural loop"), "{t}");
+        assert!(t.contains("eligible"), "{t}");
+        assert!(t.contains("lint: 0 error(s)"), "{t}");
+    }
+}

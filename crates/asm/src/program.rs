@@ -106,6 +106,69 @@ impl Program {
         self.symbols.get(name).copied()
     }
 
+    /// First address past the text segment.
+    #[must_use]
+    pub fn text_end(&self) -> u32 {
+        self.text_base + (self.text.len() as u32) * INST_BYTES
+    }
+
+    /// First address past the initialized data segment.
+    #[must_use]
+    pub fn data_end(&self) -> u32 {
+        self.data_base + self.data.len() as u32
+    }
+
+    /// Whether `addr` falls inside the initialized data segment.
+    #[must_use]
+    pub fn contains_data(&self, addr: u32) -> bool {
+        addr >= self.data_base && addr < self.data_end()
+    }
+
+    /// The label defined exactly at `addr`, if any. When several labels
+    /// share an address the lexicographically smallest name is returned,
+    /// so the answer is deterministic.
+    #[must_use]
+    pub fn label_at(&self, addr: u32) -> Option<&str> {
+        self.symbols.iter().find(|&(_, &a)| a == addr).map(|(name, _)| name.as_str())
+    }
+
+    /// Names `addr` relative to the nearest label at or below it in the
+    /// same segment: `"loop"` exactly at the label, `"loop+0x8"` past it,
+    /// `None` when no label precedes `addr`. This is what the
+    /// symbol-aware disassembler and the linter print for branch targets.
+    #[must_use]
+    pub fn symbolize(&self, addr: u32) -> Option<String> {
+        let (name, base) = self
+            .symbols
+            .iter()
+            .filter(|&(_, &a)| a <= addr)
+            // max_by_key keeps the *last* maximum; BTreeMap iterates names
+            // in ascending order, so ties pick the lexicographically
+            // largest. Invert the comparison on the name to pin the
+            // smallest instead.
+            .map(|(n, &a)| (n, a))
+            .max_by(|x, y| x.1.cmp(&y.1).then(y.0.cmp(x.0)))?;
+        // A label only names addresses in its own segment: never describe
+        // a text address as "data_label+huge_offset" or vice versa.
+        let segment = |a: u32| {
+            if a >= self.text_base && a <= self.text_end() {
+                1
+            } else if a >= self.data_base && a <= self.data_end() {
+                2
+            } else {
+                0
+            }
+        };
+        if segment(addr) == 0 || segment(addr) != segment(base) {
+            return None;
+        }
+        if base == addr {
+            Some(name.clone())
+        } else {
+            Some(format!("{name}+{:#x}", addr - base))
+        }
+    }
+
     /// A stable content fingerprint of the whole image (segments, entry
     /// point, and symbol table). Two programs fingerprint equal exactly
     /// when they are `==`; the value is identical across processes and

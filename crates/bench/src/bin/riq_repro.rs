@@ -12,6 +12,8 @@
 //! riq-repro ckpt ls <PATH...>
 //! riq-repro ckpt verify <PATH> [--program <kernel|file.s>] [--scale F]
 //! riq-repro fuzz --seed S --iters N [--minimize] [--corpus DIR]
+//! riq-repro analyze <kernel|file.s> [--iq N] [--scale F] [--dynamic]
+//!           [--json PATH]
 //!
 //! experiments:
 //!   table1    baseline processor configuration (paper Table 1)
@@ -79,6 +81,16 @@
 //! to a 1-minimal repro first; with `--corpus DIR`, each failure is
 //! written there as a standalone `.s` plus a `.json` failure report. The
 //! exit status is non-zero when any program fails.
+//!
+//! `analyze` runs the static analysis pipeline (riq-analyze) over one
+//! program: CFG recovery, natural loops, reuse eligibility at every queue
+//! capacity, and the program linter. `--iq N` selects the capacity the
+//! headline verdicts are computed at (default 64). With `--dynamic`, the
+//! program is additionally simulated once with reuse enabled at that IQ
+//! size and the static verdicts are scored against the reuse FSM's actual
+//! promotions (precision/recall, every disagreement classified). `--json
+//! PATH` writes the versioned, byte-deterministic analysis report (`-`
+//! for stdout). The exit status is non-zero when the linter finds errors.
 //! ```
 
 use riq_bench::{
@@ -100,7 +112,8 @@ fn usage() -> ExitCode {
                 riq-repro ckpt create <kernel|file.s> --skip N [--warmup M] [--scale F] [--out PATH]
                 riq-repro ckpt ls <PATH...>
                 riq-repro ckpt verify <PATH> [--program <kernel|file.s>] [--scale F]
-                riq-repro fuzz --seed S --iters N [--minimize] [--corpus DIR]"
+                riq-repro fuzz --seed S --iters N [--minimize] [--corpus DIR]
+                riq-repro analyze <kernel|file.s> [--iq N] [--scale F] [--dynamic] [--json PATH]"
     );
     ExitCode::FAILURE
 }
@@ -120,6 +133,21 @@ fn main() -> ExitCode {
     if cmd == "ckpt" {
         return match run_ckpt(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("riq-repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "analyze" {
+        return match run_analyze(&args[1..]) {
+            Ok(clean) => {
+                if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
             Err(e) => {
                 eprintln!("riq-repro: {e}");
                 ExitCode::FAILURE
@@ -554,6 +582,83 @@ fn ckpt_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         println!("{path}: ok (digest intact)");
     }
     Ok(())
+}
+
+/// The `analyze` subcommand: static CFG/loop/eligibility analysis with
+/// the linter, optionally scored against one dynamic run. Returns
+/// `Ok(true)` when the linter found no errors.
+fn run_analyze(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+    let mut it = args.iter();
+    let name = it.next().ok_or("analyze: missing program (kernel name or .s file)")?.clone();
+    let mut iq = 64u32;
+    let mut scale = 1.0f64;
+    let mut dynamic = false;
+    let mut json: Option<String> = None;
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("analyze: {flag} needs a value"));
+        match a.as_str() {
+            "--iq" => {
+                iq = value("--iq")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("analyze: --iq needs a positive integer")?;
+            }
+            "--scale" => {
+                scale = value("--scale")?
+                    .parse()
+                    .ok()
+                    .filter(|&f: &f64| f > 0.0)
+                    .ok_or("analyze: --scale needs a positive number")?;
+            }
+            "--dynamic" => dynamic = true,
+            "--json" => json = Some(value("--json")?),
+            other => return Err(format!("analyze: unknown option {other:?}").into()),
+        }
+    }
+    let program = load_program(&name, scale)?;
+    let analysis = riq_analyze::analyze(&program);
+    // The dynamic leg runs the detailed simulator once with reuse enabled
+    // at the selected IQ size and replays the reuse-FSM trace events.
+    let agreement = if dynamic {
+        let cfg = SimConfig::baseline().with_iq_size(iq).with_reuse(true);
+        let mut sink = riq_trace::VecSink::new();
+        Processor::new(cfg).run_observed(&program, &mut sink, None)?;
+        Some(riq_analyze::agreement(&program, &analysis, &sink.events, iq))
+    } else {
+        None
+    };
+    if let Some(path) = &json {
+        let doc = riq_analyze::report_json(&name, &program, &analysis, iq, agreement.as_ref())
+            .to_pretty();
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            File::create(path)
+                .and_then(|mut f| f.write_all(doc.as_bytes()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("report -> {path}");
+        }
+    }
+    // The human table and summary line go to stdout unless the JSON
+    // report already owns it.
+    let mut out: Box<dyn std::io::Write> = if json.as_deref() == Some("-") {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(std::io::stdout())
+    };
+    write!(
+        out,
+        "{}",
+        riq_analyze::human_table(&name, &program, &analysis, iq, agreement.as_ref())
+    )?;
+    writeln!(
+        out,
+        "{}",
+        riq_analyze::summary_line(&name, &program, &analysis, iq, agreement.as_ref())
+    )?;
+    Ok(analysis.lint.errors().count() == 0)
 }
 
 /// The `fuzz` subcommand: differential fuzzing of the simulator against

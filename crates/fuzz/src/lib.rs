@@ -15,6 +15,12 @@
 //! 3. [`shrink`] minimizes any failing program by greedy tree surgery;
 //! 4. [`corpus`] writes the minimized repro (`.s` + `.json`) to disk.
 //!
+//! Every generated program is additionally run through the riq-analyze
+//! linter; a lint *error* (undecodable word, control flow or store
+//! escaping its segment) fails the iteration like an oracle violation.
+//! The generator only emits well-formed programs, so any lint error is a
+//! bug in either the generator or the linter — both worth knowing about.
+//!
 //! The CLI entry point is `riq-repro fuzz --seed S --iters N`; the same
 //! driver is exposed here as [`run_fuzz`] for tests.
 
@@ -73,7 +79,27 @@ impl FuzzSummary {
     }
 }
 
-/// Runs the full fuzz loop: generate → check → (shrink) → (persist).
+/// Lint-checks one program source with riq-analyze, returning the lint
+/// *error* messages (warnings are expected on random programs and pass).
+/// An unassemblable source returns no errors — that is the oracle's
+/// failure to report.
+#[must_use]
+pub fn lint_errors(source: &str) -> Vec<String> {
+    match riq_asm::assemble(source) {
+        Ok(program) => riq_analyze::analyze(&program)
+            .lint
+            .errors()
+            .map(|d| match d.pc {
+                Some(pc) => format!("{} at {pc:#x}: {}", d.code, d.message),
+                None => format!("{}: {}", d.code, d.message),
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Runs the full fuzz loop: generate → lint → check → (shrink) →
+/// (persist).
 ///
 /// Every failure is recorded and the loop continues — one bad seed must
 /// not mask others. Progress callbacks receive `(iteration, seed,
@@ -85,15 +111,21 @@ pub fn run_fuzz_with<F: FnMut(u64, u64, bool)>(opts: &FuzzOptions, mut progress:
     for i in 0..opts.iters {
         let seed = seeds.next_u64();
         let program = gen::generate(seed);
-        let report = oracle::check_source(&program.render(), &matrix);
+        let source = program.render();
+        let lint = lint_errors(&source);
+        for e in &lint {
+            summary.failure_notes.push(format!("seed {seed:#x}: lint: {e}"));
+        }
+        let report = oracle::check_source(&source, &matrix);
         summary.programs += 1;
         summary.configs_checked += report.configs_checked;
-        let failed = !report.passed();
+        let failed = !report.passed() || !lint.is_empty();
         if failed {
             summary.failures += 1;
             let (final_program, final_report) = if opts.minimize {
                 let outcome = shrink::shrink(&program, |candidate| {
-                    !oracle::check_source(&candidate.render(), &matrix).passed()
+                    let src = candidate.render();
+                    !oracle::check_source(&src, &matrix).passed() || !lint_errors(&src).is_empty()
                 });
                 summary.shrink_steps += outcome.steps;
                 let r = oracle::check_source(&outcome.program.render(), &matrix);

@@ -1,0 +1,140 @@
+//! Static analysis over the fuzz generator's output.
+//!
+//! Two properties tie riq-analyze into the fuzz harness:
+//!
+//! 1. the linter must not false-positive on generated programs — the
+//!    generator only emits well-formed code, so any lint *error* is a bug
+//!    in one of the two (this mirrors the in-loop check `run_fuzz_with`
+//!    performs on every iteration);
+//! 2. the static eligibility verdicts must track the structural families
+//!    the generator plants: a `Stmt::Loop` is found as a natural loop at
+//!    its `L{n}` label, loops containing nested loops or recursion are
+//!    never eligible, and data-dependent exits surface as side exits.
+
+use riq_analyze::{analyze, Eligibility};
+use riq_fuzz::gen::Stmt;
+use riq_fuzz::{generate, lint_errors};
+
+#[test]
+fn generated_programs_lint_clean_over_200_seeds() {
+    for seed in 0..200u64 {
+        let src = generate(seed).render();
+        let errs = lint_errors(&src);
+        assert!(errs.is_empty(), "seed {seed}: false-positive lint errors {errs:?}\n{src}");
+    }
+}
+
+/// What the statement tree promises about one rendered loop.
+struct PlantedLoop {
+    /// Rendered head label (`L{n}`).
+    label: String,
+    /// The loop carries a data-dependent early exit.
+    data_dep: bool,
+    /// The body contains another loop (at any depth).
+    nested_loop: bool,
+    /// The body contains bounded recursion (at any depth).
+    recursion: bool,
+}
+
+fn has_family(stmts: &[Stmt], loops: &mut bool, recs: &mut bool) {
+    for s in stmts {
+        match s {
+            Stmt::Loop { body, .. } => {
+                *loops = true;
+                has_family(body, loops, recs);
+            }
+            Stmt::Skip { body, .. } => has_family(body, loops, recs),
+            Stmt::Recurse { .. } => *recs = true,
+            Stmt::Line(_) | Stmt::Call => {}
+        }
+    }
+}
+
+/// Walks the tree in render order, mirroring the renderer's fresh-label
+/// counter (every `Loop` and `Skip` consumes one number, pre-order).
+fn collect(stmts: &[Stmt], next_label: &mut u32, out: &mut Vec<PlantedLoop>) {
+    for s in stmts {
+        match s {
+            Stmt::Loop { data_dep, body, .. } => {
+                *next_label += 1;
+                let n = *next_label;
+                let (mut nested_loop, mut recursion) = (false, false);
+                has_family(body, &mut nested_loop, &mut recursion);
+                out.push(PlantedLoop {
+                    label: format!("L{n}"),
+                    data_dep: data_dep.is_some(),
+                    nested_loop,
+                    recursion,
+                });
+                collect(body, next_label, out);
+            }
+            Stmt::Skip { body, .. } => {
+                *next_label += 1;
+                collect(body, next_label, out);
+            }
+            Stmt::Line(_) | Stmt::Call | Stmt::Recurse { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn planted_loops_match_static_eligibility_families() {
+    let mut checked = 0u32;
+    for seed in 0..100u64 {
+        let prog = generate(seed);
+        let mut planted = Vec::new();
+        collect(&prog.stmts, &mut 0, &mut planted);
+        if planted.is_empty() {
+            continue;
+        }
+        let image = riq_asm::assemble(&prog.render()).unwrap();
+        let analysis = analyze(&image);
+        for p in &planted {
+            let head = image
+                .symbol(&p.label)
+                .unwrap_or_else(|| panic!("seed {seed}: label {} missing", p.label));
+            let found = analysis
+                .loops
+                .iter()
+                .find(|l| l.natural.head == head)
+                .unwrap_or_else(|| panic!("seed {seed}: no natural loop at {}", p.label));
+            // The largest analyzed capacity: size limits out of the way,
+            // only structural disqualifiers remain.
+            let (_, verdict) = found.per_capacity.last().unwrap();
+            checked += 1;
+            if p.nested_loop || p.recursion {
+                assert!(
+                    matches!(
+                        verdict,
+                        Eligibility::InnerLoop { .. }
+                            | Eligibility::Recursion { .. }
+                            | Eligibility::TooLarge
+                    ),
+                    "seed {seed}: {} holds a nested loop or recursion but got {verdict:?}",
+                    p.label
+                );
+            } else {
+                assert!(
+                    matches!(
+                        verdict,
+                        Eligibility::Eligible { .. }
+                            | Eligibility::DoesNotFit { .. }
+                            | Eligibility::TooLarge
+                    ),
+                    "seed {seed}: simple loop {} got {verdict:?}",
+                    p.label
+                );
+                if let Eligibility::Eligible { side_exits, .. } = verdict {
+                    if p.data_dep {
+                        assert!(
+                            *side_exits >= 1,
+                            "seed {seed}: {} has a data-dependent exit but no side exits",
+                            p.label
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked > 100, "loops checked across seeds ({checked})");
+}

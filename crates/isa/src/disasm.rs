@@ -48,16 +48,43 @@ impl fmt::Display for Inst {
 /// ```
 #[must_use]
 pub fn disassemble(inst: &Inst, pc: u32) -> String {
+    disassemble_with(inst, pc, |_| None)
+}
+
+/// [`disassemble`] with a symbol resolver: control-transfer targets
+/// (conditional branches, jumps, and calls) are printed through `resolve`
+/// when it knows a name for the address, and as absolute hex otherwise.
+///
+/// The resolver typically wraps a program's symbol table — e.g.
+/// `|addr| program.symbolize(addr)` — so loop branches disassemble as
+/// `bne $r2, $r0, loop` instead of a bare address.
+///
+/// # Examples
+///
+/// ```
+/// use riq_isa::{disassemble_with, Inst, IntReg};
+/// let b = Inst::Bne { rs: IntReg::new(2), rt: IntReg::new(0), off: -3 };
+/// let named = disassemble_with(&b, 0x110, |a| (a == 0x108).then(|| "loop".to_string()));
+/// assert_eq!(named, "bne $r2, $r0, loop");
+/// ```
+#[must_use]
+pub fn disassemble_with<F>(inst: &Inst, pc: u32, resolve: F) -> String
+where
+    F: Fn(u32) -> Option<String>,
+{
+    let name = |target: u32| resolve(target).unwrap_or_else(|| format!("{target:#x}"));
     match *inst {
         Inst::Beq { rs, rt, off } => {
-            format!("beq {rs}, {rt}, {:#x}", crate::branch_target(pc, off))
+            format!("beq {rs}, {rt}, {}", name(crate::branch_target(pc, off)))
         }
         Inst::Bne { rs, rt, off } => {
-            format!("bne {rs}, {rt}, {:#x}", crate::branch_target(pc, off))
+            format!("bne {rs}, {rt}, {}", name(crate::branch_target(pc, off)))
         }
         Inst::Bcond { cond, rs, off } => {
-            format!("{cond} {rs}, {:#x}", crate::branch_target(pc, off))
+            format!("{cond} {rs}, {}", name(crate::branch_target(pc, off)))
         }
+        Inst::J { target } => format!("j {}", name(target)),
+        Inst::Jal { target } => format!("jal {}", name(target)),
         _ => inst.to_string(),
     }
 }
@@ -92,5 +119,20 @@ mod tests {
         assert_eq!(disassemble(&b, 0x100), "beq $r1, $r2, 0x10c");
         // Non-branches fall back to Display.
         assert_eq!(disassemble(&Inst::Halt, 0x100), "halt");
+    }
+
+    #[test]
+    fn disassemble_with_resolves_symbols() {
+        let resolve = |a: u32| match a {
+            0x100 => Some("head".to_string()),
+            0x400 => Some("leaf".to_string()),
+            _ => None,
+        };
+        let b = Inst::Bne { rs: IntReg::new(2), rt: IntReg::new(0), off: -4 };
+        assert_eq!(disassemble_with(&b, 0x10c, resolve), "bne $r2, $r0, head");
+        assert_eq!(disassemble_with(&Inst::Jal { target: 0x400 }, 0x10c, resolve), "jal leaf");
+        // Unknown targets keep the hex form; non-control falls back.
+        assert_eq!(disassemble_with(&Inst::J { target: 0x200 }, 0x10c, resolve), "j 0x200");
+        assert_eq!(disassemble_with(&Inst::Nop, 0, resolve), "nop");
     }
 }

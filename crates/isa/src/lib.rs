@@ -49,7 +49,7 @@ mod fingerprint;
 mod inst;
 mod reg;
 
-pub use disasm::disassemble;
+pub use disasm::{disassemble, disassemble_with};
 pub use encode::{DecodeInstError, EncodeInstError};
 pub use fingerprint::{fingerprint_of, StableHasher};
 pub use inst::{

@@ -28,7 +28,10 @@
 //! * [`trace`] — cycle-accurate telemetry: typed trace events, pluggable
 //!   sinks, and the JSON layer behind machine-readable run reports;
 //! * [`fuzz`] — differential fuzzing: structured program generation, the
-//!   emulator-vs-simulator oracle matrix, and automatic shrinking.
+//!   emulator-vs-simulator oracle matrix, and automatic shrinking;
+//! * [`analyze`] — static analysis: CFG and natural-loop recovery,
+//!   reuse-eligibility classification mirroring the hardware detector, a
+//!   program linter, and static-vs-dynamic agreement reports.
 //!
 //! # Examples
 //!
@@ -63,6 +66,7 @@
 //! # }
 //! ```
 
+pub use riq_analyze as analyze;
 pub use riq_asm as asm;
 pub use riq_bpred as bpred;
 pub use riq_ckpt as ckpt;

@@ -1,0 +1,43 @@
+//! The analysis report is a pure function of the program: two
+//! independent analyses of the same image must serialize to
+//! byte-identical JSON, for every kernel in the suite. CI diffs reports
+//! across runs, so this is load-bearing, not cosmetic.
+
+use riq::analyze::{analyze, report_json, summary_line, ANALYZE_SCHEMA_VERSION};
+
+#[test]
+fn kernel_reports_are_byte_identical_across_analyses() {
+    for kernel in riq::kernels::suite() {
+        let image = riq::kernels::compile(&kernel).unwrap();
+        let a1 = analyze(&image);
+        let a2 = analyze(&image);
+        let j1 = report_json(&kernel.name, &image, &a1, 64, None);
+        let j2 = report_json(&kernel.name, &image, &a2, 64, None);
+        assert_eq!(
+            j1.to_pretty(),
+            j2.to_pretty(),
+            "{}: reports must be byte-identical",
+            kernel.name
+        );
+        assert_eq!(
+            summary_line(&kernel.name, &image, &a1, 64, None),
+            summary_line(&kernel.name, &image, &a2, 64, None),
+        );
+        let parsed = riq::trace::parse(&j1.to_pretty()).unwrap();
+        assert_eq!(parsed.get("schema_version").unwrap().as_u64(), Some(ANALYZE_SCHEMA_VERSION));
+        assert_eq!(parsed, j1, "report must round-trip through the JSON parser");
+    }
+}
+
+#[test]
+fn every_kernel_has_analyzable_loops() {
+    for kernel in riq::kernels::suite() {
+        let image = riq::kernels::compile(&kernel).unwrap();
+        let analysis = analyze(&image);
+        assert!(!analysis.loops.is_empty(), "{}: kernels are loop nests", kernel.name);
+        for summary in &analysis.loops {
+            assert!(summary.natural.is_backward(), "{}: natural loops go backward", kernel.name);
+            assert_eq!(summary.per_capacity.len(), riq::analyze::CAPACITIES.len());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Scores the static eligibility verdicts against what the reuse issue
+//! queue actually does: every kernel is simulated once at the 64-entry
+//! baseline with reuse enabled, the reuse-FSM trace events are replayed,
+//! and the static predictions must reach high recall of the dynamic
+//! promotions — with every disagreement carrying a known classification,
+//! never an unexplained one.
+
+use riq::analyze::{agreement, analyze};
+use riq::core::{Processor, SimConfig};
+use riq::trace::VecSink;
+
+const IQ: u32 = 64;
+
+/// Classifications [`agreement`] may attach to a loop. Anything outside
+/// this vocabulary is a bug in the classifier, not a new insight.
+const KNOWN_CLASSES: &[&str] = &[
+    "agree",
+    "never_detected",
+    "insufficient_iterations",
+    "nblt_suppressed",
+    "exited_while_buffering",
+    "queue_full",
+    "revoked_by_recovery",
+    "inner_loop_dynamic",
+    "unpaired_return_dynamic",
+    "unknown_to_static",
+    "static_not_backward",
+    "static_too_large",
+    "static_inner_loop",
+    "static_does_not_fit",
+    "static_unpaired_return",
+    "static_indirect_call",
+    "static_recursion",
+];
+
+#[test]
+fn static_eligibility_recalls_dynamic_promotions_on_the_suite() {
+    let mut total_promoted = 0u32;
+    for kernel in riq::kernels::suite() {
+        let image = riq::kernels::compile(&kernel).unwrap();
+        let analysis = analyze(&image);
+        let mut sink = VecSink::new();
+        Processor::new(SimConfig::baseline().with_iq_size(IQ).with_reuse(true))
+            .run_observed(&image, &mut sink, None)
+            .unwrap();
+        let g = agreement(&image, &analysis, &sink.events, IQ);
+        assert!(
+            g.recall >= 0.9,
+            "{}: recall {:.3} below 0.9 ({} promoted, {} predicted eligible)\nloops: {:#?}",
+            kernel.name,
+            g.recall,
+            g.promoted_loops,
+            g.eligible_loops,
+            g.loops
+        );
+        for l in &g.loops {
+            assert!(
+                KNOWN_CLASSES.contains(&l.class.as_str()),
+                "{}: loop {:#x}..{:#x} carries unknown class {:?}",
+                kernel.name,
+                l.head,
+                l.tail,
+                l.class
+            );
+            // A promoted loop the static side called eligible must agree.
+            if l.statically_eligible && l.promotions > 0 {
+                assert_eq!(l.class, "agree", "{}: {:#x}..{:#x}", kernel.name, l.head, l.tail);
+            }
+        }
+        total_promoted += g.promoted_loops;
+    }
+    assert!(total_promoted >= 8, "the suite promotes loops dynamically ({total_promoted})");
+}
+
+#[test]
+fn precision_misses_are_classified_dynamically() {
+    // Precision can legitimately fall below 1.0 (a statically eligible
+    // loop may iterate too few times to promote); every such miss must be
+    // explained by a dynamic classification, not left as "agree".
+    for kernel in riq::kernels::suite() {
+        let image = riq::kernels::compile(&kernel).unwrap();
+        let analysis = analyze(&image);
+        let mut sink = VecSink::new();
+        Processor::new(SimConfig::baseline().with_iq_size(IQ).with_reuse(true))
+            .run_observed(&image, &mut sink, None)
+            .unwrap();
+        let g = agreement(&image, &analysis, &sink.events, IQ);
+        for l in &g.loops {
+            if l.statically_eligible && l.promotions == 0 {
+                assert_ne!(
+                    l.class, "agree",
+                    "{}: unpromoted eligible loop {:#x}..{:#x} must carry an explanation",
+                    kernel.name, l.head, l.tail
+                );
+            }
+        }
+    }
+}
