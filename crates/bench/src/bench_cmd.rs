@@ -1,0 +1,279 @@
+//! The `riq-repro bench` command: a pinned workload matrix timed end to
+//! end, recorded as one versioned entry in a `BENCH_<date>.json`
+//! trajectory file.
+//!
+//! The workload is fixed so records are comparable across commits: all
+//! eight Table 2 kernels × {baseline, reuse} × IQ {16, 64, 256} (48
+//! points), plus one full Figure 5–8 sweep. It runs twice:
+//!
+//! 1. **timed pass** — disabled per-run registries, a [`HubMode::Speed`]
+//!    hub; produces the host-domain block (wall clock, sim KHz, MIPS,
+//!    peak RSS) from a single wall-clock measurement via [`PerfBlock`];
+//! 2. **profiled pass** — a fresh cache and [`HubMode::Profile`]; the
+//!    48 matrix points run with per-run registries whose snapshots are
+//!    merged into the simulation-domain block (committed/cycle totals,
+//!    IQ-scan/LSQ-search/ROB-walk visit counters, cache hits/misses) and
+//!    the per-stage host-time shares.
+//!
+//! The two domains land in separate JSON sub-documents. The `sim` block
+//! is a pure function of `(matrix, scale)` — byte-identical on any
+//! machine, for any worker count — so CI can diff it against a pinned
+//! fixture, while everything under `host` is recorded but never gated.
+
+use crate::engine::{run_jobs, EngineOptions, ExperimentError, JobSpec, ResultCache};
+use crate::experiment::{run_experiment, Experiment};
+use riq_core::{MetricsSnapshot, SimConfig};
+use riq_metrics::{HubMode, PerfBlock, SharedRegistry, SimCounter};
+use riq_trace::{parse, JsonValue};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version of the `BENCH_*.json` trajectory document.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The `--quick` trip-count scale (matches the Criterion benches).
+pub const QUICK_SCALE: f64 = 0.05;
+
+/// IQ sizes of the pinned matrix.
+pub const BENCH_IQ_SIZES: [u32; 3] = [16, 64, 256];
+
+/// Enumerates the pinned 48-point matrix: every Table 2 kernel ×
+/// {baseline, reuse} × [`BENCH_IQ_SIZES`].
+///
+/// # Errors
+///
+/// Propagates kernel compilation failures.
+pub fn matrix_jobs(scale: f64) -> Result<Vec<JobSpec>, ExperimentError> {
+    let mut jobs = Vec::new();
+    for k in riq_kernels::suite_scaled(scale) {
+        let program = Arc::new(riq_kernels::compile(&k).map_err(ExperimentError::Compile)?);
+        for reuse in [false, true] {
+            for iq in BENCH_IQ_SIZES {
+                jobs.push(JobSpec {
+                    kernel: k.name.to_string(),
+                    program: Arc::clone(&program),
+                    config: SimConfig::baseline().with_iq_size(iq).with_reuse(reuse),
+                });
+            }
+        }
+    }
+    Ok(jobs)
+}
+
+/// The outcome of one bench invocation.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// The full trajectory record (sim + host blocks).
+    pub record: JsonValue,
+    /// The deterministic simulation-domain block alone (what CI diffs).
+    pub sim: JsonValue,
+    /// The perf block of the timed pass (for the stderr speed line).
+    pub perf: PerfBlock,
+    /// Simulation points executed per pass (matrix + sweep).
+    pub points: u64,
+}
+
+/// Runs both passes of the pinned workload and assembles the record.
+///
+/// `date` is a caller-supplied label (the CLI takes it from `--date`, CI
+/// passes the host date) — the simulator never reads a clock itself, so
+/// the record stays reproducible.
+///
+/// # Errors
+///
+/// Propagates compilation and simulation failures from the engine.
+pub fn run_bench(
+    scale: f64,
+    jobs: usize,
+    date: &str,
+    quick: bool,
+) -> Result<BenchRun, ExperimentError> {
+    let specs = matrix_jobs(scale)?;
+
+    // Pass 1 — timed. Disabled per-run registries: this is the number the
+    // zero-overhead claim stands on, measured with one clock.
+    let speed_hub = SharedRegistry::new(HubMode::Speed);
+    let speed_opts = EngineOptions {
+        jobs,
+        cache: ResultCache::new(),
+        metrics: speed_hub.clone(),
+        ..EngineOptions::default()
+    };
+    let started = Instant::now();
+    let timed_results = run_jobs(&specs, &speed_opts)?;
+    run_experiment(&Experiment::Fig5_8 { scale }, &speed_opts)?;
+    let wall = started.elapsed().as_secs_f64();
+    let speed = speed_hub.snapshot();
+    let perf =
+        PerfBlock::new(wall, speed.sim(SimCounter::Committed), speed.sim(SimCounter::Cycles));
+    let points = speed_opts.cache.misses() + speed_opts.cache.hits();
+
+    // Pass 2 — profiled, over the 48 matrix points with a fresh cache (a
+    // cache hit would return a snapshot-less result). Merged snapshots
+    // give the full simulation-domain counters and the stage shares.
+    let profile_opts = EngineOptions {
+        jobs,
+        cache: ResultCache::new(),
+        metrics: SharedRegistry::new(HubMode::Profile),
+        ..EngineOptions::default()
+    };
+    let profile_start = Instant::now();
+    let profiled_results = run_jobs(&specs, &profile_opts)?;
+    let profile_wall = profile_start.elapsed().as_secs_f64();
+    let mut merged = MetricsSnapshot::default();
+    for r in &profiled_results {
+        if let Some(m) = &r.metrics {
+            merged.merge(m);
+        }
+    }
+    debug_assert_eq!(
+        merged.get(SimCounter::Cycles),
+        timed_results.iter().map(|r| r.stats.cycles).sum::<u64>(),
+        "profiling must not change simulated timing"
+    );
+
+    let sim = merged.sim_json();
+    let host = JsonValue::obj([
+        ("wall_clock_seconds", JsonValue::Num(perf.wall_seconds)),
+        ("sim_khz", JsonValue::Num(perf.sim_khz())),
+        ("mips", JsonValue::Num(perf.mips())),
+        ("instructions_per_second", JsonValue::Num(perf.instructions_per_second())),
+        ("cycles_per_second", JsonValue::Num(perf.cycles_per_second())),
+        ("peak_rss_bytes", perf.peak_rss_bytes.map_or(JsonValue::Null, JsonValue::UInt)),
+        ("profile_wall_seconds", JsonValue::Num(profile_wall)),
+        ("stage_shares", merged.stage_shares_json()),
+    ]);
+    let record = JsonValue::obj([
+        ("date", JsonValue::Str(date.to_string())),
+        ("quick", JsonValue::Bool(quick)),
+        ("scale", JsonValue::Num(scale)),
+        ("points", JsonValue::UInt(points)),
+        ("sim", sim.clone()),
+        ("host", host),
+    ]);
+    Ok(BenchRun { record, sim, perf, points })
+}
+
+/// Validates a trajectory document; returns its record count.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first schema violation.
+pub fn validate_bench_doc(doc: &JsonValue) -> Result<usize, String> {
+    match doc.get("schema_version").and_then(JsonValue::as_u64) {
+        Some(BENCH_SCHEMA_VERSION) => {}
+        other => return Err(format!("schema_version {other:?} != {BENCH_SCHEMA_VERSION}")),
+    }
+    let Some(JsonValue::Arr(records)) = doc.get("records") else {
+        return Err("records: missing or not an array".to_string());
+    };
+    for (i, rec) in records.iter().enumerate() {
+        let ctx = |field: &str| format!("records[{i}].{field}");
+        if rec.get("date").and_then(JsonValue::as_str).is_none() {
+            return Err(format!("{}: missing or not a string", ctx("date")));
+        }
+        if rec.get("quick").and_then(JsonValue::as_bool).is_none() {
+            return Err(format!("{}: missing or not a bool", ctx("quick")));
+        }
+        for field in ["scale"] {
+            if rec.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("{}: missing or not a number", ctx(field)));
+            }
+        }
+        let Some(sim) = rec.get("sim") else {
+            return Err(format!("{}: missing", ctx("sim")));
+        };
+        for c in SimCounter::ALL {
+            if sim.get(c.name()).and_then(JsonValue::as_u64).is_none() {
+                return Err(format!(
+                    "{}: missing or not an integer",
+                    ctx(&format!("sim.{}", c.name()))
+                ));
+            }
+        }
+        let Some(host) = rec.get("host") else {
+            return Err(format!("{}: missing", ctx("host")));
+        };
+        for field in ["wall_clock_seconds", "sim_khz", "mips"] {
+            if host.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("{}: missing or not a number", ctx(&format!("host.{field}"))));
+            }
+        }
+    }
+    Ok(records.len())
+}
+
+/// Appends `record` to the trajectory file at `path` (creating it when
+/// absent), validating the document before and after. Returns the total
+/// record count after the append.
+///
+/// # Errors
+///
+/// Fails on unreadable/unparsable existing files, schema violations, and
+/// write errors.
+pub fn append_record(path: &Path, record: JsonValue) -> Result<usize, String> {
+    let mut records = if path.exists() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        validate_bench_doc(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+        match doc.get("records") {
+            Some(JsonValue::Arr(r)) => r.clone(),
+            _ => Vec::new(),
+        }
+    } else {
+        Vec::new()
+    };
+    records.push(record);
+    let count = records.len();
+    let doc = JsonValue::obj([
+        ("schema_version", JsonValue::UInt(BENCH_SCHEMA_VERSION)),
+        ("generator", JsonValue::Str("riq-repro bench".to_string())),
+        ("records", JsonValue::Arr(records)),
+    ]);
+    validate_bench_doc(&doc).map_err(|e| format!("assembled document invalid: {e}"))?;
+    std::fs::write(path, doc.to_pretty()).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_the_pinned_48_points() {
+        let jobs = matrix_jobs(QUICK_SCALE).expect("compiles");
+        assert_eq!(jobs.len(), 8 * 2 * 3);
+        // All points are distinct — the matrix itself never dedups.
+        let keys: std::collections::HashSet<_> = jobs.iter().map(JobSpec::key).collect();
+        assert_eq!(keys.len(), jobs.len());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        let empty = JsonValue::obj([
+            ("schema_version", JsonValue::UInt(BENCH_SCHEMA_VERSION)),
+            ("records", JsonValue::Arr(Vec::new())),
+        ]);
+        assert_eq!(validate_bench_doc(&empty), Ok(0));
+
+        let wrong_version = JsonValue::obj([
+            ("schema_version", JsonValue::UInt(99)),
+            ("records", JsonValue::Arr(Vec::new())),
+        ]);
+        assert!(validate_bench_doc(&wrong_version).is_err());
+
+        let bad_record = JsonValue::obj([
+            ("schema_version", JsonValue::UInt(BENCH_SCHEMA_VERSION)),
+            (
+                "records",
+                JsonValue::Arr(vec![JsonValue::obj([(
+                    "date",
+                    JsonValue::Str("2026-01-01".to_string()),
+                )])]),
+            ),
+        ]);
+        let err = validate_bench_doc(&bad_record).unwrap_err();
+        assert!(err.contains("records[0]"), "{err}");
+    }
+}

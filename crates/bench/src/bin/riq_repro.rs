@@ -7,6 +7,10 @@
 //! riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F]
 //!           [--json PATH] [--trace PATH] [--epoch N]
 //!           [--skip N] [--warmup M] [--sample K] [--ckpt PATH]
+//!           [--profile] [--sample-period P]
+//! riq-repro bench --date LABEL [--quick] [--scale F] [--jobs N]
+//!           [--out DIR] [--sim-only]
+//! riq-repro bench --check PATH
 //! riq-repro ckpt create <kernel|file.s> --skip N [--warmup M] [--scale F]
 //!           [--out PATH]
 //! riq-repro ckpt ls <PATH...>
@@ -59,6 +63,23 @@
 //! program) and creates it otherwise. The run report records checkpoint
 //! provenance under `run.checkpoint`.
 //!
+//! `--profile` enables the core's sampled stage timers and visit
+//! counters (period `--sample-period P`, default 16 cycles, rounded up
+//! to a power of two): the run report gains a `metrics` block and the
+//! perf block gains per-stage host-time shares. Every simulating command
+//! prints a `speed:` line on stderr (simulated clock rate, M inst/s) —
+//! built from the same wall-clock measurement as the JSON report, so the
+//! two can never disagree.
+//!
+//! `bench` runs the pinned performance workload — all eight Table 2
+//! kernels × {baseline, reuse} × IQ {16, 64, 256} plus one Figure 5–8
+//! sweep — once timed and once profiled, and appends a versioned record
+//! (sim KHz, MIPS, wall clock, per-stage time shares, peak RSS, and the
+//! deterministic simulation-domain counter totals) to
+//! `BENCH_<date>.json`. `--quick` uses the Criterion bench scale (0.05),
+//! `--sim-only` prints just the deterministic block to stdout for CI
+//! fixture diffs, and `--check PATH` schema-validates an existing file.
+//!
 //! The experiment commands accept `--skip N [--warmup M]` to fast-forward
 //! every simulation point; a shared checkpoint store amortizes one
 //! fast-forward per program across all configurations (disable with
@@ -94,12 +115,14 @@
 //! ```
 
 use riq_bench::{
-    report_json, run_experiment, table1, table2, CheckpointProvenance, CheckpointStore,
-    EngineOptions, Experiment, FigTable, RunSpec,
+    append_record, report_json, run_bench, run_experiment, table1, table2, validate_bench_doc,
+    CheckpointProvenance, CheckpointStore, EngineOptions, Experiment, FigTable, RunSpec,
+    QUICK_SCALE,
 };
 use riq_ckpt::Checkpoint;
-use riq_core::{Processor, SimConfig};
-use riq_trace::{JsonlSink, NullSink, TraceSink};
+use riq_core::{Processor, ProfileConfig, SimConfig};
+use riq_metrics::{HostCounter, HubMode, PerfBlock, SharedRegistry, SimCounter};
+use riq_trace::{parse, JsonlSink, NullSink, TraceSink};
 use std::fs::File;
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -108,7 +131,9 @@ use std::time::Instant;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|all> [--scale F] [--jobs N] [--csv] [--skip N] [--warmup M] [--no-ckpt-store]
-                riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F] [--json PATH] [--trace PATH] [--epoch N] [--skip N] [--warmup M] [--sample K] [--ckpt PATH]
+                riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F] [--json PATH] [--trace PATH] [--epoch N] [--skip N] [--warmup M] [--sample K] [--ckpt PATH] [--profile] [--sample-period P]
+                riq-repro bench --date LABEL [--quick] [--scale F] [--jobs N] [--out DIR] [--sim-only]
+                riq-repro bench --check PATH
                 riq-repro ckpt create <kernel|file.s> --skip N [--warmup M] [--scale F] [--out PATH]
                 riq-repro ckpt ls <PATH...>
                 riq-repro ckpt verify <PATH> [--program <kernel|file.s>] [--scale F]
@@ -123,6 +148,15 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else { return usage() };
     if cmd == "run" {
         return match run_program(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("riq-repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "bench" {
+        return match run_bench_cmd(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("riq-repro: {e}");
@@ -221,6 +255,8 @@ struct RunArgs {
     warmup: u64,
     sample: Option<u64>,
     ckpt: Option<String>,
+    profile: bool,
+    sample_period: Option<u64>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -238,6 +274,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         warmup: 0,
         sample: None,
         ckpt: None,
+        profile: false,
+        sample_period: None,
     };
     while let Some(a) = it.next() {
         let mut value =
@@ -291,6 +329,19 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 );
             }
             "--ckpt" => out.ckpt = Some(value("--ckpt")?),
+            "--profile" => out.profile = true,
+            // A sampling period implies profiling — there is nothing else
+            // it could configure.
+            "--sample-period" => {
+                out.profile = true;
+                out.sample_period = Some(
+                    value("--sample-period")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or("run: --sample-period needs a positive cycle count")?,
+                );
+            }
             other => return Err(format!("run: unknown option {other:?}")),
         }
     }
@@ -375,12 +426,26 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some(s) => s,
         None => &mut null,
     };
+    let profile_cfg = opts.profile.then(|| match opts.sample_period {
+        Some(p) => ProfileConfig { sample_period: p },
+        None => ProfileConfig::default(),
+    });
     let started = Instant::now();
-    let result = match &checkpoint {
-        Some((ckpt, _)) => {
+    let result = match (&checkpoint, profile_cfg) {
+        (Some((ckpt, _)), Some(prof)) => processor.resume_profiled(
+            &program,
+            ckpt,
+            opts.warmup,
+            opts.sample,
+            sink,
+            opts.epoch,
+            prof,
+        )?,
+        (Some((ckpt, _)), None) => {
             processor.resume_observed(&program, ckpt, opts.warmup, opts.sample, sink, opts.epoch)?
         }
-        None => processor.run_observed(&program, sink, opts.epoch)?,
+        (None, Some(prof)) => processor.run_profiled(&program, sink, opts.epoch, prof)?,
+        (None, None) => processor.run_observed(&program, sink, opts.epoch)?,
     };
     let wall = started.elapsed().as_secs_f64();
     if let Some(s) = jsonl {
@@ -402,8 +467,19 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             sample: opts.sample,
         }),
     };
+    // One perf block from one clock: the stderr speed line and the JSON
+    // report's perf/wall_clock_seconds fields can never disagree.
+    let mut perf = PerfBlock::new(wall, result.stats.committed, result.stats.cycles);
+    if let Some((_, ff_wall)) = &checkpoint {
+        perf = perf.with_fast_forward(*ff_wall);
+    }
+    if let Some(m) = &result.metrics {
+        perf = perf.with_stage_shares(m.stage_shares_json());
+        eprintln!("{}", m.render_sim());
+    }
+    eprintln!("{}", perf.speed_line());
     if let Some(path) = &opts.json {
-        let doc = report_json(&spec, &result, Some(wall)).to_pretty();
+        let doc = report_json(&spec, &result, Some(&perf)).to_pretty();
         if path == "-" {
             print!("{doc}");
         } else {
@@ -446,6 +522,72 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             ckpt.retired + s.committed,
         )?;
     }
+    Ok(())
+}
+
+/// The `bench` subcommand: run the pinned workload matrix and append a
+/// record to the `BENCH_<date>.json` trajectory, or validate one with
+/// `--check`.
+fn run_bench_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut date: Option<String> = None;
+    let mut quick = false;
+    let mut scale: Option<f64> = None;
+    let mut jobs = 0usize;
+    let mut out_dir = String::from(".");
+    let mut sim_only = false;
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("bench: {flag} needs a value"));
+        match a.as_str() {
+            "--date" => date = Some(value("--date")?),
+            "--quick" => quick = true,
+            "--scale" => {
+                scale = Some(
+                    value("--scale")?
+                        .parse()
+                        .ok()
+                        .filter(|&f: &f64| f > 0.0)
+                        .ok_or("bench: --scale needs a positive number")?,
+                );
+            }
+            "--jobs" => {
+                jobs = value("--jobs")?.parse().ok().ok_or("bench: --jobs needs a count")?;
+            }
+            "--out" => out_dir = value("--out")?,
+            "--sim-only" => sim_only = true,
+            "--check" => check = Some(value("--check")?),
+            other => return Err(format!("bench: unknown option {other:?}").into()),
+        }
+    }
+
+    if let Some(path) = check {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let n = validate_bench_doc(&doc).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok ({n} records)");
+        return Ok(());
+    }
+
+    let scale = scale.unwrap_or(if quick { QUICK_SCALE } else { 1.0 });
+    let bench = run_bench(scale, jobs, date.as_deref().unwrap_or(""), quick)?;
+    eprintln!("{}", bench.perf.speed_line());
+    if sim_only {
+        // The deterministic simulation-domain block alone, for fixture
+        // diffs — nothing host-dependent can appear on stdout.
+        println!("{}", bench.sim.to_pretty());
+        return Ok(());
+    }
+    let date = date.ok_or("bench: --date LABEL is required when writing a record")?;
+    let path = std::path::Path::new(&out_dir).join(format!("BENCH_{date}.json"));
+    let count = append_record(&path, bench.record)?;
+    eprintln!(
+        "bench: {} points at scale {scale}, record {count} -> {}",
+        bench.points,
+        path.display()
+    );
     Ok(())
 }
 
@@ -624,7 +766,13 @@ fn run_analyze(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let agreement = if dynamic {
         let cfg = SimConfig::baseline().with_iq_size(iq).with_reuse(true);
         let mut sink = riq_trace::VecSink::new();
-        Processor::new(cfg).run_observed(&program, &mut sink, None)?;
+        let started = Instant::now();
+        let r = Processor::new(cfg).run_observed(&program, &mut sink, None)?;
+        // Speed accounting for the one simulated leg; stderr only — the
+        // stdout table and summary line stay byte-deterministic.
+        let perf =
+            PerfBlock::new(started.elapsed().as_secs_f64(), r.stats.committed, r.stats.cycles);
+        eprintln!("{}", perf.speed_line());
         Some(riq_analyze::agreement(&program, &analysis, &sink.events, iq))
     } else {
         None
@@ -702,9 +850,20 @@ fn run_fuzz_cmd(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     for path in &summary.repro_paths {
         eprintln!("fuzz: repro -> {}", path.display());
     }
-    // Wall-clock goes to stderr; stdout carries only the deterministic
-    // summary line (CI diffs it).
-    eprintln!("fuzz: {:.2}s wall clock", started.elapsed().as_secs_f64());
+    // Wall-clock and speed accounting go to stderr; stdout carries only
+    // the deterministic summary line (CI diffs it). The campaign's
+    // sim-domain totals route through a metrics hub like the sweep
+    // engine's, so shrinker effort lands in the same counter namespace.
+    let wall = started.elapsed().as_secs_f64();
+    let hub = SharedRegistry::new(HubMode::Speed);
+    hub.add_sim(SimCounter::Cycles, summary.sim_cycles);
+    hub.add_sim(SimCounter::Committed, summary.sim_insts);
+    hub.add_host(HostCounter::FuzzPrograms, summary.programs);
+    hub.add_host(HostCounter::ShrinkEvals, summary.shrink_evals);
+    let snap = hub.snapshot();
+    let perf = PerfBlock::new(wall, snap.sim(SimCounter::Committed), snap.sim(SimCounter::Cycles));
+    eprintln!("{}", perf.speed_line());
+    eprintln!("fuzz: {wall:.2}s wall clock");
     println!("{}", summary.line());
     Ok(summary.failures == 0)
 }
@@ -799,12 +958,18 @@ fn run(
     warmup: u64,
     no_store: bool,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    // Sweeps always run with a speed-mode hub: per-returned-job sim
+    // totals cost one relaxed add per job and pay for the stderr speed
+    // line on every experiment.
+    let hub = SharedRegistry::new(HubMode::Speed);
     let opts = EngineOptions {
         jobs,
         cache: riq_bench::ResultCache::new(),
         skip,
         warmup,
         ckpt: (skip > 0 && !no_store).then(CheckpointStore::new),
+        metrics: hub.clone(),
+        profile: ProfileConfig::default(),
     };
     let started = Instant::now();
     match cmd {
@@ -860,14 +1025,25 @@ fn run(
             emit(header, &t, csv);
         }
     }
+    // One clock for everything below: the engine line, the speed line,
+    // and the hub's wall-nanos counter all read this measurement.
+    let wall = started.elapsed().as_secs_f64();
+    if let Some(store) = &opts.ckpt {
+        hub.set_host(HostCounter::CkptCreated, store.created());
+        hub.set_host(HostCounter::CkptReused, store.reused());
+    }
     if !opts.cache.is_empty() {
         eprintln!(
-            "engine: {:.2}s wall clock, {} workers, {} simulated, {} deduplicated",
-            started.elapsed().as_secs_f64(),
+            "engine: {wall:.2}s wall clock, {} workers, {} simulated, {} deduplicated",
             opts.worker_count(usize::MAX),
             opts.cache.misses(),
             opts.cache.hits(),
         );
+        let snap = hub.snapshot();
+        let perf =
+            PerfBlock::new(wall, snap.sim(SimCounter::Committed), snap.sim(SimCounter::Cycles))
+                .with_fast_forward(snap.host(HostCounter::FastForwardNanos) as f64 / 1e9);
+        eprintln!("{}", perf.speed_line());
     }
     if let Some(store) = &opts.ckpt {
         eprintln!(

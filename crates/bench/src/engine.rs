@@ -36,12 +36,15 @@
 use riq_asm::Program;
 use riq_ckpt::{Checkpoint, CheckpointStore};
 use riq_core::{Processor, RunResult, SimConfig, SimError};
+use riq_metrics::{HostCounter, ProfileConfig, SharedRegistry, SimCounter};
+use riq_trace::NullSink;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Instant;
 
 // The engine moves programs, configurations, and results across worker
 // threads; keep that property from silently regressing.
@@ -254,6 +257,18 @@ pub struct EngineOptions {
     /// it; `None` fast-forwards per job (results are identical — the
     /// fast-forward is deterministic — only wall clock differs).
     pub ckpt: Option<CheckpointStore>,
+    /// The metrics hub batches report into. The default hub is disabled
+    /// (zero cost); [`riq_metrics::HubMode::Speed`] accumulates sim-speed
+    /// totals from the statistics every run already produces, and
+    /// [`riq_metrics::HubMode::Profile`] additionally runs every simulated
+    /// point with an enabled per-run registry (stage timers, visit
+    /// counters) and merges the snapshots. Simulation-domain totals are
+    /// accumulated **per returned job** (deduplicated jobs count the
+    /// shared result once each), so they are a pure function of the job
+    /// list — identical for any worker count or checkpoint store.
+    pub metrics: SharedRegistry,
+    /// Stage-timer sampling config used when the hub profiles.
+    pub profile: ProfileConfig,
 }
 
 impl EngineOptions {
@@ -289,6 +304,13 @@ impl EngineOptions {
         self
     }
 
+    /// Attaches a metrics hub.
+    #[must_use]
+    pub fn with_metrics(mut self, hub: SharedRegistry) -> EngineOptions {
+        self.metrics = hub;
+        self
+    }
+
     /// The resolved worker count for a batch of `pending` runnable jobs.
     #[must_use]
     pub fn worker_count(&self, pending: usize) -> usize {
@@ -315,6 +337,7 @@ pub fn run_jobs(
     jobs: &[JobSpec],
     opts: &EngineOptions,
 ) -> Result<Vec<Arc<RunResult>>, ExperimentError> {
+    let batch_start = Instant::now();
     // Collapse the batch to unique keys, in first-appearance order.
     let mut key_to_unique: HashMap<JobKey, usize> = HashMap::new();
     let mut uniques: Vec<&JobSpec> = Vec::new();
@@ -339,10 +362,14 @@ pub fn run_jobs(
     }
     let misses = pending.len() as u64;
     opts.cache.record(jobs.len() as u64 - misses, misses);
+    opts.metrics.add_host(HostCounter::JobsSimulated, misses);
+    opts.metrics.add_host(HostCounter::JobsDeduplicated, jobs.len() as u64 - misses);
+    opts.metrics.max_host(HostCounter::JobQueueDepthPeak, pending.len() as u64);
 
     // Fast-forward pre-pass (serial): with a store, every configuration of
     // a program shares one checkpoint; without one, each job fast-forwards
     // itself — same deterministic snapshot, no amortization.
+    let ff_start = Instant::now();
     let checkpoints: Vec<Option<Arc<Checkpoint>>> = if opts.skip == 0 {
         vec![None; pending.len()]
     } else {
@@ -361,18 +388,32 @@ pub fn run_jobs(
             })
             .collect::<Result<_, _>>()?
     };
+    if opts.skip > 0 {
+        opts.metrics.add_host(HostCounter::FastForwardNanos, ff_start.elapsed().as_nanos() as u64);
+    }
 
     // Simulate the pending points: workers pull the next index from a
     // shared cursor and write into their job's dedicated slot.
     let slots: Vec<Mutex<Option<Result<RunResult, SimError>>>> =
         pending.iter().map(|_| Mutex::new(None)).collect();
     let workers = opts.worker_count(pending.len());
+    let profiled = opts.metrics.wants_profile();
     let execute = |i: usize| {
         let spec = pending[i].1;
         let proc = Processor::new(spec.config.clone());
-        let result = match &checkpoints[i] {
-            Some(ckpt) => proc.resume_from(&spec.program, ckpt, opts.warmup),
-            None => proc.run(&spec.program),
+        let result = match (&checkpoints[i], profiled) {
+            (Some(ckpt), false) => proc.resume_from(&spec.program, ckpt, opts.warmup),
+            (None, false) => proc.run(&spec.program),
+            (Some(ckpt), true) => proc.resume_profiled(
+                &spec.program,
+                ckpt,
+                opts.warmup,
+                None,
+                &mut NullSink,
+                None,
+                opts.profile,
+            ),
+            (None, true) => proc.run_profiled(&spec.program, &mut NullSink, None, opts.profile),
         };
         *slots[i].lock().expect("result slot lock") = Some(result);
     };
@@ -408,10 +449,30 @@ pub fn run_jobs(
         }
     }
 
-    Ok(job_unique
+    let out: Vec<Arc<RunResult>> = job_unique
         .into_iter()
         .map(|u| resolved[u].clone().expect("every unique job resolved"))
-        .collect())
+        .collect();
+
+    // Per-job accumulation into the hub: a pure function of the job list
+    // (dedup resolves identically for any worker count), so the merged
+    // sim-domain totals are deterministic. Profiled results carry a full
+    // snapshot; anything else (speed mode, or a cache hit from an
+    // unprofiled batch) contributes its headline stats.
+    if opts.metrics.is_enabled() {
+        for r in &out {
+            match r.metrics.as_ref() {
+                Some(snap) => opts.metrics.merge_run(snap),
+                None => {
+                    opts.metrics.add_sim(SimCounter::Cycles, r.stats.cycles);
+                    opts.metrics.add_sim(SimCounter::Committed, r.stats.committed);
+                }
+            }
+        }
+        opts.metrics
+            .add_host(HostCounter::EngineWallNanos, batch_start.elapsed().as_nanos() as u64);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -516,6 +577,39 @@ mod tests {
         run_jobs(&jobs, &aliased).expect("aliased run");
         assert_eq!(opts.cache.misses(), 1);
         assert_eq!(opts.cache.hits(), 1);
+    }
+
+    #[test]
+    fn metrics_hub_accumulates_deterministically() {
+        use riq_metrics::HubMode;
+        let program = tiny_program();
+        let jobs = vec![
+            JobSpec::new("a", &program, SimConfig::baseline()),
+            JobSpec::new("b", &program, SimConfig::baseline().with_reuse(true)),
+            JobSpec::new("dup", &program, SimConfig::baseline()),
+        ];
+        let run_with = |jobs_n: usize, mode: HubMode| {
+            let hub = SharedRegistry::new(mode);
+            let opts =
+                EngineOptions { jobs: jobs_n, ..Default::default() }.with_metrics(hub.clone());
+            run_jobs(&jobs, &opts).expect("runs");
+            hub.snapshot()
+        };
+        let serial = run_with(1, HubMode::Speed);
+        let parallel = run_with(3, HubMode::Speed);
+        assert_eq!(serial.sim, parallel.sim, "sim totals are worker-count independent");
+        assert!(serial.sim(SimCounter::Cycles) > 0);
+        assert_eq!(serial.host(HostCounter::JobsSimulated), 2);
+        assert_eq!(serial.host(HostCounter::JobsDeduplicated), 1);
+        // Profiling reports the same headline totals plus visit counters.
+        let profiled = run_with(2, HubMode::Profile);
+        assert_eq!(profiled.sim(SimCounter::Cycles), serial.sim(SimCounter::Cycles));
+        assert_eq!(profiled.sim(SimCounter::Committed), serial.sim(SimCounter::Committed));
+        assert!(profiled.sim(SimCounter::IqScanVisits) > 0);
+        // The disabled default records nothing.
+        let opts = EngineOptions::serial();
+        run_jobs(&jobs, &opts).expect("runs");
+        assert_eq!(opts.metrics.snapshot().sim(SimCounter::Cycles), 0);
     }
 
     #[test]

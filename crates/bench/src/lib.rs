@@ -48,12 +48,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bench_cmd;
 mod engine;
 mod experiment;
 mod harness;
 mod report;
 mod tables;
 
+pub use bench_cmd::{
+    append_record, matrix_jobs, run_bench, validate_bench_doc, BenchRun, BENCH_IQ_SIZES,
+    BENCH_SCHEMA_VERSION, QUICK_SCALE,
+};
 pub use engine::{run_jobs, EngineOptions, ExperimentError, JobKey, JobSpec, ResultCache};
 pub use experiment::{run_experiment, Experiment};
 pub use harness::{

@@ -7,14 +7,19 @@
 //! can detect layout changes.
 
 use riq_core::RunResult;
+use riq_metrics::PerfBlock;
 use riq_trace::{JsonValue, ToJson};
 
 /// Layout version of the report document.
 ///
 /// Version history: 1 = initial layout; 2 = added the top-level
 /// `wall_clock_seconds` field (host time spent simulating); 3 = added the
-/// `run.checkpoint` provenance object (`null` for from-zero runs).
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+/// `run.checkpoint` provenance object (`null` for from-zero runs); 4 =
+/// added the `perf` block (sim-speed accounting: instructions/sec,
+/// cycles/sec, MIPS, sim KHz, peak RSS, optional stage shares) — the
+/// top-level `wall_clock_seconds` is kept for compatibility and is now
+/// *sourced from the perf block's clock*, so the two can never disagree.
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// Provenance of a run that resumed from a checkpoint instead of
 /// instruction zero.
@@ -74,19 +79,19 @@ impl ToJson for RunSpec {
     }
 }
 
-/// Assembles the full report document for one run. `wall_clock_seconds`
-/// is the measured host time the simulation took (`None` when the caller
-/// did not time it); simulated time lives in `result.stats.cycles`.
+/// Assembles the full report document for one run. `perf` carries the
+/// sim-speed accounting built from the caller's single wall-clock
+/// measurement (`None` when the caller did not time the run); the legacy
+/// top-level `wall_clock_seconds` is derived from it, never measured
+/// separately. Simulated time lives in `result.stats.cycles`.
 #[must_use]
-pub fn report_json(
-    spec: &RunSpec,
-    result: &RunResult,
-    wall_clock_seconds: Option<f64>,
-) -> JsonValue {
+pub fn report_json(spec: &RunSpec, result: &RunResult, perf: Option<&PerfBlock>) -> JsonValue {
+    let wall_clock_seconds = perf.map(|p| p.wall_seconds);
     JsonValue::obj([
         ("schema_version", REPORT_SCHEMA_VERSION.to_json()),
         ("generator", "riq".to_json()),
         ("wall_clock_seconds", wall_clock_seconds.to_json()),
+        ("perf", perf.map(ToJson::to_json).to_json()),
         ("run", spec.to_json()),
         ("result", result.to_json()),
     ])
@@ -116,7 +121,8 @@ mod tests {
             epoch: None,
             checkpoint: None,
         };
-        let doc = report_json(&spec, &result, Some(0.25));
+        let perf = PerfBlock::new(0.25, result.stats.committed, result.stats.cycles);
+        let doc = report_json(&spec, &result, Some(&perf));
         let text = doc.to_pretty();
         let back = riq_trace::parse(&text).expect("report parses");
         assert_eq!(
@@ -136,10 +142,45 @@ mod tests {
         let digest = back.get("result").and_then(|r| r.get("mem_digest"));
         assert_eq!(digest.and_then(JsonValue::as_u64), Some(result.mem_digest));
         assert_eq!(back.get("wall_clock_seconds").and_then(JsonValue::as_f64), Some(0.25));
+        // Schema v4: the perf block is present and derives from the same
+        // clock as the legacy top-level field.
+        let perf_json = back.get("perf").expect("perf block");
+        assert_eq!(
+            perf_json.get("wall_clock_seconds").and_then(JsonValue::as_f64),
+            back.get("wall_clock_seconds").and_then(JsonValue::as_f64),
+            "one clock feeds both surfaces"
+        );
+        assert_eq!(
+            perf_json.get("sim_instructions").and_then(JsonValue::as_u64),
+            Some(result.stats.committed)
+        );
+        assert_eq!(
+            perf_json.get("sim_cycles").and_then(JsonValue::as_u64),
+            Some(result.stats.cycles)
+        );
+        let ips = perf_json.get("instructions_per_second").and_then(JsonValue::as_f64).unwrap();
+        assert!((ips - result.stats.committed as f64 / 0.25).abs() < 1e-6);
+        assert!(perf_json.get("cycles_per_second").and_then(JsonValue::as_f64).is_some());
         assert!(
             matches!(back.get("run").and_then(|r| r.get("checkpoint")), Some(JsonValue::Null)),
             "from-zero runs report a null checkpoint"
         );
+    }
+
+    #[test]
+    fn untimed_report_has_null_perf() {
+        let result = small_result();
+        let spec = RunSpec {
+            program: "x".into(),
+            iq: 64,
+            reuse: false,
+            scale: 1.0,
+            epoch: None,
+            checkpoint: None,
+        };
+        let doc = report_json(&spec, &result, None);
+        assert!(matches!(doc.get("perf"), Some(JsonValue::Null)));
+        assert!(matches!(doc.get("wall_clock_seconds"), Some(JsonValue::Null)));
     }
 
     #[test]

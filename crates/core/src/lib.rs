@@ -76,6 +76,7 @@ pub use lsq::{Lsq, LsqEntry, StoreConflict};
 pub use pipeline::{Processor, SimError};
 pub use rename::RenameMap;
 pub use reuse::{Directive, IqState, Nblt, ReuseController};
+pub use riq_metrics::{MetricsSnapshot, ProfileConfig};
 pub use rob::{RenameRef, Rob, RobEntry, RobId};
 pub use specstate::{SpecState, UndoRecord};
 pub use stats::{ReuseStats, RunResult, SimStats};

@@ -25,12 +25,14 @@ use riq_ckpt::Checkpoint;
 use riq_emu::{ControlFlow, Executed, MemFault};
 use riq_isa::{CtrlKind, Inst, InstClass, IntReg};
 use riq_mem::{HierarchyStats, MemoryHierarchy};
+use riq_metrics::{MetricsSnapshot, ProfileConfig, Registry, SimCounter, Stage};
 use riq_power::{Activity, Component, PowerModel};
 use riq_trace::{CacheLevel, EventKind, GateEndReason, NullSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// Error terminating a simulation abnormally.
 #[derive(Debug, Clone, PartialEq)]
@@ -187,6 +189,57 @@ impl Processor {
         self.drive(core, None)
     }
 
+    /// [`run_observed`](Processor::run_observed) with self-profiling: the
+    /// core runs with an enabled metrics registry, so
+    /// [`RunResult::metrics`] carries a [`MetricsSnapshot`] — visit
+    /// counters every cycle, stage timers on cycles selected by
+    /// `profile.sample_period`. When tracing is also attached, each
+    /// sampled cycle additionally emits a `stage_nanos` trace event.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Processor::run).
+    pub fn run_profiled(
+        &self,
+        program: &Program,
+        sink: &mut dyn TraceSink,
+        epoch: Option<u64>,
+        profile: ProfileConfig,
+    ) -> Result<RunResult, SimError> {
+        self.cfg.validate()?;
+        let mut core = Core::new(&self.cfg, program, sink, epoch)?;
+        core.metrics = Registry::profiling(profile);
+        self.drive(core, None)
+    }
+
+    /// [`resume_observed`](Processor::resume_observed) with self-profiling
+    /// (see [`run_profiled`](Processor::run_profiled)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`resume_from`](Processor::resume_from).
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_profiled(
+        &self,
+        program: &Program,
+        ckpt: &Checkpoint,
+        warmup: u64,
+        sample: Option<u64>,
+        sink: &mut dyn TraceSink,
+        epoch: Option<u64>,
+        profile: ProfileConfig,
+    ) -> Result<RunResult, SimError> {
+        self.cfg.validate()?;
+        let expected = program.fingerprint();
+        if ckpt.program_fingerprint != expected {
+            return Err(SimError::CheckpointMismatch { expected, got: ckpt.program_fingerprint });
+        }
+        let mut core = Core::new(&self.cfg, program, sink, epoch)?;
+        core.metrics = Registry::profiling(profile);
+        core.restore_from(ckpt, warmup);
+        self.drive(core, sample)
+    }
+
     /// Resumes detailed simulation from a [`Checkpoint`] captured by
     /// fast-forwarding `program` on the functional emulator. The
     /// architectural state (register file, memory image, PC) is installed
@@ -307,6 +360,8 @@ struct Core<'a> {
     unresolved_mispredicts: u32,
     prev_hier: HierarchyStats,
     last_commit_pc: Option<u32>,
+    metrics: Registry,
+    prof_this_cycle: bool,
 }
 
 impl<'a> Core<'a> {
@@ -367,6 +422,8 @@ impl<'a> Core<'a> {
             reuse_ptr: 0,
             unresolved_mispredicts: 0,
             last_commit_pc: None,
+            metrics: Registry::disabled(),
+            prof_this_cycle: false,
         })
     }
 
@@ -424,6 +481,7 @@ impl<'a> Core<'a> {
         }
         let mut stats = self.stats;
         stats.reuse = self.ctl.stats;
+        let metrics = self.metrics.is_enabled().then(|| self.metrics_snapshot());
         RunResult {
             stats,
             power: self.power.report(),
@@ -432,7 +490,30 @@ impl<'a> Core<'a> {
             epochs: self.epochs,
             arch_state: self.spec.regs().clone(),
             mem_digest: self.spec.mem().content_digest(),
+            metrics,
         }
+    }
+
+    /// Freezes the registry with the mirror counters — the numbers the
+    /// simulator already maintains elsewhere (stats, hierarchy) — filled
+    /// in, so one snapshot answers both "what did the run do" and "what
+    /// did the cycle loop touch doing it".
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut reg = self.metrics.clone();
+        let stats = self.current_stats();
+        reg.set(SimCounter::Cycles, stats.cycles);
+        reg.set(SimCounter::Committed, stats.committed);
+        reg.set(SimCounter::Fetched, stats.fetched);
+        reg.set(SimCounter::Dispatched, stats.dispatched);
+        reg.set(SimCounter::Issued, stats.issued);
+        reg.set(SimCounter::GatedCycles, stats.gated_cycles);
+        reg.set(SimCounter::ReusedInsts, stats.reuse.reused_insts);
+        let h = self.hier.stats();
+        let accesses = h.il1.accesses() + h.dl1.accesses() + h.l2.accesses();
+        let misses = h.il1.misses + h.dl1.misses + h.l2.misses;
+        reg.set(SimCounter::CacheMisses, misses);
+        reg.set(SimCounter::CacheHits, accesses.saturating_sub(misses));
+        reg.snapshot()
     }
 
     /// The live counters including the controller-held reuse numbers (the
@@ -476,17 +557,78 @@ impl<'a> Core<'a> {
     }
 
     fn cycle(&mut self) -> Result<(), SimError> {
+        self.prof_this_cycle = self.metrics.stage_timers_sampled(self.now);
         self.pool.new_cycle();
+        if self.prof_this_cycle {
+            self.timed_cycle()?;
+        } else {
+            self.commit();
+            if !self.done {
+                self.writeback();
+                self.issue();
+                self.dispatch()?;
+                self.decode();
+                self.fetch()?;
+            }
+            self.end_cycle_accounting();
+        }
+        self.now += 1;
+        Ok(())
+    }
+
+    /// The sampled-cycle path: the identical stage sequence as
+    /// [`cycle`](Core::cycle), with each stage bracketed by host-clock
+    /// reads. `Execute` time is recorded inside
+    /// [`execute_speculative`](Core::execute_speculative) (it runs nested
+    /// within dispatch), so its delta is read back from the registry.
+    fn timed_cycle(&mut self) -> Result<(), SimError> {
+        fn lap(mark: &mut Instant) -> u64 {
+            let now = Instant::now();
+            let d = now.duration_since(*mark).as_nanos() as u64;
+            *mark = now;
+            d
+        }
+        let mut nanos = [0u64; Stage::COUNT];
+        let exec_before = self.metrics.stage_nanos(Stage::Execute);
+        let mut mark = Instant::now();
         self.commit();
+        nanos[Stage::Commit as usize] = lap(&mut mark);
         if !self.done {
             self.writeback();
+            nanos[Stage::Writeback as usize] = lap(&mut mark);
             self.issue();
+            nanos[Stage::Issue as usize] = lap(&mut mark);
             self.dispatch()?;
+            nanos[Stage::Dispatch as usize] = lap(&mut mark);
             self.decode();
+            nanos[Stage::Decode as usize] = lap(&mut mark);
             self.fetch()?;
+            nanos[Stage::Fetch as usize] = lap(&mut mark);
         }
         self.end_cycle_accounting();
-        self.now += 1;
+        nanos[Stage::Accounting as usize] = lap(&mut mark);
+        nanos[Stage::Execute as usize] = self.metrics.stage_nanos(Stage::Execute) - exec_before;
+        for &stage in Stage::ALL.iter() {
+            if stage != Stage::Execute {
+                self.metrics.record_stage(stage, nanos[stage as usize]);
+            }
+        }
+        self.metrics.count_stage_sample();
+        if self.tracing {
+            self.sink.record(TraceEvent::new(
+                self.now,
+                EventKind::StageNanos {
+                    fetch: nanos[Stage::Fetch as usize],
+                    decode: nanos[Stage::Decode as usize],
+                    dispatch: nanos[Stage::Dispatch as usize],
+                    execute: nanos[Stage::Execute as usize],
+                    issue: nanos[Stage::Issue as usize],
+                    writeback: nanos[Stage::Writeback as usize],
+                    commit: nanos[Stage::Commit as usize],
+                    accounting: nanos[Stage::Accounting as usize],
+                },
+            ));
+        }
         Ok(())
     }
 
@@ -549,6 +691,9 @@ impl<'a> Core<'a> {
             completions.push((seq, id));
         }
         completions.sort_unstable();
+        if !completions.is_empty() {
+            self.metrics.add(SimCounter::AllocEvents, 1);
+        }
         for (seq, id) in completions {
             let Some(e) = self.rob.get_mut(id) else { continue };
             if e.seq != seq || e.completed {
@@ -564,6 +709,10 @@ impl<'a> Core<'a> {
                 self.lsq.mark_completed(id, seq);
             }
             if has_dest {
+                // A wakeup broadcast compares the completing tag against
+                // every live queue entry — the CAM cost ROADMAP item 1
+                // wants quantified.
+                self.metrics.add(SimCounter::IqWakeupVisits, self.iq.len() as u64);
                 self.iq.wakeup(id);
                 self.act.add(Component::IqWakeup, 1);
             }
@@ -577,6 +726,7 @@ impl<'a> Core<'a> {
         self.stats.mispredictions += 1;
         // Walk the window back, youngest first, to the mispredicted branch.
         while let Some(young) = self.rob.youngest() {
+            self.metrics.add(SimCounter::RobWalkVisits, 1);
             if self.rob.get(young).expect("youngest live").seq <= branch_seq {
                 break;
             }
@@ -653,6 +803,10 @@ impl<'a> Core<'a> {
             return;
         }
         self.act.add(Component::IqSelect, 1);
+        // The ready scan reads every live entry and materializes a fresh
+        // position vector each cycle.
+        self.metrics.add(SimCounter::IqScanVisits, self.iq.len() as u64);
+        self.metrics.add(SimCounter::AllocEvents, 1);
         let ready = self.iq.ready_positions();
         let mut selected: Vec<usize> = Vec::new();
         for pos in ready {
@@ -661,10 +815,11 @@ impl<'a> Core<'a> {
             }
             let e = &self.iq.entries()[pos];
             let class = fu_class(&e.inst);
-            if e.inst.class() == InstClass::Load
-                && self.lsq.check_load(e.rob, e.seq) == StoreConflict::Wait
-            {
-                continue; // blocked behind an incomplete older store
+            if e.inst.class() == InstClass::Load {
+                self.metrics.add(SimCounter::LsqSearchVisits, self.lsq.len() as u64);
+                if self.lsq.check_load(e.rob, e.seq) == StoreConflict::Wait {
+                    continue; // blocked behind an incomplete older store
+                }
             }
             if !self.pool.try_acquire(class) {
                 continue;
@@ -700,6 +855,7 @@ impl<'a> Core<'a> {
             // A wrong-path load that faulted (`mem` is `None`) executes
             // as a bubble.
             if let Some(m) = mem {
+                self.metrics.add(SimCounter::LsqSearchVisits, self.lsq.len() as u64);
                 match self.lsq.check_load(rob_id, seq) {
                     StoreConflict::ForwardReady => {
                         self.lsq.count_forward();
@@ -760,7 +916,24 @@ impl<'a> Core<'a> {
     }
 
     /// Functionally executes at dispatch, handling wrong-path faults.
+    /// On sampled profiling cycles the host time spent here is recorded
+    /// against [`Stage::Execute`] (nested inside dispatch's bracket).
     fn execute_speculative(
+        &mut self,
+        inst: &Inst,
+        pc: u32,
+    ) -> Result<(Executed, Vec<crate::specstate::UndoRecord>), SimError> {
+        if self.prof_this_cycle {
+            let start = Instant::now();
+            let out = self.execute_speculative_inner(inst, pc);
+            self.metrics.record_stage(Stage::Execute, start.elapsed().as_nanos() as u64);
+            out
+        } else {
+            self.execute_speculative_inner(inst, pc)
+        }
+    }
+
+    fn execute_speculative_inner(
         &mut self,
         inst: &Inst,
         pc: u32,
@@ -896,6 +1069,11 @@ impl<'a> Core<'a> {
             if self.halt_dispatched || self.rob.is_full() {
                 break;
             }
+            // Called once per supplied instruction: each call re-scans the
+            // whole queue and allocates a fresh position vector (a known
+            // redundancy this counter exists to expose).
+            self.metrics.add(SimCounter::IqScanVisits, self.iq.len() as u64);
+            self.metrics.add(SimCounter::AllocEvents, 1);
             let classified = self.iq.classified_positions();
             if classified.is_empty() {
                 // Defensive: nothing left to reuse (should not happen —
@@ -1144,6 +1322,13 @@ impl<'a> Core<'a> {
                 e.classification
             );
         }
+        // Profiled runs get the full registry snapshot in the same
+        // artifact, so a hang is diagnosable without a re-run.
+        if self.metrics.is_enabled() {
+            let _ = write!(s, "; {}", self.metrics_snapshot().render_sim());
+        } else {
+            s.push_str("; metrics: disabled");
+        }
         s
     }
 
@@ -1197,6 +1382,7 @@ impl<'a> Core<'a> {
         self.power.end_cycle(&self.act, self.gated);
         self.act.clear();
         self.stats.cycles += 1;
+        self.metrics.observe_iq_occupancy(self.iq.len() as u64);
         self.stats.iq_occupancy_sum += self.iq.len() as u64;
         self.stats.rob_occupancy_sum += self.rob.len() as u64;
         if self.gated {
@@ -1308,5 +1494,50 @@ mod tests {
     #[test]
     fn fault_switch_defaults_off() {
         assert!(!crate::fault::skip_restore_r9());
+    }
+
+    /// An unprofiled run carries no metrics; a profiled run of the same
+    /// program carries a snapshot whose mirrors agree with the stats and
+    /// whose visit counters actually moved.
+    #[test]
+    fn profiled_run_attaches_a_consistent_snapshot() {
+        let cfg = SimConfig::baseline().with_reuse(true);
+        let program = tight_loop();
+        let proc = Processor::new(cfg);
+        let plain = proc.run(&program).unwrap();
+        assert!(plain.metrics.is_none());
+        let profiled =
+            proc.run_profiled(&program, &mut NullSink, None, ProfileConfig::default()).unwrap();
+        let m = profiled.metrics.expect("profiled run attaches metrics");
+        assert_eq!(m.get(SimCounter::Cycles), profiled.stats.cycles);
+        assert_eq!(m.get(SimCounter::Committed), profiled.stats.committed);
+        assert_eq!(m.get(SimCounter::ReusedInsts), profiled.stats.reuse.reused_insts);
+        assert!(m.get(SimCounter::IqScanVisits) > 0, "issue scans every cycle");
+        assert!(m.get(SimCounter::IqWakeupVisits) > 0);
+        assert!(m.get(SimCounter::AllocEvents) > 0);
+        assert!(m.iq_occupancy.total() == profiled.stats.cycles);
+        assert!(m.stage_samples > 0, "default sampling must time some cycles");
+        // Timing counters are host noise, but architecture must not move:
+        // the profiled run is the same simulation.
+        assert_eq!(profiled.stats.cycles, plain.stats.cycles);
+        assert_eq!(profiled.mem_digest, plain.mem_digest);
+    }
+
+    /// Satellite: the watchdog dump includes the registry snapshot for
+    /// profiled runs and says so explicitly when metrics are off.
+    #[test]
+    fn deadlock_dump_includes_metrics_snapshot_when_profiling() {
+        let cfg = SimConfig::baseline().with_reuse(true);
+        let program = tight_loop();
+        let mut sink = NullSink;
+        let mut core = Core::new(&cfg, &program, &mut sink, None).unwrap();
+        assert!(core.deadlock_dump().ends_with("metrics: disabled"));
+        core.metrics = Registry::profiling(ProfileConfig::default());
+        for _ in 0..20 {
+            core.cycle().unwrap();
+        }
+        let dump = core.deadlock_dump();
+        assert!(dump.contains("; metrics: cycles=20"), "{dump}");
+        assert!(dump.contains("iq_scan_visits="), "{dump}");
     }
 }

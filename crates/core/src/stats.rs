@@ -246,18 +246,26 @@ pub struct RunResult {
     pub arch_state: ArchState,
     /// Digest of the final memory content (for differential testing).
     pub mem_digest: u64,
+    /// Self-profiling snapshot; `Some` only for runs driven with an
+    /// enabled metrics registry
+    /// ([`Processor::run_profiled`](crate::Processor::run_profiled)).
+    pub metrics: Option<riq_metrics::MetricsSnapshot>,
 }
 
 impl ToJson for RunResult {
     fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
+        let mut pairs = vec![
             ("stats", self.stats.to_json()),
             ("mem", self.mem.to_json()),
             ("bpred", self.bpred.to_json()),
             ("power", self.power.to_json()),
             ("epochs", self.epochs.to_json()),
             ("mem_digest", self.mem_digest.to_json()),
-        ])
+        ];
+        if let Some(m) = &self.metrics {
+            pairs.push(("metrics", m.to_json()));
+        }
+        JsonValue::obj(pairs)
     }
 }
 

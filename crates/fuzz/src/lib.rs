@@ -62,6 +62,15 @@ pub struct FuzzSummary {
     pub failures: u64,
     /// Accepted shrink reductions across all failing programs.
     pub shrink_steps: u64,
+    /// Oracle evaluations the shrinker spent (accepted or not).
+    pub shrink_evals: u64,
+    /// Cycles simulated across every leg of every program, including the
+    /// shrinker's candidate evaluations. Simulation-domain: identical for
+    /// identical options. Excluded from [`FuzzSummary::line`], which CI
+    /// pins — speed accounting goes to stderr instead.
+    pub sim_cycles: u64,
+    /// Instructions committed across every leg of every program.
+    pub sim_insts: u64,
     /// Per-failure description lines (seed + first violation).
     pub failure_notes: Vec<String>,
     /// Repro files written to the corpus directory.
@@ -119,16 +128,28 @@ pub fn run_fuzz_with<F: FnMut(u64, u64, bool)>(opts: &FuzzOptions, mut progress:
         let report = oracle::check_source(&source, &matrix);
         summary.programs += 1;
         summary.configs_checked += report.configs_checked;
+        summary.sim_cycles += report.sim_cycles;
+        summary.sim_insts += report.sim_insts;
         let failed = !report.passed() || !lint.is_empty();
         if failed {
             summary.failures += 1;
             let (final_program, final_report) = if opts.minimize {
+                let mut cand_cycles = 0u64;
+                let mut cand_insts = 0u64;
                 let outcome = shrink::shrink(&program, |candidate| {
                     let src = candidate.render();
-                    !oracle::check_source(&src, &matrix).passed() || !lint_errors(&src).is_empty()
+                    let r = oracle::check_source(&src, &matrix);
+                    cand_cycles += r.sim_cycles;
+                    cand_insts += r.sim_insts;
+                    !r.passed() || !lint_errors(&src).is_empty()
                 });
                 summary.shrink_steps += outcome.steps;
+                summary.shrink_evals += outcome.evals;
+                summary.sim_cycles += cand_cycles;
+                summary.sim_insts += cand_insts;
                 let r = oracle::check_source(&outcome.program.render(), &matrix);
+                summary.sim_cycles += r.sim_cycles;
+                summary.sim_insts += r.sim_insts;
                 (outcome.program, r)
             } else {
                 (program, report)
@@ -193,5 +214,11 @@ mod tests {
         assert_eq!(a.line(), b.line(), "same options ⇒ identical summary");
         assert_eq!(a.programs, 3);
         assert!(a.configs_checked >= 3 * 6);
+        assert!(a.sim_cycles > 0 && a.sim_insts > 0, "legs really simulated");
+        assert_eq!(
+            (a.sim_cycles, a.sim_insts, a.shrink_evals),
+            (b.sim_cycles, b.sim_insts, b.shrink_evals),
+            "sim-domain totals are a pure function of the options"
+        );
     }
 }

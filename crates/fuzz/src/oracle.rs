@@ -123,6 +123,11 @@ pub struct CheckReport {
     pub failures: Vec<Failure>,
     /// Number of simulator legs actually executed.
     pub configs_checked: u64,
+    /// Cycles simulated across all executed legs (sim-domain: a pure
+    /// function of the program and the matrix).
+    pub sim_cycles: u64,
+    /// Instructions committed across all executed legs.
+    pub sim_insts: u64,
 }
 
 impl CheckReport {
@@ -263,9 +268,11 @@ fn check_invariants(
 pub fn check_program(program: &Program, matrix: &[MatrixPoint]) -> CheckReport {
     let mut failures = Vec::new();
     let mut configs_checked = 0u64;
+    let mut sim_cycles = 0u64;
+    let mut sim_insts = 0u64;
     let expected = match run_oracle(program) {
         Ok(e) => e,
-        Err(f) => return CheckReport { failures: vec![f], configs_checked },
+        Err(f) => return CheckReport { failures: vec![f], configs_checked, sim_cycles, sim_insts },
     };
 
     for point in matrix {
@@ -302,7 +309,11 @@ pub fn check_program(program: &Program, matrix: &[MatrixPoint]) -> CheckReport {
         };
         configs_checked += 1;
         let r = match run {
-            Ok(r) => r,
+            Ok(r) => {
+                sim_cycles += r.stats.cycles;
+                sim_insts += r.stats.committed;
+                r
+            }
             Err(e) => {
                 failures.push(Failure {
                     point: point.name.clone(),
@@ -356,6 +367,8 @@ pub fn check_program(program: &Program, matrix: &[MatrixPoint]) -> CheckReport {
         (0..2).map(|_| proc.run_observed(program, &mut riq_trace::NullSink, None)).collect();
     configs_checked += 1;
     if let [Ok(a), Ok(b)] = &runs[..] {
+        sim_cycles += a.stats.cycles + b.stats.cycles;
+        sim_insts += a.stats.committed + b.stats.committed;
         if (a.stats.cycles, a.stats.committed, a.stats.gated_cycles, a.mem_digest)
             != (b.stats.cycles, b.stats.committed, b.stats.gated_cycles, b.mem_digest)
             || a.arch_state != b.arch_state
@@ -375,7 +388,7 @@ pub fn check_program(program: &Program, matrix: &[MatrixPoint]) -> CheckReport {
         }
     }
 
-    CheckReport { failures, configs_checked }
+    CheckReport { failures, configs_checked, sim_cycles, sim_insts }
 }
 
 /// Assembles `source` and checks it against `matrix`. Assembly failure is
@@ -390,6 +403,8 @@ pub fn check_source(source: &str, matrix: &[MatrixPoint]) -> CheckReport {
                 detail: format!("generated source rejected: {e}"),
             }],
             configs_checked: 0,
+            sim_cycles: 0,
+            sim_insts: 0,
         },
     }
 }

@@ -1,0 +1,235 @@
+//! Static metric identifiers.
+//!
+//! Metrics are addressed by `#[repr(usize)]` enums that index fixed-size
+//! arrays — recording a metric is a bounds-known array add, never a string
+//! hash. Names exist only at the snapshot/rendering edge.
+
+/// Simulation-domain counters: deterministic functions of
+/// (program, configuration). Never mix host time or host memory in here —
+/// determinism tests compare these byte-for-byte across worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum SimCounter {
+    /// Simulated cycles (mirror of `SimStats::cycles`).
+    Cycles,
+    /// Committed instructions (mirror of `SimStats::committed`).
+    Committed,
+    /// Fetched instructions, wrong path included.
+    Fetched,
+    /// Dispatched instructions, reuse-supplied included.
+    Dispatched,
+    /// Instructions issued to function units.
+    Issued,
+    /// Front-end-gated cycles.
+    GatedCycles,
+    /// Instructions supplied by the issue queue in Code Reuse state.
+    ReusedInsts,
+    /// Issue-queue entries visited by the select/ready scan.
+    IqScanVisits,
+    /// Issue-queue entries visited by wakeup broadcasts.
+    IqWakeupVisits,
+    /// LSQ entries visited by load/store conflict searches.
+    LsqSearchVisits,
+    /// ROB entries visited by misprediction recovery walks.
+    RobWalkVisits,
+    /// Heap allocations performed by the cycle loop's temporaries
+    /// (ready/classified position vectors, completion batches).
+    AllocEvents,
+    /// Memory-hierarchy hits (L1I + L1D + L2).
+    CacheHits,
+    /// Memory-hierarchy misses (L1I + L1D + L2).
+    CacheMisses,
+}
+
+impl SimCounter {
+    /// Number of simulation-domain counters.
+    pub const COUNT: usize = 14;
+
+    /// Every counter, in stable rendering order.
+    pub const ALL: [SimCounter; SimCounter::COUNT] = [
+        SimCounter::Cycles,
+        SimCounter::Committed,
+        SimCounter::Fetched,
+        SimCounter::Dispatched,
+        SimCounter::Issued,
+        SimCounter::GatedCycles,
+        SimCounter::ReusedInsts,
+        SimCounter::IqScanVisits,
+        SimCounter::IqWakeupVisits,
+        SimCounter::LsqSearchVisits,
+        SimCounter::RobWalkVisits,
+        SimCounter::AllocEvents,
+        SimCounter::CacheHits,
+        SimCounter::CacheMisses,
+    ];
+
+    /// Stable snake_case name used in JSON and rendered snapshots.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            SimCounter::Cycles => "cycles",
+            SimCounter::Committed => "committed",
+            SimCounter::Fetched => "fetched",
+            SimCounter::Dispatched => "dispatched",
+            SimCounter::Issued => "issued",
+            SimCounter::GatedCycles => "gated_cycles",
+            SimCounter::ReusedInsts => "reused_insts",
+            SimCounter::IqScanVisits => "iq_scan_visits",
+            SimCounter::IqWakeupVisits => "iq_wakeup_visits",
+            SimCounter::LsqSearchVisits => "lsq_search_visits",
+            SimCounter::RobWalkVisits => "rob_walk_visits",
+            SimCounter::AllocEvents => "alloc_events",
+            SimCounter::CacheHits => "cache_hits",
+            SimCounter::CacheMisses => "cache_misses",
+        }
+    }
+}
+
+/// Host-domain counters: properties of the machine running the simulator.
+/// Excluded from determinism comparisons by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HostCounter {
+    /// Simulation points actually executed by the engine.
+    JobsSimulated,
+    /// Simulation points resolved from the result cache or in-batch dedup.
+    JobsDeduplicated,
+    /// Peak depth of the engine's pending-job queue.
+    JobQueueDepthPeak,
+    /// Checkpoints created by fast-forwarding.
+    CkptCreated,
+    /// Checkpoint requests served from the store.
+    CkptReused,
+    /// Nanoseconds spent fast-forwarding on the functional emulator.
+    FastForwardNanos,
+    /// Nanoseconds spent inside engine batches (the one engine clock).
+    EngineWallNanos,
+    /// Programs checked by the fuzzer.
+    FuzzPrograms,
+    /// Shrinker predicate evaluations.
+    ShrinkEvals,
+}
+
+impl HostCounter {
+    /// Number of host-domain counters.
+    pub const COUNT: usize = 9;
+
+    /// Every counter, in stable rendering order.
+    pub const ALL: [HostCounter; HostCounter::COUNT] = [
+        HostCounter::JobsSimulated,
+        HostCounter::JobsDeduplicated,
+        HostCounter::JobQueueDepthPeak,
+        HostCounter::CkptCreated,
+        HostCounter::CkptReused,
+        HostCounter::FastForwardNanos,
+        HostCounter::EngineWallNanos,
+        HostCounter::FuzzPrograms,
+        HostCounter::ShrinkEvals,
+    ];
+
+    /// Stable snake_case name used in JSON and rendered snapshots.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            HostCounter::JobsSimulated => "jobs_simulated",
+            HostCounter::JobsDeduplicated => "jobs_deduplicated",
+            HostCounter::JobQueueDepthPeak => "job_queue_depth_peak",
+            HostCounter::CkptCreated => "ckpt_created",
+            HostCounter::CkptReused => "ckpt_reused",
+            HostCounter::FastForwardNanos => "fast_forward_nanos",
+            HostCounter::EngineWallNanos => "engine_wall_nanos",
+            HostCounter::FuzzPrograms => "fuzz_programs",
+            HostCounter::ShrinkEvals => "shrink_evals",
+        }
+    }
+}
+
+/// Pipeline stages timed by the core's scoped stage timers (host domain:
+/// the values are nanoseconds of *host* time spent in each stage's
+/// modeling code on sampled cycles).
+///
+/// `Execute` is nested inside `Dispatch` (instructions execute
+/// functionally at dispatch, sim-outorder style); share computations
+/// subtract it so the stages partition the cycle loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Instruction fetch (front end, including I-cache latency modeling).
+    Fetch,
+    /// Decode buffering.
+    Decode,
+    /// Rename/dispatch into the window (includes `Execute`).
+    Dispatch,
+    /// Functional execution at dispatch (nested inside `Dispatch`).
+    Execute,
+    /// Wakeup/select and function-unit issue.
+    Issue,
+    /// Completion draining and misprediction recovery.
+    Writeback,
+    /// In-order retirement.
+    Commit,
+    /// End-of-cycle activity/power/epoch accounting.
+    Accounting,
+}
+
+impl Stage {
+    /// Number of timed stages.
+    pub const COUNT: usize = 8;
+
+    /// Every stage, in pipeline order (rendering order).
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Fetch,
+        Stage::Decode,
+        Stage::Dispatch,
+        Stage::Execute,
+        Stage::Issue,
+        Stage::Writeback,
+        Stage::Commit,
+        Stage::Accounting,
+    ];
+
+    /// Stable snake_case name used in JSON and rendered snapshots.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Fetch => "fetch",
+            Stage::Decode => "decode",
+            Stage::Dispatch => "dispatch",
+            Stage::Execute => "execute",
+            Stage::Issue => "issue",
+            Stage::Writeback => "writeback",
+            Stage::Commit => "commit",
+            Stage::Accounting => "accounting",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_tables_are_consistent() {
+        for (i, c) in SimCounter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "SimCounter::ALL must list ids in discriminant order");
+        }
+        for (i, c) in HostCounter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_within_each_domain() {
+        let mut sim: Vec<&str> = SimCounter::ALL.iter().map(|c| c.name()).collect();
+        sim.sort_unstable();
+        sim.dedup();
+        assert_eq!(sim.len(), SimCounter::COUNT);
+        let mut host: Vec<&str> = HostCounter::ALL.iter().map(|c| c.name()).collect();
+        host.sort_unstable();
+        host.dedup();
+        assert_eq!(host.len(), HostCounter::COUNT);
+    }
+}

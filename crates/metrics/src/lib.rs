@@ -1,0 +1,56 @@
+//! # riq-metrics — simulator self-profiling
+//!
+//! The instrument the reproduction points at *itself*: a zero-cost-when-
+//! disabled metrics layer with monotonic counters, stage timers, and
+//! fixed-bucket histograms behind **static metric ids** — no string
+//! hashing anywhere near the cycle loop, the same design discipline as
+//! riq-trace's sinks (one boolean check when disabled).
+//!
+//! ## The domain split
+//!
+//! Every metric belongs to exactly one of two namespaces, and the split is
+//! structural, not a naming convention:
+//!
+//! * **Simulation domain** ([`SimCounter`]) — counts of simulated work:
+//!   cycles, committed instructions, issue-queue scan visits, LSQ search
+//!   visits, ROB recovery-walk visits, per-cycle temporary allocations,
+//!   cache hits/misses. These are a pure function of (program, config) and
+//!   are **byte-identical across worker counts and checkpoint stores**
+//!   (`tests/metrics determinism` in the workspace proves it).
+//! * **Host domain** ([`HostCounter`], [`Stage`] timers) — wall-clock
+//!   nanoseconds, RSS, job counts, fast-forward seconds. These describe
+//!   the machine running the simulator and are *excluded from determinism
+//!   comparisons by construction*: they live in separate arrays, render
+//!   through separate entry points, and [`MetricsSnapshot::sim_json`]
+//!   never touches them.
+//!
+//! ## Pieces
+//!
+//! * [`Registry`] — per-run, owned by one simulator core; trivially cheap
+//!   (`enabled` bool + fixed arrays), disabled by default.
+//! * [`MetricsSnapshot`] — the frozen result of a run, attached to
+//!   `RunResult` by profiled runs and dumped by the deadlock watchdog.
+//! * [`SharedRegistry`] — a thread-safe hub the sweep engine, checkpoint
+//!   store, and fuzzer merge into (atomic adds commute exactly on `u64`,
+//!   so the merged simulation-domain totals stay order-independent).
+//! * [`PerfBlock`] — the run-speed accounting (simulated instructions/sec
+//!   and cycles/sec, the related RISC-V sim's "605 KHz" line) embedded in
+//!   schema-v4 run reports; one `PerfBlock` is the *single* clock source
+//!   for both the stderr line and the JSON document.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ids;
+pub mod perf;
+pub mod registry;
+pub mod rss;
+pub mod shared;
+pub mod snapshot;
+
+pub use ids::{HostCounter, SimCounter, Stage};
+pub use perf::{format_rate, PerfBlock};
+pub use registry::{Histogram, ProfileConfig, Registry, HIST_BUCKETS};
+pub use rss::peak_rss_bytes;
+pub use shared::{HubMode, HubSnapshot, SharedRegistry};
+pub use snapshot::MetricsSnapshot;

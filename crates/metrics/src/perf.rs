@@ -1,0 +1,190 @@
+//! Run-speed accounting: the `perf` block of schema-v4 run reports.
+//!
+//! One [`PerfBlock`] is built from one wall-clock measurement and is the
+//! *single* source for both the stderr `speed:` line and the JSON
+//! document — the two surfaces can never disagree (they used to: the
+//! engine timed itself separately from the report assembler).
+
+use riq_trace::{JsonValue, ToJson};
+
+/// Formats a rate as a human-friendly `"NNN.NN Hz/KHz/MHz"` string.
+#[must_use]
+pub fn format_rate(per_second: f64) -> String {
+    if per_second >= 1e6 {
+        format!("{:.2} MHz", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.2} KHz", per_second / 1e3)
+    } else {
+        format!("{:.2} Hz", per_second)
+    }
+}
+
+/// Sim-speed accounting for one invocation (a run, a sweep batch, a fuzz
+/// campaign, or one analyze leg).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBlock {
+    /// Wall-clock seconds of the measured region (detailed simulation,
+    /// excluding fast-forward — see `ff_wall_seconds`).
+    pub wall_seconds: f64,
+    /// Wall-clock seconds spent fast-forwarding on the functional
+    /// emulator (0.0 when no checkpointing was involved).
+    pub ff_wall_seconds: f64,
+    /// Simulated instructions committed in the measured region.
+    pub sim_instructions: u64,
+    /// Simulated cycles in the measured region.
+    pub sim_cycles: u64,
+    /// Peak resident set size of the process, when the host exposes it.
+    pub peak_rss_bytes: Option<u64>,
+    /// Per-stage host-time shares (stage name → fraction), present only
+    /// for profiled runs.
+    pub stage_shares: Option<JsonValue>,
+}
+
+impl PerfBlock {
+    /// Builds a perf block from a single wall-clock measurement.
+    #[must_use]
+    pub fn new(wall_seconds: f64, sim_instructions: u64, sim_cycles: u64) -> PerfBlock {
+        PerfBlock {
+            wall_seconds,
+            ff_wall_seconds: 0.0,
+            sim_instructions,
+            sim_cycles,
+            peak_rss_bytes: crate::rss::peak_rss_bytes(),
+            stage_shares: None,
+        }
+    }
+
+    /// Sets the fast-forward share of the wall clock.
+    #[must_use]
+    pub fn with_fast_forward(mut self, ff_wall_seconds: f64) -> PerfBlock {
+        self.ff_wall_seconds = ff_wall_seconds;
+        self
+    }
+
+    /// Attaches profiled stage shares.
+    #[must_use]
+    pub fn with_stage_shares(mut self, shares: JsonValue) -> PerfBlock {
+        self.stage_shares = Some(shares);
+        self
+    }
+
+    /// Simulated committed instructions per wall second.
+    #[must_use]
+    pub fn instructions_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.sim_instructions as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated cycles per wall second.
+    #[must_use]
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.sim_cycles as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Instructions per second in millions (the classic simulator MIPS).
+    #[must_use]
+    pub fn mips(&self) -> f64 {
+        self.instructions_per_second() / 1e6
+    }
+
+    /// Cycles per second in thousands (the related RISC-V sim prints its
+    /// speed as e.g. "605 KHz").
+    #[must_use]
+    pub fn sim_khz(&self) -> f64 {
+        self.cycles_per_second() / 1e3
+    }
+
+    /// The stderr speed line, e.g.
+    /// `speed: 1.23 MHz sim clock, 0.98 M inst/s, 1234567 cycles / 987654 insts in 1.00s`.
+    #[must_use]
+    pub fn speed_line(&self) -> String {
+        format!(
+            "speed: {} sim clock, {:.2} M inst/s, {} cycles / {} insts in {:.2}s",
+            format_rate(self.cycles_per_second()),
+            self.mips(),
+            self.sim_cycles,
+            self.sim_instructions,
+            self.wall_seconds,
+        )
+    }
+}
+
+impl ToJson for PerfBlock {
+    fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("wall_clock_seconds", JsonValue::Num(self.wall_seconds)),
+            ("fast_forward_seconds", JsonValue::Num(self.ff_wall_seconds)),
+            ("sim_instructions", JsonValue::UInt(self.sim_instructions)),
+            ("sim_cycles", JsonValue::UInt(self.sim_cycles)),
+            ("instructions_per_second", JsonValue::Num(self.instructions_per_second())),
+            ("cycles_per_second", JsonValue::Num(self.cycles_per_second())),
+            ("mips", JsonValue::Num(self.mips())),
+            ("sim_khz", JsonValue::Num(self.sim_khz())),
+        ];
+        match self.peak_rss_bytes {
+            Some(b) => pairs.push(("peak_rss_bytes", JsonValue::UInt(b))),
+            None => pairs.push(("peak_rss_bytes", JsonValue::Null)),
+        }
+        if let Some(shares) = &self.stage_shares {
+            pairs.push(("stage_shares", shares.clone()));
+        }
+        JsonValue::obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_derive_from_one_clock() {
+        let p = PerfBlock::new(2.0, 1_000_000, 4_000_000);
+        assert!((p.instructions_per_second() - 500_000.0).abs() < 1e-6);
+        assert!((p.cycles_per_second() - 2_000_000.0).abs() < 1e-6);
+        assert!((p.mips() - 0.5).abs() < 1e-9);
+        assert!((p.sim_khz() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_clock_yields_zero_rates_not_infinity() {
+        let p = PerfBlock::new(0.0, 100, 100);
+        assert_eq!(p.instructions_per_second(), 0.0);
+        assert_eq!(p.cycles_per_second(), 0.0);
+    }
+
+    #[test]
+    fn format_rate_picks_sensible_units() {
+        assert_eq!(format_rate(12.0), "12.00 Hz");
+        assert_eq!(format_rate(605_000.0), "605.00 KHz");
+        assert_eq!(format_rate(2_500_000.0), "2.50 MHz");
+    }
+
+    #[test]
+    fn json_block_and_speed_line_share_fields() {
+        let p = PerfBlock::new(1.0, 900_000, 1_500_000).with_fast_forward(0.25);
+        let json = p.to_json();
+        assert_eq!(json.get("sim_instructions").and_then(JsonValue::as_u64), Some(900_000));
+        assert_eq!(json.get("sim_cycles").and_then(JsonValue::as_u64), Some(1_500_000));
+        assert!(json.get("wall_clock_seconds").and_then(JsonValue::as_f64).is_some());
+        assert_eq!(json.get("fast_forward_seconds").and_then(JsonValue::as_f64), Some(0.25));
+        assert!(json.get("peak_rss_bytes").is_some());
+        let line = p.speed_line();
+        assert!(line.starts_with("speed: "));
+        assert!(line.contains("1500000 cycles / 900000 insts"));
+    }
+
+    #[test]
+    fn stage_shares_attach_only_when_profiled() {
+        let plain = PerfBlock::new(1.0, 1, 1);
+        assert!(plain.to_json().get("stage_shares").is_none());
+        let profiled = plain.with_stage_shares(JsonValue::obj([("fetch", JsonValue::Num(0.5))]));
+        assert!(profiled.to_json().get("stage_shares").is_some());
+    }
+}

@@ -1,0 +1,255 @@
+//! The per-run metric registry owned by one simulator core.
+
+use crate::ids::{SimCounter, Stage};
+use crate::snapshot::MetricsSnapshot;
+
+/// Number of fixed histogram buckets: bucket 0 holds value 0, bucket `k`
+/// holds values in `[2^(k-1), 2^k)`, the last bucket saturates.
+pub const HIST_BUCKETS: usize = 17;
+
+/// A fixed-bucket power-of-two histogram (no allocation, no hashing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Bucket counts; see [`HIST_BUCKETS`] for the bucket boundaries.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let b = if value == 0 {
+            0
+        } else {
+            (64 - u64::leading_zeros(value) as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[b] += 1;
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Counter-wise merge.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// How a profiled run samples its stage timers.
+///
+/// Reading the host clock twice per stage per cycle would itself dominate
+/// the cycle loop, so timers fire only on cycles where
+/// `cycle & (sample_period - 1) == 0`. Stage *shares* are ratios over the
+/// sampled population and converge quickly; visit counters are never
+/// sampled — they count every cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileConfig {
+    /// Stage-timer sampling period in cycles; rounded up to a power of
+    /// two, minimum 1 (= time every cycle).
+    pub sample_period: u64,
+}
+
+impl ProfileConfig {
+    /// The default sampling period (16: <7% of cycles pay for a timer).
+    pub const DEFAULT_SAMPLE_PERIOD: u64 = 16;
+}
+
+impl Default for ProfileConfig {
+    fn default() -> ProfileConfig {
+        ProfileConfig { sample_period: ProfileConfig::DEFAULT_SAMPLE_PERIOD }
+    }
+}
+
+/// The per-run registry: an `enabled` flag and fixed arrays.
+///
+/// Disabled (the default for plain `Processor::run`) every recording
+/// method is a single predictable branch on one bool — the same residual
+/// cost as riq-trace's `TraceSink::enabled` check — and the snapshot is
+/// `None`-equivalent (all zeros, `is_enabled` false).
+#[derive(Debug, Clone)]
+pub struct Registry {
+    enabled: bool,
+    sample_mask: u64,
+    sim: [u64; SimCounter::COUNT],
+    stage_nanos: [u64; Stage::COUNT],
+    stage_samples: u64,
+    iq_occupancy: Histogram,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::disabled()
+    }
+}
+
+impl Registry {
+    /// A disabled registry: every recording call is a no-op.
+    #[must_use]
+    pub fn disabled() -> Registry {
+        Registry {
+            enabled: false,
+            sample_mask: 0,
+            sim: [0; SimCounter::COUNT],
+            stage_nanos: [0; Stage::COUNT],
+            stage_samples: 0,
+            iq_occupancy: Histogram::default(),
+        }
+    }
+
+    /// An enabled registry with the given stage-timer sampling config.
+    #[must_use]
+    pub fn profiling(profile: ProfileConfig) -> Registry {
+        let period = profile.sample_period.max(1).next_power_of_two();
+        Registry { enabled: true, sample_mask: period - 1, ..Registry::disabled() }
+    }
+
+    /// Whether this registry records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `n` to a simulation-domain counter.
+    #[inline(always)]
+    pub fn add(&mut self, c: SimCounter, n: u64) {
+        if self.enabled {
+            self.sim[c as usize] += n;
+        }
+    }
+
+    /// Overwrites a simulation-domain counter (for end-of-run mirrors of
+    /// counters the simulator already maintains).
+    #[inline]
+    pub fn set(&mut self, c: SimCounter, n: u64) {
+        if self.enabled {
+            self.sim[c as usize] = n;
+        }
+    }
+
+    /// Whether the stage timers fire on `cycle`. Call once per cycle; when
+    /// `false` (always, for a disabled registry) no host clock is read.
+    #[inline(always)]
+    #[must_use]
+    pub fn stage_timers_sampled(&self, cycle: u64) -> bool {
+        self.enabled && cycle & self.sample_mask == 0
+    }
+
+    /// Records `nanos` of host time against a stage. Callers only reach
+    /// this after [`stage_timers_sampled`](Registry::stage_timers_sampled)
+    /// returned `true`.
+    #[inline]
+    pub fn record_stage(&mut self, s: Stage, nanos: u64) {
+        self.stage_nanos[s as usize] += nanos;
+    }
+
+    /// Counts one fully-timed cycle (call once per sampled cycle).
+    #[inline]
+    pub fn count_stage_sample(&mut self) {
+        self.stage_samples += 1;
+    }
+
+    /// Accumulated host nanoseconds recorded against a stage so far.
+    #[must_use]
+    pub fn stage_nanos(&self, s: Stage) -> u64 {
+        self.stage_nanos[s as usize]
+    }
+
+    /// Records an issue-queue occupancy observation.
+    #[inline(always)]
+    pub fn observe_iq_occupancy(&mut self, entries: u64) {
+        if self.enabled {
+            self.iq_occupancy.record(entries);
+        }
+    }
+
+    /// Freezes the registry into a snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sim: self.sim,
+            stage_nanos: self.stage_nanos,
+            stage_samples: self.stage_samples,
+            iq_occupancy: self.iq_occupancy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The zero-overhead contract: a disabled registry records nothing —
+    /// every path is the branch-not-taken side of one bool.
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let mut r = Registry::disabled();
+        assert!(!r.is_enabled());
+        r.add(SimCounter::IqScanVisits, 1000);
+        r.set(SimCounter::Cycles, 42);
+        r.observe_iq_occupancy(64);
+        for cycle in 0..256 {
+            assert!(!r.stage_timers_sampled(cycle), "disabled => never sampled");
+        }
+        let s = r.snapshot();
+        assert_eq!(s.sim, [0; SimCounter::COUNT]);
+        assert_eq!(s.stage_nanos, [0; Stage::COUNT]);
+        assert_eq!(s.stage_samples, 0);
+        assert_eq!(s.iq_occupancy.total(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_records() {
+        let mut r = Registry::profiling(ProfileConfig { sample_period: 4 });
+        assert!(r.is_enabled());
+        r.add(SimCounter::LsqSearchVisits, 3);
+        r.add(SimCounter::LsqSearchVisits, 2);
+        r.set(SimCounter::Cycles, 7);
+        r.observe_iq_occupancy(0);
+        r.observe_iq_occupancy(5);
+        let s = r.snapshot();
+        assert_eq!(s.sim[SimCounter::LsqSearchVisits as usize], 5);
+        assert_eq!(s.sim[SimCounter::Cycles as usize], 7);
+        assert_eq!(s.iq_occupancy.total(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn sampling_mask_follows_the_period() {
+        let r = Registry::profiling(ProfileConfig { sample_period: 8 });
+        let sampled: Vec<u64> = (0..32).filter(|&c| r.stage_timers_sampled(c)).collect();
+        assert_eq!(sampled, vec![0, 8, 16, 24]);
+        // Period 1 samples every cycle; odd periods round up to a power of
+        // two so the mask trick stays valid.
+        let every = Registry::profiling(ProfileConfig { sample_period: 1 });
+        assert!((0..10).all(|c| every.stage_timers_sampled(c)));
+        let rounded = Registry::profiling(ProfileConfig { sample_period: 5 });
+        assert!(rounded.stage_timers_sampled(0));
+        assert!(!rounded.stage_timers_sampled(5));
+        assert!(rounded.stage_timers_sampled(8));
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // [1,2) -> bucket 1
+        h.record(2); // [2,4) -> bucket 2
+        h.record(3);
+        h.record(u64::MAX); // saturates into the last bucket
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1);
+        assert_eq!(h.total(), 5);
+        let mut other = Histogram::default();
+        other.record(2);
+        h.merge(&other);
+        assert_eq!(h.buckets[2], 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Peak resident set size, read from the host OS when available.
+
+/// Peak RSS of the current process in bytes.
+///
+/// Linux-only (parses `VmHWM` from `/proc/self/status`); returns `None`
+/// on other platforms or if the pseudo-file cannot be read — callers must
+/// treat the value as best-effort host-domain data.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Parses the `VmHWM:` line (`VmHWM:     12345 kB`) out of a
+/// `/proc/<pid>/status` document.
+#[cfg(any(target_os = "linux", test))]
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vm_hwm_line() {
+        let doc = "Name:\triq\nVmPeak:\t  100 kB\nVmHWM:\t   2048 kB\nVmRSS:\t 1024 kB\n";
+        assert_eq!(parse_vm_hwm(doc), Some(2048 * 1024));
+        assert_eq!(parse_vm_hwm("Name: riq\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reads_a_positive_peak_on_linux() {
+        let rss = peak_rss_bytes().expect("/proc/self/status should parse");
+        assert!(rss > 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! The process-wide hub: a thread-safe registry the sweep engine,
+//! checkpoint store, and fuzzer all merge into.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::ids::{HostCounter, SimCounter};
+use crate::snapshot::MetricsSnapshot;
+use riq_trace::JsonValue;
+
+/// What the hub records for each simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HubMode {
+    /// Record nothing (the engine default — zero cost for existing users).
+    #[default]
+    Disabled,
+    /// Accumulate sim-speed totals (cycles, committed) from the stats every
+    /// run already produces; cores run with a disabled per-run registry.
+    Speed,
+    /// Run cores with profiling registries and merge full snapshots.
+    Profile,
+}
+
+struct HubInner {
+    mode: HubMode,
+    sim: [AtomicU64; SimCounter::COUNT],
+    host: [AtomicU64; HostCounter::COUNT],
+}
+
+/// A cloneable handle to the shared hub.
+///
+/// All updates are relaxed atomic adds on `u64`, which commute exactly:
+/// the merged simulation-domain totals are identical for any interleaving
+/// of workers, which is what lets `--jobs 1` and `--jobs 4` produce
+/// byte-identical [`HubSnapshot::sim_json`] documents.
+#[derive(Clone)]
+pub struct SharedRegistry {
+    inner: Arc<HubInner>,
+}
+
+impl std::fmt::Debug for SharedRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedRegistry").field("mode", &self.inner.mode).finish()
+    }
+}
+
+impl Default for SharedRegistry {
+    fn default() -> SharedRegistry {
+        SharedRegistry::new(HubMode::Disabled)
+    }
+}
+
+impl SharedRegistry {
+    /// Creates a hub in the given mode.
+    #[must_use]
+    pub fn new(mode: HubMode) -> SharedRegistry {
+        SharedRegistry {
+            inner: Arc::new(HubInner {
+                mode,
+                sim: [(); SimCounter::COUNT].map(|()| AtomicU64::new(0)),
+                host: [(); HostCounter::COUNT].map(|()| AtomicU64::new(0)),
+            }),
+        }
+    }
+
+    /// The hub's recording mode.
+    #[must_use]
+    pub fn mode(&self) -> HubMode {
+        self.inner.mode
+    }
+
+    /// True unless the hub is [`HubMode::Disabled`].
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.mode != HubMode::Disabled
+    }
+
+    /// True when runs should execute with a profiling per-run registry.
+    #[must_use]
+    pub fn wants_profile(&self) -> bool {
+        self.inner.mode == HubMode::Profile
+    }
+
+    /// Adds to a simulation-domain total.
+    #[inline]
+    pub fn add_sim(&self, c: SimCounter, n: u64) {
+        if self.is_enabled() {
+            self.inner.sim[c as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds to a host-domain total.
+    #[inline]
+    pub fn add_host(&self, c: HostCounter, n: u64) {
+        if self.is_enabled() {
+            self.inner.host[c as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises a host-domain high-water mark (e.g. peak queue depth).
+    #[inline]
+    pub fn max_host(&self, c: HostCounter, n: u64) {
+        if self.is_enabled() {
+            self.inner.host[c as usize].fetch_max(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites a host-domain total with an externally-maintained value
+    /// (e.g. copying the checkpoint store's lifetime counters in).
+    #[inline]
+    pub fn set_host(&self, c: HostCounter, n: u64) {
+        if self.is_enabled() {
+            self.inner.host[c as usize].store(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Merges one run's frozen snapshot into the hub.
+    pub fn merge_run(&self, snap: &MetricsSnapshot) {
+        if !self.is_enabled() {
+            return;
+        }
+        for (slot, &v) in self.inner.sim.iter().zip(snap.sim.iter()) {
+            slot.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Freezes the hub's totals.
+    #[must_use]
+    pub fn snapshot(&self) -> HubSnapshot {
+        HubSnapshot {
+            mode: self.inner.mode,
+            sim: std::array::from_fn(|i| self.inner.sim[i].load(Ordering::Relaxed)),
+            host: std::array::from_fn(|i| self.inner.host[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of the hub's totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HubSnapshot {
+    /// The mode the hub was created in.
+    pub mode: HubMode,
+    /// Simulation-domain totals, indexed by [`SimCounter`].
+    pub sim: [u64; SimCounter::COUNT],
+    /// Host-domain totals, indexed by [`HostCounter`].
+    pub host: [u64; HostCounter::COUNT],
+}
+
+impl HubSnapshot {
+    /// Convenience read of one simulation-domain total.
+    #[must_use]
+    pub fn sim(&self, c: SimCounter) -> u64 {
+        self.sim[c as usize]
+    }
+
+    /// Convenience read of one host-domain total.
+    #[must_use]
+    pub fn host(&self, c: HostCounter) -> u64 {
+        self.host[c as usize]
+    }
+
+    /// Simulation-domain totals as JSON — the deterministic payload.
+    #[must_use]
+    pub fn sim_json(&self) -> JsonValue {
+        JsonValue::obj(
+            SimCounter::ALL.iter().map(|&c| (c.name(), JsonValue::UInt(self.sim[c as usize]))),
+        )
+    }
+
+    /// Host-domain totals as JSON — kept in a separate document from
+    /// [`sim_json`](HubSnapshot::sim_json) so determinism diffs can never
+    /// accidentally include a nanosecond field.
+    #[must_use]
+    pub fn host_json(&self) -> JsonValue {
+        JsonValue::obj(
+            HostCounter::ALL.iter().map(|&c| (c.name(), JsonValue::UInt(self.host[c as usize]))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let hub = SharedRegistry::default();
+        assert!(!hub.is_enabled());
+        hub.add_sim(SimCounter::Cycles, 10);
+        hub.add_host(HostCounter::JobsSimulated, 3);
+        hub.max_host(HostCounter::JobQueueDepthPeak, 9);
+        hub.merge_run(&{
+            let mut s = MetricsSnapshot::default();
+            s.sim[0] = 7;
+            s
+        });
+        let snap = hub.snapshot();
+        assert_eq!(snap.sim, [0; SimCounter::COUNT]);
+        assert_eq!(snap.host, [0; HostCounter::COUNT]);
+    }
+
+    #[test]
+    fn concurrent_adds_commute() {
+        let hub = SharedRegistry::new(HubMode::Speed);
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = hub.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        h.add_sim(SimCounter::Committed, 2);
+                        h.max_host(HostCounter::JobQueueDepthPeak, 5);
+                    }
+                });
+            }
+        });
+        let snap = hub.snapshot();
+        assert_eq!(snap.sim(SimCounter::Committed), 8000);
+        assert_eq!(snap.host(HostCounter::JobQueueDepthPeak), 5);
+    }
+
+    #[test]
+    fn sim_and_host_json_are_disjoint_documents() {
+        let hub = SharedRegistry::new(HubMode::Profile);
+        hub.add_sim(SimCounter::Cycles, 11);
+        hub.add_host(HostCounter::EngineWallNanos, 99);
+        let snap = hub.snapshot();
+        let sim = snap.sim_json();
+        let host = snap.host_json();
+        assert_eq!(sim.get("cycles").and_then(JsonValue::as_u64), Some(11));
+        assert!(sim.get("engine_wall_nanos").is_none());
+        assert_eq!(host.get("engine_wall_nanos").and_then(JsonValue::as_u64), Some(99));
+        assert!(host.get("cycles").is_none());
+    }
+}

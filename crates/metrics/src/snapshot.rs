@@ -1,0 +1,187 @@
+//! Frozen registry state: what a run hands back when profiling is on.
+
+use crate::ids::{SimCounter, Stage};
+use crate::registry::Histogram;
+use riq_trace::{JsonValue, ToJson};
+
+/// The frozen result of one profiled run.
+///
+/// Attached to `RunResult::metrics` by `Processor::run_profiled`, merged
+/// into the engine hub after parallel sweeps, and rendered by the deadlock
+/// watchdog. The `sim` array is a pure function of (program, config); the
+/// `stage_*` fields are host time and must never leak into
+/// [`sim_json`](MetricsSnapshot::sim_json).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Simulation-domain counters, indexed by [`SimCounter`].
+    pub sim: [u64; SimCounter::COUNT],
+    /// Host nanoseconds spent per stage on sampled cycles, indexed by
+    /// [`Stage`].
+    pub stage_nanos: [u64; Stage::COUNT],
+    /// Number of cycles on which the stage timers fired.
+    pub stage_samples: u64,
+    /// Issue-queue occupancy distribution (one observation per cycle).
+    pub iq_occupancy: Histogram,
+}
+
+impl MetricsSnapshot {
+    /// Convenience read of one simulation-domain counter.
+    #[must_use]
+    pub fn get(&self, c: SimCounter) -> u64 {
+        self.sim[c as usize]
+    }
+
+    /// True when nothing was recorded (e.g. a disabled registry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sim.iter().all(|&v| v == 0)
+            && self.stage_nanos.iter().all(|&v| v == 0)
+            && self.stage_samples == 0
+            && self.iq_occupancy.total() == 0
+    }
+
+    /// Counter-wise merge of another run's snapshot into this one.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (a, b) in self.sim.iter_mut().zip(other.sim.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.stage_nanos.iter_mut().zip(other.stage_nanos.iter()) {
+            *a += b;
+        }
+        self.stage_samples += other.stage_samples;
+        self.iq_occupancy.merge(&other.iq_occupancy);
+    }
+
+    /// Simulation-domain counters as a JSON object — integers only, keys
+    /// in [`SimCounter::ALL`] order via `BTreeMap`'s deterministic
+    /// serialization. This is the payload determinism tests compare
+    /// byte-for-byte; host-domain fields are structurally absent.
+    #[must_use]
+    pub fn sim_json(&self) -> JsonValue {
+        JsonValue::obj(
+            SimCounter::ALL.iter().map(|&c| (c.name(), JsonValue::UInt(self.sim[c as usize]))),
+        )
+    }
+
+    /// Per-stage share of sampled host time, in [`Stage::ALL`] order.
+    ///
+    /// `Execute` is nested inside `Dispatch` in the cycle loop, so
+    /// `Dispatch`'s raw nanos are reduced by `Execute`'s before shares are
+    /// computed — the returned fractions partition the sampled cycle time
+    /// (they sum to ~1.0 when any samples were taken).
+    #[must_use]
+    pub fn stage_shares(&self) -> [(Stage, f64); Stage::COUNT] {
+        let mut nanos = self.stage_nanos;
+        let execute = nanos[Stage::Execute as usize];
+        let dispatch = &mut nanos[Stage::Dispatch as usize];
+        *dispatch = dispatch.saturating_sub(execute);
+        let total: u64 = nanos.iter().sum();
+        let mut shares = [(Stage::Fetch, 0.0); Stage::COUNT];
+        for (slot, &stage) in shares.iter_mut().zip(Stage::ALL.iter()) {
+            let frac = if total == 0 { 0.0 } else { nanos[stage as usize] as f64 / total as f64 };
+            *slot = (stage, frac);
+        }
+        shares
+    }
+
+    /// Stage shares as a JSON object (fractions, not nanos — host clock
+    /// granularity varies between machines but shares are comparable).
+    #[must_use]
+    pub fn stage_shares_json(&self) -> JsonValue {
+        JsonValue::obj(
+            self.stage_shares().iter().map(|&(s, frac)| (s.name(), JsonValue::Num(frac))),
+        )
+    }
+
+    /// One-line rendering of the simulation-domain counters for the
+    /// deadlock watchdog dump (and any other plain-text surface).
+    #[must_use]
+    pub fn render_sim(&self) -> String {
+        let mut out = String::from("metrics:");
+        for &c in SimCounter::ALL.iter() {
+            out.push_str(&format!(" {}={}", c.name(), self.sim[c as usize]));
+        }
+        out
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    /// Full snapshot: the deterministic `sim` object plus the host-domain
+    /// profile (stage shares and sample count) under a separate key.
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("sim", self.sim_json()),
+            (
+                "host_profile",
+                JsonValue::obj([
+                    ("stage_shares", self.stage_shares_json()),
+                    ("stage_samples", JsonValue::UInt(self.stage_samples)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.sim[SimCounter::Cycles as usize] = 100;
+        s.sim[SimCounter::Committed as usize] = 80;
+        s.stage_nanos[Stage::Dispatch as usize] = 600;
+        s.stage_nanos[Stage::Execute as usize] = 200;
+        s.stage_nanos[Stage::Issue as usize] = 400;
+        s.stage_samples = 10;
+        s.iq_occupancy.record(4);
+        s
+    }
+
+    #[test]
+    fn sim_json_contains_only_integers_and_all_counters() {
+        let s = sample();
+        let json = s.sim_json();
+        for &c in SimCounter::ALL.iter() {
+            let v = json.get(c.name()).expect("every counter present");
+            assert!(v.as_u64().is_some(), "{} must serialize as an integer", c.name());
+        }
+        assert_eq!(json.get("cycles").and_then(JsonValue::as_u64), Some(100));
+        // No host fields can appear — structurally guaranteed, but pin it.
+        assert!(json.get("stage_shares").is_none());
+        assert!(json.get("wall_clock_seconds").is_none());
+    }
+
+    #[test]
+    fn stage_shares_unnest_execute_from_dispatch() {
+        let s = sample();
+        let shares = s.stage_shares();
+        let get = |want: Stage| shares.iter().find(|(st, _)| *st == want).map(|&(_, f)| f).unwrap();
+        // Total after unnesting: (600-200) + 200 + 400 = 1000.
+        assert!((get(Stage::Dispatch) - 0.4).abs() < 1e-12);
+        assert!((get(Stage::Execute) - 0.2).abs() < 1e-12);
+        assert!((get(Stage::Issue) - 0.4).abs() < 1e-12);
+        let total: f64 = shares.iter().map(|&(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counterwise() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.get(SimCounter::Cycles), 200);
+        assert_eq!(a.stage_samples, 20);
+        assert_eq!(a.iq_occupancy.total(), 2);
+    }
+
+    #[test]
+    fn render_sim_is_one_line_with_every_counter() {
+        let line = sample().render_sim();
+        assert!(line.starts_with("metrics: cycles=100 committed=80"));
+        assert!(!line.contains('\n'));
+        for &c in SimCounter::ALL.iter() {
+            assert!(line.contains(c.name()), "missing {}", c.name());
+        }
+    }
+}

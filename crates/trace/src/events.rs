@@ -224,6 +224,28 @@ pub enum EventKind {
         /// Warm-window events replayed into caches/TLBs/predictor on restore.
         warmed: u64,
     },
+    /// Host nanoseconds spent per pipeline stage on one sampled cycle
+    /// (emitted only by profiled runs with tracing attached; `execute` is
+    /// nested inside `dispatch` — consumers subtract it to partition the
+    /// cycle).
+    StageNanos {
+        /// Fetch-stage host nanoseconds.
+        fetch: u64,
+        /// Decode-stage host nanoseconds.
+        decode: u64,
+        /// Dispatch-stage host nanoseconds (includes `execute`).
+        dispatch: u64,
+        /// Functional-execution host nanoseconds (inside `dispatch`).
+        execute: u64,
+        /// Issue-stage host nanoseconds.
+        issue: u64,
+        /// Writeback/recovery host nanoseconds.
+        writeback: u64,
+        /// Commit-stage host nanoseconds.
+        commit: u64,
+        /// End-of-cycle accounting host nanoseconds.
+        accounting: u64,
+    },
     /// An epoch boundary: deltas of headline counters over the epoch.
     Epoch {
         /// Zero-based epoch index.
@@ -258,6 +280,7 @@ impl EventKind {
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::BranchMispredict { .. } => "branch_mispredict",
             EventKind::Resumed { .. } => "resumed",
+            EventKind::StageNanos { .. } => "stage_nanos",
             EventKind::Epoch { .. } => "epoch",
         }
     }
@@ -323,6 +346,25 @@ impl ToJson for TraceEvent {
                 pairs.push(("retired", JsonValue::UInt(*retired)));
                 pairs.push(("warmed", JsonValue::UInt(*warmed)));
             }
+            EventKind::StageNanos {
+                fetch,
+                decode,
+                dispatch,
+                execute,
+                issue,
+                writeback,
+                commit,
+                accounting,
+            } => {
+                pairs.push(("fetch", JsonValue::UInt(*fetch)));
+                pairs.push(("decode", JsonValue::UInt(*decode)));
+                pairs.push(("dispatch", JsonValue::UInt(*dispatch)));
+                pairs.push(("execute", JsonValue::UInt(*execute)));
+                pairs.push(("issue", JsonValue::UInt(*issue)));
+                pairs.push(("writeback", JsonValue::UInt(*writeback)));
+                pairs.push(("commit", JsonValue::UInt(*commit)));
+                pairs.push(("accounting", JsonValue::UInt(*accounting)));
+            }
             EventKind::Epoch { index, start_cycle, cycles, committed, gated, reused } => {
                 pairs.push(("index", JsonValue::UInt(*index)));
                 pairs.push(("start_cycle", JsonValue::UInt(*start_cycle)));
@@ -381,6 +423,16 @@ impl TraceEvent {
                 EventKind::BranchMispredict { pc: u("pc")?, actual_next: u("actual_next")? }
             }
             "resumed" => EventKind::Resumed { retired: u("retired")?, warmed: u("warmed")? },
+            "stage_nanos" => EventKind::StageNanos {
+                fetch: u("fetch")?,
+                decode: u("decode")?,
+                dispatch: u("dispatch")?,
+                execute: u("execute")?,
+                issue: u("issue")?,
+                writeback: u("writeback")?,
+                commit: u("commit")?,
+                accounting: u("accounting")?,
+            },
             "epoch" => EventKind::Epoch {
                 index: u("index")?,
                 start_cycle: u("start_cycle")?,
@@ -453,6 +505,19 @@ impl TraceEvent {
             TraceEvent::new(120, BranchMispredict { pc: 0x13c, actual_next: 0x140 }),
             TraceEvent::new(0, Resumed { retired: 1_000_000, warmed: 2_000 }),
             TraceEvent::new(
+                160,
+                StageNanos {
+                    fetch: 120,
+                    decode: 35,
+                    dispatch: 400,
+                    execute: 180,
+                    issue: 310,
+                    writeback: 90,
+                    commit: 60,
+                    accounting: 45,
+                },
+            ),
+            TraceEvent::new(
                 10_000,
                 Epoch {
                     index: 0,
@@ -478,7 +543,7 @@ mod tests {
         // Ensure the example set actually covers every variant tag.
         let tags: std::collections::BTreeSet<&str> =
             examples.iter().map(|e| e.kind.tag()).collect();
-        assert_eq!(tags.len(), 14, "examples must cover all 14 variants");
+        assert_eq!(tags.len(), 15, "examples must cover all 15 variants");
         for event in examples {
             let line = event.to_json().to_compact();
             let back = TraceEvent::from_json(&parse(&line).expect("parse")).expect("from_json");

@@ -76,5 +76,6 @@ pub use riq_fuzz as fuzz;
 pub use riq_isa as isa;
 pub use riq_kernels as kernels;
 pub use riq_mem as mem;
+pub use riq_metrics as metrics;
 pub use riq_power as power;
 pub use riq_trace as trace;

@@ -1,0 +1,111 @@
+//! The bench trajectory's contract:
+//!
+//! * the record's simulation-domain block is a pure function of the
+//!   pinned matrix and the scale — byte-identical for any worker count
+//!   and equal to the committed fixture CI diffs against;
+//! * trajectory files round-trip through append → parse → validate, and
+//!   the validator actually rejects malformed documents.
+//!
+//! Host-domain numbers (wall clock, RSS, stage nanos) are structurally
+//! excluded: they live in a separate JSON sub-document the fixture diff
+//! never touches.
+
+use riq_bench::{
+    append_record, matrix_jobs, run_jobs, validate_bench_doc, EngineOptions, ResultCache,
+    QUICK_SCALE,
+};
+use riq_core::MetricsSnapshot;
+use riq_metrics::{HubMode, SharedRegistry, SimCounter};
+use riq_trace::{parse, JsonValue};
+
+/// Runs the pinned 48-point matrix profiled on `jobs` workers and merges
+/// the per-run snapshots — exactly what `riq-repro bench` records as the
+/// `sim` block.
+fn profiled_matrix_sim(jobs: usize) -> MetricsSnapshot {
+    let specs = matrix_jobs(QUICK_SCALE).expect("matrix compiles");
+    let opts = EngineOptions {
+        jobs,
+        cache: ResultCache::new(),
+        metrics: SharedRegistry::new(HubMode::Profile),
+        ..EngineOptions::default()
+    };
+    let results = run_jobs(&specs, &opts).expect("matrix simulates");
+    let mut merged = MetricsSnapshot::default();
+    for r in &results {
+        let m = r.metrics.as_ref().expect("profile mode attaches snapshots");
+        merged.merge(m);
+    }
+    merged
+}
+
+#[test]
+fn sim_block_matches_the_pinned_fixture_for_any_worker_count() {
+    let serial = profiled_matrix_sim(1);
+    let parallel = profiled_matrix_sim(4);
+    assert_eq!(
+        serial.sim_json().to_pretty(),
+        parallel.sim_json().to_pretty(),
+        "sim-domain counters must not depend on the worker count"
+    );
+
+    let fixture = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/bench_quick_sim.json"
+    ))
+    .expect("fixture present");
+    assert_eq!(
+        serial.sim_json().to_pretty().trim(),
+        fixture.trim(),
+        "quick-bench sim block drifted from tests/fixtures/bench_quick_sim.json — \
+         if the simulator's behavior intentionally changed, regenerate it with \
+         `riq-repro bench --quick --sim-only`"
+    );
+    // And it is real work, not a zeroed registry.
+    assert!(serial.get(SimCounter::Cycles) > 0);
+    assert!(serial.get(SimCounter::IqScanVisits) > serial.get(SimCounter::Cycles));
+}
+
+#[test]
+fn trajectory_file_appends_and_validates() {
+    let dir = std::env::temp_dir().join(format!("riq-bench-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("BENCH_test.json");
+    let _ = std::fs::remove_file(&path);
+
+    // A structurally complete record built from an (empty) snapshot — the
+    // validator checks shape, not magnitudes.
+    let record = |date: &str| {
+        JsonValue::obj([
+            ("date", JsonValue::Str(date.to_string())),
+            ("quick", JsonValue::Bool(true)),
+            ("scale", JsonValue::Num(QUICK_SCALE)),
+            ("points", JsonValue::UInt(48)),
+            ("sim", MetricsSnapshot::default().sim_json()),
+            (
+                "host",
+                JsonValue::obj([
+                    ("wall_clock_seconds", JsonValue::Num(1.0)),
+                    ("sim_khz", JsonValue::Num(100.0)),
+                    ("mips", JsonValue::Num(0.5)),
+                ]),
+            ),
+        ])
+    };
+
+    assert_eq!(append_record(&path, record("2026-01-01")), Ok(1));
+    assert_eq!(append_record(&path, record("2026-01-02")), Ok(2), "append keeps prior records");
+
+    let doc = parse(&std::fs::read_to_string(&path).expect("file written")).expect("parses");
+    assert_eq!(validate_bench_doc(&doc), Ok(2));
+    let Some(JsonValue::Arr(records)) = doc.get("records") else {
+        panic!("records array survives the round trip")
+    };
+    assert_eq!(records[0].get("date").and_then(JsonValue::as_str), Some("2026-01-01"));
+    assert_eq!(records[1].get("date").and_then(JsonValue::as_str), Some("2026-01-02"));
+
+    // A corrupted file must fail validation, not silently re-seed.
+    std::fs::write(&path, "{\"schema_version\": 99, \"records\": []}").expect("rewrite");
+    assert!(append_record(&path, record("2026-01-03")).is_err());
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}

@@ -7,6 +7,7 @@
 //!   a single simulation, within a batch and across experiments.
 
 use riq_bench::{run_experiment, EngineOptions, Experiment};
+use riq_metrics::{HubMode, HubSnapshot, SharedRegistry};
 
 /// Small enough to keep the whole test under a few seconds, large enough
 /// that every kernel still executes its loops.
@@ -116,6 +117,64 @@ fn fast_forwarded_sweep_differs_only_in_measured_region() {
         run_experiment(&experiment, &EngineOptions::with_jobs(4).with_fast_forward(1_000, 200))
             .expect("parallel");
     assert_eq!(serial.to_csv(), parallel.to_csv(), "skip runs stay order-independent");
+}
+
+#[test]
+fn metrics_hub_sim_totals_are_worker_and_store_independent() {
+    // The hub accumulates sim-domain totals per *returned* job, so its
+    // sim document is a pure function of the job list: identical for any
+    // worker count, with or without the checkpoint store. Host-domain
+    // counters (wall nanos, queue depth) are free to differ — which is
+    // why they live in a separate JSON document.
+    let snap = |jobs: usize, skip: u64, store: bool| -> HubSnapshot {
+        let hub = SharedRegistry::new(HubMode::Speed);
+        let mut opts = EngineOptions::with_jobs(jobs).with_metrics(hub.clone());
+        if skip > 0 {
+            opts = opts.with_fast_forward(skip, 200);
+            if !store {
+                opts = opts.with_checkpoint_store(None);
+            }
+        }
+        run_experiment(&Experiment::Fig9 { scale: SCALE }, &opts).expect("runs");
+        hub.snapshot()
+    };
+
+    let serial = snap(1, 0, true);
+    let parallel = snap(4, 0, true);
+    assert!(serial.sim.iter().any(|&v| v > 0), "speed mode records cycles/committed");
+    assert_eq!(
+        serial.sim_json().to_pretty(),
+        parallel.sim_json().to_pretty(),
+        "jobs=4 must accumulate the identical sim document as jobs=1"
+    );
+
+    let stored = snap(2, 2_000, true);
+    let storeless = snap(2, 2_000, false);
+    assert_eq!(
+        stored.sim_json().to_pretty(),
+        storeless.sim_json().to_pretty(),
+        "the checkpoint store must be invisible in sim-domain totals"
+    );
+}
+
+#[test]
+fn profiled_hub_counters_match_speed_mode_where_they_overlap() {
+    // Profile mode swaps every run onto the profiled entry points; the
+    // counters Speed mode also tracks (cycles, committed) must come out
+    // identical — profiling is observation, not perturbation.
+    let run_with = |hub: SharedRegistry| -> HubSnapshot {
+        let opts = EngineOptions::with_jobs(2).with_metrics(hub.clone());
+        run_experiment(&Experiment::NbltAblation { scale: SCALE }, &opts).expect("runs");
+        hub.snapshot()
+    };
+    let speed = run_with(SharedRegistry::new(HubMode::Speed));
+    let profile = run_with(SharedRegistry::new(HubMode::Profile));
+    use riq_metrics::SimCounter::{Committed, Cycles};
+    assert_eq!(speed.sim(Cycles), profile.sim(Cycles));
+    assert_eq!(speed.sim(Committed), profile.sim(Committed));
+    // And profile mode adds the counters speed mode cannot see.
+    assert!(profile.sim(riq_metrics::SimCounter::IqScanVisits) > 0);
+    assert_eq!(speed.sim(riq_metrics::SimCounter::IqScanVisits), 0);
 }
 
 #[test]
