@@ -89,6 +89,25 @@ pub fn run_bench(
     date: &str,
     quick: bool,
 ) -> Result<BenchRun, ExperimentError> {
+    run_bench_with_store(scale, jobs, date, quick, None)
+}
+
+/// [`run_bench`] with an optional `riq-serve` result store: when `store`
+/// is given, the timed pass's results are persisted into it (warming the
+/// daemon's cache for free) and the host block reports the store's
+/// on-disk byte and entry counts.
+///
+/// # Errors
+///
+/// Propagates engine failures; a store I/O failure surfaces as
+/// [`ExperimentError::JobFailed`] for the pseudo-kernel `result-store`.
+pub fn run_bench_with_store(
+    scale: f64,
+    jobs: usize,
+    date: &str,
+    quick: bool,
+    store: Option<&Path>,
+) -> Result<BenchRun, ExperimentError> {
     let specs = matrix_jobs(scale)?;
 
     // Pass 1 — timed. Disabled per-run registries: this is the number the
@@ -133,6 +152,24 @@ pub fn run_bench(
         "profiling must not change simulated timing"
     );
 
+    // Persist the timed pass into the service store when asked: the
+    // daemon content-addresses results by the same key, so a later sweep
+    // over any of these points simulates nothing.
+    let store_stats = match store {
+        Some(path) => {
+            let store_err = |e: std::io::Error| ExperimentError::JobFailed {
+                kernel: "result-store".to_string(),
+                message: e.to_string(),
+            };
+            let mut s = riq_serve::ResultStore::open(path, None).map_err(store_err)?;
+            for (spec, result) in specs.iter().zip(&timed_results) {
+                s.put(spec.key(), result).map_err(store_err)?;
+            }
+            Some(s.stats())
+        }
+        None => None,
+    };
+
     let sim = merged.sim_json();
     let host = JsonValue::obj([
         ("wall_clock_seconds", JsonValue::Num(perf.wall_seconds)),
@@ -143,6 +180,14 @@ pub fn run_bench(
         ("peak_rss_bytes", perf.peak_rss_bytes.map_or(JsonValue::Null, JsonValue::UInt)),
         ("profile_wall_seconds", JsonValue::Num(profile_wall)),
         ("stage_shares", merged.stage_shares_json()),
+        (
+            "result_store_entries",
+            store_stats.map_or(JsonValue::Null, |s| JsonValue::UInt(s.entries)),
+        ),
+        (
+            "result_store_bytes",
+            store_stats.map_or(JsonValue::Null, |s| JsonValue::UInt(s.bytes_on_disk)),
+        ),
     ]);
     let record = JsonValue::obj([
         ("date", JsonValue::Str(date.to_string())),

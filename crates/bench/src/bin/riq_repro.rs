@@ -9,8 +9,15 @@
 //!           [--skip N] [--warmup M] [--sample K] [--ckpt PATH]
 //!           [--profile] [--sample-period P]
 //! riq-repro bench --date LABEL [--quick] [--scale F] [--jobs N]
-//!           [--out DIR] [--sim-only]
+//!           [--out DIR] [--sim-only] [--store DIR]
 //! riq-repro bench --check PATH
+//! riq-repro serve [--listen ADDR] [--store DIR] [--workers N]
+//!           [--store-max-bytes N] [--lease-ttl-ms N] [--trace PATH]
+//! riq-repro worker --connect ADDR [--id NAME] [--exit-when-idle]
+//!           [--max-jobs N]
+//! riq-repro submit <experiment> --connect ADDR [--scale F] [--skip N]
+//!           [--warmup M] [--priority P] [--wait]
+//! riq-repro fetch --connect ADDR (--sweep ID [--report] [--wait] | --statsz)
 //! riq-repro ckpt create <kernel|file.s> --skip N [--warmup M] [--scale F]
 //!           [--out PATH]
 //! riq-repro ckpt ls <PATH...>
@@ -103,6 +110,25 @@
 //! written there as a standalone `.s` plus a `.json` failure report. The
 //! exit status is non-zero when any program fails.
 //!
+//! `serve` starts the simulation-as-a-service daemon: a durable
+//! content-addressed result store (`DIR/results.wal`, default
+//! `riq-store/`), a priority job queue with cross-client dedup and
+//! lease-based retry, and the HTTP API (`POST /sweeps`, `GET
+//! /sweeps/{id}[/csv|/report]`, `GET /jobs/{id}`, `GET /healthz`,
+//! `GET /statsz`, plus the worker protocol `POST /lease|/complete|/fail`).
+//! The bound address is printed on stdout (bind port 0 for an ephemeral
+//! one). `--workers N` spawns N worker *processes* sharing the queue;
+//! more can join from other terminals with `worker --connect`. A killed
+//! worker's leases expire and requeue; a killed daemon recovers its
+//! store from the write-ahead journal on restart. `--store-max-bytes`
+//! bounds the store with LRU eviction (in-flight sweeps' keys are
+//! pinned and never evicted). `submit` registers an experiment sweep and
+//! prints its id; `fetch` retrieves the finished CSV/report —
+//! byte-identical to the in-process experiment output whatever the
+//! worker count, kill schedule, or store temperature. `bench --store
+//! DIR` persists the timed pass's results into a store and reports its
+//! size in the host block.
+//!
 //! `analyze` runs the static analysis pipeline (riq-analyze) over one
 //! program: CFG recovery, natural loops, reuse eligibility at every queue
 //! capacity, and the program linter. `--iq N` selects the capacity the
@@ -115,9 +141,9 @@
 //! ```
 
 use riq_bench::{
-    append_record, report_json, run_bench, run_experiment, table1, table2, validate_bench_doc,
-    CheckpointProvenance, CheckpointStore, EngineOptions, Experiment, FigTable, RunSpec,
-    QUICK_SCALE,
+    append_record, experiment_from_label, report_json, run_bench_with_store, run_experiment,
+    start_daemon, table1, table2, validate_bench_doc, CheckpointProvenance, CheckpointStore,
+    DaemonOptions, EngineOptions, Experiment, FigTable, RunSpec, QUICK_SCALE,
 };
 use riq_ckpt::Checkpoint;
 use riq_core::{Processor, ProfileConfig, SimConfig};
@@ -132,8 +158,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|all> [--scale F] [--jobs N] [--csv] [--skip N] [--warmup M] [--no-ckpt-store]
                 riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F] [--json PATH] [--trace PATH] [--epoch N] [--skip N] [--warmup M] [--sample K] [--ckpt PATH] [--profile] [--sample-period P]
-                riq-repro bench --date LABEL [--quick] [--scale F] [--jobs N] [--out DIR] [--sim-only]
+                riq-repro bench --date LABEL [--quick] [--scale F] [--jobs N] [--out DIR] [--sim-only] [--store DIR]
                 riq-repro bench --check PATH
+                riq-repro serve [--listen ADDR] [--store DIR] [--workers N] [--store-max-bytes N] [--lease-ttl-ms N] [--trace PATH]
+                riq-repro worker --connect ADDR [--id NAME] [--exit-when-idle] [--max-jobs N]
+                riq-repro submit <experiment> --connect ADDR [--scale F] [--skip N] [--warmup M] [--priority P] [--wait]
+                riq-repro fetch --connect ADDR (--sweep ID [--report] [--wait] | --statsz)
                 riq-repro ckpt create <kernel|file.s> --skip N [--warmup M] [--scale F] [--out PATH]
                 riq-repro ckpt ls <PATH...>
                 riq-repro ckpt verify <PATH> [--program <kernel|file.s>] [--scale F]
@@ -182,6 +212,42 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+            Err(e) => {
+                eprintln!("riq-repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "serve" {
+        return match run_serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("riq-repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "worker" {
+        return match run_worker_cmd(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("riq-repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "submit" {
+        return match run_submit(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("riq-repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "fetch" {
+        return match run_fetch(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("riq-repro: {e}");
                 ExitCode::FAILURE
@@ -536,6 +602,7 @@ fn run_bench_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut out_dir = String::from(".");
     let mut sim_only = false;
     let mut check: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value =
@@ -558,6 +625,7 @@ fn run_bench_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--out" => out_dir = value("--out")?,
             "--sim-only" => sim_only = true,
             "--check" => check = Some(value("--check")?),
+            "--store" => store_dir = Some(value("--store")?),
             other => return Err(format!("bench: unknown option {other:?}").into()),
         }
     }
@@ -572,7 +640,14 @@ fn run_bench_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let scale = scale.unwrap_or(if quick { QUICK_SCALE } else { 1.0 });
-    let bench = run_bench(scale, jobs, date.as_deref().unwrap_or(""), quick)?;
+    let store_path = store_dir.map(|d| std::path::Path::new(&d).join("results.wal"));
+    let bench = run_bench_with_store(
+        scale,
+        jobs,
+        date.as_deref().unwrap_or(""),
+        quick,
+        store_path.as_deref(),
+    )?;
     eprintln!("{}", bench.perf.speed_line());
     if sim_only {
         // The deterministic simulation-domain block alone, for fixture
@@ -868,6 +943,274 @@ fn run_fuzz_cmd(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     Ok(summary.failures == 0)
 }
 
+/// The `serve` subcommand: bind the daemon, optionally spawn worker
+/// processes against it, and run until killed.
+fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut store_dir = String::from("riq-store");
+    let mut workers = 0usize;
+    let mut store_max_bytes: Option<u64> = None;
+    let mut trace: Option<String> = None;
+    let mut lease_ttl_ms: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("serve: {flag} needs a value"));
+        match a.as_str() {
+            "--listen" => listen = value("--listen")?,
+            "--store" => store_dir = value("--store")?,
+            "--workers" => {
+                workers =
+                    value("--workers")?.parse().ok().ok_or("serve: --workers needs a count")?;
+            }
+            "--store-max-bytes" => {
+                store_max_bytes = Some(
+                    value("--store-max-bytes")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or("serve: --store-max-bytes needs a positive byte count")?,
+                );
+            }
+            "--trace" => trace = Some(value("--trace")?),
+            "--lease-ttl-ms" => {
+                lease_ttl_ms = Some(
+                    value("--lease-ttl-ms")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or("serve: --lease-ttl-ms needs a positive count")?,
+                );
+            }
+            other => return Err(format!("serve: unknown option {other:?}").into()),
+        }
+    }
+    let listener =
+        std::net::TcpListener::bind(&listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let store_path = std::path::Path::new(&store_dir).join("results.wal");
+    let mut options = DaemonOptions::new(&store_path);
+    options.store_max_bytes = store_max_bytes;
+    options.trace_path = trace.map(Into::into);
+    if let Some(ms) = lease_ttl_ms {
+        options.queue.lease_ttl = std::time::Duration::from_millis(ms);
+    }
+    let daemon = start_daemon(listener, &options)?;
+    // The bound address goes to stdout (scripts need the ephemeral port);
+    // everything else to stderr.
+    println!("{}", daemon.addr());
+    std::io::stdout().flush()?;
+    eprintln!("serve: listening on {}, store {}", daemon.addr(), store_path.display());
+    let addr = daemon.addr().to_string();
+    let exe = std::env::current_exe()?;
+    let mut children = Vec::new();
+    for i in 0..workers {
+        let child = std::process::Command::new(&exe)
+            .args(["worker", "--connect", &addr, "--id", &format!("w{i}")])
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {i}: {e}"))?;
+        eprintln!("serve: worker w{i} -> pid {}", child.id());
+        children.push(child);
+    }
+    // Serve until killed; workers notice the closed socket and exit on
+    // their own when this process dies.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
+}
+
+/// The `worker` subcommand: lease-simulate-report against a daemon.
+fn run_worker_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut connect: Option<String> = None;
+    let mut id: Option<String> = None;
+    let mut exit_when_idle = false;
+    let mut max_jobs: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("worker: {flag} needs a value"));
+        match a.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--id" => id = Some(value("--id")?),
+            "--exit-when-idle" => exit_when_idle = true,
+            "--max-jobs" => {
+                max_jobs = Some(
+                    value("--max-jobs")?.parse().ok().ok_or("worker: --max-jobs needs a count")?,
+                );
+            }
+            other => return Err(format!("worker: unknown option {other:?}").into()),
+        }
+    }
+    let addr = connect.ok_or("worker: --connect ADDR is required")?;
+    let id = id.unwrap_or_else(|| format!("w-{}", std::process::id()));
+    let mut options = riq_serve::WorkerOptions::named(&id);
+    options.exit_when_idle = exit_when_idle;
+    options.max_jobs = max_jobs;
+    let outcome = riq_serve::run_worker(&addr, &options);
+    eprintln!(
+        "worker {id}: {} completed, {} failed, {} leased, exit {:?}",
+        outcome.completed, outcome.failed, outcome.leased, outcome.exit
+    );
+    Ok(())
+}
+
+/// One HTTP exchange against the daemon, with error mapping.
+fn daemon_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), Box<dyn std::error::Error>> {
+    riq_serve::http_request(addr, method, path, body)
+        .map_err(|e| format!("cannot reach daemon at {addr}: {e}").into())
+}
+
+/// The `submit` subcommand: register a sweep, print its id, optionally
+/// wait for completion.
+fn run_submit(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut it = args.iter();
+    let label = it.next().ok_or("submit: missing experiment label")?.clone();
+    let mut connect: Option<String> = None;
+    let mut scale = 1.0f64;
+    let mut skip = 0u64;
+    let mut warmup = 0u64;
+    let mut priority = 0i64;
+    let mut wait = false;
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("submit: {flag} needs a value"));
+        match a.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--scale" => {
+                scale = value("--scale")?
+                    .parse()
+                    .ok()
+                    .filter(|&f: &f64| f > 0.0)
+                    .ok_or("submit: --scale needs a positive number")?;
+            }
+            "--skip" => {
+                skip = value("--skip")?.parse().ok().ok_or("submit: --skip needs a count")?;
+            }
+            "--warmup" => {
+                warmup = value("--warmup")?.parse().ok().ok_or("submit: --warmup needs a count")?;
+            }
+            "--priority" => {
+                priority = value("--priority")?
+                    .parse()
+                    .ok()
+                    .ok_or("submit: --priority needs an integer")?;
+            }
+            "--wait" => wait = true,
+            other => return Err(format!("submit: unknown option {other:?}").into()),
+        }
+    }
+    let addr = connect.ok_or("submit: --connect ADDR is required")?;
+    if experiment_from_label(&label, scale).is_none() {
+        return Err(format!(
+            "submit: unknown experiment {label:?} (expected fig5-8, fig9, nblt, strategy, \
+             transforms, or bpred)"
+        )
+        .into());
+    }
+    let body = format!(
+        "{{\"experiment\": \"{label}\", \"scale\": {scale}, \"skip\": {skip}, \
+         \"warmup\": {warmup}, \"priority\": {priority}}}"
+    );
+    let (status, reply) = daemon_request(&addr, "POST", "/sweeps", body.as_bytes())?;
+    let reply_text = String::from_utf8_lossy(&reply).into_owned();
+    if status != 200 {
+        return Err(format!("submit: daemon answered {status}: {}", reply_text.trim()).into());
+    }
+    let doc = parse(&reply_text).map_err(|e| format!("submit: bad daemon reply: {e}"))?;
+    let sweep =
+        doc.get("sweep").and_then(riq_trace::JsonValue::as_u64).ok_or("submit: reply has no id")?;
+    println!("{sweep}");
+    std::io::stdout().flush()?;
+    if !wait {
+        return Ok(());
+    }
+    loop {
+        let (status, body) = daemon_request(&addr, "GET", &format!("/sweeps/{sweep}"), b"")?;
+        if status != 200 {
+            return Err(format!("submit: status poll answered {status}").into());
+        }
+        let doc = parse(&String::from_utf8_lossy(&body))
+            .map_err(|e| format!("submit: bad status reply: {e}"))?;
+        let state = doc.get("status").and_then(riq_trace::JsonValue::as_str).unwrap_or("unknown");
+        match state {
+            "done" => return Ok(()),
+            "failed" => {
+                let msg = doc
+                    .get("message")
+                    .and_then(riq_trace::JsonValue::as_str)
+                    .unwrap_or("unknown failure");
+                return Err(format!("submit: sweep {sweep} failed: {msg}").into());
+            }
+            _ => {
+                let done =
+                    doc.get("done_points").and_then(riq_trace::JsonValue::as_u64).unwrap_or(0);
+                let total =
+                    doc.get("total_points").and_then(riq_trace::JsonValue::as_u64).unwrap_or(0);
+                eprintln!("submit: sweep {sweep}: {done}/{total} points");
+                std::thread::sleep(std::time::Duration::from_millis(250));
+            }
+        }
+    }
+}
+
+/// The `fetch` subcommand: print a finished sweep's CSV or report (or
+/// the daemon's `/statsz` document) to stdout.
+fn run_fetch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut connect: Option<String> = None;
+    let mut sweep: Option<u64> = None;
+    let mut report = false;
+    let mut statsz = false;
+    let mut wait = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("fetch: {flag} needs a value"));
+        match a.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--sweep" => {
+                sweep =
+                    Some(value("--sweep")?.parse().ok().ok_or("fetch: --sweep needs a sweep id")?);
+            }
+            "--report" => report = true,
+            "--statsz" => statsz = true,
+            "--wait" => wait = true,
+            other => return Err(format!("fetch: unknown option {other:?}").into()),
+        }
+    }
+    let addr = connect.ok_or("fetch: --connect ADDR is required")?;
+    if statsz {
+        let (status, body) = daemon_request(&addr, "GET", "/statsz", b"")?;
+        if status != 200 {
+            return Err(format!("fetch: /statsz answered {status}").into());
+        }
+        print!("{}", String::from_utf8_lossy(&body));
+        return Ok(());
+    }
+    let sweep = sweep.ok_or("fetch: --sweep ID is required (or --statsz)")?;
+    let view = if report { "report" } else { "csv" };
+    loop {
+        let (status, body) = daemon_request(&addr, "GET", &format!("/sweeps/{sweep}/{view}"), b"")?;
+        match status {
+            200 => {
+                print!("{}", String::from_utf8_lossy(&body));
+                return Ok(());
+            }
+            409 if wait => std::thread::sleep(std::time::Duration::from_millis(250)),
+            _ => {
+                return Err(format!(
+                    "fetch: sweep {sweep} {view} answered {status}: {}",
+                    String::from_utf8_lossy(&body).trim()
+                )
+                .into())
+            }
+        }
+    }
+}
+
 /// Prints one table in the selected format.
 fn emit(header: &str, table: &FigTable, csv: bool) {
     if csv {
@@ -889,6 +1232,14 @@ struct FigureCommand {
 
 fn figure_command(cmd: &str, scale: f64) -> Option<FigureCommand> {
     match cmd {
+        // The stacked sweep that Figures 5-8 are views of, as one table —
+        // the same rows the daemon serves for a "fig5-8" sweep, so
+        // service and engine output can be diffed byte for byte.
+        "fig5-8" => Some(FigureCommand {
+            experiment: Experiment::Fig5_8 { scale },
+            extract: None,
+            header: "== Figures 5-8: stacked gating/power/IPC sweep ==",
+        }),
         "fig5" => Some(FigureCommand {
             experiment: Experiment::Fig5_8 { scale },
             extract: Some(("fig5", "benchmark")),
@@ -970,6 +1321,7 @@ fn run(
         ckpt: (skip > 0 && !no_store).then(CheckpointStore::new),
         metrics: hub.clone(),
         profile: ProfileConfig::default(),
+        executor: None,
     };
     let started = Instant::now();
     match cmd {

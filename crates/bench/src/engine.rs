@@ -41,8 +41,9 @@ use riq_trace::NullSink;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::Instant;
 
@@ -85,6 +86,16 @@ pub enum ExperimentError {
         /// Requested issue-queue size.
         iq: u32,
     },
+    /// A job died without producing a result: the worker simulating it
+    /// panicked, was killed, or exhausted its retries. The sweep fails
+    /// with this message instead of hanging or poisoning the queue.
+    JobFailed {
+        /// The job's kernel label.
+        kernel: String,
+        /// Human-readable failure description (panic payload, worker
+        /// death, or retry exhaustion).
+        message: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -100,6 +111,9 @@ impl fmt::Display for ExperimentError {
             ExperimentError::MissingPoint { kernel, iq } => {
                 write!(f, "sweep holds no point for kernel {kernel:?} at IQ {iq}")
             }
+            ExperimentError::JobFailed { kernel, message } => {
+                write!(f, "job for kernel {kernel:?} failed: {message}")
+            }
         }
     }
 }
@@ -110,7 +124,7 @@ impl Error for ExperimentError {
             ExperimentError::Compile(e) => Some(e),
             ExperimentError::FastForward { source, .. } => Some(source),
             ExperimentError::Sim { source, .. } => Some(source),
-            ExperimentError::MissingPoint { .. } => None,
+            ExperimentError::MissingPoint { .. } | ExperimentError::JobFailed { .. } => None,
         }
     }
 }
@@ -206,14 +220,13 @@ impl ResultCache {
         self.inner.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct results stored.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread poisoned the cache lock.
+    /// Number of distinct results stored. Tolerates lock poisoning: a
+    /// worker that panicked mid-`insert` leaves the map in a valid state
+    /// (the `HashMap` either contains the entry or does not), so the
+    /// poison flag is cleared rather than propagated.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.map.lock().expect("cache lock").len()
+        self.inner.map.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// Whether the cache holds no results.
@@ -223,11 +236,11 @@ impl ResultCache {
     }
 
     fn lookup(&self, key: JobKey) -> Option<Arc<RunResult>> {
-        self.inner.map.lock().expect("cache lock").get(&key).cloned()
+        self.inner.map.lock().unwrap_or_else(PoisonError::into_inner).get(&key).cloned()
     }
 
     fn store(&self, key: JobKey, result: Arc<RunResult>) {
-        self.inner.map.lock().expect("cache lock").insert(key, result);
+        self.inner.map.lock().unwrap_or_else(PoisonError::into_inner).insert(key, result);
     }
 
     fn record(&self, hits: u64, misses: u64) {
@@ -236,8 +249,37 @@ impl ResultCache {
     }
 }
 
+/// A pluggable backend that simulates the engine's deduplicated pending
+/// jobs somewhere other than the calling process's thread pool — e.g. the
+/// `riq-serve` daemon leasing them to worker processes.
+///
+/// The contract mirrors the in-process path exactly: `execute` receives
+/// the pending jobs in deterministic (first-appearance) order and must
+/// return one result per job, in the same order. Because the simulator is
+/// deterministic and aggregation happens in the engine after this call,
+/// any conforming executor yields byte-identical experiment output.
+///
+/// Executors are responsible for their own fast-forwarding: the engine
+/// skips its serial checkpoint pre-pass when an executor is installed
+/// (remote workers fast-forward themselves; the snapshot is deterministic
+/// either way).
+pub trait JobExecutor: Send + Sync {
+    /// Simulates `jobs` with the given fast-forward request and returns
+    /// one result per job, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failure of the lowest-indexed failing job.
+    fn execute(
+        &self,
+        jobs: &[JobSpec],
+        skip: u64,
+        warmup: u64,
+    ) -> Result<Vec<Arc<RunResult>>, ExperimentError>;
+}
+
 /// How the engine executes a batch of jobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct EngineOptions {
     /// Worker threads; `0` means one per available CPU, `1` runs inline on
     /// the calling thread.
@@ -269,6 +311,26 @@ pub struct EngineOptions {
     pub metrics: SharedRegistry,
     /// Stage-timer sampling config used when the hub profiles.
     pub profile: ProfileConfig,
+    /// Optional execution backend for pending jobs. `None` (the default)
+    /// simulates on the calling process's thread pool; `Some` hands the
+    /// deduplicated pending batch to the backend (e.g. a `riq-serve` job
+    /// queue) and trusts it to return one result per job in order.
+    pub executor: Option<Arc<dyn JobExecutor>>,
+}
+
+impl fmt::Debug for EngineOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineOptions")
+            .field("jobs", &self.jobs)
+            .field("cache", &self.cache)
+            .field("skip", &self.skip)
+            .field("warmup", &self.warmup)
+            .field("ckpt", &self.ckpt)
+            .field("metrics", &self.metrics)
+            .field("profile", &self.profile)
+            .field("executor", &self.executor.as_ref().map(|_| "<dyn JobExecutor>"))
+            .finish()
+    }
 }
 
 impl EngineOptions {
@@ -308,6 +370,13 @@ impl EngineOptions {
     #[must_use]
     pub fn with_metrics(mut self, hub: SharedRegistry) -> EngineOptions {
         self.metrics = hub;
+        self
+    }
+
+    /// Attaches an execution backend for pending jobs.
+    #[must_use]
+    pub fn with_executor(mut self, executor: Arc<dyn JobExecutor>) -> EngineOptions {
+        self.executor = Some(executor);
         self
     }
 
@@ -366,87 +435,30 @@ pub fn run_jobs(
     opts.metrics.add_host(HostCounter::JobsDeduplicated, jobs.len() as u64 - misses);
     opts.metrics.max_host(HostCounter::JobQueueDepthPeak, pending.len() as u64);
 
-    // Fast-forward pre-pass (serial): with a store, every configuration of
-    // a program shares one checkpoint; without one, each job fast-forwards
-    // itself — same deterministic snapshot, no amortization.
-    let ff_start = Instant::now();
-    let checkpoints: Vec<Option<Arc<Checkpoint>>> = if opts.skip == 0 {
-        vec![None; pending.len()]
-    } else {
-        pending
-            .iter()
-            .map(|(_, spec)| {
-                let ckpt = match &opts.ckpt {
-                    Some(store) => store.get_or_create(&spec.program, opts.skip, opts.warmup),
-                    None => Checkpoint::fast_forward(&spec.program, opts.skip, opts.warmup)
-                        .map(Arc::new),
-                };
-                ckpt.map(Some).map_err(|source| ExperimentError::FastForward {
-                    kernel: spec.kernel.clone(),
-                    source,
-                })
-            })
-            .collect::<Result<_, _>>()?
-    };
-    if opts.skip > 0 {
-        opts.metrics.add_host(HostCounter::FastForwardNanos, ff_start.elapsed().as_nanos() as u64);
-    }
-
-    // Simulate the pending points: workers pull the next index from a
-    // shared cursor and write into their job's dedicated slot.
-    let slots: Vec<Mutex<Option<Result<RunResult, SimError>>>> =
-        pending.iter().map(|_| Mutex::new(None)).collect();
-    let workers = opts.worker_count(pending.len());
-    let profiled = opts.metrics.wants_profile();
-    let execute = |i: usize| {
-        let spec = pending[i].1;
-        let proc = Processor::new(spec.config.clone());
-        let result = match (&checkpoints[i], profiled) {
-            (Some(ckpt), false) => proc.resume_from(&spec.program, ckpt, opts.warmup),
-            (None, false) => proc.run(&spec.program),
-            (Some(ckpt), true) => proc.resume_profiled(
-                &spec.program,
-                ckpt,
-                opts.warmup,
-                None,
-                &mut NullSink,
-                None,
-                opts.profile,
-            ),
-            (None, true) => proc.run_profiled(&spec.program, &mut NullSink, None, opts.profile),
-        };
-        *slots[i].lock().expect("result slot lock") = Some(result);
-    };
-    if workers <= 1 {
-        (0..pending.len()).for_each(execute);
-    } else {
-        let cursor = AtomicUsize::new(0);
-        thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= pending.len() {
-                        break;
-                    }
-                    execute(i);
-                });
-            }
-        });
-    }
-
-    // Harvest in enumeration order so the first error is deterministic.
-    for ((u, spec), slot) in pending.iter().zip(slots) {
-        let outcome = slot.into_inner().expect("result slot lock").expect("worker filled slot");
-        match outcome {
-            Ok(result) => {
-                let result = Arc::new(result);
-                opts.cache.store(spec.key_with(opts.skip, opts.warmup), Arc::clone(&result));
-                resolved[*u] = Some(result);
-            }
-            Err(source) => {
-                return Err(ExperimentError::Sim { kernel: spec.kernel.clone(), source });
-            }
+    if pending.is_empty() {
+        // Everything resolved from the cache; skip both backends.
+    } else if let Some(executor) = &opts.executor {
+        // Pluggable backend: the deduplicated pending batch runs wherever
+        // the executor decides (e.g. leased to riq-serve workers). The
+        // backend fast-forwards on its side; results come back in order.
+        let specs: Vec<JobSpec> = pending.iter().map(|(_, s)| (*s).clone()).collect();
+        let results = executor.execute(&specs, opts.skip, opts.warmup)?;
+        if results.len() != pending.len() {
+            return Err(ExperimentError::JobFailed {
+                kernel: pending.first().map_or_else(String::new, |(_, s)| s.kernel.clone()),
+                message: format!(
+                    "executor returned {} results for {} pending jobs",
+                    results.len(),
+                    pending.len()
+                ),
+            });
         }
+        for ((u, spec), result) in pending.iter().zip(results) {
+            opts.cache.store(spec.key_with(opts.skip, opts.warmup), Arc::clone(&result));
+            resolved[*u] = Some(result);
+        }
+    } else {
+        run_pending_local(&pending, opts, &mut resolved)?;
     }
 
     let out: Vec<Arc<RunResult>> = job_unique
@@ -473,6 +485,124 @@ pub fn run_jobs(
             .add_host(HostCounter::EngineWallNanos, batch_start.elapsed().as_nanos() as u64);
     }
     Ok(out)
+}
+
+/// Extracts a human-readable message from a worker panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Simulates the pending points on the calling process's thread pool:
+/// workers pull the next index from a shared cursor and write into their
+/// job's dedicated slot. A panicking job is caught and reported as
+/// [`ExperimentError::JobFailed`] — it never poisons the batch or kills
+/// the other workers' jobs.
+fn run_pending_local(
+    pending: &[(usize, &JobSpec)],
+    opts: &EngineOptions,
+    resolved: &mut [Option<Arc<RunResult>>],
+) -> Result<(), ExperimentError> {
+    // Fast-forward pre-pass (serial): with a store, every configuration of
+    // a program shares one checkpoint; without one, each job fast-forwards
+    // itself — same deterministic snapshot, no amortization.
+    let ff_start = Instant::now();
+    let checkpoints: Vec<Option<Arc<Checkpoint>>> = if opts.skip == 0 {
+        vec![None; pending.len()]
+    } else {
+        pending
+            .iter()
+            .map(|(_, spec)| {
+                let ckpt = match &opts.ckpt {
+                    Some(store) => store.get_or_create(&spec.program, opts.skip, opts.warmup),
+                    None => Checkpoint::fast_forward(&spec.program, opts.skip, opts.warmup)
+                        .map(Arc::new),
+                };
+                ckpt.map(Some).map_err(|source| ExperimentError::FastForward {
+                    kernel: spec.kernel.clone(),
+                    source,
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    if opts.skip > 0 {
+        opts.metrics.add_host(HostCounter::FastForwardNanos, ff_start.elapsed().as_nanos() as u64);
+    }
+
+    let slots: Vec<Mutex<Option<Result<RunResult, ExperimentError>>>> =
+        pending.iter().map(|_| Mutex::new(None)).collect();
+    let workers = opts.worker_count(pending.len());
+    let profiled = opts.metrics.wants_profile();
+    let execute = |i: usize| {
+        let spec = pending[i].1;
+        let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+            let proc = Processor::new(spec.config.clone());
+            match (&checkpoints[i], profiled) {
+                (Some(ckpt), false) => proc.resume_from(&spec.program, ckpt, opts.warmup),
+                (None, false) => proc.run(&spec.program),
+                (Some(ckpt), true) => proc.resume_profiled(
+                    &spec.program,
+                    ckpt,
+                    opts.warmup,
+                    None,
+                    &mut NullSink,
+                    None,
+                    opts.profile,
+                ),
+                (None, true) => proc.run_profiled(&spec.program, &mut NullSink, None, opts.profile),
+            }
+        }));
+        let outcome = match attempt {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(source)) => Err(ExperimentError::Sim { kernel: spec.kernel.clone(), source }),
+            Err(payload) => Err(ExperimentError::JobFailed {
+                kernel: spec.kernel.clone(),
+                message: format!("worker panicked: {}", panic_message(payload.as_ref())),
+            }),
+        };
+        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+    };
+    if workers <= 1 {
+        (0..pending.len()).for_each(execute);
+    } else {
+        let cursor = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= pending.len() {
+                        break;
+                    }
+                    execute(i);
+                });
+            }
+        });
+    }
+
+    // Harvest in enumeration order so the first error is deterministic.
+    for ((u, spec), slot) in pending.iter().zip(slots) {
+        let outcome =
+            slot.into_inner().unwrap_or_else(PoisonError::into_inner).unwrap_or_else(|| {
+                Err(ExperimentError::JobFailed {
+                    kernel: spec.kernel.clone(),
+                    message: "worker exited without filling the job's result slot".to_string(),
+                })
+            });
+        match outcome {
+            Ok(result) => {
+                let result = Arc::new(result);
+                opts.cache.store(spec.key_with(opts.skip, opts.warmup), Arc::clone(&result));
+                resolved[*u] = Some(result);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -618,5 +748,96 @@ mod tests {
         assert_eq!(opts.worker_count(3), 3);
         assert_eq!(opts.worker_count(0), 1);
         assert!(EngineOptions::with_jobs(0).worker_count(64) >= 1);
+    }
+
+    // Debug-only: the panic is an arithmetic overflow, which release
+    // builds wrap instead of trapping.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn panicking_job_fails_batch_without_poisoning() {
+        let program = tiny_program();
+        let mut bad = SimConfig::baseline();
+        // Passes validation but overflows `now + latency` on the first
+        // issued ALU op, panicking inside the worker.
+        bad.latency.int_alu = u64::MAX;
+        let jobs = vec![
+            JobSpec::new("fine", &program, SimConfig::baseline()),
+            JobSpec::new("explodes", &program, bad),
+        ];
+        let opts = EngineOptions::with_jobs(2);
+        let err = run_jobs(&jobs, &opts).expect_err("panicking job must fail the batch");
+        match err {
+            ExperimentError::JobFailed { kernel, message } => {
+                assert_eq!(kernel, "explodes");
+                assert!(message.contains("panicked"), "message carries the panic: {message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // The shared cache survives unpoisoned with the good job stored.
+        assert_eq!(opts.cache.len(), 1);
+        let ok = run_jobs(&jobs[..1], &opts).expect("the surviving job still resolves");
+        assert_eq!(ok.len(), 1);
+    }
+
+    /// An executor that simulates in-process — the conformance baseline.
+    struct InProcessExecutor;
+
+    impl JobExecutor for InProcessExecutor {
+        fn execute(
+            &self,
+            jobs: &[JobSpec],
+            skip: u64,
+            warmup: u64,
+        ) -> Result<Vec<Arc<RunResult>>, ExperimentError> {
+            run_jobs(jobs, &EngineOptions { jobs: 1, skip, warmup, ..Default::default() })
+        }
+    }
+
+    #[test]
+    fn executor_backend_is_bit_identical() {
+        let program = tiny_program();
+        let jobs = vec![
+            JobSpec::new("a", &program, SimConfig::baseline()),
+            JobSpec::new("b", &program, SimConfig::baseline().with_reuse(true)),
+            JobSpec::new("dup", &program, SimConfig::baseline()),
+        ];
+        let local = run_jobs(&jobs, &EngineOptions::serial()).expect("local");
+        let opts = EngineOptions::default().with_executor(Arc::new(InProcessExecutor));
+        let routed = run_jobs(&jobs, &opts).expect("routed");
+        assert_eq!(local.len(), routed.len());
+        for (l, r) in local.iter().zip(&routed) {
+            assert_eq!(l.stats, r.stats, "executor path is bit-identical");
+            assert_eq!(l.arch_state, r.arch_state);
+            assert_eq!(l.mem_digest, r.mem_digest);
+        }
+        assert!(Arc::ptr_eq(&routed[0], &routed[2]), "dedup still applies around the executor");
+    }
+
+    /// An executor that loses results.
+    struct ShortExecutor;
+
+    impl JobExecutor for ShortExecutor {
+        fn execute(
+            &self,
+            _jobs: &[JobSpec],
+            _skip: u64,
+            _warmup: u64,
+        ) -> Result<Vec<Arc<RunResult>>, ExperimentError> {
+            Ok(Vec::new())
+        }
+    }
+
+    #[test]
+    fn executor_result_count_mismatch_is_a_job_failure() {
+        let program = tiny_program();
+        let jobs = vec![JobSpec::new("a", &program, SimConfig::baseline())];
+        let opts = EngineOptions::default().with_executor(Arc::new(ShortExecutor));
+        let err = run_jobs(&jobs, &opts).expect_err("short executor must fail");
+        match err {
+            ExperimentError::JobFailed { message, .. } => {
+                assert!(message.contains("0 results"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
     }
 }

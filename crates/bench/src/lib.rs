@@ -53,17 +53,21 @@ mod engine;
 mod experiment;
 mod harness;
 mod report;
+mod service;
 mod tables;
 
 pub use bench_cmd::{
-    append_record, matrix_jobs, run_bench, validate_bench_doc, BenchRun, BENCH_IQ_SIZES,
-    BENCH_SCHEMA_VERSION, QUICK_SCALE,
+    append_record, matrix_jobs, run_bench, run_bench_with_store, validate_bench_doc, BenchRun,
+    BENCH_IQ_SIZES, BENCH_SCHEMA_VERSION, QUICK_SCALE,
 };
-pub use engine::{run_jobs, EngineOptions, ExperimentError, JobKey, JobSpec, ResultCache};
+pub use engine::{
+    run_jobs, EngineOptions, ExperimentError, JobExecutor, JobKey, JobSpec, ResultCache,
+};
 pub use experiment::{run_experiment, Experiment};
 pub use harness::{
     fig9_points, fig9_table, run_pair, Fig9Point, FigTable, PairResult, Sweep, IQ_SIZES,
 };
 pub use report::{report_json, CheckpointProvenance, RunSpec, REPORT_SCHEMA_VERSION};
 pub use riq_ckpt::CheckpointStore;
+pub use service::{experiment_from_label, start_daemon, Daemon, DaemonOptions};
 pub use tables::{table1, table2};

@@ -1,0 +1,882 @@
+//! The `riq-serve` daemon: simulation-as-a-service over the experiment
+//! engine.
+//!
+//! This is the *policy* half of the service; the mechanisms — blob codec,
+//! durable content-addressed [`ResultStore`], leased [`JobQueue`], the
+//! HTTP plumbing, and the worker loop — live in the `riq-serve` crate.
+//! The daemon composes them:
+//!
+//! * `POST /sweeps` registers an [`Experiment`] (by label) or a raw job
+//!   list and runs it on a background thread through the ordinary
+//!   [`run_experiment`]/[`run_jobs`] path, with a [`QueueExecutor`]
+//!   installed as the engine's [`JobExecutor`] backend;
+//! * the executor resolves every point it can from the store (a warm
+//!   store means *zero* new simulations), pins the remaining keys so LRU
+//!   eviction can never drop an in-flight sweep's dependencies, enqueues
+//!   them once (cross-client dedup happens inside the queue), and blocks
+//!   until workers deliver;
+//! * worker processes lease jobs over `POST /lease`, simulate them with
+//!   the engine's exact unprofiled path, and report over
+//!   `POST /complete` / `POST /fail`; expired leases requeue, so a
+//!   SIGKILLed worker's jobs simply run again elsewhere;
+//! * `GET /sweeps/{id}` reports progress and an ETA derived from the
+//!   per-worker speed accounting ([`riq_metrics::PerfBlock`]), and
+//!   `GET /sweeps/{id}/csv` returns the finished table — byte-identical
+//!   to what an in-process `run_experiment` prints, because it *is* the
+//!   in-process aggregation, fed deterministic results by key.
+//!
+//! Determinism argument, in one paragraph: the simulator is a pure
+//! function of `(program, config, skip, warmup)`, which is exactly the
+//! store/queue key. Workers recompute that function; the store persists
+//! it; the engine aggregates by job index after the executor returns one
+//! result per job in order. Worker count, lease schedule, kill/restart
+//! timing, and store temperature only change *where* a result comes
+//! from, never its bytes — so the CSV cannot change either
+//! (`tests/serve_determinism.rs` holds this invariant).
+
+use crate::engine::{
+    run_jobs, EngineOptions, ExperimentError, JobExecutor, JobKey, JobSpec, ResultCache,
+};
+use crate::experiment::{run_experiment, Experiment};
+use riq_asm::Program;
+use riq_core::{RunResult, SimConfig};
+use riq_metrics::PerfBlock;
+use riq_serve::{
+    decode_result, encode_job, serve_on, JobBlob, JobQueue, JobState, QueueConfig, Request,
+    Response, ResultStore, ServerHandle,
+};
+use riq_trace::{parse, EventKind, JsonValue, JsonlSink, TraceEvent, TraceSink};
+use std::collections::{BTreeMap, HashMap};
+use std::fs::File;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration of a daemon instance.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Path of the durable result store (a single append-only journal
+    /// file; created, with parent directories, when absent).
+    pub store_path: PathBuf,
+    /// LRU eviction budget for the store; `None` never evicts.
+    pub store_max_bytes: Option<u64>,
+    /// Lease lifetime and retry policy of the job queue.
+    pub queue: QueueConfig,
+    /// When set, every queue transition is appended to this file as a
+    /// JSONL trace (`job_queued`/`job_leased`/`job_completed`/
+    /// `job_requeued`/`job_failed` events).
+    pub trace_path: Option<PathBuf>,
+}
+
+impl DaemonOptions {
+    /// Options with the default queue policy and no eviction budget.
+    #[must_use]
+    pub fn new(store_path: impl Into<PathBuf>) -> DaemonOptions {
+        DaemonOptions {
+            store_path: store_path.into(),
+            store_max_bytes: None,
+            queue: QueueConfig::default(),
+            trace_path: None,
+        }
+    }
+}
+
+/// Everything a worker needs to simulate one distinct point, kept by
+/// content address so concurrent sweeps sharing a point register it once.
+struct Payload {
+    kernel: String,
+    program: Arc<Program>,
+    config: SimConfig,
+    skip: u64,
+    warmup: u64,
+}
+
+/// Terminal/running status of a registered sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SweepStatus {
+    Running,
+    Done,
+    Failed(String),
+}
+
+impl SweepStatus {
+    fn label(&self) -> &'static str {
+        match self {
+            SweepStatus::Running => "running",
+            SweepStatus::Done => "done",
+            SweepStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Bookkeeping for one submitted sweep.
+struct SweepEntry {
+    label: String,
+    scale: f64,
+    /// Work units handed to the executor; `0` until the experiment has
+    /// enumerated and deduplicated its points.
+    total: usize,
+    /// Points answered by the store without queueing anything.
+    from_store: usize,
+    /// Queue ids of the points that did need simulating.
+    job_ids: Vec<u64>,
+    status: SweepStatus,
+    csv: Option<String>,
+    report: Option<String>,
+}
+
+/// Per-worker completion accounting, fed by `POST /complete` and read by
+/// `/statsz` and the sweep ETA.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerPerf {
+    completed: u64,
+    sim_cycles: u64,
+    sim_insts: u64,
+    wall_nanos: u64,
+}
+
+/// Shared daemon state behind the HTTP handler, the sweep threads, and
+/// the executor.
+struct DaemonState {
+    queue: JobQueue,
+    store: Mutex<ResultStore>,
+    payloads: Mutex<HashMap<JobKey, Payload>>,
+    sweeps: Mutex<BTreeMap<u64, SweepEntry>>,
+    next_sweep: AtomicU64,
+    worker_perf: Mutex<BTreeMap<String, WorkerPerf>>,
+    worker_ids: Mutex<HashMap<String, u64>>,
+    trace: Mutex<Option<JsonlSink<File>>>,
+    trace_seq: AtomicU64,
+    started: Instant,
+}
+
+/// Locks tolerating poison: every structure here is left consistent by
+/// construction (single-call mutations), so a panicking peer thread must
+/// not take the daemon down with it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl DaemonState {
+    fn emit(&self, kind: EventKind) {
+        let mut guard = lock(&self.trace);
+        if let Some(sink) = guard.as_mut() {
+            let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+            sink.record(TraceEvent::new(seq, kind));
+        }
+    }
+
+    /// Stable numeric identity for a worker name (trace events carry
+    /// numbers, not strings).
+    fn worker_ordinal(&self, name: &str) -> u64 {
+        let mut ids = lock(&self.worker_ids);
+        let next = ids.len() as u64 + 1;
+        *ids.entry(name.to_string()).or_insert(next)
+    }
+}
+
+/// The engine backend: turns the deduplicated pending batch of a sweep
+/// into store lookups plus queue submissions, and blocks until every
+/// point is terminal.
+struct QueueExecutor {
+    state: Arc<DaemonState>,
+    sweep_id: u64,
+    priority: i64,
+}
+
+impl JobExecutor for QueueExecutor {
+    fn execute(
+        &self,
+        jobs: &[JobSpec],
+        skip: u64,
+        warmup: u64,
+    ) -> Result<Vec<Arc<RunResult>>, ExperimentError> {
+        let state = &self.state;
+        let mut slots: Vec<Option<Arc<RunResult>>> = vec![None; jobs.len()];
+        let mut pinned: Vec<JobKey> = Vec::with_capacity(jobs.len());
+        // (slot, job id, key, kernel label) for every point the store
+        // could not answer.
+        let mut waiting: Vec<(usize, u64, JobKey, String)> = Vec::new();
+        for (i, spec) in jobs.iter().enumerate() {
+            let key = spec.key_with(skip, warmup);
+            let mut store = lock(&state.store);
+            // Pin before looking: between a miss and the completion that
+            // fills it, eviction must treat the key's future entry as
+            // load-bearing.
+            store.pin(&key);
+            pinned.push(key);
+            if let Some(result) = store.get(&key) {
+                slots[i] = Some(result);
+                continue;
+            }
+            drop(store);
+            let (eff_skip, eff_warmup) = if skip == 0 { (0, 0) } else { (skip, warmup) };
+            lock(&state.payloads).entry(key).or_insert_with(|| Payload {
+                kernel: spec.kernel.clone(),
+                program: Arc::clone(&spec.program),
+                config: spec.config.clone(),
+                skip: eff_skip,
+                warmup: eff_warmup,
+            });
+            let (job_id, fresh) = state.queue.submit(key, self.priority);
+            if fresh {
+                state.emit(EventKind::JobQueued { job: job_id, sweep: self.sweep_id });
+            }
+            waiting.push((i, job_id, key, spec.kernel.clone()));
+        }
+
+        {
+            let mut sweeps = lock(&state.sweeps);
+            if let Some(entry) = sweeps.get_mut(&self.sweep_id) {
+                entry.total = jobs.len();
+                entry.from_store = jobs.len() - waiting.len();
+                entry.job_ids = waiting.iter().map(|w| w.1).collect();
+            }
+        }
+
+        let ids: Vec<u64> = waiting.iter().map(|w| w.1).collect();
+        let states = loop {
+            if let Some(states) = state.queue.wait_done(&ids, Duration::from_secs(3600)) {
+                break states;
+            }
+        };
+
+        // Waiting is in slot (= job) order, so the first failure found is
+        // the lowest-indexed one — matching the in-process engine's error
+        // selection.
+        let mut failure: Option<ExperimentError> = None;
+        for ((slot, job_id, key, kernel), job_state) in waiting.iter().zip(states) {
+            match job_state {
+                JobState::Done => match lock(&state.store).get(key) {
+                    Some(result) => slots[*slot] = Some(result),
+                    None => {
+                        if failure.is_none() {
+                            failure = Some(ExperimentError::JobFailed {
+                                kernel: kernel.clone(),
+                                message: format!("job {job_id}: result missing from store"),
+                            });
+                        }
+                    }
+                },
+                JobState::Failed { message } => {
+                    if failure.is_none() {
+                        failure =
+                            Some(ExperimentError::JobFailed { kernel: kernel.clone(), message });
+                    }
+                }
+                other => {
+                    // `wait_done` only returns terminal states; anything
+                    // else is a queue invariant violation.
+                    if failure.is_none() {
+                        failure = Some(ExperimentError::JobFailed {
+                            kernel: kernel.clone(),
+                            message: format!("job {job_id}: non-terminal state {other:?}"),
+                        });
+                    }
+                }
+            }
+        }
+        {
+            let mut store = lock(&state.store);
+            for key in &pinned {
+                store.unpin(key);
+            }
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(slots.into_iter().map(|s| s.expect("every slot resolved")).collect())
+    }
+}
+
+/// Resolves a sweep label (the `riq-repro` experiment command names) to
+/// its [`Experiment`].
+#[must_use]
+pub fn experiment_from_label(label: &str, scale: f64) -> Option<Experiment> {
+    Some(match label {
+        "fig5-8" => Experiment::Fig5_8 { scale },
+        "fig9" => Experiment::Fig9 { scale },
+        "nblt" => Experiment::NbltAblation { scale },
+        "strategy" => Experiment::StrategyAblation { scale },
+        "transforms" => Experiment::TransformAblation { scale },
+        "bpred" => Experiment::BpredAblation { scale },
+        _ => return None,
+    })
+}
+
+/// Engine options for a sweep thread: a fresh cache (the store is the
+/// persistent dedup layer) and the queue-backed executor.
+fn sweep_engine_options(executor: Arc<QueueExecutor>, skip: u64, warmup: u64) -> EngineOptions {
+    EngineOptions {
+        jobs: 1,
+        cache: ResultCache::new(),
+        skip,
+        warmup,
+        ckpt: None,
+        executor: Some(executor),
+        ..EngineOptions::default()
+    }
+}
+
+fn register_sweep(state: &Arc<DaemonState>, label: String, scale: f64) -> u64 {
+    let sweep_id = state.next_sweep.fetch_add(1, Ordering::Relaxed) + 1;
+    lock(&state.sweeps).insert(
+        sweep_id,
+        SweepEntry {
+            label,
+            scale,
+            total: 0,
+            from_store: 0,
+            job_ids: Vec::new(),
+            status: SweepStatus::Running,
+            csv: None,
+            report: None,
+        },
+    );
+    sweep_id
+}
+
+fn finish_sweep(
+    state: &Arc<DaemonState>,
+    sweep_id: u64,
+    outcome: Result<(String, String), String>,
+) {
+    let mut sweeps = lock(&state.sweeps);
+    if let Some(entry) = sweeps.get_mut(&sweep_id) {
+        match outcome {
+            Ok((csv, report)) => {
+                entry.csv = Some(csv);
+                entry.report = Some(report);
+                entry.status = SweepStatus::Done;
+            }
+            Err(message) => entry.status = SweepStatus::Failed(message),
+        }
+    }
+}
+
+fn spawn_experiment_sweep(
+    state: &Arc<DaemonState>,
+    experiment: Experiment,
+    scale: f64,
+    priority: i64,
+    skip: u64,
+    warmup: u64,
+) -> u64 {
+    let sweep_id = register_sweep(state, experiment.label().to_string(), scale);
+    let state2 = Arc::clone(state);
+    thread::Builder::new()
+        .name(format!("riq-sweep-{sweep_id}"))
+        .spawn(move || {
+            let executor =
+                Arc::new(QueueExecutor { state: Arc::clone(&state2), sweep_id, priority });
+            let opts = sweep_engine_options(executor, skip, warmup);
+            let outcome = run_experiment(&experiment, &opts)
+                .map(|table| (table.to_csv(), format!("{table}")))
+                .map_err(|e| e.to_string());
+            finish_sweep(&state2, sweep_id, outcome);
+        })
+        .expect("spawn sweep thread");
+    sweep_id
+}
+
+/// CSV/report for a raw job-list sweep: one deterministic row per job.
+fn raw_table(specs: &[JobSpec], results: &[Arc<RunResult>]) -> String {
+    let mut out = String::from("kernel,iq,reuse,cycles,committed,ipc,gated_rate\n");
+    for (spec, r) in specs.iter().zip(results) {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.6},{:.6}\n",
+            spec.kernel,
+            spec.config.iq_entries,
+            spec.config.reuse.enabled,
+            r.stats.cycles,
+            r.stats.committed,
+            r.stats.ipc(),
+            r.stats.gated_rate(),
+        ));
+    }
+    out
+}
+
+fn spawn_raw_sweep(
+    state: &Arc<DaemonState>,
+    specs: Vec<JobSpec>,
+    scale: f64,
+    priority: i64,
+    skip: u64,
+    warmup: u64,
+) -> u64 {
+    let sweep_id = register_sweep(state, "jobs".to_string(), scale);
+    let state2 = Arc::clone(state);
+    thread::Builder::new()
+        .name(format!("riq-sweep-{sweep_id}"))
+        .spawn(move || {
+            let executor =
+                Arc::new(QueueExecutor { state: Arc::clone(&state2), sweep_id, priority });
+            let opts = sweep_engine_options(executor, skip, warmup);
+            let outcome = run_jobs(&specs, &opts)
+                .map(|results| {
+                    let table = raw_table(&specs, &results);
+                    (table.clone(), table)
+                })
+                .map_err(|e| e.to_string());
+            finish_sweep(&state2, sweep_id, outcome);
+        })
+        .expect("spawn sweep thread");
+    sweep_id
+}
+
+/// A running daemon: the HTTP listener plus its shared state. Dropping
+/// the handle leaks the accept thread; call [`Daemon::stop`].
+pub struct Daemon {
+    http: ServerHandle,
+    state: Arc<DaemonState>,
+}
+
+impl Daemon {
+    /// The bound listen address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// The `/statsz` document, for callers holding the handle (the CLI
+    /// prints it on shutdown; remote clients use the endpoint).
+    #[must_use]
+    pub fn statsz(&self) -> JsonValue {
+        statsz_json(&self.state)
+    }
+
+    /// Stops accepting connections and joins the accept thread. Sweep
+    /// threads blocked on missing workers are left to the OS — the store
+    /// is durable, so a restarted daemon resumes from their results.
+    pub fn stop(self) {
+        self.http.stop();
+    }
+}
+
+/// Starts the daemon on an already-bound listener (bind to port 0 for an
+/// ephemeral address) and returns its handle.
+///
+/// # Errors
+///
+/// Propagates store-open/replay and listener I/O failures.
+pub fn start_daemon(listener: TcpListener, options: &DaemonOptions) -> io::Result<Daemon> {
+    let store = ResultStore::open(&options.store_path, options.store_max_bytes)?;
+    let trace = match &options.trace_path {
+        Some(path) => Some(JsonlSink::new(File::create(path)?)),
+        None => None,
+    };
+    let state = Arc::new(DaemonState {
+        queue: JobQueue::new(options.queue),
+        store: Mutex::new(store),
+        payloads: Mutex::new(HashMap::new()),
+        sweeps: Mutex::new(BTreeMap::new()),
+        next_sweep: AtomicU64::new(0),
+        worker_perf: Mutex::new(BTreeMap::new()),
+        worker_ids: Mutex::new(HashMap::new()),
+        trace: Mutex::new(trace),
+        trace_seq: AtomicU64::new(0),
+        started: Instant::now(),
+    });
+    let handler_state = Arc::clone(&state);
+    let http = serve_on(listener, Arc::new(move |req: &Request| handle(&handler_state, req)))?;
+    Ok(Daemon { http, state })
+}
+
+fn response_with_status(status: u16, body: String) -> Response {
+    Response { status, content_type: "text/plain; charset=utf-8", body: body.into_bytes() }
+}
+
+fn handle(state: &Arc<DaemonState>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/statsz") => Response::json(statsz_json(state).to_pretty()),
+        ("POST", "/sweeps") => post_sweeps(state, req),
+        ("POST", "/lease") => post_lease(state, req),
+        ("POST", "/complete") => post_complete(state, req),
+        ("POST", "/fail") => post_fail(state, req),
+        ("GET", path) => {
+            if let Some(rest) = path.strip_prefix("/sweeps/") {
+                get_sweep(state, rest)
+            } else if let Some(rest) = path.strip_prefix("/jobs/") {
+                get_job(state, rest)
+            } else {
+                Response::not_found("no such endpoint")
+            }
+        }
+        _ => Response::not_found("no such endpoint"),
+    }
+}
+
+fn healthz(state: &Arc<DaemonState>) -> Response {
+    let doc = JsonValue::obj([
+        ("ok", JsonValue::Bool(true)),
+        ("uptime_seconds", JsonValue::Num(state.started.elapsed().as_secs_f64())),
+    ]);
+    Response::json(doc.to_pretty())
+}
+
+fn statsz_json(state: &Arc<DaemonState>) -> JsonValue {
+    let queue = state.queue.stats();
+    let store = lock(&state.store).stats();
+    let sweeps = lock(&state.sweeps);
+    let (mut running, mut done, mut failed) = (0u64, 0u64, 0u64);
+    for entry in sweeps.values() {
+        match entry.status {
+            SweepStatus::Running => running += 1,
+            SweepStatus::Done => done += 1,
+            SweepStatus::Failed(_) => failed += 1,
+        }
+    }
+    let workers: BTreeMap<String, JsonValue> = lock(&state.worker_perf)
+        .iter()
+        .map(|(name, perf)| {
+            // One PerfBlock per worker: the same speed accounting the
+            // engine and `riq-repro run` print, from completion-reported
+            // wall time and the result's own simulation-domain counters.
+            let block =
+                PerfBlock::new(perf.wall_nanos as f64 / 1e9, perf.sim_insts, perf.sim_cycles);
+            let doc = JsonValue::obj([
+                ("completed", JsonValue::UInt(perf.completed)),
+                ("wall_seconds", JsonValue::Num(perf.wall_nanos as f64 / 1e9)),
+                ("sim_khz", JsonValue::Num(block.sim_khz())),
+                ("mips", JsonValue::Num(block.mips())),
+            ]);
+            (name.clone(), doc)
+        })
+        .collect();
+    JsonValue::obj([
+        ("uptime_seconds", JsonValue::Num(state.started.elapsed().as_secs_f64())),
+        (
+            "queue",
+            JsonValue::obj([
+                ("queued", JsonValue::UInt(queue.queued)),
+                ("leased", JsonValue::UInt(queue.leased)),
+                ("done", JsonValue::UInt(queue.done)),
+                ("failed", JsonValue::UInt(queue.failed)),
+                ("dedup_hits", JsonValue::UInt(queue.dedup_hits)),
+                ("leases_granted", JsonValue::UInt(queue.leases_granted)),
+                ("requeues", JsonValue::UInt(queue.requeues)),
+            ]),
+        ),
+        (
+            "store",
+            JsonValue::obj([
+                ("entries", JsonValue::UInt(store.entries)),
+                ("bytes_on_disk", JsonValue::UInt(store.bytes_on_disk)),
+                ("hits", JsonValue::UInt(store.hits)),
+                ("misses", JsonValue::UInt(store.misses)),
+                ("evictions", JsonValue::UInt(store.evictions)),
+                ("bytes_written", JsonValue::UInt(store.bytes_written)),
+                ("recovered_torn_frames", JsonValue::UInt(store.recovered_torn_frames)),
+            ]),
+        ),
+        (
+            "sweeps",
+            JsonValue::obj([
+                ("total", JsonValue::UInt(sweeps.len() as u64)),
+                ("running", JsonValue::UInt(running)),
+                ("done", JsonValue::UInt(done)),
+                ("failed", JsonValue::UInt(failed)),
+            ]),
+        ),
+        ("workers", JsonValue::Obj(workers)),
+    ])
+}
+
+fn post_sweeps(state: &Arc<DaemonState>, req: &Request) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::bad_request("body is not UTF-8");
+    };
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Response::bad_request(&format!("body is not JSON: {e}")),
+    };
+    let scale = doc.get("scale").and_then(JsonValue::as_f64).unwrap_or(1.0);
+    if scale.is_nan() || scale <= 0.0 {
+        return Response::bad_request("scale must be positive");
+    }
+    let priority = doc.get("priority").and_then(JsonValue::as_i64).unwrap_or(0);
+    let skip = doc.get("skip").and_then(JsonValue::as_u64).unwrap_or(0);
+    let warmup = doc.get("warmup").and_then(JsonValue::as_u64).unwrap_or(0);
+
+    let sweep_id = if let Some(label) = doc.get("experiment").and_then(JsonValue::as_str) {
+        let Some(experiment) = experiment_from_label(label, scale) else {
+            return Response::bad_request(&format!("unknown experiment {label:?}"));
+        };
+        spawn_experiment_sweep(state, experiment, scale, priority, skip, warmup)
+    } else if let Some(jobs) = doc.get("jobs").and_then(JsonValue::as_arr) {
+        let specs = match parse_raw_jobs(jobs, scale) {
+            Ok(specs) => specs,
+            Err(e) => return Response::bad_request(&e),
+        };
+        spawn_raw_sweep(state, specs, scale, priority, skip, warmup)
+    } else {
+        return Response::bad_request("body needs an \"experiment\" label or a \"jobs\" array");
+    };
+
+    let label = lock(&state.sweeps).get(&sweep_id).map_or_else(String::new, |s| s.label.clone());
+    let reply = JsonValue::obj([
+        ("sweep", JsonValue::UInt(sweep_id)),
+        ("experiment", JsonValue::Str(label)),
+        ("scale", JsonValue::Num(scale)),
+    ]);
+    Response::json(reply.to_pretty())
+}
+
+/// Parses a raw job list: `[{"kernel": NAME, "iq": N, "reuse": BOOL}]`,
+/// each compiled at the sweep's scale.
+fn parse_raw_jobs(jobs: &[JsonValue], scale: f64) -> Result<Vec<JobSpec>, String> {
+    if jobs.is_empty() {
+        return Err("jobs array is empty".to_string());
+    }
+    let suite = riq_kernels::suite_scaled(scale);
+    let mut programs: HashMap<String, Arc<Program>> = HashMap::new();
+    let mut specs = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let kernel = job
+            .get("kernel")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("jobs[{i}]: missing \"kernel\""))?;
+        let iq = job.get("iq").and_then(JsonValue::as_u64).unwrap_or(64) as u32;
+        if iq == 0 {
+            return Err(format!("jobs[{i}]: iq must be positive"));
+        }
+        let reuse = job.get("reuse").and_then(JsonValue::as_bool).unwrap_or(false);
+        let program = match programs.get(kernel) {
+            Some(p) => Arc::clone(p),
+            None => {
+                let spec = suite
+                    .iter()
+                    .find(|k| k.name == kernel)
+                    .ok_or_else(|| format!("jobs[{i}]: unknown kernel {kernel:?}"))?;
+                let compiled =
+                    riq_kernels::compile(spec).map_err(|e| format!("jobs[{i}]: {kernel}: {e}"))?;
+                let p = Arc::new(compiled);
+                programs.insert(kernel.to_string(), Arc::clone(&p));
+                p
+            }
+        };
+        let config = SimConfig::baseline().with_iq_size(iq).with_reuse(reuse);
+        specs.push(JobSpec::new(kernel, &program, config));
+    }
+    Ok(specs)
+}
+
+fn get_sweep(state: &Arc<DaemonState>, rest: &str) -> Response {
+    let (id_str, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, tail),
+        None => (rest, ""),
+    };
+    let Ok(sweep_id) = id_str.parse::<u64>() else {
+        return Response::bad_request("sweep id is not a number");
+    };
+    let sweeps = lock(&state.sweeps);
+    let Some(entry) = sweeps.get(&sweep_id) else {
+        return Response::not_found("no such sweep");
+    };
+    match tail {
+        "" => sweep_status(state, sweep_id, entry),
+        "csv" => match (&entry.status, &entry.csv) {
+            (SweepStatus::Failed(message), _) => {
+                response_with_status(500, format!("sweep failed: {message}\n"))
+            }
+            (_, Some(csv)) => Response::text(csv.clone()),
+            _ => response_with_status(409, "sweep is still running\n".to_string()),
+        },
+        "report" => match (&entry.status, &entry.report) {
+            (SweepStatus::Failed(message), _) => {
+                response_with_status(500, format!("sweep failed: {message}\n"))
+            }
+            (_, Some(report)) => Response::text(report.clone()),
+            _ => response_with_status(409, "sweep is still running\n".to_string()),
+        },
+        _ => Response::not_found("no such sweep view"),
+    }
+}
+
+fn sweep_status(state: &Arc<DaemonState>, sweep_id: u64, entry: &SweepEntry) -> Response {
+    let mut jobs_done = 0usize;
+    let mut jobs_failed = 0usize;
+    for &id in &entry.job_ids {
+        match state.queue.state(id) {
+            Some(JobState::Done) => jobs_done += 1,
+            Some(JobState::Failed { .. }) => jobs_failed += 1,
+            _ => {}
+        }
+    }
+    let done = entry.from_store + jobs_done;
+    let remaining = entry.total.saturating_sub(done + jobs_failed) as u64;
+
+    // ETA from the per-worker speed accounting: total completion-reported
+    // wall time per completed job, divided across the workers currently
+    // known. No completions yet means no estimate.
+    let eta = {
+        let perf = lock(&state.worker_perf);
+        let completed: u64 = perf.values().map(|p| p.completed).sum();
+        let wall_nanos: u64 = perf.values().map(|p| p.wall_nanos).sum();
+        let workers = perf.len().max(1) as f64;
+        if completed == 0 || remaining == 0 || entry.total == 0 {
+            None
+        } else {
+            let per_job = wall_nanos as f64 / 1e9 / completed as f64;
+            Some(remaining as f64 * per_job / workers)
+        }
+    };
+    let doc = JsonValue::obj([
+        ("sweep", JsonValue::UInt(sweep_id)),
+        ("experiment", JsonValue::Str(entry.label.clone())),
+        ("scale", JsonValue::Num(entry.scale)),
+        ("status", JsonValue::Str(entry.status.label().to_string())),
+        (
+            "message",
+            match &entry.status {
+                SweepStatus::Failed(m) => JsonValue::Str(m.clone()),
+                _ => JsonValue::Null,
+            },
+        ),
+        ("total_points", JsonValue::UInt(entry.total as u64)),
+        ("done_points", JsonValue::UInt(done as u64)),
+        ("failed_points", JsonValue::UInt(jobs_failed as u64)),
+        ("from_store", JsonValue::UInt(entry.from_store as u64)),
+        ("eta_seconds", eta.map_or(JsonValue::Null, JsonValue::Num)),
+    ]);
+    Response::json(doc.to_pretty())
+}
+
+fn get_job(state: &Arc<DaemonState>, rest: &str) -> Response {
+    let Ok(job_id) = rest.parse::<u64>() else {
+        return Response::bad_request("job id is not a number");
+    };
+    let Some(job_state) = state.queue.state(job_id) else {
+        return Response::not_found("no such job");
+    };
+    let (label, worker, attempt, message) = match job_state {
+        JobState::Queued => ("queued", None, None, None),
+        JobState::Leased { worker, attempt } => ("leased", Some(worker), Some(attempt), None),
+        JobState::Done => ("done", None, None, None),
+        JobState::Failed { message } => ("failed", None, None, Some(message)),
+    };
+    let doc = JsonValue::obj([
+        ("job", JsonValue::UInt(job_id)),
+        ("state", JsonValue::Str(label.to_string())),
+        ("worker", worker.map_or(JsonValue::Null, JsonValue::Str)),
+        ("attempt", attempt.map_or(JsonValue::Null, |a| JsonValue::UInt(u64::from(a)))),
+        ("message", message.map_or(JsonValue::Null, JsonValue::Str)),
+    ]);
+    Response::json(doc.to_pretty())
+}
+
+fn post_lease(state: &Arc<DaemonState>, req: &Request) -> Response {
+    let Some(worker) = req.query_param("worker") else {
+        return Response::bad_request("lease needs ?worker=NAME");
+    };
+    let worker = worker.to_string();
+    let Some(leased) = state.queue.lease(&worker) else {
+        return Response::no_content();
+    };
+    let payload = {
+        let payloads = lock(&state.payloads);
+        match payloads.get(&leased.key) {
+            Some(p) => JobBlob {
+                job_id: leased.job_id,
+                key: leased.key,
+                kernel: p.kernel.clone(),
+                skip: p.skip,
+                warmup: p.warmup,
+                program: (*p.program).clone(),
+                config: p.config.clone(),
+            },
+            None => {
+                drop(payloads);
+                // A queued job the daemon cannot describe is a daemon
+                // bug; fail it rather than leaving the worker spinning.
+                state.queue.fail(leased.job_id, "payload missing for leased job");
+                return Response::no_content();
+            }
+        }
+    };
+    let ordinal = state.worker_ordinal(&worker);
+    state.emit(EventKind::JobLeased {
+        job: leased.job_id,
+        worker: ordinal,
+        attempt: u64::from(leased.attempt),
+    });
+    Response::bytes(encode_job(&payload))
+}
+
+fn post_complete(state: &Arc<DaemonState>, req: &Request) -> Response {
+    let Some(job_id) = req.query_param("job").and_then(|v| v.parse::<u64>().ok()) else {
+        return Response::bad_request("complete needs ?job=ID");
+    };
+    let Some(worker) = req.query_param("worker").map(str::to_string) else {
+        return Response::bad_request("complete needs ?worker=NAME");
+    };
+    let wall_nanos = req.query_param("wall_nanos").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    let Some(key) = state.queue.key_of(job_id) else {
+        return Response::not_found("no such job");
+    };
+    // Validate before persisting: a worker shipping a corrupt or
+    // truncated blob burns one of the job's attempts, not the store.
+    let result = match decode_result(&req.body) {
+        Ok(result) => result,
+        Err(e) => {
+            let attempt = match state.queue.state(job_id) {
+                Some(JobState::Leased { attempt, .. }) => u64::from(attempt),
+                _ => 0,
+            };
+            state.queue.fail(job_id, &format!("complete rejected: {e}"));
+            emit_fail_event(state, job_id, attempt);
+            return Response::bad_request(&format!("result blob rejected: {e}"));
+        }
+    };
+    if let Err(e) = lock(&state.store).put_blob(key, req.body.clone()) {
+        return response_with_status(500, format!("store write failed: {e}\n"));
+    }
+    state.queue.complete(job_id);
+    state.emit(EventKind::JobCompleted { job: job_id, wall_nanos });
+    {
+        let mut perf = lock(&state.worker_perf);
+        let entry = perf.entry(worker).or_default();
+        entry.completed += 1;
+        entry.sim_cycles += result.stats.cycles;
+        entry.sim_insts += result.stats.committed;
+        entry.wall_nanos += wall_nanos;
+    }
+    Response::no_content()
+}
+
+fn post_fail(state: &Arc<DaemonState>, req: &Request) -> Response {
+    let Some(job_id) = req.query_param("job").and_then(|v| v.parse::<u64>().ok()) else {
+        return Response::bad_request("fail needs ?job=ID");
+    };
+    if state.queue.key_of(job_id).is_none() {
+        return Response::not_found("no such job");
+    }
+    let attempt = match state.queue.state(job_id) {
+        Some(JobState::Leased { attempt, .. }) => u64::from(attempt),
+        _ => 0,
+    };
+    let message = String::from_utf8_lossy(&req.body).into_owned();
+    state.queue.fail(job_id, &message);
+    emit_fail_event(state, job_id, attempt);
+    Response::no_content()
+}
+
+/// After a `fail`, the job either went back to the queue (retry) or
+/// exhausted its attempts; trace whichever happened.
+fn emit_fail_event(state: &Arc<DaemonState>, job_id: u64, attempt: u64) {
+    match state.queue.state(job_id) {
+        Some(JobState::Queued) => {
+            state.emit(EventKind::JobRequeued { job: job_id, attempts: attempt });
+        }
+        Some(JobState::Failed { .. }) => {
+            state.emit(EventKind::JobFailed { job: job_id, attempts: attempt });
+        }
+        _ => {}
+    }
+}

@@ -77,7 +77,44 @@ pub struct IqActivity {
     pub lrl_accesses: u32,
 }
 
+/// Sets or clears bit `idx` in a packed bitmap.
+#[inline]
+fn set_bit(words: &mut [u64], idx: usize, on: bool) {
+    let (w, b) = (idx / 64, idx % 64);
+    if on {
+        words[w] |= 1u64 << b;
+    } else {
+        words[w] &= !(1u64 << b);
+    }
+}
+
+/// Reads bit `idx` from a packed bitmap.
+#[inline]
+fn get_bit(words: &[u64], idx: usize) -> bool {
+    words[idx / 64] >> (idx % 64) & 1 == 1
+}
+
+/// Deletes bit `idx` from a packed bitmap: every higher bit shifts down by
+/// one, mirroring a `Vec::remove` of the entry at the same position.
+fn remove_bit(words: &mut [u64], idx: usize) {
+    let (w, b) = (idx / 64, idx % 64);
+    let low = if b == 0 { 0 } else { words[w] & ((1u64 << b) - 1) };
+    let high = if b == 63 { 0 } else { (words[w] >> (b + 1)) << b };
+    words[w] = low | high;
+    for i in w + 1..words.len() {
+        words[i - 1] |= (words[i] & 1) << 63;
+        words[i] >>= 1;
+    }
+}
+
 /// The issue queue.
+///
+/// Readiness and classification are mirrored into packed bitmaps (one bit
+/// per entry position, one `u64` per 64 entries), maintained incrementally
+/// by every mutating operation. The per-cycle select scan therefore costs a
+/// handful of word reads plus one visit per *matching* entry instead of a
+/// visit per *live* entry — the fix for the issue-stage scan dominating
+/// profiled time at large queue sizes.
 ///
 /// # Examples
 ///
@@ -104,6 +141,10 @@ pub struct IssueQueue {
     entries: Vec<IqEntry>,
     capacity: usize,
     activity: IqActivity,
+    /// Bit `i` set ⇔ `entries[i]` is ready and not yet issued.
+    ready_mask: Vec<u64>,
+    /// Bit `i` set ⇔ `entries[i]` has its classification bit set.
+    classified_mask: Vec<u64>,
 }
 
 impl IssueQueue {
@@ -115,10 +156,13 @@ impl IssueQueue {
     #[must_use]
     pub fn new(capacity: u32) -> IssueQueue {
         assert!(capacity > 0, "issue queue capacity must be non-zero");
+        let words = (capacity as usize).div_ceil(64);
         IssueQueue {
             entries: Vec::with_capacity(capacity as usize),
             capacity: capacity as usize,
             activity: IqActivity::default(),
+            ready_mask: vec![0; words],
+            classified_mask: vec![0; words],
         }
     }
 
@@ -152,9 +196,12 @@ impl IssueQueue {
         &self.entries
     }
 
-    /// Mutable entry access by position.
-    pub fn entry_mut(&mut self, idx: usize) -> Option<&mut IqEntry> {
-        self.entries.get_mut(idx)
+    /// Bitmap words covering the live entries — the per-pass word-read cost
+    /// of one select or reuse scan. Exposed so the pipeline can charge
+    /// `iq_scan_visits` with the work the bitmap scan actually performs.
+    #[must_use]
+    pub fn scan_words(&self) -> usize {
+        self.entries.len().div_ceil(64)
     }
 
     /// Inserts at the tail (dispatch). Returns `false` when full.
@@ -166,6 +213,9 @@ impl IssueQueue {
         if entry.classification {
             self.activity.lrl_accesses += 1; // LRL write during buffering
         }
+        let idx = self.entries.len();
+        set_bit(&mut self.ready_mask, idx, !entry.issued && entry.ready());
+        set_bit(&mut self.classified_mask, idx, entry.classification);
         self.entries.push(entry);
         true
     }
@@ -173,11 +223,16 @@ impl IssueQueue {
     /// Broadcasts a completed result tag: clears matching waits.
     pub fn wakeup(&mut self, producer: RobId) {
         self.activity.wakeups += 1;
-        for e in &mut self.entries {
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            let mut hit = false;
             for w in &mut e.waits {
                 if *w == Some(producer) {
                     *w = None;
+                    hit = true;
                 }
+            }
+            if hit && !e.issued && e.ready() {
+                set_bit(&mut self.ready_mask, i, true);
             }
         }
     }
@@ -186,13 +241,14 @@ impl IssueQueue {
     /// first. The caller applies function-unit constraints.
     #[must_use]
     pub fn ready_positions(&self) -> Vec<usize> {
-        let mut ready: Vec<usize> = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !e.issued && e.ready())
-            .map(|(i, _)| i)
-            .collect();
+        let mut ready = Vec::new();
+        for wi in 0..self.scan_words() {
+            let mut word = self.ready_mask[wi];
+            while word != 0 {
+                ready.push(wi * 64 + word.trailing_zeros() as usize);
+                word &= word - 1;
+            }
+        }
         ready.sort_by_key(|&i| self.entries[i].seq);
         ready
     }
@@ -208,10 +264,14 @@ impl IssueQueue {
         let e = &mut self.entries[idx];
         assert!(!e.issued, "double issue of IQ entry at {idx}");
         e.issued = true;
-        if !e.classification {
+        if e.classification {
+            set_bit(&mut self.ready_mask, idx, false);
+        } else {
             // Collapse: every younger entry shifts up one slot.
             self.activity.collapse_moves += (self.entries.len() - idx - 1) as u32;
             self.entries.remove(idx);
+            remove_bit(&mut self.ready_mask, idx);
+            remove_bit(&mut self.classified_mask, idx);
         }
     }
 
@@ -221,6 +281,8 @@ impl IssueQueue {
         if let Some(idx) = self.entries.iter().position(|e| e.rob == rob && e.seq == seq) {
             self.activity.collapse_moves += (self.entries.len() - idx - 1) as u32;
             self.entries.remove(idx);
+            remove_bit(&mut self.ready_mask, idx);
+            remove_bit(&mut self.classified_mask, idx);
             true
         } else {
             false
@@ -231,7 +293,15 @@ impl IssueQueue {
     /// domain of the reuse pointer.
     #[must_use]
     pub fn classified_positions(&self) -> Vec<usize> {
-        self.entries.iter().enumerate().filter(|(_, e)| e.classification).map(|(i, _)| i).collect()
+        let mut classified = Vec::new();
+        for wi in 0..self.scan_words() {
+            let mut word = self.classified_mask[wi];
+            while word != 0 {
+                classified.push(wi * 64 + word.trailing_zeros() as usize);
+                word &= word - 1;
+            }
+        }
+        classified
     }
 
     /// Re-renames the buffered entry at `idx` for its next reuse instance:
@@ -256,6 +326,7 @@ impl IssueQueue {
         e.seq = new_seq;
         e.waits = waits;
         e.issued = false;
+        set_bit(&mut self.ready_mask, idx, self.entries[idx].ready());
         self.activity.partial_updates += 1;
         self.activity.lrl_accesses += 1;
     }
@@ -270,7 +341,20 @@ impl IssueQueue {
             e.classification = false;
             e.lrl = None;
         }
+        self.rebuild_masks();
         before - self.entries.len()
+    }
+
+    /// Recomputes both bitmaps from the entry vector (used after bulk
+    /// mutations where incremental maintenance would cost more than a
+    /// rebuild).
+    fn rebuild_masks(&mut self) {
+        self.ready_mask.fill(0);
+        self.classified_mask.fill(0);
+        for (i, e) in self.entries.iter().enumerate() {
+            set_bit(&mut self.ready_mask, i, !e.issued && e.ready());
+            set_bit(&mut self.classified_mask, i, e.classification);
+        }
     }
 
     /// Takes and resets the per-cycle activity counters.
@@ -278,12 +362,20 @@ impl IssueQueue {
         std::mem::take(&mut self.activity)
     }
 
-    /// Debug invariant: entry seqs of non-issued entries are unique.
+    /// Debug invariant: entry seqs of non-issued entries are unique and the
+    /// packed bitmaps agree with the entry vector.
     #[must_use]
     pub fn check_invariants(&self) -> bool {
         let mut seqs: Vec<u64> = self.entries.iter().map(|e| e.seq).collect();
         seqs.sort_unstable();
-        seqs.windows(2).all(|w| w[0] != w[1]) && self.entries.len() <= self.capacity
+        let seqs_ok = seqs.windows(2).all(|w| w[0] != w[1]);
+        let masks_ok = self.entries.iter().enumerate().all(|(i, e)| {
+            get_bit(&self.ready_mask, i) == (!e.issued && e.ready())
+                && get_bit(&self.classified_mask, i) == e.classification
+        });
+        let tail_ok = (self.entries.len()..self.capacity)
+            .all(|i| !get_bit(&self.ready_mask, i) && !get_bit(&self.classified_mask, i));
+        seqs_ok && masks_ok && tail_ok && self.entries.len() <= self.capacity
     }
 }
 
@@ -384,7 +476,6 @@ mod tests {
     fn reuse_of_unclassified_panics() {
         let mut iq = IssueQueue::new(4);
         iq.insert(mk(0, false));
-        iq.entry_mut(0).unwrap().issued = true;
         iq.reuse_at(0, 1, 1, [None, None]);
     }
 
@@ -425,6 +516,91 @@ mod tests {
         let mut iq = IssueQueue::new(4);
         iq.insert(mk(0, false));
         iq.insert(mk(1, true));
+        assert!(iq.check_invariants());
+    }
+
+    /// Every position vector from the bitmaps must equal what a naive scan
+    /// of the entry vector would return.
+    fn assert_masks_match_naive(iq: &IssueQueue) {
+        let naive_ready: Vec<usize> = {
+            let mut v: Vec<usize> = iq
+                .entries()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.issued && e.ready())
+                .map(|(i, _)| i)
+                .collect();
+            v.sort_by_key(|&i| iq.entries()[i].seq);
+            v
+        };
+        let naive_classified: Vec<usize> = iq
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.classification)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(iq.ready_positions(), naive_ready);
+        assert_eq!(iq.classified_positions(), naive_classified);
+        assert!(iq.check_invariants());
+    }
+
+    #[test]
+    fn bitmaps_track_collapse_across_word_boundaries() {
+        let mut iq = IssueQueue::new(200);
+        for s in 0..150 {
+            let mut e = mk(s, s % 3 == 0);
+            if s % 5 == 0 {
+                e.waits = [Some(9999), None]; // never woken: stays not-ready
+            }
+            assert!(iq.insert(e));
+        }
+        assert_masks_match_naive(&iq);
+        // Remove entries straddling the 64- and 128-bit word boundaries.
+        for &(rob, seq) in &[(63u64, 63u64), (64, 64), (127, 127), (128, 128), (1, 1)] {
+            if iq.entries().iter().any(|e| e.classification && e.seq == seq) {
+                continue; // classified entries leave via clear, not squash
+            }
+            assert!(iq.remove_by_rob(rob as usize, seq));
+            assert_masks_match_naive(&iq);
+        }
+        // Issue a few ready entries (collapses unclassified ones).
+        while let Some(&pos) = iq.ready_positions().first() {
+            iq.issue_at(pos);
+            assert_masks_match_naive(&iq);
+            if iq.ready_positions().len() < 40 {
+                break;
+            }
+        }
+        // Wakeups flip blocked entries ready.
+        iq.wakeup(9999);
+        assert_masks_match_naive(&iq);
+        // Recovery rebuilds from scratch.
+        iq.clear_classification();
+        assert_masks_match_naive(&iq);
+    }
+
+    #[test]
+    fn scan_words_covers_live_entries() {
+        let mut iq = IssueQueue::new(200);
+        assert_eq!(iq.scan_words(), 0);
+        iq.insert(mk(0, false));
+        assert_eq!(iq.scan_words(), 1);
+        for s in 1..65 {
+            iq.insert(mk(s, false));
+        }
+        assert_eq!(iq.scan_words(), 2);
+    }
+
+    #[test]
+    fn reuse_with_pending_waits_is_not_ready() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(mk(0, true));
+        iq.issue_at(0);
+        iq.reuse_at(0, 42, 100, [Some(41), None]);
+        assert!(iq.ready_positions().is_empty(), "reused entry still waits on a producer");
+        iq.wakeup(41);
+        assert_eq!(iq.ready_positions(), vec![0]);
         assert!(iq.check_invariants());
     }
 }

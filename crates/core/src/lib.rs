@@ -79,4 +79,4 @@ pub use reuse::{Directive, IqState, Nblt, ReuseController};
 pub use riq_metrics::{MetricsSnapshot, ProfileConfig};
 pub use rob::{RenameRef, Rob, RobEntry, RobId};
 pub use specstate::{SpecState, UndoRecord};
-pub use stats::{ReuseStats, RunResult, SimStats};
+pub use stats::{EpochSample, ReuseStats, RunResult, SimStats};

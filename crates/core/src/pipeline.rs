@@ -803,11 +803,12 @@ impl<'a> Core<'a> {
             return;
         }
         self.act.add(Component::IqSelect, 1);
-        // The ready scan reads every live entry and materializes a fresh
-        // position vector each cycle.
-        self.metrics.add(SimCounter::IqScanVisits, self.iq.len() as u64);
-        self.metrics.add(SimCounter::AllocEvents, 1);
+        // The ready scan walks the packed ready bitmap: a word read per 64
+        // live entries plus one entry visit per ready hit, rather than a
+        // visit per live entry.
         let ready = self.iq.ready_positions();
+        self.metrics.add(SimCounter::IqScanVisits, (self.iq.scan_words() + ready.len()) as u64);
+        self.metrics.add(SimCounter::AllocEvents, 1);
         let mut selected: Vec<usize> = Vec::new();
         for pos in ready {
             if selected.len() as u32 >= self.cfg.issue_width {
@@ -1069,12 +1070,13 @@ impl<'a> Core<'a> {
             if self.halt_dispatched || self.rob.is_full() {
                 break;
             }
-            // Called once per supplied instruction: each call re-scans the
-            // whole queue and allocates a fresh position vector (a known
-            // redundancy this counter exists to expose).
-            self.metrics.add(SimCounter::IqScanVisits, self.iq.len() as u64);
-            self.metrics.add(SimCounter::AllocEvents, 1);
+            // Called once per supplied instruction: each call re-walks the
+            // classified bitmap and allocates a fresh position vector (a
+            // known redundancy this counter exists to expose).
             let classified = self.iq.classified_positions();
+            self.metrics
+                .add(SimCounter::IqScanVisits, (self.iq.scan_words() + classified.len()) as u64);
+            self.metrics.add(SimCounter::AllocEvents, 1);
             if classified.is_empty() {
                 // Defensive: nothing left to reuse (should not happen —
                 // recovery is the architected exit).

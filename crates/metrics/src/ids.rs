@@ -108,11 +108,21 @@ pub enum HostCounter {
     FuzzPrograms,
     /// Shrinker predicate evaluations.
     ShrinkEvals,
+    /// Jobs resolved from the durable result store without simulating.
+    StoreHits,
+    /// Bytes appended to the durable result store's journal.
+    StoreBytesWritten,
+    /// Store entries evicted by the `--store-max-bytes` LRU policy.
+    StoreEvictions,
+    /// Job leases granted to service workers.
+    JobsLeased,
+    /// Jobs re-queued after a lease expired or a worker died.
+    JobsRequeued,
 }
 
 impl HostCounter {
     /// Number of host-domain counters.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 14;
 
     /// Every counter, in stable rendering order.
     pub const ALL: [HostCounter; HostCounter::COUNT] = [
@@ -125,6 +135,11 @@ impl HostCounter {
         HostCounter::EngineWallNanos,
         HostCounter::FuzzPrograms,
         HostCounter::ShrinkEvals,
+        HostCounter::StoreHits,
+        HostCounter::StoreBytesWritten,
+        HostCounter::StoreEvictions,
+        HostCounter::JobsLeased,
+        HostCounter::JobsRequeued,
     ];
 
     /// Stable snake_case name used in JSON and rendered snapshots.
@@ -140,6 +155,11 @@ impl HostCounter {
             HostCounter::EngineWallNanos => "engine_wall_nanos",
             HostCounter::FuzzPrograms => "fuzz_programs",
             HostCounter::ShrinkEvals => "shrink_evals",
+            HostCounter::StoreHits => "store_hits",
+            HostCounter::StoreBytesWritten => "store_bytes_written",
+            HostCounter::StoreEvictions => "store_evictions",
+            HostCounter::JobsLeased => "jobs_leased",
+            HostCounter::JobsRequeued => "jobs_requeued",
         }
     }
 }

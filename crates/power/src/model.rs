@@ -463,6 +463,24 @@ impl riq_trace::ToJson for PowerReport {
 }
 
 impl PowerReport {
+    /// Reconstructs a report from raw per-component energies — the inverse
+    /// of [`PowerReport::raw_energy`], used by binary result codecs that
+    /// persist reports outside this crate.
+    #[must_use]
+    pub fn from_parts(
+        energy: [f64; NUM_COMPONENTS],
+        cycles: u64,
+        gated_cycles: u64,
+    ) -> PowerReport {
+        PowerReport { energy, cycles, gated_cycles }
+    }
+
+    /// The raw per-component energy table, indexed by [`Component::index`].
+    #[must_use]
+    pub fn raw_energy(&self) -> &[f64; NUM_COMPONENTS] {
+        &self.energy
+    }
+
     /// Total energy over the run.
     #[must_use]
     pub fn total_energy(&self) -> f64 {

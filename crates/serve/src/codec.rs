@@ -1,0 +1,925 @@
+//! Versioned binary codecs for the service wire and store formats.
+//!
+//! Four framed blob kinds, all in the `crates/ckpt` codec style — magic,
+//! `u32` version, length-checked little-endian fields, and a trailing
+//! FNV-1a digest over every preceding byte:
+//!
+//! * **result** (`"RIQRES\0\0"`): a full [`RunResult`] — the payload the
+//!   durable store journals and workers post back;
+//! * **program** (`"RIQPROG\0"`): a [`Program`] image;
+//! * **config** (`"RIQCFG\0\0"`): a [`SimConfig`];
+//! * **job** (`"RIQJOB\0\0"`): a [`JobBlob`] lease response — job id, the
+//!   content-address key, and nested program/config blobs whose decoded
+//!   fingerprints must match the key.
+//!
+//! Decoding never panics: every malformed input maps to a typed
+//! [`CodecError`].
+
+use crate::JobKey;
+use riq_asm::Program;
+use riq_bpred::{BpredStats, BtbStats, DirPredictorKind, PredictorConfig};
+use riq_core::{
+    BufferingStrategy, EpochSample, FuConfig, LatencyConfig, ReuseConfig, ReuseStats, RunResult,
+    SimConfig, SimStats,
+};
+use riq_emu::ArchState;
+use riq_isa::{FpReg, IntReg, StableHasher, NUM_FP_REGS, NUM_INT_REGS};
+use riq_mem::{
+    CacheConfig, CacheStats, HierarchyConfig, HierarchyStats, MainMemoryConfig, TlbConfig,
+};
+use riq_metrics::{Histogram, MetricsSnapshot, SimCounter, Stage, HIST_BUCKETS};
+use riq_power::{PowerReport, NUM_COMPONENTS};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::hash::Hasher;
+
+/// Leading magic bytes of an encoded result.
+pub const MAGIC_RESULT: [u8; 8] = *b"RIQRES\0\0";
+/// Leading magic bytes of an encoded program.
+pub const MAGIC_PROGRAM: [u8; 8] = *b"RIQPROG\0";
+/// Leading magic bytes of an encoded configuration.
+pub const MAGIC_CONFIG: [u8; 8] = *b"RIQCFG\0\0";
+/// Leading magic bytes of an encoded job blob.
+pub const MAGIC_JOB: [u8; 8] = *b"RIQJOB\0\0";
+
+/// Current format version, shared by all four blob kinds.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Error decoding a service blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input does not start with the expected magic.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The input ended before the structure was complete.
+    Truncated {
+        /// Byte offset at which more input was required.
+        offset: usize,
+    },
+    /// A field held a value the format does not allow.
+    BadValue {
+        /// Byte offset of the offending field.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The trailing digest does not match the content.
+    Corrupt {
+        /// Digest recomputed from the content.
+        expected: u64,
+        /// Digest stored in the blob.
+        found: u64,
+    },
+    /// Well-formed blob followed by extra bytes.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a service blob: bad magic"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported blob format version {v} (this build reads {FORMAT_VERSION})")
+            }
+            CodecError::Truncated { offset } => {
+                write!(f, "truncated blob: input ended at byte {offset}")
+            }
+            CodecError::BadValue { offset, what } => {
+                write!(f, "invalid blob field at byte {offset}: {what}")
+            }
+            CodecError::Corrupt { expected, found } => {
+                write!(f, "corrupt blob: content digest {expected:#018x} != stored {found:#018x}")
+            }
+            CodecError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes after blob"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+fn digest_of(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+fn w32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn wf64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn wstr(out: &mut Vec<u8>, s: &str) {
+    w32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end =
+            self.pos.checked_add(n).ok_or(CodecError::Truncated { offset: self.bytes.len() })?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Truncated { offset: self.bytes.len() });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let raw = self.take(8)?;
+        Ok(u64::from_le_bytes([raw[0], raw[1], raw[2], raw[3], raw[4], raw[5], raw[6], raw[7]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let at = self.pos;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| CodecError::BadValue { offset: at, what: "string is not UTF-8" })
+    }
+
+    /// Checks the magic/version header shared by every blob kind.
+    fn header(&mut self, magic: &[u8; 8]) -> Result<(), CodecError> {
+        if self.take(magic.len())? != magic {
+            return Err(CodecError::BadMagic);
+        }
+        let version = self.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        Ok(())
+    }
+
+    /// Verifies the trailing digest and rejects leftover bytes.
+    fn finish(&mut self) -> Result<(), CodecError> {
+        let content_end = self.pos;
+        let found = self.u64()?;
+        let expected = digest_of(&self.bytes[..content_end]);
+        if found != expected {
+            return Err(CodecError::Corrupt { expected, found });
+        }
+        if self.pos != self.bytes.len() {
+            return Err(CodecError::TrailingBytes { extra: self.bytes.len() - self.pos });
+        }
+        Ok(())
+    }
+}
+
+// ---- SimStats (19 u64 words, shared by results and epoch deltas) ----
+
+fn encode_sim_stats(out: &mut Vec<u8>, s: &SimStats) {
+    for v in [
+        s.cycles,
+        s.committed,
+        s.fetched,
+        s.dispatched,
+        s.issued,
+        s.squashed,
+        s.branches,
+        s.mispredictions,
+        s.gated_cycles,
+        s.iq_occupancy_sum,
+        s.rob_occupancy_sum,
+        s.reuse.loops_detected,
+        s.reuse.nblt_hits,
+        s.reuse.nblt_inserts,
+        s.reuse.bufferings_started,
+        s.reuse.bufferings_revoked,
+        s.reuse.code_reuse_entries,
+        s.reuse.iterations_buffered,
+        s.reuse.reused_insts,
+    ] {
+        w64(out, v);
+    }
+}
+
+fn decode_sim_stats(r: &mut Reader<'_>) -> Result<SimStats, CodecError> {
+    Ok(SimStats {
+        cycles: r.u64()?,
+        committed: r.u64()?,
+        fetched: r.u64()?,
+        dispatched: r.u64()?,
+        issued: r.u64()?,
+        squashed: r.u64()?,
+        branches: r.u64()?,
+        mispredictions: r.u64()?,
+        gated_cycles: r.u64()?,
+        iq_occupancy_sum: r.u64()?,
+        rob_occupancy_sum: r.u64()?,
+        reuse: ReuseStats {
+            loops_detected: r.u64()?,
+            nblt_hits: r.u64()?,
+            nblt_inserts: r.u64()?,
+            bufferings_started: r.u64()?,
+            bufferings_revoked: r.u64()?,
+            code_reuse_entries: r.u64()?,
+            iterations_buffered: r.u64()?,
+            reused_insts: r.u64()?,
+        },
+    })
+}
+
+fn encode_cache_stats(out: &mut Vec<u8>, s: &CacheStats) {
+    for v in [s.reads, s.writes, s.hits, s.misses, s.writebacks] {
+        w64(out, v);
+    }
+}
+
+fn decode_cache_stats(r: &mut Reader<'_>) -> Result<CacheStats, CodecError> {
+    Ok(CacheStats {
+        reads: r.u64()?,
+        writes: r.u64()?,
+        hits: r.u64()?,
+        misses: r.u64()?,
+        writebacks: r.u64()?,
+    })
+}
+
+// ---- RunResult ----
+
+/// Serializes a [`RunResult`] into the versioned result format.
+#[must_use]
+pub fn encode_result(result: &RunResult) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC_RESULT);
+    w32(&mut out, FORMAT_VERSION);
+    encode_sim_stats(&mut out, &result.stats);
+    // Power: a count-checked component table keeps old readers from
+    // silently misinterpreting a build with a different component set.
+    w32(&mut out, NUM_COMPONENTS as u32);
+    for &e in result.power.raw_energy() {
+        wf64(&mut out, e);
+    }
+    w64(&mut out, result.power.cycles);
+    w64(&mut out, result.power.gated_cycles);
+    for c in [&result.mem.il1, &result.mem.dl1, &result.mem.l2, &result.mem.itlb, &result.mem.dtlb]
+    {
+        encode_cache_stats(&mut out, c);
+    }
+    w64(&mut out, result.mem.memory_fills);
+    for v in [
+        result.bpred.dir_lookups,
+        result.bpred.dir_updates,
+        result.bpred.dir_correct,
+        result.bpred.dir_wrong,
+        result.bpred.btb.lookups,
+        result.bpred.btb.hits,
+        result.bpred.btb.updates,
+        result.bpred.ras_pushes,
+        result.bpred.ras_pops,
+    ] {
+        w64(&mut out, v);
+    }
+    w32(&mut out, result.epochs.len() as u32);
+    for e in &result.epochs {
+        w64(&mut out, e.index);
+        w64(&mut out, e.start_cycle);
+        w64(&mut out, e.end_cycle);
+        encode_sim_stats(&mut out, &e.delta);
+    }
+    for i in 0..NUM_INT_REGS {
+        w32(&mut out, result.arch_state.int_reg(IntReg::new(i as u8)));
+    }
+    for i in 0..NUM_FP_REGS {
+        w64(&mut out, result.arch_state.fp_reg_bits(FpReg::new(i as u8)));
+    }
+    w64(&mut out, result.mem_digest);
+    match &result.metrics {
+        None => out.push(0),
+        Some(snap) => {
+            out.push(1);
+            w32(&mut out, SimCounter::COUNT as u32);
+            for &v in &snap.sim {
+                w64(&mut out, v);
+            }
+            w32(&mut out, Stage::COUNT as u32);
+            for &v in &snap.stage_nanos {
+                w64(&mut out, v);
+            }
+            w64(&mut out, snap.stage_samples);
+            w32(&mut out, HIST_BUCKETS as u32);
+            for &v in &snap.iq_occupancy.buckets {
+                w64(&mut out, v);
+            }
+        }
+    }
+    let digest = digest_of(&out);
+    w64(&mut out, digest);
+    out
+}
+
+/// Deserializes a result blob produced by [`encode_result`].
+///
+/// # Errors
+///
+/// Returns a typed [`CodecError`] for any malformed, truncated, or
+/// corrupted input; never panics.
+pub fn decode_result(bytes: &[u8]) -> Result<RunResult, CodecError> {
+    let mut r = Reader::new(bytes);
+    r.header(&MAGIC_RESULT)?;
+    let stats = decode_sim_stats(&mut r)?;
+    let components = r.u32()?;
+    if components as usize != NUM_COMPONENTS {
+        return Err(CodecError::BadValue { offset: r.pos - 4, what: "power component count" });
+    }
+    let mut energy = [0.0f64; NUM_COMPONENTS];
+    for e in &mut energy {
+        *e = r.f64()?;
+    }
+    let power_cycles = r.u64()?;
+    let power_gated = r.u64()?;
+    let power = PowerReport::from_parts(energy, power_cycles, power_gated);
+    let il1 = decode_cache_stats(&mut r)?;
+    let dl1 = decode_cache_stats(&mut r)?;
+    let l2 = decode_cache_stats(&mut r)?;
+    let itlb = decode_cache_stats(&mut r)?;
+    let dtlb = decode_cache_stats(&mut r)?;
+    let memory_fills = r.u64()?;
+    let mem = HierarchyStats { il1, dl1, l2, itlb, dtlb, memory_fills };
+    let bpred = BpredStats {
+        dir_lookups: r.u64()?,
+        dir_updates: r.u64()?,
+        dir_correct: r.u64()?,
+        dir_wrong: r.u64()?,
+        btb: BtbStats { lookups: r.u64()?, hits: r.u64()?, updates: r.u64()? },
+        ras_pushes: r.u64()?,
+        ras_pops: r.u64()?,
+    };
+    let epoch_count = r.u32()?;
+    let mut epochs = Vec::new();
+    for _ in 0..epoch_count {
+        epochs.push(EpochSample {
+            index: r.u64()?,
+            start_cycle: r.u64()?,
+            end_cycle: r.u64()?,
+            delta: decode_sim_stats(&mut r)?,
+        });
+    }
+    let mut arch_state = ArchState::new();
+    for i in 0..NUM_INT_REGS {
+        let v = r.u32()?;
+        let reg = IntReg::new(i as u8);
+        if reg == IntReg::ZERO && v != 0 {
+            return Err(CodecError::BadValue { offset: r.pos - 4, what: "nonzero $r0" });
+        }
+        arch_state.set_int_reg(reg, v);
+    }
+    for i in 0..NUM_FP_REGS {
+        let v = r.u64()?;
+        arch_state.set_fp_reg_bits(FpReg::new(i as u8), v);
+    }
+    let mem_digest = r.u64()?;
+    let metrics = match r.u8()? {
+        0 => None,
+        1 => {
+            let n = r.u32()?;
+            if n as usize != SimCounter::COUNT {
+                return Err(CodecError::BadValue { offset: r.pos - 4, what: "sim counter count" });
+            }
+            let mut sim = [0u64; SimCounter::COUNT];
+            for v in &mut sim {
+                *v = r.u64()?;
+            }
+            let n = r.u32()?;
+            if n as usize != Stage::COUNT {
+                return Err(CodecError::BadValue { offset: r.pos - 4, what: "stage count" });
+            }
+            let mut stage_nanos = [0u64; Stage::COUNT];
+            for v in &mut stage_nanos {
+                *v = r.u64()?;
+            }
+            let stage_samples = r.u64()?;
+            let n = r.u32()?;
+            if n as usize != HIST_BUCKETS {
+                return Err(CodecError::BadValue {
+                    offset: r.pos - 4,
+                    what: "histogram bucket count",
+                });
+            }
+            let mut buckets = [0u64; HIST_BUCKETS];
+            for v in &mut buckets {
+                *v = r.u64()?;
+            }
+            Some(MetricsSnapshot {
+                sim,
+                stage_nanos,
+                stage_samples,
+                iq_occupancy: Histogram { buckets },
+            })
+        }
+        _ => return Err(CodecError::BadValue { offset: r.pos - 1, what: "metrics flag" }),
+    };
+    r.finish()?;
+    Ok(RunResult { stats, power, mem, bpred, epochs, arch_state, mem_digest, metrics })
+}
+
+// ---- Program ----
+
+/// Serializes a [`Program`] image.
+#[must_use]
+pub fn encode_program(program: &Program) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC_PROGRAM);
+    w32(&mut out, FORMAT_VERSION);
+    w32(&mut out, program.text_base());
+    w32(&mut out, program.entry());
+    w32(&mut out, program.data_base());
+    w32(&mut out, program.text().len() as u32);
+    for &word in program.text() {
+        w32(&mut out, word);
+    }
+    w32(&mut out, program.data().len() as u32);
+    out.extend_from_slice(program.data());
+    // BTreeMap iterates in key order, so the encoding is canonical.
+    w32(&mut out, program.symbols().len() as u32);
+    for (name, &addr) in program.symbols() {
+        wstr(&mut out, name);
+        w32(&mut out, addr);
+    }
+    let digest = digest_of(&out);
+    w64(&mut out, digest);
+    out
+}
+
+/// Deserializes a program blob produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns a typed [`CodecError`] for any malformed, truncated, or
+/// corrupted input (including misaligned `text_base`/`entry`, which
+/// [`Program::from_parts`] would otherwise panic on); never panics.
+pub fn decode_program(bytes: &[u8]) -> Result<Program, CodecError> {
+    let mut r = Reader::new(bytes);
+    r.header(&MAGIC_PROGRAM)?;
+    let text_base = r.u32()?;
+    if text_base % 4 != 0 {
+        return Err(CodecError::BadValue { offset: r.pos - 4, what: "misaligned text base" });
+    }
+    let entry = r.u32()?;
+    if entry % 4 != 0 {
+        return Err(CodecError::BadValue { offset: r.pos - 4, what: "misaligned entry point" });
+    }
+    let data_base = r.u32()?;
+    let text_len = r.u32()? as usize;
+    let mut text = Vec::new();
+    for _ in 0..text_len {
+        text.push(r.u32()?);
+    }
+    let data_len = r.u32()? as usize;
+    let data = r.take(data_len)?.to_vec();
+    let sym_count = r.u32()?;
+    let mut symbols = BTreeMap::new();
+    let mut prev: Option<String> = None;
+    for _ in 0..sym_count {
+        let name = r.str()?;
+        if prev.as_ref().is_some_and(|p| *p >= name) {
+            return Err(CodecError::BadValue {
+                offset: r.pos,
+                what: "symbol names not strictly increasing",
+            });
+        }
+        let addr = r.u32()?;
+        symbols.insert(name.clone(), addr);
+        prev = Some(name);
+    }
+    r.finish()?;
+    Ok(Program::from_parts(text_base, text, data_base, data, entry, symbols))
+}
+
+// ---- SimConfig ----
+
+fn encode_cache_config(out: &mut Vec<u8>, c: &CacheConfig) {
+    w32(out, c.sets);
+    w32(out, c.ways);
+    w32(out, c.line_bytes);
+    w64(out, c.hit_latency);
+}
+
+fn decode_cache_config(r: &mut Reader<'_>) -> Result<CacheConfig, CodecError> {
+    Ok(CacheConfig { sets: r.u32()?, ways: r.u32()?, line_bytes: r.u32()?, hit_latency: r.u64()? })
+}
+
+fn encode_tlb_config(out: &mut Vec<u8>, t: &TlbConfig) {
+    w32(out, t.sets);
+    w32(out, t.ways);
+    w64(out, t.miss_penalty);
+}
+
+fn decode_tlb_config(r: &mut Reader<'_>) -> Result<TlbConfig, CodecError> {
+    Ok(TlbConfig { sets: r.u32()?, ways: r.u32()?, miss_penalty: r.u64()? })
+}
+
+/// Serializes a [`SimConfig`].
+#[must_use]
+pub fn encode_config(cfg: &SimConfig) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC_CONFIG);
+    w32(&mut out, FORMAT_VERSION);
+    for v in [
+        cfg.fetch_width,
+        cfg.decode_width,
+        cfg.issue_width,
+        cfg.commit_width,
+        cfg.fetch_queue,
+        cfg.iq_entries,
+        cfg.rob_entries,
+        cfg.lsq_entries,
+        cfg.fu.int_alu,
+        cfg.fu.int_mult,
+        cfg.fu.fp_alu,
+        cfg.fu.fp_mult,
+        cfg.fu.mem_ports,
+    ] {
+        w32(&mut out, v);
+    }
+    for v in [
+        cfg.latency.int_alu,
+        cfg.latency.int_mult,
+        cfg.latency.int_div,
+        cfg.latency.fp_alu,
+        cfg.latency.fp_mult,
+        cfg.latency.fp_div,
+        cfg.latency.fp_sqrt,
+    ] {
+        w64(&mut out, v);
+    }
+    for c in [&cfg.mem.il1, &cfg.mem.dl1, &cfg.mem.l2] {
+        encode_cache_config(&mut out, c);
+    }
+    encode_tlb_config(&mut out, &cfg.mem.itlb);
+    encode_tlb_config(&mut out, &cfg.mem.dtlb);
+    w64(&mut out, cfg.mem.memory.first_chunk);
+    w64(&mut out, cfg.mem.memory.inter_chunk);
+    w32(&mut out, cfg.mem.memory.chunk_bytes);
+    match cfg.bpred.dir {
+        DirPredictorKind::Bimod { entries } => {
+            out.push(0);
+            w32(&mut out, entries);
+        }
+        DirPredictorKind::Gshare { entries, history_bits } => {
+            out.push(1);
+            w32(&mut out, entries);
+            w32(&mut out, history_bits);
+        }
+        DirPredictorKind::Taken => out.push(2),
+        DirPredictorKind::NotTaken => out.push(3),
+    }
+    w32(&mut out, cfg.bpred.btb_sets);
+    w32(&mut out, cfg.bpred.btb_ways);
+    w32(&mut out, cfg.bpred.ras_entries);
+    out.push(u8::from(cfg.reuse.enabled));
+    w32(&mut out, cfg.reuse.nblt_entries);
+    out.push(match cfg.reuse.strategy {
+        BufferingStrategy::SingleIteration => 0,
+        BufferingStrategy::MultiIteration => 1,
+    });
+    w64(&mut out, cfg.max_cycles);
+    let digest = digest_of(&out);
+    w64(&mut out, digest);
+    out
+}
+
+/// Deserializes a configuration blob produced by [`encode_config`].
+///
+/// # Errors
+///
+/// Returns a typed [`CodecError`] for any malformed, truncated, or
+/// corrupted input; never panics.
+pub fn decode_config(bytes: &[u8]) -> Result<SimConfig, CodecError> {
+    let mut r = Reader::new(bytes);
+    r.header(&MAGIC_CONFIG)?;
+    let fetch_width = r.u32()?;
+    let decode_width = r.u32()?;
+    let issue_width = r.u32()?;
+    let commit_width = r.u32()?;
+    let fetch_queue = r.u32()?;
+    let iq_entries = r.u32()?;
+    let rob_entries = r.u32()?;
+    let lsq_entries = r.u32()?;
+    let fu = FuConfig {
+        int_alu: r.u32()?,
+        int_mult: r.u32()?,
+        fp_alu: r.u32()?,
+        fp_mult: r.u32()?,
+        mem_ports: r.u32()?,
+    };
+    let latency = LatencyConfig {
+        int_alu: r.u64()?,
+        int_mult: r.u64()?,
+        int_div: r.u64()?,
+        fp_alu: r.u64()?,
+        fp_mult: r.u64()?,
+        fp_div: r.u64()?,
+        fp_sqrt: r.u64()?,
+    };
+    let il1 = decode_cache_config(&mut r)?;
+    let dl1 = decode_cache_config(&mut r)?;
+    let l2 = decode_cache_config(&mut r)?;
+    let itlb = decode_tlb_config(&mut r)?;
+    let dtlb = decode_tlb_config(&mut r)?;
+    let memory =
+        MainMemoryConfig { first_chunk: r.u64()?, inter_chunk: r.u64()?, chunk_bytes: r.u32()? };
+    let mem = HierarchyConfig { il1, dl1, l2, itlb, dtlb, memory };
+    let dir = match r.u8()? {
+        0 => DirPredictorKind::Bimod { entries: r.u32()? },
+        1 => DirPredictorKind::Gshare { entries: r.u32()?, history_bits: r.u32()? },
+        2 => DirPredictorKind::Taken,
+        3 => DirPredictorKind::NotTaken,
+        _ => {
+            return Err(CodecError::BadValue { offset: r.pos - 1, what: "direction predictor tag" })
+        }
+    };
+    let bpred =
+        PredictorConfig { dir, btb_sets: r.u32()?, btb_ways: r.u32()?, ras_entries: r.u32()? };
+    let enabled = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CodecError::BadValue { offset: r.pos - 1, what: "reuse enabled flag" }),
+    };
+    let nblt_entries = r.u32()?;
+    let strategy = match r.u8()? {
+        0 => BufferingStrategy::SingleIteration,
+        1 => BufferingStrategy::MultiIteration,
+        _ => return Err(CodecError::BadValue { offset: r.pos - 1, what: "buffering strategy" }),
+    };
+    let reuse = ReuseConfig { enabled, nblt_entries, strategy };
+    let max_cycles = r.u64()?;
+    r.finish()?;
+    Ok(SimConfig {
+        fetch_width,
+        decode_width,
+        issue_width,
+        commit_width,
+        fetch_queue,
+        iq_entries,
+        rob_entries,
+        lsq_entries,
+        fu,
+        latency,
+        mem,
+        bpred,
+        reuse,
+        max_cycles,
+    })
+}
+
+// ---- JobBlob ----
+
+/// One leased job on the wire: everything a worker needs to simulate the
+/// point and address the result.
+#[derive(Debug, Clone)]
+pub struct JobBlob {
+    /// Daemon-assigned job id.
+    pub job_id: u64,
+    /// Content address of the result.
+    pub key: JobKey,
+    /// Display label (benchmark name).
+    pub kernel: String,
+    /// Instructions to fast-forward before detailed simulation.
+    pub skip: u64,
+    /// Warm-window size replayed on resume.
+    pub warmup: u64,
+    /// The program image.
+    pub program: Program,
+    /// The simulator configuration.
+    pub config: SimConfig,
+}
+
+/// Serializes a [`JobBlob`] lease response.
+#[must_use]
+pub fn encode_job(job: &JobBlob) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC_JOB);
+    w32(&mut out, FORMAT_VERSION);
+    w64(&mut out, job.job_id);
+    w64(&mut out, job.key.0);
+    w64(&mut out, job.key.1);
+    w64(&mut out, job.key.2);
+    w64(&mut out, job.key.3);
+    wstr(&mut out, &job.kernel);
+    w64(&mut out, job.skip);
+    w64(&mut out, job.warmup);
+    let program = encode_program(&job.program);
+    w32(&mut out, program.len() as u32);
+    out.extend_from_slice(&program);
+    let config = encode_config(&job.config);
+    w32(&mut out, config.len() as u32);
+    out.extend_from_slice(&config);
+    let digest = digest_of(&out);
+    w64(&mut out, digest);
+    out
+}
+
+/// Deserializes a job blob produced by [`encode_job`], verifying that the
+/// nested program/config fingerprints and skip/warmup match the key — a
+/// worker can trust that simulating the blob produces the result the key
+/// addresses.
+///
+/// # Errors
+///
+/// Returns a typed [`CodecError`] for any malformed, truncated, or
+/// corrupted input, including a key that does not match the payload.
+pub fn decode_job(bytes: &[u8]) -> Result<JobBlob, CodecError> {
+    let mut r = Reader::new(bytes);
+    r.header(&MAGIC_JOB)?;
+    let job_id = r.u64()?;
+    let key = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+    let kernel = r.str()?;
+    let skip = r.u64()?;
+    let warmup = r.u64()?;
+    let program_len = r.u32()? as usize;
+    let at = r.pos;
+    let program = decode_program(r.take(program_len)?).map_err(|e| nested(e, at))?;
+    let config_len = r.u32()? as usize;
+    let at = r.pos;
+    let config = decode_config(r.take(config_len)?).map_err(|e| nested(e, at))?;
+    let key_end = r.pos;
+    r.finish()?;
+    if program.fingerprint() != key.0 {
+        return Err(CodecError::BadValue {
+            offset: key_end,
+            what: "program fingerprint does not match key",
+        });
+    }
+    if config.fingerprint() != key.1 {
+        return Err(CodecError::BadValue {
+            offset: key_end,
+            what: "config fingerprint does not match key",
+        });
+    }
+    let (norm_skip, norm_warmup) = if skip == 0 { (0, 0) } else { (skip, warmup) };
+    if (norm_skip, norm_warmup) != (key.2, key.3) {
+        return Err(CodecError::BadValue { offset: key_end, what: "skip/warmup do not match key" });
+    }
+    Ok(JobBlob { job_id, key, kernel, skip, warmup, program, config })
+}
+
+/// Rebases a nested blob's error offsets onto the outer blob.
+fn nested(e: CodecError, base: usize) -> CodecError {
+    match e {
+        CodecError::Truncated { offset } => CodecError::Truncated { offset: base + offset },
+        CodecError::BadValue { offset, what } => {
+            CodecError::BadValue { offset: base + offset, what }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_core::Processor;
+
+    fn sample_program() -> Program {
+        riq_asm::assemble(
+            "  li $r2, 30\nloop: sw $r2, 0x100($r0)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        )
+        .unwrap()
+    }
+
+    fn sample_result() -> RunResult {
+        let p = sample_program();
+        Processor::new(SimConfig::baseline().with_reuse(true)).run(&p).unwrap()
+    }
+
+    #[test]
+    fn result_roundtrip_preserves_everything() {
+        let result = sample_result();
+        let bytes = encode_result(&result);
+        let decoded = decode_result(&bytes).unwrap();
+        assert_eq!(decoded.stats, result.stats);
+        assert_eq!(decoded.mem, result.mem);
+        assert_eq!(decoded.bpred, result.bpred);
+        assert_eq!(decoded.arch_state, result.arch_state);
+        assert_eq!(decoded.mem_digest, result.mem_digest);
+        assert_eq!(decoded.power.cycles, result.power.cycles);
+        assert_eq!(decoded.power.raw_energy(), result.power.raw_energy());
+        assert_eq!(decode_result(&bytes).unwrap().metrics.is_some(), result.metrics.is_some());
+        assert_eq!(encode_result(&decoded), bytes, "canonical encoding");
+    }
+
+    #[test]
+    fn program_roundtrip_is_canonical() {
+        let p = sample_program();
+        let bytes = encode_program(&p);
+        let decoded = decode_program(&bytes).unwrap();
+        assert_eq!(decoded, p);
+        assert_eq!(decoded.fingerprint(), p.fingerprint());
+        assert_eq!(encode_program(&decoded), bytes);
+    }
+
+    #[test]
+    fn config_roundtrip_preserves_fingerprint() {
+        for cfg in [
+            SimConfig::baseline(),
+            SimConfig::baseline().with_reuse(true),
+            SimConfig::baseline().with_iq_size(256),
+        ] {
+            let bytes = encode_config(&cfg);
+            let decoded = decode_config(&bytes).unwrap();
+            assert_eq!(decoded, cfg);
+            assert_eq!(decoded.fingerprint(), cfg.fingerprint());
+            assert_eq!(encode_config(&decoded), bytes);
+        }
+    }
+
+    #[test]
+    fn job_roundtrip_and_key_validation() {
+        let program = sample_program();
+        let config = SimConfig::baseline();
+        let key = (program.fingerprint(), config.fingerprint(), 0, 0);
+        let blob = JobBlob {
+            job_id: 7,
+            key,
+            kernel: "sample".to_string(),
+            skip: 0,
+            warmup: 0,
+            program,
+            config,
+        };
+        let bytes = encode_job(&blob);
+        let decoded = decode_job(&bytes).unwrap();
+        assert_eq!(decoded.job_id, 7);
+        assert_eq!(decoded.key, key);
+        assert_eq!(decoded.kernel, "sample");
+
+        // A blob whose key does not match its payload is rejected.
+        let mut lying = blob.clone();
+        lying.key.0 ^= 1;
+        let bad = encode_job(&lying);
+        assert!(matches!(decode_job(&bad), Err(CodecError::BadValue { .. })));
+    }
+
+    #[test]
+    fn bad_magic_and_future_version_rejected() {
+        let mut bytes = encode_result(&sample_result());
+        bytes[0] ^= 0xff;
+        assert!(matches!(decode_result(&bytes), Err(CodecError::BadMagic)));
+        let mut bytes = encode_program(&sample_program());
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(decode_program(&bytes), Err(CodecError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = encode_result(&sample_result());
+        for len in 0..bytes.len() {
+            let err = decode_result(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated { .. } | CodecError::Corrupt { .. }),
+                "truncation to {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_detected() {
+        let bytes = encode_result(&sample_result());
+        for idx in (0..bytes.len()).step_by(97).chain(bytes.len() - 8..bytes.len()) {
+            let mut bad = bytes.clone();
+            bad[idx] ^= 0x40;
+            assert!(decode_result(&bad).is_err(), "flip at byte {idx} went undetected");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_config(&SimConfig::baseline());
+        bytes.push(0);
+        assert!(matches!(decode_config(&bytes), Err(CodecError::TrailingBytes { extra: 1 })));
+    }
+}

@@ -1,0 +1,381 @@
+//! Minimal HTTP/1.1 server and client over `std::net`.
+//!
+//! Deliberately small: one request per connection (`Connection: close`),
+//! bodies framed by `Content-Length`, thread-per-connection handling. The
+//! daemon's traffic is a handful of workers polling for leases plus
+//! occasional client submissions — simplicity and zero dependencies beat
+//! keep-alive throughput here.
+//!
+//! The accept loop polls a nonblocking listener so [`ServerHandle::stop`]
+//! can shut the daemon down promptly without a self-connect trick.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Upper bound on accepted request bodies (a job blob with a large
+/// program image fits comfortably; a runaway client does not).
+const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// A parsed inbound request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Raw query string (empty if absent).
+    pub query: String,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Looks up a `key=value` pair in the query string.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// An outbound response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    #[must_use]
+    pub fn json(body: String) -> Response {
+        Response { status: 200, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    /// A `200 OK` plain-text response.
+    #[must_use]
+    pub fn text(body: String) -> Response {
+        Response { status: 200, content_type: "text/plain; charset=utf-8", body: body.into_bytes() }
+    }
+
+    /// A `200 OK` binary response (codec blobs).
+    #[must_use]
+    pub fn bytes(body: Vec<u8>) -> Response {
+        Response { status: 200, content_type: "application/octet-stream", body }
+    }
+
+    /// A `404 Not Found` with a short plain-text reason.
+    #[must_use]
+    pub fn not_found(reason: &str) -> Response {
+        Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: reason.as_bytes().to_vec(),
+        }
+    }
+
+    /// A `400 Bad Request` with a short plain-text reason.
+    #[must_use]
+    pub fn bad_request(reason: &str) -> Response {
+        Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: reason.as_bytes().to_vec(),
+        }
+    }
+
+    /// A `204 No Content`.
+    #[must_use]
+    pub fn no_content() -> Response {
+        Response { status: 204, content_type: "text/plain; charset=utf-8", body: Vec::new() }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Running server: a nonblocking accept loop plus per-connection handler
+/// threads. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::stop`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port 0 listen).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to exit and joins it. In-flight
+    /// connection handlers finish their single request independently.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts serving `handler` on `listener` in background threads and
+/// returns immediately.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the listener cannot be inspected
+/// or switched to nonblocking mode.
+pub fn serve_on(
+    listener: TcpListener,
+    handler: Arc<dyn Fn(&Request) -> Response + Send + Sync>,
+) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let accept_thread =
+        thread::Builder::new().name("riq-serve-accept".to_string()).spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let handler = Arc::clone(&handler);
+                        let _ = thread::Builder::new()
+                            .name("riq-serve-conn".to_string())
+                            .spawn(move || handle_connection(stream, &*handler));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })?;
+    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(stream: TcpStream, handler: &(dyn Fn(&Request) -> Response + Send + Sync)) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let peer = stream.try_clone();
+    let Ok(write_half) = peer else { return };
+    let response = match read_request(stream) {
+        Ok(request) => handler(&request),
+        Err(reason) => reason,
+    };
+    let _ = write_response(write_half, &response);
+}
+
+/// Reads and parses one request. Malformed input maps to an error
+/// `Response` that the connection handler sends back directly.
+fn read_request(stream: TcpStream) -> Result<Request, Response> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.is_empty() {
+        return Err(Response::bad_request("empty request"));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || !target.starts_with('/') {
+        return Err(Response::bad_request("malformed request line"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header).is_err() {
+            return Err(Response::bad_request("unterminated headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Response::bad_request("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Response {
+            status: 413,
+            content_type: "text/plain; charset=utf-8",
+            body: b"body too large".to_vec(),
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 && reader.read_exact(&mut body).is_err() {
+        return Err(Response::bad_request("short body"));
+    }
+    Ok(Request { method, path, query, body })
+}
+
+fn write_response(mut stream: TcpStream, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Performs one HTTP request against `addr` and returns
+/// `(status, body)`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the connection fails or the response is not
+/// parseable HTTP/1.1.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<(u16, Vec<u8>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+    let mut write_half = stream.try_clone()?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    write_half.write_all(head.as_bytes())?;
+    write_half.write_all(body)?;
+    write_half.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut payload = Vec::new();
+    match content_length {
+        Some(n) => {
+            payload.resize(n, 0);
+            reader.read_exact(&mut payload)?;
+        }
+        None => {
+            reader.read_to_end(&mut payload)?;
+        }
+    }
+    Ok((status, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> ServerHandle {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        serve_on(
+            listener,
+            Arc::new(|req: &Request| match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/ping") => Response::text(format!("pong q={}", req.query)),
+                ("POST", "/echo") => Response::bytes(req.body.clone()),
+                ("GET", "/gone") => Response::not_found("nope"),
+                _ => Response::bad_request("unhandled"),
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let server = echo_server();
+        let addr = server.addr().to_string();
+        let (status, body) = http_request(&addr, "GET", "/ping?a=1&b=2", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"pong q=a=1&b=2");
+        let blob: Vec<u8> = (0u16..600).map(|i| (i % 251) as u8).collect();
+        let (status, echoed) = http_request(&addr, "POST", "/echo", &blob).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(echoed, blob);
+        let (status, _) = http_request(&addr, "GET", "/gone", b"").unwrap();
+        assert_eq!(status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = echo_server();
+        let addr = server.addr().to_string();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let addr = addr.clone();
+                thread::spawn(move || {
+                    let body = vec![i as u8; 1000];
+                    let (status, echoed) = http_request(&addr, "POST", "/echo", &body).unwrap();
+                    assert_eq!(status, 200);
+                    assert_eq!(echoed, body);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn query_param_lookup() {
+        let req = Request {
+            method: "GET".to_string(),
+            path: "/x".to_string(),
+            query: "worker=w1&count=3".to_string(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.query_param("worker"), Some("w1"));
+        assert_eq!(req.query_param("count"), Some("3"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulation-as-a-service building blocks.
+//!
+//! This crate is the *mechanism* layer of the `riq-serve` daemon: binary
+//! codecs for results/programs/configurations/job blobs ([`codec`]), a
+//! durable write-ahead-journaled result store ([`store`]), a leased
+//! priority job queue with cross-client dedup ([`queue`]), a hand-rolled
+//! std-only HTTP/1.1 server and client ([`http`]), and the worker loop
+//! that leases, simulates, and reports jobs ([`worker`]).
+//!
+//! Policy — experiment planning, sweep aggregation, the HTTP route table —
+//! lives in `riq-bench`, which composes these pieces into the daemon
+//! behind `riq-repro serve`. The split keeps the dependency direction
+//! acyclic: `riq-bench → riq-serve → riq-core`.
+//!
+//! The governing invariant, inherited from the engine and proven by
+//! `tests/serve_determinism.rs`: a sweep fetched from the service is
+//! byte-identical to the in-process engine's output for any worker count,
+//! any kill/restart schedule, and a warm or cold store — because the
+//! simulator is deterministic, results are content-addressed by the same
+//! `(program fingerprint, config fingerprint, skip, warmup)` key the
+//! engine's cache uses, and aggregation happens in the engine either way.
+
+pub mod codec;
+pub mod http;
+pub mod queue;
+pub mod store;
+pub mod worker;
+
+/// A content address: `(program fingerprint, config fingerprint, skip,
+/// warmup)` — the same dedup key `riq-bench`'s `JobSpec::key_with` builds
+/// (skip `0` normalizes warmup to `0`).
+pub type JobKey = (u64, u64, u64, u64);
+
+pub use codec::{
+    decode_config, decode_job, decode_program, decode_result, encode_config, encode_job,
+    encode_program, encode_result, CodecError, JobBlob,
+};
+pub use http::{http_request, serve_on, Request, Response, ServerHandle};
+pub use queue::{JobQueue, JobState, LeasedJob, QueueConfig, QueueStats};
+pub use store::{ResultStore, StoreStats};
+pub use worker::{run_worker, WorkerExit, WorkerOptions, WorkerOutcome};

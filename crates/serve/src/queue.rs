@@ -1,0 +1,532 @@
+//! Leased priority job queue with cross-client dedup.
+//!
+//! Scheduling state machine (payloads live with the daemon; the queue
+//! tracks ids, keys, and lifecycle only):
+//!
+//! ```text
+//!            submit (new key)
+//!                 │
+//!                 ▼
+//!   ┌────────► Queued ──lease──► Leased{worker, deadline, attempt}
+//!   │             ▲                   │            │
+//!   │   expiry /  │                   │ complete   │ lease expires or
+//!   │   worker-   └───────────────────┼────────────┘ worker reports
+//!   │   fail with retries left        ▼              failure
+//!   │                               Done
+//!   └── (attempt ≤ max_attempts)      ▲
+//!                                     │ complete is idempotent: a stale
+//!       attempts exhausted ──► Failed │ worker finishing after requeue
+//!                                     │ still lands the (deterministic,
+//!                                     └ content-addressed) result
+//! ```
+//!
+//! Dedup: submitting a key that is already queued, leased, or done
+//! returns the existing job id and performs no new work — the cross-client
+//! "never simulate the same point twice" guarantee. Only a `Failed` job is
+//! revived by resubmission (with its attempt counter reset).
+//!
+//! Leases carry a TTL. A worker that is SIGKILLed simply stops
+//! heartbeating; when its lease deadline passes, the job is requeued with
+//! a bounded exponential backoff, and after `max_attempts` transitions to
+//! `Failed` (surfaced by the engine as `ExperimentError::JobFailed`).
+
+use crate::JobKey;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for lease lifetime and retry policy.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueConfig {
+    /// How long a lease is valid before the job is presumed abandoned.
+    pub lease_ttl: Duration,
+    /// Maximum simulation attempts (initial + retries) before `Failed`.
+    pub max_attempts: u32,
+    /// Base delay before a requeued job becomes leasable again; doubles
+    /// per attempt (bounded exponential backoff).
+    pub backoff_base: Duration,
+}
+
+impl Default for QueueConfig {
+    fn default() -> QueueConfig {
+        QueueConfig {
+            lease_ttl: Duration::from_secs(60),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Public lifecycle of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker (possibly in a backoff window).
+    Queued,
+    /// Held by a worker under a live lease.
+    Leased {
+        /// The worker holding the lease.
+        worker: String,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// Result landed in the store.
+    Done,
+    /// Attempts exhausted.
+    Failed {
+        /// Last failure message reported (or "lease expired").
+        message: String,
+    },
+}
+
+/// A granted lease: everything the scheduling layer knows about the job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeasedJob {
+    /// Daemon-assigned job id.
+    pub job_id: u64,
+    /// Content address of the result this job produces.
+    pub key: JobKey,
+    /// 1-based attempt number.
+    pub attempt: u32,
+}
+
+/// Counters reported by [`JobQueue::stats`] (surfaced via `/statsz`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs currently waiting (including backoff windows).
+    pub queued: u64,
+    /// Jobs currently under a live lease.
+    pub leased: u64,
+    /// Jobs completed.
+    pub done: u64,
+    /// Jobs that exhausted their attempts.
+    pub failed: u64,
+    /// Submissions answered by an existing job (cross-client dedup).
+    pub dedup_hits: u64,
+    /// Leases granted over the queue's lifetime.
+    pub leases_granted: u64,
+    /// Jobs requeued after lease expiry or worker-reported failure.
+    pub requeues: u64,
+}
+
+enum Slot {
+    Queued { priority: i64, seq: u64, attempt: u32, available_at: Instant },
+    Leased { priority: i64, seq: u64, worker: String, attempt: u32, deadline: Instant },
+    Done,
+    Failed { message: String },
+}
+
+struct Job {
+    key: JobKey,
+    slot: Slot,
+}
+
+#[derive(Default)]
+struct Inner {
+    jobs: HashMap<u64, Job>,
+    by_key: HashMap<JobKey, u64>,
+    next_id: u64,
+    dedup_hits: u64,
+    leases_granted: u64,
+    requeues: u64,
+}
+
+/// Thread-safe leased priority queue. All methods take `&self`; the queue
+/// is shared across connection-handler threads behind an `Arc`.
+#[derive(Default)]
+pub struct JobQueue {
+    config: QueueConfig,
+    inner: Mutex<Inner>,
+    changed: Condvar,
+}
+
+impl JobQueue {
+    /// Creates an empty queue with the given lease/retry policy.
+    #[must_use]
+    pub fn new(config: QueueConfig) -> JobQueue {
+        JobQueue { config, inner: Mutex::new(Inner::default()), changed: Condvar::new() }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panicking holder cannot leave Inner half-updated in a way that
+        // breaks scheduling invariants; keep serving.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Submits a job for `key` at `priority` (higher first, FIFO within a
+    /// priority). Returns `(job_id, fresh)`: if an equivalent job is
+    /// already queued, leased, or done, the existing id is returned with
+    /// `fresh == false` and nothing is re-simulated. A `Failed` job is
+    /// revived with a fresh attempt budget.
+    pub fn submit(&self, key: JobKey, priority: i64) -> (u64, bool) {
+        let mut inner = self.lock();
+        if let Some(&id) = inner.by_key.get(&key) {
+            let revive = matches!(inner.jobs.get(&id).map(|j| &j.slot), Some(Slot::Failed { .. }));
+            if revive {
+                let job = inner.jobs.get_mut(&id).expect("by_key points at live job");
+                job.slot =
+                    Slot::Queued { priority, seq: id, attempt: 0, available_at: Instant::now() };
+                drop(inner);
+                self.changed.notify_all();
+                return (id, true);
+            }
+            inner.dedup_hits += 1;
+            return (id, false);
+        }
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.jobs.insert(
+            id,
+            Job {
+                key,
+                slot: Slot::Queued { priority, seq: id, attempt: 0, available_at: Instant::now() },
+            },
+        );
+        inner.by_key.insert(key, id);
+        drop(inner);
+        self.changed.notify_all();
+        (id, true)
+    }
+
+    /// Marks a job `Done` directly, without a lease — used when the store
+    /// already holds the key at submission time.
+    pub fn resolve_from_store(&self, job_id: u64) {
+        let mut inner = self.lock();
+        if let Some(job) = inner.jobs.get_mut(&job_id) {
+            if !matches!(job.slot, Slot::Done) {
+                job.slot = Slot::Done;
+            }
+        }
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Requeues expired leases (and fails jobs out of attempts). Called
+    /// internally by `lease`/`wait_done`; exposed so the daemon can also
+    /// tick on a timer.
+    pub fn expire_leases(&self) {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        self.expire_locked(&mut inner, now);
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    fn expire_locked(&self, inner: &mut Inner, now: Instant) {
+        let mut requeues = 0u64;
+        for job in inner.jobs.values_mut() {
+            if let Slot::Leased { priority, seq, attempt, deadline, .. } = job.slot {
+                if deadline <= now {
+                    requeues += 1;
+                    job.slot = if attempt >= self.config.max_attempts {
+                        Slot::Failed { message: "lease expired".to_string() }
+                    } else {
+                        // The expired TTL already served as the backoff;
+                        // the job is leasable again immediately.
+                        Slot::Queued { priority, seq, attempt, available_at: now }
+                    };
+                }
+            }
+        }
+        inner.requeues += requeues;
+    }
+
+    /// Grants the highest-priority available job to `worker`, or `None`
+    /// if nothing is leasable right now.
+    pub fn lease(&self, worker: &str) -> Option<LeasedJob> {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        self.expire_locked(&mut inner, now);
+        let mut best: Option<(i64, u64, u64)> = None;
+        for (&id, job) in &inner.jobs {
+            if let Slot::Queued { priority, seq, available_at, .. } = job.slot {
+                if available_at <= now {
+                    // Highest priority first; FIFO (lowest seq) within one.
+                    let rank = (priority, u64::MAX - seq, id);
+                    let beats = match best {
+                        None => true,
+                        Some(b) => rank > (b.0, u64::MAX - b.1, b.2),
+                    };
+                    if beats {
+                        best = Some((priority, seq, id));
+                    }
+                }
+            }
+        }
+        let (_, _, id) = best?;
+        inner.leases_granted += 1;
+        let job = inner.jobs.get_mut(&id).expect("selected job exists");
+        let Slot::Queued { priority, seq, attempt, .. } = job.slot else { unreachable!() };
+        let attempt = attempt + 1;
+        job.slot = Slot::Leased {
+            priority,
+            seq,
+            worker: worker.to_string(),
+            attempt,
+            deadline: now + self.config.lease_ttl,
+        };
+        let key = job.key;
+        drop(inner);
+        Some(LeasedJob { job_id: id, key, attempt })
+    }
+
+    /// Extends the lease deadline for `job_id` if `worker` still holds it.
+    /// Returns whether the lease was still valid.
+    pub fn heartbeat(&self, job_id: u64, worker: &str) -> bool {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        if let Some(job) = inner.jobs.get_mut(&job_id) {
+            if let Slot::Leased { worker: holder, deadline, .. } = &mut job.slot {
+                if holder == worker {
+                    *deadline = now + self.config.lease_ttl;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Marks `job_id` done. Idempotent, and deliberately accepts a stale
+    /// worker: simulation is deterministic and results are
+    /// content-addressed, so a result from an expired lease is exactly as
+    /// good as one from the current holder.
+    pub fn complete(&self, job_id: u64) {
+        let mut inner = self.lock();
+        if let Some(job) = inner.jobs.get_mut(&job_id) {
+            job.slot = Slot::Done;
+        }
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Records a worker-reported failure: requeues with backoff while
+    /// attempts remain, otherwise transitions to `Failed`. Ignored if the
+    /// job already completed (e.g. via another worker).
+    pub fn fail(&self, job_id: u64, message: &str) {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        let mut requeued = false;
+        if let Some(job) = inner.jobs.get_mut(&job_id) {
+            if let Slot::Leased { priority, seq, attempt, .. } = job.slot {
+                requeued = true;
+                job.slot = if attempt >= self.config.max_attempts {
+                    Slot::Failed { message: message.to_string() }
+                } else {
+                    let backoff = self.config.backoff_base * 2u32.saturating_pow(attempt - 1);
+                    Slot::Queued { priority, seq, attempt, available_at: now + backoff }
+                };
+            }
+        }
+        if requeued {
+            inner.requeues += 1;
+        }
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Public lifecycle state of `job_id`.
+    #[must_use]
+    pub fn state(&self, job_id: u64) -> Option<JobState> {
+        let inner = self.lock();
+        inner.jobs.get(&job_id).map(|job| match &job.slot {
+            Slot::Queued { .. } => JobState::Queued,
+            Slot::Leased { worker, attempt, .. } => {
+                JobState::Leased { worker: worker.clone(), attempt: *attempt }
+            }
+            Slot::Done => JobState::Done,
+            Slot::Failed { message } => JobState::Failed { message: message.clone() },
+        })
+    }
+
+    /// The content-address key of `job_id`.
+    #[must_use]
+    pub fn key_of(&self, job_id: u64) -> Option<JobKey> {
+        self.lock().jobs.get(&job_id).map(|j| j.key)
+    }
+
+    /// Blocks until every job in `ids` is `Done` or `Failed`, expiring
+    /// stale leases while it waits. Returns the terminal states in the
+    /// same order, or `None` on timeout.
+    pub fn wait_done(&self, ids: &[u64], timeout: Duration) -> Option<Vec<JobState>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            self.expire_locked(&mut inner, Instant::now());
+            let mut states = Vec::with_capacity(ids.len());
+            let mut all_terminal = true;
+            for id in ids {
+                match inner.jobs.get(id).map(|j| &j.slot) {
+                    Some(Slot::Done) => states.push(JobState::Done),
+                    Some(Slot::Failed { message }) => {
+                        states.push(JobState::Failed { message: message.clone() });
+                    }
+                    _ => {
+                        all_terminal = false;
+                        break;
+                    }
+                }
+            }
+            if all_terminal {
+                return Some(states);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            // Bounded wait so lease expiry is noticed even with no
+            // notifications arriving.
+            let slice = (deadline - now).min(Duration::from_millis(50));
+            let (guard, _) =
+                self.changed.wait_timeout(inner, slice).unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Current queue counters.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        let inner = self.lock();
+        let mut stats = QueueStats {
+            dedup_hits: inner.dedup_hits,
+            leases_granted: inner.leases_granted,
+            requeues: inner.requeues,
+            ..QueueStats::default()
+        };
+        for job in inner.jobs.values() {
+            match job.slot {
+                Slot::Queued { .. } => stats.queued += 1,
+                Slot::Leased { .. } => stats.leased += 1,
+                Slot::Done => stats.done += 1,
+                Slot::Failed { .. } => stats.failed += 1,
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn fast_config() -> QueueConfig {
+        QueueConfig {
+            lease_ttl: Duration::from_millis(40),
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn dedup_returns_existing_job() {
+        let q = JobQueue::new(QueueConfig::default());
+        let (a, fresh_a) = q.submit((1, 2, 0, 0), 0);
+        let (b, fresh_b) = q.submit((1, 2, 0, 0), 5);
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert_eq!(a, b);
+        assert_eq!(q.stats().dedup_hits, 1);
+        assert_eq!(q.stats().queued, 1);
+
+        // Dedup still applies after completion — a done job is never redone.
+        let lease = q.lease("w0").unwrap();
+        q.complete(lease.job_id);
+        let (c, fresh_c) = q.submit((1, 2, 0, 0), 0);
+        assert_eq!(c, a);
+        assert!(!fresh_c);
+        assert_eq!(q.state(c), Some(JobState::Done));
+    }
+
+    #[test]
+    fn priority_then_fifo_ordering() {
+        let q = JobQueue::new(QueueConfig::default());
+        let (low, _) = q.submit((1, 0, 0, 0), 1);
+        let (hi_first, _) = q.submit((2, 0, 0, 0), 9);
+        let (hi_second, _) = q.submit((3, 0, 0, 0), 9);
+        assert_eq!(q.lease("w").unwrap().job_id, hi_first);
+        assert_eq!(q.lease("w").unwrap().job_id, hi_second);
+        assert_eq!(q.lease("w").unwrap().job_id, low);
+        assert!(q.lease("w").is_none());
+    }
+
+    #[test]
+    fn expired_lease_requeues_then_fails() {
+        let q = JobQueue::new(fast_config());
+        let (id, _) = q.submit((7, 0, 0, 0), 0);
+        let first = q.lease("dead-worker").unwrap();
+        assert_eq!((first.job_id, first.attempt), (id, 1));
+        thread::sleep(Duration::from_millis(60));
+        // Worker never came back; another worker picks the job up.
+        let retry = q.lease("live-worker").unwrap();
+        assert_eq!((retry.job_id, retry.attempt), (id, 2));
+        assert_eq!(q.stats().requeues, 1);
+        // Second holder also dies: attempts (max 2) are exhausted.
+        thread::sleep(Duration::from_millis(60));
+        assert!(q.lease("w3").is_none());
+        assert!(matches!(q.state(id), Some(JobState::Failed { .. })));
+    }
+
+    #[test]
+    fn heartbeat_keeps_lease_alive() {
+        let q = JobQueue::new(fast_config());
+        let (id, _) = q.submit((8, 0, 0, 0), 0);
+        let lease = q.lease("w").unwrap();
+        for _ in 0..4 {
+            thread::sleep(Duration::from_millis(20));
+            assert!(q.heartbeat(lease.job_id, "w"));
+        }
+        // Well past the original TTL, the lease is still live.
+        assert!(q.lease("thief").is_none());
+        q.complete(id);
+        assert_eq!(q.state(id), Some(JobState::Done));
+    }
+
+    #[test]
+    fn stale_completion_after_requeue_still_lands() {
+        let q = JobQueue::new(fast_config());
+        let (id, _) = q.submit((9, 0, 0, 0), 0);
+        let stale = q.lease("slow").unwrap();
+        thread::sleep(Duration::from_millis(60));
+        let _retry = q.lease("fast").unwrap();
+        // The slow worker finishes anyway; deterministic results make this
+        // completion as good as any.
+        q.complete(stale.job_id);
+        assert_eq!(q.state(id), Some(JobState::Done));
+    }
+
+    #[test]
+    fn worker_failure_retries_then_fails_terminally() {
+        let q = JobQueue::new(fast_config());
+        let (id, _) = q.submit((5, 0, 0, 0), 0);
+        let l1 = q.lease("w").unwrap();
+        q.fail(l1.job_id, "simulated crash");
+        assert_eq!(q.state(id), Some(JobState::Queued));
+        thread::sleep(Duration::from_millis(5));
+        let l2 = q.lease("w").unwrap();
+        assert_eq!(l2.attempt, 2);
+        q.fail(l2.job_id, "simulated crash");
+        assert_eq!(q.state(id), Some(JobState::Failed { message: "simulated crash".to_string() }));
+        // Resubmission revives a failed job with a fresh attempt budget.
+        let (revived, fresh) = q.submit((5, 0, 0, 0), 0);
+        assert_eq!(revived, id);
+        assert!(fresh);
+        assert_eq!(q.state(id), Some(JobState::Queued));
+    }
+
+    #[test]
+    fn wait_done_blocks_until_terminal() {
+        let q = std::sync::Arc::new(JobQueue::new(fast_config()));
+        let (a, _) = q.submit((1, 1, 0, 0), 0);
+        let (b, _) = q.submit((2, 2, 0, 0), 0);
+        let waiter = {
+            let q = std::sync::Arc::clone(&q);
+            thread::spawn(move || q.wait_done(&[a, b], Duration::from_secs(5)))
+        };
+        let l1 = q.lease("w").unwrap();
+        q.complete(l1.job_id);
+        let l2 = q.lease("w").unwrap();
+        q.complete(l2.job_id);
+        let states = waiter.join().unwrap().expect("wait_done timed out");
+        assert_eq!(states, vec![JobState::Done, JobState::Done]);
+        assert!(q.wait_done(&[a, b], Duration::from_millis(1)).is_some());
+    }
+}

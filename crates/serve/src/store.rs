@@ -1,0 +1,530 @@
+//! Durable content-addressed result store.
+//!
+//! The store is a single append-only write-ahead journal: every `put`
+//! appends one framed record
+//!
+//! ```text
+//! [u32 payload len][JobKey: 4 x u64 LE][result blob][u64 frame digest]
+//! ```
+//!
+//! where the digest (FNV-1a, as everywhere else in the tree) covers the
+//! length prefix, key, and blob. Because the journal is append-only, a
+//! crash can only damage the *tail*: on open the store replays frames
+//! until it hits a short or digest-mismatched one, truncates the file at
+//! that frame boundary, and continues — every fully-synced record
+//! survives any kill point.
+//!
+//! Results are content-addressed by [`JobKey`], so a record is immutable
+//! once written; re-putting an existing key is a no-op. An optional byte
+//! budget evicts least-recently-used records by compaction (rewrite to a
+//! temp file + atomic rename), never touching *pinned* keys — the daemon
+//! pins every key an in-flight sweep depends on, so eviction can never
+//! pull a result out from under a sweep that is still aggregating.
+
+use crate::codec::{decode_result, encode_result};
+use crate::JobKey;
+use riq_core::RunResult;
+use riq_isa::StableHasher;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Per-frame overhead on disk: length prefix + key + digest trailer.
+const FRAME_OVERHEAD: u64 = 4 + 32 + 8;
+
+/// Counters and sizes reported by [`ResultStore::stats`] (and surfaced
+/// through the daemon's `/statsz` endpoint and the bench host block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of results currently stored.
+    pub entries: u64,
+    /// Journal size on disk in bytes.
+    pub bytes_on_disk: u64,
+    /// `get` calls that found their key.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Records evicted by the byte budget.
+    pub evictions: u64,
+    /// Total bytes appended to the journal over this store's lifetime
+    /// (not reduced by compaction).
+    pub bytes_written: u64,
+    /// Frames dropped during recovery because the journal tail was torn
+    /// or corrupt.
+    pub recovered_torn_frames: u64,
+}
+
+struct Entry {
+    blob: Arc<Vec<u8>>,
+    /// LRU clock value of the most recent access.
+    last_access: u64,
+}
+
+/// A durable, content-addressed map from [`JobKey`] to encoded
+/// [`RunResult`], backed by a crash-safe append-only journal.
+pub struct ResultStore {
+    path: PathBuf,
+    file: File,
+    entries: HashMap<JobKey, Entry>,
+    /// Pin refcounts by key. Pins are held independently of entry
+    /// presence so the daemon can pin an in-flight sweep's keys *before*
+    /// their results land — an entry whose key is pinned is never
+    /// evicted.
+    pins: HashMap<JobKey, u32>,
+    max_bytes: Option<u64>,
+    bytes_on_disk: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    bytes_written: u64,
+    recovered_torn_frames: u64,
+}
+
+fn frame_digest(len_prefix: [u8; 4], key_bytes: &[u8], blob: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(&len_prefix);
+    h.write(key_bytes);
+    h.write(blob);
+    h.finish()
+}
+
+fn key_bytes(key: &JobKey) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    out[0..8].copy_from_slice(&key.0.to_le_bytes());
+    out[8..16].copy_from_slice(&key.1.to_le_bytes());
+    out[16..24].copy_from_slice(&key.2.to_le_bytes());
+    out[24..32].copy_from_slice(&key.3.to_le_bytes());
+    out
+}
+
+impl ResultStore {
+    /// Opens (or creates) the journal at `path`, replaying every intact
+    /// frame and truncating any torn tail left by a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the journal cannot be read,
+    /// created, or truncated.
+    pub fn open(path: &Path, max_bytes: Option<u64>) -> io::Result<ResultStore> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new().read(true).append(true).create(true).open(path)?;
+        let mut raw = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut raw)?;
+
+        let mut entries = HashMap::new();
+        let mut pos = 0usize;
+        let mut clock = 0u64;
+        let mut torn = 0u64;
+        while pos < raw.len() {
+            let frame_start = pos;
+            let Some(rest) = raw.get(pos..pos + 4) else { break };
+            let payload_len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            let frame_len = 4 + 32 + payload_len + 8;
+            let Some(frame) = raw.get(frame_start..frame_start + frame_len) else {
+                torn += 1;
+                break;
+            };
+            let len_prefix = [frame[0], frame[1], frame[2], frame[3]];
+            let kb = &frame[4..36];
+            let blob = &frame[36..36 + payload_len];
+            let stored = u64::from_le_bytes(frame[36 + payload_len..].try_into().unwrap());
+            if frame_digest(len_prefix, kb, blob) != stored {
+                torn += 1;
+                break;
+            }
+            let key = (
+                u64::from_le_bytes(kb[0..8].try_into().unwrap()),
+                u64::from_le_bytes(kb[8..16].try_into().unwrap()),
+                u64::from_le_bytes(kb[16..24].try_into().unwrap()),
+                u64::from_le_bytes(kb[24..32].try_into().unwrap()),
+            );
+            clock += 1;
+            entries.insert(key, Entry { blob: Arc::new(blob.to_vec()), last_access: clock });
+            pos = frame_start + frame_len;
+        }
+        if pos < raw.len() {
+            // Torn or corrupt tail: truncate back to the last intact frame
+            // boundary so future appends start clean.
+            file.set_len(pos as u64)?;
+            file.sync_all()?;
+        }
+        let bytes_on_disk = pos as u64;
+        Ok(ResultStore {
+            path: path.to_path_buf(),
+            file,
+            entries,
+            pins: HashMap::new(),
+            max_bytes,
+            bytes_on_disk,
+            clock,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            bytes_written: 0,
+            recovered_torn_frames: torn,
+        })
+    }
+
+    /// Number of results currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no results.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `key` is present, without counting a hit or touching the
+    /// LRU clock.
+    #[must_use]
+    pub fn contains(&self, key: &JobKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Looks up the result for `key`, decoding it from the stored blob.
+    /// Counts a hit or miss and refreshes the entry's LRU position.
+    pub fn get(&mut self, key: &JobKey) -> Option<Arc<RunResult>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_access = clock;
+                // Frames are digest-verified on every open and append, so
+                // a decode failure here would be a codec bug, not bad
+                // data; surface it as a miss rather than a panic.
+                match decode_result(&entry.blob) {
+                    Ok(result) => {
+                        self.hits += 1;
+                        Some(Arc::new(result))
+                    }
+                    Err(_) => {
+                        self.misses += 1;
+                        None
+                    }
+                }
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns the raw encoded blob for `key`, for shipping over the wire
+    /// without a decode/re-encode round trip.
+    pub fn get_blob(&mut self, key: &JobKey) -> Option<Arc<Vec<u8>>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries.get_mut(key)?;
+        entry.last_access = clock;
+        self.hits += 1;
+        Some(Arc::clone(&entry.blob))
+    }
+
+    /// Durably stores `result` under `key`. A no-op if the key is already
+    /// present (results are content-addressed and immutable). May trigger
+    /// LRU eviction if a byte budget is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the append or sync fails.
+    pub fn put(&mut self, key: JobKey, result: &RunResult) -> io::Result<()> {
+        self.put_blob(key, encode_result(result))
+    }
+
+    /// Durably stores an already-encoded result blob under `key`.
+    ///
+    /// The blob must be a valid encoded result (workers produce them with
+    /// `encode_result`; the daemon validates foreign blobs with
+    /// `decode_result` before calling this).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the append or sync fails.
+    pub fn put_blob(&mut self, key: JobKey, blob: Vec<u8>) -> io::Result<()> {
+        if self.entries.contains_key(&key) {
+            return Ok(());
+        }
+        let len_prefix = (blob.len() as u32).to_le_bytes();
+        let kb = key_bytes(&key);
+        let digest = frame_digest(len_prefix, &kb, &blob);
+        let mut frame = Vec::with_capacity(blob.len() + FRAME_OVERHEAD as usize);
+        frame.extend_from_slice(&len_prefix);
+        frame.extend_from_slice(&kb);
+        frame.extend_from_slice(&blob);
+        frame.extend_from_slice(&digest.to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.bytes_on_disk += frame.len() as u64;
+        self.bytes_written += frame.len() as u64;
+        self.clock += 1;
+        self.entries.insert(key, Entry { blob: Arc::new(blob), last_access: self.clock });
+        self.maybe_evict()
+    }
+
+    /// Pins `key`: while pinned (refcounted), any entry under it is
+    /// exempt from LRU eviction. The key does not have to be present yet —
+    /// the daemon pins every key an accepted sweep depends on up front,
+    /// so a result landing later is protected from the moment it lands.
+    pub fn pin(&mut self, key: &JobKey) {
+        *self.pins.entry(*key).or_insert(0) += 1;
+    }
+
+    /// Releases one pin on `key`.
+    pub fn unpin(&mut self, key: &JobKey) {
+        if let Some(count) = self.pins.get_mut(key) {
+            *count -= 1;
+            if *count == 0 {
+                self.pins.remove(key);
+            }
+        }
+    }
+
+    /// Current counters and sizes.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            entries: self.entries.len() as u64,
+            bytes_on_disk: self.bytes_on_disk,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            bytes_written: self.bytes_written,
+            recovered_torn_frames: self.recovered_torn_frames,
+        }
+    }
+
+    fn disk_size_of(blob_len: usize) -> u64 {
+        blob_len as u64 + FRAME_OVERHEAD
+    }
+
+    /// Evicts least-recently-used unpinned entries until the journal fits
+    /// the byte budget, then compacts the file. Pinned entries are never
+    /// evicted, even if the budget stays exceeded.
+    fn maybe_evict(&mut self) -> io::Result<()> {
+        let Some(max) = self.max_bytes else { return Ok(()) };
+        if self.bytes_on_disk <= max {
+            return Ok(());
+        }
+        let mut victims: Vec<(u64, JobKey, u64)> = self
+            .entries
+            .iter()
+            .filter(|(k, _)| !self.pins.contains_key(*k))
+            .map(|(k, e)| (e.last_access, *k, Self::disk_size_of(e.blob.len())))
+            .collect();
+        victims.sort_unstable();
+        let mut projected = self.bytes_on_disk;
+        let mut evicted = 0u64;
+        for (_, key, size) in victims {
+            if projected <= max {
+                break;
+            }
+            self.entries.remove(&key);
+            projected -= size;
+            evicted += 1;
+        }
+        if evicted == 0 {
+            return Ok(());
+        }
+        self.evictions += evicted;
+        self.compact()
+    }
+
+    /// Rewrites the journal to contain exactly the live entries, via a
+    /// temp file and atomic rename, then reopens the append handle.
+    fn compact(&mut self) -> io::Result<()> {
+        let tmp_path = self.path.with_extension("wal.tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        let mut ordered: Vec<(&JobKey, &Entry)> = self.entries.iter().collect();
+        ordered.sort_unstable_by_key(|(_, e)| e.last_access);
+        let mut total = 0u64;
+        for (key, entry) in ordered {
+            let len_prefix = (entry.blob.len() as u32).to_le_bytes();
+            let kb = key_bytes(key);
+            let digest = frame_digest(len_prefix, &kb, &entry.blob);
+            tmp.write_all(&len_prefix)?;
+            tmp.write_all(&kb)?;
+            tmp.write_all(&entry.blob)?;
+            tmp.write_all(&digest.to_le_bytes())?;
+            total += Self::disk_size_of(entry.blob.len());
+        }
+        tmp.sync_all()?;
+        drop(tmp);
+        fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        self.bytes_on_disk = total;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_core::{Processor, SimConfig};
+
+    fn sample_result(n: u32) -> RunResult {
+        let src = format!(
+            "  li $r2, {n}\nloop: sw $r2, 0x100($r0)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n"
+        );
+        let p = riq_asm::assemble(&src).unwrap();
+        Processor::new(SimConfig::baseline()).run(&p).unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("riq-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn put_get_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        let path = dir.join("store.wal");
+        let r1 = sample_result(5);
+        let r2 = sample_result(9);
+        {
+            let mut store = ResultStore::open(&path, None).unwrap();
+            store.put((1, 2, 0, 0), &r1).unwrap();
+            store.put((3, 4, 0, 0), &r2).unwrap();
+            assert_eq!(store.len(), 2);
+            // Re-putting an existing key appends nothing.
+            let before = store.stats().bytes_on_disk;
+            store.put((1, 2, 0, 0), &r1).unwrap();
+            assert_eq!(store.stats().bytes_on_disk, before);
+        }
+        let mut store = ResultStore::open(&path, None).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(&(1, 2, 0, 0)).unwrap().stats, r1.stats);
+        assert_eq!(store.get(&(3, 4, 0, 0)).unwrap().stats, r2.stats);
+        assert!(store.get(&(9, 9, 0, 0)).is_none());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_recovers_cleanly() {
+        let dir = tmp_dir("trunc");
+        let path = dir.join("store.wal");
+        let r1 = sample_result(3);
+        let r2 = sample_result(7);
+        let (first_frame_end, full_len) = {
+            let mut store = ResultStore::open(&path, None).unwrap();
+            store.put((1, 1, 0, 0), &r1).unwrap();
+            let first = store.stats().bytes_on_disk;
+            store.put((2, 2, 0, 0), &r2).unwrap();
+            (first, store.stats().bytes_on_disk)
+        };
+        let intact = fs::read(&path).unwrap();
+        assert_eq!(intact.len() as u64, full_len);
+        for cut in 0..intact.len() as u64 {
+            fs::write(&path, &intact[..cut as usize]).unwrap();
+            let mut store = ResultStore::open(&path, None)
+                .unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
+            // Every fully-journaled record before the cut survives; the
+            // torn tail is dropped, never a panic or a garbled result.
+            let expect = u64::from(cut >= first_frame_end) + u64::from(cut >= full_len);
+            assert_eq!(store.len() as u64, expect, "cut at byte {cut}");
+            if cut >= first_frame_end {
+                assert_eq!(store.get(&(1, 1, 0, 0)).unwrap().stats, r1.stats);
+            }
+            // The store stays writable after recovery.
+            store.put((3, 3, 0, 0), &r2).unwrap();
+            assert_eq!(store.len() as u64, expect + 1);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tail_is_dropped_on_open() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("store.wal");
+        {
+            let mut store = ResultStore::open(&path, None).unwrap();
+            store.put((1, 1, 0, 0), &sample_result(4)).unwrap();
+            store.put((2, 2, 0, 0), &sample_result(6)).unwrap();
+        }
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 20;
+        raw[last] ^= 0x01;
+        fs::write(&path, &raw).unwrap();
+        let store = ResultStore::open(&path, None).unwrap();
+        assert_eq!(store.len(), 1, "corrupt second frame dropped, first kept");
+        assert!(store.contains(&(1, 1, 0, 0)));
+        assert_eq!(store.stats().recovered_torn_frames, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_skips_pinned_entries() {
+        let dir = tmp_dir("evict");
+        let path = dir.join("store.wal");
+        let result = sample_result(5);
+        let frame = frame_size(&result);
+        // Budget for exactly two frames.
+        let mut store = ResultStore::open(&path, Some(2 * frame)).unwrap();
+        store.put((1, 0, 0, 0), &result).unwrap();
+        store.put((2, 0, 0, 0), &result).unwrap();
+        store.pin(&(1, 0, 0, 0));
+        // Touch key 1 is pinned; key 2 is the LRU unpinned victim.
+        store.put((3, 0, 0, 0), &result).unwrap();
+        assert!(store.contains(&(1, 0, 0, 0)), "pinned entry must survive eviction");
+        assert!(!store.contains(&(2, 0, 0, 0)), "LRU unpinned entry evicted");
+        assert!(store.contains(&(3, 0, 0, 0)));
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.stats().bytes_on_disk <= 2 * frame);
+
+        // With every remaining entry pinned, going over budget evicts
+        // nothing — in-flight dependencies are never sacrificed. Pins are
+        // taken *before* the results land, daemon-style.
+        store.pin(&(3, 0, 0, 0));
+        for k in [4u64, 5, 6] {
+            store.pin(&(k, 0, 0, 0));
+            store.put((k, 0, 0, 0), &result).unwrap();
+        }
+        for k in [1u64, 3, 4, 5, 6] {
+            assert!(store.contains(&(k, 0, 0, 0)), "pinned key {k} evicted");
+        }
+        // After unpinning, the next over-budget put can evict again.
+        store.unpin(&(3, 0, 0, 0));
+        store.put((7, 0, 0, 0), &result).unwrap();
+        assert!(!store.contains(&(3, 0, 0, 0)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn frame_size(result: &RunResult) -> u64 {
+        encode_result(result).len() as u64 + FRAME_OVERHEAD
+    }
+
+    #[test]
+    fn eviction_survives_reopen() {
+        let dir = tmp_dir("evict-reopen");
+        let path = dir.join("store.wal");
+        let result = sample_result(8);
+        let frame = frame_size(&result);
+        {
+            let mut store = ResultStore::open(&path, Some(2 * frame)).unwrap();
+            for k in 1..=4u64 {
+                store.put((k, 0, 0, 0), &result).unwrap();
+            }
+            assert!(store.len() <= 2);
+        }
+        let store = ResultStore::open(&path, Some(2 * frame)).unwrap();
+        assert!(store.len() <= 2);
+        assert!(store.contains(&(4, 0, 0, 0)), "most recent entry survives compaction + reopen");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,361 @@
+//! The worker loop: lease → verify → simulate → report.
+//!
+//! A worker is a plain HTTP client of the daemon. It polls
+//! `POST /lease?worker=NAME`; a `200` carries an encoded job blob
+//! ([`crate::codec::decode_job`] verifies that the nested program and
+//! configuration hash to the job's content-address key, so a worker never
+//! wastes cycles simulating a payload that could not produce the promised
+//! result). The worker then simulates exactly the way the in-process
+//! engine does for an unprofiled job — `Processor::run` from cycle zero,
+//! or `Checkpoint::fast_forward` + `resume_from` when the job carries a
+//! skip — which is what makes service results bit-identical to engine
+//! results. Success posts the encoded result to `POST /complete`; any
+//! failure (codec, fast-forward, simulator error, panic) posts a message
+//! to `POST /fail` and the daemon's queue decides between retry and
+//! terminal failure.
+//!
+//! Crash injection for tests: [`WorkerOptions::abandon_after`] makes the
+//! worker exit *immediately after leasing* its Nth job, without
+//! completing or failing it — indistinguishable, from the daemon's side,
+//! from a SIGKILLed worker process. Lease expiry then requeues the job.
+
+use crate::codec::{decode_job, encode_result, JobBlob};
+use crate::http::http_request;
+use riq_ckpt::Checkpoint;
+use riq_core::{Processor, RunResult};
+use std::panic::{self, AssertUnwindSafe};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Knobs for one worker loop.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Worker name reported in lease requests (shows up in `/statsz`).
+    pub worker_id: String,
+    /// Sleep between empty lease polls.
+    pub poll: Duration,
+    /// Stop after completing this many jobs (`None` = run until the
+    /// daemon goes away or the queue reports idle with `exit_when_idle`).
+    pub max_jobs: Option<u64>,
+    /// Crash injection: exit right after *leasing* the Nth job, leaving
+    /// it neither completed nor failed — the daemon sees a SIGKILL.
+    pub abandon_after: Option<u64>,
+    /// Return once a lease poll comes back empty instead of sleeping.
+    pub exit_when_idle: bool,
+}
+
+impl WorkerOptions {
+    /// A worker that polls forever (until the daemon disappears).
+    #[must_use]
+    pub fn named(worker_id: &str) -> WorkerOptions {
+        WorkerOptions {
+            worker_id: worker_id.to_string(),
+            poll: Duration::from_millis(20),
+            max_jobs: None,
+            abandon_after: None,
+            exit_when_idle: false,
+        }
+    }
+}
+
+/// Why [`run_worker`] returned, plus its lifetime counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerOutcome {
+    /// Jobs simulated and successfully posted back.
+    pub completed: u64,
+    /// Jobs whose simulation failed (posted to `/fail`).
+    pub failed: u64,
+    /// Leases taken in total (≥ completed + failed; greater when the
+    /// worker abandoned one).
+    pub leased: u64,
+    /// Terminal condition.
+    pub exit: WorkerExit,
+}
+
+/// Terminal condition of a worker loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The queue had nothing to lease and `exit_when_idle` was set.
+    Idle,
+    /// `max_jobs` reached.
+    JobBudget,
+    /// Crash injection fired (`abandon_after`).
+    Abandoned,
+    /// The daemon stopped answering.
+    Disconnected,
+}
+
+fn simulate(job: &JobBlob) -> Result<RunResult, String> {
+    // Mirror of the engine's unprofiled execution path (run_pending_local
+    // in riq-bench): same constructors, same resume semantics, so the
+    // result is bit-identical to an in-process run of the same key.
+    let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+        if job.skip > 0 {
+            let ckpt = Checkpoint::fast_forward(&job.program, job.skip, job.warmup)
+                .map_err(|e| format!("fast-forward failed: {e}"))?;
+            Processor::new(job.config.clone())
+                .resume_from(&job.program, &ckpt, job.warmup)
+                .map_err(|e| format!("simulation failed: {e}"))
+        } else {
+            Processor::new(job.config.clone())
+                .run(&job.program)
+                .map_err(|e| format!("simulation failed: {e}"))
+        }
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic".to_string());
+            Err(format!("simulation panicked: {msg}"))
+        }
+    }
+}
+
+/// Runs the worker loop against the daemon at `addr` (e.g.
+/// `127.0.0.1:7341`) until a terminal condition is reached.
+#[must_use]
+pub fn run_worker(addr: &str, options: &WorkerOptions) -> WorkerOutcome {
+    let mut outcome =
+        WorkerOutcome { completed: 0, failed: 0, leased: 0, exit: WorkerExit::Disconnected };
+    let lease_path = format!("/lease?worker={}", options.worker_id);
+    loop {
+        if let Some(max) = options.max_jobs {
+            if outcome.completed + outcome.failed >= max {
+                outcome.exit = WorkerExit::JobBudget;
+                return outcome;
+            }
+        }
+        let (status, body) = match http_request(addr, "POST", &lease_path, b"") {
+            Ok(reply) => reply,
+            Err(_) => {
+                outcome.exit = WorkerExit::Disconnected;
+                return outcome;
+            }
+        };
+        match status {
+            204 => {
+                if options.exit_when_idle {
+                    outcome.exit = WorkerExit::Idle;
+                    return outcome;
+                }
+                thread::sleep(options.poll);
+                continue;
+            }
+            200 => {}
+            _ => {
+                // Daemon answered but refused the lease; back off.
+                thread::sleep(options.poll);
+                continue;
+            }
+        }
+        outcome.leased += 1;
+        if options.abandon_after.is_some_and(|n| outcome.leased >= n) {
+            // Simulated SIGKILL: vanish with the lease held.
+            outcome.exit = WorkerExit::Abandoned;
+            return outcome;
+        }
+        let job = match decode_job(&body) {
+            Ok(job) => job,
+            Err(e) => {
+                // Can't even name the job id without a decoded blob; the
+                // lease will expire and requeue on the daemon side.
+                let _ = e;
+                thread::sleep(options.poll);
+                continue;
+            }
+        };
+        let started = Instant::now();
+        match simulate(&job) {
+            Ok(result) => {
+                let wall_nanos = started.elapsed().as_nanos() as u64;
+                let path = format!(
+                    "/complete?job={}&worker={}&wall_nanos={wall_nanos}",
+                    job.job_id, options.worker_id
+                );
+                match http_request(addr, "POST", &path, &encode_result(&result)) {
+                    Ok((200 | 204, _)) => outcome.completed += 1,
+                    Ok(_) => outcome.failed += 1,
+                    Err(_) => {
+                        outcome.exit = WorkerExit::Disconnected;
+                        return outcome;
+                    }
+                }
+            }
+            Err(message) => {
+                let path = format!("/fail?job={}&worker={}", job.job_id, options.worker_id);
+                if http_request(addr, "POST", &path, message.as_bytes()).is_err() {
+                    outcome.exit = WorkerExit::Disconnected;
+                    return outcome;
+                }
+                outcome.failed += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_job;
+    use crate::http::{serve_on, Request, Response};
+    use crate::queue::{JobQueue, QueueConfig};
+    use crate::store::ResultStore;
+    use riq_core::SimConfig;
+    use std::collections::HashMap;
+    use std::net::TcpListener;
+    use std::sync::{Arc, Mutex};
+
+    /// A minimal mechanism-only daemon: queue + store + job payload map,
+    /// no sweep/aggregation policy. Exercises the full worker protocol.
+    fn mini_daemon(
+        jobs: Vec<JobBlob>,
+        store_path: &std::path::Path,
+        config: QueueConfig,
+    ) -> (crate::http::ServerHandle, Arc<JobQueue>, Arc<Mutex<ResultStore>>) {
+        let queue = Arc::new(JobQueue::new(config));
+        let store = Arc::new(Mutex::new(ResultStore::open(store_path, None).unwrap()));
+        let mut payloads: HashMap<u64, JobBlob> = HashMap::new();
+        for mut job in jobs {
+            let (id, _) = queue.submit(job.key, 0);
+            job.job_id = id;
+            payloads.insert(id, job);
+        }
+        let payloads = Arc::new(payloads);
+        let handler = {
+            let queue = Arc::clone(&queue);
+            let store = Arc::clone(&store);
+            move |req: &Request| match (req.method.as_str(), req.path.as_str()) {
+                ("POST", "/lease") => {
+                    let worker = req.query_param("worker").unwrap_or("anon");
+                    match queue.lease(worker) {
+                        Some(lease) => {
+                            let mut job = payloads[&lease.job_id].clone();
+                            job.job_id = lease.job_id;
+                            Response::bytes(encode_job(&job))
+                        }
+                        None => Response::no_content(),
+                    }
+                }
+                ("POST", "/complete") => {
+                    let Some(id) = req.query_param("job").and_then(|v| v.parse().ok()) else {
+                        return Response::bad_request("bad job id");
+                    };
+                    let Some(key) = queue.key_of(id) else {
+                        return Response::not_found("unknown job");
+                    };
+                    if crate::codec::decode_result(&req.body).is_err() {
+                        return Response::bad_request("bad result blob");
+                    }
+                    store.lock().unwrap().put_blob(key, req.body.clone()).unwrap();
+                    queue.complete(id);
+                    Response::no_content()
+                }
+                ("POST", "/fail") => {
+                    let Some(id) = req.query_param("job").and_then(|v| v.parse().ok()) else {
+                        return Response::bad_request("bad job id");
+                    };
+                    queue.fail(id, &String::from_utf8_lossy(&req.body));
+                    Response::no_content()
+                }
+                _ => Response::not_found("unhandled"),
+            }
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = serve_on(listener, Arc::new(handler)).unwrap();
+        (server, queue, store)
+    }
+
+    fn sample_job(n: u32) -> JobBlob {
+        let src = format!(
+            "  li $r2, {n}\nloop: sw $r2, 0x100($r0)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n"
+        );
+        let program = riq_asm::assemble(&src).unwrap();
+        let config = SimConfig::baseline();
+        let key = (program.fingerprint(), config.fingerprint(), 0, 0);
+        JobBlob {
+            job_id: 0,
+            key,
+            kernel: format!("sample-{n}"),
+            skip: 0,
+            warmup: 0,
+            program,
+            config,
+        }
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("riq-worker-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("store.wal")
+    }
+
+    #[test]
+    fn worker_drains_queue_and_results_match_local_run() {
+        let path = tmp("drain");
+        let jobs = vec![sample_job(4), sample_job(11)];
+        let expected: Vec<RunResult> = jobs.iter().map(|j| simulate(j).unwrap()).collect();
+        let keys: Vec<_> = jobs.iter().map(|j| j.key).collect();
+        let (server, queue, store) = mini_daemon(jobs, &path, QueueConfig::default());
+        let addr = server.addr().to_string();
+        let outcome = run_worker(
+            &addr,
+            &WorkerOptions { exit_when_idle: true, ..WorkerOptions::named("w0") },
+        );
+        assert_eq!(outcome.completed, 2);
+        assert_eq!(outcome.exit, WorkerExit::Idle);
+        assert_eq!(queue.stats().done, 2);
+        let mut store = store.lock().unwrap();
+        for (key, expect) in keys.iter().zip(&expected) {
+            let got = store.get(key).unwrap();
+            assert_eq!(got.stats, expect.stats);
+            assert_eq!(got.arch_state, expect.arch_state);
+            assert_eq!(got.mem_digest, expect.mem_digest);
+        }
+        drop(store);
+        server.stop();
+    }
+
+    #[test]
+    fn abandoned_lease_is_recovered_by_second_worker() {
+        let path = tmp("abandon");
+        let config = QueueConfig {
+            lease_ttl: Duration::from_millis(30),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+        };
+        let (server, queue, _store) = mini_daemon(vec![sample_job(6)], &path, config);
+        let addr = server.addr().to_string();
+        // First worker leases the only job and vanishes mid-flight.
+        let crashed = run_worker(
+            &addr,
+            &WorkerOptions { abandon_after: Some(1), ..WorkerOptions::named("doomed") },
+        );
+        assert_eq!(crashed.exit, WorkerExit::Abandoned);
+        assert_eq!(crashed.completed, 0);
+        thread::sleep(Duration::from_millis(40));
+        // Lease expired; a healthy worker picks the job up and finishes.
+        let healthy = run_worker(
+            &addr,
+            &WorkerOptions { exit_when_idle: true, ..WorkerOptions::named("healthy") },
+        );
+        assert_eq!(healthy.completed, 1);
+        assert_eq!(queue.stats().done, 1);
+        assert_eq!(queue.stats().requeues, 1);
+        server.stop();
+    }
+
+    #[test]
+    fn worker_reports_disconnect_when_daemon_stops() {
+        let path = tmp("gone");
+        let (server, _queue, _store) = mini_daemon(vec![], &path, QueueConfig::default());
+        let addr = server.addr().to_string();
+        server.stop();
+        let outcome = run_worker(&addr, &WorkerOptions::named("orphan"));
+        assert_eq!(outcome.exit, WorkerExit::Disconnected);
+    }
+}

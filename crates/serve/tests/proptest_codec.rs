@@ -1,0 +1,240 @@
+//! Property tests for the service blob codecs: arbitrary result payloads
+//! (not just simulator-produced ones) round-trip exactly, any single-byte
+//! corruption is rejected, truncation always yields a typed error, and
+//! random garbage never panics.
+
+use proptest::prelude::*;
+use riq_bpred::{BpredStats, BtbStats, DirPredictorKind};
+use riq_core::{EpochSample, ReuseStats, RunResult, SimConfig, SimStats};
+use riq_emu::ArchState;
+use riq_isa::{FpReg, IntReg, NUM_FP_REGS, NUM_INT_REGS};
+use riq_mem::{CacheStats, HierarchyStats};
+use riq_metrics::{Histogram, MetricsSnapshot, SimCounter, Stage, HIST_BUCKETS};
+use riq_power::{PowerReport, NUM_COMPONENTS};
+use riq_serve::{decode_config, decode_result, encode_config, encode_result};
+
+fn arb_sim_stats() -> impl Strategy<Value = SimStats> {
+    prop::collection::vec(any::<u64>(), 19).prop_map(|v| SimStats {
+        cycles: v[0],
+        committed: v[1],
+        fetched: v[2],
+        dispatched: v[3],
+        issued: v[4],
+        squashed: v[5],
+        branches: v[6],
+        mispredictions: v[7],
+        gated_cycles: v[8],
+        iq_occupancy_sum: v[9],
+        rob_occupancy_sum: v[10],
+        reuse: ReuseStats {
+            loops_detected: v[11],
+            nblt_hits: v[12],
+            nblt_inserts: v[13],
+            bufferings_started: v[14],
+            bufferings_revoked: v[15],
+            code_reuse_entries: v[16],
+            iterations_buffered: v[17],
+            reused_insts: v[18],
+        },
+    })
+}
+
+fn arb_cache_stats() -> impl Strategy<Value = CacheStats> {
+    prop::collection::vec(any::<u64>(), 5).prop_map(|v| CacheStats {
+        reads: v[0],
+        writes: v[1],
+        hits: v[2],
+        misses: v[3],
+        writebacks: v[4],
+    })
+}
+
+fn arb_arch_state() -> impl Strategy<Value = ArchState> {
+    (
+        prop::collection::vec(any::<u32>(), NUM_INT_REGS),
+        prop::collection::vec(any::<u64>(), NUM_FP_REGS),
+    )
+        .prop_map(|(ints, fps)| {
+            let mut regs = ArchState::new();
+            for (i, &v) in ints.iter().enumerate().skip(1) {
+                regs.set_int_reg(IntReg::new(i as u8), v);
+            }
+            for (i, &v) in fps.iter().enumerate() {
+                regs.set_fp_reg_bits(FpReg::new(i as u8), v);
+            }
+            regs
+        })
+}
+
+fn arb_metrics() -> impl Strategy<Value = Option<MetricsSnapshot>> {
+    (
+        any::<bool>(),
+        prop::collection::vec(any::<u64>(), SimCounter::COUNT),
+        prop::collection::vec(any::<u64>(), Stage::COUNT),
+        any::<u64>(),
+        prop::collection::vec(any::<u64>(), HIST_BUCKETS),
+    )
+        .prop_map(|(present, sim, stages, samples, hist)| {
+            present.then(|| MetricsSnapshot {
+                sim: sim.try_into().expect("length matches"),
+                stage_nanos: stages.try_into().expect("length matches"),
+                stage_samples: samples,
+                iq_occupancy: Histogram { buckets: hist.try_into().expect("length matches") },
+            })
+        })
+}
+
+fn arb_result() -> impl Strategy<Value = RunResult> {
+    (
+        (
+            arb_sim_stats(),
+            // Finite energies: the equality check below compares raw f64s.
+            prop::collection::vec(any::<u32>().prop_map(f64::from), NUM_COMPONENTS),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        prop::collection::vec(arb_cache_stats(), 5),
+        (prop::collection::vec(any::<u64>(), 10), any::<u64>()),
+        prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>(), arb_sim_stats()), 0..4),
+        arb_arch_state(),
+        arb_metrics(),
+    )
+        .prop_map(
+            |((stats, energy, pc, pg), caches, (bp, fills), epochs, arch_state, metrics)| {
+                RunResult {
+                    stats,
+                    power: PowerReport::from_parts(
+                        energy.try_into().expect("length matches"),
+                        pc,
+                        pg,
+                    ),
+                    mem: HierarchyStats {
+                        il1: caches[0],
+                        dl1: caches[1],
+                        l2: caches[2],
+                        itlb: caches[3],
+                        dtlb: caches[4],
+                        memory_fills: fills,
+                    },
+                    bpred: BpredStats {
+                        dir_lookups: bp[0],
+                        dir_updates: bp[1],
+                        dir_correct: bp[2],
+                        dir_wrong: bp[3],
+                        btb: BtbStats { lookups: bp[4], hits: bp[5], updates: bp[6] },
+                        ras_pushes: bp[7],
+                        ras_pops: bp[8],
+                    },
+                    epochs: epochs
+                        .into_iter()
+                        .map(|(index, start_cycle, end_cycle, delta)| EpochSample {
+                            index,
+                            start_cycle,
+                            end_cycle,
+                            delta,
+                        })
+                        .collect(),
+                    arch_state,
+                    mem_digest: bp[9],
+                    metrics,
+                }
+            },
+        )
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (1u32..8, 4u32..64, 8u32..128, any::<bool>(), 0u8..4, 16u32..1024, any::<u64>()).prop_map(
+        |(width, iq, rob, reuse, dir, entries, max_cycles)| {
+            let mut cfg = SimConfig::baseline().with_iq_size(iq).with_reuse(reuse);
+            cfg.issue_width = width;
+            cfg.rob_entries = iq.max(rob);
+            cfg.bpred.dir = match dir {
+                0 => DirPredictorKind::Bimod { entries },
+                1 => DirPredictorKind::Gshare { entries, history_bits: 8 },
+                2 => DirPredictorKind::Taken,
+                _ => DirPredictorKind::NotTaken,
+            };
+            cfg.max_cycles = max_cycles;
+            cfg
+        },
+    )
+}
+
+fn assert_results_equal(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.mem, b.mem);
+    assert_eq!(a.bpred, b.bpred);
+    assert_eq!(a.epochs, b.epochs);
+    assert_eq!(a.arch_state, b.arch_state);
+    assert_eq!(a.mem_digest, b.mem_digest);
+    assert_eq!(a.power.cycles, b.power.cycles);
+    assert_eq!(a.power.gated_cycles, b.power.gated_cycles);
+    assert_eq!(a.power.raw_energy(), b.power.raw_energy());
+    match (&a.metrics, &b.metrics) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            assert_eq!(x.sim, y.sim);
+            assert_eq!(x.stage_nanos, y.stage_nanos);
+            assert_eq!(x.stage_samples, y.stage_samples);
+            assert_eq!(x.iq_occupancy.buckets, y.iq_occupancy.buckets);
+        }
+        _ => panic!("metrics presence mismatch"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn result_roundtrips_exactly(result in arb_result()) {
+        let bytes = encode_result(&result);
+        let decoded = decode_result(&bytes).expect("decodes");
+        assert_results_equal(&decoded, &result);
+        prop_assert_eq!(encode_result(&decoded), bytes, "canonical re-encoding");
+    }
+
+    #[test]
+    fn result_single_byte_corruption_rejected(
+        result in arb_result(),
+        pick in any::<u64>(),
+        flip in 1u8..255,
+    ) {
+        let mut bytes = encode_result(&result);
+        let idx = (pick % bytes.len() as u64) as usize;
+        bytes[idx] ^= flip;
+        prop_assert!(decode_result(&bytes).is_err(), "flip at byte {}", idx);
+    }
+
+    #[test]
+    fn result_truncation_is_typed(result in arb_result(), frac in 0.0f64..1.0) {
+        let bytes = encode_result(&result);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(decode_result(&bytes[..cut.min(bytes.len() - 1)]).is_err());
+    }
+
+    #[test]
+    fn config_roundtrips_with_fingerprint(cfg in arb_config()) {
+        let bytes = encode_config(&cfg);
+        let decoded = decode_config(&bytes).expect("decodes");
+        prop_assert_eq!(&decoded, &cfg);
+        prop_assert_eq!(decoded.fingerprint(), cfg.fingerprint());
+    }
+
+    #[test]
+    fn config_single_byte_corruption_rejected(
+        cfg in arb_config(),
+        pick in any::<u64>(),
+        flip in 1u8..255,
+    ) {
+        let mut bytes = encode_config(&cfg);
+        let idx = (pick % bytes.len() as u64) as usize;
+        bytes[idx] ^= flip;
+        prop_assert!(decode_config(&bytes).is_err(), "flip at byte {}", idx);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_result(&data);
+        let _ = decode_config(&data);
+        let _ = riq_serve::decode_program(&data);
+        let _ = riq_serve::decode_job(&data);
+    }
+}

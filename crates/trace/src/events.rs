@@ -261,6 +261,46 @@ pub enum EventKind {
         /// Instructions dispatched from the reuse buffer during the epoch.
         reused: u64,
     },
+    /// A simulation job entered the service queue. For job-lifecycle
+    /// events the `cycle` field carries the daemon's monotonic event
+    /// sequence number rather than a simulated cycle.
+    JobQueued {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Owning sweep id (`0` for direct submissions).
+        sweep: u64,
+    },
+    /// A worker leased a queued job.
+    JobLeased {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Numeric id of the leasing worker.
+        worker: u64,
+        /// One-based lease attempt (re-leases after expiry increment it).
+        attempt: u64,
+    },
+    /// A leased job completed and its result was journaled.
+    JobCompleted {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Worker-reported wall nanoseconds spent simulating.
+        wall_nanos: u64,
+    },
+    /// A lease expired or its worker died; the job went back in the queue.
+    JobRequeued {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Lease attempts consumed so far.
+        attempts: u64,
+    },
+    /// A job exhausted its retries (or failed deterministically) and was
+    /// marked failed; its sweep fails with the message.
+    JobFailed {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Lease attempts consumed.
+        attempts: u64,
+    },
 }
 
 impl EventKind {
@@ -282,6 +322,11 @@ impl EventKind {
             EventKind::Resumed { .. } => "resumed",
             EventKind::StageNanos { .. } => "stage_nanos",
             EventKind::Epoch { .. } => "epoch",
+            EventKind::JobQueued { .. } => "job_queued",
+            EventKind::JobLeased { .. } => "job_leased",
+            EventKind::JobCompleted { .. } => "job_completed",
+            EventKind::JobRequeued { .. } => "job_requeued",
+            EventKind::JobFailed { .. } => "job_failed",
         }
     }
 }
@@ -373,6 +418,23 @@ impl ToJson for TraceEvent {
                 pairs.push(("gated", JsonValue::UInt(*gated)));
                 pairs.push(("reused", JsonValue::UInt(*reused)));
             }
+            EventKind::JobQueued { job, sweep } => {
+                pairs.push(("job", JsonValue::UInt(*job)));
+                pairs.push(("sweep", JsonValue::UInt(*sweep)));
+            }
+            EventKind::JobLeased { job, worker, attempt } => {
+                pairs.push(("job", JsonValue::UInt(*job)));
+                pairs.push(("worker", JsonValue::UInt(*worker)));
+                pairs.push(("attempt", JsonValue::UInt(*attempt)));
+            }
+            EventKind::JobCompleted { job, wall_nanos } => {
+                pairs.push(("job", JsonValue::UInt(*job)));
+                pairs.push(("wall_nanos", JsonValue::UInt(*wall_nanos)));
+            }
+            EventKind::JobRequeued { job, attempts } | EventKind::JobFailed { job, attempts } => {
+                pairs.push(("job", JsonValue::UInt(*job)));
+                pairs.push(("attempts", JsonValue::UInt(*attempts)));
+            }
         }
         JsonValue::obj(pairs)
     }
@@ -441,6 +503,17 @@ impl TraceEvent {
                 gated: u("gated")?,
                 reused: u("reused")?,
             },
+            "job_queued" => EventKind::JobQueued { job: u("job")?, sweep: u("sweep")? },
+            "job_leased" => EventKind::JobLeased {
+                job: u("job")?,
+                worker: u("worker")?,
+                attempt: u("attempt")?,
+            },
+            "job_completed" => {
+                EventKind::JobCompleted { job: u("job")?, wall_nanos: u("wall_nanos")? }
+            }
+            "job_requeued" => EventKind::JobRequeued { job: u("job")?, attempts: u("attempts")? },
+            "job_failed" => EventKind::JobFailed { job: u("job")?, attempts: u("attempts")? },
             _ => return None,
         };
         Some(TraceEvent { cycle, kind })
@@ -528,6 +601,11 @@ impl TraceEvent {
                     reused: 3_900,
                 },
             ),
+            TraceEvent::new(1, JobQueued { job: 17, sweep: 3 }),
+            TraceEvent::new(2, JobLeased { job: 17, worker: 2, attempt: 1 }),
+            TraceEvent::new(3, JobCompleted { job: 17, wall_nanos: 5_000_000 }),
+            TraceEvent::new(4, JobRequeued { job: 18, attempts: 2 }),
+            TraceEvent::new(5, JobFailed { job: 18, attempts: 3 }),
         ]
     }
 }
@@ -543,7 +621,7 @@ mod tests {
         // Ensure the example set actually covers every variant tag.
         let tags: std::collections::BTreeSet<&str> =
             examples.iter().map(|e| e.kind.tag()).collect();
-        assert_eq!(tags.len(), 15, "examples must cover all 15 variants");
+        assert_eq!(tags.len(), 20, "examples must cover all 20 variants");
         for event in examples {
             let line = event.to_json().to_compact();
             let back = TraceEvent::from_json(&parse(&line).expect("parse")).expect("from_json");

@@ -1,0 +1,211 @@
+//! End-to-end determinism of the `riq-serve` daemon: the service's CSV is
+//! byte-identical to the in-process engine's for any worker count, across
+//! a mid-sweep worker kill (lease expiry + requeue), and across a daemon
+//! restart on a warm store — where a resubmitted sweep must also perform
+//! **zero** new simulations (asserted through the `/statsz` counters).
+
+use riq_bench::{run_experiment, start_daemon, Daemon, DaemonOptions, EngineOptions, Experiment};
+use riq_serve::{http_request, run_worker, WorkerExit, WorkerOptions};
+use riq_trace::JsonValue;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Trip-count scale of the sweeps below: large enough that every kernel
+/// still exercises its loops, small enough that three cold Fig5–8 sweeps
+/// stay in test-suite budget.
+const SCALE: f64 = 0.02;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("riq-serve-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.join("results.wal")
+}
+
+fn daemon_on(store: &Path, lease_ttl: Duration) -> Daemon {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let mut options = DaemonOptions::new(store);
+    options.queue.lease_ttl = lease_ttl;
+    start_daemon(listener, &options).expect("daemon starts")
+}
+
+fn submit_fig58(addr: &str) -> u64 {
+    let body = format!("{{\"experiment\": \"fig5-8\", \"scale\": {SCALE}}}");
+    let (status, reply) = http_request(addr, "POST", "/sweeps", body.as_bytes()).expect("submit");
+    assert_eq!(status, 200, "submit rejected: {}", String::from_utf8_lossy(&reply));
+    let doc = riq_trace::parse(std::str::from_utf8(&reply).expect("utf-8")).expect("json");
+    doc.get("sweep").and_then(JsonValue::as_u64).expect("sweep id")
+}
+
+/// Polls the sweep's CSV endpoint until the sweep finishes.
+fn wait_csv(addr: &str, sweep: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let (status, body) =
+            http_request(addr, "GET", &format!("/sweeps/{sweep}/csv"), b"").expect("csv poll");
+        match status {
+            200 => return String::from_utf8(body).expect("utf-8 csv"),
+            409 => {
+                assert!(Instant::now() < deadline, "sweep {sweep} did not finish in time");
+                thread::sleep(Duration::from_millis(25));
+            }
+            other => {
+                panic!("sweep {sweep} csv: status {other}: {}", String::from_utf8_lossy(&body))
+            }
+        }
+    }
+}
+
+fn statsz(addr: &str) -> JsonValue {
+    let (status, body) = http_request(addr, "GET", "/statsz", b"").expect("statsz");
+    assert_eq!(status, 200);
+    riq_trace::parse(std::str::from_utf8(&body).expect("utf-8")).expect("statsz json")
+}
+
+fn counter(doc: &JsonValue, block: &str, field: &str) -> u64 {
+    doc.get(block)
+        .and_then(|b| b.get(field))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("statsz missing {block}.{field}"))
+}
+
+fn spawn_worker(addr: String, options: WorkerOptions) -> JoinHandle<riq_serve::WorkerOutcome> {
+    thread::spawn(move || run_worker(&addr, &options))
+}
+
+fn fast_poll(id: &str) -> WorkerOptions {
+    let mut options = WorkerOptions::named(id);
+    options.poll = Duration::from_millis(10);
+    options
+}
+
+/// The expected bytes: the ordinary in-process engine, default options.
+/// Computed once — all three tests compare against the same sweep.
+fn local_csv() -> String {
+    static EXPECTED: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    EXPECTED
+        .get_or_init(|| {
+            let table =
+                run_experiment(&Experiment::Fig5_8 { scale: SCALE }, &EngineOptions::default())
+                    .expect("local sweep");
+            table.to_csv()
+        })
+        .clone()
+}
+
+#[test]
+fn service_csv_is_byte_identical_for_any_worker_count() {
+    let expected = local_csv();
+
+    // One worker, cold store.
+    let store_one = temp_store("one");
+    let daemon = daemon_on(&store_one, Duration::from_secs(60));
+    let addr = daemon.addr().to_string();
+    let worker = spawn_worker(addr.clone(), fast_poll("solo"));
+    let sweep = submit_fig58(&addr);
+    assert_eq!(wait_csv(&addr, sweep), expected, "1-worker service CSV diverged");
+    daemon.stop();
+    assert_eq!(worker.join().expect("worker thread").exit, WorkerExit::Disconnected);
+
+    // Three workers racing over a fresh cold store.
+    let store_three = temp_store("three");
+    let daemon = daemon_on(&store_three, Duration::from_secs(60));
+    let addr = daemon.addr().to_string();
+    let workers: Vec<_> =
+        (0..3).map(|i| spawn_worker(addr.clone(), fast_poll(&format!("w{i}")))).collect();
+    let sweep = submit_fig58(&addr);
+    assert_eq!(wait_csv(&addr, sweep), expected, "3-worker service CSV diverged");
+    let stats = statsz(&addr);
+    assert_eq!(counter(&stats, "queue", "failed"), 0);
+    assert!(counter(&stats, "queue", "leases_granted") > 0);
+    daemon.stop();
+    for w in workers {
+        let _ = w.join().expect("worker thread");
+    }
+
+    let _ = std::fs::remove_dir_all(store_one.parent().unwrap());
+    let _ = std::fs::remove_dir_all(store_three.parent().unwrap());
+}
+
+#[test]
+fn killed_worker_mid_sweep_requeues_and_output_is_unchanged() {
+    let expected = local_csv();
+    let store = temp_store("kill");
+    // Short lease so the abandoned jobs requeue quickly.
+    let daemon = daemon_on(&store, Duration::from_millis(200));
+    let addr = daemon.addr().to_string();
+
+    // The doomed worker completes two jobs, then vanishes mid-lease —
+    // the run_worker SIGKILL stand-in (the CI smoke step kills a real
+    // process; the state machine exercised here is the same).
+    let mut doomed = fast_poll("doomed");
+    doomed.abandon_after = Some(3);
+    let doomed = spawn_worker(addr.clone(), doomed);
+    let healthy = spawn_worker(addr.clone(), fast_poll("healthy"));
+
+    let sweep = submit_fig58(&addr);
+    assert_eq!(wait_csv(&addr, sweep), expected, "post-kill service CSV diverged");
+
+    let stats = statsz(&addr);
+    assert!(
+        counter(&stats, "queue", "requeues") >= 1,
+        "the abandoned lease must have expired and requeued"
+    );
+    assert_eq!(counter(&stats, "queue", "failed"), 0, "requeue must not burn out the job");
+    assert_eq!(doomed.join().expect("doomed thread").exit, WorkerExit::Abandoned);
+    daemon.stop();
+    let _ = healthy.join().expect("healthy thread");
+    let _ = std::fs::remove_dir_all(store.parent().unwrap());
+}
+
+#[test]
+fn warm_store_restart_replays_results_with_zero_new_simulations() {
+    let expected = local_csv();
+    let store = temp_store("warm");
+
+    // Cold pass: one worker fills the store.
+    let daemon = daemon_on(&store, Duration::from_secs(60));
+    let addr = daemon.addr().to_string();
+    let worker = spawn_worker(addr.clone(), fast_poll("filler"));
+    let sweep = submit_fig58(&addr);
+    assert_eq!(wait_csv(&addr, sweep), expected);
+    let cold = statsz(&addr);
+    let cold_leases = counter(&cold, "queue", "leases_granted");
+    assert!(cold_leases > 0, "cold sweep must simulate");
+    let cold_entries = counter(&cold, "store", "entries");
+    assert!(cold_entries > 0, "cold sweep must persist results");
+
+    // Duplicate submission to the same (now warm) daemon: everything
+    // resolves from the store, nothing reaches the queue.
+    let sweep2 = submit_fig58(&addr);
+    assert_eq!(wait_csv(&addr, sweep2), expected, "warm duplicate CSV diverged");
+    let warm = statsz(&addr);
+    assert_eq!(
+        counter(&warm, "queue", "leases_granted"),
+        cold_leases,
+        "duplicate sweep must not lease a single job"
+    );
+    assert!(counter(&warm, "store", "hits") > 0);
+    daemon.stop();
+    let _ = worker.join().expect("filler thread");
+
+    // Restart on the same store, with NO workers attached: the replayed
+    // journal alone must satisfy the sweep — any queued job would hang
+    // the poll loop, so finishing at all proves zero new simulations.
+    let daemon = daemon_on(&store, Duration::from_secs(60));
+    let addr = daemon.addr().to_string();
+    let restarted = statsz(&addr);
+    assert_eq!(
+        counter(&restarted, "store", "entries"),
+        cold_entries,
+        "restart must recover every journal frame"
+    );
+    let sweep3 = submit_fig58(&addr);
+    assert_eq!(wait_csv(&addr, sweep3), expected, "post-restart CSV diverged");
+    let final_stats = statsz(&addr);
+    assert_eq!(counter(&final_stats, "queue", "leases_granted"), 0);
+    assert_eq!(counter(&final_stats, "queue", "queued"), 0);
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(store.parent().unwrap());
+}
