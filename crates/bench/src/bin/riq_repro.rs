@@ -146,7 +146,7 @@ use riq_bench::{
     DaemonOptions, EngineOptions, Experiment, FigTable, RunSpec, QUICK_SCALE,
 };
 use riq_ckpt::Checkpoint;
-use riq_core::{Processor, ProfileConfig, SimConfig};
+use riq_core::{IssuePolicyKind, Processor, ProfileConfig, SimConfig};
 use riq_metrics::{HostCounter, HubMode, PerfBlock, SharedRegistry, SimCounter};
 use riq_trace::{parse, JsonlSink, NullSink, TraceSink};
 use std::fs::File;
@@ -156,8 +156,9 @@ use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|all> [--scale F] [--jobs N] [--csv] [--skip N] [--warmup M] [--no-ckpt-store]
-                riq-repro run <kernel|file.s> [--iq N] [--reuse] [--scale F] [--json PATH] [--trace PATH] [--epoch N] [--skip N] [--warmup M] [--sample K] [--ckpt PATH] [--profile] [--sample-period P]
+        "usage: riq-repro <table1|table2|fig5|fig6|fig7|fig8|fig9|nblt|strategy|bpred|transforms|policy-edp|all> [--scale F] [--jobs N] [--csv] [--skip N] [--warmup M] [--no-ckpt-store]
+                riq-repro sweep --experiment <fig5-8|fig9|nblt|strategy|bpred|transforms|policy-edp> [--scale F] [--jobs N] [--csv] [--skip N] [--warmup M] [--no-ckpt-store]
+                riq-repro run <kernel|file.s> [--iq N] [--reuse] [--policy oldest|load-delay] [--scale F] [--json PATH] [--trace PATH] [--epoch N] [--skip N] [--warmup M] [--sample K] [--ckpt PATH] [--profile] [--sample-period P]
                 riq-repro bench --date LABEL [--quick] [--scale F] [--jobs N] [--out DIR] [--sim-only] [--store DIR]
                 riq-repro bench --check PATH
                 riq-repro serve [--listen ADDR] [--store DIR] [--workers N] [--store-max-bytes N] [--lease-ttl-ms N] [--trace PATH]
@@ -269,13 +270,32 @@ fn main() -> ExitCode {
             }
         };
     }
+    // `sweep --experiment LABEL` is the explicit spelling of the bare
+    // experiment subcommands (it accepts exactly the engine-backed sweep
+    // labels, matching `submit`); the remaining flags are shared.
+    let mut cmd = cmd.clone();
+    let mut flag_args: Vec<String> = args[1..].to_vec();
+    if cmd == "sweep" {
+        let Some(pos) = flag_args.iter().position(|a| a == "--experiment") else {
+            return usage();
+        };
+        if pos + 1 >= flag_args.len() {
+            return usage();
+        }
+        cmd = flag_args.remove(pos + 1);
+        flag_args.remove(pos);
+        if figure_command(&cmd, 1.0).is_none() {
+            eprintln!("riq-repro: unknown experiment {cmd:?}");
+            return usage();
+        }
+    }
     let mut scale = 1.0f64;
     let mut jobs = 0usize; // 0 = one worker per available CPU
     let mut csv = false;
     let mut skip = 0u64;
     let mut warmup = 0u64;
     let mut no_store = false;
-    let mut it = args[1..].iter();
+    let mut it = flag_args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => match it.next().map(|v| v.parse::<f64>()) {
@@ -299,7 +319,7 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    match run(cmd, scale, jobs, csv, skip, warmup, no_store) {
+    match run(&cmd, scale, jobs, csv, skip, warmup, no_store) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("riq-repro: {e}");
@@ -313,6 +333,7 @@ struct RunArgs {
     program: String,
     iq: u32,
     reuse: bool,
+    policy: IssuePolicyKind,
     scale: f64,
     json: Option<String>,
     trace: Option<String>,
@@ -332,6 +353,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         program,
         iq: 64,
         reuse: false,
+        policy: IssuePolicyKind::Oldest,
         scale: 1.0,
         json: None,
         trace: None,
@@ -355,6 +377,17 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     .ok_or("run: --iq needs a positive integer")?;
             }
             "--reuse" => out.reuse = true,
+            "--policy" => {
+                out.policy = match value("--policy")?.as_str() {
+                    "oldest" => IssuePolicyKind::Oldest,
+                    "load-delay" => IssuePolicyKind::LoadDelay,
+                    other => {
+                        return Err(format!(
+                            "run: --policy {other:?} is not a policy (oldest, load-delay)"
+                        ));
+                    }
+                };
+            }
             "--scale" => {
                 out.scale = value("--scale")?
                     .parse()
@@ -468,7 +501,8 @@ fn obtain_checkpoint(
 fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_run_args(args)?;
     let program = load_program(&opts.program, opts.scale)?;
-    let cfg = SimConfig::baseline().with_iq_size(opts.iq).with_reuse(opts.reuse);
+    let cfg =
+        SimConfig::baseline().with_iq_size(opts.iq).with_reuse(opts.reuse).with_policy(opts.policy);
     let processor = Processor::new(cfg);
 
     // Any of --skip/--sample/--ckpt routes the run through a checkpoint
@@ -524,6 +558,7 @@ fn run_program(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         program: opts.program.clone(),
         iq: opts.iq,
         reuse: opts.reuse,
+        policy: opts.policy,
         scale: opts.scale,
         epoch: opts.epoch,
         checkpoint: checkpoint.as_ref().map(|(ckpt, _)| CheckpointProvenance {
@@ -1107,7 +1142,7 @@ fn run_submit(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if experiment_from_label(&label, scale).is_none() {
         return Err(format!(
             "submit: unknown experiment {label:?} (expected fig5-8, fig9, nblt, strategy, \
-             transforms, or bpred)"
+             transforms, bpred, or policy-edp)"
         )
         .into());
     }
@@ -1285,6 +1320,11 @@ fn figure_command(cmd: &str, scale: f64) -> Option<FigureCommand> {
             extract: None,
             header: "== Loop-transformation ablation: gated rate by code version ==",
         }),
+        "policy-edp" => Some(FigureCommand {
+            experiment: Experiment::PolicyEdp { scale },
+            extract: None,
+            header: "== Issue-policy x queue-size scorecard: IPC / energy / EDP / ED2P ==",
+        }),
         _ => None,
     }
 }
@@ -1296,6 +1336,7 @@ fn header_for(label: &str) -> &'static str {
         "strategy" => "== Buffering-strategy ablation (§2.2.1): gated rate ==",
         "bpred" => "== Direction-predictor ablation (bimod vs gshare vs static) ==",
         "transforms" => "== Loop-transformation ablation: gated rate by code version ==",
+        "policy-edp" => "== Issue-policy x queue-size scorecard: IPC / energy / EDP / ED2P ==",
         _ => "== experiment ==",
     }
 }

@@ -26,8 +26,11 @@
 //! ```
 
 use crate::engine::{run_jobs, EngineOptions, ExperimentError, JobSpec};
-use crate::harness::{compiled_suite, fig9_points, fig9_table, FigTable, Sweep, IQ_SIZES};
-use riq_core::{BufferingStrategy, SimConfig};
+use crate::harness::{
+    compiled_suite, fig9_points, fig9_table, FigTable, Sweep, IQ_SIZES, POLICY_IQ_SIZES,
+};
+use riq_core::{BufferingStrategy, IssuePolicyKind, SimConfig};
+use riq_power::{ClassEnergyProfile, EnergyClass};
 use std::sync::Arc;
 
 /// One experiment of the reproduced evaluation. `scale` multiplies
@@ -71,6 +74,15 @@ pub enum Experiment {
         /// Outer-trip-count scale factor.
         scale: f64,
     },
+    /// Issue-policy × queue-size energy-delay scorecard (ROADMAP item 5):
+    /// {baseline, reuse, load-delay, reuse+load-delay} at IQ
+    /// {16, 32, 64, 128, 256}, scored in IPC, class-weighted energy, EDP,
+    /// and ED²P. Rows are `metric/policy`-prefixed; use
+    /// [`FigTable::sub_table`] to recover one metric.
+    PolicyEdp {
+        /// Outer-trip-count scale factor.
+        scale: f64,
+    },
 }
 
 impl Experiment {
@@ -84,6 +96,7 @@ impl Experiment {
             Experiment::StrategyAblation { .. } => "strategy",
             Experiment::TransformAblation { .. } => "transforms",
             Experiment::BpredAblation { .. } => "bpred",
+            Experiment::PolicyEdp { .. } => "policy-edp",
         }
     }
 
@@ -97,6 +110,7 @@ impl Experiment {
             Experiment::StrategyAblation { scale },
             Experiment::BpredAblation { scale },
             Experiment::TransformAblation { scale },
+            Experiment::PolicyEdp { scale },
         ]
     }
 }
@@ -130,6 +144,7 @@ pub fn run_experiment(
         Experiment::StrategyAblation { scale } => strategy(scale, opts),
         Experiment::TransformAblation { scale } => transforms(scale, opts),
         Experiment::BpredAblation { scale } => bpred(scale, opts),
+        Experiment::PolicyEdp { scale } => policy_edp(scale, opts),
     }
 }
 
@@ -281,6 +296,94 @@ fn bpred(scale: f64, opts: &EngineOptions) -> Result<FigTable, ExperimentError> 
     Ok(t)
 }
 
+/// The issue-policy × queue-size scorecard. Each policy row sweeps
+/// [`POLICY_IQ_SIZES`]; per cell the suite's cycles, committed
+/// instructions, and energies are summed before forming the metric, so
+/// EDP/ED²P reflect the whole-suite run rather than an average of
+/// per-kernel products.
+fn policy_edp(scale: f64, opts: &EngineOptions) -> Result<FigTable, ExperimentError> {
+    const POLICIES: [(&str, bool, IssuePolicyKind); 4] = [
+        ("baseline", false, IssuePolicyKind::Oldest),
+        ("reuse", true, IssuePolicyKind::Oldest),
+        ("load-delay", false, IssuePolicyKind::LoadDelay),
+        ("reuse+load-delay", true, IssuePolicyKind::LoadDelay),
+    ];
+    let suite = compiled_suite(scale)?;
+    let mut jobs = Vec::new();
+    for (_, reuse, kind) in POLICIES {
+        for &iq in &POLICY_IQ_SIZES {
+            for (k, program) in &suite {
+                jobs.push(JobSpec::new(
+                    &k.name,
+                    program,
+                    SimConfig::baseline().with_iq_size(iq).with_reuse(reuse).with_policy(kind),
+                ));
+            }
+        }
+    }
+    let results = run_jobs(&jobs, opts)?;
+    let profile = ClassEnergyProfile::default();
+    // Suite-summed aggregates per (policy, queue-size) cell.
+    struct Cell {
+        cycles: f64,
+        committed: f64,
+        energy: f64,
+        class: [f64; 5],
+    }
+    let cells: Vec<Vec<Cell>> = results
+        .chunks_exact(POLICY_IQ_SIZES.len() * suite.len())
+        .map(|per_policy| {
+            per_policy
+                .chunks_exact(suite.len())
+                .map(|per_iq| {
+                    let mut cell =
+                        Cell { cycles: 0.0, committed: 0.0, energy: 0.0, class: [0.0; 5] };
+                    for r in per_iq {
+                        cell.cycles += r.stats.cycles as f64;
+                        cell.committed += r.stats.committed as f64;
+                        cell.energy += r.power.weighted_total_energy(&profile);
+                        for (slot, &c) in EnergyClass::ALL.iter().enumerate() {
+                            cell.class[slot] += profile.weight(c) * r.power.class_energy(c);
+                        }
+                    }
+                    cell
+                })
+                .collect()
+        })
+        .collect();
+    let mut t = FigTable::new(
+        "metric/policy",
+        POLICY_IQ_SIZES.iter().map(|iq| format!("IQ {iq}")).collect(),
+    )
+    .with_raw_values();
+    type Metric = fn(&Cell) -> f64;
+    let metrics: [(&str, Metric); 4] = [
+        ("ipc", |c| if c.cycles == 0.0 { 0.0 } else { c.committed / c.cycles }),
+        ("energy", |c| c.energy),
+        ("edp", |c| c.energy * c.cycles),
+        ("ed2p", |c| c.energy * c.cycles * c.cycles),
+    ];
+    for (metric, f) in metrics {
+        for ((name, _, _), per_policy) in POLICIES.iter().zip(&cells) {
+            t.push_row(format!("{metric}/{name}"), per_policy.iter().map(f).collect());
+        }
+    }
+    // Class-share rows: the fraction of weighted energy each instruction
+    // class carries (the remainder to 1.0 is the shared structures).
+    for (slot, class) in EnergyClass::ALL.iter().enumerate() {
+        for ((name, _, _), per_policy) in POLICIES.iter().zip(&cells) {
+            t.push_row(
+                format!("share-{class}/{name}"),
+                per_policy
+                    .iter()
+                    .map(|c| if c.energy == 0.0 { 0.0 } else { c.class[slot] / c.energy })
+                    .collect(),
+            );
+        }
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,8 +391,31 @@ mod tests {
     #[test]
     fn labels_cover_all_experiments() {
         let all = Experiment::all(0.1);
-        assert_eq!(all.len(), 6);
+        assert_eq!(all.len(), 7);
         let labels: Vec<&str> = all.iter().map(Experiment::label).collect();
-        assert_eq!(labels, ["fig5-8", "fig9", "nblt", "strategy", "bpred", "transforms"]);
+        assert_eq!(
+            labels,
+            ["fig5-8", "fig9", "nblt", "strategy", "bpred", "transforms", "policy-edp"]
+        );
+    }
+
+    #[test]
+    fn policy_edp_rows_cover_every_metric_and_policy() {
+        let opts = EngineOptions::default();
+        let t = run_experiment(&Experiment::PolicyEdp { scale: 0.02 }, &opts)
+            .expect("policy-edp runs at tiny scale");
+        let csv = t.to_csv();
+        let header = csv.lines().next().expect("header line");
+        assert_eq!(header, "metric/policy,IQ 16,IQ 32,IQ 64,IQ 128,IQ 256");
+        // 4 metric groups + 5 class-share groups, each × 4 policies.
+        assert_eq!(csv.lines().count(), 1 + 9 * 4);
+        for metric in ["ipc", "energy", "edp", "ed2p", "share-load"] {
+            for policy in ["baseline", "reuse", "load-delay", "reuse+load-delay"] {
+                let row = format!("{metric}/{policy},");
+                assert!(csv.lines().any(|l| l.starts_with(&row)), "missing row {row}");
+            }
+        }
+        let ipc = t.sub_table("ipc", "policy");
+        assert_eq!(ipc.to_csv().lines().count(), 5, "4 policies under the ipc prefix");
     }
 }

@@ -22,6 +22,11 @@ use std::sync::Arc;
 /// The issue-queue sizes swept by the paper's evaluation (§3).
 pub const IQ_SIZES: [u32; 4] = [32, 64, 128, 256];
 
+/// The issue-queue sizes swept by the policy × EDP scorecard
+/// ([`Experiment::PolicyEdp`](crate::Experiment)): the paper's four sizes
+/// plus a 16-entry point where scheduling pressure is highest.
+pub const POLICY_IQ_SIZES: [u32; 5] = [16, 32, 64, 128, 256];
+
 /// A baseline/reuse pair at one configuration point.
 ///
 /// The two runs are shared with the engine's result cache, so holding a
@@ -340,19 +345,31 @@ pub(crate) fn compiled_suite(scale: f64) -> Result<Vec<(Kernel, Arc<Program>)>, 
 }
 
 /// A generic named-rows × named-columns table of fractions, rendered as
-/// percentages.
+/// percentages — or, for tables that mix units (the policy × EDP
+/// scorecard carries raw IPC, joules, and joule-cycles), as raw values
+/// ([`FigTable::with_raw_values`]). CSV output is unit-agnostic either
+/// way.
 #[derive(Debug, Clone)]
 pub struct FigTable {
     row_label: String,
     columns: Vec<String>,
     rows: Vec<(String, Vec<f64>)>,
+    percent: bool,
 }
 
 impl FigTable {
     /// Creates an empty table.
     #[must_use]
     pub fn new(row_label: impl Into<String>, columns: Vec<String>) -> FigTable {
-        FigTable { row_label: row_label.into(), columns, rows: Vec::new() }
+        FigTable { row_label: row_label.into(), columns, rows: Vec::new(), percent: true }
+    }
+
+    /// Switches the human rendering from percentages to raw values
+    /// (`1.956`, `7.803e7`); [`FigTable::to_csv`] is unaffected.
+    #[must_use]
+    pub fn with_raw_values(mut self) -> FigTable {
+        self.percent = false;
+        self
     }
 
     /// Appends a row.
@@ -414,6 +431,7 @@ impl FigTable {
     #[must_use]
     pub fn sub_table(&self, prefix: &str, row_label: impl Into<String>) -> FigTable {
         let mut out = FigTable::new(row_label, self.columns.clone());
+        out.percent = self.percent;
         let prefix = format!("{prefix}/");
         for (name, vals) in &self.rows {
             if let Some(stripped) = name.strip_prefix(&prefix) {
@@ -478,8 +496,14 @@ impl fmt::Display for FigTable {
         writeln!(f)?;
         for (name, vals) in &self.rows {
             write!(f, "{name:w0$}")?;
-            for v in vals {
-                write!(f, "{:>13.1}%", v * 100.0)?;
+            for &v in vals {
+                if self.percent {
+                    write!(f, "{:>13.1}%", v * 100.0)?;
+                } else if v != 0.0 && (v.abs() >= 1e6 || v.abs() < 1e-3) {
+                    write!(f, "{v:>14.3e}")?;
+                } else {
+                    write!(f, "{v:>14.4}")?;
+                }
             }
             writeln!(f)?;
         }

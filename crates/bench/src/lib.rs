@@ -66,6 +66,7 @@ pub use engine::{
 pub use experiment::{run_experiment, Experiment};
 pub use harness::{
     fig9_points, fig9_table, run_pair, Fig9Point, FigTable, PairResult, Sweep, IQ_SIZES,
+    POLICY_IQ_SIZES,
 };
 pub use report::{report_json, CheckpointProvenance, RunSpec, REPORT_SCHEMA_VERSION};
 pub use riq_ckpt::CheckpointStore;

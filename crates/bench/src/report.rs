@@ -6,7 +6,7 @@
 //! The document is versioned via `schema_version` so downstream tooling
 //! can detect layout changes.
 
-use riq_core::RunResult;
+use riq_core::{IssuePolicyKind, RunResult};
 use riq_metrics::PerfBlock;
 use riq_trace::{JsonValue, ToJson};
 
@@ -18,8 +18,10 @@ use riq_trace::{JsonValue, ToJson};
 /// added the `perf` block (sim-speed accounting: instructions/sec,
 /// cycles/sec, MIPS, sim KHz, peak RSS, optional stage shares) — the
 /// top-level `wall_clock_seconds` is kept for compatibility and is now
-/// *sourced from the perf block's clock*, so the two can never disagree.
-pub const REPORT_SCHEMA_VERSION: u64 = 4;
+/// *sourced from the perf block's clock*, so the two can never disagree;
+/// 5 = added `run.policy` (the issue-scheduling policy label, `"oldest"`
+/// unless the run selected another [`riq_core::IssuePolicyKind`]).
+pub const REPORT_SCHEMA_VERSION: u64 = 5;
 
 /// Provenance of a run that resumed from a checkpoint instead of
 /// instruction zero.
@@ -57,6 +59,8 @@ pub struct RunSpec {
     pub iq: u32,
     /// Whether the reuse mechanism was enabled.
     pub reuse: bool,
+    /// Issue-scheduling policy the queue selected with.
+    pub policy: IssuePolicyKind,
     /// Outer-trip-count scale factor applied to suite kernels.
     pub scale: f64,
     /// Epoch sampling period in cycles, if sampling was on.
@@ -72,6 +76,7 @@ impl ToJson for RunSpec {
             ("program", self.program.to_json()),
             ("iq", self.iq.to_json()),
             ("reuse", self.reuse.to_json()),
+            ("policy", self.policy.as_str().to_json()),
             ("scale", self.scale.to_json()),
             ("epoch", self.epoch.to_json()),
             ("checkpoint", self.checkpoint.to_json()),
@@ -117,6 +122,7 @@ mod tests {
             program: "countdown".into(),
             iq: 64,
             reuse: true,
+            policy: IssuePolicyKind::Oldest,
             scale: 1.0,
             epoch: None,
             checkpoint: None,
@@ -174,6 +180,7 @@ mod tests {
             program: "x".into(),
             iq: 64,
             reuse: false,
+            policy: IssuePolicyKind::Oldest,
             scale: 1.0,
             epoch: None,
             checkpoint: None,
@@ -190,6 +197,7 @@ mod tests {
             program: "countdown".into(),
             iq: 64,
             reuse: true,
+            policy: IssuePolicyKind::Oldest,
             scale: 1.0,
             epoch: None,
             checkpoint: Some(CheckpointProvenance {
@@ -216,6 +224,7 @@ mod tests {
             program: "x".into(),
             iq: 64,
             reuse: true,
+            policy: IssuePolicyKind::LoadDelay,
             scale: 0.5,
             epoch: Some(100),
             checkpoint: None,

@@ -304,6 +304,7 @@ pub fn experiment_from_label(label: &str, scale: f64) -> Option<Experiment> {
         "strategy" => Experiment::StrategyAblation { scale },
         "transforms" => Experiment::TransformAblation { scale },
         "bpred" => Experiment::BpredAblation { scale },
+        "policy-edp" => Experiment::PolicyEdp { scale },
         _ => return None,
     })
 }

@@ -1,5 +1,6 @@
 //! Simulator configuration (the paper's Table 1, parameterized).
 
+use crate::policy::IssuePolicyKind;
 use riq_bpred::PredictorConfig;
 use riq_mem::HierarchyConfig;
 use riq_power::PowerConfig;
@@ -111,6 +112,8 @@ pub struct SimConfig {
     pub bpred: PredictorConfig,
     /// Reuse issue queue.
     pub reuse: ReuseConfig,
+    /// Issue-stage scheduling policy.
+    pub policy: IssuePolicyKind,
     /// Hard cycle budget; the run fails if `halt` has not committed by then.
     pub max_cycles: u64,
 }
@@ -141,6 +144,7 @@ impl SimConfig {
             mem: HierarchyConfig::table1(),
             bpred: PredictorConfig::table1(),
             reuse: ReuseConfig::default(),
+            policy: IssuePolicyKind::Oldest,
             max_cycles: 200_000_000,
         }
     }
@@ -173,6 +177,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_strategy(mut self, strategy: BufferingStrategy) -> SimConfig {
         self.reuse.strategy = strategy;
+        self
+    }
+
+    /// Sets the issue-stage scheduling policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: IssuePolicyKind) -> SimConfig {
+        self.policy = policy;
         self
     }
 

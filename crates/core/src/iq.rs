@@ -50,6 +50,10 @@ pub struct IqEntry {
     pub classification: bool,
     /// LRL record (present iff `classification`).
     pub lrl: Option<LrlRecord>,
+    /// Load-delay tracker tag: the predicted cycle this entry's slowest
+    /// producing load completes. Zero when no tracked load feeds the entry
+    /// (or when the active policy does not track load delays).
+    pub pred_ready: u64,
 }
 
 impl IqEntry {
@@ -132,6 +136,7 @@ fn remove_bit(words: &mut [u64], idx: usize) {
 ///     issued: false,
 ///     classification: false,
 ///     lrl: None,
+///     pred_ready: 0,
 /// }));
 /// assert_eq!(iq.len(), 1);
 /// assert_eq!(iq.free_entries(), 3);
@@ -318,6 +323,7 @@ impl IssueQueue {
         new_rob: RobId,
         new_seq: u64,
         waits: [Option<RobId>; 2],
+        pred_ready: u64,
     ) {
         let e = &mut self.entries[idx];
         assert!(e.classification, "reusing a non-buffered entry");
@@ -326,9 +332,25 @@ impl IssueQueue {
         e.seq = new_seq;
         e.waits = waits;
         e.issued = false;
+        e.pred_ready = pred_ready;
         set_bit(&mut self.ready_mask, idx, self.entries[idx].ready());
         self.activity.partial_updates += 1;
         self.activity.lrl_accesses += 1;
+    }
+
+    /// Broadcasts a producing load's predicted completion cycle into every
+    /// entry still waiting on it — the load-delay tracker's tag write.
+    /// Tags only grow (`max`), so an entry fed by two loads carries its
+    /// slowest producer's prediction. Returns how many entries were tagged.
+    pub fn tag_pred_ready(&mut self, producer: RobId, completes_at: u64) -> usize {
+        let mut tagged = 0;
+        for e in &mut self.entries {
+            if e.waits.contains(&Some(producer)) && e.pred_ready < completes_at {
+                e.pred_ready = completes_at;
+                tagged += 1;
+            }
+        }
+        tagged
     }
 
     /// Clears all classification bits and removes already-issued buffered
@@ -392,6 +414,7 @@ mod tests {
             waits: [None, None],
             issued: false,
             classification,
+            pred_ready: 0,
             lrl: classification.then_some(LrlRecord {
                 srcs: [None, None],
                 dest: None,
@@ -459,7 +482,7 @@ mod tests {
         let mut iq = IssueQueue::new(4);
         iq.insert(mk(0, true));
         iq.issue_at(0);
-        iq.reuse_at(0, 42, 100, [Some(41), None]);
+        iq.reuse_at(0, 42, 100, [Some(41), None], 0);
         let e = &iq.entries()[0];
         assert!(!e.issued);
         assert_eq!(e.rob, 42);
@@ -476,7 +499,7 @@ mod tests {
     fn reuse_of_unclassified_panics() {
         let mut iq = IssueQueue::new(4);
         iq.insert(mk(0, false));
-        iq.reuse_at(0, 1, 1, [None, None]);
+        iq.reuse_at(0, 1, 1, [None, None], 0);
     }
 
     #[test]
@@ -597,7 +620,7 @@ mod tests {
         let mut iq = IssueQueue::new(4);
         iq.insert(mk(0, true));
         iq.issue_at(0);
-        iq.reuse_at(0, 42, 100, [Some(41), None]);
+        iq.reuse_at(0, 42, 100, [Some(41), None], 0);
         assert!(iq.ready_positions().is_empty(), "reused entry still waits on a producer");
         iq.wakeup(41);
         assert_eq!(iq.ready_positions(), vec![0]);

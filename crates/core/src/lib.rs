@@ -63,6 +63,7 @@ mod fu;
 mod iq;
 mod lsq;
 mod pipeline;
+mod policy;
 mod rename;
 mod reuse;
 mod rob;
@@ -74,6 +75,7 @@ pub use fu::{exec_latency, fu_class, FuClass, FuPool};
 pub use iq::{IqActivity, IqEntry, IssueQueue, LrlRecord};
 pub use lsq::{Lsq, LsqEntry, StoreConflict};
 pub use pipeline::{Processor, SimError};
+pub use policy::{Baseline, IssuePolicy, IssuePolicyKind, LoadDelay};
 pub use rename::RenameMap;
 pub use reuse::{Directive, IqState, Nblt, ReuseController};
 pub use riq_metrics::{MetricsSnapshot, ProfileConfig};

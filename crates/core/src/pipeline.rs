@@ -14,6 +14,7 @@ use crate::config::SimConfig;
 use crate::fu::{exec_latency, fu_class, FuClass, FuPool};
 use crate::iq::{IqEntry, IssueQueue, LrlRecord};
 use crate::lsq::{Lsq, StoreConflict};
+use crate::policy::IssuePolicy;
 use crate::rename::RenameMap;
 use crate::reuse::{IqState, ReuseController};
 use crate::rob::{RenameRef, Rob, RobEntry, RobId};
@@ -29,7 +30,7 @@ use riq_metrics::{MetricsSnapshot, ProfileConfig, Registry, SimCounter, Stage};
 use riq_power::{Activity, Component, PowerModel};
 use riq_trace::{CacheLevel, EventKind, GateEndReason, NullSink, TraceEvent, TraceSink};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
@@ -342,6 +343,11 @@ struct Core<'a> {
     iq: IssueQueue,
     lsq: Lsq,
     pool: FuPool,
+    policy: &'static dyn IssuePolicy,
+    /// Load-delay tracker: in-flight loads' predicted completion cycles,
+    /// keyed by ROB slot. Populated only when the policy tracks load
+    /// delays; always empty under the default policy.
+    load_ready_at: HashMap<RobId, u64>,
     hier: MemoryHierarchy,
     bp: BranchPredictor,
     ctl: ReuseController,
@@ -404,6 +410,8 @@ impl<'a> Core<'a> {
             iq: IssueQueue::new(cfg.iq_entries),
             lsq: Lsq::new(cfg.lsq_entries),
             pool: FuPool::new(&cfg.fu),
+            policy: cfg.policy.policy(),
+            load_ready_at: HashMap::new(),
             prev_hier: HierarchyStats::default(),
             hier,
             bp: BranchPredictor::new(cfg.bpred),
@@ -703,6 +711,11 @@ impl<'a> Core<'a> {
             let has_dest = e.dest.is_some();
             let is_mem = e.mem.is_some();
             let mispredicted = e.mispredicted;
+            if self.policy.tracks_load_delay() {
+                // A completed load's value is in flight on the result bus;
+                // its consumers no longer wait on a predicted cycle.
+                self.load_ready_at.remove(&id);
+            }
             self.act.add(Component::ResultBus, 1);
             self.act.add(Component::Rob, 1);
             if is_mem {
@@ -745,6 +758,9 @@ impl<'a> Core<'a> {
                 self.map.restore(d, old);
             }
             self.iq.remove_by_rob(yid, ye.seq);
+            if self.policy.tracks_load_delay() {
+                self.load_ready_at.remove(&yid);
+            }
             if ye.mem.is_some() {
                 self.lsq.remove(yid, ye.seq);
             }
@@ -806,9 +822,13 @@ impl<'a> Core<'a> {
         // The ready scan walks the packed ready bitmap: a word read per 64
         // live entries plus one entry visit per ready hit, rather than a
         // visit per live entry.
-        let ready = self.iq.ready_positions();
+        let mut ready = self.iq.ready_positions();
         self.metrics.add(SimCounter::IqScanVisits, (self.iq.scan_words() + ready.len()) as u64);
         self.metrics.add(SimCounter::AllocEvents, 1);
+        // The policy decides the order selection considers the ready set;
+        // `Baseline` keeps the oldest-first order `ready_positions`
+        // produced, byte-identical to the pre-policy scan.
+        self.policy.order(&self.iq, self.now, &mut ready);
         let mut selected: Vec<usize> = Vec::new();
         for pos in ready {
             if selected.len() as u32 >= self.cfg.issue_width {
@@ -824,6 +844,16 @@ impl<'a> Core<'a> {
             }
             if !self.pool.try_acquire(class) {
                 continue;
+            }
+            if self.tracing && self.policy.tracks_load_delay() {
+                self.sink.record(TraceEvent::new(
+                    self.now,
+                    EventKind::PolicySelected {
+                        policy: self.policy.kind().as_str().to_string(),
+                        seq: e.seq,
+                        slack: e.pred_ready.saturating_sub(self.now),
+                    },
+                ));
             }
             selected.push(pos);
         }
@@ -877,6 +907,21 @@ impl<'a> Core<'a> {
                         lat += dlat;
                     }
                 }
+            }
+        }
+        if self.policy.tracks_load_delay() && inst.class() == InstClass::Load {
+            // Load-delay tracker: the hierarchy's actual hit/miss latency
+            // fixes the cycle this load's value arrives. Record it for
+            // entries dispatched later and broadcast it into consumers
+            // already waiting in the queue.
+            let completes_at = self.now + lat;
+            self.load_ready_at.insert(rob_id, completes_at);
+            self.iq.tag_pred_ready(rob_id, completes_at);
+            if self.tracing {
+                self.sink.record(TraceEvent::new(
+                    self.now,
+                    EventKind::SlackComputed { seq, pred_ready: completes_at, slack: lat },
+                ));
             }
         }
         self.events.push(Reverse((self.now + lat, seq, rob_id)));
@@ -1013,6 +1058,7 @@ impl<'a> Core<'a> {
                 issued: false,
                 classification: directive.buffer,
                 lrl,
+                pred_ready: self.pred_ready_for(&waits),
             });
             debug_assert!(inserted, "dispatch checked IQ space");
         }
@@ -1020,6 +1066,16 @@ impl<'a> Core<'a> {
             self.enter_code_reuse();
         }
         Ok(directive.promote)
+    }
+
+    /// Load-delay tag for a queue entry entering with `waits`: the latest
+    /// predicted completion cycle over its in-flight producing loads, or 0
+    /// for untracked producers (and always 0 under non-tracking policies).
+    fn pred_ready_for(&self, waits: &[Option<RobId>; 2]) -> u64 {
+        if !self.policy.tracks_load_delay() {
+            return 0;
+        }
+        waits.iter().flatten().filter_map(|w| self.load_ready_at.get(w).copied()).max().unwrap_or(0)
     }
 
     fn rename(
@@ -1136,7 +1192,8 @@ impl<'a> Core<'a> {
             }
             // Only register identifiers and the ROB pointer are rewritten
             // in the queue entry — the paper's partial update.
-            self.iq.reuse_at(pos, id, seq, waits);
+            let pred_ready = self.pred_ready_for(&waits);
+            self.iq.reuse_at(pos, id, seq, waits, pred_ready);
             self.act.add(Component::RenameTable, 1);
             self.act.add(Component::Rob, 1);
             self.act.add(Component::ReuseCtl, 1);

@@ -1,0 +1,190 @@
+//! Pluggable issue-stage scheduling policies.
+//!
+//! The select stage asks an [`IssuePolicy`] in which order the ready
+//! issue-queue entries should be considered this cycle. The queue hands the
+//! policy its ready positions already in oldest-first (smallest sequence
+//! number) order — the order the pre-policy scan issued in — so the
+//! [`Baseline`] policy is a no-op and stays cycle-for-cycle identical to
+//! the original oldest-first ready-bitmap scan.
+//!
+//! [`LoadDelay`] implements a real-time load-delay tracker in the spirit of
+//! Diavastos & Carlson (arXiv 2109.03112): when a load issues, the memory
+//! hierarchy's actual hit/miss latency fixes the cycle its value arrives,
+//! and that cycle is broadcast into the waiting consumers' `pred_ready`
+//! tags. Selection then orders ready entries by *expected slack* — the
+//! predicted operand-ready cycle minus the current cycle — shortest first,
+//! breaking ties oldest-first. Entries never fed by a tracked load carry a
+//! tag of zero and therefore sort ahead of load-fed entries, which models
+//! the intuition that a chain already stalled behind a long miss should
+//! not block short-latency work from draining the queue.
+//!
+//! Starvation freedom: a ready entry's tag is fixed once its producers have
+//! issued, and tags assigned later in the run are strictly larger (they are
+//! `now + latency` for a growing `now`), so an entry can only be bypassed
+//! by a bounded population of smaller-tagged entries — the finite ROB
+//! drains them and the entry issues.
+
+use crate::iq::IssueQueue;
+
+/// Which scheduling policy the issue stage runs. Carried by
+/// [`SimConfig::policy`](crate::SimConfig) and mapped to a policy object
+/// with [`IssuePolicyKind::policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IssuePolicyKind {
+    /// Oldest-ready-first — the conventional scan every earlier experiment
+    /// ran. This is the default and is counter-identical to the
+    /// pre-policy issue stage.
+    #[default]
+    Oldest,
+    /// Shortest-expected-slack first, driven by the load-delay tracker.
+    LoadDelay,
+}
+
+impl IssuePolicyKind {
+    /// Stable string tag (used by trace events and experiment labels).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IssuePolicyKind::Oldest => "oldest",
+            IssuePolicyKind::LoadDelay => "load-delay",
+        }
+    }
+
+    /// The policy object implementing this kind.
+    #[must_use]
+    pub fn policy(self) -> &'static dyn IssuePolicy {
+        match self {
+            IssuePolicyKind::Oldest => &Baseline,
+            IssuePolicyKind::LoadDelay => &LoadDelay,
+        }
+    }
+}
+
+/// A scheduling policy for the issue stage's select logic.
+///
+/// Implementations must be stateless: all per-run state lives in the queue
+/// entries (`pred_ready` tags) and the core's load-delay table, so a policy
+/// object can be a shared `&'static` and runs stay deterministic.
+pub trait IssuePolicy: Sync {
+    /// Which kind this policy implements.
+    fn kind(&self) -> IssuePolicyKind;
+
+    /// Reorders `ready` — positions of ready, not-yet-issued entries,
+    /// arriving oldest-first — into the order selection should consider
+    /// them. The caller still applies structural constraints (function
+    /// units, store conflicts, issue width) in this order.
+    fn order(&self, iq: &IssueQueue, now: u64, ready: &mut [usize]);
+
+    /// Whether the core must maintain the load-delay tracker (tag
+    /// consumers with producing-load completion cycles). `false` keeps the
+    /// default pipeline free of any tracker overhead.
+    fn tracks_load_delay(&self) -> bool {
+        false
+    }
+}
+
+/// The conventional oldest-ready-first policy (the pre-refactor scan).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Baseline;
+
+impl IssuePolicy for Baseline {
+    fn kind(&self) -> IssuePolicyKind {
+        IssuePolicyKind::Oldest
+    }
+
+    fn order(&self, _iq: &IssueQueue, _now: u64, _ready: &mut [usize]) {
+        // `ready` already arrives oldest-first — keep it byte-identical to
+        // the pre-policy scan.
+    }
+}
+
+/// Shortest-expected-slack-first scheduling on the load-delay tracker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadDelay;
+
+impl IssuePolicy for LoadDelay {
+    fn kind(&self) -> IssuePolicyKind {
+        IssuePolicyKind::LoadDelay
+    }
+
+    fn order(&self, iq: &IssueQueue, _now: u64, ready: &mut [usize]) {
+        // Slack = pred_ready.saturating_sub(now); `now` is the same for
+        // every candidate, so ordering by the tag orders by slack. Ties
+        // (notably the untagged tag-0 population) stay oldest-first.
+        let entries = iq.entries();
+        ready.sort_by_key(|&i| (entries[i].pred_ready, entries[i].seq));
+    }
+
+    fn tracks_load_delay(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iq::IqEntry;
+    use riq_isa::Inst;
+
+    fn entry(seq: u64, pred_ready: u64) -> IqEntry {
+        IqEntry {
+            rob: seq as usize,
+            seq,
+            pc: 0x40_0000 + seq as u32 * 4,
+            inst: Inst::Nop,
+            waits: [None, None],
+            issued: false,
+            classification: false,
+            lrl: None,
+            pred_ready,
+        }
+    }
+
+    #[test]
+    fn kinds_round_trip_to_policy_objects() {
+        assert_eq!(IssuePolicyKind::default(), IssuePolicyKind::Oldest);
+        assert_eq!(IssuePolicyKind::Oldest.policy().kind(), IssuePolicyKind::Oldest);
+        assert_eq!(IssuePolicyKind::LoadDelay.policy().kind(), IssuePolicyKind::LoadDelay);
+        assert!(!IssuePolicyKind::Oldest.policy().tracks_load_delay());
+        assert!(IssuePolicyKind::LoadDelay.policy().tracks_load_delay());
+        assert_eq!(IssuePolicyKind::Oldest.as_str(), "oldest");
+        assert_eq!(IssuePolicyKind::LoadDelay.as_str(), "load-delay");
+    }
+
+    #[test]
+    fn baseline_preserves_oldest_first_order() {
+        let mut iq = IssueQueue::new(8);
+        for (seq, tag) in [(5u64, 90u64), (2, 10), (9, 0)] {
+            assert!(iq.insert(entry(seq, tag)));
+        }
+        let mut ready = iq.ready_positions();
+        let before = ready.clone();
+        Baseline.order(&iq, 100, &mut ready);
+        assert_eq!(ready, before, "Baseline must not reorder");
+    }
+
+    #[test]
+    fn load_delay_orders_by_tag_then_age() {
+        let mut iq = IssueQueue::new(8);
+        // seqs 5, 2, 9 at positions 0, 1, 2; tags 90, 10, 0.
+        for (seq, tag) in [(5u64, 90u64), (2, 10), (9, 0)] {
+            assert!(iq.insert(entry(seq, tag)));
+        }
+        let mut ready = iq.ready_positions();
+        LoadDelay.order(&iq, 100, &mut ready);
+        let seqs: Vec<u64> = ready.iter().map(|&i| iq.entries()[i].seq).collect();
+        assert_eq!(seqs, vec![9, 2, 5], "smallest tag first, regardless of age");
+    }
+
+    #[test]
+    fn load_delay_breaks_tag_ties_oldest_first() {
+        let mut iq = IssueQueue::new(8);
+        for seq in [7u64, 3, 11] {
+            assert!(iq.insert(entry(seq, 40)));
+        }
+        let mut ready = iq.ready_positions();
+        LoadDelay.order(&iq, 0, &mut ready);
+        let seqs: Vec<u64> = ready.iter().map(|&i| iq.entries()[i].seq).collect();
+        assert_eq!(seqs, vec![3, 7, 11]);
+    }
+}

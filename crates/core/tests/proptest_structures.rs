@@ -103,6 +103,7 @@ proptest! {
                 issued: false,
                 classification: *class,
                 lrl: None,
+                pred_ready: 0,
             };
             if iq.insert(e) {
                 inserted.push((seq as u64, *class));
@@ -143,6 +144,7 @@ proptest! {
                 issued: false,
                 classification: false,
                 lrl: None,
+                pred_ready: 0,
             });
         }
         for &p in &broadcast {

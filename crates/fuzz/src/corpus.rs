@@ -45,6 +45,7 @@ fn point_json(p: &MatrixPoint) -> JsonValue {
         ("name", JsonValue::Str(p.name.clone())),
         ("iq_entries", JsonValue::UInt(u64::from(p.iq))),
         ("reuse", JsonValue::Bool(p.reuse)),
+        ("policy", JsonValue::Str(p.policy.as_str().to_string())),
         ("warmup", JsonValue::UInt(p.warmup)),
     ];
     if let Some(permille) = p.skip_permille {

@@ -21,7 +21,7 @@
 
 use crate::gen::EMU_STEP_LIMIT;
 use riq_asm::Program;
-use riq_core::{Processor, SimConfig};
+use riq_core::{IssuePolicyKind, Processor, SimConfig};
 use riq_emu::Machine;
 use riq_power::Component;
 use riq_trace::{EventKind, VecSink};
@@ -35,6 +35,8 @@ pub struct MatrixPoint {
     pub iq: u32,
     /// Whether the reuse-capable issue queue is enabled.
     pub reuse: bool,
+    /// Issue-stage scheduling policy for this leg.
+    pub policy: IssuePolicyKind,
     /// `Some(p)`: checkpoint-resume leg skipping `retired * p / 1000`
     /// instructions (at least 1, at most `retired - 1`) before resuming.
     /// Expressed as a fraction so the same matrix point stays meaningful
@@ -53,7 +55,10 @@ impl MatrixPoint {
     /// retired instruction is far above any legitimate CPI of this core.
     #[must_use]
     pub fn config_for(&self, retired: u64) -> SimConfig {
-        let mut cfg = SimConfig::baseline().with_iq_size(self.iq).with_reuse(self.reuse);
+        let mut cfg = SimConfig::baseline()
+            .with_iq_size(self.iq)
+            .with_reuse(self.reuse)
+            .with_policy(self.policy);
         cfg.max_cycles = retired.saturating_mul(64) + 100_000;
         cfg
     }
@@ -79,6 +84,7 @@ pub fn default_matrix() -> Vec<MatrixPoint> {
         name: name.to_string(),
         iq,
         reuse,
+        policy: IssuePolicyKind::Oldest,
         skip_permille: None,
         warmup: 0,
     };
@@ -86,8 +92,13 @@ pub fn default_matrix() -> Vec<MatrixPoint> {
         name: name.to_string(),
         iq,
         reuse,
+        policy: IssuePolicyKind::Oldest,
         skip_permille: Some(permille),
         warmup: 64,
+    };
+    let load_delay = |name: &str, iq: u32, reuse: bool| MatrixPoint {
+        policy: IssuePolicyKind::LoadDelay,
+        ..full(name, iq, reuse)
     };
     vec![
         full("baseline", 64, false),
@@ -95,6 +106,8 @@ pub fn default_matrix() -> Vec<MatrixPoint> {
         full("reuse-iq32", 32, true),
         full("reuse-iq64", 64, true),
         full("reuse-iq256", 256, true),
+        load_delay("load-delay-iq64", 64, false),
+        load_delay("reuse-load-delay-iq64", 64, true),
         ckpt("baseline-ckpt@500", 64, false, 500),
         ckpt("reuse-iq32-ckpt@250", 32, true, 250),
         ckpt("reuse-iq64-ckpt@750", 64, true, 750),
@@ -359,6 +372,7 @@ pub fn check_program(program: &Program, matrix: &[MatrixPoint]) -> CheckReport {
         name: "determinism(reuse-iq64)".to_string(),
         iq: 64,
         reuse: true,
+        policy: IssuePolicyKind::Oldest,
         skip_permille: None,
         warmup: 0,
     };
@@ -443,6 +457,7 @@ loop:
             name: "x".into(),
             iq: 64,
             reuse: true,
+            policy: IssuePolicyKind::Oldest,
             skip_permille: Some(500),
             warmup: 0,
         };

@@ -44,6 +44,7 @@ mod model;
 
 pub use energy::{cache_access_energy, cam_search_energy, ram_access_energy, ArrayGeometry};
 pub use model::{
-    Activity, Component, ComponentGroup, PowerConfig, PowerModel, PowerReport, CLOCK_FRACTION,
-    CLOCK_FRONT_END_SHARE, GATED_FRACTION, IDLE_FRACTION, NUM_COMPONENTS,
+    Activity, ClassEnergyProfile, Component, ComponentGroup, EnergyClass, PowerConfig, PowerModel,
+    PowerReport, CLOCK_FRACTION, CLOCK_FRONT_END_SHARE, GATED_FRACTION, IDLE_FRACTION,
+    NUM_COMPONENTS,
 };

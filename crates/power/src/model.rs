@@ -134,6 +134,23 @@ impl Component {
             _ => ComponentGroup::Other,
         }
     }
+
+    /// The instruction class whose execution dominates this component's
+    /// activity, or `None` for structures shared by every instruction
+    /// (fetch, rename, queues, clock, ...). The partition lets
+    /// [`ClassEnergyProfile`] reweight per-class energy without
+    /// double-counting: `Σ class_energy + shared_energy == total_energy`.
+    #[must_use]
+    pub fn energy_class(self) -> Option<EnergyClass> {
+        match self {
+            Component::IntAlu | Component::IntMult => Some(EnergyClass::Int),
+            Component::FpAlu | Component::FpMult => Some(EnergyClass::Fp),
+            Component::Dcache | Component::Dtlb => Some(EnergyClass::Load),
+            Component::Lsq => Some(EnergyClass::Store),
+            Component::BpredDir | Component::Btb | Component::Ras => Some(EnergyClass::Branch),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Component {
@@ -170,6 +187,92 @@ impl ComponentGroup {
         ComponentGroup::Clock,
         ComponentGroup::Other,
     ];
+}
+
+/// Instruction classes the scaled model attributes class-specific energy
+/// to (the profiled low-energy-ISA decomposition: arXiv 2103.08910).
+/// Components serving every class — fetch, rename, queues, clock — stay
+/// outside the partition as *shared* energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnergyClass {
+    /// Integer ALU / multiply execution.
+    Int,
+    /// Floating-point execution.
+    Fp,
+    /// Data-cache and data-TLB access.
+    Load,
+    /// Store-queue residency and search.
+    Store,
+    /// Branch prediction structures.
+    Branch,
+}
+
+impl EnergyClass {
+    /// All classes, in reporting order.
+    pub const ALL: [EnergyClass; 5] = [
+        EnergyClass::Int,
+        EnergyClass::Fp,
+        EnergyClass::Load,
+        EnergyClass::Store,
+        EnergyClass::Branch,
+    ];
+
+    /// Stable lowercase label (CSV row names).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyClass::Int => "int",
+            EnergyClass::Fp => "fp",
+            EnergyClass::Load => "load",
+            EnergyClass::Store => "store",
+            EnergyClass::Branch => "branch",
+        }
+    }
+}
+
+impl fmt::Display for EnergyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-instruction-class energy weights applied on top of the scaled
+/// model. The default profile is all-ones, under which
+/// [`PowerReport::weighted_total_energy`] reproduces
+/// [`PowerReport::total_energy`] exactly — weights reshape the class
+/// decomposition, they do not add energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassEnergyProfile {
+    /// Integer execution weight.
+    pub int: f64,
+    /// Floating-point execution weight.
+    pub fp: f64,
+    /// Load (D-cache/D-TLB) weight.
+    pub load: f64,
+    /// Store (LSQ) weight.
+    pub store: f64,
+    /// Branch-prediction weight.
+    pub branch: f64,
+}
+
+impl Default for ClassEnergyProfile {
+    fn default() -> Self {
+        ClassEnergyProfile { int: 1.0, fp: 1.0, load: 1.0, store: 1.0, branch: 1.0 }
+    }
+}
+
+impl ClassEnergyProfile {
+    /// The weight for one class.
+    #[must_use]
+    pub fn weight(&self, class: EnergyClass) -> f64 {
+        match class {
+            EnergyClass::Int => self.int,
+            EnergyClass::Fp => self.fp,
+            EnergyClass::Load => self.load,
+            EnergyClass::Store => self.store,
+            EnergyClass::Branch => self.branch,
+        }
+    }
 }
 
 /// Structure sizes the per-access energies are derived from.
@@ -487,6 +590,54 @@ impl PowerReport {
         self.energy.iter().sum()
     }
 
+    /// Energy attributed to one instruction class
+    /// ([`Component::energy_class`] partition).
+    #[must_use]
+    pub fn class_energy(&self, class: EnergyClass) -> f64 {
+        Component::ALL
+            .iter()
+            .filter(|c| c.energy_class() == Some(class))
+            .map(|c| self.energy[c.index()])
+            .sum()
+    }
+
+    /// Energy of the class-agnostic shared structures (everything
+    /// [`Component::energy_class`] maps to `None`).
+    #[must_use]
+    pub fn shared_energy(&self) -> f64 {
+        Component::ALL
+            .iter()
+            .filter(|c| c.energy_class().is_none())
+            .map(|c| self.energy[c.index()])
+            .sum()
+    }
+
+    /// Total energy with per-class weights applied:
+    /// `Σ weight(class) · class_energy(class) + shared_energy`. At the
+    /// default all-ones profile this equals [`PowerReport::total_energy`].
+    #[must_use]
+    pub fn weighted_total_energy(&self, profile: &ClassEnergyProfile) -> f64 {
+        let classed: f64 =
+            EnergyClass::ALL.iter().map(|&c| profile.weight(c) * self.class_energy(c)).sum();
+        classed + self.shared_energy()
+    }
+
+    /// Energy-delay product: total energy × cycles. Zero for a zero-cycle
+    /// report (no work, no delay to weight it by).
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.total_energy() * self.cycles as f64
+    }
+
+    /// Energy-delay-squared product: total energy × cycles². The squared
+    /// delay term makes the metric voltage-scaling-neutral, the standard
+    /// figure when trading frequency for energy.
+    #[must_use]
+    pub fn ed2p(&self) -> f64 {
+        let cycles = self.cycles as f64;
+        self.total_energy() * cycles * cycles
+    }
+
     /// Energy of one component.
     #[must_use]
     pub fn energy(&self, c: Component) -> f64 {
@@ -563,6 +714,80 @@ mod tests {
         for (i, c) in Component::ALL.iter().enumerate() {
             assert_eq!(c.index(), i, "{c}");
         }
+    }
+
+    /// A report with distinct, non-trivial per-component energies.
+    fn busy_report() -> PowerReport {
+        let mut model = PowerModel::new(&PowerConfig::table1());
+        let mut act = Activity::new();
+        for (i, c) in Component::ALL.iter().enumerate() {
+            act.add(*c, i as u32 + 1);
+        }
+        for _ in 0..10 {
+            model.end_cycle(&act, false);
+        }
+        model.report()
+    }
+
+    #[test]
+    fn classes_partition_into_class_plus_shared() {
+        let r = busy_report();
+        let classed: f64 = EnergyClass::ALL.iter().map(|&c| r.class_energy(c)).sum();
+        let total = classed + r.shared_energy();
+        assert!((total - r.total_energy()).abs() < 1e-9 * r.total_energy());
+        for c in EnergyClass::ALL {
+            assert!(r.class_energy(c) > 0.0, "{c} got activity, must carry energy");
+        }
+    }
+
+    #[test]
+    fn default_profile_reproduces_legacy_aggregate() {
+        let r = busy_report();
+        let w = r.weighted_total_energy(&ClassEnergyProfile::default());
+        assert!((w - r.total_energy()).abs() < 1e-9 * r.total_energy());
+    }
+
+    #[test]
+    fn weights_scale_only_their_class() {
+        let r = busy_report();
+        let heavy_fp = ClassEnergyProfile { fp: 2.0, ..ClassEnergyProfile::default() };
+        let expected = r.total_energy() + r.class_energy(EnergyClass::Fp);
+        let got = r.weighted_total_energy(&heavy_fp);
+        assert!((got - expected).abs() < 1e-9 * expected);
+        let zeroed = ClassEnergyProfile { int: 0.0, fp: 0.0, load: 0.0, store: 0.0, branch: 0.0 };
+        let shared_only = r.weighted_total_energy(&zeroed);
+        assert!((shared_only - r.shared_energy()).abs() < 1e-9 * r.total_energy());
+    }
+
+    #[test]
+    fn edp_and_ed2p_column_math() {
+        let r = busy_report();
+        assert_eq!(r.cycles, 10);
+        let e = r.total_energy();
+        assert!((r.edp() - e * 10.0).abs() < 1e-9 * r.edp());
+        assert!((r.ed2p() - e * 100.0).abs() < 1e-9 * r.ed2p());
+        assert!((r.ed2p() - r.edp() * 10.0).abs() < 1e-9 * r.ed2p());
+    }
+
+    #[test]
+    fn edp_saturates_cleanly_at_the_edges() {
+        // Zero cycles: no delay, both products are exactly zero.
+        let zero = PowerReport::from_parts([0.5; NUM_COMPONENTS], 0, 0);
+        assert_eq!(zero.edp(), 0.0);
+        assert_eq!(zero.ed2p(), 0.0);
+        assert!(zero.total_energy() > 0.0, "energy itself is untouched");
+        // Absurd cycle counts stay finite in f64 (no u64 overflow path).
+        let huge = PowerReport::from_parts([1.0; NUM_COMPONENTS], u64::MAX, 0);
+        assert!(huge.edp().is_finite());
+        assert!(huge.ed2p().is_finite());
+        assert!(huge.ed2p() > huge.edp());
+    }
+
+    #[test]
+    fn energy_class_labels_are_stable() {
+        let labels: Vec<&str> = EnergyClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, ["int", "fp", "load", "store", "branch"]);
+        assert_eq!(EnergyClass::Load.to_string(), "load");
     }
 
     #[test]

@@ -19,8 +19,8 @@ use crate::JobKey;
 use riq_asm::Program;
 use riq_bpred::{BpredStats, BtbStats, DirPredictorKind, PredictorConfig};
 use riq_core::{
-    BufferingStrategy, EpochSample, FuConfig, LatencyConfig, ReuseConfig, ReuseStats, RunResult,
-    SimConfig, SimStats,
+    BufferingStrategy, EpochSample, FuConfig, IssuePolicyKind, LatencyConfig, ReuseConfig,
+    ReuseStats, RunResult, SimConfig, SimStats,
 };
 use riq_emu::ArchState;
 use riq_isa::{FpReg, IntReg, StableHasher, NUM_FP_REGS, NUM_INT_REGS};
@@ -44,7 +44,10 @@ pub const MAGIC_CONFIG: [u8; 8] = *b"RIQCFG\0\0";
 pub const MAGIC_JOB: [u8; 8] = *b"RIQJOB\0\0";
 
 /// Current format version, shared by all four blob kinds.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial layout; 2 — config blobs gained the
+/// issue-policy byte (between the buffering strategy and `max_cycles`).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Error decoding a service blob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -607,6 +610,10 @@ pub fn encode_config(cfg: &SimConfig) -> Vec<u8> {
         BufferingStrategy::SingleIteration => 0,
         BufferingStrategy::MultiIteration => 1,
     });
+    out.push(match cfg.policy {
+        IssuePolicyKind::Oldest => 0,
+        IssuePolicyKind::LoadDelay => 1,
+    });
     w64(&mut out, cfg.max_cycles);
     let digest = digest_of(&out);
     w64(&mut out, digest);
@@ -677,6 +684,11 @@ pub fn decode_config(bytes: &[u8]) -> Result<SimConfig, CodecError> {
         _ => return Err(CodecError::BadValue { offset: r.pos - 1, what: "buffering strategy" }),
     };
     let reuse = ReuseConfig { enabled, nblt_entries, strategy };
+    let policy = match r.u8()? {
+        0 => IssuePolicyKind::Oldest,
+        1 => IssuePolicyKind::LoadDelay,
+        _ => return Err(CodecError::BadValue { offset: r.pos - 1, what: "issue policy tag" }),
+    };
     let max_cycles = r.u64()?;
     r.finish()?;
     Ok(SimConfig {
@@ -693,6 +705,7 @@ pub fn decode_config(bytes: &[u8]) -> Result<SimConfig, CodecError> {
         mem,
         bpred,
         reuse,
+        policy,
         max_cycles,
     })
 }

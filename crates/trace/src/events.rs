@@ -301,6 +301,27 @@ pub enum EventKind {
         /// Lease attempts consumed.
         attempts: u64,
     },
+    /// The issue stage selected an entry under a non-default scheduling
+    /// policy (one event per selected entry).
+    PolicySelected {
+        /// Stable policy tag (e.g. `"load-delay"`).
+        policy: String,
+        /// Age of the selected instruction instance.
+        seq: u64,
+        /// Expected slack at selection: the predicted operand-ready cycle
+        /// minus the current cycle (0 once the prediction has passed).
+        slack: u64,
+    },
+    /// The load-delay tracker fixed a load's predicted completion cycle
+    /// and broadcast it to waiting consumers.
+    SlackComputed {
+        /// Age of the load instance.
+        seq: u64,
+        /// Predicted completion cycle.
+        pred_ready: u64,
+        /// Predicted remaining latency (completion minus current cycle).
+        slack: u64,
+    },
 }
 
 impl EventKind {
@@ -327,6 +348,8 @@ impl EventKind {
             EventKind::JobCompleted { .. } => "job_completed",
             EventKind::JobRequeued { .. } => "job_requeued",
             EventKind::JobFailed { .. } => "job_failed",
+            EventKind::PolicySelected { .. } => "policy_selected",
+            EventKind::SlackComputed { .. } => "slack_computed",
         }
     }
 }
@@ -435,6 +458,16 @@ impl ToJson for TraceEvent {
                 pairs.push(("job", JsonValue::UInt(*job)));
                 pairs.push(("attempts", JsonValue::UInt(*attempts)));
             }
+            EventKind::PolicySelected { policy, seq, slack } => {
+                pairs.push(("policy", JsonValue::Str(policy.clone())));
+                pairs.push(("seq", JsonValue::UInt(*seq)));
+                pairs.push(("slack", JsonValue::UInt(*slack)));
+            }
+            EventKind::SlackComputed { seq, pred_ready, slack } => {
+                pairs.push(("seq", JsonValue::UInt(*seq)));
+                pairs.push(("pred_ready", JsonValue::UInt(*pred_ready)));
+                pairs.push(("slack", JsonValue::UInt(*slack)));
+            }
         }
         JsonValue::obj(pairs)
     }
@@ -514,6 +547,16 @@ impl TraceEvent {
             }
             "job_requeued" => EventKind::JobRequeued { job: u("job")?, attempts: u("attempts")? },
             "job_failed" => EventKind::JobFailed { job: u("job")?, attempts: u("attempts")? },
+            "policy_selected" => EventKind::PolicySelected {
+                policy: value.get("policy")?.as_str()?.to_string(),
+                seq: u("seq")?,
+                slack: u("slack")?,
+            },
+            "slack_computed" => EventKind::SlackComputed {
+                seq: u("seq")?,
+                pred_ready: u("pred_ready")?,
+                slack: u("slack")?,
+            },
             _ => return None,
         };
         Some(TraceEvent { cycle, kind })
@@ -606,6 +649,11 @@ impl TraceEvent {
             TraceEvent::new(3, JobCompleted { job: 17, wall_nanos: 5_000_000 }),
             TraceEvent::new(4, JobRequeued { job: 18, attempts: 2 }),
             TraceEvent::new(5, JobFailed { job: 18, attempts: 3 }),
+            TraceEvent::new(
+                210,
+                PolicySelected { policy: "load-delay".to_string(), seq: 96, slack: 4 },
+            ),
+            TraceEvent::new(205, SlackComputed { seq: 95, pred_ready: 217, slack: 12 }),
         ]
     }
 }
@@ -621,7 +669,7 @@ mod tests {
         // Ensure the example set actually covers every variant tag.
         let tags: std::collections::BTreeSet<&str> =
             examples.iter().map(|e| e.kind.tag()).collect();
-        assert_eq!(tags.len(), 20, "examples must cover all 20 variants");
+        assert_eq!(tags.len(), 22, "examples must cover all 22 variants");
         for event in examples {
             let line = event.to_json().to_compact();
             let back = TraceEvent::from_json(&parse(&line).expect("parse")).expect("from_json");

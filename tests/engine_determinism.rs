@@ -69,6 +69,7 @@ fn shared_cache_dedups_across_experiments() {
     run_experiment(&Experiment::NbltAblation { scale: SCALE }, &opts).expect("nblt");
     run_experiment(&Experiment::StrategyAblation { scale: SCALE }, &opts).expect("strategy");
     run_experiment(&Experiment::BpredAblation { scale: SCALE }, &opts).expect("bpred");
+    run_experiment(&Experiment::PolicyEdp { scale: SCALE }, &opts).expect("policy-edp");
 
     // Every hit is a simulation the pre-engine harness would have re-run.
     assert!(
@@ -84,6 +85,34 @@ fn shared_cache_dedups_across_experiments() {
         run_experiment(&experiment, &opts).expect("cached rerun");
     }
     assert_eq!(opts.cache.misses(), misses_before, "every point was already cached");
+}
+
+#[test]
+fn policy_edp_shares_its_oldest_policy_points_with_the_iq_sweep() {
+    // The scorecard's baseline and reuse legs at IQ 32..256 are exactly
+    // the configurations the Figure 5-8 sweep already simulated — only
+    // the IQ-16 points and the load-delay legs (a different config
+    // fingerprint) may cost new simulations.
+    let opts = EngineOptions::with_jobs(4);
+    run_experiment(&Experiment::Fig5_8 { scale: SCALE }, &opts).expect("sweep");
+    let sweep_misses = opts.cache.misses();
+
+    run_experiment(&Experiment::PolicyEdp { scale: SCALE }, &opts).expect("policy-edp");
+    assert!(
+        opts.cache.hits() >= 64,
+        "the 8 kernels x 4 shared IQ sizes x {{baseline,reuse}} must all hit ({} hits)",
+        opts.cache.hits()
+    );
+    assert!(
+        opts.cache.misses() > sweep_misses,
+        "load-delay legs are distinct configurations and must simulate"
+    );
+
+    // A rerun of the scorecard is pure cache traffic across all four
+    // policy legs: not one new miss.
+    let misses_before = opts.cache.misses();
+    run_experiment(&Experiment::PolicyEdp { scale: SCALE }, &opts).expect("cached rerun");
+    assert_eq!(opts.cache.misses(), misses_before, "every policy point was already cached");
 }
 
 #[test]

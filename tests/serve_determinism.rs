@@ -30,12 +30,16 @@ fn daemon_on(store: &Path, lease_ttl: Duration) -> Daemon {
     start_daemon(listener, &options).expect("daemon starts")
 }
 
-fn submit_fig58(addr: &str) -> u64 {
-    let body = format!("{{\"experiment\": \"fig5-8\", \"scale\": {SCALE}}}");
+fn submit(addr: &str, experiment: &str) -> u64 {
+    let body = format!("{{\"experiment\": \"{experiment}\", \"scale\": {SCALE}}}");
     let (status, reply) = http_request(addr, "POST", "/sweeps", body.as_bytes()).expect("submit");
     assert_eq!(status, 200, "submit rejected: {}", String::from_utf8_lossy(&reply));
     let doc = riq_trace::parse(std::str::from_utf8(&reply).expect("utf-8")).expect("json");
     doc.get("sweep").and_then(JsonValue::as_u64).expect("sweep id")
+}
+
+fn submit_fig58(addr: &str) -> u64 {
+    submit(addr, "fig5-8")
 }
 
 /// Polls the sweep's CSV endpoint until the sweep finishes.
@@ -126,6 +130,32 @@ fn service_csv_is_byte_identical_for_any_worker_count() {
 
     let _ = std::fs::remove_dir_all(store_one.parent().unwrap());
     let _ = std::fs::remove_dir_all(store_three.parent().unwrap());
+}
+
+#[test]
+fn policy_edp_service_csv_matches_in_process_engine() {
+    // The scorecard's jobs carry the issue-policy knob through the wire
+    // codec (format v2): a daemon-run sweep must reproduce the in-process
+    // engine's CSV byte for byte, workers racing or not.
+    let expected =
+        run_experiment(&Experiment::PolicyEdp { scale: SCALE }, &EngineOptions::default())
+            .expect("local policy-edp")
+            .to_csv();
+
+    let store = temp_store("policy");
+    let daemon = daemon_on(&store, Duration::from_secs(60));
+    let addr = daemon.addr().to_string();
+    let workers: Vec<_> =
+        (0..2).map(|i| spawn_worker(addr.clone(), fast_poll(&format!("p{i}")))).collect();
+    let sweep = submit(&addr, "policy-edp");
+    assert_eq!(wait_csv(&addr, sweep), expected, "policy-edp service CSV diverged");
+    let stats = statsz(&addr);
+    assert_eq!(counter(&stats, "queue", "failed"), 0);
+    daemon.stop();
+    for w in workers {
+        let _ = w.join().expect("worker thread");
+    }
+    let _ = std::fs::remove_dir_all(store.parent().unwrap());
 }
 
 #[test]
