@@ -1,0 +1,667 @@
+//! Per-loop, per-class energy attribution: the static-vs-dynamic join.
+//!
+//! Extends the agreement replay ([`crate::agreement`]) into a full
+//! attribution report. The reuse-FSM trace events of one simulation run
+//! are replayed sequentially — `BufferingRevoked` carries no loop
+//! identity, and `GateOff`/`CodeReuseExited` refer to whichever loop the
+//! preceding `CodeReuseEntered` promoted — to rebuild per-loop dynamic
+//! history: detections, promotions, revokes, buffer-supplied
+//! instructions, and front-end-gated cycles. Measured energy deltas
+//! between a baseline and a reuse run (under a [`ClassEnergyProfile`])
+//! are then attributed to loops by their share of gated cycles, split
+//! per class by each class's measured delta — so the per-loop, per-class
+//! table sums back to the whole-run saving and cannot double-count.
+//!
+//! The report also ranks every loop twice — by the static predictor's
+//! score and by measured attributed savings — so predictor quality is
+//! visible per program (and asserted across kernels by the workspace's
+//! rank-correlation test).
+
+use crate::classmix::ClassMix;
+use crate::eligibility::classify;
+use crate::predict::{predict, Prediction};
+use crate::Analysis;
+use riq_asm::Program;
+use riq_power::{ClassEnergyProfile, EnergyClass, PowerReport};
+use riq_trace::{EventKind, JsonValue, RevokeReason, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Version of the attribution JSON layout. Bump on any breaking change.
+pub const ATTRIBUTION_SCHEMA_VERSION: u64 = 1;
+
+/// Measured outcome of one simulation leg, as consumed by [`attribute`].
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredRun {
+    /// Instructions committed over the run.
+    pub committed: u64,
+    /// The run's power report (carries cycles and gated cycles).
+    pub power: PowerReport,
+}
+
+impl MeasuredRun {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.power.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.power.cycles as f64
+        }
+    }
+}
+
+/// Dynamic history of one loop identity, rebuilt from the event stream.
+#[derive(Debug, Clone, Default)]
+struct Dyn {
+    detections: u64,
+    nblt_suppressed: u64,
+    started: u64,
+    promotions: u64,
+    revokes: u64,
+    last_revoke: Option<RevokeReason>,
+    reused_insts: u64,
+    gated_cycles: u64,
+}
+
+/// Sequential replay. `current` is the loop the FSM is detecting or
+/// buffering; `reuse_loop` is the loop most recently promoted to code
+/// reuse — `GateOff` spans and `CodeReuseExited` counts belong to it
+/// regardless of which side of the exit event they land on.
+fn replay(events: &[TraceEvent]) -> BTreeMap<(u32, u32), Dyn> {
+    let mut hist: BTreeMap<(u32, u32), Dyn> = BTreeMap::new();
+    let mut current: Option<(u32, u32)> = None;
+    let mut reuse_loop: Option<(u32, u32)> = None;
+    for event in events {
+        match event.kind {
+            EventKind::LoopDetected { head, tail, .. } => {
+                let key = (head as u32, tail as u32);
+                hist.entry(key).or_default().detections += 1;
+                current = Some(key);
+            }
+            EventKind::NbltHit { .. } => {
+                if let Some(key) = current.take() {
+                    hist.entry(key).or_default().nblt_suppressed += 1;
+                }
+            }
+            EventKind::BufferingStarted { head, tail } => {
+                let key = (head as u32, tail as u32);
+                hist.entry(key).or_default().started += 1;
+                current = Some(key);
+            }
+            EventKind::BufferingRevoked { reason, .. } => {
+                if let Some(key) = current.take() {
+                    let d = hist.entry(key).or_default();
+                    d.revokes += 1;
+                    d.last_revoke = Some(reason);
+                }
+            }
+            EventKind::CodeReuseEntered { head, tail } => {
+                let key = (head as u32, tail as u32);
+                hist.entry(key).or_default().promotions += 1;
+                current = None;
+                reuse_loop = Some(key);
+            }
+            EventKind::CodeReuseExited { reused_insts } => {
+                if let Some(key) = reuse_loop {
+                    hist.entry(key).or_default().reused_insts += reused_insts;
+                }
+            }
+            EventKind::GateOff { span, .. } => {
+                if let Some(key) = reuse_loop {
+                    hist.entry(key).or_default().gated_cycles += span;
+                }
+            }
+            _ => {}
+        }
+    }
+    hist
+}
+
+/// Attribution verdict for one loop.
+#[derive(Debug, Clone)]
+pub struct LoopAttribution {
+    /// Loop head address.
+    pub head: u32,
+    /// Loop tail (closing transfer) address.
+    pub tail: u32,
+    /// Symbolized head, for humans.
+    pub label: String,
+    /// Static eligibility class at the compared capacity.
+    pub static_class: String,
+    /// Whether the loop is statically eligible at that capacity.
+    pub statically_eligible: bool,
+    /// Const-prop trip estimate (see [`crate::LoopMix`]).
+    pub est_trips: f64,
+    /// Whether the trip estimate was proven.
+    pub trip_known: bool,
+    /// Stride/alias access-pattern tag ([`crate::LoopMem::class`]).
+    pub mem_class: String,
+    /// The static predictor's verdict at the compared capacity.
+    pub predicted: Prediction,
+    /// Dynamic: loop-detector hits.
+    pub detections: u64,
+    /// Dynamic: NBLT suppressions.
+    pub nblt_suppressed: u64,
+    /// Dynamic: buffering episodes started.
+    pub started: u64,
+    /// Dynamic: promotions to code reuse.
+    pub promotions: u64,
+    /// Dynamic: buffering revocations.
+    pub revokes: u64,
+    /// Reason of the last revocation, if any.
+    pub last_revoke: Option<String>,
+    /// Instructions supplied from the reuse buffer for this loop.
+    pub reused_insts: u64,
+    /// Front-end-gated cycles attributed to this loop.
+    pub gated_cycles: u64,
+    /// This loop's share of all gated cycles (0 when nothing gated).
+    pub gated_share: f64,
+    /// Measured energy saving attributed to this loop (weighted units).
+    pub energy_savings: f64,
+    /// Per-class split of `energy_savings`, aligned with
+    /// [`EnergyClass::ALL`].
+    pub class_savings: [f64; 5],
+    /// Whether the loop contributed positive measured savings.
+    pub pays_off: bool,
+    /// Rank by the static predictor's score (1 = best).
+    pub predictor_rank: u32,
+    /// Rank by measured attributed savings (1 = best).
+    pub measured_rank: u32,
+}
+
+/// The full attribution report for one program at one capacity.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Issue-queue capacity of the reuse leg.
+    pub iq: u32,
+    /// Per-loop verdicts, sorted by `(head, tail)`.
+    pub loops: Vec<LoopAttribution>,
+    /// Baseline weighted total energy.
+    pub base_energy: f64,
+    /// Reuse-leg weighted total energy.
+    pub reuse_energy: f64,
+    /// Measured saving fraction: `1 - reuse/base`.
+    pub savings: f64,
+    /// Baseline IPC.
+    pub base_ipc: f64,
+    /// Reuse-leg IPC.
+    pub reuse_ipc: f64,
+    /// Total front-end-gated cycles of the reuse leg.
+    pub gated_cycles: u64,
+    /// Total buffer-supplied instructions attributed across loops.
+    pub reused_insts: u64,
+    /// Total promotions across loops.
+    pub promotions: u64,
+    /// Distinct loops that promoted at least once.
+    pub promoted_loops: u32,
+    /// Spearman rank correlation between predictor and measured ranks
+    /// (`None` with fewer than two loops).
+    pub rank_correlation: Option<f64>,
+}
+
+fn spearman(a: &[u32], b: &[u32]) -> Option<f64> {
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let d2: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    let nf = n as f64;
+    Some(1.0 - 6.0 * d2 / (nf * (nf * nf - 1.0)))
+}
+
+/// Ranks `scores` descending: result[i] is the 1-based rank of item `i`,
+/// ties broken by item order (the loop table is `(head, tail)`-sorted,
+/// keeping the ranking deterministic).
+fn rank_desc(scores: &[f64]) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&i, &j| {
+        scores[j].partial_cmp(&scores[i]).unwrap_or(std::cmp::Ordering::Equal).then(i.cmp(&j))
+    });
+    let mut ranks = vec![0u32; scores.len()];
+    for (r, &i) in order.iter().enumerate() {
+        ranks[i] = r as u32 + 1;
+    }
+    ranks
+}
+
+/// Joins the static loop table of `analysis` with the reuse-FSM `events`
+/// of the reuse leg and the measured baseline/reuse outcomes, at queue
+/// capacity `iq`, under `profile`.
+#[must_use]
+pub fn attribute(
+    program: &Program,
+    analysis: &Analysis,
+    events: &[TraceEvent],
+    iq: u32,
+    baseline: &MeasuredRun,
+    reuse: &MeasuredRun,
+    profile: &ClassEnergyProfile,
+) -> Attribution {
+    let hist = replay(events);
+    let empty = Dyn::default();
+    let whereis = |a: u32| program.symbolize(a).unwrap_or_else(|| format!("{a:#x}"));
+
+    // Fresh predictions at exactly `iq` (which need not be one of the
+    // precomputed CAPACITIES), under the caller's profile.
+    let naturals: Vec<_> = analysis.loops.iter().map(|s| s.natural.clone()).collect();
+    let verdicts: Vec<Vec<_>> =
+        naturals.iter().map(|n| vec![(iq, classify(program, &analysis.cfg, n, iq))]).collect();
+    let mix = ClassMix {
+        loops: analysis.loops.iter().map(|s| s.mix.clone()).collect(),
+        outside: analysis.outside_mix,
+        program: analysis.program_mix,
+    };
+    let mems: Vec<_> = analysis.loops.iter().map(|s| s.mem.clone()).collect();
+    let predictions = predict(&verdicts, &mix, &mems, profile);
+
+    // Measured whole-run deltas under the profile.
+    let base_energy = baseline.power.weighted_total_energy(profile);
+    let reuse_energy = reuse.power.weighted_total_energy(profile);
+    let class_delta: Vec<f64> = EnergyClass::ALL
+        .iter()
+        .map(|&c| {
+            profile.weight(c) * (baseline.power.class_energy(c) - reuse.power.class_energy(c))
+        })
+        .collect();
+    let shared_delta = baseline.power.shared_energy() - reuse.power.shared_energy();
+    let total_delta = base_energy - reuse_energy;
+    let total_gated = reuse.power.gated_cycles;
+
+    let mut loops = Vec::with_capacity(analysis.loops.len());
+    for (i, summary) in analysis.loops.iter().enumerate() {
+        let lp = &summary.natural;
+        let key = (lp.head, lp.tail);
+        let d = hist.get(&key).unwrap_or(&empty);
+        let predicted = predictions[i][0].clone();
+        let gated_share =
+            if total_gated == 0 { 0.0 } else { d.gated_cycles as f64 / total_gated as f64 };
+        let energy_savings = gated_share * total_delta;
+        let mut class_savings = [0.0; 5];
+        for (slot, delta) in class_savings.iter_mut().zip(class_delta.iter()) {
+            *slot = gated_share * delta;
+        }
+        let _ = shared_delta; // folded into total_delta; split kept per class
+        loops.push(LoopAttribution {
+            head: lp.head,
+            tail: lp.tail,
+            label: whereis(lp.head),
+            static_class: verdicts[i][0].1.class().to_string(),
+            statically_eligible: verdicts[i][0].1.is_eligible(),
+            est_trips: summary.mix.est_trips,
+            trip_known: summary.mix.trip_known,
+            mem_class: summary.mem.class().to_string(),
+            predicted,
+            detections: d.detections,
+            nblt_suppressed: d.nblt_suppressed,
+            started: d.started,
+            promotions: d.promotions,
+            revokes: d.revokes,
+            last_revoke: d.last_revoke.map(|r| r.as_str().to_string()),
+            reused_insts: d.reused_insts,
+            gated_cycles: d.gated_cycles,
+            gated_share,
+            energy_savings,
+            class_savings,
+            pays_off: energy_savings > 0.0 && d.promotions > 0,
+            predictor_rank: 0,
+            measured_rank: 0,
+        });
+    }
+
+    let predicted_scores: Vec<f64> = loops.iter().map(|l| l.predicted.energy_savings).collect();
+    let measured_scores: Vec<f64> = loops.iter().map(|l| l.energy_savings).collect();
+    let p_ranks = rank_desc(&predicted_scores);
+    let m_ranks = rank_desc(&measured_scores);
+    for (l, (pr, mr)) in loops.iter_mut().zip(p_ranks.iter().zip(m_ranks.iter())) {
+        l.predictor_rank = *pr;
+        l.measured_rank = *mr;
+    }
+
+    let savings = if base_energy == 0.0 { 0.0 } else { 1.0 - reuse_energy / base_energy };
+    let promotions: u64 = loops.iter().map(|l| l.promotions).sum();
+    let promoted_loops = loops.iter().filter(|l| l.promotions > 0).count() as u32;
+    let reused_insts: u64 = loops.iter().map(|l| l.reused_insts).sum();
+    Attribution {
+        iq,
+        loops,
+        base_energy,
+        reuse_energy,
+        savings,
+        base_ipc: baseline.ipc(),
+        reuse_ipc: reuse.ipc(),
+        gated_cycles: total_gated,
+        reused_insts,
+        promotions,
+        promoted_loops,
+        rank_correlation: spearman(&p_ranks, &m_ranks),
+    }
+}
+
+fn u(v: u32) -> JsonValue {
+    JsonValue::UInt(u64::from(v))
+}
+
+fn s(v: impl Into<String>) -> JsonValue {
+    JsonValue::Str(v.into())
+}
+
+pub(crate) fn class_obj(values: &[f64; 5]) -> JsonValue {
+    JsonValue::Obj(
+        EnergyClass::ALL
+            .iter()
+            .zip(values.iter())
+            .map(|(c, &v)| (c.label().to_string(), JsonValue::Num(v)))
+            .collect(),
+    )
+}
+
+pub(crate) fn prediction_json(p: &Prediction) -> JsonValue {
+    JsonValue::obj([
+        ("capacity", u(p.capacity)),
+        ("eligible", JsonValue::Bool(p.eligible)),
+        ("promotions", JsonValue::Num(p.promotions)),
+        ("reused_insts", JsonValue::Num(p.reused_insts)),
+        ("gated_cycles", JsonValue::Num(p.gated_cycles)),
+        ("energy_savings", JsonValue::Num(p.energy_savings)),
+        ("edp_savings", JsonValue::Num(p.edp_savings)),
+        ("class_savings", class_obj(&p.class_savings)),
+    ])
+}
+
+/// Builds the versioned attribution JSON report.
+#[must_use]
+pub fn attribution_json(name: &str, attribution: &Attribution) -> JsonValue {
+    let loops = attribution
+        .loops
+        .iter()
+        .map(|l| {
+            JsonValue::obj([
+                ("head", u(l.head)),
+                ("label", s(l.label.clone())),
+                ("tail", u(l.tail)),
+                ("static_class", s(l.static_class.clone())),
+                ("statically_eligible", JsonValue::Bool(l.statically_eligible)),
+                ("est_trips", JsonValue::Num(l.est_trips)),
+                ("trip_known", JsonValue::Bool(l.trip_known)),
+                ("mem_class", s(l.mem_class.clone())),
+                ("predicted", prediction_json(&l.predicted)),
+                ("detections", JsonValue::UInt(l.detections)),
+                ("nblt_suppressed", JsonValue::UInt(l.nblt_suppressed)),
+                ("started", JsonValue::UInt(l.started)),
+                ("promotions", JsonValue::UInt(l.promotions)),
+                ("revokes", JsonValue::UInt(l.revokes)),
+                ("last_revoke", l.last_revoke.clone().map_or(JsonValue::Null, s)),
+                ("reused_insts", JsonValue::UInt(l.reused_insts)),
+                ("gated_cycles", JsonValue::UInt(l.gated_cycles)),
+                ("gated_share", JsonValue::Num(l.gated_share)),
+                ("energy_savings", JsonValue::Num(l.energy_savings)),
+                ("class_savings", class_obj(&l.class_savings)),
+                ("pays_off", JsonValue::Bool(l.pays_off)),
+                ("predictor_rank", u(l.predictor_rank)),
+                ("measured_rank", u(l.measured_rank)),
+            ])
+        })
+        .collect();
+    JsonValue::obj([
+        ("schema_version", JsonValue::UInt(ATTRIBUTION_SCHEMA_VERSION)),
+        ("name", s(name)),
+        ("iq", u(attribution.iq)),
+        ("base_energy", JsonValue::Num(attribution.base_energy)),
+        ("reuse_energy", JsonValue::Num(attribution.reuse_energy)),
+        ("savings", JsonValue::Num(attribution.savings)),
+        ("base_ipc", JsonValue::Num(attribution.base_ipc)),
+        ("reuse_ipc", JsonValue::Num(attribution.reuse_ipc)),
+        ("gated_cycles", JsonValue::UInt(attribution.gated_cycles)),
+        ("reused_insts", JsonValue::UInt(attribution.reused_insts)),
+        ("promotions", JsonValue::UInt(attribution.promotions)),
+        ("promoted_loops", u(attribution.promoted_loops)),
+        ("rank_correlation", attribution.rank_correlation.map_or(JsonValue::Null, JsonValue::Num)),
+        ("loops", JsonValue::Arr(loops)),
+    ])
+}
+
+/// Deterministic multi-line human table for the terminal: whole-run
+/// header, one row per loop, and a per-class split of the measured
+/// savings for every loop that received gated cycles.
+#[must_use]
+pub fn attribution_table(name: &str, attribution: &Attribution) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let corr = attribution.rank_correlation.map_or_else(|| "na".to_string(), |c| format!("{c:.3}"));
+    let _ = writeln!(
+        out,
+        "attribution: {name} @ iq {} — energy {:.1} -> {:.1} (savings {:.4}), ipc {:.3} -> {:.3}, rank_corr {corr}",
+        attribution.iq,
+        attribution.base_energy,
+        attribution.reuse_energy,
+        attribution.savings,
+        attribution.base_ipc,
+        attribution.reuse_ipc,
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} {:>6} {:>8} {:>8} {:>7} {:>9} {:>7} {:>9} {:>9} {:>5}",
+        "loop",
+        "trips",
+        "mem",
+        "promote",
+        "revoke",
+        "reused",
+        "gated",
+        "share",
+        "predicted",
+        "measured",
+        "rank"
+    );
+    for l in &attribution.loops {
+        let trips = if l.trip_known {
+            format!("{:.0}", l.est_trips)
+        } else {
+            format!("~{:.0}", l.est_trips)
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:>6} {:>8} {:>8} {:>7} {:>9} {:>7.3} {:>9.4} {:>9.4} {:>2}/{:<2}",
+            l.label,
+            trips,
+            l.mem_class,
+            l.promotions,
+            l.revokes,
+            l.reused_insts,
+            l.gated_cycles,
+            l.gated_share,
+            l.predicted.energy_savings,
+            l.energy_savings,
+            l.predictor_rank,
+            l.measured_rank,
+        );
+        if let Some(reason) = &l.last_revoke {
+            let _ = writeln!(out, "{:<20}   last revoke: {reason}", "");
+        }
+        if l.gated_cycles > 0 {
+            let split = EnergyClass::ALL
+                .iter()
+                .zip(l.class_savings.iter())
+                .map(|(c, v)| format!("{}={v:.2}", c.label()))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(out, "{:<20}   class savings: {split}", "");
+        }
+    }
+    out
+}
+
+/// One-line machine-grepable summary (pinned by CI), byte-stable for a
+/// given program and configuration.
+#[must_use]
+pub fn attribution_summary_line(name: &str, attribution: &Attribution) -> String {
+    let corr = attribution.rank_correlation.map_or_else(|| "na".to_string(), |c| format!("{c:.3}"));
+    format!(
+        "riq-attribute: {name}: iq={} loops={} promoted={} promotions={} reused={} gated={} savings={:.4} rank_corr={corr}",
+        attribution.iq,
+        attribution.loops.len(),
+        attribution.promoted_loops,
+        attribution.promotions,
+        attribution.reused_insts,
+        attribution.gated_cycles,
+        attribution.savings,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use riq_asm::assemble;
+    use riq_power::{Activity, Component, PowerConfig, PowerModel};
+    use riq_trace::GateEndReason;
+
+    const SRC: &str =
+        ".text\n  li $r2, 12\nloop:\n  addi $r3, $r3, 1\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n";
+
+    fn ev(kind: EventKind) -> TraceEvent {
+        TraceEvent::new(0, kind)
+    }
+
+    fn measured(active_cycles: u64, gated: u64, committed: u64) -> MeasuredRun {
+        let mut m = PowerModel::new(&PowerConfig::table1());
+        let mut act = Activity::new();
+        act.add(Component::IntAlu, 2);
+        act.add(Component::Icache, 1);
+        for _ in 0..active_cycles {
+            m.end_cycle(&act, false);
+        }
+        for _ in 0..gated {
+            m.end_cycle(&Activity::new(), true);
+        }
+        MeasuredRun { committed, power: m.report() }
+    }
+
+    fn gate_end() -> GateEndReason {
+        GateEndReason::Drained
+    }
+
+    #[test]
+    fn gated_spans_and_reuse_counts_attach_to_promoted_loop() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let lp = &a.loops[0].natural;
+        let (h, t) = (u64::from(lp.head), u64::from(lp.tail));
+        let events = vec![
+            ev(EventKind::LoopDetected { head: h, tail: t, size: 3 }),
+            ev(EventKind::BufferingStarted { head: h, tail: t }),
+            ev(EventKind::CodeReuseEntered { head: h, tail: t }),
+            ev(EventKind::GateOn),
+            ev(EventKind::CodeReuseExited { reused_insts: 30 }),
+            ev(EventKind::GateOff { span: 25, reason: gate_end() }),
+        ];
+        let base = measured(100, 0, 90);
+        let reuse = measured(75, 25, 90);
+        let g = attribute(&p, &a, &events, 64, &base, &reuse, &ClassEnergyProfile::default());
+        assert_eq!(g.loops.len(), 1);
+        let l = &g.loops[0];
+        assert_eq!(l.promotions, 1);
+        assert_eq!(l.reused_insts, 30);
+        assert_eq!(l.gated_cycles, 25);
+        assert_eq!(l.gated_share, 1.0);
+        assert!(g.savings > 0.0, "gated leg must be cheaper: {}", g.savings);
+        assert!(l.energy_savings > 0.0);
+        assert!(l.pays_off);
+        let split: f64 = l.class_savings.iter().sum();
+        assert!(split.abs() <= l.energy_savings.abs() + 1e-9);
+    }
+
+    #[test]
+    fn attribution_sums_to_whole_run_delta() {
+        let p = assemble(
+            ".text\n  li $r2, 9\na:\n  addi $r2, $r2, -1\n  bne $r2, $r0, a\n  li $r3, 9\nb:\n  addi $r3, $r3, -1\n  bne $r3, $r0, b\n  halt\n",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let k = |i: usize| {
+            let lp = &a.loops[i].natural;
+            (u64::from(lp.head), u64::from(lp.tail))
+        };
+        let ((h0, t0), (h1, t1)) = (k(0), k(1));
+        let events = vec![
+            ev(EventKind::CodeReuseEntered { head: h0, tail: t0 }),
+            ev(EventKind::GateOff { span: 30, reason: gate_end() }),
+            ev(EventKind::CodeReuseEntered { head: h1, tail: t1 }),
+            ev(EventKind::GateOff { span: 10, reason: gate_end() }),
+        ];
+        let base = measured(100, 0, 80);
+        let reuse = measured(60, 40, 80);
+        let g = attribute(&p, &a, &events, 64, &base, &reuse, &ClassEnergyProfile::default());
+        let attributed: f64 = g.loops.iter().map(|l| l.energy_savings).sum();
+        let delta = g.base_energy - g.reuse_energy;
+        assert!((attributed - delta).abs() < 1e-9 * delta.abs().max(1.0));
+        assert_eq!(g.loops[0].gated_share, 0.75);
+        assert_eq!(g.loops[1].gated_share, 0.25);
+        assert_eq!(g.loops[0].measured_rank, 1);
+        assert_eq!(g.loops[1].measured_rank, 2);
+        assert_eq!(g.rank_correlation, Some(1.0), "both rankings agree");
+    }
+
+    #[test]
+    fn unpromoted_loop_attributes_nothing() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let base = measured(100, 0, 90);
+        let reuse = measured(100, 0, 90);
+        let g = attribute(&p, &a, &[], 64, &base, &reuse, &ClassEnergyProfile::default());
+        let l = &g.loops[0];
+        assert_eq!(l.promotions, 0);
+        assert_eq!(l.gated_cycles, 0);
+        assert_eq!(l.energy_savings, 0.0);
+        assert!(!l.pays_off);
+        assert_eq!(g.rank_correlation, None, "single loop has no rank spread");
+    }
+
+    #[test]
+    fn summary_line_is_stable() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let base = measured(10, 0, 9);
+        let reuse = measured(10, 0, 9);
+        let g = attribute(&p, &a, &[], 64, &base, &reuse, &ClassEnergyProfile::default());
+        let line = attribution_summary_line("demo", &g);
+        assert_eq!(
+            line,
+            "riq-attribute: demo: iq=64 loops=1 promoted=0 promotions=0 reused=0 gated=0 savings=0.0000 rank_corr=na"
+        );
+    }
+
+    #[test]
+    fn json_is_versioned_and_deterministic() {
+        let p = assemble(SRC).unwrap();
+        let a1 = analyze(&p);
+        let a2 = analyze(&p);
+        let base = measured(100, 0, 90);
+        let reuse = measured(80, 20, 90);
+        let lp = &a1.loops[0].natural;
+        let events = vec![
+            ev(EventKind::CodeReuseEntered { head: u64::from(lp.head), tail: u64::from(lp.tail) }),
+            ev(EventKind::GateOff { span: 20, reason: gate_end() }),
+        ];
+        let profile = ClassEnergyProfile::default();
+        let j1 = attribution_json("t", &attribute(&p, &a1, &events, 64, &base, &reuse, &profile))
+            .to_pretty();
+        let j2 = attribution_json("t", &attribute(&p, &a2, &events, 64, &base, &reuse, &profile))
+            .to_pretty();
+        assert_eq!(j1, j2);
+        let parsed = riq_trace::parse(&j1).unwrap();
+        assert_eq!(
+            parsed.get("schema_version").unwrap().as_u64(),
+            Some(ATTRIBUTION_SCHEMA_VERSION)
+        );
+        let loops = parsed.get("loops").unwrap().as_arr().unwrap();
+        assert_eq!(loops[0].get("gated_cycles").unwrap().as_u64(), Some(20));
+    }
+}

@@ -1,0 +1,386 @@
+//! Per-loop instruction-class mix, weighted by const-prop trip estimates.
+//!
+//! Partitions the program's decoded instructions into riq-power's
+//! [`EnergyClass`] buckets — {int, fp, load, store, branch} plus a
+//! class-less `other` bucket (nop/halt) — twice per natural loop: the
+//! *span* mix counts every instruction in the contiguous window
+//! `[head, tail]` the reuse queue buffers, while the *own* mix assigns
+//! each instruction to its **innermost** containing span, so
+//! `outside + Σ own == program` holds exactly (the invariant the
+//! workspace proptests pin).
+//!
+//! Trip counts are estimated from the loop-closing branch: when the span
+//! contains exactly one self-update `addi ctr, ctr, -k` of the branch's
+//! condition register and constant propagation ([`crate::constprop`])
+//! proves the counter's value at loop entry, the estimate is exact for
+//! the count-down idiom every kernel and fuzz-generated loop uses.
+//! Everything else falls back to [`DEFAULT_TRIPS`].
+
+use crate::cfg::Cfg;
+use crate::constprop::{block_in_states, meet, transfer_inst, State, Val};
+use crate::loops::NaturalLoop;
+use riq_asm::Program;
+use riq_isa::{AluImmOp, ArchReg, BranchCond, Inst, InstClass, IntReg, INST_BYTES};
+use riq_power::EnergyClass;
+
+/// Trip estimate used when the counter idiom cannot be proven.
+pub const DEFAULT_TRIPS: f64 = 8.0;
+
+/// Instruction counts per [`EnergyClass`], plus the class-less remainder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mix {
+    counts: [u64; 5],
+    /// Instructions outside every energy class (`nop`, `halt`).
+    pub other: u64,
+}
+
+/// The [`EnergyClass`] an instruction's execution energy is attributed
+/// to, mirroring the power model's component partition
+/// (`Component::energy_class`). `None` for nop/halt.
+#[must_use]
+pub fn energy_class_of(class: InstClass) -> Option<EnergyClass> {
+    match class {
+        InstClass::IntAlu | InstClass::IntMult | InstClass::IntDiv => Some(EnergyClass::Int),
+        InstClass::FpAlu | InstClass::FpMult | InstClass::FpDiv => Some(EnergyClass::Fp),
+        InstClass::Load => Some(EnergyClass::Load),
+        InstClass::Store => Some(EnergyClass::Store),
+        InstClass::Ctrl => Some(EnergyClass::Branch),
+        InstClass::Nop | InstClass::Halt => None,
+    }
+}
+
+fn class_index(c: EnergyClass) -> usize {
+    EnergyClass::ALL.iter().position(|&x| x == c).expect("class in ALL")
+}
+
+impl Mix {
+    /// Records one instruction.
+    pub fn add(&mut self, inst: &Inst) {
+        match energy_class_of(inst.class()) {
+            Some(c) => self.counts[class_index(c)] += 1,
+            None => self.other += 1,
+        }
+    }
+
+    /// Count for one class.
+    #[must_use]
+    pub fn count(&self, c: EnergyClass) -> u64 {
+        self.counts[class_index(c)]
+    }
+
+    /// Total instructions, including the class-less remainder.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.other
+    }
+
+    /// Fraction of classed instructions belonging to `c` (0 when empty).
+    #[must_use]
+    pub fn share(&self, c: EnergyClass) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(c) as f64 / t as f64
+        }
+    }
+
+    /// Adds another mix into this one.
+    pub fn merge(&mut self, other: &Mix) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.other += other.other;
+    }
+}
+
+/// Class mix and trip estimate of one natural loop.
+#[derive(Debug, Clone)]
+pub struct LoopMix {
+    /// Mix over the whole contiguous span `[head, tail]`.
+    pub span_mix: Mix,
+    /// Mix of instructions whose innermost containing span is this loop.
+    pub own_mix: Mix,
+    /// Estimated iterations per entry of the loop.
+    pub est_trips: f64,
+    /// Whether `est_trips` was proven by constant propagation (vs the
+    /// [`DEFAULT_TRIPS`] fallback).
+    pub trip_known: bool,
+    /// Number of distinct enclosing loop spans (0 for outermost loops).
+    pub depth: u32,
+    /// Estimated executions of one body iteration: own trips times the
+    /// product of every ancestor's trips.
+    pub weight: f64,
+}
+
+/// Whole-program class-mix partition.
+#[derive(Debug, Clone)]
+pub struct ClassMix {
+    /// Per-loop mixes, aligned with the loop table's `(head, tail)` order.
+    pub loops: Vec<LoopMix>,
+    /// Instructions contained in no loop span.
+    pub outside: Mix,
+    /// Every decoded instruction of the text segment.
+    pub program: Mix,
+}
+
+/// Index of the innermost loop span containing `pc` (smallest span wins,
+/// then lowest `(head, tail)`).
+fn innermost(loops: &[NaturalLoop], pc: u32) -> Option<usize> {
+    loops
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.head <= pc && pc <= l.tail)
+        .min_by_key(|(_, l)| (l.span(), l.head, l.tail))
+        .map(|(i, _)| i)
+}
+
+/// Abstract state on entry to the loop head from outside the loop: the
+/// meet over every non-back-edge predecessor's out-state. `None` when no
+/// such predecessor was reached by the propagation.
+fn preheader_state(cfg: &Cfg, in_states: &[Option<State>], lp: &NaturalLoop) -> Option<State> {
+    let mut acc: Option<State> = None;
+    for &p in &cfg.blocks[lp.head_block].preds {
+        let blk = &cfg.blocks[p];
+        if let Some(&(tpc, term)) = blk.terminator() {
+            // Skip back edges: a backward transfer into the head belongs to
+            // this loop (or a sibling sharing its head), not the entry path.
+            if term.static_target(tpc) == Some(lp.head) && tpc > lp.head {
+                continue;
+            }
+        }
+        let Some(mut s) = in_states[p] else { continue };
+        for &(pc, inst) in &blk.insts {
+            transfer_inst(&mut s, pc, &inst);
+        }
+        if blk.call_succ.is_some() || blk.indirect_call {
+            s = [Val::Unknown; 32];
+        }
+        acc = Some(match acc {
+            None => s,
+            Some(prev) => meet(&prev, &s),
+        });
+    }
+    acc
+}
+
+/// The condition register of a count-down loop-closing branch: `bne
+/// ctr, $r0` / `bgtz ctr` (continue while non-zero / positive).
+fn countdown_register(inst: &Inst) -> Option<IntReg> {
+    match *inst {
+        Inst::Bne { rs, rt, .. } if rt.is_zero() && !rs.is_zero() => Some(rs),
+        Inst::Bne { rs, rt, .. } if rs.is_zero() && !rt.is_zero() => Some(rt),
+        Inst::Bcond { cond: BranchCond::Gtz, rs, .. } if !rs.is_zero() => Some(rs),
+        _ => None,
+    }
+}
+
+/// Proves the trip count of the count-down idiom, or `None`.
+fn estimate_trips(
+    program: &Program,
+    cfg: &Cfg,
+    in_states: &[Option<State>],
+    lp: &NaturalLoop,
+) -> Option<u64> {
+    let tail_inst = program.inst_at(lp.tail).ok()?;
+    let ctr = countdown_register(&tail_inst)?;
+
+    // Exactly one in-span write to the counter, and it must be the
+    // self-decrement `addi ctr, ctr, -k`.
+    let mut step: Option<u32> = None;
+    let mut pc = lp.head;
+    while pc < lp.tail {
+        if let Ok(inst) = program.inst_at(pc) {
+            if inst.dest() == Some(ArchReg::Int(ctr)) {
+                match inst {
+                    Inst::AluImm { op: AluImmOp::Addi, rt, rs, imm }
+                        if rt == ctr && rs == ctr && imm < 0 && step.is_none() =>
+                    {
+                        step = Some(u32::from(imm.unsigned_abs()));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        pc += INST_BYTES;
+    }
+    let step = step?;
+
+    let entry = preheader_state(cfg, in_states, lp)?;
+    let Val::Const(init) = entry[ctr.number() as usize] else { return None };
+    let init = init as i32;
+    if init <= 0 {
+        return None;
+    }
+    Some(u64::from((init as u32).div_ceil(step)))
+}
+
+/// Runs the class-mix pass: per-loop span/own mixes, trip estimates, nest
+/// weights, and the whole-program partition.
+#[must_use]
+pub fn class_mix(program: &Program, cfg: &Cfg, loops: &[NaturalLoop]) -> ClassMix {
+    let in_states = block_in_states(cfg);
+
+    let mut per_loop: Vec<LoopMix> = loops
+        .iter()
+        .map(|lp| {
+            let mut span_mix = Mix::default();
+            let mut pc = lp.head;
+            while pc <= lp.tail {
+                if let Ok(inst) = program.inst_at(pc) {
+                    span_mix.add(&inst);
+                }
+                pc += INST_BYTES;
+            }
+            let est = estimate_trips(program, cfg, &in_states, lp);
+            LoopMix {
+                span_mix,
+                own_mix: Mix::default(),
+                est_trips: est.map_or(DEFAULT_TRIPS, |t| t as f64),
+                trip_known: est.is_some(),
+                depth: 0,
+                weight: 0.0,
+            }
+        })
+        .collect();
+
+    // Innermost-span partition over every decoded instruction.
+    let mut outside = Mix::default();
+    let mut program_mix = Mix::default();
+    for block in &cfg.blocks {
+        for &(pc, inst) in &block.insts {
+            program_mix.add(&inst);
+            match innermost(loops, pc) {
+                Some(i) => per_loop[i].own_mix.add(&inst),
+                None => outside.add(&inst),
+            }
+        }
+    }
+
+    // Nest weights: trips times the product of every *proper* ancestor's
+    // trips (span containment; same-head siblings are alternate back edges
+    // of one loop, not ancestors).
+    for i in 0..loops.len() {
+        let l = &loops[i];
+        let mut weight = per_loop[i].est_trips;
+        let mut depth = 0u32;
+        for (j, a) in loops.iter().enumerate() {
+            if j != i
+                && a.head != l.head
+                && a.head <= l.head
+                && l.tail <= a.tail
+                && (a.head, a.tail) != (l.head, l.tail)
+            {
+                weight *= per_loop[j].est_trips;
+                depth += 1;
+            }
+        }
+        per_loop[i].weight = weight;
+        per_loop[i].depth = depth;
+    }
+
+    ClassMix { loops: per_loop, outside, program: program_mix }
+}
+
+impl ClassMix {
+    /// Estimated dynamic instructions of the whole program: every
+    /// instruction weighted by the executions of its innermost span
+    /// (outside code executes once).
+    #[must_use]
+    pub fn est_dynamic_insts(&self) -> f64 {
+        let looped: f64 = self.loops.iter().map(|l| l.weight * l.own_mix.total() as f64).sum();
+        looped + self.outside.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Dominators;
+    use crate::loops::find_loops;
+
+    fn mix_of(src: &str) -> (Program, Vec<NaturalLoop>, ClassMix) {
+        let p = riq_asm::assemble(src).expect("test source assembles");
+        let cfg = Cfg::build(&p);
+        let doms = Dominators::compute(&cfg);
+        let loops = find_loops(&cfg, &doms);
+        let m = class_mix(&p, &cfg, &loops);
+        (p, loops, m)
+    }
+
+    const COUNTED: &str =
+        ".text\n  li $r2, 12\nloop:\n  addi $r3, $r3, 1\n  lw $r4, 0($r29)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n";
+
+    #[test]
+    fn counted_loop_trips_are_proven() {
+        let (_, _, m) = mix_of(COUNTED);
+        assert_eq!(m.loops.len(), 1);
+        let l = &m.loops[0];
+        assert!(l.trip_known);
+        assert_eq!(l.est_trips, 12.0);
+        assert_eq!(l.weight, 12.0);
+        assert_eq!(l.depth, 0);
+    }
+
+    #[test]
+    fn span_mix_counts_classes() {
+        let (_, _, m) = mix_of(COUNTED);
+        let l = &m.loops[0];
+        assert_eq!(l.span_mix.count(EnergyClass::Int), 2, "addi + addi");
+        assert_eq!(l.span_mix.count(EnergyClass::Load), 1);
+        assert_eq!(l.span_mix.count(EnergyClass::Branch), 1);
+        assert_eq!(l.span_mix.total(), 4);
+    }
+
+    #[test]
+    fn own_plus_outside_partitions_program() {
+        let (_, _, m) = mix_of(
+            ".text\n  li $r2, 3\nouter:\n  li $r3, 4\ninner:\n  addi $r3, $r3, -1\n  bne $r3, $r0, inner\n  addi $r2, $r2, -1\n  bne $r2, $r0, outer\n  halt\n",
+        );
+        let mut sum = m.outside;
+        for l in &m.loops {
+            sum.merge(&l.own_mix);
+        }
+        assert_eq!(sum, m.program);
+        assert_eq!(m.program.total(), 7);
+    }
+
+    #[test]
+    fn nested_weights_multiply() {
+        let (p, loops, m) = mix_of(
+            ".text\n  li $r2, 3\nouter:\n  li $r3, 4\ninner:\n  addi $r3, $r3, -1\n  bne $r3, $r0, inner\n  addi $r2, $r2, -1\n  bne $r2, $r0, outer\n  halt\n",
+        );
+        let inner = loops.iter().position(|l| l.head == p.symbol("inner").unwrap()).unwrap();
+        let outer = loops.iter().position(|l| l.head == p.symbol("outer").unwrap()).unwrap();
+        assert_eq!(m.loops[outer].est_trips, 3.0);
+        assert_eq!(m.loops[inner].est_trips, 4.0);
+        assert_eq!(m.loops[inner].depth, 1);
+        assert_eq!(m.loops[inner].weight, 12.0, "4 trips x 3 outer entries");
+    }
+
+    #[test]
+    fn unprovable_counter_falls_back() {
+        // The counter is reloaded from memory: no single self-decrement.
+        let (_, _, m) = mix_of(
+            ".text\nloop:\n  lw $r2, 0($r29)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        assert!(!m.loops[0].trip_known);
+        assert_eq!(m.loops[0].est_trips, DEFAULT_TRIPS);
+    }
+
+    #[test]
+    fn gtz_countdown_is_recognized() {
+        let (_, _, m) = mix_of(
+            ".text\n  li $r10, 21\nL0:\n  addi $r3, $r3, 1\n  addi $r10, $r10, -1\n  bgtz $r10, L0\n  halt\n",
+        );
+        assert!(m.loops[0].trip_known);
+        assert_eq!(m.loops[0].est_trips, 21.0);
+    }
+
+    #[test]
+    fn est_dynamic_insts_weights_loops() {
+        let (_, _, m) = mix_of(COUNTED);
+        // 12 trips x 4-inst body + 2 outside (li, halt).
+        assert_eq!(m.est_dynamic_insts(), 12.0 * 4.0 + 2.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Intraprocedural constant propagation over the CFG.
+//!
+//! Shared by three consumers: the linter's store-target check, the
+//! class-mix pass's trip-count estimator, and the stride/alias pass's
+//! address-window resolution. Entry state: every register 0 (the
+//! emulator's reset state) except the loader-initialized stack pointer.
+//! Crossing a call-summary edge havocs everything — the callee may
+//! clobber any register — so only values provably constant on every path
+//! survive to a use.
+
+use crate::cfg::Cfg;
+use riq_asm::STACK_TOP;
+use riq_isa::{AluImmOp, AluOp, ArchReg, Inst, IntReg, ShiftOp};
+
+/// Abstract register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Val {
+    /// Known constant.
+    Const(u32),
+    /// Statically unknown.
+    Unknown,
+}
+
+/// Abstract machine state: one [`Val`] per integer register.
+pub(crate) type State = [Val; 32];
+
+/// The state at the program entry point.
+pub(crate) fn entry_state() -> State {
+    let mut state = [Val::Const(0); 32];
+    state[IntReg::SP.number() as usize] = Val::Const(STACK_TOP);
+    state
+}
+
+/// Pointwise meet: disagreeing registers drop to [`Val::Unknown`].
+pub(crate) fn meet(a: &State, b: &State) -> State {
+    let mut out = *a;
+    for (o, &bv) in out.iter_mut().zip(b.iter()) {
+        if *o != bv {
+            *o = Val::Unknown;
+        }
+    }
+    out
+}
+
+/// Applies one instruction's effect to `state`.
+pub(crate) fn transfer_inst(state: &mut State, pc: u32, inst: &Inst) {
+    let get = |s: &State, r: IntReg| s[r.number() as usize];
+    let set = |s: &mut State, r: IntReg, v: Val| {
+        if !r.is_zero() {
+            s[r.number() as usize] = v;
+        }
+    };
+    let bin = |s: &State, rs: IntReg, rt: IntReg, f: fn(u32, u32) -> u32| match (
+        get(s, rs),
+        get(s, rt),
+    ) {
+        (Val::Const(a), Val::Const(b)) => Val::Const(f(a, b)),
+        _ => Val::Unknown,
+    };
+    match *inst {
+        Inst::AluImm { op, rt, rs, imm } => {
+            let v = match get(state, rs) {
+                Val::Const(a) => Val::Const(match op {
+                    AluImmOp::Addi => a.wrapping_add(imm as i32 as u32),
+                    AluImmOp::Slti => u32::from((a as i32) < i32::from(imm)),
+                    AluImmOp::Sltiu => u32::from(a < (imm as i32 as u32)),
+                    AluImmOp::Andi => a & u32::from(imm as u16),
+                    AluImmOp::Ori => a | u32::from(imm as u16),
+                    AluImmOp::Xori => a ^ u32::from(imm as u16),
+                }),
+                Val::Unknown => Val::Unknown,
+            };
+            set(state, rt, v);
+        }
+        Inst::Lui { rt, imm } => set(state, rt, Val::Const(u32::from(imm) << 16)),
+        Inst::Alu { op, rd, rs, rt } => {
+            let v = match op {
+                AluOp::Add => bin(state, rs, rt, u32::wrapping_add),
+                AluOp::Sub => bin(state, rs, rt, u32::wrapping_sub),
+                AluOp::Mul => bin(state, rs, rt, u32::wrapping_mul),
+                AluOp::Div => bin(state, rs, rt, |a, b| {
+                    if b == 0 {
+                        0
+                    } else {
+                        ((a as i32).wrapping_div(b as i32)) as u32
+                    }
+                }),
+                AluOp::Rem => bin(state, rs, rt, |a, b| {
+                    if b == 0 {
+                        0
+                    } else {
+                        ((a as i32).wrapping_rem(b as i32)) as u32
+                    }
+                }),
+                AluOp::And => bin(state, rs, rt, |a, b| a & b),
+                AluOp::Or => bin(state, rs, rt, |a, b| a | b),
+                AluOp::Xor => bin(state, rs, rt, |a, b| a ^ b),
+                AluOp::Nor => bin(state, rs, rt, |a, b| !(a | b)),
+                AluOp::Slt => bin(state, rs, rt, |a, b| u32::from((a as i32) < (b as i32))),
+                AluOp::Sltu => bin(state, rs, rt, |a, b| u32::from(a < b)),
+                AluOp::Sllv => bin(state, rs, rt, |a, b| a << (b & 31)),
+                AluOp::Srlv => bin(state, rs, rt, |a, b| a >> (b & 31)),
+                AluOp::Srav => bin(state, rs, rt, |a, b| ((a as i32) >> (b & 31)) as u32),
+            };
+            set(state, rd, v);
+        }
+        Inst::Shift { op, rd, rt, shamt } => {
+            let v = match get(state, rt) {
+                Val::Const(a) => Val::Const(match op {
+                    ShiftOp::Sll => a << (shamt & 31),
+                    ShiftOp::Srl => a >> (shamt & 31),
+                    ShiftOp::Sra => ((a as i32) >> (shamt & 31)) as u32,
+                }),
+                Val::Unknown => Val::Unknown,
+            };
+            set(state, rd, v);
+        }
+        Inst::Jal { .. } => set(state, IntReg::RA, Val::Const(pc.wrapping_add(4))),
+        Inst::Jalr { rd, .. } => set(state, rd, Val::Const(pc.wrapping_add(4))),
+        _ => {
+            if let Some(ArchReg::Int(rd)) = inst.dest() {
+                set(state, rd, Val::Unknown);
+            }
+        }
+    }
+}
+
+/// Fixpoint in-states per block, propagated from [`entry_state`] at the
+/// CFG entry. `None` marks blocks the propagation never reached. A
+/// call-summary edge (and the call edge into an arbitrary callee) havocs
+/// the outgoing state; plain edges propagate it.
+pub(crate) fn block_in_states(cfg: &Cfg) -> Vec<Option<State>> {
+    let n = cfg.blocks.len();
+    let mut in_state: Vec<Option<State>> = vec![None; n];
+    if n == 0 {
+        return in_state;
+    }
+    in_state[cfg.entry] = Some(entry_state());
+    let havoc: State = [Val::Unknown; 32];
+
+    let mut work = vec![cfg.entry];
+    while let Some(b) = work.pop() {
+        let Some(mut state) = in_state[b] else { continue };
+        let block = &cfg.blocks[b];
+        for &(pc, inst) in &block.insts {
+            transfer_inst(&mut state, pc, &inst);
+        }
+        let had_call = block.call_succ.is_some() || block.indirect_call;
+        for (succ, out) in block
+            .succs
+            .iter()
+            .map(|&s| (s, if had_call { havoc } else { state }))
+            .chain(block.call_succ.map(|s| (s, state)))
+        {
+            let merged = match in_state[succ] {
+                None => out,
+                Some(prev) => meet(&prev, &out),
+            };
+            if in_state[succ] != Some(merged) {
+                in_state[succ] = Some(merged);
+                work.push(succ);
+            }
+        }
+    }
+    in_state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riq_asm::assemble;
+
+    #[test]
+    fn entry_state_pins_zero_and_sp() {
+        let s = entry_state();
+        assert_eq!(s[0], Val::Const(0));
+        assert_eq!(s[IntReg::SP.number() as usize], Val::Const(STACK_TOP));
+    }
+
+    #[test]
+    fn straight_line_constants_fold() {
+        let p = assemble(".text\n  li $r4, 40\n  addi $r4, $r4, 2\n  halt\n").unwrap();
+        let cfg = Cfg::build(&p);
+        let states = block_in_states(&cfg);
+        let mut s = states[cfg.entry].unwrap();
+        for &(pc, inst) in &cfg.blocks[cfg.entry].insts {
+            transfer_inst(&mut s, pc, &inst);
+        }
+        assert_eq!(s[4], Val::Const(42));
+    }
+
+    #[test]
+    fn back_edge_meet_drops_loop_carried_values() {
+        let p = assemble(
+            ".text\n  li $r2, 3\nloop:\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        let states = block_in_states(&cfg);
+        let head = cfg.block_starting_at(p.symbol("loop").unwrap()).unwrap();
+        assert_eq!(states[head].unwrap()[2], Val::Unknown, "3 meets 2/1/0");
+    }
+
+    #[test]
+    fn call_summary_edge_havocs() {
+        let p = assemble(".text\n  li $r4, 7\n  jal leaf\n  halt\nleaf:\n  jr $ra\n").unwrap();
+        let cfg = Cfg::build(&p);
+        let states = block_in_states(&cfg);
+        let ret = cfg.blocks.iter().position(|b| matches!(b.insts[0].1, Inst::Halt)).unwrap();
+        assert_eq!(states[ret].unwrap()[4], Val::Unknown);
+    }
+}

@@ -16,12 +16,18 @@
 //! 4. **Eligibility** ([`classify`]) — mirror the reuse controller's
 //!    buffering rules on the contiguous span `[head, tail]` at each queue
 //!    capacity in [`CAPACITIES`];
-//! 5. **Liveness + lint** ([`Liveness`], [`lint`]) — def-use dataflow
+//! 5. **Predictive passes** ([`class_mix`], [`mem_summary`], [`predict`])
+//!    — per-loop instruction-class mixes weighted by const-prop trip
+//!    estimates, memory stride/alias-window classification, and a static
+//!    reuse-benefit score at every capacity;
+//! 6. **Liveness + lint** ([`Liveness`], [`lint`]) — def-use dataflow
 //!    powering a program linter (read-before-write, unreachable code,
-//!    control flow or stores escaping their segments);
-//! 6. **Agreement** ([`agreement`]) — replay a run's reuse-FSM trace
-//!    events and score the static verdicts against actual promotions
-//!    (precision/recall), classifying every disagreement.
+//!    control flow or stores escaping their segments, aliasing reuse
+//!    windows);
+//! 7. **Agreement + attribution** ([`agreement`], [`attribute`]) — replay
+//!    a run's reuse-FSM trace events, score the static verdicts against
+//!    actual promotions (precision/recall), and attribute measured
+//!    per-loop, per-class energy/IPC deltas back to the loop table.
 //!
 //! # Examples
 //!
@@ -47,28 +53,43 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod attribute;
 mod cfg;
+mod classmix;
+mod constprop;
 mod dataflow;
 mod dom;
 mod dynagree;
 mod eligibility;
 mod lint;
 mod loops;
+mod predict;
 mod report;
+mod stride;
 
+pub use attribute::{
+    attribute, attribution_json, attribution_summary_line, attribution_table, Attribution,
+    LoopAttribution, MeasuredRun, ATTRIBUTION_SCHEMA_VERSION,
+};
 pub use cfg::{BasicBlock, Cfg};
+pub use classmix::{class_mix, energy_class_of, ClassMix, LoopMix, Mix, DEFAULT_TRIPS};
 pub use dataflow::{first_exposed_use, reg_bit, regs_in, Liveness, RegSet};
 pub use dom::Dominators;
 pub use dynagree::{agreement, Agreement, LoopAgreement};
 pub use eligibility::{capturable_loop_end, classify, Eligibility, CAPACITIES};
 pub use lint::{lint, Diag, LintReport, Severity};
 pub use loops::{find_loops, BackKind, NaturalLoop};
+pub use predict::{
+    predict, program_score, Prediction, ALIAS_PENALTY, FRONT_END_SAVINGS_FRACTION, WARMUP_ITERS,
+};
 pub use report::{human_table, report_json, summary_line, ANALYZE_SCHEMA_VERSION};
+pub use stride::{alias_diags, mem_summary, LoopMem, MemRef};
 
 use riq_asm::Program;
+use riq_power::ClassEnergyProfile;
 
 /// One natural loop with its static eligibility at every capacity in
-/// [`CAPACITIES`].
+/// [`CAPACITIES`], plus the predictive pass results.
 #[derive(Debug, Clone)]
 pub struct LoopSummary {
     /// The loop itself.
@@ -77,6 +98,13 @@ pub struct LoopSummary {
     pub per_capacity: Vec<(u32, Eligibility)>,
     /// Smallest analyzed capacity at which the loop is eligible, if any.
     pub min_capacity: Option<u32>,
+    /// Instruction-class mix and trip estimate ([`class_mix`]).
+    pub mix: LoopMix,
+    /// Memory stride/alias summary ([`mem_summary`]).
+    pub mem: LoopMem,
+    /// Benefit prediction per capacity, aligned with `per_capacity`
+    /// ([`predict`], at the default all-ones [`ClassEnergyProfile`]).
+    pub predict: Vec<Prediction>,
 }
 
 /// The full static analysis of one program.
@@ -92,6 +120,10 @@ pub struct Analysis {
     pub liveness: Liveness,
     /// Lint diagnostics.
     pub lint: LintReport,
+    /// Class mix of instructions contained in no loop span.
+    pub outside_mix: Mix,
+    /// Class mix of every decoded instruction in the text segment.
+    pub program_mix: Mix,
 }
 
 /// Runs the whole static pipeline over `program`.
@@ -100,20 +132,38 @@ pub fn analyze(program: &Program) -> Analysis {
     let cfg = Cfg::build(program);
     let doms = Dominators::compute(&cfg);
     let liveness = Liveness::compute(&cfg);
-    let lint = lint::lint(program, &cfg, &liveness);
-    let loops = find_loops(&cfg, &doms)
-        .into_iter()
+    let mut lint = lint::lint(program, &cfg, &liveness);
+    let naturals = find_loops(&cfg, &doms);
+
+    // Predictive passes over the loop table.
+    let mix = class_mix(program, &cfg, &naturals);
+    let mems = mem_summary(program, &cfg, &naturals);
+    lint.diags.extend(alias_diags(program, &naturals, &mems));
+    lint.diags.sort_by(|a, b| a.pc.cmp(&b.pc).then(a.code.cmp(b.code)));
+
+    let per_caps: Vec<Vec<(u32, Eligibility)>> = naturals
+        .iter()
         .map(|natural| {
-            let per_capacity: Vec<(u32, Eligibility)> = CAPACITIES
-                .iter()
-                .map(|&cap| (cap, classify(program, &cfg, &natural, cap)))
-                .collect();
-            let min_capacity =
-                per_capacity.iter().find(|(_, e)| e.is_eligible()).map(|&(cap, _)| cap);
-            LoopSummary { natural, per_capacity, min_capacity }
+            CAPACITIES.iter().map(|&cap| (cap, classify(program, &cfg, natural, cap))).collect()
         })
         .collect();
-    Analysis { cfg, doms, loops, liveness, lint }
+    let predictions = predict(&per_caps, &mix, &mems, &ClassEnergyProfile::default());
+
+    let outside_mix = mix.outside;
+    let program_mix = mix.program;
+    let loops = naturals
+        .into_iter()
+        .zip(per_caps)
+        .zip(mix.loops)
+        .zip(mems)
+        .zip(predictions)
+        .map(|((((natural, per_capacity), loop_mix), mem), pred)| {
+            let min_capacity =
+                per_capacity.iter().find(|(_, e)| e.is_eligible()).map(|&(cap, _)| cap);
+            LoopSummary { natural, per_capacity, min_capacity, mix: loop_mix, mem, predict: pred }
+        })
+        .collect();
+    Analysis { cfg, doms, loops, liveness, lint, outside_mix, program_mix }
 }
 
 #[cfg(test)]

@@ -8,9 +8,10 @@
 //! hand-written assembly).
 
 use crate::cfg::Cfg;
+use crate::constprop::{block_in_states, transfer_inst, Val};
 use crate::dataflow::{first_exposed_use, regs_in, Liveness};
 use riq_asm::{Program, STACK_TOP};
-use riq_isa::{AluImmOp, AluOp, ArchReg, Inst, IntReg, ShiftOp};
+use riq_isa::{ArchReg, Inst, IntReg};
 
 /// How bad a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -158,114 +159,9 @@ pub fn lint(program: &Program, cfg: &Cfg, live: &Liveness) -> LintReport {
     LintReport { diags }
 }
 
-/// Abstract register value for the store-target check.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Val {
-    /// Known constant.
-    Const(u32),
-    /// Statically unknown.
-    Unknown,
-}
-
-type State = [Val; 32];
-
-fn meet(a: &State, b: &State) -> State {
-    let mut out = *a;
-    for (o, &bv) in out.iter_mut().zip(b.iter()) {
-        if *o != bv {
-            *o = Val::Unknown;
-        }
-    }
-    out
-}
-
-fn transfer_inst(state: &mut State, pc: u32, inst: &Inst) {
-    let get = |s: &State, r: IntReg| s[r.number() as usize];
-    let set = |s: &mut State, r: IntReg, v: Val| {
-        if !r.is_zero() {
-            s[r.number() as usize] = v;
-        }
-    };
-    let bin = |s: &State, rs: IntReg, rt: IntReg, f: fn(u32, u32) -> u32| match (
-        get(s, rs),
-        get(s, rt),
-    ) {
-        (Val::Const(a), Val::Const(b)) => Val::Const(f(a, b)),
-        _ => Val::Unknown,
-    };
-    match *inst {
-        Inst::AluImm { op, rt, rs, imm } => {
-            let v = match get(state, rs) {
-                Val::Const(a) => Val::Const(match op {
-                    AluImmOp::Addi => a.wrapping_add(imm as i32 as u32),
-                    AluImmOp::Slti => u32::from((a as i32) < i32::from(imm)),
-                    AluImmOp::Sltiu => u32::from(a < (imm as i32 as u32)),
-                    AluImmOp::Andi => a & u32::from(imm as u16),
-                    AluImmOp::Ori => a | u32::from(imm as u16),
-                    AluImmOp::Xori => a ^ u32::from(imm as u16),
-                }),
-                Val::Unknown => Val::Unknown,
-            };
-            set(state, rt, v);
-        }
-        Inst::Lui { rt, imm } => set(state, rt, Val::Const(u32::from(imm) << 16)),
-        Inst::Alu { op, rd, rs, rt } => {
-            let v = match op {
-                AluOp::Add => bin(state, rs, rt, u32::wrapping_add),
-                AluOp::Sub => bin(state, rs, rt, u32::wrapping_sub),
-                AluOp::Mul => bin(state, rs, rt, u32::wrapping_mul),
-                AluOp::Div => bin(state, rs, rt, |a, b| {
-                    if b == 0 {
-                        0
-                    } else {
-                        ((a as i32).wrapping_div(b as i32)) as u32
-                    }
-                }),
-                AluOp::Rem => bin(state, rs, rt, |a, b| {
-                    if b == 0 {
-                        0
-                    } else {
-                        ((a as i32).wrapping_rem(b as i32)) as u32
-                    }
-                }),
-                AluOp::And => bin(state, rs, rt, |a, b| a & b),
-                AluOp::Or => bin(state, rs, rt, |a, b| a | b),
-                AluOp::Xor => bin(state, rs, rt, |a, b| a ^ b),
-                AluOp::Nor => bin(state, rs, rt, |a, b| !(a | b)),
-                AluOp::Slt => bin(state, rs, rt, |a, b| u32::from((a as i32) < (b as i32))),
-                AluOp::Sltu => bin(state, rs, rt, |a, b| u32::from(a < b)),
-                AluOp::Sllv => bin(state, rs, rt, |a, b| a << (b & 31)),
-                AluOp::Srlv => bin(state, rs, rt, |a, b| a >> (b & 31)),
-                AluOp::Srav => bin(state, rs, rt, |a, b| ((a as i32) >> (b & 31)) as u32),
-            };
-            set(state, rd, v);
-        }
-        Inst::Shift { op, rd, rt, shamt } => {
-            let v = match get(state, rt) {
-                Val::Const(a) => Val::Const(match op {
-                    ShiftOp::Sll => a << (shamt & 31),
-                    ShiftOp::Srl => a >> (shamt & 31),
-                    ShiftOp::Sra => ((a as i32) >> (shamt & 31)) as u32,
-                }),
-                Val::Unknown => Val::Unknown,
-            };
-            set(state, rd, v);
-        }
-        Inst::Jal { .. } => set(state, IntReg::RA, Val::Const(pc.wrapping_add(4))),
-        Inst::Jalr { rd, .. } => set(state, rd, Val::Const(pc.wrapping_add(4))),
-        _ => {
-            if let Some(ArchReg::Int(rd)) = inst.dest() {
-                set(state, rd, Val::Unknown);
-            }
-        }
-    }
-}
-
-/// Intraprocedural constant propagation driving the store-target checks.
-/// Entry state: every register 0 (the emulator's reset state) except the
-/// stack pointer. Crossing a call-summary edge havocs everything — the
-/// callee may clobber any register — so only addresses provably constant
-/// on every path are flagged.
+/// Constant propagation ([`crate::constprop`]) driving the store-target
+/// checks: walk each reachable block with its fixpoint in-state and check
+/// every store's address when it is a known constant.
 fn lint_store_targets(
     program: &Program,
     cfg: &Cfg,
@@ -276,44 +172,7 @@ fn lint_store_targets(
     if cfg.blocks.is_empty() {
         return;
     }
-    let mut entry_state: State = [Val::Const(0); 32];
-    entry_state[IntReg::SP.number() as usize] = Val::Const(STACK_TOP);
-
-    let n = cfg.blocks.len();
-    let mut in_state: Vec<Option<State>> = vec![None; n];
-    in_state[cfg.entry] = Some(entry_state);
-    let havoc: State = [Val::Unknown; 32];
-
-    let mut work = vec![cfg.entry];
-    while let Some(b) = work.pop() {
-        let Some(mut state) = in_state[b] else { continue };
-        let block = &cfg.blocks[b];
-        for &(pc, inst) in &block.insts {
-            transfer_inst(&mut state, pc, &inst);
-        }
-        // A call-summary edge (and the call edge into a statically unknown
-        // point of an arbitrary callee) havocs the state; plain edges
-        // propagate it.
-        let had_call = block.call_succ.is_some() || block.indirect_call;
-        for (succ, out) in block
-            .succs
-            .iter()
-            .map(|&s| (s, if had_call { havoc } else { state }))
-            .chain(block.call_succ.map(|s| (s, state)))
-        {
-            let merged = match in_state[succ] {
-                None => out,
-                Some(prev) => meet(&prev, &out),
-            };
-            if in_state[succ] != Some(merged) {
-                in_state[succ] = Some(merged);
-                work.push(succ);
-            }
-        }
-    }
-
-    // Second pass: walk each reachable block with its fixpoint in-state and
-    // check every store's address when it is a known constant.
+    let in_state = block_in_states(cfg);
     let stack_floor = STACK_TOP - STACK_WINDOW;
     for (b, block) in cfg.blocks.iter().enumerate() {
         if !reachable[b] {

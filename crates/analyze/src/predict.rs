@@ -1,0 +1,216 @@
+//! Static reuse-benefit prediction.
+//!
+//! Scores every natural loop at each capacity in
+//! [`crate::CAPACITIES`] by composing the three static passes: the
+//! eligibility verdict (can the FSM capture it at all), the class-mix
+//! trip estimates (how much dynamic execution the span covers), and the
+//! stride/alias classification (does the span predict revoke-causing
+//! memory squashes). The model mirrors the reuse FSM's warm-up: one
+//! iteration to detect the backward branch, one to buffer, gating from
+//! the third on — so a loop pays for itself only when its proven trip
+//! count clears [`WARMUP_ITERS`].
+//!
+//! Predicted energy is a *score*, not joules: each predicted gated cycle
+//! saves [`FRONT_END_SAVINGS_FRACTION`] of the chip's per-cycle energy
+//! (front-end idle→gated plus the front-end clock share), and the
+//! per-class decomposition splits that score over the loop's span mix
+//! under a [`ClassEnergyProfile`]. Ranking loops (and kernels) by this
+//! score is what the attribution engine validates against measured
+//! per-loop savings.
+
+use crate::classmix::ClassMix;
+use crate::eligibility::Eligibility;
+use crate::stride::LoopMem;
+use riq_power::{ClassEnergyProfile, EnergyClass};
+
+/// Iterations the FSM spends detecting + buffering before gating.
+pub const WARMUP_ITERS: f64 = 2.0;
+
+/// Fraction of whole-chip per-cycle energy saved while the front end is
+/// gated (idle→gated front-end structures plus the front-end clock
+/// share of the Wattch-style model).
+pub const FRONT_END_SAVINGS_FRACTION: f64 = 0.10;
+
+/// Multiplier applied to a loop whose stride pass found aliasing
+/// windows: memory-order squashes revoke buffering, so most entries
+/// never reach (or stay in) code reuse.
+pub const ALIAS_PENALTY: f64 = 0.25;
+
+/// Predicted benefit of one loop at one queue capacity.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Queue capacity the prediction is for.
+    pub capacity: u32,
+    /// Whether the loop is statically eligible at this capacity.
+    pub eligible: bool,
+    /// Predicted promotions to code reuse (one per loop entry whose
+    /// trip estimate clears the warm-up).
+    pub promotions: f64,
+    /// Predicted instructions supplied from the reuse buffer.
+    pub reused_insts: f64,
+    /// Predicted front-end-gated cycles (unit-IPC estimate).
+    pub gated_cycles: f64,
+    /// Predicted fraction of whole-program energy saved.
+    pub energy_savings: f64,
+    /// Predicted fraction of whole-program EDP saved (the model holds
+    /// IPC constant, so delay is unchanged and this equals the energy
+    /// fraction).
+    pub edp_savings: f64,
+    /// Per-class split of `energy_savings`, aligned with
+    /// [`EnergyClass::ALL`], weighted by the profile.
+    pub class_savings: [f64; 5],
+}
+
+/// Runs the predictor for every loop at every capacity in
+/// `per_capacity`'s verdict lists. `per_capacity`, `mix.loops`, and
+/// `mems` are all aligned with the loop table.
+#[must_use]
+pub fn predict(
+    per_capacity: &[Vec<(u32, Eligibility)>],
+    mix: &ClassMix,
+    mems: &[LoopMem],
+    profile: &ClassEnergyProfile,
+) -> Vec<Vec<Prediction>> {
+    let est_total = mix.est_dynamic_insts().max(1.0);
+    per_capacity
+        .iter()
+        .enumerate()
+        .map(|(i, verdicts)| {
+            let lm = &mix.loops[i];
+            let mem = &mems[i];
+            verdicts
+                .iter()
+                .map(|(cap, verdict)| predict_one(*cap, verdict, lm, mem, profile, est_total))
+                .collect()
+        })
+        .collect()
+}
+
+fn predict_one(
+    capacity: u32,
+    verdict: &Eligibility,
+    lm: &crate::classmix::LoopMix,
+    mem: &LoopMem,
+    profile: &ClassEnergyProfile,
+    est_total: f64,
+) -> Prediction {
+    let zero = Prediction {
+        capacity,
+        eligible: false,
+        promotions: 0.0,
+        reused_insts: 0.0,
+        gated_cycles: 0.0,
+        energy_savings: 0.0,
+        edp_savings: 0.0,
+        class_savings: [0.0; 5],
+    };
+    let Eligibility::Eligible { iter_size, .. } = *verdict else { return zero };
+
+    let entries = (lm.weight / lm.est_trips).max(1.0);
+    let gated_iters = (lm.est_trips - WARMUP_ITERS).max(0.0);
+    let penalty = if mem.alias_pairs.is_empty() { 1.0 } else { ALIAS_PENALTY };
+    let promotions = if gated_iters > 0.0 { entries * penalty } else { 0.0 };
+    let reused_insts = entries * gated_iters * f64::from(iter_size) * penalty;
+    // Unit-IPC estimate: one buffered instruction per gated cycle.
+    let gated_cycles = reused_insts;
+    let energy_savings = (gated_cycles / est_total) * FRONT_END_SAVINGS_FRACTION;
+
+    // Per-class split of the score over the span mix, reweighted by the
+    // profile (a heavier class absorbs more of the predicted benefit).
+    let weighted: Vec<f64> =
+        EnergyClass::ALL.iter().map(|&c| profile.weight(c) * lm.span_mix.share(c)).collect();
+    let wsum: f64 = weighted.iter().sum();
+    let mut class_savings = [0.0; 5];
+    if wsum > 0.0 {
+        for (slot, w) in class_savings.iter_mut().zip(weighted.iter()) {
+            *slot = energy_savings * w / wsum;
+        }
+    }
+
+    Prediction {
+        capacity,
+        eligible: true,
+        promotions,
+        reused_insts,
+        gated_cycles,
+        energy_savings,
+        edp_savings: energy_savings,
+        class_savings,
+    }
+}
+
+/// Whole-program predicted savings score at one capacity: the sum over
+/// every loop's predicted energy-savings fraction. This is the number
+/// the rank-correlation acceptance test compares against measured
+/// energy savings across kernels.
+#[must_use]
+pub fn program_score(predictions: &[Vec<Prediction>], capacity: u32) -> f64 {
+    predictions
+        .iter()
+        .flat_map(|per_cap| per_cap.iter().filter(|p| p.capacity == capacity))
+        .map(|p| p.energy_savings)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, CAPACITIES};
+    use riq_asm::assemble;
+
+    const COUNTED: &str =
+        ".text\n  li $r2, 12\nloop:\n  addi $r3, $r3, 1\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n";
+
+    #[test]
+    fn eligible_counted_loop_predicts_benefit() {
+        let p = assemble(COUNTED).unwrap();
+        let a = analyze(&p);
+        let preds = &a.loops[0].predict;
+        assert_eq!(preds.len(), CAPACITIES.len());
+        let at64 = preds.iter().find(|p| p.capacity == 64).unwrap();
+        assert!(at64.eligible);
+        assert_eq!(at64.promotions, 1.0);
+        // 1 entry x (12 - 2) gated iterations x 3-inst iteration.
+        assert_eq!(at64.reused_insts, 30.0);
+        assert!(at64.energy_savings > 0.0);
+        assert_eq!(at64.edp_savings, at64.energy_savings);
+        let split: f64 = at64.class_savings.iter().sum();
+        assert!((split - at64.energy_savings).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ineligible_capacity_predicts_zero() {
+        // Span 3 loop: at capacity 2 it is too large.
+        let p = assemble(COUNTED).unwrap();
+        let a = analyze(&p);
+        let verdicts = vec![vec![(2u32, crate::classify(&p, &a.cfg, &a.loops[0].natural, 2))]];
+        let mems = vec![a.loops[0].mem.clone()];
+        let mix = crate::classmix::class_mix(&p, &a.cfg, &[a.loops[0].natural.clone()]);
+        let preds = predict(&verdicts, &mix, &mems, &riq_power::ClassEnergyProfile::default());
+        assert!(!preds[0][0].eligible);
+        assert_eq!(preds[0][0].energy_savings, 0.0);
+    }
+
+    #[test]
+    fn short_trip_loop_never_clears_warmup() {
+        let p = assemble(
+            ".text\n  li $r2, 2\nloop:\n  addi $r3, $r3, 1\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let at64 = a.loops[0].predict.iter().find(|p| p.capacity == 64).unwrap();
+        assert!(at64.eligible, "statically capturable");
+        assert_eq!(at64.promotions, 0.0, "2 trips never exit warm-up");
+        assert_eq!(at64.energy_savings, 0.0);
+    }
+
+    #[test]
+    fn program_score_sums_eligible_loops() {
+        let p = assemble(COUNTED).unwrap();
+        let a = analyze(&p);
+        let preds: Vec<Vec<Prediction>> = a.loops.iter().map(|l| l.predict.clone()).collect();
+        let s = program_score(&preds, 64);
+        assert!(s > 0.0);
+        assert_eq!(s, a.loops[0].predict.iter().find(|p| p.capacity == 64).unwrap().energy_savings);
+    }
+}

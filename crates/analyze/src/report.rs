@@ -5,15 +5,22 @@
 //! host state — so two runs over the same program produce byte-identical
 //! output. Consumers should reject schema versions they do not know.
 
+use crate::attribute::prediction_json;
+use crate::classmix::Mix;
 use crate::dynagree::Agreement;
 use crate::eligibility::{classify, Eligibility};
+use crate::stride::LoopMem;
 use crate::Analysis;
 use riq_asm::Program;
+use riq_power::EnergyClass;
 use riq_trace::JsonValue;
 use std::fmt::Write as _;
 
 /// Version of the JSON report layout. Bump on any breaking change.
-pub const ANALYZE_SCHEMA_VERSION: u64 = 1;
+/// Version 2 adds the predictive-pass sections: per-loop class mixes,
+/// trip estimates, memory stride/alias summaries, and benefit
+/// predictions, plus the whole-program class-mix partition.
+pub const ANALYZE_SCHEMA_VERSION: u64 = 2;
 
 fn u(v: u32) -> JsonValue {
     JsonValue::UInt(u64::from(v))
@@ -39,6 +46,29 @@ fn eligibility_json(e: &Eligibility) -> JsonValue {
         Eligibility::NotBackward | Eligibility::TooLarge => {}
     }
     JsonValue::obj(pairs)
+}
+
+fn mix_json(m: &Mix) -> JsonValue {
+    let mut pairs: Vec<(&'static str, JsonValue)> =
+        EnergyClass::ALL.iter().map(|&c| (c.label(), JsonValue::UInt(m.count(c)))).collect();
+    pairs.push(("other", JsonValue::UInt(m.other)));
+    pairs.push(("total", JsonValue::UInt(m.total())));
+    JsonValue::obj(pairs)
+}
+
+fn mem_json(m: &LoopMem) -> JsonValue {
+    JsonValue::obj([
+        ("class", s(m.class())),
+        ("loads", u(m.loads())),
+        ("stores", u(m.stores())),
+        ("strided", u(m.strided())),
+        (
+            "alias_pairs",
+            JsonValue::Arr(
+                m.alias_pairs.iter().map(|&(a, b)| JsonValue::Arr(vec![u(a), u(b)])).collect(),
+            ),
+        ),
+    ])
 }
 
 fn agreement_json(g: &Agreement) -> JsonValue {
@@ -107,6 +137,14 @@ pub fn report_json(
                 ("min_capacity", summary.min_capacity.map_or(JsonValue::Null, u)),
                 ("at_iq", eligibility_json(&classify(program, &analysis.cfg, lp, iq))),
                 ("per_capacity", per_capacity),
+                ("est_trips", JsonValue::Num(summary.mix.est_trips)),
+                ("trip_known", JsonValue::Bool(summary.mix.trip_known)),
+                ("depth", u(summary.mix.depth)),
+                ("weight", JsonValue::Num(summary.mix.weight)),
+                ("span_mix", mix_json(&summary.mix.span_mix)),
+                ("own_mix", mix_json(&summary.mix.own_mix)),
+                ("mem", mem_json(&summary.mem)),
+                ("predict", JsonValue::Arr(summary.predict.iter().map(prediction_json).collect())),
             ])
         })
         .collect();
@@ -139,6 +177,13 @@ pub fn report_json(
             ]),
         ),
         ("loops", JsonValue::Arr(loops)),
+        (
+            "class_mix",
+            JsonValue::obj([
+                ("outside", mix_json(&analysis.outside_mix)),
+                ("program", mix_json(&analysis.program_mix)),
+            ]),
+        ),
         (
             "lint",
             JsonValue::obj([
@@ -199,8 +244,8 @@ pub fn human_table(
     if !analysis.loops.is_empty() {
         let _ = writeln!(
             out,
-            "  {:<24} {:>10} {:>10} {:>5} {:>12} {:>7}  verdict@{iq}",
-            "loop", "head", "tail", "span", "back", "min-iq"
+            "  {:<24} {:>10} {:>10} {:>5} {:>12} {:>7} {:>7} {:>9}  verdict@{iq}",
+            "loop", "head", "tail", "span", "back", "min-iq", "trips", "mem"
         );
         for summary in &analysis.loops {
             let lp = &summary.natural;
@@ -224,15 +269,22 @@ pub fn human_table(
                 Eligibility::Recursion { at } => format!("recursion (at {})", whereis(at)),
                 Eligibility::NotBackward | Eligibility::TooLarge => verdict.class().to_string(),
             };
+            let trips = if summary.mix.trip_known {
+                format!("{}", summary.mix.est_trips as u64)
+            } else {
+                format!("~{}", summary.mix.est_trips as u64)
+            };
             let _ = writeln!(
                 out,
-                "  {:<24} {:>10} {:>10} {:>5} {:>12} {:>7}  {detail}",
+                "  {:<24} {:>10} {:>10} {:>5} {:>12} {:>7} {:>7} {:>9}  {detail}",
                 whereis(lp.head),
                 format!("{:#x}", lp.head),
                 format!("{:#x}", lp.tail),
                 lp.span(),
                 lp.back_kind.as_str(),
                 summary.min_capacity.map_or_else(|| "-".to_string(), |c| c.to_string()),
+                trips,
+                summary.mem.class(),
             );
         }
     }
@@ -301,6 +353,23 @@ mod tests {
         assert_eq!(per_cap.len(), CAPACITIES.len());
         assert_eq!(loops[0].get("head_label").unwrap().as_str(), Some("loop"));
         assert_eq!(loops[0].get("at_iq").unwrap().get("class").unwrap().as_str(), Some("eligible"));
+    }
+
+    #[test]
+    fn json_report_v2_carries_predictive_sections() {
+        let p = assemble(SRC).unwrap();
+        let a = analyze(&p);
+        let j = report_json("t", &p, &a, 64, None);
+        let loops = j.get("loops").unwrap().as_arr().unwrap();
+        assert_eq!(loops[0].get("est_trips").unwrap().as_f64(), Some(3.0));
+        assert_eq!(loops[0].get("trip_known"), Some(&JsonValue::Bool(true)));
+        assert_eq!(loops[0].get("mem").unwrap().get("class").unwrap().as_str(), Some("none"));
+        let predict = loops[0].get("predict").unwrap().as_arr().unwrap();
+        assert_eq!(predict.len(), CAPACITIES.len());
+        assert!(predict[0].get("energy_savings").is_some());
+        let cm = j.get("class_mix").unwrap();
+        let program_total = cm.get("program").unwrap().get("total").unwrap().as_u64().unwrap();
+        assert_eq!(program_total, 4, "li + addi + bne + halt");
     }
 
     #[test]

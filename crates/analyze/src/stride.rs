@@ -1,0 +1,321 @@
+//! Per-loop memory stride and alias-window classification.
+//!
+//! For every natural loop, classifies each in-span load/store by the
+//! *stride* of its base register (the net constant self-increment the
+//! span applies to it per iteration) and resolves, via constant
+//! propagation, the concrete address window `[addr, addr+width)` of refs
+//! whose base is provably constant at their program point. Two windows
+//! through **different** base registers that overlap — with at least one
+//! store — predict a memory-order violation inside the reuse-capture
+//! span: the recovery squash revokes buffering (`RevokeReason::Recovery`),
+//! so such loops rarely pay for themselves. The pass reports them per
+//! loop and feeds the `reuse-alias-window` lint warning.
+//!
+//! Same-base read-modify-write pairs are deliberately exempt: the
+//! dependence is seen by the LSQ in program order and does not squash.
+
+use crate::cfg::Cfg;
+use crate::constprop::{block_in_states, transfer_inst, Val};
+use crate::lint::{Diag, Severity};
+use crate::loops::NaturalLoop;
+use riq_asm::Program;
+use riq_isa::{AluImmOp, ArchReg, Inst, IntReg};
+use std::collections::BTreeMap;
+
+/// One load or store inside a loop span.
+#[derive(Debug, Clone, Copy)]
+pub struct MemRef {
+    /// Instruction address.
+    pub pc: u32,
+    /// Base register number.
+    pub base: u8,
+    /// Signed immediate offset.
+    pub off: i32,
+    /// Access width in bytes (4 or 8).
+    pub width: u32,
+    /// Whether the access writes memory.
+    pub is_store: bool,
+    /// Net constant change of the base per iteration: `Some(0)` for a
+    /// loop-invariant base, `None` when any in-span write to the base is
+    /// not a constant self-increment.
+    pub stride: Option<i64>,
+    /// Resolved constant address, when the base is provably constant at
+    /// this program point on every path.
+    pub addr: Option<u32>,
+}
+
+/// Memory behavior summary of one loop.
+#[derive(Debug, Clone, Default)]
+pub struct LoopMem {
+    /// In-span memory references, in address order.
+    pub refs: Vec<MemRef>,
+    /// Aliasing `(pc_a, pc_b)` pairs assigned to this loop (innermost
+    /// span containing both), lowest addresses first.
+    pub alias_pairs: Vec<(u32, u32)>,
+}
+
+impl LoopMem {
+    /// In-span loads.
+    #[must_use]
+    pub fn loads(&self) -> u32 {
+        self.refs.iter().filter(|r| !r.is_store).count() as u32
+    }
+
+    /// In-span stores.
+    #[must_use]
+    pub fn stores(&self) -> u32 {
+        self.refs.iter().filter(|r| r.is_store).count() as u32
+    }
+
+    /// Refs whose base stride is a proven constant.
+    #[must_use]
+    pub fn strided(&self) -> u32 {
+        self.refs.iter().filter(|r| r.stride.is_some()).count() as u32
+    }
+
+    /// Stable access-pattern tag: `none` (no memory), `aliasing`
+    /// (overlapping cross-base windows), `strided` (every base stride
+    /// proven), or `irregular`.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        if self.refs.is_empty() {
+            "none"
+        } else if !self.alias_pairs.is_empty() {
+            "aliasing"
+        } else if self.refs.iter().all(|r| r.stride.is_some()) {
+            "strided"
+        } else {
+            "irregular"
+        }
+    }
+}
+
+fn mem_operands(inst: &Inst) -> Option<(IntReg, i16, bool)> {
+    match *inst {
+        Inst::Lw { base, off, .. } => Some((base, off, false)),
+        Inst::Ld { base, off, .. } => Some((base, off, false)),
+        Inst::Sw { base, off, .. } => Some((base, off, true)),
+        Inst::Sd { base, off, .. } => Some((base, off, true)),
+        _ => None,
+    }
+}
+
+/// Net constant self-increment of `reg` over the span, or `None` when a
+/// write is not of the `addi reg, reg, k` shape.
+fn span_stride(program: &Program, lp: &NaturalLoop, reg: IntReg) -> Option<i64> {
+    let mut stride = 0i64;
+    let mut pc = lp.head;
+    while pc <= lp.tail {
+        if let Ok(inst) = program.inst_at(pc) {
+            if inst.dest() == Some(ArchReg::Int(reg)) {
+                match inst {
+                    Inst::AluImm { op: AluImmOp::Addi, rt, rs, imm } if rt == reg && rs == reg => {
+                        stride += i64::from(imm);
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        pc += riq_isa::INST_BYTES;
+    }
+    Some(stride)
+}
+
+/// Runs the stride/alias pass over every loop. The result is aligned
+/// with `loops`.
+#[must_use]
+pub fn mem_summary(program: &Program, cfg: &Cfg, loops: &[NaturalLoop]) -> Vec<LoopMem> {
+    // Resolve constant addresses for every memory op in one CFG walk.
+    let in_states = block_in_states(cfg);
+    let mut addr_at: BTreeMap<u32, u32> = BTreeMap::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let Some(mut state) = in_states[b] else { continue };
+        for &(pc, inst) in &block.insts {
+            if let Some((base, off, _)) = mem_operands(&inst) {
+                if let Val::Const(basev) = state[base.number() as usize] {
+                    addr_at.insert(pc, basev.wrapping_add(off as i32 as u32));
+                }
+            }
+            transfer_inst(&mut state, pc, &inst);
+        }
+    }
+
+    let mut out: Vec<LoopMem> = loops
+        .iter()
+        .map(|lp| {
+            let mut refs = Vec::new();
+            let mut pc = lp.head;
+            while pc <= lp.tail {
+                if let Ok(inst) = program.inst_at(pc) {
+                    if let Some((base, off, is_store)) = mem_operands(&inst) {
+                        refs.push(MemRef {
+                            pc,
+                            base: base.number(),
+                            off: i32::from(off),
+                            width: inst.mem_width().unwrap_or(4),
+                            is_store,
+                            stride: span_stride(program, lp, base),
+                            addr: addr_at.get(&pc).copied(),
+                        });
+                    }
+                }
+                pc += riq_isa::INST_BYTES;
+            }
+            LoopMem { refs, alias_pairs: Vec::new() }
+        })
+        .collect();
+
+    // Cross-base overlapping windows, assigned to the innermost loop span
+    // containing both references.
+    let mut pairs: Vec<(usize, u32, u32)> = Vec::new();
+    for (i, mem) in out.iter().enumerate() {
+        for (ai, a) in mem.refs.iter().enumerate() {
+            for b in mem.refs.iter().skip(ai + 1) {
+                if !(a.is_store || b.is_store) || a.base == b.base {
+                    continue;
+                }
+                let (Some(aa), Some(ba)) = (a.addr, b.addr) else { continue };
+                let overlap = aa < ba.wrapping_add(b.width) && ba < aa.wrapping_add(a.width);
+                if !overlap {
+                    continue;
+                }
+                let innermost = loops
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| {
+                        l.head <= a.pc && a.pc <= l.tail && l.head <= b.pc && b.pc <= l.tail
+                    })
+                    .min_by_key(|(_, l)| (l.span(), l.head, l.tail))
+                    .map(|(j, _)| j);
+                if innermost == Some(i) {
+                    pairs.push((i, a.pc.min(b.pc), a.pc.max(b.pc)));
+                }
+            }
+        }
+    }
+    for (i, a, b) in pairs {
+        out[i].alias_pairs.push((a, b));
+    }
+    for mem in &mut out {
+        mem.alias_pairs.sort_unstable();
+        mem.alias_pairs.dedup();
+    }
+    out
+}
+
+/// The `reuse-alias-window` lint warnings for a computed [`mem_summary`]:
+/// one per aliasing loop, anchored at the first pair's later reference.
+#[must_use]
+pub fn alias_diags(program: &Program, loops: &[NaturalLoop], mems: &[LoopMem]) -> Vec<Diag> {
+    let whereis = |a: u32| program.symbolize(a).unwrap_or_else(|| format!("{a:#x}"));
+    loops
+        .iter()
+        .zip(mems.iter())
+        .filter(|(_, m)| !m.alias_pairs.is_empty())
+        .map(|(lp, m)| {
+            let (a, b) = m.alias_pairs[0];
+            Diag {
+                severity: Severity::Warning,
+                code: "reuse-alias-window",
+                pc: Some(b),
+                message: format!(
+                    "load/store windows at {} and {} alias within the reuse-capture span \
+                     of the loop at {} ({} aliasing pair(s)) — a memory-order squash here \
+                     revokes buffering",
+                    whereis(a),
+                    whereis(b),
+                    whereis(lp.head),
+                    m.alias_pairs.len()
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Dominators;
+    use crate::loops::find_loops;
+
+    fn pass(src: &str) -> (Program, Vec<NaturalLoop>, Vec<LoopMem>) {
+        let p = riq_asm::assemble(src).expect("test source assembles");
+        let cfg = Cfg::build(&p);
+        let doms = Dominators::compute(&cfg);
+        let loops = find_loops(&cfg, &doms);
+        let mems = mem_summary(&p, &cfg, &loops);
+        (p, loops, mems)
+    }
+
+    #[test]
+    fn pointer_bump_gives_constant_stride() {
+        let (_, _, m) = pass(
+            ".data\nbuf: .space 64\n.text\n  la $r16, buf\n  li $r2, 8\nloop:\n  lw $r3, 0($r16)\n  addi $r16, $r16, 4\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        assert_eq!(m[0].refs.len(), 1);
+        assert_eq!(m[0].refs[0].stride, Some(4));
+        assert!(!m[0].refs[0].is_store);
+        assert_eq!(m[0].class(), "strided");
+        assert!(m[0].refs[0].addr.is_none(), "bumped base is unknown at the head");
+    }
+
+    #[test]
+    fn cross_base_overlap_is_aliasing() {
+        // Two bases resolve to overlapping windows over buf; the loop body
+        // never redefines them, so both addresses stay provable.
+        let (p, loops, m) = pass(
+            ".data\nbuf: .space 64\n.text\n  la $r14, buf\n  la $r15, buf\n  addi $r15, $r15, 4\n  li $r2, 8\nloop:\n  sw $r3, 4($r14)\n  lw $r4, 0($r15)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        assert_eq!(m[0].alias_pairs.len(), 1);
+        assert_eq!(m[0].class(), "aliasing");
+        let diags = alias_diags(&p, &loops, &m);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "reuse-alias-window");
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn same_base_rmw_is_exempt() {
+        let (p, loops, m) = pass(
+            ".data\nbuf: .space 64\n.text\n  la $r14, buf\n  li $r2, 8\nloop:\n  lw $r3, 0($r14)\n  addi $r3, $r3, 1\n  sw $r3, 0($r14)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        assert!(m[0].alias_pairs.is_empty(), "same-base RMW must not warn");
+        assert!(alias_diags(&p, &loops, &m).is_empty());
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_alias() {
+        let (_, _, m) = pass(
+            ".data\nbuf: .space 64\n.text\n  la $r14, buf\n  la $r15, buf\n  addi $r15, $r15, 16\n  li $r2, 8\nloop:\n  sw $r3, 0($r14)\n  lw $r4, 0($r15)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        assert!(m[0].alias_pairs.is_empty());
+    }
+
+    #[test]
+    fn load_load_overlap_is_harmless() {
+        let (_, _, m) = pass(
+            ".data\nbuf: .space 64\n.text\n  la $r14, buf\n  la $r15, buf\n  li $r2, 8\nloop:\n  lw $r3, 0($r14)\n  lw $r4, 0($r15)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        assert!(m[0].alias_pairs.is_empty(), "no store, no squash");
+    }
+
+    #[test]
+    fn pair_lands_on_innermost_loop_only() {
+        let (p, loops, m) = pass(
+            ".data\nbuf: .space 64\n.text\n  la $r14, buf\n  la $r15, buf\n  li $r2, 3\nouter:\n  li $r3, 4\ninner:\n  sw $r5, 0($r14)\n  lw $r6, 0($r15)\n  addi $r3, $r3, -1\n  bne $r3, $r0, inner\n  addi $r2, $r2, -1\n  bne $r2, $r0, outer\n  halt\n",
+        );
+        let inner = loops.iter().position(|l| l.head == p.symbol("inner").unwrap()).unwrap();
+        let outer = loops.iter().position(|l| l.head == p.symbol("outer").unwrap()).unwrap();
+        assert_eq!(m[inner].alias_pairs.len(), 1);
+        assert!(m[outer].alias_pairs.is_empty(), "pair belongs to the innermost span");
+        assert_eq!(alias_diags(&p, &loops, &m).len(), 1);
+    }
+
+    #[test]
+    fn eight_byte_windows_overlap_four_byte_ones() {
+        let (_, _, m) = pass(
+            ".data\nbuf: .space 64\n.text\n  la $r14, buf\n  la $r15, buf\n  addi $r15, $r15, 4\n  li $r2, 8\nloop:\n  s.d $f0, 0($r14)\n  lw $r4, 0($r15)\n  addi $r2, $r2, -1\n  bne $r2, $r0, loop\n  halt\n",
+        );
+        assert_eq!(m[0].alias_pairs.len(), 1, "8-byte store covers [0,8) over the load at 4");
+    }
+}

@@ -1,0 +1,270 @@
+//! Corpus-scale attribution: drive fuzz-generated programs through the
+//! deterministic bench engine and characterize measured reuse benefit
+//! against the static predictor, bucketed by structural family.
+//!
+//! Every program runs twice — baseline and reuse at one queue capacity —
+//! through [`run_jobs`], so the corpus inherits the engine's guarantees:
+//! dedup, result caching, and byte-identical aggregates for any worker
+//! count. The static side reuses `riq_analyze`'s predictor score; the
+//! per-family table is what `riq-repro attribute --corpus` prints.
+
+use crate::engine::{run_jobs, EngineOptions, ExperimentError, JobSpec};
+use riq_analyze::{analyze, predict, program_score, ClassMix};
+use riq_core::SimConfig;
+use riq_fuzz::{generate, FAMILIES};
+use riq_power::ClassEnergyProfile;
+use riq_trace::JsonValue;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Version of the corpus-attribution JSON layout.
+pub const CORPUS_SCHEMA_VERSION: u64 = 1;
+
+/// One structural-family aggregate of the corpus.
+#[derive(Debug, Clone)]
+pub struct FamilyRow {
+    /// Family label ([`riq_fuzz::TestProgram::family`]).
+    pub family: &'static str,
+    /// Programs in the bucket.
+    pub programs: u64,
+    /// Programs whose reuse leg promoted at least one loop.
+    pub promoted: u64,
+    /// Mean measured energy-saving fraction (reuse vs baseline).
+    pub mean_savings: f64,
+    /// Mean fraction of reuse-leg cycles with the front end gated.
+    pub mean_gated: f64,
+    /// Mean IPC delta (reuse − baseline).
+    pub mean_ipc_delta: f64,
+    /// Mean static predictor score ([`program_score`]).
+    pub mean_predicted: f64,
+    /// Mean dynamic revoke rate of started bufferings.
+    pub mean_revoke_rate: f64,
+}
+
+/// The corpus-attribution report.
+#[derive(Debug, Clone)]
+pub struct CorpusReport {
+    /// Queue capacity of the reuse legs.
+    pub iq: u32,
+    /// Programs characterized.
+    pub programs: u64,
+    /// Per-family aggregates, in [`FAMILIES`] priority order (empty
+    /// buckets omitted).
+    pub rows: Vec<FamilyRow>,
+}
+
+/// Runs the corpus: generates `seeds` fuzz programs, simulates each
+/// baseline+reuse at capacity `iq` through the engine, scores each with
+/// the static predictor, and aggregates by family.
+///
+/// # Errors
+///
+/// Returns the engine error of the lowest-indexed failing job, or a
+/// `JobFailed` if a generated program fails to assemble (which would be a
+/// generator bug).
+pub fn run_attribution_corpus(
+    seeds: u64,
+    iq: u32,
+    opts: &EngineOptions,
+) -> Result<CorpusReport, ExperimentError> {
+    let mut programs = Vec::with_capacity(seeds as usize);
+    for seed in 0..seeds {
+        let tp = generate(seed);
+        let source = tp.render();
+        let image = riq_asm::assemble(&source).map_err(|e| ExperimentError::JobFailed {
+            kernel: format!("fuzz-{seed:#x}"),
+            message: format!("generated program does not assemble: {e}"),
+        })?;
+        programs.push((tp.family(), Arc::new(image)));
+    }
+
+    let base_cfg = SimConfig::baseline().with_iq_size(iq);
+    let reuse_cfg = SimConfig::baseline().with_iq_size(iq).with_reuse(true);
+    let mut jobs = Vec::with_capacity(programs.len() * 2);
+    for (seed, (_, program)) in programs.iter().enumerate() {
+        jobs.push(JobSpec::new(format!("fuzz-{seed:#x}-base"), program, base_cfg.clone()));
+        jobs.push(JobSpec::new(format!("fuzz-{seed:#x}-reuse"), program, reuse_cfg.clone()));
+    }
+    let results = run_jobs(&jobs, opts)?;
+
+    #[derive(Default)]
+    struct Acc {
+        programs: u64,
+        promoted: u64,
+        savings: f64,
+        gated: f64,
+        ipc_delta: f64,
+        predicted: f64,
+        revoke_rate: f64,
+    }
+    let mut accs: Vec<Acc> = FAMILIES.iter().map(|_| Acc::default()).collect();
+    for (i, (family, program)) in programs.iter().enumerate() {
+        let base = &results[2 * i];
+        let reuse = &results[2 * i + 1];
+        let slot = FAMILIES.iter().position(|f| f == family).expect("family label in FAMILIES");
+        let acc = &mut accs[slot];
+        acc.programs += 1;
+        if reuse.stats.reuse.code_reuse_entries > 0 {
+            acc.promoted += 1;
+        }
+        let be = base.power.total_energy();
+        if be > 0.0 {
+            acc.savings += 1.0 - reuse.power.total_energy() / be;
+        }
+        acc.gated += reuse.stats.gated_rate();
+        acc.ipc_delta += reuse.stats.ipc() - base.stats.ipc();
+        acc.revoke_rate += reuse.stats.reuse.revoke_rate();
+        acc.predicted += static_score(program, iq);
+    }
+
+    let rows = FAMILIES
+        .iter()
+        .zip(accs.iter())
+        .filter(|(_, a)| a.programs > 0)
+        .map(|(&family, a)| {
+            let n = a.programs as f64;
+            FamilyRow {
+                family,
+                programs: a.programs,
+                promoted: a.promoted,
+                mean_savings: a.savings / n,
+                mean_gated: a.gated / n,
+                mean_ipc_delta: a.ipc_delta / n,
+                mean_predicted: a.predicted / n,
+                mean_revoke_rate: a.revoke_rate / n,
+            }
+        })
+        .collect();
+    Ok(CorpusReport { iq, programs: seeds, rows })
+}
+
+/// Static predictor score of one program at capacity `iq`, computed
+/// outside the precomputed capacity grid so any `--iq` works.
+fn static_score(program: &riq_asm::Program, iq: u32) -> f64 {
+    let a = analyze(program);
+    let verdicts: Vec<Vec<_>> = a
+        .loops
+        .iter()
+        .map(|s| vec![(iq, riq_analyze::classify(program, &a.cfg, &s.natural, iq))])
+        .collect();
+    let mix = ClassMix {
+        loops: a.loops.iter().map(|s| s.mix.clone()).collect(),
+        outside: a.outside_mix,
+        program: a.program_mix,
+    };
+    let mems: Vec<_> = a.loops.iter().map(|s| s.mem.clone()).collect();
+    let predictions = predict(&verdicts, &mix, &mems, &ClassEnergyProfile::default());
+    program_score(&predictions, iq)
+}
+
+impl CorpusReport {
+    /// Deterministic multi-line table for the terminal.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10} {:>8}",
+            "family",
+            "programs",
+            "promoted",
+            "savings",
+            "gated",
+            "ipc-delta",
+            "predicted",
+            "revoke"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>9} {:>8.4} {:>9.4} {:>10.4} {:>10.4} {:>8.4}",
+                r.family,
+                r.programs,
+                r.promoted,
+                r.mean_savings,
+                r.mean_gated,
+                r.mean_ipc_delta,
+                r.mean_predicted,
+                r.mean_revoke_rate,
+            );
+        }
+        out
+    }
+
+    /// One-line machine-grepable summary (pinned by CI).
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let promoted: u64 = self.rows.iter().map(|r| r.promoted).sum();
+        let mean_savings = if self.rows.is_empty() {
+            0.0
+        } else {
+            let total: f64 = self.rows.iter().map(|r| r.mean_savings * r.programs as f64).sum();
+            total / self.programs as f64
+        };
+        format!(
+            "riq-attribute-corpus: programs={} iq={} families={} promoted={promoted} mean_savings={mean_savings:.4}",
+            self.programs,
+            self.iq,
+            self.rows.len(),
+        )
+    }
+
+    /// Versioned JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                JsonValue::obj([
+                    ("family", JsonValue::Str(r.family.to_string())),
+                    ("programs", JsonValue::UInt(r.programs)),
+                    ("promoted", JsonValue::UInt(r.promoted)),
+                    ("mean_savings", JsonValue::Num(r.mean_savings)),
+                    ("mean_gated", JsonValue::Num(r.mean_gated)),
+                    ("mean_ipc_delta", JsonValue::Num(r.mean_ipc_delta)),
+                    ("mean_predicted", JsonValue::Num(r.mean_predicted)),
+                    ("mean_revoke_rate", JsonValue::Num(r.mean_revoke_rate)),
+                ])
+            })
+            .collect();
+        JsonValue::obj([
+            ("schema_version", JsonValue::UInt(CORPUS_SCHEMA_VERSION)),
+            ("iq", JsonValue::UInt(u64::from(self.iq))),
+            ("programs", JsonValue::UInt(self.programs)),
+            ("families", JsonValue::Arr(rows)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_is_deterministic_for_any_worker_count() {
+        let serial = EngineOptions { jobs: 1, ..EngineOptions::default() };
+        let threaded = EngineOptions { jobs: 4, ..EngineOptions::default() };
+        let a = run_attribution_corpus(6, 64, &serial).unwrap();
+        let b = run_attribution_corpus(6, 64, &threaded).unwrap();
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.summary_line(), b.summary_line());
+        assert_eq!(a.programs, 6);
+        assert!(!a.rows.is_empty());
+        let bucketed: u64 = a.rows.iter().map(|r| r.programs).sum();
+        assert_eq!(bucketed, 6, "every program lands in exactly one family");
+    }
+
+    #[test]
+    fn corpus_rows_carry_measured_and_predicted_signal() {
+        let opts = EngineOptions { jobs: 0, ..EngineOptions::default() };
+        let r = run_attribution_corpus(8, 64, &opts).unwrap();
+        for row in &r.rows {
+            assert!(row.mean_gated >= 0.0 && row.mean_gated <= 1.0);
+            assert!(row.mean_predicted >= 0.0);
+        }
+        // At least one generated program exercises the reuse queue.
+        assert!(r.rows.iter().any(|row| row.promoted > 0), "{:?}", r.rows);
+    }
+}

@@ -25,6 +25,10 @@
 //! riq-repro fuzz --seed S --iters N [--minimize] [--corpus DIR]
 //! riq-repro analyze <kernel|file.s> [--iq N] [--scale F] [--dynamic]
 //!           [--json PATH]
+//! riq-repro attribute <kernel|file.s> [--iq N] [--scale F] [--calibrated]
+//!           [--json PATH]
+//! riq-repro attribute --corpus [--seeds N] [--iq N] [--jobs N]
+//!           [--json PATH]
 //!
 //! experiments:
 //!   table1    baseline processor configuration (paper Table 1)
@@ -138,6 +142,21 @@
 //! promotions (precision/recall, every disagreement classified). `--json
 //! PATH` writes the versioned, byte-deterministic analysis report (`-`
 //! for stdout). The exit status is non-zero when the linter finds errors.
+//!
+//! `attribute` joins the static predictor with one measured run pair: the
+//! program is simulated twice (baseline and reuse at `--iq`), the
+//! reuse-FSM trace events are replayed onto the static loop table, and
+//! the measured per-class energy delta is attributed to loops by their
+//! share of gated cycles — which loops pay for themselves, which revoke,
+//! and how the predictor's ranking compares to the measured one.
+//! `--calibrated` weighs classes with the non-uniform
+//! `ClassEnergyProfile::calibrated()` instead of all-ones. `--json PATH`
+//! writes the versioned, byte-deterministic attribution report (`-` for
+//! stdout). With `--corpus`, `--seeds N` (default 200) fuzz-generated
+//! programs run baseline+reuse through the deterministic bench engine
+//! and are characterized per structural family (measured savings and
+//! gating vs the static predictor score); the table and summary line are
+//! byte-identical for any `--jobs` count.
 //! ```
 
 use riq_bench::{
@@ -169,7 +188,9 @@ fn usage() -> ExitCode {
                 riq-repro ckpt ls <PATH...>
                 riq-repro ckpt verify <PATH> [--program <kernel|file.s>] [--scale F]
                 riq-repro fuzz --seed S --iters N [--minimize] [--corpus DIR]
-                riq-repro analyze <kernel|file.s> [--iq N] [--scale F] [--dynamic] [--json PATH]"
+                riq-repro analyze <kernel|file.s> [--iq N] [--scale F] [--dynamic] [--json PATH]
+                riq-repro attribute <kernel|file.s> [--iq N] [--scale F] [--calibrated] [--json PATH]
+                riq-repro attribute --corpus [--seeds N] [--iq N] [--jobs N] [--json PATH]"
     );
     ExitCode::FAILURE
 }
@@ -213,6 +234,15 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+            Err(e) => {
+                eprintln!("riq-repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "attribute" {
+        return match run_attribute(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("riq-repro: {e}");
                 ExitCode::FAILURE
@@ -917,6 +947,171 @@ fn run_analyze(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         riq_analyze::summary_line(&name, &program, &analysis, iq, agreement.as_ref())
     )?;
     Ok(analysis.lint.errors().count() == 0)
+}
+
+/// The `attribute` subcommand: per-loop, per-class energy attribution
+/// joining the static predictor with a measured baseline/reuse run pair
+/// (or, with `--corpus`, a fuzz-corpus family characterization).
+fn run_attribute(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if args.iter().any(|a| a == "--corpus") {
+        return run_attribute_corpus_cmd(args);
+    }
+    let mut it = args.iter();
+    let name = it.next().ok_or("attribute: missing program (kernel name or .s file)")?.clone();
+    let mut iq = 64u32;
+    let mut scale = 1.0f64;
+    let mut calibrated = false;
+    let mut json: Option<String> = None;
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("attribute: {flag} needs a value"))
+        };
+        match a.as_str() {
+            "--iq" => {
+                iq = value("--iq")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("attribute: --iq needs a positive integer")?;
+            }
+            "--scale" => {
+                scale = value("--scale")?
+                    .parse()
+                    .ok()
+                    .filter(|&f: &f64| f > 0.0)
+                    .ok_or("attribute: --scale needs a positive number")?;
+            }
+            "--calibrated" => calibrated = true,
+            "--json" => json = Some(value("--json")?),
+            other => return Err(format!("attribute: unknown option {other:?}").into()),
+        }
+    }
+    let program = load_program(&name, scale)?;
+    let analysis = riq_analyze::analyze(&program);
+
+    // Baseline leg: no reuse, no trace needed.
+    let base_cfg = SimConfig::baseline().with_iq_size(iq);
+    let started = Instant::now();
+    let base = Processor::new(base_cfg).run(&program)?;
+    let perf =
+        PerfBlock::new(started.elapsed().as_secs_f64(), base.stats.committed, base.stats.cycles);
+    eprintln!("baseline: {}", perf.speed_line());
+
+    // Reuse leg: observed, so the reuse-FSM events can be replayed onto
+    // the static loop table.
+    let reuse_cfg = SimConfig::baseline().with_iq_size(iq).with_reuse(true);
+    let mut sink = riq_trace::VecSink::new();
+    let started = Instant::now();
+    let reuse = Processor::new(reuse_cfg).run_observed(&program, &mut sink, None)?;
+    let perf =
+        PerfBlock::new(started.elapsed().as_secs_f64(), reuse.stats.committed, reuse.stats.cycles);
+    eprintln!("reuse:    {}", perf.speed_line());
+
+    let profile = if calibrated {
+        riq_power::ClassEnergyProfile::calibrated()
+    } else {
+        riq_power::ClassEnergyProfile::default()
+    };
+    let base_run = riq_analyze::MeasuredRun { committed: base.stats.committed, power: base.power };
+    let reuse_run =
+        riq_analyze::MeasuredRun { committed: reuse.stats.committed, power: reuse.power };
+    let attribution = riq_analyze::attribute(
+        &program,
+        &analysis,
+        &sink.events,
+        iq,
+        &base_run,
+        &reuse_run,
+        &profile,
+    );
+
+    if let Some(path) = &json {
+        let doc = riq_analyze::attribution_json(&name, &attribution).to_pretty();
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            File::create(path)
+                .and_then(|mut f| f.write_all(doc.as_bytes()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("report -> {path}");
+        }
+    }
+    let mut out: Box<dyn std::io::Write> = if json.as_deref() == Some("-") {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(std::io::stdout())
+    };
+    write!(out, "{}", riq_analyze::attribution_table(&name, &attribution))?;
+    writeln!(out, "{}", riq_analyze::attribution_summary_line(&name, &attribution))?;
+    Ok(())
+}
+
+/// The `attribute --corpus` mode: characterize fuzz-generated programs
+/// through the deterministic bench engine, bucketed by family.
+fn run_attribute_corpus_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut seeds = 200u64;
+    let mut iq = 64u32;
+    let mut jobs = 0usize;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("attribute: {flag} needs a value"))
+        };
+        match a.as_str() {
+            "--corpus" => {}
+            "--seeds" => {
+                seeds = value("--seeds")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("attribute: --seeds needs a positive integer")?;
+            }
+            "--iq" => {
+                iq = value("--iq")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("attribute: --iq needs a positive integer")?;
+            }
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse()
+                    .ok()
+                    .ok_or("attribute: --jobs needs an unsigned integer")?;
+            }
+            "--json" => json = Some(value("--json")?),
+            other => return Err(format!("attribute: unknown option {other:?}").into()),
+        }
+    }
+    let opts = EngineOptions { jobs, ..EngineOptions::default() };
+    let started = Instant::now();
+    let report = riq_bench::run_attribution_corpus(seeds, iq, &opts)?;
+    eprintln!(
+        "corpus: {} programs ({} sim jobs) in {:.2}s",
+        seeds,
+        seeds * 2,
+        started.elapsed().as_secs_f64()
+    );
+    if let Some(path) = &json {
+        let doc = report.to_json().to_pretty();
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            File::create(path)
+                .and_then(|mut f| f.write_all(doc.as_bytes()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("report -> {path}");
+        }
+    }
+    let mut out: Box<dyn std::io::Write> = if json.as_deref() == Some("-") {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(std::io::stdout())
+    };
+    write!(out, "{}", report.render())?;
+    writeln!(out, "{}", report.summary_line())?;
+    Ok(())
 }
 
 /// The `fuzz` subcommand: differential fuzzing of the simulator against

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod attribution;
 mod bench_cmd;
 mod engine;
 mod experiment;
@@ -56,6 +57,7 @@ mod report;
 mod service;
 mod tables;
 
+pub use attribution::{run_attribution_corpus, CorpusReport, FamilyRow, CORPUS_SCHEMA_VERSION};
 pub use bench_cmd::{
     append_record, matrix_jobs, run_bench, run_bench_with_store, validate_bench_doc, BenchRun,
     BENCH_IQ_SIZES, BENCH_SCHEMA_VERSION, QUICK_SCALE,

@@ -388,7 +388,69 @@ fn tree_uses(stmts: &[Stmt], call: &mut bool, rec: &mut bool) {
     }
 }
 
+/// Stable family labels, in classification priority order (the first
+/// feature a program exhibits wins). [`TestProgram::family`] returns one
+/// of these; corpus reports aggregate by them.
+pub const FAMILIES: [&str; 6] =
+    ["recursion", "nested_loop", "call_in_loop", "data_dep_loop", "flat_loop", "straight_line"];
+
 impl TestProgram {
+    /// Structural family of the program, for corpus bucketing: the most
+    /// reuse-hostile feature present wins — recursion (unpaired returns)
+    /// over nested loops (inner-loop revokes) over calls inside loops
+    /// over data-dependent exits over plain counted loops over loop-free
+    /// code.
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        #[derive(Default)]
+        struct Feat {
+            rec: bool,
+            nested: bool,
+            call_in_loop: bool,
+            data_dep: bool,
+            flat_loop: bool,
+        }
+        fn scan(stmts: &[Stmt], depth: u8, f: &mut Feat) {
+            for s in stmts {
+                match s {
+                    Stmt::Loop { data_dep, body, .. } => {
+                        f.flat_loop = true;
+                        if depth > 0 {
+                            f.nested = true;
+                        }
+                        if data_dep.is_some() {
+                            f.data_dep = true;
+                        }
+                        scan(body, depth + 1, f);
+                    }
+                    Stmt::Skip { body, .. } => scan(body, depth, f),
+                    Stmt::Call => {
+                        if depth > 0 {
+                            f.call_in_loop = true;
+                        }
+                    }
+                    Stmt::Recurse { .. } => f.rec = true,
+                    Stmt::Line(_) => {}
+                }
+            }
+        }
+        let mut f = Feat::default();
+        scan(&self.stmts, 0, &mut f);
+        if f.rec {
+            FAMILIES[0]
+        } else if f.nested {
+            FAMILIES[1]
+        } else if f.call_in_loop {
+            FAMILIES[2]
+        } else if f.data_dep {
+            FAMILIES[3]
+        } else if f.flat_loop {
+            FAMILIES[4]
+        } else {
+            FAMILIES[5]
+        }
+    }
+
     /// Renders the tree to standalone assembly source. The output contains
     /// everything needed to replay the case: data tables, prologue, the
     /// generated statements, `halt`, and any helper functions referenced.
@@ -493,6 +555,45 @@ mod tests {
             assert!(m.is_halted(), "seed {seed}: program must halt");
             assert!(m.retired() > 8, "seed {seed}: program does real work");
         }
+    }
+
+    #[test]
+    fn family_priority_and_coverage() {
+        // Hand-built trees exercise the priority order deterministically.
+        let base = generate(0);
+        let mk = |stmts: Vec<Stmt>| TestProgram { stmts, ..base.clone() };
+        let flat = Stmt::Loop { trips: 4, data_dep: None, body: vec![Stmt::Call] };
+        assert_eq!(mk(vec![]).family(), "straight_line");
+        assert_eq!(mk(vec![Stmt::Call]).family(), "straight_line");
+        assert_eq!(
+            mk(vec![Stmt::Loop { trips: 4, data_dep: None, body: vec![] }]).family(),
+            "flat_loop"
+        );
+        assert_eq!(
+            mk(vec![Stmt::Loop {
+                trips: 4,
+                data_dep: Some(DataDep { seed: 1, mask: 3 }),
+                body: vec![]
+            }])
+            .family(),
+            "data_dep_loop"
+        );
+        assert_eq!(mk(vec![flat.clone()]).family(), "call_in_loop");
+        assert_eq!(
+            mk(vec![Stmt::Loop { trips: 4, data_dep: None, body: vec![flat] }]).family(),
+            "nested_loop"
+        );
+        assert_eq!(mk(vec![Stmt::Recurse { depth: 2 }]).family(), "recursion");
+        // Generated corpus hits several distinct families.
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..200u64 {
+            let fam = generate(seed).family();
+            assert!(FAMILIES.contains(&fam));
+            seen.insert(fam);
+        }
+        // Full-size generated programs are rich, so only the high-priority
+        // families show up; the hand-built trees above cover the rest.
+        assert!(seen.len() >= 2, "families across 200 seeds: {seen:?}");
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod oracle;
 pub mod rng;
 pub mod shrink;
 
-pub use gen::{generate, TestProgram};
+pub use gen::{generate, TestProgram, FAMILIES};
 pub use oracle::{check_program, check_source, default_matrix, CheckReport, Failure, MatrixPoint};
 pub use shrink::{shrink, ShrinkOutcome};
 

@@ -262,6 +262,20 @@ impl Default for ClassEnergyProfile {
 }
 
 impl ClassEnergyProfile {
+    /// Calibrated non-uniform profile, derived from the model's own
+    /// per-access energies (the Table-1-sized structures each class
+    /// exercises), normalized to the integer ALU: FP datapaths cost
+    /// roughly twice an integer op per access, loads pay the
+    /// D-cache/D-TLB lookup, stores the cheaper LSQ insert, and branch
+    /// direction/BTB lookups are fractions of an ALU op. Use this when
+    /// per-class attribution should reflect datapath cost rather than
+    /// raw component energy; the all-ones [`Default`] remains the
+    /// identity that reproduces [`PowerReport::total_energy`] exactly.
+    #[must_use]
+    pub fn calibrated() -> ClassEnergyProfile {
+        ClassEnergyProfile { int: 1.0, fp: 2.0, load: 1.6, store: 1.3, branch: 0.5 }
+    }
+
     /// The weight for one class.
     #[must_use]
     pub fn weight(&self, class: EnergyClass) -> f64 {
@@ -745,6 +759,29 @@ mod tests {
         let r = busy_report();
         let w = r.weighted_total_energy(&ClassEnergyProfile::default());
         assert!((w - r.total_energy()).abs() < 1e-9 * r.total_energy());
+    }
+
+    #[test]
+    fn calibrated_profile_is_nonuniform_and_conservative() {
+        let p = ClassEnergyProfile::calibrated();
+        assert_ne!(p, ClassEnergyProfile::default());
+        // Every weight is positive and finite; FP is the heaviest class,
+        // branch the lightest — the datapath-cost ordering the weights
+        // were derived from.
+        for c in EnergyClass::ALL {
+            assert!(p.weight(c) > 0.0 && p.weight(c).is_finite());
+            assert!(p.weight(EnergyClass::Fp) >= p.weight(c));
+            assert!(p.weight(EnergyClass::Branch) <= p.weight(c));
+        }
+        // The calibrated weighting reshapes the decomposition without the
+        // all-ones identity: on a busy run the two totals differ.
+        let r = busy_report();
+        let w = r.weighted_total_energy(&p);
+        assert!((w - r.total_energy()).abs() > 1e-6 * r.total_energy());
+        // And the all-ones default still reproduces the raw aggregate
+        // exactly alongside it.
+        let id = r.weighted_total_energy(&ClassEnergyProfile::default());
+        assert!((id - r.total_energy()).abs() < 1e-12 * r.total_energy());
     }
 
     #[test]

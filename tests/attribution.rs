@@ -1,0 +1,173 @@
+//! Workspace-level attribution invariants: the class-mix partition holds
+//! for arbitrary fuzz-generated programs, the attribution JSON is a pure
+//! function of the program and configuration, and — the acceptance gate —
+//! the static predictor's kernel ranking agrees with measured energy
+//! savings at IQ 64.
+
+use proptest::prelude::*;
+use riq::analyze::{analyze, attribute, attribution_json, attribution_summary_line, MeasuredRun};
+use riq::core::{Processor, RunResult, SimConfig};
+use riq::power::{ClassEnergyProfile, EnergyClass};
+
+fn measured(r: &RunResult) -> MeasuredRun {
+    MeasuredRun { committed: r.stats.committed, power: r.power }
+}
+
+/// Runs one program baseline+reuse at `iq` and returns
+/// `(baseline, reuse, reuse-leg trace events)`.
+fn run_pair(
+    program: &riq::asm::Program,
+    iq: u32,
+) -> (RunResult, RunResult, Vec<riq::trace::TraceEvent>) {
+    let base = Processor::new(SimConfig::baseline().with_iq_size(iq)).run(program).unwrap();
+    let mut sink = riq::trace::VecSink::new();
+    let reuse = Processor::new(SimConfig::baseline().with_iq_size(iq).with_reuse(true))
+        .run_observed(program, &mut sink, None)
+        .unwrap();
+    (base, reuse, sink.events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The class-mix pass partitions every decoded instruction exactly
+    /// once: per-loop own mixes plus the outside remainder reproduce the
+    /// whole-program decode totals, class by class, for arbitrary
+    /// generated programs.
+    #[test]
+    fn class_mix_partitions_decode_totals(seed in 0u64..4096) {
+        let tp = riq::fuzz::generate(seed);
+        let program = riq::asm::assemble(&tp.render()).unwrap();
+        let analysis = analyze(&program);
+
+        let mut sum = riq::analyze::Mix::default();
+        for summary in &analysis.loops {
+            sum.merge(&summary.mix.own_mix);
+        }
+        sum.merge(&analysis.outside_mix);
+
+        // Independent decode walk over the full text image.
+        let mut decode = riq::analyze::Mix::default();
+        for (_, inst) in program.iter_insts() {
+            decode.add(&inst);
+        }
+
+        prop_assert_eq!(sum, analysis.program_mix, "partition must cover the program exactly");
+        for c in EnergyClass::ALL {
+            prop_assert_eq!(
+                analysis.program_mix.count(c),
+                decode.count(c),
+                "class {} drifted from the decode totals (seed {seed:#x})",
+                c.label()
+            );
+        }
+        prop_assert_eq!(analysis.program_mix.total(), decode.total());
+    }
+}
+
+/// Two full attribution pipelines (simulate, replay, join) over the same
+/// kernel must serialize to byte-identical JSON and summary lines — the
+/// CI smoke diffs these across runs.
+#[test]
+fn kernel_attribution_is_byte_identical_across_runs() {
+    let profile = ClassEnergyProfile::default();
+    for kernel in riq::kernels::suite_scaled(0.05) {
+        let program = riq::kernels::compile(&kernel).unwrap();
+        let analysis = analyze(&program);
+        let docs: Vec<(String, String)> = (0..2)
+            .map(|_| {
+                let (base, reuse, events) = run_pair(&program, 64);
+                let a = attribute(
+                    &program,
+                    &analysis,
+                    &events,
+                    64,
+                    &measured(&base),
+                    &measured(&reuse),
+                    &profile,
+                );
+                (
+                    attribution_json(&kernel.name, &a).to_pretty(),
+                    attribution_summary_line(&kernel.name, &a),
+                )
+            })
+            .collect();
+        assert_eq!(docs[0].0, docs[1].0, "{}: attribution JSON must be byte-stable", kernel.name);
+        assert_eq!(docs[0].1, docs[1].1, "{}: summary line must be byte-stable", kernel.name);
+        let parsed = riq::trace::parse(&docs[0].0).unwrap();
+        assert_eq!(
+            parsed.get("schema_version").unwrap().as_u64(),
+            Some(riq::analyze::ATTRIBUTION_SCHEMA_VERSION)
+        );
+    }
+}
+
+fn rank_desc(scores: &[f64]) -> Vec<f64> {
+    // Average ranks over ties so the correlation is not inflated by the
+    // deterministic tie-break order.
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).unwrap().then(i.cmp(&j)));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    let (ra, rb) = (rank_desc(a), rank_desc(b));
+    let n = a.len() as f64;
+    let d2: f64 = ra.iter().zip(rb.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+    1.0 - 6.0 * d2 / (n * (n * n - 1.0))
+}
+
+/// Acceptance gate: corpus mode characterizes 200 fuzz-generated
+/// programs and its whole report is byte-identical for different worker
+/// counts.
+#[test]
+fn corpus_mode_characterizes_200_programs_deterministically() {
+    use riq_bench::{run_attribution_corpus, EngineOptions};
+    let parallel = EngineOptions { jobs: 0, ..EngineOptions::default() };
+    let serial = EngineOptions { jobs: 3, ..EngineOptions::default() };
+    let a = run_attribution_corpus(200, 64, &parallel).unwrap();
+    let b = run_attribution_corpus(200, 64, &serial).unwrap();
+    assert_eq!(a.programs, 200);
+    assert_eq!(a.rows.iter().map(|r| r.programs).sum::<u64>(), 200);
+    assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.summary_line(), b.summary_line());
+}
+
+/// Acceptance gate: ranking the eight suite kernels by the static
+/// predictor's program score must agree with ranking them by measured
+/// energy savings at IQ 64 (Spearman rank correlation >= 0.8).
+#[test]
+fn predictor_ranking_tracks_measured_savings_at_iq64() {
+    let mut predicted = Vec::new();
+    let mut measured_savings = Vec::new();
+    let mut names = Vec::new();
+    for kernel in riq::kernels::suite_scaled(0.05) {
+        let program = riq::kernels::compile(&kernel).unwrap();
+        let analysis = analyze(&program);
+        let grid: Vec<Vec<_>> = analysis.loops.iter().map(|s| s.predict.clone()).collect();
+        predicted.push(riq::analyze::program_score(&grid, 64));
+        let (base, reuse, _) = run_pair(&program, 64);
+        measured_savings.push(1.0 - reuse.power.total_energy() / base.power.total_energy());
+        names.push(kernel.name);
+    }
+    let rho = spearman(&predicted, &measured_savings);
+    assert!(
+        rho >= 0.8,
+        "Spearman {rho:.3} < 0.8: predicted {predicted:?} vs measured {measured_savings:?} for {names:?}"
+    );
+}
